@@ -1,0 +1,107 @@
+//! Trace-dataset persistence.
+//!
+//! Real deployments accumulate client traces over months (the paper's
+//! Puffer datasets span 2021–2024); this module stores generated trace
+//! datasets as JSON so experiments can pin exact workloads, diff eras,
+//! and share corpora between runs.
+
+use crate::trace::NetworkTrace;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// A named bundle of traces (e.g. "puffer-2021-train").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceDataset {
+    /// Dataset name.
+    pub name: String,
+    /// The traces.
+    pub traces: Vec<NetworkTrace>,
+}
+
+impl TraceDataset {
+    /// Creates a dataset.
+    pub fn new(name: &str, traces: Vec<NetworkTrace>) -> Self {
+        assert!(!traces.is_empty(), "a trace dataset cannot be empty");
+        Self { name: name.to_string(), traces }
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// True if empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Mean of per-trace mean throughputs, Mbps.
+    pub fn mean_mbps(&self) -> f32 {
+        self.traces.iter().map(|t| t.mean_mbps()).sum::<f32>() / self.len() as f32
+    }
+
+    /// Serializes the dataset to a JSON file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string(self).expect("trace dataset serialization");
+        std::fs::write(path, json)
+    }
+
+    /// Loads a dataset from a JSON file.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{DatasetEra, TraceFamily};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("abr-env-io-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_traces() {
+        let traces = DatasetEra::Train2021.generate_traces(5, 60, 7);
+        let ds = TraceDataset::new("t", traces);
+        let path = tmp("roundtrip");
+        ds.save(&path).expect("save");
+        let loaded = TraceDataset::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.len(), 5);
+        for (a, b) in ds.traces.iter().zip(&loaded.traces) {
+            assert_eq!(a.mbps, b.mbps);
+            assert_eq!(a.family, b.family);
+        }
+        assert!((ds.mean_mbps() - loaded.mean_mbps()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, "not json").expect("write");
+        let err = TraceDataset::load(&path);
+        std::fs::remove_file(&path).ok();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn single_family_dataset_statistics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let traces: Vec<_> = (0..4).map(|_| TraceFamily::Broadband.generate(60, &mut rng)).collect();
+        let ds = TraceDataset::new("bb", traces);
+        assert!(ds.mean_mbps() > 3.0, "broadband mean {}", ds.mean_mbps());
+    }
+
+    #[test]
+    #[should_panic(expected = "trace dataset cannot be empty")]
+    fn empty_dataset_is_rejected() {
+        let _ = TraceDataset::new("x", vec![]);
+    }
+}

@@ -1,0 +1,45 @@
+//! # abr-env — adaptive bitrate streaming simulator
+//!
+//! A chunked video-streaming environment in the style of the Puffer
+//! platform that hosts the paper's Gelato controller: videos are divided
+//! into 2-second chunks pre-encoded at several quality levels, a client
+//! downloads chunks over a time-varying network, and an ABR policy picks
+//! the next chunk's level to maximize quality of experience (QoE).
+//!
+//! The crate provides:
+//!
+//! * [`manifest::VideoManifest`] — per-chunk sizes and SSIM-dB qualities
+//!   driven by a content-complexity process;
+//! * [`trace::NetworkTrace`] and [`trace::TraceFamily`] — synthetic
+//!   throughput traces for 3G/4G/5G/broadband access networks, plus the
+//!   "2021 training" and "2024 deployment" era mixes used by the
+//!   distribution-shift experiments (paper Figs. 5 and 7);
+//! * [`sim::AbrSimulator`] — the step-by-step client model (buffer,
+//!   stalls, download times, QoE);
+//! * [`observation::AbrObservation`] — the controller input: 10-step
+//!   histories of seven signals plus 5-chunk lookahead, exactly the state
+//!   laid out in the paper's Fig. 15 prompt, with conversions to a
+//!   normalized feature vector and to describable text sections.
+
+pub mod io;
+pub mod manifest;
+pub mod metrics;
+pub mod observation;
+pub mod sim;
+pub mod trace;
+
+pub use io::TraceDataset;
+pub use metrics::{run_episode, EpisodeRecorder, EpisodeStats};
+pub use manifest::VideoManifest;
+pub use observation::AbrObservation;
+pub use sim::{AbrSimulator, QoeParams, StepOutcome};
+pub use trace::{DatasetEra, NetworkTrace, TraceFamily};
+
+/// Number of quality levels per chunk.
+pub const LEVELS: usize = 6;
+/// Chunk playback duration in seconds.
+pub const CHUNK_SECONDS: f32 = 2.0;
+/// History length of the controller observation.
+pub const HISTORY: usize = 10;
+/// Lookahead horizon (chunks) of the controller observation.
+pub const LOOKAHEAD: usize = 5;

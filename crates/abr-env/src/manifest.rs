@@ -1,0 +1,165 @@
+//! Video manifests: per-chunk sizes and qualities across the bitrate
+//! ladder.
+//!
+//! Chunk sizes follow a slowly varying *content-complexity* process
+//! (talking heads need fewer bits than sports), and SSIM-dB quality is a
+//! concave function of the encoded bitrate, degraded for complex content
+//! at a fixed bitrate — the behaviour real encoders exhibit.
+
+use crate::{CHUNK_SECONDS, LEVELS};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Bitrates of the encoding ladder in Mbps.
+pub const LADDER_MBPS: [f32; LEVELS] = [0.3, 0.75, 1.2, 1.85, 2.85, 4.3];
+
+/// A video: per-chunk sizes (Mb) and qualities (SSIM dB) for each level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VideoManifest {
+    /// `sizes[chunk][level]` in megabits.
+    pub sizes: Vec<[f32; LEVELS]>,
+    /// `qualities[chunk][level]` in SSIM dB.
+    pub qualities: Vec<[f32; LEVELS]>,
+    /// Per-chunk content complexity in [0.5, 1.5]; >1 means hard content.
+    pub complexity: Vec<f32>,
+}
+
+impl VideoManifest {
+    /// Generates a manifest for `chunks` chunks with a mean complexity of
+    /// `mean_complexity` (1.0 is typical; the 2024 deployment mix uses a
+    /// higher value to model richer content).
+    pub fn generate(chunks: usize, mean_complexity: f32, rng: &mut StdRng) -> Self {
+        assert!(chunks > 0, "a video needs at least one chunk");
+        let mut sizes = Vec::with_capacity(chunks);
+        let mut qualities = Vec::with_capacity(chunks);
+        let mut complexity = Vec::with_capacity(chunks);
+
+        // AR(1) complexity process so scenes persist for several chunks.
+        let mut c = mean_complexity;
+        for _ in 0..chunks {
+            let innovation: f32 = rng.random_range(-0.12..0.12);
+            c = (0.85 * c + 0.15 * mean_complexity + innovation).clamp(0.5, 1.5);
+            complexity.push(c);
+
+            let mut s = [0.0f32; LEVELS];
+            let mut q = [0.0f32; LEVELS];
+            for (l, &mbps) in LADDER_MBPS.iter().enumerate() {
+                // Size scales with complexity plus per-chunk jitter.
+                let jitter: f32 = rng.random_range(0.9..1.1);
+                s[l] = mbps * CHUNK_SECONDS * c * jitter;
+                // Concave quality curve, penalized by complexity: encoding
+                // hard content at a fixed bitrate yields lower SSIM.
+                q[l] = 9.0 + 7.0 * (1.0 + mbps).ln() / c.sqrt();
+            }
+            sizes.push(s);
+            qualities.push(q);
+        }
+
+        Self { sizes, qualities, complexity }
+    }
+
+    /// Convenience seeded constructor.
+    pub fn generate_seeded(chunks: usize, mean_complexity: f32, seed: u64) -> Self {
+        Self::generate(chunks, mean_complexity, &mut StdRng::seed_from_u64(seed))
+    }
+
+    /// Number of chunks.
+    pub fn chunks(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Mean size (Mb) of the next `horizon` chunks starting at `chunk`,
+    /// averaged over the ladder — the "Mean Upcoming Video Sizes" feature.
+    pub fn upcoming_mean_sizes(&self, chunk: usize, horizon: usize) -> Vec<f32> {
+        (0..horizon)
+            .map(|i| {
+                let idx = chunk + i;
+                if idx < self.chunks() {
+                    self.sizes[idx].iter().sum::<f32>() / LEVELS as f32
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Mean quality (SSIM dB) of the next `horizon` chunks, averaged over
+    /// the ladder — the "Mean Upcoming Video Qualities" feature.
+    pub fn upcoming_mean_qualities(&self, chunk: usize, horizon: usize) -> Vec<f32> {
+        (0..horizon)
+            .map(|i| {
+                let idx = chunk + i;
+                if idx < self.chunks() {
+                    self.qualities[idx].iter().sum::<f32>() / LEVELS as f32
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_increase_along_the_ladder() {
+        let m = VideoManifest::generate_seeded(50, 1.0, 7);
+        for chunk in &m.sizes {
+            for l in 1..LEVELS {
+                // Jitter is ±10% while ladder steps are ≥50%, so order holds.
+                assert!(chunk[l] > chunk[l - 1], "ladder must be monotone: {chunk:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn qualities_increase_along_the_ladder() {
+        let m = VideoManifest::generate_seeded(50, 1.0, 7);
+        for chunk in &m.qualities {
+            for l in 1..LEVELS {
+                assert!(chunk[l] > chunk[l - 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn complex_content_is_larger_and_lower_quality() {
+        let easy = VideoManifest::generate_seeded(200, 0.7, 3);
+        let hard = VideoManifest::generate_seeded(200, 1.3, 3);
+        let mean_size =
+            |m: &VideoManifest| m.sizes.iter().map(|s| s[3]).sum::<f32>() / m.chunks() as f32;
+        let easy_size = mean_size(&easy);
+        let hard_size = mean_size(&hard);
+        assert!(hard_size > easy_size * 1.3);
+        let easy_q: f32 =
+            easy.qualities.iter().map(|q| q[3]).sum::<f32>() / easy.chunks() as f32;
+        let hard_q: f32 =
+            hard.qualities.iter().map(|q| q[3]).sum::<f32>() / hard.chunks() as f32;
+        assert!(easy_q > hard_q);
+    }
+
+    #[test]
+    fn complexity_stays_in_bounds() {
+        let m = VideoManifest::generate_seeded(500, 1.0, 11);
+        assert!(m.complexity.iter().all(|&c| (0.5..=1.5).contains(&c)));
+    }
+
+    #[test]
+    fn upcoming_views_pad_with_zero_past_the_end() {
+        let m = VideoManifest::generate_seeded(10, 1.0, 1);
+        let sizes = m.upcoming_mean_sizes(8, 5);
+        assert_eq!(sizes.len(), 5);
+        assert!(sizes[0] > 0.0 && sizes[1] > 0.0);
+        assert_eq!(&sizes[2..], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = VideoManifest::generate_seeded(20, 1.0, 5);
+        let b = VideoManifest::generate_seeded(20, 1.0, 5);
+        assert_eq!(a.sizes, b.sizes);
+    }
+}

@@ -1,0 +1,154 @@
+//! Episode-level QoE metrics.
+//!
+//! QoE papers decompose the scalar reward into interpretable components —
+//! mean quality, rebuffering, and switching. [`EpisodeStats`] accumulates
+//! those while a policy plays a video, so experiments can report *why*
+//! one controller's QoE beats another's.
+
+use crate::sim::{AbrSimulator, StepOutcome};
+use serde::{Deserialize, Serialize};
+
+/// Decomposed statistics of one playback episode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeStats {
+    /// Number of chunks played.
+    pub chunks: usize,
+    /// Mean per-chunk QoE.
+    pub mean_qoe: f32,
+    /// Mean SSIM dB of the selected chunks.
+    pub mean_quality_db: f32,
+    /// Total stall time, seconds.
+    pub total_stall_s: f32,
+    /// Stall time divided by nominal playback time.
+    pub stall_ratio: f32,
+    /// Number of chunk-to-chunk quality-level... switches measured as
+    /// SSIM changes above 0.5 dB.
+    pub quality_switches: usize,
+    /// Mean |ΔSSIM| across consecutive chunks, dB.
+    pub mean_switch_magnitude_db: f32,
+}
+
+/// Accumulates [`EpisodeStats`] from step outcomes.
+#[derive(Debug, Clone, Default)]
+pub struct EpisodeRecorder {
+    outcomes: Vec<StepOutcome>,
+}
+
+impl EpisodeRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one step outcome.
+    pub fn record(&mut self, outcome: StepOutcome) {
+        self.outcomes.push(outcome);
+    }
+
+    /// Finalizes the statistics.
+    ///
+    /// # Panics
+    /// Panics if no steps were recorded.
+    pub fn finish(&self) -> EpisodeStats {
+        assert!(!self.outcomes.is_empty(), "no steps recorded");
+        let n = self.outcomes.len();
+        let mean_qoe = self.outcomes.iter().map(|o| o.qoe).sum::<f32>() / n as f32;
+        let mean_quality_db =
+            self.outcomes.iter().map(|o| o.quality_db).sum::<f32>() / n as f32;
+        let total_stall_s: f32 = self.outcomes.iter().map(|o| o.stall).sum();
+        let playback_s = n as f32 * crate::CHUNK_SECONDS;
+        let mut switches = 0usize;
+        let mut switch_mag = 0.0f32;
+        for pair in self.outcomes.windows(2) {
+            let d = (pair[1].quality_db - pair[0].quality_db).abs();
+            switch_mag += d;
+            if d > 0.5 {
+                switches += 1;
+            }
+        }
+        EpisodeStats {
+            chunks: n,
+            mean_qoe,
+            mean_quality_db,
+            total_stall_s,
+            stall_ratio: total_stall_s / playback_s,
+            quality_switches: switches,
+            mean_switch_magnitude_db: switch_mag / (n - 1).max(1) as f32,
+        }
+    }
+}
+
+/// Plays a full video with `policy` and returns the decomposed stats.
+pub fn run_episode(
+    sim: &mut AbrSimulator,
+    mut policy: impl FnMut(&AbrSimulator) -> usize,
+) -> EpisodeStats {
+    let mut recorder = EpisodeRecorder::new();
+    while !sim.done() {
+        let action = policy(sim);
+        recorder.record(sim.step(action));
+    }
+    recorder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::VideoManifest;
+    use crate::trace::TraceFamily;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sim(seed: u64, family: TraceFamily) -> AbrSimulator {
+        let manifest = VideoManifest::generate_seeded(40, 1.0, seed);
+        let trace = family.generate(300, &mut StdRng::seed_from_u64(seed));
+        AbrSimulator::new(manifest, trace)
+    }
+
+    #[test]
+    fn constant_policy_has_no_switches() {
+        let mut s = sim(1, TraceFamily::Broadband);
+        let stats = run_episode(&mut s, |_| 2);
+        assert_eq!(stats.chunks, 40);
+        // Same level every chunk: only content-driven SSIM jitter remains.
+        assert!(stats.mean_switch_magnitude_db < 1.5);
+        assert!(stats.stall_ratio < 0.05);
+    }
+
+    #[test]
+    fn alternating_policy_switches_every_chunk() {
+        let mut s = sim(2, TraceFamily::Broadband);
+        let mut flip = false;
+        let stats = run_episode(&mut s, |_| {
+            flip = !flip;
+            if flip {
+                0
+            } else {
+                5
+            }
+        });
+        assert!(stats.quality_switches >= 35, "switches {}", stats.quality_switches);
+        assert!(stats.mean_switch_magnitude_db > 3.0);
+    }
+
+    #[test]
+    fn greedy_top_level_on_3g_stalls_heavily() {
+        let mut s = sim(3, TraceFamily::ThreeG);
+        let stats = run_episode(&mut s, |_| 5);
+        assert!(stats.stall_ratio > 0.5, "stall ratio {}", stats.stall_ratio);
+        assert!(stats.mean_qoe < 1.0);
+    }
+
+    #[test]
+    fn qoe_decomposition_is_consistent_with_sim_totals() {
+        let mut s = sim(4, TraceFamily::FourG);
+        let stats = run_episode(&mut s, |_| 1);
+        assert!((stats.mean_qoe - s.mean_qoe()).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no steps recorded")]
+    fn empty_recorder_panics() {
+        let _ = EpisodeRecorder::new().finish();
+    }
+}

@@ -1,0 +1,245 @@
+//! The ABR controller observation — the paper's Fig. 15 state.
+//!
+//! Ten-step histories of seven client signals plus a five-chunk lookahead
+//! of mean upcoming sizes and qualities, with conversions to a normalized
+//! feature vector (controller input) and to titled text sections
+//! (describer input).
+
+use crate::{HISTORY, LOOKAHEAD};
+use agua_text::describer::DescribedSection;
+use agua_text::stats::SignalSeries;
+use serde::{Deserialize, Serialize};
+
+/// Documented maxima used for normalization, mirroring the "max=…"
+/// annotations of the paper's prompt.
+pub const QUALITY_MAX: f32 = 25.0;
+/// Maximum chunk size, Mb.
+pub const SIZE_MAX: f32 = 15.0;
+/// Maximum transmission time, seconds.
+pub const TX_MAX: f32 = 20.0;
+/// Maximum throughput, Mbps.
+pub const THROUGHPUT_MAX: f32 = 6.0;
+/// Maximum (and cap of) the client buffer, seconds.
+pub const BUFFER_MAX: f32 = 15.0;
+/// Maximum per-chunk QoE.
+pub const QOE_MAX: f32 = 5.0;
+/// Stall normalization cap, seconds.
+pub const STALL_MAX: f32 = 5.0;
+/// Normalization cap for *mean upcoming* chunk sizes, Mb. Upcoming sizes
+/// are averaged over the whole encoding ladder, so their natural scale is
+/// far below the largest single chunk; normalizing by [`SIZE_MAX`] would
+/// flatten the content-complexity signal into a quasi-constant.
+pub const UP_SIZE_MAX: f32 = 6.0;
+
+/// Dimensionality of [`AbrObservation::features`].
+pub const FEATURE_DIM: usize = 7 * HISTORY + 2 * LOOKAHEAD;
+
+/// One controller input: the client's recent viewing experience.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AbrObservation {
+    /// Selected video quality history, SSIM dB.
+    pub quality_db: Vec<f32>,
+    /// Selected chunk size history, Mb.
+    pub chunk_size_mb: Vec<f32>,
+    /// Transmission time history, seconds.
+    pub tx_time_s: Vec<f32>,
+    /// Measured network throughput history, Mbps.
+    pub throughput_mbps: Vec<f32>,
+    /// Client buffer history, seconds.
+    pub buffer_s: Vec<f32>,
+    /// Per-chunk QoE history.
+    pub qoe: Vec<f32>,
+    /// Stall history, seconds.
+    pub stall_s: Vec<f32>,
+    /// Mean upcoming chunk qualities, SSIM dB.
+    pub upcoming_quality_db: Vec<f32>,
+    /// Mean upcoming chunk sizes, Mb.
+    pub upcoming_size_mb: Vec<f32>,
+}
+
+impl AbrObservation {
+    /// Flattens the observation into a `[0,1]`-normalized feature vector
+    /// of length [`FEATURE_DIM`].
+    pub fn features(&self) -> Vec<f32> {
+        let mut f = Vec::with_capacity(FEATURE_DIM);
+        let norm = |values: &[f32], max: f32, out: &mut Vec<f32>| {
+            out.extend(values.iter().map(|v| (v / max).clamp(0.0, 1.0)));
+        };
+        norm(&self.quality_db, QUALITY_MAX, &mut f);
+        norm(&self.chunk_size_mb, SIZE_MAX, &mut f);
+        norm(&self.tx_time_s, TX_MAX, &mut f);
+        norm(&self.throughput_mbps, THROUGHPUT_MAX, &mut f);
+        norm(&self.buffer_s, BUFFER_MAX, &mut f);
+        norm(&self.qoe, QOE_MAX, &mut f);
+        norm(&self.stall_s, STALL_MAX, &mut f);
+        norm(&self.upcoming_quality_db, QUALITY_MAX, &mut f);
+        norm(&self.upcoming_size_mb, UP_SIZE_MAX, &mut f);
+        debug_assert_eq!(f.len(), FEATURE_DIM);
+        f
+    }
+
+    /// Reconstructs an observation from a feature vector produced by
+    /// [`AbrObservation::features`] (used by noise-robustness experiments
+    /// that perturb the normalized features and re-describe them).
+    pub fn from_features(f: &[f32]) -> Self {
+        assert_eq!(f.len(), FEATURE_DIM, "wrong ABR feature length");
+        let take = |offset: usize, len: usize, max: f32| -> Vec<f32> {
+            f[offset..offset + len].iter().map(|v| v * max).collect()
+        };
+        let h = HISTORY;
+        let l = LOOKAHEAD;
+        Self {
+            quality_db: take(0, h, QUALITY_MAX),
+            chunk_size_mb: take(h, h, SIZE_MAX),
+            tx_time_s: take(2 * h, h, TX_MAX),
+            throughput_mbps: take(3 * h, h, THROUGHPUT_MAX),
+            buffer_s: take(4 * h, h, BUFFER_MAX),
+            qoe: take(5 * h, h, QOE_MAX),
+            stall_s: take(6 * h, h, STALL_MAX),
+            upcoming_quality_db: take(7 * h, l, QUALITY_MAX),
+            upcoming_size_mb: take(7 * h + l, l, UP_SIZE_MAX),
+        }
+    }
+
+    /// Converts the observation into the titled sections the describer
+    /// narrates, following the paragraph structure of the paper's Fig. 16
+    /// response.
+    pub fn sections(&self) -> Vec<DescribedSection> {
+        vec![
+            DescribedSection::new(
+                "Network conditions",
+                vec![
+                    SignalSeries::new(
+                        "Network Throughput",
+                        "Mbps",
+                        self.throughput_mbps.clone(),
+                        THROUGHPUT_MAX,
+                    ),
+                    SignalSeries::new(
+                        "Transmission Time",
+                        "seconds",
+                        self.tx_time_s.clone(),
+                        TX_MAX,
+                    ),
+                ],
+            ),
+            DescribedSection::new(
+                "Viewer's video buffer",
+                vec![SignalSeries::new(
+                    "Client Buffer",
+                    "seconds",
+                    self.buffer_s.clone(),
+                    BUFFER_MAX,
+                )],
+            ),
+            DescribedSection::new(
+                "Viewer's Quality of Experience",
+                vec![
+                    SignalSeries::new(
+                        "Quality of Experience",
+                        "",
+                        self.qoe.clone(),
+                        QOE_MAX,
+                    ),
+                    SignalSeries::new("Stalling", "seconds", self.stall_s.clone(), STALL_MAX),
+                    SignalSeries::new(
+                        "Selected Video Quality",
+                        "SSIM dB",
+                        self.quality_db.clone(),
+                        QUALITY_MAX,
+                    ),
+                ],
+            ),
+            DescribedSection::new(
+                "Upcoming video",
+                vec![
+                    SignalSeries::new(
+                        "Upcoming Video Quality",
+                        "SSIM dB",
+                        self.upcoming_quality_db.clone(),
+                        QUALITY_MAX,
+                    ),
+                    SignalSeries::new(
+                        "Upcoming Video Size Complexity",
+                        "Mb",
+                        self.upcoming_size_mb.clone(),
+                        UP_SIZE_MAX,
+                    ),
+                ],
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> AbrObservation {
+        AbrObservation {
+            quality_db: vec![15.0; HISTORY],
+            chunk_size_mb: vec![2.0; HISTORY],
+            tx_time_s: vec![1.0; HISTORY],
+            throughput_mbps: vec![3.0; HISTORY],
+            buffer_s: vec![12.0; HISTORY],
+            qoe: vec![3.0; HISTORY],
+            stall_s: vec![0.0; HISTORY],
+            upcoming_quality_db: vec![14.0; LOOKAHEAD],
+            upcoming_size_mb: vec![1.5; LOOKAHEAD],
+        }
+    }
+
+    #[test]
+    fn feature_vector_has_documented_dimension_and_range() {
+        let f = demo().features();
+        assert_eq!(f.len(), FEATURE_DIM);
+        assert!(f.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn features_roundtrip_through_from_features() {
+        let obs = demo();
+        let restored = AbrObservation::from_features(&obs.features());
+        for (a, b) in obs.buffer_s.iter().zip(&restored.buffer_s) {
+            assert!((a - b).abs() < 1e-4);
+        }
+        for (a, b) in obs.upcoming_size_mb.iter().zip(&restored.upcoming_size_mb) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped() {
+        let mut obs = demo();
+        obs.stall_s[0] = 99.0;
+        let f = obs.features();
+        assert!(f.iter().all(|&v| v <= 1.0));
+    }
+
+    #[test]
+    fn sections_cover_all_signals() {
+        let sections = demo().sections();
+        let names: Vec<String> = sections
+            .iter()
+            .flat_map(|s| s.signals.iter().map(|sig| sig.name.clone()))
+            .collect();
+        for expected in [
+            "Network Throughput",
+            "Transmission Time",
+            "Client Buffer",
+            "Quality of Experience",
+            "Stalling",
+            "Selected Video Quality",
+            "Upcoming Video Quality",
+            "Upcoming Video Size Complexity",
+        ] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong ABR feature length")]
+    fn from_features_validates_length() {
+        let _ = AbrObservation::from_features(&[0.0; 3]);
+    }
+}

@@ -1,0 +1,367 @@
+//! The streaming client simulator: chunk downloads, buffer dynamics,
+//! stalls, and QoE accounting.
+
+use crate::manifest::VideoManifest;
+use crate::observation::{AbrObservation, BUFFER_MAX};
+use crate::trace::NetworkTrace;
+use crate::{CHUNK_SECONDS, HISTORY, LEVELS, LOOKAHEAD};
+use serde::{Deserialize, Serialize};
+
+/// Maximum time we allow a single chunk download to take, seconds.
+const TX_TIME_CAP: f32 = 20.0;
+
+/// QoE model weights. QoE per chunk is
+/// `ssim/5 − stall_penalty·stall − smooth_penalty·|Δssim|/5`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct QoeParams {
+    /// Penalty per second of stall.
+    pub stall_penalty: f32,
+    /// Penalty per (scaled) dB of quality switch.
+    pub smooth_penalty: f32,
+}
+
+impl Default for QoeParams {
+    fn default() -> Self {
+        Self { stall_penalty: 2.0, smooth_penalty: 0.5 }
+    }
+}
+
+/// Result of one simulator step.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StepOutcome {
+    /// QoE earned by the chunk.
+    pub qoe: f32,
+    /// Stall time incurred, seconds.
+    pub stall: f32,
+    /// Download time of the chunk, seconds.
+    pub tx_time: f32,
+    /// SSIM dB of the downloaded chunk.
+    pub quality_db: f32,
+    /// True when the video has finished.
+    pub done: bool,
+}
+
+/// Event-driven ABR client simulation. Call [`AbrSimulator::observation`]
+/// to read the controller input, then [`AbrSimulator::step`] with the
+/// chosen quality level.
+#[derive(Debug, Clone)]
+pub struct AbrSimulator {
+    manifest: VideoManifest,
+    trace: NetworkTrace,
+    qoe_params: QoeParams,
+    /// Next chunk index to download.
+    chunk: usize,
+    /// Wall-clock time within the trace, seconds.
+    clock: f32,
+    /// Playback buffer, seconds of video.
+    buffer: f32,
+    // Rolling histories, most recent last, always HISTORY long.
+    hist_quality: Vec<f32>,
+    hist_size: Vec<f32>,
+    hist_tx: Vec<f32>,
+    hist_tput: Vec<f32>,
+    hist_buffer: Vec<f32>,
+    hist_qoe: Vec<f32>,
+    hist_stall: Vec<f32>,
+    last_quality_db: f32,
+    total_qoe: f32,
+}
+
+impl AbrSimulator {
+    /// Creates a simulator at the start of the video with an empty buffer.
+    pub fn new(manifest: VideoManifest, trace: NetworkTrace) -> Self {
+        Self::with_qoe(manifest, trace, QoeParams::default())
+    }
+
+    /// Creates a simulator with explicit QoE weights.
+    pub fn with_qoe(manifest: VideoManifest, trace: NetworkTrace, qoe_params: QoeParams) -> Self {
+        Self {
+            manifest,
+            trace,
+            qoe_params,
+            chunk: 0,
+            clock: 0.0,
+            buffer: 0.0,
+            hist_quality: vec![0.0; HISTORY],
+            hist_size: vec![0.0; HISTORY],
+            hist_tx: vec![0.0; HISTORY],
+            hist_tput: vec![0.0; HISTORY],
+            hist_buffer: vec![0.0; HISTORY],
+            hist_qoe: vec![0.0; HISTORY],
+            hist_stall: vec![0.0; HISTORY],
+            last_quality_db: 0.0,
+            total_qoe: 0.0,
+        }
+    }
+
+    /// Remaining chunks.
+    pub fn chunks_left(&self) -> usize {
+        self.manifest.chunks() - self.chunk
+    }
+
+    /// True when the whole video has been downloaded.
+    pub fn done(&self) -> bool {
+        self.chunk >= self.manifest.chunks()
+    }
+
+    /// Current playback buffer in seconds.
+    pub fn buffer(&self) -> f32 {
+        self.buffer
+    }
+
+    /// Total QoE accumulated so far.
+    pub fn total_qoe(&self) -> f32 {
+        self.total_qoe
+    }
+
+    /// Mean QoE per chunk downloaded so far (0 before the first step).
+    pub fn mean_qoe(&self) -> f32 {
+        if self.chunk == 0 {
+            0.0
+        } else {
+            self.total_qoe / self.chunk as f32
+        }
+    }
+
+    /// The manifest being streamed.
+    pub fn manifest(&self) -> &VideoManifest {
+        &self.manifest
+    }
+
+    /// Index of the next chunk to download.
+    pub fn next_chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// Per-level sizes (Mb) of the next chunk, if any remains.
+    pub fn next_chunk_sizes(&self) -> Option<&[f32; LEVELS]> {
+        self.manifest.sizes.get(self.chunk)
+    }
+
+    /// Per-level qualities (SSIM dB) of the next chunk, if any remains.
+    pub fn next_chunk_qualities(&self) -> Option<&[f32; LEVELS]> {
+        self.manifest.qualities.get(self.chunk)
+    }
+
+    /// SSIM dB of the most recently downloaded chunk (0 before the first).
+    pub fn last_quality_db(&self) -> f32 {
+        self.last_quality_db
+    }
+
+    /// The controller observation for the upcoming decision.
+    pub fn observation(&self) -> AbrObservation {
+        AbrObservation {
+            quality_db: self.hist_quality.clone(),
+            chunk_size_mb: self.hist_size.clone(),
+            tx_time_s: self.hist_tx.clone(),
+            throughput_mbps: self.hist_tput.clone(),
+            buffer_s: self.hist_buffer.clone(),
+            qoe: self.hist_qoe.clone(),
+            stall_s: self.hist_stall.clone(),
+            upcoming_quality_db: self.manifest.upcoming_mean_qualities(self.chunk, LOOKAHEAD),
+            upcoming_size_mb: self.manifest.upcoming_mean_sizes(self.chunk, LOOKAHEAD),
+        }
+    }
+
+    /// Downloads the next chunk at `level`, advancing the simulation.
+    ///
+    /// # Panics
+    /// Panics if the video is already finished or `level` is out of range.
+    pub fn step(&mut self, level: usize) -> StepOutcome {
+        assert!(!self.done(), "stepping a finished video");
+        assert!(level < LEVELS, "level {level} out of range");
+
+        let size_mb = self.manifest.sizes[self.chunk][level];
+        let quality_db = self.manifest.qualities[self.chunk][level];
+
+        // Integrate the piecewise-constant trace until the chunk is
+        // delivered (or the cap is reached).
+        let mut remaining_mb = size_mb;
+        let mut tx_time = 0.0f32;
+        while remaining_mb > 1e-6 && tx_time < TX_TIME_CAP {
+            let t = self.clock + tx_time;
+            let rate = self.trace.throughput_at(t).max(0.05);
+            // Time to the next whole-second trace boundary.
+            let to_boundary = (t.floor() + 1.0 - t).max(1e-3);
+            let dt = to_boundary.min(remaining_mb / rate).min(TX_TIME_CAP - tx_time);
+            if dt < 1e-4 {
+                // Too close to the cap (or done) for f32 to make progress.
+                break;
+            }
+            remaining_mb -= rate * dt;
+            tx_time += dt;
+        }
+        let tx_time = tx_time.max(1e-3);
+        let measured_tput = size_mb / tx_time;
+
+        // Buffer dynamics: playback drains while downloading.
+        let stall = (tx_time - self.buffer).max(0.0);
+        self.buffer = (self.buffer - tx_time).max(0.0) + CHUNK_SECONDS;
+        self.clock += tx_time + stall;
+        // If the buffer exceeds its cap the client pauses downloading
+        // until there is room, advancing wall-clock time.
+        if self.buffer > BUFFER_MAX {
+            let wait = self.buffer - BUFFER_MAX;
+            self.buffer = BUFFER_MAX;
+            self.clock += wait;
+        }
+
+        // SSIM-based QoE with stall and smoothness penalties.
+        let smooth = if self.chunk == 0 {
+            0.0
+        } else {
+            (quality_db - self.last_quality_db).abs() / 5.0
+        };
+        let qoe = quality_db / 5.0
+            - self.qoe_params.stall_penalty * stall
+            - self.qoe_params.smooth_penalty * smooth;
+
+        self.push_history(quality_db, size_mb, tx_time, measured_tput, qoe, stall);
+        self.last_quality_db = quality_db;
+        self.total_qoe += qoe;
+        self.chunk += 1;
+
+        StepOutcome { qoe, stall, tx_time, quality_db, done: self.done() }
+    }
+
+    fn push_history(
+        &mut self,
+        quality: f32,
+        size: f32,
+        tx: f32,
+        tput: f32,
+        qoe: f32,
+        stall: f32,
+    ) {
+        for (hist, v) in [
+            (&mut self.hist_quality, quality),
+            (&mut self.hist_size, size),
+            (&mut self.hist_tx, tx),
+            (&mut self.hist_tput, tput),
+            (&mut self.hist_buffer, self.buffer),
+            (&mut self.hist_qoe, qoe),
+            (&mut self.hist_stall, stall),
+        ] {
+            hist.remove(0);
+            hist.push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceFamily;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sim(seed: u64, family: TraceFamily) -> AbrSimulator {
+        let manifest = VideoManifest::generate_seeded(60, 1.0, seed);
+        let trace = family.generate(600, &mut StdRng::seed_from_u64(seed));
+        AbrSimulator::new(manifest, trace)
+    }
+
+    #[test]
+    fn video_finishes_after_all_chunks() {
+        let mut s = sim(1, TraceFamily::Broadband);
+        let mut steps = 0;
+        while !s.done() {
+            s.step(0);
+            steps += 1;
+        }
+        assert_eq!(steps, 60);
+        assert_eq!(s.chunks_left(), 0);
+    }
+
+    #[test]
+    fn buffer_never_exceeds_cap_or_goes_negative() {
+        let mut s = sim(2, TraceFamily::FourG);
+        while !s.done() {
+            s.step(2);
+            assert!(s.buffer() >= 0.0 && s.buffer() <= BUFFER_MAX + 1e-3);
+        }
+    }
+
+    #[test]
+    fn low_level_on_fast_link_never_stalls_after_warmup() {
+        let mut s = sim(3, TraceFamily::Broadband);
+        let mut total_stall = 0.0;
+        for i in 0..60 {
+            let out = s.step(0);
+            if i > 2 {
+                total_stall += out.stall;
+            }
+        }
+        assert_eq!(total_stall, 0.0, "tiny chunks on broadband must not stall");
+    }
+
+    #[test]
+    fn top_level_on_3g_stalls() {
+        let mut s = sim(4, TraceFamily::ThreeG);
+        let mut total_stall = 0.0;
+        while !s.done() {
+            total_stall += s.step(LEVELS - 1).stall;
+        }
+        assert!(total_stall > 5.0, "8.6 Mb chunks on a ~0.9 Mbps link must stall");
+    }
+
+    #[test]
+    fn higher_levels_yield_higher_quality_on_fast_links() {
+        let run = |level: usize| {
+            let mut s = sim(5, TraceFamily::Broadband);
+            while !s.done() {
+                s.step(level);
+            }
+            s.mean_qoe()
+        };
+        assert!(run(4) > run(0), "high quality must pay off when bandwidth allows");
+    }
+
+    #[test]
+    fn stalls_are_penalized_in_qoe() {
+        let mut greedy = sim(6, TraceFamily::ThreeG);
+        let mut cautious = sim(6, TraceFamily::ThreeG);
+        while !greedy.done() {
+            greedy.step(LEVELS - 1);
+        }
+        while !cautious.done() {
+            cautious.step(0);
+        }
+        assert!(cautious.mean_qoe() > greedy.mean_qoe());
+    }
+
+    #[test]
+    fn observation_histories_shift_correctly() {
+        let mut s = sim(7, TraceFamily::FourG);
+        s.step(1);
+        let obs = s.observation();
+        assert_eq!(obs.buffer_s.len(), HISTORY);
+        // Only the most recent slot is populated after one step.
+        assert!(obs.chunk_size_mb[HISTORY - 1] > 0.0);
+        assert_eq!(obs.chunk_size_mb[HISTORY - 2], 0.0);
+        s.step(1);
+        let obs2 = s.observation();
+        assert!(obs2.chunk_size_mb[HISTORY - 2] > 0.0);
+    }
+
+    #[test]
+    fn measured_throughput_matches_trace_scale() {
+        let mut s = sim(8, TraceFamily::Broadband);
+        for _ in 0..10 {
+            s.step(3);
+        }
+        let obs = s.observation();
+        let tput = obs.throughput_mbps[HISTORY - 1];
+        assert!(tput > 1.0 && tput < 6.5, "measured {tput} Mbps");
+    }
+
+    #[test]
+    #[should_panic(expected = "stepping a finished video")]
+    fn stepping_past_end_panics() {
+        let mut s = sim(9, TraceFamily::Broadband);
+        while !s.done() {
+            s.step(0);
+        }
+        s.step(0);
+    }
+}

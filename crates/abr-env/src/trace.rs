@@ -1,0 +1,286 @@
+//! Synthetic network throughput traces.
+//!
+//! The paper rolls Gelato out on Puffer client traces; four access-network
+//! families stand in for that corpus. Each trace is a piecewise-constant
+//! throughput process sampled once per second, produced by an AR(1)
+//! baseline with regime events (outages, ramps) whose rates differ per
+//! family. Two *era mixes* replicate the 2021-training vs 2024-deployment
+//! drift of paper Figs. 5 and 7.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A throughput trace sampled at 1 Hz, in Mbps.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkTrace {
+    /// Throughput at each whole second, Mbps.
+    pub mbps: Vec<f32>,
+    /// Family that generated the trace (for bookkeeping in experiments).
+    pub family: TraceFamily,
+}
+
+impl NetworkTrace {
+    /// Throughput at absolute time `t` seconds (clamped to the last
+    /// sample so simulations can run past the nominal end).
+    pub fn throughput_at(&self, t: f32) -> f32 {
+        let idx = (t.max(0.0) as usize).min(self.mbps.len() - 1);
+        self.mbps[idx]
+    }
+
+    /// Trace duration in seconds.
+    pub fn duration(&self) -> f32 {
+        self.mbps.len() as f32
+    }
+
+    /// Mean throughput in Mbps.
+    pub fn mean_mbps(&self) -> f32 {
+        self.mbps.iter().sum::<f32>() / self.mbps.len() as f32
+    }
+}
+
+/// Access-network families with distinct throughput statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceFamily {
+    /// Low, fairly steady throughput with deep fades.
+    ThreeG,
+    /// Moderate throughput, moderate variation.
+    FourG,
+    /// High but volatile throughput (beam/cell switches).
+    FiveG,
+    /// High, very stable wired throughput.
+    Broadband,
+}
+
+impl TraceFamily {
+    /// All families.
+    pub fn all() -> [TraceFamily; 4] {
+        [TraceFamily::ThreeG, TraceFamily::FourG, TraceFamily::FiveG, TraceFamily::Broadband]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceFamily::ThreeG => "3G",
+            TraceFamily::FourG => "4G",
+            TraceFamily::FiveG => "5G",
+            TraceFamily::Broadband => "broadband",
+        }
+    }
+
+    fn params(self) -> FamilyParams {
+        match self {
+            TraceFamily::ThreeG => FamilyParams {
+                base: 0.9,
+                ar: 0.92,
+                sigma: 0.12,
+                outage_prob: 0.020,
+                outage_depth: 0.15,
+                ramp_prob: 0.010,
+                floor: 0.1,
+                cap: 2.0,
+            },
+            TraceFamily::FourG => FamilyParams {
+                base: 2.0,
+                ar: 0.90,
+                sigma: 0.30,
+                outage_prob: 0.012,
+                outage_depth: 0.25,
+                ramp_prob: 0.012,
+                floor: 0.2,
+                cap: 4.0,
+            },
+            TraceFamily::FiveG => FamilyParams {
+                base: 3.4,
+                ar: 0.72,
+                sigma: 1.05,
+                outage_prob: 0.025,
+                outage_depth: 0.2,
+                ramp_prob: 0.030,
+                floor: 0.3,
+                cap: 6.0,
+            },
+            TraceFamily::Broadband => FamilyParams {
+                base: 4.5,
+                ar: 0.97,
+                sigma: 0.10,
+                outage_prob: 0.002,
+                outage_depth: 0.5,
+                ramp_prob: 0.002,
+                floor: 1.0,
+                cap: 6.0,
+            },
+        }
+    }
+
+    /// Generates one trace of `seconds` duration.
+    pub fn generate(self, seconds: usize, rng: &mut StdRng) -> NetworkTrace {
+        assert!(seconds > 0, "trace must span at least one second");
+        let p = self.params();
+        let mut mbps = Vec::with_capacity(seconds);
+        let mut level = p.base;
+        // Regime events persist for a geometric number of seconds.
+        let mut event_left = 0usize;
+        let mut event_scale = 1.0f32;
+        for _ in 0..seconds {
+            if event_left == 0 {
+                if rng.random_bool(p.outage_prob) {
+                    event_left = rng.random_range(3..12);
+                    event_scale = p.outage_depth;
+                } else if rng.random_bool(p.ramp_prob) {
+                    event_left = rng.random_range(3..10);
+                    event_scale = 1.5;
+                } else {
+                    event_scale = 1.0;
+                }
+            } else {
+                event_left -= 1;
+            }
+            let noise: f32 = rng.random_range(-p.sigma..p.sigma);
+            level = p.ar * level + (1.0 - p.ar) * p.base + noise;
+            level = level.clamp(p.floor, p.cap);
+            mbps.push((level * event_scale).clamp(0.05, p.cap));
+        }
+        NetworkTrace { mbps, family: self }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FamilyParams {
+    base: f32,
+    ar: f32,
+    sigma: f32,
+    outage_prob: f64,
+    outage_depth: f32,
+    ramp_prob: f64,
+    floor: f32,
+    cap: f32,
+}
+
+/// Dataset eras reproducing the paper's 2021-vs-2024 drift: the 2024 mix
+/// has far more volatile 5G clients and fewer deep-3G clients, shifting
+/// the throughput CDF upward and the concept mix toward volatility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetEra {
+    /// April–May 2021 training data: mostly 3G/4G with some broadband.
+    Train2021,
+    /// June 2024 deployment data: 5G-heavy, higher and more volatile.
+    Deploy2024,
+}
+
+impl DatasetEra {
+    /// Sampling weights over `[3G, 4G, 5G, broadband]`.
+    pub fn family_weights(self) -> [f32; 4] {
+        match self {
+            DatasetEra::Train2021 => [0.35, 0.40, 0.05, 0.20],
+            DatasetEra::Deploy2024 => [0.10, 0.30, 0.45, 0.15],
+        }
+    }
+
+    /// Mean content complexity of videos in this era (richer 2024 catalog).
+    pub fn mean_complexity(self) -> f32 {
+        match self {
+            DatasetEra::Train2021 => 0.95,
+            DatasetEra::Deploy2024 => 1.15,
+        }
+    }
+
+    /// Samples a trace family according to the era weights.
+    pub fn sample_family(self, rng: &mut StdRng) -> TraceFamily {
+        let w = self.family_weights();
+        let mut x: f32 = rng.random_range(0.0..1.0);
+        for (i, fam) in TraceFamily::all().into_iter().enumerate() {
+            if x < w[i] {
+                return fam;
+            }
+            x -= w[i];
+        }
+        TraceFamily::Broadband
+    }
+
+    /// Generates `count` traces of `seconds` duration each.
+    pub fn generate_traces(self, count: usize, seconds: usize, seed: u64) -> Vec<NetworkTrace> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let family = self.sample_family(&mut rng);
+                family.generate(seconds, &mut rng)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(family: TraceFamily, seed: u64) -> NetworkTrace {
+        family.generate(600, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn families_order_by_mean_throughput() {
+        let mean = |f: TraceFamily| {
+            (0..8).map(|s| gen(f, s).mean_mbps()).sum::<f32>() / 8.0
+        };
+        let m3 = mean(TraceFamily::ThreeG);
+        let m4 = mean(TraceFamily::FourG);
+        let m5 = mean(TraceFamily::FiveG);
+        let mb = mean(TraceFamily::Broadband);
+        assert!(m3 < m4 && m4 < m5, "3G {m3} < 4G {m4} < 5G {m5}");
+        assert!(mb > m4, "broadband {mb} above 4G {m4}");
+    }
+
+    #[test]
+    fn fiveg_is_more_volatile_than_broadband() {
+        let cv = |f: TraceFamily| {
+            let t = gen(f, 42);
+            let mean = t.mean_mbps();
+            let var = t.mbps.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+                / t.mbps.len() as f32;
+            var.sqrt() / mean
+        };
+        assert!(cv(TraceFamily::FiveG) > 2.0 * cv(TraceFamily::Broadband));
+    }
+
+    #[test]
+    fn throughput_is_always_positive_and_bounded() {
+        for fam in TraceFamily::all() {
+            let t = gen(fam, 9);
+            assert!(t.mbps.iter().all(|&v| v > 0.0 && v <= 6.0));
+        }
+    }
+
+    #[test]
+    fn throughput_at_clamps_to_trace_end() {
+        let t = gen(TraceFamily::FourG, 1);
+        assert_eq!(t.throughput_at(1e9), *t.mbps.last().unwrap());
+        assert_eq!(t.throughput_at(-5.0), t.mbps[0]);
+    }
+
+    #[test]
+    fn era_weights_sum_to_one() {
+        for era in [DatasetEra::Train2021, DatasetEra::Deploy2024] {
+            let s: f32 = era.family_weights().iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn eras_shift_throughput_upward() {
+        let mean_of = |era: DatasetEra| {
+            let traces = era.generate_traces(40, 300, 7);
+            traces.iter().map(|t| t.mean_mbps()).sum::<f32>() / 40.0
+        };
+        let m21 = mean_of(DatasetEra::Train2021);
+        let m24 = mean_of(DatasetEra::Deploy2024);
+        assert!(m24 > m21 * 1.15, "2024 mean {m24} must exceed 2021 mean {m21}");
+    }
+
+    #[test]
+    fn trace_generation_is_deterministic() {
+        let a = DatasetEra::Train2021.generate_traces(3, 100, 5);
+        let b = DatasetEra::Train2021.generate_traces(3, 100, 5);
+        assert_eq!(a[2].mbps, b[2].mbps);
+    }
+}

@@ -1,0 +1,181 @@
+//! Criterion performance benches for the Agua reproduction: explanation
+//! latency, surrogate training throughput, text-pipeline throughput, tree
+//! induction, and simulator step rates.
+//!
+//! These are performance benches; the *accuracy* experiments regenerating
+//! the paper's tables and figures live in `src/bin/` (one binary per
+//! table/figure — see DESIGN.md).
+
+use abr_env::{AbrSimulator, DatasetEra, TraceFamily, VideoManifest};
+use agua::concepts::{cc_concepts, ddos_concepts};
+use agua::explain::{batched, factual};
+use agua::labeling::{ConceptLabeler, Quantizer};
+use agua::surrogate::{AguaModel, SurrogateDataset, TrainParams};
+use agua_controllers::ddos::{generate_dataset, train_detector};
+use agua_nn::Matrix;
+use agua_text::describer::{Describer, DescriberConfig};
+use agua_text::embedding::Embedder;
+use cc_env::{CapacityProcess, CcSimulator, LinkConfig, LinkPattern};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddos_env::{DdosObservation, FlowKind, FlowWindow};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use trustee::{DecisionTree, TreeConfig};
+
+/// Fits a small DDoS Agua model once for the explanation benches.
+fn fitted_model() -> (AguaModel, Matrix) {
+    let flows = generate_dataset(300, 1);
+    let detector = train_detector(&flows, 1);
+    let observations: Vec<DdosObservation> = flows
+        .iter()
+        .map(|s| DdosObservation::new(s.window.clone()))
+        .collect();
+    let features =
+        Matrix::from_rows(&observations.iter().map(|o| o.features()).collect::<Vec<_>>());
+    let (embeddings, logits) = detector.embeddings_and_logits(&features);
+    let outputs: Vec<usize> = (0..features.rows()).map(|r| logits.argmax_row(r)).collect();
+    let concepts = ddos_concepts();
+    let labeler = ConceptLabeler::new(
+        &concepts,
+        Describer::new(DescriberConfig::high_quality()),
+        Embedder::new(512),
+        Quantizer::calibrated(),
+    );
+    let sections: Vec<_> = observations.iter().map(|o| o.sections()).collect();
+    let concept_labels = labeler.label_batch(&sections, 42);
+    let ds = SurrogateDataset { embeddings: embeddings.clone(), concept_labels, outputs };
+    let model = AguaModel::fit(&concepts, 3, 2, &ds, &TrainParams::fast());
+    (model, embeddings)
+}
+
+fn bench_explanations(c: &mut Criterion) {
+    let (model, embeddings) = fitted_model();
+    let one = embeddings.select_rows(&[0]);
+
+    c.bench_function("factual_explanation", |b| {
+        b.iter(|| factual(black_box(&model), black_box(&one)))
+    });
+    c.bench_function("batched_explanation_300", |b| {
+        b.iter(|| batched(black_box(&model), black_box(&embeddings), 1))
+    });
+    c.bench_function("surrogate_predict_300", |b| {
+        b.iter(|| model.predict(black_box(&embeddings)))
+    });
+}
+
+fn bench_surrogate_training(c: &mut Criterion) {
+    let (_, embeddings) = fitted_model();
+    let concepts = ddos_concepts();
+    let labels: Vec<Vec<usize>> =
+        (0..embeddings.rows()).map(|i| vec![i % 3; concepts.len()]).collect();
+    let outputs: Vec<usize> = (0..embeddings.rows()).map(|i| i % 2).collect();
+    let ds = SurrogateDataset { embeddings, concept_labels: labels, outputs };
+    let params = TrainParams { cm_epochs: 10, om_epochs: 20, ..TrainParams::paper() };
+
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    group.bench_function("surrogate_fit_300x10epochs", |b| {
+        b.iter(|| AguaModel::fit(black_box(&concepts), 3, 2, black_box(&ds), &params))
+    });
+    group.finish();
+}
+
+fn bench_text_pipeline(c: &mut Criterion) {
+    let describer = Describer::new(DescriberConfig::high_quality());
+    let embedder = Embedder::new(512);
+    let obs = DdosObservation::new(FlowWindow::generate_seeded(FlowKind::BenignHttp, 7));
+    let sections = obs.sections();
+    let description = describer.describe_seeded(&sections, 1);
+    let concepts = cc_concepts();
+    let labeler = ConceptLabeler::new(
+        &concepts,
+        Describer::new(DescriberConfig::high_quality()),
+        Embedder::new(512),
+        Quantizer::calibrated(),
+    );
+
+    c.bench_function("describe_input", |b| {
+        b.iter(|| describer.describe_seeded(black_box(&sections), 1))
+    });
+    c.bench_function("embed_description", |b| {
+        b.iter(|| embedder.embed(black_box(&description)))
+    });
+    c.bench_function("label_input_end_to_end", |b| {
+        let cc_obs = cc_env::CcObservation {
+            send_mbps: vec![4.0; 10],
+            delivered_mbps: vec![4.0; 10],
+            latency_ms: vec![40.0; 10],
+            loss_rate: vec![0.0; 10],
+        };
+        let cc_sections = cc_obs.sections();
+        b.iter(|| labeler.label(black_box(&cc_sections), 3))
+    });
+}
+
+fn bench_tree_induction(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    use rand::RngExt;
+    let features: Vec<Vec<f32>> = (0..1000)
+        .map(|_| (0..40).map(|_| rng.random_range(0.0..1.0f32)).collect())
+        .collect();
+    let labels: Vec<usize> = features
+        .iter()
+        .map(|f| usize::from(f[3] > 0.5) + usize::from(f[17] > 0.7))
+        .collect();
+
+    let mut group = c.benchmark_group("trustee");
+    group.sample_size(10);
+    group.bench_function("cart_fit_1000x40", |b| {
+        b.iter(|| {
+            DecisionTree::fit(
+                black_box(&features),
+                black_box(&labels),
+                3,
+                TreeConfig::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_simulators(c: &mut Criterion) {
+    c.bench_function("abr_full_video_50_chunks", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let manifest = VideoManifest::generate(50, 1.0, &mut rng);
+        let trace = TraceFamily::FourG.generate(300, &mut rng);
+        b.iter(|| {
+            let mut sim = AbrSimulator::new(manifest.clone(), trace.clone());
+            while !sim.done() {
+                sim.step(2);
+            }
+            black_box(sim.total_qoe())
+        })
+    });
+    c.bench_function("cc_1000_monitor_intervals", |b| {
+        let cap = CapacityProcess::generate_seeded(LinkPattern::Stable { mbps: 8.0 }, 1000, 1);
+        b.iter(|| {
+            let mut sim = CcSimulator::new(cap.clone(), LinkConfig::default(), 4.0);
+            while !sim.done() {
+                sim.step(4);
+            }
+            black_box(sim.rate_mbps())
+        })
+    });
+    c.bench_function("trace_generation_300s", |b| {
+        b.iter(|| DatasetEra::Train2021.generate_traces(black_box(4), 300, 7))
+    });
+    c.bench_function("flow_window_generation", |b| {
+        b.iter(|| FlowWindow::generate_seeded(FlowKind::SynFlood, black_box(9)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_explanations,
+    bench_surrogate_training,
+    bench_text_pipeline,
+    bench_tree_induction,
+    bench_simulators
+);
+criterion_main!(benches);

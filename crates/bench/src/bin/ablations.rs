@@ -1,0 +1,156 @@
+//! **Ablations** — the design choices DESIGN.md §5 calls out, each tested
+//! on the ABR application:
+//!
+//! 1. **LayerNorm in δ** — the paper motivates the normalization between
+//!    δ's layers (§4); remove it and measure fidelity.
+//! 2. **k = 3 similarity classes vs boolean** — the paper argues three
+//!    quantization levels beat a present/absent bit (§3.3).
+//! 3. **ElasticNet strength** — the fidelity/sparsity trade-off of Eq. 6.
+//! 4. **Embedding source** — δ on controller embeddings `h(x)` (the
+//!    paper's design) vs δ directly on raw input features.
+
+use abr_env::DatasetEra;
+use agua::concepts::abr_concepts;
+use agua::labeling::{ConceptLabeler, Quantizer};
+use agua::surrogate::{AguaModel, SurrogateDataset, TrainParams};
+use agua_bench::apps::{abr_app, LlmVariant};
+use agua_bench::report::{banner, save_json};
+use agua_nn::Matrix;
+use agua_text::describer::Describer;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct AblationResult {
+    ablation: String,
+    setting: String,
+    fidelity: f32,
+    note: String,
+}
+
+fn main() {
+    banner("Ablations", "LayerNorm, quantization, ElasticNet, embedding source");
+    let mut results: Vec<AblationResult> = Vec::new();
+
+    println!("\npreparing the ABR pipeline…");
+    let controller = abr_app::build_controller(11);
+    let train = abr_app::rollout(&controller, DatasetEra::Train2021, 40, 12);
+    let test = abr_app::rollout(&controller, DatasetEra::Train2021, 40, 13);
+    let concepts = abr_concepts();
+    let variant = LlmVariant::HighQuality;
+    let params = TrainParams::tuned();
+
+    let labels_for = |quantizer: Quantizer| -> (Vec<Vec<usize>>, usize) {
+        let labeler = ConceptLabeler::new(
+            &concepts,
+            Describer::new(variant.describer_config()),
+            variant.embedder(),
+            quantizer,
+        );
+        let k = labeler.quantizer().classes();
+        (labeler.label_batch(&train.sections, 42), k)
+    };
+    let (labels3, k3) = labels_for(Quantizer::calibrated());
+
+    // 1. LayerNorm ablation.
+    println!("[1/4] LayerNorm in δ…");
+    for (setting, layernorm) in [("with LayerNorm", true), ("without LayerNorm", false)] {
+        let ds = SurrogateDataset {
+            embeddings: train.embeddings.clone(),
+            concept_labels: labels3.clone(),
+            outputs: train.outputs.clone(),
+        };
+        let model = AguaModel::fit_with_options(
+            &concepts,
+            k3,
+            abr_env::LEVELS,
+            &ds,
+            &params,
+            layernorm,
+        );
+        results.push(AblationResult {
+            ablation: "layernorm".into(),
+            setting: setting.into(),
+            fidelity: model.fidelity(&test.embeddings, &test.outputs),
+            note: "δ = Linear→ReLU→[LayerNorm]→Linear".into(),
+        });
+    }
+
+    // 2. Quantization ablation: k = 3 vs boolean.
+    println!("[2/4] similarity quantization…");
+    for (setting, quantizer) in [
+        ("k = 3 (low/medium/high)", Quantizer::calibrated()),
+        ("k = 2 (absent/present)", Quantizer::boolean(0.7)),
+    ] {
+        let (labels, k) = labels_for(quantizer);
+        let ds = SurrogateDataset {
+            embeddings: train.embeddings.clone(),
+            concept_labels: labels,
+            outputs: train.outputs.clone(),
+        };
+        let model = AguaModel::fit(&concepts, k, abr_env::LEVELS, &ds, &params);
+        results.push(AblationResult {
+            ablation: "quantization".into(),
+            setting: setting.into(),
+            fidelity: model.fidelity(&test.embeddings, &test.outputs),
+            note: "ψ_k classes per concept".into(),
+        });
+    }
+
+    // 3. ElasticNet strength: fidelity vs output-weight sparsity.
+    println!("[3/4] ElasticNet strength…");
+    for coeff in [0.0f32, 1e-5, 1e-3, 1e-2] {
+        let ds = SurrogateDataset {
+            embeddings: train.embeddings.clone(),
+            concept_labels: labels3.clone(),
+            outputs: train.outputs.clone(),
+        };
+        let p = TrainParams { elastic_coeff: coeff, ..params };
+        let model = AguaModel::fit(&concepts, k3, abr_env::LEVELS, &ds, &p);
+        let w = model.output_mapping.weights();
+        let near_zero = w
+            .as_slice()
+            .iter()
+            .filter(|v| v.abs() < 1e-2)
+            .count() as f32
+            / (w.rows() * w.cols()) as f32;
+        results.push(AblationResult {
+            ablation: "elasticnet".into(),
+            setting: format!("λ = {coeff:.0e}"),
+            fidelity: model.fidelity(&test.embeddings, &test.outputs),
+            note: format!("{:.0}% of Ω weights near zero", near_zero * 100.0),
+        });
+    }
+
+    // 4. Embedding source: h(x) vs raw features.
+    println!("[4/4] embedding source…");
+    let raw_train = Matrix::from_rows(&train.features);
+    let raw_test = Matrix::from_rows(&test.features);
+    for (setting, emb_train, emb_test) in [
+        ("controller embeddings h(x)", &train.embeddings, &test.embeddings),
+        ("raw input features", &raw_train, &raw_test),
+    ] {
+        let ds = SurrogateDataset {
+            embeddings: emb_train.clone(),
+            concept_labels: labels3.clone(),
+            outputs: train.outputs.clone(),
+        };
+        let model = AguaModel::fit(&concepts, k3, abr_env::LEVELS, &ds, &params);
+        results.push(AblationResult {
+            ablation: "embedding-source".into(),
+            setting: setting.into(),
+            fidelity: model.fidelity(emb_test, &test.outputs),
+            note: "what δ consumes".into(),
+        });
+    }
+
+    println!("\n{:<18} {:<30} {:>9}  {}", "ablation", "setting", "fidelity", "note");
+    println!("{}", "-".repeat(90));
+    for r in &results {
+        println!(
+            "{:<18} {:<30} {:>9.3}  {}",
+            r.ablation, r.setting, r.fidelity, r.note
+        );
+    }
+
+    save_json("ablations", &results);
+}

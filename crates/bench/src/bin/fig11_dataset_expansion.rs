@@ -1,0 +1,158 @@
+//! **Figure 11** — Concept-guided dataset expansion.
+//!
+//! A concept-space store is built from descriptions of rollout states on
+//! four workload families (3G/4G/5G/broadband). Given a few held-out
+//! samples of each target workload, the store's nearest neighbours
+//! assemble an expanded dataset; the cluster-distribution match between
+//! expanded and target workloads is scored with the KS statistic.
+//!
+//! Paper shape: KS < 0.08 for every workload.
+
+use abr_env::{AbrSimulator, TraceFamily, VideoManifest};
+use agua::lifecycle::expansion::{assign_cluster, kmeans, ks_statistic, ConceptStore};
+use agua_bench::apps::{abr_app, LlmVariant};
+use agua_bench::report::{banner, save_json};
+use agua_text::describer::Describer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+const CLUSTERS: usize = 6;
+
+#[derive(Debug, Serialize)]
+struct WorkloadResult {
+    workload: String,
+    ks_statistic: f32,
+    expanded_size: usize,
+}
+
+/// Rolls the controller on one trace family and returns description
+/// embeddings of the visited states.
+fn family_embeddings(
+    controller: &agua_controllers::PolicyNet,
+    family: TraceFamily,
+    n_traces: usize,
+    seed: u64,
+    describer: &Describer,
+    embedder: &agua_text::Embedder,
+) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for t in 0..n_traces {
+        let manifest = VideoManifest::generate(abr_app::CHUNKS, 1.0, &mut rng);
+        let trace = family.generate(abr_app::CHUNKS * 6, &mut rng);
+        let mut sim = AbrSimulator::new(manifest, trace);
+        let mut step = 0;
+        while !sim.done() {
+            let obs = sim.observation();
+            // Sample every 5th state to keep the store diverse but small.
+            if step % 5 == 0 {
+                let description =
+                    describer.describe_seeded(&obs.sections(), seed ^ (t as u64) << 8 | step as u64);
+                out.push(embedder.embed(&description));
+            }
+            let action = controller.act(&obs.features());
+            sim.step(action);
+            step += 1;
+        }
+    }
+    out
+}
+
+fn main() {
+    banner("Figure 11", "Concept-guided dataset expansion (KS match)");
+
+    println!("\ntraining controller…");
+    let controller = abr_app::build_controller(11);
+    let variant = LlmVariant::HighQuality;
+    let describer = Describer::new(variant.describer_config());
+    let embedder = variant.embedder();
+
+    // Build the general store: states from all four workloads.
+    println!("building the concept-space store over all four workloads…");
+    let mut store_embeddings: Vec<Vec<f32>> = Vec::new();
+    let mut store_workloads: Vec<usize> = Vec::new();
+    for (w, family) in TraceFamily::all().into_iter().enumerate() {
+        let embs = family_embeddings(&controller, family, 20, 300 + w as u64, &describer, &embedder);
+        store_workloads.extend(std::iter::repeat(w).take(embs.len()));
+        store_embeddings.extend(embs);
+    }
+    println!("  store size: {} samples", store_embeddings.len());
+
+    // Cluster the embedding space once; all distributions are measured
+    // over these shared clusters. Clusters are relabelled by descending
+    // global frequency so every workload shares one "unified clustering
+    // axis" (paper Fig. 11).
+    let (centroids, raw_assignments) = kmeans(&store_embeddings, CLUSTERS, 25, 17);
+    let mut freq: Vec<(usize, usize)> = (0..CLUSTERS)
+        .map(|c| (c, raw_assignments.iter().filter(|&&a| a == c).count()))
+        .collect();
+    freq.sort_by(|a, b| b.1.cmp(&a.1));
+    let mut relabel = vec![0usize; CLUSTERS];
+    for (new, (old, _)) in freq.into_iter().enumerate() {
+        relabel[old] = new;
+    }
+    let assignments: Vec<usize> = raw_assignments.iter().map(|&a| relabel[a]).collect();
+    let store = ConceptStore::new(store_embeddings.clone());
+
+    let mut results = Vec::new();
+    println!(
+        "\n{:<12} {:>14} {:>16} {:>10}",
+        "workload", "target size", "expanded size", "KS stat"
+    );
+    println!("{}", "-".repeat(56));
+    for (w, family) in TraceFamily::all().into_iter().enumerate() {
+        // Held-out queries: a few fresh samples of the target workload.
+        let queries =
+            family_embeddings(&controller, family, 6, 900 + w as u64, &describer, &embedder);
+        let query_subset: Vec<Vec<f32>> = queries.iter().take(48).cloned().collect();
+
+        // Expand: nearest stored samples per query. Duplicates across
+        // queries are kept so the expanded multiset mirrors the target
+        // workload's density, not just its support.
+        let expanded_idx: Vec<usize> = query_subset
+            .iter()
+            .flat_map(|q| {
+                let hits = store.query_scored(q, 12);
+                let best = hits.first().map(|h| h.1).unwrap_or(0.0);
+                hits.into_iter()
+                    .filter(move |&(_, s)| s >= 0.97 * best)
+                    .map(|(i, _)| i)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let expanded_clusters: Vec<usize> = expanded_idx
+            .iter()
+            .map(|&i| assignments[i])
+            .collect();
+
+        // Target distribution: the workload's own store samples.
+        let target_clusters: Vec<usize> = assignments
+            .iter()
+            .zip(&store_workloads)
+            .filter(|(_, &sw)| sw == w)
+            .map(|(&c, _)| c)
+            .collect();
+
+        let ks = ks_statistic(&expanded_clusters, &target_clusters, CLUSTERS);
+        println!(
+            "{:<12} {:>14} {:>16} {:>10.4}",
+            family.name(),
+            target_clusters.len(),
+            expanded_idx.len(),
+            ks
+        );
+        results.push(WorkloadResult {
+            workload: family.name().to_string(),
+            ks_statistic: ks,
+            expanded_size: expanded_idx.len(),
+        });
+
+        // Sanity: queries should land in clusters the workload occupies.
+        let q_cluster = assign_cluster(&query_subset[0], &centroids);
+        debug_assert!(q_cluster < CLUSTERS);
+    }
+
+    println!("\nPaper shape: KS statistic < 0.08 for every workload.");
+    save_json("fig11_dataset_expansion", &results);
+}

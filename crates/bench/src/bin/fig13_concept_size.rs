@@ -1,0 +1,79 @@
+//! **Figure 13 (Appendix A.1)** — Fidelity across concept-space size.
+//!
+//! Trains Agua on growing prefixes of the ABR concept set and compares
+//! fidelity against a majority-class baseline.
+//!
+//! Paper shape: fidelity near the baseline with very few concepts, rising
+//! steeply as decision-relevant concepts arrive, then saturating with
+//! diminishing returns.
+
+use abr_env::DatasetEra;
+use agua::concepts::abr_concepts;
+use agua::surrogate::TrainParams;
+use agua_bench::apps::{abr_app, fit_agua, LlmVariant};
+use agua_bench::report::{banner, save_json, sparkline};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct SizePoint {
+    concepts: usize,
+    fidelity: f32,
+}
+
+fn main() {
+    banner("Figure 13", "Fidelity vs concept-space size (ABR)");
+
+    println!("\ntraining controller and collecting rollouts…");
+    let controller = abr_app::build_controller(11);
+    let train = abr_app::rollout(&controller, DatasetEra::Train2021, 40, 12);
+    let test = abr_app::rollout(&controller, DatasetEra::Train2021, 40, 13);
+
+    // Majority baseline: always predict the most frequent output.
+    let mut counts = vec![0usize; abr_env::LEVELS];
+    for &y in &train.outputs {
+        counts[y] += 1;
+    }
+    let majority = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    let baseline =
+        test.outputs.iter().filter(|&&y| y == majority).count() as f32 / test.outputs.len() as f32;
+
+    let full = abr_concepts();
+    let sizes = [1usize, 2, 4, 6, 8, 10, 12, 14, 16];
+    let mut points = Vec::new();
+    println!("\n{:>9} {:>10}", "concepts", "fidelity");
+    println!("{}", "-".repeat(22));
+    for &n in &sizes {
+        let subset = full.take(n);
+        let (model, _) = fit_agua(
+            &subset,
+            abr_env::LEVELS,
+            &train,
+            LlmVariant::HighQuality,
+            &TrainParams::tuned(),
+            42,
+        );
+        let fid = model.fidelity(&test.embeddings, &test.outputs);
+        println!("{n:>9} {fid:>10.3}");
+        points.push(SizePoint { concepts: n, fidelity: fid });
+    }
+    println!("{:>9} {baseline:>10.3}", "baseline");
+
+    let curve: Vec<f32> = points.iter().map(|p| p.fidelity).collect();
+    println!("\nfidelity curve: {}", sparkline(&curve));
+    println!(
+        "Paper shape: near-baseline at tiny concept spaces, saturating with \
+         diminishing returns at larger ones."
+    );
+
+    #[derive(Serialize)]
+    struct Fig13Result {
+        baseline: f32,
+        points: Vec<SizePoint>,
+    }
+    save_json("fig13_concept_size", &Fig13Result { baseline, points });
+}

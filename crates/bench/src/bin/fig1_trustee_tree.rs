@@ -1,0 +1,87 @@
+//! **Figure 1** — Trustee's explanation for the motivating ABR state.
+//!
+//! Distills the ABR controller into a decision tree and reports (a) the
+//! full-tree complexity, (b) the pruned-tree complexity, and (c) the
+//! decision path for the motivating state: a recovering buffer under
+//! degraded throughput where the controller still picks a low bitrate.
+//!
+//! Paper shape: full tree 195 nodes / depth 13; pruned 61 nodes /
+//! depth 10; the pruned decision path still spans ~7 feature tests.
+
+use abr_env::DatasetEra;
+use agua_bench::apps::abr_app;
+use agua_bench::report::{banner, save_json};
+use serde::Serialize;
+use trustee::{TreeConfig, TrusteeReport};
+
+#[derive(Debug, Serialize)]
+struct TreeComplexity {
+    full_nodes: usize,
+    full_depth: usize,
+    full_fidelity: f32,
+    pruned_nodes: usize,
+    pruned_depth: usize,
+    pruned_fidelity: f32,
+    motivating_path_len: usize,
+    motivating_path: Vec<String>,
+}
+
+fn main() {
+    banner("Figure 1", "Trustee's tree complexity and decision-path explanation");
+
+    println!("\ntraining controller and distilling the Trustee surrogate…");
+    let controller = abr_app::build_controller(11);
+    let train = abr_app::rollout(&controller, DatasetEra::Train2021, 40, 12);
+    let test = abr_app::rollout(&controller, DatasetEra::Train2021, 40, 13);
+
+    let report = TrusteeReport::distill(
+        &train.features,
+        &train.outputs,
+        &test.features,
+        &test.outputs,
+        abr_env::LEVELS,
+        TreeConfig::default(),
+        32,
+        abr_app::feature_names(),
+    );
+
+    println!("\n(a/b) Surrogate tree complexity:");
+    println!("  full   : {:>4} nodes, depth {:>2}, fidelity {:.3}",
+        report.full.node_count(), report.full.depth(), report.full_fidelity);
+    println!("  pruned : {:>4} nodes, depth {:>2}, fidelity {:.3}",
+        report.pruned.node_count(), report.pruned.depth(), report.pruned_fidelity);
+    println!("  (paper: full 195 nodes / depth 13; pruned 61 nodes / depth 10)");
+
+    println!("\n  top features by Gini importance (full tree):");
+    for (name, imp) in report.top_features(5) {
+        println!("    {name:<24} {imp:.3}");
+    }
+
+    let obs = abr_app::motivating_observation();
+    let x = obs.features();
+    let path = report.decision_path(&x);
+    println!("\n(c) Decision path for the motivating state (pruned tree):");
+    for (i, step) in path.iter().enumerate() {
+        println!("  {:>2}. {}", i + 1, step.render());
+    }
+    println!(
+        "  → predicted level {} — a path of {} low-level feature tests the \
+         operator must interpret by hand.",
+        report.pruned.predict(&x),
+        path.len()
+    );
+
+    save_json(
+        "fig1_trustee_tree",
+        &TreeComplexity {
+            full_nodes: report.full.node_count(),
+            full_depth: report.full.depth(),
+            full_fidelity: report.full_fidelity,
+            pruned_nodes: report.pruned.node_count(),
+            pruned_depth: report.pruned.depth(),
+            pruned_fidelity: report.pruned_fidelity,
+            motivating_path_len: path.len(),
+            motivating_path: path.iter().map(|s| s.render()).collect(),
+        },
+    );
+}

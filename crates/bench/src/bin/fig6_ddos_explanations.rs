@@ -1,0 +1,82 @@
+//! **Figure 6** — Agua's explanations of the LUCID-style detector.
+//!
+//! (a) Batched factual explanation for correctly-classified benign flows
+//! — paper shape: 'Typical Application Behavior' plus the absence of
+//! 'Payload Anomalies' dominate.
+//! (b) Batched factual explanation for TCP SYN flood flows — paper
+//! shape: 'Payload Anomalies' and 'Protocol Anomalies' dominate.
+
+use agua::concepts::ddos_concepts;
+use agua::explain::batched;
+use agua::surrogate::TrainParams;
+use agua_bench::apps::{ddos_app, fit_agua, LlmVariant};
+use agua_bench::report::{bar, banner, save_json};
+use agua_controllers::ddos::{ATTACK, BENIGN};
+use ddos_env::FlowKind;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Fig6Result {
+    benign_accuracy: f32,
+    benign_top: Vec<(String, f32)>,
+    syn_detection_rate: f32,
+    syn_top: Vec<(String, f32)>,
+}
+
+fn main() {
+    banner("Figure 6", "Explaining LUCID's detection mechanism");
+
+    println!("\ntraining detector, fitting Agua…");
+    let detector = ddos_app::build_controller(31);
+    let train = ddos_app::rollout(&detector, 1000, 32);
+    let concepts = ddos_concepts();
+    let (model, _) = fit_agua(&concepts, 2, &train, LlmVariant::HighQuality, &TrainParams::tuned(), 42);
+
+    // (a) Benign flows classified benign.
+    let benign = ddos_app::rollout_kind(&detector, FlowKind::BenignHttp, 200, 77);
+    let benign_acc =
+        benign.outputs.iter().filter(|&&y| y == BENIGN).count() as f32 / benign.len() as f32;
+    let be = batched(&model, &benign.embeddings, BENIGN);
+    println!("\n(a) Benign HTTP flows — detector says benign for {:.0}%:", benign_acc * 100.0);
+    let max_w = be.contributions[0].weight;
+    for c in be.contributions.iter().take(5) {
+        println!("  {}", bar(&c.concept, c.weight, max_w, 30));
+    }
+
+    // (b) SYN-flood flows flagged as DDoS.
+    let syn = ddos_app::rollout_kind(&detector, FlowKind::SynFlood, 200, 78);
+    let syn_rate =
+        syn.outputs.iter().filter(|&&y| y == ATTACK).count() as f32 / syn.len() as f32;
+    let se = batched(&model, &syn.embeddings, ATTACK);
+    println!("\n(b) TCP SYN flood flows — flagged DDoS for {:.0}%:", syn_rate * 100.0);
+    let max_w = se.contributions[0].weight;
+    for c in se.contributions.iter().take(5) {
+        println!("  {}", bar(&c.concept, c.weight, max_w, 30));
+    }
+
+    println!(
+        "\nPaper shape: benign ← 'Typical Application Behavior' + absent \
+         'Payload Anomalies'; SYN flood ← 'Payload Anomalies' + 'Protocol \
+         Anomalies'."
+    );
+
+    save_json(
+        "fig6_ddos_explanations",
+        &Fig6Result {
+            benign_accuracy: benign_acc,
+            benign_top: be
+                .contributions
+                .iter()
+                .take(5)
+                .map(|c| (c.concept.clone(), c.weight))
+                .collect(),
+            syn_detection_rate: syn_rate,
+            syn_top: se
+                .contributions
+                .iter()
+                .take(5)
+                .map(|c| (c.concept.clone(), c.weight))
+                .collect(),
+        },
+    );
+}

@@ -1,0 +1,237 @@
+//! **render_figures** — turns the persisted `results/*.json` experiment
+//! outputs into standalone SVG figures under `results/figures/`.
+//!
+//! Run the experiment binaries first (they write the JSONs), then:
+//!
+//! ```text
+//! cargo run --release -p agua-bench --bin render_figures
+//! ```
+
+use agua_bench::plot::{BarChart, LineChart, Series};
+use agua_bench::report::results_dir;
+use serde_json::Value;
+use std::fs;
+
+fn load(name: &str) -> Option<Value> {
+    let path = results_dir().join(format!("{name}.json"));
+    let text = fs::read_to_string(&path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn write_svg(name: &str, svg: String) {
+    let dir = results_dir().join("figures");
+    fs::create_dir_all(&dir).expect("create figures dir");
+    let path = dir.join(format!("{name}.svg"));
+    fs::write(&path, svg).expect("write svg");
+    println!("  wrote {}", path.display());
+}
+
+fn f32_of(v: &Value) -> f32 {
+    v.as_f64().unwrap_or(0.0) as f32
+}
+
+fn table2(v: &Value) -> Option<()> {
+    let rows = v.as_array()?;
+    let mut bars = Vec::new();
+    for row in rows {
+        let app = row.get("application")?.as_str()?;
+        bars.push((format!("{app} — Trustee (full)"), f32_of(row.get("trustee_full")?)));
+        bars.push((
+            format!("{app} — Agua (GPT-class)"),
+            f32_of(row.get("agua_high_quality")?),
+        ));
+    }
+    write_svg(
+        "table2_fidelity",
+        BarChart { title: "Table 2 — fidelity: Agua vs Trustee".into(), x_label: "fidelity".into(), bars }
+            .render(),
+    );
+    Some(())
+}
+
+fn explanation_bars(v: &Value, key: &str, title: &str, out: &str) -> Option<()> {
+    let items = v.get(key)?.as_array()?;
+    let bars: Vec<(String, f32)> = items
+        .iter()
+        .filter_map(|pair| {
+            let arr = pair.as_array()?;
+            Some((arr[0].as_str()?.to_string(), f32_of(&arr[1])))
+        })
+        .collect();
+    write_svg(
+        out,
+        BarChart { title: title.into(), x_label: "concept weight".into(), bars }.render(),
+    );
+    Some(())
+}
+
+fn cdf_chart(v: &Value) -> Option<()> {
+    let series = ["cdf_2021", "cdf_2024"]
+        .iter()
+        .filter_map(|key| {
+            let pts = v.get(*key)?.as_array()?;
+            Some(Series {
+                name: key.replace("cdf_", ""),
+                points: pts
+                    .iter()
+                    .filter_map(|p| {
+                        let a = p.as_array()?;
+                        Some((f32_of(&a[0]), f32_of(&a[1])))
+                    })
+                    .collect(),
+            })
+        })
+        .collect::<Vec<_>>();
+    write_svg(
+        "fig7_throughput_drift",
+        LineChart {
+            title: "Fig. 7 — throughput CDF drift, 2021 vs 2024".into(),
+            x_label: "per-trace mean throughput (Mbps)".into(),
+            y_label: "CDF".into(),
+            series,
+        }
+        .render(),
+    );
+    Some(())
+}
+
+fn retraining_chart(v: &Value) -> Option<()> {
+    let curve = |key: &str| -> Option<Vec<(f32, f32)>> {
+        Some(
+            v.get(key)?
+                .as_array()?
+                .iter()
+                .enumerate()
+                .map(|(i, y)| (i as f32, f32_of(y)))
+                .collect(),
+        )
+    };
+    write_svg(
+        "fig8_retraining",
+        LineChart {
+            title: "Fig. 8 — concept-driven vs traditional retraining".into(),
+            x_label: "policy-gradient iteration".into(),
+            y_label: "QoE (all 2024 traces)".into(),
+            series: vec![
+                Series { name: "concept-driven".into(), points: curve("concept_curve_all")? },
+                Series { name: "traditional".into(), points: curve("traditional_curve_all")? },
+            ],
+        }
+        .render(),
+    );
+    Some(())
+}
+
+fn concept_size_chart(v: &Value) -> Option<()> {
+    let pts: Vec<(f32, f32)> = v
+        .get("points")?
+        .as_array()?
+        .iter()
+        .filter_map(|p| {
+            Some((f32_of(p.get("concepts")?), f32_of(p.get("fidelity")?)))
+        })
+        .collect();
+    let baseline = f32_of(v.get("baseline")?);
+    let base_series = Series {
+        name: "majority baseline".into(),
+        points: vec![(pts.first()?.0, baseline), (pts.last()?.0, baseline)],
+    };
+    write_svg(
+        "fig13_concept_size",
+        LineChart {
+            title: "Fig. 13 — fidelity vs concept-space size (ABR)".into(),
+            x_label: "number of concepts".into(),
+            y_label: "fidelity".into(),
+            series: vec![Series { name: "Agua".into(), points: pts }, base_series],
+        }
+        .render(),
+    );
+    Some(())
+}
+
+fn robustness_chart(v: &Value) -> Option<()> {
+    let rows = v.as_array()?;
+    let mut bars = Vec::new();
+    for row in rows {
+        let app = row.get("application")?.as_str()?;
+        bars.push((format!("{app} — multi-query"), f32_of(row.get("multi_query_recall")?)));
+        bars.push((format!("{app} — input noise"), f32_of(row.get("input_noise_recall")?)));
+        bars.push((
+            format!("{app} — explainer noise"),
+            f32_of(row.get("explainer_noise_recall")?),
+        ));
+    }
+    write_svg(
+        "fig12_robustness",
+        BarChart { title: "Fig. 12 — robustness (recall@5)".into(), x_label: "recall".into(), bars }
+            .render(),
+    );
+    Some(())
+}
+
+fn expansion_chart(v: &Value) -> Option<()> {
+    let rows = v.as_array()?;
+    let bars: Vec<(String, f32)> = rows
+        .iter()
+        .filter_map(|r| {
+            Some((r.get("workload")?.as_str()?.to_string(), f32_of(r.get("ks_statistic")?)))
+        })
+        .collect();
+    write_svg(
+        "fig11_dataset_expansion",
+        BarChart {
+            title: "Fig. 11 — dataset expansion (KS statistic, lower is better)".into(),
+            x_label: "KS statistic".into(),
+            bars,
+        }
+        .render(),
+    );
+    Some(())
+}
+
+fn main() {
+    println!("rendering figures from results/*.json…");
+    let mut rendered = 0;
+    let mut skipped = Vec::new();
+
+    let mut run = |name: &str, f: &dyn Fn(&Value) -> Option<()>| match load(name) {
+        Some(v) => {
+            if f(&v).is_some() {
+                rendered += 1;
+            } else {
+                skipped.push(format!("{name} (unexpected JSON shape)"));
+            }
+        }
+        None => skipped.push(format!("{name} (missing — run its experiment binary first)")),
+    };
+
+    run("table2_fidelity", &table2);
+    run("fig4_abr_explanations", &|v| {
+        explanation_bars(
+            v,
+            "factual_top",
+            "Fig. 4a — factual explanation, motivating ABR state",
+            "fig4a_factual",
+        )?;
+        explanation_bars(
+            v,
+            "counterfactual_top",
+            "Fig. 4b — counterfactual explanation (medium bitrate)",
+            "fig4b_counterfactual",
+        )
+    });
+    run("fig6_ddos_explanations", &|v| {
+        explanation_bars(v, "benign_top", "Fig. 6a — benign flows", "fig6a_benign")?;
+        explanation_bars(v, "syn_top", "Fig. 6b — TCP SYN flood flows", "fig6b_synflood")
+    });
+    run("fig7_throughput_drift", &cdf_chart);
+    run("fig8_retraining", &retraining_chart);
+    run("fig11_dataset_expansion", &expansion_chart);
+    run("fig12_robustness", &robustness_chart);
+    run("fig13_concept_size", &concept_size_chart);
+
+    println!("rendered {rendered} figure sets");
+    if !skipped.is_empty() {
+        println!("skipped: {skipped:?}");
+    }
+}

@@ -1,0 +1,91 @@
+//! **Seed sensitivity** (extension) — Table 2's fidelity numbers across
+//! three independent seeds per application, reported as mean ± std.
+//!
+//! A reproduction is only as trustworthy as its variance: this experiment
+//! quantifies how much the headline numbers move when the controller
+//! initialization, rollout traces, and labelling draws all change.
+
+use abr_env::DatasetEra;
+use agua::concepts::{abr_concepts, cc_concepts, ddos_concepts, ConceptSet};
+use agua::surrogate::TrainParams;
+use agua_bench::apps::{abr_app, cc_app, ddos_app, fit_agua, AppData, LlmVariant};
+use agua_bench::report::{banner, save_json};
+use agua_controllers::cc::CcVariant;
+use serde::Serialize;
+
+const SEEDS: [u64; 3] = [11, 211, 311];
+
+#[derive(Debug, Serialize)]
+struct SensitivityRow {
+    application: String,
+    fidelities: Vec<f32>,
+    mean: f32,
+    std: f32,
+}
+
+fn stats(fidelities: &[f32]) -> (f32, f32) {
+    let n = fidelities.len() as f32;
+    let mean = fidelities.iter().sum::<f32>() / n;
+    let var = fidelities.iter().map(|f| (f - mean) * (f - mean)).sum::<f32>() / n;
+    (mean, var.sqrt())
+}
+
+fn agua_fidelity(
+    concepts: &ConceptSet,
+    n_outputs: usize,
+    train: &AppData,
+    test: &AppData,
+    seed: u64,
+) -> f32 {
+    let params = TrainParams { seed, ..TrainParams::tuned() };
+    let (model, _) =
+        fit_agua(concepts, n_outputs, train, LlmVariant::HighQuality, &params, seed ^ 0x42);
+    model.fidelity(&test.embeddings, &test.outputs)
+}
+
+fn main() {
+    banner("Seed sensitivity", "Table 2 fidelity across 3 seeds (mean ± std)");
+    let mut rows = Vec::new();
+
+    println!("\n[ABR]…");
+    let mut abr_f = Vec::new();
+    for &seed in &SEEDS {
+        let ctrl = abr_app::build_controller(seed);
+        let train = abr_app::rollout(&ctrl, DatasetEra::Train2021, 30, seed + 1);
+        let test = abr_app::rollout(&ctrl, DatasetEra::Train2021, 30, seed + 2);
+        abr_f.push(agua_fidelity(&abr_concepts(), abr_env::LEVELS, &train, &test, seed));
+    }
+    let (mean, std) = stats(&abr_f);
+    rows.push(SensitivityRow { application: "ABR".into(), fidelities: abr_f, mean, std });
+
+    println!("[CC]…");
+    let mut cc_f = Vec::new();
+    for &seed in &SEEDS {
+        let ctrl = cc_app::build_controller(CcVariant::Original, seed);
+        let train = cc_app::rollout(&ctrl, CcVariant::Original, 2000, seed + 1);
+        let test = cc_app::rollout(&ctrl, CcVariant::Original, 2000, seed + 2);
+        cc_f.push(agua_fidelity(&cc_concepts(), cc_env::ACTIONS, &train, &test, seed));
+    }
+    let (mean, std) = stats(&cc_f);
+    rows.push(SensitivityRow { application: "CC".into(), fidelities: cc_f, mean, std });
+
+    println!("[DDoS]…");
+    let mut ddos_f = Vec::new();
+    for &seed in &SEEDS {
+        let ctrl = ddos_app::build_controller(seed);
+        let train = ddos_app::rollout(&ctrl, 1000, seed + 1);
+        let test = ddos_app::rollout(&ctrl, 450, seed + 2);
+        ddos_f.push(agua_fidelity(&ddos_concepts(), 2, &train, &test, seed));
+    }
+    let (mean, std) = stats(&ddos_f);
+    rows.push(SensitivityRow { application: "DDoS".into(), fidelities: ddos_f, mean, std });
+
+    println!("\n{:<8} {:>24} {:>9} {:>8}", "app", "per-seed fidelity", "mean", "std");
+    println!("{}", "-".repeat(54));
+    for r in &rows {
+        let per: Vec<String> = r.fidelities.iter().map(|f| format!("{f:.3}")).collect();
+        println!("{:<8} {:>24} {:>9.3} {:>8.3}", r.application, per.join(" / "), r.mean, r.std);
+    }
+
+    save_json("seed_sensitivity", &rows);
+}

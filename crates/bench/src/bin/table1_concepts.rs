@@ -1,0 +1,42 @@
+//! **Table 1** — Base concepts for the three applications, plus the
+//! §3.2 inter-concept similarity check that curates them.
+
+use agua::concepts::{abr_concepts, cc_concepts, ddos_concepts, ConceptSet};
+use agua_bench::report::banner;
+use agua_text::embedding::Embedder;
+
+fn show(title: &str, set: &ConceptSet) {
+    println!("\n{title} ({} concepts):", set.len());
+    for (i, c) in set.concepts.iter().enumerate() {
+        println!("  {:>2}. {}", i + 1, c.name);
+    }
+    // The operator's empirical redundancy check (Eq. 1).
+    let embedder = Embedder::new(512);
+    let sim = set.similarity_matrix(&embedder);
+    let mut max_off = (0usize, 0usize, 0.0f32);
+    for i in 0..set.len() {
+        for j in 0..i {
+            if sim[i][j] > max_off.2 {
+                max_off = (i, j, sim[i][j]);
+            }
+        }
+    }
+    println!(
+        "  most-similar pair: \"{}\" ~ \"{}\" (cosine {:.3})",
+        set.concepts[max_off.0].name, set.concepts[max_off.1].name, max_off.2
+    );
+    let (filtered, removed) = set.filter_redundant(&embedder, 0.85);
+    println!(
+        "  S_max = 0.85 filter keeps {}/{} concepts (removed: {:?})",
+        filtered.len(),
+        set.len(),
+        removed
+    );
+}
+
+fn main() {
+    banner("Table 1", "Base concepts per application");
+    show("(a) Adaptive Bitrate Streaming", &abr_concepts());
+    show("(b) Congestion Control", &cc_concepts());
+    show("(c) DDoS Detection", &ddos_concepts());
+}

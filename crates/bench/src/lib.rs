@@ -1,0 +1,13 @@
+//! # agua-bench — experiment harness
+//!
+//! Shared plumbing for the experiment binaries that regenerate every
+//! table and figure of the paper (see `src/bin/` and DESIGN.md §4):
+//! application builders that train controllers, roll them out, run the
+//! labelling pipeline, fit Agua surrogates and Trustee baselines, plus
+//! small reporting utilities.
+
+pub mod apps;
+pub mod plot;
+pub mod report;
+
+pub use apps::{AppData, LlmVariant};

@@ -1,0 +1,347 @@
+//! Minimal SVG chart rendering for the experiment figures.
+//!
+//! The experiment binaries persist their numbers to `results/*.json`;
+//! the `render_figures` binary turns those into standalone SVG files so
+//! the paper's figures can be looked at, not just read. Hand-rolled
+//! (the offline crate budget has no plotting library): line charts for
+//! curves/CDFs and horizontal bar charts for explanation weights and
+//! fidelity comparisons.
+
+/// A single data series of a line chart.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points, in drawing order.
+    pub points: Vec<(f32, f32)>,
+}
+
+/// A line chart (curves, CDFs).
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series to draw.
+    pub series: Vec<Series>,
+}
+
+/// A horizontal bar chart (explanation weights, fidelity comparisons).
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    /// Chart title.
+    pub title: String,
+    /// Value-axis label.
+    pub x_label: String,
+    /// `(label, value)` bars, drawn top to bottom.
+    pub bars: Vec<(String, f32)>,
+}
+
+const WIDTH: f32 = 640.0;
+const HEIGHT: f32 = 400.0;
+const MARGIN_L: f32 = 70.0;
+const MARGIN_R: f32 = 20.0;
+const MARGIN_T: f32 = 40.0;
+const MARGIN_B: f32 = 50.0;
+const PALETTE: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b"];
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Chooses "nice" rounded tick positions covering `[min, max]`.
+fn ticks(min: f32, max: f32, target: usize) -> Vec<f32> {
+    let span = (max - min).max(1e-9);
+    let raw_step = span / target as f32;
+    let mag = 10f32.powf(raw_step.log10().floor());
+    let step = [1.0, 2.0, 5.0, 10.0]
+        .iter()
+        .map(|m| m * mag)
+        .find(|&s| span / s <= target as f32 + 0.5)
+        .unwrap_or(10.0 * mag);
+    let start = (min / step).floor() * step;
+    let mut out = Vec::new();
+    let mut t = start;
+    while t <= max + step * 0.5 {
+        if t >= min - step * 0.5 {
+            out.push(t);
+        }
+        t += step;
+    }
+    out
+}
+
+fn fmt_tick(v: f32) -> String {
+    if v.abs() >= 100.0 || v.fract().abs() < 1e-6 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+impl LineChart {
+    /// Renders the chart to an SVG document.
+    ///
+    /// # Panics
+    /// Panics if the chart has no series or a series has no points.
+    pub fn render(&self) -> String {
+        assert!(!self.series.is_empty(), "a line chart needs series");
+        for s in &self.series {
+            assert!(!s.points.is_empty(), "series {} has no points", s.name);
+        }
+        let all: Vec<(f32, f32)> =
+            self.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+        let (mut x_min, mut x_max) = (f32::MAX, f32::MIN);
+        let (mut y_min, mut y_max) = (f32::MAX, f32::MIN);
+        for &(x, y) in &all {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+        if (y_max - y_min).abs() < 1e-9 {
+            y_min -= 0.5;
+            y_max += 0.5;
+        }
+        if (x_max - x_min).abs() < 1e-9 {
+            x_min -= 0.5;
+            x_max += 0.5;
+        }
+        // Pad the y-range slightly.
+        let pad = (y_max - y_min) * 0.08;
+        y_min -= pad;
+        y_max += pad;
+
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let sx = |x: f32| MARGIN_L + (x - x_min) / (x_max - x_min) * plot_w;
+        let sy = |y: f32| MARGIN_T + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h;
+
+        let mut svg = svg_header(&self.title);
+        // Axes and grid.
+        for t in ticks(y_min, y_max, 5) {
+            let y = sy(t);
+            svg.push_str(&format!(
+                "<line x1='{MARGIN_L}' y1='{y:.1}' x2='{:.1}' y2='{y:.1}' stroke='#ddd'/>\
+                 <text x='{:.1}' y='{:.1}' font-size='11' text-anchor='end' fill='#444'>{}</text>",
+                WIDTH - MARGIN_R,
+                MARGIN_L - 6.0,
+                y + 4.0,
+                fmt_tick(t)
+            ));
+        }
+        for t in ticks(x_min, x_max, 6) {
+            let x = sx(t);
+            svg.push_str(&format!(
+                "<line x1='{x:.1}' y1='{MARGIN_T}' x2='{x:.1}' y2='{:.1}' stroke='#eee'/>\
+                 <text x='{x:.1}' y='{:.1}' font-size='11' text-anchor='middle' fill='#444'>{}</text>",
+                HEIGHT - MARGIN_B,
+                HEIGHT - MARGIN_B + 16.0,
+                fmt_tick(t)
+            ));
+        }
+        svg.push_str(&axis_labels(&self.x_label, &self.y_label));
+
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let path: Vec<String> = s
+                .points
+                .iter()
+                .enumerate()
+                .map(|(j, &(x, y))| {
+                    format!("{}{:.1},{:.1}", if j == 0 { "M" } else { "L" }, sx(x), sy(y))
+                })
+                .collect();
+            svg.push_str(&format!(
+                "<path d='{}' fill='none' stroke='{color}' stroke-width='2'/>",
+                path.join(" ")
+            ));
+            // Legend entry.
+            let ly = MARGIN_T + 8.0 + i as f32 * 16.0;
+            svg.push_str(&format!(
+                "<line x1='{:.1}' y1='{ly:.1}' x2='{:.1}' y2='{ly:.1}' stroke='{color}' \
+                 stroke-width='3'/><text x='{:.1}' y='{:.1}' font-size='12' fill='#222'>{}</text>",
+                WIDTH - MARGIN_R - 150.0,
+                WIDTH - MARGIN_R - 130.0,
+                WIDTH - MARGIN_R - 124.0,
+                ly + 4.0,
+                escape(&s.name)
+            ));
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+impl BarChart {
+    /// Renders the chart to an SVG document.
+    ///
+    /// # Panics
+    /// Panics if the chart has no bars.
+    pub fn render(&self) -> String {
+        assert!(!self.bars.is_empty(), "a bar chart needs bars");
+        let max = self
+            .bars
+            .iter()
+            .map(|(_, v)| v.abs())
+            .fold(0.0f32, f32::max)
+            .max(1e-9);
+        let label_w = 240.0;
+        let plot_w = WIDTH - label_w - MARGIN_R - 60.0;
+        let bar_h = ((HEIGHT - MARGIN_T - MARGIN_B) / self.bars.len() as f32).min(34.0);
+
+        let mut svg = svg_header(&self.title);
+        for (i, (label, value)) in self.bars.iter().enumerate() {
+            let y = MARGIN_T + i as f32 * bar_h;
+            let w = value.abs() / max * plot_w;
+            let color = PALETTE[0];
+            svg.push_str(&format!(
+                "<text x='{:.1}' y='{:.1}' font-size='12' text-anchor='end' fill='#222'>{}</text>\
+                 <rect x='{label_w}' y='{:.1}' width='{w:.1}' height='{:.1}' fill='{color}'/>\
+                 <text x='{:.1}' y='{:.1}' font-size='11' fill='#444'>{value:.3}</text>",
+                label_w - 8.0,
+                y + bar_h * 0.62,
+                escape(label),
+                y + bar_h * 0.15,
+                bar_h * 0.7,
+                label_w + w + 6.0,
+                y + bar_h * 0.62,
+            ));
+        }
+        svg.push_str(&format!(
+            "<text x='{:.1}' y='{:.1}' font-size='12' text-anchor='middle' fill='#222'>{}</text>",
+            label_w + plot_w / 2.0,
+            HEIGHT - 12.0,
+            escape(&self.x_label)
+        ));
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+fn svg_header(title: &str) -> String {
+    format!(
+        "<svg xmlns='http://www.w3.org/2000/svg' width='{WIDTH}' height='{HEIGHT}' \
+         viewBox='0 0 {WIDTH} {HEIGHT}'>\
+         <rect width='100%' height='100%' fill='white'/>\
+         <text x='{:.1}' y='24' font-size='15' font-weight='bold' text-anchor='middle' \
+         fill='#111'>{}</text>",
+        WIDTH / 2.0,
+        escape(title)
+    )
+}
+
+fn axis_labels(x_label: &str, y_label: &str) -> String {
+    format!(
+        "<text x='{:.1}' y='{:.1}' font-size='12' text-anchor='middle' fill='#222'>{}</text>\
+         <text x='16' y='{:.1}' font-size='12' text-anchor='middle' fill='#222' \
+         transform='rotate(-90 16 {:.1})'>{}</text>",
+        MARGIN_L + (WIDTH - MARGIN_L - MARGIN_R) / 2.0,
+        HEIGHT - 12.0,
+        escape(x_label),
+        (HEIGHT - MARGIN_B + MARGIN_T) / 2.0,
+        (HEIGHT - MARGIN_B + MARGIN_T) / 2.0,
+        escape(y_label)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> LineChart {
+        LineChart {
+            title: "QoE vs step".into(),
+            x_label: "step".into(),
+            y_label: "QoE".into(),
+            series: vec![
+                Series {
+                    name: "concept".into(),
+                    points: (0..10).map(|i| (i as f32, 3.0 + 0.02 * i as f32)).collect(),
+                },
+                Series {
+                    name: "traditional".into(),
+                    points: (0..10).map(|i| (i as f32, 3.0 + 0.01 * i as f32)).collect(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn line_chart_is_valid_svg_with_all_series() {
+        let svg = line().render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("QoE vs step"));
+        assert!(svg.contains("concept"));
+        assert!(svg.contains("traditional"));
+        assert_eq!(svg.matches("<path").count(), 2);
+    }
+
+    #[test]
+    fn bar_chart_draws_one_rect_per_bar() {
+        let chart = BarChart {
+            title: "weights".into(),
+            x_label: "weight".into(),
+            bars: vec![
+                ("Extreme Network Degradation".into(), 0.62),
+                ("Recent Improvement".into(), 0.11),
+            ],
+        };
+        let svg = chart.render();
+        assert_eq!(svg.matches("<rect").count(), 3); // background + 2 bars
+        assert!(svg.contains("0.620"));
+    }
+
+    #[test]
+    fn labels_are_xml_escaped() {
+        let chart = BarChart {
+            title: "a < b & c".into(),
+            x_label: "x".into(),
+            bars: vec![("p > q".into(), 1.0)],
+        };
+        let svg = chart.render();
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(svg.contains("p &gt; q"));
+        assert!(!svg.contains("a < b"));
+    }
+
+    #[test]
+    fn ticks_are_rounded_and_cover_the_range() {
+        let t = ticks(0.0, 1.0, 5);
+        assert!(t.contains(&0.0) && t.contains(&1.0), "{t:?}");
+        let t = ticks(2.9, 3.4, 5);
+        assert!(t.iter().all(|v| (2.8..=3.5).contains(v)), "{t:?}");
+        assert!(t.len() >= 3);
+    }
+
+    #[test]
+    fn flat_series_still_renders() {
+        let chart = LineChart {
+            title: "flat".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series { name: "s".into(), points: vec![(0.0, 1.0), (1.0, 1.0)] }],
+        };
+        let svg = chart.render();
+        assert!(svg.contains("<path"));
+    }
+
+    #[test]
+    #[should_panic(expected = "a line chart needs series")]
+    fn empty_chart_panics() {
+        let _ = LineChart {
+            title: "t".into(),
+            x_label: "".into(),
+            y_label: "".into(),
+            series: vec![],
+        }
+        .render();
+    }
+}

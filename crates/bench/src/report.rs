@@ -1,0 +1,96 @@
+//! Reporting helpers shared by the experiment binaries: aligned table
+//! rows, ASCII series plots, and JSON result persistence.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Prints a header banner for an experiment.
+pub fn banner(id: &str, title: &str) {
+    println!("==================================================================");
+    println!("{id}: {title}");
+    println!("==================================================================");
+}
+
+/// Renders a labelled horizontal ASCII bar.
+pub fn bar(label: &str, value: f32, max: f32, width: usize) -> String {
+    let frac = if max > 0.0 { (value / max).clamp(0.0, 1.0) } else { 0.0 };
+    let filled = (frac * width as f32).round() as usize;
+    format!("{label:<46} {value:>8.4} |{}{}|", "#".repeat(filled), " ".repeat(width - filled))
+}
+
+/// Renders a numeric series as a compact sparkline-style strip.
+pub fn sparkline(values: &[f32]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().cloned().fold(f32::MAX, f32::min);
+    let max = values.iter().cloned().fold(f32::MIN, f32::max);
+    let span = (max - min).max(1e-9);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / span) * 7.0).round() as usize;
+            GLYPHS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Empirical CDF of a sample at `points` evenly spaced quantile knots.
+pub fn empirical_cdf(samples: &[f32], points: usize) -> Vec<(f32, f32)> {
+    assert!(!samples.is_empty(), "CDF of an empty sample");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    (0..points)
+        .map(|i| {
+            let x = min + (max - min) * i as f32 / (points - 1).max(1) as f32;
+            let count = sorted.iter().filter(|&&v| v <= x).count();
+            (x, count as f32 / sorted.len() as f32)
+        })
+        .collect()
+}
+
+/// Directory where experiment outputs are persisted.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Writes a serializable result to `results/<name>.json`.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize result");
+    fs::write(&path, json).expect("write result file");
+    println!("\n[saved {}]", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales_with_value() {
+        let half = bar("x", 0.5, 1.0, 10);
+        assert!(half.contains("#####"));
+        assert!(!half.contains("######"));
+    }
+
+    #[test]
+    fn sparkline_has_one_glyph_per_value() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+    }
+
+    #[test]
+    fn cdf_is_monotone_from_low_to_one() {
+        let cdf = empirical_cdf(&[1.0, 2.0, 3.0, 4.0], 5);
+        assert!(cdf.windows(2).all(|w| w[1].1 >= w[0].1));
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-6);
+    }
+}

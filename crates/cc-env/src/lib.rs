@@ -1,0 +1,34 @@
+//! # cc-env — congestion-control simulator
+//!
+//! A monitor-interval (MI) environment in the style used to train the
+//! paper's Aurora controller: a sender picks a rate multiplier each MI
+//! (from ½× to 2×, discretized), packets traverse a bottleneck link with
+//! a finite queue, and the sender observes per-MI statistics of latency,
+//! delivery, and loss.
+//!
+//! The link model is fluid (packet-level in expectation): per MI, arrivals
+//! `rate·dt` enter a FIFO backlog drained at the capacity; queueing delay
+//! is `backlog/capacity` on top of the base RTT and overflow beyond the
+//! queue limit is dropped and counted as loss. Capacity follows one of
+//! several [`link::LinkPattern`]s — stable, step change, periodic
+//! cross-traffic (the paper's Fig. 9 workload), or volatile.
+
+pub mod link;
+pub mod observation;
+pub mod sim;
+
+pub use link::{CapacityProcess, LinkPattern};
+pub use observation::CcObservation;
+pub use sim::{CcSimulator, LinkConfig, MiStats};
+
+/// Monitor interval duration in seconds.
+pub const MI_SECONDS: f32 = 0.1;
+/// Default history length of the controller observation, in MIs.
+pub const HISTORY: usize = 10;
+/// Discrete rate multipliers available to the controller (paper: "a
+/// discretized adjustment to the current data transmission rate (from ½×
+/// to 2×)").
+pub const RATE_MULTIPLIERS: [f32; 9] = [0.5, 0.65, 0.8, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0];
+
+/// Number of controller actions.
+pub const ACTIONS: usize = RATE_MULTIPLIERS.len();

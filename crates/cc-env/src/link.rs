@@ -1,0 +1,176 @@
+//! Bottleneck capacity processes.
+//!
+//! Each pattern produces a per-MI capacity series (Mbps). The
+//! `CrossTraffic` pattern reproduces the paper's Fig. 9 workload: a
+//! steady link whose available capacity periodically collapses while a
+//! competing flow is active, then recovers.
+
+use crate::MI_SECONDS;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Shapes of available-capacity evolution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LinkPattern {
+    /// Constant capacity with small jitter.
+    Stable {
+        /// Nominal capacity, Mbps.
+        mbps: f32,
+    },
+    /// Capacity switches between two levels at a fixed period.
+    StepChange {
+        /// High level, Mbps.
+        high: f32,
+        /// Low level, Mbps.
+        low: f32,
+        /// Seconds between switches.
+        period_s: f32,
+    },
+    /// Periodic competing flow: capacity dips while cross traffic is on.
+    CrossTraffic {
+        /// Capacity with no competitor, Mbps.
+        mbps: f32,
+        /// Fraction of capacity taken by the competitor while active.
+        cross_fraction: f32,
+        /// Competitor on-time per cycle, seconds.
+        on_s: f32,
+        /// Competitor off-time per cycle, seconds.
+        off_s: f32,
+    },
+    /// AR(1) random-walk capacity.
+    Volatile {
+        /// Mean capacity, Mbps.
+        mbps: f32,
+        /// Innovation scale, Mbps.
+        sigma: f32,
+    },
+}
+
+/// A realized capacity series, one sample per monitor interval.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CapacityProcess {
+    /// Capacity per MI, Mbps.
+    pub mbps: Vec<f32>,
+    /// Pattern that generated the series.
+    pub pattern: LinkPattern,
+}
+
+impl CapacityProcess {
+    /// Realizes `mis` monitor intervals of the pattern.
+    pub fn generate(pattern: LinkPattern, mis: usize, rng: &mut StdRng) -> Self {
+        assert!(mis > 0, "capacity process needs at least one MI");
+        let mut mbps = Vec::with_capacity(mis);
+        match pattern {
+            LinkPattern::Stable { mbps: c } => {
+                for _ in 0..mis {
+                    let jitter: f32 = rng.random_range(-0.02..0.02);
+                    mbps.push((c * (1.0 + jitter)).max(0.1));
+                }
+            }
+            LinkPattern::StepChange { high, low, period_s } => {
+                let period_mis = (period_s / MI_SECONDS).round().max(1.0) as usize;
+                for i in 0..mis {
+                    let phase = (i / period_mis) % 2;
+                    mbps.push(if phase == 0 { high } else { low });
+                }
+            }
+            LinkPattern::CrossTraffic { mbps: c, cross_fraction, on_s, off_s } => {
+                let on_mis = (on_s / MI_SECONDS).round().max(1.0) as usize;
+                let off_mis = (off_s / MI_SECONDS).round().max(1.0) as usize;
+                let cycle = on_mis + off_mis;
+                for i in 0..mis {
+                    let in_cycle = i % cycle;
+                    let jitter: f32 = rng.random_range(-0.02..0.02);
+                    // Competitor active first, then off.
+                    let avail = if in_cycle < on_mis { c * (1.0 - cross_fraction) } else { c };
+                    mbps.push((avail * (1.0 + jitter)).max(0.1));
+                }
+            }
+            LinkPattern::Volatile { mbps: c, sigma } => {
+                let mut level = c;
+                for _ in 0..mis {
+                    let innovation: f32 = rng.random_range(-sigma..sigma);
+                    level = (0.9 * level + 0.1 * c + innovation).clamp(0.2 * c, 2.0 * c);
+                    mbps.push(level);
+                }
+            }
+        }
+        Self { mbps, pattern }
+    }
+
+    /// Seeded convenience constructor.
+    pub fn generate_seeded(pattern: LinkPattern, mis: usize, seed: u64) -> Self {
+        Self::generate(pattern, mis, &mut StdRng::seed_from_u64(seed))
+    }
+
+    /// Capacity at a given MI, clamped to the series end.
+    pub fn at(&self, mi: usize) -> f32 {
+        self.mbps[mi.min(self.mbps.len() - 1)]
+    }
+
+    /// Number of MIs realized.
+    pub fn len(&self) -> usize {
+        self.mbps.len()
+    }
+
+    /// True if no MIs were realized (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.mbps.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_stays_near_nominal() {
+        let p = CapacityProcess::generate_seeded(LinkPattern::Stable { mbps: 5.0 }, 500, 1);
+        assert!(p.mbps.iter().all(|&c| (4.8..=5.2).contains(&c)));
+    }
+
+    #[test]
+    fn step_change_alternates_levels() {
+        let p = CapacityProcess::generate_seeded(
+            LinkPattern::StepChange { high: 8.0, low: 2.0, period_s: 1.0 },
+            40,
+            1,
+        );
+        // 1 s = 10 MIs per phase.
+        assert_eq!(p.at(0), 8.0);
+        assert_eq!(p.at(10), 2.0);
+        assert_eq!(p.at(20), 8.0);
+    }
+
+    #[test]
+    fn cross_traffic_dips_while_competitor_active() {
+        let p = CapacityProcess::generate_seeded(
+            LinkPattern::CrossTraffic { mbps: 10.0, cross_fraction: 0.5, on_s: 2.0, off_s: 3.0 },
+            100,
+            3,
+        );
+        assert!(p.at(5) < 6.0, "competitor on at MI 5: {}", p.at(5));
+        assert!(p.at(30) > 9.0, "competitor off at MI 30: {}", p.at(30));
+    }
+
+    #[test]
+    fn volatile_wanders_but_stays_bounded() {
+        let p = CapacityProcess::generate_seeded(
+            LinkPattern::Volatile { mbps: 6.0, sigma: 1.0 },
+            1000,
+            5,
+        );
+        assert!(p.mbps.iter().all(|&c| (1.2..=12.0).contains(&c)));
+        let mean = p.mbps.iter().sum::<f32>() / p.len() as f32;
+        let var =
+            p.mbps.iter().map(|c| (c - mean) * (c - mean)).sum::<f32>() / p.len() as f32;
+        assert!(var.sqrt() > 0.3, "volatile link must actually vary");
+    }
+
+    #[test]
+    fn at_clamps_past_the_end() {
+        let p = CapacityProcess::generate_seeded(LinkPattern::Stable { mbps: 1.0 }, 10, 1);
+        assert_eq!(p.at(10_000), p.mbps[9]);
+    }
+}

@@ -1,0 +1,210 @@
+//! The CC controller observation: per-MI histories of sending rate,
+//! delivered throughput, latency, and loss, with conversions to features
+//! and to describable sections.
+
+use crate::sim::MiStats;
+use agua_text::describer::DescribedSection;
+use agua_text::stats::SignalSeries;
+use serde::{Deserialize, Serialize};
+
+/// Normalization maxima for the feature vector.
+pub const RATE_MAX: f32 = 24.0;
+/// Maximum latency for normalization, ms.
+pub const LATENCY_MAX: f32 = 400.0;
+
+/// Number of raw signals per MI.
+pub const SIGNALS: usize = 4;
+
+/// One controller input: the last `K` monitor intervals of statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CcObservation {
+    /// Sending rate per MI, Mbps.
+    pub send_mbps: Vec<f32>,
+    /// Delivered throughput per MI, Mbps.
+    pub delivered_mbps: Vec<f32>,
+    /// Mean latency per MI, milliseconds.
+    pub latency_ms: Vec<f32>,
+    /// Loss rate per MI, in [0,1].
+    pub loss_rate: Vec<f32>,
+}
+
+impl CcObservation {
+    /// Builds the observation from an MI history (most recent last).
+    pub fn from_history(history: &[MiStats]) -> Self {
+        Self {
+            send_mbps: history.iter().map(|s| s.send_mbps).collect(),
+            delivered_mbps: history.iter().map(|s| s.delivered_mbps).collect(),
+            latency_ms: history.iter().map(|s| s.latency_ms).collect(),
+            loss_rate: history.iter().map(|s| s.loss_rate).collect(),
+        }
+    }
+
+    /// History length in MIs.
+    pub fn history_len(&self) -> usize {
+        self.latency_ms.len()
+    }
+
+    /// Feature dimensionality for a given history length and feature-set
+    /// variant.
+    pub fn feature_dim(history: usize, with_avg_latency: bool) -> usize {
+        history * SIGNALS + usize::from(with_avg_latency)
+    }
+
+    /// Flattens the observation into normalized features.
+    ///
+    /// `with_avg_latency` appends the window-mean latency as an extra
+    /// feature — the fix applied to the Fig. 10 debugged controller,
+    /// which the paper adds after Agua reveals the original controller's
+    /// distorted latency perception.
+    pub fn features(&self, with_avg_latency: bool) -> Vec<f32> {
+        let mut f = Vec::with_capacity(Self::feature_dim(self.history_len(), with_avg_latency));
+        f.extend(self.send_mbps.iter().map(|v| (v / RATE_MAX).clamp(0.0, 1.0)));
+        f.extend(self.delivered_mbps.iter().map(|v| (v / RATE_MAX).clamp(0.0, 1.0)));
+        f.extend(self.latency_ms.iter().map(|v| (v / LATENCY_MAX).clamp(0.0, 1.0)));
+        f.extend(self.loss_rate.iter().map(|v| v.clamp(0.0, 1.0)));
+        if with_avg_latency {
+            let avg = self.latency_ms.iter().sum::<f32>() / self.history_len() as f32;
+            f.push((avg / LATENCY_MAX).clamp(0.0, 1.0));
+        }
+        f
+    }
+
+    /// Reconstructs an observation from a plain feature vector (inverse of
+    /// [`CcObservation::features`] without the appended average).
+    pub fn from_features(f: &[f32], history: usize) -> Self {
+        assert!(
+            f.len() == history * SIGNALS || f.len() == history * SIGNALS + 1,
+            "wrong CC feature length"
+        );
+        let take = |offset: usize, max: f32| -> Vec<f32> {
+            f[offset..offset + history].iter().map(|v| v * max).collect()
+        };
+        Self {
+            send_mbps: take(0, RATE_MAX),
+            delivered_mbps: take(history, RATE_MAX),
+            latency_ms: take(2 * history, LATENCY_MAX),
+            loss_rate: take(3 * history, 1.0),
+        }
+    }
+
+    /// Relative latency inflation: each sample divided by the window
+    /// minimum. Queueing delay expressed independent of the path's base
+    /// RTT — the statistic congestion-control reasoning actually uses.
+    pub fn latency_inflation(&self) -> Vec<f32> {
+        let min = self
+            .latency_ms
+            .iter()
+            .cloned()
+            .fold(f32::MAX, f32::min)
+            .max(1.0);
+        self.latency_ms.iter().map(|&l| l / min).collect()
+    }
+
+    /// Converts the observation into describable sections.
+    pub fn sections(&self) -> Vec<DescribedSection> {
+        vec![
+            DescribedSection::new(
+                "Latency behavior",
+                vec![
+                    SignalSeries::new(
+                        "Network Latency",
+                        "ms",
+                        self.latency_ms.clone(),
+                        LATENCY_MAX,
+                    ),
+                    SignalSeries::new(
+                        "Network Latency Inflation",
+                        "x",
+                        self.latency_inflation(),
+                        4.0,
+                    ),
+                ],
+            ),
+            DescribedSection::new(
+                "Loss behavior",
+                vec![SignalSeries::new(
+                    "Packet Loss Rate",
+                    "fraction",
+                    self.loss_rate.clone(),
+                    1.0,
+                )],
+            ),
+            DescribedSection::new(
+                "Rate and utilization",
+                vec![
+                    SignalSeries::new(
+                        "Sending Rate",
+                        "Mbps",
+                        self.send_mbps.clone(),
+                        RATE_MAX,
+                    ),
+                    SignalSeries::new(
+                        "Delivered Network Utilization Throughput",
+                        "Mbps",
+                        self.delivered_mbps.clone(),
+                        RATE_MAX,
+                    ),
+                ],
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs() -> CcObservation {
+        let history: Vec<MiStats> = (0..10)
+            .map(|i| MiStats {
+                send_mbps: 4.0 + i as f32 * 0.1,
+                delivered_mbps: 4.0,
+                latency_ms: 40.0 + i as f32,
+                loss_rate: 0.0,
+            })
+            .collect();
+        CcObservation::from_history(&history)
+    }
+
+    #[test]
+    fn features_have_documented_dimension() {
+        let o = obs();
+        assert_eq!(o.features(false).len(), CcObservation::feature_dim(10, false));
+        assert_eq!(o.features(true).len(), CcObservation::feature_dim(10, true));
+    }
+
+    #[test]
+    fn avg_latency_feature_is_the_window_mean() {
+        let o = obs();
+        let f = o.features(true);
+        let avg = o.latency_ms.iter().sum::<f32>() / 10.0;
+        assert!((f[f.len() - 1] * LATENCY_MAX - avg).abs() < 1e-3);
+    }
+
+    #[test]
+    fn features_roundtrip() {
+        let o = obs();
+        let restored = CcObservation::from_features(&o.features(false), 10);
+        for (a, b) in o.latency_ms.iter().zip(&restored.latency_ms) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn sections_cover_latency_loss_and_rate() {
+        let names: Vec<String> = obs()
+            .sections()
+            .iter()
+            .flat_map(|s| s.signals.iter().map(|sig| sig.name.clone()))
+            .collect();
+        assert!(names.iter().any(|n| n.contains("Latency")));
+        assert!(names.iter().any(|n| n.contains("Loss")));
+        assert!(names.iter().any(|n| n.contains("Utilization")));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong CC feature length")]
+    fn from_features_validates_length() {
+        let _ = CcObservation::from_features(&[0.0; 7], 10);
+    }
+}

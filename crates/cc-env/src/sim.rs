@@ -1,0 +1,307 @@
+//! The sender/bottleneck simulation stepped per monitor interval.
+
+use crate::link::CapacityProcess;
+use crate::observation::CcObservation;
+use crate::{ACTIONS, MI_SECONDS, RATE_MULTIPLIERS};
+use serde::{Deserialize, Serialize};
+
+/// Static link parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Propagation RTT with an empty queue, milliseconds.
+    pub base_rtt_ms: f32,
+    /// Queue limit expressed in seconds of the *nominal* capacity
+    /// (1.0 ≈ one bandwidth-delay product of buffering per second).
+    pub queue_s: f32,
+    /// Nominal capacity used to size the queue, Mbps.
+    pub nominal_mbps: f32,
+    /// Multiplicative measurement jitter on reported latency (e.g. 0.015
+    /// for ±1.5%), modelling RTT sampling noise. The buggy controller's
+    /// over-reaction to this jitter is exactly the behaviour the paper's
+    /// debugging use case diagnoses.
+    pub latency_noise: f32,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self { base_rtt_ms: 40.0, queue_s: 0.25, nominal_mbps: 8.0, latency_noise: 0.03 }
+    }
+}
+
+impl LinkConfig {
+    /// A configuration for a link of the given nominal capacity.
+    pub fn with_capacity(nominal_mbps: f32) -> Self {
+        Self { nominal_mbps, ..Self::default() }
+    }
+}
+
+/// Per-MI statistics observed by the sender.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MiStats {
+    /// Sending rate during the MI, Mbps.
+    pub send_mbps: f32,
+    /// Delivered throughput during the MI, Mbps.
+    pub delivered_mbps: f32,
+    /// Mean one-way-inflated latency during the MI, milliseconds.
+    pub latency_ms: f32,
+    /// Fraction of sent data dropped during the MI, in [0,1].
+    pub loss_rate: f32,
+}
+
+/// The congestion-control environment.
+#[derive(Debug, Clone)]
+pub struct CcSimulator {
+    capacity: CapacityProcess,
+    config: LinkConfig,
+    /// Current sending rate, Mbps.
+    rate_mbps: f32,
+    /// Queue backlog, megabits.
+    backlog_mb: f32,
+    /// Current MI index.
+    mi: usize,
+    /// Rolling MI history, most recent last.
+    history: Vec<MiStats>,
+    /// Measurement-noise state (xorshift; deterministic per simulator).
+    noise_state: u64,
+}
+
+impl CcSimulator {
+    /// Creates a simulator with the default 10-MI observation history.
+    pub fn new(capacity: CapacityProcess, config: LinkConfig, initial_rate_mbps: f32) -> Self {
+        Self::with_history(capacity, config, initial_rate_mbps, crate::HISTORY)
+    }
+
+    /// Creates a simulator with an explicit history length (the debugged
+    /// Fig. 10 controller extends it from 10 to 15).
+    pub fn with_history(
+        capacity: CapacityProcess,
+        config: LinkConfig,
+        initial_rate_mbps: f32,
+        history_len: usize,
+    ) -> Self {
+        assert!(history_len > 0, "history must be non-empty");
+        assert!(initial_rate_mbps > 0.0, "initial rate must be positive");
+        let idle = MiStats {
+            send_mbps: initial_rate_mbps,
+            delivered_mbps: initial_rate_mbps,
+            latency_ms: config.base_rtt_ms,
+            loss_rate: 0.0,
+        };
+        Self {
+            capacity,
+            config,
+            rate_mbps: initial_rate_mbps,
+            backlog_mb: 0.0,
+            mi: 0,
+            history: vec![idle; history_len],
+            noise_state: 0xCC0C_0C0C_1234_5678,
+        }
+    }
+
+    /// Next measurement-noise sample in [-1, 1) (xorshift64*).
+    fn next_noise(&mut self) -> f32 {
+        let mut x = self.noise_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.noise_state = x;
+        ((x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+    }
+
+    /// Remaining MIs in the capacity series.
+    pub fn mis_left(&self) -> usize {
+        self.capacity.len().saturating_sub(self.mi)
+    }
+
+    /// True once the capacity series has been fully consumed.
+    pub fn done(&self) -> bool {
+        self.mi >= self.capacity.len()
+    }
+
+    /// Current sending rate, Mbps.
+    pub fn rate_mbps(&self) -> f32 {
+        self.rate_mbps
+    }
+
+    /// Capacity available in the current MI, Mbps.
+    pub fn current_capacity(&self) -> f32 {
+        self.capacity.at(self.mi)
+    }
+
+    /// The controller observation.
+    pub fn observation(&self) -> CcObservation {
+        CcObservation::from_history(&self.history)
+    }
+
+    /// Applies action `action` (an index into [`RATE_MULTIPLIERS`]) and
+    /// simulates one MI. Returns the realized statistics.
+    ///
+    /// # Panics
+    /// Panics if stepping past the end of the capacity series or if the
+    /// action index is out of range.
+    pub fn step(&mut self, action: usize) -> MiStats {
+        assert!(!self.done(), "stepping a finished CC episode");
+        assert!(action < ACTIONS, "action {action} out of range");
+        self.rate_mbps = (self.rate_mbps * RATE_MULTIPLIERS[action]).clamp(0.05, 24.0);
+        self.step_at_current_rate()
+    }
+
+    /// Simulates one MI at the current rate without changing it (used to
+    /// warm the history up before handing control to a policy).
+    pub fn step_at_current_rate(&mut self) -> MiStats {
+        assert!(!self.done(), "stepping a finished CC episode");
+        let capacity = self.capacity.at(self.mi);
+        let dt = MI_SECONDS;
+        let arrivals_mb = self.rate_mbps * dt;
+        let service_mb = capacity * dt;
+
+        // FIFO fluid queue: backlog plus arrivals contend for service.
+        let offered = self.backlog_mb + arrivals_mb;
+        let delivered_mb = offered.min(service_mb);
+        let mut backlog = offered - delivered_mb;
+
+        // Overflow beyond the queue limit is dropped.
+        let queue_cap_mb = self.config.queue_s * self.config.nominal_mbps;
+        let dropped_mb = (backlog - queue_cap_mb).max(0.0);
+        backlog -= dropped_mb;
+        self.backlog_mb = backlog;
+
+        // Latency: base RTT plus the queueing delay a packet admitted at
+        // the end of the MI experiences at the current capacity.
+        let queue_delay_ms = 1000.0 * backlog / capacity.max(0.05);
+        let jitter = if self.config.latency_noise > 0.0 {
+            1.0 + self.config.latency_noise * self.next_noise()
+        } else {
+            1.0
+        };
+        let latency_ms = (self.config.base_rtt_ms + queue_delay_ms) * jitter;
+
+        let loss_rate = if arrivals_mb > 0.0 {
+            (dropped_mb / arrivals_mb).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let stats = MiStats {
+            send_mbps: self.rate_mbps,
+            delivered_mbps: delivered_mb / dt,
+            latency_ms,
+            loss_rate,
+        };
+        self.history.remove(0);
+        self.history.push(stats);
+        self.mi += 1;
+        stats
+    }
+
+    /// Aurora-style reward: throughput minus latency and loss penalties.
+    pub fn reward(stats: &MiStats) -> f32 {
+        10.0 * stats.delivered_mbps - 0.1 * stats.latency_ms - 20.0 * stats.send_mbps * stats.loss_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkPattern;
+
+    fn stable_sim(rate: f32) -> CcSimulator {
+        let cap = CapacityProcess::generate_seeded(LinkPattern::Stable { mbps: 8.0 }, 500, 1);
+        CcSimulator::new(cap, LinkConfig::default(), rate)
+    }
+
+    #[test]
+    fn underloaded_link_has_base_latency_and_no_loss() {
+        let mut sim = stable_sim(4.0);
+        for _ in 0..100 {
+            let s = sim.step(4); // hold 1.0×
+            assert!(s.loss_rate == 0.0);
+            assert!(s.latency_ms < 45.0, "latency {} should stay near base", s.latency_ms);
+            assert!((s.delivered_mbps - 4.0).abs() < 0.3);
+        }
+    }
+
+    #[test]
+    fn overloaded_link_builds_queue_then_drops() {
+        let mut sim = stable_sim(16.0);
+        let mut saw_loss = false;
+        let mut last_latency = 0.0;
+        for _ in 0..100 {
+            let s = sim.step(4);
+            if s.loss_rate > 0.0 {
+                saw_loss = true;
+            }
+            last_latency = s.latency_ms;
+        }
+        assert!(saw_loss, "2× overload must overflow the queue");
+        assert!(last_latency > 100.0, "queue must inflate latency: {last_latency}");
+    }
+
+    #[test]
+    fn latency_is_bounded_by_queue_cap() {
+        let mut sim = stable_sim(20.0);
+        let mut max_latency: f32 = 0.0;
+        for _ in 0..200 {
+            let s = sim.step(4);
+            max_latency = max_latency.max(s.latency_ms);
+        }
+        // Queue cap = 0.25 s × 8 Mbps = 2 Mb → ≤ 250 ms queueing at 8 Mbps,
+        // plus the ±4% measurement jitter.
+        assert!(max_latency < (40.0 + 252.0) * 1.05, "latency {max_latency}");
+    }
+
+    #[test]
+    fn rate_multipliers_apply() {
+        let mut sim = stable_sim(2.0);
+        sim.step(8); // 2.0×
+        assert!((sim.rate_mbps() - 4.0).abs() < 1e-4);
+        sim.step(0); // 0.5×
+        assert!((sim.rate_mbps() - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn queue_drains_after_overload_ends() {
+        let mut sim = stable_sim(16.0);
+        for _ in 0..50 {
+            sim.step(4);
+        }
+        // Cut to a fraction of the capacity and let the queue drain.
+        sim.step(0);
+        sim.step(0);
+        let mut latency = f32::MAX;
+        for _ in 0..80 {
+            latency = sim.step(4).latency_ms;
+        }
+        assert!(latency < 50.0, "queue should drain: latency {latency}");
+    }
+
+    #[test]
+    fn observation_history_matches_length() {
+        let cap = CapacityProcess::generate_seeded(LinkPattern::Stable { mbps: 8.0 }, 100, 2);
+        let mut sim = CcSimulator::with_history(cap, LinkConfig::default(), 4.0, 15);
+        for _ in 0..20 {
+            sim.step(4);
+        }
+        let obs = sim.observation();
+        assert_eq!(obs.latency_ms.len(), 15);
+    }
+
+    #[test]
+    fn reward_prefers_full_utilization_without_loss() {
+        let good = MiStats { send_mbps: 8.0, delivered_mbps: 7.8, latency_ms: 45.0, loss_rate: 0.0 };
+        let greedy =
+            MiStats { send_mbps: 16.0, delivered_mbps: 8.0, latency_ms: 280.0, loss_rate: 0.4 };
+        let timid = MiStats { send_mbps: 1.0, delivered_mbps: 1.0, latency_ms: 40.0, loss_rate: 0.0 };
+        assert!(CcSimulator::reward(&good) > CcSimulator::reward(&greedy));
+        assert!(CcSimulator::reward(&good) > CcSimulator::reward(&timid));
+    }
+
+    #[test]
+    #[should_panic(expected = "stepping a finished CC episode")]
+    fn stepping_past_series_end_panics() {
+        let cap = CapacityProcess::generate_seeded(LinkPattern::Stable { mbps: 8.0 }, 3, 1);
+        let mut sim = CcSimulator::new(cap, LinkConfig::default(), 2.0);
+        for _ in 0..4 {
+            sim.step(4);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Minimal hand-rolled argument parsing (the workspace's offline crate
+//! budget does not include an argument-parsing dependency).
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand.
+    pub command: String,
+    /// `--app`.
+    pub app: Option<String>,
+    /// `--out-dir`.
+    pub out_dir: Option<String>,
+    /// `--model-dir`.
+    pub model_dir: Option<String>,
+    /// `--seed`.
+    pub seed: u64,
+    /// `--samples`.
+    pub samples: usize,
+    /// `--scenario`.
+    pub scenario: Option<String>,
+    /// `--counterfactual`.
+    pub counterfactual: Option<usize>,
+    /// `--llm`.
+    pub llm: String,
+}
+
+impl Args {
+    /// Parses raw arguments (without the binary name).
+    pub fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut args = Args {
+            seed: 11,
+            samples: 400,
+            llm: "hq".to_string(),
+            ..Args::default()
+        };
+        let mut iter = raw.iter();
+        args.command = iter
+            .next()
+            .ok_or_else(|| "missing command".to_string())?
+            .clone();
+
+        while let Some(flag) = iter.next() {
+            let mut value = || {
+                iter.next()
+                    .cloned()
+                    .ok_or_else(|| format!("flag {flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--app" => args.app = Some(value()?),
+                "--out-dir" => args.out_dir = Some(value()?),
+                "--model-dir" => args.model_dir = Some(value()?),
+                "--seed" => {
+                    args.seed = value()?
+                        .parse()
+                        .map_err(|_| "--seed expects an integer".to_string())?
+                }
+                "--samples" => {
+                    args.samples = value()?
+                        .parse()
+                        .map_err(|_| "--samples expects an integer".to_string())?
+                }
+                "--scenario" => args.scenario = Some(value()?),
+                "--counterfactual" => {
+                    args.counterfactual = Some(
+                        value()?
+                            .parse()
+                            .map_err(|_| "--counterfactual expects a class index".to_string())?,
+                    )
+                }
+                "--llm" => {
+                    let v = value()?;
+                    if v != "hq" && v != "os" {
+                        return Err("--llm expects `hq` or `os`".to_string());
+                    }
+                    args.llm = v;
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(args)
+    }
+
+    /// The `--app` value, validated.
+    pub fn require_app(&self) -> Result<&str, String> {
+        match self.app.as_deref() {
+            Some(app @ ("abr" | "cc" | "ddos")) => Ok(app),
+            Some(other) => Err(format!("unknown app `{other}` (expected abr|cc|ddos)")),
+            None => Err("--app is required".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Result<Args, String> {
+        Args::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_a_full_command_line() {
+        let a = parse(&[
+            "train", "--app", "ddos", "--out-dir", "/tmp/x", "--seed", "9", "--llm", "os",
+        ])
+        .unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.require_app().unwrap(), "ddos");
+        assert_eq!(a.out_dir.as_deref(), Some("/tmp/x"));
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.llm, "os");
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&["concepts", "--app", "abr"]).unwrap();
+        assert_eq!(a.seed, 11);
+        assert_eq!(a.samples, 400);
+        assert_eq!(a.llm, "hq");
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(parse(&["train", "--bogus"]).is_err());
+        assert!(parse(&["train", "--seed", "x"]).is_err());
+        assert!(parse(&["train", "--llm", "gpt5"]).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn validates_app() {
+        let a = parse(&["train", "--app", "dns"]).unwrap();
+        assert!(a.require_app().is_err());
+        let b = parse(&["train"]).unwrap();
+        assert!(b.require_app().is_err());
+    }
+}

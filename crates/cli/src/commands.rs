@@ -1,0 +1,244 @@
+//! Command implementations: train / fidelity / explain / concepts.
+
+use crate::args::Args;
+use abr_env::DatasetEra;
+use agua::concepts::{abr_concepts, cc_concepts, ddos_concepts, ConceptSet};
+use agua::explain::{counterfactual, factual};
+use agua::surrogate::{AguaModel, TrainParams};
+use agua_bench::apps::{abr_app, cc_app, ddos_app, fit_agua, AppData, LlmVariant};
+use agua_controllers::cc::CcVariant;
+use agua_controllers::PolicyNet;
+use agua_nn::Matrix;
+use agua_text::embedding::Embedder;
+use ddos_env::{DdosObservation, FlowKind, FlowWindow};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::Path;
+
+/// Checkpoint metadata, persisted alongside the model JSONs.
+#[derive(Debug, Serialize, Deserialize)]
+struct Meta {
+    app: String,
+    llm: String,
+    seed: u64,
+    n_outputs: usize,
+    train_fidelity: f32,
+}
+
+fn variant_of(args: &Args) -> LlmVariant {
+    if args.llm == "os" {
+        LlmVariant::OpenSource
+    } else {
+        LlmVariant::HighQuality
+    }
+}
+
+fn concepts_of(app: &str) -> ConceptSet {
+    match app {
+        "abr" => abr_concepts(),
+        "cc" => cc_concepts(),
+        _ => ddos_concepts(),
+    }
+}
+
+fn n_outputs_of(app: &str) -> usize {
+    match app {
+        "abr" => abr_env::LEVELS,
+        "cc" => cc_env::ACTIONS,
+        _ => ddos_env::CLASSES,
+    }
+}
+
+fn build_controller(app: &str, seed: u64) -> PolicyNet {
+    match app {
+        "abr" => abr_app::build_controller(seed),
+        "cc" => cc_app::build_controller(CcVariant::Original, seed),
+        _ => ddos_app::build_controller(seed),
+    }
+}
+
+fn rollout(app: &str, controller: &PolicyNet, samples: usize, seed: u64) -> AppData {
+    match app {
+        "abr" => abr_app::rollout(
+            controller,
+            DatasetEra::Train2021,
+            (samples / abr_app::CHUNKS).max(1),
+            seed,
+        ),
+        "cc" => cc_app::rollout(controller, CcVariant::Original, samples, seed),
+        _ => ddos_app::rollout(controller, samples, seed),
+    }
+}
+
+/// `agua-cli concepts --app <app>`.
+pub fn concepts(args: &Args) -> Result<(), String> {
+    let app = args.require_app()?;
+    let set = concepts_of(app);
+    println!("{} base concepts for {app}:", set.len());
+    for (i, c) in set.concepts.iter().enumerate() {
+        println!("  {:>2}. {}", i + 1, c.name);
+    }
+    let embedder = Embedder::new(512);
+    let (filtered, removed) = set.filter_redundant(&embedder, 0.85);
+    println!(
+        "S_max = 0.85 similarity check keeps {}/{} (removed: {removed:?})",
+        filtered.len(),
+        set.len()
+    );
+    Ok(())
+}
+
+/// `agua-cli train --app <app> --out-dir <dir>`.
+pub fn train(args: &Args) -> Result<(), String> {
+    let app = args.require_app()?;
+    let out = args
+        .out_dir
+        .as_deref()
+        .ok_or_else(|| "--out-dir is required for train".to_string())?;
+    fs::create_dir_all(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+
+    println!("training the {app} controller (seed {})…", args.seed);
+    let controller = build_controller(app, args.seed);
+    println!("collecting rollouts and fitting the Agua surrogate…");
+    let data = rollout(app, &controller, args.samples.max(800), args.seed + 1);
+    let concepts = concepts_of(app);
+    let (model, _) = fit_agua(
+        &concepts,
+        n_outputs_of(app),
+        &data,
+        variant_of(args),
+        &TrainParams::tuned(),
+        42,
+    );
+    let train_fidelity = model.fidelity(&data.embeddings, &data.outputs);
+
+    let write = |name: &str, json: String| -> Result<(), String> {
+        let path = Path::new(out).join(name);
+        fs::write(&path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))
+    };
+    write(
+        "controller.json",
+        serde_json::to_string(&controller).map_err(|e| e.to_string())?,
+    )?;
+    write(
+        "agua.json",
+        serde_json::to_string(&model).map_err(|e| e.to_string())?,
+    )?;
+    write(
+        "meta.json",
+        serde_json::to_string_pretty(&Meta {
+            app: app.to_string(),
+            llm: args.llm.clone(),
+            seed: args.seed,
+            n_outputs: n_outputs_of(app),
+            train_fidelity,
+        })
+        .map_err(|e| e.to_string())?,
+    )?;
+    println!("checkpoints written to {out} (train fidelity {train_fidelity:.3})");
+    Ok(())
+}
+
+fn load_checkpoints(args: &Args) -> Result<(PolicyNet, AguaModel, Meta), String> {
+    let dir = args
+        .model_dir
+        .as_deref()
+        .ok_or_else(|| "--model-dir is required".to_string())?;
+    let read = |name: &str| -> Result<String, String> {
+        let path = Path::new(dir).join(name);
+        fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+    };
+    let controller: PolicyNet =
+        serde_json::from_str(&read("controller.json")?).map_err(|e| e.to_string())?;
+    let model: AguaModel =
+        serde_json::from_str(&read("agua.json")?).map_err(|e| e.to_string())?;
+    let meta: Meta = serde_json::from_str(&read("meta.json")?).map_err(|e| e.to_string())?;
+    Ok((controller, model, meta))
+}
+
+/// `agua-cli fidelity --app <app> --model-dir <dir>`.
+pub fn fidelity(args: &Args) -> Result<(), String> {
+    let app = args.require_app()?;
+    let (controller, model, meta) = load_checkpoints(args)?;
+    if meta.app != app {
+        return Err(format!(
+            "checkpoint was trained for `{}` but --app is `{app}`",
+            meta.app
+        ));
+    }
+    println!("rolling {} fresh samples…", args.samples);
+    let data = rollout(app, &controller, args.samples, args.seed + 1000);
+    let fid = model.fidelity(&data.embeddings, &data.outputs);
+    println!(
+        "held-out fidelity: {fid:.3} over {} decisions (train fidelity was {:.3})",
+        data.len(),
+        meta.train_fidelity
+    );
+    Ok(())
+}
+
+/// `agua-cli report --app <app> --model-dir <dir>`.
+pub fn report(args: &Args) -> Result<(), String> {
+    let app = args.require_app()?;
+    let (controller, model, meta) = load_checkpoints(args)?;
+    if meta.app != app {
+        return Err(format!(
+            "checkpoint was trained for `{}` but --app is `{app}`",
+            meta.app
+        ));
+    }
+    println!("rolling {} fresh samples…", args.samples);
+    let data = rollout(app, &controller, args.samples, args.seed + 2000);
+    let report = agua::AguaReport::build(&model, &data.embeddings, &data.outputs, 4);
+    println!("{}", report.render());
+    Ok(())
+}
+
+/// `agua-cli explain --app <app> --model-dir <dir> [--scenario s]`.
+pub fn explain(args: &Args) -> Result<(), String> {
+    let app = args.require_app()?;
+    let (controller, model, meta) = load_checkpoints(args)?;
+    if meta.app != app {
+        return Err(format!(
+            "checkpoint was trained for `{}` but --app is `{app}`",
+            meta.app
+        ));
+    }
+
+    let features: Vec<f32> = match app {
+        "abr" => abr_app::motivating_observation().features(),
+        "ddos" => {
+            let kind = match args.scenario.as_deref().unwrap_or("syn-flood") {
+                "benign-http" => FlowKind::BenignHttp,
+                "benign-dns" => FlowKind::BenignDns,
+                "syn-flood" => FlowKind::SynFlood,
+                "udp-flood" => FlowKind::UdpFlood,
+                "low-and-slow" => FlowKind::LowAndSlow,
+                other => return Err(format!("unknown DDoS scenario `{other}`")),
+            };
+            DdosObservation::new(FlowWindow::generate_seeded(kind, args.seed)).features()
+        }
+        "cc" => {
+            // A representative state: a fresh rollout's final observation.
+            let data = cc_app::rollout(&controller, CcVariant::Original, 50, args.seed + 7);
+            data.features.last().expect("non-empty rollout").clone()
+        }
+        _ => unreachable!("validated by require_app"),
+    };
+
+    let x = Matrix::row_vector(&features);
+    let h = controller.embeddings(&x);
+    let verdict = controller.act(&features);
+    println!("controller output: class {verdict}");
+    println!("{}", factual(&model, &h).render(6));
+    if let Some(class) = args.counterfactual {
+        if class >= meta.n_outputs {
+            return Err(format!(
+                "--counterfactual {class} out of range (controller has {} outputs)",
+                meta.n_outputs
+            ));
+        }
+        println!("{}", counterfactual(&model, &h, class).render(6));
+    }
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! `agua-cli` — drive the Agua pipeline from the shell.
+//!
+//! ```text
+//! agua-cli concepts  --app ddos
+//! agua-cli train     --app ddos --out-dir /tmp/agua-ddos [--seed 7]
+//! agua-cli fidelity  --app ddos --model-dir /tmp/agua-ddos [--samples 400]
+//! agua-cli explain   --app ddos --model-dir /tmp/agua-ddos [--scenario syn-flood]
+//! ```
+//!
+//! `train` fits a controller and an Agua surrogate and writes JSON
+//! checkpoints (`controller.json`, `agua.json`, `meta.json`); `fidelity`
+//! and `explain` operate on those checkpoints.
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+agua-cli — concept-based explanations for learning-enabled controllers
+
+USAGE:
+  agua-cli <COMMAND> [OPTIONS]
+
+COMMANDS:
+  concepts   list the base concepts for an application and their
+             inter-concept similarity check
+  train      train a controller + Agua surrogate; write JSON checkpoints
+  fidelity   evaluate a saved surrogate's fidelity on fresh rollouts
+  explain    explain a scenario with a saved surrogate
+  report     global model report: fidelity, Ω sparsity, per-class drivers
+
+OPTIONS:
+  --app <abr|cc|ddos>      application (required)
+  --out-dir <dir>          where `train` writes checkpoints
+  --model-dir <dir>        where `fidelity`/`explain` read checkpoints
+  --seed <n>               RNG seed (default 11)
+  --samples <n>            evaluation sample count (default 400)
+  --scenario <name>        explain: abr = motivating;
+                           ddos = benign-http | benign-dns | syn-flood |
+                                  udp-flood | low-and-slow
+  --counterfactual <k>     explain: also show the counterfactual for
+                           output class k
+  --llm <hq|os>            simulated LLM variant (default hq)
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(&raw) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "concepts" => commands::concepts(&args),
+        "train" => commands::train(&args),
+        "fidelity" => commands::fidelity(&args),
+        "explain" => commands::explain(&args),
+        "report" => commands::report(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

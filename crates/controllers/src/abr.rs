@@ -1,0 +1,336 @@
+//! The ABR controller (Gelato stand-in): an MPC-style teacher, behaviour
+//! cloning, REINFORCE fine-tuning, and rollout/dataset helpers.
+
+use crate::bc::{fit_bc, BcConfig};
+use crate::policy::PolicyNet;
+use crate::reinforce::{pg_step, PgConfig};
+use abr_env::observation::FEATURE_DIM;
+use abr_env::{
+    AbrObservation, AbrSimulator, DatasetEra, NetworkTrace, VideoManifest, LEVELS,
+};
+use agua_nn::{Adam, Matrix};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Embedding width of the ABR controller (`H` in the paper).
+pub const ABR_EMB_DIM: usize = 64;
+
+/// Creates an untrained ABR policy network.
+pub fn make_controller(seed: u64) -> PolicyNet {
+    PolicyNet::new_seeded(seed, FEATURE_DIM, 128, ABR_EMB_DIM, LEVELS)
+}
+
+/// Robust MPC-style teacher: estimates throughput as a discounted
+/// harmonic mean of recent measurements and picks the level maximizing
+/// one-step QoE with a stall-risk penalty.
+pub fn mpc_teacher(sim: &AbrSimulator) -> usize {
+    let obs = sim.observation();
+    let Some(sizes) = sim.next_chunk_sizes() else {
+        return 0;
+    };
+    let qualities = sim.next_chunk_qualities().expect("sizes imply qualities");
+
+    // Discounted harmonic mean over the last 5 non-zero throughputs.
+    let recent: Vec<f32> = obs
+        .throughput_mbps
+        .iter()
+        .rev()
+        .filter(|&&t| t > 0.0)
+        .take(5)
+        .copied()
+        .collect();
+    let est = if recent.is_empty() {
+        0.5 // conservative cold-start estimate
+    } else {
+        let hm = recent.len() as f32 / recent.iter().map(|t| 1.0 / t.max(0.05)).sum::<f32>();
+        hm * 0.85 // robustness discount
+    };
+
+    let buffer = *obs.buffer_s.last().expect("history is non-empty");
+    let last_q = sim.last_quality_db();
+    let mut best = 0;
+    let mut best_score = f32::NEG_INFINITY;
+    for level in 0..LEVELS {
+        let tx = sizes[level] / est.max(0.05);
+        let stall = (tx - buffer).max(0.0);
+        let smooth = if last_q > 0.0 { (qualities[level] - last_q).abs() / 5.0 } else { 0.0 };
+        let score = qualities[level] / 5.0 - 2.0 * stall - 0.5 * smooth
+            // Risk margin: discourage downloads that nearly drain the buffer.
+            - 0.4 * (tx - 0.6 * buffer).max(0.0);
+        if score > best_score {
+            best_score = score;
+            best = level;
+        }
+    }
+    best
+}
+
+/// One labelled sample from a teacher rollout.
+#[derive(Debug, Clone)]
+pub struct AbrSample {
+    /// The observation at decision time.
+    pub observation: AbrObservation,
+    /// The teacher's action.
+    pub action: usize,
+    /// Trace family index within its era batch (for trace-level grouping).
+    pub trace_id: usize,
+}
+
+/// Rolls the MPC teacher (with ε-greedy exploration for state coverage)
+/// over `n_traces` traces of `era`, labelling every visited state with the
+/// teacher action.
+pub fn collect_teacher_dataset(
+    era: DatasetEra,
+    n_traces: usize,
+    chunks_per_video: usize,
+    seed: u64,
+) -> Vec<AbrSample> {
+    let traces = era.generate_traces(n_traces, chunks_per_video * 6, seed);
+    collect_teacher_dataset_from(traces, era.mean_complexity(), seed)
+}
+
+/// Like [`collect_teacher_dataset`] but over traces of specific families —
+/// used to build deliberately *stale* controllers that have never seen
+/// fast volatile links (the starting point of the Fig. 8 retraining
+/// experiment).
+pub fn collect_teacher_dataset_families(
+    families: &[abr_env::TraceFamily],
+    n_traces: usize,
+    chunks_per_video: usize,
+    seed: u64,
+) -> Vec<AbrSample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let traces: Vec<NetworkTrace> = (0..n_traces)
+        .map(|i| families[i % families.len()].generate(chunks_per_video * 6, &mut rng))
+        .collect();
+    collect_teacher_dataset_from(traces, 1.0, seed)
+}
+
+fn collect_teacher_dataset_from(
+    traces: Vec<NetworkTrace>,
+    mean_complexity: f32,
+    seed: u64,
+) -> Vec<AbrSample> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    let mut samples = Vec::new();
+    for (trace_id, trace) in traces.into_iter().enumerate() {
+        let chunks_per_video = (trace.duration() as usize / 6).max(10);
+        let manifest = VideoManifest::generate(chunks_per_video, mean_complexity, &mut rng);
+        let mut sim = AbrSimulator::new(manifest, trace);
+        while !sim.done() {
+            let action = mpc_teacher(&sim);
+            samples.push(AbrSample {
+                observation: sim.observation(),
+                action,
+                trace_id,
+            });
+            // ε-greedy exploration so off-policy states get labelled too.
+            let play = if rng.random_bool(0.1) {
+                rng.random_range(0..LEVELS)
+            } else {
+                action
+            };
+            sim.step(play);
+        }
+    }
+    samples
+}
+
+/// Stacks sample observations into a feature matrix plus action labels.
+pub fn to_matrix(samples: &[AbrSample]) -> (Matrix, Vec<usize>) {
+    let rows: Vec<Vec<f32>> = samples.iter().map(|s| s.observation.features()).collect();
+    let labels = samples.iter().map(|s| s.action).collect();
+    (Matrix::from_rows(&rows), labels)
+}
+
+/// Trains the ABR controller by behaviour cloning on a teacher dataset.
+pub fn train_controller(samples: &[AbrSample], seed: u64) -> PolicyNet {
+    train_controller_epochs(samples, 40, seed)
+}
+
+/// Behaviour cloning with an explicit epoch budget. A small budget yields
+/// a deliberately under-trained controller — the starting point of the
+/// Fig. 8 retraining comparison, which needs headroom to improve into.
+pub fn train_controller_epochs(samples: &[AbrSample], epochs: usize, seed: u64) -> PolicyNet {
+    let (x, y) = to_matrix(samples);
+    let mut net = make_controller(seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5E5E);
+    fit_bc(&mut net, &x, &y, BcConfig { epochs, batch: 128, lr: 3e-3 }, &mut rng);
+    net
+}
+
+/// Plays one full video with the greedy policy; returns mean QoE.
+pub fn evaluate_episode(net: &PolicyNet, manifest: VideoManifest, trace: NetworkTrace) -> f32 {
+    let mut sim = AbrSimulator::new(manifest, trace);
+    while !sim.done() {
+        let a = net.act(&sim.observation().features());
+        sim.step(a);
+    }
+    sim.mean_qoe()
+}
+
+/// Mean QoE of the greedy policy over a set of traces.
+pub fn evaluate(net: &PolicyNet, traces: &[NetworkTrace], chunks: usize, seed: u64) -> f32 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total: f32 = traces
+        .iter()
+        .map(|t| {
+            let manifest = VideoManifest::generate(chunks, 1.0, &mut rng);
+            evaluate_episode(net, manifest, t.clone())
+        })
+        .sum();
+    total / traces.len().max(1) as f32
+}
+
+/// REINFORCE fine-tuning over a trace pool (the paper's retraining
+/// procedure). Each iteration samples episodes, computes per-episode mean
+/// QoE as the return, and takes one policy-gradient step; returns the
+/// eval-QoE curve measured on `eval_traces`.
+#[allow(clippy::too_many_arguments)]
+pub fn reinforce_finetune(
+    net: &mut PolicyNet,
+    train_traces: &[NetworkTrace],
+    eval_traces: &[NetworkTrace],
+    iterations: usize,
+    episodes_per_iter: usize,
+    chunks: usize,
+    lr: f32,
+    seed: u64,
+) -> Vec<f32> {
+    assert!(!train_traces.is_empty(), "cannot fine-tune on zero traces");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut opt = Adam::new(lr);
+    let mut curve = Vec::with_capacity(iterations);
+
+    for _ in 0..iterations {
+        let mut rows: Vec<Vec<f32>> = Vec::new();
+        let mut actions: Vec<usize> = Vec::new();
+        let mut advantages: Vec<f32> = Vec::new();
+        let mut episode_returns = Vec::new();
+        let mut episode_spans = Vec::new();
+
+        for _ in 0..episodes_per_iter {
+            let trace = &train_traces[rng.random_range(0..train_traces.len())];
+            let manifest = VideoManifest::generate(chunks, 1.0, &mut rng);
+            let mut sim = AbrSimulator::new(manifest, trace.clone());
+            let start = rows.len();
+            while !sim.done() {
+                let f = sim.observation().features();
+                let a = net.sample_action(&f, &mut rng);
+                rows.push(f);
+                actions.push(a);
+                sim.step(a);
+            }
+            episode_returns.push(sim.mean_qoe());
+            episode_spans.push(start..rows.len());
+        }
+
+        // Baseline: batch-mean return; every step of an episode shares its
+        // episode's centered return.
+        let mean_ret =
+            episode_returns.iter().sum::<f32>() / episode_returns.len().max(1) as f32;
+        for (ret, span) in episode_returns.iter().zip(&episode_spans) {
+            for _ in span.clone() {
+                advantages.push(ret - mean_ret);
+            }
+        }
+
+        let features = Matrix::from_rows(&rows);
+        pg_step(
+            net,
+            &features,
+            &actions,
+            &advantages,
+            PgConfig { entropy_bonus: 0.002 },
+            &mut opt,
+        );
+        curve.push(evaluate(net, eval_traces, chunks, seed ^ 0x77));
+    }
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_env::TraceFamily;
+
+    #[test]
+    fn teacher_is_cautious_on_slow_links_and_greedy_on_fast() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let manifest = VideoManifest::generate(40, 1.0, &mut rng);
+        let slow = TraceFamily::ThreeG.generate(400, &mut rng);
+        let fast = TraceFamily::Broadband.generate(400, &mut rng);
+
+        let mut slow_sim = AbrSimulator::new(manifest.clone(), slow);
+        let mut fast_sim = AbrSimulator::new(manifest, fast);
+        // Warm both up with the teacher for a few chunks.
+        for _ in 0..8 {
+            let a = mpc_teacher(&slow_sim);
+            slow_sim.step(a);
+            let a = mpc_teacher(&fast_sim);
+            fast_sim.step(a);
+        }
+        let slow_action = mpc_teacher(&slow_sim);
+        let fast_action = mpc_teacher(&fast_sim);
+        assert!(
+            fast_action > slow_action,
+            "fast link {fast_action} must pick higher level than slow {slow_action}"
+        );
+    }
+
+    #[test]
+    fn teacher_beats_constant_policies() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let manifest = VideoManifest::generate(50, 1.0, &mut rng);
+        let trace = TraceFamily::FourG.generate(500, &mut rng);
+
+        let run_const = |level: usize| {
+            let mut sim = AbrSimulator::new(manifest.clone(), trace.clone());
+            while !sim.done() {
+                sim.step(level);
+            }
+            sim.mean_qoe()
+        };
+        let mut teacher_sim = AbrSimulator::new(manifest.clone(), trace.clone());
+        while !teacher_sim.done() {
+            let a = mpc_teacher(&teacher_sim);
+            teacher_sim.step(a);
+        }
+        let teacher_qoe = teacher_sim.mean_qoe();
+        for level in 0..LEVELS {
+            assert!(
+                teacher_qoe >= run_const(level) - 0.05,
+                "teacher {teacher_qoe} must not lose to constant level {level} ({})",
+                run_const(level)
+            );
+        }
+    }
+
+    #[test]
+    fn dataset_covers_multiple_actions() {
+        let samples = collect_teacher_dataset(DatasetEra::Train2021, 6, 30, 3);
+        assert!(samples.len() >= 150);
+        let mut seen = [false; LEVELS];
+        for s in &samples {
+            seen[s.action] = true;
+        }
+        let distinct = seen.iter().filter(|&&s| s).count();
+        assert!(distinct >= 3, "teacher must use a range of levels: {seen:?}");
+    }
+
+    #[test]
+    fn cloned_controller_tracks_the_teacher() {
+        let samples = collect_teacher_dataset(DatasetEra::Train2021, 30, 40, 4);
+        let net = train_controller(&samples, 4);
+        let held_out = collect_teacher_dataset(DatasetEra::Train2021, 6, 40, 99);
+        let (x, y) = to_matrix(&held_out);
+        let acc = crate::bc::accuracy(&net, &x, &y);
+        assert!(acc > 0.7, "held-out imitation accuracy {acc}");
+    }
+
+    #[test]
+    fn history_constant_is_consistent_with_env() {
+        // Guard against silent env changes breaking the controller input.
+        assert_eq!(FEATURE_DIM, 7 * abr_env::HISTORY + 2 * abr_env::LOOKAHEAD);
+    }
+}

@@ -1,0 +1,129 @@
+//! Behaviour cloning: supervised training of a policy against teacher
+//! action labels (or ground-truth class labels for the DDoS detector).
+
+use crate::policy::PolicyNet;
+use agua_nn::{softmax_cross_entropy, Adam, Matrix, Optimizer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Behaviour-cloning hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BcConfig {
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+}
+
+impl Default for BcConfig {
+    fn default() -> Self {
+        Self { epochs: 60, batch: 128, lr: 3e-3 }
+    }
+}
+
+/// Trains `net` to imitate `labels` on `features` rows; returns the
+/// per-epoch mean loss curve.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn fit_bc(
+    net: &mut PolicyNet,
+    features: &Matrix,
+    labels: &[usize],
+    config: BcConfig,
+    rng: &mut StdRng,
+) -> Vec<f32> {
+    assert_eq!(features.rows(), labels.len(), "one label per row");
+    assert!(features.rows() > 0, "empty training set");
+    let n = features.rows();
+    let mut opt = Adam::new(config.lr);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut curve = Vec::with_capacity(config.epochs);
+
+    for _ in 0..config.epochs {
+        order.shuffle(rng);
+        let mut epoch_loss = 0.0;
+        let mut batches = 0;
+        for chunk in order.chunks(config.batch) {
+            let x = features.select_rows(chunk);
+            let y: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+            net.zero_grad();
+            let logits = net.forward_train(&x);
+            let (loss, grad) = softmax_cross_entropy(&logits, &y);
+            net.backward(&grad);
+            opt.step(&mut net.mlp.params_mut());
+            epoch_loss += loss;
+            batches += 1;
+        }
+        curve.push(epoch_loss / batches.max(1) as f32);
+    }
+    curve
+}
+
+/// Fraction of rows on which the greedy policy matches `labels`.
+pub fn accuracy(net: &PolicyNet, features: &Matrix, labels: &[usize]) -> f32 {
+    assert_eq!(features.rows(), labels.len());
+    let logits = net.logits(features);
+    let hits = (0..features.rows())
+        .filter(|&r| logits.argmax_row(r) == labels[r])
+        .count();
+    hits as f32 / features.rows().max(1) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// A synthetic "teacher": class = quadrant of the first two features.
+    fn quadrant_data(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        use rand::RngExt;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let a: f32 = rng.random_range(-1.0..1.0);
+            let b: f32 = rng.random_range(-1.0..1.0);
+            rows.push(vec![a, b, a * b, a - b]);
+            labels.push(usize::from(a > 0.0) * 2 + usize::from(b > 0.0));
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn bc_learns_the_teacher() {
+        let (x, y) = quadrant_data(600, 1);
+        let (xt, yt) = quadrant_data(200, 2);
+        let mut net = PolicyNet::new_seeded(7, 4, 32, 16, 4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let curve = fit_bc(&mut net, &x, &y, BcConfig::default(), &mut rng);
+        assert!(curve[curve.len() - 1] < curve[0], "loss must decrease");
+        let acc = accuracy(&net, &xt, &yt);
+        assert!(acc > 0.9, "held-out imitation accuracy {acc}");
+    }
+
+    #[test]
+    fn accuracy_is_one_on_memorized_single_batch() {
+        let (x, y) = quadrant_data(32, 5);
+        let mut net = PolicyNet::new_seeded(9, 4, 64, 32, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        fit_bc(
+            &mut net,
+            &x,
+            &y,
+            BcConfig { epochs: 300, batch: 32, lr: 5e-3 },
+            &mut rng,
+        );
+        assert!(accuracy(&net, &x, &y) > 0.96);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per row")]
+    fn mismatched_labels_panic() {
+        let mut net = PolicyNet::new_seeded(1, 4, 8, 8, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = fit_bc(&mut net, &Matrix::zeros(3, 4), &[0, 1], BcConfig::default(), &mut rng);
+    }
+}

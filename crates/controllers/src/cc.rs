@@ -1,0 +1,460 @@
+//! The congestion-control controllers (Aurora stand-ins).
+//!
+//! Two variants reproduce the paper's Fig. 10 debugging arc:
+//!
+//! * [`CcVariant::Original`] — 10-MI history, no average-latency feature,
+//!   cloned from a teacher with a **distorted latency perception**: it
+//!   reacts to the instantaneous last-step latency gradient, so queueing
+//!   noise triggers aggressive rate cuts and the controller oscillates
+//!   well below capacity.
+//! * [`CcVariant::Debugged`] — 15-MI history plus a window-average latency
+//!   feature, cloned from a corrected teacher that tracks smoothed latency
+//!   ratios and probes gently; it holds throughput near link capacity.
+
+use crate::bc::{fit_bc, BcConfig};
+use crate::policy::PolicyNet;
+use agua_nn::Matrix;
+use cc_env::{
+    CapacityProcess, CcObservation, CcSimulator, LinkConfig, LinkPattern, ACTIONS,
+    RATE_MULTIPLIERS,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Embedding width of the CC controller.
+pub const CC_EMB_DIM: usize = 48;
+
+/// Which controller build to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcVariant {
+    /// The buggy original (10-MI history, instantaneous-gradient teacher).
+    Original,
+    /// The debugged version (15-MI history + average-latency feature,
+    /// smoothed teacher, trained with a lower learning rate and a higher
+    /// entropy bonus, per §5.2.3).
+    Debugged,
+}
+
+impl CcVariant {
+    /// Observation history length in MIs.
+    pub fn history(self) -> usize {
+        match self {
+            CcVariant::Original => 10,
+            CcVariant::Debugged => 15,
+        }
+    }
+
+    /// Whether the window-average latency feature is appended.
+    pub fn with_avg_latency(self) -> bool {
+        matches!(self, CcVariant::Debugged)
+    }
+
+    /// Input feature dimension.
+    pub fn input_dim(self) -> usize {
+        CcObservation::feature_dim(self.history(), self.with_avg_latency())
+    }
+
+    /// Behaviour-cloning learning rate (the debugging fix lowers it from
+    /// 1e-4 to 7.5e-5 in the paper; the same ratio is applied here on top
+    /// of our Adam base rate).
+    pub fn bc_lr(self) -> f32 {
+        match self {
+            CcVariant::Original => 4e-3,
+            CcVariant::Debugged => 3e-3,
+        }
+    }
+
+    /// Teacher action for an observation under this variant's perception.
+    pub fn teacher(self, obs: &CcObservation) -> usize {
+        match self {
+            CcVariant::Original => buggy_teacher(obs),
+            CcVariant::Debugged => corrected_teacher(obs),
+        }
+    }
+}
+
+/// Creates an untrained CC policy of the given variant.
+pub fn make_controller(variant: CcVariant, seed: u64) -> PolicyNet {
+    PolicyNet::new_seeded(seed, variant.input_dim(), 96, CC_EMB_DIM, ACTIONS)
+}
+
+/// Index of the multiplier closest to 1.0 (hold).
+pub const HOLD: usize = 4;
+
+/// The original controller's teacher: a latency/loss-reactive policy with
+/// a **distorted latency perception** — it looks only at the last-step
+/// latency gradient, so a single noisy MI triggers a deep rate cut.
+pub fn buggy_teacher(obs: &CcObservation) -> usize {
+    let k = obs.history_len();
+    let lat = &obs.latency_ms;
+    let min_lat = lat.iter().cloned().fold(f32::MAX, f32::min).max(1.0);
+    // "Instantaneous" perception: the slope of just the last three
+    // samples, normalized by the window minimum — noisy and myopic
+    // compared to the corrected teacher's whole-window averages.
+    let inst_gradient = (lat[k - 1] - lat[k - 3]) / (2.0 * min_lat);
+    let ratio = lat[k - 1] / min_lat;
+    let loss = obs.loss_rate[k - 1];
+
+    // Continuous congestion score dominated by the *instantaneous*
+    // gradient — the distortion Agua's Fig. 9/10 analysis exposes. The
+    // desired multiplier is a smooth function of the score, so the
+    // decision boundaries are diagonal in raw-feature space (ratios and
+    // differences normalized by a window minimum), which axis-aligned
+    // surrogates approximate poorly.
+    let congestion = 6.0 * inst_gradient.max(0.0) + 0.6 * (ratio - 1.0).max(0.0)
+        + 8.0 * loss
+        - 1.5 * (-inst_gradient).max(0.0);
+    let desired = (1.15 - congestion).clamp(0.45, 1.55);
+    nearest_multiplier(desired)
+}
+
+/// Index of the multiplier closest to `desired` (log-scale distance).
+pub fn nearest_multiplier(desired: f32) -> usize {
+    let mut best = 0;
+    let mut best_d = f32::MAX;
+    for (i, &m) in RATE_MULTIPLIERS.iter().enumerate() {
+        let d = (m.ln() - desired.ln()).abs();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// The corrected teacher: smoothed latency ratios over the whole window
+/// and gentle probing.
+pub fn corrected_teacher(obs: &CcObservation) -> usize {
+    let k = obs.history_len();
+    let lat = &obs.latency_ms;
+    let min_lat = lat.iter().cloned().fold(f32::MAX, f32::min).max(1.0);
+    let avg = lat.iter().sum::<f32>() / k as f32;
+    let recent = (lat[k - 1] + lat[k - 2] + lat[k - 3]) / 3.0;
+    let avg_ratio = avg / min_lat;
+    let recent_ratio = recent / min_lat;
+    let loss: f32 = obs.loss_rate.iter().rev().take(3).sum::<f32>() / 3.0;
+    // If latency is already falling the queue is draining — cutting again
+    // would only undershoot.
+    let draining = lat[k - 1] < lat[k - 2] - 0.5;
+
+    // Smoothed congestion score over the whole window, with a mild
+    // response curve and a drain-aware hold.
+    let congestion =
+        0.9 * (recent_ratio - 1.05).max(0.0) + 0.3 * (avg_ratio - 1.05).max(0.0) + 4.0 * loss;
+    // Loss-free congestion never warrants more than a gentle 0.9× cut;
+    // deeper cuts are reserved for actual loss.
+    let floor = if loss > 0.03 { 0.6 } else { 0.87 };
+    let desired = if draining && loss < 0.02 && recent_ratio > 1.05 {
+        1.0 // hold while the queue drains; cutting again would undershoot
+    } else {
+        (1.10 - congestion).clamp(floor, 1.2)
+    };
+    nearest_multiplier(desired)
+}
+
+/// One labelled CC sample.
+#[derive(Debug, Clone)]
+pub struct CcSample {
+    /// The observation at decision time.
+    pub observation: CcObservation,
+    /// The teacher's action.
+    pub action: usize,
+}
+
+/// Range of bottleneck capacities spanned during data collection, Mbps.
+pub const CAPACITY_RANGE_MBPS: (f32, f32) = (2.0, 16.0);
+
+/// Range of base propagation RTTs spanned during data collection, ms.
+/// The teachers act on latency *ratios*, so their behaviour is RTT-scale
+/// invariant — a property axis-aligned feature thresholds cannot express
+/// once the RTT varies continuously across paths.
+pub const RTT_RANGE_MS: (f32, f32) = (15.0, 120.0);
+
+/// Samples a random link scenario: a pattern shape around a random
+/// nominal capacity, with a random base RTT.
+pub fn sample_scenario(index: usize, rng: &mut StdRng) -> (LinkPattern, LinkConfig) {
+    let nominal = rng.random_range(CAPACITY_RANGE_MBPS.0..CAPACITY_RANGE_MBPS.1);
+    let rtt = rng.random_range(RTT_RANGE_MS.0..RTT_RANGE_MS.1);
+    let patterns = training_patterns(nominal);
+    let pattern = patterns[index % patterns.len()];
+    let config = LinkConfig { base_rtt_ms: rtt, ..LinkConfig::with_capacity(nominal) };
+    (pattern, config)
+}
+
+/// Link patterns used to cover the state space during data collection.
+pub fn training_patterns(nominal: f32) -> Vec<LinkPattern> {
+    vec![
+        LinkPattern::Stable { mbps: nominal },
+        LinkPattern::StepChange { high: nominal, low: nominal * 0.4, period_s: 4.0 },
+        LinkPattern::CrossTraffic {
+            mbps: nominal,
+            cross_fraction: 0.5,
+            on_s: 3.0,
+            off_s: 4.0,
+        },
+        LinkPattern::Volatile { mbps: nominal, sigma: nominal * 0.15 },
+    ]
+}
+
+/// Rolls the variant's teacher (with ε exploration) over the training
+/// patterns, labelling every visited state.
+pub fn collect_dataset(variant: CcVariant, mis_per_pattern: usize, seed: u64) -> Vec<CcSample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = Vec::new();
+    const SCENARIOS: usize = 12;
+    for i in 0..SCENARIOS {
+        let (pattern, config) = sample_scenario(i, &mut rng);
+        let cap = CapacityProcess::generate(pattern, mis_per_pattern, &mut rng);
+        let initial = rng.random_range(0.3..1.0) * config.nominal_mbps;
+        let mut sim = CcSimulator::with_history(
+            cap,
+            config,
+            initial,
+            variant.history(),
+        );
+        // Warm the history up.
+        for _ in 0..variant.history().min(sim.mis_left()) {
+            sim.step_at_current_rate();
+        }
+        while !sim.done() {
+            let obs = sim.observation();
+            let action = variant.teacher(&obs);
+            samples.push(CcSample { observation: obs, action });
+            let play =
+                if rng.random_bool(0.15) { rng.random_range(0..ACTIONS) } else { action };
+            sim.step(play);
+        }
+    }
+    samples
+}
+
+/// Stacks CC samples into features and labels under the variant's
+/// feature-set configuration.
+pub fn to_matrix(samples: &[CcSample], variant: CcVariant) -> (Matrix, Vec<usize>) {
+    let rows: Vec<Vec<f32>> = samples
+        .iter()
+        .map(|s| s.observation.features(variant.with_avg_latency()))
+        .collect();
+    let labels = samples.iter().map(|s| s.action).collect();
+    (Matrix::from_rows(&rows), labels)
+}
+
+/// Rolls an already-trained policy (with light ε exploration) and labels
+/// every visited state with the variant's teacher — the DAgger data-
+/// aggregation step that keeps the clone faithful on its *own* state
+/// distribution.
+pub fn collect_policy_dataset(
+    net: &PolicyNet,
+    variant: CcVariant,
+    mis_per_pattern: usize,
+    seed: u64,
+) -> Vec<CcSample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = Vec::new();
+    const SCENARIOS: usize = 12;
+    for i in 0..SCENARIOS {
+        let (pattern, config) = sample_scenario(i, &mut rng);
+        let cap = CapacityProcess::generate(pattern, mis_per_pattern, &mut rng);
+        let initial = rng.random_range(0.3..1.0) * config.nominal_mbps;
+        let mut sim = CcSimulator::with_history(cap, config, initial, variant.history());
+        for _ in 0..variant.history().min(sim.mis_left()) {
+            sim.step_at_current_rate();
+        }
+        while !sim.done() {
+            let obs = sim.observation();
+            let action = variant.teacher(&obs);
+            let play = if rng.random_bool(0.05) {
+                rng.random_range(0..ACTIONS)
+            } else {
+                net.act(&obs.features(variant.with_avg_latency()))
+            };
+            samples.push(CcSample { observation: obs, action });
+            sim.step(play);
+        }
+    }
+    samples
+}
+
+/// Behaviour cloning with DAgger aggregation: clone the teacher, then
+/// repeatedly roll the clone, relabel its states with the teacher, and
+/// retrain on the union.
+pub fn train_controller_dagger(
+    variant: CcVariant,
+    mis_per_pattern: usize,
+    rounds: usize,
+    seed: u64,
+) -> PolicyNet {
+    let mut samples = collect_dataset(variant, mis_per_pattern, seed);
+    let mut net = train_controller(variant, &samples, seed);
+    for round in 1..rounds {
+        let extra = collect_policy_dataset(&net, variant, mis_per_pattern / 2, seed + round as u64);
+        samples.extend(extra);
+        net = train_controller(variant, &samples, seed);
+    }
+    net
+}
+
+/// Trains a CC controller of the given variant by behaviour cloning.
+pub fn train_controller(variant: CcVariant, samples: &[CcSample], seed: u64) -> PolicyNet {
+    let (x, y) = to_matrix(samples, variant);
+    let mut net = make_controller(variant, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xCC);
+    fit_bc(
+        &mut net,
+        &x,
+        &y,
+        BcConfig { epochs: 50, batch: 128, lr: variant.bc_lr() },
+        &mut rng,
+    );
+    net
+}
+
+/// Rolls a trained controller on a link pattern; returns per-MI
+/// `(delivered_mbps, capacity_mbps)` pairs (the Fig. 10 time series).
+pub fn rollout_throughput(
+    net: &PolicyNet,
+    variant: CcVariant,
+    pattern: LinkPattern,
+    mis: usize,
+    seed: u64,
+) -> Vec<(f32, f32)> {
+    let cap = CapacityProcess::generate_seeded(pattern, mis, seed);
+    let mut sim =
+        CcSimulator::with_history(cap, LinkConfig::default(), 2.0, variant.history());
+    for _ in 0..variant.history().min(sim.mis_left()) {
+        sim.step_at_current_rate();
+    }
+    let mut out = Vec::new();
+    while !sim.done() {
+        let capacity = sim.current_capacity();
+        let f = sim.observation().features(variant.with_avg_latency());
+        let a = net.act(&f);
+        let stats = sim.step(a);
+        out.push((stats.delivered_mbps, capacity));
+    }
+    out
+}
+
+/// Utilization summary of a rollout: (mean delivered/capacity, coefficient
+/// of variation of delivered throughput).
+pub fn utilization_stats(series: &[(f32, f32)]) -> (f32, f32) {
+    let n = series.len().max(1) as f32;
+    let util: f32 = series.iter().map(|(d, c)| d / c.max(0.05)).sum::<f32>() / n;
+    let mean_d: f32 = series.iter().map(|(d, _)| d).sum::<f32>() / n;
+    let var: f32 =
+        series.iter().map(|(d, _)| (d - mean_d) * (d - mean_d)).sum::<f32>() / n;
+    (util, var.sqrt() / mean_d.max(1e-6))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_teacher(variant: CcVariant, pattern: LinkPattern, seed: u64) -> Vec<(f32, f32)> {
+        let cap = CapacityProcess::generate_seeded(pattern, 600, seed);
+        let mut sim =
+            CcSimulator::with_history(cap, LinkConfig::default(), 2.0, variant.history());
+        for _ in 0..variant.history() {
+            sim.step_at_current_rate();
+        }
+        let mut out = Vec::new();
+        while !sim.done() {
+            let capacity = sim.current_capacity();
+            let a = variant.teacher(&sim.observation());
+            let stats = sim.step(a);
+            out.push((stats.delivered_mbps, capacity));
+        }
+        out
+    }
+
+    #[test]
+    fn corrected_teacher_reaches_high_utilization_on_stable_link() {
+        let series = run_teacher(CcVariant::Debugged, LinkPattern::Stable { mbps: 8.0 }, 1);
+        let (util, cv) = utilization_stats(&series[200..].to_vec());
+        assert!(util > 0.8, "steady-state utilization {util}");
+        assert!(cv < 0.15, "steady-state variation {cv}");
+    }
+
+    #[test]
+    fn buggy_teacher_oscillates_more_than_corrected() {
+        let buggy = run_teacher(CcVariant::Original, LinkPattern::Stable { mbps: 8.0 }, 2);
+        let fixed = run_teacher(CcVariant::Debugged, LinkPattern::Stable { mbps: 8.0 }, 2);
+        let (_, cv_buggy) = utilization_stats(&buggy[200..].to_vec());
+        let (util_buggy, _) = utilization_stats(&buggy[200..].to_vec());
+        let (util_fixed, cv_fixed) = utilization_stats(&fixed[200..].to_vec());
+        assert!(
+            cv_buggy > 1.5 * cv_fixed,
+            "buggy cv {cv_buggy} must exceed fixed cv {cv_fixed}"
+        );
+        assert!(util_fixed > util_buggy, "fixed {util_fixed} vs buggy {util_buggy}");
+    }
+
+    #[test]
+    fn teachers_back_off_under_sustained_loss() {
+        let mut obs = CcObservation {
+            send_mbps: vec![16.0; 10],
+            delivered_mbps: vec![8.0; 10],
+            latency_ms: vec![280.0; 10],
+            loss_rate: vec![0.3; 10],
+        };
+        assert_eq!(buggy_teacher(&obs), 0);
+        obs.send_mbps = vec![16.0; 15];
+        obs.delivered_mbps = vec![8.0; 15];
+        obs.latency_ms = vec![280.0; 15];
+        obs.loss_rate = vec![0.3; 15];
+        let a = corrected_teacher(&obs);
+        assert!(a <= 2, "corrected teacher must cut under loss: {a}");
+    }
+
+    #[test]
+    fn buggy_teacher_overreacts_to_one_noisy_latency_sample() {
+        // Flat low latency except a single noisy uptick at the end.
+        let mut lat = vec![40.0; 10];
+        lat[9] = 44.5; // +11% — one noisy RTT sample
+        let obs = CcObservation {
+            send_mbps: vec![4.0; 10],
+            delivered_mbps: vec![4.0; 10],
+            latency_ms: lat.clone(),
+            loss_rate: vec![0.0; 10],
+        };
+        assert!(
+            buggy_teacher(&obs) < HOLD,
+            "buggy teacher must cut on noise: {}",
+            buggy_teacher(&obs)
+        );
+
+        let obs15 = CcObservation {
+            send_mbps: vec![4.0; 15],
+            delivered_mbps: vec![4.0; 15],
+            latency_ms: {
+                let mut l = vec![40.0; 15];
+                l[14] = 44.5;
+                l
+            },
+            loss_rate: vec![0.0; 15],
+        };
+        let a = corrected_teacher(&obs15);
+        assert!(a >= HOLD, "corrected teacher must not panic on noise: {a}");
+    }
+
+    #[test]
+    fn dataset_covers_multiple_actions() {
+        let samples = collect_dataset(CcVariant::Original, 400, 5);
+        assert!(samples.len() > 1000);
+        let mut seen = [false; ACTIONS];
+        for s in &samples {
+            seen[s.action] = true;
+        }
+        assert!(seen.iter().filter(|&&s| s).count() >= 3, "{seen:?}");
+    }
+
+    #[test]
+    fn cloned_controller_tracks_its_teacher() {
+        let samples = collect_dataset(CcVariant::Original, 500, 6);
+        let net = train_controller(CcVariant::Original, &samples, 6);
+        let held = collect_dataset(CcVariant::Original, 150, 77);
+        let (x, y) = to_matrix(&held, CcVariant::Original);
+        let acc = crate::bc::accuracy(&net, &x, &y);
+        assert!(acc > 0.7, "held-out imitation accuracy {acc}");
+    }
+}

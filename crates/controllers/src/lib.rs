@@ -1,0 +1,33 @@
+//! # agua-controllers — the learning-enabled controllers Agua explains
+//!
+//! The paper explains three deployed deep-learning controllers: the Gelato
+//! ABR policy, the Aurora congestion-control policy, and the LUCID DDoS
+//! detector. This crate reconstructs all three as small MLP policies over
+//! the corresponding `*-env` simulators:
+//!
+//! * [`policy::PolicyNet`] — a shared network shape exposing the
+//!   *embedding network* `h(x)` (penultimate activations) that Agua's
+//!   concept mapping function consumes;
+//! * [`bc`] — behaviour-cloning training against heuristic *teachers*
+//!   (an MPC-style ABR planner, latency/loss-reactive CC policies, and
+//!   ground-truth DDoS labels), yielding genuine neural controllers whose
+//!   embeddings encode the temporal patterns the paper's concepts name;
+//! * [`reinforce`] — REINFORCE policy-gradient fine-tuning on QoE, used by
+//!   the Fig. 8 retraining experiments;
+//! * [`abr`], [`cc`], [`ddos`] — per-application controllers, teachers,
+//!   dataset collection, and rollout helpers.
+//!
+//! The CC module intentionally ships **two** controllers: the *original*
+//! one with a distorted latency perception (it over-reacts to
+//! instantaneous latency gradients) and the *debugged* one with a longer
+//! history and an average-latency feature — the before/after pair of the
+//! paper's Fig. 10 debugging story.
+
+pub mod abr;
+pub mod bc;
+pub mod cc;
+pub mod ddos;
+pub mod policy;
+pub mod reinforce;
+
+pub use policy::PolicyNet;

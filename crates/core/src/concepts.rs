@@ -1,0 +1,389 @@
+//! Base concepts and concept-set curation (paper §3.2, Table 1).
+//!
+//! A base concept pairs a short operator-facing *name* ("Rapidly
+//! Depleting Buffer") with a richer *text* used for embedding. The text
+//! plays the role of the LLM-derived concept description: it spells the
+//! concept out in the same pattern vocabulary the input describer emits,
+//! which is what makes cosine similarity between descriptions and
+//! concepts meaningful.
+//!
+//! The predefined sets below are the concrete concepts of paper Table 1
+//! (16 for ABR, 8 for congestion control, 10 for DDoS detection). The
+//! paper derives these with an LLM over survey papers and then lets the
+//! operator filter near-duplicates via the inter-concept similarity
+//! matrix; [`ConceptSet::filter_redundant`] implements that empirical
+//! check (Eq. 1).
+
+use agua_text::embedding::{cosine_similarity, Embedder};
+use serde::{Deserialize, Serialize};
+
+/// One base concept.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Concept {
+    /// Operator-facing name (Table 1 entry).
+    pub name: String,
+    /// Rich description embedded for similarity scoring.
+    pub text: String,
+}
+
+impl Concept {
+    /// Creates a concept.
+    pub fn new(name: &str, text: &str) -> Self {
+        Self { name: name.to_string(), text: text.to_string() }
+    }
+
+    /// The string actually embedded: name plus description.
+    pub fn embedding_text(&self) -> String {
+        format!("{}. {}", self.name, self.text)
+    }
+}
+
+/// An ordered set of base concepts.
+///
+/// ```
+/// use agua::concepts::cc_concepts;
+/// use agua_text::embedding::Embedder;
+///
+/// let set = cc_concepts(); // the paper's Table 1b
+/// assert_eq!(set.len(), 8);
+/// let (kept, removed) = set.filter_redundant(&Embedder::new(256), 0.95);
+/// assert!(removed.is_empty()); // the curated set has no near-duplicates
+/// assert_eq!(kept.len(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConceptSet {
+    /// The concepts, in explanation order.
+    pub concepts: Vec<Concept>,
+}
+
+impl ConceptSet {
+    /// Wraps a list of concepts.
+    pub fn new(concepts: Vec<Concept>) -> Self {
+        assert!(!concepts.is_empty(), "a concept set cannot be empty");
+        Self { concepts }
+    }
+
+    /// Number of concepts (`C` in the paper).
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// True if empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    /// Concept names in order.
+    pub fn names(&self) -> Vec<String> {
+        self.concepts.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Embeds every concept with `embedder`.
+    pub fn embed(&self, embedder: &Embedder) -> Vec<Vec<f32>> {
+        self.concepts
+            .iter()
+            .map(|c| embedder.embed(&c.embedding_text()))
+            .collect()
+    }
+
+    /// The `C × C` inter-concept cosine similarity matrix (Eq. 1).
+    pub fn similarity_matrix(&self, embedder: &Embedder) -> Vec<Vec<f32>> {
+        let embs = self.embed(embedder);
+        embs.iter()
+            .map(|a| embs.iter().map(|b| cosine_similarity(a, b)).collect())
+            .collect()
+    }
+
+    /// The operator's empirical redundancy check: walks the similarity
+    /// matrix in order and removes any concept whose similarity to an
+    /// already-retained concept exceeds `s_max`. Returns the filtered set
+    /// and the names of removed concepts.
+    pub fn filter_redundant(&self, embedder: &Embedder, s_max: f32) -> (ConceptSet, Vec<String>) {
+        let sim = self.similarity_matrix(embedder);
+        let mut kept: Vec<usize> = Vec::new();
+        let mut removed = Vec::new();
+        for i in 0..self.len() {
+            if kept.iter().any(|&j| sim[i][j] > s_max) {
+                removed.push(self.concepts[i].name.clone());
+            } else {
+                kept.push(i);
+            }
+        }
+        let set = ConceptSet::new(kept.iter().map(|&i| self.concepts[i].clone()).collect());
+        (set, removed)
+    }
+
+    /// A subset containing the first `n` concepts (for the Fig. 13
+    /// concept-space-size ablation).
+    pub fn take(&self, n: usize) -> ConceptSet {
+        assert!(n >= 1 && n <= self.len(), "subset size out of range");
+        ConceptSet::new(self.concepts[..n].to_vec())
+    }
+}
+
+/// The 16 ABR base concepts (paper Table 1a).
+pub fn abr_concepts() -> ConceptSet {
+    ConceptSet::new(vec![
+        Concept::new(
+            "Volatile Network Throughput",
+            "network throughput volatile and fluctuating, erratic unstable network throughput, \
+             transmission time volatile",
+        ),
+        Concept::new(
+            "Rapidly Depleting Buffer",
+            "client buffer rapidly decreasing, client buffer falling dropping toward empty, \
+             very low client buffer",
+        ),
+        Concept::new(
+            "Low Content Complexity",
+            "very low upcoming video size complexity, low upcoming video size complexity, \
+             simple content with low upcoming video sizes",
+        ),
+        Concept::new(
+            "Recent Network Improvement",
+            "network throughput increasing and recovering, transmission time decreasing, \
+             improving network throughput",
+        ),
+        Concept::new(
+            "Extreme Network Degradation",
+            "network throughput rapidly decreasing, very low network throughput, transmission \
+             time rapidly increasing, very high transmission time, stalling increasing",
+        ),
+        Concept::new(
+            "Moderate Network Throughput",
+            "moderate network throughput, stable moderate network throughput, moderate \
+             transmission time",
+        ),
+        Concept::new(
+            "Anticipation of Network Congestion",
+            "network throughput decreasing, transmission time increasing, upcoming video size \
+             complexity increasing, congestion ahead",
+        ),
+        Concept::new(
+            "Content requiring High Quality",
+            "very high upcoming video quality, high upcoming video quality, content requiring \
+             high quality",
+        ),
+        Concept::new(
+            "Stable Buffer",
+            "client buffer stable and steady, consistent client buffer, moderate client buffer",
+        ),
+        Concept::new(
+            "Nearly Full Buffer",
+            "very high client buffer, client buffer high and full, client buffer near full \
+             capacity",
+        ),
+        Concept::new(
+            "Startup of video",
+            "very low client buffer at startup, very low selected video quality, very low \
+             quality of experience, playback startup",
+        ),
+        Concept::new(
+            "High Content Complexity",
+            "very high upcoming video size complexity, increasing upcoming video size \
+             complexity, complex content with high upcoming video sizes",
+        ),
+        Concept::new(
+            "Network volatility needing switches",
+            "volatile network throughput with volatile selected video quality, fluctuating \
+             quality switches, erratic selected chunk size",
+        ),
+        Concept::new(
+            "Avoiding Large Quality Fluctuations",
+            "stable selected video quality, steady selected video quality, smooth quality \
+             without fluctuations",
+        ),
+        Concept::new(
+            "Switch to higher quality after startup",
+            "increasing selected video quality, increasing quality of experience, client \
+             buffer increasing after startup",
+        ),
+        Concept::new(
+            "High Network Throughput",
+            "very high network throughput, high stable network throughput, very low \
+             transmission time",
+        ),
+    ])
+}
+
+/// The 8 congestion-control base concepts (paper Table 1b).
+pub fn cc_concepts() -> ConceptSet {
+    ConceptSet::new(vec![
+        Concept::new(
+            "Increasing Packet Loss",
+            "packet loss rate increasing, rising packet loss, high packet loss rate",
+        ),
+        Concept::new(
+            "Decreasing Packet Loss",
+            "packet loss rate decreasing, falling packet loss, packet loss recovering",
+        ),
+        Concept::new(
+            "Stable Network Conditions",
+            "stable network latency, steady network latency, stable delivered network \
+             utilization throughput, very low packet loss rate",
+        ),
+        Concept::new(
+            "Rapidly Increasing Latency",
+            "network latency rapidly increasing, rapidly rising network latency, high \
+             network latency",
+        ),
+        Concept::new(
+            "Rapidly Decreasing Latency",
+            "network latency rapidly decreasing, rapidly falling network latency, \
+             network latency recovering",
+        ),
+        Concept::new(
+            "Volatile Network Conditions",
+            "volatile network latency, fluctuating delivered network utilization throughput, \
+             erratic unstable network conditions, volatile sending rate",
+        ),
+        Concept::new(
+            "Low Network Utilization",
+            "very low delivered network utilization throughput, low sending rate, low \
+             network utilization",
+        ),
+        Concept::new(
+            "High Network Utilization",
+            "very high delivered network utilization throughput, high sending rate, high \
+             network utilization",
+        ),
+    ])
+}
+
+/// The 10 DDoS-detection base concepts (paper Table 1c).
+pub fn ddos_concepts() -> ConceptSet {
+    ConceptSet::new(vec![
+        Concept::new(
+            "Geographical and Temporal Consistency",
+            "very high source geographic temporal consistency, stable source geographic \
+             temporal consistency",
+        ),
+        Concept::new(
+            "Typical Application Behavior",
+            "moderate request packet rate, moderate payload packet size, moderate payload \
+             entropy, high ack protocol compliance, typical application behavior",
+        ),
+        Concept::new(
+            "Low-and-Slow Attack Indicators",
+            "very low request packet rate, sparse slow requests, low payload packet size, \
+             slow attack",
+        ),
+        Concept::new(
+            "High Request Rates",
+            "very high request packet rate, high request packet rate, surging request rate",
+        ),
+        Concept::new(
+            "Geographic Irregularities",
+            "very low source geographic temporal consistency, volatile source geographic \
+             temporal consistency",
+        ),
+        Concept::new(
+            "Protocol Anomalies",
+            "very high syn handshake intensity, very low ack protocol compliance, anomalous \
+             protocol handshake",
+        ),
+        Concept::new(
+            "Repeated Access Requests",
+            "stable request packet rate, stable repeated payload packet size, repeated \
+             access requests",
+        ),
+        Concept::new(
+            "Behavioral Anomalies",
+            "volatile request packet rate, volatile payload packet size, erratic anomalous \
+             behavior",
+        ),
+        Concept::new(
+            "Payload Anomalies",
+            "very low payload entropy, very high payload entropy, very low payload packet \
+             size, anomalous payload",
+        ),
+        Concept::new(
+            "Protocol Compliance",
+            "very high ack protocol compliance, high ack protocol compliance, compliant \
+             protocol handshake",
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predefined_sets_match_table_one_sizes() {
+        assert_eq!(abr_concepts().len(), 16);
+        assert_eq!(cc_concepts().len(), 8);
+        assert_eq!(ddos_concepts().len(), 10);
+    }
+
+    #[test]
+    fn names_are_unique_within_each_set() {
+        for set in [abr_concepts(), cc_concepts(), ddos_concepts()] {
+            let mut names = set.names();
+            names.sort();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(before, names.len(), "duplicate concept names");
+        }
+    }
+
+    #[test]
+    fn similarity_matrix_is_symmetric_with_unit_diagonal() {
+        let set = cc_concepts();
+        let e = Embedder::new(512);
+        let m = set.similarity_matrix(&e);
+        for i in 0..set.len() {
+            assert!((m[i][i] - 1.0).abs() < 1e-4, "diagonal {i}: {}", m[i][i]);
+            for j in 0..set.len() {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn opposed_concepts_are_not_near_duplicates() {
+        let set = cc_concepts();
+        let m = set.similarity_matrix(&Embedder::new(512));
+        // "Low Network Utilization" (6) vs "High Network Utilization" (7)
+        // share nouns but must stay below a near-duplicate threshold.
+        assert!(m[6][7] < 0.9, "opposites too similar: {}", m[6][7]);
+    }
+
+    #[test]
+    fn filter_removes_a_planted_duplicate() {
+        let mut set = abr_concepts();
+        set.concepts.push(Concept::new(
+            "Volatile Network Throughput (dup)",
+            "network throughput volatile and fluctuating, erratic unstable network \
+             throughput, transmission time volatile",
+        ));
+        let e = Embedder::new(512);
+        let (filtered, removed) = ConceptSet::new(set.concepts).filter_redundant(&e, 0.85);
+        assert_eq!(removed.len(), 1, "exactly the planted duplicate: {removed:?}");
+        assert!(removed[0].contains("dup"));
+        assert_eq!(filtered.len(), 16);
+    }
+
+    #[test]
+    fn filter_keeps_everything_at_high_threshold() {
+        let set = ddos_concepts();
+        let e = Embedder::new(512);
+        let (filtered, removed) = set.filter_redundant(&e, 0.999);
+        assert!(removed.is_empty());
+        assert_eq!(filtered.len(), set.len());
+    }
+
+    #[test]
+    fn take_returns_prefix() {
+        let set = abr_concepts();
+        let sub = set.take(4);
+        assert_eq!(sub.len(), 4);
+        assert_eq!(sub.concepts[0].name, set.concepts[0].name);
+    }
+
+    #[test]
+    #[should_panic(expected = "subset size out of range")]
+    fn take_rejects_zero() {
+        let _ = abr_concepts().take(0);
+    }
+}

@@ -1,0 +1,347 @@
+//! Base-concept generation from survey text (paper §3.2, Fig. 2 stage ①).
+//!
+//! The paper attaches a survey paper to an LLM prompt and asks it to
+//! "list and describe the key concepts in the decision y of a
+//! controller", then lets the operator filter the result with the
+//! inter-concept similarity check. This module reproduces that stage
+//! offline: a [`SurveyCorpus`] of domain sentences (standing in for the
+//! retrieved survey text) is mined for *candidate concept phrases* —
+//! n-grams combining a pattern adjective with a domain noun, the exact
+//! vocabulary the describer emits — which are ranked by corpus frequency,
+//! named, described by the sentences that evidence them, and deduplicated
+//! with the same `S_max` cosine filter the paper applies.
+//!
+//! The generated sets are *starting* sets: as §3.2 observes, they
+//! typically need operator curation, and the `concept_generation`
+//! experiment quantifies the fidelity gap between a generated set and
+//! the curated Table 1 set.
+
+use crate::concepts::{Concept, ConceptSet};
+use agua_text::embedding::Embedder;
+use agua_text::lexicon::{term_weight, DOMAIN_TERMS, PATTERN_TERMS};
+use std::collections::HashMap;
+
+/// A corpus of domain sentences playing the role of the survey paper the
+/// paper feeds to its LLM.
+#[derive(Debug, Clone)]
+pub struct SurveyCorpus {
+    /// The sentences, one knowledge nugget each.
+    pub sentences: Vec<String>,
+}
+
+impl SurveyCorpus {
+    /// Wraps a list of sentences.
+    pub fn new(sentences: Vec<String>) -> Self {
+        assert!(!sentences.is_empty(), "a survey corpus cannot be empty");
+        Self { sentences }
+    }
+
+    /// Number of sentences.
+    pub fn len(&self) -> usize {
+        self.sentences.len()
+    }
+
+    /// True if empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sentences.is_empty()
+    }
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GenerationConfig {
+    /// Maximum number of concepts to return (after filtering).
+    pub max_concepts: usize,
+    /// Inter-concept similarity threshold `S_max` for deduplication.
+    pub s_max: f32,
+    /// Minimum corpus frequency for a candidate phrase.
+    pub min_frequency: usize,
+}
+
+impl Default for GenerationConfig {
+    fn default() -> Self {
+        Self { max_concepts: 16, s_max: 0.8, min_frequency: 2 }
+    }
+}
+
+/// Mines a starting concept set from a survey corpus.
+///
+/// Candidate phrases are token n-grams (2–4 tokens after stopword
+/// removal) that contain at least one pattern term ("volatile",
+/// "increasing", …) and at least one domain term ("throughput",
+/// "buffer", …). Candidates are ranked by frequency, described by the
+/// sentences that contain them, and passed through the paper's `S_max`
+/// redundancy filter.
+pub fn generate_concepts(
+    corpus: &SurveyCorpus,
+    embedder: &Embedder,
+    config: GenerationConfig,
+) -> ConceptSet {
+    assert!(config.max_concepts >= 1, "must request at least one concept");
+
+    // 1. Candidate mining.
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    let mut evidence: HashMap<String, Vec<usize>> = HashMap::new();
+    for (si, sentence) in corpus.sentences.iter().enumerate() {
+        let tokens = tokenize(sentence);
+        for len in 2..=4usize {
+            for window in tokens.windows(len) {
+                if !is_candidate(window) {
+                    continue;
+                }
+                let phrase = window.join(" ");
+                *counts.entry(phrase.clone()).or_insert(0) += 1;
+                let ev = evidence.entry(phrase).or_default();
+                if !ev.contains(&si) {
+                    ev.push(si);
+                }
+            }
+        }
+    }
+
+    // 2. Rank by frequency (ties: longer phrases first, then lexical).
+    let mut candidates: Vec<(String, usize)> = counts
+        .into_iter()
+        .filter(|(_, c)| *c >= config.min_frequency)
+        .collect();
+    candidates.sort_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then(b.0.split(' ').count().cmp(&a.0.split(' ').count()))
+            .then(a.0.cmp(&b.0))
+    });
+
+    // 3. Drop candidates subsumed by an already-chosen phrase (e.g.
+    //    "increasing loss" inside "increasing packet loss").
+    let mut chosen: Vec<(String, usize)> = Vec::new();
+    for (phrase, count) in candidates {
+        let subsumed = chosen
+            .iter()
+            .any(|(p, _)| p.contains(&phrase) || phrase.contains(p.as_str()));
+        if !subsumed {
+            chosen.push((phrase, count));
+        }
+        if chosen.len() >= config.max_concepts * 3 {
+            break; // leave headroom for the similarity filter
+        }
+    }
+
+    // 4. Name + describe each candidate from its evidence sentences.
+    let concepts: Vec<Concept> = chosen
+        .iter()
+        .map(|(phrase, _)| {
+            let name = title_case(phrase);
+            let ev = &evidence[phrase];
+            let text: String = ev
+                .iter()
+                .take(3)
+                .map(|&si| corpus.sentences[si].to_lowercase())
+                .collect::<Vec<_>>()
+                .join(" ");
+            Concept::new(&name, &format!("{phrase}. {text}"))
+        })
+        .collect();
+
+    // 5. The paper's S_max redundancy filter, then cap the set size.
+    let (filtered, _removed) =
+        ConceptSet::new(concepts).filter_redundant(embedder, config.s_max);
+    let take = filtered.len().min(config.max_concepts);
+    filtered.take(take)
+}
+
+fn tokenize(sentence: &str) -> Vec<String> {
+    sentence
+        .to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty() && term_weight(t) > 0.0)
+        .map(str::to_string)
+        .collect()
+}
+
+fn is_candidate(window: &[String]) -> bool {
+    let has_pattern = window.iter().any(|t| PATTERN_TERMS.contains(&t.as_str()));
+    let has_domain = window.iter().any(|t| DOMAIN_TERMS.contains(&t.as_str()));
+    has_pattern && has_domain
+}
+
+fn title_case(phrase: &str) -> String {
+    phrase
+        .split(' ')
+        .map(|w| {
+            let mut chars = w.chars();
+            match chars.next() {
+                Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// A built-in ABR survey corpus: the design knowledge an adaptive-bitrate
+/// survey would retrieve (buffer dynamics, throughput estimation, QoE
+/// trade-offs), phrased in the pattern/domain vocabulary.
+pub fn abr_survey() -> SurveyCorpus {
+    SurveyCorpus::new(
+        [
+            "Volatile network throughput forces the controller to hedge its bitrate choices.",
+            "A rapidly decreasing client buffer signals imminent stalling and demands a lower bitrate.",
+            "Stable network throughput allows the controller to hold a high bitrate safely.",
+            "High network throughput supports the highest video quality without stalling.",
+            "Very low network throughput requires the lowest bitrate to keep playback continuous.",
+            "A stable client buffer near full capacity cushions against short throughput drops.",
+            "Rapidly increasing transmission time indicates network degradation ahead.",
+            "Controllers anticipate congestion when transmission time is increasing while throughput is decreasing.",
+            "High upcoming video size complexity means complex content that needs more bandwidth.",
+            "Low upcoming video size complexity lets the controller conserve bandwidth with little quality loss.",
+            "Quality of experience is decreasing whenever stalling is increasing.",
+            "A volatile selected video quality annoys viewers, so controllers avoid quality fluctuations.",
+            "After startup the controller switches to increasing selected video quality as the buffer grows.",
+            "Moderate network throughput suggests a middle bitrate balancing quality and safety.",
+            "Recovering and increasing network throughput lets the controller raise quality again.",
+            "Extreme network degradation with rapidly decreasing throughput demands emergency fallback.",
+            "A rapidly decreasing client buffer with volatile network throughput is the riskiest state.",
+            "Stable client buffer and stable network throughput together indicate steady conditions.",
+            "Increasing quality of experience follows increasing network throughput and a stable buffer.",
+            "Very high network throughput with a nearly full client buffer supports maximum quality.",
+            "Volatile network throughput with fluctuating transmission time requires conservative switching.",
+            "Decreasing network throughput with increasing stalling means the bitrate is too high.",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+    )
+}
+
+/// A built-in congestion-control survey corpus.
+pub fn cc_survey() -> SurveyCorpus {
+    SurveyCorpus::new(
+        [
+            "Rapidly increasing network latency indicates a growing bottleneck queue.",
+            "Increasing packet loss rate means the sender has exceeded the available capacity.",
+            "Decreasing packet loss rate signals that the congestion event is clearing.",
+            "Stable network latency with very low packet loss indicates stable network conditions.",
+            "Rapidly decreasing network latency shows the queue draining after a rate cut.",
+            "Volatile network latency with fluctuating throughput marks volatile network conditions.",
+            "Very low delivered throughput relative to capacity is low network utilization.",
+            "Very high delivered throughput near capacity is high network utilization.",
+            "High sending rate with increasing latency risks increasing packet loss.",
+            "Low sending rate with stable latency wastes capacity through low network utilization.",
+            "Stable delivered throughput with stable network latency is the target operating point.",
+            "Increasing network latency with stable sending rate means competing traffic arrived.",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+    )
+}
+
+/// A built-in DDoS-detection survey corpus.
+pub fn ddos_survey() -> SurveyCorpus {
+    SurveyCorpus::new(
+        [
+            "A very high request packet rate from spoofed sources marks volumetric attacks.",
+            "Very high syn handshake intensity with very low ack compliance is a protocol anomaly.",
+            "Stable source geographic temporal consistency characterizes benign traffic.",
+            "Volatile source geographic temporal consistency reveals spoofed or distributed origins.",
+            "Very low payload entropy in tiny packets indicates empty attack payloads.",
+            "Very high payload entropy in large packets indicates random flood payloads.",
+            "Moderate request packet rate with high ack protocol compliance is typical application behavior.",
+            "A very low sparse request packet rate holding connections open is a slow attack.",
+            "Stable repeated payload packet size across requests suggests scripted repeated access.",
+            "Volatile request packet rate with volatile payload packet size is a behavioral anomaly.",
+            "High ack protocol compliance with a completed handshake indicates protocol compliance.",
+            "Increasing request packet rate from many sources precedes service denial.",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn embedder() -> Embedder {
+        Embedder::new(512)
+    }
+
+    #[test]
+    fn generates_a_bounded_nonempty_set() {
+        let set = generate_concepts(&abr_survey(), &embedder(), GenerationConfig::default());
+        assert!(!set.is_empty());
+        assert!(set.len() <= 16);
+    }
+
+    #[test]
+    fn generated_concepts_combine_pattern_and_domain_terms() {
+        let set = generate_concepts(&cc_survey(), &embedder(), GenerationConfig::default());
+        for c in &set.concepts {
+            let lower = c.name.to_lowercase();
+            let tokens: Vec<&str> = lower.split(' ').collect();
+            assert!(
+                tokens.iter().any(|t| PATTERN_TERMS.contains(t)),
+                "{} lacks a pattern term",
+                c.name
+            );
+            assert!(
+                tokens.iter().any(|t| DOMAIN_TERMS.contains(t)),
+                "{} lacks a domain term",
+                c.name
+            );
+        }
+    }
+
+    #[test]
+    fn cc_generation_finds_the_canonical_latency_concept() {
+        let set = generate_concepts(&cc_survey(), &embedder(), GenerationConfig::default());
+        let names: Vec<String> = set.names().iter().map(|n| n.to_lowercase()).collect();
+        assert!(
+            names.iter().any(|n| n.contains("latency") && n.contains("increasing")),
+            "expected an increasing-latency concept in {names:?}"
+        );
+    }
+
+    #[test]
+    fn generation_respects_max_concepts() {
+        let config = GenerationConfig { max_concepts: 4, ..GenerationConfig::default() };
+        let set = generate_concepts(&abr_survey(), &embedder(), config);
+        assert!(set.len() <= 4);
+    }
+
+    #[test]
+    fn subsumed_phrases_are_not_duplicated() {
+        let set = generate_concepts(&ddos_survey(), &embedder(), GenerationConfig::default());
+        let names = set.names();
+        for (i, a) in names.iter().enumerate() {
+            for b in names.iter().skip(i + 1) {
+                let (al, bl) = (a.to_lowercase(), b.to_lowercase());
+                assert!(
+                    !al.contains(&bl) && !bl.contains(&al),
+                    "{a} subsumes {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_concepts(&abr_survey(), &embedder(), GenerationConfig::default());
+        let b = generate_concepts(&abr_survey(), &embedder(), GenerationConfig::default());
+        assert_eq!(a.names(), b.names());
+    }
+
+    #[test]
+    fn concepts_carry_evidence_sentences_as_text() {
+        let set = generate_concepts(&abr_survey(), &embedder(), GenerationConfig::default());
+        for c in &set.concepts {
+            assert!(c.text.len() > c.name.len(), "{} has no evidence text", c.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "survey corpus cannot be empty")]
+    fn empty_corpus_is_rejected() {
+        let _ = SurveyCorpus::new(vec![]);
+    }
+}

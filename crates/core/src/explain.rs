@@ -1,0 +1,435 @@
+//! Explanation generation (paper §3.5–3.6, Eq. 7–10).
+//!
+//! For an output class `i`, the per-(concept, class) contribution vector
+//! is the Hadamard product `W⟨i⟩ ∘ δ(h(x))` plus the spread bias term
+//! (Eq. 8). Contributions are softmax-normalized over the `C·k` entries
+//! and scaled by the surrogate's probability of the queried class
+//! (Eq. 9–10), so the per-concept weights are positive, sum to that
+//! probability, and rank the drivers of the decision.
+//!
+//! No LLM is involved here: explanations come solely from the trained
+//! surrogate.
+
+use crate::surrogate::AguaModel;
+use agua_nn::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// One concept's contribution to an explanation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConceptContribution {
+    /// Concept name.
+    pub concept: String,
+    /// Total weight of the concept (sum over its `k` similarity classes).
+    pub weight: f32,
+    /// Per-similarity-class breakdown (`k` entries, low→high). A large
+    /// low-class entry means the *absence* of the concept drives the
+    /// output (as in the paper's Fig. 4b, where absent "High Network
+    /// Throughput" pushes toward the medium bitrate).
+    pub per_class: Vec<f32>,
+}
+
+/// A concept-level explanation of one output class for one input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Explanation {
+    /// The output class being explained.
+    pub output_class: usize,
+    /// The surrogate's probability of that class.
+    pub output_prob: f32,
+    /// Whether this is the surrogate's chosen class (factual) or a
+    /// counterfactual query.
+    pub factual: bool,
+    /// Contributions sorted by descending weight.
+    pub contributions: Vec<ConceptContribution>,
+}
+
+impl Explanation {
+    /// The names of the top `n` concepts by weight.
+    pub fn top_concepts(&self, n: usize) -> Vec<String> {
+        self.contributions.iter().take(n).map(|c| c.concept.clone()).collect()
+    }
+
+    /// Renders the explanation as an ASCII bar chart (the paper's Fig. 4
+    /// in terminal form).
+    pub fn render(&self, bars: usize) -> String {
+        let mut out = format!(
+            "{} explanation for output class {} (p = {:.3})\n",
+            if self.factual { "Factual" } else { "Counterfactual" },
+            self.output_class,
+            self.output_prob
+        );
+        let max = self.contributions.first().map_or(1.0, |c| c.weight.max(1e-9));
+        for c in self.contributions.iter().take(bars) {
+            let width = ((c.weight / max) * 40.0).round() as usize;
+            out.push_str(&format!(
+                "  {:<44} {:>7.4} {}\n",
+                c.concept,
+                c.weight,
+                "#".repeat(width.max(1))
+            ));
+        }
+        out
+    }
+}
+
+/// A batch-averaged explanation (paper §3.6 "Batched Input
+/// Explanations"): concept contributions averaged over many inputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchedExplanation {
+    /// The output class being explained.
+    pub output_class: usize,
+    /// Mean surrogate probability of the class over the batch.
+    pub mean_output_prob: f32,
+    /// Number of inputs averaged.
+    pub batch_size: usize,
+    /// Mean contributions sorted by descending weight.
+    pub contributions: Vec<ConceptContribution>,
+}
+
+impl BatchedExplanation {
+    /// The names of the top `n` concepts by mean weight.
+    pub fn top_concepts(&self, n: usize) -> Vec<String> {
+        self.contributions.iter().take(n).map(|c| c.concept.clone()).collect()
+    }
+}
+
+/// Computes the Eq. 8–10 contribution vector for row `r` of
+/// `concept_probs` and output class `i`.
+fn contributions_for(
+    model: &AguaModel,
+    concept_probs: &Matrix,
+    row: usize,
+    class: usize,
+    class_prob: f32,
+) -> Vec<ConceptContribution> {
+    let c = model.concepts();
+    let k = model.k();
+    let w = model.output_mapping.weights(); // (C·k) × n
+    let bias = model.output_mapping.bias().get(0, class);
+    let spread_bias = bias / (c * k) as f32;
+
+    // z = W⟨i⟩ ∘ s + b_i/(C·k)   (Eq. 8, before the L1 norm)
+    let z: Vec<f32> = (0..c * k)
+        .map(|d| w.get(d, class) * concept_probs.get(row, d) + spread_bias)
+        .collect();
+
+    // σ(z) over all C·k entries, scaled by the class probability (Eq. 9–10).
+    let max = z.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = z.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+
+    let mut contributions: Vec<ConceptContribution> = (0..c)
+        .map(|g| {
+            let per_class: Vec<f32> = (0..k)
+                .map(|j| class_prob * exps[g * k + j] / sum)
+                .collect();
+            ConceptContribution {
+                concept: model.concept_names[g].clone(),
+                weight: per_class.iter().sum(),
+                per_class,
+            }
+        })
+        .collect();
+    contributions.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("finite weights"));
+    contributions
+}
+
+/// Factual explanation (Eq. 9): why the surrogate's chosen class was
+/// chosen for the single input whose embedding is `embedding` (1 × H).
+pub fn factual(model: &AguaModel, embedding: &Matrix) -> Explanation {
+    assert_eq!(embedding.rows(), 1, "single-input explanation expects one row");
+    let probs = model.predict_probs(embedding);
+    let class = probs.argmax_row(0);
+    explain_class(model, embedding, class, true)
+}
+
+/// Counterfactual explanation (§3.6): what would drive output `class`,
+/// whether or not the controller chose it.
+pub fn counterfactual(model: &AguaModel, embedding: &Matrix, class: usize) -> Explanation {
+    assert_eq!(embedding.rows(), 1, "single-input explanation expects one row");
+    explain_class(model, embedding, class, false)
+}
+
+fn explain_class(model: &AguaModel, embedding: &Matrix, class: usize, factual: bool) -> Explanation {
+    assert!(class < model.n_outputs(), "output class out of range");
+    let concept_probs = model.concept_probs(embedding);
+    let out_probs = model.predict_probs(embedding);
+    let p = out_probs.get(0, class);
+    // Factual weights sum to the class probability (Eq. 9). A
+    // counterfactual class typically has probability ≈ 0, which would
+    // make every bar invisible, so counterfactual weights are normalized
+    // to sum to 1 — the *relative* concept ranking is what the operator
+    // reads off Fig. 4b.
+    let scale = if factual { p } else { 1.0 };
+    Explanation {
+        output_class: class,
+        output_prob: p,
+        factual,
+        contributions: contributions_for(model, &concept_probs, 0, class, scale),
+    }
+}
+
+/// Batched explanation (§3.6): contributions averaged over a batch of
+/// embeddings, explaining `class` (commonly the majority predicted
+/// class of the batch).
+pub fn batched(model: &AguaModel, embeddings: &Matrix, class: usize) -> BatchedExplanation {
+    assert!(embeddings.rows() > 0, "empty batch");
+    assert!(class < model.n_outputs(), "output class out of range");
+    let concept_probs = model.concept_probs(embeddings);
+    let out_probs = model.predict_probs(embeddings);
+    let n = embeddings.rows();
+    let c = model.concepts();
+    let k = model.k();
+
+    let mut mean_weight = vec![0.0f32; c];
+    let mut mean_per_class = vec![vec![0.0f32; k]; c];
+    let mut mean_p = 0.0;
+    for r in 0..n {
+        let p = out_probs.get(r, class);
+        mean_p += p;
+        let contribs = contributions_for(model, &concept_probs, r, class, p);
+        for contrib in contribs {
+            let g = model
+                .concept_names
+                .iter()
+                .position(|name| *name == contrib.concept)
+                .expect("known concept");
+            mean_weight[g] += contrib.weight;
+            for j in 0..k {
+                mean_per_class[g][j] += contrib.per_class[j];
+            }
+        }
+    }
+    let inv = 1.0 / n as f32;
+    let mut contributions: Vec<ConceptContribution> = (0..c)
+        .map(|g| ConceptContribution {
+            concept: model.concept_names[g].clone(),
+            weight: mean_weight[g] * inv,
+            per_class: mean_per_class[g].iter().map(|v| v * inv).collect(),
+        })
+        .collect();
+    contributions.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("finite weights"));
+
+    BatchedExplanation {
+        output_class: class,
+        mean_output_prob: mean_p * inv,
+        batch_size: n,
+        contributions,
+    }
+}
+
+/// Mean expected concept intensity over a batch of embeddings: for each
+/// concept, `Σ_j (j/(k−1)) · p(class j)`, averaged over the batch — a
+/// scalar in [0, 1] per concept describing how strongly the *inputs*
+/// exhibit it, independent of any output class. This is the input-level
+/// view used for trace tagging in the drift experiments (paper §5.2.1
+/// aggregates "the dominant concepts of the inputs").
+pub fn concept_intensities(model: &AguaModel, embeddings: &Matrix) -> Vec<f32> {
+    assert!(embeddings.rows() > 0, "empty batch");
+    let probs = model.concept_probs(embeddings);
+    let c = model.concepts();
+    let k = model.k();
+    let mut out = vec![0.0f32; c];
+    for r in 0..embeddings.rows() {
+        for g in 0..c {
+            for j in 0..k {
+                out[g] += (j as f32 / (k - 1).max(1) as f32) * probs.get(r, g * k + j);
+            }
+        }
+    }
+    for v in &mut out {
+        *v /= embeddings.rows() as f32;
+    }
+    out
+}
+
+/// Names of the `n` concepts with the highest mean intensity in a batch.
+pub fn top_input_concepts(model: &AguaModel, embeddings: &Matrix, n: usize) -> Vec<String> {
+    let intensities = concept_intensities(model, embeddings);
+    let mut order: Vec<usize> = (0..intensities.len()).collect();
+    order.sort_by(|&a, &b| {
+        intensities[b]
+            .partial_cmp(&intensities[a])
+            .expect("finite intensities")
+    });
+    order
+        .into_iter()
+        .take(n)
+        .map(|i| model.concept_names[i].clone())
+        .collect()
+}
+
+/// The majority predicted class of a batch — the natural class to pass to
+/// [`batched`].
+pub fn majority_class(model: &AguaModel, embeddings: &Matrix) -> usize {
+    let preds = model.predict(embeddings);
+    let mut counts = vec![0usize; model.n_outputs()];
+    for p in preds {
+        counts[p] += 1;
+    }
+    let mut best = 0;
+    for (i, &v) in counts.iter().enumerate().skip(1) {
+        if v > counts[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concepts::{Concept, ConceptSet};
+    use crate::surrogate::{SurrogateDataset, TrainParams};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// A controller whose output is 1 exactly when concept "Trigger" is
+    /// high; concept "Decoy" is uncorrelated noise.
+    fn trained_model() -> (AguaModel, Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        let mut outputs = Vec::new();
+        for _ in 0..600 {
+            let trigger: f32 = rng.random_range(0.0..1.0);
+            let decoy: f32 = rng.random_range(0.0..1.0);
+            rows.push(vec![trigger, decoy, rng.random_range(-0.05..0.05)]);
+            let q = |v: f32| if v <= 0.33 { 0 } else if v <= 0.66 { 1 } else { 2 };
+            labels.push(vec![q(trigger), q(decoy)]);
+            outputs.push(usize::from(trigger > 0.6));
+        }
+        let concepts = ConceptSet::new(vec![
+            Concept::new("Trigger", "trigger concept"),
+            Concept::new("Decoy", "decoy concept"),
+        ]);
+        let embeddings = Matrix::from_rows(&rows);
+        let ds = SurrogateDataset {
+            embeddings: embeddings.clone(),
+            concept_labels: labels,
+            outputs: outputs.clone(),
+        };
+        let model = AguaModel::fit(&concepts, 3, 2, &ds, &TrainParams::fast());
+        (model, embeddings, outputs)
+    }
+
+    #[test]
+    fn factual_explanation_ranks_the_causal_concept_first() {
+        let (model, _, _) = trained_model();
+        // A clearly-triggered input.
+        let x = Matrix::row_vector(&[0.95, 0.5, 0.0]);
+        let e = factual(&model, &x);
+        assert_eq!(e.output_class, 1, "high trigger must predict class 1");
+        assert_eq!(e.contributions[0].concept, "Trigger");
+        assert!(e.factual);
+    }
+
+    #[test]
+    fn contributions_sum_to_the_class_probability() {
+        let (model, _, _) = trained_model();
+        let x = Matrix::row_vector(&[0.9, 0.2, 0.0]);
+        let e = factual(&model, &x);
+        let total: f32 = e.contributions.iter().map(|c| c.weight).sum();
+        assert!((total - e.output_prob).abs() < 1e-4, "{total} vs {}", e.output_prob);
+    }
+
+    #[test]
+    fn per_class_breakdown_sums_to_concept_weight() {
+        let (model, _, _) = trained_model();
+        let x = Matrix::row_vector(&[0.5, 0.5, 0.0]);
+        let e = factual(&model, &x);
+        for c in &e.contributions {
+            let s: f32 = c.per_class.iter().sum();
+            assert!((s - c.weight).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn counterfactual_targets_the_requested_class() {
+        let (model, _, _) = trained_model();
+        let x = Matrix::row_vector(&[0.9, 0.5, 0.0]);
+        let e = counterfactual(&model, &x, 0);
+        assert_eq!(e.output_class, 0);
+        assert!(!e.factual);
+        assert!(e.output_prob < 0.5, "class 0 is not chosen here");
+        // For class 0 the *low* trigger class must matter: the dominant
+        // per-class entry of Trigger should not be the high class.
+        let trigger = e
+            .contributions
+            .iter()
+            .find(|c| c.concept == "Trigger")
+            .expect("trigger present");
+        let best_class = trigger
+            .per_class
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_ne!(best_class, 2, "absence should drive the counterfactual");
+    }
+
+    #[test]
+    fn batched_explanation_averages_over_inputs() {
+        let (model, embeddings, _) = trained_model();
+        let class = majority_class(&model, &embeddings);
+        let b = batched(&model, &embeddings, class);
+        assert_eq!(b.batch_size, embeddings.rows());
+        let total: f32 = b.contributions.iter().map(|c| c.weight).sum();
+        assert!((total - b.mean_output_prob).abs() < 1e-3);
+    }
+
+    #[test]
+    fn single_and_batched_agree_on_a_singleton_batch() {
+        let (model, _, _) = trained_model();
+        let x = Matrix::row_vector(&[0.8, 0.3, 0.0]);
+        let f = factual(&model, &x);
+        let b = batched(&model, &x, f.output_class);
+        assert_eq!(b.contributions[0].concept, f.contributions[0].concept);
+        assert!((b.contributions[0].weight - f.contributions[0].weight).abs() < 1e-5);
+    }
+
+    #[test]
+    fn render_produces_bars_for_top_concepts() {
+        let (model, _, _) = trained_model();
+        let x = Matrix::row_vector(&[0.9, 0.1, 0.0]);
+        let text = factual(&model, &x).render(2);
+        assert!(text.contains("Factual explanation"));
+        assert!(text.contains('#'));
+        assert!(text.contains("Trigger"));
+    }
+
+    #[test]
+    #[should_panic(expected = "output class out of range")]
+    fn counterfactual_validates_class() {
+        let (model, _, _) = trained_model();
+        let x = Matrix::row_vector(&[0.5, 0.5, 0.0]);
+        let _ = counterfactual(&model, &x, 9);
+    }
+
+    #[test]
+    fn concept_intensities_are_bounded_and_track_inputs() {
+        let (model, _, _) = trained_model();
+        // High-trigger inputs must show a higher Trigger intensity than
+        // low-trigger inputs.
+        let high = Matrix::from_rows(&vec![vec![0.95, 0.5, 0.0]; 5]);
+        let low = Matrix::from_rows(&vec![vec![0.05, 0.5, 0.0]; 5]);
+        let hi = concept_intensities(&model, &high);
+        let li = concept_intensities(&model, &low);
+        assert!(hi.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(li.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Concept 0 is "Trigger".
+        assert!(
+            hi[0] > li[0] + 0.3,
+            "trigger intensity must follow the input: {hi:?} vs {li:?}"
+        );
+    }
+
+    #[test]
+    fn top_input_concepts_rank_by_intensity() {
+        let (model, _, _) = trained_model();
+        let high = Matrix::from_rows(&vec![vec![0.95, 0.1, 0.0]; 4]);
+        let top = top_input_concepts(&model, &high, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0], "Trigger", "top concepts: {top:?}");
+    }
+}

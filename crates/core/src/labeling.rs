@@ -1,0 +1,398 @@
+//! Training-data preparation (paper §3.3, Fig. 2 stages ②③).
+//!
+//! Each controller input is converted to a structured text description,
+//! the description and every base concept are embedded, cosine
+//! similarities are computed (Eq. 2), and the similarity scores are
+//! quantized with ψ_k into `k` classes — low / medium / high by default.
+//!
+//! One calibration detail: the paper's OpenAI-scale embeddings put
+//! description-to-concept cosines in [0, 1] with the quantization bins
+//! [0, .2], [.2, .6], [.6, 1]. Our lexical embedder produces the same
+//! *ordering* but a compressed scale (a long description shares only part
+//! of its mass with any one concept), so similarities are normalized per
+//! input by the maximum concept similarity before the paper's bins are
+//! applied. Rank information — which is all ψ_k consumes — is preserved.
+
+use crate::concepts::ConceptSet;
+use agua_text::describer::{DescribedSection, Describer};
+use agua_text::embedding::{cosine_similarity, Embedder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// How raw cosine scores are rescaled before quantization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimilarityNormalization {
+    /// Use raw cosine values (appropriate for embedders whose scale
+    /// matches the paper's bins).
+    None,
+    /// Divide each input's concept-similarity vector by its maximum.
+    PerInputMax,
+}
+
+/// The quantization function ψ_k (paper Eq. 2).
+///
+/// ```
+/// use agua::labeling::Quantizer;
+///
+/// let q = Quantizer::paper(); // bins [0,.2], [.2,.6], [.6,1]
+/// assert_eq!(q.quantize(0.1), 0); // low
+/// assert_eq!(q.quantize(0.4), 1); // medium
+/// assert_eq!(q.quantize(0.9), 2); // high
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Quantizer {
+    /// Ascending inner bin boundaries; `k = boundaries.len() + 1`.
+    pub boundaries: Vec<f32>,
+}
+
+impl Quantizer {
+    /// The paper's ψ_3: bins [0,.2], [.2,.6], [.6,1] for low/medium/high.
+    pub fn paper() -> Self {
+        Self { boundaries: vec![0.2, 0.6] }
+    }
+
+    /// ψ_3 re-calibrated for the hashed lexical embedder: after per-input
+    /// max normalization its similarity mass concentrates near the top, so
+    /// boundaries of 0.55/0.8 recover the balanced low/medium/high split
+    /// the paper's bins produce on OpenAI-scale embeddings.
+    pub fn calibrated() -> Self {
+        Self { boundaries: vec![0.55, 0.8] }
+    }
+
+    /// A boolean present/absent quantizer (k = 2), used by the
+    /// quantization ablation.
+    pub fn boolean(threshold: f32) -> Self {
+        Self { boundaries: vec![threshold] }
+    }
+
+    /// Builds boundaries from explicit values.
+    ///
+    /// # Panics
+    /// Panics if boundaries are empty or not strictly ascending.
+    pub fn new(boundaries: Vec<f32>) -> Self {
+        assert!(!boundaries.is_empty(), "quantizer needs at least one boundary");
+        assert!(
+            boundaries.windows(2).all(|w| w[0] < w[1]),
+            "boundaries must be strictly ascending"
+        );
+        Self { boundaries }
+    }
+
+    /// Number of classes `k`.
+    pub fn classes(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    /// Quantizes a similarity score into a class index in `0..k`.
+    pub fn quantize(&self, score: f32) -> usize {
+        self.boundaries.iter().filter(|&&b| score > b).count()
+    }
+
+    /// Class names for the default 3-level quantizer.
+    pub fn class_name(&self, class: usize) -> &'static str {
+        match (self.classes(), class) {
+            (3, 0) => "low",
+            (3, 1) => "medium",
+            (3, 2) => "high",
+            (2, 0) => "absent",
+            (2, 1) => "present",
+            _ => "class",
+        }
+    }
+}
+
+/// The end-to-end labelling pipeline: describe → embed → cosine →
+/// quantize.
+#[derive(Debug, Clone)]
+pub struct ConceptLabeler {
+    describer: Describer,
+    embedder: Embedder,
+    quantizer: Quantizer,
+    normalization: SimilarityNormalization,
+    concept_names: Vec<String>,
+    concept_embeddings: Vec<Vec<f32>>,
+}
+
+impl ConceptLabeler {
+    /// Builds a labeler for a concept set.
+    pub fn new(
+        concepts: &ConceptSet,
+        describer: Describer,
+        embedder: Embedder,
+        quantizer: Quantizer,
+    ) -> Self {
+        let concept_embeddings = concepts.embed(&embedder);
+        Self {
+            describer,
+            embedder,
+            quantizer,
+            normalization: SimilarityNormalization::PerInputMax,
+            concept_names: concepts.names(),
+            concept_embeddings,
+        }
+    }
+
+    /// Overrides the similarity normalization mode.
+    pub fn with_normalization(mut self, normalization: SimilarityNormalization) -> Self {
+        self.normalization = normalization;
+        self
+    }
+
+    /// Number of concepts.
+    pub fn concepts(&self) -> usize {
+        self.concept_names.len()
+    }
+
+    /// The quantizer in use.
+    pub fn quantizer(&self) -> &Quantizer {
+        &self.quantizer
+    }
+
+    /// Concept names in order.
+    pub fn concept_names(&self) -> &[String] {
+        &self.concept_names
+    }
+
+    /// Generates the structured text description of an input (stage ②).
+    pub fn describe(&self, sections: &[DescribedSection], seed: u64) -> String {
+        self.describer.describe_seeded(sections, seed)
+    }
+
+    /// Raw concept similarities of a description (stage ③, before ψ_k).
+    pub fn similarities(&self, description: &str) -> Vec<f32> {
+        let emb = self.embedder.embed(description);
+        let mut sims: Vec<f32> = self
+            .concept_embeddings
+            .iter()
+            .map(|c| cosine_similarity(&emb, c))
+            .collect();
+        if self.normalization == SimilarityNormalization::PerInputMax {
+            let max = sims.iter().cloned().fold(0.0f32, f32::max);
+            if max > 0.0 {
+                for s in &mut sims {
+                    *s /= max;
+                }
+            }
+        }
+        sims
+    }
+
+    /// Quantized similarity classes `S_C` for a description.
+    pub fn label_description(&self, description: &str) -> Vec<usize> {
+        self.similarities(description)
+            .into_iter()
+            .map(|s| self.quantizer.quantize(s))
+            .collect()
+    }
+
+    /// Full pipeline for one input: describe, embed, quantize.
+    pub fn label(&self, sections: &[DescribedSection], seed: u64) -> Vec<usize> {
+        let description = self.describe(sections, seed);
+        self.label_description(&description)
+    }
+
+    /// Labels a batch of inputs, deriving one description seed per input
+    /// from `seed`.
+    pub fn label_batch(&self, inputs: &[Vec<DescribedSection>], seed: u64) -> Vec<Vec<usize>> {
+        let seeds = Self::derive_seeds(inputs.len(), seed);
+        inputs
+            .iter()
+            .zip(&seeds)
+            .map(|(sections, &s)| self.label(sections, s))
+            .collect()
+    }
+
+    /// [`ConceptLabeler::label_batch`] across `threads` scoped worker
+    /// threads. Produces byte-identical labels to the sequential version
+    /// (the per-input seeds are derived the same way); useful when
+    /// labelling the multi-thousand-sample rollouts of the experiments.
+    pub fn label_batch_parallel(
+        &self,
+        inputs: &[Vec<DescribedSection>],
+        seed: u64,
+        threads: usize,
+    ) -> Vec<Vec<usize>> {
+        assert!(threads >= 1, "need at least one worker thread");
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let seeds = Self::derive_seeds(inputs.len(), seed);
+        let chunk = inputs.len().div_ceil(threads);
+        let mut out: Vec<Vec<Vec<usize>>> = Vec::new();
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = inputs
+                .chunks(chunk)
+                .zip(seeds.chunks(chunk))
+                .map(|(input_chunk, seed_chunk)| {
+                    scope.spawn(move |_| {
+                        input_chunk
+                            .iter()
+                            .zip(seed_chunk)
+                            .map(|(sections, &s)| self.label(sections, s))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            out = handles
+                .into_iter()
+                .map(|h| h.join().expect("labelling worker panicked"))
+                .collect();
+        })
+        .expect("crossbeam scope");
+        out.into_iter().flatten().collect()
+    }
+
+    /// Derives the deterministic per-input description seeds shared by
+    /// the sequential and parallel batch paths.
+    fn derive_seeds(count: usize, seed: u64) -> Vec<u64> {
+        use rand::RngExt;
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count).map(|_| rng.random_range(0..u64::MAX)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concepts::cc_concepts;
+    use agua_text::describer::DescriberConfig;
+    use agua_text::stats::SignalSeries;
+
+    fn labeler() -> ConceptLabeler {
+        ConceptLabeler::new(
+            &cc_concepts(),
+            Describer::new(DescriberConfig::noiseless()),
+            Embedder::new(512),
+            Quantizer::paper(),
+        )
+    }
+
+    fn latency_spike_sections() -> Vec<DescribedSection> {
+        vec![
+            DescribedSection::new(
+                "Latency behavior",
+                vec![SignalSeries::new(
+                    "Network Latency",
+                    "ms",
+                    vec![40.0, 41.0, 40.0, 42.0, 55.0, 80.0, 120.0, 170.0, 230.0, 300.0],
+                    400.0,
+                )],
+            ),
+            DescribedSection::new(
+                "Loss behavior",
+                vec![SignalSeries::new(
+                    "Packet Loss Rate",
+                    "fraction",
+                    vec![0.0; 10],
+                    1.0,
+                )],
+            ),
+        ]
+    }
+
+    #[test]
+    fn paper_quantizer_has_three_classes_with_documented_bins() {
+        let q = Quantizer::paper();
+        assert_eq!(q.classes(), 3);
+        assert_eq!(q.quantize(0.1), 0);
+        assert_eq!(q.quantize(0.2), 0);
+        assert_eq!(q.quantize(0.4), 1);
+        assert_eq!(q.quantize(0.61), 2);
+        assert_eq!(q.quantize(1.0), 2);
+        assert_eq!(q.class_name(0), "low");
+        assert_eq!(q.class_name(2), "high");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn quantizer_rejects_unsorted_boundaries() {
+        let _ = Quantizer::new(vec![0.6, 0.2]);
+    }
+
+    #[test]
+    fn pure_latency_ramp_ranks_rapidly_increasing_latency_top() {
+        let l = labeler();
+        let ramp: Vec<f32> = (0..10).map(|i| 40.0 + 30.0 * i as f32).collect();
+        let sections = vec![DescribedSection::new(
+            "Latency behavior",
+            vec![SignalSeries::new("Network Latency", "ms", ramp, 400.0)],
+        )];
+        let description = l.describe(&sections, 7);
+        let sims = l.similarities(&description);
+        let names = l.concept_names();
+        let top = names[sims
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0]
+            .clone();
+        assert_eq!(top, "Rapidly Increasing Latency", "sims: {sims:?}");
+    }
+
+    #[test]
+    fn late_latency_spike_with_flat_loss_ranks_spike_in_top_three() {
+        // The flat loss series legitimately evokes "Stable Network
+        // Conditions"; the spike concept must still surface near the top.
+        let l = labeler();
+        let description = l.describe(&latency_spike_sections(), 7);
+        let sims = l.similarities(&description);
+        let names = l.concept_names();
+        let mut order: Vec<usize> = (0..sims.len()).collect();
+        order.sort_by(|&a, &b| sims[b].partial_cmp(&sims[a]).unwrap());
+        let top3: Vec<&str> = order[..3].iter().map(|&i| names[i].as_str()).collect();
+        assert!(
+            top3.contains(&"Rapidly Increasing Latency"),
+            "top3 {top3:?}, sims {sims:?}"
+        );
+        assert!(top3.contains(&"Stable Network Conditions"), "top3 {top3:?}");
+    }
+
+    #[test]
+    fn labels_spread_across_classes() {
+        let l = labeler();
+        let labels = l.label(&latency_spike_sections(), 7);
+        assert_eq!(labels.len(), 8);
+        assert!(labels.iter().any(|&c| c == 2), "some concept must be high");
+        assert!(labels.iter().any(|&c| c < 2), "not every concept can be high");
+    }
+
+    #[test]
+    fn per_input_max_normalization_tops_at_one() {
+        let l = labeler();
+        let description = l.describe(&latency_spike_sections(), 3);
+        let sims = l.similarities(&description);
+        let max = sims.iter().cloned().fold(0.0f32, f32::max);
+        assert!((max - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn parallel_labelling_matches_sequential() {
+        let l = labeler();
+        let inputs: Vec<_> = (0..7).map(|_| latency_spike_sections()).collect();
+        let sequential = l.label_batch(&inputs, 5);
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(l.label_batch_parallel(&inputs, 5, threads), sequential);
+        }
+        assert!(l.label_batch_parallel(&[], 5, 2).is_empty());
+    }
+
+    #[test]
+    fn label_batch_is_deterministic_per_seed() {
+        let l = labeler();
+        let inputs = vec![latency_spike_sections(), latency_spike_sections()];
+        let a = l.label_batch(&inputs, 11);
+        let b = l.label_batch(&inputs, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noiseless_descriptions_yield_identical_labels_across_seeds() {
+        let l = labeler();
+        assert_eq!(
+            l.label(&latency_spike_sections(), 1),
+            l.label(&latency_spike_sections(), 2)
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! # agua — a concept-based explainer for learning-enabled systems
+//!
+//! Rust implementation of **Agua** (SIGCOMM '25): a surrogate explainer
+//! that expresses an opaque controller's decisions as a linear
+//! combination of *high-level, human-understandable concepts* ("volatile
+//! network conditions", "rapidly depleting buffer") instead of raw input
+//! features.
+//!
+//! ## Architecture (paper §3)
+//!
+//! Agua builds a two-stage surrogate of the controller `f`:
+//!
+//! ```text
+//!          controller embedding        concept space           output space
+//! x ──h()──►  h(x) ∈ R^H  ──δ()──►  s ∈ R^(C·k)  ──Ω()──►  y ∈ R^n
+//!                           concept mapping        output mapping (linear)
+//! ```
+//!
+//! * [`concepts`] — base concepts (paper Table 1), inter-concept
+//!   similarity filtering (§3.2);
+//! * [`labeling`] — the LLM + embedding labelling pipeline (§3.3):
+//!   descriptions → embeddings → cosine similarity → quantized classes;
+//! * [`surrogate`] — the concept mapping function δ (2-layer MLP with
+//!   LayerNorm, Eq. 3–4), the linear output mapping Ω with ElasticNet
+//!   (Eq. 5–6), and the fidelity metric (Eq. 11);
+//! * [`explain`] — factual, counterfactual, single-input, and batched
+//!   explanations (§3.5–3.6, Eq. 7–10);
+//! * [`lifecycle`] — the four deployment use cases (§5.2): concept-level
+//!   distribution-shift detection, concept-driven retraining selection,
+//!   debugging support, and concept-guided dataset expansion;
+//! * [`robustness`] — the §5.3 recall-based robustness metrics.
+//!
+//! The crate is controller-agnostic: it consumes embedding matrices and
+//! output labels, never the controllers themselves, so any model exposing
+//! fixed-dimensional embeddings can be explained.
+
+pub mod concepts;
+pub mod congen;
+pub mod explain;
+pub mod labeling;
+pub mod lifecycle;
+pub mod report;
+pub mod robustness;
+pub mod surrogate;
+
+pub use concepts::{Concept, ConceptSet};
+pub use explain::{BatchedExplanation, Explanation};
+pub use labeling::{ConceptLabeler, Quantizer};
+pub use report::AguaReport;
+pub use surrogate::{AguaModel, SurrogateDataset, TrainParams};

@@ -1,0 +1,188 @@
+//! Concept-based distribution-shift detection (paper §5.2.1, Fig. 5).
+//!
+//! Each trace (or any batch of inputs) is tagged with its top-N concepts
+//! via a batched explanation; tag proportions are compared across two
+//! datasets, turning an opaque "the throughput CDF moved" observation
+//! into "volatile network throughput and rapidly depleting buffers
+//! increased, stable buffers decreased".
+
+use crate::explain::top_input_concepts;
+use crate::surrogate::AguaModel;
+use agua_nn::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Tags each batch (one `Matrix` of embeddings per trace) with the names
+/// of its `top_n` most *intense* concepts — the input-level dominance the
+/// paper aggregates per trace ("we tag the traces with the top three
+/// identified concepts").
+pub fn tag_batches(model: &AguaModel, batches: &[Matrix], top_n: usize) -> Vec<Vec<String>> {
+    batches
+        .iter()
+        .map(|embeddings| top_input_concepts(model, embeddings, top_n))
+        .collect()
+}
+
+/// Tags two datasets of traces with their top `top_n` concepts by
+/// *relative* intensity: per-concept intensities are z-scored across the
+/// union of both datasets, so a trace's tags name the concepts that are
+/// unusually strong for it rather than the concepts that are strong
+/// everywhere. This is the discriminative tagging the Fig. 5 comparison
+/// needs — globally-dominant concepts cancel out of the z-score and the
+/// era-specific conditions surface.
+pub fn tag_datasets(
+    model: &AguaModel,
+    old_batches: &[Matrix],
+    new_batches: &[Matrix],
+    top_n: usize,
+) -> (Vec<Vec<String>>, Vec<Vec<String>>) {
+    let old_int: Vec<Vec<f32>> = old_batches
+        .iter()
+        .map(|b| crate::explain::concept_intensities(model, b))
+        .collect();
+    let new_int: Vec<Vec<f32>> = new_batches
+        .iter()
+        .map(|b| crate::explain::concept_intensities(model, b))
+        .collect();
+
+    let c = model.concepts();
+    let all: Vec<&Vec<f32>> = old_int.iter().chain(new_int.iter()).collect();
+    let n = all.len().max(1) as f32;
+    let mut mean = vec![0.0f32; c];
+    for row in &all {
+        for (m, &v) in mean.iter_mut().zip(row.iter()) {
+            *m += v / n;
+        }
+    }
+    let mut std = vec![0.0f32; c];
+    for row in &all {
+        for i in 0..c {
+            std[i] += (row[i] - mean[i]) * (row[i] - mean[i]) / n;
+        }
+    }
+    for s in &mut std {
+        *s = s.sqrt().max(1e-6);
+    }
+
+    let tag = |rows: &[Vec<f32>]| -> Vec<Vec<String>> {
+        rows.iter()
+            .map(|row| {
+                let z: Vec<f32> =
+                    row.iter().enumerate().map(|(i, &v)| (v - mean[i]) / std[i]).collect();
+                let mut order: Vec<usize> = (0..c).collect();
+                order.sort_by(|&a, &b| z[b].partial_cmp(&z[a]).expect("finite z"));
+                order
+                    .into_iter()
+                    .take(top_n)
+                    .map(|i| model.concept_names[i].clone())
+                    .collect()
+            })
+            .collect()
+    };
+    (tag(&old_int), tag(&new_int))
+}
+
+/// Normalized proportion of tags naming each concept, over a tagged
+/// dataset. Proportions sum to 1 across concepts (when any tags exist).
+pub fn concept_proportions(tags: &[Vec<String>], concept_names: &[String]) -> Vec<f32> {
+    let mut counts = vec![0usize; concept_names.len()];
+    let mut total = 0usize;
+    for trace_tags in tags {
+        for tag in trace_tags {
+            if let Some(i) = concept_names.iter().position(|n| n == tag) {
+                counts[i] += 1;
+                total += 1;
+            }
+        }
+    }
+    counts
+        .iter()
+        .map(|&c| c as f32 / total.max(1) as f32)
+        .collect()
+}
+
+/// One concept's proportion change between datasets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConceptShift {
+    /// Concept name.
+    pub concept: String,
+    /// Proportion in the old (training) dataset.
+    pub old: f32,
+    /// Proportion in the new (deployment) dataset.
+    pub new: f32,
+    /// `new − old`.
+    pub delta: f32,
+}
+
+/// Compares concept proportions between two datasets; returns shifts
+/// sorted by descending delta (biggest increases first).
+pub fn detect_shift(
+    old_props: &[f32],
+    new_props: &[f32],
+    concept_names: &[String],
+) -> Vec<ConceptShift> {
+    assert_eq!(old_props.len(), concept_names.len(), "one proportion per concept");
+    assert_eq!(new_props.len(), concept_names.len(), "one proportion per concept");
+    let mut shifts: Vec<ConceptShift> = concept_names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| ConceptShift {
+            concept: name.clone(),
+            old: old_props[i],
+            new: new_props[i],
+            delta: new_props[i] - old_props[i],
+        })
+        .collect();
+    shifts.sort_by(|a, b| b.delta.partial_cmp(&a.delta).expect("finite deltas"));
+    shifts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names() -> Vec<String> {
+        vec!["A".into(), "B".into(), "C".into()]
+    }
+
+    #[test]
+    fn proportions_count_tags_and_normalize() {
+        let tags = vec![
+            vec!["A".to_string(), "B".to_string()],
+            vec!["A".to_string(), "C".to_string()],
+        ];
+        let p = concept_proportions(&tags, &names());
+        assert!((p[0] - 0.5).abs() < 1e-6);
+        assert!((p[1] - 0.25).abs() < 1e-6);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unknown_tags_are_ignored() {
+        let tags = vec![vec!["A".to_string(), "Zebra".to_string()]];
+        let p = concept_proportions(&tags, &names());
+        assert_eq!(p[0], 1.0);
+    }
+
+    #[test]
+    fn empty_tags_give_zero_proportions() {
+        let p = concept_proportions(&[], &names());
+        assert!(p.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn shifts_are_sorted_by_delta_descending() {
+        let old = vec![0.5, 0.3, 0.2];
+        let new = vec![0.2, 0.3, 0.5];
+        let shifts = detect_shift(&old, &new, &names());
+        assert_eq!(shifts[0].concept, "C");
+        assert!((shifts[0].delta - 0.3).abs() < 1e-6);
+        assert_eq!(shifts[2].concept, "A");
+        assert!(shifts[2].delta < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one proportion per concept")]
+    fn shift_detection_validates_lengths() {
+        let _ = detect_shift(&[0.5], &[0.5, 0.5], &names());
+    }
+}

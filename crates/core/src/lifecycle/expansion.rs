@@ -1,0 +1,270 @@
+//! Concept-guided dataset expansion (paper §5.2.4, Fig. 11).
+//!
+//! A [`ConceptStore`] holds description embeddings of a large general
+//! dataset. Given a few samples of a target workload, the store returns
+//! the most cosine-similar stored samples, assembling an expanded dataset
+//! whose *cluster distribution* (k-means over the same embedding space)
+//! matches the target workload's — validated with the Kolmogorov–Smirnov
+//! statistic over the cluster-index CDFs.
+
+use agua_text::embedding::cosine_similarity;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// k-means over embedding vectors. Returns `(centroids, assignments)`.
+///
+/// Lloyd's algorithm with deterministic farthest-point-ish seeding: the
+/// first centroid is the first sample, each subsequent centroid is the
+/// sample farthest from all chosen so far.
+pub fn kmeans(points: &[Vec<f32>], k: usize, iters: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+    assert!(!points.is_empty(), "kmeans needs data");
+    assert!(k >= 1 && k <= points.len(), "k out of range");
+    let dim = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dim), "ragged points");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Farthest-point seeding from a random start.
+    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let (far_idx, _) = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let nearest = centroids
+                    .iter()
+                    .map(|c| sq_dist(p, c))
+                    .fold(f32::MAX, f32::min);
+                (i, nearest)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+            .expect("non-empty points");
+        centroids.push(points[far_idx].clone());
+    }
+
+    let mut assignments = vec![0usize; points.len()];
+    for _ in 0..iters {
+        // Assign.
+        for (i, p) in points.iter().enumerate() {
+            assignments[i] = centroids
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    sq_dist(p, a.1).partial_cmp(&sq_dist(p, b.1)).expect("finite")
+                })
+                .map(|(c, _)| c)
+                .expect("at least one centroid");
+        }
+        // Update.
+        let mut sums = vec![vec![0.0f32; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            let c = assignments[i];
+            counts[c] += 1;
+            for (s, &v) in sums[c].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in &mut sums[c] {
+                    *s /= counts[c] as f32;
+                }
+                centroids[c] = sums[c].clone();
+            }
+        }
+    }
+    (centroids, assignments)
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Assigns a point to its nearest centroid.
+pub fn assign_cluster(point: &[f32], centroids: &[Vec<f32>]) -> usize {
+    centroids
+        .iter()
+        .enumerate()
+        .min_by(|a, b| sq_dist(point, a.1).partial_cmp(&sq_dist(point, b.1)).expect("finite"))
+        .map(|(c, _)| c)
+        .expect("at least one centroid")
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic over discrete cluster indices:
+/// the supremum distance between the empirical CDFs of `a` and `b` over
+/// clusters `0..k`.
+pub fn ks_statistic(a: &[usize], b: &[usize], k: usize) -> f32 {
+    assert!(!a.is_empty() && !b.is_empty(), "KS test needs non-empty samples");
+    let cdf = |xs: &[usize]| -> Vec<f32> {
+        let mut counts = vec![0usize; k];
+        for &x in xs {
+            assert!(x < k, "cluster index out of range");
+            counts[x] += 1;
+        }
+        let mut acc = 0.0;
+        counts
+            .iter()
+            .map(|&c| {
+                acc += c as f32 / xs.len() as f32;
+                acc
+            })
+            .collect()
+    };
+    let ca = cdf(a);
+    let cb = cdf(b);
+    ca.iter()
+        .zip(&cb)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+/// A concept-space store of description embeddings supporting
+/// nearest-neighbour expansion queries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConceptStore {
+    embeddings: Vec<Vec<f32>>,
+}
+
+impl ConceptStore {
+    /// Builds a store from description embeddings.
+    pub fn new(embeddings: Vec<Vec<f32>>) -> Self {
+        assert!(!embeddings.is_empty(), "store cannot be empty");
+        Self { embeddings }
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        self.embeddings.len()
+    }
+
+    /// True if the store is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.embeddings.is_empty()
+    }
+
+    /// The stored embedding at `idx`.
+    pub fn embedding(&self, idx: usize) -> &[f32] {
+        &self.embeddings[idx]
+    }
+
+    /// Indices of the `top_n` stored samples most cosine-similar to
+    /// `query`.
+    pub fn query(&self, query: &[f32], top_n: usize) -> Vec<usize> {
+        self.query_scored(query, top_n).into_iter().map(|(i, _)| i).collect()
+    }
+
+    /// Like [`ConceptStore::query`] but returning `(index, similarity)`
+    /// pairs, best first.
+    pub fn query_scored(&self, query: &[f32], top_n: usize) -> Vec<(usize, f32)> {
+        let mut scored: Vec<(usize, f32)> = self
+            .embeddings
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, cosine_similarity(query, e)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite similarity"));
+        scored.truncate(top_n);
+        scored
+    }
+
+    /// Expands a set of query samples into a larger dataset: the union of
+    /// each query's `per_query` nearest stored samples (deduplicated,
+    /// order of first retrieval preserved).
+    pub fn expand(&self, queries: &[Vec<f32>], per_query: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = Vec::new();
+        for q in queries {
+            for idx in self.query(q, per_query) {
+                if !out.contains(&idx) {
+                    out.push(idx);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs in 2-D.
+    fn blobs() -> Vec<Vec<f32>> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            let j = i as f32 * 0.01;
+            pts.push(vec![0.0 + j, 0.0]);
+            pts.push(vec![10.0 + j, 0.0]);
+            pts.push(vec![0.0 + j, 10.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn kmeans_recovers_separated_blobs() {
+        let pts = blobs();
+        let (centroids, assignments) = kmeans(&pts, 3, 20, 1);
+        assert_eq!(centroids.len(), 3);
+        // All points of one blob share an assignment.
+        let first_blob: Vec<usize> = (0..60).step_by(3).map(|i| assignments[i]).collect();
+        assert!(first_blob.iter().all(|&c| c == first_blob[0]));
+        // Different blobs get different clusters.
+        assert_ne!(assignments[0], assignments[1]);
+        assert_ne!(assignments[0], assignments[2]);
+    }
+
+    #[test]
+    fn kmeans_is_deterministic_per_seed() {
+        let pts = blobs();
+        let (_, a) = kmeans(&pts, 3, 10, 5);
+        let (_, b) = kmeans(&pts, 3, 10, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ks_statistic_is_zero_for_identical_distributions() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert_eq!(ks_statistic(&a, &a, 3), 0.0);
+    }
+
+    #[test]
+    fn ks_statistic_is_one_for_disjoint_distributions() {
+        let a = vec![0; 10];
+        let b = vec![2; 10];
+        assert!((ks_statistic(&a, &b, 3) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ks_statistic_detects_partial_shift() {
+        let a = vec![0, 0, 0, 1, 1, 2];
+        let b = vec![0, 1, 1, 2, 2, 2];
+        let ks = ks_statistic(&a, &b, 3);
+        assert!(ks > 0.2 && ks < 0.6, "ks {ks}");
+    }
+
+    #[test]
+    fn store_query_returns_nearest_neighbours() {
+        let store = ConceptStore::new(vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.9, 0.1],
+        ]);
+        let hits = store.query(&[1.0, 0.05], 2);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.contains(&0) && hits.contains(&2), "{hits:?}");
+    }
+
+    #[test]
+    fn expand_deduplicates_across_queries() {
+        let store = ConceptStore::new(vec![vec![1.0, 0.0], vec![0.99, 0.01]]);
+        let expanded = store.expand(&[vec![1.0, 0.0], vec![0.98, 0.0]], 2);
+        assert_eq!(expanded.len(), 2, "no duplicates: {expanded:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "k out of range")]
+    fn kmeans_rejects_k_larger_than_data() {
+        let _ = kmeans(&[vec![0.0]], 2, 5, 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! Lifecycle use cases unlocked by concept-level reasoning (paper §5.2):
+//! distribution-shift detection, concept-driven retraining selection, and
+//! concept-guided dataset expansion. (The fourth use case, debugging, is
+//! an *application* of [`crate::explain`] — see the `fig10_cc_debugging`
+//! experiment.)
+
+pub mod drift;
+pub mod expansion;
+pub mod retrain;
+
+pub use drift::{concept_proportions, detect_shift, tag_batches, tag_datasets, ConceptShift};
+pub use expansion::{kmeans, ks_statistic, ConceptStore};
+pub use retrain::select_for_retraining;

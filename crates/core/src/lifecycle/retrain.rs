@@ -1,0 +1,62 @@
+//! Concept-driven retraining selection (paper §5.2.2, Fig. 8).
+//!
+//! Instead of retraining on the entire new dataset, the operator retrains
+//! on the *subset of traces* whose dominant concepts increased in the
+//! deployment distribution — the under-represented conditions the old
+//! controller never learned.
+
+use crate::lifecycle::drift::ConceptShift;
+
+/// Selects the indices of traces whose tags intersect the concepts that
+/// increased by more than `min_delta` in the new distribution.
+pub fn select_for_retraining(
+    trace_tags: &[Vec<String>],
+    shifts: &[ConceptShift],
+    min_delta: f32,
+) -> Vec<usize> {
+    let increased: Vec<&str> = shifts
+        .iter()
+        .filter(|s| s.delta > min_delta)
+        .map(|s| s.concept.as_str())
+        .collect();
+    trace_tags
+        .iter()
+        .enumerate()
+        .filter(|(_, tags)| tags.iter().any(|t| increased.contains(&t.as_str())))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shift(concept: &str, delta: f32) -> ConceptShift {
+        ConceptShift { concept: concept.into(), old: 0.2, new: 0.2 + delta, delta }
+    }
+
+    #[test]
+    fn selects_traces_tagged_with_increased_concepts() {
+        let tags = vec![
+            vec!["Volatile".to_string()],
+            vec!["Stable".to_string()],
+            vec!["Volatile".to_string(), "Stable".to_string()],
+        ];
+        let shifts = vec![shift("Volatile", 0.15), shift("Stable", -0.15)];
+        let selected = select_for_retraining(&tags, &shifts, 0.05);
+        assert_eq!(selected, vec![0, 2]);
+    }
+
+    #[test]
+    fn threshold_filters_small_shifts() {
+        let tags = vec![vec!["Mild".to_string()]];
+        let shifts = vec![shift("Mild", 0.02)];
+        assert!(select_for_retraining(&tags, &shifts, 0.05).is_empty());
+    }
+
+    #[test]
+    fn no_shifts_selects_nothing() {
+        let tags = vec![vec!["A".to_string()]];
+        assert!(select_for_retraining(&tags, &[], 0.0).is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! Global model reports — Agua's analogue of Trustee's trust report.
+//!
+//! Where explanations (Fig. 4) answer "why *this* decision?", the report
+//! summarizes the whole surrogate: held-out fidelity, the sparsity that
+//! ElasticNet bought, and for every output class the globally strongest
+//! (concept, similarity-class) drivers read directly off Ω's
+//! self-interpretable weight matrix.
+
+use crate::surrogate::AguaModel;
+use agua_nn::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// One output class's global summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassSummary {
+    /// The output class index.
+    pub class: usize,
+    /// Fraction of evaluation decisions the controller gave this class.
+    pub support: f32,
+    /// Strongest positive Ω weights for this class, as
+    /// `(concept, similarity-class name, weight)`.
+    pub top_drivers: Vec<(String, String, f32)>,
+}
+
+/// A whole-model report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AguaReport {
+    /// Fidelity on the provided evaluation data (Eq. 11).
+    pub fidelity: f32,
+    /// Number of evaluation decisions.
+    pub samples: usize,
+    /// Fraction of Ω weights with magnitude below 0.01 — the sparsity the
+    /// ElasticNet regularization (Eq. 6) buys for readability.
+    pub omega_sparsity: f32,
+    /// Per-output-class summaries, ordered by class index.
+    pub classes: Vec<ClassSummary>,
+}
+
+impl AguaReport {
+    /// Builds a report from a fitted model and evaluation data.
+    pub fn build(
+        model: &AguaModel,
+        embeddings: &Matrix,
+        controller_outputs: &[usize],
+        top_n: usize,
+    ) -> Self {
+        assert_eq!(embeddings.rows(), controller_outputs.len());
+        let fidelity = model.fidelity(embeddings, controller_outputs);
+        let n = controller_outputs.len();
+
+        let w = model.output_mapping.weights();
+        let total = (w.rows() * w.cols()) as f32;
+        let omega_sparsity =
+            w.as_slice().iter().filter(|v| v.abs() < 0.01).count() as f32 / total;
+
+        let k = model.k();
+        let class_names = ["low", "medium", "high"];
+        let classes = (0..model.n_outputs())
+            .map(|class| {
+                let support = controller_outputs.iter().filter(|&&y| y == class).count()
+                    as f32
+                    / n.max(1) as f32;
+                let mut entries: Vec<(String, String, f32)> = (0..w.rows())
+                    .map(|d| {
+                        let concept = model.concept_names[d / k].clone();
+                        let level = if k == 3 {
+                            class_names[d % k].to_string()
+                        } else {
+                            format!("class {}", d % k)
+                        };
+                        (concept, level, w.get(d, class))
+                    })
+                    .collect();
+                entries.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite weights"));
+                entries.truncate(top_n);
+                ClassSummary { class, support, top_drivers: entries }
+            })
+            .collect();
+
+        Self { fidelity, samples: n, omega_sparsity, classes }
+    }
+
+    /// Renders the report as readable text.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Agua model report — fidelity {:.3} over {} decisions, Ω sparsity {:.0}%\n",
+            self.fidelity,
+            self.samples,
+            self.omega_sparsity * 100.0
+        );
+        for c in &self.classes {
+            out.push_str(&format!(
+                "  class {} (support {:.1}%):\n",
+                c.class,
+                c.support * 100.0
+            ));
+            for (concept, level, weight) in &c.top_drivers {
+                out.push_str(&format!(
+                    "    {concept:<44} [{level:<6}] {weight:+.3}\n"
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concepts::{Concept, ConceptSet};
+    use crate::surrogate::{SurrogateDataset, TrainParams};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn fitted() -> (AguaModel, Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        let mut outputs = Vec::new();
+        for _ in 0..400 {
+            let a: f32 = rng.random_range(0.0..1.0);
+            rows.push(vec![a, 1.0 - a, rng.random_range(-0.05..0.05)]);
+            let q = |v: f32| if v <= 0.33 { 0 } else if v <= 0.66 { 1 } else { 2 };
+            labels.push(vec![q(a), q(1.0 - a)]);
+            outputs.push(usize::from(a > 0.5));
+        }
+        let concepts = ConceptSet::new(vec![
+            Concept::new("Alpha", "alpha"),
+            Concept::new("Beta", "beta"),
+        ]);
+        let embeddings = Matrix::from_rows(&rows);
+        let ds = SurrogateDataset {
+            embeddings: embeddings.clone(),
+            concept_labels: labels,
+            outputs: outputs.clone(),
+        };
+        let model = AguaModel::fit(&concepts, 3, 2, &ds, &TrainParams::fast());
+        (model, embeddings, outputs)
+    }
+
+    #[test]
+    fn report_summarizes_every_class() {
+        let (model, embeddings, outputs) = fitted();
+        let report = AguaReport::build(&model, &embeddings, &outputs, 3);
+        assert_eq!(report.classes.len(), 2);
+        assert_eq!(report.samples, 400);
+        assert!(report.fidelity > 0.8);
+        let support_sum: f32 = report.classes.iter().map(|c| c.support).sum();
+        assert!((support_sum - 1.0).abs() < 1e-5);
+        for c in &report.classes {
+            assert_eq!(c.top_drivers.len(), 3);
+        }
+    }
+
+    #[test]
+    fn top_drivers_are_sorted_descending() {
+        let (model, embeddings, outputs) = fitted();
+        let report = AguaReport::build(&model, &embeddings, &outputs, 5);
+        for c in &report.classes {
+            for pair in c.top_drivers.windows(2) {
+                assert!(pair[0].2 >= pair[1].2);
+            }
+        }
+    }
+
+    #[test]
+    fn class_one_is_driven_by_high_alpha() {
+        let (model, embeddings, outputs) = fitted();
+        let report = AguaReport::build(&model, &embeddings, &outputs, 2);
+        let drivers = &report.classes[1].top_drivers;
+        assert!(
+            drivers
+                .iter()
+                .any(|(c, level, _)| c == "Alpha" && level == "high"
+                    || c == "Beta" && level == "low"),
+            "class 1 drivers: {drivers:?}"
+        );
+    }
+
+    #[test]
+    fn render_mentions_fidelity_and_classes() {
+        let (model, embeddings, outputs) = fitted();
+        let text = AguaReport::build(&model, &embeddings, &outputs, 2).render();
+        assert!(text.contains("fidelity"));
+        assert!(text.contains("class 0"));
+        assert!(text.contains("class 1"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Robustness metrics (paper §5.3, Fig. 12).
+//!
+//! All three robustness experiments reduce to the same measurement:
+//! compute a baseline top-5 concept ranking, re-run the pipeline under a
+//! perturbation (a fresh LLM query, input noise before description, input
+//! noise before explanation), and report the **recall** of the baseline
+//! top-5 within the perturbed top-5.
+
+/// Indices of the `k` largest scores (ties broken toward lower indices).
+pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("finite scores")
+            .then(a.cmp(&b))
+    });
+    order.truncate(k);
+    order
+}
+
+/// Recall of `baseline` members within `perturbed` (both top-k sets).
+pub fn recall(baseline: &[usize], perturbed: &[usize]) -> f32 {
+    if baseline.is_empty() {
+        return 1.0;
+    }
+    let hits = baseline.iter().filter(|i| perturbed.contains(i)).count();
+    hits as f32 / baseline.len() as f32
+}
+
+/// Recall@k between two score vectors: the fraction of the baseline's
+/// top-k that survives in the perturbed top-k.
+pub fn recall_at_k(baseline_scores: &[f32], perturbed_scores: &[f32], k: usize) -> f32 {
+    assert_eq!(
+        baseline_scores.len(),
+        perturbed_scores.len(),
+        "score vectors must align"
+    );
+    recall(
+        &top_k_indices(baseline_scores, k),
+        &top_k_indices(perturbed_scores, k),
+    )
+}
+
+/// Mean recall@k of a baseline against many perturbed score vectors —
+/// the aggregation plotted in Fig. 12.
+pub fn mean_recall_at_k(baseline_scores: &[f32], perturbed: &[Vec<f32>], k: usize) -> f32 {
+    assert!(!perturbed.is_empty(), "need at least one perturbed run");
+    perturbed
+        .iter()
+        .map(|p| recall_at_k(baseline_scores, p, k))
+        .sum::<f32>()
+        / perturbed.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_orders_by_score() {
+        let scores = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(top_k_indices(&scores, 2), vec![1, 3]);
+    }
+
+    #[test]
+    fn top_k_breaks_ties_by_index() {
+        let scores = [0.5, 0.5, 0.5];
+        assert_eq!(top_k_indices(&scores, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn recall_is_fraction_of_survivors() {
+        assert_eq!(recall(&[1, 2, 3, 4], &[1, 2, 9, 8]), 0.5);
+        assert_eq!(recall(&[1], &[1]), 1.0);
+        assert_eq!(recall(&[], &[1]), 1.0);
+    }
+
+    #[test]
+    fn identical_scores_give_perfect_recall() {
+        let s = vec![0.3, 0.9, 0.1, 0.8, 0.6];
+        assert_eq!(recall_at_k(&s, &s, 3), 1.0);
+    }
+
+    #[test]
+    fn small_perturbations_keep_high_recall() {
+        let base = vec![0.9, 0.8, 0.7, 0.2, 0.1];
+        let perturbed = vec![0.88, 0.83, 0.69, 0.22, 0.09];
+        assert_eq!(recall_at_k(&base, &perturbed, 3), 1.0);
+    }
+
+    #[test]
+    fn scrambled_scores_lower_recall() {
+        let base = vec![1.0, 0.9, 0.8, 0.0, 0.0, 0.0];
+        let scrambled = vec![0.0, 0.0, 0.0, 1.0, 0.9, 0.8];
+        assert_eq!(recall_at_k(&base, &scrambled, 3), 0.0);
+    }
+
+    #[test]
+    fn mean_recall_averages_runs() {
+        let base = vec![1.0, 0.5, 0.0];
+        let runs = vec![vec![1.0, 0.5, 0.0], vec![0.0, 0.5, 1.0]];
+        let m = mean_recall_at_k(&base, &runs, 1);
+        assert!((m - 0.5).abs() < 1e-6);
+    }
+}

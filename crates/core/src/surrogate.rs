@@ -1,0 +1,601 @@
+//! Agua's surrogate concept-based model (paper §3.4, Eq. 3–6, 11).
+//!
+//! The surrogate is trained **sequentially**: first the concept mapping
+//! function δ learns to predict quantized concept-similarity classes from
+//! controller embeddings (multi-label cross-entropy, Eq. 4); then the
+//! output mapping function Ω learns a linear map from δ's concept-class
+//! probabilities to the controller's output under ElasticNet
+//! regularization (Eq. 5–6). Gradients never reach the controller.
+
+use crate::concepts::ConceptSet;
+use agua_nn::{
+    grouped_softmax_cross_entropy, softmax_cross_entropy, softmax_rows, ElasticNet, Layer,
+    LayerKind, LayerNorm, Linear, Matrix, Mlp, Optimizer, ReLU, Sgd,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Training hyperparameters; [`TrainParams::paper`] reproduces §4
+/// (the one addition is momentum on the output-mapping SGD, which §4
+/// leaves unspecified; without it Ω under-converges at 500 epochs).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrainParams {
+    /// Hidden width of the concept mapping MLP.
+    pub cm_hidden: usize,
+    /// Concept-mapping epochs (paper: 200).
+    pub cm_epochs: usize,
+    /// Concept-mapping batch size (paper: 100).
+    pub cm_batch: usize,
+    /// Concept-mapping SGD learning rate (paper: 0.005).
+    pub cm_lr: f32,
+    /// Concept-mapping SGD momentum (paper: 0.25).
+    pub cm_momentum: f32,
+    /// Output-mapping epochs (paper: 500).
+    pub om_epochs: usize,
+    /// Output-mapping batch size (paper: 200).
+    pub om_batch: usize,
+    /// Output-mapping SGD learning rate (paper: 0.075).
+    pub om_lr: f32,
+    /// Output-mapping SGD momentum.
+    pub om_momentum: f32,
+    /// ElasticNet mixing α (paper: 0.95).
+    pub elastic_alpha: f32,
+    /// ElasticNet coefficient λ (paper: 1e-5).
+    pub elastic_coeff: f32,
+    /// RNG seed for initialization and shuffling.
+    pub seed: u64,
+}
+
+impl TrainParams {
+    /// The paper's §4 training parameters.
+    pub fn paper() -> Self {
+        Self {
+            cm_hidden: 64,
+            cm_epochs: 200,
+            cm_batch: 100,
+            cm_lr: 0.005,
+            cm_momentum: 0.25,
+            om_epochs: 500,
+            om_batch: 200,
+            om_lr: 0.075,
+            om_momentum: 0.95,
+            elastic_alpha: 0.95,
+            elastic_coeff: 1e-5,
+            seed: 7,
+        }
+    }
+
+    /// A reduced-epoch configuration for unit tests.
+    pub fn fast() -> Self {
+        Self { cm_epochs: 60, om_epochs: 150, ..Self::paper() }
+    }
+
+    /// The configuration the experiment harness uses: the paper's §4
+    /// constants with a longer, faster output-mapping schedule (the
+    /// published 500-epoch/0.075-lr schedule leaves Ω visibly
+    /// under-converged under this workspace's SGD implementation).
+    pub fn tuned() -> Self {
+        Self { cm_hidden: 128, om_lr: 0.15, om_epochs: 1200, ..Self::paper() }
+    }
+}
+
+/// The labelled data the surrogate trains on: controller embeddings,
+/// quantized concept classes, and controller outputs.
+#[derive(Debug, Clone)]
+pub struct SurrogateDataset {
+    /// Controller embeddings `h(x)`, one row per input.
+    pub embeddings: Matrix,
+    /// Quantized concept-similarity classes, `concept_labels[i][c] ∈ 0..k`.
+    pub concept_labels: Vec<Vec<usize>>,
+    /// Controller outputs (argmax class per input).
+    pub outputs: Vec<usize>,
+}
+
+impl SurrogateDataset {
+    /// Validates internal consistency.
+    pub fn validate(&self, concepts: usize, k: usize, n_outputs: usize) {
+        let n = self.embeddings.rows();
+        assert_eq!(self.concept_labels.len(), n, "one concept-label row per embedding");
+        assert_eq!(self.outputs.len(), n, "one output per embedding");
+        for row in &self.concept_labels {
+            assert_eq!(row.len(), concepts, "one class per concept");
+            assert!(row.iter().all(|&c| c < k), "concept class out of range");
+        }
+        assert!(self.outputs.iter().all(|&y| y < n_outputs), "output out of range");
+    }
+}
+
+/// The concept mapping function δ (Eq. 3): `Linear → ReLU → LayerNorm →
+/// Linear` from the controller's embedding space to `C·k` concept-class
+/// logits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConceptMapping {
+    mlp: Mlp,
+    /// Number of concepts `C`.
+    pub concepts: usize,
+    /// Similarity classes per concept `k`.
+    pub k: usize,
+}
+
+impl ConceptMapping {
+    /// Creates an untrained δ for `emb_dim`-dimensional embeddings.
+    pub fn new(rng: &mut StdRng, emb_dim: usize, hidden: usize, concepts: usize, k: usize) -> Self {
+        let mlp = Mlp::new()
+            .push(LayerKind::Linear(Linear::new(rng, emb_dim, hidden)))
+            .push(LayerKind::ReLU(ReLU::new()))
+            .push(LayerKind::LayerNorm(LayerNorm::new(hidden)))
+            .push(LayerKind::Linear(Linear::new(rng, hidden, concepts * k)));
+        Self { mlp, concepts, k }
+    }
+
+    /// Creates a δ *without* the LayerNorm between the hidden layers —
+    /// used by the LayerNorm ablation to test the paper's §4 claim that
+    /// the re-normalization is what lets the final layer read the
+    /// controller's embedding distribution.
+    pub fn new_without_layernorm(
+        rng: &mut StdRng,
+        emb_dim: usize,
+        hidden: usize,
+        concepts: usize,
+        k: usize,
+    ) -> Self {
+        let mlp = Mlp::new()
+            .push(LayerKind::Linear(Linear::new(rng, emb_dim, hidden)))
+            .push(LayerKind::ReLU(ReLU::new()))
+            .push(LayerKind::Linear(Linear::new(rng, hidden, concepts * k)));
+        Self { mlp, concepts, k }
+    }
+
+    /// Trains δ with mini-batch SGD + momentum on the grouped
+    /// cross-entropy of Eq. 4; returns the per-epoch loss curve.
+    pub fn fit(
+        &mut self,
+        embeddings: &Matrix,
+        labels: &[Vec<usize>],
+        params: &TrainParams,
+        rng: &mut StdRng,
+    ) -> Vec<f32> {
+        assert_eq!(embeddings.rows(), labels.len(), "one label row per embedding");
+        let n = embeddings.rows();
+        let mut opt = Sgd::new(params.cm_lr, params.cm_momentum);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut curve = Vec::with_capacity(params.cm_epochs);
+        for _ in 0..params.cm_epochs {
+            order.shuffle(rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            for chunk in order.chunks(params.cm_batch) {
+                let x = embeddings.select_rows(chunk);
+                let y: Vec<Vec<usize>> = chunk.iter().map(|&i| labels[i].clone()).collect();
+                self.mlp.zero_grad();
+                let logits = self.mlp.forward(&x);
+                let (loss, grad) =
+                    grouped_softmax_cross_entropy(&logits, &y, self.concepts, self.k);
+                self.mlp.backward(&grad);
+                opt.step(&mut self.mlp.params_mut());
+                epoch_loss += loss;
+                batches += 1;
+            }
+            curve.push(epoch_loss / batches.max(1) as f32);
+        }
+        curve
+    }
+
+    /// Concept-class probabilities: per-concept softmax over the `k`
+    /// similarity classes, flattened to `n × (C·k)`.
+    pub fn predict_probs(&self, embeddings: &Matrix) -> Matrix {
+        let logits = self.mlp.infer(embeddings);
+        let (n, d) = logits.shape();
+        debug_assert_eq!(d, self.concepts * self.k);
+        let mut out = Matrix::zeros(n, d);
+        for r in 0..n {
+            for g in 0..self.concepts {
+                let base = g * self.k;
+                let slice = &logits.row(r)[base..base + self.k];
+                let max = slice.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let exps: Vec<f32> = slice.iter().map(|&v| (v - max).exp()).collect();
+                let sum: f32 = exps.iter().sum();
+                for (j, e) in exps.iter().enumerate() {
+                    out.set(r, base + j, e / sum);
+                }
+            }
+        }
+        out
+    }
+
+    /// Fraction of (input, concept) pairs whose predicted class matches
+    /// the label.
+    pub fn label_accuracy(&self, embeddings: &Matrix, labels: &[Vec<usize>]) -> f32 {
+        let probs = self.predict_probs(embeddings);
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for (r, row) in labels.iter().enumerate() {
+            for (g, &truth) in row.iter().enumerate() {
+                let base = g * self.k;
+                let mut best = 0;
+                for j in 1..self.k {
+                    if probs.get(r, base + j) > probs.get(r, base + best) {
+                        best = j;
+                    }
+                }
+                hits += usize::from(best == truth);
+                total += 1;
+            }
+        }
+        hits as f32 / total.max(1) as f32
+    }
+}
+
+/// The output mapping function Ω (Eq. 5): a single linear layer from
+/// concept-class probabilities to controller outputs, trained with
+/// ElasticNet regularization (Eq. 6).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OutputMapping {
+    linear: Linear,
+    /// Output dimensionality `n`.
+    pub n_outputs: usize,
+}
+
+impl OutputMapping {
+    /// Creates an untrained Ω.
+    pub fn new(rng: &mut StdRng, concept_dims: usize, n_outputs: usize) -> Self {
+        Self { linear: Linear::new_xavier(rng, concept_dims, n_outputs), n_outputs }
+    }
+
+    /// Trains Ω on fixed concept probabilities (δ is frozen — the paper's
+    /// sequential training); returns the per-epoch loss curve.
+    pub fn fit(
+        &mut self,
+        concept_probs: &Matrix,
+        outputs: &[usize],
+        params: &TrainParams,
+        rng: &mut StdRng,
+    ) -> Vec<f32> {
+        assert_eq!(concept_probs.rows(), outputs.len(), "one output per row");
+        let n = concept_probs.rows();
+        let mut opt = Sgd::new(params.om_lr, params.om_momentum);
+        let elastic = ElasticNet::new(params.elastic_alpha, params.elastic_coeff);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut curve = Vec::with_capacity(params.om_epochs);
+        for _ in 0..params.om_epochs {
+            order.shuffle(rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            for chunk in order.chunks(params.om_batch) {
+                let x = concept_probs.select_rows(chunk);
+                let y: Vec<usize> = chunk.iter().map(|&i| outputs[i]).collect();
+                self.linear.zero_grad();
+                let logits = self.linear.forward(&x);
+                let (loss, grad) = softmax_cross_entropy(&logits, &y);
+                self.linear.backward(&grad);
+                elastic.accumulate_grad(&mut self.linear.params_mut());
+                opt.step(&mut self.linear.params_mut());
+                epoch_loss += loss;
+                batches += 1;
+            }
+            curve.push(epoch_loss / batches.max(1) as f32);
+        }
+        curve
+    }
+
+    /// Output logits for concept probabilities.
+    pub fn predict_logits(&self, concept_probs: &Matrix) -> Matrix {
+        self.linear.infer(concept_probs)
+    }
+
+    /// The weight matrix `W` (`C·k × n`), the self-interpretable point of
+    /// explanation.
+    pub fn weights(&self) -> &Matrix {
+        &self.linear.weight.value
+    }
+
+    /// The bias vector `b` (1 × n).
+    pub fn bias(&self) -> &Matrix {
+        &self.linear.bias.value
+    }
+}
+
+/// The full surrogate: δ composed with Ω, plus concept metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AguaModel {
+    /// The concept mapping function δ.
+    pub concept_mapping: ConceptMapping,
+    /// The output mapping function Ω.
+    pub output_mapping: OutputMapping,
+    /// Concept names, in δ's group order.
+    pub concept_names: Vec<String>,
+}
+
+impl AguaModel {
+    /// Trains the surrogate on a dataset (sequentially: δ then Ω).
+    pub fn fit(
+        concepts: &ConceptSet,
+        k: usize,
+        n_outputs: usize,
+        dataset: &SurrogateDataset,
+        params: &TrainParams,
+    ) -> Self {
+        Self::fit_with_options(concepts, k, n_outputs, dataset, params, true)
+    }
+
+    /// [`AguaModel::fit`] with an explicit LayerNorm toggle (ablation).
+    pub fn fit_with_options(
+        concepts: &ConceptSet,
+        k: usize,
+        n_outputs: usize,
+        dataset: &SurrogateDataset,
+        params: &TrainParams,
+        layernorm: bool,
+    ) -> Self {
+        dataset.validate(concepts.len(), k, n_outputs);
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let emb_dim = dataset.embeddings.cols();
+
+        let mut cm = if layernorm {
+            ConceptMapping::new(&mut rng, emb_dim, params.cm_hidden, concepts.len(), k)
+        } else {
+            ConceptMapping::new_without_layernorm(
+                &mut rng,
+                emb_dim,
+                params.cm_hidden,
+                concepts.len(),
+                k,
+            )
+        };
+        cm.fit(&dataset.embeddings, &dataset.concept_labels, params, &mut rng);
+
+        let probs = cm.predict_probs(&dataset.embeddings);
+        let mut om = OutputMapping::new(&mut rng, concepts.len() * k, n_outputs);
+        om.fit(&probs, &dataset.outputs, params, &mut rng);
+
+        Self { concept_mapping: cm, output_mapping: om, concept_names: concepts.names() }
+    }
+
+    /// Number of concepts.
+    pub fn concepts(&self) -> usize {
+        self.concept_mapping.concepts
+    }
+
+    /// Similarity classes per concept.
+    pub fn k(&self) -> usize {
+        self.concept_mapping.k
+    }
+
+    /// Number of output classes.
+    pub fn n_outputs(&self) -> usize {
+        self.output_mapping.n_outputs
+    }
+
+    /// δ's concept-class probabilities for a batch of embeddings.
+    pub fn concept_probs(&self, embeddings: &Matrix) -> Matrix {
+        self.concept_mapping.predict_probs(embeddings)
+    }
+
+    /// Surrogate output logits for a batch of embeddings.
+    pub fn predict_logits(&self, embeddings: &Matrix) -> Matrix {
+        self.output_mapping.predict_logits(&self.concept_probs(embeddings))
+    }
+
+    /// Surrogate output probabilities.
+    pub fn predict_probs(&self, embeddings: &Matrix) -> Matrix {
+        softmax_rows(&self.predict_logits(embeddings))
+    }
+
+    /// Surrogate argmax predictions.
+    pub fn predict(&self, embeddings: &Matrix) -> Vec<usize> {
+        let logits = self.predict_logits(embeddings);
+        (0..embeddings.rows()).map(|r| logits.argmax_row(r)).collect()
+    }
+
+    /// Numeric prediction for **regression controllers** (paper §3.4):
+    /// the controller's continuous output is discretized into `bins`
+    /// during training (one output class per bin); at explanation time
+    /// the dot product `Ω(δ(h(x))) · bins` recovers the numeric value.
+    ///
+    /// # Panics
+    /// Panics if `bins.len() != n_outputs`.
+    pub fn predict_numeric(&self, embeddings: &Matrix, bins: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            bins.len(),
+            self.n_outputs(),
+            "one bin centre per output class required"
+        );
+        let probs = self.predict_probs(embeddings);
+        (0..embeddings.rows())
+            .map(|r| {
+                probs
+                    .row(r)
+                    .iter()
+                    .zip(bins)
+                    .map(|(&p, &b)| p * b)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Mean absolute error of [`AguaModel::predict_numeric`] against
+    /// numeric controller outputs — the regression analogue of fidelity.
+    pub fn numeric_mae(&self, embeddings: &Matrix, targets: &[f32], bins: &[f32]) -> f32 {
+        assert_eq!(embeddings.rows(), targets.len());
+        let preds = self.predict_numeric(embeddings, bins);
+        preds
+            .iter()
+            .zip(targets)
+            .map(|(p, t)| (p - t).abs())
+            .sum::<f32>()
+            / targets.len().max(1) as f32
+    }
+
+    /// The fidelity metric (Eq. 11): agreement with controller outputs.
+    pub fn fidelity(&self, embeddings: &Matrix, controller_outputs: &[usize]) -> f32 {
+        assert_eq!(embeddings.rows(), controller_outputs.len());
+        let preds = self.predict(embeddings);
+        let hits = preds
+            .iter()
+            .zip(controller_outputs)
+            .filter(|(a, b)| a == b)
+            .count();
+        hits as f32 / controller_outputs.len().max(1) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concepts::Concept;
+    use rand::RngExt;
+
+    /// A toy "controller": embeddings are 8-dimensional; the output class
+    /// is decided by which of two latent directions dominates, and the
+    /// concept labels are quantized views of those same directions.
+    fn toy_dataset(n: usize, seed: u64) -> (ConceptSet, SurrogateDataset) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut concept_labels = Vec::new();
+        let mut outputs = Vec::new();
+        for _ in 0..n {
+            let a: f32 = rng.random_range(0.0..1.0);
+            let b: f32 = rng.random_range(0.0..1.0);
+            let noise: Vec<f32> = (0..6).map(|_| rng.random_range(-0.1..0.1)).collect();
+            let mut row = vec![a, b];
+            row.extend(noise);
+            rows.push(row);
+            let q = |v: f32| if v <= 0.33 { 0 } else if v <= 0.66 { 1 } else { 2 };
+            concept_labels.push(vec![q(a), q(b), q(1.0 - a)]);
+            outputs.push(usize::from(a > b));
+        }
+        let concepts = ConceptSet::new(vec![
+            Concept::new("Alpha High", "alpha"),
+            Concept::new("Beta High", "beta"),
+            Concept::new("Alpha Low", "inverse alpha"),
+        ]);
+        (concepts, SurrogateDataset {
+            embeddings: Matrix::from_rows(&rows),
+            concept_labels,
+            outputs,
+        })
+    }
+
+    #[test]
+    fn concept_mapping_learns_labels() {
+        let (_, ds) = toy_dataset(600, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cm = ConceptMapping::new(&mut rng, 8, 32, 3, 3);
+        let params = TrainParams::paper();
+        let curve = cm.fit(&ds.embeddings, &ds.concept_labels, &params, &mut rng);
+        assert!(curve.last().unwrap() < &curve[0], "loss must fall");
+        let acc = cm.label_accuracy(&ds.embeddings, &ds.concept_labels);
+        assert!(acc > 0.8, "concept accuracy {acc}");
+    }
+
+    #[test]
+    fn concept_probs_sum_to_one_per_group() {
+        let (_, ds) = toy_dataset(10, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let cm = ConceptMapping::new(&mut rng, 8, 16, 3, 3);
+        let probs = cm.predict_probs(&ds.embeddings);
+        for r in 0..10 {
+            for g in 0..3 {
+                let s: f32 = (0..3).map(|j| probs.get(r, g * 3 + j)).sum();
+                assert!((s - 1.0).abs() < 1e-5, "group {g} row {r}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_surrogate_reaches_high_fidelity_on_toy_controller() {
+        let (concepts, train) = toy_dataset(800, 4);
+        let (_, test) = toy_dataset(300, 5);
+        let model = AguaModel::fit(&concepts, 3, 2, &train, &TrainParams::fast());
+        let fid = model.fidelity(&test.embeddings, &test.outputs);
+        assert!(fid > 0.9, "fidelity {fid}");
+    }
+
+    #[test]
+    fn fidelity_is_measured_against_given_outputs() {
+        let (concepts, train) = toy_dataset(300, 6);
+        let model = AguaModel::fit(&concepts, 3, 2, &train, &TrainParams::fast());
+        let inverted: Vec<usize> = train.outputs.iter().map(|&y| 1 - y).collect();
+        let normal = model.fidelity(&train.embeddings, &train.outputs);
+        let wrong = model.fidelity(&train.embeddings, &inverted);
+        assert!((normal + wrong - 1.0).abs() < 1e-5);
+        assert!(normal > wrong);
+    }
+
+    #[test]
+    fn elasticnet_sparsifies_output_weights() {
+        let (concepts, train) = toy_dataset(500, 7);
+        let strong = TrainParams { elastic_coeff: 5e-3, ..TrainParams::fast() };
+        let weak = TrainParams { elastic_coeff: 0.0, ..TrainParams::fast() };
+        let m_strong = AguaModel::fit(&concepts, 3, 2, &train, &strong);
+        let m_weak = AguaModel::fit(&concepts, 3, 2, &train, &weak);
+        let l1_strong = m_strong.output_mapping.weights().l1_norm();
+        let l1_weak = m_weak.output_mapping.weights().l1_norm();
+        assert!(
+            l1_strong < l1_weak,
+            "regularized weights {l1_strong} must be smaller than unregularized {l1_weak}"
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let (concepts, train) = toy_dataset(200, 8);
+        let a = AguaModel::fit(&concepts, 3, 2, &train, &TrainParams::fast());
+        let b = AguaModel::fit(&concepts, 3, 2, &train, &TrainParams::fast());
+        assert_eq!(
+            a.output_mapping.weights().as_slice(),
+            b.output_mapping.weights().as_slice()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "concept class out of range")]
+    fn dataset_validation_catches_bad_labels() {
+        let (concepts, mut train) = toy_dataset(50, 9);
+        train.concept_labels[0][0] = 9;
+        let _ = AguaModel::fit(&concepts, 3, 2, &train, &TrainParams::fast());
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_predictions() {
+        let (concepts, train) = toy_dataset(200, 10);
+        let model = AguaModel::fit(&concepts, 3, 2, &train, &TrainParams::fast());
+        let json = serde_json::to_string(&model).unwrap();
+        let restored: AguaModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            model.predict(&train.embeddings),
+            restored.predict(&train.embeddings)
+        );
+    }
+
+    #[test]
+    fn numeric_prediction_recovers_binned_regression_targets() {
+        // Regression controller: output = class index mapped to bin
+        // centres 0.5/1.0/... The dot-product readout must land near the
+        // true numeric value.
+        let (concepts, train) = toy_dataset(500, 21);
+        let model = AguaModel::fit(&concepts, 3, 2, &train, &TrainParams::fast());
+        let bins = [0.5f32, 2.0];
+        let preds = model.predict_numeric(&train.embeddings, &bins);
+        // Check that predictions concentrate near the correct bin centre.
+        let mut err = 0.0;
+        for (p, &y) in preds.iter().zip(&train.outputs) {
+            err += (p - bins[y]).abs();
+        }
+        err /= preds.len() as f32;
+        assert!(err < 0.3, "mean numeric error {err}");
+        let targets: Vec<f32> = train.outputs.iter().map(|&y| bins[y]).collect();
+        let mae = model.numeric_mae(&train.embeddings, &targets, &bins);
+        assert!((mae - err).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one bin centre per output class")]
+    fn numeric_prediction_validates_bins() {
+        let (concepts, train) = toy_dataset(100, 22);
+        let model = AguaModel::fit(&concepts, 3, 2, &train, &TrainParams::fast());
+        let _ = model.predict_numeric(&train.embeddings, &[1.0, 2.0, 3.0]);
+    }
+}

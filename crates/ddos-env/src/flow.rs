@@ -1,0 +1,316 @@
+//! Flow-window generation for benign and attack traffic.
+
+use crate::WINDOW;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Kinds of generated flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowKind {
+    /// HTTP exchange: handshake, request, response data, acknowledgements.
+    BenignHttp,
+    /// Sparse DNS lookups over UDP.
+    BenignDns,
+    /// TCP SYN flood: tiny unidirectional SYN storm, no handshake completes.
+    SynFlood,
+    /// UDP flood: high-rate large random datagrams.
+    UdpFlood,
+    /// Low-and-slow: legitimate-looking but extremely sparse partial
+    /// requests holding the connection open.
+    LowAndSlow,
+}
+
+impl FlowKind {
+    /// All kinds.
+    pub fn all() -> [FlowKind; 5] {
+        [
+            FlowKind::BenignHttp,
+            FlowKind::BenignDns,
+            FlowKind::SynFlood,
+            FlowKind::UdpFlood,
+            FlowKind::LowAndSlow,
+        ]
+    }
+
+    /// Ground-truth label: `true` for attack traffic.
+    pub fn is_attack(self) -> bool {
+        matches!(self, FlowKind::SynFlood | FlowKind::UdpFlood | FlowKind::LowAndSlow)
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowKind::BenignHttp => "benign-http",
+            FlowKind::BenignDns => "benign-dns",
+            FlowKind::SynFlood => "tcp-syn-flood",
+            FlowKind::UdpFlood => "udp-flood",
+            FlowKind::LowAndSlow => "low-and-slow",
+        }
+    }
+}
+
+/// A window of [`WINDOW`] packets from one flow, as LUCID consumes them.
+/// All vectors have length [`WINDOW`].
+///
+/// ```
+/// use ddos_env::{FlowKind, FlowWindow};
+///
+/// let flood = FlowWindow::generate_seeded(FlowKind::SynFlood, 1);
+/// assert!(flood.is_attack());
+/// assert!(flood.packet_rate() > 100.0);
+/// let benign = FlowWindow::generate_seeded(FlowKind::BenignHttp, 1);
+/// assert!(!benign.is_attack());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowWindow {
+    /// Kind that generated the window.
+    pub kind: FlowKind,
+    /// Inter-arrival time preceding each packet, seconds.
+    pub iat_s: Vec<f32>,
+    /// Total packet size, bytes.
+    pub size_bytes: Vec<f32>,
+    /// 1.0 if the packet travels client→server (toward the victim).
+    pub outbound: Vec<f32>,
+    /// 1.0 if the TCP SYN flag is set.
+    pub syn: Vec<f32>,
+    /// 1.0 if the TCP ACK flag is set.
+    pub ack: Vec<f32>,
+    /// 1.0 for UDP packets.
+    pub udp: Vec<f32>,
+    /// Normalized payload entropy in [0,1] (0 = no/constant payload).
+    pub payload_entropy: Vec<f32>,
+    /// Source-consistency signal in [0,1]: 1 = same stable origin, low and
+    /// jumpy when addresses are spoofed per packet.
+    pub source_consistency: Vec<f32>,
+}
+
+impl FlowWindow {
+    /// Generates one flow window of the given kind.
+    pub fn generate(kind: FlowKind, rng: &mut StdRng) -> Self {
+        let mut w = Self {
+            kind,
+            iat_s: Vec::with_capacity(WINDOW),
+            size_bytes: Vec::with_capacity(WINDOW),
+            outbound: Vec::with_capacity(WINDOW),
+            syn: Vec::with_capacity(WINDOW),
+            ack: Vec::with_capacity(WINDOW),
+            udp: Vec::with_capacity(WINDOW),
+            payload_entropy: Vec::with_capacity(WINDOW),
+            source_consistency: Vec::with_capacity(WINDOW),
+        };
+        match kind {
+            FlowKind::BenignHttp => w.fill_benign_http(rng),
+            FlowKind::BenignDns => w.fill_benign_dns(rng),
+            FlowKind::SynFlood => w.fill_syn_flood(rng),
+            FlowKind::UdpFlood => w.fill_udp_flood(rng),
+            FlowKind::LowAndSlow => w.fill_low_and_slow(rng),
+        }
+        debug_assert_eq!(w.iat_s.len(), WINDOW);
+        w
+    }
+
+    /// Seeded convenience constructor.
+    pub fn generate_seeded(kind: FlowKind, seed: u64) -> Self {
+        Self::generate(kind, &mut StdRng::seed_from_u64(seed))
+    }
+
+    /// Generates a labelled dataset: `count` windows drawn from the given
+    /// kinds in round-robin order (shuffle downstream if needed).
+    pub fn generate_dataset(kinds: &[FlowKind], count: usize, seed: u64) -> Vec<FlowWindow> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|i| FlowWindow::generate(kinds[i % kinds.len()], &mut rng))
+            .collect()
+    }
+
+    /// Ground-truth label of the window.
+    pub fn is_attack(&self) -> bool {
+        self.kind.is_attack()
+    }
+
+    /// Mean packet rate of the window, packets per second.
+    pub fn packet_rate(&self) -> f32 {
+        let total: f32 = self.iat_s.iter().sum();
+        WINDOW as f32 / total.max(1e-6)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        iat: f32,
+        size: f32,
+        outbound: bool,
+        syn: bool,
+        ack: bool,
+        udp: bool,
+        entropy: f32,
+        source: f32,
+    ) {
+        self.iat_s.push(iat);
+        self.size_bytes.push(size);
+        self.outbound.push(if outbound { 1.0 } else { 0.0 });
+        self.syn.push(if syn { 1.0 } else { 0.0 });
+        self.ack.push(if ack { 1.0 } else { 0.0 });
+        self.udp.push(if udp { 1.0 } else { 0.0 });
+        self.payload_entropy.push(entropy.clamp(0.0, 1.0));
+        self.source_consistency.push(source.clamp(0.0, 1.0));
+    }
+
+    fn fill_benign_http(&mut self, rng: &mut StdRng) {
+        let jitter = |rng: &mut StdRng, base: f32| base * rng.random_range(0.6..1.5);
+        let src = rng.random_range(0.9..1.0);
+        // Handshake.
+        self.push(jitter(rng, 0.02), 60.0, true, true, false, false, 0.0, src);
+        self.push(jitter(rng, 0.03), 60.0, false, true, true, false, 0.0, src);
+        self.push(jitter(rng, 0.02), 52.0, true, false, true, false, 0.0, src);
+        // Request.
+        self.push(jitter(rng, 0.05), rng.random_range(250.0..500.0), true, false, true, false, 0.55, src);
+        // Response data with client acknowledgements.
+        for i in 0..5 {
+            if i % 2 == 0 {
+                self.push(
+                    jitter(rng, 0.04),
+                    rng.random_range(1000.0..1460.0),
+                    false,
+                    false,
+                    true,
+                    false,
+                    rng.random_range(0.5..0.75),
+                    src,
+                );
+            } else {
+                self.push(jitter(rng, 0.03), 52.0, true, false, true, false, 0.0, src);
+            }
+        }
+        // Final ACK.
+        self.push(jitter(rng, 0.05), 52.0, true, false, true, false, 0.0, src);
+    }
+
+    fn fill_benign_dns(&mut self, rng: &mut StdRng) {
+        let src = rng.random_range(0.9..1.0);
+        for i in 0..WINDOW {
+            let query = i % 2 == 0;
+            // Queries are sparse; responses follow quickly.
+            let iat = if query { rng.random_range(1.0..8.0) } else { rng.random_range(0.01..0.05) };
+            let size = if query {
+                rng.random_range(60.0..90.0)
+            } else {
+                rng.random_range(100.0..300.0)
+            };
+            self.push(iat, size, query, false, false, true, rng.random_range(0.35..0.55), src);
+        }
+    }
+
+    fn fill_syn_flood(&mut self, rng: &mut StdRng) {
+        for _ in 0..WINDOW {
+            // Sub-millisecond storms of minimum-size SYNs, spoofed sources.
+            let iat = rng.random_range(0.0001..0.002);
+            let size = rng.random_range(40.0..60.0);
+            let source = rng.random_range(0.0..0.35);
+            self.push(iat, size, true, true, false, false, 0.0, source);
+        }
+    }
+
+    fn fill_udp_flood(&mut self, rng: &mut StdRng) {
+        for _ in 0..WINDOW {
+            let iat = rng.random_range(0.0002..0.003);
+            let size = rng.random_range(900.0..1500.0);
+            let source = rng.random_range(0.0..0.4);
+            // Random payloads have near-maximal entropy.
+            self.push(iat, size, true, false, false, true, rng.random_range(0.92..1.0), source);
+        }
+    }
+
+    fn fill_low_and_slow(&mut self, rng: &mut StdRng) {
+        let src = rng.random_range(0.8..0.95);
+        // Handshake, then a trickle of tiny partial request fragments.
+        self.push(rng.random_range(0.01..0.05), 60.0, true, true, false, false, 0.0, src);
+        self.push(rng.random_range(0.02..0.06), 60.0, false, true, true, false, 0.0, src);
+        for _ in 2..WINDOW {
+            let iat = rng.random_range(8.0..28.0);
+            let size = rng.random_range(40.0..120.0);
+            self.push(iat, size, true, false, true, false, rng.random_range(0.1..0.3), src);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_generate_full_windows() {
+        for kind in FlowKind::all() {
+            let w = FlowWindow::generate_seeded(kind, 7);
+            assert_eq!(w.iat_s.len(), WINDOW);
+            assert_eq!(w.size_bytes.len(), WINDOW);
+            assert_eq!(w.source_consistency.len(), WINDOW);
+        }
+    }
+
+    #[test]
+    fn syn_flood_is_all_syn_no_ack_and_fast() {
+        let w = FlowWindow::generate_seeded(FlowKind::SynFlood, 1);
+        assert!(w.syn.iter().all(|&s| s == 1.0));
+        assert!(w.ack.iter().all(|&a| a == 0.0));
+        assert!(w.packet_rate() > 400.0, "rate {}", w.packet_rate());
+        assert!(w.size_bytes.iter().all(|&s| s < 70.0));
+    }
+
+    #[test]
+    fn benign_http_completes_a_handshake_and_is_bidirectional() {
+        let w = FlowWindow::generate_seeded(FlowKind::BenignHttp, 2);
+        assert_eq!(w.syn[0], 1.0);
+        assert_eq!(w.syn[1], 1.0);
+        assert_eq!(w.ack[1], 1.0, "SYN/ACK");
+        assert_eq!(w.ack[2], 1.0, "final handshake ACK");
+        assert!(w.outbound.iter().any(|&o| o == 0.0), "server data must flow back");
+        let ack_fraction: f32 = w.ack.iter().sum::<f32>() / WINDOW as f32;
+        assert!(ack_fraction > 0.6);
+    }
+
+    #[test]
+    fn udp_flood_has_large_high_entropy_packets() {
+        let w = FlowWindow::generate_seeded(FlowKind::UdpFlood, 3);
+        assert!(w.udp.iter().all(|&u| u == 1.0));
+        assert!(w.size_bytes.iter().all(|&s| s >= 900.0));
+        assert!(w.payload_entropy.iter().all(|&e| e > 0.9));
+    }
+
+    #[test]
+    fn low_and_slow_is_orders_of_magnitude_slower_than_floods() {
+        let slow = FlowWindow::generate_seeded(FlowKind::LowAndSlow, 4);
+        let flood = FlowWindow::generate_seeded(FlowKind::SynFlood, 4);
+        assert!(slow.packet_rate() < 1.0);
+        assert!(flood.packet_rate() / slow.packet_rate() > 1000.0);
+    }
+
+    #[test]
+    fn attacks_have_low_source_consistency_benign_high() {
+        let benign = FlowWindow::generate_seeded(FlowKind::BenignHttp, 5);
+        let flood = FlowWindow::generate_seeded(FlowKind::SynFlood, 5);
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        assert!(mean(&benign.source_consistency) > 0.85);
+        assert!(mean(&flood.source_consistency) < 0.4);
+    }
+
+    #[test]
+    fn labels_match_kinds() {
+        assert!(!FlowKind::BenignHttp.is_attack());
+        assert!(!FlowKind::BenignDns.is_attack());
+        assert!(FlowKind::SynFlood.is_attack());
+        assert!(FlowKind::UdpFlood.is_attack());
+        assert!(FlowKind::LowAndSlow.is_attack());
+    }
+
+    #[test]
+    fn dataset_round_robins_kinds() {
+        let kinds = [FlowKind::BenignHttp, FlowKind::SynFlood];
+        let ds = FlowWindow::generate_dataset(&kinds, 6, 9);
+        assert_eq!(ds.len(), 6);
+        assert_eq!(ds[0].kind, FlowKind::BenignHttp);
+        assert_eq!(ds[1].kind, FlowKind::SynFlood);
+        assert_eq!(ds[4].kind, FlowKind::BenignHttp);
+    }
+}

@@ -1,0 +1,34 @@
+//! # ddos-env — flow-level traffic generation with LUCID-style features
+//!
+//! The paper evaluates Agua on LUCID, a supervised deep-learning DDoS
+//! detector over per-flow packet windows from CIC-DDoS2019. This crate
+//! generates synthetic flows with the same attack signatures that dataset
+//! exhibits, so the identical supervised-learning code path can run
+//! offline:
+//!
+//! * **benign** — HTTP request/response exchanges (handshake, bidirectional
+//!   data, acknowledgements) and sparse DNS lookups;
+//! * **TCP SYN flood** — unidirectional storms of tiny SYN segments with no
+//!   handshake completion (the Fig. 6b workload);
+//! * **UDP flood** — high-rate large datagrams with random payloads;
+//! * **low-and-slow** — legitimate-looking but extremely sparse partial
+//!   requests that hold connections open.
+//!
+//! Each flow is a [`flow::FlowWindow`] of [`WINDOW`] packets with
+//! per-packet timing, sizing, flag, and payload-entropy attributes, plus a
+//! spoofing-driven source-consistency signal. Conversions to normalized
+//! classifier features and to describer sections live in
+//! [`observation::DdosObservation`].
+
+pub mod flow;
+pub mod observation;
+pub mod timeline;
+
+pub use flow::{FlowKind, FlowWindow};
+pub use observation::DdosObservation;
+pub use timeline::{TimedFlow, Timeline, TimelineConfig};
+
+/// Packets per flow window (LUCID's default window is of this order).
+pub const WINDOW: usize = 10;
+/// Number of output classes: benign vs DDoS.
+pub const CLASSES: usize = 2;

@@ -1,0 +1,193 @@
+//! Classifier features and describer sections for flow windows.
+
+use crate::flow::FlowWindow;
+use crate::WINDOW;
+use agua_text::describer::DescribedSection;
+use agua_text::stats::SignalSeries;
+use serde::{Deserialize, Serialize};
+
+/// Inter-arrival normalization cap, seconds.
+pub const IAT_MAX: f32 = 30.0;
+/// Packet size normalization cap, bytes.
+pub const SIZE_MAX: f32 = 1500.0;
+/// Per-packet request-rate cap used for the describable rate signal, pps.
+pub const RATE_MAX: f32 = 2000.0;
+
+/// Per-packet attribute count in the feature matrix.
+pub const ATTRIBUTES: usize = 8;
+/// Dimensionality of [`DdosObservation::features`].
+pub const FEATURE_DIM: usize = WINDOW * ATTRIBUTES;
+
+/// A featurized view of one [`FlowWindow`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DdosObservation {
+    /// The underlying window.
+    pub window: FlowWindow,
+}
+
+impl DdosObservation {
+    /// Wraps a flow window.
+    pub fn new(window: FlowWindow) -> Self {
+        Self { window }
+    }
+
+    /// Flattens the window into a `[0,1]`-normalized feature vector laid
+    /// out attribute-major: all IATs, then all sizes, then flags, etc.
+    pub fn features(&self) -> Vec<f32> {
+        let w = &self.window;
+        let mut f = Vec::with_capacity(FEATURE_DIM);
+        f.extend(w.iat_s.iter().map(|v| (v / IAT_MAX).clamp(0.0, 1.0)));
+        f.extend(w.size_bytes.iter().map(|v| (v / SIZE_MAX).clamp(0.0, 1.0)));
+        f.extend(w.outbound.iter().copied());
+        f.extend(w.syn.iter().copied());
+        f.extend(w.ack.iter().copied());
+        f.extend(w.udp.iter().copied());
+        f.extend(w.payload_entropy.iter().copied());
+        f.extend(w.source_consistency.iter().copied());
+        debug_assert_eq!(f.len(), FEATURE_DIM);
+        f
+    }
+
+    /// Per-packet instantaneous request rate (1/IAT), capped, pps.
+    pub fn rate_series(&self) -> Vec<f32> {
+        self.window
+            .iat_s
+            .iter()
+            .map(|&iat| (1.0 / iat.max(1e-4)).min(RATE_MAX))
+            .collect()
+    }
+
+    /// Rolling SYN intensity: fraction of SYN flags among packets seen so
+    /// far at each position.
+    pub fn syn_intensity(&self) -> Vec<f32> {
+        rolling_fraction(&self.window.syn)
+    }
+
+    /// Rolling ACK intensity.
+    pub fn ack_intensity(&self) -> Vec<f32> {
+        rolling_fraction(&self.window.ack)
+    }
+
+    /// Converts the window into describable sections. Signal names are
+    /// chosen to share vocabulary with the DDoS base concepts (request
+    /// rates, protocol behaviour, payload characteristics, source
+    /// behaviour).
+    pub fn sections(&self) -> Vec<DescribedSection> {
+        let w = &self.window;
+        vec![
+            DescribedSection::new(
+                "Flow packet timing",
+                vec![SignalSeries::new(
+                    "Request Packet Rate",
+                    "pps",
+                    self.rate_series(),
+                    RATE_MAX,
+                )],
+            ),
+            DescribedSection::new(
+                "Protocol behavior",
+                vec![
+                    SignalSeries::new("Syn Handshake Intensity", "", self.syn_intensity(), 1.0),
+                    SignalSeries::new(
+                        "Ack Protocol Compliance",
+                        "",
+                        self.ack_intensity(),
+                        1.0,
+                    ),
+                ],
+            ),
+            DescribedSection::new(
+                "Payload characteristics",
+                vec![
+                    SignalSeries::new(
+                        "Payload Packet Size",
+                        "bytes",
+                        w.size_bytes.clone(),
+                        SIZE_MAX,
+                    ),
+                    SignalSeries::new(
+                        "Payload Entropy",
+                        "",
+                        w.payload_entropy.clone(),
+                        1.0,
+                    ),
+                ],
+            ),
+            DescribedSection::new(
+                "Source behavior",
+                vec![SignalSeries::new(
+                    "Source Geographic Temporal Consistency",
+                    "",
+                    w.source_consistency.clone(),
+                    1.0,
+                )],
+            ),
+        ]
+    }
+}
+
+fn rolling_fraction(flags: &[f32]) -> Vec<f32> {
+    let mut acc = 0.0;
+    flags
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| {
+            acc += f;
+            acc / (i + 1) as f32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowKind;
+
+    #[test]
+    fn features_have_documented_dimension_and_range() {
+        for kind in FlowKind::all() {
+            let o = DdosObservation::new(FlowWindow::generate_seeded(kind, 3));
+            let f = o.features();
+            assert_eq!(f.len(), FEATURE_DIM);
+            assert!(f.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn syn_flood_rate_series_is_high_benign_low() {
+        let flood = DdosObservation::new(FlowWindow::generate_seeded(FlowKind::SynFlood, 1));
+        let dns = DdosObservation::new(FlowWindow::generate_seeded(FlowKind::BenignDns, 1));
+        let mean = |v: Vec<f32>| v.iter().sum::<f32>() / v.len() as f32;
+        assert!(mean(flood.rate_series()) > 20.0 * mean(dns.rate_series()));
+    }
+
+    #[test]
+    fn rolling_fractions_are_monotone_for_constant_flags() {
+        let flood = DdosObservation::new(FlowWindow::generate_seeded(FlowKind::SynFlood, 2));
+        assert!(flood.syn_intensity().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+        assert!(flood.ack_intensity().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn http_ack_intensity_ends_high() {
+        let http = DdosObservation::new(FlowWindow::generate_seeded(FlowKind::BenignHttp, 3));
+        let ack = http.ack_intensity();
+        assert!(ack[WINDOW - 1] > 0.6, "final ack intensity {}", ack[WINDOW - 1]);
+    }
+
+    #[test]
+    fn sections_exist_for_all_four_aspects() {
+        let o = DdosObservation::new(FlowWindow::generate_seeded(FlowKind::UdpFlood, 4));
+        let sections = o.sections();
+        let titles: Vec<&str> = sections.iter().map(|s| s.title.as_str()).collect();
+        assert_eq!(
+            titles,
+            vec![
+                "Flow packet timing",
+                "Protocol behavior",
+                "Payload characteristics",
+                "Source behavior"
+            ]
+        );
+    }
+}

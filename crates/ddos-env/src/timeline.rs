@@ -1,0 +1,237 @@
+//! Traffic timelines with an attack onset.
+//!
+//! LUCID's goal is to detect attacks "in the brief window between attack
+//! initiation and service denial". This module generates a time-ordered
+//! stream of flow windows — benign background traffic into which an
+//! attack campaign erupts at a known onset — so detectors can be
+//! evaluated on *detection latency*, not just per-flow accuracy.
+
+use crate::flow::{FlowKind, FlowWindow};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One observed flow window with its arrival time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimedFlow {
+    /// Arrival time of the window, seconds since timeline start.
+    pub time_s: f32,
+    /// The flow window.
+    pub window: FlowWindow,
+}
+
+/// A traffic timeline: benign background, then a mixed benign+attack
+/// phase from [`Timeline::onset_s`] onward.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Flows ordered by arrival time.
+    pub flows: Vec<TimedFlow>,
+    /// Attack onset time, seconds.
+    pub onset_s: f32,
+    /// The attack kind used after onset.
+    pub attack: FlowKind,
+}
+
+/// Timeline generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TimelineConfig {
+    /// Total duration, seconds.
+    pub duration_s: f32,
+    /// Attack onset, seconds.
+    pub onset_s: f32,
+    /// Benign flow arrivals per second (before and after onset).
+    pub benign_rate: f32,
+    /// Attack flow arrivals per second after onset.
+    pub attack_rate: f32,
+    /// The attack family.
+    pub attack: FlowKind,
+}
+
+impl Default for TimelineConfig {
+    fn default() -> Self {
+        Self {
+            duration_s: 60.0,
+            onset_s: 30.0,
+            benign_rate: 4.0,
+            attack_rate: 20.0,
+            attack: FlowKind::SynFlood,
+        }
+    }
+}
+
+impl Timeline {
+    /// Generates a timeline under `config`.
+    ///
+    /// # Panics
+    /// Panics if the onset is outside the duration, rates are
+    /// non-positive, or the configured attack kind is not an attack.
+    pub fn generate(config: TimelineConfig, seed: u64) -> Self {
+        assert!(config.onset_s > 0.0 && config.onset_s < config.duration_s, "onset outside timeline");
+        assert!(config.benign_rate > 0.0 && config.attack_rate > 0.0, "rates must be positive");
+        assert!(config.attack.is_attack(), "attack kind must be an attack");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut flows = Vec::new();
+
+        // Benign background over the whole duration (Poisson-ish: i.i.d.
+        // exponential inter-arrivals).
+        let mut t = 0.0f32;
+        let benign_kinds = [FlowKind::BenignHttp, FlowKind::BenignHttp, FlowKind::BenignDns];
+        while t < config.duration_s {
+            t += exp_sample(&mut rng, config.benign_rate);
+            if t >= config.duration_s {
+                break;
+            }
+            let kind = benign_kinds[rng.random_range(0..benign_kinds.len())];
+            flows.push(TimedFlow { time_s: t, window: FlowWindow::generate(kind, &mut rng) });
+        }
+
+        // Attack campaign after onset.
+        let mut t = config.onset_s;
+        while t < config.duration_s {
+            t += exp_sample(&mut rng, config.attack_rate);
+            if t >= config.duration_s {
+                break;
+            }
+            flows.push(TimedFlow {
+                time_s: t,
+                window: FlowWindow::generate(config.attack, &mut rng),
+            });
+        }
+
+        flows.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"));
+        Self { flows, onset_s: config.onset_s, attack: config.attack }
+    }
+
+    /// Number of flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True if no flows were generated (degenerate configs only).
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Fraction of flows after `time_s` that are attacks.
+    pub fn attack_fraction_after(&self, time_s: f32) -> f32 {
+        let after: Vec<&TimedFlow> =
+            self.flows.iter().filter(|f| f.time_s >= time_s).collect();
+        if after.is_empty() {
+            return 0.0;
+        }
+        after.iter().filter(|f| f.window.is_attack()).count() as f32 / after.len() as f32
+    }
+
+    /// Detection latency of a per-flow detector: the time from onset
+    /// until `consecutive` attack verdicts in a row have been produced
+    /// on flows arriving at or after the onset. Returns `None` if the
+    /// detector never locks on.
+    pub fn detection_latency(
+        &self,
+        mut verdict: impl FnMut(&FlowWindow) -> bool,
+        consecutive: usize,
+    ) -> Option<f32> {
+        assert!(consecutive >= 1, "need at least one verdict");
+        let mut streak = 0usize;
+        for flow in self.flows.iter().filter(|f| f.time_s >= self.onset_s) {
+            if verdict(&flow.window) {
+                streak += 1;
+                if streak >= consecutive {
+                    return Some(flow.time_s - self.onset_s);
+                }
+            } else {
+                streak = 0;
+            }
+        }
+        None
+    }
+
+    /// False-alarm rate of a detector on the pre-onset (benign-only)
+    /// prefix: fraction of benign flows flagged as attacks.
+    pub fn false_alarm_rate(&self, mut verdict: impl FnMut(&FlowWindow) -> bool) -> f32 {
+        let before: Vec<&TimedFlow> =
+            self.flows.iter().filter(|f| f.time_s < self.onset_s).collect();
+        if before.is_empty() {
+            return 0.0;
+        }
+        before.iter().filter(|f| verdict(&f.window)).count() as f32 / before.len() as f32
+    }
+}
+
+fn exp_sample(rng: &mut StdRng, rate: f32) -> f32 {
+    let u: f32 = rng.random_range(1e-6..1.0);
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeline() -> Timeline {
+        Timeline::generate(TimelineConfig::default(), 7)
+    }
+
+    #[test]
+    fn flows_are_time_ordered_and_span_the_duration() {
+        let t = timeline();
+        assert!(t.len() > 100, "expected a busy timeline, got {}", t.len());
+        for pair in t.flows.windows(2) {
+            assert!(pair[0].time_s <= pair[1].time_s);
+        }
+        assert!(t.flows.last().unwrap().time_s <= 60.0);
+    }
+
+    #[test]
+    fn no_attacks_before_onset() {
+        let t = timeline();
+        assert!(t
+            .flows
+            .iter()
+            .filter(|f| f.time_s < t.onset_s)
+            .all(|f| !f.window.is_attack()));
+    }
+
+    #[test]
+    fn attacks_dominate_after_onset() {
+        let t = timeline();
+        let frac = t.attack_fraction_after(t.onset_s);
+        assert!(frac > 0.7, "attack fraction after onset {frac}");
+    }
+
+    #[test]
+    fn oracle_detector_has_near_zero_latency_and_no_false_alarms() {
+        let t = timeline();
+        let latency = t
+            .detection_latency(|w| w.is_attack(), 3)
+            .expect("oracle must detect");
+        assert!(latency < 2.0, "oracle latency {latency}s");
+        assert_eq!(t.false_alarm_rate(|w| w.is_attack()), 0.0);
+    }
+
+    #[test]
+    fn blind_detector_never_detects() {
+        let t = timeline();
+        assert_eq!(t.detection_latency(|_| false, 1), None);
+    }
+
+    #[test]
+    fn paranoid_detector_has_full_false_alarm_rate() {
+        let t = timeline();
+        assert_eq!(t.false_alarm_rate(|_| true), 1.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = Timeline::generate(TimelineConfig::default(), 3);
+        let b = Timeline::generate(TimelineConfig::default(), 3);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.flows[0].time_s, b.flows[0].time_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "attack kind must be an attack")]
+    fn benign_attack_kind_is_rejected() {
+        let config = TimelineConfig { attack: FlowKind::BenignHttp, ..TimelineConfig::default() };
+        let _ = Timeline::generate(config, 1);
+    }
+}

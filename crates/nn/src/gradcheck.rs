@@ -1,0 +1,162 @@
+//! Numerical gradient checking utilities.
+//!
+//! Central-difference verification of analytic gradients — used by this
+//! crate's own layer tests and exported so downstream crates adding new
+//! layers or losses can verify their backward passes the same way.
+
+use crate::layer::Layer;
+use crate::matrix::Matrix;
+
+/// Result of a gradient check: the worst absolute/relative discrepancy
+/// found and where it occurred.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest `|analytic − numeric| / (1 + |numeric|)` discrepancy.
+    pub worst_relative_error: f32,
+    /// Location `(row, col)` of the worst discrepancy.
+    pub worst_at: (usize, usize),
+}
+
+impl GradCheckReport {
+    /// True if the worst error is within tolerance.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.worst_relative_error < tol
+    }
+}
+
+/// Checks a layer's input gradient (`dL/dx`) against central differences
+/// for the scalar loss `L = Σ output ∘ seed`.
+///
+/// Mutates the layer's cached activations (calls `forward` repeatedly);
+/// parameter gradients are cleared before the analytic backward pass.
+pub fn check_input_gradient<L: Layer>(
+    layer: &mut L,
+    x: &Matrix,
+    seed: &Matrix,
+    step: f32,
+) -> GradCheckReport {
+    let out = layer.forward(x);
+    assert_eq!(
+        out.shape(),
+        seed.shape(),
+        "seed must match the layer output shape"
+    );
+    layer.zero_grad();
+    let analytic = layer.backward(seed);
+
+    let loss_at = |layer: &mut L, x: &Matrix| -> f32 {
+        layer.forward(x).hadamard(seed).as_slice().iter().sum()
+    };
+
+    let mut worst = GradCheckReport { worst_relative_error: 0.0, worst_at: (0, 0) };
+    for r in 0..x.rows() {
+        for c in 0..x.cols() {
+            let orig = x.get(r, c);
+            let mut xp = x.clone();
+            xp.set(r, c, orig + step);
+            let mut xm = x.clone();
+            xm.set(r, c, orig - step);
+            let numeric = (loss_at(layer, &xp) - loss_at(layer, &xm)) / (2.0 * step);
+            let err = (analytic.get(r, c) - numeric).abs() / (1.0 + numeric.abs());
+            if err > worst.worst_relative_error {
+                worst = GradCheckReport { worst_relative_error: err, worst_at: (r, c) };
+            }
+        }
+    }
+    worst
+}
+
+/// Checks a loss function's logit gradient against central differences.
+///
+/// `loss_fn` must return `(loss, dL/dlogits)`.
+pub fn check_loss_gradient(
+    logits: &Matrix,
+    loss_fn: impl Fn(&Matrix) -> (f32, Matrix),
+    step: f32,
+) -> GradCheckReport {
+    let (_, analytic) = loss_fn(logits);
+    let mut worst = GradCheckReport { worst_relative_error: 0.0, worst_at: (0, 0) };
+    for r in 0..logits.rows() {
+        for c in 0..logits.cols() {
+            let orig = logits.get(r, c);
+            let mut lp = logits.clone();
+            lp.set(r, c, orig + step);
+            let mut lm = logits.clone();
+            lm.set(r, c, orig - step);
+            let numeric = (loss_fn(&lp).0 - loss_fn(&lm).0) / (2.0 * step);
+            let err = (analytic.get(r, c) - numeric).abs() / (1.0 + numeric.abs());
+            if err > worst.worst_relative_error {
+                worst = GradCheckReport { worst_relative_error: err, worst_at: (r, c) };
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{LayerNorm, Linear, Tanh};
+    use crate::loss::softmax_cross_entropy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn input() -> Matrix {
+        Matrix::from_rows(&[vec![0.4, -0.9, 1.3, 0.2], vec![-0.6, 0.5, -0.1, 0.8]])
+    }
+
+    #[test]
+    fn linear_passes_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = Linear::new(&mut rng, 4, 3);
+        let seed = Matrix::from_fn(2, 3, |r, c| 0.3 * (r as f32) - 0.2 * (c as f32) + 0.1);
+        let report = check_input_gradient(&mut layer, &input(), &seed, 1e-3);
+        assert!(report.passes(1e-2), "{report:?}");
+    }
+
+    #[test]
+    fn layernorm_passes_gradcheck() {
+        let mut layer = LayerNorm::new(4);
+        layer.gamma.value = Matrix::row_vector(&[1.2, -0.7, 0.9, 1.5]);
+        let seed = Matrix::from_fn(2, 4, |r, c| 0.2 * ((r + c) as f32) - 0.3);
+        let report = check_input_gradient(&mut layer, &input(), &seed, 1e-3);
+        assert!(report.passes(2e-2), "{report:?}");
+    }
+
+    #[test]
+    fn tanh_passes_gradcheck() {
+        let mut layer = Tanh::new();
+        let seed = Matrix::full(2, 4, 0.7);
+        let report = check_input_gradient(&mut layer, &input(), &seed, 1e-3);
+        assert!(report.passes(1e-2), "{report:?}");
+    }
+
+    #[test]
+    fn cross_entropy_passes_loss_gradcheck() {
+        let logits = Matrix::from_rows(&[vec![0.5, -0.3, 0.8], vec![-0.2, 0.4, 0.0]]);
+        let report = check_loss_gradient(
+            &logits,
+            |l| softmax_cross_entropy(l, &[2, 1]),
+            1e-3,
+        );
+        assert!(report.passes(1e-2), "{report:?}");
+    }
+
+    #[test]
+    fn a_broken_gradient_is_caught() {
+        // A "layer" whose backward returns zeros must fail the check.
+        struct Broken;
+        impl Layer for Broken {
+            fn forward(&mut self, input: &Matrix) -> Matrix {
+                input.scale(2.0)
+            }
+            fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+                Matrix::zeros(grad_output.rows(), grad_output.cols())
+            }
+        }
+        let mut layer = Broken;
+        let seed = Matrix::full(2, 4, 1.0);
+        let report = check_input_gradient(&mut layer, &input(), &seed, 1e-3);
+        assert!(!report.passes(1e-2), "broken gradient slipped through");
+    }
+}

@@ -1,0 +1,59 @@
+//! Weight initialization schemes.
+//!
+//! All initializers are deterministic given the caller's RNG, which keeps
+//! every experiment in the workspace reproducible from a single seed.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+use rand_distr::{Distribution, Normal, Uniform};
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Suited to tanh/linear layers.
+pub fn xavier_uniform(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let dist = Uniform::new_inclusive(-a, a).expect("valid uniform bounds");
+    Matrix::from_fn(fan_in, fan_out, |_, _| dist.sample(rng))
+}
+
+/// He/Kaiming normal initialization: `N(0, sqrt(2 / fan_in))`. Suited to
+/// ReLU layers, which the concept mapping function uses.
+pub fn he_normal(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> Matrix {
+    let std = (2.0 / fan_in as f32).sqrt();
+    let dist = Normal::new(0.0, std).expect("valid normal parameters");
+    Matrix::from_fn(fan_in, fan_out, |_, _| dist.sample(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = xavier_uniform(&mut rng, 64, 32);
+        let a = (6.0f32 / 96.0).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= a));
+        assert_eq!(w.shape(), (64, 32));
+    }
+
+    #[test]
+    fn he_has_roughly_correct_scale() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = he_normal(&mut rng, 128, 128);
+        let var: f32 =
+            w.as_slice().iter().map(|v| v * v).sum::<f32>() / (w.rows() * w.cols()) as f32;
+        let expect = 2.0 / 128.0;
+        assert!((var - expect).abs() < expect * 0.3, "var {var} vs {expect}");
+    }
+
+    #[test]
+    fn initialization_is_deterministic_per_seed() {
+        let a = he_normal(&mut StdRng::seed_from_u64(1), 8, 8);
+        let b = he_normal(&mut StdRng::seed_from_u64(1), 8, 8);
+        let c = he_normal(&mut StdRng::seed_from_u64(2), 8, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

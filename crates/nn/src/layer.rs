@@ -1,0 +1,509 @@
+//! Neural-network layers with hand-derived backward passes.
+//!
+//! Each layer caches whatever it needs during [`Layer::forward`] so that a
+//! following [`Layer::backward`] can compute input and parameter gradients.
+//! The usage contract is strictly `forward` → `backward` on the same batch;
+//! this is asserted where cheap.
+
+use crate::init;
+use crate::matrix::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A learnable tensor together with its gradient and optimizer state.
+///
+/// `m` and `v` are first/second-moment accumulators; SGD-with-momentum uses
+/// only `m`, Adam uses both. They are sized lazily by the optimizer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    /// Current value.
+    pub value: Matrix,
+    /// Gradient of the loss with respect to `value`, accumulated by
+    /// `backward` and cleared by [`Param::zero_grad`].
+    pub grad: Matrix,
+    /// First-moment (momentum) accumulator.
+    pub m: Matrix,
+    /// Second-moment accumulator (Adam only).
+    pub v: Matrix,
+}
+
+impl Param {
+    /// Wraps a value tensor with zeroed gradient and optimizer state.
+    pub fn new(value: Matrix) -> Self {
+        let (r, c) = value.shape();
+        Self { value, grad: Matrix::zeros(r, c), m: Matrix::zeros(r, c), v: Matrix::zeros(r, c) }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_inplace(|_| 0.0);
+    }
+}
+
+/// A differentiable transformation of a batch (`batch × features` matrix).
+pub trait Layer {
+    /// Computes the layer output, caching activations for `backward`.
+    fn forward(&mut self, input: &Matrix) -> Matrix;
+
+    /// Given `dL/d(output)`, accumulates parameter gradients and returns
+    /// `dL/d(input)`.
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix;
+
+    /// Mutable access to the layer's parameters (empty for stateless
+    /// layers).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Clears all parameter gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+/// Fully connected affine layer: `y = x W + b`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weight matrix, `in_dim × out_dim`.
+    pub weight: Param,
+    /// Bias row vector, `1 × out_dim`.
+    pub bias: Param,
+    #[serde(skip)]
+    cached_input: Option<Matrix>,
+}
+
+impl Linear {
+    /// Creates a linear layer with He-normal weights (good default for the
+    /// ReLU stacks used throughout this workspace) and zero bias.
+    pub fn new(rng: &mut impl Rng, in_dim: usize, out_dim: usize) -> Self {
+        Self {
+            weight: Param::new(init::he_normal(rng, in_dim, out_dim)),
+            bias: Param::new(Matrix::zeros(1, out_dim)),
+            cached_input: None,
+        }
+    }
+
+    /// Creates a linear layer with Xavier-uniform weights (for linear or
+    /// tanh heads such as Agua's output mapping function Ω).
+    pub fn new_xavier(rng: &mut impl Rng, in_dim: usize, out_dim: usize) -> Self {
+        Self {
+            weight: Param::new(init::xavier_uniform(rng, in_dim, out_dim)),
+            bias: Param::new(Matrix::zeros(1, out_dim)),
+            cached_input: None,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weight.value.rows()
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weight.value.cols()
+    }
+
+    /// Forward pass without caching — usable through a shared reference,
+    /// for inference paths that must not mutate the model.
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        input.matmul(&self.weight.value).add_row_broadcast(&self.bias.value)
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        self.cached_input = Some(input.clone());
+        self.infer(input)
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Linear::backward called before forward");
+        // dW = xᵀ g, db = Σ_batch g, dx = g Wᵀ
+        self.weight.grad.add_scaled_inplace(&input.matmul_tn(grad_output), 1.0);
+        self.bias.grad.add_scaled_inplace(&grad_output.sum_rows(), 1.0);
+        grad_output.matmul_nt(&self.weight.value)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+/// Rectified linear activation, `y = max(0, x)`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReLU {
+    #[serde(skip)]
+    cached_input: Option<Matrix>,
+}
+
+impl ReLU {
+    /// Creates the activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward pass without caching (inference only).
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        input.map(|v| v.max(0.0))
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        self.cached_input = Some(input.clone());
+        self.infer(input)
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("ReLU::backward called before forward");
+        assert_eq!(input.shape(), grad_output.shape());
+        Matrix::from_fn(input.rows(), input.cols(), |r, c| {
+            if input.get(r, c) > 0.0 {
+                grad_output.get(r, c)
+            } else {
+                0.0
+            }
+        })
+    }
+}
+
+/// Hyperbolic tangent activation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Tanh {
+    #[serde(skip)]
+    cached_output: Option<Matrix>,
+}
+
+impl Tanh {
+    /// Creates the activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward pass without caching (inference only).
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        input.map(f32::tanh)
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let out = self.infer(input);
+        self.cached_output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let out = self
+            .cached_output
+            .as_ref()
+            .expect("Tanh::backward called before forward");
+        // d tanh(x)/dx = 1 - tanh(x)²
+        grad_output.hadamard(&out.map(|y| 1.0 - y * y))
+    }
+}
+
+/// Layer normalization over the feature dimension (Ba et al., 2016).
+///
+/// The paper's concept mapping function places a LayerNorm between its two
+/// linear layers so that information "shifts away from the distribution of
+/// the controller embeddings" (§4); this is the same normalization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerNorm {
+    /// Per-feature scale γ, `1 × dim`.
+    pub gamma: Param,
+    /// Per-feature shift β, `1 × dim`.
+    pub beta: Param,
+    /// Numerical-stability epsilon added to the variance.
+    pub eps: f32,
+    #[serde(skip)]
+    cached: Option<LayerNormCache>,
+}
+
+#[derive(Debug, Clone)]
+struct LayerNormCache {
+    xhat: Matrix,
+    inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// Creates a LayerNorm over `dim` features with γ=1, β=0.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            gamma: Param::new(Matrix::full(1, dim, 1.0)),
+            beta: Param::new(Matrix::zeros(1, dim)),
+            eps: 1e-5,
+            cached: None,
+        }
+    }
+
+    fn normalize(&self, input: &Matrix) -> (Matrix, Vec<f32>) {
+        let (n, d) = input.shape();
+        let mut xhat = Matrix::zeros(n, d);
+        let mut inv_stds = Vec::with_capacity(n);
+        for r in 0..n {
+            let row = input.row(r);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            for (c, &v) in row.iter().enumerate() {
+                xhat.set(r, c, (v - mean) * inv_std);
+            }
+            inv_stds.push(inv_std);
+        }
+        (xhat, inv_stds)
+    }
+
+    /// Forward pass without caching (inference only).
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        let (xhat, _) = self.normalize(input);
+        self.affine(&xhat)
+    }
+
+    fn affine(&self, xhat: &Matrix) -> Matrix {
+        let (n, d) = xhat.shape();
+        Matrix::from_fn(n, d, |r, c| {
+            xhat.get(r, c) * self.gamma.value.get(0, c) + self.beta.value.get(0, c)
+        })
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let (xhat, inv_std) = self.normalize(input);
+        let out = self.affine(&xhat);
+        self.cached = Some(LayerNormCache { xhat, inv_std });
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let cache = self
+            .cached
+            .as_ref()
+            .expect("LayerNorm::backward called before forward");
+        let (n, d) = grad_output.shape();
+        assert_eq!(cache.xhat.shape(), (n, d));
+
+        // Parameter gradients: dγ_c = Σ_r g_{rc}·x̂_{rc}, dβ_c = Σ_r g_{rc}.
+        self.gamma
+            .grad
+            .add_scaled_inplace(&grad_output.hadamard(&cache.xhat).sum_rows(), 1.0);
+        self.beta.grad.add_scaled_inplace(&grad_output.sum_rows(), 1.0);
+
+        // Input gradient, per row:
+        //   dx̂ = g ∘ γ
+        //   dx  = inv_std · (dx̂ − mean(dx̂) − x̂ · mean(dx̂ ∘ x̂))
+        let mut dx = Matrix::zeros(n, d);
+        for r in 0..n {
+            let mut dxhat = vec![0.0f32; d];
+            for c in 0..d {
+                dxhat[c] = grad_output.get(r, c) * self.gamma.value.get(0, c);
+            }
+            let mean_dxhat = dxhat.iter().sum::<f32>() / d as f32;
+            let mean_dxhat_xhat = dxhat
+                .iter()
+                .enumerate()
+                .map(|(c, &v)| v * cache.xhat.get(r, c))
+                .sum::<f32>()
+                / d as f32;
+            for c in 0..d {
+                let v = cache.inv_std[r]
+                    * (dxhat[c] - mean_dxhat - cache.xhat.get(r, c) * mean_dxhat_xhat);
+                dx.set(r, c, v);
+            }
+        }
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Numerically checks `dL/dx` for a layer against central differences,
+    /// with `L = Σ out ∘ seed`.
+    fn check_input_gradient<L: Layer>(layer: &mut L, x: &Matrix, seed: &Matrix, tol: f32) {
+        let out = layer.forward(x);
+        assert_eq!(out.shape(), seed.shape());
+        layer.zero_grad();
+        let analytic = layer.backward(seed);
+
+        let h = 1e-3f32;
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let mut xp = x.clone();
+                xp.set(r, c, x.get(r, c) + h);
+                let mut xm = x.clone();
+                xm.set(r, c, x.get(r, c) - h);
+                let lp: f32 = layer
+                    .forward(&xp)
+                    .hadamard(seed)
+                    .as_slice()
+                    .iter()
+                    .sum();
+                let lm: f32 = layer
+                    .forward(&xm)
+                    .hadamard(seed)
+                    .as_slice()
+                    .iter()
+                    .sum();
+                let numeric = (lp - lm) / (2.0 * h);
+                let a = analytic.get(r, c);
+                assert!(
+                    (a - numeric).abs() < tol * (1.0 + numeric.abs()),
+                    "grad mismatch at ({r},{c}): analytic {a}, numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    fn test_input() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.5, -1.2, 2.0, 0.1],
+            vec![-0.3, 0.8, -0.9, 1.5],
+            vec![1.1, 0.2, 0.4, -0.6],
+        ])
+    }
+
+    #[test]
+    fn linear_forward_matches_manual() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lin = Linear::new(&mut rng, 2, 2);
+        lin.weight.value = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        lin.bias.value = Matrix::row_vector(&[0.5, -0.5]);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let y = lin.forward(&x);
+        assert_eq!(y.as_slice(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn linear_input_gradient_is_correct() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut lin = Linear::new(&mut rng, 4, 3);
+        let x = test_input();
+        let seed = Matrix::from_fn(3, 3, |r, c| ((r + 2 * c) as f32 * 0.3) - 0.5);
+        check_input_gradient(&mut lin, &x, &seed, 1e-2);
+    }
+
+    #[test]
+    fn linear_weight_gradient_matches_numeric() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut lin = Linear::new(&mut rng, 4, 2);
+        let x = test_input();
+        let seed = Matrix::full(3, 2, 1.0);
+        lin.zero_grad();
+        lin.forward(&x);
+        lin.backward(&seed);
+        let analytic = lin.weight.grad.clone();
+
+        let h = 1e-3f32;
+        for r in 0..4 {
+            for c in 0..2 {
+                let orig = lin.weight.value.get(r, c);
+                lin.weight.value.set(r, c, orig + h);
+                let lp: f32 = lin.infer(&x).as_slice().iter().sum();
+                lin.weight.value.set(r, c, orig - h);
+                let lm: f32 = lin.infer(&x).as_slice().iter().sum();
+                lin.weight.value.set(r, c, orig);
+                let numeric = (lp - lm) / (2.0 * h);
+                assert!(
+                    (analytic.get(r, c) - numeric).abs() < 1e-2,
+                    "weight grad mismatch at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_zeroes_negative_inputs_and_gradients() {
+        let mut relu = ReLU::new();
+        let x = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -3.0]);
+        let y = relu.forward(&x);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+        let g = relu.backward(&Matrix::full(1, 4, 1.0));
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn tanh_input_gradient_is_correct() {
+        let mut tanh = Tanh::new();
+        let x = test_input();
+        let seed = Matrix::from_fn(3, 4, |r, c| 0.2 * (r as f32) - 0.1 * (c as f32) + 0.3);
+        check_input_gradient(&mut tanh, &x, &seed, 1e-2);
+    }
+
+    #[test]
+    fn layernorm_output_has_zero_mean_unit_variance_per_row() {
+        let mut ln = LayerNorm::new(4);
+        let x = test_input();
+        let y = ln.forward(&x);
+        for r in 0..y.rows() {
+            let row = y.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn layernorm_input_gradient_is_correct() {
+        let mut ln = LayerNorm::new(4);
+        // Exercise non-trivial γ/β.
+        ln.gamma.value = Matrix::row_vector(&[1.5, 0.5, -1.0, 2.0]);
+        ln.beta.value = Matrix::row_vector(&[0.1, -0.2, 0.3, 0.0]);
+        let x = test_input();
+        let seed = Matrix::from_fn(3, 4, |r, c| 0.15 * ((r * 4 + c) as f32) - 0.4);
+        check_input_gradient(&mut ln, &x, &seed, 2e-2);
+    }
+
+    #[test]
+    fn layernorm_param_gradients_match_numeric() {
+        let mut ln = LayerNorm::new(3);
+        let x = Matrix::from_rows(&[vec![1.0, -2.0, 0.5], vec![0.2, 0.9, -1.4]]);
+        let seed = Matrix::full(2, 3, 1.0);
+        ln.zero_grad();
+        ln.forward(&x);
+        ln.backward(&seed);
+        let dgamma = ln.gamma.grad.clone();
+
+        let h = 1e-3f32;
+        for c in 0..3 {
+            let orig = ln.gamma.value.get(0, c);
+            ln.gamma.value.set(0, c, orig + h);
+            let lp: f32 = ln.infer(&x).as_slice().iter().sum();
+            ln.gamma.value.set(0, c, orig - h);
+            let lm: f32 = ln.infer(&x).as_slice().iter().sum();
+            ln.gamma.value.set(0, c, orig);
+            let numeric = (lp - lm) / (2.0 * h);
+            assert!((dgamma.get(0, c) - numeric).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn zero_grad_clears_all_params() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut lin = Linear::new(&mut rng, 3, 3);
+        let x = Matrix::full(2, 3, 1.0);
+        lin.forward(&x);
+        lin.backward(&Matrix::full(2, 3, 1.0));
+        assert!(lin.weight.grad.l1_norm() > 0.0);
+        lin.zero_grad();
+        assert_eq!(lin.weight.grad.l1_norm(), 0.0);
+        assert_eq!(lin.bias.grad.l1_norm(), 0.0);
+    }
+}

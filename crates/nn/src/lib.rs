@@ -1,0 +1,36 @@
+//! # agua-nn — minimal dense neural-network substrate
+//!
+//! A from-scratch, dependency-light neural-network library sized for the
+//! models used by the Agua reproduction:
+//!
+//! * the **concept mapping function** δ — `Linear → ReLU → LayerNorm →
+//!   Linear` (paper §3.4 / §4),
+//! * the **output mapping function** Ω — a single `Linear` layer trained
+//!   with ElasticNet regularization (paper Eq. 5–6),
+//! * the **controllers** being explained — small MLP policies and
+//!   classifiers for ABR, congestion control, and DDoS detection.
+//!
+//! All tensors are dense, row-major, `f32`, batch-major (`batch × features`).
+//! Gradients are derived by hand per layer; there is no tape autodiff.
+//! Everything is deterministic given an RNG seed.
+//!
+//! The crate deliberately avoids `unsafe` and fancy generics: robustness
+//! and auditability over raw speed, in the spirit of event-driven
+//! networking libraries such as smoltcp.
+
+pub mod gradcheck;
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod matrix;
+pub mod mlp;
+pub mod optim;
+
+pub use layer::{Layer, LayerNorm, Linear, Param, ReLU, Tanh};
+pub use loss::{
+    entropy_of_rows, grouped_softmax_cross_entropy, mse_loss, softmax_cross_entropy,
+    softmax_cross_entropy_weighted, softmax_rows,
+};
+pub use matrix::Matrix;
+pub use mlp::{LayerKind, Mlp};
+pub use optim::{Adam, ElasticNet, Optimizer, Sgd};

@@ -1,0 +1,273 @@
+//! Loss functions and their gradients with respect to logits.
+//!
+//! Softmax and cross-entropy are fused for numerical stability, so layers
+//! output raw logits and the loss functions return `(loss, dL/dlogits)`.
+
+use crate::matrix::Matrix;
+
+/// Row-wise numerically stable softmax.
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let (n, d) = logits.shape();
+    let mut out = Matrix::zeros(n, d);
+    for r in 0..n {
+        let row = logits.row(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for (c, &v) in row.iter().enumerate() {
+            let e = (v - max).exp();
+            out.set(r, c, e);
+            sum += e;
+        }
+        for c in 0..d {
+            out.set(r, c, out.get(r, c) / sum);
+        }
+    }
+    out
+}
+
+/// Mean softmax cross-entropy over a batch of logits with integer targets.
+///
+/// Returns `(mean_loss, dL/dlogits)`; the gradient is already divided by
+/// the batch size.
+///
+/// # Panics
+/// Panics if any target index is out of range.
+pub fn softmax_cross_entropy(logits: &Matrix, targets: &[usize]) -> (f32, Matrix) {
+    let weights = vec![1.0; targets.len()];
+    softmax_cross_entropy_weighted(logits, targets, &weights)
+}
+
+/// Per-sample weighted softmax cross-entropy.
+///
+/// `loss = (1/n) Σ_i w_i · (−log p_i[t_i])`. With advantages as weights
+/// this is exactly the REINFORCE policy-gradient loss used to train and
+/// retrain the ABR controller.
+pub fn softmax_cross_entropy_weighted(
+    logits: &Matrix,
+    targets: &[usize],
+    weights: &[f32],
+) -> (f32, Matrix) {
+    let (n, d) = logits.shape();
+    assert_eq!(targets.len(), n, "one target per row required");
+    assert_eq!(weights.len(), n, "one weight per row required");
+    let probs = softmax_rows(logits);
+    let mut grad = probs.clone();
+    let mut loss = 0.0;
+    let inv_n = 1.0 / n as f32;
+    for r in 0..n {
+        let t = targets[r];
+        assert!(t < d, "target {t} out of range for {d} classes");
+        let p = probs.get(r, t).max(1e-12);
+        loss += -p.ln() * weights[r];
+        // d/dz (−w·log softmax(z)[t]) = w · (softmax(z) − onehot(t))
+        for c in 0..d {
+            let g = (probs.get(r, c) - if c == t { 1.0 } else { 0.0 }) * weights[r] * inv_n;
+            grad.set(r, c, g);
+        }
+    }
+    (loss * inv_n, grad)
+}
+
+/// Grouped softmax cross-entropy for multi-label concept classification
+/// (paper Eq. 4).
+///
+/// `logits` has shape `batch × (groups · classes)`; group `i` occupies
+/// columns `[i·classes, (i+1)·classes)`. `targets[r][i]` is the class of
+/// group `i` in row `r`. The loss averages the per-group cross-entropies
+/// over groups and batch, matching the `1/C Σ` of Eq. 4.
+pub fn grouped_softmax_cross_entropy(
+    logits: &Matrix,
+    targets: &[Vec<usize>],
+    groups: usize,
+    classes: usize,
+) -> (f32, Matrix) {
+    let (n, d) = logits.shape();
+    assert_eq!(d, groups * classes, "logit width must equal groups·classes");
+    assert_eq!(targets.len(), n, "one target vector per row required");
+    let mut grad = Matrix::zeros(n, d);
+    let mut loss = 0.0;
+    let scale = 1.0 / (n * groups) as f32;
+    for r in 0..n {
+        assert_eq!(targets[r].len(), groups, "one class per group required");
+        for g in 0..groups {
+            let t = targets[r][g];
+            assert!(t < classes, "group target {t} out of range");
+            let base = g * classes;
+            let slice = &logits.row(r)[base..base + classes];
+            let max = slice.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = slice.iter().map(|&v| (v - max).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            let p_t = (exps[t] / sum).max(1e-12);
+            loss += -p_t.ln();
+            for c in 0..classes {
+                let p = exps[c] / sum;
+                grad.set(r, base + c, (p - if c == t { 1.0 } else { 0.0 }) * scale);
+            }
+        }
+    }
+    (loss * scale, grad)
+}
+
+/// Mean squared error: `(1/(n·d)) Σ (pred − target)²`.
+///
+/// Returns `(loss, dL/dpred)`.
+pub fn mse_loss(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = (pred.rows() * pred.cols()) as f32;
+    let diff = pred.sub(target);
+    let loss = diff.as_slice().iter().map(|v| v * v).sum::<f32>() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Shannon entropy of each row of a probability matrix, in nats.
+///
+/// Used as an exploration bonus when fine-tuning controllers (the Fig. 10
+/// debugging experiment "increases entropy" during retraining).
+pub fn entropy_of_rows(probs: &Matrix) -> Vec<f32> {
+    (0..probs.rows())
+        .map(|r| {
+            probs
+                .row(r)
+                .iter()
+                .filter(|&&p| p > 0.0)
+                .map(|&p| -p * p.ln())
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_preserve_order() {
+        let logits = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-5.0, 0.0, 5.0]]);
+        let p = softmax_rows(&logits);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(p.get(r, 2) > p.get(r, 1) && p.get(r, 1) > p.get(r, 0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let logits = Matrix::row_vector(&[1000.0, 1001.0]);
+        let p = softmax_rows(&logits);
+        assert!(p.is_finite());
+        assert!((p.get(0, 0) + p.get(0, 1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_near_zero() {
+        let logits = Matrix::row_vector(&[100.0, 0.0, 0.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_numeric() {
+        let logits = Matrix::from_rows(&[vec![0.2, -0.5, 1.0], vec![0.0, 0.3, -0.7]]);
+        let targets = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets);
+        let h = 1e-3f32;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut lp = logits.clone();
+                lp.set(r, c, logits.get(r, c) + h);
+                let mut lm = logits.clone();
+                lm.set(r, c, logits.get(r, c) - h);
+                let (lossp, _) = softmax_cross_entropy(&lp, &targets);
+                let (lossm, _) = softmax_cross_entropy(&lm, &targets);
+                let numeric = (lossp - lossm) / (2.0 * h);
+                assert!(
+                    (grad.get(r, c) - numeric).abs() < 1e-3,
+                    "grad mismatch at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_cross_entropy_scales_gradient() {
+        let logits = Matrix::row_vector(&[0.1, 0.9]);
+        let (_, g1) = softmax_cross_entropy_weighted(&logits, &[1], &[1.0]);
+        let (_, g2) = softmax_cross_entropy_weighted(&logits, &[1], &[2.5]);
+        for c in 0..2 {
+            assert!((g2.get(0, c) - 2.5 * g1.get(0, c)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn grouped_cross_entropy_gradient_matches_numeric() {
+        // 2 groups × 3 classes.
+        let logits =
+            Matrix::from_rows(&[vec![0.1, -0.4, 0.8, 0.0, 0.5, -0.2]]);
+        let targets = vec![vec![2usize, 1]];
+        let (_, grad) = grouped_softmax_cross_entropy(&logits, &targets, 2, 3);
+        let h = 1e-3f32;
+        for c in 0..6 {
+            let mut lp = logits.clone();
+            lp.set(0, c, logits.get(0, c) + h);
+            let mut lm = logits.clone();
+            lm.set(0, c, logits.get(0, c) - h);
+            let (lossp, _) = grouped_softmax_cross_entropy(&lp, &targets, 2, 3);
+            let (lossm, _) = grouped_softmax_cross_entropy(&lm, &targets, 2, 3);
+            let numeric = (lossp - lossm) / (2.0 * h);
+            assert!((grad.get(0, c) - numeric).abs() < 1e-3, "col {c}");
+        }
+    }
+
+    #[test]
+    fn grouped_cross_entropy_groups_are_independent() {
+        // Perfect prediction in group 0, uniform in group 1: the loss must
+        // be entirely attributable to group 1 and its gradient must not
+        // leak into group 0's columns.
+        let logits = Matrix::from_rows(&[vec![50.0, 0.0, 0.0, 0.0, 0.0, 0.0]]);
+        let targets = vec![vec![0usize, 0]];
+        let (loss, grad) = grouped_softmax_cross_entropy(&logits, &targets, 2, 3);
+        let expected = (3.0f32).ln() / 2.0; // mean over 2 groups
+        assert!((loss - expected).abs() < 1e-4, "loss {loss}");
+        for c in 0..3 {
+            assert!(grad.get(0, c).abs() < 1e-6, "group 0 col {c} leaked");
+        }
+    }
+
+    #[test]
+    fn mse_zero_when_equal() {
+        let a = Matrix::full(2, 2, 3.0);
+        let (loss, grad) = mse_loss(&a, &a);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.l1_norm(), 0.0);
+    }
+
+    #[test]
+    fn mse_gradient_matches_numeric() {
+        let pred = Matrix::from_rows(&[vec![1.0, -2.0], vec![0.5, 3.0]]);
+        let target = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]);
+        let (_, grad) = mse_loss(&pred, &target);
+        let h = 1e-3f32;
+        for r in 0..2 {
+            for c in 0..2 {
+                let mut pp = pred.clone();
+                pp.set(r, c, pred.get(r, c) + h);
+                let mut pm = pred.clone();
+                pm.set(r, c, pred.get(r, c) - h);
+                let (lp, _) = mse_loss(&pp, &target);
+                let (lm, _) = mse_loss(&pm, &target);
+                let numeric = (lp - lm) / (2.0 * h);
+                assert!((grad.get(r, c) - numeric).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn entropy_is_maximal_for_uniform() {
+        let p = Matrix::from_rows(&[vec![0.25; 4], vec![1.0, 0.0, 0.0, 0.0]]);
+        let h = entropy_of_rows(&p);
+        assert!((h[0] - (4.0f32).ln()).abs() < 1e-5);
+        assert!(h[1].abs() < 1e-6);
+    }
+}

@@ -1,0 +1,411 @@
+//! Dense row-major `f32` matrix with exactly the operations the rest of the
+//! workspace needs.
+//!
+//! Shapes follow the batch-major convention: a batch of `n` examples with
+//! `d` features is an `n × d` matrix, one example per row.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major matrix of `f32` values.
+///
+/// ```
+/// use agua_nn::Matrix;
+///
+/// let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// let b = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+/// assert_eq!(a.matmul(&b), a);
+/// assert_eq!(a.sum_rows().as_slice(), &[4.0, 6.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates an `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates an `rows × cols` matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a matrix from a closure invoked as `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix taking ownership of `data` laid out row-major.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Creates a 1×n row matrix from a slice.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// Stacks equal-length rows into a matrix.
+    ///
+    /// # Panics
+    /// Panics if the rows have differing lengths or `rows` is empty.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "cannot build a matrix from zero rows");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Immutable view of the backing slice (row-major).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing slice (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns a new matrix containing the selected rows, in order.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (i, &r) in indices.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Matrix product `self × rhs`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order keeps the inner loop streaming over contiguous
+        // memory in both `rhs` and `out`.
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ × rhs` without materializing the transpose.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "matmul_tn dimension mismatch");
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = rhs.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self × rhsᵀ` without materializing the transpose.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "matmul_nt dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..rhs.rows {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// Materialized transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Element-wise addition.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "sub shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Element-wise scaling by a scalar.
+    pub fn scale(&self, s: f32) -> Matrix {
+        let data = self.data.iter().map(|a| a * s).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// In-place `self += rhs * s` (axpy).
+    pub fn add_scaled_inplace(&mut self, rhs: &Matrix, s: f32) {
+        assert_eq!(self.shape(), rhs.shape(), "add_scaled shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b * s;
+        }
+    }
+
+    /// Adds a 1×cols row vector to every row.
+    pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
+        assert_eq!(row.rows, 1, "broadcast expects a row vector");
+        assert_eq!(row.cols, self.cols, "broadcast width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(row.data.iter()) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Sums each column into a 1×cols row vector.
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r).iter()) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Mean of each column as a 1×cols row vector.
+    pub fn mean_rows(&self) -> Matrix {
+        assert!(self.rows > 0, "mean of an empty matrix");
+        self.sum_rows().scale(1.0 / self.rows as f32)
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        let data = self.data.iter().map(|&v| f(v)).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Index of the largest value in row `r` (ties go to the lowest index).
+    pub fn argmax_row(&self, r: usize) -> usize {
+        let row = self.row(r);
+        let mut best = 0;
+        let mut best_v = row[0];
+        for (i, &v) in row.iter().enumerate().skip(1) {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Sum of absolute values (entrywise L1 norm).
+    pub fn l1_norm(&self) -> f32 {
+        self.data.iter().map(|v| v.abs()).sum()
+    }
+
+    /// True if every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn zeros_has_shape_and_zero_values() {
+        let z = Matrix::zeros(3, 4);
+        assert_eq!(z.shape(), (3, 4));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_fn_lays_out_row_major() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(a.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(a.get(1, 2), 12.0);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 4, &(0..12).map(|v| v as f32).collect::<Vec<_>>());
+        assert_eq!(a.matmul_tn(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(4, 3, &(0..12).map(|v| v as f32).collect::<Vec<_>>());
+        assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn add_sub_hadamard_scale_are_elementwise() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = m(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(a.add(&b).as_slice(), &[6.0, 8.0, 10.0, 12.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[4.0, 4.0, 4.0, 4.0]);
+        assert_eq!(a.hadamard(&b).as_slice(), &[5.0, 12.0, 21.0, 32.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn broadcast_and_reductions() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let r = Matrix::row_vector(&[10.0, 20.0, 30.0]);
+        assert_eq!(a.add_row_broadcast(&r).row(1), &[14.0, 25.0, 36.0]);
+        assert_eq!(a.sum_rows().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(a.mean_rows().as_slice(), &[2.5, 3.5, 4.5]);
+    }
+
+    #[test]
+    fn argmax_row_breaks_ties_low() {
+        let a = m(1, 4, &[1.0, 3.0, 3.0, 2.0]);
+        assert_eq!(a.argmax_row(0), 1);
+    }
+
+    #[test]
+    fn select_rows_orders_by_indices() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let s = a.select_rows(&[2, 0]);
+        assert_eq!(s.as_slice(), &[5.0, 6.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let a = m(1, 3, &[3.0, -4.0, 0.0]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
+        assert!((a.l1_norm() - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn matmul_panics_on_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = m(1, 2, &[1.0, 2.0]);
+        let b = m(1, 2, &[10.0, 10.0]);
+        a.add_scaled_inplace(&b, 0.5);
+        assert_eq!(a.as_slice(), &[6.0, 7.0]);
+    }
+}

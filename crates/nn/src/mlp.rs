@@ -1,0 +1,273 @@
+//! A serializable sequential network container.
+//!
+//! [`Mlp`] stacks a fixed vocabulary of layers ([`LayerKind`]) so that
+//! whole models — controllers and Agua surrogates alike — can be saved and
+//! restored as JSON checkpoints without trait-object gymnastics.
+
+use crate::layer::{Layer, LayerNorm, Linear, Param, ReLU, Tanh};
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// Any layer the sequential container can hold.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Fully connected affine layer.
+    Linear(Linear),
+    /// Rectified linear activation.
+    ReLU(ReLU),
+    /// Hyperbolic tangent activation.
+    Tanh(Tanh),
+    /// Layer normalization.
+    LayerNorm(LayerNorm),
+}
+
+impl Layer for LayerKind {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        match self {
+            LayerKind::Linear(l) => l.forward(input),
+            LayerKind::ReLU(l) => l.forward(input),
+            LayerKind::Tanh(l) => l.forward(input),
+            LayerKind::LayerNorm(l) => l.forward(input),
+        }
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        match self {
+            LayerKind::Linear(l) => l.backward(grad_output),
+            LayerKind::ReLU(l) => l.backward(grad_output),
+            LayerKind::Tanh(l) => l.backward(grad_output),
+            LayerKind::LayerNorm(l) => l.backward(grad_output),
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        match self {
+            LayerKind::Linear(l) => l.params_mut(),
+            LayerKind::ReLU(l) => l.params_mut(),
+            LayerKind::Tanh(l) => l.params_mut(),
+            LayerKind::LayerNorm(l) => l.params_mut(),
+        }
+    }
+}
+
+impl LayerKind {
+    /// Inference-only forward pass that does not cache activations, usable
+    /// through a shared reference.
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        match self {
+            LayerKind::Linear(l) => l.infer(input),
+            LayerKind::ReLU(l) => l.infer(input),
+            LayerKind::Tanh(l) => l.infer(input),
+            LayerKind::LayerNorm(l) => l.infer(input),
+        }
+    }
+}
+
+/// A sequential multi-layer network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    /// Layers applied in order.
+    pub layers: Vec<LayerKind>,
+}
+
+impl Mlp {
+    /// Creates an empty network; push layers with [`Mlp::push`].
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer and returns `self` for builder-style chaining.
+    pub fn push(mut self, layer: LayerKind) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Training forward pass: caches activations in every layer.
+    pub fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Inference forward pass through a shared reference (no caching).
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.infer(&x);
+        }
+        x
+    }
+
+    /// Inference capturing the intermediate activation after layer
+    /// `hidden_after` (0-based, inclusive) alongside the final output.
+    ///
+    /// Controllers expose their embedding network `h(x)` this way: the
+    /// activations of the penultimate hidden layer are handed to Agua's
+    /// concept mapping function.
+    pub fn infer_with_hidden(&self, input: &Matrix, hidden_after: usize) -> (Matrix, Matrix) {
+        assert!(hidden_after < self.layers.len(), "hidden layer index out of range");
+        let mut x = input.clone();
+        let mut hidden = None;
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.infer(&x);
+            if i == hidden_after {
+                hidden = Some(x.clone());
+            }
+        }
+        (hidden.expect("hidden layer captured"), x)
+    }
+
+    /// Backpropagates `dL/d(output)` through the stack, accumulating
+    /// parameter gradients and returning `dL/d(input)`.
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// All parameters of all layers.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    /// Clears every accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&mut self) -> usize {
+        self.params_mut()
+            .iter()
+            .map(|p| p.value.rows() * p.value.cols())
+            .sum()
+    }
+
+    /// Serializes the model to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serialization cannot fail")
+    }
+
+    /// Deserializes a model from JSON.
+    pub fn from_json(s: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes the model as a JSON checkpoint.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads a JSON checkpoint.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let s = std::fs::read_to_string(path)?;
+        Self::from_json(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+impl Default for Mlp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_cross_entropy;
+    use crate::optim::{Adam, Optimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_net(rng: &mut StdRng, in_dim: usize, hidden: usize, out: usize) -> Mlp {
+        Mlp::new()
+            .push(LayerKind::Linear(Linear::new(rng, in_dim, hidden)))
+            .push(LayerKind::ReLU(ReLU::new()))
+            .push(LayerKind::LayerNorm(LayerNorm::new(hidden)))
+            .push(LayerKind::Linear(Linear::new(rng, hidden, out)))
+    }
+
+    #[test]
+    fn forward_and_infer_agree() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut net = small_net(&mut rng, 4, 8, 3);
+        let x = Matrix::from_rows(&[vec![0.1, -0.2, 0.3, 0.4], vec![1.0, 0.0, -1.0, 0.5]]);
+        let a = net.forward(&x);
+        let b = net.infer(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn infer_with_hidden_returns_intermediate() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let net = small_net(&mut rng, 4, 8, 3);
+        let x = Matrix::row_vector(&[0.1, 0.2, 0.3, 0.4]);
+        let (hidden, out) = net.infer_with_hidden(&x, 2);
+        assert_eq!(hidden.shape(), (1, 8));
+        assert_eq!(out.shape(), (1, 3));
+        // The hidden capture after the LayerNorm must differ from the raw
+        // post-linear activations.
+        let (h1, _) = net.infer_with_hidden(&x, 0);
+        assert_ne!(hidden, h1);
+    }
+
+    #[test]
+    fn network_learns_xor() {
+        // XOR is the classic non-linearly-separable sanity check: if the
+        // stack, losses, and optimizer compose correctly, it must fit.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = Mlp::new()
+            .push(LayerKind::Linear(Linear::new(&mut rng, 2, 16)))
+            .push(LayerKind::Tanh(Tanh::new()))
+            .push(LayerKind::Linear(Linear::new(&mut rng, 16, 2)));
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ]);
+        let y = [0usize, 1, 1, 0];
+        let mut opt = Adam::new(0.05);
+        let mut final_loss = f32::MAX;
+        for _ in 0..400 {
+            net.zero_grad();
+            let logits = net.forward(&x);
+            let (loss, grad) = softmax_cross_entropy(&logits, &y);
+            net.backward(&grad);
+            opt.step(&mut net.params_mut());
+            final_loss = loss;
+        }
+        assert!(final_loss < 0.05, "XOR did not converge: loss {final_loss}");
+        let logits = net.infer(&x);
+        for (r, &t) in y.iter().enumerate() {
+            assert_eq!(logits.argmax_row(r), t, "row {r} misclassified");
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_inference() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let net = small_net(&mut rng, 5, 6, 2);
+        let x = Matrix::row_vector(&[0.3, -0.1, 0.7, 0.0, -0.5]);
+        let before = net.infer(&x);
+        let restored = Mlp::from_json(&net.to_json()).expect("roundtrip");
+        let after = restored.infer(&x);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn param_count_is_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = small_net(&mut rng, 4, 8, 3);
+        // Linear(4→8): 32+8; LayerNorm(8): 8+8; Linear(8→3): 24+3.
+        assert_eq!(net.param_count(), 32 + 8 + 8 + 8 + 24 + 3);
+    }
+}

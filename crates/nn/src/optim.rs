@@ -1,0 +1,243 @@
+//! Optimizers and regularization.
+//!
+//! The paper trains the concept mapping function with SGD + momentum 0.25
+//! and the output mapping function with SGD under ElasticNet regularization
+//! (Eq. 6). Adam is provided for the controller training loops, where it
+//! converges markedly faster on the behaviour-cloning objectives.
+
+use crate::layer::Param;
+use serde::{Deserialize, Serialize};
+
+/// A gradient-descent update rule applied to a set of parameters.
+pub trait Optimizer {
+    /// Applies one update step to every parameter using its accumulated
+    /// gradient, then leaves gradients untouched (callers clear them).
+    fn step(&mut self, params: &mut [&mut Param]);
+}
+
+/// Stochastic gradient descent with classical momentum.
+///
+/// `v ← μ·v + g;  θ ← θ − lr·v`
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient μ (0 disables momentum).
+    pub momentum: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Self { lr, momentum }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        for p in params.iter_mut() {
+            if self.momentum != 0.0 {
+                let (r, c) = p.grad.shape();
+                debug_assert_eq!(p.m.shape(), (r, c));
+                for i in 0..r * c {
+                    let g = p.grad.as_slice()[i];
+                    let m = p.m.as_slice()[i] * self.momentum + g;
+                    p.m.as_mut_slice()[i] = m;
+                    p.value.as_mut_slice()[i] -= self.lr * m;
+                }
+            } else {
+                let grad = p.grad.clone();
+                p.value.add_scaled_inplace(&grad, -self.lr);
+            }
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Stability epsilon.
+    pub eps: f32,
+    /// Number of steps taken (for bias correction).
+    pub t: u64,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the conventional betas.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for p in params.iter_mut() {
+            let n = p.grad.rows() * p.grad.cols();
+            for i in 0..n {
+                let g = p.grad.as_slice()[i];
+                let m = self.beta1 * p.m.as_slice()[i] + (1.0 - self.beta1) * g;
+                let v = self.beta2 * p.v.as_slice()[i] + (1.0 - self.beta2) * g * g;
+                p.m.as_mut_slice()[i] = m;
+                p.v.as_mut_slice()[i] = v;
+                let mhat = m / bc1;
+                let vhat = v / bc2;
+                p.value.as_mut_slice()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// ElasticNet regularization (paper Eq. 6):
+/// `l = (1−α)·‖W‖₂² + α·(‖W‖₁ + ‖b‖₁)`, scaled by a coefficient λ.
+///
+/// Applied by adding `λ·∂l/∂θ` to the accumulated gradients *before* the
+/// optimizer step, which matches how the paper folds the penalty into the
+/// output-mapping training.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ElasticNet {
+    /// Mixing weight α between L1 (α) and L2 (1−α) penalties.
+    pub alpha: f32,
+    /// Overall regularization coefficient λ.
+    pub coeff: f32,
+}
+
+impl ElasticNet {
+    /// Creates an ElasticNet penalty. The paper uses α = 0.95, λ = 1e-5.
+    pub fn new(alpha: f32, coeff: f32) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+        Self { alpha, coeff }
+    }
+
+    /// The paper's configuration (α = 0.95, λ = 1e-5).
+    pub fn paper() -> Self {
+        Self::new(0.95, 1e-5)
+    }
+
+    /// Evaluates the penalty value for reporting.
+    pub fn penalty(&self, params: &[&Param]) -> f32 {
+        let l2: f32 = params
+            .iter()
+            .map(|p| p.value.as_slice().iter().map(|v| v * v).sum::<f32>())
+            .sum();
+        let l1: f32 = params.iter().map(|p| p.value.l1_norm()).sum();
+        self.coeff * ((1.0 - self.alpha) * l2 + self.alpha * l1)
+    }
+
+    /// Adds the penalty gradient `λ·(2(1−α)θ + α·sign(θ))` to each
+    /// parameter's accumulated gradient.
+    pub fn accumulate_grad(&self, params: &mut [&mut Param]) {
+        for p in params.iter_mut() {
+            let n = p.value.rows() * p.value.cols();
+            for i in 0..n {
+                let w = p.value.as_slice()[i];
+                let g = self.coeff * (2.0 * (1.0 - self.alpha) * w + self.alpha * w.signum());
+                p.grad.as_mut_slice()[i] += g;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn param(vals: &[f32]) -> Param {
+        Param::new(Matrix::row_vector(vals))
+    }
+
+    #[test]
+    fn sgd_without_momentum_is_plain_descent() {
+        let mut p = param(&[1.0, -2.0]);
+        p.grad = Matrix::row_vector(&[0.5, -0.5]);
+        let mut opt = Sgd::new(0.1, 0.0);
+        opt.step(&mut [&mut p]);
+        assert_eq!(p.value.as_slice(), &[0.95, -1.95]);
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates_velocity() {
+        let mut p = param(&[0.0]);
+        let mut opt = Sgd::new(1.0, 0.5);
+        p.grad = Matrix::row_vector(&[1.0]);
+        opt.step(&mut [&mut p]); // v=1, θ=-1
+        opt.step(&mut [&mut p]); // v=1.5, θ=-2.5
+        assert!((p.value.get(0, 0) + 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_moves_against_gradient() {
+        let mut p = param(&[1.0]);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..10 {
+            p.grad = Matrix::row_vector(&[2.0 * p.value.get(0, 0)]); // ∇(θ²)
+            opt.step(&mut [&mut p]);
+            p.zero_grad();
+        }
+        assert!(p.value.get(0, 0).abs() < 1.0, "should shrink toward 0");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut p = param(&[5.0]);
+        let mut opt = Adam::new(0.2);
+        for _ in 0..500 {
+            p.grad = Matrix::row_vector(&[2.0 * (p.value.get(0, 0) - 3.0)]);
+            opt.step(&mut [&mut p]);
+            p.zero_grad();
+        }
+        assert!((p.value.get(0, 0) - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn elasticnet_penalty_value_matches_formula() {
+        let p = param(&[1.0, -2.0]);
+        let en = ElasticNet::new(0.5, 0.1);
+        // l2 = 1+4 = 5, l1 = 3; penalty = 0.1*(0.5*5 + 0.5*3) = 0.4
+        assert!((en.penalty(&[&p]) - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn elasticnet_gradient_drives_weights_toward_zero() {
+        let mut p = param(&[1.0, -1.0]);
+        let en = ElasticNet::new(0.95, 0.1);
+        en.accumulate_grad(&mut [&mut p]);
+        // Positive weight gets positive gradient (descent shrinks it).
+        assert!(p.grad.get(0, 0) > 0.0);
+        assert!(p.grad.get(0, 1) < 0.0);
+    }
+
+    #[test]
+    fn elasticnet_sparsifies_under_descent() {
+        // Pure-penalty descent should drive small weights to ~0 via the L1
+        // term, demonstrating the sparsity the paper relies on for
+        // readable explanations.
+        let mut p = param(&[0.05, -0.04, 0.9]);
+        let en = ElasticNet::new(1.0, 1.0);
+        let mut opt = Sgd::new(0.01, 0.0);
+        for _ in 0..20 {
+            p.zero_grad();
+            en.accumulate_grad(&mut [&mut p]);
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value.get(0, 0).abs() < 0.06);
+        assert!(p.value.get(0, 1).abs() < 0.05);
+        // Large weight shrinks linearly but stays dominant.
+        assert!(p.value.get(0, 2) > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0,1]")]
+    fn elasticnet_rejects_bad_alpha() {
+        let _ = ElasticNet::new(1.5, 0.1);
+    }
+}

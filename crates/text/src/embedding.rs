@@ -1,0 +1,198 @@
+//! Hashed bag-of-n-grams text embedding.
+//!
+//! Stand-in for the paper's OpenAI-large / BGE-M3 embedding models. Tokens
+//! are lowercased alphanumeric runs; stopwords are dropped; remaining
+//! unigrams and bigrams are weighted by the domain lexicon and hashed into
+//! a fixed-dimension vector with sign hashing (so unrelated collisions
+//! tend to cancel rather than correlate). Vectors are L2-normalized, so
+//! the dot product is the cosine similarity.
+
+use crate::lexicon::term_weight;
+use serde::{Deserialize, Serialize};
+
+/// A deterministic hashed n-gram embedder.
+///
+/// ```
+/// use agua_text::embedding::{cosine_similarity, Embedder};
+///
+/// let e = Embedder::new(256);
+/// let a = e.embed("rapidly increasing network latency");
+/// let b = e.embed("network latency is rapidly increasing");
+/// let c = e.embed("stable client buffer near full capacity");
+/// assert!(cosine_similarity(&a, &b) > cosine_similarity(&a, &c));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Embedder {
+    /// Output dimensionality.
+    dim: usize,
+    /// Hash seed; different seeds give (slightly) different models, which
+    /// the benchmarks use to mimic switching embedding providers.
+    seed: u64,
+}
+
+impl Embedder {
+    /// Creates an embedder with the given output dimension.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        Self::with_seed(dim, 0x5151_7E37)
+    }
+
+    /// Creates an embedder with an explicit hash seed.
+    pub fn with_seed(dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        Self { dim, seed }
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embeds `text` into an L2-normalized vector.
+    pub fn embed(&self, text: &str) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.dim];
+        let tokens = tokenize(text);
+
+        for token in &tokens {
+            self.add_term(&mut v, token, term_weight(token));
+        }
+        // Bigrams over the filtered token stream capture phrases like
+        // "rapidly increasing" vs "rapidly decreasing".
+        for pair in tokens.windows(2) {
+            let w = (term_weight(&pair[0]) * term_weight(&pair[1])).sqrt();
+            if w > 0.0 {
+                let bigram = format!("{} {}", pair[0], pair[1]);
+                self.add_term(&mut v, &bigram, 1.5 * w);
+            }
+        }
+
+        let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for x in &mut v {
+                *x /= norm;
+            }
+        }
+        v
+    }
+
+    fn add_term(&self, v: &mut [f32], term: &str, weight: f32) {
+        if weight == 0.0 {
+            return;
+        }
+        let h = fnv1a(term, self.seed);
+        let bucket = (h % self.dim as u64) as usize;
+        // One extra hash bit decides the sign, decorrelating collisions.
+        let sign = if (h >> 61) & 1 == 0 { 1.0 } else { -1.0 };
+        v[bucket] += sign * weight;
+    }
+}
+
+/// Lowercase alphanumeric tokenization with stopword removal.
+fn tokenize(text: &str) -> Vec<String> {
+    text.to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .filter(|t| term_weight(t) > 0.0)
+        .map(str::to_string)
+        .collect()
+}
+
+/// Cosine similarity between two equal-length vectors, clamped to [0, 1]
+/// (the paper treats cosine similarity as a non-negative intensity).
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine of mismatched dimensions");
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot / (na * nb)).clamp(0.0, 1.0)
+}
+
+fn fnv1a(s: &str, seed: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embeddings_are_unit_norm() {
+        let e = Embedder::new(256);
+        let v = e.embed("rapidly increasing network throughput");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_text_embeds_to_zero() {
+        let e = Embedder::new(64);
+        let v = e.embed("the of and");
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn identical_texts_have_similarity_one() {
+        let e = Embedder::new(256);
+        let a = e.embed("volatile network throughput with fluctuating bandwidth");
+        assert!((cosine_similarity(&a, &a) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn related_texts_are_closer_than_unrelated() {
+        let e = Embedder::new(512);
+        let buffer_a = e.embed("buffer rapidly decreasing, depleting toward empty");
+        let buffer_b = e.embed("the buffer exhibits a rapidly decreasing pattern, depleting");
+        let ddos = e.embed("syn flood attack with anomalous packet volume");
+        let close = cosine_similarity(&buffer_a, &buffer_b);
+        let far = cosine_similarity(&buffer_a, &ddos);
+        assert!(close > far + 0.2, "close {close} vs far {far}");
+    }
+
+    #[test]
+    fn bigram_order_separates_opposite_phrases() {
+        let e = Embedder::new(512);
+        let up = e.embed("rapidly increasing latency rapidly increasing latency");
+        let down = e.embed("rapidly decreasing latency rapidly decreasing latency");
+        let up2 = e.embed("latency is rapidly increasing over the window");
+        assert!(
+            cosine_similarity(&up, &up2) > cosine_similarity(&down, &up2),
+            "direction must matter"
+        );
+    }
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let e = Embedder::new(128);
+        assert_eq!(e.embed("stable buffer"), e.embed("stable buffer"));
+    }
+
+    #[test]
+    fn different_seeds_give_different_models() {
+        let a = Embedder::with_seed(128, 1).embed("stable buffer with high throughput");
+        let b = Embedder::with_seed(128, 2).embed("stable buffer with high throughput");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cosine_similarity_is_clamped_nonnegative() {
+        let a = vec![1.0, 0.0];
+        let b = vec![-1.0, 0.0];
+        assert_eq!(cosine_similarity(&a, &b), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cosine of mismatched dimensions")]
+    fn cosine_rejects_mismatched_lengths() {
+        let _ = cosine_similarity(&[1.0], &[1.0, 2.0]);
+    }
+}

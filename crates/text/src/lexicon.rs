@@ -1,0 +1,105 @@
+//! Shared domain vocabulary: stopwords, term weights, and synonym groups.
+//!
+//! The embedder boosts domain-bearing terms and drops template glue so
+//! that cosine similarity between a long structured description and a
+//! short concept text is driven by the pattern vocabulary both sides
+//! share, not by boilerplate.
+
+/// Template glue dropped entirely during tokenization.
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "the", "of", "in", "on", "at", "as", "to", "from", "with", "by", "and", "or",
+    "is", "are", "was", "be", "it", "its", "this", "that", "for", "off", "starts", "observed",
+    "evident", "based", "exhibits", "exhibit", "indicating", "presence", "overall", "trend",
+    "initially", "middle", "end", "pattern", "patterns", "features", "feature", "conditions",
+    "altogether", "indicate", "correlates", "key", "concept", "per",
+];
+
+/// Pattern adjectives that carry most of the signal; they receive extra
+/// weight in the embedding.
+pub const PATTERN_TERMS: &[&str] = &[
+    "increasing", "decreasing", "rapidly", "stable", "volatile", "fluctuating", "steady",
+    "rising", "climbing", "growing", "falling", "declining", "dropping", "consistent", "flat",
+    "erratic", "unstable", "depleting", "recovering", "improving", "degrading", "worsening",
+    "low", "high", "moderate", "very", "elevated", "reduced", "empty", "full", "nearly",
+    "anomalous", "typical", "bursty", "sparse", "spiking", "surging",
+];
+
+/// Domain nouns shared between descriptions and concept texts.
+pub const DOMAIN_TERMS: &[&str] = &[
+    "throughput", "buffer", "bitrate", "quality", "chunk", "stall", "stalling", "startup",
+    "video", "playback", "experience", "qoe", "transmission", "bandwidth", "complexity",
+    "latency", "rtt", "delay", "loss", "packet", "packets", "rate", "sending", "utilization",
+    "congestion", "network", "capacity", "queue", "flow", "flows", "syn", "ack", "tcp", "udp",
+    "http", "handshake", "payload", "protocol", "request", "requests", "source", "sources",
+    "geographic", "temporal", "behavior", "application", "attack", "traffic", "volume",
+    "session", "sessions", "interarrival", "port", "ports", "header", "size", "sizes", "slow",
+    "access", "compliance",
+];
+
+/// Weight applied to a token when building the embedding.
+pub fn term_weight(token: &str) -> f32 {
+    if STOPWORDS.contains(&token) {
+        0.0
+    } else if PATTERN_TERMS.contains(&token) {
+        2.0
+    } else if DOMAIN_TERMS.contains(&token) {
+        1.5
+    } else {
+        0.5
+    }
+}
+
+/// Synonym groups used by the describer's lexical-noise model. The first
+/// entry of each group is the canonical phrase emitted at zero noise.
+pub const SYNONYMS: &[&[&str]] = &[
+    &["increasing", "rising", "climbing", "growing"],
+    &["decreasing", "falling", "declining", "dropping"],
+    &["stable", "steady", "consistent", "flat"],
+    &["volatile", "fluctuating", "erratic", "unstable"],
+    &["high", "elevated"],
+    &["low", "reduced"],
+];
+
+/// Returns the synonym group containing `word`, if any.
+pub fn synonym_group(word: &str) -> Option<&'static [&'static str]> {
+    SYNONYMS.iter().copied().find(|group| group.contains(&word))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwords_have_zero_weight() {
+        assert_eq!(term_weight("the"), 0.0);
+        assert_eq!(term_weight("pattern"), 0.0);
+    }
+
+    #[test]
+    fn pattern_terms_outweigh_domain_terms_outweigh_unknowns() {
+        assert!(term_weight("volatile") > term_weight("throughput"));
+        assert!(term_weight("throughput") > term_weight("zebra"));
+        assert!(term_weight("zebra") > 0.0);
+    }
+
+    #[test]
+    fn synonyms_resolve_to_their_group() {
+        let g = synonym_group("falling").expect("group exists");
+        assert_eq!(g[0], "decreasing");
+        assert!(synonym_group("xylophone").is_none());
+    }
+
+    #[test]
+    fn every_synonym_is_a_weighted_pattern_term() {
+        // If a synonym were not in PATTERN_TERMS the noise model would
+        // silently change embedding weights, not just wording.
+        for group in SYNONYMS {
+            for word in *group {
+                assert!(
+                    PATTERN_TERMS.contains(word),
+                    "synonym {word} missing from PATTERN_TERMS"
+                );
+            }
+        }
+    }
+}

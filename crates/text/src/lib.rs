@@ -1,0 +1,35 @@
+//! # agua-text — structured description generation and text embeddings
+//!
+//! Agua's training pipeline (paper Fig. 2, stages ② and ③) converts each
+//! controller input into a *structured text description* via an LLM, embeds
+//! the description and every base concept with a text-embedding model, and
+//! quantizes their cosine similarities into concept-class labels.
+//!
+//! This crate provides offline, deterministic stand-ins for both models:
+//!
+//! * [`describer::Describer`] — a template-grounded description generator
+//!   that fills exactly the blanks of the paper's Fig. 15 prompt
+//!   ("Initially starts off with a {stable} pattern, as observed from the
+//!   features {…}") from per-window statistics of the input's signal time
+//!   series. A configurable noise model (synonym sampling and occasional
+//!   pattern mis-reads) emulates the stochasticity of a real LLM; two
+//!   [`describer::ModelGrade`]s mirror the paper's GPT-4o vs Llama-3.3
+//!   comparison.
+//! * [`embedding::Embedder`] — a hashed bag-of-n-grams embedder with an
+//!   IDF-style domain lexicon. Concept tagging only ever consumes cosine
+//!   similarities between short, vocabulary-controlled domain texts, which
+//!   a lexical embedder models faithfully.
+//!
+//! The rest of the pipeline (quantization, surrogate training,
+//! explanations) lives in the `agua` crate and is agnostic to whether the
+//! text and vectors came from these simulators or from real models.
+
+pub mod describer;
+pub mod embedding;
+pub mod lexicon;
+pub mod prompt;
+pub mod stats;
+
+pub use describer::{Describer, DescriberConfig, ModelGrade};
+pub use embedding::{cosine_similarity, Embedder};
+pub use stats::{analyze_series, Level, SegmentStats, SeriesAnalysis, SignalSeries, Trend};

@@ -1,0 +1,146 @@
+//! Rendering the paper's Fig. 15 prompt.
+//!
+//! Agua's input-description stage sends an LLM a strictly structured
+//! prompt: a system instruction, the base concepts with their
+//! descriptions, the raw state (each feature series with its documented
+//! maximum), and a fill-in-the-blank explanation template. This module
+//! renders that prompt verbatim from a set of concepts and described
+//! sections — the [`crate::describer::Describer`] then plays the role of
+//! the LLM producing the Fig. 16 response.
+//!
+//! Keeping the prompt renderer in the codebase serves two purposes:
+//! the simulated pipeline documents exactly what a real-LLM deployment
+//! would send, and swapping the describer for a real model is a one-line
+//! change (send [`render_prompt`]'s output instead).
+
+use crate::describer::DescribedSection;
+
+/// The paper's system instruction (Fig. 15).
+pub const SYSTEM_INSTRUCTION: &str = "You are a computer scientist trying to gather key \
+    information to use in an embedding model to identify patterns. Be straight to the point \
+    and avoid unnecessary words.";
+
+/// A named concept with a description, as listed in the prompt.
+#[derive(Debug, Clone)]
+pub struct PromptConcept {
+    /// Concept name.
+    pub name: String,
+    /// One-sentence description.
+    pub description: String,
+}
+
+/// Renders the full Fig. 15 prompt: system instruction, concept list,
+/// state dump, and the fill-in-the-blank template.
+pub fn render_prompt(
+    domain: &str,
+    concepts: &[PromptConcept],
+    sections: &[DescribedSection],
+) -> String {
+    let mut out = String::new();
+    out.push_str("System Instructions: ");
+    out.push_str(SYSTEM_INSTRUCTION);
+    out.push_str("\n\nUser Prompt: Explain the patterns in the state using the following key \
+                  concepts for the environment of ");
+    out.push_str(domain);
+    out.push_str(" alongside common statistical metrics. Give an explanation for each \
+                  takeaway.\n\nHere are the concepts:\n");
+    for (i, c) in concepts.iter().enumerate() {
+        out.push_str(&format!("({}) {}: {}\n", i + 1, c.name, c.description));
+    }
+
+    out.push_str("\nState to identify patterns for:\n");
+    for section in sections {
+        for signal in &section.signals {
+            let values: Vec<String> =
+                signal.values.iter().map(|v| format!("{v:.3}")).collect();
+            let unit = if signal.unit.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", signal.unit)
+            };
+            out.push_str(&format!(
+                "{}{}, max={}: [{}]\n",
+                signal.name,
+                unit,
+                signal.max,
+                values.join(", ")
+            ));
+        }
+    }
+
+    out.push_str("\nExplanation Template:\n");
+    for section in sections {
+        out.push_str(&format!(
+            "{}: Initially starts off with (a/an) _ pattern, as observed from the features _. \
+             In the middle, it exhibits (a/an) _ to (a/an) _ pattern, as evident from \
+             features _. In the end, it exhibits (a/an) _ to (a/an) _ pattern, based on \
+             features _. Overall, the trend is _, indicating the presence of _ conditions.\n",
+            section.title
+        ));
+    }
+    out.push_str(
+        "Altogether, the patterns in the features indicate _ conditions. This correlates with \
+         the key concepts of _, _, _, _, and _.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::SignalSeries;
+
+    fn sections() -> Vec<DescribedSection> {
+        vec![DescribedSection::new(
+            "Network conditions",
+            vec![SignalSeries::new(
+                "Network Throughput",
+                "Mbps",
+                vec![3.0, 2.5, 2.0],
+                3.0,
+            )],
+        )]
+    }
+
+    fn concepts() -> Vec<PromptConcept> {
+        vec![
+            PromptConcept {
+                name: "Volatile Network Throughput".into(),
+                description: "throughput varies rapidly".into(),
+            },
+            PromptConcept {
+                name: "Stable Buffer".into(),
+                description: "the buffer holds steady".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn prompt_contains_all_fig15_parts() {
+        let p = render_prompt("Adaptive Bitrate Streaming", &concepts(), &sections());
+        assert!(p.contains(SYSTEM_INSTRUCTION));
+        assert!(p.contains("(1) Volatile Network Throughput:"));
+        assert!(p.contains("(2) Stable Buffer:"));
+        assert!(p.contains("Network Throughput (Mbps), max=3: [3.000, 2.500, 2.000]"));
+        assert!(p.contains("Explanation Template:"));
+        assert!(p.contains("Initially starts off with (a/an) _ pattern"));
+        assert!(p.contains("correlates with the key concepts"));
+    }
+
+    #[test]
+    fn unitless_signals_omit_parentheses() {
+        let s = vec![DescribedSection::new(
+            "QoE",
+            vec![SignalSeries::new("Quality of Experience", "", vec![3.0], 5.0)],
+        )];
+        let p = render_prompt("ABR", &concepts(), &s);
+        assert!(p.contains("Quality of Experience, max=5: [3.000]"));
+        assert!(!p.contains("Quality of Experience ()"));
+    }
+
+    #[test]
+    fn values_render_with_three_decimals() {
+        let p = render_prompt("ABR", &concepts(), &sections());
+        assert!(p.contains("2.500"));
+    }
+}

@@ -1,0 +1,311 @@
+//! Time-series pattern analysis feeding the structured describer.
+//!
+//! The paper's prompt asks the LLM to characterize each signal over three
+//! windows — "Initially", "In the middle", "In the end" — plus an overall
+//! trend. This module computes those characterizations deterministically
+//! from the numbers: a normalized slope classifies the *trend*, relative
+//! dispersion classifies *volatility*, and the mean relative to the
+//! signal's documented maximum classifies the *level*.
+
+use serde::{Deserialize, Serialize};
+
+/// A named time series of one controller-input feature, together with the
+/// feature's documented maximum (as in the paper's prompt:
+/// "Network Throughput (Mbps), max=3: […]").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SignalSeries {
+    /// Human-readable feature name, e.g. "Network Throughput".
+    pub name: String,
+    /// Unit shown in the prompt, e.g. "Mbps".
+    pub unit: String,
+    /// Raw values, oldest first.
+    pub values: Vec<f32>,
+    /// Documented maximum used to normalize levels.
+    pub max: f32,
+}
+
+impl SignalSeries {
+    /// Creates a signal series.
+    pub fn new(name: &str, unit: &str, values: Vec<f32>, max: f32) -> Self {
+        assert!(max > 0.0, "signal max must be positive");
+        Self { name: name.to_string(), unit: unit.to_string(), values, max }
+    }
+}
+
+/// Direction of change within a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Trend {
+    /// Strong positive slope.
+    RapidlyIncreasing,
+    /// Mild positive slope.
+    Increasing,
+    /// Negligible slope.
+    Stable,
+    /// Mild negative slope.
+    Decreasing,
+    /// Strong negative slope.
+    RapidlyDecreasing,
+}
+
+impl Trend {
+    /// Canonical lexicon phrase for the trend.
+    pub fn phrase(self) -> &'static str {
+        match self {
+            Trend::RapidlyIncreasing => "rapidly increasing",
+            Trend::Increasing => "increasing",
+            Trend::Stable => "stable",
+            Trend::Decreasing => "decreasing",
+            Trend::RapidlyDecreasing => "rapidly decreasing",
+        }
+    }
+
+    /// All variants, for enumeration in tests and noise models.
+    pub fn all() -> [Trend; 5] {
+        [
+            Trend::RapidlyIncreasing,
+            Trend::Increasing,
+            Trend::Stable,
+            Trend::Decreasing,
+            Trend::RapidlyDecreasing,
+        ]
+    }
+
+    /// The neighbouring trend categories, used by the describer's
+    /// mis-read noise model (an LLM confuses "stable" with "increasing"
+    /// far more often than with "rapidly decreasing").
+    pub fn neighbours(self) -> Vec<Trend> {
+        match self {
+            Trend::RapidlyIncreasing => vec![Trend::Increasing],
+            Trend::Increasing => vec![Trend::RapidlyIncreasing, Trend::Stable],
+            Trend::Stable => vec![Trend::Increasing, Trend::Decreasing],
+            Trend::Decreasing => vec![Trend::Stable, Trend::RapidlyDecreasing],
+            Trend::RapidlyDecreasing => vec![Trend::Decreasing],
+        }
+    }
+}
+
+/// Magnitude buckets used for both levels and volatility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Level {
+    /// Bottom of the range.
+    VeryLow,
+    /// Low.
+    Low,
+    /// Middle of the range.
+    Moderate,
+    /// High.
+    High,
+    /// Top of the range.
+    VeryHigh,
+}
+
+impl Level {
+    /// Canonical lexicon phrase for the level.
+    pub fn phrase(self) -> &'static str {
+        match self {
+            Level::VeryLow => "very low",
+            Level::Low => "low",
+            Level::Moderate => "moderate",
+            Level::High => "high",
+            Level::VeryHigh => "very high",
+        }
+    }
+}
+
+/// Pattern statistics for one window of a series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegmentStats {
+    /// Direction of change across the window.
+    pub trend: Trend,
+    /// Whether the window is volatile (high relative dispersion around its
+    /// own trend line).
+    pub volatile: bool,
+    /// Mean level relative to the documented maximum.
+    pub level: Level,
+}
+
+/// Full analysis of a series: initial / middle / end windows plus overall.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesAnalysis {
+    /// First third of the window.
+    pub initial: SegmentStats,
+    /// Middle third.
+    pub middle: SegmentStats,
+    /// Final third.
+    pub end: SegmentStats,
+    /// Whole window.
+    pub overall: SegmentStats,
+    /// Overall mean divided by the documented maximum, in [0, ~1].
+    pub normalized_mean: f32,
+}
+
+/// Slope threshold (per step, relative to the documented max) above which
+/// a window counts as increasing/decreasing.
+const SLOPE_MILD: f32 = 0.01;
+/// Slope threshold above which a trend counts as "rapid".
+const SLOPE_RAPID: f32 = 0.05;
+/// Residual-dispersion threshold (relative to max) for volatility.
+const VOLATILITY_THRESHOLD: f32 = 0.08;
+
+fn linear_fit(values: &[f32]) -> (f32, f32) {
+    // Least-squares slope and intercept over index 0..n.
+    let n = values.len() as f32;
+    if values.len() < 2 {
+        return (0.0, values.first().copied().unwrap_or(0.0));
+    }
+    let mean_x = (n - 1.0) / 2.0;
+    let mean_y = values.iter().sum::<f32>() / n;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, &y) in values.iter().enumerate() {
+        let dx = i as f32 - mean_x;
+        num += dx * (y - mean_y);
+        den += dx * dx;
+    }
+    let slope = if den > 0.0 { num / den } else { 0.0 };
+    (slope, mean_y - slope * mean_x)
+}
+
+fn segment_stats(values: &[f32], max: f32) -> SegmentStats {
+    let (slope, intercept) = linear_fit(values);
+    let rel_slope = slope / max;
+    let trend = if rel_slope > SLOPE_RAPID {
+        Trend::RapidlyIncreasing
+    } else if rel_slope > SLOPE_MILD {
+        Trend::Increasing
+    } else if rel_slope < -SLOPE_RAPID {
+        Trend::RapidlyDecreasing
+    } else if rel_slope < -SLOPE_MILD {
+        Trend::Decreasing
+    } else {
+        Trend::Stable
+    };
+
+    // Dispersion around the fitted trend line, so a clean ramp is not
+    // mistaken for volatility.
+    let n = values.len().max(1) as f32;
+    let resid_var = values
+        .iter()
+        .enumerate()
+        .map(|(i, &y)| {
+            let fit = intercept + slope * i as f32;
+            (y - fit) * (y - fit)
+        })
+        .sum::<f32>()
+        / n;
+    let volatile = resid_var.sqrt() / max > VOLATILITY_THRESHOLD;
+
+    let mean = values.iter().sum::<f32>() / n;
+    let frac = (mean / max).clamp(0.0, 1.0);
+    let level = if frac < 0.15 {
+        Level::VeryLow
+    } else if frac < 0.35 {
+        Level::Low
+    } else if frac < 0.65 {
+        Level::Moderate
+    } else if frac < 0.85 {
+        Level::High
+    } else {
+        Level::VeryHigh
+    };
+
+    SegmentStats { trend, volatile, level }
+}
+
+/// Analyzes a series into initial/middle/end window statistics and an
+/// overall summary.
+///
+/// # Panics
+/// Panics if the series is empty.
+pub fn analyze_series(series: &SignalSeries) -> SeriesAnalysis {
+    assert!(!series.values.is_empty(), "cannot analyze an empty series");
+    let v = &series.values;
+    let n = v.len();
+    let third = (n / 3).max(1);
+    let initial = segment_stats(&v[..third.min(n)], series.max);
+    let middle = segment_stats(&v[(third).min(n - 1)..(2 * third).max(third).min(n)], series.max);
+    let end = segment_stats(&v[n - third.min(n)..], series.max);
+    let overall = segment_stats(v, series.max);
+    let normalized_mean = (v.iter().sum::<f32>() / n as f32 / series.max).clamp(0.0, 1.0);
+    SeriesAnalysis { initial, middle, end, overall, normalized_mean }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: &[f32], max: f32) -> SignalSeries {
+        SignalSeries::new("Test", "u", values.to_vec(), max)
+    }
+
+    #[test]
+    fn flat_series_is_stable_not_volatile() {
+        let a = analyze_series(&series(&[2.0; 10], 4.0));
+        assert_eq!(a.overall.trend, Trend::Stable);
+        assert!(!a.overall.volatile);
+        assert_eq!(a.overall.level, Level::Moderate);
+    }
+
+    #[test]
+    fn steep_ramp_is_rapidly_increasing_but_not_volatile() {
+        let vals: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let a = analyze_series(&series(&vals, 10.0));
+        assert_eq!(a.overall.trend, Trend::RapidlyIncreasing);
+        assert!(!a.overall.volatile, "clean ramps must not read as volatile");
+    }
+
+    #[test]
+    fn falling_series_is_decreasing() {
+        let vals: Vec<f32> = (0..10).map(|i| 10.0 - 0.2 * i as f32).collect();
+        let a = analyze_series(&series(&vals, 10.0));
+        assert_eq!(a.overall.trend, Trend::Decreasing);
+    }
+
+    #[test]
+    fn sawtooth_is_volatile() {
+        let vals: Vec<f32> = (0..13).map(|i| if i % 2 == 0 { 1.0 } else { 9.0 }).collect();
+        let a = analyze_series(&series(&vals, 10.0));
+        assert!(a.overall.volatile);
+        assert_eq!(a.overall.trend, Trend::Stable);
+    }
+
+    #[test]
+    fn levels_follow_normalized_mean() {
+        assert_eq!(analyze_series(&series(&[0.5; 5], 10.0)).overall.level, Level::VeryLow);
+        assert_eq!(analyze_series(&series(&[2.5; 5], 10.0)).overall.level, Level::Low);
+        assert_eq!(analyze_series(&series(&[5.0; 5], 10.0)).overall.level, Level::Moderate);
+        assert_eq!(analyze_series(&series(&[7.5; 5], 10.0)).overall.level, Level::High);
+        assert_eq!(analyze_series(&series(&[9.5; 5], 10.0)).overall.level, Level::VeryHigh);
+    }
+
+    #[test]
+    fn windows_differ_when_pattern_changes() {
+        // Flat, then collapse: initial stable, end rapidly decreasing.
+        let mut vals = vec![9.0; 5];
+        vals.extend((0..5).map(|i| 9.0 - 2.0 * i as f32));
+        let a = analyze_series(&series(&vals, 10.0));
+        assert_eq!(a.initial.trend, Trend::Stable);
+        assert_eq!(a.end.trend, Trend::RapidlyDecreasing);
+    }
+
+    #[test]
+    fn single_point_series_is_handled() {
+        let a = analyze_series(&series(&[1.0], 2.0));
+        assert_eq!(a.overall.trend, Trend::Stable);
+    }
+
+    #[test]
+    fn neighbours_are_symmetric() {
+        for t in Trend::all() {
+            for n in t.neighbours() {
+                assert!(n.neighbours().contains(&t), "{t:?} <-> {n:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "signal max must be positive")]
+    fn zero_max_is_rejected() {
+        let _ = SignalSeries::new("x", "u", vec![1.0], 0.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # trustee — decision-tree surrogate explainer baseline
+//!
+//! A reimplementation of the surrogate mechanics of Trustee (Jacobs et
+//! al., CCS '22), the feature-level baseline the paper compares Agua
+//! against: distill an opaque controller into a CART decision tree over
+//! its raw input features, optionally prune the tree for readability, and
+//! explain individual decisions by their root-to-leaf path.
+//!
+//! The crate provides:
+//!
+//! * [`tree::DecisionTree`] — greedy Gini CART induction with depth and
+//!   leaf-size limits;
+//! * [`prune`] — weakest-link (cost-complexity) pruning to a target leaf
+//!   count, Trustee's "top-k pruned" view;
+//! * [`report::TrusteeReport`] — the full-vs-pruned fidelity/complexity
+//!   summary the paper's Fig. 1 and Table 2 are drawn from, plus
+//!   decision-path explanations for single inputs.
+
+pub mod prune;
+pub mod report;
+pub mod tree;
+
+pub use report::{DecisionStep, TrusteeReport};
+pub use tree::{DecisionTree, TreeConfig};

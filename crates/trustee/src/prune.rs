@@ -1,0 +1,187 @@
+//! Weakest-link (cost-complexity) pruning.
+//!
+//! Trustee presents both the full distilled tree and a pruned "top-k"
+//! view. Pruning repeatedly collapses the *effective* split whose removal
+//! costs the least training purity — the split with the smallest
+//! mass-weighted Gini decrease among splits whose children are both
+//! leaves — until the tree is within the requested leaf budget.
+
+use crate::tree::{DecisionTree, Node};
+
+/// Returns a copy of `tree` pruned to at most `max_leaves` leaves.
+///
+/// # Panics
+/// Panics if `max_leaves == 0`.
+pub fn prune_to_leaves(tree: &DecisionTree, max_leaves: usize) -> DecisionTree {
+    assert!(max_leaves > 0, "a tree needs at least one leaf");
+    let mut pruned = tree.clone();
+    while reachable_leaves(&pruned, 0) > max_leaves {
+        let Some(victim) = weakest_collapsible_split(&pruned, 0) else {
+            break; // only the root remains
+        };
+        collapse(&mut pruned, victim);
+    }
+    compact(&pruned)
+}
+
+/// Leaves reachable from `node` (collapsed subtrees leave garbage in the
+/// arena, so the raw leaf count over-reports).
+fn reachable_leaves(tree: &DecisionTree, node: usize) -> usize {
+    match &tree.nodes[node] {
+        Node::Leaf { .. } => 1,
+        Node::Split { left, right, .. } => {
+            reachable_leaves(tree, *left) + reachable_leaves(tree, *right)
+        }
+    }
+}
+
+/// Finds the *reachable* collapsible split (both children are leaves) with
+/// the lowest goodness.
+fn weakest_collapsible_split(tree: &DecisionTree, node: usize) -> Option<usize> {
+    match &tree.nodes[node] {
+        Node::Leaf { .. } => None,
+        Node::Split { left, right, goodness, .. } => {
+            let candidates = [
+                weakest_collapsible_split(tree, *left),
+                weakest_collapsible_split(tree, *right),
+            ];
+            let mut best: Option<(usize, f32)> = None;
+            for idx in candidates.into_iter().flatten() {
+                if let Node::Split { goodness: g, .. } = &tree.nodes[idx] {
+                    if best.map_or(true, |(_, bg)| *g < bg) {
+                        best = Some((idx, *g));
+                    }
+                }
+            }
+            let both_leaves = matches!(tree.nodes[*left], Node::Leaf { .. })
+                && matches!(tree.nodes[*right], Node::Leaf { .. });
+            if both_leaves && best.map_or(true, |(_, bg)| *goodness < bg) {
+                best = Some((node, *goodness));
+            }
+            best.map(|(idx, _)| idx)
+        }
+    }
+}
+
+/// Replaces the split at `idx` with a majority leaf. Children become
+/// unreachable; [`compact`] garbage-collects them.
+fn collapse(tree: &mut DecisionTree, idx: usize) {
+    if let Node::Split { majority, samples, .. } = tree.nodes[idx] {
+        tree.nodes[idx] = Node::Leaf { class: majority, samples };
+    }
+}
+
+/// Rebuilds the arena containing only nodes reachable from the root.
+fn compact(tree: &DecisionTree) -> DecisionTree {
+    let mut out = DecisionTree {
+        nodes: Vec::new(),
+        n_classes: tree.n_classes,
+        n_features: tree.n_features,
+    };
+    copy_subtree(tree, 0, &mut out);
+    out
+}
+
+fn copy_subtree(src: &DecisionTree, node: usize, dst: &mut DecisionTree) -> usize {
+    match &src.nodes[node] {
+        Node::Leaf { class, samples } => {
+            dst.nodes.push(Node::Leaf { class: *class, samples: *samples });
+            dst.nodes.len() - 1
+        }
+        Node::Split { feature, threshold, left, right, majority, samples, goodness } => {
+            let me = dst.nodes.len();
+            dst.nodes.push(Node::Leaf { class: *majority, samples: *samples });
+            let l = copy_subtree(src, *left, dst);
+            let r = copy_subtree(src, *right, dst);
+            dst.nodes[me] = Node::Split {
+                feature: *feature,
+                threshold: *threshold,
+                left: l,
+                right: r,
+                majority: *majority,
+                samples: *samples,
+                goodness: *goodness,
+            };
+            me
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeConfig;
+
+    /// Staircase data: label increases every 10 units of x; deeper splits
+    /// matter progressively less because classes 2 and 3 are rare.
+    fn staircase() -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let sizes = [60usize, 40, 8, 4];
+        for (class, &size) in sizes.iter().enumerate() {
+            for i in 0..size {
+                xs.push(vec![class as f32 * 10.0 + (i % 10) as f32]);
+                ys.push(class);
+            }
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn pruning_reduces_leaves_to_budget() {
+        let (xs, ys) = staircase();
+        let tree = DecisionTree::fit(&xs, &ys, 4, TreeConfig::default());
+        assert!(tree.leaf_count() >= 4);
+        let pruned = prune_to_leaves(&tree, 2);
+        assert!(pruned.leaf_count() <= 2);
+    }
+
+    #[test]
+    fn pruning_keeps_the_dominant_structure() {
+        let (xs, ys) = staircase();
+        let tree = DecisionTree::fit(&xs, &ys, 4, TreeConfig::default());
+        let pruned = prune_to_leaves(&tree, 2);
+        // The dominant class-0 vs class-1 boundary must survive; the rare
+        // class 2/3 distinctions are sacrificed first.
+        assert_eq!(pruned.predict(&[5.0]), 0);
+        assert_eq!(pruned.predict(&[15.0]), 1);
+    }
+
+    #[test]
+    fn pruned_fidelity_degrades_gracefully() {
+        let (xs, ys) = staircase();
+        let tree = DecisionTree::fit(&xs, &ys, 4, TreeConfig::default());
+        let full_fid = tree.fidelity(&xs, &ys);
+        let pruned = prune_to_leaves(&tree, 3);
+        let pruned_fid = pruned.fidelity(&xs, &ys);
+        assert!(full_fid >= pruned_fid);
+        // Dropping only the 4-sample class costs ≤ 4/112 fidelity.
+        assert!(pruned_fid > full_fid - 0.08, "pruned {pruned_fid} vs full {full_fid}");
+    }
+
+    #[test]
+    fn pruning_below_one_leaf_is_rejected() {
+        let (xs, ys) = staircase();
+        let tree = DecisionTree::fit(&xs, &ys, 4, TreeConfig::default());
+        let single = prune_to_leaves(&tree, 1);
+        assert_eq!(single.node_count(), 1);
+    }
+
+    #[test]
+    fn compaction_removes_unreachable_nodes() {
+        let (xs, ys) = staircase();
+        let tree = DecisionTree::fit(&xs, &ys, 4, TreeConfig::default());
+        let pruned = prune_to_leaves(&tree, 2);
+        // node_count = leaves + internal; with ≤2 leaves ⇒ ≤3 nodes.
+        assert!(pruned.node_count() <= 3, "arena kept garbage: {}", pruned.node_count());
+    }
+
+    #[test]
+    fn pruning_is_idempotent_at_budget() {
+        let (xs, ys) = staircase();
+        let tree = DecisionTree::fit(&xs, &ys, 4, TreeConfig::default());
+        let once = prune_to_leaves(&tree, 3);
+        let twice = prune_to_leaves(&once, 3);
+        assert_eq!(once.node_count(), twice.node_count());
+    }
+}

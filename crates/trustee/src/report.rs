@@ -1,0 +1,226 @@
+//! Trust reports: full-vs-pruned fidelity/complexity summaries and
+//! decision-path explanations.
+
+use crate::prune::prune_to_leaves;
+use crate::tree::{DecisionTree, Node, TreeConfig};
+use serde::{Deserialize, Serialize};
+
+/// One step of a root-to-leaf decision path — the feature-level
+/// explanation Trustee presents (paper Fig. 1c).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionStep {
+    /// Feature index tested.
+    pub feature: usize,
+    /// Human-readable feature name.
+    pub feature_name: String,
+    /// Split threshold.
+    pub threshold: f32,
+    /// Sample's value of the feature.
+    pub value: f32,
+    /// Whether the sample satisfied `value <= threshold`.
+    pub went_left: bool,
+}
+
+impl DecisionStep {
+    /// Renders the step as "name <= thr" / "name > thr".
+    pub fn render(&self) -> String {
+        if self.went_left {
+            format!("{} <= {:.3}", self.feature_name, self.threshold)
+        } else {
+            format!("{} > {:.3}", self.feature_name, self.threshold)
+        }
+    }
+}
+
+/// Trustee's distillation product: the full tree, the pruned view, and
+/// their fidelity/complexity statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrusteeReport {
+    /// The fully grown surrogate tree.
+    pub full: DecisionTree,
+    /// The pruned, presentation-sized tree.
+    pub pruned: DecisionTree,
+    /// Fidelity of the full tree on the held-out set.
+    pub full_fidelity: f32,
+    /// Fidelity of the pruned tree on the held-out set.
+    pub pruned_fidelity: f32,
+    /// Names of the input features, used to render decision paths.
+    pub feature_names: Vec<String>,
+}
+
+impl TrusteeReport {
+    /// Distills a controller (represented by its input/output pairs) into
+    /// a report: trains on `(train_x, train_y)`, prunes to `max_leaves`,
+    /// and evaluates fidelity on `(test_x, test_y)`.
+    pub fn distill(
+        train_x: &[Vec<f32>],
+        train_y: &[usize],
+        test_x: &[Vec<f32>],
+        test_y: &[usize],
+        n_classes: usize,
+        config: TreeConfig,
+        max_leaves: usize,
+        feature_names: Vec<String>,
+    ) -> Self {
+        let full = DecisionTree::fit(train_x, train_y, n_classes, config);
+        let pruned = prune_to_leaves(&full, max_leaves);
+        let full_fidelity = full.fidelity(test_x, test_y);
+        let pruned_fidelity = pruned.fidelity(test_x, test_y);
+        assert!(
+            feature_names.is_empty() || feature_names.len() == full.n_features,
+            "feature names must match the feature dimension"
+        );
+        Self { full, pruned, full_fidelity, pruned_fidelity, feature_names }
+    }
+
+    /// The decision path the pruned tree takes for `x` — Trustee's
+    /// explanation for a single input.
+    pub fn decision_path(&self, x: &[f32]) -> Vec<DecisionStep> {
+        Self::path_in(&self.pruned, x, &self.feature_names)
+    }
+
+    /// The decision path in the full tree.
+    pub fn decision_path_full(&self, x: &[f32]) -> Vec<DecisionStep> {
+        Self::path_in(&self.full, x, &self.feature_names)
+    }
+
+    fn path_in(tree: &DecisionTree, x: &[f32], names: &[String]) -> Vec<DecisionStep> {
+        let mut steps = Vec::new();
+        let mut node = 0usize;
+        loop {
+            match &tree.nodes[node] {
+                Node::Leaf { .. } => return steps,
+                Node::Split { feature, threshold, left, right, .. } => {
+                    let went_left = x[*feature] <= *threshold;
+                    steps.push(DecisionStep {
+                        feature: *feature,
+                        feature_name: names
+                            .get(*feature)
+                            .cloned()
+                            .unwrap_or_else(|| format!("f{feature}")),
+                        threshold: *threshold,
+                        value: x[*feature],
+                        went_left,
+                    });
+                    node = if went_left { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// The `top_n` most important features of the full tree by Gini
+    /// importance, as `(name, importance)` pairs.
+    pub fn top_features(&self, top_n: usize) -> Vec<(String, f32)> {
+        let imp = self.full.feature_importance();
+        let mut order: Vec<usize> = (0..imp.len()).collect();
+        order.sort_by(|&a, &b| imp[b].partial_cmp(&imp[a]).expect("finite importance"));
+        order
+            .into_iter()
+            .take(top_n)
+            .map(|i| {
+                (
+                    self.feature_names
+                        .get(i)
+                        .cloned()
+                        .unwrap_or_else(|| format!("f{i}")),
+                    imp[i],
+                )
+            })
+            .collect()
+    }
+
+    /// One-line complexity summary, as in the paper's Fig. 1 caption.
+    pub fn complexity_summary(&self) -> String {
+        format!(
+            "full: {} nodes, depth {}; pruned: {} nodes, depth {}",
+            self.full.node_count(),
+            self.full.depth(),
+            self.pruned.node_count(),
+            self.pruned.depth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A controller whose decision depends on two thresholds.
+    fn synth() -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..300 {
+            let a = (i % 30) as f32 / 30.0;
+            let b = ((i * 7) % 30) as f32 / 30.0;
+            let y = usize::from(a > 0.5) + usize::from(b > 0.7);
+            xs.push(vec![a, b]);
+            ys.push(y);
+        }
+        (xs, ys)
+    }
+
+    fn report() -> TrusteeReport {
+        let (xs, ys) = synth();
+        let (train_x, test_x) = xs.split_at(200);
+        let (train_y, test_y) = ys.split_at(200);
+        TrusteeReport::distill(
+            train_x,
+            train_y,
+            test_x,
+            test_y,
+            3,
+            TreeConfig::default(),
+            4,
+            vec!["alpha".into(), "beta".into()],
+        )
+    }
+
+    #[test]
+    fn full_tree_achieves_high_fidelity_on_axis_aligned_logic() {
+        let r = report();
+        assert!(r.full_fidelity > 0.95, "fidelity {}", r.full_fidelity);
+    }
+
+    #[test]
+    fn pruned_tree_is_smaller() {
+        let r = report();
+        assert!(r.pruned.node_count() <= r.full.node_count());
+        assert!(r.pruned.leaf_count() <= 4);
+    }
+
+    #[test]
+    fn decision_path_names_features_and_is_consistent() {
+        let r = report();
+        let x = vec![0.9, 0.9];
+        let path = r.decision_path(&x);
+        assert!(!path.is_empty());
+        for step in &path {
+            assert!(step.feature_name == "alpha" || step.feature_name == "beta");
+            assert_eq!(step.went_left, step.value <= step.threshold);
+        }
+        let rendered = path[0].render();
+        assert!(rendered.contains("alpha") || rendered.contains("beta"));
+    }
+
+    #[test]
+    fn full_path_is_at_least_as_long_as_pruned_path() {
+        let r = report();
+        let x = vec![0.2, 0.8];
+        assert!(r.decision_path_full(&x).len() >= r.decision_path(&x).len());
+    }
+
+    #[test]
+    fn complexity_summary_mentions_both_trees() {
+        let s = report().complexity_summary();
+        assert!(s.contains("full:") && s.contains("pruned:"));
+    }
+
+    #[test]
+    fn top_features_name_the_decisive_inputs() {
+        let r = report();
+        let top = r.top_features(2);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].1 >= top[1].1);
+        assert!(top[0].0 == "alpha" || top[0].0 == "beta");
+    }
+}

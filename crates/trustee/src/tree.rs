@@ -1,0 +1,449 @@
+//! CART decision-tree induction with Gini impurity.
+
+use serde::{Deserialize, Serialize};
+
+/// Tree-growth limits.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples each child must retain.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 13, min_samples_split: 8, min_samples_leaf: 4 }
+    }
+}
+
+/// Tree nodes stored in an arena; `0` is the root.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Node {
+    /// Internal split: `x[feature] <= threshold` goes left.
+    Split {
+        /// Feature index tested.
+        feature: usize,
+        /// Split threshold.
+        threshold: f32,
+        /// Left child index (condition true).
+        left: usize,
+        /// Right child index (condition false).
+        right: usize,
+        /// Majority class at this node (used when the subtree is pruned).
+        majority: usize,
+        /// Training samples that reached this node.
+        samples: usize,
+        /// Weighted impurity decrease of this split (for weakest-link
+        /// pruning).
+        goodness: f32,
+    },
+    /// Leaf predicting a class.
+    Leaf {
+        /// Predicted class.
+        class: usize,
+        /// Training samples that reached this leaf.
+        samples: usize,
+    },
+}
+
+/// A trained classification tree.
+///
+/// ```
+/// use trustee::{DecisionTree, TreeConfig};
+///
+/// // label = whether x > 4.5
+/// let xs: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+/// let ys: Vec<usize> = (0..10).map(|i| usize::from(i > 4)).collect();
+/// let tree = DecisionTree::fit(&xs, &ys, 2, TreeConfig::default());
+/// assert_eq!(tree.predict(&[1.0]), 0);
+/// assert_eq!(tree.predict(&[8.0]), 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTree {
+    /// Node arena; index 0 is the root.
+    pub nodes: Vec<Node>,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Number of input features.
+    pub n_features: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree to `(features, labels)` under `config`.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset, ragged feature rows, or labels outside
+    /// `0..n_classes`.
+    pub fn fit(
+        features: &[Vec<f32>],
+        labels: &[usize],
+        n_classes: usize,
+        config: TreeConfig,
+    ) -> Self {
+        assert!(!features.is_empty(), "cannot fit a tree to an empty dataset");
+        assert_eq!(features.len(), labels.len(), "one label per sample required");
+        let n_features = features[0].len();
+        assert!(features.iter().all(|f| f.len() == n_features), "ragged feature rows");
+        assert!(labels.iter().all(|&l| l < n_classes), "label out of range");
+
+        let mut tree = Self { nodes: Vec::new(), n_classes, n_features };
+        let indices: Vec<usize> = (0..features.len()).collect();
+        tree.build(features, labels, indices, 0, config);
+        tree
+    }
+
+    fn build(
+        &mut self,
+        features: &[Vec<f32>],
+        labels: &[usize],
+        indices: Vec<usize>,
+        depth: usize,
+        config: TreeConfig,
+    ) -> usize {
+        let counts = class_counts(labels, &indices, self.n_classes);
+        let majority = argmax(&counts);
+        let node_impurity = gini(&counts, indices.len());
+
+        let make_leaf = |tree: &mut Self| {
+            tree.nodes.push(Node::Leaf { class: majority, samples: indices.len() });
+            tree.nodes.len() - 1
+        };
+
+        if depth >= config.max_depth
+            || indices.len() < config.min_samples_split
+            || node_impurity == 0.0
+        {
+            return make_leaf(self);
+        }
+
+        let Some(split) = best_split(features, labels, &indices, self.n_classes, config)
+        else {
+            return make_leaf(self);
+        };
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| features[i][split.feature] <= split.threshold);
+
+        // Reserve the split slot before recursing so child indices are
+        // known relative to it.
+        let me = self.nodes.len();
+        self.nodes.push(Node::Leaf { class: majority, samples: indices.len() });
+        let samples = indices.len();
+        let left = self.build(features, labels, left_idx, depth + 1, config);
+        let right = self.build(features, labels, right_idx, depth + 1, config);
+        self.nodes[me] = Node::Split {
+            feature: split.feature,
+            threshold: split.threshold,
+            left,
+            right,
+            majority,
+            samples,
+            goodness: split.goodness,
+        };
+        me
+    }
+
+    /// Predicts the class of one sample.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        assert_eq!(x.len(), self.n_features, "feature dimension mismatch");
+        let mut node = 0;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { class, .. } => return *class,
+                Node::Split { feature, threshold, left, right, .. } => {
+                    node = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Fraction of samples on which the tree matches `labels` — the
+    /// fidelity metric when labels are a controller's outputs (Eq. 11).
+    pub fn fidelity(&self, features: &[Vec<f32>], labels: &[usize]) -> f32 {
+        assert_eq!(features.len(), labels.len());
+        let hits = features
+            .iter()
+            .zip(labels)
+            .filter(|(x, &y)| self.predict(x) == y)
+            .count();
+        hits as f32 / labels.len().max(1) as f32
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Leaf count.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
+    }
+
+    /// Maximum root-to-leaf depth (root = 0).
+    pub fn depth(&self) -> usize {
+        self.depth_of(0)
+    }
+
+    /// Gini feature importance: for each feature, the total mass-weighted
+    /// impurity decrease of the splits testing it, normalized to sum to 1.
+    /// The ranking Trustee's trust reports lead with.
+    pub fn feature_importance(&self) -> Vec<f32> {
+        let mut importance = vec![0.0f32; self.n_features];
+        for node in &self.nodes {
+            if let Node::Split { feature, goodness, .. } = node {
+                importance[*feature] += goodness.max(0.0);
+            }
+        }
+        let total: f32 = importance.iter().sum();
+        if total > 0.0 {
+            for v in &mut importance {
+                *v /= total;
+            }
+        }
+        importance
+    }
+
+    fn depth_of(&self, node: usize) -> usize {
+        match &self.nodes[node] {
+            Node::Leaf { .. } => 0,
+            Node::Split { left, right, .. } => {
+                1 + self.depth_of(*left).max(self.depth_of(*right))
+            }
+        }
+    }
+}
+
+struct SplitCandidate {
+    feature: usize,
+    threshold: f32,
+    goodness: f32,
+}
+
+fn class_counts(labels: &[usize], indices: &[usize], n_classes: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; n_classes];
+    for &i in indices {
+        counts[labels[i]] += 1;
+    }
+    counts
+}
+
+fn argmax(counts: &[usize]) -> usize {
+    let mut best = 0;
+    for (i, &c) in counts.iter().enumerate().skip(1) {
+        if c > counts[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn gini(counts: &[usize], total: usize) -> f32 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f32;
+    1.0 - counts.iter().map(|&c| (c as f32 / t).powi(2)).sum::<f32>()
+}
+
+/// Finds the (feature, threshold) with the greatest weighted Gini decrease.
+fn best_split(
+    features: &[Vec<f32>],
+    labels: &[usize],
+    indices: &[usize],
+    n_classes: usize,
+    config: TreeConfig,
+) -> Option<SplitCandidate> {
+    let n = indices.len();
+    let parent_counts = class_counts(labels, indices, n_classes);
+    let parent_gini = gini(&parent_counts, n);
+    let n_features = features[indices[0]].len();
+
+    let mut best: Option<SplitCandidate> = None;
+    let mut order: Vec<usize> = indices.to_vec();
+
+    for f in 0..n_features {
+        order.sort_by(|&a, &b| {
+            features[a][f].partial_cmp(&features[b][f]).expect("finite features")
+        });
+        let mut left_counts = vec![0usize; n_classes];
+        let mut right_counts = parent_counts.clone();
+        for k in 0..n - 1 {
+            let i = order[k];
+            left_counts[labels[i]] += 1;
+            right_counts[labels[i]] -= 1;
+            let v = features[i][f];
+            let v_next = features[order[k + 1]][f];
+            if v == v_next {
+                continue; // no threshold separates equal values
+            }
+            let left_n = k + 1;
+            let right_n = n - left_n;
+            if left_n < config.min_samples_leaf || right_n < config.min_samples_leaf {
+                continue;
+            }
+            let weighted = (left_n as f32 * gini(&left_counts, left_n)
+                + right_n as f32 * gini(&right_counts, right_n))
+                / n as f32;
+            let decrease = parent_gini - weighted;
+            // Goodness weighted by node mass: pruning removes the split
+            // whose removal costs the least total purity. Zero-gain splits
+            // are admitted (classic CART): interaction effects such as XOR
+            // have no immediately-informative split, yet splitting lets
+            // deeper levels separate the classes; the depth and leaf-size
+            // limits bound the recursion.
+            let goodness = decrease.max(0.0) * n as f32;
+            if decrease > -1e-7
+                && best.as_ref().map_or(true, |b| goodness > b.goodness)
+            {
+                best = Some(SplitCandidate {
+                    feature: f,
+                    threshold: (v + v_next) * 0.5,
+                    goodness,
+                });
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for a in 0..2 {
+            for b in 0..2 {
+                for _ in 0..10 {
+                    xs.push(vec![a as f32, b as f32]);
+                    ys.push((a ^ b) as usize);
+                }
+            }
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn fits_xor_exactly() {
+        let (xs, ys) = xor_data();
+        let tree = DecisionTree::fit(&xs, &ys, 2, TreeConfig::default());
+        assert_eq!(tree.fidelity(&xs, &ys), 1.0);
+        assert!(tree.depth() >= 2, "XOR needs at least two levels");
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let (xs, ys) = xor_data();
+        let cfg = TreeConfig { max_depth: 1, ..TreeConfig::default() };
+        let tree = DecisionTree::fit(&xs, &ys, 2, cfg);
+        assert!(tree.depth() <= 1);
+        // Depth-1 tree cannot represent XOR.
+        assert!(tree.fidelity(&xs, &ys) < 0.8);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let ys = vec![1, 1, 1];
+        let tree = DecisionTree::fit(&xs, &ys, 2, TreeConfig::default());
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[5.0]), 1);
+    }
+
+    #[test]
+    fn axis_aligned_threshold_is_found() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..50 {
+            let v = i as f32 / 10.0;
+            xs.push(vec![v, 7.0]);
+            ys.push(usize::from(v > 2.5));
+        }
+        let tree = DecisionTree::fit(&xs, &ys, 2, TreeConfig::default());
+        assert_eq!(tree.fidelity(&xs, &ys), 1.0);
+        // A single split suffices.
+        assert_eq!(tree.leaf_count(), 2);
+        match &tree.nodes[0] {
+            Node::Split { feature, threshold, .. } => {
+                assert_eq!(*feature, 0);
+                assert!((threshold - 2.55).abs() < 0.1, "threshold {threshold}");
+            }
+            _ => panic!("root must split"),
+        }
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected_by_every_leaf() {
+        // 1 positive among 50: the positive cannot be isolated into a
+        // leaf smaller than 5 samples.
+        let mut xs: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32]).collect();
+        let mut ys = vec![0usize; 50];
+        ys[49] = 1;
+        xs[49] = vec![100.0];
+        let cfg = TreeConfig { min_samples_leaf: 5, ..TreeConfig::default() };
+        let tree = DecisionTree::fit(&xs, &ys, 2, cfg);
+        for node in &tree.nodes {
+            if let Node::Leaf { samples, .. } = node {
+                assert!(*samples >= 5, "leaf with {samples} < 5 samples");
+            }
+        }
+        // The lone positive therefore cannot be perfectly separated.
+        assert!(tree.fidelity(&xs, &ys) < 1.0);
+    }
+
+    #[test]
+    fn multiclass_prediction_works() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for c in 0..4usize {
+            for _ in 0..20 {
+                xs.push(vec![c as f32, (3 - c) as f32]);
+                ys.push(c);
+            }
+        }
+        let tree = DecisionTree::fit(&xs, &ys, 4, TreeConfig::default());
+        assert_eq!(tree.fidelity(&xs, &ys), 1.0);
+        assert_eq!(tree.predict(&[2.0, 1.0]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_out_of_range_labels() {
+        let _ = DecisionTree::fit(&[vec![0.0]], &[3], 2, TreeConfig::default());
+    }
+
+    #[test]
+    fn fidelity_counts_matches() {
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let ys = vec![0, 0, 1, 1];
+        let tree = DecisionTree::fit(&xs, &ys, 2, TreeConfig::default());
+        assert_eq!(tree.fidelity(&xs, &[0, 0, 1, 0]), 0.75);
+    }
+
+    #[test]
+    fn feature_importance_ranks_the_used_feature() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..100 {
+            let v = i as f32 / 10.0;
+            xs.push(vec![v, (i % 7) as f32]); // feature 1 is noise
+            ys.push(usize::from(v > 5.0));
+        }
+        let tree = DecisionTree::fit(&xs, &ys, 2, TreeConfig::default());
+        let imp = tree.feature_importance();
+        assert!((imp.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(imp[0] > 0.9, "decisive feature importance {imp:?}");
+    }
+
+    #[test]
+    fn feature_importance_of_a_stump_is_zero_vector_normalized() {
+        let tree = DecisionTree::fit(&[vec![1.0]], &[0], 2, TreeConfig::default());
+        let imp = tree.feature_importance();
+        assert_eq!(imp, vec![0.0]);
+    }
+}

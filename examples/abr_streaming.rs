@@ -1,0 +1,99 @@
+//! The paper's motivating scenario end-to-end: why does the ABR
+//! controller pick a *low* bitrate while the buffer is recovering?
+//!
+//! ```text
+//! cargo run --release --example abr_streaming
+//! ```
+//!
+//! Trains a Gelato-style controller, fits Agua, and answers the
+//! operator's question with a factual explanation of the chosen bitrate
+//! and a counterfactual explanation of the expected medium bitrate
+//! (paper §2.2 + Fig. 4).
+
+use abr_env::{AbrObservation, AbrSimulator, DatasetEra, VideoManifest, LEVELS};
+use agua::concepts::abr_concepts;
+use agua::explain::{counterfactual, factual};
+use agua::labeling::{ConceptLabeler, Quantizer};
+use agua::surrogate::{AguaModel, SurrogateDataset, TrainParams};
+use agua_controllers::abr::{collect_teacher_dataset, train_controller};
+use agua_nn::Matrix;
+use agua_text::describer::{Describer, DescriberConfig};
+use agua_text::embedding::Embedder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The state the operator asks about: transmission times ballooned from
+/// ~1 s to ~3 s, improved in the last step, and the buffer is recovering.
+fn motivating_state() -> AbrObservation {
+    AbrObservation {
+        quality_db: vec![16.0, 15.8, 15.5, 14.9, 13.9, 12.8, 12.0, 11.4, 11.2, 11.3],
+        chunk_size_mb: vec![2.2, 2.1, 2.0, 1.8, 1.4, 1.0, 0.8, 0.7, 0.65, 0.7],
+        tx_time_s: vec![1.0, 1.1, 1.2, 1.5, 1.9, 2.4, 2.8, 3.0, 3.1, 2.0],
+        throughput_mbps: vec![2.2, 1.9, 1.7, 1.2, 0.75, 0.45, 0.3, 0.25, 0.21, 0.35],
+        buffer_s: vec![9.0, 8.4, 7.5, 6.2, 4.8, 3.6, 2.9, 2.6, 2.8, 3.4],
+        qoe: vec![3.2, 3.1, 3.0, 2.7, 2.3, 1.9, 1.7, 1.6, 1.6, 1.8],
+        stall_s: vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.2, 0.4, 0.3, 0.1, 0.0],
+        upcoming_quality_db: vec![14.8, 14.5, 14.2, 14.6, 14.4],
+        upcoming_size_mb: vec![2.8, 3.1, 3.4, 3.2, 3.0],
+    }
+}
+
+fn main() {
+    // Train the controller by cloning an MPC teacher over 2021-era traces.
+    println!("training the ABR controller…");
+    let samples = collect_teacher_dataset(DatasetEra::Train2021, 50, 50, 11);
+    let controller = train_controller(&samples, 11);
+
+    // Roll it out to collect the explanation dataset.
+    println!("rolling the controller out…");
+    let traces = DatasetEra::Train2021.generate_traces(30, 300, 12);
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut rows = Vec::new();
+    let mut sections = Vec::new();
+    let mut outputs = Vec::new();
+    for trace in traces {
+        let manifest = VideoManifest::generate(50, 1.0, &mut rng);
+        let mut sim = AbrSimulator::new(manifest, trace);
+        while !sim.done() {
+            let obs = sim.observation();
+            let action = controller.act(&obs.features());
+            rows.push(obs.features());
+            sections.push(obs.sections());
+            outputs.push(action);
+            sim.step(action);
+        }
+    }
+    let features = Matrix::from_rows(&rows);
+    let embeddings = controller.embeddings(&features);
+
+    // Label and fit the surrogate.
+    println!("fitting Agua…");
+    let concepts = abr_concepts();
+    let labeler = ConceptLabeler::new(
+        &concepts,
+        Describer::new(DescriberConfig::high_quality()),
+        Embedder::new(512),
+        Quantizer::calibrated(),
+    );
+    let concept_labels = labeler.label_batch(&sections, 42);
+    let dataset = SurrogateDataset { embeddings, concept_labels, outputs };
+    let model = AguaModel::fit(&concepts, 3, LEVELS, &dataset, &TrainParams::tuned());
+    println!(
+        "fidelity on collected decisions: {:.3}\n",
+        model.fidelity(&dataset.embeddings, &dataset.outputs)
+    );
+
+    // The operator's question.
+    let state = motivating_state();
+    let x = Matrix::row_vector(&state.features());
+    let chosen = controller.act(&state.features());
+    let h = controller.embeddings(&x);
+    println!("controller's bitrate choice for the motivating state: level {chosen}");
+
+    println!("\n— Why this low bitrate? —");
+    println!("{}", factual(&model, &h).render(5));
+
+    let medium = LEVELS / 2;
+    println!("— What would drive the medium bitrate (level {medium}) instead? —");
+    println!("{}", counterfactual(&model, &h, medium).render(5));
+}

@@ -1,0 +1,88 @@
+//! Debugging a congestion-control policy with Agua (paper §5.2.3).
+//!
+//! ```text
+//! cargo run --release --example cc_debugging
+//! ```
+//!
+//! The original controller oscillates on a *stable* link. Agua's batched
+//! explanation reveals latency concepts dominating where none should be
+//! active — a distorted latency perception. The debugged variant (longer
+//! history + average-latency feature) holds throughput near capacity.
+
+use agua::concepts::cc_concepts;
+use agua::explain::{batched, majority_class};
+use agua::labeling::{ConceptLabeler, Quantizer};
+use agua::surrogate::{AguaModel, SurrogateDataset, TrainParams};
+use agua_controllers::cc::{
+    rollout_throughput, train_controller_dagger, utilization_stats, CcVariant,
+};
+use agua_nn::Matrix;
+use agua_text::describer::{Describer, DescriberConfig};
+use agua_text::embedding::Embedder;
+use cc_env::{CapacityProcess, CcSimulator, LinkConfig, LinkPattern};
+
+fn main() {
+    // The original (buggy) controller.
+    println!("training the original controller…");
+    let original = train_controller_dagger(CcVariant::Original, 600, 3, 21);
+
+    // Roll it on a stable link where nothing should be happening.
+    println!("rolling out on a stable 8 Mbps link…");
+    let cap = CapacityProcess::generate_seeded(LinkPattern::Stable { mbps: 8.0 }, 800, 5);
+    let mut sim = CcSimulator::with_history(cap, LinkConfig::default(), 4.0, 10);
+    for _ in 0..10 {
+        sim.step_at_current_rate();
+    }
+    let mut rows = Vec::new();
+    let mut sections = Vec::new();
+    let mut outputs = Vec::new();
+    while !sim.done() {
+        let obs = sim.observation();
+        let f = obs.features(false);
+        let a = original.act(&f);
+        rows.push(f);
+        sections.push(obs.sections());
+        outputs.push(a);
+        sim.step(a);
+    }
+    let features = Matrix::from_rows(&rows);
+    let embeddings = original.embeddings(&features);
+
+    // Fit Agua and diagnose.
+    println!("fitting Agua and diagnosing…\n");
+    let concepts = cc_concepts();
+    let labeler = ConceptLabeler::new(
+        &concepts,
+        Describer::new(DescriberConfig::high_quality()),
+        Embedder::new(512),
+        Quantizer::calibrated(),
+    );
+    let concept_labels = labeler.label_batch(&sections, 7);
+    let dataset = SurrogateDataset { embeddings, concept_labels, outputs };
+    let model = AguaModel::fit(&concepts, 3, cc_env::ACTIONS, &dataset, &TrainParams::tuned());
+
+    let class = majority_class(&model, &dataset.embeddings);
+    let diagnosis = batched(&model, &dataset.embeddings, class);
+    println!("dominant concepts behind the controller's behaviour on a STABLE link:");
+    for c in diagnosis.contributions.iter().take(4) {
+        println!("  {:<40} {:.4}", c.concept, c.weight);
+    }
+    println!(
+        "\n→ latency concepts dominate although the link is stable: the\n\
+         controller's latency perception is distorted. Fix: average-latency\n\
+         feature + history 10 → 15, gentler retraining.\n"
+    );
+
+    // Train the debugged controller and compare.
+    println!("training the debugged controller…");
+    let debugged = train_controller_dagger(CcVariant::Debugged, 600, 3, 21);
+
+    let pattern = LinkPattern::Stable { mbps: 8.0 };
+    let orig = rollout_throughput(&original, CcVariant::Original, pattern, 600, 9);
+    let fixed = rollout_throughput(&debugged, CcVariant::Debugged, pattern, 600, 9);
+    let (ou, ocv) = utilization_stats(&orig[150..]);
+    let (fu, fcv) = utilization_stats(&fixed[150..]);
+    println!("\n{:<12} {:>12} {:>16}", "controller", "utilization", "throughput CV");
+    println!("{:<12} {:>12.3} {:>16.3}", "original", ou, ocv);
+    println!("{:<12} {:>12.3} {:>16.3}", "debugged", fu, fcv);
+}

@@ -1,0 +1,113 @@
+//! Concept-guided dataset expansion (paper §5.2.4).
+//!
+//! ```text
+//! cargo run --release --example dataset_expansion
+//! ```
+//!
+//! An operator has a large general trace store and only a handful of
+//! samples from a target workload (say, a new 5G client population).
+//! Agua's data-generation workflow embeds every stored state in concept
+//! space; querying the store with the few target samples assembles an
+//! expanded dataset whose cluster distribution tracks the target's.
+
+use abr_env::{AbrSimulator, TraceFamily, VideoManifest};
+use agua::lifecycle::expansion::{kmeans, ks_statistic, ConceptStore};
+use agua_controllers::abr::{collect_teacher_dataset, train_controller};
+use agua_controllers::PolicyNet;
+use abr_env::DatasetEra;
+use agua_text::describer::{Describer, DescriberConfig};
+use agua_text::embedding::Embedder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Rolls the controller on a trace family and embeds the visited states'
+/// descriptions (every 5th state).
+fn family_embeddings(
+    controller: &PolicyNet,
+    family: TraceFamily,
+    n_traces: usize,
+    seed: u64,
+    describer: &Describer,
+    embedder: &Embedder,
+) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for t in 0..n_traces {
+        let manifest = VideoManifest::generate(40, 1.0, &mut rng);
+        let trace = family.generate(240, &mut rng);
+        let mut sim = AbrSimulator::new(manifest, trace);
+        let mut step = 0u64;
+        while !sim.done() {
+            let obs = sim.observation();
+            if step % 5 == 0 {
+                let description =
+                    describer.describe_seeded(&obs.sections(), seed ^ ((t as u64) << 10) ^ step);
+                out.push(embedder.embed(&description));
+            }
+            let action = controller.act(&obs.features());
+            sim.step(action);
+            step += 1;
+        }
+    }
+    out
+}
+
+fn main() {
+    println!("training controller…");
+    let samples = collect_teacher_dataset(DatasetEra::Train2021, 40, 40, 11);
+    let controller = train_controller(&samples, 11);
+    let describer = Describer::new(DescriberConfig::high_quality());
+    let embedder = Embedder::new(512);
+
+    // Build the store over all four workloads.
+    println!("building the concept-space store…");
+    let mut store_embeddings = Vec::new();
+    let mut store_workloads = Vec::new();
+    for (w, family) in TraceFamily::all().into_iter().enumerate() {
+        let embs =
+            family_embeddings(&controller, family, 10, 300 + w as u64, &describer, &embedder);
+        store_workloads.extend(std::iter::repeat(w).take(embs.len()));
+        store_embeddings.extend(embs);
+    }
+    println!("  {} states stored", store_embeddings.len());
+    let (_, assignments) = kmeans(&store_embeddings, 6, 25, 17);
+    let store = ConceptStore::new(store_embeddings);
+
+    // Target workload: 5G, known only through a few held-out samples.
+    let target = TraceFamily::FiveG;
+    println!("\ntarget workload: {} — querying with 24 held-out samples…", target.name());
+    let queries = family_embeddings(&controller, target, 3, 900, &describer, &embedder);
+    let expanded: Vec<usize> = queries
+        .iter()
+        .take(24)
+        .flat_map(|q| store.query(q, 10))
+        .collect();
+
+    let expanded_clusters: Vec<usize> = expanded.iter().map(|&i| assignments[i]).collect();
+    let target_clusters: Vec<usize> = assignments
+        .iter()
+        .zip(&store_workloads)
+        .filter(|(_, &w)| TraceFamily::all()[w] == target)
+        .map(|(&c, _)| c)
+        .collect();
+    let ks = ks_statistic(&expanded_clusters, &target_clusters, 6);
+
+    println!("  expanded dataset: {} samples", expanded.len());
+    println!("  KS statistic vs target cluster distribution: {ks:.4}");
+    println!("  (0 = identical distributions, 1 = disjoint; paper reports < 0.08)");
+
+    // Show the cluster histograms side by side.
+    let hist = |xs: &[usize]| -> Vec<f32> {
+        let mut h = vec![0.0f32; 6];
+        for &x in xs {
+            h[x] += 1.0 / xs.len() as f32;
+        }
+        h
+    };
+    let he = hist(&expanded_clusters);
+    let ht = hist(&target_clusters);
+    println!("\n  cluster   target   expanded");
+    for c in 0..6 {
+        println!("  {c:>7}   {:>6.2}   {:>8.2}", ht[c], he[c]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Quickstart: explain a DDoS detector's decision in five steps.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! 1. Build a learning-enabled controller (a LUCID-style flow classifier).
+//! 2. Collect its inputs, embeddings `h(x)`, and outputs.
+//! 3. Label each input with quantized concept similarities
+//!    (describe → embed → cosine → ψ_k).
+//! 4. Fit Agua's two-stage surrogate (δ then Ω).
+//! 5. Ask for a factual explanation of a single decision.
+
+use agua::concepts::ddos_concepts;
+use agua::explain::factual;
+use agua::labeling::{ConceptLabeler, Quantizer};
+use agua::surrogate::{AguaModel, SurrogateDataset, TrainParams};
+use agua_controllers::ddos::{generate_dataset, train_detector, ATTACK};
+use agua_nn::Matrix;
+use agua_text::describer::{Describer, DescriberConfig};
+use agua_text::embedding::Embedder;
+use ddos_env::{DdosObservation, FlowKind, FlowWindow};
+
+fn main() {
+    // 1. The controller to explain: a supervised DDoS detector.
+    println!("training the detector…");
+    let train_flows = generate_dataset(800, 1);
+    let detector = train_detector(&train_flows, 1);
+
+    // 2. Roll the controller over traffic, recording embeddings + outputs.
+    println!("collecting controller decisions…");
+    let flows = generate_dataset(600, 2);
+    let observations: Vec<DdosObservation> = flows
+        .iter()
+        .map(|s| DdosObservation::new(s.window.clone()))
+        .collect();
+    let features = Matrix::from_rows(
+        &observations.iter().map(|o| o.features()).collect::<Vec<_>>(),
+    );
+    let (embeddings, logits) = detector.embeddings_and_logits(&features);
+    let outputs: Vec<usize> = (0..features.rows()).map(|r| logits.argmax_row(r)).collect();
+
+    // 3. Concept labelling: structured description → embedding → cosine
+    //    similarity against each base concept → quantized class.
+    println!("labelling inputs with concepts…");
+    let concepts = ddos_concepts();
+    let labeler = ConceptLabeler::new(
+        &concepts,
+        Describer::new(DescriberConfig::high_quality()),
+        Embedder::new(512),
+        Quantizer::calibrated(),
+    );
+    let sections: Vec<_> = observations.iter().map(|o| o.sections()).collect();
+    let concept_labels = labeler.label_batch(&sections, 42);
+
+    // 4. Fit the surrogate: concept mapping δ, then linear output mapping Ω.
+    println!("fitting Agua's surrogate…");
+    let dataset = SurrogateDataset { embeddings, concept_labels, outputs };
+    let model = AguaModel::fit(&concepts, 3, 2, &dataset, &TrainParams::tuned());
+    let fid = model.fidelity(&dataset.embeddings, &dataset.outputs);
+    println!("surrogate fidelity on the collected decisions: {fid:.3}\n");
+
+    // 5. Explain one decision: why does the detector flag this SYN flood?
+    let suspect = FlowWindow::generate_seeded(FlowKind::SynFlood, 99);
+    let x = Matrix::row_vector(&DdosObservation::new(suspect).features());
+    let h = detector.embeddings(&x);
+    let verdict = detector.mlp.infer(&x).argmax_row(0);
+    println!(
+        "detector verdict: {}",
+        if verdict == ATTACK { "DDoS attack" } else { "benign" }
+    );
+    let explanation = factual(&model, &h);
+    println!("{}", explanation.render(5));
+}

@@ -1,0 +1,26 @@
+//! Workspace-level umbrella crate for the Agua reproduction.
+//!
+//! This crate hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); its library surface simply
+//! re-exports the workspace crates so downstream code can depend on a
+//! single name.
+//!
+//! Crate map:
+//!
+//! * [`agua`] — the concept-based explainer (the paper's contribution);
+//! * [`agua_nn`] — the dense neural-network substrate;
+//! * [`agua_text`] — description generation and text embeddings;
+//! * [`abr_env`], [`cc_env`], [`ddos_env`] — the three application
+//!   simulators;
+//! * [`agua_controllers`] — the learning-enabled controllers under
+//!   explanation;
+//! * [`trustee`] — the decision-tree surrogate baseline.
+
+pub use abr_env;
+pub use agua;
+pub use agua_controllers;
+pub use agua_nn;
+pub use agua_text;
+pub use cc_env;
+pub use ddos_env;
+pub use trustee;

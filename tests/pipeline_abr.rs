@@ -1,0 +1,129 @@
+//! End-to-end integration test of the Agua pipeline on the ABR
+//! application, including the lifecycle tools (drift detection and
+//! retraining selection) across the 2021 → 2024 era shift.
+
+use abr_env::{AbrSimulator, DatasetEra, VideoManifest, LEVELS};
+use agua::concepts::abr_concepts;
+use agua::explain::{counterfactual, factual};
+use agua::labeling::{ConceptLabeler, Quantizer};
+use agua::lifecycle::drift::{concept_proportions, detect_shift, tag_datasets};
+use agua::lifecycle::retrain::select_for_retraining;
+use agua::surrogate::{AguaModel, SurrogateDataset, TrainParams};
+use agua_controllers::abr::{collect_teacher_dataset, train_controller};
+use agua_controllers::PolicyNet;
+use agua_nn::Matrix;
+use agua_text::describer::{Describer, DescriberConfig};
+use agua_text::embedding::Embedder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rollout(
+    controller: &PolicyNet,
+    era: DatasetEra,
+    n_traces: usize,
+    seed: u64,
+) -> (Vec<Matrix>, Vec<Vec<agua_text::describer::DescribedSection>>, Matrix, Vec<usize>) {
+    let traces = era.generate_traces(n_traces, 240, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 1);
+    let mut per_trace = Vec::new();
+    let mut sections = Vec::new();
+    let mut all_rows = Vec::new();
+    let mut outputs = Vec::new();
+    for trace in traces {
+        let manifest = VideoManifest::generate(40, era.mean_complexity(), &mut rng);
+        let mut sim = AbrSimulator::new(manifest, trace);
+        let mut rows = Vec::new();
+        while !sim.done() {
+            let obs = sim.observation();
+            let action = controller.act(&obs.features());
+            rows.push(obs.features());
+            sections.push(obs.sections());
+            outputs.push(action);
+            sim.step(action);
+        }
+        per_trace.push(controller.embeddings(&Matrix::from_rows(&rows)));
+        all_rows.extend(rows);
+    }
+    let embeddings = controller.embeddings(&Matrix::from_rows(&all_rows));
+    (per_trace, sections, embeddings, outputs)
+}
+
+fn fit() -> (PolicyNet, AguaModel, agua::concepts::ConceptSet) {
+    let samples = collect_teacher_dataset(DatasetEra::Train2021, 30, 40, 11);
+    let controller = train_controller(&samples, 11);
+    let (_, sections, embeddings, outputs) = rollout(&controller, DatasetEra::Train2021, 20, 12);
+    let concepts = abr_concepts();
+    let labeler = ConceptLabeler::new(
+        &concepts,
+        Describer::new(DescriberConfig::high_quality()),
+        Embedder::new(512),
+        Quantizer::calibrated(),
+    );
+    let concept_labels = labeler.label_batch(&sections, 42);
+    let dataset = SurrogateDataset { embeddings, concept_labels, outputs };
+    let model = AguaModel::fit(&concepts, 3, LEVELS, &dataset, &TrainParams::fast());
+    (controller, model, concepts)
+}
+
+#[test]
+fn surrogate_beats_majority_baseline_by_a_wide_margin() {
+    let (controller, model, _) = fit();
+    let (_, _, embeddings, outputs) = rollout(&controller, DatasetEra::Train2021, 10, 99);
+    let fid = model.fidelity(&embeddings, &outputs);
+
+    let mut counts = vec![0usize; LEVELS];
+    for &y in &outputs {
+        counts[y] += 1;
+    }
+    let baseline = *counts.iter().max().unwrap() as f32 / outputs.len() as f32;
+    assert!(
+        fid > baseline + 0.15,
+        "fidelity {fid} must clear the majority baseline {baseline}"
+    );
+    assert!(fid > 0.75, "held-out ABR fidelity {fid}");
+}
+
+#[test]
+fn factual_and_counterfactual_explanations_are_well_formed() {
+    let (controller, model, _) = fit();
+    let (_, _, embeddings, _) = rollout(&controller, DatasetEra::Train2021, 2, 7);
+    let one = embeddings.select_rows(&[5]);
+
+    let fact = factual(&model, &one);
+    assert!(fact.factual);
+    assert!(fact.output_prob > 0.0);
+    assert_eq!(fact.contributions.len(), model.concepts());
+
+    let other_class = (fact.output_class + 1) % LEVELS;
+    let counter = counterfactual(&model, &one, other_class);
+    assert!(!counter.factual);
+    assert_eq!(counter.output_class, other_class);
+    // Counterfactual weights are normalized to sum to 1.
+    let total: f32 = counter.contributions.iter().map(|c| c.weight).sum();
+    assert!((total - 1.0).abs() < 1e-3, "counterfactual weights sum {total}");
+}
+
+#[test]
+fn drift_detection_flags_the_era_shift_and_selects_retraining_traces() {
+    let (controller, model, concepts) = fit();
+    let (batches_2021, ..) = rollout(&controller, DatasetEra::Train2021, 25, 100);
+    let (batches_2024, ..) = rollout(&controller, DatasetEra::Deploy2024, 25, 200);
+    let (tags_2021, tags_2024) = tag_datasets(&model, &batches_2021, &batches_2024, 3);
+
+    let names = concepts.names();
+    let shifts = detect_shift(
+        &concept_proportions(&tags_2021, &names),
+        &concept_proportions(&tags_2024, &names),
+        &names,
+    );
+    // The eras differ materially, so some concept's share must move.
+    assert!(
+        shifts[0].delta > 0.03,
+        "expected a clear concept increase, got {:?}",
+        &shifts[..3]
+    );
+
+    let selected = select_for_retraining(&tags_2024, &shifts, 0.03);
+    assert!(!selected.is_empty(), "some 2024 traces must be selected");
+    assert!(selected.len() < tags_2024.len(), "selection must filter, not copy");
+}

@@ -1,0 +1,131 @@
+//! End-to-end integration test of the Agua pipeline on congestion
+//! control, including the Fig. 10 debugging arc: the buggy original
+//! controller oscillates, Agua's contrastive diagnosis names latency
+//! concepts, and the debugged variant stabilizes near capacity.
+
+use agua::concepts::cc_concepts;
+use agua::explain::concept_intensities;
+use agua::labeling::{ConceptLabeler, Quantizer};
+use agua::surrogate::{AguaModel, SurrogateDataset, TrainParams};
+use agua_controllers::cc::{
+    collect_dataset, rollout_throughput, to_matrix, train_controller, train_controller_dagger,
+    utilization_stats, CcVariant, HOLD,
+};
+use agua_nn::Matrix;
+use agua_text::describer::{Describer, DescriberConfig};
+use agua_text::embedding::Embedder;
+use cc_env::{CapacityProcess, CcSimulator, LinkConfig, LinkPattern};
+
+fn fit_surrogate(controller: &agua_controllers::PolicyNet) -> AguaModel {
+    // Roll the controller over its training scenarios to collect the
+    // explanation dataset.
+    let samples = collect_dataset(CcVariant::Original, 150, 5);
+    let (features, _) = to_matrix(&samples, CcVariant::Original);
+    let (embeddings, logits) = controller.embeddings_and_logits(&features);
+    let outputs: Vec<usize> = (0..features.rows()).map(|r| logits.argmax_row(r)).collect();
+
+    let concepts = cc_concepts();
+    let labeler = ConceptLabeler::new(
+        &concepts,
+        Describer::new(DescriberConfig::high_quality()),
+        Embedder::new(512),
+        Quantizer::calibrated(),
+    );
+    let sections: Vec<_> = samples.iter().map(|s| s.observation.sections()).collect();
+    let concept_labels = labeler.label_batch(&sections, 42);
+    let ds = SurrogateDataset { embeddings, concept_labels, outputs };
+    AguaModel::fit(&concepts, 3, cc_env::ACTIONS, &ds, &TrainParams::fast())
+}
+
+#[test]
+fn debugged_controller_is_steadier_and_higher_utilization_than_original() {
+    let original = train_controller_dagger(CcVariant::Original, 600, 3, 21);
+    let debugged = train_controller_dagger(CcVariant::Debugged, 600, 3, 21);
+    let pattern = LinkPattern::Stable { mbps: 8.0 };
+    let orig = rollout_throughput(&original, CcVariant::Original, pattern, 500, 9);
+    let fixed = rollout_throughput(&debugged, CcVariant::Debugged, pattern, 500, 9);
+    let (orig_util, orig_cv) = utilization_stats(&orig[150..]);
+    let (fixed_util, fixed_cv) = utilization_stats(&fixed[150..]);
+    assert!(
+        fixed_util > orig_util,
+        "debugged utilization {fixed_util} must beat original {orig_util}"
+    );
+    assert!(
+        fixed_cv < orig_cv * 0.6,
+        "debugged CV {fixed_cv} must be well below original {orig_cv}"
+    );
+}
+
+#[test]
+fn contrastive_diagnosis_elevates_latency_concepts_at_cut_moments() {
+    let samples = collect_dataset(CcVariant::Original, 400, 21);
+    let controller = train_controller(CcVariant::Original, &samples, 21);
+    let model = fit_surrogate(&controller);
+
+    // Roll on a stable link, splitting states into cut vs all.
+    let cap = CapacityProcess::generate_seeded(LinkPattern::Stable { mbps: 8.0 }, 600, 5);
+    let mut sim = CcSimulator::with_history(cap, LinkConfig::default(), 4.0, 10);
+    for _ in 0..10 {
+        sim.step_at_current_rate();
+    }
+    let mut all_rows = Vec::new();
+    let mut cut_rows = Vec::new();
+    while !sim.done() {
+        let f = sim.observation().features(false);
+        let a = controller.act(&f);
+        if a < HOLD {
+            cut_rows.push(f.clone());
+        }
+        all_rows.push(f);
+        sim.step(a);
+    }
+    assert!(
+        cut_rows.len() > 10,
+        "the buggy controller must cut on a stable link ({} cuts)",
+        cut_rows.len()
+    );
+
+    let all_emb = controller.embeddings(&Matrix::from_rows(&all_rows));
+    let cut_emb = controller.embeddings(&Matrix::from_rows(&cut_rows));
+    let base = concept_intensities(&model, &all_emb);
+    let cut = concept_intensities(&model, &cut_emb);
+
+    // The most elevated concept at cut moments must be a congestion
+    // perception (latency or loss), not a utilization bookkeeping one.
+    let names = model.concept_names.clone();
+    let (top_idx, _) = cut
+        .iter()
+        .zip(&base)
+        .map(|(c, b)| c - b)
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("non-empty");
+    let top = &names[top_idx];
+    assert!(
+        top.contains("Latency") || top.contains("Loss") || top.contains("Utilization"),
+        "unexpected cut-moment concept: {top}"
+    );
+}
+
+#[test]
+fn surrogate_fidelity_clears_the_cc_majority_baseline() {
+    let samples = collect_dataset(CcVariant::Original, 400, 21);
+    let controller = train_controller(CcVariant::Original, &samples, 21);
+    let model = fit_surrogate(&controller);
+
+    let eval = collect_dataset(CcVariant::Original, 120, 99);
+    let (features, _) = to_matrix(&eval, CcVariant::Original);
+    let (embeddings, logits) = controller.embeddings_and_logits(&features);
+    let outputs: Vec<usize> = (0..features.rows()).map(|r| logits.argmax_row(r)).collect();
+
+    let mut counts = vec![0usize; cc_env::ACTIONS];
+    for &y in &outputs {
+        counts[y] += 1;
+    }
+    let baseline = *counts.iter().max().unwrap() as f32 / outputs.len() as f32;
+    let fid = model.fidelity(&embeddings, &outputs);
+    assert!(
+        fid > baseline + 0.1,
+        "fidelity {fid} must clear the majority baseline {baseline}"
+    );
+}

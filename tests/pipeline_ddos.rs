@@ -1,0 +1,126 @@
+//! End-to-end integration test of the full Agua pipeline on the DDoS
+//! application, exercising every crate through the public API: traffic
+//! generation → detector training → rollout → describe/embed/quantize →
+//! surrogate fit → fidelity → explanations.
+
+use agua::concepts::ddos_concepts;
+use agua::explain::{batched, factual, majority_class};
+use agua::labeling::{ConceptLabeler, Quantizer};
+use agua::surrogate::{AguaModel, SurrogateDataset, TrainParams};
+use agua_controllers::ddos::{generate_dataset, train_detector, ATTACK, BENIGN};
+use agua_controllers::PolicyNet;
+use agua_nn::Matrix;
+use agua_text::describer::{Describer, DescriberConfig};
+use agua_text::embedding::Embedder;
+use ddos_env::{DdosObservation, FlowKind, FlowWindow};
+
+struct Fitted {
+    detector: PolicyNet,
+    model: AguaModel,
+}
+
+fn fit() -> Fitted {
+    let train_flows = generate_dataset(500, 1);
+    let detector = train_detector(&train_flows, 1);
+
+    let flows = generate_dataset(400, 2);
+    let observations: Vec<DdosObservation> = flows
+        .iter()
+        .map(|s| DdosObservation::new(s.window.clone()))
+        .collect();
+    let features =
+        Matrix::from_rows(&observations.iter().map(|o| o.features()).collect::<Vec<_>>());
+    let (embeddings, logits) = detector.embeddings_and_logits(&features);
+    let outputs: Vec<usize> = (0..features.rows()).map(|r| logits.argmax_row(r)).collect();
+
+    let concepts = ddos_concepts();
+    let labeler = ConceptLabeler::new(
+        &concepts,
+        Describer::new(DescriberConfig::high_quality()),
+        Embedder::new(512),
+        Quantizer::calibrated(),
+    );
+    let sections: Vec<_> = observations.iter().map(|o| o.sections()).collect();
+    let concept_labels = labeler.label_batch(&sections, 42);
+    let dataset = SurrogateDataset { embeddings, concept_labels, outputs };
+    let model = AguaModel::fit(&concepts, 3, 2, &dataset, &TrainParams::tuned());
+    Fitted { detector, model }
+}
+
+fn embed_flow(f: &Fitted, kind: FlowKind, seed: u64) -> Matrix {
+    let w = FlowWindow::generate_seeded(kind, seed);
+    let x = Matrix::row_vector(&DdosObservation::new(w).features());
+    f.detector.embeddings(&x)
+}
+
+#[test]
+fn surrogate_reaches_high_fidelity_on_unseen_flows() {
+    let fitted = fit();
+    let flows = generate_dataset(200, 3);
+    let observations: Vec<DdosObservation> = flows
+        .iter()
+        .map(|s| DdosObservation::new(s.window.clone()))
+        .collect();
+    let features =
+        Matrix::from_rows(&observations.iter().map(|o| o.features()).collect::<Vec<_>>());
+    let (embeddings, logits) = fitted.detector.embeddings_and_logits(&features);
+    let outputs: Vec<usize> = (0..features.rows()).map(|r| logits.argmax_row(r)).collect();
+    let fid = fitted.model.fidelity(&embeddings, &outputs);
+    assert!(fid > 0.9, "held-out fidelity {fid}");
+}
+
+#[test]
+fn factual_explanations_separate_attack_and_benign_drivers() {
+    let fitted = fit();
+    let attack_emb = embed_flow(&fitted, FlowKind::SynFlood, 7);
+    let benign_emb = embed_flow(&fitted, FlowKind::BenignHttp, 7);
+
+    let attack_exp = factual(&fitted.model, &attack_emb);
+    let benign_exp = factual(&fitted.model, &benign_emb);
+    assert_eq!(attack_exp.output_class, ATTACK);
+    assert_eq!(benign_exp.output_class, BENIGN);
+    assert_ne!(
+        attack_exp.top_concepts(3),
+        benign_exp.top_concepts(3),
+        "attack and benign flows must be explained by different concept rankings"
+    );
+    // Anomaly/irregularity concepts must lead the attack explanation.
+    let top = &attack_exp.top_concepts(2);
+    assert!(
+        top.iter().any(|t| t.contains("Anomal") || t.contains("Irregular") || t.contains("Rate")),
+        "attack explanation led by {top:?}"
+    );
+}
+
+#[test]
+fn batched_explanation_is_consistent_with_singles() {
+    let fitted = fit();
+    let rows: Vec<Matrix> = (0..10)
+        .map(|s| embed_flow(&fitted, FlowKind::UdpFlood, 100 + s))
+        .collect();
+    let all = Matrix::from_rows(
+        &rows.iter().map(|m| m.row(0).to_vec()).collect::<Vec<_>>(),
+    );
+    let class = majority_class(&fitted.model, &all);
+    assert_eq!(class, ATTACK, "UDP floods must be classified as attacks");
+    let b = batched(&fitted.model, &all, class);
+    assert_eq!(b.batch_size, 10);
+    // The batch's dominant concept must also be dominant for a majority
+    // of the individual flows.
+    let dominant = &b.contributions[0].concept;
+    let wins = rows
+        .iter()
+        .filter(|emb| &factual(&fitted.model, emb).contributions[0].concept == dominant)
+        .count();
+    assert!(wins >= 5, "batch dominant {dominant} won only {wins}/10 singles");
+}
+
+#[test]
+fn explanation_weights_are_probabilities() {
+    let fitted = fit();
+    let emb = embed_flow(&fitted, FlowKind::LowAndSlow, 55);
+    let exp = factual(&fitted.model, &emb);
+    let total: f32 = exp.contributions.iter().map(|c| c.weight).sum();
+    assert!((total - exp.output_prob).abs() < 1e-3);
+    assert!(exp.contributions.iter().all(|c| c.weight >= 0.0));
+}

@@ -1,0 +1,182 @@
+//! Property-based tests on the core invariants of the workspace, using
+//! proptest over randomized inputs.
+
+use agua::labeling::Quantizer;
+use agua::robustness::{recall_at_k, top_k_indices};
+use agua_nn::{softmax_cross_entropy, softmax_rows, Matrix};
+use agua_text::embedding::{cosine_similarity, Embedder};
+use agua_text::stats::{analyze_series, SignalSeries};
+use proptest::prelude::*;
+
+proptest! {
+    /// Softmax rows are valid probability distributions for any finite
+    /// logits.
+    #[test]
+    fn softmax_rows_are_distributions(values in prop::collection::vec(-50.0f32..50.0, 3..30)) {
+        let m = Matrix::from_rows(&[values]);
+        let p = softmax_rows(&m);
+        let sum: f32 = p.row(0).iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.row(0).iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// Cross-entropy is non-negative and its gradient sums to ~0 per row
+    /// (softmax minus one-hot).
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero(
+        values in prop::collection::vec(-10.0f32..10.0, 4),
+        target in 0usize..4,
+    ) {
+        let m = Matrix::from_rows(&[values]);
+        let (loss, grad) = softmax_cross_entropy(&m, &[target]);
+        prop_assert!(loss >= 0.0);
+        let s: f32 = grad.row(0).iter().sum();
+        prop_assert!(s.abs() < 1e-5);
+    }
+
+    /// Matrix multiplication distributes over addition:
+    /// (A+B)C = AC + BC.
+    #[test]
+    fn matmul_distributes(seed in 0u64..1000) {
+        let a = Matrix::from_fn(3, 4, |r, c| ((seed + r as u64 * 7 + c as u64) % 13) as f32 - 6.0);
+        let b = Matrix::from_fn(3, 4, |r, c| ((seed + r as u64 * 3 + c as u64 * 5) % 11) as f32 - 5.0);
+        let c = Matrix::from_fn(4, 2, |r, _| ((seed + r as u64) % 7) as f32 - 3.0);
+        let lhs = a.add(&b).matmul(&c);
+        let rhs = a.matmul(&c).add(&b.matmul(&c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// The quantizer is monotone: a higher similarity never maps to a
+    /// lower class.
+    #[test]
+    fn quantizer_is_monotone(a in 0.0f32..1.0, b in 0.0f32..1.0) {
+        let q = Quantizer::calibrated();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(q.quantize(lo) <= q.quantize(hi));
+        prop_assert!(q.quantize(hi) < q.classes());
+    }
+
+    /// Cosine similarity is symmetric and bounded.
+    #[test]
+    fn cosine_is_symmetric(words_a in "[a-z ]{5,40}", words_b in "[a-z ]{5,40}") {
+        let e = Embedder::new(128);
+        let va = e.embed(&words_a);
+        let vb = e.embed(&words_b);
+        let ab = cosine_similarity(&va, &vb);
+        let ba = cosine_similarity(&vb, &va);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!((0.0..=1.0).contains(&ab));
+    }
+
+    /// Self-similarity of a non-degenerate text is 1.
+    #[test]
+    fn embedding_self_similarity_is_one(n in 1usize..8) {
+        let e = Embedder::new(256);
+        let text = format!("{} throughput buffer latency", "volatile ".repeat(n));
+        let v = e.embed(&text);
+        prop_assert!((cosine_similarity(&v, &v) - 1.0).abs() < 1e-5);
+    }
+
+    /// Series analysis is scale-equivariant in the trend: scaling values
+    /// and max together preserves the classification.
+    #[test]
+    fn trend_analysis_is_scale_invariant(
+        base in 0.5f32..5.0,
+        slope in -0.2f32..0.2,
+        scale in 0.5f32..20.0,
+    ) {
+        let values: Vec<f32> = (0..10).map(|i| (base + slope * i as f32).max(0.0)).collect();
+        let scaled: Vec<f32> = values.iter().map(|v| v * scale).collect();
+        let a = analyze_series(&SignalSeries::new("s", "u", values, 10.0));
+        let b = analyze_series(&SignalSeries::new("s", "u", scaled, 10.0 * scale));
+        prop_assert_eq!(a.overall.trend, b.overall.trend);
+        prop_assert_eq!(a.overall.level, b.overall.level);
+    }
+
+    /// recall@k of any scores against themselves is 1, and recall is in
+    /// [0, 1] against any other scores.
+    #[test]
+    fn recall_bounds(
+        a in prop::collection::vec(0.0f32..1.0, 8),
+        b in prop::collection::vec(0.0f32..1.0, 8),
+        k in 1usize..5,
+    ) {
+        prop_assert_eq!(recall_at_k(&a, &a, k), 1.0);
+        let r = recall_at_k(&a, &b, k);
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    /// top_k returns exactly k distinct indices within range.
+    #[test]
+    fn top_k_is_well_formed(scores in prop::collection::vec(-5.0f32..5.0, 1..20)) {
+        let k = (scores.len() / 2).max(1);
+        let idx = top_k_indices(&scores, k);
+        prop_assert_eq!(idx.len(), k);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), k, "indices must be distinct");
+        prop_assert!(idx.iter().all(|&i| i < scores.len()));
+    }
+}
+
+/// Simulator invariants under random action sequences.
+mod simulator_props {
+    use super::*;
+    use abr_env::{AbrSimulator, TraceFamily, VideoManifest, LEVELS};
+    use cc_env::{CapacityProcess, CcSimulator, LinkConfig, LinkPattern};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        /// The ABR buffer never exceeds its cap or goes negative, and
+        /// every download terminates, under arbitrary action sequences.
+        #[test]
+        fn abr_invariants_hold_for_random_policies(
+            seed in 0u64..500,
+            actions in prop::collection::vec(0usize..LEVELS, 30),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let manifest = VideoManifest::generate(30, 1.0, &mut rng);
+            let trace = TraceFamily::ThreeG.generate(300, &mut rng);
+            let mut sim = AbrSimulator::new(manifest, trace);
+            for &a in &actions {
+                let out = sim.step(a);
+                prop_assert!(sim.buffer() >= 0.0);
+                prop_assert!(sim.buffer() <= abr_env::observation::BUFFER_MAX + 1e-3);
+                prop_assert!(out.tx_time > 0.0 && out.tx_time <= 20.0 + 1e-3);
+                prop_assert!(out.stall >= 0.0);
+            }
+            prop_assert!(sim.done());
+        }
+
+        /// CC queue accounting conserves data: delivered never exceeds
+        /// capacity, loss stays in [0,1], latency ≥ base RTT.
+        #[test]
+        fn cc_invariants_hold_for_random_policies(
+            seed in 0u64..500,
+            actions in prop::collection::vec(0usize..cc_env::ACTIONS, 50),
+        ) {
+            let cap = CapacityProcess::generate_seeded(
+                LinkPattern::Volatile { mbps: 6.0, sigma: 1.0 },
+                60,
+                seed,
+            );
+            let config = LinkConfig::default();
+            let mut sim = CcSimulator::new(cap, config, 2.0);
+            for &a in &actions {
+                if sim.done() {
+                    break;
+                }
+                let capacity = sim.current_capacity();
+                let s = sim.step(a);
+                prop_assert!(s.delivered_mbps <= capacity + 1e-3);
+                prop_assert!((0.0..=1.0).contains(&s.loss_rate));
+                // Latency jitter is ±4%; allow that margin below base.
+                prop_assert!(s.latency_ms >= config.base_rtt_ms * 0.95);
+            }
+        }
+    }
+}
