@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full CI gate for the workspace. Run from the repo root:
+#
+#   ./ci.sh
+#
+# Every step must pass; the script stops at the first failure.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> CI gate passed"

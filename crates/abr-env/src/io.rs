@@ -50,8 +50,7 @@ impl TraceDataset {
     /// Loads a dataset from a JSON file.
     pub fn load(path: &Path) -> io::Result<Self> {
         let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 }
 
@@ -94,7 +93,8 @@ mod tests {
     #[test]
     fn single_family_dataset_statistics() {
         let mut rng = StdRng::seed_from_u64(3);
-        let traces: Vec<_> = (0..4).map(|_| TraceFamily::Broadband.generate(60, &mut rng)).collect();
+        let traces: Vec<_> =
+            (0..4).map(|_| TraceFamily::Broadband.generate(60, &mut rng)).collect();
         let ds = TraceDataset::new("bb", traces);
         assert!(ds.mean_mbps() > 3.0, "broadband mean {}", ds.mean_mbps());
     }

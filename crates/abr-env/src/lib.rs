@@ -29,8 +29,8 @@ pub mod sim;
 pub mod trace;
 
 pub use io::TraceDataset;
-pub use metrics::{run_episode, EpisodeRecorder, EpisodeStats};
 pub use manifest::VideoManifest;
+pub use metrics::{run_episode, EpisodeRecorder, EpisodeStats};
 pub use observation::AbrObservation;
 pub use sim::{AbrSimulator, QoeParams, StepOutcome};
 pub use trace::{DatasetEra, NetworkTrace, TraceFamily};

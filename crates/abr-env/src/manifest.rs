@@ -134,10 +134,8 @@ mod tests {
         let easy_size = mean_size(&easy);
         let hard_size = mean_size(&hard);
         assert!(hard_size > easy_size * 1.3);
-        let easy_q: f32 =
-            easy.qualities.iter().map(|q| q[3]).sum::<f32>() / easy.chunks() as f32;
-        let hard_q: f32 =
-            hard.qualities.iter().map(|q| q[3]).sum::<f32>() / hard.chunks() as f32;
+        let easy_q: f32 = easy.qualities.iter().map(|q| q[3]).sum::<f32>() / easy.chunks() as f32;
+        let hard_q: f32 = hard.qualities.iter().map(|q| q[3]).sum::<f32>() / hard.chunks() as f32;
         assert!(easy_q > hard_q);
     }
 

@@ -53,8 +53,7 @@ impl EpisodeRecorder {
         assert!(!self.outcomes.is_empty(), "no steps recorded");
         let n = self.outcomes.len();
         let mean_qoe = self.outcomes.iter().map(|o| o.qoe).sum::<f32>() / n as f32;
-        let mean_quality_db =
-            self.outcomes.iter().map(|o| o.quality_db).sum::<f32>() / n as f32;
+        let mean_quality_db = self.outcomes.iter().map(|o| o.quality_db).sum::<f32>() / n as f32;
         let total_stall_s: f32 = self.outcomes.iter().map(|o| o.stall).sum();
         let playback_s = n as f32 * crate::CHUNK_SECONDS;
         let mut switches = 0usize;

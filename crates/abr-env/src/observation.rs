@@ -135,12 +135,7 @@ impl AbrObservation {
             DescribedSection::new(
                 "Viewer's Quality of Experience",
                 vec![
-                    SignalSeries::new(
-                        "Quality of Experience",
-                        "",
-                        self.qoe.clone(),
-                        QOE_MAX,
-                    ),
+                    SignalSeries::new("Quality of Experience", "", self.qoe.clone(), QOE_MAX),
                     SignalSeries::new("Stalling", "seconds", self.stall_s.clone(), STALL_MAX),
                     SignalSeries::new(
                         "Selected Video Quality",
@@ -219,10 +214,8 @@ mod tests {
     #[test]
     fn sections_cover_all_signals() {
         let sections = demo().sections();
-        let names: Vec<String> = sections
-            .iter()
-            .flat_map(|s| s.signals.iter().map(|sig| sig.name.clone()))
-            .collect();
+        let names: Vec<String> =
+            sections.iter().flat_map(|s| s.signals.iter().map(|sig| sig.name.clone())).collect();
         for expected in [
             "Network Throughput",
             "Transmission Time",

@@ -207,11 +207,8 @@ impl AbrSimulator {
         }
 
         // SSIM-based QoE with stall and smoothness penalties.
-        let smooth = if self.chunk == 0 {
-            0.0
-        } else {
-            (quality_db - self.last_quality_db).abs() / 5.0
-        };
+        let smooth =
+            if self.chunk == 0 { 0.0 } else { (quality_db - self.last_quality_db).abs() / 5.0 };
         let qoe = quality_db / 5.0
             - self.qoe_params.stall_penalty * stall
             - self.qoe_params.smooth_penalty * smooth;
@@ -224,15 +221,7 @@ impl AbrSimulator {
         StepOutcome { qoe, stall, tx_time, quality_db, done: self.done() }
     }
 
-    fn push_history(
-        &mut self,
-        quality: f32,
-        size: f32,
-        tx: f32,
-        tput: f32,
-        qoe: f32,
-        stall: f32,
-    ) {
+    fn push_history(&mut self, quality: f32, size: f32, tx: f32, tput: f32, qoe: f32, stall: f32) {
         for (hist, v) in [
             (&mut self.hist_quality, quality),
             (&mut self.hist_size, size),

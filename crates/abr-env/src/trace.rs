@@ -220,9 +220,7 @@ mod tests {
 
     #[test]
     fn families_order_by_mean_throughput() {
-        let mean = |f: TraceFamily| {
-            (0..8).map(|s| gen(f, s).mean_mbps()).sum::<f32>() / 8.0
-        };
+        let mean = |f: TraceFamily| (0..8).map(|s| gen(f, s).mean_mbps()).sum::<f32>() / 8.0;
         let m3 = mean(TraceFamily::ThreeG);
         let m4 = mean(TraceFamily::FourG);
         let m5 = mean(TraceFamily::FiveG);
@@ -236,8 +234,8 @@ mod tests {
         let cv = |f: TraceFamily| {
             let t = gen(f, 42);
             let mean = t.mean_mbps();
-            let var = t.mbps.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-                / t.mbps.len() as f32;
+            let var =
+                t.mbps.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.mbps.len() as f32;
             var.sqrt() / mean
         };
         assert!(cv(TraceFamily::FiveG) > 2.0 * cv(TraceFamily::Broadband));

@@ -11,7 +11,9 @@ use agua::concepts::{cc_concepts, ddos_concepts};
 use agua::explain::{batched, factual};
 use agua::labeling::{ConceptLabeler, Quantizer};
 use agua::surrogate::{AguaModel, SurrogateDataset, TrainParams};
+use agua_bench::synth::{bench_params, synthetic_surrogate, SynthSpec};
 use agua_controllers::ddos::{generate_dataset, train_detector};
+use agua_nn::parallel::{par_matmul, with_threads};
 use agua_nn::Matrix;
 use agua_text::describer::{Describer, DescriberConfig};
 use agua_text::embedding::Embedder;
@@ -27,10 +29,8 @@ use trustee::{DecisionTree, TreeConfig};
 fn fitted_model() -> (AguaModel, Matrix) {
     let flows = generate_dataset(300, 1);
     let detector = train_detector(&flows, 1);
-    let observations: Vec<DdosObservation> = flows
-        .iter()
-        .map(|s| DdosObservation::new(s.window.clone()))
-        .collect();
+    let observations: Vec<DdosObservation> =
+        flows.iter().map(|s| DdosObservation::new(s.window.clone())).collect();
     let features =
         Matrix::from_rows(&observations.iter().map(|o| o.features()).collect::<Vec<_>>());
     let (embeddings, logits) = detector.embeddings_and_logits(&features);
@@ -59,9 +59,7 @@ fn bench_explanations(c: &mut Criterion) {
     c.bench_function("batched_explanation_300", |b| {
         b.iter(|| batched(black_box(&model), black_box(&embeddings), 1))
     });
-    c.bench_function("surrogate_predict_300", |b| {
-        b.iter(|| model.predict(black_box(&embeddings)))
-    });
+    c.bench_function("surrogate_predict_300", |b| b.iter(|| model.predict(black_box(&embeddings))));
 }
 
 fn bench_surrogate_training(c: &mut Criterion) {
@@ -98,9 +96,7 @@ fn bench_text_pipeline(c: &mut Criterion) {
     c.bench_function("describe_input", |b| {
         b.iter(|| describer.describe_seeded(black_box(&sections), 1))
     });
-    c.bench_function("embed_description", |b| {
-        b.iter(|| embedder.embed(black_box(&description)))
-    });
+    c.bench_function("embed_description", |b| b.iter(|| embedder.embed(black_box(&description))));
     c.bench_function("label_input_end_to_end", |b| {
         let cc_obs = cc_env::CcObservation {
             send_mbps: vec![4.0; 10],
@@ -116,24 +112,16 @@ fn bench_text_pipeline(c: &mut Criterion) {
 fn bench_tree_induction(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(5);
     use rand::RngExt;
-    let features: Vec<Vec<f32>> = (0..1000)
-        .map(|_| (0..40).map(|_| rng.random_range(0.0..1.0f32)).collect())
-        .collect();
-    let labels: Vec<usize> = features
-        .iter()
-        .map(|f| usize::from(f[3] > 0.5) + usize::from(f[17] > 0.7))
-        .collect();
+    let features: Vec<Vec<f32>> =
+        (0..1000).map(|_| (0..40).map(|_| rng.random_range(0.0..1.0f32)).collect()).collect();
+    let labels: Vec<usize> =
+        features.iter().map(|f| usize::from(f[3] > 0.5) + usize::from(f[17] > 0.7)).collect();
 
     let mut group = c.benchmark_group("trustee");
     group.sample_size(10);
     group.bench_function("cart_fit_1000x40", |b| {
         b.iter(|| {
-            DecisionTree::fit(
-                black_box(&features),
-                black_box(&labels),
-                3,
-                TreeConfig::default(),
-            )
+            DecisionTree::fit(black_box(&features), black_box(&labels), 3, TreeConfig::default())
         })
     });
     group.finish();
@@ -170,12 +158,60 @@ fn bench_simulators(c: &mut Criterion) {
     });
 }
 
+/// 1-thread vs N-thread groups for the deterministic parallel backend.
+/// The workload mirrors `src/bin/bench_parallel.rs` (which also checks
+/// byte-identity and records the speedups in `BENCH_parallel.json`).
+fn bench_parallel_backend(c: &mut Criterion) {
+    let spec = SynthSpec::large();
+    let (concepts, dataset) = synthetic_surrogate(spec);
+    let params = bench_params(spec.seed);
+    let a = Matrix::from_fn(1024, 256, |r, col| ((r * 31 + col * 7) % 101) as f32 / 50.0 - 1.0);
+    let b = Matrix::from_fn(256, 512, |r, col| ((r * 13 + col * 17) % 97) as f32 / 48.0 - 1.0);
+
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("matmul_1024x256x512_t{threads}"), |bench| {
+            bench.iter(|| with_threads(threads, || par_matmul(black_box(&a), black_box(&b))))
+        });
+        group.bench_function(format!("surrogate_fit_2000_t{threads}"), |bench| {
+            bench.iter(|| {
+                with_threads(threads, || {
+                    AguaModel::fit(
+                        black_box(&concepts),
+                        spec.k,
+                        spec.n_outputs,
+                        black_box(&dataset),
+                        &params,
+                    )
+                })
+            })
+        });
+    }
+    group.finish();
+
+    let model = AguaModel::fit(&concepts, spec.k, spec.n_outputs, &dataset, &params);
+    let mut group = c.benchmark_group("parallel_explain");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("batched_explanation_2000_t{threads}"), |bench| {
+            bench.iter(|| {
+                with_threads(threads, || {
+                    batched(black_box(&model), black_box(&dataset.embeddings), 0)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_explanations,
     bench_surrogate_training,
     bench_text_pipeline,
     bench_tree_induction,
-    bench_simulators
+    bench_simulators,
+    bench_parallel_backend
 );
 criterion_main!(benches);

@@ -123,8 +123,35 @@ pub fn fit_agua(
         concept_labels,
         outputs: train.outputs.clone(),
     };
-    let model = AguaModel::fit(concepts, labeler.quantizer().classes(), n_outputs, &dataset, params);
+    let model =
+        AguaModel::fit(concepts, labeler.quantizer().classes(), n_outputs, &dataset, params);
     (model, labeler)
+}
+
+/// One self-contained surrogate-fitting job for [`fit_agua_jobs`].
+pub struct FitJob<'a> {
+    /// Concept set of the application.
+    pub concepts: &'a ConceptSet,
+    /// Controller output dimensionality.
+    pub n_outputs: usize,
+    /// Training rollouts.
+    pub train: &'a AppData,
+    /// Simulated LLM variant.
+    pub variant: LlmVariant,
+    /// Training hyper-parameters (carry the seed).
+    pub params: &'a TrainParams,
+    /// Labelling seed.
+    pub label_seed: u64,
+}
+
+/// Runs independent [`fit_agua`] jobs on scoped worker threads — the
+/// embarrassingly-parallel outer loop of the multi-app experiments.
+/// Every job is fully seeded and self-contained, so the results are
+/// identical to running the jobs sequentially, in job order.
+pub fn fit_agua_jobs(jobs: &[FitJob<'_>]) -> Vec<(AguaModel, ConceptLabeler)> {
+    agua_nn::parallel::par_map(jobs, |j| {
+        fit_agua(j.concepts, j.n_outputs, j.train, j.variant, j.params, j.label_seed)
+    })
 }
 
 /// ABR application plumbing.
@@ -168,13 +195,7 @@ pub mod abr_app {
                 sim.step(action);
             }
         }
-        AppData {
-            features,
-            sections,
-            embeddings: Matrix::from_rows(&emb_rows),
-            outputs,
-            trace_ids,
-        }
+        AppData { features, sections, embeddings: Matrix::from_rows(&emb_rows), outputs, trace_ids }
     }
 
     /// The motivating state of paper Fig. 1a / §2.2: transmission times
@@ -249,18 +270,9 @@ pub mod cc_app {
         let mut trace_ids = Vec::new();
         for trace_id in 0..SCENARIOS {
             let (pattern, config) = cc::sample_scenario(trace_id, &mut rng);
-            let cap = CapacityProcess::generate(
-                pattern,
-                per_pattern + variant.history(),
-                &mut rng,
-            );
+            let cap = CapacityProcess::generate(pattern, per_pattern + variant.history(), &mut rng);
             let initial = rng.random_range(0.3..1.0) * config.nominal_mbps;
-            let mut sim = CcSimulator::with_history(
-                cap,
-                config,
-                initial,
-                variant.history(),
-            );
+            let mut sim = CcSimulator::with_history(cap, config, initial, variant.history());
             for _ in 0..variant.history().min(sim.mis_left()) {
                 sim.step_at_current_rate();
             }
@@ -283,13 +295,7 @@ pub mod cc_app {
         emb_rows.truncate(n_samples);
         outputs.truncate(n_samples);
         trace_ids.truncate(n_samples);
-        AppData {
-            features,
-            sections,
-            embeddings: Matrix::from_rows(&emb_rows),
-            outputs,
-            trace_ids,
-        }
+        AppData { features, sections, embeddings: Matrix::from_rows(&emb_rows), outputs, trace_ids }
     }
 
     /// Feature names for the CC feature vector.
@@ -339,13 +345,7 @@ pub mod ddos_app {
             outputs.push(logits.argmax_row(0));
             trace_ids.push(i);
         }
-        AppData {
-            features,
-            sections,
-            embeddings: Matrix::from_rows(&emb_rows),
-            outputs,
-            trace_ids,
-        }
+        AppData { features, sections, embeddings: Matrix::from_rows(&emb_rows), outputs, trace_ids }
     }
 
     /// Generates flows of one kind only and records detector outputs.
@@ -372,21 +372,13 @@ pub mod ddos_app {
             outputs.push(logits.argmax_row(0));
             trace_ids.push(i);
         }
-        AppData {
-            features,
-            sections,
-            embeddings: Matrix::from_rows(&emb_rows),
-            outputs,
-            trace_ids,
-        }
+        AppData { features, sections, embeddings: Matrix::from_rows(&emb_rows), outputs, trace_ids }
     }
 
     /// Feature names for the flow feature matrix.
     pub fn feature_names() -> Vec<String> {
         let mut names = Vec::new();
-        for base in [
-            "iat", "size", "outbound", "syn", "ack", "udp", "entropy", "src_consistency",
-        ] {
+        for base in ["iat", "size", "outbound", "syn", "ack", "udp", "entropy", "src_consistency"] {
             for p in 0..ddos_env::WINDOW {
                 names.push(format!("{base}[pkt{p}]"));
             }
@@ -419,7 +411,8 @@ mod tests {
         let test = abr_app::rollout(&controller, DatasetEra::Train2021, 3, 5);
         let concepts = abr_concepts();
         let params = TrainParams::fast();
-        let (model, _) = fit_agua(&concepts, abr_env::LEVELS, &train, LlmVariant::HighQuality, &params, 9);
+        let (model, _) =
+            fit_agua(&concepts, abr_env::LEVELS, &train, LlmVariant::HighQuality, &params, 9);
         let fid = model.fidelity(&test.embeddings, &test.outputs);
         assert!(fid > 0.6, "small-sample ABR fidelity {fid}");
     }

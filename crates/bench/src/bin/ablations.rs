@@ -59,14 +59,8 @@ fn main() {
             concept_labels: labels3.clone(),
             outputs: train.outputs.clone(),
         };
-        let model = AguaModel::fit_with_options(
-            &concepts,
-            k3,
-            abr_env::LEVELS,
-            &ds,
-            &params,
-            layernorm,
-        );
+        let model =
+            AguaModel::fit_with_options(&concepts, k3, abr_env::LEVELS, &ds, &params, layernorm);
         results.push(AblationResult {
             ablation: "layernorm".into(),
             setting: setting.into(),
@@ -107,11 +101,7 @@ fn main() {
         let p = TrainParams { elastic_coeff: coeff, ..params };
         let model = AguaModel::fit(&concepts, k3, abr_env::LEVELS, &ds, &p);
         let w = model.output_mapping.weights();
-        let near_zero = w
-            .as_slice()
-            .iter()
-            .filter(|v| v.abs() < 1e-2)
-            .count() as f32
+        let near_zero = w.as_slice().iter().filter(|v| v.abs() < 1e-2).count() as f32
             / (w.rows() * w.cols()) as f32;
         results.push(AblationResult {
             ablation: "elasticnet".into(),
@@ -143,13 +133,10 @@ fn main() {
         });
     }
 
-    println!("\n{:<18} {:<30} {:>9}  {}", "ablation", "setting", "fidelity", "note");
+    println!("\n{:<18} {:<30} {:>9}  note", "ablation", "setting", "fidelity");
     println!("{}", "-".repeat(90));
     for r in &results {
-        println!(
-            "{:<18} {:<30} {:>9.3}  {}",
-            r.ablation, r.setting, r.fidelity, r.note
-        );
+        println!("{:<18} {:<30} {:>9.3}  {}", r.ablation, r.setting, r.fidelity, r.note);
     }
 
     save_json("ablations", &results);

@@ -1,0 +1,120 @@
+//! **Parallel backend benchmark** — surrogate training and batched
+//! explanation at 1 vs N worker threads.
+//!
+//! Verifies that the deterministic row-partitioned backend produces
+//! byte-identical models and explanations at every thread count, then
+//! records the measured wall-clock speedups in
+//! `results/BENCH_parallel.json`.
+
+use agua::explain;
+use agua::surrogate::AguaModel;
+use agua_bench::report::{banner, save_json};
+use agua_bench::synth::{bench_params, synthetic_surrogate, SynthSpec};
+use agua_nn::parallel::with_threads;
+use agua_nn::Matrix;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct StageResult {
+    stage: String,
+    threads: usize,
+    seconds: f64,
+    speedup_vs_1_thread: f64,
+    byte_identical_to_1_thread: bool,
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn model_bits(model: &AguaModel) -> Vec<u32> {
+    let mut out = bits(model.output_mapping.weights());
+    out.extend(bits(model.output_mapping.bias()));
+    out
+}
+
+fn main() {
+    banner("BENCH parallel", "1-thread vs N-thread speedup of the deterministic backend");
+    let spec = SynthSpec::large();
+    let (concepts, dataset) = synthetic_surrogate(spec);
+    let params = bench_params(spec.seed);
+    let thread_counts = [1usize, 2, 4];
+    let mut rows: Vec<StageResult> = Vec::new();
+
+    // --- Stage 1: surrogate training (δ then Ω, matmul-dominated).
+    println!(
+        "\n[fit] n={} emb={} hidden={} cm_batch={}",
+        spec.n, spec.emb_dim, params.cm_hidden, params.cm_batch
+    );
+    let mut baseline_model_bits: Vec<u32> = Vec::new();
+    let mut baseline_model: Option<AguaModel> = None;
+    let mut fit_base_secs = 0.0f64;
+    for &threads in &thread_counts {
+        let start = Instant::now();
+        let model = with_threads(threads, || {
+            AguaModel::fit(&concepts, spec.k, spec.n_outputs, &dataset, &params)
+        });
+        let secs = start.elapsed().as_secs_f64();
+        let mb = model_bits(&model);
+        let identical = if threads == 1 {
+            fit_base_secs = secs;
+            baseline_model_bits = mb;
+            baseline_model = Some(model);
+            true
+        } else {
+            mb == baseline_model_bits
+        };
+        let speedup = fit_base_secs / secs;
+        println!("  threads={threads}: {secs:.3}s  speedup={speedup:.2}x  identical={identical}");
+        rows.push(StageResult {
+            stage: "surrogate_fit".into(),
+            threads,
+            seconds: secs,
+            speedup_vs_1_thread: speedup,
+            byte_identical_to_1_thread: identical,
+        });
+    }
+    let model = baseline_model.expect("1-thread fit ran first");
+
+    // --- Stage 2: batched explanation over the full dataset.
+    println!("\n[batched explanation] n={}", spec.n);
+    const REPS: usize = 20;
+    let mut baseline_weights: Vec<u32> = Vec::new();
+    let mut explain_base_secs = 0.0f64;
+    for &threads in &thread_counts {
+        let start = Instant::now();
+        let mut last = None;
+        for _ in 0..REPS {
+            last = Some(with_threads(threads, || explain::batched(&model, &dataset.embeddings, 0)));
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let explanation = last.expect("at least one rep");
+        let weight_bits: Vec<u32> =
+            explanation.contributions.iter().map(|c| c.weight.to_bits()).collect();
+        let identical = if threads == 1 {
+            explain_base_secs = secs;
+            baseline_weights = weight_bits;
+            true
+        } else {
+            weight_bits == baseline_weights
+        };
+        let speedup = explain_base_secs / secs;
+        println!("  threads={threads}: {secs:.3}s  speedup={speedup:.2}x  identical={identical}");
+        rows.push(StageResult {
+            stage: "batched_explanation".into(),
+            threads,
+            seconds: secs,
+            speedup_vs_1_thread: speedup,
+            byte_identical_to_1_thread: identical,
+        });
+    }
+
+    assert!(
+        rows.iter().all(|r| r.byte_identical_to_1_thread),
+        "parallel backend must be byte-identical to the sequential path"
+    );
+
+    save_json("BENCH_parallel", &rows);
+    println!("\nwrote results/BENCH_parallel.json");
+}

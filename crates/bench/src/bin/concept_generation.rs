@@ -31,11 +31,7 @@ fn main() {
     let config = GenerationConfig::default();
 
     println!("\nGenerated starting sets (after S_max = {} filtering):", config.s_max);
-    for (domain, corpus) in [
-        ("ABR", abr_survey()),
-        ("CC", cc_survey()),
-        ("DDoS", ddos_survey()),
-    ] {
+    for (domain, corpus) in [("ABR", abr_survey()), ("CC", cc_survey()), ("DDoS", ddos_survey())] {
         let set = generate_concepts(&corpus, &embedder, config);
         println!("  {domain} ({} concepts from {} sentences):", set.len(), corpus.len());
         for c in &set.concepts {
@@ -50,25 +46,13 @@ fn main() {
     let test = abr_app::rollout(&controller, DatasetEra::Train2021, 40, 13);
 
     let generated = generate_concepts(&abr_survey(), &embedder, config);
-    let (gen_model, _) = fit_agua(
-        &generated,
-        abr_env::LEVELS,
-        &train,
-        variant,
-        &TrainParams::tuned(),
-        42,
-    );
+    let (gen_model, _) =
+        fit_agua(&generated, abr_env::LEVELS, &train, variant, &TrainParams::tuned(), 42);
     let gen_fid = gen_model.fidelity(&test.embeddings, &test.outputs);
 
     let curated = abr_concepts();
-    let (cur_model, _) = fit_agua(
-        &curated,
-        abr_env::LEVELS,
-        &train,
-        variant,
-        &TrainParams::tuned(),
-        42,
-    );
+    let (cur_model, _) =
+        fit_agua(&curated, abr_env::LEVELS, &train, variant, &TrainParams::tuned(), 42);
     let cur_fid = cur_model.fidelity(&test.embeddings, &test.outputs);
 
     println!("\n{:<34} {:>9} {:>10}", "concept set", "concepts", "fidelity");

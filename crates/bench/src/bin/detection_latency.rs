@@ -80,21 +80,12 @@ fn main() {
             max_latency,
             far
         );
-        assert_eq!(
-            latencies.len(),
-            10,
-            "the detector must lock on in every timeline"
-        );
+        assert_eq!(latencies.len(), 10, "the detector must lock on in every timeline");
 
         // Concept intensities pre vs post onset.
-        let pre = concept_intensities(
-            &model,
-            &detector.embeddings(&Matrix::from_rows(&pre_rows)),
-        );
-        let post = concept_intensities(
-            &model,
-            &detector.embeddings(&Matrix::from_rows(&post_rows)),
-        );
+        let pre = concept_intensities(&model, &detector.embeddings(&Matrix::from_rows(&pre_rows)));
+        let post =
+            concept_intensities(&model, &detector.embeddings(&Matrix::from_rows(&post_rows)));
         let mut shift: Vec<(String, f32)> = model
             .concept_names
             .iter()

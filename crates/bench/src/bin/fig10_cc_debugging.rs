@@ -57,7 +57,7 @@ fn main() {
     }
     let mut rows = Vec::new();
     let mut cut_rows = Vec::new();
-    let mut cut_actions = vec![0usize; cc_env::ACTIONS];
+    let mut cut_actions = [0usize; cc_env::ACTIONS];
     while !sim.done() {
         let f = sim.observation().features(false);
         let a = original.act(&f);
@@ -119,16 +119,11 @@ fn main() {
     let fixed_t: Vec<f32> = fixed_series.iter().map(|(d, _)| *d).collect();
     println!("\noriginal  : {}", sparkline(&orig_t[settle..]));
     println!("corrected : {}", sparkline(&fixed_t[settle..]));
-    println!(
-        "\n{:<12} {:>12} {:>18}",
-        "controller", "utilization", "throughput CV"
-    );
+    println!("\n{:<12} {:>12} {:>18}", "controller", "utilization", "throughput CV");
     println!("{}", "-".repeat(44));
     println!("{:<12} {:>12.3} {:>18.3}", "original", orig_util, orig_cv);
     println!("{:<12} {:>12.3} {:>18.3}", "corrected", fixed_util, fixed_cv);
-    println!(
-        "\nPaper shape: corrected steady near capacity; original oscillates."
-    );
+    println!("\nPaper shape: corrected steady near capacity; original oscillates.");
 
     save_json(
         "fig10_cc_debugging",

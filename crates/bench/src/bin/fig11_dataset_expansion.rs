@@ -47,8 +47,8 @@ fn family_embeddings(
             let obs = sim.observation();
             // Sample every 5th state to keep the store diverse but small.
             if step % 5 == 0 {
-                let description =
-                    describer.describe_seeded(&obs.sections(), seed ^ (t as u64) << 8 | step as u64);
+                let description = describer
+                    .describe_seeded(&obs.sections(), seed ^ (t as u64) << 8 | step as u64);
                 out.push(embedder.embed(&description));
             }
             let action = controller.act(&obs.features());
@@ -73,8 +73,9 @@ fn main() {
     let mut store_embeddings: Vec<Vec<f32>> = Vec::new();
     let mut store_workloads: Vec<usize> = Vec::new();
     for (w, family) in TraceFamily::all().into_iter().enumerate() {
-        let embs = family_embeddings(&controller, family, 20, 300 + w as u64, &describer, &embedder);
-        store_workloads.extend(std::iter::repeat(w).take(embs.len()));
+        let embs =
+            family_embeddings(&controller, family, 20, 300 + w as u64, &describer, &embedder);
+        store_workloads.extend(std::iter::repeat_n(w, embs.len()));
         store_embeddings.extend(embs);
     }
     println!("  store size: {} samples", store_embeddings.len());
@@ -84,11 +85,10 @@ fn main() {
     // global frequency so every workload shares one "unified clustering
     // axis" (paper Fig. 11).
     let (centroids, raw_assignments) = kmeans(&store_embeddings, CLUSTERS, 25, 17);
-    let mut freq: Vec<(usize, usize)> = (0..CLUSTERS)
-        .map(|c| (c, raw_assignments.iter().filter(|&&a| a == c).count()))
-        .collect();
-    freq.sort_by(|a, b| b.1.cmp(&a.1));
-    let mut relabel = vec![0usize; CLUSTERS];
+    let mut freq: Vec<(usize, usize)> =
+        (0..CLUSTERS).map(|c| (c, raw_assignments.iter().filter(|&&a| a == c).count())).collect();
+    freq.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+    let mut relabel = [0usize; CLUSTERS];
     for (new, (old, _)) in freq.into_iter().enumerate() {
         relabel[old] = new;
     }
@@ -121,10 +121,7 @@ fn main() {
                     .collect::<Vec<_>>()
             })
             .collect();
-        let expanded_clusters: Vec<usize> = expanded_idx
-            .iter()
-            .map(|&i| assignments[i])
-            .collect();
+        let expanded_clusters: Vec<usize> = expanded_idx.iter().map(|&i| assignments[i]).collect();
 
         // Target distribution: the workload's own store samples.
         let target_clusters: Vec<usize> = assignments

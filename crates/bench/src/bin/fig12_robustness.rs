@@ -123,9 +123,8 @@ fn run_app(
             .collect();
         // Overall top-5 = top-5 of the mean similarity across queries.
         let dim = runs[0].len();
-        let mean: Vec<f32> = (0..dim)
-            .map(|i| runs.iter().map(|r| r[i]).sum::<f32>() / runs.len() as f32)
-            .collect();
+        let mean: Vec<f32> =
+            (0..dim).map(|i| runs.iter().map(|r| r[i]).sum::<f32>() / runs.len() as f32).collect();
         multi_query.push(mean_recall_at_k(&mean, &runs, TOP_K));
 
         // (b) Noise before description.
@@ -209,15 +208,7 @@ fn main() {
     let cc_ctrl = cc_app::build_controller(CcVariant::Original, 21);
     let cc_train = cc_app::rollout(&cc_ctrl, CcVariant::Original, 2000, 22);
     let cc_probe = cc_app::rollout(&cc_ctrl, CcVariant::Original, 40, 56);
-    rows.push(run_app(
-        "CC",
-        &cc_concepts(),
-        &cc_ctrl,
-        cc_env::ACTIONS,
-        &cc_train,
-        &cc_probe,
-        72,
-    ));
+    rows.push(run_app("CC", &cc_concepts(), &cc_ctrl, cc_env::ACTIONS, &cc_train, &cc_probe, 72));
 
     println!("[DDoS]…");
     let ddos_ctrl = ddos_app::build_controller(31);

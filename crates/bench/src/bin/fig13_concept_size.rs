@@ -29,16 +29,12 @@ fn main() {
     let test = abr_app::rollout(&controller, DatasetEra::Train2021, 40, 13);
 
     // Majority baseline: always predict the most frequent output.
-    let mut counts = vec![0usize; abr_env::LEVELS];
+    let mut counts = [0usize; abr_env::LEVELS];
     for &y in &train.outputs {
         counts[y] += 1;
     }
-    let majority = counts
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, &c)| c)
-        .map(|(i, _)| i)
-        .expect("non-empty");
+    let majority =
+        counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(i, _)| i).expect("non-empty");
     let baseline =
         test.outputs.iter().filter(|&&y| y == majority).count() as f32 / test.outputs.len() as f32;
 

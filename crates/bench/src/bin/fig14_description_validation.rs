@@ -92,10 +92,6 @@ fn main() {
 
     save_json(
         "fig14_description_validation",
-        &Fig14Result {
-            distances,
-            frac_below_006: below,
-            mean_top5_recall: mean_recall,
-        },
+        &Fig14Result { distances, frac_below_006: below, mean_top5_recall: mean_recall },
     );
 }

@@ -46,10 +46,18 @@ fn main() {
     );
 
     println!("\n(a/b) Surrogate tree complexity:");
-    println!("  full   : {:>4} nodes, depth {:>2}, fidelity {:.3}",
-        report.full.node_count(), report.full.depth(), report.full_fidelity);
-    println!("  pruned : {:>4} nodes, depth {:>2}, fidelity {:.3}",
-        report.pruned.node_count(), report.pruned.depth(), report.pruned_fidelity);
+    println!(
+        "  full   : {:>4} nodes, depth {:>2}, fidelity {:.3}",
+        report.full.node_count(),
+        report.full.depth(),
+        report.full_fidelity
+    );
+    println!(
+        "  pruned : {:>4} nodes, depth {:>2}, fidelity {:.3}",
+        report.pruned.node_count(),
+        report.pruned.depth(),
+        report.pruned_fidelity
+    );
     println!("  (paper: full 195 nodes / depth 13; pruned 61 nodes / depth 10)");
 
     println!("\n  top features by Gini importance (full tree):");

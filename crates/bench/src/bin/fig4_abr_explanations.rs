@@ -57,10 +57,8 @@ fn main() {
     println!("(b) {}", counter.render(6));
 
     // Spell out the absence reading the paper highlights for Fig. 4b.
-    if let Some(high_tput) = counter
-        .contributions
-        .iter()
-        .find(|c| c.concept == "High Network Throughput")
+    if let Some(high_tput) =
+        counter.contributions.iter().find(|c| c.concept == "High Network Throughput")
     {
         let dominant_class = high_tput
             .per_class

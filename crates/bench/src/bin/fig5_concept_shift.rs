@@ -19,9 +19,7 @@ use agua_bench::report::{banner, save_json};
 use agua_nn::Matrix;
 
 fn trace_batches(data: &agua_bench::AppData) -> Vec<Matrix> {
-    (0..data.trace_count())
-        .map(|t| data.trace_embeddings(t))
-        .collect()
+    (0..data.trace_count()).map(|t| data.trace_embeddings(t)).collect()
 }
 
 fn main() {
@@ -54,15 +52,8 @@ fn main() {
     println!("\n{:<44} {:>8} {:>8} {:>8}", "Concept", "2021", "2024", "Δ");
     println!("{}", "-".repeat(72));
     for s in &shifts {
-        let marker = if s.delta > 0.03 {
-            " ← retrain on these"
-        } else {
-            ""
-        };
-        println!(
-            "{:<44} {:>8.3} {:>8.3} {:>+8.3}{marker}",
-            s.concept, s.old, s.new, s.delta
-        );
+        let marker = if s.delta > 0.03 { " ← retrain on these" } else { "" };
+        println!("{:<44} {:>8.3} {:>8.3} {:>+8.3}{marker}", s.concept, s.old, s.new, s.delta);
     }
     println!(
         "\nPaper shape: volatile throughput / depleting buffer / recent \

@@ -10,7 +10,7 @@ use agua::concepts::ddos_concepts;
 use agua::explain::batched;
 use agua::surrogate::TrainParams;
 use agua_bench::apps::{ddos_app, fit_agua, LlmVariant};
-use agua_bench::report::{bar, banner, save_json};
+use agua_bench::report::{banner, bar, save_json};
 use agua_controllers::ddos::{ATTACK, BENIGN};
 use ddos_env::FlowKind;
 use serde::Serialize;
@@ -30,7 +30,8 @@ fn main() {
     let detector = ddos_app::build_controller(31);
     let train = ddos_app::rollout(&detector, 1000, 32);
     let concepts = ddos_concepts();
-    let (model, _) = fit_agua(&concepts, 2, &train, LlmVariant::HighQuality, &TrainParams::tuned(), 42);
+    let (model, _) =
+        fit_agua(&concepts, 2, &train, LlmVariant::HighQuality, &TrainParams::tuned(), 42);
 
     // (a) Benign flows classified benign.
     let benign = ddos_app::rollout_kind(&detector, FlowKind::BenignHttp, 200, 77);
@@ -45,8 +46,7 @@ fn main() {
 
     // (b) SYN-flood flows flagged as DDoS.
     let syn = ddos_app::rollout_kind(&detector, FlowKind::SynFlood, 200, 78);
-    let syn_rate =
-        syn.outputs.iter().filter(|&&y| y == ATTACK).count() as f32 / syn.len() as f32;
+    let syn_rate = syn.outputs.iter().filter(|&&y| y == ATTACK).count() as f32 / syn.len() as f32;
     let se = batched(&model, &syn.embeddings, ATTACK);
     println!("\n(b) TCP SYN flood flows — flagged DDoS for {:.0}%:", syn_rate * 100.0);
     let max_w = se.contributions[0].weight;

@@ -16,10 +16,7 @@ struct DriftResult {
 }
 
 fn per_trace_means(era: DatasetEra, count: usize, seed: u64) -> Vec<f32> {
-    era.generate_traces(count, 300, seed)
-        .iter()
-        .map(|t| t.mean_mbps())
-        .collect()
+    era.generate_traces(count, 300, seed).iter().map(|t| t.mean_mbps()).collect()
 }
 
 fn main() {

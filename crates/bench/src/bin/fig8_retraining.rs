@@ -93,8 +93,7 @@ fn main() {
 
     // Retraining pools: the trace ids used to build data_2024 (seed 202)
     // regenerate the same traces.
-    let traces_2024 =
-        DatasetEra::Deploy2024.generate_traces(50, abr_app::CHUNKS * 6, 202);
+    let traces_2024 = DatasetEra::Deploy2024.generate_traces(50, abr_app::CHUNKS * 6, 202);
     let selected_traces: Vec<_> = selected.iter().map(|&i| traces_2024[i].clone()).collect();
     let eval_all = DatasetEra::Deploy2024.generate_traces(20, CHUNKS * 6, 999);
     let eval_slow: Vec<_> = {
@@ -108,21 +107,49 @@ fn main() {
     println!("\nretraining (concept-driven, {} traces)…", selected_traces.len());
     let mut c1 = base.clone();
     let concept_curve_all = reinforce_finetune(
-        &mut c1, &selected_traces, &eval_all, ITERATIONS, EPISODES_PER_ITER, CHUNKS, LR, 77,
+        &mut c1,
+        &selected_traces,
+        &eval_all,
+        ITERATIONS,
+        EPISODES_PER_ITER,
+        CHUNKS,
+        LR,
+        77,
     );
     println!("retraining (traditional, {} traces)…", traces_2024.len());
     let mut t1 = base.clone();
     let traditional_curve_all = reinforce_finetune(
-        &mut t1, &traces_2024, &eval_all, ITERATIONS, EPISODES_PER_ITER, CHUNKS, LR, 77,
+        &mut t1,
+        &traces_2024,
+        &eval_all,
+        ITERATIONS,
+        EPISODES_PER_ITER,
+        CHUNKS,
+        LR,
+        77,
     );
     println!("evaluating on slow-network traces…");
     let mut c2 = base.clone();
     let concept_curve_slow = reinforce_finetune(
-        &mut c2, &selected_traces, &eval_slow, ITERATIONS, EPISODES_PER_ITER, CHUNKS, LR, 77,
+        &mut c2,
+        &selected_traces,
+        &eval_slow,
+        ITERATIONS,
+        EPISODES_PER_ITER,
+        CHUNKS,
+        LR,
+        77,
     );
     let mut t2 = base.clone();
     let traditional_curve_slow = reinforce_finetune(
-        &mut t2, &traces_2024, &eval_slow, ITERATIONS, EPISODES_PER_ITER, CHUNKS, LR, 77,
+        &mut t2,
+        &traces_2024,
+        &eval_slow,
+        ITERATIONS,
+        EPISODES_PER_ITER,
+        CHUNKS,
+        LR,
+        77,
     );
 
     let last = |v: &[f32]| v.last().copied().unwrap_or(0.0);

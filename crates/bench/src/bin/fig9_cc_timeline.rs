@@ -44,12 +44,8 @@ fn main() {
 
     // Roll out under the paper's cross-traffic workload.
     println!("rolling out under periodic cross traffic…");
-    let pattern = LinkPattern::CrossTraffic {
-        mbps: 8.0,
-        cross_fraction: 0.55,
-        on_s: 4.0,
-        off_s: 6.0,
-    };
+    let pattern =
+        LinkPattern::CrossTraffic { mbps: 8.0, cross_fraction: 0.55, on_s: 4.0, off_s: 6.0 };
     let cap = CapacityProcess::generate_seeded(pattern, 600, 5);
     let mut sim = CcSimulator::with_history(cap, LinkConfig::default(), 4.0, variant.history());
     for _ in 0..variant.history() {
@@ -79,9 +75,7 @@ fn main() {
         .collect();
     let window_intensities: Vec<Vec<f32>> = window_ranges
         .iter()
-        .map(|&(s, e)| {
-            concept_intensities(&model, &Matrix::from_rows(&embeddings[s..e].to_vec()))
-        })
+        .map(|&(s, e)| concept_intensities(&model, &Matrix::from_rows(&embeddings[s..e])))
         .collect();
     let c = model.concepts();
     let n_w = window_intensities.len() as f32;
@@ -102,7 +96,10 @@ fn main() {
     }
 
     let mut tags = Vec::new();
-    println!("\n{:>6}  {:>8}  {:>8}  {:<34} {}", "MI", "tput", "capacity", "dominant concept", "runner-up");
+    println!(
+        "\n{:>6}  {:>8}  {:>8}  {:<34} runner-up",
+        "MI", "tput", "capacity", "dominant concept"
+    );
     println!("{}", "-".repeat(96));
     for (w, &(start, end)) in window_ranges.iter().enumerate() {
         let mean_t: f32 = throughput[start..end].iter().sum::<f32>() / (end - start) as f32;

@@ -36,15 +36,16 @@ fn table2(v: &Value) -> Option<()> {
     for row in rows {
         let app = row.get("application")?.as_str()?;
         bars.push((format!("{app} — Trustee (full)"), f32_of(row.get("trustee_full")?)));
-        bars.push((
-            format!("{app} — Agua (GPT-class)"),
-            f32_of(row.get("agua_high_quality")?),
-        ));
+        bars.push((format!("{app} — Agua (GPT-class)"), f32_of(row.get("agua_high_quality")?)));
     }
     write_svg(
         "table2_fidelity",
-        BarChart { title: "Table 2 — fidelity: Agua vs Trustee".into(), x_label: "fidelity".into(), bars }
-            .render(),
+        BarChart {
+            title: "Table 2 — fidelity: Agua vs Trustee".into(),
+            x_label: "fidelity".into(),
+            bars,
+        }
+        .render(),
     );
     Some(())
 }
@@ -127,9 +128,7 @@ fn concept_size_chart(v: &Value) -> Option<()> {
         .get("points")?
         .as_array()?
         .iter()
-        .filter_map(|p| {
-            Some((f32_of(p.get("concepts")?), f32_of(p.get("fidelity")?)))
-        })
+        .filter_map(|p| Some((f32_of(p.get("concepts")?), f32_of(p.get("fidelity")?))))
         .collect();
     let baseline = f32_of(v.get("baseline")?);
     let base_series = Series {
@@ -156,15 +155,16 @@ fn robustness_chart(v: &Value) -> Option<()> {
         let app = row.get("application")?.as_str()?;
         bars.push((format!("{app} — multi-query"), f32_of(row.get("multi_query_recall")?)));
         bars.push((format!("{app} — input noise"), f32_of(row.get("input_noise_recall")?)));
-        bars.push((
-            format!("{app} — explainer noise"),
-            f32_of(row.get("explainer_noise_recall")?),
-        ));
+        bars.push((format!("{app} — explainer noise"), f32_of(row.get("explainer_noise_recall")?)));
     }
     write_svg(
         "fig12_robustness",
-        BarChart { title: "Fig. 12 — robustness (recall@5)".into(), x_label: "recall".into(), bars }
-            .render(),
+        BarChart {
+            title: "Fig. 12 — robustness (recall@5)".into(),
+            x_label: "recall".into(),
+            bars,
+        }
+        .render(),
     );
     Some(())
 }

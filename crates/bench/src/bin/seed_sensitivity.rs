@@ -43,40 +43,45 @@ fn agua_fidelity(
     model.fidelity(&test.embeddings, &test.outputs)
 }
 
+/// Runs one fully-seeded experiment per seed on scoped worker threads
+/// (each job builds its own controller, rollouts, and surrogate, so the
+/// per-seed fidelities are identical to a sequential run, in seed order).
+fn per_seed_fidelities(run: impl Fn(u64) -> f32 + Sync) -> Vec<f32> {
+    let run = &run;
+    agua_nn::parallel::par_jobs(SEEDS.iter().map(|&seed| move || run(seed)).collect())
+}
+
 fn main() {
     banner("Seed sensitivity", "Table 2 fidelity across 3 seeds (mean ± std)");
     let mut rows = Vec::new();
 
     println!("\n[ABR]…");
-    let mut abr_f = Vec::new();
-    for &seed in &SEEDS {
+    let abr_f = per_seed_fidelities(|seed| {
         let ctrl = abr_app::build_controller(seed);
         let train = abr_app::rollout(&ctrl, DatasetEra::Train2021, 30, seed + 1);
         let test = abr_app::rollout(&ctrl, DatasetEra::Train2021, 30, seed + 2);
-        abr_f.push(agua_fidelity(&abr_concepts(), abr_env::LEVELS, &train, &test, seed));
-    }
+        agua_fidelity(&abr_concepts(), abr_env::LEVELS, &train, &test, seed)
+    });
     let (mean, std) = stats(&abr_f);
     rows.push(SensitivityRow { application: "ABR".into(), fidelities: abr_f, mean, std });
 
     println!("[CC]…");
-    let mut cc_f = Vec::new();
-    for &seed in &SEEDS {
+    let cc_f = per_seed_fidelities(|seed| {
         let ctrl = cc_app::build_controller(CcVariant::Original, seed);
         let train = cc_app::rollout(&ctrl, CcVariant::Original, 2000, seed + 1);
         let test = cc_app::rollout(&ctrl, CcVariant::Original, 2000, seed + 2);
-        cc_f.push(agua_fidelity(&cc_concepts(), cc_env::ACTIONS, &train, &test, seed));
-    }
+        agua_fidelity(&cc_concepts(), cc_env::ACTIONS, &train, &test, seed)
+    });
     let (mean, std) = stats(&cc_f);
     rows.push(SensitivityRow { application: "CC".into(), fidelities: cc_f, mean, std });
 
     println!("[DDoS]…");
-    let mut ddos_f = Vec::new();
-    for &seed in &SEEDS {
+    let ddos_f = per_seed_fidelities(|seed| {
         let ctrl = ddos_app::build_controller(seed);
         let train = ddos_app::rollout(&ctrl, 1000, seed + 1);
         let test = ddos_app::rollout(&ctrl, 450, seed + 2);
-        ddos_f.push(agua_fidelity(&ddos_concepts(), 2, &train, &test, seed));
-    }
+        agua_fidelity(&ddos_concepts(), 2, &train, &test, seed)
+    });
     let (mean, std) = stats(&ddos_f);
     rows.push(SensitivityRow { application: "DDoS".into(), fidelities: ddos_f, mean, std });
 

@@ -11,7 +11,7 @@
 use abr_env::DatasetEra;
 use agua::concepts::{abr_concepts, cc_concepts, ddos_concepts};
 use agua::surrogate::TrainParams;
-use agua_bench::apps::{abr_app, cc_app, ddos_app, fit_agua, AppData, LlmVariant};
+use agua_bench::apps::{abr_app, cc_app, ddos_app, fit_agua_jobs, AppData, FitJob, LlmVariant};
 use agua_bench::report::{banner, save_json};
 use agua_controllers::cc::CcVariant;
 use serde::Serialize;
@@ -45,15 +45,28 @@ fn trustee_fidelity(
     (report.full_fidelity, report.pruned_fidelity)
 }
 
-fn agua_fidelity(
+/// Fidelity for both LLM variants; the two independent fits run on
+/// scoped worker threads (each is fully seeded, so the numbers are
+/// identical to the sequential runs).
+fn agua_fidelities(
     concepts: &agua::concepts::ConceptSet,
     n_outputs: usize,
     train: &AppData,
     test: &AppData,
-    variant: LlmVariant,
-) -> f32 {
-    let (model, _) = fit_agua(concepts, n_outputs, train, variant, &TrainParams::tuned(), 42);
-    model.fidelity(&test.embeddings, &test.outputs)
+) -> (f32, f32) {
+    let params = TrainParams::tuned();
+    let jobs = [LlmVariant::OpenSource, LlmVariant::HighQuality].map(|variant| FitJob {
+        concepts,
+        n_outputs,
+        train,
+        variant,
+        params: &params,
+        label_seed: 42,
+    });
+    let fits = fit_agua_jobs(&jobs);
+    let f: Vec<f32> =
+        fits.iter().map(|(model, _)| model.fidelity(&test.embeddings, &test.outputs)).collect();
+    (f[0], f[1])
 }
 
 fn main() {
@@ -65,16 +78,10 @@ fn main() {
     let abr_ctrl = abr_app::build_controller(11);
     let abr_train = abr_app::rollout(&abr_ctrl, DatasetEra::Train2021, 40, 12);
     let abr_test = abr_app::rollout(&abr_ctrl, DatasetEra::Train2021, 40, 13);
-    let (tf, tp) = trustee_fidelity(
-        &abr_train,
-        &abr_test,
-        abr_env::LEVELS,
-        abr_app::feature_names(),
-    );
+    let (tf, tp) =
+        trustee_fidelity(&abr_train, &abr_test, abr_env::LEVELS, abr_app::feature_names());
     let concepts = abr_concepts();
-    let aos = agua_fidelity(&concepts, abr_env::LEVELS, &abr_train, &abr_test, LlmVariant::OpenSource);
-    let ahq =
-        agua_fidelity(&concepts, abr_env::LEVELS, &abr_train, &abr_test, LlmVariant::HighQuality);
+    let (aos, ahq) = agua_fidelities(&concepts, abr_env::LEVELS, &abr_train, &abr_test);
     rows.push(Row {
         application: "ABR".into(),
         trustee_full: tf,
@@ -95,9 +102,7 @@ fn main() {
         cc_app::feature_names(CcVariant::Original),
     );
     let concepts = cc_concepts();
-    let aos = agua_fidelity(&concepts, cc_env::ACTIONS, &cc_train, &cc_test, LlmVariant::OpenSource);
-    let ahq =
-        agua_fidelity(&concepts, cc_env::ACTIONS, &cc_train, &cc_test, LlmVariant::HighQuality);
+    let (aos, ahq) = agua_fidelities(&concepts, cc_env::ACTIONS, &cc_train, &cc_test);
     rows.push(Row {
         application: "CC".into(),
         trustee_full: tf,
@@ -113,8 +118,7 @@ fn main() {
     let ddos_test = ddos_app::rollout(&ddos_ctrl, 450, 33);
     let (tf, tp) = trustee_fidelity(&ddos_train, &ddos_test, 2, ddos_app::feature_names());
     let concepts = ddos_concepts();
-    let aos = agua_fidelity(&concepts, 2, &ddos_train, &ddos_test, LlmVariant::OpenSource);
-    let ahq = agua_fidelity(&concepts, 2, &ddos_train, &ddos_test, LlmVariant::HighQuality);
+    let (aos, ahq) = agua_fidelities(&concepts, 2, &ddos_train, &ddos_test);
     rows.push(Row {
         application: "DDoS Detection".into(),
         trustee_full: tf,
@@ -123,12 +127,19 @@ fn main() {
         agua_high_quality: ahq,
     });
 
-    println!("\n{:<16} {:>13} {:>15} {:>17} {:>14}", "Application", "Trustee Full", "Trustee Pruned", "Agua (Llama-cls)", "Agua (GPT-cls)");
+    println!(
+        "\n{:<16} {:>13} {:>15} {:>17} {:>14}",
+        "Application", "Trustee Full", "Trustee Pruned", "Agua (Llama-cls)", "Agua (GPT-cls)"
+    );
     println!("{}", "-".repeat(80));
     for r in &rows {
         println!(
             "{:<16} {:>13.3} {:>15.3} {:>17.3} {:>14.3}",
-            r.application, r.trustee_full, r.trustee_pruned, r.agua_open_source, r.agua_high_quality
+            r.application,
+            r.trustee_full,
+            r.trustee_pruned,
+            r.agua_open_source,
+            r.agua_high_quality
         );
     }
     println!("\nPaper Table 2 for reference:");

@@ -9,5 +9,6 @@
 pub mod apps;
 pub mod plot;
 pub mod report;
+pub mod synth;
 
 pub use apps::{AppData, LlmVariant};

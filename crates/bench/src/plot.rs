@@ -186,12 +186,7 @@ impl BarChart {
     /// Panics if the chart has no bars.
     pub fn render(&self) -> String {
         assert!(!self.bars.is_empty(), "a bar chart needs bars");
-        let max = self
-            .bars
-            .iter()
-            .map(|(_, v)| v.abs())
-            .fold(0.0f32, f32::max)
-            .max(1e-9);
+        let max = self.bars.iter().map(|(_, v)| v.abs()).fold(0.0f32, f32::max).max(1e-9);
         let label_w = 240.0;
         let plot_w = WIDTH - label_w - MARGIN_R - 60.0;
         let bar_h = ((HEIGHT - MARGIN_T - MARGIN_B) / self.bars.len() as f32).min(34.0);
@@ -336,12 +331,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "a line chart needs series")]
     fn empty_chart_panics() {
-        let _ = LineChart {
-            title: "t".into(),
-            x_label: "".into(),
-            y_label: "".into(),
-            series: vec![],
-        }
-        .render();
+        let _ =
+            LineChart { title: "t".into(), x_label: "".into(), y_label: "".into(), series: vec![] }
+                .render();
     }
 }

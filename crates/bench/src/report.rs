@@ -55,9 +55,7 @@ pub fn empirical_cdf(samples: &[f32], points: usize) -> Vec<(f32, f32)> {
 
 /// Directory where experiment outputs are persisted.
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("results");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("results");
     fs::create_dir_all(&dir).expect("create results directory");
     dir
 }

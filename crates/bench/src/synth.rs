@@ -1,0 +1,87 @@
+//! Synthetic surrogate workloads for the performance benches.
+//!
+//! Seeded, label-correlated datasets sized so the dense matmul kernels
+//! dominate wall-clock — what the 1-thread-vs-N-thread comparisons need
+//! to expose the parallel backend's speedup rather than harness noise.
+
+use agua::concepts::{Concept, ConceptSet};
+use agua::surrogate::{SurrogateDataset, TrainParams};
+use agua_nn::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Shape of a synthetic surrogate workload.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthSpec {
+    /// Number of samples.
+    pub n: usize,
+    /// Embedding dimensionality.
+    pub emb_dim: usize,
+    /// Number of concepts.
+    pub concepts: usize,
+    /// Similarity classes per concept.
+    pub k: usize,
+    /// Controller output classes.
+    pub n_outputs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SynthSpec {
+    /// The workload used by the parallel-backend benches: large enough
+    /// that every training matmul clears the backend's flop gate.
+    pub fn large() -> Self {
+        Self { n: 2000, emb_dim: 128, concepts: 8, k: 3, n_outputs: 4, seed: 7 }
+    }
+}
+
+/// Training parameters for the parallel benches: a short but matmul-heavy
+/// schedule (wide hidden layer, large batches).
+pub fn bench_params(seed: u64) -> TrainParams {
+    TrainParams {
+        cm_hidden: 256,
+        cm_epochs: 6,
+        cm_batch: 500,
+        om_epochs: 20,
+        om_batch: 500,
+        seed,
+        ..TrainParams::paper()
+    }
+}
+
+/// Builds a synthetic concept set and a surrogate dataset whose labels
+/// and outputs are simple functions of the embeddings (so training has
+/// signal to fit), all derived deterministically from `spec.seed`.
+pub fn synthetic_surrogate(spec: SynthSpec) -> (ConceptSet, SurrogateDataset) {
+    let concepts = ConceptSet::new(
+        (0..spec.concepts)
+            .map(|g| {
+                Concept::new(
+                    &format!("synthetic concept {g}"),
+                    &format!("synthetic concept text {g} for benchmark workloads"),
+                )
+            })
+            .collect(),
+    );
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut embeddings = Matrix::zeros(spec.n, spec.emb_dim);
+    for r in 0..spec.n {
+        for c in 0..spec.emb_dim {
+            embeddings.set(r, c, rng.random_range(-1.0..1.0f32));
+        }
+    }
+    let concept_labels: Vec<Vec<usize>> = (0..spec.n)
+        .map(|r| {
+            (0..spec.concepts)
+                .map(|g| {
+                    let v = embeddings.get(r, g % spec.emb_dim);
+                    (((v + 1.0) / 2.0 * spec.k as f32) as usize).min(spec.k - 1)
+                })
+                .collect()
+        })
+        .collect();
+    let outputs: Vec<usize> = (0..spec.n)
+        .map(|r| (concept_labels[r][0] + concept_labels[r][1]) % spec.n_outputs)
+        .collect();
+    (concepts, SurrogateDataset { embeddings, concept_labels, outputs })
+}

@@ -163,8 +163,7 @@ mod tests {
         );
         assert!(p.mbps.iter().all(|&c| (1.2..=12.0).contains(&c)));
         let mean = p.mbps.iter().sum::<f32>() / p.len() as f32;
-        let var =
-            p.mbps.iter().map(|c| (c - mean) * (c - mean)).sum::<f32>() / p.len() as f32;
+        let var = p.mbps.iter().map(|c| (c - mean) * (c - mean)).sum::<f32>() / p.len() as f32;
         assert!(var.sqrt() > 0.3, "volatile link must actually vary");
     }
 

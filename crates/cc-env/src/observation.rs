@@ -91,12 +91,7 @@ impl CcObservation {
     /// minimum. Queueing delay expressed independent of the path's base
     /// RTT — the statistic congestion-control reasoning actually uses.
     pub fn latency_inflation(&self) -> Vec<f32> {
-        let min = self
-            .latency_ms
-            .iter()
-            .cloned()
-            .fold(f32::MAX, f32::min)
-            .max(1.0);
+        let min = self.latency_ms.iter().cloned().fold(f32::MAX, f32::min).max(1.0);
         self.latency_ms.iter().map(|&l| l / min).collect()
     }
 
@@ -132,12 +127,7 @@ impl CcObservation {
             DescribedSection::new(
                 "Rate and utilization",
                 vec![
-                    SignalSeries::new(
-                        "Sending Rate",
-                        "Mbps",
-                        self.send_mbps.clone(),
-                        RATE_MAX,
-                    ),
+                    SignalSeries::new("Sending Rate", "Mbps", self.send_mbps.clone(), RATE_MAX),
                     SignalSeries::new(
                         "Delivered Network Utilization Throughput",
                         "Mbps",

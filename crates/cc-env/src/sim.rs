@@ -176,11 +176,8 @@ impl CcSimulator {
         };
         let latency_ms = (self.config.base_rtt_ms + queue_delay_ms) * jitter;
 
-        let loss_rate = if arrivals_mb > 0.0 {
-            (dropped_mb / arrivals_mb).clamp(0.0, 1.0)
-        } else {
-            0.0
-        };
+        let loss_rate =
+            if arrivals_mb > 0.0 { (dropped_mb / arrivals_mb).clamp(0.0, 1.0) } else { 0.0 };
         let stats = MiStats {
             send_mbps: self.rate_mbps,
             delivered_mbps: delivered_mb / dt,
@@ -195,7 +192,9 @@ impl CcSimulator {
 
     /// Aurora-style reward: throughput minus latency and loss penalties.
     pub fn reward(stats: &MiStats) -> f32 {
-        10.0 * stats.delivered_mbps - 0.1 * stats.latency_ms - 20.0 * stats.send_mbps * stats.loss_rate
+        10.0 * stats.delivered_mbps
+            - 0.1 * stats.latency_ms
+            - 20.0 * stats.send_mbps * stats.loss_rate
     }
 }
 
@@ -287,10 +286,12 @@ mod tests {
 
     #[test]
     fn reward_prefers_full_utilization_without_loss() {
-        let good = MiStats { send_mbps: 8.0, delivered_mbps: 7.8, latency_ms: 45.0, loss_rate: 0.0 };
+        let good =
+            MiStats { send_mbps: 8.0, delivered_mbps: 7.8, latency_ms: 45.0, loss_rate: 0.0 };
         let greedy =
             MiStats { send_mbps: 16.0, delivered_mbps: 8.0, latency_ms: 280.0, loss_rate: 0.4 };
-        let timid = MiStats { send_mbps: 1.0, delivered_mbps: 1.0, latency_ms: 40.0, loss_rate: 0.0 };
+        let timid =
+            MiStats { send_mbps: 1.0, delivered_mbps: 1.0, latency_ms: 40.0, loss_rate: 0.0 };
         assert!(CcSimulator::reward(&good) > CcSimulator::reward(&greedy));
         assert!(CcSimulator::reward(&good) > CcSimulator::reward(&timid));
     }

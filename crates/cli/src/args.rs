@@ -22,42 +22,31 @@ pub struct Args {
     pub counterfactual: Option<usize>,
     /// `--llm`.
     pub llm: String,
+    /// `--threads`.
+    pub threads: Option<usize>,
 }
 
 impl Args {
     /// Parses raw arguments (without the binary name).
     pub fn parse(raw: &[String]) -> Result<Args, String> {
-        let mut args = Args {
-            seed: 11,
-            samples: 400,
-            llm: "hq".to_string(),
-            ..Args::default()
-        };
+        let mut args = Args { seed: 11, samples: 400, llm: "hq".to_string(), ..Args::default() };
         let mut iter = raw.iter();
-        args.command = iter
-            .next()
-            .ok_or_else(|| "missing command".to_string())?
-            .clone();
+        args.command = iter.next().ok_or_else(|| "missing command".to_string())?.clone();
 
         while let Some(flag) = iter.next() {
-            let mut value = || {
-                iter.next()
-                    .cloned()
-                    .ok_or_else(|| format!("flag {flag} needs a value"))
-            };
+            let mut value =
+                || iter.next().cloned().ok_or_else(|| format!("flag {flag} needs a value"));
             match flag.as_str() {
                 "--app" => args.app = Some(value()?),
                 "--out-dir" => args.out_dir = Some(value()?),
                 "--model-dir" => args.model_dir = Some(value()?),
                 "--seed" => {
-                    args.seed = value()?
-                        .parse()
-                        .map_err(|_| "--seed expects an integer".to_string())?
+                    args.seed =
+                        value()?.parse().map_err(|_| "--seed expects an integer".to_string())?
                 }
                 "--samples" => {
-                    args.samples = value()?
-                        .parse()
-                        .map_err(|_| "--samples expects an integer".to_string())?
+                    args.samples =
+                        value()?.parse().map_err(|_| "--samples expects an integer".to_string())?
                 }
                 "--scenario" => args.scenario = Some(value()?),
                 "--counterfactual" => {
@@ -73,6 +62,14 @@ impl Args {
                         return Err("--llm expects `hq` or `os`".to_string());
                     }
                     args.llm = v;
+                }
+                "--threads" => {
+                    let t: usize =
+                        value()?.parse().map_err(|_| "--threads expects an integer".to_string())?;
+                    if t == 0 {
+                        return Err("--threads must be at least 1".to_string());
+                    }
+                    args.threads = Some(t);
                 }
                 other => return Err(format!("unknown flag `{other}`")),
             }
@@ -100,10 +97,9 @@ mod tests {
 
     #[test]
     fn parses_a_full_command_line() {
-        let a = parse(&[
-            "train", "--app", "ddos", "--out-dir", "/tmp/x", "--seed", "9", "--llm", "os",
-        ])
-        .unwrap();
+        let a =
+            parse(&["train", "--app", "ddos", "--out-dir", "/tmp/x", "--seed", "9", "--llm", "os"])
+                .unwrap();
         assert_eq!(a.command, "train");
         assert_eq!(a.require_app().unwrap(), "ddos");
         assert_eq!(a.out_dir.as_deref(), Some("/tmp/x"));
@@ -124,7 +120,17 @@ mod tests {
         assert!(parse(&["train", "--bogus"]).is_err());
         assert!(parse(&["train", "--seed", "x"]).is_err());
         assert!(parse(&["train", "--llm", "gpt5"]).is_err());
+        assert!(parse(&["train", "--threads", "0"]).is_err());
+        assert!(parse(&["train", "--threads", "many"]).is_err());
         assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn parses_threads() {
+        let a = parse(&["train", "--app", "abr", "--threads", "4"]).unwrap();
+        assert_eq!(a.threads, Some(4));
+        let b = parse(&["train", "--app", "abr"]).unwrap();
+        assert_eq!(b.threads, None);
     }
 
     #[test]

@@ -91,10 +91,8 @@ pub fn concepts(args: &Args) -> Result<(), String> {
 /// `agua-cli train --app <app> --out-dir <dir>`.
 pub fn train(args: &Args) -> Result<(), String> {
     let app = args.require_app()?;
-    let out = args
-        .out_dir
-        .as_deref()
-        .ok_or_else(|| "--out-dir is required for train".to_string())?;
+    let out =
+        args.out_dir.as_deref().ok_or_else(|| "--out-dir is required for train".to_string())?;
     fs::create_dir_all(out).map_err(|e| format!("cannot create {out}: {e}"))?;
 
     println!("training the {app} controller (seed {})…", args.seed);
@@ -102,28 +100,16 @@ pub fn train(args: &Args) -> Result<(), String> {
     println!("collecting rollouts and fitting the Agua surrogate…");
     let data = rollout(app, &controller, args.samples.max(800), args.seed + 1);
     let concepts = concepts_of(app);
-    let (model, _) = fit_agua(
-        &concepts,
-        n_outputs_of(app),
-        &data,
-        variant_of(args),
-        &TrainParams::tuned(),
-        42,
-    );
+    let (model, _) =
+        fit_agua(&concepts, n_outputs_of(app), &data, variant_of(args), &TrainParams::tuned(), 42);
     let train_fidelity = model.fidelity(&data.embeddings, &data.outputs);
 
     let write = |name: &str, json: String| -> Result<(), String> {
         let path = Path::new(out).join(name);
         fs::write(&path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))
     };
-    write(
-        "controller.json",
-        serde_json::to_string(&controller).map_err(|e| e.to_string())?,
-    )?;
-    write(
-        "agua.json",
-        serde_json::to_string(&model).map_err(|e| e.to_string())?,
-    )?;
+    write("controller.json", serde_json::to_string(&controller).map_err(|e| e.to_string())?)?;
+    write("agua.json", serde_json::to_string(&model).map_err(|e| e.to_string())?)?;
     write(
         "meta.json",
         serde_json::to_string_pretty(&Meta {
@@ -140,18 +126,14 @@ pub fn train(args: &Args) -> Result<(), String> {
 }
 
 fn load_checkpoints(args: &Args) -> Result<(PolicyNet, AguaModel, Meta), String> {
-    let dir = args
-        .model_dir
-        .as_deref()
-        .ok_or_else(|| "--model-dir is required".to_string())?;
+    let dir = args.model_dir.as_deref().ok_or_else(|| "--model-dir is required".to_string())?;
     let read = |name: &str| -> Result<String, String> {
         let path = Path::new(dir).join(name);
         fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))
     };
     let controller: PolicyNet =
         serde_json::from_str(&read("controller.json")?).map_err(|e| e.to_string())?;
-    let model: AguaModel =
-        serde_json::from_str(&read("agua.json")?).map_err(|e| e.to_string())?;
+    let model: AguaModel = serde_json::from_str(&read("agua.json")?).map_err(|e| e.to_string())?;
     let meta: Meta = serde_json::from_str(&read("meta.json")?).map_err(|e| e.to_string())?;
     Ok((controller, model, meta))
 }
@@ -161,10 +143,7 @@ pub fn fidelity(args: &Args) -> Result<(), String> {
     let app = args.require_app()?;
     let (controller, model, meta) = load_checkpoints(args)?;
     if meta.app != app {
-        return Err(format!(
-            "checkpoint was trained for `{}` but --app is `{app}`",
-            meta.app
-        ));
+        return Err(format!("checkpoint was trained for `{}` but --app is `{app}`", meta.app));
     }
     println!("rolling {} fresh samples…", args.samples);
     let data = rollout(app, &controller, args.samples, args.seed + 1000);
@@ -182,10 +161,7 @@ pub fn report(args: &Args) -> Result<(), String> {
     let app = args.require_app()?;
     let (controller, model, meta) = load_checkpoints(args)?;
     if meta.app != app {
-        return Err(format!(
-            "checkpoint was trained for `{}` but --app is `{app}`",
-            meta.app
-        ));
+        return Err(format!("checkpoint was trained for `{}` but --app is `{app}`", meta.app));
     }
     println!("rolling {} fresh samples…", args.samples);
     let data = rollout(app, &controller, args.samples, args.seed + 2000);
@@ -199,10 +175,7 @@ pub fn explain(args: &Args) -> Result<(), String> {
     let app = args.require_app()?;
     let (controller, model, meta) = load_checkpoints(args)?;
     if meta.app != app {
-        return Err(format!(
-            "checkpoint was trained for `{}` but --app is `{app}`",
-            meta.app
-        ));
+        return Err(format!("checkpoint was trained for `{}` but --app is `{app}`", meta.app));
     }
 
     let features: Vec<f32> = match app {

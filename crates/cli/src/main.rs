@@ -43,6 +43,9 @@ OPTIONS:
   --counterfactual <k>     explain: also show the counterfactual for
                            output class k
   --llm <hq|os>            simulated LLM variant (default hq)
+  --threads <n>            worker threads for the deterministic parallel
+                           backend (default: AGUA_THREADS env or all
+                           cores; results are identical at any value)
 ";
 
 fn main() -> ExitCode {
@@ -54,6 +57,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(threads) = args.threads {
+        agua_nn::parallel::set_global_threads(threads);
+    }
     let result = match args.command.as_str() {
         "concepts" => commands::concepts(&args),
         "train" => commands::train(&args),

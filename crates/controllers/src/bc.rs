@@ -66,9 +66,7 @@ pub fn fit_bc(
 pub fn accuracy(net: &PolicyNet, features: &Matrix, labels: &[usize]) -> f32 {
     assert_eq!(features.rows(), labels.len());
     let logits = net.logits(features);
-    let hits = (0..features.rows())
-        .filter(|&r| logits.argmax_row(r) == labels[r])
-        .count();
+    let hits = (0..features.rows()).filter(|&r| logits.argmax_row(r) == labels[r]).count();
     hits as f32 / features.rows().max(1) as f32
 }
 
@@ -109,13 +107,7 @@ mod tests {
         let (x, y) = quadrant_data(32, 5);
         let mut net = PolicyNet::new_seeded(9, 4, 64, 32, 4);
         let mut rng = StdRng::seed_from_u64(5);
-        fit_bc(
-            &mut net,
-            &x,
-            &y,
-            BcConfig { epochs: 300, batch: 32, lr: 5e-3 },
-            &mut rng,
-        );
+        fit_bc(&mut net, &x, &y, BcConfig { epochs: 300, batch: 32, lr: 5e-3 }, &mut rng);
         assert!(accuracy(&net, &x, &y) > 0.96);
     }
 

@@ -15,8 +15,7 @@ use crate::bc::{fit_bc, BcConfig};
 use crate::policy::PolicyNet;
 use agua_nn::Matrix;
 use cc_env::{
-    CapacityProcess, CcObservation, CcSimulator, LinkConfig, LinkPattern, ACTIONS,
-    RATE_MULTIPLIERS,
+    CapacityProcess, CcObservation, CcSimulator, LinkConfig, LinkPattern, ACTIONS, RATE_MULTIPLIERS,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -101,8 +100,7 @@ pub fn buggy_teacher(obs: &CcObservation) -> usize {
     // decision boundaries are diagonal in raw-feature space (ratios and
     // differences normalized by a window minimum), which axis-aligned
     // surrogates approximate poorly.
-    let congestion = 6.0 * inst_gradient.max(0.0) + 0.6 * (ratio - 1.0).max(0.0)
-        + 8.0 * loss
+    let congestion = 6.0 * inst_gradient.max(0.0) + 0.6 * (ratio - 1.0).max(0.0) + 8.0 * loss
         - 1.5 * (-inst_gradient).max(0.0);
     let desired = (1.15 - congestion).clamp(0.45, 1.55);
     nearest_multiplier(desired)
@@ -186,12 +184,7 @@ pub fn training_patterns(nominal: f32) -> Vec<LinkPattern> {
     vec![
         LinkPattern::Stable { mbps: nominal },
         LinkPattern::StepChange { high: nominal, low: nominal * 0.4, period_s: 4.0 },
-        LinkPattern::CrossTraffic {
-            mbps: nominal,
-            cross_fraction: 0.5,
-            on_s: 3.0,
-            off_s: 4.0,
-        },
+        LinkPattern::CrossTraffic { mbps: nominal, cross_fraction: 0.5, on_s: 3.0, off_s: 4.0 },
         LinkPattern::Volatile { mbps: nominal, sigma: nominal * 0.15 },
     ]
 }
@@ -206,12 +199,7 @@ pub fn collect_dataset(variant: CcVariant, mis_per_pattern: usize, seed: u64) ->
         let (pattern, config) = sample_scenario(i, &mut rng);
         let cap = CapacityProcess::generate(pattern, mis_per_pattern, &mut rng);
         let initial = rng.random_range(0.3..1.0) * config.nominal_mbps;
-        let mut sim = CcSimulator::with_history(
-            cap,
-            config,
-            initial,
-            variant.history(),
-        );
+        let mut sim = CcSimulator::with_history(cap, config, initial, variant.history());
         // Warm the history up.
         for _ in 0..variant.history().min(sim.mis_left()) {
             sim.step_at_current_rate();
@@ -220,8 +208,7 @@ pub fn collect_dataset(variant: CcVariant, mis_per_pattern: usize, seed: u64) ->
             let obs = sim.observation();
             let action = variant.teacher(&obs);
             samples.push(CcSample { observation: obs, action });
-            let play =
-                if rng.random_bool(0.15) { rng.random_range(0..ACTIONS) } else { action };
+            let play = if rng.random_bool(0.15) { rng.random_range(0..ACTIONS) } else { action };
             sim.step(play);
         }
     }
@@ -231,10 +218,8 @@ pub fn collect_dataset(variant: CcVariant, mis_per_pattern: usize, seed: u64) ->
 /// Stacks CC samples into features and labels under the variant's
 /// feature-set configuration.
 pub fn to_matrix(samples: &[CcSample], variant: CcVariant) -> (Matrix, Vec<usize>) {
-    let rows: Vec<Vec<f32>> = samples
-        .iter()
-        .map(|s| s.observation.features(variant.with_avg_latency()))
-        .collect();
+    let rows: Vec<Vec<f32>> =
+        samples.iter().map(|s| s.observation.features(variant.with_avg_latency())).collect();
     let labels = samples.iter().map(|s| s.action).collect();
     (Matrix::from_rows(&rows), labels)
 }
@@ -299,13 +284,7 @@ pub fn train_controller(variant: CcVariant, samples: &[CcSample], seed: u64) -> 
     let (x, y) = to_matrix(samples, variant);
     let mut net = make_controller(variant, seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0xCC);
-    fit_bc(
-        &mut net,
-        &x,
-        &y,
-        BcConfig { epochs: 50, batch: 128, lr: variant.bc_lr() },
-        &mut rng,
-    );
+    fit_bc(&mut net, &x, &y, BcConfig { epochs: 50, batch: 128, lr: variant.bc_lr() }, &mut rng);
     net
 }
 
@@ -319,8 +298,7 @@ pub fn rollout_throughput(
     seed: u64,
 ) -> Vec<(f32, f32)> {
     let cap = CapacityProcess::generate_seeded(pattern, mis, seed);
-    let mut sim =
-        CcSimulator::with_history(cap, LinkConfig::default(), 2.0, variant.history());
+    let mut sim = CcSimulator::with_history(cap, LinkConfig::default(), 2.0, variant.history());
     for _ in 0..variant.history().min(sim.mis_left()) {
         sim.step_at_current_rate();
     }
@@ -341,8 +319,7 @@ pub fn utilization_stats(series: &[(f32, f32)]) -> (f32, f32) {
     let n = series.len().max(1) as f32;
     let util: f32 = series.iter().map(|(d, c)| d / c.max(0.05)).sum::<f32>() / n;
     let mean_d: f32 = series.iter().map(|(d, _)| d).sum::<f32>() / n;
-    let var: f32 =
-        series.iter().map(|(d, _)| (d - mean_d) * (d - mean_d)).sum::<f32>() / n;
+    let var: f32 = series.iter().map(|(d, _)| (d - mean_d) * (d - mean_d)).sum::<f32>() / n;
     (util, var.sqrt() / mean_d.max(1e-6))
 }
 
@@ -352,8 +329,7 @@ mod tests {
 
     fn run_teacher(variant: CcVariant, pattern: LinkPattern, seed: u64) -> Vec<(f32, f32)> {
         let cap = CapacityProcess::generate_seeded(pattern, 600, seed);
-        let mut sim =
-            CcSimulator::with_history(cap, LinkConfig::default(), 2.0, variant.history());
+        let mut sim = CcSimulator::with_history(cap, LinkConfig::default(), 2.0, variant.history());
         for _ in 0..variant.history() {
             sim.step_at_current_rate();
         }
@@ -370,7 +346,7 @@ mod tests {
     #[test]
     fn corrected_teacher_reaches_high_utilization_on_stable_link() {
         let series = run_teacher(CcVariant::Debugged, LinkPattern::Stable { mbps: 8.0 }, 1);
-        let (util, cv) = utilization_stats(&series[200..].to_vec());
+        let (util, cv) = utilization_stats(&series[200..]);
         assert!(util > 0.8, "steady-state utilization {util}");
         assert!(cv < 0.15, "steady-state variation {cv}");
     }
@@ -379,13 +355,10 @@ mod tests {
     fn buggy_teacher_oscillates_more_than_corrected() {
         let buggy = run_teacher(CcVariant::Original, LinkPattern::Stable { mbps: 8.0 }, 2);
         let fixed = run_teacher(CcVariant::Debugged, LinkPattern::Stable { mbps: 8.0 }, 2);
-        let (_, cv_buggy) = utilization_stats(&buggy[200..].to_vec());
-        let (util_buggy, _) = utilization_stats(&buggy[200..].to_vec());
-        let (util_fixed, cv_fixed) = utilization_stats(&fixed[200..].to_vec());
-        assert!(
-            cv_buggy > 1.5 * cv_fixed,
-            "buggy cv {cv_buggy} must exceed fixed cv {cv_fixed}"
-        );
+        let (_, cv_buggy) = utilization_stats(&buggy[200..]);
+        let (util_buggy, _) = utilization_stats(&buggy[200..]);
+        let (util_fixed, cv_fixed) = utilization_stats(&fixed[200..]);
+        assert!(cv_buggy > 1.5 * cv_fixed, "buggy cv {cv_buggy} must exceed fixed cv {cv_fixed}");
         assert!(util_fixed > util_buggy, "fixed {util_fixed} vs buggy {util_buggy}");
     }
 

@@ -57,10 +57,8 @@ pub fn generate_dataset(count: usize, seed: u64) -> Vec<DdosSample> {
 
 /// Stacks samples into features and labels.
 pub fn to_matrix(samples: &[DdosSample]) -> (Matrix, Vec<usize>) {
-    let rows: Vec<Vec<f32>> = samples
-        .iter()
-        .map(|s| DdosObservation::new(s.window.clone()).features())
-        .collect();
+    let rows: Vec<Vec<f32>> =
+        samples.iter().map(|s| DdosObservation::new(s.window.clone()).features()).collect();
     let labels = samples.iter().map(|s| s.label).collect();
     (Matrix::from_rows(&rows), labels)
 }

@@ -35,7 +35,13 @@ pub struct PolicyNet {
 
 impl PolicyNet {
     /// Creates a policy with the standard two-hidden-layer shape.
-    pub fn new(rng: &mut StdRng, in_dim: usize, wide: usize, emb_dim: usize, n_actions: usize) -> Self {
+    pub fn new(
+        rng: &mut StdRng,
+        in_dim: usize,
+        wide: usize,
+        emb_dim: usize,
+        n_actions: usize,
+    ) -> Self {
         let mlp = Mlp::new()
             .push(LayerKind::Linear(Linear::new(rng, in_dim, wide)))
             .push(LayerKind::ReLU(ReLU::new()))
@@ -106,7 +112,13 @@ impl PolicyNet {
     }
 
     /// Convenience seeded constructor.
-    pub fn new_seeded(seed: u64, in_dim: usize, wide: usize, emb_dim: usize, n_actions: usize) -> Self {
+    pub fn new_seeded(
+        seed: u64,
+        in_dim: usize,
+        wide: usize,
+        emb_dim: usize,
+        n_actions: usize,
+    ) -> Self {
         Self::new(&mut StdRng::seed_from_u64(seed), in_dim, wide, emb_dim, n_actions)
     }
 }
@@ -145,9 +157,7 @@ mod tests {
         let x = Matrix::from_fn(2, 8, |r, c| 0.3 * (r + c) as f32);
         let (h, y) = n.embeddings_and_logits(&x);
         if let LayerKind::Linear(last) = &n.mlp.layers[4] {
-            let manual = h
-                .matmul(&last.weight.value)
-                .add_row_broadcast(&last.bias.value);
+            let manual = h.matmul(&last.weight.value).add_row_broadcast(&last.bias.value);
             for i in 0..y.rows() * y.cols() {
                 assert!((manual.as_slice()[i] - y.as_slice()[i]).abs() < 1e-5);
             }

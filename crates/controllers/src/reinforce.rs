@@ -5,7 +5,9 @@
 //! retraining (paper §5.2.3).
 
 use crate::policy::PolicyNet;
-use agua_nn::{entropy_of_rows, softmax_cross_entropy_weighted, softmax_rows, Adam, Matrix, Optimizer};
+use agua_nn::{
+    entropy_of_rows, softmax_cross_entropy_weighted, softmax_rows, Adam, Matrix, Optimizer,
+};
 
 /// Policy-gradient step configuration.
 #[derive(Debug, Clone, Copy)]
@@ -39,7 +41,6 @@ pub fn pg_step(
     assert_eq!(features.rows(), advantages.len(), "one advantage per row");
     let n = features.rows();
     assert!(n > 0, "empty policy-gradient batch");
-
 
     // Center the advantages, and shrink them only when their scale is
     // large: dividing by max(std, 1) tames high-variance batches without
@@ -124,14 +125,7 @@ mod tests {
         };
         let before = entropy_of(&net);
         for _ in 0..100 {
-            pg_step(
-                &mut net,
-                &x,
-                &actions,
-                &adv,
-                PgConfig { entropy_bonus: 1.0 },
-                &mut opt,
-            );
+            pg_step(&mut net, &x, &actions, &adv, PgConfig { entropy_bonus: 1.0 }, &mut opt);
         }
         let after = entropy_of(&net);
         assert!(
@@ -145,13 +139,7 @@ mod tests {
     fn mismatched_advantages_panic() {
         let mut net = PolicyNet::new_seeded(1, 2, 4, 4, 2);
         let mut opt = Adam::new(1e-3);
-        let _ = pg_step(
-            &mut net,
-            &Matrix::zeros(2, 2),
-            &[0, 1],
-            &[1.0],
-            PgConfig::default(),
-            &mut opt,
-        );
+        let _ =
+            pg_step(&mut net, &Matrix::zeros(2, 2), &[0, 1], &[1.0], PgConfig::default(), &mut opt);
     }
 }

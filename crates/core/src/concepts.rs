@@ -80,18 +80,13 @@ impl ConceptSet {
 
     /// Embeds every concept with `embedder`.
     pub fn embed(&self, embedder: &Embedder) -> Vec<Vec<f32>> {
-        self.concepts
-            .iter()
-            .map(|c| embedder.embed(&c.embedding_text()))
-            .collect()
+        self.concepts.iter().map(|c| embedder.embed(&c.embedding_text())).collect()
     }
 
     /// The `C × C` inter-concept cosine similarity matrix (Eq. 1).
     pub fn similarity_matrix(&self, embedder: &Embedder) -> Vec<Vec<f32>> {
         let embs = self.embed(embedder);
-        embs.iter()
-            .map(|a| embs.iter().map(|b| cosine_similarity(a, b)).collect())
-            .collect()
+        embs.iter().map(|a| embs.iter().map(|b| cosine_similarity(a, b)).collect()).collect()
     }
 
     /// The operator's empirical redundancy check: walks the similarity

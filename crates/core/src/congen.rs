@@ -100,23 +100,18 @@ pub fn generate_concepts(
     }
 
     // 2. Rank by frequency (ties: longer phrases first, then lexical).
-    let mut candidates: Vec<(String, usize)> = counts
-        .into_iter()
-        .filter(|(_, c)| *c >= config.min_frequency)
-        .collect();
+    let mut candidates: Vec<(String, usize)> =
+        counts.into_iter().filter(|(_, c)| *c >= config.min_frequency).collect();
     candidates.sort_by(|a, b| {
-        b.1.cmp(&a.1)
-            .then(b.0.split(' ').count().cmp(&a.0.split(' ').count()))
-            .then(a.0.cmp(&b.0))
+        b.1.cmp(&a.1).then(b.0.split(' ').count().cmp(&a.0.split(' ').count())).then(a.0.cmp(&b.0))
     });
 
     // 3. Drop candidates subsumed by an already-chosen phrase (e.g.
     //    "increasing loss" inside "increasing packet loss").
     let mut chosen: Vec<(String, usize)> = Vec::new();
     for (phrase, count) in candidates {
-        let subsumed = chosen
-            .iter()
-            .any(|(p, _)| p.contains(&phrase) || phrase.contains(p.as_str()));
+        let subsumed =
+            chosen.iter().any(|(p, _)| p.contains(&phrase) || phrase.contains(p.as_str()));
         if !subsumed {
             chosen.push((phrase, count));
         }
@@ -142,8 +137,7 @@ pub fn generate_concepts(
         .collect();
 
     // 5. The paper's S_max redundancy filter, then cap the set size.
-    let (filtered, _removed) =
-        ConceptSet::new(concepts).filter_redundant(embedder, config.s_max);
+    let (filtered, _removed) = ConceptSet::new(concepts).filter_redundant(embedder, config.s_max);
     let take = filtered.len().min(config.max_concepts);
     filtered.take(take)
 }
@@ -316,10 +310,7 @@ mod tests {
         for (i, a) in names.iter().enumerate() {
             for b in names.iter().skip(i + 1) {
                 let (al, bl) = (a.to_lowercase(), b.to_lowercase());
-                assert!(
-                    !al.contains(&bl) && !bl.contains(&al),
-                    "{a} subsumes {b}"
-                );
+                assert!(!al.contains(&bl) && !bl.contains(&al), "{a} subsumes {b}");
             }
         }
     }

@@ -108,9 +108,8 @@ fn contributions_for(
     let spread_bias = bias / (c * k) as f32;
 
     // z = W⟨i⟩ ∘ s + b_i/(C·k)   (Eq. 8, before the L1 norm)
-    let z: Vec<f32> = (0..c * k)
-        .map(|d| w.get(d, class) * concept_probs.get(row, d) + spread_bias)
-        .collect();
+    let z: Vec<f32> =
+        (0..c * k).map(|d| w.get(d, class) * concept_probs.get(row, d) + spread_bias).collect();
 
     // σ(z) over all C·k entries, scaled by the class probability (Eq. 9–10).
     let max = z.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -119,9 +118,7 @@ fn contributions_for(
 
     let mut contributions: Vec<ConceptContribution> = (0..c)
         .map(|g| {
-            let per_class: Vec<f32> = (0..k)
-                .map(|j| class_prob * exps[g * k + j] / sum)
-                .collect();
+            let per_class: Vec<f32> = (0..k).map(|j| class_prob * exps[g * k + j] / sum).collect();
             ConceptContribution {
                 concept: model.concept_names[g].clone(),
                 weight: per_class.iter().sum(),
@@ -149,7 +146,12 @@ pub fn counterfactual(model: &AguaModel, embedding: &Matrix, class: usize) -> Ex
     explain_class(model, embedding, class, false)
 }
 
-fn explain_class(model: &AguaModel, embedding: &Matrix, class: usize, factual: bool) -> Explanation {
+fn explain_class(
+    model: &AguaModel,
+    embedding: &Matrix,
+    class: usize,
+    factual: bool,
+) -> Explanation {
     assert!(class < model.n_outputs(), "output class out of range");
     let concept_probs = model.concept_probs(embedding);
     let out_probs = model.predict_probs(embedding);
@@ -180,13 +182,26 @@ pub fn batched(model: &AguaModel, embeddings: &Matrix, class: usize) -> BatchedE
     let c = model.concepts();
     let k = model.k();
 
+    // Per-row contribution vectors are independent, so they are computed
+    // on the parallel backend (results in row order); the running means
+    // are then accumulated sequentially in that same order, keeping the
+    // result byte-identical to the single-threaded loop. Small batches
+    // are not worth the per-call thread spawn.
+    let row_contribs = |r: usize| {
+        let p = out_probs.get(r, class);
+        contributions_for(model, &concept_probs, r, class, p)
+    };
+    let per_row: Vec<Vec<ConceptContribution>> = if n >= 64 {
+        agua_nn::parallel::par_map_range(n, row_contribs)
+    } else {
+        (0..n).map(row_contribs).collect()
+    };
+
     let mut mean_weight = vec![0.0f32; c];
     let mut mean_per_class = vec![vec![0.0f32; k]; c];
     let mut mean_p = 0.0;
-    for r in 0..n {
-        let p = out_probs.get(r, class);
-        mean_p += p;
-        let contribs = contributions_for(model, &concept_probs, r, class, p);
+    for (r, contribs) in per_row.into_iter().enumerate() {
+        mean_p += out_probs.get(r, class);
         for contrib in contribs {
             let g = model
                 .concept_names
@@ -246,16 +261,9 @@ pub fn concept_intensities(model: &AguaModel, embeddings: &Matrix) -> Vec<f32> {
 pub fn top_input_concepts(model: &AguaModel, embeddings: &Matrix, n: usize) -> Vec<String> {
     let intensities = concept_intensities(model, embeddings);
     let mut order: Vec<usize> = (0..intensities.len()).collect();
-    order.sort_by(|&a, &b| {
-        intensities[b]
-            .partial_cmp(&intensities[a])
-            .expect("finite intensities")
-    });
     order
-        .into_iter()
-        .take(n)
-        .map(|i| model.concept_names[i].clone())
-        .collect()
+        .sort_by(|&a, &b| intensities[b].partial_cmp(&intensities[a]).expect("finite intensities"));
+    order.into_iter().take(n).map(|i| model.concept_names[i].clone()).collect()
 }
 
 /// The majority predicted class of a batch — the natural class to pass to
@@ -294,7 +302,15 @@ mod tests {
             let trigger: f32 = rng.random_range(0.0..1.0);
             let decoy: f32 = rng.random_range(0.0..1.0);
             rows.push(vec![trigger, decoy, rng.random_range(-0.05..0.05)]);
-            let q = |v: f32| if v <= 0.33 { 0 } else if v <= 0.66 { 1 } else { 2 };
+            let q = |v: f32| {
+                if v <= 0.33 {
+                    0
+                } else if v <= 0.66 {
+                    1
+                } else {
+                    2
+                }
+            };
             labels.push(vec![q(trigger), q(decoy)]);
             outputs.push(usize::from(trigger > 0.6));
         }
@@ -353,11 +369,8 @@ mod tests {
         assert!(e.output_prob < 0.5, "class 0 is not chosen here");
         // For class 0 the *low* trigger class must matter: the dominant
         // per-class entry of Trigger should not be the high class.
-        let trigger = e
-            .contributions
-            .iter()
-            .find(|c| c.concept == "Trigger")
-            .expect("trigger present");
+        let trigger =
+            e.contributions.iter().find(|c| c.concept == "Trigger").expect("trigger present");
         let best_class = trigger
             .per_class
             .iter()
@@ -418,10 +431,7 @@ mod tests {
         assert!(hi.iter().all(|&v| (0.0..=1.0).contains(&v)));
         assert!(li.iter().all(|&v| (0.0..=1.0).contains(&v)));
         // Concept 0 is "Trigger".
-        assert!(
-            hi[0] > li[0] + 0.3,
-            "trigger intensity must follow the input: {hi:?} vs {li:?}"
-        );
+        assert!(hi[0] > li[0] + 0.3, "trigger intensity must follow the input: {hi:?} vs {li:?}");
     }
 
     #[test]

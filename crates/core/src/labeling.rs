@@ -6,8 +6,9 @@
 //! quantized with ψ_k into `k` classes — low / medium / high by default.
 //!
 //! One calibration detail: the paper's OpenAI-scale embeddings put
-//! description-to-concept cosines in [0, 1] with the quantization bins
-//! [0, .2], [.2, .6], [.6, 1]. Our lexical embedder produces the same
+//! description-to-concept cosines in [0, 1] with the half-open
+//! quantization bins [0, .2), [.2, .6), [.6, 1]. Our lexical embedder
+//! produces the same
 //! *ordering* but a compressed scale (a long description shares only part
 //! of its mass with any one concept), so similarities are normalized per
 //! input by the maximum concept similarity before the paper's bins are
@@ -32,12 +33,17 @@ pub enum SimilarityNormalization {
 
 /// The quantization function ψ_k (paper Eq. 2).
 ///
+/// Bins are half-open: a score equal to a boundary lands in the upper
+/// class.
+///
 /// ```
 /// use agua::labeling::Quantizer;
 ///
-/// let q = Quantizer::paper(); // bins [0,.2], [.2,.6], [.6,1]
+/// let q = Quantizer::paper(); // bins [0,.2), [.2,.6), [.6,1]
 /// assert_eq!(q.quantize(0.1), 0); // low
+/// assert_eq!(q.quantize(0.2), 1); // boundary → upper class
 /// assert_eq!(q.quantize(0.4), 1); // medium
+/// assert_eq!(q.quantize(0.6), 2); // boundary → upper class
 /// assert_eq!(q.quantize(0.9), 2); // high
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,7 +53,7 @@ pub struct Quantizer {
 }
 
 impl Quantizer {
-    /// The paper's ψ_3: bins [0,.2], [.2,.6], [.6,1] for low/medium/high.
+    /// The paper's ψ_3: bins [0,.2), [.2,.6), [.6,1] for low/medium/high.
     pub fn paper() -> Self {
         Self { boundaries: vec![0.2, 0.6] }
     }
@@ -85,8 +91,9 @@ impl Quantizer {
     }
 
     /// Quantizes a similarity score into a class index in `0..k`.
+    /// Boundaries belong to the upper class (half-open bins).
     pub fn quantize(&self, score: f32) -> usize {
-        self.boundaries.iter().filter(|&&b| score > b).count()
+        self.boundaries.iter().filter(|&&b| score >= b).count()
     }
 
     /// Class names for the default 3-level quantizer.
@@ -162,11 +169,8 @@ impl ConceptLabeler {
     /// Raw concept similarities of a description (stage ③, before ψ_k).
     pub fn similarities(&self, description: &str) -> Vec<f32> {
         let emb = self.embedder.embed(description);
-        let mut sims: Vec<f32> = self
-            .concept_embeddings
-            .iter()
-            .map(|c| cosine_similarity(&emb, c))
-            .collect();
+        let mut sims: Vec<f32> =
+            self.concept_embeddings.iter().map(|c| cosine_similarity(&emb, c)).collect();
         if self.normalization == SimilarityNormalization::PerInputMax {
             let max = sims.iter().cloned().fold(0.0f32, f32::max);
             if max > 0.0 {
@@ -180,10 +184,7 @@ impl ConceptLabeler {
 
     /// Quantized similarity classes `S_C` for a description.
     pub fn label_description(&self, description: &str) -> Vec<usize> {
-        self.similarities(description)
-            .into_iter()
-            .map(|s| self.quantizer.quantize(s))
-            .collect()
+        self.similarities(description).into_iter().map(|s| self.quantizer.quantize(s)).collect()
     }
 
     /// Full pipeline for one input: describe, embed, quantize.
@@ -196,17 +197,14 @@ impl ConceptLabeler {
     /// from `seed`.
     pub fn label_batch(&self, inputs: &[Vec<DescribedSection>], seed: u64) -> Vec<Vec<usize>> {
         let seeds = Self::derive_seeds(inputs.len(), seed);
-        inputs
-            .iter()
-            .zip(&seeds)
-            .map(|(sections, &s)| self.label(sections, s))
-            .collect()
+        inputs.iter().zip(&seeds).map(|(sections, &s)| self.label(sections, s)).collect()
     }
 
     /// [`ConceptLabeler::label_batch`] across `threads` scoped worker
-    /// threads. Produces byte-identical labels to the sequential version
-    /// (the per-input seeds are derived the same way); useful when
-    /// labelling the multi-thousand-sample rollouts of the experiments.
+    /// threads (via the deterministic `agua-nn` parallel backend).
+    /// Produces byte-identical labels to the sequential version — each
+    /// input keeps its derived seed and its slot in the output — so it
+    /// is safe for the multi-thousand-sample rollouts of the experiments.
     pub fn label_batch_parallel(
         &self,
         inputs: &[Vec<DescribedSection>],
@@ -218,37 +216,19 @@ impl ConceptLabeler {
             return Vec::new();
         }
         let seeds = Self::derive_seeds(inputs.len(), seed);
-        let chunk = inputs.len().div_ceil(threads);
-        let mut out: Vec<Vec<Vec<usize>>> = Vec::new();
-        crossbeam::scope(|scope| {
-            let handles: Vec<_> = inputs
-                .chunks(chunk)
-                .zip(seeds.chunks(chunk))
-                .map(|(input_chunk, seed_chunk)| {
-                    scope.spawn(move |_| {
-                        input_chunk
-                            .iter()
-                            .zip(seed_chunk)
-                            .map(|(sections, &s)| self.label(sections, s))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            out = handles
-                .into_iter()
-                .map(|h| h.join().expect("labelling worker panicked"))
-                .collect();
+        agua_nn::parallel::with_threads(threads, || {
+            agua_nn::parallel::par_map_range(inputs.len(), |i| self.label(&inputs[i], seeds[i]))
         })
-        .expect("crossbeam scope");
-        out.into_iter().flatten().collect()
     }
 
     /// Derives the deterministic per-input description seeds shared by
-    /// the sequential and parallel batch paths.
+    /// the sequential and parallel batch paths. Draws cover the full
+    /// `u64` range (`random_range(0..u64::MAX)` would exclude the top
+    /// value).
     fn derive_seeds(count: usize, seed: u64) -> Vec<u64> {
         use rand::RngExt;
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..count).map(|_| rng.random_range(0..u64::MAX)).collect()
+        (0..count).map(|_| rng.random::<u64>()).collect()
     }
 }
 
@@ -281,12 +261,7 @@ mod tests {
             ),
             DescribedSection::new(
                 "Loss behavior",
-                vec![SignalSeries::new(
-                    "Packet Loss Rate",
-                    "fraction",
-                    vec![0.0; 10],
-                    1.0,
-                )],
+                vec![SignalSeries::new("Packet Loss Rate", "fraction", vec![0.0; 10], 1.0)],
             ),
         ]
     }
@@ -296,12 +271,35 @@ mod tests {
         let q = Quantizer::paper();
         assert_eq!(q.classes(), 3);
         assert_eq!(q.quantize(0.1), 0);
-        assert_eq!(q.quantize(0.2), 0);
         assert_eq!(q.quantize(0.4), 1);
         assert_eq!(q.quantize(0.61), 2);
         assert_eq!(q.quantize(1.0), 2);
         assert_eq!(q.class_name(0), "low");
         assert_eq!(q.class_name(2), "high");
+    }
+
+    #[test]
+    fn quantizer_bins_are_half_open_at_the_boundaries() {
+        // Regression: ψ_3's bins are [0,.2) / [.2,.6) / [.6,1], so a
+        // score exactly on a boundary belongs to the upper class.
+        let q = Quantizer::paper();
+        assert_eq!(q.quantize(0.2), 1);
+        assert_eq!(q.quantize(0.6), 2);
+        assert_eq!(q.quantize(0.19999), 0);
+        assert_eq!(q.quantize(0.59999), 1);
+        let b = Quantizer::boolean(0.5);
+        assert_eq!(b.quantize(0.5), 1);
+    }
+
+    #[test]
+    fn derived_seeds_are_deterministic_and_well_spread() {
+        let a = ConceptLabeler::derive_seeds(64, 7);
+        let b = ConceptLabeler::derive_seeds(64, 7);
+        assert_eq!(a, b);
+        let c = ConceptLabeler::derive_seeds(64, 8);
+        assert_ne!(a, c);
+        let distinct: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(distinct.len(), a.len());
     }
 
     #[test]
@@ -321,12 +319,8 @@ mod tests {
         let description = l.describe(&sections, 7);
         let sims = l.similarities(&description);
         let names = l.concept_names();
-        let top = names[sims
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0]
+        let top = names
+            [sims.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0]
             .clone();
         assert_eq!(top, "Rapidly Increasing Latency", "sims: {sims:?}");
     }
@@ -342,10 +336,7 @@ mod tests {
         let mut order: Vec<usize> = (0..sims.len()).collect();
         order.sort_by(|&a, &b| sims[b].partial_cmp(&sims[a]).unwrap());
         let top3: Vec<&str> = order[..3].iter().map(|&i| names[i].as_str()).collect();
-        assert!(
-            top3.contains(&"Rapidly Increasing Latency"),
-            "top3 {top3:?}, sims {sims:?}"
-        );
+        assert!(top3.contains(&"Rapidly Increasing Latency"), "top3 {top3:?}, sims {sims:?}");
         assert!(top3.contains(&"Stable Network Conditions"), "top3 {top3:?}");
     }
 
@@ -354,7 +345,7 @@ mod tests {
         let l = labeler();
         let labels = l.label(&latency_spike_sections(), 7);
         assert_eq!(labels.len(), 8);
-        assert!(labels.iter().any(|&c| c == 2), "some concept must be high");
+        assert!(labels.contains(&2), "some concept must be high");
         assert!(labels.iter().any(|&c| c < 2), "not every concept can be high");
     }
 
@@ -390,9 +381,6 @@ mod tests {
     #[test]
     fn noiseless_descriptions_yield_identical_labels_across_seeds() {
         let l = labeler();
-        assert_eq!(
-            l.label(&latency_spike_sections(), 1),
-            l.label(&latency_spike_sections(), 2)
-        );
+        assert_eq!(l.label(&latency_spike_sections(), 1), l.label(&latency_spike_sections(), 2));
     }
 }

@@ -16,10 +16,7 @@ use serde::{Deserialize, Serialize};
 /// paper aggregates per trace ("we tag the traces with the top three
 /// identified concepts").
 pub fn tag_batches(model: &AguaModel, batches: &[Matrix], top_n: usize) -> Vec<Vec<String>> {
-    batches
-        .iter()
-        .map(|embeddings| top_input_concepts(model, embeddings, top_n))
-        .collect()
+    batches.iter().map(|embeddings| top_input_concepts(model, embeddings, top_n)).collect()
 }
 
 /// Tags two datasets of traces with their top `top_n` concepts by
@@ -35,14 +32,10 @@ pub fn tag_datasets(
     new_batches: &[Matrix],
     top_n: usize,
 ) -> (Vec<Vec<String>>, Vec<Vec<String>>) {
-    let old_int: Vec<Vec<f32>> = old_batches
-        .iter()
-        .map(|b| crate::explain::concept_intensities(model, b))
-        .collect();
-    let new_int: Vec<Vec<f32>> = new_batches
-        .iter()
-        .map(|b| crate::explain::concept_intensities(model, b))
-        .collect();
+    let old_int: Vec<Vec<f32>> =
+        old_batches.iter().map(|b| crate::explain::concept_intensities(model, b)).collect();
+    let new_int: Vec<Vec<f32>> =
+        new_batches.iter().map(|b| crate::explain::concept_intensities(model, b)).collect();
 
     let c = model.concepts();
     let all: Vec<&Vec<f32>> = old_int.iter().chain(new_int.iter()).collect();
@@ -70,11 +63,7 @@ pub fn tag_datasets(
                     row.iter().enumerate().map(|(i, &v)| (v - mean[i]) / std[i]).collect();
                 let mut order: Vec<usize> = (0..c).collect();
                 order.sort_by(|&a, &b| z[b].partial_cmp(&z[a]).expect("finite z"));
-                order
-                    .into_iter()
-                    .take(top_n)
-                    .map(|i| model.concept_names[i].clone())
-                    .collect()
+                order.into_iter().take(top_n).map(|i| model.concept_names[i].clone()).collect()
             })
             .collect()
     };
@@ -94,10 +83,7 @@ pub fn concept_proportions(tags: &[Vec<String>], concept_names: &[String]) -> Ve
             }
         }
     }
-    counts
-        .iter()
-        .map(|&c| c as f32 / total.max(1) as f32)
-        .collect()
+    counts.iter().map(|&c| c as f32 / total.max(1) as f32).collect()
 }
 
 /// One concept's proportion change between datasets.
@@ -146,10 +132,8 @@ mod tests {
 
     #[test]
     fn proportions_count_tags_and_normalize() {
-        let tags = vec![
-            vec!["A".to_string(), "B".to_string()],
-            vec!["A".to_string(), "C".to_string()],
-        ];
+        let tags =
+            vec![vec!["A".to_string(), "B".to_string()], vec!["A".to_string(), "C".to_string()]];
         let p = concept_proportions(&tags, &names());
         assert!((p[0] - 0.5).abs() < 1e-6);
         assert!((p[1] - 0.25).abs() < 1e-6);

@@ -17,7 +17,12 @@ use serde::{Deserialize, Serialize};
 /// Lloyd's algorithm with deterministic farthest-point-ish seeding: the
 /// first centroid is the first sample, each subsequent centroid is the
 /// sample farthest from all chosen so far.
-pub fn kmeans(points: &[Vec<f32>], k: usize, iters: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+pub fn kmeans(
+    points: &[Vec<f32>],
+    k: usize,
+    iters: usize,
+    seed: u64,
+) -> (Vec<Vec<f32>>, Vec<usize>) {
     assert!(!points.is_empty(), "kmeans needs data");
     assert!(k >= 1 && k <= points.len(), "k out of range");
     let dim = points[0].len();
@@ -32,10 +37,7 @@ pub fn kmeans(points: &[Vec<f32>], k: usize, iters: usize, seed: u64) -> (Vec<Ve
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                let nearest = centroids
-                    .iter()
-                    .map(|c| sq_dist(p, c))
-                    .fold(f32::MAX, f32::min);
+                let nearest = centroids.iter().map(|c| sq_dist(p, c)).fold(f32::MAX, f32::min);
                 (i, nearest)
             })
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
@@ -50,9 +52,7 @@ pub fn kmeans(points: &[Vec<f32>], k: usize, iters: usize, seed: u64) -> (Vec<Ve
             assignments[i] = centroids
                 .iter()
                 .enumerate()
-                .min_by(|a, b| {
-                    sq_dist(p, a.1).partial_cmp(&sq_dist(p, b.1)).expect("finite")
-                })
+                .min_by(|a, b| sq_dist(p, a.1).partial_cmp(&sq_dist(p, b.1)).expect("finite"))
                 .map(|(c, _)| c)
                 .expect("at least one centroid");
         }
@@ -114,10 +114,7 @@ pub fn ks_statistic(a: &[usize], b: &[usize], k: usize) -> f32 {
     };
     let ca = cdf(a);
     let cb = cdf(b);
-    ca.iter()
-        .zip(&cb)
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0, f32::max)
+    ca.iter().zip(&cb).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
 }
 
 /// A concept-space store of description embeddings supporting
@@ -245,11 +242,7 @@ mod tests {
 
     #[test]
     fn store_query_returns_nearest_neighbours() {
-        let store = ConceptStore::new(vec![
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![0.9, 0.1],
-        ]);
+        let store = ConceptStore::new(vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.9, 0.1]]);
         let hits = store.query(&[1.0, 0.05], 2);
         assert_eq!(hits.len(), 2);
         assert!(hits.contains(&0) && hits.contains(&2), "{hits:?}");

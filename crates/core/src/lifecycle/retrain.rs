@@ -14,11 +14,8 @@ pub fn select_for_retraining(
     shifts: &[ConceptShift],
     min_delta: f32,
 ) -> Vec<usize> {
-    let increased: Vec<&str> = shifts
-        .iter()
-        .filter(|s| s.delta > min_delta)
-        .map(|s| s.concept.as_str())
-        .collect();
+    let increased: Vec<&str> =
+        shifts.iter().filter(|s| s.delta > min_delta).map(|s| s.concept.as_str()).collect();
     trace_tags
         .iter()
         .enumerate()

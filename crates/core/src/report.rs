@@ -50,15 +50,13 @@ impl AguaReport {
 
         let w = model.output_mapping.weights();
         let total = (w.rows() * w.cols()) as f32;
-        let omega_sparsity =
-            w.as_slice().iter().filter(|v| v.abs() < 0.01).count() as f32 / total;
+        let omega_sparsity = w.as_slice().iter().filter(|v| v.abs() < 0.01).count() as f32 / total;
 
         let k = model.k();
         let class_names = ["low", "medium", "high"];
         let classes = (0..model.n_outputs())
             .map(|class| {
-                let support = controller_outputs.iter().filter(|&&y| y == class).count()
-                    as f32
+                let support = controller_outputs.iter().filter(|&&y| y == class).count() as f32
                     / n.max(1) as f32;
                 let mut entries: Vec<(String, String, f32)> = (0..w.rows())
                     .map(|d| {
@@ -89,15 +87,9 @@ impl AguaReport {
             self.omega_sparsity * 100.0
         );
         for c in &self.classes {
-            out.push_str(&format!(
-                "  class {} (support {:.1}%):\n",
-                c.class,
-                c.support * 100.0
-            ));
+            out.push_str(&format!("  class {} (support {:.1}%):\n", c.class, c.support * 100.0));
             for (concept, level, weight) in &c.top_drivers {
-                out.push_str(&format!(
-                    "    {concept:<44} [{level:<6}] {weight:+.3}\n"
-                ));
+                out.push_str(&format!("    {concept:<44} [{level:<6}] {weight:+.3}\n"));
             }
         }
         out
@@ -120,14 +112,20 @@ mod tests {
         for _ in 0..400 {
             let a: f32 = rng.random_range(0.0..1.0);
             rows.push(vec![a, 1.0 - a, rng.random_range(-0.05..0.05)]);
-            let q = |v: f32| if v <= 0.33 { 0 } else if v <= 0.66 { 1 } else { 2 };
+            let q = |v: f32| {
+                if v <= 0.33 {
+                    0
+                } else if v <= 0.66 {
+                    1
+                } else {
+                    2
+                }
+            };
             labels.push(vec![q(a), q(1.0 - a)]);
             outputs.push(usize::from(a > 0.5));
         }
-        let concepts = ConceptSet::new(vec![
-            Concept::new("Alpha", "alpha"),
-            Concept::new("Beta", "beta"),
-        ]);
+        let concepts =
+            ConceptSet::new(vec![Concept::new("Alpha", "alpha"), Concept::new("Beta", "beta")]);
         let embeddings = Matrix::from_rows(&rows);
         let ds = SurrogateDataset {
             embeddings: embeddings.clone(),

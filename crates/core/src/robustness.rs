@@ -10,10 +10,7 @@
 pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .expect("finite scores")
-            .then(a.cmp(&b))
+        scores[b].partial_cmp(&scores[a]).expect("finite scores").then(a.cmp(&b))
     });
     order.truncate(k);
     order
@@ -31,25 +28,15 @@ pub fn recall(baseline: &[usize], perturbed: &[usize]) -> f32 {
 /// Recall@k between two score vectors: the fraction of the baseline's
 /// top-k that survives in the perturbed top-k.
 pub fn recall_at_k(baseline_scores: &[f32], perturbed_scores: &[f32], k: usize) -> f32 {
-    assert_eq!(
-        baseline_scores.len(),
-        perturbed_scores.len(),
-        "score vectors must align"
-    );
-    recall(
-        &top_k_indices(baseline_scores, k),
-        &top_k_indices(perturbed_scores, k),
-    )
+    assert_eq!(baseline_scores.len(), perturbed_scores.len(), "score vectors must align");
+    recall(&top_k_indices(baseline_scores, k), &top_k_indices(perturbed_scores, k))
 }
 
 /// Mean recall@k of a baseline against many perturbed score vectors —
 /// the aggregation plotted in Fig. 12.
 pub fn mean_recall_at_k(baseline_scores: &[f32], perturbed: &[Vec<f32>], k: usize) -> f32 {
     assert!(!perturbed.is_empty(), "need at least one perturbed run");
-    perturbed
-        .iter()
-        .map(|p| recall_at_k(baseline_scores, p, k))
-        .sum::<f32>()
+    perturbed.iter().map(|p| recall_at_k(baseline_scores, p, k)).sum::<f32>()
         / perturbed.len() as f32
 }
 

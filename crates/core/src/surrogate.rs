@@ -9,8 +9,8 @@
 
 use crate::concepts::ConceptSet;
 use agua_nn::{
-    grouped_softmax_cross_entropy, softmax_cross_entropy, softmax_rows, ElasticNet, Layer,
-    LayerKind, LayerNorm, Linear, Matrix, Mlp, Optimizer, ReLU, Sgd,
+    grouped_softmax_cross_entropy, parallel, softmax_cross_entropy, softmax_rows, ElasticNet,
+    Layer, LayerKind, LayerNorm, Linear, Matrix, Mlp, Optimizer, ReLU, Sgd,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -190,7 +190,9 @@ impl ConceptMapping {
         let (n, d) = logits.shape();
         debug_assert_eq!(d, self.concepts * self.k);
         let mut out = Matrix::zeros(n, d);
-        for r in 0..n {
+        // Rows are independent, so the parallel row loop computes exactly
+        // what the sequential one would.
+        parallel::par_for_each_rows(&mut out, |r, out_row| {
             for g in 0..self.concepts {
                 let base = g * self.k;
                 let slice = &logits.row(r)[base..base + self.k];
@@ -198,10 +200,10 @@ impl ConceptMapping {
                 let exps: Vec<f32> = slice.iter().map(|&v| (v - max).exp()).collect();
                 let sum: f32 = exps.iter().sum();
                 for (j, e) in exps.iter().enumerate() {
-                    out.set(r, base + j, e / sum);
+                    out_row[base + j] = e / sum;
                 }
             }
-        }
+        });
         out
     }
 
@@ -397,21 +399,10 @@ impl AguaModel {
     /// # Panics
     /// Panics if `bins.len() != n_outputs`.
     pub fn predict_numeric(&self, embeddings: &Matrix, bins: &[f32]) -> Vec<f32> {
-        assert_eq!(
-            bins.len(),
-            self.n_outputs(),
-            "one bin centre per output class required"
-        );
+        assert_eq!(bins.len(), self.n_outputs(), "one bin centre per output class required");
         let probs = self.predict_probs(embeddings);
         (0..embeddings.rows())
-            .map(|r| {
-                probs
-                    .row(r)
-                    .iter()
-                    .zip(bins)
-                    .map(|(&p, &b)| p * b)
-                    .sum()
-            })
+            .map(|r| probs.row(r).iter().zip(bins).map(|(&p, &b)| p * b).sum())
             .collect()
     }
 
@@ -420,11 +411,7 @@ impl AguaModel {
     pub fn numeric_mae(&self, embeddings: &Matrix, targets: &[f32], bins: &[f32]) -> f32 {
         assert_eq!(embeddings.rows(), targets.len());
         let preds = self.predict_numeric(embeddings, bins);
-        preds
-            .iter()
-            .zip(targets)
-            .map(|(p, t)| (p - t).abs())
-            .sum::<f32>()
+        preds.iter().zip(targets).map(|(p, t)| (p - t).abs()).sum::<f32>()
             / targets.len().max(1) as f32
     }
 
@@ -432,11 +419,7 @@ impl AguaModel {
     pub fn fidelity(&self, embeddings: &Matrix, controller_outputs: &[usize]) -> f32 {
         assert_eq!(embeddings.rows(), controller_outputs.len());
         let preds = self.predict(embeddings);
-        let hits = preds
-            .iter()
-            .zip(controller_outputs)
-            .filter(|(a, b)| a == b)
-            .count();
+        let hits = preds.iter().zip(controller_outputs).filter(|(a, b)| a == b).count();
         hits as f32 / controller_outputs.len().max(1) as f32
     }
 }
@@ -462,7 +445,15 @@ mod tests {
             let mut row = vec![a, b];
             row.extend(noise);
             rows.push(row);
-            let q = |v: f32| if v <= 0.33 { 0 } else if v <= 0.66 { 1 } else { 2 };
+            let q = |v: f32| {
+                if v <= 0.33 {
+                    0
+                } else if v <= 0.66 {
+                    1
+                } else {
+                    2
+                }
+            };
             concept_labels.push(vec![q(a), q(b), q(1.0 - a)]);
             outputs.push(usize::from(a > b));
         }
@@ -471,11 +462,10 @@ mod tests {
             Concept::new("Beta High", "beta"),
             Concept::new("Alpha Low", "inverse alpha"),
         ]);
-        (concepts, SurrogateDataset {
-            embeddings: Matrix::from_rows(&rows),
-            concept_labels,
-            outputs,
-        })
+        (
+            concepts,
+            SurrogateDataset { embeddings: Matrix::from_rows(&rows), concept_labels, outputs },
+        )
     }
 
     #[test]
@@ -544,10 +534,7 @@ mod tests {
         let (concepts, train) = toy_dataset(200, 8);
         let a = AguaModel::fit(&concepts, 3, 2, &train, &TrainParams::fast());
         let b = AguaModel::fit(&concepts, 3, 2, &train, &TrainParams::fast());
-        assert_eq!(
-            a.output_mapping.weights().as_slice(),
-            b.output_mapping.weights().as_slice()
-        );
+        assert_eq!(a.output_mapping.weights().as_slice(), b.output_mapping.weights().as_slice());
     }
 
     #[test]
@@ -564,10 +551,7 @@ mod tests {
         let model = AguaModel::fit(&concepts, 3, 2, &train, &TrainParams::fast());
         let json = serde_json::to_string(&model).unwrap();
         let restored: AguaModel = serde_json::from_str(&json).unwrap();
-        assert_eq!(
-            model.predict(&train.embeddings),
-            restored.predict(&train.embeddings)
-        );
+        assert_eq!(model.predict(&train.embeddings), restored.predict(&train.embeddings));
     }
 
     #[test]

@@ -119,9 +119,7 @@ impl FlowWindow {
     /// kinds in round-robin order (shuffle downstream if needed).
     pub fn generate_dataset(kinds: &[FlowKind], count: usize, seed: u64) -> Vec<FlowWindow> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..count)
-            .map(|i| FlowWindow::generate(kinds[i % kinds.len()], &mut rng))
-            .collect()
+        (0..count).map(|i| FlowWindow::generate(kinds[i % kinds.len()], &mut rng)).collect()
     }
 
     /// Ground-truth label of the window.
@@ -165,7 +163,16 @@ impl FlowWindow {
         self.push(jitter(rng, 0.03), 60.0, false, true, true, false, 0.0, src);
         self.push(jitter(rng, 0.02), 52.0, true, false, true, false, 0.0, src);
         // Request.
-        self.push(jitter(rng, 0.05), rng.random_range(250.0..500.0), true, false, true, false, 0.55, src);
+        self.push(
+            jitter(rng, 0.05),
+            rng.random_range(250.0..500.0),
+            true,
+            false,
+            true,
+            false,
+            0.55,
+            src,
+        );
         // Response data with client acknowledgements.
         for i in 0..5 {
             if i % 2 == 0 {
@@ -193,11 +200,8 @@ impl FlowWindow {
             let query = i % 2 == 0;
             // Queries are sparse; responses follow quickly.
             let iat = if query { rng.random_range(1.0..8.0) } else { rng.random_range(0.01..0.05) };
-            let size = if query {
-                rng.random_range(60.0..90.0)
-            } else {
-                rng.random_range(100.0..300.0)
-            };
+            let size =
+                if query { rng.random_range(60.0..90.0) } else { rng.random_range(100.0..300.0) };
             self.push(iat, size, query, false, false, true, rng.random_range(0.35..0.55), src);
         }
     }
@@ -265,7 +269,7 @@ mod tests {
         assert_eq!(w.syn[1], 1.0);
         assert_eq!(w.ack[1], 1.0, "SYN/ACK");
         assert_eq!(w.ack[2], 1.0, "final handshake ACK");
-        assert!(w.outbound.iter().any(|&o| o == 0.0), "server data must flow back");
+        assert!(w.outbound.contains(&0.0), "server data must flow back");
         let ack_fraction: f32 = w.ack.iter().sum::<f32>() / WINDOW as f32;
         assert!(ack_fraction > 0.6);
     }

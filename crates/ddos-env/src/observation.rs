@@ -50,11 +50,7 @@ impl DdosObservation {
 
     /// Per-packet instantaneous request rate (1/IAT), capped, pps.
     pub fn rate_series(&self) -> Vec<f32> {
-        self.window
-            .iat_s
-            .iter()
-            .map(|&iat| (1.0 / iat.max(1e-4)).min(RATE_MAX))
-            .collect()
+        self.window.iat_s.iter().map(|&iat| (1.0 / iat.max(1e-4)).min(RATE_MAX)).collect()
     }
 
     /// Rolling SYN intensity: fraction of SYN flags among packets seen so
@@ -77,23 +73,13 @@ impl DdosObservation {
         vec![
             DescribedSection::new(
                 "Flow packet timing",
-                vec![SignalSeries::new(
-                    "Request Packet Rate",
-                    "pps",
-                    self.rate_series(),
-                    RATE_MAX,
-                )],
+                vec![SignalSeries::new("Request Packet Rate", "pps", self.rate_series(), RATE_MAX)],
             ),
             DescribedSection::new(
                 "Protocol behavior",
                 vec![
                     SignalSeries::new("Syn Handshake Intensity", "", self.syn_intensity(), 1.0),
-                    SignalSeries::new(
-                        "Ack Protocol Compliance",
-                        "",
-                        self.ack_intensity(),
-                        1.0,
-                    ),
+                    SignalSeries::new("Ack Protocol Compliance", "", self.ack_intensity(), 1.0),
                 ],
             ),
             DescribedSection::new(
@@ -105,12 +91,7 @@ impl DdosObservation {
                         w.size_bytes.clone(),
                         SIZE_MAX,
                     ),
-                    SignalSeries::new(
-                        "Payload Entropy",
-                        "",
-                        w.payload_entropy.clone(),
-                        1.0,
-                    ),
+                    SignalSeries::new("Payload Entropy", "", w.payload_entropy.clone(), 1.0),
                 ],
             ),
             DescribedSection::new(

@@ -66,7 +66,10 @@ impl Timeline {
     /// Panics if the onset is outside the duration, rates are
     /// non-positive, or the configured attack kind is not an attack.
     pub fn generate(config: TimelineConfig, seed: u64) -> Self {
-        assert!(config.onset_s > 0.0 && config.onset_s < config.duration_s, "onset outside timeline");
+        assert!(
+            config.onset_s > 0.0 && config.onset_s < config.duration_s,
+            "onset outside timeline"
+        );
         assert!(config.benign_rate > 0.0 && config.attack_rate > 0.0, "rates must be positive");
         assert!(config.attack.is_attack(), "attack kind must be an attack");
         let mut rng = StdRng::seed_from_u64(seed);
@@ -114,8 +117,7 @@ impl Timeline {
 
     /// Fraction of flows after `time_s` that are attacks.
     pub fn attack_fraction_after(&self, time_s: f32) -> f32 {
-        let after: Vec<&TimedFlow> =
-            self.flows.iter().filter(|f| f.time_s >= time_s).collect();
+        let after: Vec<&TimedFlow> = self.flows.iter().filter(|f| f.time_s >= time_s).collect();
         if after.is_empty() {
             return 0.0;
         }
@@ -184,11 +186,7 @@ mod tests {
     #[test]
     fn no_attacks_before_onset() {
         let t = timeline();
-        assert!(t
-            .flows
-            .iter()
-            .filter(|f| f.time_s < t.onset_s)
-            .all(|f| !f.window.is_attack()));
+        assert!(t.flows.iter().filter(|f| f.time_s < t.onset_s).all(|f| !f.window.is_attack()));
     }
 
     #[test]
@@ -201,9 +199,7 @@ mod tests {
     #[test]
     fn oracle_detector_has_near_zero_latency_and_no_false_alarms() {
         let t = timeline();
-        let latency = t
-            .detection_latency(|w| w.is_attack(), 3)
-            .expect("oracle must detect");
+        let latency = t.detection_latency(|w| w.is_attack(), 3).expect("oracle must detect");
         assert!(latency < 2.0, "oracle latency {latency}s");
         assert_eq!(t.false_alarm_rate(|w| w.is_attack()), 0.0);
     }

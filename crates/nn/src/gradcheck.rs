@@ -36,11 +36,7 @@ pub fn check_input_gradient<L: Layer>(
     step: f32,
 ) -> GradCheckReport {
     let out = layer.forward(x);
-    assert_eq!(
-        out.shape(),
-        seed.shape(),
-        "seed must match the layer output shape"
-    );
+    assert_eq!(out.shape(), seed.shape(), "seed must match the layer output shape");
     layer.zero_grad();
     let analytic = layer.backward(seed);
 
@@ -134,11 +130,7 @@ mod tests {
     #[test]
     fn cross_entropy_passes_loss_gradcheck() {
         let logits = Matrix::from_rows(&[vec![0.5, -0.3, 0.8], vec![-0.2, 0.4, 0.0]]);
-        let report = check_loss_gradient(
-            &logits,
-            |l| softmax_cross_entropy(l, &[2, 1]),
-            1e-3,
-        );
+        let report = check_loss_gradient(&logits, |l| softmax_cross_entropy(l, &[2, 1]), 1e-3);
         assert!(report.passes(1e-2), "{report:?}");
     }
 

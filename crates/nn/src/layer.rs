@@ -7,6 +7,7 @@
 
 use crate::init;
 use crate::matrix::Matrix;
+use crate::parallel;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -107,8 +108,12 @@ impl Linear {
 
     /// Forward pass without caching — usable through a shared reference,
     /// for inference paths that must not mutate the model.
+    ///
+    /// Runs on the deterministic parallel backend (see
+    /// [`crate::parallel`]); results are byte-identical at any thread
+    /// count.
     pub fn infer(&self, input: &Matrix) -> Matrix {
-        input.matmul(&self.weight.value).add_row_broadcast(&self.bias.value)
+        parallel::par_matmul(input, &self.weight.value).add_row_broadcast(&self.bias.value)
     }
 }
 
@@ -119,14 +124,13 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("Linear::backward called before forward");
-        // dW = xᵀ g, db = Σ_batch g, dx = g Wᵀ
-        self.weight.grad.add_scaled_inplace(&input.matmul_tn(grad_output), 1.0);
+        let input = self.cached_input.as_ref().expect("Linear::backward called before forward");
+        // dW = xᵀ g, db = Σ_batch g, dx = g Wᵀ — each output row of the
+        // parallel kernels is owned by one worker, so gradients are
+        // byte-identical to the sequential path.
+        self.weight.grad.add_scaled_inplace(&parallel::par_matmul_tn(input, grad_output), 1.0);
         self.bias.grad.add_scaled_inplace(&grad_output.sum_rows(), 1.0);
-        grad_output.matmul_nt(&self.weight.value)
+        parallel::par_matmul_nt(grad_output, &self.weight.value)
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -160,10 +164,7 @@ impl Layer for ReLU {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("ReLU::backward called before forward");
+        let input = self.cached_input.as_ref().expect("ReLU::backward called before forward");
         assert_eq!(input.shape(), grad_output.shape());
         Matrix::from_fn(input.rows(), input.cols(), |r, c| {
             if input.get(r, c) > 0.0 {
@@ -202,10 +203,7 @@ impl Layer for Tanh {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let out = self
-            .cached_output
-            .as_ref()
-            .expect("Tanh::backward called before forward");
+        let out = self.cached_output.as_ref().expect("Tanh::backward called before forward");
         // d tanh(x)/dx = 1 - tanh(x)²
         grad_output.hadamard(&out.map(|y| 1.0 - y * y))
     }
@@ -285,17 +283,12 @@ impl Layer for LayerNorm {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let cache = self
-            .cached
-            .as_ref()
-            .expect("LayerNorm::backward called before forward");
+        let cache = self.cached.as_ref().expect("LayerNorm::backward called before forward");
         let (n, d) = grad_output.shape();
         assert_eq!(cache.xhat.shape(), (n, d));
 
         // Parameter gradients: dγ_c = Σ_r g_{rc}·x̂_{rc}, dβ_c = Σ_r g_{rc}.
-        self.gamma
-            .grad
-            .add_scaled_inplace(&grad_output.hadamard(&cache.xhat).sum_rows(), 1.0);
+        self.gamma.grad.add_scaled_inplace(&grad_output.hadamard(&cache.xhat).sum_rows(), 1.0);
         self.beta.grad.add_scaled_inplace(&grad_output.sum_rows(), 1.0);
 
         // Input gradient, per row:
@@ -308,12 +301,9 @@ impl Layer for LayerNorm {
                 dxhat[c] = grad_output.get(r, c) * self.gamma.value.get(0, c);
             }
             let mean_dxhat = dxhat.iter().sum::<f32>() / d as f32;
-            let mean_dxhat_xhat = dxhat
-                .iter()
-                .enumerate()
-                .map(|(c, &v)| v * cache.xhat.get(r, c))
-                .sum::<f32>()
-                / d as f32;
+            let mean_dxhat_xhat =
+                dxhat.iter().enumerate().map(|(c, &v)| v * cache.xhat.get(r, c)).sum::<f32>()
+                    / d as f32;
             for c in 0..d {
                 let v = cache.inv_std[r]
                     * (dxhat[c] - mean_dxhat - cache.xhat.get(r, c) * mean_dxhat_xhat);
@@ -349,18 +339,8 @@ mod tests {
                 xp.set(r, c, x.get(r, c) + h);
                 let mut xm = x.clone();
                 xm.set(r, c, x.get(r, c) - h);
-                let lp: f32 = layer
-                    .forward(&xp)
-                    .hadamard(seed)
-                    .as_slice()
-                    .iter()
-                    .sum();
-                let lm: f32 = layer
-                    .forward(&xm)
-                    .hadamard(seed)
-                    .as_slice()
-                    .iter()
-                    .sum();
+                let lp: f32 = layer.forward(&xp).hadamard(seed).as_slice().iter().sum();
+                let lm: f32 = layer.forward(&xm).hadamard(seed).as_slice().iter().sum();
                 let numeric = (lp - lm) / (2.0 * h);
                 let a = analytic.get(r, c);
                 assert!(

@@ -12,7 +12,9 @@
 //!
 //! All tensors are dense, row-major, `f32`, batch-major (`batch × features`).
 //! Gradients are derived by hand per layer; there is no tape autodiff.
-//! Everything is deterministic given an RNG seed.
+//! Everything is deterministic given an RNG seed — including under the
+//! [`parallel`] backend, whose row-partitioned kernels are byte-identical
+//! to the sequential ones at any thread count (`AGUA_THREADS`).
 //!
 //! The crate deliberately avoids `unsafe` and fancy generics: robustness
 //! and auditability over raw speed, in the spirit of event-driven
@@ -25,6 +27,7 @@ pub mod loss;
 pub mod matrix;
 pub mod mlp;
 pub mod optim;
+pub mod parallel;
 
 pub use layer::{Layer, LayerNorm, Linear, Param, ReLU, Tanh};
 pub use loss::{
@@ -34,3 +37,7 @@ pub use loss::{
 pub use matrix::Matrix;
 pub use mlp::{LayerKind, Mlp};
 pub use optim::{Adam, ElasticNet, Optimizer, Sgd};
+pub use parallel::{
+    par_matmul, par_matmul_nt, par_matmul_tn, set_global_threads, with_thread_config, with_threads,
+    ThreadConfig,
+};

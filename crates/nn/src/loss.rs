@@ -126,14 +126,7 @@ pub fn mse_loss(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
 /// debugging experiment "increases entropy" during retraining).
 pub fn entropy_of_rows(probs: &Matrix) -> Vec<f32> {
     (0..probs.rows())
-        .map(|r| {
-            probs
-                .row(r)
-                .iter()
-                .filter(|&&p| p > 0.0)
-                .map(|&p| -p * p.ln())
-                .sum()
-        })
+        .map(|r| probs.row(r).iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum())
         .collect()
 }
 
@@ -182,10 +175,7 @@ mod tests {
                 let (lossp, _) = softmax_cross_entropy(&lp, &targets);
                 let (lossm, _) = softmax_cross_entropy(&lm, &targets);
                 let numeric = (lossp - lossm) / (2.0 * h);
-                assert!(
-                    (grad.get(r, c) - numeric).abs() < 1e-3,
-                    "grad mismatch at ({r},{c})"
-                );
+                assert!((grad.get(r, c) - numeric).abs() < 1e-3, "grad mismatch at ({r},{c})");
             }
         }
     }
@@ -203,8 +193,7 @@ mod tests {
     #[test]
     fn grouped_cross_entropy_gradient_matches_numeric() {
         // 2 groups × 3 classes.
-        let logits =
-            Matrix::from_rows(&[vec![0.1, -0.4, 0.8, 0.0, 0.5, -0.2]]);
+        let logits = Matrix::from_rows(&[vec![0.1, -0.4, 0.8, 0.0, 0.5, -0.2]]);
         let targets = vec![vec![2usize, 1]];
         let (_, grad) = grouped_softmax_cross_entropy(&logits, &targets, 2, 3);
         let h = 1e-3f32;

@@ -134,28 +134,113 @@ impl Matrix {
         out
     }
 
+    /// True per row iff every element of that row is finite. Used to
+    /// decide where the sparse `a == 0.0` fast path in the matmul
+    /// kernels is safe: skipping `0 × b` is only sound when `b` is
+    /// finite (`0 × NaN` and `0 × ∞` must poison the output).
+    pub(crate) fn rows_finite(&self) -> Vec<bool> {
+        (0..self.rows).map(|r| self.row(r).iter().all(|v| v.is_finite())).collect()
+    }
+
+    /// Writes rows `row_start..` of `self × rhs` into `chunk`, which
+    /// must be a zero-initialised row-major block of `rhs.cols`-wide
+    /// rows. Shared by the sequential [`Matrix::matmul`] and the
+    /// row-partitioned parallel path so both accumulate every output
+    /// element in the same `k`-ascending order (byte-identical results).
+    pub(crate) fn matmul_rows_into(
+        &self,
+        rhs: &Matrix,
+        rhs_row_finite: &[bool],
+        row_start: usize,
+        chunk: &mut [f32],
+    ) {
+        let width = rhs.cols;
+        if width == 0 || chunk.is_empty() {
+            return;
+        }
+        debug_assert_eq!(chunk.len() % width, 0);
+        // i-k-j loop order keeps the inner loop streaming over contiguous
+        // memory in both `rhs` and the output.
+        for (local, out_row) in chunk.chunks_exact_mut(width).enumerate() {
+            let a_row = self.row(row_start + local);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 && rhs_row_finite[k] {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
+    /// Writes rows `row_start..` of `selfᵀ × rhs` into `chunk` (rows of
+    /// the output correspond to columns of `self`). Keeps the `k`-outer
+    /// streaming order of the sequential kernel restricted to the given
+    /// output-row range, so per-element accumulation order is unchanged.
+    pub(crate) fn matmul_tn_rows_into(
+        &self,
+        rhs: &Matrix,
+        rhs_row_finite: &[bool],
+        row_start: usize,
+        chunk: &mut [f32],
+    ) {
+        let width = rhs.cols;
+        if width == 0 || chunk.is_empty() {
+            return;
+        }
+        debug_assert_eq!(chunk.len() % width, 0);
+        let rows = chunk.len() / width;
+        for k in 0..self.rows {
+            let a_row = &self.row(k)[row_start..row_start + rows];
+            let b_row = rhs.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 && rhs_row_finite[k] {
+                    continue;
+                }
+                let out_row = &mut chunk[i * width..(i + 1) * width];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
+    /// Writes rows `row_start..` of `self × rhsᵀ` into `chunk`
+    /// (`rhs.rows`-wide rows). Plain dot products; no sparse fast path.
+    pub(crate) fn matmul_nt_rows_into(&self, rhs: &Matrix, row_start: usize, chunk: &mut [f32]) {
+        let width = rhs.rows;
+        if width == 0 || chunk.is_empty() {
+            return;
+        }
+        debug_assert_eq!(chunk.len() % width, 0);
+        for (local, out_row) in chunk.chunks_exact_mut(width).enumerate() {
+            let a_row = self.row(row_start + local);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+    }
+
     /// Matrix product `self × rhs`.
+    ///
+    /// Non-finite values propagate: a zero in `self` times a `NaN`/`∞`
+    /// in `rhs` yields `NaN`, so [`Matrix::is_finite`] debugging cannot
+    /// be fooled by the sparse fast path.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j loop order keeps the inner loop streaming over contiguous
-        // memory in both `rhs` and `out`.
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        let finite = rhs.rows_finite();
+        self.matmul_rows_into(rhs, &finite, 0, &mut out.data);
         out
     }
 
@@ -163,19 +248,8 @@ impl Matrix {
     pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.rows, rhs.rows, "matmul_tn dimension mismatch");
         let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = rhs.row(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        let finite = rhs.rows_finite();
+        self.matmul_tn_rows_into(rhs, &finite, 0, &mut out.data);
         out
     }
 
@@ -183,17 +257,7 @@ impl Matrix {
     pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.cols, "matmul_nt dimension mismatch");
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out.set(i, j, acc);
-            }
-        }
+        self.matmul_nt_rows_into(rhs, 0, &mut out.data);
         out
     }
 
@@ -391,6 +455,50 @@ mod tests {
         let a = m(1, 3, &[3.0, -4.0, 0.0]);
         assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
         assert!((a.l1_norm() - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_propagates_nan_and_inf_through_zero_entries() {
+        // Regression: the sparse `a == 0.0` fast path used to turn
+        // 0 × NaN and 0 × ∞ into 0, hiding non-finite activations.
+        let a = m(1, 2, &[0.0, 1.0]);
+        let b = m(2, 2, &[f32::NAN, f32::INFINITY, 1.0, 2.0]);
+        let c = a.matmul(&b);
+        assert!(c.get(0, 0).is_nan());
+        // IEEE 754: 0 × ∞ is NaN, and NaN + 2 stays NaN.
+        assert!(c.get(0, 1).is_nan());
+        assert!(!c.is_finite());
+    }
+
+    #[test]
+    fn matmul_tn_propagates_nan_through_zero_entries() {
+        let a = m(2, 1, &[0.0, 1.0]);
+        let b = m(2, 2, &[f32::NAN, 3.0, 1.0, 2.0]);
+        let c = a.matmul_tn(&b);
+        assert!(c.get(0, 0).is_nan());
+        // Column 1 of `b` is finite everywhere, so c01 = 0·3 + 1·2 = 2.
+        assert_eq!(c.get(0, 1), 2.0);
+    }
+
+    #[test]
+    fn matmul_zero_skip_is_exact_for_finite_data() {
+        // The fast path must not change results (bitwise) on finite input.
+        let a = m(2, 3, &[0.0, -0.0, 2.0, 1.5, 0.0, -3.0]);
+        let b = m(3, 2, &[0.25, -1.0, 4.0, 0.5, -2.0, 8.0]);
+        let fast = a.matmul(&b);
+        let mut naive = Matrix::zeros(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut acc = 0.0f32;
+                for k in 0..3 {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                naive.set(i, j, acc);
+            }
+        }
+        let fast_bits: Vec<u32> = fast.as_slice().iter().map(|v| v.to_bits()).collect();
+        let naive_bits: Vec<u32> = naive.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(fast_bits, naive_bits);
     }
 
     #[test]

@@ -145,10 +145,7 @@ impl Mlp {
 
     /// Total number of scalar parameters.
     pub fn param_count(&mut self) -> usize {
-        self.params_mut()
-            .iter()
-            .map(|p| p.value.rows() * p.value.cols())
-            .sum()
+        self.params_mut().iter().map(|p| p.value.rows() * p.value.cols()).sum()
     }
 
     /// Serializes the model to pretty JSON.
@@ -228,12 +225,8 @@ mod tests {
             .push(LayerKind::Linear(Linear::new(&mut rng, 2, 16)))
             .push(LayerKind::Tanh(Tanh::new()))
             .push(LayerKind::Linear(Linear::new(&mut rng, 16, 2)));
-        let x = Matrix::from_rows(&[
-            vec![0.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-        ]);
+        let x =
+            Matrix::from_rows(&[vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]]);
         let y = [0usize, 1, 1, 0];
         let mut opt = Adam::new(0.05);
         let mut final_loss = f32::MAX;

@@ -124,10 +124,8 @@ impl ElasticNet {
 
     /// Evaluates the penalty value for reporting.
     pub fn penalty(&self, params: &[&Param]) -> f32 {
-        let l2: f32 = params
-            .iter()
-            .map(|p| p.value.as_slice().iter().map(|v| v * v).sum::<f32>())
-            .sum();
+        let l2: f32 =
+            params.iter().map(|p| p.value.as_slice().iter().map(|v| v * v).sum::<f32>()).sum();
         let l1: f32 = params.iter().map(|p| p.value.l1_norm()).sum();
         self.coeff * ((1.0 - self.alpha) * l2 + self.alpha * l1)
     }

@@ -1,0 +1,442 @@
+//! Deterministic scoped-thread parallelism for the hot dense kernels.
+//!
+//! ## Why determinism is non-negotiable
+//!
+//! Agua's whole pipeline — surrogate training, fidelity numbers,
+//! explanations — is specified to be reproducible from a seed. Naive
+//! parallel reductions break that: floating-point addition is not
+//! associative, so letting thread scheduling decide the summation order
+//! lets it decide the low bits of every weight. The backend here
+//! therefore partitions work by **output row**: each row of the result
+//! is owned by exactly one worker, and within a row the elements are
+//! accumulated in the same `k`-ascending order the sequential kernels
+//! use. The parallel and sequential paths share one kernel per op
+//! (`Matrix::matmul_rows_into` and friends), so the result is
+//! byte-identical for every thread count.
+//!
+//! ## Thread-count resolution
+//!
+//! `ThreadConfig::current()` resolves, in priority order:
+//!
+//! 1. a scoped override installed by [`with_threads`] /
+//!    [`with_thread_config`] (thread-local, panic-safe),
+//! 2. a process-wide override from [`set_global_threads`] (e.g. the
+//!    CLI's `--threads` flag),
+//! 3. the `AGUA_THREADS` environment variable (read once per process),
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! ## Size gate
+//!
+//! Threads are spawned per operation (`std::thread::scope`; no persistent
+//! pool, no `unsafe`), which costs tens of microseconds. Operations
+//! smaller than [`ThreadConfig::min_flops`] multiply-accumulates run
+//! sequentially; `AGUA_PAR_MIN_FLOPS` overrides the default gate of
+//! one million.
+//!
+//! Note that a scoped override applies to the calling thread only: a
+//! kernel running on a worker thread sees the defaults again. Workers
+//! only ever run leaf kernels, so this cannot cause nested spawning.
+
+use crate::matrix::Matrix;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Default minimum number of multiply-accumulates before an operation is
+/// worth spanning threads over.
+pub const DEFAULT_MIN_FLOPS: usize = 1_000_000;
+
+/// Resolved parallelism settings for the current scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadConfig {
+    /// Maximum number of worker threads an operation may use.
+    pub threads: usize,
+    /// Operations below this many multiply-accumulates stay sequential.
+    pub min_flops: usize,
+}
+
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+static ENV_MIN_FLOPS: OnceLock<Option<usize>> = OnceLock::new();
+
+thread_local! {
+    static SCOPED: Cell<Option<ThreadConfig>> = const { Cell::new(None) };
+}
+
+fn env_usize(lock: &OnceLock<Option<usize>>, name: &str) -> Option<usize> {
+    *lock.get_or_init(|| {
+        std::env::var(name).ok().and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
+    })
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+impl ThreadConfig {
+    /// The configuration in effect for the calling thread (see the
+    /// module docs for the resolution order).
+    pub fn current() -> ThreadConfig {
+        if let Some(cfg) = SCOPED.with(Cell::get) {
+            return cfg;
+        }
+        let threads = match GLOBAL_THREADS.load(Ordering::Relaxed) {
+            0 => env_usize(&ENV_THREADS, "AGUA_THREADS").unwrap_or_else(default_threads),
+            n => n,
+        };
+        let min_flops =
+            env_usize(&ENV_MIN_FLOPS, "AGUA_PAR_MIN_FLOPS").unwrap_or(DEFAULT_MIN_FLOPS);
+        ThreadConfig { threads: threads.max(1), min_flops }
+    }
+}
+
+/// Sets the process-wide thread count (clamped to ≥ 1). Takes priority
+/// over `AGUA_THREADS`; scoped overrides still win.
+pub fn set_global_threads(threads: usize) {
+    GLOBAL_THREADS.store(threads.max(1), Ordering::Relaxed);
+}
+
+/// Runs `f` with `config` installed as the calling thread's
+/// parallelism settings, restoring the previous settings afterwards
+/// (also on panic).
+pub fn with_thread_config<R>(config: ThreadConfig, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<ThreadConfig>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            SCOPED.with(|c| c.set(prev));
+        }
+    }
+    let _restore = Restore(SCOPED.with(|c| c.replace(Some(config))));
+    f()
+}
+
+/// Runs `f` with the thread count pinned to `threads` (clamped to ≥ 1),
+/// keeping the current size gate.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let cur = ThreadConfig::current();
+    with_thread_config(ThreadConfig { threads: threads.max(1), ..cur }, f)
+}
+
+/// Number of workers an op producing `out_rows` rows with `macs`
+/// multiply-accumulates should use under the current config.
+fn plan_workers(out_rows: usize, macs: usize) -> usize {
+    let cfg = ThreadConfig::current();
+    if cfg.threads <= 1 || out_rows < 2 || macs < cfg.min_flops {
+        1
+    } else {
+        cfg.threads.min(out_rows)
+    }
+}
+
+/// Splits `out` (row-major, `width` columns) into per-worker runs of
+/// whole rows and invokes `work(first_row_index, chunk)` on each from a
+/// scoped thread. Each output row is written by exactly one worker.
+fn run_row_partitioned(
+    out: &mut [f32],
+    width: usize,
+    workers: usize,
+    work: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    debug_assert!(width > 0 && out.len().is_multiple_of(width));
+    let rows = out.len() / width;
+    let chunk_rows = rows.div_ceil(workers.max(1)).max(1);
+    std::thread::scope(|s| {
+        let work = &work;
+        for (c, chunk) in out.chunks_mut(chunk_rows * width).enumerate() {
+            s.spawn(move || work(c * chunk_rows, chunk));
+        }
+    });
+}
+
+/// `a × b`, byte-identical to [`Matrix::matmul`] at any thread count.
+pub fn par_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul dimension mismatch");
+    let macs = a.rows().saturating_mul(a.cols()).saturating_mul(b.cols());
+    let workers = plan_workers(a.rows(), macs);
+    if workers <= 1 || b.cols() == 0 {
+        return a.matmul(b);
+    }
+    let finite = b.rows_finite();
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    run_row_partitioned(out.as_mut_slice(), b.cols(), workers, |row_start, chunk| {
+        a.matmul_rows_into(b, &finite, row_start, chunk);
+    });
+    out
+}
+
+/// `aᵀ × b`, byte-identical to [`Matrix::matmul_tn`] at any thread count.
+pub fn par_matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "matmul_tn dimension mismatch");
+    let macs = a.rows().saturating_mul(a.cols()).saturating_mul(b.cols());
+    let workers = plan_workers(a.cols(), macs);
+    if workers <= 1 || b.cols() == 0 {
+        return a.matmul_tn(b);
+    }
+    let finite = b.rows_finite();
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    run_row_partitioned(out.as_mut_slice(), b.cols(), workers, |row_start, chunk| {
+        a.matmul_tn_rows_into(b, &finite, row_start, chunk);
+    });
+    out
+}
+
+/// `a × bᵀ`, byte-identical to [`Matrix::matmul_nt`] at any thread count.
+pub fn par_matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_nt dimension mismatch");
+    let macs = a.rows().saturating_mul(a.cols()).saturating_mul(b.rows());
+    let workers = plan_workers(a.rows(), macs);
+    if workers <= 1 || b.rows() == 0 {
+        return a.matmul_nt(b);
+    }
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    run_row_partitioned(out.as_mut_slice(), b.rows(), workers, |row_start, chunk| {
+        a.matmul_nt_rows_into(b, row_start, chunk);
+    });
+    out
+}
+
+/// Applies `f` to each row of `m` in parallel as `f(row_index, row)`.
+/// Rows are independent, so the result is identical to the sequential
+/// loop. Small matrices (by the element-count analogue of the flop
+/// gate) stay sequential.
+pub fn par_for_each_rows(m: &mut Matrix, f: impl Fn(usize, &mut [f32]) + Sync) {
+    let cfg = ThreadConfig::current();
+    let elems = m.rows().saturating_mul(m.cols());
+    let workers = if cfg.threads <= 1 || m.rows() < 2 || elems.saturating_mul(4) < cfg.min_flops {
+        1
+    } else {
+        cfg.threads.min(m.rows())
+    };
+    if workers <= 1 || m.cols() == 0 {
+        for r in 0..m.rows() {
+            f(r, m.row_mut(r));
+        }
+        return;
+    }
+    let width = m.cols();
+    run_row_partitioned(m.as_mut_slice(), width, workers, |row_start, chunk| {
+        for (local, row) in chunk.chunks_exact_mut(width).enumerate() {
+            f(row_start + local, row);
+        }
+    });
+}
+
+/// Maps `f` over `items` on the configured number of worker threads,
+/// returning results in input order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = ThreadConfig::current().threads.min(items.len()).max(1);
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| s.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("par_map worker panicked")).collect()
+    })
+}
+
+/// Maps `f` over `0..n` on the configured number of worker threads,
+/// returning results in index order.
+pub fn par_map_range<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let workers = ThreadConfig::current().threads.min(n).max(1);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk_len = n.div_ceil(workers);
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = (w * chunk_len).min(n);
+                let hi = ((w + 1) * chunk_len).min(n);
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("par_map_range worker panicked")).collect()
+    })
+}
+
+/// Runs independent jobs on one scoped thread each (meant for a handful
+/// of heavy jobs, e.g. per-seed experiment runs), returning results in
+/// job order. With one configured thread the jobs run inline.
+pub fn par_jobs<R, F>(jobs: Vec<F>) -> Vec<R>
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    if ThreadConfig::current().threads <= 1 || jobs.len() <= 1 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = jobs.into_iter().map(|j| s.spawn(j)).collect();
+        handles.into_iter().map(|h| h.join().expect("par_jobs worker panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Forces the parallel path regardless of operation size.
+    fn forced(threads: usize) -> ThreadConfig {
+        ThreadConfig { threads, min_flops: 0 }
+    }
+
+    fn bits(m: &Matrix) -> Vec<u32> {
+        m.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn pattern(rows: usize, cols: usize, salt: u64) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let h = (r as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((c as u64).wrapping_mul(0xD1B5_4A32_D192_ED03))
+                .wrapping_add(salt);
+            // Mix in exact zeros to exercise the sparse fast path.
+            if h.is_multiple_of(7) {
+                0.0
+            } else {
+                ((h % 2001) as f32 - 1000.0) / 250.0
+            }
+        })
+    }
+
+    #[test]
+    fn scoped_override_wins_and_restores() {
+        let outer = ThreadConfig::current();
+        let inner = with_threads(3, ThreadConfig::current);
+        assert_eq!(inner.threads, 3);
+        assert_eq!(inner.min_flops, outer.min_flops);
+        assert_eq!(ThreadConfig::current(), outer);
+    }
+
+    #[test]
+    fn scoped_override_restores_on_panic() {
+        let outer = ThreadConfig::current();
+        let caught = std::panic::catch_unwind(|| with_threads(5, || panic!("boom")));
+        assert!(caught.is_err());
+        assert_eq!(ThreadConfig::current(), outer);
+    }
+
+    #[test]
+    fn par_matmul_is_bitwise_identical_across_thread_counts() {
+        let a = pattern(37, 19, 1);
+        let b = pattern(19, 23, 2);
+        let seq = a.matmul(&b);
+        for threads in [1, 2, 3, 4, 7] {
+            let par = with_thread_config(forced(threads), || par_matmul(&a, &b));
+            assert_eq!(bits(&seq), bits(&par), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_matmul_tn_is_bitwise_identical_across_thread_counts() {
+        let a = pattern(29, 17, 3);
+        let b = pattern(29, 13, 4);
+        let seq = a.matmul_tn(&b);
+        for threads in [1, 2, 4, 5] {
+            let par = with_thread_config(forced(threads), || par_matmul_tn(&a, &b));
+            assert_eq!(bits(&seq), bits(&par), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_matmul_nt_is_bitwise_identical_across_thread_counts() {
+        let a = pattern(31, 11, 5);
+        let b = pattern(21, 11, 6);
+        let seq = a.matmul_nt(&b);
+        for threads in [1, 2, 4, 6] {
+            let par = with_thread_config(forced(threads), || par_matmul_nt(&a, &b));
+            assert_eq!(bits(&seq), bits(&par), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_matmul_propagates_non_finite_like_sequential() {
+        let a = pattern(8, 6, 7);
+        let mut b = pattern(6, 5, 8);
+        b.set(2, 3, f32::NAN);
+        b.set(4, 0, f32::INFINITY);
+        let seq = a.matmul(&b);
+        let par = with_thread_config(forced(4), || par_matmul(&a, &b));
+        assert_eq!(bits(&seq), bits(&par));
+    }
+
+    #[test]
+    fn par_matmul_handles_more_threads_than_rows() {
+        let a = pattern(3, 9, 9);
+        let b = pattern(9, 4, 10);
+        let par = with_thread_config(forced(16), || par_matmul(&a, &b));
+        assert_eq!(bits(&a.matmul(&b)), bits(&par));
+    }
+
+    #[test]
+    fn small_ops_stay_sequential_under_default_gate() {
+        // 2×2 is far below the gate; this must not spawn (and must be right).
+        let a = pattern(2, 2, 11);
+        let b = pattern(2, 2, 12);
+        let par = with_threads(8, || par_matmul(&a, &b));
+        assert_eq!(bits(&a.matmul(&b)), bits(&par));
+    }
+
+    #[test]
+    fn par_for_each_rows_matches_sequential() {
+        let base = pattern(15, 7, 13);
+        let mut seq = base.clone();
+        for r in 0..seq.rows() {
+            let row = seq.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = *v * 2.0 + (r + c) as f32;
+            }
+        }
+        let mut par = base.clone();
+        with_thread_config(forced(4), || {
+            par_for_each_rows(&mut par, |r, row| {
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = *v * 2.0 + (r + c) as f32;
+                }
+            });
+        });
+        assert_eq!(bits(&seq), bits(&par));
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = with_thread_config(forced(7), || par_map(&items, |&i| i * i));
+        assert_eq!(out, items.iter().map(|&i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_range_preserves_order() {
+        let out = with_thread_config(forced(3), || par_map_range(10, |i| i + 1));
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_jobs_returns_results_in_job_order() {
+        let jobs: Vec<_> = (0..5).map(|i| move || i * 10).collect();
+        let out = with_thread_config(forced(5), || par_jobs(jobs));
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let out: Vec<usize> = par_map::<usize, _, _>(&[], |&i| i);
+        assert!(out.is_empty());
+        assert!(par_map_range(0, |i| i).is_empty());
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 0);
+        assert_eq!(with_thread_config(forced(4), || par_matmul(&a, &b)).shape(), (0, 0));
+    }
+}

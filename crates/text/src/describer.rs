@@ -132,9 +132,7 @@ impl Describer {
                 // the paper's Fig. 16 responses weight the latest
                 // behaviour of each signal.
                 let recent = self.render_segment(analysis.end, rng);
-                summary_lines.push(format!(
-                    "- The {name} is {recent} with {level} {name}.",
-                ));
+                summary_lines.push(format!("- The {name} is {recent} with {level} {name}.",));
             }
         }
         out.push_str("Summary:\n");
@@ -210,12 +208,7 @@ mod tests {
             ),
             DescribedSection::new(
                 "Viewer's video buffer",
-                vec![SignalSeries::new(
-                    "Client Buffer",
-                    "seconds",
-                    vec![12.0; 10],
-                    15.0,
-                )],
+                vec![SignalSeries::new("Client Buffer", "seconds", vec![12.0; 10], 15.0)],
             ),
         ]
     }
@@ -274,10 +267,8 @@ mod tests {
         let mut saw_misread = false;
         for seed in 0..20 {
             let text = d.describe_seeded(&sections(), seed);
-            let buffer_line = text
-                .lines()
-                .find(|l| l.contains("client buffer"))
-                .expect("buffer line present");
+            let buffer_line =
+                text.lines().find(|l| l.contains("client buffer")).expect("buffer line present");
             if !buffer_line.contains("stable")
                 && !buffer_line.contains("steady")
                 && !buffer_line.contains("consistent")

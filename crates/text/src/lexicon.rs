@@ -7,33 +7,160 @@
 
 /// Template glue dropped entirely during tokenization.
 pub const STOPWORDS: &[&str] = &[
-    "a", "an", "the", "of", "in", "on", "at", "as", "to", "from", "with", "by", "and", "or",
-    "is", "are", "was", "be", "it", "its", "this", "that", "for", "off", "starts", "observed",
-    "evident", "based", "exhibits", "exhibit", "indicating", "presence", "overall", "trend",
-    "initially", "middle", "end", "pattern", "patterns", "features", "feature", "conditions",
-    "altogether", "indicate", "correlates", "key", "concept", "per",
+    "a",
+    "an",
+    "the",
+    "of",
+    "in",
+    "on",
+    "at",
+    "as",
+    "to",
+    "from",
+    "with",
+    "by",
+    "and",
+    "or",
+    "is",
+    "are",
+    "was",
+    "be",
+    "it",
+    "its",
+    "this",
+    "that",
+    "for",
+    "off",
+    "starts",
+    "observed",
+    "evident",
+    "based",
+    "exhibits",
+    "exhibit",
+    "indicating",
+    "presence",
+    "overall",
+    "trend",
+    "initially",
+    "middle",
+    "end",
+    "pattern",
+    "patterns",
+    "features",
+    "feature",
+    "conditions",
+    "altogether",
+    "indicate",
+    "correlates",
+    "key",
+    "concept",
+    "per",
 ];
 
 /// Pattern adjectives that carry most of the signal; they receive extra
 /// weight in the embedding.
 pub const PATTERN_TERMS: &[&str] = &[
-    "increasing", "decreasing", "rapidly", "stable", "volatile", "fluctuating", "steady",
-    "rising", "climbing", "growing", "falling", "declining", "dropping", "consistent", "flat",
-    "erratic", "unstable", "depleting", "recovering", "improving", "degrading", "worsening",
-    "low", "high", "moderate", "very", "elevated", "reduced", "empty", "full", "nearly",
-    "anomalous", "typical", "bursty", "sparse", "spiking", "surging",
+    "increasing",
+    "decreasing",
+    "rapidly",
+    "stable",
+    "volatile",
+    "fluctuating",
+    "steady",
+    "rising",
+    "climbing",
+    "growing",
+    "falling",
+    "declining",
+    "dropping",
+    "consistent",
+    "flat",
+    "erratic",
+    "unstable",
+    "depleting",
+    "recovering",
+    "improving",
+    "degrading",
+    "worsening",
+    "low",
+    "high",
+    "moderate",
+    "very",
+    "elevated",
+    "reduced",
+    "empty",
+    "full",
+    "nearly",
+    "anomalous",
+    "typical",
+    "bursty",
+    "sparse",
+    "spiking",
+    "surging",
 ];
 
 /// Domain nouns shared between descriptions and concept texts.
 pub const DOMAIN_TERMS: &[&str] = &[
-    "throughput", "buffer", "bitrate", "quality", "chunk", "stall", "stalling", "startup",
-    "video", "playback", "experience", "qoe", "transmission", "bandwidth", "complexity",
-    "latency", "rtt", "delay", "loss", "packet", "packets", "rate", "sending", "utilization",
-    "congestion", "network", "capacity", "queue", "flow", "flows", "syn", "ack", "tcp", "udp",
-    "http", "handshake", "payload", "protocol", "request", "requests", "source", "sources",
-    "geographic", "temporal", "behavior", "application", "attack", "traffic", "volume",
-    "session", "sessions", "interarrival", "port", "ports", "header", "size", "sizes", "slow",
-    "access", "compliance",
+    "throughput",
+    "buffer",
+    "bitrate",
+    "quality",
+    "chunk",
+    "stall",
+    "stalling",
+    "startup",
+    "video",
+    "playback",
+    "experience",
+    "qoe",
+    "transmission",
+    "bandwidth",
+    "complexity",
+    "latency",
+    "rtt",
+    "delay",
+    "loss",
+    "packet",
+    "packets",
+    "rate",
+    "sending",
+    "utilization",
+    "congestion",
+    "network",
+    "capacity",
+    "queue",
+    "flow",
+    "flows",
+    "syn",
+    "ack",
+    "tcp",
+    "udp",
+    "http",
+    "handshake",
+    "payload",
+    "protocol",
+    "request",
+    "requests",
+    "source",
+    "sources",
+    "geographic",
+    "temporal",
+    "behavior",
+    "application",
+    "attack",
+    "traffic",
+    "volume",
+    "session",
+    "sessions",
+    "interarrival",
+    "port",
+    "ports",
+    "header",
+    "size",
+    "sizes",
+    "slow",
+    "access",
+    "compliance",
 ];
 
 /// Weight applied to a token when building the embedding.
@@ -95,10 +222,7 @@ mod tests {
         // silently change embedding weights, not just wording.
         for group in SYNONYMS {
             for word in *group {
-                assert!(
-                    PATTERN_TERMS.contains(word),
-                    "synonym {word} missing from PATTERN_TERMS"
-                );
+                assert!(PATTERN_TERMS.contains(word), "synonym {word} missing from PATTERN_TERMS");
             }
         }
     }

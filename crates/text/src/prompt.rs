@@ -39,11 +39,15 @@ pub fn render_prompt(
     let mut out = String::new();
     out.push_str("System Instructions: ");
     out.push_str(SYSTEM_INSTRUCTION);
-    out.push_str("\n\nUser Prompt: Explain the patterns in the state using the following key \
-                  concepts for the environment of ");
+    out.push_str(
+        "\n\nUser Prompt: Explain the patterns in the state using the following key \
+                  concepts for the environment of ",
+    );
     out.push_str(domain);
-    out.push_str(" alongside common statistical metrics. Give an explanation for each \
-                  takeaway.\n\nHere are the concepts:\n");
+    out.push_str(
+        " alongside common statistical metrics. Give an explanation for each \
+                  takeaway.\n\nHere are the concepts:\n",
+    );
     for (i, c) in concepts.iter().enumerate() {
         out.push_str(&format!("({}) {}: {}\n", i + 1, c.name, c.description));
     }
@@ -51,13 +55,9 @@ pub fn render_prompt(
     out.push_str("\nState to identify patterns for:\n");
     for section in sections {
         for signal in &section.signals {
-            let values: Vec<String> =
-                signal.values.iter().map(|v| format!("{v:.3}")).collect();
-            let unit = if signal.unit.is_empty() {
-                String::new()
-            } else {
-                format!(" ({})", signal.unit)
-            };
+            let values: Vec<String> = signal.values.iter().map(|v| format!("{v:.3}")).collect();
+            let unit =
+                if signal.unit.is_empty() { String::new() } else { format!(" ({})", signal.unit) };
             out.push_str(&format!(
                 "{}{}, max={}: [{}]\n",
                 signal.name,
@@ -93,12 +93,7 @@ mod tests {
     fn sections() -> Vec<DescribedSection> {
         vec![DescribedSection::new(
             "Network conditions",
-            vec![SignalSeries::new(
-                "Network Throughput",
-                "Mbps",
-                vec![3.0, 2.5, 2.0],
-                3.0,
-            )],
+            vec![SignalSeries::new("Network Throughput", "Mbps", vec![3.0, 2.5, 2.0], 3.0)],
         )]
     }
 

@@ -41,21 +41,19 @@ fn weakest_collapsible_split(tree: &DecisionTree, node: usize) -> Option<usize> 
     match &tree.nodes[node] {
         Node::Leaf { .. } => None,
         Node::Split { left, right, goodness, .. } => {
-            let candidates = [
-                weakest_collapsible_split(tree, *left),
-                weakest_collapsible_split(tree, *right),
-            ];
+            let candidates =
+                [weakest_collapsible_split(tree, *left), weakest_collapsible_split(tree, *right)];
             let mut best: Option<(usize, f32)> = None;
             for idx in candidates.into_iter().flatten() {
                 if let Node::Split { goodness: g, .. } = &tree.nodes[idx] {
-                    if best.map_or(true, |(_, bg)| *g < bg) {
+                    if best.is_none_or(|(_, bg)| *g < bg) {
                         best = Some((idx, *g));
                     }
                 }
             }
             let both_leaves = matches!(tree.nodes[*left], Node::Leaf { .. })
                 && matches!(tree.nodes[*right], Node::Leaf { .. });
-            if both_leaves && best.map_or(true, |(_, bg)| *goodness < bg) {
+            if both_leaves && best.is_none_or(|(_, bg)| *goodness < bg) {
                 best = Some((node, *goodness));
             }
             best.map(|(idx, _)| idx)
@@ -73,11 +71,8 @@ fn collapse(tree: &mut DecisionTree, idx: usize) {
 
 /// Rebuilds the arena containing only nodes reachable from the root.
 fn compact(tree: &DecisionTree) -> DecisionTree {
-    let mut out = DecisionTree {
-        nodes: Vec::new(),
-        n_classes: tree.n_classes,
-        n_features: tree.n_features,
-    };
+    let mut out =
+        DecisionTree { nodes: Vec::new(), n_classes: tree.n_classes, n_features: tree.n_features };
     copy_subtree(tree, 0, &mut out);
     out
 }

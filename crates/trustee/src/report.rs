@@ -52,6 +52,7 @@ impl TrusteeReport {
     /// Distills a controller (represented by its input/output pairs) into
     /// a report: trains on `(train_x, train_y)`, prunes to `max_leaves`,
     /// and evaluates fidelity on `(test_x, test_y)`.
+    #[allow(clippy::too_many_arguments)]
     pub fn distill(
         train_x: &[Vec<f32>],
         train_y: &[usize],
@@ -118,13 +119,7 @@ impl TrusteeReport {
             .into_iter()
             .take(top_n)
             .map(|i| {
-                (
-                    self.feature_names
-                        .get(i)
-                        .cloned()
-                        .unwrap_or_else(|| format!("f{i}")),
-                    imp[i],
-                )
+                (self.feature_names.get(i).cloned().unwrap_or_else(|| format!("f{i}")), imp[i])
             })
             .collect()
     }

@@ -119,14 +119,12 @@ impl DecisionTree {
             return make_leaf(self);
         }
 
-        let Some(split) = best_split(features, labels, &indices, self.n_classes, config)
-        else {
+        let Some(split) = best_split(features, labels, &indices, self.n_classes, config) else {
             return make_leaf(self);
         };
 
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
-            .iter()
-            .partition(|&&i| features[i][split.feature] <= split.threshold);
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| features[i][split.feature] <= split.threshold);
 
         // Reserve the split slot before recursing so child indices are
         // known relative to it.
@@ -165,11 +163,7 @@ impl DecisionTree {
     /// fidelity metric when labels are a controller's outputs (Eq. 11).
     pub fn fidelity(&self, features: &[Vec<f32>], labels: &[usize]) -> f32 {
         assert_eq!(features.len(), labels.len());
-        let hits = features
-            .iter()
-            .zip(labels)
-            .filter(|(x, &y)| self.predict(x) == y)
-            .count();
+        let hits = features.iter().zip(labels).filter(|(x, &y)| self.predict(x) == y).count();
         hits as f32 / labels.len().max(1) as f32
     }
 
@@ -210,9 +204,7 @@ impl DecisionTree {
     fn depth_of(&self, node: usize) -> usize {
         match &self.nodes[node] {
             Node::Leaf { .. } => 0,
-            Node::Split { left, right, .. } => {
-                1 + self.depth_of(*left).max(self.depth_of(*right))
-            }
+            Node::Split { left, right, .. } => 1 + self.depth_of(*left).max(self.depth_of(*right)),
         }
     }
 }
@@ -296,14 +288,8 @@ fn best_split(
             // deeper levels separate the classes; the depth and leaf-size
             // limits bound the recursion.
             let goodness = decrease.max(0.0) * n as f32;
-            if decrease > -1e-7
-                && best.as_ref().map_or(true, |b| goodness > b.goodness)
-            {
-                best = Some(SplitCandidate {
-                    feature: f,
-                    threshold: (v + v_next) * 0.5,
-                    goodness,
-                });
+            if decrease > -1e-7 && best.as_ref().is_none_or(|b| goodness > b.goodness) {
+                best = Some(SplitCandidate { feature: f, threshold: (v + v_next) * 0.5, goodness });
             }
         }
     }

@@ -10,11 +10,11 @@
 //! space; querying the store with the few target samples assembles an
 //! expanded dataset whose cluster distribution tracks the target's.
 
+use abr_env::DatasetEra;
 use abr_env::{AbrSimulator, TraceFamily, VideoManifest};
 use agua::lifecycle::expansion::{kmeans, ks_statistic, ConceptStore};
 use agua_controllers::abr::{collect_teacher_dataset, train_controller};
 use agua_controllers::PolicyNet;
-use abr_env::DatasetEra;
 use agua_text::describer::{Describer, DescriberConfig};
 use agua_text::embedding::Embedder;
 use rand::rngs::StdRng;
@@ -39,7 +39,7 @@ fn family_embeddings(
         let mut step = 0u64;
         while !sim.done() {
             let obs = sim.observation();
-            if step % 5 == 0 {
+            if step.is_multiple_of(5) {
                 let description =
                     describer.describe_seeded(&obs.sections(), seed ^ ((t as u64) << 10) ^ step);
                 out.push(embedder.embed(&description));
@@ -66,7 +66,7 @@ fn main() {
     for (w, family) in TraceFamily::all().into_iter().enumerate() {
         let embs =
             family_embeddings(&controller, family, 10, 300 + w as u64, &describer, &embedder);
-        store_workloads.extend(std::iter::repeat(w).take(embs.len()));
+        store_workloads.extend(std::iter::repeat_n(w, embs.len()));
         store_embeddings.extend(embs);
     }
     println!("  {} states stored", store_embeddings.len());
@@ -77,11 +77,7 @@ fn main() {
     let target = TraceFamily::FiveG;
     println!("\ntarget workload: {} — querying with 24 held-out samples…", target.name());
     let queries = family_embeddings(&controller, target, 3, 900, &describer, &embedder);
-    let expanded: Vec<usize> = queries
-        .iter()
-        .take(24)
-        .flat_map(|q| store.query(q, 10))
-        .collect();
+    let expanded: Vec<usize> = queries.iter().take(24).flat_map(|q| store.query(q, 10)).collect();
 
     let expanded_clusters: Vec<usize> = expanded.iter().map(|&i| assignments[i]).collect();
     let target_clusters: Vec<usize> = assignments

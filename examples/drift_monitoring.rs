@@ -71,11 +71,7 @@ fn main() {
         Quantizer::calibrated(),
     );
     let concept_labels = labeler.label_batch(&train_sections, 42);
-    let dataset = SurrogateDataset {
-        embeddings: train_emb,
-        concept_labels,
-        outputs: train_out,
-    };
+    let dataset = SurrogateDataset { embeddings: train_emb, concept_labels, outputs: train_out };
     let model = AguaModel::fit(&concepts, 3, LEVELS, &dataset, &TrainParams::tuned());
 
     println!("tagging 2021 and 2024 deployments at the concept level…\n");

@@ -30,13 +30,10 @@ fn main() {
     // 2. Roll the controller over traffic, recording embeddings + outputs.
     println!("collecting controller decisions…");
     let flows = generate_dataset(600, 2);
-    let observations: Vec<DdosObservation> = flows
-        .iter()
-        .map(|s| DdosObservation::new(s.window.clone()))
-        .collect();
-    let features = Matrix::from_rows(
-        &observations.iter().map(|o| o.features()).collect::<Vec<_>>(),
-    );
+    let observations: Vec<DdosObservation> =
+        flows.iter().map(|s| DdosObservation::new(s.window.clone())).collect();
+    let features =
+        Matrix::from_rows(&observations.iter().map(|o| o.features()).collect::<Vec<_>>());
     let (embeddings, logits) = detector.embeddings_and_logits(&features);
     let outputs: Vec<usize> = (0..features.rows()).map(|r| logits.argmax_row(r)).collect();
 
@@ -65,10 +62,7 @@ fn main() {
     let x = Matrix::row_vector(&DdosObservation::new(suspect).features());
     let h = detector.embeddings(&x);
     let verdict = detector.mlp.infer(&x).argmax_row(0);
-    println!(
-        "detector verdict: {}",
-        if verdict == ATTACK { "DDoS attack" } else { "benign" }
-    );
+    println!("detector verdict: {}", if verdict == ATTACK { "DDoS attack" } else { "benign" });
     let explanation = factual(&model, &h);
     println!("{}", explanation.render(5));
 }

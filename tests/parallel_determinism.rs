@@ -1,0 +1,79 @@
+//! End-to-end determinism of surrogate training under `AGUA_THREADS`.
+//!
+//! Lives in its own integration-test binary (one test, own process) so
+//! setting the environment variable cannot race with other tests: the
+//! parallel backend reads `AGUA_THREADS` once per process.
+
+use agua::concepts::{Concept, ConceptSet};
+use agua::surrogate::{AguaModel, SurrogateDataset, TrainParams};
+use agua_nn::parallel::{with_thread_config, ThreadConfig};
+use agua_nn::Matrix;
+
+fn toy_workload() -> (ConceptSet, SurrogateDataset) {
+    let concepts = ConceptSet::new(
+        (0..4)
+            .map(|g| {
+                Concept::new(
+                    &format!("determinism concept {g}"),
+                    &format!("synthetic concept text {g} for the determinism test"),
+                )
+            })
+            .collect(),
+    );
+    let n = 96;
+    let emb_dim = 16;
+    let k = 3;
+    let embeddings = Matrix::from_fn(n, emb_dim, |r, c| {
+        let h = (r * 131 + c * 17 + 7) % 211;
+        h as f32 / 105.5 - 1.0
+    });
+    let concept_labels: Vec<Vec<usize>> = (0..n)
+        .map(|r| {
+            (0..4).map(|g| ((embeddings.get(r, g) + 1.0) / 2.0 * k as f32) as usize % k).collect()
+        })
+        .collect();
+    let outputs: Vec<usize> =
+        (0..n).map(|r| (concept_labels[r][0] + concept_labels[r][1]) % 3).collect();
+    (concepts, SurrogateDataset { embeddings, concept_labels, outputs })
+}
+
+fn model_bits(model: &AguaModel, embeddings: &Matrix) -> Vec<u32> {
+    let mut out: Vec<u32> =
+        model.output_mapping.weights().as_slice().iter().map(|v| v.to_bits()).collect();
+    out.extend(model.output_mapping.bias().as_slice().iter().map(|v| v.to_bits()));
+    // δ's weights are covered functionally: identical concept
+    // probabilities on the training embeddings imply identical δ.
+    out.extend(model.concept_probs(embeddings).as_slice().iter().map(|v| v.to_bits()));
+    out.extend(model.predict_logits(embeddings).as_slice().iter().map(|v| v.to_bits()));
+    out
+}
+
+#[test]
+fn fit_under_agua_threads_4_reproduces_single_thread_weights() {
+    std::env::set_var("AGUA_THREADS", "4");
+    let env_cfg = ThreadConfig::current();
+    assert_eq!(env_cfg.threads, 4, "AGUA_THREADS must be honored");
+
+    let (concepts, dataset) = toy_workload();
+    let params = TrainParams::fast();
+    let fit = || AguaModel::fit(&concepts, 3, 3, &dataset, &params);
+
+    // min_flops: 1 forces even this small workload through the threaded
+    // kernels so the comparison is not vacuous.
+    let single = with_thread_config(ThreadConfig { threads: 1, min_flops: 1 }, fit);
+    let multi = with_thread_config(ThreadConfig { threads: 4, min_flops: 1 }, fit);
+    // And the plain env-configured path (default size gate).
+    let env_default = fit();
+
+    let reference = model_bits(&single, &dataset.embeddings);
+    assert_eq!(
+        reference,
+        model_bits(&multi, &dataset.embeddings),
+        "4-thread training must reproduce the 1-thread weights byte-for-byte"
+    );
+    assert_eq!(
+        reference,
+        model_bits(&env_default, &dataset.embeddings),
+        "AGUA_THREADS=4 with the default size gate must also reproduce them"
+    );
+}

@@ -118,14 +118,11 @@ fn surrogate_fidelity_clears_the_cc_majority_baseline() {
     let (embeddings, logits) = controller.embeddings_and_logits(&features);
     let outputs: Vec<usize> = (0..features.rows()).map(|r| logits.argmax_row(r)).collect();
 
-    let mut counts = vec![0usize; cc_env::ACTIONS];
+    let mut counts = [0usize; cc_env::ACTIONS];
     for &y in &outputs {
         counts[y] += 1;
     }
     let baseline = *counts.iter().max().unwrap() as f32 / outputs.len() as f32;
     let fid = model.fidelity(&embeddings, &outputs);
-    assert!(
-        fid > baseline + 0.1,
-        "fidelity {fid} must clear the majority baseline {baseline}"
-    );
+    assert!(fid > baseline + 0.1, "fidelity {fid} must clear the majority baseline {baseline}");
 }

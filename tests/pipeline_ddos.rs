@@ -24,10 +24,8 @@ fn fit() -> Fitted {
     let detector = train_detector(&train_flows, 1);
 
     let flows = generate_dataset(400, 2);
-    let observations: Vec<DdosObservation> = flows
-        .iter()
-        .map(|s| DdosObservation::new(s.window.clone()))
-        .collect();
+    let observations: Vec<DdosObservation> =
+        flows.iter().map(|s| DdosObservation::new(s.window.clone())).collect();
     let features =
         Matrix::from_rows(&observations.iter().map(|o| o.features()).collect::<Vec<_>>());
     let (embeddings, logits) = detector.embeddings_and_logits(&features);
@@ -57,10 +55,8 @@ fn embed_flow(f: &Fitted, kind: FlowKind, seed: u64) -> Matrix {
 fn surrogate_reaches_high_fidelity_on_unseen_flows() {
     let fitted = fit();
     let flows = generate_dataset(200, 3);
-    let observations: Vec<DdosObservation> = flows
-        .iter()
-        .map(|s| DdosObservation::new(s.window.clone()))
-        .collect();
+    let observations: Vec<DdosObservation> =
+        flows.iter().map(|s| DdosObservation::new(s.window.clone())).collect();
     let features =
         Matrix::from_rows(&observations.iter().map(|o| o.features()).collect::<Vec<_>>());
     let (embeddings, logits) = fitted.detector.embeddings_and_logits(&features);
@@ -95,12 +91,9 @@ fn factual_explanations_separate_attack_and_benign_drivers() {
 #[test]
 fn batched_explanation_is_consistent_with_singles() {
     let fitted = fit();
-    let rows: Vec<Matrix> = (0..10)
-        .map(|s| embed_flow(&fitted, FlowKind::UdpFlood, 100 + s))
-        .collect();
-    let all = Matrix::from_rows(
-        &rows.iter().map(|m| m.row(0).to_vec()).collect::<Vec<_>>(),
-    );
+    let rows: Vec<Matrix> =
+        (0..10).map(|s| embed_flow(&fitted, FlowKind::UdpFlood, 100 + s)).collect();
+    let all = Matrix::from_rows(&rows.iter().map(|m| m.row(0).to_vec()).collect::<Vec<_>>());
     let class = majority_class(&fitted.model, &all);
     assert_eq!(class, ATTACK, "UDP floods must be classified as attacks");
     let b = batched(&fitted.model, &all, class);

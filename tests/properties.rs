@@ -180,3 +180,76 @@ mod simulator_props {
         }
     }
 }
+
+mod parallel_backend {
+    use agua_nn::parallel::{
+        par_matmul, par_matmul_nt, par_matmul_tn, with_thread_config, ThreadConfig,
+    };
+    use agua_nn::Matrix;
+    use proptest::prelude::*;
+
+    /// Forces the parallel path regardless of operation size.
+    fn forced(threads: usize) -> ThreadConfig {
+        ThreadConfig { threads, min_flops: 0 }
+    }
+
+    fn bits(m: &Matrix) -> Vec<u32> {
+        m.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    /// Deterministic pseudo-random matrix with a sprinkling of exact
+    /// zeros (to exercise the finite-gated sparse fast path).
+    fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add((r * 31 + c * 7) as u64);
+            if h.is_multiple_of(9) {
+                0.0
+            } else {
+                ((h % 2003) as f32 - 1001.0) / 211.0
+            }
+        })
+    }
+
+    proptest! {
+        /// The row-partitioned parallel matmuls are bit-for-bit identical
+        /// to the sequential kernels across random shapes and thread
+        /// counts.
+        #[test]
+        fn par_matmuls_match_sequential_bitwise(
+            m in 1usize..20,
+            k in 1usize..20,
+            n in 1usize..20,
+            threads in 1usize..9,
+            seed in 0u64..500,
+        ) {
+            let a = mat(m, k, seed);
+            let b = mat(k, n, seed ^ 0xABCD);
+            let at = mat(k, m, seed ^ 0x77);
+            let bt = mat(n, k, seed ^ 0x1234);
+            let (pm, ptn, pnt) = with_thread_config(forced(threads), || {
+                (par_matmul(&a, &b), par_matmul_tn(&at, &b), par_matmul_nt(&a, &bt))
+            });
+            prop_assert_eq!(bits(&a.matmul(&b)), bits(&pm));
+            prop_assert_eq!(bits(&at.matmul_tn(&b)), bits(&ptn));
+            prop_assert_eq!(bits(&a.matmul_nt(&bt)), bits(&pnt));
+        }
+
+        /// Non-finite values poison the product identically under
+        /// parallelism (the sparse fast path may not swallow 0 × NaN).
+        #[test]
+        fn par_matmul_nan_propagation_matches_sequential(
+            m in 2usize..12,
+            k in 1usize..12,
+            n in 1usize..12,
+            threads in 2usize..6,
+            poison in 0usize..144,
+            seed in 0u64..200,
+        ) {
+            let a = mat(m, k, seed);
+            let mut b = mat(k, n, seed ^ 0x55);
+            b.set(poison % k, poison % n, f32::NAN);
+            let par = with_thread_config(forced(threads), || par_matmul(&a, &b));
+            prop_assert_eq!(bits(&a.matmul(&b)), bits(&par));
+        }
+    }
+}
