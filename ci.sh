@@ -19,4 +19,25 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "==> obs smoke: quickstart --obs jsonl writes a valid trace"
+rm -f results/logs/quickstart.jsonl
+cargo run --release --example quickstart -- --obs jsonl
+test -s results/logs/quickstart.jsonl
+if command -v jq >/dev/null 2>&1; then
+  jq -es 'length > 0 and all(.[]; (.event | type) == "string")' \
+    <results/logs/quickstart.jsonl >/dev/null
+else
+  # Without jq: every line must be a JSON object carrying the event tag.
+  while IFS= read -r line; do
+    case "$line" in
+      '{'*'"event"'*'}') ;;
+      *) echo "malformed JSONL line: $line" >&2; exit 1 ;;
+    esac
+  done <results/logs/quickstart.jsonl
+fi
+echo "    trace ok: $(wc -l <results/logs/quickstart.jsonl) events"
+
 echo "==> CI gate passed"

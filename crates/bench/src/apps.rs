@@ -116,15 +116,37 @@ pub fn fit_agua(
     params: &TrainParams,
     label_seed: u64,
 ) -> (AguaModel, ConceptLabeler) {
+    fit_agua_observed(concepts, n_outputs, train, variant, params, label_seed, &agua_obs::Noop)
+}
+
+/// [`fit_agua`] reporting pipeline progress (labelling span, per-epoch
+/// losses, fit completion) to `obs`. Subscribers observe only: the model
+/// is byte-identical for any `obs`.
+#[allow(clippy::too_many_arguments)]
+pub fn fit_agua_observed(
+    concepts: &ConceptSet,
+    n_outputs: usize,
+    train: &AppData,
+    variant: LlmVariant,
+    params: &TrainParams,
+    label_seed: u64,
+    obs: &dyn agua_obs::Subscriber,
+) -> (AguaModel, ConceptLabeler) {
     let labeler = labeler_for(concepts, variant);
-    let concept_labels = labeler.label_batch_parallel(&train.sections, label_seed, 4);
+    let concept_labels = labeler.label_batch_observed(&train.sections, label_seed, 4, obs);
     let dataset = SurrogateDataset {
         embeddings: train.embeddings.clone(),
         concept_labels,
         outputs: train.outputs.clone(),
     };
-    let model =
-        AguaModel::fit(concepts, labeler.quantizer().classes(), n_outputs, &dataset, params);
+    let model = AguaModel::fit_observed(
+        concepts,
+        labeler.quantizer().classes(),
+        n_outputs,
+        &dataset,
+        params,
+        obs,
+    );
     (model, labeler)
 }
 

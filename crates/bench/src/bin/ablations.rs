@@ -59,8 +59,15 @@ fn main() {
             concept_labels: labels3.clone(),
             outputs: train.outputs.clone(),
         };
-        let model =
-            AguaModel::fit_with_options(&concepts, k3, abr_env::LEVELS, &ds, &params, layernorm);
+        let model = AguaModel::fit_with_options(
+            &concepts,
+            k3,
+            abr_env::LEVELS,
+            &ds,
+            &params,
+            layernorm,
+            &agua_obs::Noop,
+        );
         results.push(AblationResult {
             ablation: "layernorm".into(),
             setting: setting.into(),

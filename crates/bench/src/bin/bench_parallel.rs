@@ -3,8 +3,10 @@
 //!
 //! Verifies that the deterministic row-partitioned backend produces
 //! byte-identical models and explanations at every thread count, then
-//! records the measured wall-clock speedups in
-//! `results/BENCH_parallel.json`.
+//! records the measured wall-clock speedups — timed through the
+//! `agua-obs` span API, so the numbers persisted here are the same
+//! readings any attached subscriber sees — plus the kernel-dispatch
+//! counter snapshot, in `results/BENCH_parallel.json`.
 
 use agua::explain;
 use agua::surrogate::AguaModel;
@@ -12,8 +14,11 @@ use agua_bench::report::{banner, save_json};
 use agua_bench::synth::{bench_params, synthetic_surrogate, SynthSpec};
 use agua_nn::parallel::with_threads;
 use agua_nn::Matrix;
+use agua_obs::scoped::with_scoped_subscriber;
+use agua_obs::{span_end, span_start, Metrics, Stage};
 use serde::Serialize;
-use std::time::Instant;
+use std::collections::BTreeMap;
+use std::rc::Rc;
 
 #[derive(Debug, Serialize)]
 struct StageResult {
@@ -22,6 +27,20 @@ struct StageResult {
     seconds: f64,
     speedup_vs_1_thread: f64,
     byte_identical_to_1_thread: bool,
+}
+
+/// The persisted report: per-stage timings plus the kernel-dispatch
+/// counters aggregated by the `Metrics` subscriber over the whole run.
+#[derive(Debug, Serialize)]
+struct BenchParallelReport {
+    stages: Vec<StageResult>,
+    /// Deterministic dispatch/MAC counters (`kernel.*`), identical at
+    /// any thread count.
+    kernel_dispatch_counters: BTreeMap<String, u64>,
+    /// Scheduling counters (parallel vs sequential dispatches, peak
+    /// worker counts) — these legitimately vary with the thread counts
+    /// exercised above.
+    kernel_scheduling: BTreeMap<String, u64>,
 }
 
 fn bits(m: &Matrix) -> Vec<u32> {
@@ -41,6 +60,7 @@ fn main() {
     let params = bench_params(spec.seed);
     let thread_counts = [1usize, 2, 4];
     let mut rows: Vec<StageResult> = Vec::new();
+    let metrics = Rc::new(Metrics::new());
 
     // --- Stage 1: surrogate training (δ then Ω, matmul-dominated).
     println!(
@@ -51,11 +71,13 @@ fn main() {
     let mut baseline_model: Option<AguaModel> = None;
     let mut fit_base_secs = 0.0f64;
     for &threads in &thread_counts {
-        let start = Instant::now();
-        let model = with_threads(threads, || {
-            AguaModel::fit(&concepts, spec.k, spec.n_outputs, &dataset, &params)
+        let span = span_start(&*metrics, Stage::Custom("surrogate_fit"));
+        let model = with_scoped_subscriber(metrics.clone(), || {
+            with_threads(threads, || {
+                AguaModel::fit(&concepts, spec.k, spec.n_outputs, &dataset, &params)
+            })
         });
-        let secs = start.elapsed().as_secs_f64();
+        let secs = span_end(&*metrics, span);
         let mb = model_bits(&model);
         let identical = if threads == 1 {
             fit_base_secs = secs;
@@ -83,12 +105,14 @@ fn main() {
     let mut baseline_weights: Vec<u32> = Vec::new();
     let mut explain_base_secs = 0.0f64;
     for &threads in &thread_counts {
-        let start = Instant::now();
+        let span = span_start(&*metrics, Stage::Custom("batched_explanation"));
         let mut last = None;
         for _ in 0..REPS {
-            last = Some(with_threads(threads, || explain::batched(&model, &dataset.embeddings, 0)));
+            last = Some(with_scoped_subscriber(metrics.clone(), || {
+                with_threads(threads, || explain::batched(&model, &dataset.embeddings, 0))
+            }));
         }
-        let secs = start.elapsed().as_secs_f64();
+        let secs = span_end(&*metrics, span);
         let explanation = last.expect("at least one rep");
         let weight_bits: Vec<u32> =
             explanation.contributions.iter().map(|c| c.weight.to_bits()).collect();
@@ -115,6 +139,20 @@ fn main() {
         "parallel backend must be byte-identical to the sequential path"
     );
 
-    save_json("BENCH_parallel", &rows);
+    let snapshot = metrics.snapshot();
+    let kernel = snapshot.kernel_counters();
+    println!("\n[kernel dispatch counters]");
+    for (name, value) in &kernel {
+        println!("  {name:<40} {value}");
+    }
+
+    save_json(
+        "BENCH_parallel",
+        &BenchParallelReport {
+            stages: rows,
+            kernel_dispatch_counters: kernel,
+            kernel_scheduling: snapshot.scheduling.clone(),
+        },
+    );
     println!("\nwrote results/BENCH_parallel.json");
 }

@@ -12,25 +12,43 @@ pub fn banner(id: &str, title: &str) {
     println!("==================================================================");
 }
 
-/// Renders a labelled horizontal ASCII bar.
+/// Renders a labelled horizontal ASCII bar. A non-finite `value` (or
+/// `max`) renders an empty bar rather than an arbitrary-width one.
 pub fn bar(label: &str, value: f32, max: f32, width: usize) -> String {
-    let frac = if max > 0.0 { (value / max).clamp(0.0, 1.0) } else { 0.0 };
+    let frac = if value.is_finite() && max.is_finite() && max > 0.0 {
+        (value / max).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
     let filled = (frac * width as f32).round() as usize;
+    let filled = filled.min(width);
     format!("{label:<46} {value:>8.4} |{}{}|", "#".repeat(filled), " ".repeat(width - filled))
 }
 
+/// Glyph rendered by [`sparkline`] for a non-finite sample.
+pub const SPARK_NON_FINITE: char = '·';
+
 /// Renders a numeric series as a compact sparkline-style strip.
+///
+/// The scale is computed over the *finite* samples only — a stray NaN or
+/// infinity (e.g. a diverged loss) no longer poisons the min/max fold and
+/// flattens every other glyph. Non-finite samples themselves render as
+/// [`SPARK_NON_FINITE`] so their position in the series stays visible.
 pub fn sparkline(values: &[f32]) -> String {
     const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     if values.is_empty() {
         return String::new();
     }
-    let min = values.iter().cloned().fold(f32::MAX, f32::min);
-    let max = values.iter().cloned().fold(f32::MIN, f32::max);
+    let finite = values.iter().cloned().filter(|v| v.is_finite());
+    let min = finite.clone().fold(f32::MAX, f32::min);
+    let max = finite.fold(f32::MIN, f32::max);
     let span = (max - min).max(1e-9);
     values
         .iter()
         .map(|v| {
+            if !v.is_finite() || min > max {
+                return SPARK_NON_FINITE;
+            }
             let idx = (((v - min) / span) * 7.0).round() as usize;
             GLYPHS[idx.min(7)]
         })
@@ -83,6 +101,37 @@ mod tests {
     fn sparkline_has_one_glyph_per_value() {
         let s = sparkline(&[0.0, 0.5, 1.0]);
         assert_eq!(s.chars().count(), 3);
+    }
+
+    #[test]
+    fn sparkline_isolates_non_finite_samples() {
+        // A NaN or infinity must neither panic nor flatten the scale of
+        // the finite samples around it.
+        let s = sparkline(&[0.0, f32::NAN, 1.0, f32::INFINITY, 0.5]);
+        let glyphs: Vec<char> = s.chars().collect();
+        assert_eq!(glyphs.len(), 5);
+        assert_eq!(glyphs[1], SPARK_NON_FINITE);
+        assert_eq!(glyphs[3], SPARK_NON_FINITE);
+        assert_eq!(glyphs[0], '▁', "finite min still maps to the lowest glyph");
+        assert_eq!(glyphs[2], '█', "finite max still maps to the highest glyph");
+        assert_ne!(glyphs[4], glyphs[2], "midpoint keeps its own level");
+    }
+
+    #[test]
+    fn sparkline_of_only_non_finite_samples_is_all_sentinels() {
+        let s = sparkline(&[f32::NAN, f32::NEG_INFINITY]);
+        assert!(s.chars().all(|c| c == SPARK_NON_FINITE), "got {s:?}");
+    }
+
+    #[test]
+    fn bar_renders_non_finite_values_as_empty() {
+        for v in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let line = bar("x", v, 1.0, 10);
+            assert!(!line.contains('#'), "got {line:?}");
+            assert!(line.chars().filter(|&c| c == ' ').count() >= 10);
+        }
+        let line = bar("x", 0.5, f32::NAN, 10);
+        assert!(!line.contains('#'), "got {line:?}");
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub struct CcObservation {
     pub delivered_mbps: Vec<f32>,
     /// Mean latency per MI, milliseconds.
     pub latency_ms: Vec<f32>,
-    /// Loss rate per MI, in [0,1].
+    /// Loss rate per MI, in `[0,1]`.
     pub loss_rate: Vec<f32>,
 }
 

@@ -44,7 +44,7 @@ pub struct MiStats {
     pub delivered_mbps: f32,
     /// Mean one-way-inflated latency during the MI, milliseconds.
     pub latency_ms: f32,
-    /// Fraction of sent data dropped during the MI, in [0,1].
+    /// Fraction of sent data dropped during the MI, in `[0,1]`.
     pub loss_rate: f32,
 }
 

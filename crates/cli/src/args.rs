@@ -24,6 +24,36 @@ pub struct Args {
     pub llm: String,
     /// `--threads`.
     pub threads: Option<usize>,
+    /// `--obs` (off | stderr | metrics | jsonl).
+    pub obs: ObsMode,
+    /// `--metrics-out`.
+    pub metrics_out: Option<String>,
+}
+
+/// Which observability subscriber the command installs (`--obs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ObsMode {
+    /// No subscriber (the default).
+    #[default]
+    Off,
+    /// Human-readable progress lines on standard error.
+    Stderr,
+    /// In-memory metrics aggregation, persisted as a JSON snapshot.
+    Metrics,
+    /// Append every event to a JSONL trace file.
+    Jsonl,
+}
+
+impl ObsMode {
+    fn parse(v: &str) -> Result<ObsMode, String> {
+        match v {
+            "off" => Ok(ObsMode::Off),
+            "stderr" => Ok(ObsMode::Stderr),
+            "metrics" => Ok(ObsMode::Metrics),
+            "jsonl" => Ok(ObsMode::Jsonl),
+            other => Err(format!("--obs expects off|stderr|metrics|jsonl, got `{other}`")),
+        }
+    }
 }
 
 impl Args {
@@ -71,6 +101,8 @@ impl Args {
                     }
                     args.threads = Some(t);
                 }
+                "--obs" => args.obs = ObsMode::parse(&value()?)?,
+                "--metrics-out" => args.metrics_out = Some(value()?),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -123,6 +155,29 @@ mod tests {
         assert!(parse(&["train", "--threads", "0"]).is_err());
         assert!(parse(&["train", "--threads", "many"]).is_err());
         assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn parses_obs_modes() {
+        assert_eq!(parse(&["train", "--app", "abr"]).unwrap().obs, ObsMode::Off);
+        for (v, mode) in [
+            ("off", ObsMode::Off),
+            ("stderr", ObsMode::Stderr),
+            ("metrics", ObsMode::Metrics),
+            ("jsonl", ObsMode::Jsonl),
+        ] {
+            let a = parse(&["train", "--app", "abr", "--obs", v]).unwrap();
+            assert_eq!(a.obs, mode);
+        }
+        assert!(parse(&["train", "--obs", "tracing"]).is_err());
+        assert!(parse(&["train", "--obs"]).is_err());
+    }
+
+    #[test]
+    fn parses_metrics_out() {
+        let a = parse(&["train", "--app", "abr", "--metrics-out", "/tmp/m.json"]).unwrap();
+        assert_eq!(a.metrics_out.as_deref(), Some("/tmp/m.json"));
+        assert_eq!(parse(&["train", "--app", "abr"]).unwrap().metrics_out, None);
     }
 
     #[test]

@@ -1,19 +1,23 @@
 //! Command implementations: train / fidelity / explain / concepts.
 
 use crate::args::Args;
+use crate::obs::{write_snapshot, CliObs};
 use abr_env::DatasetEra;
 use agua::concepts::{abr_concepts, cc_concepts, ddos_concepts, ConceptSet};
-use agua::explain::{counterfactual, factual};
+use agua::explain::{counterfactual_observed, factual_observed};
 use agua::surrogate::{AguaModel, TrainParams};
-use agua_bench::apps::{abr_app, cc_app, ddos_app, fit_agua, AppData, LlmVariant};
+use agua_bench::apps::{abr_app, cc_app, ddos_app, fit_agua_observed, AppData, LlmVariant};
 use agua_controllers::cc::CcVariant;
 use agua_controllers::PolicyNet;
 use agua_nn::Matrix;
+use agua_obs::scoped::with_scoped_subscriber;
+use agua_obs::{emit, span_end, span_start, Fanout, FitCompleted, Metrics, Stage, Subscriber};
 use agua_text::embedding::Embedder;
 use ddos_env::{DdosObservation, FlowKind, FlowWindow};
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::path::Path;
+use std::rc::Rc;
 
 /// Checkpoint metadata, persisted alongside the model JSONs.
 #[derive(Debug, Serialize, Deserialize)]
@@ -94,15 +98,39 @@ pub fn train(args: &Args) -> Result<(), String> {
     let out =
         args.out_dir.as_deref().ok_or_else(|| "--out-dir is required for train".to_string())?;
     fs::create_dir_all(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let session = CliObs::from_args(args, "train")?;
+
+    // The per-epoch δ/Ω loss curves are always collected and persisted
+    // next to the model artifact, whatever `--obs` says; the session
+    // subscriber rides along on a fanout.
+    let curves = Rc::new(Metrics::new());
+    let fan: Rc<dyn Subscriber> = {
+        let mut fan = Fanout::new().push(curves.clone());
+        if let Some(s) = session.subscriber_rc() {
+            fan = fan.push(s);
+        }
+        Rc::new(fan)
+    };
 
     println!("training the {app} controller (seed {})…", args.seed);
     let controller = build_controller(app, args.seed);
     println!("collecting rollouts and fitting the Agua surrogate…");
     let data = rollout(app, &controller, args.samples.max(800), args.seed + 1);
     let concepts = concepts_of(app);
-    let (model, _) =
-        fit_agua(&concepts, n_outputs_of(app), &data, variant_of(args), &TrainParams::tuned(), 42);
+    let obs = fan.clone();
+    let (model, _) = with_scoped_subscriber(fan.clone(), || {
+        fit_agua_observed(
+            &concepts,
+            n_outputs_of(app),
+            &data,
+            variant_of(args),
+            &TrainParams::tuned(),
+            42,
+            &*obs,
+        )
+    });
     let train_fidelity = model.fidelity(&data.embeddings, &data.outputs);
+    emit(&*fan, FitCompleted { fidelity: train_fidelity });
 
     let write = |name: &str, json: String| -> Result<(), String> {
         let path = Path::new(out).join(name);
@@ -121,7 +149,9 @@ pub fn train(args: &Args) -> Result<(), String> {
         })
         .map_err(|e| e.to_string())?,
     )?;
+    write_snapshot(&Path::new(out).join("training_metrics.json"), &curves.snapshot())?;
     println!("checkpoints written to {out} (train fidelity {train_fidelity:.3})");
+    session.finish()?;
     Ok(())
 }
 
@@ -141,18 +171,26 @@ fn load_checkpoints(args: &Args) -> Result<(PolicyNet, AguaModel, Meta), String>
 /// `agua-cli fidelity --app <app> --model-dir <dir>`.
 pub fn fidelity(args: &Args) -> Result<(), String> {
     let app = args.require_app()?;
+    let session = CliObs::from_args(args, "fidelity")?;
     let (controller, model, meta) = load_checkpoints(args)?;
     if meta.app != app {
         return Err(format!("checkpoint was trained for `{}` but --app is `{app}`", meta.app));
     }
     println!("rolling {} fresh samples…", args.samples);
-    let data = rollout(app, &controller, args.samples, args.seed + 1000);
-    let fid = model.fidelity(&data.embeddings, &data.outputs);
+    let (data, fid) = session.observe(|obs| {
+        let span = span_start(obs, Stage::Custom("fidelity_eval"));
+        let data = rollout(app, &controller, args.samples, args.seed + 1000);
+        let fid = model.fidelity(&data.embeddings, &data.outputs);
+        span_end(obs, span);
+        emit(obs, FitCompleted { fidelity: fid });
+        (data, fid)
+    });
     println!(
         "held-out fidelity: {fid:.3} over {} decisions (train fidelity was {:.3})",
         data.len(),
         meta.train_fidelity
     );
+    session.finish()?;
     Ok(())
 }
 
@@ -173,6 +211,7 @@ pub fn report(args: &Args) -> Result<(), String> {
 /// `agua-cli explain --app <app> --model-dir <dir> [--scenario s]`.
 pub fn explain(args: &Args) -> Result<(), String> {
     let app = args.require_app()?;
+    let session = CliObs::from_args(args, "explain")?;
     let (controller, model, meta) = load_checkpoints(args)?;
     if meta.app != app {
         return Err(format!("checkpoint was trained for `{}` but --app is `{app}`", meta.app));
@@ -203,7 +242,6 @@ pub fn explain(args: &Args) -> Result<(), String> {
     let h = controller.embeddings(&x);
     let verdict = controller.act(&features);
     println!("controller output: class {verdict}");
-    println!("{}", factual(&model, &h).render(6));
     if let Some(class) = args.counterfactual {
         if class >= meta.n_outputs {
             return Err(format!(
@@ -211,7 +249,13 @@ pub fn explain(args: &Args) -> Result<(), String> {
                 meta.n_outputs
             ));
         }
-        println!("{}", counterfactual(&model, &h, class).render(6));
     }
+    session.observe(|obs| {
+        println!("{}", factual_observed(&model, &h, obs).render(6));
+        if let Some(class) = args.counterfactual {
+            println!("{}", counterfactual_observed(&model, &h, class, obs).render(6));
+        }
+    });
+    session.finish()?;
     Ok(())
 }

@@ -13,6 +13,7 @@
 
 mod args;
 mod commands;
+mod obs;
 
 use args::Args;
 use std::process::ExitCode;
@@ -46,6 +47,13 @@ OPTIONS:
   --threads <n>            worker threads for the deterministic parallel
                            backend (default: AGUA_THREADS env or all
                            cores; results are identical at any value)
+  --obs <mode>             observability subscriber for train/fidelity/
+                           explain: off (default) | stderr | metrics |
+                           jsonl (trace in results/logs/<cmd>_<app>.jsonl).
+                           Subscribers observe only — artifacts are
+                           byte-identical under every mode
+  --metrics-out <path>     where `--obs metrics` writes its JSON snapshot
+                           (default results/logs/<cmd>_<app>_metrics.json)
 ";
 
 fn main() -> ExitCode {

@@ -1,0 +1,108 @@
+//! CLI wiring for the `agua-obs` instrumentation layer: builds the
+//! subscriber requested by `--obs`, installs it for the duration of a
+//! command, and persists its outputs (metrics snapshot, JSONL trace)
+//! when the command finishes.
+
+use crate::args::{Args, ObsMode};
+use agua_obs::scoped::with_scoped_subscriber;
+use agua_obs::{JsonlWriter, Metrics, MetricsSnapshot, Stderr, Subscriber};
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+/// An observability session for one CLI command.
+///
+/// Holds the subscriber chosen by `--obs` (if any) plus typed handles to
+/// the stateful ones, so the command can snapshot/flush at the end.
+/// Subscribers observe only — every command produces identical artifacts
+/// under every `--obs` mode.
+pub struct CliObs {
+    subscriber: Option<Rc<dyn Subscriber>>,
+    metrics: Option<Rc<Metrics>>,
+    jsonl: Option<Rc<JsonlWriter>>,
+    metrics_out: Option<PathBuf>,
+}
+
+impl CliObs {
+    /// Builds the session for a command named `command` (used in default
+    /// output paths, e.g. `results/logs/train_abr.jsonl`).
+    pub fn from_args(args: &Args, command: &str) -> Result<CliObs, String> {
+        let app = args.app.as_deref().unwrap_or("app");
+        let mut session =
+            CliObs { subscriber: None, metrics: None, jsonl: None, metrics_out: None };
+        match args.obs {
+            ObsMode::Off => {}
+            ObsMode::Stderr => {
+                session.subscriber = Some(Rc::new(Stderr::new()));
+            }
+            ObsMode::Metrics => {
+                let metrics = Rc::new(Metrics::new());
+                session.metrics = Some(metrics.clone());
+                session.subscriber = Some(metrics);
+                session.metrics_out =
+                    Some(args.metrics_out.as_deref().map(PathBuf::from).unwrap_or_else(|| {
+                        default_logs_dir().join(format!("{command}_{app}_metrics.json"))
+                    }));
+            }
+            ObsMode::Jsonl => {
+                let path = default_logs_dir().join(format!("{command}_{app}.jsonl"));
+                let writer = Rc::new(
+                    JsonlWriter::create(&path)
+                        .map_err(|e| format!("cannot create trace {}: {e}", path.display()))?,
+                );
+                session.jsonl = Some(writer.clone());
+                session.subscriber = Some(writer);
+            }
+        }
+        Ok(session)
+    }
+
+    /// A shared handle to the subscriber, for callers composing their
+    /// own [`agua_obs::Fanout`] (e.g. `train`'s always-on loss curves).
+    pub fn subscriber_rc(&self) -> Option<Rc<dyn Subscriber>> {
+        self.subscriber.clone()
+    }
+
+    /// Runs `f` with the subscriber also installed as the ambient scoped
+    /// subscriber, so the `agua-nn` kernels report their dispatches.
+    pub fn observe<R>(&self, f: impl FnOnce(&dyn Subscriber) -> R) -> R {
+        match &self.subscriber {
+            Some(s) => {
+                let obs = s.clone();
+                with_scoped_subscriber(s.clone(), || f(&*obs))
+            }
+            None => f(&agua_obs::Noop),
+        }
+    }
+
+    /// Persists the session outputs: the metrics snapshot to
+    /// `--metrics-out` (or its default path) and the JSONL trace to disk.
+    /// Prints where each artifact went.
+    pub fn finish(&self) -> Result<(), String> {
+        if let (Some(metrics), Some(path)) = (&self.metrics, &self.metrics_out) {
+            write_snapshot(path, &metrics.snapshot())?;
+            println!("[obs] metrics snapshot written to {}", path.display());
+        }
+        if let Some(jsonl) = &self.jsonl {
+            jsonl.flush().map_err(|e| format!("cannot flush trace: {e}"))?;
+            println!("[obs] event trace written to {}", jsonl.path().display());
+        }
+        Ok(())
+    }
+}
+
+/// Default directory for observability artifacts.
+fn default_logs_dir() -> PathBuf {
+    Path::new("results").join("logs")
+}
+
+/// Serializes a snapshot to pretty JSON at `path`, creating parents.
+pub fn write_snapshot(path: &Path, snapshot: &MetricsSnapshot) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    let json = serde_json::to_string_pretty(snapshot).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}

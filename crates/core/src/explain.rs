@@ -12,7 +12,9 @@
 
 use crate::surrogate::AguaModel;
 use agua_nn::Matrix;
+use agua_obs::{emit, ExplanationKind, ExplanationProduced, Noop, Subscriber};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// One concept's contribution to an explanation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -133,17 +135,59 @@ fn contributions_for(
 /// Factual explanation (Eq. 9): why the surrogate's chosen class was
 /// chosen for the single input whose embedding is `embedding` (1 × H).
 pub fn factual(model: &AguaModel, embedding: &Matrix) -> Explanation {
+    factual_observed(model, embedding, &Noop)
+}
+
+/// [`factual`] with an [`ExplanationProduced`] latency event reported to
+/// `obs`. Subscribers observe only: the explanation is identical for any
+/// `obs`.
+pub fn factual_observed(
+    model: &AguaModel,
+    embedding: &Matrix,
+    obs: &dyn Subscriber,
+) -> Explanation {
     assert_eq!(embedding.rows(), 1, "single-input explanation expects one row");
+    let start = Instant::now();
     let probs = model.predict_probs(embedding);
     let class = probs.argmax_row(0);
-    explain_class(model, embedding, class, true)
+    let e = explain_class(model, embedding, class, true);
+    emit(
+        obs,
+        ExplanationProduced {
+            kind: ExplanationKind::Factual,
+            output_class: e.output_class,
+            seconds: start.elapsed().as_secs_f64(),
+        },
+    );
+    e
 }
 
 /// Counterfactual explanation (§3.6): what would drive output `class`,
 /// whether or not the controller chose it.
 pub fn counterfactual(model: &AguaModel, embedding: &Matrix, class: usize) -> Explanation {
+    counterfactual_observed(model, embedding, class, &Noop)
+}
+
+/// [`counterfactual`] with an [`ExplanationProduced`] latency event
+/// reported to `obs`.
+pub fn counterfactual_observed(
+    model: &AguaModel,
+    embedding: &Matrix,
+    class: usize,
+    obs: &dyn Subscriber,
+) -> Explanation {
     assert_eq!(embedding.rows(), 1, "single-input explanation expects one row");
-    explain_class(model, embedding, class, false)
+    let start = Instant::now();
+    let e = explain_class(model, embedding, class, false);
+    emit(
+        obs,
+        ExplanationProduced {
+            kind: ExplanationKind::Counterfactual,
+            output_class: class,
+            seconds: start.elapsed().as_secs_f64(),
+        },
+    );
+    e
 }
 
 fn explain_class(
@@ -174,6 +218,31 @@ fn explain_class(
 /// embeddings, explaining `class` (commonly the majority predicted
 /// class of the batch).
 pub fn batched(model: &AguaModel, embeddings: &Matrix, class: usize) -> BatchedExplanation {
+    batched_observed(model, embeddings, class, &Noop)
+}
+
+/// [`batched`] with an [`ExplanationProduced`] latency event reported to
+/// `obs`.
+pub fn batched_observed(
+    model: &AguaModel,
+    embeddings: &Matrix,
+    class: usize,
+    obs: &dyn Subscriber,
+) -> BatchedExplanation {
+    let start = Instant::now();
+    let b = batched_inner(model, embeddings, class);
+    emit(
+        obs,
+        ExplanationProduced {
+            kind: ExplanationKind::Batched,
+            output_class: class,
+            seconds: start.elapsed().as_secs_f64(),
+        },
+    );
+    b
+}
+
+fn batched_inner(model: &AguaModel, embeddings: &Matrix, class: usize) -> BatchedExplanation {
     assert!(embeddings.rows() > 0, "empty batch");
     assert!(class < model.n_outputs(), "output class out of range");
     let concept_probs = model.concept_probs(embeddings);
@@ -234,7 +303,7 @@ pub fn batched(model: &AguaModel, embeddings: &Matrix, class: usize) -> BatchedE
 
 /// Mean expected concept intensity over a batch of embeddings: for each
 /// concept, `Σ_j (j/(k−1)) · p(class j)`, averaged over the batch — a
-/// scalar in [0, 1] per concept describing how strongly the *inputs*
+/// scalar in `[0, 1]` per concept describing how strongly the *inputs*
 /// exhibit it, independent of any output class. This is the input-level
 /// view used for trace tagging in the drift experiments (paper §5.2.1
 /// aggregates "the dominant concepts of the inputs").

@@ -211,14 +211,40 @@ impl ConceptLabeler {
         seed: u64,
         threads: usize,
     ) -> Vec<Vec<usize>> {
+        self.label_batch_observed(inputs, seed, threads, &agua_obs::Noop)
+    }
+
+    /// [`ConceptLabeler::label_batch_parallel`] reporting to `obs`: the
+    /// batch runs inside a [`Stage::Labeling`](agua_obs::Stage) span and
+    /// finishes with a [`LabelingStageFinished`](agua_obs::LabelingStageFinished)
+    /// carrying the batch dimensions. Labels are unaffected by `obs`.
+    pub fn label_batch_observed(
+        &self,
+        inputs: &[Vec<DescribedSection>],
+        seed: u64,
+        threads: usize,
+        obs: &dyn agua_obs::Subscriber,
+    ) -> Vec<Vec<usize>> {
         assert!(threads >= 1, "need at least one worker thread");
-        if inputs.is_empty() {
-            return Vec::new();
-        }
-        let seeds = Self::derive_seeds(inputs.len(), seed);
-        agua_nn::parallel::with_threads(threads, || {
-            agua_nn::parallel::par_map_range(inputs.len(), |i| self.label(&inputs[i], seeds[i]))
-        })
+        let span = agua_obs::span_start(obs, agua_obs::Stage::Labeling);
+        let labels = if inputs.is_empty() {
+            Vec::new()
+        } else {
+            let seeds = Self::derive_seeds(inputs.len(), seed);
+            agua_nn::parallel::with_threads(threads, || {
+                agua_nn::parallel::par_map_range(inputs.len(), |i| self.label(&inputs[i], seeds[i]))
+            })
+        };
+        agua_obs::emit(
+            obs,
+            agua_obs::LabelingStageFinished {
+                inputs: inputs.len(),
+                concepts: self.concepts(),
+                classes: self.quantizer.classes(),
+            },
+        );
+        agua_obs::span_end(obs, span);
+        labels
     }
 
     /// Derives the deterministic per-input description seeds shared by

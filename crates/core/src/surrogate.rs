@@ -12,6 +12,7 @@ use agua_nn::{
     grouped_softmax_cross_entropy, parallel, softmax_cross_entropy, softmax_rows, ElasticNet,
     Layer, LayerKind, LayerNorm, Linear, Matrix, Mlp, Optimizer, ReLU, Sgd,
 };
+use agua_obs::{emit, span_end, span_start, EpochCompleted, Noop, Stage, Subscriber};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -157,12 +158,28 @@ impl ConceptMapping {
         params: &TrainParams,
         rng: &mut StdRng,
     ) -> Vec<f32> {
+        self.fit_observed(embeddings, labels, params, rng, &Noop)
+    }
+
+    /// [`ConceptMapping::fit`] reporting progress to `obs`: the whole fit
+    /// runs inside a [`Stage::DeltaFit`] span and every epoch emits an
+    /// [`EpochCompleted`]. Events are observations only — the numerics
+    /// are identical to the unobserved path.
+    pub fn fit_observed(
+        &mut self,
+        embeddings: &Matrix,
+        labels: &[Vec<usize>],
+        params: &TrainParams,
+        rng: &mut StdRng,
+        obs: &dyn Subscriber,
+    ) -> Vec<f32> {
         assert_eq!(embeddings.rows(), labels.len(), "one label row per embedding");
         let n = embeddings.rows();
+        let span = span_start(obs, Stage::DeltaFit);
         let mut opt = Sgd::new(params.cm_lr, params.cm_momentum);
         let mut order: Vec<usize> = (0..n).collect();
         let mut curve = Vec::with_capacity(params.cm_epochs);
-        for _ in 0..params.cm_epochs {
+        for epoch in 0..params.cm_epochs {
             order.shuffle(rng);
             let mut epoch_loss = 0.0;
             let mut batches = 0;
@@ -178,8 +195,11 @@ impl ConceptMapping {
                 epoch_loss += loss;
                 batches += 1;
             }
-            curve.push(epoch_loss / batches.max(1) as f32);
+            let loss = epoch_loss / batches.max(1) as f32;
+            curve.push(loss);
+            emit(obs, EpochCompleted { stage: Stage::DeltaFit, epoch, loss });
         }
+        span_end(obs, span);
         curve
     }
 
@@ -255,13 +275,29 @@ impl OutputMapping {
         params: &TrainParams,
         rng: &mut StdRng,
     ) -> Vec<f32> {
+        self.fit_observed(concept_probs, outputs, params, rng, &Noop)
+    }
+
+    /// [`OutputMapping::fit`] reporting progress to `obs`: the whole fit
+    /// runs inside a [`Stage::OmegaFit`] span and every epoch emits an
+    /// [`EpochCompleted`]. Events are observations only — the numerics
+    /// are identical to the unobserved path.
+    pub fn fit_observed(
+        &mut self,
+        concept_probs: &Matrix,
+        outputs: &[usize],
+        params: &TrainParams,
+        rng: &mut StdRng,
+        obs: &dyn Subscriber,
+    ) -> Vec<f32> {
         assert_eq!(concept_probs.rows(), outputs.len(), "one output per row");
         let n = concept_probs.rows();
+        let span = span_start(obs, Stage::OmegaFit);
         let mut opt = Sgd::new(params.om_lr, params.om_momentum);
         let elastic = ElasticNet::new(params.elastic_alpha, params.elastic_coeff);
         let mut order: Vec<usize> = (0..n).collect();
         let mut curve = Vec::with_capacity(params.om_epochs);
-        for _ in 0..params.om_epochs {
+        for epoch in 0..params.om_epochs {
             order.shuffle(rng);
             let mut epoch_loss = 0.0;
             let mut batches = 0;
@@ -277,8 +313,11 @@ impl OutputMapping {
                 epoch_loss += loss;
                 batches += 1;
             }
-            curve.push(epoch_loss / batches.max(1) as f32);
+            let loss = epoch_loss / batches.max(1) as f32;
+            curve.push(loss);
+            emit(obs, EpochCompleted { stage: Stage::OmegaFit, epoch, loss });
         }
+        span_end(obs, span);
         curve
     }
 
@@ -319,10 +358,25 @@ impl AguaModel {
         dataset: &SurrogateDataset,
         params: &TrainParams,
     ) -> Self {
-        Self::fit_with_options(concepts, k, n_outputs, dataset, params, true)
+        Self::fit_with_options(concepts, k, n_outputs, dataset, params, true, &Noop)
     }
 
-    /// [`AguaModel::fit`] with an explicit LayerNorm toggle (ablation).
+    /// [`AguaModel::fit`] reporting training progress (δ/Ω spans,
+    /// per-epoch losses) to `obs`.
+    pub fn fit_observed(
+        concepts: &ConceptSet,
+        k: usize,
+        n_outputs: usize,
+        dataset: &SurrogateDataset,
+        params: &TrainParams,
+        obs: &dyn Subscriber,
+    ) -> Self {
+        Self::fit_with_options(concepts, k, n_outputs, dataset, params, true, obs)
+    }
+
+    /// [`AguaModel::fit`] with an explicit LayerNorm toggle (ablation)
+    /// and an observer for training progress. Subscribers observe only:
+    /// the trained weights are byte-identical for any `obs`.
     pub fn fit_with_options(
         concepts: &ConceptSet,
         k: usize,
@@ -330,6 +384,7 @@ impl AguaModel {
         dataset: &SurrogateDataset,
         params: &TrainParams,
         layernorm: bool,
+        obs: &dyn Subscriber,
     ) -> Self {
         dataset.validate(concepts.len(), k, n_outputs);
         let mut rng = StdRng::seed_from_u64(params.seed);
@@ -346,11 +401,11 @@ impl AguaModel {
                 k,
             )
         };
-        cm.fit(&dataset.embeddings, &dataset.concept_labels, params, &mut rng);
+        cm.fit_observed(&dataset.embeddings, &dataset.concept_labels, params, &mut rng, obs);
 
         let probs = cm.predict_probs(&dataset.embeddings);
         let mut om = OutputMapping::new(&mut rng, concepts.len() * k, n_outputs);
-        om.fit(&probs, &dataset.outputs, params, &mut rng);
+        om.fit_observed(&probs, &dataset.outputs, params, &mut rng, obs);
 
         Self { concept_mapping: cm, output_mapping: om, concept_names: concepts.names() }
     }

@@ -78,9 +78,9 @@ pub struct FlowWindow {
     pub ack: Vec<f32>,
     /// 1.0 for UDP packets.
     pub udp: Vec<f32>,
-    /// Normalized payload entropy in [0,1] (0 = no/constant payload).
+    /// Normalized payload entropy in `[0,1]` (0 = no/constant payload).
     pub payload_entropy: Vec<f32>,
-    /// Source-consistency signal in [0,1]: 1 = same stable origin, low and
+    /// Source-consistency signal in `[0,1]`: 1 = same stable origin, low and
     /// jumpy when addresses are spoofed per packet.
     pub source_consistency: Vec<f32>,
 }

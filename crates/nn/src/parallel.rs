@@ -38,6 +38,8 @@
 //! only ever run leaf kernels, so this cannot cause nested spawning.
 
 use crate::matrix::Matrix;
+use agua_obs::scoped::emit_scoped;
+use agua_obs::{Event, Kernel, KernelDispatched};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -129,6 +131,34 @@ fn plan_workers(out_rows: usize, macs: usize) -> usize {
     }
 }
 
+/// Reports a kernel dispatch to the ambient observability scope (free
+/// when none is installed). Called on the dispatching thread only, so
+/// event order is schedule-independent; the shape and `macs` fields are
+/// identical at any thread count, while `threads`/`seq_fallback`
+/// describe the scheduling decision actually taken.
+#[inline]
+fn note_dispatch(
+    kernel: Kernel,
+    rows: usize,
+    inner: usize,
+    cols: usize,
+    macs: usize,
+    workers: usize,
+) {
+    emit_scoped(|| {
+        KernelDispatched {
+            kernel,
+            rows,
+            inner,
+            cols,
+            macs: macs as u64,
+            threads: workers.max(1),
+            seq_fallback: workers <= 1,
+        }
+        .into_any()
+    });
+}
+
 /// Splits `out` (row-major, `width` columns) into per-worker runs of
 /// whole rows and invokes `work(first_row_index, chunk)` on each from a
 /// scoped thread. Each output row is written by exactly one worker.
@@ -153,8 +183,9 @@ fn run_row_partitioned(
 pub fn par_matmul(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "matmul dimension mismatch");
     let macs = a.rows().saturating_mul(a.cols()).saturating_mul(b.cols());
-    let workers = plan_workers(a.rows(), macs);
-    if workers <= 1 || b.cols() == 0 {
+    let workers = if b.cols() == 0 { 1 } else { plan_workers(a.rows(), macs) };
+    note_dispatch(Kernel::Matmul, a.rows(), a.cols(), b.cols(), macs, workers);
+    if workers <= 1 {
         return a.matmul(b);
     }
     let finite = b.rows_finite();
@@ -169,8 +200,9 @@ pub fn par_matmul(a: &Matrix, b: &Matrix) -> Matrix {
 pub fn par_matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.rows(), b.rows(), "matmul_tn dimension mismatch");
     let macs = a.rows().saturating_mul(a.cols()).saturating_mul(b.cols());
-    let workers = plan_workers(a.cols(), macs);
-    if workers <= 1 || b.cols() == 0 {
+    let workers = if b.cols() == 0 { 1 } else { plan_workers(a.cols(), macs) };
+    note_dispatch(Kernel::MatmulTn, a.cols(), a.rows(), b.cols(), macs, workers);
+    if workers <= 1 {
         return a.matmul_tn(b);
     }
     let finite = b.rows_finite();
@@ -185,8 +217,9 @@ pub fn par_matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
 pub fn par_matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.cols(), "matmul_nt dimension mismatch");
     let macs = a.rows().saturating_mul(a.cols()).saturating_mul(b.rows());
-    let workers = plan_workers(a.rows(), macs);
-    if workers <= 1 || b.rows() == 0 {
+    let workers = if b.rows() == 0 { 1 } else { plan_workers(a.rows(), macs) };
+    note_dispatch(Kernel::MatmulNt, a.rows(), a.cols(), b.rows(), macs, workers);
+    if workers <= 1 {
         return a.matmul_nt(b);
     }
     let mut out = Matrix::zeros(a.rows(), b.rows());
@@ -203,12 +236,17 @@ pub fn par_matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
 pub fn par_for_each_rows(m: &mut Matrix, f: impl Fn(usize, &mut [f32]) + Sync) {
     let cfg = ThreadConfig::current();
     let elems = m.rows().saturating_mul(m.cols());
-    let workers = if cfg.threads <= 1 || m.rows() < 2 || elems.saturating_mul(4) < cfg.min_flops {
+    let workers = if cfg.threads <= 1
+        || m.rows() < 2
+        || m.cols() == 0
+        || elems.saturating_mul(4) < cfg.min_flops
+    {
         1
     } else {
         cfg.threads.min(m.rows())
     };
-    if workers <= 1 || m.cols() == 0 {
+    note_dispatch(Kernel::ForEachRows, m.rows(), 0, m.cols(), elems, workers);
+    if workers <= 1 {
         for r in 0..m.rows() {
             f(r, m.row_mut(r));
         }
@@ -231,6 +269,7 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let workers = ThreadConfig::current().threads.min(items.len()).max(1);
+    note_dispatch(Kernel::Map, items.len(), 0, 0, items.len(), workers);
     if workers <= 1 {
         return items.iter().map(&f).collect();
     }
@@ -249,6 +288,7 @@ where
 /// returning results in index order.
 pub fn par_map_range<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
     let workers = ThreadConfig::current().threads.min(n).max(1);
+    note_dispatch(Kernel::Map, n, 0, 0, n, workers);
     if workers <= 1 {
         return (0..n).map(f).collect();
     }
@@ -274,7 +314,9 @@ where
     R: Send,
     F: FnOnce() -> R + Send,
 {
-    if ThreadConfig::current().threads <= 1 || jobs.len() <= 1 {
+    let workers = ThreadConfig::current().threads.min(jobs.len()).max(1);
+    note_dispatch(Kernel::Jobs, jobs.len(), 0, 0, jobs.len(), workers);
+    if workers <= 1 || jobs.len() <= 1 {
         return jobs.into_iter().map(|j| j()).collect();
     }
     std::thread::scope(|s| {
@@ -428,6 +470,36 @@ mod tests {
         let jobs: Vec<_> = (0..5).map(|i| move || i * 10).collect();
         let out = with_thread_config(forced(5), || par_jobs(jobs));
         assert_eq!(out, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn dispatches_report_to_the_scoped_subscriber_thread_invariantly() {
+        use agua_obs::scoped::with_scoped_subscriber;
+        use agua_obs::Metrics;
+        use std::rc::Rc;
+
+        let snap = |threads: usize| {
+            let metrics = Rc::new(Metrics::new());
+            with_scoped_subscriber(metrics.clone(), || {
+                with_thread_config(forced(threads), || {
+                    let a = pattern(12, 9, 20);
+                    let b = pattern(9, 7, 21);
+                    let _ = par_matmul(&a, &b);
+                    let _ = par_map_range(5, |i| i);
+                });
+            });
+            metrics.snapshot()
+        };
+        let one = snap(1);
+        let four = snap(4);
+        assert_eq!(one.counters["kernel.matmul.dispatches"], 1);
+        assert_eq!(one.counters["kernel.matmul.macs"], 12 * 9 * 7);
+        assert_eq!(one.counters["kernel.map.dispatches"], 1);
+        // The deterministic view (dispatch counts, shapes, MACs) must not
+        // depend on the thread count; only the scheduling side may.
+        assert_eq!(one.deterministic(), four.deterministic());
+        assert_eq!(one.scheduling["kernel.matmul.max_threads"], 1);
+        assert_eq!(four.scheduling["kernel.matmul.max_threads"], 4);
     }
 
     #[test]

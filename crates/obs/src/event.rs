@@ -1,0 +1,374 @@
+//! The event taxonomy: concrete event structs, the [`Event`] trait, and
+//! the [`AnyEvent`] enum subscribers consume.
+//!
+//! Each event is a plain data struct carrying observations only.
+//! [`Event::into_any`] wraps a concrete event into [`AnyEvent`] for
+//! dynamic dispatch through `&dyn Subscriber`.
+//!
+//! [`AnyEvent`]'s `Serialize` impl is written by hand rather than
+//! derived: the JSONL trace format is a public contract (consumed by
+//! `jq` in `ci.sh` and by downstream tooling), so the `"event"` tag and
+//! the field order are pinned here explicitly —
+//! `{"event":"epoch_completed","stage":"delta_fit","epoch":7,...}`.
+
+use serde::ser::SerializeStruct;
+use serde::{Serialize, Serializer};
+
+/// A named pipeline stage, used by timing spans and per-epoch events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// The describe → embed → cosine → quantize labelling pipeline.
+    Labeling,
+    /// Training the concept mapping function δ.
+    DeltaFit,
+    /// Training the output mapping function Ω.
+    OmegaFit,
+    /// Explanation generation.
+    Explain,
+    /// A caller-named stage (controller training, rollouts, bench
+    /// phases, …).
+    Custom(&'static str),
+}
+
+impl Stage {
+    /// Stable snake_case name, used as metrics key and serialized form.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Stage::Labeling => "labeling",
+            Stage::DeltaFit => "delta_fit",
+            Stage::OmegaFit => "omega_fit",
+            Stage::Explain => "explain",
+            Stage::Custom(name) => name,
+        }
+    }
+}
+
+impl Serialize for Stage {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.as_str())
+    }
+}
+
+/// Which dense kernel of the `agua-nn` parallel backend dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// `a × b`.
+    Matmul,
+    /// `aᵀ × b`.
+    MatmulTn,
+    /// `a × bᵀ`.
+    MatmulNt,
+    /// Independent per-row map over a matrix.
+    ForEachRows,
+    /// Generic ordered map over items or an index range.
+    Map,
+    /// A batch of independent heavyweight jobs.
+    Jobs,
+}
+
+impl Kernel {
+    /// Stable snake_case name, used as metrics key and serialized form.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Kernel::Matmul => "matmul",
+            Kernel::MatmulTn => "matmul_tn",
+            Kernel::MatmulNt => "matmul_nt",
+            Kernel::ForEachRows => "for_each_rows",
+            Kernel::Map => "map",
+            Kernel::Jobs => "jobs",
+        }
+    }
+}
+
+impl Serialize for Kernel {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.as_str())
+    }
+}
+
+/// The flavour of a produced explanation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExplanationKind {
+    /// Why the surrogate's chosen class was chosen (Eq. 9).
+    Factual,
+    /// What would drive a non-chosen class (§3.6).
+    Counterfactual,
+    /// Contributions averaged over a batch of inputs (§3.6).
+    Batched,
+}
+
+impl ExplanationKind {
+    /// Stable snake_case name, used as metrics key and serialized form.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExplanationKind::Factual => "factual",
+            ExplanationKind::Counterfactual => "counterfactual",
+            ExplanationKind::Batched => "batched",
+        }
+    }
+}
+
+impl Serialize for ExplanationKind {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.as_str())
+    }
+}
+
+/// A typed pipeline event.
+///
+/// Implementors are plain data structs; [`Event::into_any`] lifts them
+/// into [`AnyEvent`] for dynamic dispatch.
+pub trait Event: std::fmt::Debug {
+    /// Stable snake_case event name (matches the JSONL `"event"` tag).
+    const NAME: &'static str;
+
+    /// Wraps the event for `&dyn Subscriber` consumption.
+    fn into_any(self) -> AnyEvent;
+}
+
+/// A timing span opened (see `span_start`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageStarted {
+    /// The stage that started.
+    pub stage: Stage,
+}
+
+/// A timing span closed; `seconds` is measured on a monotonic clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageFinished {
+    /// The stage that finished.
+    pub stage: Stage,
+    /// Wall-clock duration of the span in seconds.
+    pub seconds: f64,
+}
+
+/// One training epoch of δ or Ω finished.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochCompleted {
+    /// Which mapping was training ([`Stage::DeltaFit`] or
+    /// [`Stage::OmegaFit`]).
+    pub stage: Stage,
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Mean batch loss of the epoch.
+    pub loss: f32,
+}
+
+/// A dense kernel of the parallel backend dispatched.
+///
+/// `rows`/`inner`/`cols` describe the operation shape (`inner` is 0 for
+/// shapeless kernels such as maps); `macs` is the multiply-accumulate
+/// count the size gate was judged on. `threads` and `seq_fallback`
+/// depend on the configured thread count and are therefore aggregated
+/// separately from the deterministic counters (see
+/// `MetricsSnapshot::deterministic`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelDispatched {
+    /// Which kernel ran.
+    pub kernel: Kernel,
+    /// Output rows (or items for maps/jobs).
+    pub rows: usize,
+    /// Contraction length (0 when not applicable).
+    pub inner: usize,
+    /// Output columns (0 when not applicable).
+    pub cols: usize,
+    /// Multiply-accumulate (or element) count of the operation.
+    pub macs: u64,
+    /// Worker threads the dispatch actually used.
+    pub threads: usize,
+    /// True when the op ran sequentially (size gate or 1-thread config).
+    pub seq_fallback: bool,
+}
+
+/// The concept-labelling stage finished over a batch of inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelingStageFinished {
+    /// Number of inputs labelled.
+    pub inputs: usize,
+    /// Number of concepts per input.
+    pub concepts: usize,
+    /// Similarity classes per concept (`k`).
+    pub classes: usize,
+}
+
+/// One explanation was produced; `seconds` is measured on a monotonic
+/// clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExplanationProduced {
+    /// Factual, counterfactual, or batched.
+    pub kind: ExplanationKind,
+    /// The output class that was explained.
+    pub output_class: usize,
+    /// Wall-clock latency of producing the explanation, in seconds.
+    pub seconds: f64,
+}
+
+/// A full surrogate fit finished with the given training fidelity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitCompleted {
+    /// Fidelity (Eq. 11) of the fitted surrogate on its training data.
+    pub fidelity: f32,
+}
+
+/// Dynamically-dispatchable union of every event type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AnyEvent {
+    /// See [`StageStarted`].
+    StageStarted(StageStarted),
+    /// See [`StageFinished`].
+    StageFinished(StageFinished),
+    /// See [`EpochCompleted`].
+    EpochCompleted(EpochCompleted),
+    /// See [`KernelDispatched`].
+    KernelDispatched(KernelDispatched),
+    /// See [`LabelingStageFinished`].
+    LabelingStageFinished(LabelingStageFinished),
+    /// See [`ExplanationProduced`].
+    ExplanationProduced(ExplanationProduced),
+    /// See [`FitCompleted`].
+    FitCompleted(FitCompleted),
+}
+
+impl AnyEvent {
+    /// The snake_case name of the wrapped event.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnyEvent::StageStarted(_) => StageStarted::NAME,
+            AnyEvent::StageFinished(_) => StageFinished::NAME,
+            AnyEvent::EpochCompleted(_) => EpochCompleted::NAME,
+            AnyEvent::KernelDispatched(_) => KernelDispatched::NAME,
+            AnyEvent::LabelingStageFinished(_) => LabelingStageFinished::NAME,
+            AnyEvent::ExplanationProduced(_) => ExplanationProduced::NAME,
+            AnyEvent::FitCompleted(_) => FitCompleted::NAME,
+        }
+    }
+}
+
+impl Serialize for AnyEvent {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            AnyEvent::StageStarted(e) => {
+                let mut s = serializer.serialize_struct("StageStarted", 2)?;
+                s.serialize_field("event", StageStarted::NAME)?;
+                s.serialize_field("stage", &e.stage)?;
+                s.end()
+            }
+            AnyEvent::StageFinished(e) => {
+                let mut s = serializer.serialize_struct("StageFinished", 3)?;
+                s.serialize_field("event", StageFinished::NAME)?;
+                s.serialize_field("stage", &e.stage)?;
+                s.serialize_field("seconds", &e.seconds)?;
+                s.end()
+            }
+            AnyEvent::EpochCompleted(e) => {
+                let mut s = serializer.serialize_struct("EpochCompleted", 4)?;
+                s.serialize_field("event", EpochCompleted::NAME)?;
+                s.serialize_field("stage", &e.stage)?;
+                s.serialize_field("epoch", &e.epoch)?;
+                s.serialize_field("loss", &e.loss)?;
+                s.end()
+            }
+            AnyEvent::KernelDispatched(e) => {
+                let mut s = serializer.serialize_struct("KernelDispatched", 8)?;
+                s.serialize_field("event", KernelDispatched::NAME)?;
+                s.serialize_field("kernel", &e.kernel)?;
+                s.serialize_field("rows", &e.rows)?;
+                s.serialize_field("inner", &e.inner)?;
+                s.serialize_field("cols", &e.cols)?;
+                s.serialize_field("macs", &e.macs)?;
+                s.serialize_field("threads", &e.threads)?;
+                s.serialize_field("seq_fallback", &e.seq_fallback)?;
+                s.end()
+            }
+            AnyEvent::LabelingStageFinished(e) => {
+                let mut s = serializer.serialize_struct("LabelingStageFinished", 4)?;
+                s.serialize_field("event", LabelingStageFinished::NAME)?;
+                s.serialize_field("inputs", &e.inputs)?;
+                s.serialize_field("concepts", &e.concepts)?;
+                s.serialize_field("classes", &e.classes)?;
+                s.end()
+            }
+            AnyEvent::ExplanationProduced(e) => {
+                let mut s = serializer.serialize_struct("ExplanationProduced", 4)?;
+                s.serialize_field("event", ExplanationProduced::NAME)?;
+                s.serialize_field("kind", &e.kind)?;
+                s.serialize_field("output_class", &e.output_class)?;
+                s.serialize_field("seconds", &e.seconds)?;
+                s.end()
+            }
+            AnyEvent::FitCompleted(e) => {
+                let mut s = serializer.serialize_struct("FitCompleted", 2)?;
+                s.serialize_field("event", FitCompleted::NAME)?;
+                s.serialize_field("fidelity", &e.fidelity)?;
+                s.end()
+            }
+        }
+    }
+}
+
+macro_rules! impl_event {
+    ($ty:ident, $name:literal) => {
+        impl Event for $ty {
+            const NAME: &'static str = $name;
+
+            fn into_any(self) -> AnyEvent {
+                AnyEvent::$ty(self)
+            }
+        }
+    };
+}
+
+impl_event!(StageStarted, "stage_started");
+impl_event!(StageFinished, "stage_finished");
+impl_event!(EpochCompleted, "epoch_completed");
+impl_event!(KernelDispatched, "kernel_dispatched");
+impl_event!(LabelingStageFinished, "labeling_stage_finished");
+impl_event!(ExplanationProduced, "explanation_produced");
+impl_event!(FitCompleted, "fit_completed");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_event_names_match_trait_names() {
+        let e = EpochCompleted { stage: Stage::DeltaFit, epoch: 3, loss: 0.5 }.into_any();
+        assert_eq!(e.name(), "epoch_completed");
+        let e = FitCompleted { fidelity: 0.9 }.into_any();
+        assert_eq!(e.name(), "fit_completed");
+    }
+
+    #[test]
+    fn events_serialize_with_an_event_tag_and_string_enums() {
+        let e = EpochCompleted { stage: Stage::OmegaFit, epoch: 7, loss: 1.25 }.into_any();
+        let json = serde_json::to_value(&e).unwrap();
+        assert_eq!(json["event"], "epoch_completed");
+        assert_eq!(json["stage"], "omega_fit");
+        assert_eq!(json["epoch"], 7);
+
+        let k = KernelDispatched {
+            kernel: Kernel::MatmulTn,
+            rows: 4,
+            inner: 8,
+            cols: 2,
+            macs: 64,
+            threads: 2,
+            seq_fallback: false,
+        }
+        .into_any();
+        let json = serde_json::to_value(&k).unwrap();
+        assert_eq!(json["event"], "kernel_dispatched");
+        assert_eq!(json["kernel"], "matmul_tn");
+        assert_eq!(json["seq_fallback"], false);
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        assert_eq!(Stage::Labeling.as_str(), "labeling");
+        assert_eq!(Stage::DeltaFit.as_str(), "delta_fit");
+        assert_eq!(Stage::OmegaFit.as_str(), "omega_fit");
+        assert_eq!(Stage::Custom("rollout").as_str(), "rollout");
+        assert_eq!(ExplanationKind::Batched.as_str(), "batched");
+        assert_eq!(Kernel::ForEachRows.as_str(), "for_each_rows");
+    }
+}

@@ -1,0 +1,157 @@
+//! The [`JsonlWriter`] subscriber: appends one JSON object per event to
+//! a trace file (conventionally under `results/logs/*.jsonl`).
+//!
+//! Lines are buffered and flushed on [`JsonlWriter::flush`] or drop.
+//! Kernel-dispatch events are skipped by default — a single training
+//! run dispatches tens of thousands of kernels, which would drown the
+//! stage/epoch trace — and can be enabled with
+//! [`JsonlWriter::with_kernel_events`]; their aggregate counts are
+//! always available through the `Metrics` subscriber.
+
+use crate::event::AnyEvent;
+use crate::subscriber::Subscriber;
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Appends events as JSON Lines to a file.
+#[derive(Debug)]
+pub struct JsonlWriter {
+    writer: Mutex<BufWriter<File>>,
+    path: PathBuf,
+    kernel_events: bool,
+}
+
+impl JsonlWriter {
+    /// Creates (truncating) the trace file at `path`, creating parent
+    /// directories as needed.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(&path)?;
+        Ok(Self { writer: Mutex::new(BufWriter::new(file)), path, kernel_events: false })
+    }
+
+    /// Enables or disables per-dispatch kernel trace lines.
+    pub fn with_kernel_events(mut self, enabled: bool) -> Self {
+        self.kernel_events = enabled;
+        self
+    }
+
+    /// Where the trace is being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Flushes buffered lines to disk.
+    pub fn flush(&self) -> io::Result<()> {
+        self.writer.lock().expect("jsonl mutex poisoned").flush()
+    }
+}
+
+impl Subscriber for JsonlWriter {
+    fn on_event(&self, event: &AnyEvent) {
+        if matches!(event, AnyEvent::KernelDispatched(_)) && !self.kernel_events {
+            return;
+        }
+        // Events are observation-only; a failed trace write must not
+        // abort the pipeline, so IO errors are swallowed here and
+        // surface via `flush` at the end of the run.
+        let line = serde_json::to_string(event).expect("events always serialize");
+        let mut writer = self.writer.lock().expect("jsonl mutex poisoned");
+        let _ = writeln!(writer, "{line}");
+    }
+}
+
+impl Drop for JsonlWriter {
+    fn drop(&mut self) {
+        if let Ok(writer) = self.writer.get_mut() {
+            let _ = writer.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::*;
+    use crate::subscriber::emit;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("agua-obs-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn writes_one_valid_json_object_per_event() {
+        let path = temp_path("basic.jsonl");
+        let w = JsonlWriter::create(&path).unwrap();
+        emit(&w, StageStarted { stage: Stage::Labeling });
+        emit(&w, EpochCompleted { stage: Stage::DeltaFit, epoch: 0, loss: 2.5 });
+        emit(&w, FitCompleted { fidelity: 0.8 });
+        w.flush().unwrap();
+
+        let text = fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let value: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(value["event"].is_string(), "line missing event tag: {line}");
+        }
+        let first: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first["event"], "stage_started");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn kernel_events_are_skipped_unless_enabled() {
+        let dispatch = KernelDispatched {
+            kernel: Kernel::Matmul,
+            rows: 1,
+            inner: 1,
+            cols: 1,
+            macs: 1,
+            threads: 1,
+            seq_fallback: true,
+        };
+
+        let quiet_path = temp_path("quiet.jsonl");
+        let quiet = JsonlWriter::create(&quiet_path).unwrap();
+        emit(&quiet, dispatch);
+        quiet.flush().unwrap();
+        assert_eq!(fs::read_to_string(&quiet_path).unwrap().lines().count(), 0);
+
+        let verbose_path = temp_path("verbose.jsonl");
+        let verbose = JsonlWriter::create(&verbose_path).unwrap().with_kernel_events(true);
+        emit(&verbose, dispatch);
+        verbose.flush().unwrap();
+        assert_eq!(fs::read_to_string(&verbose_path).unwrap().lines().count(), 1);
+
+        fs::remove_file(&quiet_path).ok();
+        fs::remove_file(&verbose_path).ok();
+    }
+
+    #[test]
+    fn drop_flushes_buffered_lines() {
+        let path = temp_path("drop.jsonl");
+        {
+            let w = JsonlWriter::create(&path).unwrap();
+            emit(&w, FitCompleted { fidelity: 0.5 });
+        }
+        assert_eq!(fs::read_to_string(&path).unwrap().lines().count(), 1);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn create_makes_parent_directories() {
+        let dir = temp_path("nested-dir");
+        let path = dir.join("deep/trace.jsonl");
+        let w = JsonlWriter::create(&path).unwrap();
+        assert_eq!(w.path(), path.as_path());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

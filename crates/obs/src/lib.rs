@@ -1,0 +1,71 @@
+//! # agua-obs — typed event/subscriber instrumentation for the Agua pipeline
+//!
+//! The explainer pipeline is specified to be reproducible from a seed,
+//! so its instrumentation must be *observational only*: events describe
+//! what happened (an epoch finished, a kernel dispatched, an explanation
+//! was produced) and subscribers aggregate or persist them, but nothing
+//! in this crate may feed back into the numerics. The design follows the
+//! event framework of s2n-quic: concrete event structs implementing an
+//! [`Event`] trait, a [`Subscriber`] trait consuming them, and stock
+//! subscribers that cost (almost) nothing when unused.
+//!
+//! ## Event flow
+//!
+//! ```text
+//!   ConceptMapping::fit ──EpochCompleted──►┐
+//!   OutputMapping::fit  ──EpochCompleted──►│
+//!   ConceptLabeler      ──LabelingStage──► ├──► &dyn Subscriber
+//!   explain::*          ──ExplanationProduced──►│   (threaded by reference)
+//!   span_start/span_end ──Stage{Started,Finished}┘
+//!
+//!   agua_nn::parallel   ──KernelDispatched──► scoped subscriber
+//!                                             (thread-local ambient scope)
+//! ```
+//!
+//! High-level code threads a `&dyn Subscriber` through its call chain
+//! (`AguaModel::fit_observed`, `explain::factual_observed`, …). The
+//! dense kernels in `agua-nn::parallel` sit below dozens of call sites,
+//! so they instead emit through the ambient [`scoped`] subscriber — a
+//! thread-local installed with [`scoped::with_scoped_subscriber`] around
+//! a region of work. When no scope is installed, emission is a single
+//! thread-local flag check.
+//!
+//! ## Determinism contract
+//!
+//! Subscribers must never perturb the numerics or the byte-identical
+//! parallel guarantee of `agua-nn`:
+//!
+//! * events carry observations only — no subscriber output is read back
+//!   by the pipeline;
+//! * the ambient scope is thread-local and deliberately **not**
+//!   propagated to worker threads, so events are emitted only from the
+//!   dispatching thread, in a schedule-independent order;
+//! * the [`Metrics`] subscriber separates deterministic aggregates
+//!   (counters, loss curves, gauges) from wall-clock and
+//!   thread-scheduling observations, and
+//!   [`MetricsSnapshot::deterministic`] returns only the former — which
+//!   is identical at any `AGUA_THREADS` value.
+//!
+//! ## Stock subscribers
+//!
+//! * [`Noop`] — the default; every hook is an empty inlineable body.
+//! * [`Stderr`] — human-readable `[obs]` log lines on standard error.
+//! * [`Metrics`] — counters, per-epoch loss curves, gauges, and
+//!   min/mean/max/p50/p99 timing histograms; snapshot as a serde struct.
+//! * [`JsonlWriter`] — appends one JSON object per event to a
+//!   `results/logs/*.jsonl` trace file.
+//! * [`Fanout`] — broadcasts each event to several subscribers.
+
+pub mod event;
+pub mod jsonl;
+pub mod metrics;
+pub mod scoped;
+pub mod subscriber;
+
+pub use event::{
+    AnyEvent, EpochCompleted, Event, ExplanationKind, ExplanationProduced, FitCompleted, Kernel,
+    KernelDispatched, LabelingStageFinished, Stage, StageFinished, StageStarted,
+};
+pub use jsonl::JsonlWriter;
+pub use metrics::{Metrics, MetricsSnapshot, TimingStats};
+pub use subscriber::{emit, span_end, span_start, Fanout, Noop, Span, Stderr, Subscriber};

@@ -1,0 +1,344 @@
+//! The [`Metrics`] subscriber: in-memory aggregation of pipeline events
+//! into counters, gauges, loss curves, and timing histograms, exported
+//! as a serde-serializable [`MetricsSnapshot`].
+//!
+//! ## Determinism
+//!
+//! The snapshot keeps two kinds of state apart:
+//!
+//! * **Deterministic aggregates** — `counters`, `gauges`, `curves`.
+//!   These derive only from seeded computation (epoch counts, losses,
+//!   kernel shapes/MAC totals, fidelity) and are identical at any
+//!   `AGUA_THREADS` value.
+//! * **Environment-dependent observations** — `spans` and `latencies`
+//!   (wall-clock time) and `scheduling` (how many dispatches actually
+//!   went parallel, worker counts). These legitimately vary run to run.
+//!
+//! [`MetricsSnapshot::deterministic`] strips the latter, giving the
+//! exact structure the `tests/obs_determinism.rs` integration test
+//! compares across thread counts.
+
+use crate::event::AnyEvent;
+use crate::subscriber::Subscriber;
+use serde::ser::SerializeStruct;
+use serde::{Serialize, Serializer};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Order statistics of a set of timing samples, in seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub total_s: f64,
+    /// Minimum sample.
+    pub min_s: f64,
+    /// Mean sample.
+    pub mean_s: f64,
+    /// Maximum sample.
+    pub max_s: f64,
+    /// Median (nearest-rank on the sorted samples).
+    pub p50_s: f64,
+    /// 99th percentile (nearest-rank on the sorted samples).
+    pub p99_s: f64,
+}
+
+impl TimingStats {
+    /// Computes the stats of a non-empty sample set.
+    fn from_samples(samples: &[f64]) -> Self {
+        debug_assert!(!samples.is_empty());
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timing samples"));
+        let total: f64 = sorted.iter().sum();
+        let rank = |q: f64| {
+            let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        Self {
+            count: sorted.len() as u64,
+            total_s: total,
+            min_s: sorted[0],
+            mean_s: total / sorted.len() as f64,
+            max_s: sorted[sorted.len() - 1],
+            p50_s: rank(0.5),
+            p99_s: rank(0.99),
+        }
+    }
+}
+
+// Like `AnyEvent`, the snapshot's JSON layout is a public contract
+// (persisted next to model artifacts, read by `jq`/tooling), so the
+// impls are written by hand to pin field names and order.
+impl Serialize for TimingStats {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("TimingStats", 7)?;
+        s.serialize_field("count", &self.count)?;
+        s.serialize_field("total_s", &self.total_s)?;
+        s.serialize_field("min_s", &self.min_s)?;
+        s.serialize_field("mean_s", &self.mean_s)?;
+        s.serialize_field("max_s", &self.max_s)?;
+        s.serialize_field("p50_s", &self.p50_s)?;
+        s.serialize_field("p99_s", &self.p99_s)?;
+        s.end()
+    }
+}
+
+/// A point-in-time export of a [`Metrics`] subscriber.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Monotone counters (epoch counts, kernel dispatches, MAC totals).
+    /// Deterministic for a fixed seed, at any thread count.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins scalar observations (final losses, fidelity).
+    /// Deterministic for a fixed seed, at any thread count.
+    pub gauges: BTreeMap<String, f32>,
+    /// Append-ordered series (the per-epoch δ and Ω loss curves).
+    /// Deterministic for a fixed seed, at any thread count.
+    pub curves: BTreeMap<String, Vec<f32>>,
+    /// Wall-clock span statistics per stage. Varies run to run.
+    pub spans: BTreeMap<String, TimingStats>,
+    /// Wall-clock latency statistics (per-explanation). Varies run to run.
+    pub latencies: BTreeMap<String, TimingStats>,
+    /// Thread-scheduling counters (parallel vs sequential dispatches,
+    /// peak worker counts). Varies with the configured thread count.
+    pub scheduling: BTreeMap<String, u64>,
+}
+
+impl Serialize for MetricsSnapshot {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("MetricsSnapshot", 6)?;
+        s.serialize_field("counters", &self.counters)?;
+        s.serialize_field("gauges", &self.gauges)?;
+        s.serialize_field("curves", &self.curves)?;
+        s.serialize_field("spans", &self.spans)?;
+        s.serialize_field("latencies", &self.latencies)?;
+        s.serialize_field("scheduling", &self.scheduling)?;
+        s.end()
+    }
+}
+
+impl MetricsSnapshot {
+    /// The thread-count-invariant portion of the snapshot: counters,
+    /// gauges, and curves, with wall-clock and scheduling state cleared.
+    /// Two runs of the same seeded workload produce equal deterministic
+    /// views regardless of `AGUA_THREADS`.
+    pub fn deterministic(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            curves: self.curves.clone(),
+            spans: BTreeMap::new(),
+            latencies: BTreeMap::new(),
+            scheduling: BTreeMap::new(),
+        }
+    }
+
+    /// Kernel-dispatch counters only (`kernel.*`), the slice of the
+    /// snapshot the parallel-backend bench persists.
+    pub fn kernel_counters(&self) -> BTreeMap<String, u64> {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("kernel."))
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f32>,
+    curves: BTreeMap<String, Vec<f32>>,
+    span_samples: BTreeMap<String, Vec<f64>>,
+    latency_samples: BTreeMap<String, Vec<f64>>,
+    scheduling: BTreeMap<String, u64>,
+}
+
+/// Aggregating subscriber: counters + histograms behind a mutex, safe to
+/// share by reference. All aggregation happens on the emitting thread;
+/// the events themselves arrive in a deterministic order because the
+/// pipeline emits only from the dispatching thread (see the crate docs).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<MetricsInner>,
+}
+
+impl Metrics {
+    /// A fresh, empty metrics aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Exports the current aggregate state.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics mutex poisoned");
+        let stats = |samples: &BTreeMap<String, Vec<f64>>| {
+            samples
+                .iter()
+                .map(|(k, v)| (k.clone(), TimingStats::from_samples(v)))
+                .collect::<BTreeMap<_, _>>()
+        };
+        MetricsSnapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            curves: inner.curves.clone(),
+            spans: stats(&inner.span_samples),
+            latencies: stats(&inner.latency_samples),
+            scheduling: inner.scheduling.clone(),
+        }
+    }
+}
+
+impl Subscriber for Metrics {
+    fn on_event(&self, event: &AnyEvent) {
+        let mut inner = self.inner.lock().expect("metrics mutex poisoned");
+        match event {
+            AnyEvent::StageStarted(_) => {}
+            AnyEvent::StageFinished(e) => {
+                inner.span_samples.entry(e.stage.as_str().to_string()).or_default().push(e.seconds);
+            }
+            AnyEvent::EpochCompleted(e) => {
+                let stage = e.stage.as_str();
+                *inner.counters.entry(format!("{stage}.epochs")).or_insert(0) += 1;
+                inner.curves.entry(format!("{stage}.loss")).or_default().push(e.loss);
+                inner.gauges.insert(format!("{stage}.final_loss"), e.loss);
+            }
+            AnyEvent::KernelDispatched(e) => {
+                let kernel = e.kernel.as_str();
+                *inner.counters.entry(format!("kernel.{kernel}.dispatches")).or_insert(0) += 1;
+                *inner.counters.entry(format!("kernel.{kernel}.macs")).or_insert(0) += e.macs;
+                let mode = if e.seq_fallback { "seq_fallback" } else { "parallel" };
+                *inner.scheduling.entry(format!("kernel.{kernel}.{mode}")).or_insert(0) += 1;
+                let peak =
+                    inner.scheduling.entry(format!("kernel.{kernel}.max_threads")).or_insert(0);
+                *peak = (*peak).max(e.threads as u64);
+            }
+            AnyEvent::LabelingStageFinished(e) => {
+                *inner.counters.entry("labeling.runs".to_string()).or_insert(0) += 1;
+                *inner.counters.entry("labeling.inputs".to_string()).or_insert(0) +=
+                    e.inputs as u64;
+                inner.gauges.insert("labeling.concepts".to_string(), e.concepts as f32);
+                inner.gauges.insert("labeling.classes".to_string(), e.classes as f32);
+            }
+            AnyEvent::ExplanationProduced(e) => {
+                let kind = e.kind.as_str();
+                *inner.counters.entry(format!("explain.{kind}.count")).or_insert(0) += 1;
+                inner.latency_samples.entry(format!("explain.{kind}")).or_default().push(e.seconds);
+            }
+            AnyEvent::FitCompleted(e) => {
+                *inner.counters.entry("fit.completed".to_string()).or_insert(0) += 1;
+                inner.gauges.insert("fit.fidelity".to_string(), e.fidelity);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::*;
+    use crate::subscriber::emit;
+
+    fn sample_metrics() -> Metrics {
+        let m = Metrics::new();
+        for epoch in 0..4 {
+            emit(
+                &m,
+                EpochCompleted { stage: Stage::DeltaFit, epoch, loss: 1.0 / (epoch + 1) as f32 },
+            );
+        }
+        emit(&m, StageFinished { stage: Stage::DeltaFit, seconds: 0.25 });
+        emit(
+            &m,
+            KernelDispatched {
+                kernel: Kernel::Matmul,
+                rows: 10,
+                inner: 20,
+                cols: 30,
+                macs: 6000,
+                threads: 4,
+                seq_fallback: false,
+            },
+        );
+        emit(
+            &m,
+            KernelDispatched {
+                kernel: Kernel::Matmul,
+                rows: 2,
+                inner: 2,
+                cols: 2,
+                macs: 8,
+                threads: 1,
+                seq_fallback: true,
+            },
+        );
+        emit(
+            &m,
+            ExplanationProduced { kind: ExplanationKind::Factual, output_class: 1, seconds: 1e-4 },
+        );
+        emit(&m, FitCompleted { fidelity: 0.93 });
+        m
+    }
+
+    #[test]
+    fn aggregates_epochs_into_counters_curves_and_gauges() {
+        let snap = sample_metrics().snapshot();
+        assert_eq!(snap.counters["delta_fit.epochs"], 4);
+        assert_eq!(snap.curves["delta_fit.loss"].len(), 4);
+        assert!((snap.gauges["delta_fit.final_loss"] - 0.25).abs() < 1e-6);
+        assert!((snap.gauges["fit.fidelity"] - 0.93).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kernel_dispatches_split_deterministic_and_scheduling_state() {
+        let snap = sample_metrics().snapshot();
+        assert_eq!(snap.counters["kernel.matmul.dispatches"], 2);
+        assert_eq!(snap.counters["kernel.matmul.macs"], 6008);
+        assert_eq!(snap.scheduling["kernel.matmul.parallel"], 1);
+        assert_eq!(snap.scheduling["kernel.matmul.seq_fallback"], 1);
+        assert_eq!(snap.scheduling["kernel.matmul.max_threads"], 4);
+        assert_eq!(snap.kernel_counters().len(), 2);
+    }
+
+    #[test]
+    fn deterministic_view_strips_wall_clock_and_scheduling() {
+        let snap = sample_metrics().snapshot();
+        assert!(!snap.spans.is_empty());
+        assert!(!snap.latencies.is_empty());
+        assert!(!snap.scheduling.is_empty());
+        let det = snap.deterministic();
+        assert!(det.spans.is_empty());
+        assert!(det.latencies.is_empty());
+        assert!(det.scheduling.is_empty());
+        assert_eq!(det.counters, snap.counters);
+        assert_eq!(det.curves, snap.curves);
+    }
+
+    #[test]
+    fn timing_stats_order_statistics() {
+        let m = Metrics::new();
+        for i in 1..=100 {
+            emit(&m, StageFinished { stage: Stage::OmegaFit, seconds: i as f64 });
+        }
+        let stats = &m.snapshot().spans["omega_fit"];
+        assert_eq!(stats.count, 100);
+        assert!((stats.min_s - 1.0).abs() < 1e-9);
+        assert!((stats.max_s - 100.0).abs() < 1e-9);
+        assert!((stats.mean_s - 50.5).abs() < 1e-9);
+        assert!((stats.p50_s - 51.0).abs() < 1e-9);
+        assert!((stats.p99_s - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_structured_json() {
+        let snap = sample_metrics().snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["counters"]["delta_fit.epochs"], 4);
+        assert_eq!(value["counters"]["kernel.matmul.macs"], 6008);
+        assert_eq!(value["curves"]["delta_fit.loss"].as_array().unwrap().len(), 4);
+        assert_eq!(value["spans"]["delta_fit"]["count"], 1);
+        assert_eq!(value["scheduling"]["kernel.matmul.max_threads"], 4);
+    }
+}

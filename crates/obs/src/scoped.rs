@@ -1,0 +1,142 @@
+//! The ambient (thread-local) subscriber scope.
+//!
+//! The dense kernels in `agua-nn::parallel` sit below dozens of call
+//! sites; threading a `&dyn Subscriber` through every matrix operation
+//! would contaminate the whole numeric API. Instead, a subscriber is
+//! installed for a region of work with [`with_scoped_subscriber`] and
+//! the kernels emit through [`emit_scoped`].
+//!
+//! Two properties keep this deterministic and near-free:
+//!
+//! * The scope is **thread-local and not inherited by worker threads**:
+//!   kernels running on `agua-nn`'s scoped workers see no subscriber,
+//!   so events are emitted only from the dispatching thread and their
+//!   order never depends on thread scheduling (mirroring how
+//!   `ThreadConfig`'s scoped override behaves).
+//! * When no scope is installed, [`emit_scoped`] is one thread-local
+//!   flag read; the event itself is built lazily inside a closure, so
+//!   the disabled hot path does no allocation or formatting.
+
+use crate::event::AnyEvent;
+use crate::subscriber::Subscriber;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+thread_local! {
+    static CURRENT: RefCell<Option<Rc<dyn Subscriber>>> = const { RefCell::new(None) };
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when the calling thread has an ambient subscriber installed.
+#[inline]
+pub fn scoped_active() -> bool {
+    ACTIVE.with(Cell::get)
+}
+
+/// Runs `f` with `subscriber` installed as the calling thread's ambient
+/// subscriber, restoring the previous one afterwards (also on panic).
+pub fn with_scoped_subscriber<R>(subscriber: Rc<dyn Subscriber>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Rc<dyn Subscriber>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            ACTIVE.with(|a| a.set(prev.is_some()));
+            CURRENT.with(|c| *c.borrow_mut() = prev);
+        }
+    }
+    let _restore = Restore(CURRENT.with(|c| c.borrow_mut().replace(subscriber)));
+    ACTIVE.with(|a| a.set(true));
+    f()
+}
+
+/// Emits the event built by `build` to the ambient subscriber, if one
+/// is installed; otherwise returns after a single flag check without
+/// invoking `build`.
+#[inline]
+pub fn emit_scoped(build: impl FnOnce() -> AnyEvent) {
+    if !scoped_active() {
+        return;
+    }
+    // Clone the handle out of the cell so a subscriber that itself
+    // emits (or installs a nested scope) cannot hit a double borrow.
+    let subscriber = CURRENT.with(|c| c.borrow().clone());
+    if let Some(subscriber) = subscriber {
+        subscriber.on_event(&build());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, FitCompleted};
+    use std::cell::RefCell;
+
+    #[derive(Default)]
+    struct Recorder {
+        names: RefCell<Vec<&'static str>>,
+    }
+
+    impl Subscriber for Recorder {
+        fn on_event(&self, event: &AnyEvent) {
+            self.names.borrow_mut().push(event.name());
+        }
+    }
+
+    #[test]
+    fn emit_scoped_is_silent_without_a_scope() {
+        assert!(!scoped_active());
+        let mut built = false;
+        emit_scoped(|| {
+            built = true;
+            FitCompleted { fidelity: 1.0 }.into_any()
+        });
+        assert!(!built, "event must not even be built without a scope");
+    }
+
+    #[test]
+    fn scope_delivers_events_and_restores() {
+        let rec = Rc::new(Recorder::default());
+        with_scoped_subscriber(rec.clone(), || {
+            assert!(scoped_active());
+            emit_scoped(|| FitCompleted { fidelity: 0.5 }.into_any());
+        });
+        assert!(!scoped_active());
+        assert_eq!(*rec.names.borrow(), vec!["fit_completed"]);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore_the_outer_subscriber() {
+        let outer = Rc::new(Recorder::default());
+        let inner = Rc::new(Recorder::default());
+        with_scoped_subscriber(outer.clone(), || {
+            with_scoped_subscriber(inner.clone(), || {
+                emit_scoped(|| FitCompleted { fidelity: 0.1 }.into_any());
+            });
+            emit_scoped(|| FitCompleted { fidelity: 0.2 }.into_any());
+        });
+        assert_eq!(inner.names.borrow().len(), 1);
+        assert_eq!(outer.names.borrow().len(), 1);
+    }
+
+    #[test]
+    fn scope_restores_on_panic() {
+        let rec = Rc::new(Recorder::default());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_scoped_subscriber(rec, || panic!("boom"))
+        }));
+        assert!(caught.is_err());
+        assert!(!scoped_active());
+    }
+
+    #[test]
+    fn worker_threads_do_not_inherit_the_scope() {
+        let rec = Rc::new(Recorder::default());
+        with_scoped_subscriber(rec, || {
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    assert!(!scoped_active(), "scope must not leak to workers");
+                });
+            });
+        });
+    }
+}

@@ -1,0 +1,217 @@
+//! The [`Subscriber`] contract, the timing-span helpers, and the
+//! lightweight stock subscribers ([`Noop`], [`Stderr`], [`Fanout`]).
+//!
+//! Subscribers take `&self` so one instance can be shared by reference
+//! across the pipeline; stateful subscribers use interior mutability.
+//! The contract: a subscriber observes, it never influences — it must
+//! not panic on well-formed events and nothing in the pipeline reads a
+//! subscriber's state mid-run.
+
+use crate::event::{AnyEvent, Event, Stage, StageFinished, StageStarted};
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Consumes pipeline events.
+pub trait Subscriber {
+    /// Handles one event. Called synchronously from the emitting thread.
+    fn on_event(&self, event: &AnyEvent);
+}
+
+/// Emits a concrete event to a subscriber.
+pub fn emit<E: Event>(obs: &dyn Subscriber, event: E) {
+    obs.on_event(&event.into_any());
+}
+
+/// An open timing span, created by [`span_start`] and closed by
+/// [`span_end`]. Backed by the monotonic [`Instant`] clock.
+#[derive(Debug)]
+pub struct Span {
+    stage: Stage,
+    start: Instant,
+}
+
+impl Span {
+    /// The stage this span measures.
+    pub fn stage(&self) -> Stage {
+        self.stage
+    }
+
+    /// Seconds elapsed since the span opened.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+/// Opens a timing span for `stage`, emitting [`StageStarted`].
+pub fn span_start(obs: &dyn Subscriber, stage: Stage) -> Span {
+    emit(obs, StageStarted { stage });
+    Span { stage, start: Instant::now() }
+}
+
+/// Closes a span, emitting [`StageFinished`] with the monotonic elapsed
+/// time; returns the measured seconds so callers (e.g. benches) can use
+/// the same reading they reported.
+pub fn span_end(obs: &dyn Subscriber, span: Span) -> f64 {
+    let seconds = span.elapsed_seconds();
+    emit(obs, StageFinished { stage: span.stage, seconds });
+    seconds
+}
+
+/// The default subscriber: drops every event. Each hook is an empty
+/// `#[inline]` body, so observed code paths cost nothing beyond the
+/// virtual call when a `Noop` is threaded through explicitly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Noop;
+
+impl Subscriber for Noop {
+    #[inline]
+    fn on_event(&self, _event: &AnyEvent) {}
+}
+
+/// Human-readable log lines on standard error.
+///
+/// Kernel-dispatch events are suppressed by default (a single training
+/// run dispatches tens of thousands of kernels); enable them with
+/// [`Stderr::with_kernel_events`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stderr {
+    kernel_events: bool,
+}
+
+impl Stderr {
+    /// A stderr logger with kernel-dispatch events suppressed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables or disables per-dispatch kernel log lines.
+    pub fn with_kernel_events(mut self, enabled: bool) -> Self {
+        self.kernel_events = enabled;
+        self
+    }
+}
+
+impl Subscriber for Stderr {
+    fn on_event(&self, event: &AnyEvent) {
+        match event {
+            AnyEvent::StageStarted(e) => eprintln!("[obs] {} started", e.stage.as_str()),
+            AnyEvent::StageFinished(e) => {
+                eprintln!("[obs] {} finished in {:.3}s", e.stage.as_str(), e.seconds)
+            }
+            AnyEvent::EpochCompleted(e) => {
+                eprintln!("[obs] {} epoch {:>4} loss {:.6}", e.stage.as_str(), e.epoch, e.loss)
+            }
+            AnyEvent::KernelDispatched(e) => {
+                if self.kernel_events {
+                    eprintln!(
+                        "[obs] kernel {} {}x{}x{} macs={} threads={}{}",
+                        e.kernel.as_str(),
+                        e.rows,
+                        e.inner,
+                        e.cols,
+                        e.macs,
+                        e.threads,
+                        if e.seq_fallback { " (sequential)" } else { "" }
+                    )
+                }
+            }
+            AnyEvent::LabelingStageFinished(e) => eprintln!(
+                "[obs] labelled {} inputs x {} concepts ({} classes)",
+                e.inputs, e.concepts, e.classes
+            ),
+            AnyEvent::ExplanationProduced(e) => eprintln!(
+                "[obs] {} explanation of class {} in {:.1}us",
+                e.kind.as_str(),
+                e.output_class,
+                e.seconds * 1e6
+            ),
+            AnyEvent::FitCompleted(e) => {
+                eprintln!("[obs] fit completed, train fidelity {:.3}", e.fidelity)
+            }
+        }
+    }
+}
+
+/// Broadcasts each event to several subscribers, in order.
+#[derive(Default)]
+pub struct Fanout {
+    subscribers: Vec<Rc<dyn Subscriber>>,
+}
+
+impl Fanout {
+    /// An empty fanout (equivalent to [`Noop`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a subscriber to the broadcast list.
+    pub fn push(mut self, subscriber: Rc<dyn Subscriber>) -> Self {
+        self.subscribers.push(subscriber);
+        self
+    }
+
+    /// Number of attached subscribers.
+    pub fn len(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    /// True when no subscriber is attached.
+    pub fn is_empty(&self) -> bool {
+        self.subscribers.is_empty()
+    }
+}
+
+impl Subscriber for Fanout {
+    fn on_event(&self, event: &AnyEvent) {
+        for sub in &self.subscribers {
+            sub.on_event(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    /// Test subscriber recording event names.
+    #[derive(Default)]
+    pub(crate) struct Recorder {
+        pub(crate) names: RefCell<Vec<&'static str>>,
+    }
+
+    impl Subscriber for Recorder {
+        fn on_event(&self, event: &AnyEvent) {
+            self.names.borrow_mut().push(event.name());
+        }
+    }
+
+    #[test]
+    fn spans_emit_started_and_finished_with_nonnegative_seconds() {
+        let rec = Recorder::default();
+        let span = span_start(&rec, Stage::DeltaFit);
+        assert_eq!(span.stage(), Stage::DeltaFit);
+        let seconds = span_end(&rec, span);
+        assert!(seconds >= 0.0);
+        assert_eq!(*rec.names.borrow(), vec!["stage_started", "stage_finished"]);
+    }
+
+    #[test]
+    fn fanout_broadcasts_in_order() {
+        let a = Rc::new(Recorder::default());
+        let b = Rc::new(Recorder::default());
+        let fan = Fanout::new().push(a.clone()).push(b.clone());
+        assert_eq!(fan.len(), 2);
+        emit(&fan, crate::event::FitCompleted { fidelity: 1.0 });
+        assert_eq!(*a.names.borrow(), vec!["fit_completed"]);
+        assert_eq!(*b.names.borrow(), vec!["fit_completed"]);
+    }
+
+    #[test]
+    fn noop_accepts_everything() {
+        let noop = Noop;
+        emit(&noop, crate::event::FitCompleted { fidelity: 0.5 });
+        let span = span_start(&noop, Stage::Custom("bench"));
+        let _ = span_end(&noop, span);
+    }
+}

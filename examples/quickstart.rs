@@ -1,7 +1,7 @@
 //! Quickstart: explain a DDoS detector's decision in five steps.
 //!
 //! ```text
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart [-- --obs jsonl]
 //! ```
 //!
 //! 1. Build a learning-enabled controller (a LUCID-style flow classifier).
@@ -10,18 +10,47 @@
 //!    (describe → embed → cosine → ψ_k).
 //! 4. Fit Agua's two-stage surrogate (δ then Ω).
 //! 5. Ask for a factual explanation of a single decision.
+//!
+//! Pass `--obs jsonl` to trace every pipeline event (labelling span,
+//! per-epoch losses, explanation latency) to
+//! `results/logs/quickstart.jsonl`, or `--obs stderr` to watch them
+//! live. Subscribers observe only: the model and the explanation are
+//! byte-identical under every mode.
 
 use agua::concepts::ddos_concepts;
-use agua::explain::factual;
+use agua::explain::factual_observed;
 use agua::labeling::{ConceptLabeler, Quantizer};
 use agua::surrogate::{AguaModel, SurrogateDataset, TrainParams};
 use agua_controllers::ddos::{generate_dataset, train_detector, ATTACK};
 use agua_nn::Matrix;
+use agua_obs::{JsonlWriter, Noop, Stderr, Subscriber};
 use agua_text::describer::{Describer, DescriberConfig};
 use agua_text::embedding::Embedder;
 use ddos_env::{DdosObservation, FlowKind, FlowWindow};
+use std::rc::Rc;
+
+fn subscriber_from_args() -> Rc<dyn Subscriber> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = match args.iter().position(|a| a == "--obs") {
+        Some(i) => args.get(i + 1).map(String::as_str).unwrap_or("off"),
+        None => "off",
+    };
+    match mode {
+        "off" => Rc::new(Noop),
+        "stderr" => Rc::new(Stderr::new()),
+        "jsonl" => {
+            let path = "results/logs/quickstart.jsonl";
+            let writer = JsonlWriter::create(path).expect("create trace file");
+            println!("tracing pipeline events to {path}");
+            Rc::new(writer)
+        }
+        other => panic!("--obs expects off|stderr|jsonl, got `{other}`"),
+    }
+}
 
 fn main() {
+    let obs = subscriber_from_args();
+
     // 1. The controller to explain: a supervised DDoS detector.
     println!("training the detector…");
     let train_flows = generate_dataset(800, 1);
@@ -48,13 +77,14 @@ fn main() {
         Quantizer::calibrated(),
     );
     let sections: Vec<_> = observations.iter().map(|o| o.sections()).collect();
-    let concept_labels = labeler.label_batch(&sections, 42);
+    let concept_labels = labeler.label_batch_observed(&sections, 42, 1, &*obs);
 
     // 4. Fit the surrogate: concept mapping δ, then linear output mapping Ω.
     println!("fitting Agua's surrogate…");
     let dataset = SurrogateDataset { embeddings, concept_labels, outputs };
-    let model = AguaModel::fit(&concepts, 3, 2, &dataset, &TrainParams::tuned());
+    let model = AguaModel::fit_observed(&concepts, 3, 2, &dataset, &TrainParams::tuned(), &*obs);
     let fid = model.fidelity(&dataset.embeddings, &dataset.outputs);
+    agua_obs::emit(&*obs, agua_obs::FitCompleted { fidelity: fid });
     println!("surrogate fidelity on the collected decisions: {fid:.3}\n");
 
     // 5. Explain one decision: why does the detector flag this SYN flood?
@@ -63,6 +93,6 @@ fn main() {
     let h = detector.embeddings(&x);
     let verdict = detector.mlp.infer(&x).argmax_row(0);
     println!("detector verdict: {}", if verdict == ATTACK { "DDoS attack" } else { "benign" });
-    let explanation = factual(&model, &h);
+    let explanation = factual_observed(&model, &h, &*obs);
     println!("{}", explanation.render(5));
 }

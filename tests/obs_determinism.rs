@@ -1,0 +1,134 @@
+//! The observability layer must observe, never influence (ISSUE PR 2,
+//! DESIGN.md §9):
+//!
+//! * The deterministic portion of a [`agua_obs::Metrics`] snapshot —
+//!   counters, gauges, curves — is identical whether training runs on 1
+//!   or 4 worker threads, because events are emitted only from the
+//!   dispatching thread.
+//! * Attaching a [`agua_obs::JsonlWriter`] (or any subscriber) leaves
+//!   the trained weights byte-identical to a `Noop` run.
+
+use agua::concepts::{Concept, ConceptSet};
+use agua::surrogate::{AguaModel, SurrogateDataset, TrainParams};
+use agua_nn::parallel::{with_thread_config, ThreadConfig};
+use agua_nn::Matrix;
+use agua_obs::scoped::with_scoped_subscriber;
+use agua_obs::{JsonlWriter, Metrics, MetricsSnapshot, Noop};
+use std::rc::Rc;
+
+fn toy_workload() -> (ConceptSet, SurrogateDataset) {
+    let concepts = ConceptSet::new(
+        (0..4)
+            .map(|g| {
+                Concept::new(
+                    &format!("obs concept {g}"),
+                    &format!("synthetic concept text {g} for the observability test"),
+                )
+            })
+            .collect(),
+    );
+    let n = 96;
+    let emb_dim = 16;
+    let k = 3;
+    let embeddings = Matrix::from_fn(n, emb_dim, |r, c| {
+        let h = (r * 131 + c * 17 + 7) % 211;
+        h as f32 / 105.5 - 1.0
+    });
+    let concept_labels: Vec<Vec<usize>> = (0..n)
+        .map(|r| {
+            (0..4).map(|g| ((embeddings.get(r, g) + 1.0) / 2.0 * k as f32) as usize % k).collect()
+        })
+        .collect();
+    let outputs: Vec<usize> =
+        (0..n).map(|r| (concept_labels[r][0] + concept_labels[r][1]) % 3).collect();
+    (concepts, SurrogateDataset { embeddings, concept_labels, outputs })
+}
+
+fn model_bits(model: &AguaModel, embeddings: &Matrix) -> Vec<u32> {
+    let mut out: Vec<u32> =
+        model.output_mapping.weights().as_slice().iter().map(|v| v.to_bits()).collect();
+    out.extend(model.output_mapping.bias().as_slice().iter().map(|v| v.to_bits()));
+    out.extend(model.concept_probs(embeddings).as_slice().iter().map(|v| v.to_bits()));
+    out.extend(model.predict_logits(embeddings).as_slice().iter().map(|v| v.to_bits()));
+    out
+}
+
+/// Fits the toy workload at `threads` workers with a fresh `Metrics`
+/// subscriber attached (both explicitly and as the ambient scope, so
+/// kernel dispatches are captured) and returns the snapshot.
+fn observed_fit(threads: usize) -> (MetricsSnapshot, Vec<u32>) {
+    let (concepts, dataset) = toy_workload();
+    let params = TrainParams::fast();
+    let metrics = Rc::new(Metrics::new());
+    // min_flops: 1 forces even this small workload through the threaded
+    // kernels so the kernel counters are not vacuously equal.
+    let model = with_thread_config(ThreadConfig { threads, min_flops: 1 }, || {
+        with_scoped_subscriber(metrics.clone(), || {
+            AguaModel::fit_observed(&concepts, 3, 3, &dataset, &params, &*metrics)
+        })
+    });
+    (metrics.snapshot(), model_bits(&model, &dataset.embeddings))
+}
+
+#[test]
+fn metrics_deterministic_view_is_identical_at_1_and_4_threads() {
+    let (single, single_bits) = observed_fit(1);
+    let (multi, multi_bits) = observed_fit(4);
+
+    // The snapshot must have real content, not be trivially equal.
+    assert!(single.counters["delta_fit.epochs"] > 0);
+    assert!(single.counters["omega_fit.epochs"] > 0);
+    assert_eq!(single.curves["delta_fit.loss"].len(), single.counters["delta_fit.epochs"] as usize);
+    assert!(
+        single.counters.keys().any(|k| k.starts_with("kernel.")),
+        "kernel dispatches must reach the scoped subscriber: {:?}",
+        single.counters.keys().collect::<Vec<_>>()
+    );
+    assert!(single.gauges.contains_key("delta_fit.final_loss"));
+
+    assert_eq!(
+        single.deterministic(),
+        multi.deterministic(),
+        "counters/gauges/curves must not depend on the thread count"
+    );
+    assert_eq!(single_bits, multi_bits, "observed fits stay byte-identical across threads");
+}
+
+#[test]
+fn jsonl_tracing_leaves_trained_weights_byte_identical_to_noop() {
+    let (concepts, dataset) = toy_workload();
+    let params = TrainParams::fast();
+
+    let baseline = AguaModel::fit_observed(&concepts, 3, 3, &dataset, &params, &Noop);
+
+    let path =
+        std::env::temp_dir().join(format!("agua-obs-determinism-{}.jsonl", std::process::id()));
+    let traced = {
+        let writer = Rc::new(JsonlWriter::create(&path).expect("create trace file"));
+        let model = with_scoped_subscriber(writer.clone(), || {
+            AguaModel::fit_observed(&concepts, 3, 3, &dataset, &params, &*writer)
+        });
+        writer.flush().expect("flush trace");
+        model
+    };
+
+    assert_eq!(
+        model_bits(&baseline, &dataset.embeddings),
+        model_bits(&traced, &dataset.embeddings),
+        "tracing must not perturb the trained weights"
+    );
+
+    let text = std::fs::read_to_string(&path).expect("read trace");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty(), "trace must not be empty");
+    for line in &lines {
+        let value: serde_json::Value =
+            serde_json::from_str(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+        assert!(value["event"].is_string(), "line missing event tag: {line}");
+    }
+    assert!(
+        lines.iter().any(|l| l.contains("\"epoch_completed\"")),
+        "per-epoch events must be traced"
+    );
+    std::fs::remove_file(&path).ok();
+}
