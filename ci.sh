@@ -40,4 +40,36 @@ else
 fi
 echo "    trace ok: $(wc -l <results/logs/quickstart.jsonl) events"
 
+echo "==> bench smoke: bench_parallel --smoke writes a schema-complete report"
+rm -f results/BENCH_parallel.json
+cargo run --release -p agua-bench --bin bench_parallel -- --smoke
+test -s results/BENCH_parallel.json
+if command -v jq >/dev/null 2>&1; then
+  jq -e '
+    .mode == "smoke"
+    and (.matmul_sweep | type == "array" and length > 0)
+    and all(.matmul_sweep[];
+      (.rows | type == "number")
+      and (.inner | type == "number")
+      and (.cols | type == "number")
+      and (.scoped_scalar_4t_secs | type == "number")
+      and (.pool_tiled_4t_secs | type == "number")
+      and (.seq_scalar_secs | type == "number")
+      and (.seq_tiled_secs | type == "number")
+      and (.speedup_pool_tiled_vs_scoped_scalar | type == "number"))
+    and (.speedup_pool_tiled_vs_scoped_scalar | type == "number")
+    and (.kernel_dispatch_counters | type == "object")
+    and (.kernel_scheduling | type == "object")
+  ' <results/BENCH_parallel.json >/dev/null
+else
+  # Without jq: the report must at least carry the top-level keys.
+  for key in mode matmul_sweep speedup_pool_tiled_vs_scoped_scalar \
+             kernel_dispatch_counters kernel_scheduling; do
+    grep -q "\"$key\"" results/BENCH_parallel.json || {
+      echo "missing key in BENCH_parallel.json: $key" >&2; exit 1
+    }
+  done
+fi
+echo "    bench report ok: $(wc -c <results/BENCH_parallel.json) bytes"
+
 echo "==> CI gate passed"

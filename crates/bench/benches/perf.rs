@@ -13,7 +13,7 @@ use agua::labeling::{ConceptLabeler, Quantizer};
 use agua::surrogate::{AguaModel, SurrogateDataset, TrainParams};
 use agua_bench::synth::{bench_params, synthetic_surrogate, SynthSpec};
 use agua_controllers::ddos::{generate_dataset, train_detector};
-use agua_nn::parallel::{par_matmul, with_threads};
+use agua_nn::parallel::{par_matmul, reference, with_thread_config, with_threads, ThreadConfig};
 use agua_nn::Matrix;
 use agua_text::describer::{Describer, DescriberConfig};
 use agua_text::embedding::Embedder;
@@ -205,6 +205,44 @@ fn bench_parallel_backend(c: &mut Criterion) {
     group.finish();
 }
 
+/// Persistent pool vs the retired per-op scoped-spawn dispatcher, same
+/// tiled kernel and worker count — isolates the dispatch cost.
+fn bench_pool_vs_scope(c: &mut Criterion) {
+    let a = Matrix::from_fn(500, 128, |r, col| ((r * 31 + col * 7) % 101) as f32 / 50.0 - 1.0);
+    let b = Matrix::from_fn(128, 256, |r, col| ((r * 13 + col * 17) % 97) as f32 / 48.0 - 1.0);
+    let forced = ThreadConfig { threads: 4, min_flops: 0 };
+
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(20);
+    group.bench_function("pool_tiled_t4", |bench| {
+        bench.iter(|| with_thread_config(forced, || par_matmul(black_box(&a), black_box(&b))))
+    });
+    group.bench_function("scoped_tiled_t4", |bench| {
+        bench.iter(|| reference::scoped_tiled_matmul(black_box(&a), black_box(&b), 4))
+    });
+    group.bench_function("scoped_scalar_t4", |bench| {
+        bench.iter(|| reference::scoped_scalar_matmul(black_box(&a), black_box(&b), 4))
+    });
+    group.finish();
+}
+
+/// Column-tiled vs untiled scalar kernels, both sequential — isolates
+/// the kernel win from any dispatch effects.
+fn bench_tiled_vs_scalar(c: &mut Criterion) {
+    let a = Matrix::from_fn(500, 128, |r, col| ((r * 31 + col * 7) % 101) as f32 / 50.0 - 1.0);
+    let b = Matrix::from_fn(128, 256, |r, col| ((r * 13 + col * 17) % 97) as f32 / 48.0 - 1.0);
+
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+    group.bench_function("matmul_tiled_seq", |bench| {
+        bench.iter(|| black_box(&a).matmul(black_box(&b)))
+    });
+    group.bench_function("matmul_scalar_seq", |bench| {
+        bench.iter(|| black_box(&a).matmul_reference(black_box(&b)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_explanations,
@@ -212,6 +250,8 @@ criterion_group!(
     bench_text_pipeline,
     bench_tree_induction,
     bench_simulators,
-    bench_parallel_backend
+    bench_parallel_backend,
+    bench_pool_vs_scope,
+    bench_tiled_vs_scalar
 );
 criterion_main!(benches);

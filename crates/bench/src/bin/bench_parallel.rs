@@ -1,26 +1,37 @@
 //! **Parallel backend benchmark** — surrogate training and batched
-//! explanation at 1 vs N worker threads.
+//! explanation at 1 vs N worker threads, plus a δ-fit-shaped matmul
+//! sweep comparing the persistent-pool tiled kernels against the
+//! retired per-op scoped-spawn scalar dispatcher.
 //!
 //! Verifies that the deterministic row-partitioned backend produces
 //! byte-identical models and explanations at every thread count, then
 //! records the measured wall-clock speedups — timed through the
 //! `agua-obs` span API, so the numbers persisted here are the same
 //! readings any attached subscriber sees — plus the kernel-dispatch
-//! counter snapshot, in `results/BENCH_parallel.json`.
+//! counter snapshot, in `results/BENCH_parallel.json` (and, on a full
+//! run, the repo-root `BENCH_parallel.json` committed as the record of
+//! this machine's speedups).
+//!
+//! `--smoke` runs only the matmul sweep at reduced repetitions and
+//! skips the repo-root write: fast enough for CI, still producing a
+//! schema-complete `results/BENCH_parallel.json` for validation.
 
 use agua::explain;
 use agua::surrogate::AguaModel;
 use agua_bench::report::{banner, save_json};
 use agua_bench::synth::{bench_params, synthetic_surrogate, SynthSpec};
-use agua_nn::parallel::with_threads;
+use agua_nn::parallel::{reference, with_thread_config, with_threads, ThreadConfig};
 use agua_nn::Matrix;
 use agua_obs::scoped::with_scoped_subscriber;
 use agua_obs::{span_end, span_start, Metrics, Stage};
-use serde::Serialize;
+use serde::ser::SerializeStruct;
+use serde::{Serialize, Serializer};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::rc::Rc;
+use std::time::Instant;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct StageResult {
     stage: String,
     threads: usize,
@@ -29,18 +40,94 @@ struct StageResult {
     byte_identical_to_1_thread: bool,
 }
 
-/// The persisted report: per-stage timings plus the kernel-dispatch
-/// counters aggregated by the `Metrics` subscriber over the whole run.
-#[derive(Debug, Serialize)]
+impl Serialize for StageResult {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("StageResult", 5)?;
+        s.serialize_field("stage", &self.stage)?;
+        s.serialize_field("threads", &self.threads)?;
+        s.serialize_field("seconds", &self.seconds)?;
+        s.serialize_field("speedup_vs_1_thread", &self.speedup_vs_1_thread)?;
+        s.serialize_field("byte_identical_to_1_thread", &self.byte_identical_to_1_thread)?;
+        s.end()
+    }
+}
+
+/// One shape of the δ-fit matmul sweep: the four timed variants
+/// factor the win into dispatch (pool vs scoped spawn) and kernel
+/// (tiled vs scalar) contributions.
+#[derive(Debug)]
+struct SweepShape {
+    rows: usize,
+    inner: usize,
+    cols: usize,
+    reps: usize,
+    /// Retired dispatcher + untiled kernel at 4 workers — the pre-pool
+    /// baseline this PR is measured against.
+    scoped_scalar_4t_secs: f64,
+    /// Persistent pool + tiled kernel at 4 threads.
+    pool_tiled_4t_secs: f64,
+    /// Sequential untiled kernel (no dispatch at all).
+    seq_scalar_secs: f64,
+    /// Sequential tiled kernel (isolates the kernel win).
+    seq_tiled_secs: f64,
+    speedup_pool_tiled_vs_scoped_scalar: f64,
+}
+
+impl Serialize for SweepShape {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("SweepShape", 9)?;
+        s.serialize_field("rows", &self.rows)?;
+        s.serialize_field("inner", &self.inner)?;
+        s.serialize_field("cols", &self.cols)?;
+        s.serialize_field("reps", &self.reps)?;
+        s.serialize_field("scoped_scalar_4t_secs", &self.scoped_scalar_4t_secs)?;
+        s.serialize_field("pool_tiled_4t_secs", &self.pool_tiled_4t_secs)?;
+        s.serialize_field("seq_scalar_secs", &self.seq_scalar_secs)?;
+        s.serialize_field("seq_tiled_secs", &self.seq_tiled_secs)?;
+        s.serialize_field(
+            "speedup_pool_tiled_vs_scoped_scalar",
+            &self.speedup_pool_tiled_vs_scoped_scalar,
+        )?;
+        s.end()
+    }
+}
+
+/// The persisted report: per-stage timings, the matmul sweep, and the
+/// kernel-dispatch counters aggregated by the `Metrics` subscriber over
+/// the whole run.
+#[derive(Debug)]
 struct BenchParallelReport {
+    /// "full" or "smoke" (`--smoke` skips the training stages).
+    mode: String,
     stages: Vec<StageResult>,
+    /// δ-fit-shaped matmuls, pool+tiled vs scoped-spawn scalar.
+    matmul_sweep: Vec<SweepShape>,
+    /// Total-time speedup of the pool+tiled path over the scoped-spawn
+    /// scalar baseline across the whole sweep at 4 threads.
+    speedup_pool_tiled_vs_scoped_scalar: f64,
     /// Deterministic dispatch/MAC counters (`kernel.*`), identical at
     /// any thread count.
     kernel_dispatch_counters: BTreeMap<String, u64>,
-    /// Scheduling counters (parallel vs sequential dispatches, peak
-    /// worker counts) — these legitimately vary with the thread counts
-    /// exercised above.
+    /// Scheduling counters (parallel vs sequential dispatches, pool
+    /// dispatches, queue depths, peak worker counts) — these
+    /// legitimately vary with the thread counts exercised above.
     kernel_scheduling: BTreeMap<String, u64>,
+}
+
+impl Serialize for BenchParallelReport {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("BenchParallelReport", 6)?;
+        s.serialize_field("mode", &self.mode)?;
+        s.serialize_field("stages", &self.stages)?;
+        s.serialize_field("matmul_sweep", &self.matmul_sweep)?;
+        s.serialize_field(
+            "speedup_pool_tiled_vs_scoped_scalar",
+            &self.speedup_pool_tiled_vs_scoped_scalar,
+        )?;
+        s.serialize_field("kernel_dispatch_counters", &self.kernel_dispatch_counters)?;
+        s.serialize_field("kernel_scheduling", &self.kernel_scheduling)?;
+        s.end()
+    }
 }
 
 fn bits(m: &Matrix) -> Vec<u32> {
@@ -53,91 +140,182 @@ fn model_bits(model: &AguaModel) -> Vec<u32> {
     out
 }
 
+/// Deterministic dense test matrix for the sweep.
+fn sweep_mat(rows: usize, cols: usize, salt: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| ((r * 31 + c * 7 + salt * 13) % 101) as f32 / 50.0 - 1.0)
+}
+
+/// Times `f` over `reps` repetitions (after one untimed warm-up) and
+/// returns the *minimum* per-rep time: the steady-state cost with
+/// scheduler noise and interference spikes filtered out, which is the
+/// stable statistic on a shared machine.
+fn time_reps(reps: usize, mut f: impl FnMut() -> Matrix) -> (f64, Matrix) {
+    let mut last = f(); // warm-up rep, also the checked output
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        last = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, last)
+}
+
+/// The matmul sweep: δ-fit-shaped products (batch × emb → hidden,
+/// batch × hidden → C·k logits) at 4 threads, pool+tiled vs the
+/// retired scoped-spawn scalar path.
+fn run_sweep(reps: usize) -> (Vec<SweepShape>, f64) {
+    const SHAPES: [(usize, usize, usize); 4] =
+        [(100, 128, 256), (250, 128, 256), (500, 128, 256), (500, 256, 24)];
+    const THREADS: usize = 4;
+    let forced = ThreadConfig { threads: THREADS, min_flops: 0 };
+
+    println!("\n[matmul sweep] pool+tiled vs scoped-spawn scalar, {THREADS} threads, {reps} reps");
+    let mut rows = Vec::new();
+    let mut total_scoped = 0.0f64;
+    let mut total_pool = 0.0f64;
+    for &(m, k, n) in &SHAPES {
+        let a = sweep_mat(m, k, 1);
+        let b = sweep_mat(k, n, 2);
+
+        let (scoped_secs, scoped_out) =
+            time_reps(reps, || reference::scoped_scalar_matmul(&a, &b, THREADS));
+        let (pool_secs, pool_out) =
+            time_reps(reps, || with_thread_config(forced, || agua_nn::par_matmul(&a, &b)));
+        let (seq_scalar_secs, seq_out) = time_reps(reps, || a.matmul_reference(&b));
+        let (seq_tiled_secs, tiled_out) = time_reps(reps, || a.matmul(&b));
+
+        assert_eq!(bits(&seq_out), bits(&pool_out), "pool+tiled must match sequential scalar");
+        assert_eq!(bits(&seq_out), bits(&scoped_out), "scoped scalar must match sequential");
+        assert_eq!(bits(&seq_out), bits(&tiled_out), "tiled kernel must match scalar");
+
+        let speedup = scoped_secs / pool_secs;
+        total_scoped += scoped_secs;
+        total_pool += pool_secs;
+        println!(
+            "  {m}x{k}x{n}: scoped_scalar={:.0}us pool_tiled={:.0}us (seq scalar={:.0}us tiled={:.0}us)  speedup={speedup:.2}x",
+            scoped_secs * 1e6,
+            pool_secs * 1e6,
+            seq_scalar_secs * 1e6,
+            seq_tiled_secs * 1e6,
+        );
+        rows.push(SweepShape {
+            rows: m,
+            inner: k,
+            cols: n,
+            reps,
+            scoped_scalar_4t_secs: scoped_secs,
+            pool_tiled_4t_secs: pool_secs,
+            seq_scalar_secs,
+            seq_tiled_secs,
+            speedup_pool_tiled_vs_scoped_scalar: speedup,
+        });
+    }
+    let overall = total_scoped / total_pool;
+    println!("  overall speedup (total time): {overall:.2}x");
+    (rows, overall)
+}
+
 fn main() {
-    banner("BENCH parallel", "1-thread vs N-thread speedup of the deterministic backend");
-    let spec = SynthSpec::large();
-    let (concepts, dataset) = synthetic_surrogate(spec);
-    let params = bench_params(spec.seed);
-    let thread_counts = [1usize, 2, 4];
-    let mut rows: Vec<StageResult> = Vec::new();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    banner(
+        "BENCH parallel",
+        "1-thread vs N-thread speedup of the deterministic backend (pool + tiled kernels)",
+    );
     let metrics = Rc::new(Metrics::new());
+    let mut rows: Vec<StageResult> = Vec::new();
 
-    // --- Stage 1: surrogate training (δ then Ω, matmul-dominated).
-    println!(
-        "\n[fit] n={} emb={} hidden={} cm_batch={}",
-        spec.n, spec.emb_dim, params.cm_hidden, params.cm_batch
-    );
-    let mut baseline_model_bits: Vec<u32> = Vec::new();
-    let mut baseline_model: Option<AguaModel> = None;
-    let mut fit_base_secs = 0.0f64;
-    for &threads in &thread_counts {
-        let span = span_start(&*metrics, Stage::Custom("surrogate_fit"));
-        let model = with_scoped_subscriber(metrics.clone(), || {
-            with_threads(threads, || {
-                AguaModel::fit(&concepts, spec.k, spec.n_outputs, &dataset, &params)
-            })
-        });
-        let secs = span_end(&*metrics, span);
-        let mb = model_bits(&model);
-        let identical = if threads == 1 {
-            fit_base_secs = secs;
-            baseline_model_bits = mb;
-            baseline_model = Some(model);
-            true
-        } else {
-            mb == baseline_model_bits
-        };
-        let speedup = fit_base_secs / secs;
-        println!("  threads={threads}: {secs:.3}s  speedup={speedup:.2}x  identical={identical}");
-        rows.push(StageResult {
-            stage: "surrogate_fit".into(),
-            threads,
-            seconds: secs,
-            speedup_vs_1_thread: speedup,
-            byte_identical_to_1_thread: identical,
-        });
-    }
-    let model = baseline_model.expect("1-thread fit ran first");
+    if !smoke {
+        let spec = SynthSpec::large();
+        let (concepts, dataset) = synthetic_surrogate(spec);
+        let params = bench_params(spec.seed);
+        let thread_counts = [1usize, 2, 4];
 
-    // --- Stage 2: batched explanation over the full dataset.
-    println!("\n[batched explanation] n={}", spec.n);
-    const REPS: usize = 20;
-    let mut baseline_weights: Vec<u32> = Vec::new();
-    let mut explain_base_secs = 0.0f64;
-    for &threads in &thread_counts {
-        let span = span_start(&*metrics, Stage::Custom("batched_explanation"));
-        let mut last = None;
-        for _ in 0..REPS {
-            last = Some(with_scoped_subscriber(metrics.clone(), || {
-                with_threads(threads, || explain::batched(&model, &dataset.embeddings, 0))
-            }));
+        // --- Stage 1: surrogate training (δ then Ω, matmul-dominated).
+        println!(
+            "\n[fit] n={} emb={} hidden={} cm_batch={}",
+            spec.n, spec.emb_dim, params.cm_hidden, params.cm_batch
+        );
+        let mut baseline_model_bits: Vec<u32> = Vec::new();
+        let mut baseline_model: Option<AguaModel> = None;
+        let mut fit_base_secs = 0.0f64;
+        for &threads in &thread_counts {
+            let span = span_start(&*metrics, Stage::Custom("surrogate_fit"));
+            let model = with_scoped_subscriber(metrics.clone(), || {
+                with_threads(threads, || {
+                    AguaModel::fit(&concepts, spec.k, spec.n_outputs, &dataset, &params)
+                })
+            });
+            let secs = span_end(&*metrics, span);
+            let mb = model_bits(&model);
+            let identical = if threads == 1 {
+                fit_base_secs = secs;
+                baseline_model_bits = mb;
+                baseline_model = Some(model);
+                true
+            } else {
+                mb == baseline_model_bits
+            };
+            let speedup = fit_base_secs / secs;
+            println!(
+                "  threads={threads}: {secs:.3}s  speedup={speedup:.2}x  identical={identical}"
+            );
+            rows.push(StageResult {
+                stage: "surrogate_fit".into(),
+                threads,
+                seconds: secs,
+                speedup_vs_1_thread: speedup,
+                byte_identical_to_1_thread: identical,
+            });
         }
-        let secs = span_end(&*metrics, span);
-        let explanation = last.expect("at least one rep");
-        let weight_bits: Vec<u32> =
-            explanation.contributions.iter().map(|c| c.weight.to_bits()).collect();
-        let identical = if threads == 1 {
-            explain_base_secs = secs;
-            baseline_weights = weight_bits;
-            true
-        } else {
-            weight_bits == baseline_weights
-        };
-        let speedup = explain_base_secs / secs;
-        println!("  threads={threads}: {secs:.3}s  speedup={speedup:.2}x  identical={identical}");
-        rows.push(StageResult {
-            stage: "batched_explanation".into(),
-            threads,
-            seconds: secs,
-            speedup_vs_1_thread: speedup,
-            byte_identical_to_1_thread: identical,
-        });
+        let model = baseline_model.expect("1-thread fit ran first");
+
+        // --- Stage 2: batched explanation over the full dataset.
+        println!("\n[batched explanation] n={}", spec.n);
+        const REPS: usize = 20;
+        let mut baseline_weights: Vec<u32> = Vec::new();
+        let mut explain_base_secs = 0.0f64;
+        for &threads in &thread_counts {
+            let span = span_start(&*metrics, Stage::Custom("batched_explanation"));
+            let mut last = None;
+            for _ in 0..REPS {
+                last = Some(with_scoped_subscriber(metrics.clone(), || {
+                    with_threads(threads, || explain::batched(&model, &dataset.embeddings, 0))
+                }));
+            }
+            let secs = span_end(&*metrics, span);
+            let explanation = last.expect("at least one rep");
+            let weight_bits: Vec<u32> =
+                explanation.contributions.iter().map(|c| c.weight.to_bits()).collect();
+            let identical = if threads == 1 {
+                explain_base_secs = secs;
+                baseline_weights = weight_bits;
+                true
+            } else {
+                weight_bits == baseline_weights
+            };
+            let speedup = explain_base_secs / secs;
+            println!(
+                "  threads={threads}: {secs:.3}s  speedup={speedup:.2}x  identical={identical}"
+            );
+            rows.push(StageResult {
+                stage: "batched_explanation".into(),
+                threads,
+                seconds: secs,
+                speedup_vs_1_thread: speedup,
+                byte_identical_to_1_thread: identical,
+            });
+        }
+
+        assert!(
+            rows.iter().all(|r| r.byte_identical_to_1_thread),
+            "parallel backend must be byte-identical to the sequential path"
+        );
     }
 
-    assert!(
-        rows.iter().all(|r| r.byte_identical_to_1_thread),
-        "parallel backend must be byte-identical to the sequential path"
-    );
+    // --- Stage 3: the δ-fit-shaped matmul sweep (runs in both modes;
+    // attach the metrics subscriber so pool-dispatch counters show up).
+    let (sweep, overall_speedup) =
+        with_scoped_subscriber(metrics.clone(), || run_sweep(if smoke { 10 } else { 30 }));
 
     let snapshot = metrics.snapshot();
     let kernel = snapshot.kernel_counters();
@@ -146,13 +324,22 @@ fn main() {
         println!("  {name:<40} {value}");
     }
 
-    save_json(
-        "BENCH_parallel",
-        &BenchParallelReport {
-            stages: rows,
-            kernel_dispatch_counters: kernel,
-            kernel_scheduling: snapshot.scheduling.clone(),
-        },
-    );
+    let report = BenchParallelReport {
+        mode: if smoke { "smoke" } else { "full" }.into(),
+        stages: rows,
+        matmul_sweep: sweep,
+        speedup_pool_tiled_vs_scoped_scalar: overall_speedup,
+        kernel_dispatch_counters: kernel,
+        kernel_scheduling: snapshot.scheduling.clone(),
+    };
+    save_json("BENCH_parallel", &report);
+    if !smoke {
+        // A full run also refreshes the committed repo-root record.
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let path = root.join("BENCH_parallel.json");
+        let json = serde_json::to_string_pretty(&report).expect("serialize report");
+        std::fs::write(&path, json).expect("write repo-root report");
+        println!("wrote {}", path.display());
+    }
     println!("\nwrote results/BENCH_parallel.json");
 }

@@ -45,8 +45,9 @@ OPTIONS:
                            output class k
   --llm <hq|os>            simulated LLM variant (default hq)
   --threads <n>            worker threads for the deterministic parallel
-                           backend (default: AGUA_THREADS env or all
-                           cores; results are identical at any value)
+                           backend's persistent pool (default: AGUA_THREADS
+                           env or all cores; results are identical at any
+                           value)
   --obs <mode>             observability subscriber for train/fidelity/
                            explain: off (default) | stderr | metrics |
                            jsonl (trace in results/logs/<cmd>_<app>.jsonl).

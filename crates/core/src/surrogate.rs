@@ -9,8 +9,9 @@
 
 use crate::concepts::ConceptSet;
 use agua_nn::{
-    grouped_softmax_cross_entropy, parallel, softmax_cross_entropy, softmax_rows, ElasticNet,
-    Layer, LayerKind, LayerNorm, Linear, Matrix, Mlp, Optimizer, ReLU, Sgd,
+    grouped_softmax_cross_entropy_into, parallel, softmax_cross_entropy_into, softmax_rows,
+    BackwardScratch, ElasticNet, Layer, LayerKind, LayerNorm, Linear, Matrix, Mlp, MlpWorkspace,
+    Optimizer, ReLU, Sgd,
 };
 use agua_obs::{emit, span_end, span_start, EpochCompleted, Noop, Stage, Subscriber};
 use rand::rngs::StdRng;
@@ -179,18 +180,33 @@ impl ConceptMapping {
         let mut opt = Sgd::new(params.cm_lr, params.cm_momentum);
         let mut order: Vec<usize> = (0..n).collect();
         let mut curve = Vec::with_capacity(params.cm_epochs);
+        // Persistent step buffers: after the first batch every step is
+        // allocation-free, and the `_into` paths are bitwise-identical
+        // to the allocating ones, so trained weights don't change.
+        let mut ws = MlpWorkspace::default();
+        let mut x = Matrix::default();
+        let mut grad = Matrix::default();
+        let mut y_buf: Vec<Vec<usize>> = Vec::new();
         for epoch in 0..params.cm_epochs {
             order.shuffle(rng);
             let mut epoch_loss = 0.0;
             let mut batches = 0;
             for chunk in order.chunks(params.cm_batch) {
-                let x = embeddings.select_rows(chunk);
-                let y: Vec<Vec<usize>> = chunk.iter().map(|&i| labels[i].clone()).collect();
+                embeddings.select_rows_into(chunk, &mut x);
+                y_buf.resize(chunk.len(), Vec::new());
+                for (dst, &i) in y_buf.iter_mut().zip(chunk) {
+                    dst.clone_from(&labels[i]);
+                }
                 self.mlp.zero_grad();
-                let logits = self.mlp.forward(&x);
-                let (loss, grad) =
-                    grouped_softmax_cross_entropy(&logits, &y, self.concepts, self.k);
-                self.mlp.backward(&grad);
+                let logits = self.mlp.forward_ws(&x, &mut ws);
+                let loss = grouped_softmax_cross_entropy_into(
+                    logits,
+                    &y_buf,
+                    self.concepts,
+                    self.k,
+                    &mut grad,
+                );
+                self.mlp.backward_ws(&grad, &mut ws);
                 opt.step(&mut self.mlp.params_mut());
                 epoch_loss += loss;
                 batches += 1;
@@ -297,17 +313,25 @@ impl OutputMapping {
         let elastic = ElasticNet::new(params.elastic_alpha, params.elastic_coeff);
         let mut order: Vec<usize> = (0..n).collect();
         let mut curve = Vec::with_capacity(params.om_epochs);
+        // Persistent step buffers — see `ConceptMapping::fit_observed`.
+        let mut x = Matrix::default();
+        let mut y: Vec<usize> = Vec::new();
+        let mut logits = Matrix::default();
+        let mut grad = Matrix::default();
+        let mut dx = Matrix::default();
+        let mut scratch = BackwardScratch::default();
         for epoch in 0..params.om_epochs {
             order.shuffle(rng);
             let mut epoch_loss = 0.0;
             let mut batches = 0;
             for chunk in order.chunks(params.om_batch) {
-                let x = concept_probs.select_rows(chunk);
-                let y: Vec<usize> = chunk.iter().map(|&i| outputs[i]).collect();
+                concept_probs.select_rows_into(chunk, &mut x);
+                y.clear();
+                y.extend(chunk.iter().map(|&i| outputs[i]));
                 self.linear.zero_grad();
-                let logits = self.linear.forward(&x);
-                let (loss, grad) = softmax_cross_entropy(&logits, &y);
-                self.linear.backward(&grad);
+                self.linear.forward_into(&x, &mut logits);
+                let loss = softmax_cross_entropy_into(&logits, &y, &mut grad);
+                self.linear.backward_into(&grad, &mut dx, &mut scratch);
                 elastic.accumulate_grad(&mut self.linear.params_mut());
                 opt.step(&mut self.linear.params_mut());
                 epoch_loss += loss;

@@ -4,6 +4,14 @@
 //! following [`Layer::backward`] can compute input and parameter gradients.
 //! The usage contract is strictly `forward` → `backward` on the same batch;
 //! this is asserted where cheap.
+//!
+//! Every layer additionally offers `forward_into` / `backward_into`
+//! variants that write into caller-owned buffers (plus a shared
+//! [`BackwardScratch`] for intermediates), making a steady-state
+//! training step allocation-free — see `Mlp::forward_ws`. The `_into`
+//! passes compute exactly the same expressions in the same order as the
+//! allocating ones, so trained weights stay byte-identical. Output
+//! buffers must not alias the layer input.
 
 use crate::init;
 use crate::matrix::Matrix;
@@ -64,6 +72,18 @@ pub trait Layer {
     }
 }
 
+/// Reusable scratch buffers threaded through the `*_into` backward
+/// passes so steady-state training performs no heap allocation. One
+/// instance is shared across all layers of a network (each pass fully
+/// overwrites what it uses).
+#[derive(Debug, Default)]
+pub struct BackwardScratch {
+    /// Matrix-shaped intermediate (Linear `dW`/`db`, LayerNorm `dγ`/`dβ`).
+    pub mat: Matrix,
+    /// Row-shaped intermediate (LayerNorm `dx̂`).
+    pub row: Vec<f32>,
+}
+
 /// Fully connected affine layer: `y = x W + b`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Linear {
@@ -113,7 +133,41 @@ impl Linear {
     /// [`crate::parallel`]); results are byte-identical at any thread
     /// count.
     pub fn infer(&self, input: &Matrix) -> Matrix {
-        parallel::par_matmul(input, &self.weight.value).add_row_broadcast(&self.bias.value)
+        let mut out = Matrix::default();
+        self.infer_into(input, &mut out);
+        out
+    }
+
+    /// [`Linear::infer`] into a caller-owned buffer.
+    pub fn infer_into(&self, input: &Matrix, out: &mut Matrix) {
+        parallel::par_matmul_into(input, &self.weight.value, out);
+        out.add_row_broadcast_assign(&self.bias.value);
+    }
+
+    /// [`Layer::forward`] into a caller-owned buffer; the input cache is
+    /// reused across steps, so steady-state training does not allocate.
+    pub fn forward_into(&mut self, input: &Matrix, out: &mut Matrix) {
+        let mut cache = self.cached_input.take().unwrap_or_default();
+        cache.copy_from(input);
+        self.cached_input = Some(cache);
+        self.infer_into(input, out);
+    }
+
+    /// [`Layer::backward`] writing `dL/d(input)` into `dx`, with the
+    /// `dW`/`db` intermediates staged in `scratch`. Bitwise-identical
+    /// gradients.
+    pub fn backward_into(
+        &mut self,
+        grad_output: &Matrix,
+        dx: &mut Matrix,
+        scratch: &mut BackwardScratch,
+    ) {
+        let input = self.cached_input.as_ref().expect("Linear::backward called before forward");
+        parallel::par_matmul_tn_into(input, grad_output, &mut scratch.mat);
+        self.weight.grad.add_scaled_inplace(&scratch.mat, 1.0);
+        grad_output.sum_rows_into(&mut scratch.mat);
+        self.bias.grad.add_scaled_inplace(&scratch.mat, 1.0);
+        parallel::par_matmul_nt_into(grad_output, &self.weight.value, dx);
     }
 }
 
@@ -155,6 +209,26 @@ impl ReLU {
     pub fn infer(&self, input: &Matrix) -> Matrix {
         input.map(|v| v.max(0.0))
     }
+
+    /// [`Layer::forward`] into a caller-owned buffer with a reused
+    /// input cache.
+    pub fn forward_into(&mut self, input: &Matrix, out: &mut Matrix) {
+        let mut cache = self.cached_input.take().unwrap_or_default();
+        cache.copy_from(input);
+        self.cached_input = Some(cache);
+        out.copy_from(input);
+        out.map_inplace(|v| v.max(0.0));
+    }
+
+    /// [`Layer::backward`] writing `dL/d(input)` into `dx`.
+    pub fn backward_into(&mut self, grad_output: &Matrix, dx: &mut Matrix) {
+        let input = self.cached_input.as_ref().expect("ReLU::backward called before forward");
+        assert_eq!(input.shape(), grad_output.shape());
+        dx.copy_from(grad_output);
+        for (d, &x) in dx.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            *d = if x > 0.0 { *d } else { 0.0 };
+        }
+    }
 }
 
 impl Layer for ReLU {
@@ -193,6 +267,27 @@ impl Tanh {
     pub fn infer(&self, input: &Matrix) -> Matrix {
         input.map(f32::tanh)
     }
+
+    /// [`Layer::forward`] into a caller-owned buffer with a reused
+    /// output cache.
+    pub fn forward_into(&mut self, input: &Matrix, out: &mut Matrix) {
+        out.copy_from(input);
+        out.map_inplace(f32::tanh);
+        let mut cache = self.cached_output.take().unwrap_or_default();
+        cache.copy_from(out);
+        self.cached_output = Some(cache);
+    }
+
+    /// [`Layer::backward`] writing `dL/d(input)` into `dx`.
+    pub fn backward_into(&mut self, grad_output: &Matrix, dx: &mut Matrix) {
+        let out = self.cached_output.as_ref().expect("Tanh::backward called before forward");
+        assert_eq!(out.shape(), grad_output.shape());
+        dx.copy_from(grad_output);
+        // d tanh(x)/dx = 1 - tanh(x)²
+        for (d, &y) in dx.as_mut_slice().iter_mut().zip(out.as_slice()) {
+            *d *= 1.0 - y * y;
+        }
+    }
 }
 
 impl Layer for Tanh {
@@ -226,7 +321,7 @@ pub struct LayerNorm {
     cached: Option<LayerNormCache>,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct LayerNormCache {
     xhat: Matrix,
     inv_std: Vec<f32>,
@@ -244,9 +339,17 @@ impl LayerNorm {
     }
 
     fn normalize(&self, input: &Matrix) -> (Matrix, Vec<f32>) {
+        let mut xhat = Matrix::default();
+        let mut inv_stds = Vec::new();
+        self.normalize_into(input, &mut xhat, &mut inv_stds);
+        (xhat, inv_stds)
+    }
+
+    fn normalize_into(&self, input: &Matrix, xhat: &mut Matrix, inv_stds: &mut Vec<f32>) {
         let (n, d) = input.shape();
-        let mut xhat = Matrix::zeros(n, d);
-        let mut inv_stds = Vec::with_capacity(n);
+        xhat.reset_zeros(n, d);
+        inv_stds.clear();
+        inv_stds.reserve(n);
         for r in 0..n {
             let row = input.row(r);
             let mean = row.iter().sum::<f32>() / d as f32;
@@ -257,7 +360,6 @@ impl LayerNorm {
             }
             inv_stds.push(inv_std);
         }
-        (xhat, inv_stds)
     }
 
     /// Forward pass without caching (inference only).
@@ -267,10 +369,80 @@ impl LayerNorm {
     }
 
     fn affine(&self, xhat: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.affine_into(xhat, &mut out);
+        out
+    }
+
+    fn affine_into(&self, xhat: &Matrix, out: &mut Matrix) {
         let (n, d) = xhat.shape();
-        Matrix::from_fn(n, d, |r, c| {
-            xhat.get(r, c) * self.gamma.value.get(0, c) + self.beta.value.get(0, c)
-        })
+        out.reset_zeros(n, d);
+        for r in 0..n {
+            for c in 0..d {
+                out.set(
+                    r,
+                    c,
+                    xhat.get(r, c) * self.gamma.value.get(0, c) + self.beta.value.get(0, c),
+                );
+            }
+        }
+    }
+
+    /// [`Layer::forward`] into a caller-owned buffer; the `x̂`/`1/σ`
+    /// cache buffers are reused across steps.
+    pub fn forward_into(&mut self, input: &Matrix, out: &mut Matrix) {
+        let mut cache = self.cached.take().unwrap_or_default();
+        self.normalize_into(input, &mut cache.xhat, &mut cache.inv_std);
+        self.affine_into(&cache.xhat, out);
+        self.cached = Some(cache);
+    }
+
+    /// [`Layer::backward`] writing `dL/d(input)` into `dx`, with the
+    /// `dγ`/`dβ`/`dx̂` intermediates staged in `scratch`.
+    pub fn backward_into(
+        &mut self,
+        grad_output: &Matrix,
+        dx: &mut Matrix,
+        scratch: &mut BackwardScratch,
+    ) {
+        let cache = self.cached.as_ref().expect("LayerNorm::backward called before forward");
+        let (n, d) = grad_output.shape();
+        assert_eq!(cache.xhat.shape(), (n, d));
+
+        // dγ_c = Σ_r g_{rc}·x̂_{rc}, accumulated r-ascending per column —
+        // the same order as `hadamard(..).sum_rows()` on the allocating
+        // path, so gradients stay bitwise-identical.
+        scratch.mat.reset_zeros(1, d);
+        for r in 0..n {
+            for c in 0..d {
+                let v = scratch.mat.get(0, c) + grad_output.get(r, c) * cache.xhat.get(r, c);
+                scratch.mat.set(0, c, v);
+            }
+        }
+        self.gamma.grad.add_scaled_inplace(&scratch.mat, 1.0);
+        grad_output.sum_rows_into(&mut scratch.mat);
+        self.beta.grad.add_scaled_inplace(&scratch.mat, 1.0);
+
+        // Input gradient, per row (same expressions as `backward`):
+        //   dx̂ = g ∘ γ
+        //   dx  = inv_std · (dx̂ − mean(dx̂) − x̂ · mean(dx̂ ∘ x̂))
+        dx.reset_zeros(n, d);
+        scratch.row.clear();
+        scratch.row.resize(d, 0.0);
+        for r in 0..n {
+            for c in 0..d {
+                scratch.row[c] = grad_output.get(r, c) * self.gamma.value.get(0, c);
+            }
+            let mean_dxhat = scratch.row.iter().sum::<f32>() / d as f32;
+            let mean_dxhat_xhat =
+                scratch.row.iter().enumerate().map(|(c, &v)| v * cache.xhat.get(r, c)).sum::<f32>()
+                    / d as f32;
+            for c in 0..d {
+                let v = cache.inv_std[r]
+                    * (scratch.row[c] - mean_dxhat - cache.xhat.get(r, c) * mean_dxhat_xhat);
+                dx.set(r, c, v);
+            }
+        }
     }
 }
 

@@ -14,11 +14,14 @@
 //! Gradients are derived by hand per layer; there is no tape autodiff.
 //! Everything is deterministic given an RNG seed — including under the
 //! [`parallel`] backend, whose row-partitioned kernels are byte-identical
-//! to the sequential ones at any thread count (`AGUA_THREADS`).
+//! to the sequential ones at any thread count (`AGUA_THREADS`), and which
+//! dispatches to a lazily-spawned persistent worker pool ([`pool`]).
 //!
-//! The crate deliberately avoids `unsafe` and fancy generics: robustness
-//! and auditability over raw speed, in the spirit of event-driven
-//! networking libraries such as smoltcp.
+//! The crate deliberately avoids fancy generics and confines `unsafe` to
+//! one audited region (the lifetime-erased task handoff in [`pool`],
+//! whose soundness argument is documented there): robustness and
+//! auditability over raw speed, in the spirit of event-driven networking
+//! libraries such as smoltcp.
 
 pub mod gradcheck;
 pub mod init;
@@ -28,16 +31,18 @@ pub mod matrix;
 pub mod mlp;
 pub mod optim;
 pub mod parallel;
+pub mod pool;
 
-pub use layer::{Layer, LayerNorm, Linear, Param, ReLU, Tanh};
+pub use layer::{BackwardScratch, Layer, LayerNorm, Linear, Param, ReLU, Tanh};
 pub use loss::{
-    entropy_of_rows, grouped_softmax_cross_entropy, mse_loss, softmax_cross_entropy,
-    softmax_cross_entropy_weighted, softmax_rows,
+    entropy_of_rows, grouped_softmax_cross_entropy, grouped_softmax_cross_entropy_into, mse_loss,
+    softmax_cross_entropy, softmax_cross_entropy_into, softmax_cross_entropy_weighted,
+    softmax_rows,
 };
 pub use matrix::Matrix;
-pub use mlp::{LayerKind, Mlp};
+pub use mlp::{LayerKind, Mlp, MlpWorkspace};
 pub use optim::{Adam, ElasticNet, Optimizer, Sgd};
 pub use parallel::{
-    par_matmul, par_matmul_nt, par_matmul_tn, set_global_threads, with_thread_config, with_threads,
-    ThreadConfig,
+    par_matmul, par_matmul_into, par_matmul_nt, par_matmul_nt_into, par_matmul_tn,
+    par_matmul_tn_into, set_global_threads, with_thread_config, with_threads, ThreadConfig,
 };

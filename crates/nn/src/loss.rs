@@ -68,6 +68,39 @@ pub fn softmax_cross_entropy_weighted(
     (loss * inv_n, grad)
 }
 
+/// [`softmax_cross_entropy`] writing the gradient into a caller-owned
+/// buffer — the allocation-free steady-state path of the Ω training
+/// loop. Bitwise-identical to the allocating variant (unit sample
+/// weights multiply out exactly).
+pub fn softmax_cross_entropy_into(logits: &Matrix, targets: &[usize], grad: &mut Matrix) -> f32 {
+    let (n, d) = logits.shape();
+    assert_eq!(targets.len(), n, "one target per row required");
+    grad.reset_zeros(n, d);
+    let inv_n = 1.0 / n as f32;
+    let mut loss = 0.0;
+    for r in 0..n {
+        // Stage the softmax numerators in the gradient row itself, then
+        // normalize and shift in place — same expressions, no scratch.
+        let row = logits.row(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for (c, &v) in row.iter().enumerate() {
+            let e = (v - max).exp();
+            grad.set(r, c, e);
+            sum += e;
+        }
+        let t = targets[r];
+        assert!(t < d, "target {t} out of range for {d} classes");
+        let p_t = (grad.get(r, t) / sum).max(1e-12);
+        loss += -p_t.ln();
+        for c in 0..d {
+            let p = grad.get(r, c) / sum;
+            grad.set(r, c, (p - if c == t { 1.0 } else { 0.0 }) * inv_n);
+        }
+    }
+    loss * inv_n
+}
+
 /// Grouped softmax cross-entropy for multi-label concept classification
 /// (paper Eq. 4).
 ///
@@ -106,6 +139,50 @@ pub fn grouped_softmax_cross_entropy(
         }
     }
     (loss * scale, grad)
+}
+
+/// [`grouped_softmax_cross_entropy`] writing the gradient into a
+/// caller-owned buffer — the allocation-free steady-state path of the δ
+/// training loop. The softmax numerators are staged in the gradient's
+/// own group slice (replacing the per-group `exps` vector), then
+/// normalized and shifted in place with the same expressions, so the
+/// result is bitwise-identical to the allocating variant.
+pub fn grouped_softmax_cross_entropy_into(
+    logits: &Matrix,
+    targets: &[Vec<usize>],
+    groups: usize,
+    classes: usize,
+    grad: &mut Matrix,
+) -> f32 {
+    let (n, d) = logits.shape();
+    assert_eq!(d, groups * classes, "logit width must equal groups·classes");
+    assert_eq!(targets.len(), n, "one target vector per row required");
+    grad.reset_zeros(n, d);
+    let mut loss = 0.0;
+    let scale = 1.0 / (n * groups) as f32;
+    for r in 0..n {
+        assert_eq!(targets[r].len(), groups, "one class per group required");
+        for g in 0..groups {
+            let t = targets[r][g];
+            assert!(t < classes, "group target {t} out of range");
+            let base = g * classes;
+            let slice = &logits.row(r)[base..base + classes];
+            let max = slice.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for (c, &v) in slice.iter().enumerate() {
+                let e = (v - max).exp();
+                grad.set(r, base + c, e);
+                sum += e;
+            }
+            let p_t = (grad.get(r, base + t) / sum).max(1e-12);
+            loss += -p_t.ln();
+            for c in 0..classes {
+                let p = grad.get(r, base + c) / sum;
+                grad.set(r, base + c, (p - if c == t { 1.0 } else { 0.0 }) * scale);
+            }
+        }
+    }
+    loss * scale
 }
 
 /// Mean squared error: `(1/(n·d)) Σ (pred − target)²`.
@@ -221,6 +298,34 @@ mod tests {
         assert!((loss - expected).abs() < 1e-4, "loss {loss}");
         for c in 0..3 {
             assert!(grad.get(0, c).abs() < 1e-6, "group 0 col {c} leaked");
+        }
+    }
+
+    #[test]
+    fn into_variants_are_bitwise_identical_to_allocating_losses() {
+        let logits = Matrix::from_fn(5, 6, |r, c| ((r * 7 + c * 3) as f32 - 10.0) / 4.0);
+        let targets: Vec<usize> = (0..5).map(|r| r % 6).collect();
+        let (loss, grad) = softmax_cross_entropy(&logits, &targets);
+        let mut grad_into = Matrix::default();
+        for _ in 0..2 {
+            // Twice: the second pass reuses the buffer with stale contents.
+            let loss_into = softmax_cross_entropy_into(&logits, &targets, &mut grad_into);
+            assert_eq!(loss.to_bits(), loss_into.to_bits());
+            let a: Vec<u32> = grad.as_slice().iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = grad_into.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b);
+        }
+
+        let gtargets: Vec<Vec<usize>> = (0..5).map(|r| vec![r % 3, (r + 1) % 3]).collect();
+        let (gloss, ggrad) = grouped_softmax_cross_entropy(&logits, &gtargets, 2, 3);
+        let mut ggrad_into = Matrix::default();
+        for _ in 0..2 {
+            let gloss_into =
+                grouped_softmax_cross_entropy_into(&logits, &gtargets, 2, 3, &mut ggrad_into);
+            assert_eq!(gloss.to_bits(), gloss_into.to_bits());
+            let a: Vec<u32> = ggrad.as_slice().iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = ggrad_into.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b);
         }
     }
 

@@ -16,11 +16,121 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(a.matmul(&b), a);
 /// assert_eq!(a.sum_rows().as_slice(), &[4.0, 6.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+/// Column-tile width of the dense kernels: a 32-lane accumulator tile
+/// (four 8-wide SIMD registers) per output row, wide enough to amortize
+/// the per-`k` zero-skip branch and slice checks. Tiling is over
+/// *output columns* (`j`), so every output element still accumulates
+/// its `k` products in ascending order — bitwise determinism and the
+/// NaN/∞ zero-skip semantics survive.
+const TILE: usize = 32;
+
+/// Narrow-tile width used after the `TILE`-wide pass: outputs with
+/// fewer than `TILE` columns remaining still get register accumulators
+/// in 8-lane tiles (one SIMD register) instead of falling back to the
+/// per-`k` load/store scalar loop.
+const SUBTILE: usize = 8;
+
+thread_local! {
+    /// Reusable buffer for the per-dispatch finite-rows mask — hoists
+    /// the per-call `rows_finite` allocation out of the kernel path.
+    static FINITE_SCRATCH: std::cell::Cell<Vec<bool>> = const { std::cell::Cell::new(Vec::new()) };
+    /// Reusable gather buffer for one column of the left operand in the
+    /// tiled `matmul_tn` kernel.
+    static COL_SCRATCH: std::cell::Cell<Vec<f32>> = const { std::cell::Cell::new(Vec::new()) };
+}
+
+/// Runs `f` with the finite-rows mask of `m`, computed into a
+/// thread-local scratch buffer (no allocation in steady state).
+pub(crate) fn with_rows_finite<R>(m: &Matrix, f: impl FnOnce(&[bool]) -> R) -> R {
+    FINITE_SCRATCH.with(|cell| {
+        let mut buf = cell.take();
+        m.rows_finite_into(&mut buf);
+        let out = f(&buf);
+        cell.set(buf);
+        out
+    })
+}
+
+/// One tile-width pass of the row kernel: consumes `W`-wide column
+/// tiles starting at column `j` and returns the first unconsumed
+/// column. The accumulators are *loaded from* `out_row` and stored
+/// back, so each output element sees exactly the same addition chain
+/// as the scalar kernel: its current value, then `a[k] * b[k][j]` for
+/// `k` ascending, skipping `a[k] == 0` only when row `k` of `rhs` is
+/// finite. `has_zero` must be `a_row.contains(&0.0)`: dense
+/// rows take a branch-free inner loop, which is bitwise-identical
+/// because the skip test can never fire on them.
+fn accumulate_tile_pass<const W: usize>(
+    a_row: &[f32],
+    rhs: &Matrix,
+    rhs_row_finite: &[bool],
+    has_zero: bool,
+    out_row: &mut [f32],
+    mut j: usize,
+) -> usize {
+    let width = rhs.cols;
+    while j + W <= width {
+        let mut acc = [0.0f32; W];
+        acc.copy_from_slice(&out_row[j..j + W]);
+        if has_zero {
+            for ((b_row, &a), &fin) in rhs.data.chunks_exact(width).zip(a_row).zip(rhs_row_finite) {
+                if a == 0.0 && fin {
+                    continue;
+                }
+                let b: &[f32; W] = b_row[j..j + W].try_into().expect("tile width");
+                for u in 0..W {
+                    acc[u] += a * b[u];
+                }
+            }
+        } else {
+            for (b_row, &a) in rhs.data.chunks_exact(width).zip(a_row) {
+                let b: &[f32; W] = b_row[j..j + W].try_into().expect("tile width");
+                for u in 0..W {
+                    acc[u] += a * b[u];
+                }
+            }
+        }
+        out_row[j..j + W].copy_from_slice(&acc);
+        j += W;
+    }
+    j
+}
+
+/// Accumulates `a_row · rhs` into `out_row` with register accumulator
+/// tiles: `TILE`-wide tiles first, then `SUBTILE`-wide tiles so narrow
+/// outputs still avoid per-`k` load/store traffic, then a scalar-form
+/// AXPY over any final `< SUBTILE` columns. Tiling is over *output
+/// columns* only, so every element's k-ascending accumulation chain —
+/// and with it bitwise determinism and the NaN/∞ zero-skip semantics —
+/// is untouched.
+fn accumulate_row_tiled(a_row: &[f32], rhs: &Matrix, rhs_row_finite: &[bool], out_row: &mut [f32]) {
+    let width = rhs.cols;
+    debug_assert_eq!(out_row.len(), width);
+    let has_zero = a_row.contains(&0.0);
+    let j = accumulate_tile_pass::<TILE>(a_row, rhs, rhs_row_finite, has_zero, out_row, 0);
+    let j = accumulate_tile_pass::<SUBTILE>(a_row, rhs, rhs_row_finite, has_zero, out_row, j);
+    // Final columns (< SUBTILE): k-outer AXPY in exactly the scalar
+    // kernel's loop form. Each element's addition chain is still its
+    // current value plus the k-ascending products.
+    if j < width {
+        let tail = &mut out_row[j..];
+        for (k, &a) in a_row.iter().enumerate() {
+            if a == 0.0 && rhs_row_finite[k] {
+                continue;
+            }
+            let b_row = &rhs.row(k)[j..];
+            for (o, &b) in tail.iter_mut().zip(b_row.iter()) {
+                *o += a * b;
+            }
+        }
+    }
 }
 
 impl Matrix {
@@ -127,19 +237,45 @@ impl Matrix {
 
     /// Returns a new matrix containing the selected rows, in order.
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(indices.len(), self.cols);
-        for (i, &r) in indices.iter().enumerate() {
-            out.row_mut(i).copy_from_slice(self.row(r));
-        }
+        let mut out = Matrix::default();
+        self.select_rows_into(indices, &mut out);
         out
     }
 
-    /// True per row iff every element of that row is finite. Used to
-    /// decide where the sparse `a == 0.0` fast path in the matmul
+    /// [`Matrix::select_rows`] into a caller-owned buffer, reusing its
+    /// allocation.
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.reset_zeros(indices.len(), self.cols);
+        for (i, &r) in indices.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+    }
+
+    /// Reshapes to `rows × cols` and zero-fills, reusing the existing
+    /// allocation when capacity allows.
+    pub fn reset_zeros(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` an exact copy of `src`, reusing the existing
+    /// allocation when capacity allows.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Writes the per-row "every element finite" mask into `out`. Used
+    /// to decide where the sparse `a == 0.0` fast path in the matmul
     /// kernels is safe: skipping `0 × b` is only sound when `b` is
     /// finite (`0 × NaN` and `0 × ∞` must poison the output).
-    pub(crate) fn rows_finite(&self) -> Vec<bool> {
-        (0..self.rows).map(|r| self.row(r).iter().all(|v| v.is_finite())).collect()
+    pub(crate) fn rows_finite_into(&self, out: &mut Vec<bool>) {
+        out.clear();
+        out.extend((0..self.rows).map(|r| self.row(r).iter().all(|v| v.is_finite())));
     }
 
     /// Writes rows `row_start..` of `self × rhs` into `chunk`, which
@@ -158,9 +294,32 @@ impl Matrix {
         if width == 0 || chunk.is_empty() {
             return;
         }
+        if width < SUBTILE {
+            // Narrow outputs never fill even a sub-tile; the scalar
+            // kernel is bitwise-identical there and optimizes better.
+            return self.matmul_rows_into_scalar(rhs, rhs_row_finite, row_start, chunk);
+        }
         debug_assert_eq!(chunk.len() % width, 0);
-        // i-k-j loop order keeps the inner loop streaming over contiguous
-        // memory in both `rhs` and the output.
+        for (local, out_row) in chunk.chunks_exact_mut(width).enumerate() {
+            accumulate_row_tiled(self.row(row_start + local), rhs, rhs_row_finite, out_row);
+        }
+    }
+
+    /// Pre-tiling scalar variant of [`Matrix::matmul_rows_into`] (i-k-j
+    /// loop order, no register tiles). Kept as the bitwise oracle for
+    /// the kernel-equivalence proptests and the bench baselines.
+    pub(crate) fn matmul_rows_into_scalar(
+        &self,
+        rhs: &Matrix,
+        rhs_row_finite: &[bool],
+        row_start: usize,
+        chunk: &mut [f32],
+    ) {
+        let width = rhs.cols;
+        if width == 0 || chunk.is_empty() {
+            return;
+        }
+        debug_assert_eq!(chunk.len() % width, 0);
         for (local, out_row) in chunk.chunks_exact_mut(width).enumerate() {
             let a_row = self.row(row_start + local);
             for (k, &a) in a_row.iter().enumerate() {
@@ -180,6 +339,46 @@ impl Matrix {
     /// streaming order of the sequential kernel restricted to the given
     /// output-row range, so per-element accumulation order is unchanged.
     pub(crate) fn matmul_tn_rows_into(
+        &self,
+        rhs: &Matrix,
+        rhs_row_finite: &[bool],
+        row_start: usize,
+        chunk: &mut [f32],
+    ) {
+        let width = rhs.cols;
+        if width == 0 || chunk.is_empty() {
+            return;
+        }
+        if width < SUBTILE {
+            // Narrow outputs never fill even a sub-tile; the scalar
+            // kernel is bitwise-identical there and optimizes better.
+            return self.matmul_tn_rows_into_scalar(rhs, rhs_row_finite, row_start, chunk);
+        }
+        debug_assert_eq!(chunk.len() % width, 0);
+        // Gather each column of `self` into a contiguous thread-local
+        // scratch row, then reuse the tiled row kernel: element (i, j)
+        // still sees its `k` products in ascending order with the same
+        // zero-skip test, so results stay bitwise equal to the scalar
+        // k-outer kernel.
+        COL_SCRATCH.with(|cell| {
+            let mut a_col = cell.take();
+            a_col.clear();
+            a_col.resize(self.rows, 0.0);
+            for (i, out_row) in chunk.chunks_exact_mut(width).enumerate() {
+                let col = row_start + i;
+                for (k, dst) in a_col.iter_mut().enumerate() {
+                    *dst = self.data[k * self.cols + col];
+                }
+                accumulate_row_tiled(&a_col, rhs, rhs_row_finite, out_row);
+            }
+            cell.set(a_col);
+        });
+    }
+
+    /// Pre-tiling scalar variant of [`Matrix::matmul_tn_rows_into`]
+    /// (k-outer streaming order). Kept as the bitwise oracle for the
+    /// kernel-equivalence proptests and the bench baselines.
+    pub(crate) fn matmul_tn_rows_into_scalar(
         &self,
         rhs: &Matrix,
         rhs_row_finite: &[bool],
@@ -214,6 +413,56 @@ impl Matrix {
         if width == 0 || chunk.is_empty() {
             return;
         }
+        if width < SUBTILE {
+            // Narrow outputs never fill even a sub-tile; the scalar
+            // kernel is bitwise-identical there and optimizes better.
+            return self.matmul_nt_rows_into_scalar(rhs, row_start, chunk);
+        }
+        debug_assert_eq!(chunk.len() % width, 0);
+        let inner = self.cols;
+        // TILE output columns (rows of `rhs`) accumulate in registers at
+        // once; each dot product still starts at 0.0 and adds its `k`
+        // products in ascending order, then overwrites the output slot —
+        // exactly the scalar kernel's chain, so results are bitwise equal.
+        for (local, out_row) in chunk.chunks_exact_mut(width).enumerate() {
+            let a_row = self.row(row_start + local);
+            let mut j = 0;
+            while j + TILE <= width {
+                let mut acc = [0.0f32; TILE];
+                for (k, &a) in a_row.iter().enumerate() {
+                    for u in 0..TILE {
+                        acc[u] += a * rhs.data[(j + u) * inner + k];
+                    }
+                }
+                out_row[j..j + TILE].copy_from_slice(&acc);
+                j += TILE;
+            }
+            if j < width {
+                let rem = width - j;
+                let mut acc = [0.0f32; TILE];
+                for (k, &a) in a_row.iter().enumerate() {
+                    for u in 0..rem {
+                        acc[u] += a * rhs.data[(j + u) * inner + k];
+                    }
+                }
+                out_row[j..].copy_from_slice(&acc[..rem]);
+            }
+        }
+    }
+
+    /// Pre-tiling scalar variant of [`Matrix::matmul_nt_rows_into`]
+    /// (plain dot products). Kept as the bitwise oracle for the
+    /// kernel-equivalence proptests and the bench baselines.
+    pub(crate) fn matmul_nt_rows_into_scalar(
+        &self,
+        rhs: &Matrix,
+        row_start: usize,
+        chunk: &mut [f32],
+    ) {
+        let width = rhs.rows;
+        if width == 0 || chunk.is_empty() {
+            return;
+        }
         debug_assert_eq!(chunk.len() % width, 0);
         for (local, out_row) in chunk.chunks_exact_mut(width).enumerate() {
             let a_row = self.row(row_start + local);
@@ -239,8 +488,7 @@ impl Matrix {
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        let finite = rhs.rows_finite();
-        self.matmul_rows_into(rhs, &finite, 0, &mut out.data);
+        with_rows_finite(rhs, |finite| self.matmul_rows_into(rhs, finite, 0, &mut out.data));
         out
     }
 
@@ -248,8 +496,7 @@ impl Matrix {
     pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.rows, rhs.rows, "matmul_tn dimension mismatch");
         let mut out = Matrix::zeros(self.cols, rhs.cols);
-        let finite = rhs.rows_finite();
-        self.matmul_tn_rows_into(rhs, &finite, 0, &mut out.data);
+        with_rows_finite(rhs, |finite| self.matmul_tn_rows_into(rhs, finite, 0, &mut out.data));
         out
     }
 
@@ -261,9 +508,51 @@ impl Matrix {
         out
     }
 
-    /// Materialized transpose.
+    /// [`Matrix::matmul`] through the pre-tiling scalar kernel. Bitwise
+    /// oracle for equivalence tests and the `bench_parallel` baselines.
+    pub fn matmul_reference(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        with_rows_finite(rhs, |finite| self.matmul_rows_into_scalar(rhs, finite, 0, &mut out.data));
+        out
+    }
+
+    /// [`Matrix::matmul_tn`] through the pre-tiling scalar kernel.
+    pub fn matmul_tn_reference(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "matmul_tn dimension mismatch");
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        with_rows_finite(rhs, |finite| {
+            self.matmul_tn_rows_into_scalar(rhs, finite, 0, &mut out.data)
+        });
+        out
+    }
+
+    /// [`Matrix::matmul_nt`] through the pre-tiling scalar kernel.
+    pub fn matmul_nt_reference(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "matmul_nt dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_nt_rows_into_scalar(rhs, 0, &mut out.data);
+        out
+    }
+
+    /// Materialized transpose (cache-blocked copy: both the source and
+    /// destination are walked in 32×32 blocks so neither side thrashes
+    /// on large matrices).
     pub fn transpose(&self) -> Matrix {
-        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+        const BLOCK: usize = 32;
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for rb in (0..self.rows).step_by(BLOCK) {
+            let r_end = (rb + BLOCK).min(self.rows);
+            for cb in (0..self.cols).step_by(BLOCK) {
+                let c_end = (cb + BLOCK).min(self.cols);
+                for r in rb..r_end {
+                    for c in cb..c_end {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Element-wise addition.
@@ -303,26 +592,38 @@ impl Matrix {
 
     /// Adds a 1×cols row vector to every row.
     pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_row_broadcast_assign(row);
+        out
+    }
+
+    /// In-place variant of [`Matrix::add_row_broadcast`].
+    pub fn add_row_broadcast_assign(&mut self, row: &Matrix) {
         assert_eq!(row.rows, 1, "broadcast expects a row vector");
         assert_eq!(row.cols, self.cols, "broadcast width mismatch");
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            for (o, &b) in out.row_mut(r).iter_mut().zip(row.data.iter()) {
+        for r in 0..self.rows {
+            for (o, &b) in self.row_mut(r).iter_mut().zip(row.data.iter()) {
                 *o += b;
             }
         }
-        out
     }
 
     /// Sums each column into a 1×cols row vector.
     pub fn sum_rows(&self) -> Matrix {
-        let mut out = Matrix::zeros(1, self.cols);
+        let mut out = Matrix::default();
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::sum_rows`] into a caller-owned buffer. Accumulates in
+    /// the same row-ascending order, so results are bitwise equal.
+    pub fn sum_rows_into(&self, out: &mut Matrix) {
+        out.reset_zeros(1, self.cols);
         for r in 0..self.rows {
             for (o, &v) in out.data.iter_mut().zip(self.row(r).iter()) {
                 *o += v;
             }
         }
-        out
     }
 
     /// Mean of each column as a 1×cols row vector.
@@ -515,5 +816,96 @@ mod tests {
         let b = m(1, 2, &[10.0, 10.0]);
         a.add_scaled_inplace(&b, 0.5);
         assert_eq!(a.as_slice(), &[6.0, 7.0]);
+    }
+
+    /// Dense-ish data with exact zeros and awkward magnitudes so the
+    /// zero-skip path and non-associative rounding are both exercised.
+    fn pattern(rows: usize, cols: usize, salt: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let h = (r * 131 + c * 31 + salt * 17) % 97;
+            if h.is_multiple_of(7) {
+                0.0
+            } else {
+                (h as f32 - 48.0) / 9.5
+            }
+        })
+    }
+
+    fn bits(m: &Matrix) -> Vec<u32> {
+        m.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn tiled_kernels_match_scalar_reference_bitwise() {
+        // Shapes chosen to cover full tiles, remainder lanes, and
+        // widths below one tile.
+        for &(n, k, d) in &[(5usize, 7usize, 17usize), (4, 3, 8), (3, 9, 5), (6, 2, 23)] {
+            let a = pattern(n, k, 1);
+            let b = pattern(k, d, 2);
+            assert_eq!(bits(&a.matmul(&b)), bits(&a.matmul_reference(&b)), "{n}x{k}x{d} nn");
+            let at = pattern(k, n, 3);
+            assert_eq!(
+                bits(&at.matmul_tn(&b)),
+                bits(&at.matmul_tn_reference(&b)),
+                "{n}x{k}x{d} tn"
+            );
+            let bt = pattern(d, k, 4);
+            assert_eq!(
+                bits(&a.matmul_nt(&bt)),
+                bits(&a.matmul_nt_reference(&bt)),
+                "{n}x{k}x{d} nt"
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_kernels_preserve_nan_poisoning() {
+        let mut b = pattern(6, 13, 5);
+        b.set(2, 11, f32::NAN);
+        b.set(4, 1, f32::INFINITY);
+        let mut a = pattern(3, 6, 6);
+        a.set(0, 2, 0.0);
+        a.set(1, 4, 0.0);
+        assert_eq!(bits(&a.matmul(&b)), bits(&a.matmul_reference(&b)));
+        let at = pattern(6, 3, 7);
+        assert_eq!(bits(&at.matmul_tn(&b)), bits(&at.matmul_tn_reference(&b)));
+    }
+
+    #[test]
+    fn transpose_blocked_copy_matches_per_element_definition() {
+        for &(r, c) in &[(1usize, 1usize), (3, 5), (33, 64), (70, 31), (128, 128)] {
+            let a = pattern(r, c, 9);
+            let t = a.transpose();
+            assert_eq!(t.shape(), (c, r));
+            for i in 0..r {
+                for j in 0..c {
+                    assert_eq!(t.get(j, i).to_bits(), a.get(i, j).to_bits(), "({i},{j})");
+                }
+            }
+            assert_eq!(t.transpose(), a, "double transpose is the identity");
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_counterparts() {
+        let a = pattern(5, 4, 11);
+        let mut out = Matrix::default();
+        a.select_rows_into(&[3, 0, 3], &mut out);
+        assert_eq!(out, a.select_rows(&[3, 0, 3]));
+        a.sum_rows_into(&mut out);
+        assert_eq!(out, a.sum_rows());
+        // Buffer reuse with a stale larger shape must not leak old data.
+        let small = pattern(2, 2, 12);
+        small.sum_rows_into(&mut out);
+        assert_eq!(out, small.sum_rows());
+        let mut inplace = a.clone();
+        let row = Matrix::row_vector(&[1.0, -2.0, 0.5, 3.0]);
+        inplace.add_row_broadcast_assign(&row);
+        assert_eq!(inplace, a.add_row_broadcast(&row));
+        let mut copy = Matrix::default();
+        copy.copy_from(&a);
+        assert_eq!(copy, a);
+        copy.reset_zeros(2, 3);
+        assert_eq!(copy, Matrix::zeros(2, 3));
     }
 }

@@ -4,7 +4,7 @@
 //! whole models — controllers and Agua surrogates alike — can be saved and
 //! restored as JSON checkpoints without trait-object gymnastics.
 
-use crate::layer::{Layer, LayerNorm, Linear, Param, ReLU, Tanh};
+use crate::layer::{BackwardScratch, Layer, LayerNorm, Linear, Param, ReLU, Tanh};
 use crate::matrix::Matrix;
 use serde::{Deserialize, Serialize};
 use std::io;
@@ -63,6 +63,50 @@ impl LayerKind {
             LayerKind::LayerNorm(l) => l.infer(input),
         }
     }
+
+    /// [`Layer::forward`] into a caller-owned buffer; bitwise-identical
+    /// output, no steady-state allocation.
+    pub fn forward_into(&mut self, input: &Matrix, out: &mut Matrix) {
+        match self {
+            LayerKind::Linear(l) => l.forward_into(input, out),
+            LayerKind::ReLU(l) => l.forward_into(input, out),
+            LayerKind::Tanh(l) => l.forward_into(input, out),
+            LayerKind::LayerNorm(l) => l.forward_into(input, out),
+        }
+    }
+
+    /// [`Layer::backward`] writing `dL/d(input)` into `dx`, staging
+    /// intermediates in `scratch`.
+    pub fn backward_into(
+        &mut self,
+        grad_output: &Matrix,
+        dx: &mut Matrix,
+        scratch: &mut BackwardScratch,
+    ) {
+        match self {
+            LayerKind::Linear(l) => l.backward_into(grad_output, dx, scratch),
+            LayerKind::ReLU(l) => l.backward_into(grad_output, dx),
+            LayerKind::Tanh(l) => l.backward_into(grad_output, dx),
+            LayerKind::LayerNorm(l) => l.backward_into(grad_output, dx, scratch),
+        }
+    }
+}
+
+/// Reusable activation/gradient buffers for allocation-free training
+/// steps via [`Mlp::forward_ws`] / [`Mlp::backward_ws`].
+///
+/// One workspace serves one network; after the first step every buffer
+/// has reached its steady-state capacity and subsequent steps perform no
+/// heap allocation. The workspace holds no model state — dropping it and
+/// starting fresh changes nothing but allocation traffic.
+#[derive(Debug, Default)]
+pub struct MlpWorkspace {
+    /// `acts[i]` is the output of layer `i` (last entry = network output).
+    acts: Vec<Matrix>,
+    /// `grads[i]` is `dL/d(input of layer i)`.
+    grads: Vec<Matrix>,
+    /// Shared per-layer backward intermediates.
+    scratch: BackwardScratch,
 }
 
 /// A sequential multi-layer network.
@@ -129,6 +173,54 @@ impl Mlp {
             g = layer.backward(&g);
         }
         g
+    }
+
+    /// [`Mlp::forward`] into workspace-owned buffers: bitwise-identical
+    /// output, allocation-free once `ws` has warmed up. The returned
+    /// reference points into `ws` and stays valid until the next
+    /// workspace call.
+    pub fn forward_ws<'w>(&mut self, input: &Matrix, ws: &'w mut MlpWorkspace) -> &'w Matrix {
+        let n = self.layers.len();
+        ws.acts.resize_with(n.max(1), Matrix::default);
+        if n == 0 {
+            ws.acts[0].copy_from(input);
+            return &ws.acts[0];
+        }
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            if i == 0 {
+                layer.forward_into(input, &mut ws.acts[0]);
+            } else {
+                let (prev, rest) = ws.acts.split_at_mut(i);
+                layer.forward_into(&prev[i - 1], &mut rest[0]);
+            }
+        }
+        &ws.acts[n - 1]
+    }
+
+    /// [`Mlp::backward`] into workspace-owned buffers: accumulates the
+    /// same parameter gradients bitwise and returns `dL/d(input)`
+    /// borrowed from `ws`. Must follow a [`Mlp::forward_ws`] (or
+    /// [`Mlp::forward`]) on the same batch.
+    pub fn backward_ws<'w>(
+        &mut self,
+        grad_output: &Matrix,
+        ws: &'w mut MlpWorkspace,
+    ) -> &'w Matrix {
+        let n = self.layers.len();
+        ws.grads.resize_with(n.max(1), Matrix::default);
+        if n == 0 {
+            ws.grads[0].copy_from(grad_output);
+            return &ws.grads[0];
+        }
+        for j in (0..n).rev() {
+            if j == n - 1 {
+                self.layers[j].backward_into(grad_output, &mut ws.grads[j], &mut ws.scratch);
+            } else {
+                let (left, right) = ws.grads.split_at_mut(j + 1);
+                self.layers[j].backward_into(&right[0], &mut left[j], &mut ws.scratch);
+            }
+        }
+        &ws.grads[0]
     }
 
     /// All parameters of all layers.
@@ -254,6 +346,46 @@ mod tests {
         let restored = Mlp::from_json(&net.to_json()).expect("roundtrip");
         let after = restored.infer(&x);
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn workspace_training_step_is_bitwise_identical_to_allocating_path() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut alloc_net = Mlp::new()
+            .push(LayerKind::Linear(Linear::new(&mut rng, 4, 8)))
+            .push(LayerKind::ReLU(ReLU::new()))
+            .push(LayerKind::LayerNorm(LayerNorm::new(8)))
+            .push(LayerKind::Tanh(Tanh::new()))
+            .push(LayerKind::Linear(Linear::new(&mut rng, 8, 3)));
+        let mut ws_net = alloc_net.clone();
+        let mut ws = MlpWorkspace::default();
+
+        let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        let x = test_batch();
+        let seed = Matrix::from_fn(3, 3, |r, c| 0.21 * (r as f32) - 0.13 * (c as f32) + 0.4);
+
+        // Two steps so the second runs against warm (stale) buffers.
+        for _ in 0..2 {
+            alloc_net.zero_grad();
+            ws_net.zero_grad();
+            let out_a = alloc_net.forward(&x);
+            let out_w = ws_net.forward_ws(&x, &mut ws);
+            assert_eq!(bits(&out_a), bits(out_w));
+            let dx_a = alloc_net.backward(&seed);
+            let dx_w = ws_net.backward_ws(&seed, &mut ws);
+            assert_eq!(bits(&dx_a), bits(dx_w));
+            for (pa, pw) in alloc_net.params_mut().iter().zip(ws_net.params_mut().iter()) {
+                assert_eq!(bits(&pa.grad), bits(&pw.grad));
+            }
+        }
+    }
+
+    fn test_batch() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.5, -1.2, 2.0, 0.1],
+            vec![-0.3, 0.8, -0.9, 1.5],
+            vec![1.1, 0.2, 0.4, -0.6],
+        ])
     }
 
     #[test]

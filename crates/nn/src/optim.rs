@@ -46,8 +46,10 @@ impl Optimizer for Sgd {
                     p.value.as_mut_slice()[i] -= self.lr * m;
                 }
             } else {
-                let grad = p.grad.clone();
-                p.value.add_scaled_inplace(&grad, -self.lr);
+                // Destructure to borrow value and grad disjointly; the
+                // old clone here cost one allocation per step.
+                let Param { value, grad, .. } = &mut **p;
+                value.add_scaled_inplace(grad, -self.lr);
             }
         }
     }

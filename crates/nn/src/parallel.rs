@@ -1,4 +1,5 @@
-//! Deterministic scoped-thread parallelism for the hot dense kernels.
+//! Deterministic parallelism for the hot dense kernels, dispatched to a
+//! persistent worker pool.
 //!
 //! ## Why determinism is non-negotiable
 //!
@@ -8,11 +9,30 @@
 //! associative, so letting thread scheduling decide the summation order
 //! lets it decide the low bits of every weight. The backend here
 //! therefore partitions work by **output row**: each row of the result
-//! is owned by exactly one worker, and within a row the elements are
+//! is owned by exactly one executor, and within a row the elements are
 //! accumulated in the same `k`-ascending order the sequential kernels
 //! use. The parallel and sequential paths share one kernel per op
 //! (`Matrix::matmul_rows_into` and friends), so the result is
 //! byte-identical for every thread count.
+//!
+//! ## Dispatch
+//!
+//! The row-partitioned leaf kernels ([`par_matmul`], [`par_matmul_tn`],
+//! [`par_matmul_nt`], [`par_for_each_rows`]) hand their extra chunks to
+//! the persistent worker pool in [`crate::pool`] — parked threads that
+//! are spawned lazily on the first over-gate operation, instead of a
+//! fresh `std::thread::scope` per op (tens of microseconds of
+//! spawn/join, previously paid on every qualifying matmul).
+//! [`set_global_threads`] shrinks the pool immediately; growth is lazy,
+//! so a larger scoped override spawns the missing workers at its next
+//! dispatch. The coarse-grained helpers ([`par_map`], [`par_map_range`],
+//! [`par_jobs`]) keep scoped threads: their jobs may themselves dispatch
+//! leaf kernels, which must never queue behind their own parent on a
+//! pool worker.
+//!
+//! Pool workers deliberately do not inherit the dispatcher's scoped
+//! observability subscriber: events are emitted on the dispatching
+//! thread only, so metrics aggregate identically at any thread count.
 //!
 //! ## Thread-count resolution
 //!
@@ -27,15 +47,15 @@
 //!
 //! ## Size gate
 //!
-//! Threads are spawned per operation (`std::thread::scope`; no persistent
-//! pool, no `unsafe`), which costs tens of microseconds. Operations
-//! smaller than [`ThreadConfig::min_flops`] multiply-accumulates run
-//! sequentially; `AGUA_PAR_MIN_FLOPS` overrides the default gate of
-//! one million.
+//! Even a pooled handoff has a cost (channel send + latch wait), so
+//! operations smaller than [`ThreadConfig::min_flops`]
+//! multiply-accumulates run sequentially on the calling thread;
+//! `AGUA_PAR_MIN_FLOPS` overrides the default gate of one million.
 //!
 //! Note that a scoped override applies to the calling thread only: a
 //! kernel running on a worker thread sees the defaults again. Workers
-//! only ever run leaf kernels, so this cannot cause nested spawning.
+//! only ever run leaf kernels, so this cannot cause nested dispatch
+//! (and the pool additionally runs any nested dispatch inline).
 
 use crate::matrix::Matrix;
 use agua_obs::scoped::emit_scoped;
@@ -67,7 +87,17 @@ thread_local! {
 
 fn env_usize(lock: &OnceLock<Option<usize>>, name: &str) -> Option<usize> {
     *lock.get_or_init(|| {
-        std::env::var(name).ok().and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
+        let raw = std::env::var(name).ok()?;
+        let parsed = raw.trim().parse::<usize>().ok().filter(|&n| n >= 1);
+        if parsed.is_none() {
+            // A present-but-rejected value silently falling back to the
+            // default is a misconfiguration trap; say so once.
+            eprintln!(
+                "agua-nn: ignoring {name}={raw:?}: expected a positive integer, \
+                 falling back to the default"
+            );
+        }
+        parsed
     })
 }
 
@@ -94,8 +124,16 @@ impl ThreadConfig {
 
 /// Sets the process-wide thread count (clamped to ≥ 1). Takes priority
 /// over `AGUA_THREADS`; scoped overrides still win.
+///
+/// Also resizes the persistent worker pool: shrinking takes effect
+/// immediately (surplus workers exit and are joined); growing stays
+/// lazy, with new workers spawned at the next over-gate dispatch. A
+/// dispatch needs `threads - 1` workers — the dispatching thread runs
+/// the first chunk itself.
 pub fn set_global_threads(threads: usize) {
-    GLOBAL_THREADS.store(threads.max(1), Ordering::Relaxed);
+    let threads = threads.max(1);
+    GLOBAL_THREADS.store(threads, Ordering::Relaxed);
+    crate::pool::resize_to(threads - 1);
 }
 
 /// Runs `f` with `config` installed as the calling thread's
@@ -144,6 +182,7 @@ fn note_dispatch(
     cols: usize,
     macs: usize,
     workers: usize,
+    pool_dispatch: bool,
 ) {
     emit_scoped(|| {
         KernelDispatched {
@@ -154,14 +193,19 @@ fn note_dispatch(
             macs: macs as u64,
             threads: workers.max(1),
             seq_fallback: workers <= 1,
+            pool_dispatch,
+            queue_depth: crate::pool::queued_tasks(),
         }
         .into_any()
     });
 }
 
 /// Splits `out` (row-major, `width` columns) into per-worker runs of
-/// whole rows and invokes `work(first_row_index, chunk)` on each from a
-/// scoped thread. Each output row is written by exactly one worker.
+/// whole rows and invokes `work(first_row_index, chunk)` on each — the
+/// first chunk on the calling thread, the rest on persistent pool
+/// workers. Each output row is written by exactly one executor, and the
+/// chunk boundaries depend only on `workers`, so results are
+/// byte-identical to a sequential pass.
 fn run_row_partitioned(
     out: &mut [f32],
     width: usize,
@@ -171,62 +215,80 @@ fn run_row_partitioned(
     debug_assert!(width > 0 && out.len().is_multiple_of(width));
     let rows = out.len() / width;
     let chunk_rows = rows.div_ceil(workers.max(1)).max(1);
-    std::thread::scope(|s| {
-        let work = &work;
-        for (c, chunk) in out.chunks_mut(chunk_rows * width).enumerate() {
-            s.spawn(move || work(c * chunk_rows, chunk));
-        }
-    });
+    crate::pool::run_chunks(out, width, chunk_rows, &work);
 }
 
 /// `a × b`, byte-identical to [`Matrix::matmul`] at any thread count.
 pub fn par_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::default();
+    par_matmul_into(a, b, &mut out);
+    out
+}
+
+/// [`par_matmul`] into a caller-owned buffer, reusing its allocation.
+pub fn par_matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(a.cols(), b.rows(), "matmul dimension mismatch");
     let macs = a.rows().saturating_mul(a.cols()).saturating_mul(b.cols());
     let workers = if b.cols() == 0 { 1 } else { plan_workers(a.rows(), macs) };
-    note_dispatch(Kernel::Matmul, a.rows(), a.cols(), b.cols(), macs, workers);
-    if workers <= 1 {
-        return a.matmul(b);
-    }
-    let finite = b.rows_finite();
-    let mut out = Matrix::zeros(a.rows(), b.cols());
-    run_row_partitioned(out.as_mut_slice(), b.cols(), workers, |row_start, chunk| {
-        a.matmul_rows_into(b, &finite, row_start, chunk);
+    note_dispatch(Kernel::Matmul, a.rows(), a.cols(), b.cols(), macs, workers, workers > 1);
+    out.reset_zeros(a.rows(), b.cols());
+    crate::matrix::with_rows_finite(b, |finite| {
+        if workers <= 1 {
+            a.matmul_rows_into(b, finite, 0, out.as_mut_slice());
+        } else {
+            run_row_partitioned(out.as_mut_slice(), b.cols(), workers, |row_start, chunk| {
+                a.matmul_rows_into(b, finite, row_start, chunk);
+            });
+        }
     });
-    out
 }
 
 /// `aᵀ × b`, byte-identical to [`Matrix::matmul_tn`] at any thread count.
 pub fn par_matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::default();
+    par_matmul_tn_into(a, b, &mut out);
+    out
+}
+
+/// [`par_matmul_tn`] into a caller-owned buffer, reusing its allocation.
+pub fn par_matmul_tn_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(a.rows(), b.rows(), "matmul_tn dimension mismatch");
     let macs = a.rows().saturating_mul(a.cols()).saturating_mul(b.cols());
     let workers = if b.cols() == 0 { 1 } else { plan_workers(a.cols(), macs) };
-    note_dispatch(Kernel::MatmulTn, a.cols(), a.rows(), b.cols(), macs, workers);
-    if workers <= 1 {
-        return a.matmul_tn(b);
-    }
-    let finite = b.rows_finite();
-    let mut out = Matrix::zeros(a.cols(), b.cols());
-    run_row_partitioned(out.as_mut_slice(), b.cols(), workers, |row_start, chunk| {
-        a.matmul_tn_rows_into(b, &finite, row_start, chunk);
+    note_dispatch(Kernel::MatmulTn, a.cols(), a.rows(), b.cols(), macs, workers, workers > 1);
+    out.reset_zeros(a.cols(), b.cols());
+    crate::matrix::with_rows_finite(b, |finite| {
+        if workers <= 1 {
+            a.matmul_tn_rows_into(b, finite, 0, out.as_mut_slice());
+        } else {
+            run_row_partitioned(out.as_mut_slice(), b.cols(), workers, |row_start, chunk| {
+                a.matmul_tn_rows_into(b, finite, row_start, chunk);
+            });
+        }
     });
-    out
 }
 
 /// `a × bᵀ`, byte-identical to [`Matrix::matmul_nt`] at any thread count.
 pub fn par_matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::default();
+    par_matmul_nt_into(a, b, &mut out);
+    out
+}
+
+/// [`par_matmul_nt`] into a caller-owned buffer, reusing its allocation.
+pub fn par_matmul_nt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(a.cols(), b.cols(), "matmul_nt dimension mismatch");
     let macs = a.rows().saturating_mul(a.cols()).saturating_mul(b.rows());
     let workers = if b.rows() == 0 { 1 } else { plan_workers(a.rows(), macs) };
-    note_dispatch(Kernel::MatmulNt, a.rows(), a.cols(), b.rows(), macs, workers);
+    note_dispatch(Kernel::MatmulNt, a.rows(), a.cols(), b.rows(), macs, workers, workers > 1);
+    out.reset_zeros(a.rows(), b.rows());
     if workers <= 1 {
-        return a.matmul_nt(b);
+        a.matmul_nt_rows_into(b, 0, out.as_mut_slice());
+    } else {
+        run_row_partitioned(out.as_mut_slice(), b.rows(), workers, |row_start, chunk| {
+            a.matmul_nt_rows_into(b, row_start, chunk);
+        });
     }
-    let mut out = Matrix::zeros(a.rows(), b.rows());
-    run_row_partitioned(out.as_mut_slice(), b.rows(), workers, |row_start, chunk| {
-        a.matmul_nt_rows_into(b, row_start, chunk);
-    });
-    out
 }
 
 /// Applies `f` to each row of `m` in parallel as `f(row_index, row)`.
@@ -245,7 +307,7 @@ pub fn par_for_each_rows(m: &mut Matrix, f: impl Fn(usize, &mut [f32]) + Sync) {
     } else {
         cfg.threads.min(m.rows())
     };
-    note_dispatch(Kernel::ForEachRows, m.rows(), 0, m.cols(), elems, workers);
+    note_dispatch(Kernel::ForEachRows, m.rows(), 0, m.cols(), elems, workers, workers > 1);
     if workers <= 1 {
         for r in 0..m.rows() {
             f(r, m.row_mut(r));
@@ -269,7 +331,7 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let workers = ThreadConfig::current().threads.min(items.len()).max(1);
-    note_dispatch(Kernel::Map, items.len(), 0, 0, items.len(), workers);
+    note_dispatch(Kernel::Map, items.len(), 0, 0, items.len(), workers, false);
     if workers <= 1 {
         return items.iter().map(&f).collect();
     }
@@ -288,7 +350,7 @@ where
 /// returning results in index order.
 pub fn par_map_range<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
     let workers = ThreadConfig::current().threads.min(n).max(1);
-    note_dispatch(Kernel::Map, n, 0, 0, n, workers);
+    note_dispatch(Kernel::Map, n, 0, 0, n, workers, false);
     if workers <= 1 {
         return (0..n).map(f).collect();
     }
@@ -315,7 +377,7 @@ where
     F: FnOnce() -> R + Send,
 {
     let workers = ThreadConfig::current().threads.min(jobs.len()).max(1);
-    note_dispatch(Kernel::Jobs, jobs.len(), 0, 0, jobs.len(), workers);
+    note_dispatch(Kernel::Jobs, jobs.len(), 0, 0, jobs.len(), workers, false);
     if workers <= 1 || jobs.len() <= 1 {
         return jobs.into_iter().map(|j| j()).collect();
     }
@@ -323,6 +385,87 @@ where
         let handles: Vec<_> = jobs.into_iter().map(|j| s.spawn(j)).collect();
         handles.into_iter().map(|h| h.join().expect("par_jobs worker panicked")).collect()
     })
+}
+
+/// Pre-pool, pre-tiling reference paths, kept so the equivalence
+/// proptests and `bench_parallel` baselines can compare the live
+/// backend against exactly what PR 1 shipped: per-op
+/// `std::thread::scope` spawning over the scalar kernels. These emit no
+/// observability events and take an explicit worker count.
+pub mod reference {
+    use super::Matrix;
+
+    /// The PR 1 dispatcher: identical row partitioning to the pool path
+    /// (`rows.div_ceil(workers)`-row chunks), but a fresh scoped thread
+    /// per chunk on every call.
+    fn scoped_row_partitioned(
+        out: &mut [f32],
+        width: usize,
+        workers: usize,
+        work: impl Fn(usize, &mut [f32]) + Sync,
+    ) {
+        debug_assert!(width > 0 && out.len().is_multiple_of(width));
+        let rows = out.len() / width;
+        let chunk_rows = rows.div_ceil(workers.max(1)).max(1);
+        std::thread::scope(|s| {
+            let work = &work;
+            for (c, chunk) in out.chunks_mut(chunk_rows * width).enumerate() {
+                s.spawn(move || work(c * chunk_rows, chunk));
+            }
+        });
+    }
+
+    /// `a × b` through scoped-spawn dispatch over the scalar kernel.
+    /// Like the retired path, the finite-rows mask is a fresh per-call
+    /// allocation (the thread-local scratch hoist is part of the pool
+    /// backend being measured against this baseline).
+    pub fn scoped_scalar_matmul(a: &Matrix, b: &Matrix, workers: usize) -> Matrix {
+        assert_eq!(a.cols(), b.rows(), "matmul dimension mismatch");
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        let mut finite = Vec::new();
+        b.rows_finite_into(&mut finite);
+        scoped_row_partitioned(out.as_mut_slice(), b.cols().max(1), workers, |rs, chunk| {
+            a.matmul_rows_into_scalar(b, &finite, rs, chunk);
+        });
+        out
+    }
+
+    /// `aᵀ × b` through scoped-spawn dispatch over the scalar kernel
+    /// (fresh per-call mask allocation, as the retired path had).
+    pub fn scoped_scalar_matmul_tn(a: &Matrix, b: &Matrix, workers: usize) -> Matrix {
+        assert_eq!(a.rows(), b.rows(), "matmul_tn dimension mismatch");
+        let mut out = Matrix::zeros(a.cols(), b.cols());
+        let mut finite = Vec::new();
+        b.rows_finite_into(&mut finite);
+        scoped_row_partitioned(out.as_mut_slice(), b.cols().max(1), workers, |rs, chunk| {
+            a.matmul_tn_rows_into_scalar(b, &finite, rs, chunk);
+        });
+        out
+    }
+
+    /// `a × bᵀ` through scoped-spawn dispatch over the scalar kernel.
+    pub fn scoped_scalar_matmul_nt(a: &Matrix, b: &Matrix, workers: usize) -> Matrix {
+        assert_eq!(a.cols(), b.cols(), "matmul_nt dimension mismatch");
+        let mut out = Matrix::zeros(a.rows(), b.rows());
+        scoped_row_partitioned(out.as_mut_slice(), b.rows().max(1), workers, |rs, chunk| {
+            a.matmul_nt_rows_into_scalar(b, rs, chunk);
+        });
+        out
+    }
+
+    /// `a × b` through scoped-spawn dispatch over the *tiled* kernel —
+    /// isolates dispatch cost (pool vs scope) from kernel cost
+    /// (tiled vs scalar) in the benches.
+    pub fn scoped_tiled_matmul(a: &Matrix, b: &Matrix, workers: usize) -> Matrix {
+        assert_eq!(a.cols(), b.rows(), "matmul dimension mismatch");
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        crate::matrix::with_rows_finite(b, |finite| {
+            scoped_row_partitioned(out.as_mut_slice(), b.cols().max(1), workers, |rs, chunk| {
+                a.matmul_rows_into(b, finite, rs, chunk);
+            });
+        });
+        out
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,345 @@
+//! Persistent worker-thread pool behind the deterministic parallel
+//! backend.
+//!
+//! PR 1's backend spawned a fresh `std::thread::scope` per qualifying
+//! operation — tens of microseconds of spawn/join cost on every one of
+//! the thousands of small matmuls a δ/Ω fit dispatches. This module
+//! replaces that with a pool of **parked workers** that are:
+//!
+//! * **lazily spawned** — no threads exist until the first over-gate
+//!   operation actually asks for more than one chunk,
+//! * **resized** — [`crate::parallel::set_global_threads`] shrinks the
+//!   pool immediately (surplus workers exit and are joined); growth
+//!   stays lazy, so a larger scoped override simply spawns the missing
+//!   workers at its next dispatch,
+//! * **shut down** on demand ([`shutdown`]) so tests can assert that no
+//!   threads leak.
+//!
+//! ## Determinism
+//!
+//! The pool changes *where* chunks run, never *what* they compute. The
+//! dispatcher partitions the output by row exactly as the scoped-spawn
+//! path did (`rows.div_ceil(workers)`-row chunks, each owned by one
+//! executor), the chunk kernels accumulate in the same `k`-ascending
+//! order, and the dispatching thread blocks until every chunk is done.
+//! Results are therefore byte-identical to the sequential kernels at any
+//! pool size — the same invariant PR 1 established, now without the
+//! per-op spawn.
+//!
+//! Workers also deliberately do **not** inherit the dispatcher's
+//! thread-local observability scope (see `agua_obs::scoped`): events are
+//! emitted by the dispatching thread only, so metrics aggregate
+//! identically at any `AGUA_THREADS`.
+//!
+//! ## The one `unsafe` region
+//!
+//! Handing borrowed data (the kernel closure and `&mut` output chunks)
+//! to pool threads requires erasing lifetimes — this is the single
+//! `unsafe` region in the workspace, concentrated in `Task` and kept
+//! deliberately small. Soundness rests on one invariant: **the
+//! dispatcher does not return until the completion latch counts every
+//! task done** (normally or by panic). The closure reference, the chunk
+//! pointers, and the latch itself therefore strictly outlive every use
+//! by a worker. Workers run tasks under `catch_unwind`, so a panicking
+//! kernel still completes its latch slot; the first captured panic
+//! payload is re-thrown on the dispatching thread.
+//!
+//! ## Leaf kernels only
+//!
+//! Only the row-partitioned leaf kernels (`par_matmul`, `par_matmul_tn`,
+//! `par_matmul_nt`, `par_for_each_rows`) dispatch through the pool.
+//! Coarse-grained helpers (`par_map`, `par_jobs`, …) keep their scoped
+//! threads because their jobs may themselves dispatch leaf kernels;
+//! routing them through the pool could park a worker waiting on a task
+//! queued behind itself. As a second line of defence, a dispatch *from*
+//! a pool worker runs its chunks inline instead of re-entering the pool.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased unit of work: one contiguous run of output rows.
+///
+/// `run` is a monomorphized shim that reconstitutes the kernel closure
+/// from `ctx` and the output chunk from `out`/`len`. All pointers target
+/// stack data of the dispatching `run_chunks` frame; they are valid
+/// because that frame blocks on `latch` until this task completes.
+struct Task {
+    run: unsafe fn(*const (), usize, *mut f32, usize),
+    ctx: *const (),
+    row_start: usize,
+    out: *mut f32,
+    len: usize,
+    latch: *const Latch,
+}
+
+// SAFETY: the raw pointers refer to data owned by the dispatching frame,
+// which blocks until the latch completes; `ctx` targets a `Sync` closure
+// and each `out` chunk is an exclusive row range no other task touches.
+unsafe impl Send for Task {}
+
+unsafe fn call_chunk<F: Fn(usize, &mut [f32]) + Sync>(
+    ctx: *const (),
+    row_start: usize,
+    out: *mut f32,
+    len: usize,
+) {
+    // SAFETY: `ctx` was produced from `&F` in `run_chunks`, and
+    // `out`/`len` from an exclusive `&mut [f32]` chunk; both outlive the
+    // task per the latch protocol documented on `Task`.
+    let work = unsafe { &*(ctx as *const F) };
+    let chunk = unsafe { std::slice::from_raw_parts_mut(out, len) };
+    work(row_start, chunk);
+}
+
+enum Msg {
+    Run(Task),
+    Exit,
+}
+
+/// Countdown latch: the dispatcher waits until `remaining` reaches zero;
+/// workers record the first panic payload for re-throw.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Self {
+            state: Mutex::new(LatchState { remaining: count, panic: None }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut state = self.state.lock().expect("latch mutex poisoned");
+        if state.panic.is_none() {
+            state.panic = panic;
+        }
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        let mut state = self.state.lock().expect("latch mutex poisoned");
+        while state.remaining > 0 {
+            state = self.done.wait(state).expect("latch mutex poisoned");
+        }
+        state.panic.take()
+    }
+}
+
+struct Worker {
+    tx: Sender<Msg>,
+    handle: JoinHandle<()>,
+}
+
+static POOL: Mutex<Vec<Worker>> = Mutex::new(Vec::new());
+/// Tasks handed to workers but not yet picked up — the queue depth
+/// reported on `KernelDispatched` events.
+static QUEUED: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn worker_main(rx: Receiver<Msg>) {
+    IS_POOL_WORKER.with(|f| f.set(true));
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Run(task) => {
+                QUEUED.fetch_sub(1, Ordering::Relaxed);
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    // SAFETY: see `Task` — the dispatcher frame that owns
+                    // the targets is blocked on the latch until we
+                    // complete below.
+                    unsafe { (task.run)(task.ctx, task.row_start, task.out, task.len) }
+                }));
+                // SAFETY: the latch lives in the blocked dispatcher frame.
+                let latch = unsafe { &*task.latch };
+                latch.complete(result.err());
+            }
+            Msg::Exit => break,
+        }
+    }
+}
+
+/// Spawns workers until at least `n` exist and returns senders for the
+/// first `n`. Growth is the only spawning path, so the pool comes up
+/// lazily on the first over-gate dispatch.
+fn ensure_workers(n: usize) -> Vec<Sender<Msg>> {
+    let mut pool = POOL.lock().expect("pool mutex poisoned");
+    while pool.len() < n {
+        let idx = pool.len();
+        let (tx, rx) = channel();
+        let handle = std::thread::Builder::new()
+            .name(format!("agua-pool-{idx}"))
+            .spawn(move || worker_main(rx))
+            .expect("failed to spawn pool worker");
+        pool.push(Worker { tx, handle });
+    }
+    pool.iter().take(n).map(|w| w.tx.clone()).collect()
+}
+
+/// True when called from a pool worker thread. Dispatches from workers
+/// run inline (leaf kernels never nest in this workspace; this guard
+/// makes the "no self-deadlock" property unconditional).
+pub fn on_worker_thread() -> bool {
+    IS_POOL_WORKER.with(|f| f.get())
+}
+
+/// Number of live pool workers.
+pub fn worker_count() -> usize {
+    POOL.lock().expect("pool mutex poisoned").len()
+}
+
+/// Tasks currently queued on the pool and not yet picked up by a worker.
+pub fn queued_tasks() -> usize {
+    QUEUED.load(Ordering::Relaxed)
+}
+
+/// Shrinks the pool to at most `max_workers` threads, joining the
+/// surplus. Growth is lazy, so this never spawns.
+pub fn resize_to(max_workers: usize) {
+    let surplus: Vec<Worker> = {
+        let mut pool = POOL.lock().expect("pool mutex poisoned");
+        if pool.len() <= max_workers {
+            return;
+        }
+        pool.drain(max_workers..).collect()
+    };
+    // Join outside the lock so concurrent dispatches to the surviving
+    // workers are not blocked. Exit is queued behind any in-flight tasks
+    // (mpsc is FIFO), so surplus workers drain before exiting.
+    for worker in surplus {
+        let _ = worker.tx.send(Msg::Exit);
+        let _ = worker.handle.join();
+    }
+}
+
+/// Joins every pool worker. The next over-gate dispatch respawns the
+/// pool lazily; tests use this to prove no threads leak.
+pub fn shutdown() {
+    resize_to(0);
+}
+
+/// Splits `out` (row-major, `width` columns) into `chunk_rows`-row runs
+/// and executes `work(first_row_index, chunk)` on each: the first chunk
+/// inline on the calling thread, the rest on pool workers. Blocks until
+/// every chunk is done; worker panics are re-thrown here.
+///
+/// The chunk boundaries — and therefore every output element's
+/// accumulation order — depend only on `chunk_rows`, not on which thread
+/// runs which chunk, so results are byte-identical to a sequential pass.
+pub(crate) fn run_chunks<F>(out: &mut [f32], width: usize, chunk_rows: usize, work: &F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    debug_assert!(width > 0 && out.len().is_multiple_of(width) && chunk_rows > 0);
+    let chunk_len = chunk_rows * width;
+    let n_chunks = out.len().div_ceil(chunk_len).max(1);
+    if n_chunks <= 1 || on_worker_thread() {
+        for (c, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            work(c * chunk_rows, chunk);
+        }
+        return;
+    }
+
+    let latch = Latch::new(n_chunks - 1);
+    let senders = ensure_workers(n_chunks - 1);
+    let mut chunks = out.chunks_mut(chunk_len).enumerate();
+    let (_, first) = chunks.next().expect("at least one chunk");
+    for ((c, chunk), tx) in chunks.zip(&senders) {
+        let task = Task {
+            run: call_chunk::<F>,
+            ctx: work as *const F as *const (),
+            row_start: c * chunk_rows,
+            out: chunk.as_mut_ptr(),
+            len: chunk.len(),
+            latch: &latch,
+        };
+        QUEUED.fetch_add(1, Ordering::Relaxed);
+        if tx.send(Msg::Run(task)).is_err() {
+            // The worker exited between `ensure_workers` and the send
+            // (a concurrent shutdown): run the chunk here instead.
+            QUEUED.fetch_sub(1, Ordering::Relaxed);
+            let result = catch_unwind(AssertUnwindSafe(|| work(c * chunk_rows, chunk)));
+            latch.complete(result.err());
+        }
+    }
+    let own = catch_unwind(AssertUnwindSafe(|| work(0, first)));
+    // Block until every task settled — this is what makes the borrowed
+    // pointers in `Task` sound — *then* surface any panic.
+    let worker_panic = latch.wait();
+    if let Some(payload) = worker_panic {
+        resume_unwind(payload);
+    }
+    if let Err(payload) = own {
+        resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_chunks_partitions_rows_exactly_once() {
+        let width = 3;
+        let mut out = vec![0.0f32; 10 * width];
+        run_chunks(&mut out, width, 3, &|row_start, chunk: &mut [f32]| {
+            for (local, row) in chunk.chunks_exact_mut(width).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (row_start + local) as f32 + 1.0;
+                }
+            }
+        });
+        for (r, row) in out.chunks_exact(width).enumerate() {
+            assert!(row.iter().all(|&v| v == (r + 1) as f32), "row {r}: {row:?}");
+        }
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_dispatcher() {
+        let width = 1;
+        let mut out = vec![0.0f32; 8];
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_chunks(&mut out, width, 2, &|row_start, _chunk: &mut [f32]| {
+                if row_start >= 4 {
+                    panic!("kernel blew up");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "panic must cross the pool boundary");
+        // The pool survives the panic and stays usable.
+        let mut out2 = vec![0.0f32; 8];
+        run_chunks(&mut out2, 1, 2, &|row_start, chunk: &mut [f32]| {
+            chunk.iter_mut().enumerate().for_each(|(i, v)| *v = (row_start + i) as f32);
+        });
+        assert_eq!(out2, (0..8).map(|i| i as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dispatch_from_a_worker_runs_inline() {
+        let mut outer = vec![0.0f32; 4];
+        run_chunks(&mut outer, 1, 1, &|row_start, chunk: &mut [f32]| {
+            // A (forbidden in practice) nested dispatch must not deadlock.
+            let mut inner = vec![0.0f32; 4];
+            run_chunks(&mut inner, 1, 1, &|rs, c: &mut [f32]| {
+                c.iter_mut().for_each(|v| *v = rs as f32);
+            });
+            chunk.iter_mut().for_each(|v| *v = row_start as f32 + inner.iter().sum::<f32>());
+        });
+        assert_eq!(outer, vec![6.0, 7.0, 8.0, 9.0]);
+    }
+}

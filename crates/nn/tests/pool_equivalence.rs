@@ -1,0 +1,96 @@
+//! Pool-dispatched kernels are byte-identical to both the sequential
+//! scalar kernels and the retired per-op scoped-spawn dispatcher.
+//!
+//! This is the contract that lets the persistent worker pool replace
+//! `std::thread::scope` spawning without perturbing a single trained
+//! weight: same row partitioning, same k-ascending accumulation order,
+//! at every thread count — including the tile-remainder shapes and the
+//! non-finite poisoning semantics of the zero-skip fast path.
+
+use agua_nn::parallel::{self, reference, with_thread_config, ThreadConfig};
+use agua_nn::Matrix;
+use proptest::prelude::*;
+
+/// Forces pool dispatch regardless of operation size.
+fn forced(threads: usize) -> ThreadConfig {
+    ThreadConfig { threads, min_flops: 0 }
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Deterministic pseudo-random matrix with exact zeros sprinkled in so
+/// the finite-gated zero-skip path is exercised.
+fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        let h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add((r * 31 + c * 7) as u64);
+        if h.is_multiple_of(9) {
+            0.0
+        } else {
+            ((h % 2003) as f32 - 1001.0) / 211.0
+        }
+    })
+}
+
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+proptest! {
+    /// All three kernels, pool vs sequential-scalar vs scoped-spawn, at
+    /// thread counts 1/2/4/7.
+    #[test]
+    fn pool_matches_sequential_and_scoped_spawn_bitwise(
+        m in 1usize..16,
+        k in 1usize..16,
+        n in 1usize..16,
+        tidx in 0usize..THREADS.len(),
+        seed in 0u64..300,
+    ) {
+        let threads = THREADS[tidx];
+        let a = mat(m, k, seed);
+        let b = mat(k, n, seed ^ 0xABCD);
+        let at = mat(k, m, seed ^ 0x77);
+        let bt = mat(n, k, seed ^ 0x1234);
+
+        let (pm, ptn, pnt) = with_thread_config(forced(threads), || {
+            (
+                parallel::par_matmul(&a, &b),
+                parallel::par_matmul_tn(&at, &b),
+                parallel::par_matmul_nt(&a, &bt),
+            )
+        });
+
+        // Sequential scalar kernels (the pre-tiling reference bodies).
+        prop_assert_eq!(bits(&a.matmul_reference(&b)), bits(&pm));
+        prop_assert_eq!(bits(&at.matmul_tn_reference(&b)), bits(&ptn));
+        prop_assert_eq!(bits(&a.matmul_nt_reference(&bt)), bits(&pnt));
+
+        // The retired scoped-spawn dispatcher with the same worker count.
+        prop_assert_eq!(bits(&reference::scoped_scalar_matmul(&a, &b, threads)), bits(&pm));
+        prop_assert_eq!(bits(&reference::scoped_scalar_matmul_tn(&at, &b, threads)), bits(&ptn));
+        prop_assert_eq!(bits(&reference::scoped_scalar_matmul_nt(&a, &bt, threads)), bits(&pnt));
+    }
+
+    /// NaN/∞ poisoning survives the pool + tiled kernels identically:
+    /// the zero-skip fast path may only skip products whose rhs row is
+    /// finite, no matter which thread owns the row.
+    #[test]
+    fn pool_preserves_nonfinite_poisoning(
+        m in 2usize..10,
+        k in 1usize..10,
+        n in 1usize..10,
+        tidx in 0usize..THREADS.len(),
+        poison in 0usize..100,
+        use_inf in 0usize..2,
+        seed in 0u64..200,
+    ) {
+        let threads = THREADS[tidx];
+        let a = mat(m, k, seed);
+        let mut b = mat(k, n, seed ^ 0x55);
+        b.set(poison % k, poison % n, if use_inf == 1 { f32::INFINITY } else { f32::NAN });
+
+        let pm = with_thread_config(forced(threads), || parallel::par_matmul(&a, &b));
+        prop_assert_eq!(bits(&a.matmul_reference(&b)), bits(&pm));
+        prop_assert_eq!(bits(&reference::scoped_scalar_matmul(&a, &b, threads)), bits(&pm));
+    }
+}

@@ -1,0 +1,83 @@
+//! Lifecycle of the persistent worker pool: lazy spawn, growth under a
+//! scoped override, shrink via `set_global_threads`, clean shutdown with
+//! no leaked OS threads, and respawn after shutdown.
+//!
+//! Everything lives in one `#[test]` in its own integration binary: the
+//! pool is process-global state, and libtest's default multi-threaded
+//! runner would otherwise race resizes against dispatches.
+
+use agua_nn::parallel::{self, set_global_threads, with_thread_config, ThreadConfig};
+use agua_nn::{pool, Matrix};
+
+/// Forces pool dispatch regardless of operation size.
+fn forced(threads: usize) -> ThreadConfig {
+    ThreadConfig { threads, min_flops: 0 }
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// OS-level thread count of this process, from /proc (Linux only).
+#[cfg(target_os = "linux")]
+fn os_thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("Threads:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+#[cfg(not(target_os = "linux"))]
+fn os_thread_count() -> Option<usize> {
+    None
+}
+
+#[test]
+fn pool_resizes_under_overrides_and_shuts_down_without_leaking_threads() {
+    let a = Matrix::from_fn(64, 32, |r, c| ((r * 31 + c * 7) % 23) as f32 - 11.0);
+    let b = Matrix::from_fn(32, 48, |r, c| ((r * 13 + c * 5) % 19) as f32 - 9.0);
+    let expected = bits(&a.matmul_reference(&b));
+
+    // Lazy: nothing is spawned before the first over-gate dispatch, and
+    // a resize alone must not spawn either.
+    assert_eq!(pool::worker_count(), 0, "pool must start empty");
+    set_global_threads(4);
+    assert_eq!(pool::worker_count(), 0, "resize alone must not spawn workers");
+    let baseline_threads = os_thread_count();
+
+    // First pooled dispatch at 4 threads: the dispatcher runs one chunk
+    // inline, so at most 3 workers are spawned.
+    let out = with_thread_config(forced(4), || parallel::par_matmul(&a, &b));
+    assert_eq!(bits(&out), expected);
+    assert_eq!(pool::worker_count(), 3, "4-way dispatch spawns 3 workers");
+
+    // A scoped override wider than the global setting grows the pool
+    // while it is live; leaving the scope does not shrink it.
+    let out = with_thread_config(forced(7), || parallel::par_matmul(&a, &b));
+    assert_eq!(bits(&out), expected);
+    assert_eq!(pool::worker_count(), 6, "7-way override grows the pool to 6 workers");
+
+    // Shrinking mid-run joins the surplus workers and keeps answering
+    // correctly with the remainder.
+    set_global_threads(2);
+    assert_eq!(pool::worker_count(), 1, "set_global_threads(2) keeps 1 worker");
+    let out = with_thread_config(forced(2), || parallel::par_matmul(&a, &b));
+    assert_eq!(bits(&out), expected);
+
+    // Shutdown joins everything; the OS thread count returns to what it
+    // was before the pool existed.
+    pool::shutdown();
+    assert_eq!(pool::worker_count(), 0, "shutdown must join all workers");
+    assert_eq!(pool::queued_tasks(), 0, "no tasks may remain queued");
+    if let (Some(before), Some(after)) = (baseline_threads, os_thread_count()) {
+        assert_eq!(after, before, "pool threads must not leak past shutdown");
+    }
+
+    // The pool respawns lazily after a shutdown.
+    let out = with_thread_config(forced(4), || parallel::par_matmul(&a, &b));
+    assert_eq!(bits(&out), expected);
+    assert_eq!(pool::worker_count(), 3, "pool respawns after shutdown");
+    pool::shutdown();
+}

@@ -178,6 +178,12 @@ pub struct KernelDispatched {
     pub threads: usize,
     /// True when the op ran sequentially (size gate or 1-thread config).
     pub seq_fallback: bool,
+    /// True when the extra chunks were handed to the persistent worker
+    /// pool (leaf kernels only; scheduling observation like `threads`).
+    pub pool_dispatch: bool,
+    /// Pool tasks already queued when this dispatch was emitted
+    /// (scheduling observation; varies with timing and thread count).
+    pub queue_depth: usize,
 }
 
 /// The concept-labelling stage finished over a batch of inputs.
@@ -269,7 +275,7 @@ impl Serialize for AnyEvent {
                 s.end()
             }
             AnyEvent::KernelDispatched(e) => {
-                let mut s = serializer.serialize_struct("KernelDispatched", 8)?;
+                let mut s = serializer.serialize_struct("KernelDispatched", 10)?;
                 s.serialize_field("event", KernelDispatched::NAME)?;
                 s.serialize_field("kernel", &e.kernel)?;
                 s.serialize_field("rows", &e.rows)?;
@@ -278,6 +284,8 @@ impl Serialize for AnyEvent {
                 s.serialize_field("macs", &e.macs)?;
                 s.serialize_field("threads", &e.threads)?;
                 s.serialize_field("seq_fallback", &e.seq_fallback)?;
+                s.serialize_field("pool_dispatch", &e.pool_dispatch)?;
+                s.serialize_field("queue_depth", &e.queue_depth)?;
                 s.end()
             }
             AnyEvent::LabelingStageFinished(e) => {
@@ -354,12 +362,16 @@ mod tests {
             macs: 64,
             threads: 2,
             seq_fallback: false,
+            pool_dispatch: true,
+            queue_depth: 1,
         }
         .into_any();
         let json = serde_json::to_value(&k).unwrap();
         assert_eq!(json["event"], "kernel_dispatched");
         assert_eq!(json["kernel"], "matmul_tn");
         assert_eq!(json["seq_fallback"], false);
+        assert_eq!(json["pool_dispatch"], true);
+        assert_eq!(json["queue_depth"], 1);
     }
 
     #[test]

@@ -117,6 +117,8 @@ mod tests {
             macs: 1,
             threads: 1,
             seq_fallback: true,
+            pool_dispatch: false,
+            queue_depth: 0,
         };
 
         let quiet_path = temp_path("quiet.jsonl");

@@ -213,6 +213,18 @@ impl Subscriber for Metrics {
                 let peak =
                     inner.scheduling.entry(format!("kernel.{kernel}.max_threads")).or_insert(0);
                 *peak = (*peak).max(e.threads as u64);
+                // Pool usage depends on the configured thread count, so
+                // these live in `scheduling`, not the deterministic
+                // counters.
+                if e.pool_dispatch {
+                    *inner
+                        .scheduling
+                        .entry(format!("kernel.{kernel}.pool_dispatches"))
+                        .or_insert(0) += 1;
+                }
+                let depth =
+                    inner.scheduling.entry(format!("kernel.{kernel}.max_queue_depth")).or_insert(0);
+                *depth = (*depth).max(e.queue_depth as u64);
             }
             AnyEvent::LabelingStageFinished(e) => {
                 *inner.counters.entry("labeling.runs".to_string()).or_insert(0) += 1;
@@ -259,6 +271,8 @@ mod tests {
                 macs: 6000,
                 threads: 4,
                 seq_fallback: false,
+                pool_dispatch: true,
+                queue_depth: 2,
             },
         );
         emit(
@@ -271,6 +285,8 @@ mod tests {
                 macs: 8,
                 threads: 1,
                 seq_fallback: true,
+                pool_dispatch: false,
+                queue_depth: 0,
             },
         );
         emit(
@@ -298,6 +314,8 @@ mod tests {
         assert_eq!(snap.scheduling["kernel.matmul.parallel"], 1);
         assert_eq!(snap.scheduling["kernel.matmul.seq_fallback"], 1);
         assert_eq!(snap.scheduling["kernel.matmul.max_threads"], 4);
+        assert_eq!(snap.scheduling["kernel.matmul.pool_dispatches"], 1);
+        assert_eq!(snap.scheduling["kernel.matmul.max_queue_depth"], 2);
         assert_eq!(snap.kernel_counters().len(), 2);
     }
 

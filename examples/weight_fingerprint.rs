@@ -1,0 +1,78 @@
+//! Prints a byte-exact fingerprint of a seeded surrogate fit (weights,
+//! concept probabilities, logits) and the deterministic metrics counters.
+//! Used to verify that kernel/dispatch refactors leave training
+//! byte-identical: run before and after a change and diff the output.
+
+use agua::concepts::{Concept, ConceptSet};
+use agua::surrogate::{AguaModel, SurrogateDataset, TrainParams};
+use agua_nn::parallel::{with_thread_config, ThreadConfig};
+use agua_nn::Matrix;
+use agua_obs::scoped::with_scoped_subscriber;
+use agua_obs::Metrics;
+use std::rc::Rc;
+
+fn toy_workload() -> (ConceptSet, SurrogateDataset) {
+    let concepts = ConceptSet::new(
+        (0..4)
+            .map(|g| {
+                Concept::new(
+                    &format!("fingerprint concept {g}"),
+                    &format!("synthetic concept text {g} for the fingerprint"),
+                )
+            })
+            .collect(),
+    );
+    let n = 96;
+    let emb_dim = 16;
+    let k = 3;
+    let embeddings = Matrix::from_fn(n, emb_dim, |r, c| {
+        let h = (r * 131 + c * 17 + 7) % 211;
+        h as f32 / 105.5 - 1.0
+    });
+    let concept_labels: Vec<Vec<usize>> = (0..n)
+        .map(|r| {
+            (0..4).map(|g| ((embeddings.get(r, g) + 1.0) / 2.0 * k as f32) as usize % k).collect()
+        })
+        .collect();
+    let outputs: Vec<usize> =
+        (0..n).map(|r| (concept_labels[r][0] + concept_labels[r][1]) % 3).collect();
+    (concepts, SurrogateDataset { embeddings, concept_labels, outputs })
+}
+
+fn fnv(bits: impl Iterator<Item = u32>) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in bits {
+        for byte in b.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+fn main() {
+    let (concepts, dataset) = toy_workload();
+    let params = TrainParams::fast();
+    for threads in [1usize, 4] {
+        let metrics = Rc::new(Metrics::new());
+        let model = with_thread_config(ThreadConfig { threads, min_flops: 1 }, || {
+            with_scoped_subscriber(metrics.clone(), || {
+                AguaModel::fit_observed(&concepts, 3, 3, &dataset, &params, &*metrics)
+            })
+        });
+        let mut bits: Vec<u32> =
+            model.output_mapping.weights().as_slice().iter().map(|v| v.to_bits()).collect();
+        bits.extend(model.output_mapping.bias().as_slice().iter().map(|v| v.to_bits()));
+        bits.extend(
+            model.concept_probs(&dataset.embeddings).as_slice().iter().map(|v| v.to_bits()),
+        );
+        bits.extend(
+            model.predict_logits(&dataset.embeddings).as_slice().iter().map(|v| v.to_bits()),
+        );
+        let weight_hash = fnv(bits.into_iter());
+        let det = metrics.snapshot().deterministic();
+        let det_json = serde_json::to_string(&det).expect("serialize");
+        let counters_hash = fnv(det_json.bytes().map(|b| b as u32));
+        println!("threads={threads} weights=0x{weight_hash:016x} counters=0x{counters_hash:016x}");
+    }
+}

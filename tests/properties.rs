@@ -234,6 +234,26 @@ mod parallel_backend {
             prop_assert_eq!(bits(&a.matmul_nt(&bt)), bits(&pnt));
         }
 
+        /// The column-tiled kernels behind `matmul`/`matmul_tn`/`matmul_nt`
+        /// are bit-for-bit identical to the untiled scalar references:
+        /// tiling widens the accumulator set but keeps each output
+        /// element's k-ascending addition chain untouched.
+        #[test]
+        fn tiled_matmuls_match_scalar_reference_bitwise(
+            m in 1usize..20,
+            k in 1usize..20,
+            n in 1usize..20,
+            seed in 0u64..500,
+        ) {
+            let a = mat(m, k, seed);
+            let b = mat(k, n, seed ^ 0xABCD);
+            let at = mat(k, m, seed ^ 0x77);
+            let bt = mat(n, k, seed ^ 0x1234);
+            prop_assert_eq!(bits(&a.matmul_reference(&b)), bits(&a.matmul(&b)));
+            prop_assert_eq!(bits(&at.matmul_tn_reference(&b)), bits(&at.matmul_tn(&b)));
+            prop_assert_eq!(bits(&a.matmul_nt_reference(&bt)), bits(&a.matmul_nt(&bt)));
+        }
+
         /// Non-finite values poison the product identically under
         /// parallelism (the sparse fast path may not swallow 0 × NaN).
         #[test]
