@@ -1,17 +1,33 @@
 #!/usr/bin/env bash
 # Full CI gate for the workspace. Run from the repo root:
 #
-#   ./ci.sh
+#   ./ci.sh           # the default gate (build, test, lints, audit, smokes)
+#   ./ci.sh --deep    # + the verification layer: loom model checking of the
+#                     #   worker pool, Miri, and ThreadSanitizer. The Miri and
+#                     #   TSan stages need optional nightly components and are
+#                     #   skipped (with the reason logged) when absent; the
+#                     #   loom stage always runs.
 #
 # Every step must pass; the script stops at the first failure.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+DEEP=0
+for arg in "$@"; do
+  case "$arg" in
+    --deep) DEEP=1 ;;
+    *) echo "unknown argument: $arg (expected --deep)" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo build --release"
 cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test -q --workspace
+
+echo "==> cargo xtask audit"
+cargo xtask audit
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -71,5 +87,36 @@ else
   done
 fi
 echo "    bench report ok: $(wc -c <results/BENCH_parallel.json) bytes"
+
+if [ "$DEEP" -eq 1 ]; then
+  echo "==> [deep] loom: model-check the worker pool"
+  # Single-threaded: each loom test explores thousands of schedules and
+  # owns the process-global scheduler state while it runs.
+  RUSTFLAGS="--cfg loom" \
+    cargo test -p agua-nn --test loom_pool --release -- --test-threads=1
+
+  echo "==> [deep] miri: interpret the agua-nn tests"
+  if cargo +nightly miri --version >/dev/null 2>&1; then
+    # Single-threaded so the small-shape pool tests (which end in
+    # pool::shutdown) leave no live worker threads at process exit —
+    # Miri fails a run whose main thread outlives its siblings.
+    MIRIFLAGS="-Zmiri-strict-provenance" \
+      cargo +nightly miri test -p agua-nn -- --test-threads=1
+  else
+    echo "    SKIPPED: 'cargo +nightly miri' unavailable" \
+         "(install with: rustup +nightly component add miri)"
+  fi
+
+  echo "==> [deep] tsan: ThreadSanitizer over the agua-nn tests"
+  if rustup +nightly component list --installed 2>/dev/null | grep -q rust-src; then
+    RUSTFLAGS="-Zsanitizer=thread" \
+      cargo +nightly test -p agua-nn \
+        -Zbuild-std --target "$(rustc -vV | sed -n 's/^host: //p')" \
+        -- --test-threads=1
+  else
+    echo "    SKIPPED: nightly rust-src unavailable, -Zbuild-std impossible" \
+         "(install with: rustup +nightly component add rust-src)"
+  fi
+fi
 
 echo "==> CI gate passed"

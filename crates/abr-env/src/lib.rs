@@ -21,6 +21,8 @@
 //!   laid out in the paper's Fig. 15 prompt, with conversions to a
 //!   normalized feature vector and to describable text sections.
 
+#![forbid(unsafe_code)]
+
 pub mod io;
 pub mod manifest;
 pub mod metrics;

@@ -9,6 +9,8 @@
 //! 4. **Embedding source** — δ on controller embeddings `h(x)` (the
 //!    paper's design) vs δ directly on raw input features.
 
+#![forbid(unsafe_code)]
+
 use abr_env::DatasetEra;
 use agua::concepts::abr_concepts;
 use agua::labeling::{ConceptLabeler, Quantizer};

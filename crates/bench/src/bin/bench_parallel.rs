@@ -16,6 +16,8 @@
 //! skips the repo-root write: fast enough for CI, still producing a
 //! schema-complete `results/BENCH_parallel.json` for validation.
 
+#![forbid(unsafe_code)]
+
 use agua::explain;
 use agua::surrogate::AguaModel;
 use agua_bench::report::{banner, save_json};

@@ -8,6 +8,8 @@
 //! fidelity (it names the right phenomena), the curated set reaches
 //! higher — quantifying why §3.2 keeps the operator in the loop.
 
+#![forbid(unsafe_code)]
+
 use abr_env::DatasetEra;
 use agua::concepts::abr_concepts;
 use agua::congen::{abr_survey, cc_survey, ddos_survey, generate_concepts, GenerationConfig};

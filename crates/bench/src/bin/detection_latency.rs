@@ -5,6 +5,8 @@
 //! pre-onset false-alarm rate, then uses Agua's concept intensities to
 //! show what flips at the onset.
 
+#![forbid(unsafe_code)]
+
 use agua::concepts::ddos_concepts;
 use agua::explain::concept_intensities;
 use agua::surrogate::TrainParams;

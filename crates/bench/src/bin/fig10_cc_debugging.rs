@@ -8,6 +8,8 @@
 //! Paper shape: the corrected controller (red) holds steady near full
 //! link capacity; the original (blue) oscillates.
 
+#![forbid(unsafe_code)]
+
 use agua::concepts::cc_concepts;
 use agua::explain::{batched, concept_intensities, majority_class};
 use agua::surrogate::TrainParams;

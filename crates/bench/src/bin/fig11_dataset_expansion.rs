@@ -8,6 +8,8 @@
 //!
 //! Paper shape: KS < 0.08 for every workload.
 
+#![forbid(unsafe_code)]
+
 use abr_env::{AbrSimulator, TraceFamily, VideoManifest};
 use agua::lifecycle::expansion::{assign_cluster, kmeans, ks_statistic, ConceptStore};
 use agua_bench::apps::{abr_app, LlmVariant};

@@ -9,6 +9,8 @@
 //!     trained explainer; recall of the baseline top-5 explanation
 //!     concepts. Paper: ≈ 0.9.
 
+#![forbid(unsafe_code)]
+
 use abr_env::{AbrObservation, DatasetEra};
 use agua::concepts::{abr_concepts, cc_concepts, ddos_concepts, ConceptSet};
 use agua::explain::factual;

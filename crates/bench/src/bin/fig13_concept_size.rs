@@ -7,6 +7,8 @@
 //! steeply as decision-relevant concepts arrive, then saturating with
 //! diminishing returns.
 
+#![forbid(unsafe_code)]
+
 use abr_env::DatasetEra;
 use agua::concepts::abr_concepts;
 use agua::surrogate::TrainParams;

@@ -10,6 +10,8 @@
 //! Paper shape: >80% of samples differ by < 0.06 in cosine distance, and
 //! top-5 concept recall exceeds 0.72.
 
+#![forbid(unsafe_code)]
+
 use abr_env::DatasetEra;
 use agua::concepts::abr_concepts;
 use agua::robustness::recall_at_k;

@@ -8,6 +8,8 @@
 //! Paper shape: full tree 195 nodes / depth 13; pruned 61 nodes /
 //! depth 10; the pruned decision path still spans ~7 feature tests.
 
+#![forbid(unsafe_code)]
+
 use abr_env::DatasetEra;
 use agua_bench::apps::abr_app;
 use agua_bench::report::{banner, save_json};

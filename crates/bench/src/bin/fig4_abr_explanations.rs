@@ -9,6 +9,8 @@
 //! Throughput' would need to dominate, with 'High Network Throughput'
 //! absent.
 
+#![forbid(unsafe_code)]
+
 use abr_env::DatasetEra;
 use agua::concepts::abr_concepts;
 use agua::explain::{counterfactual, factual};

@@ -10,6 +10,8 @@
 //! increase in 2024; 'Stable Buffer' and 'Extreme Network Degradation'
 //! decrease.
 
+#![forbid(unsafe_code)]
+
 use abr_env::DatasetEra;
 use agua::concepts::abr_concepts;
 use agua::lifecycle::drift::{concept_proportions, detect_shift, tag_datasets};

@@ -6,6 +6,8 @@
 //! (b) Batched factual explanation for TCP SYN flood flows — paper
 //! shape: 'Payload Anomalies' and 'Protocol Anomalies' dominate.
 
+#![forbid(unsafe_code)]
+
 use agua::concepts::ddos_concepts;
 use agua::explain::batched;
 use agua::surrogate::TrainParams;

@@ -3,6 +3,8 @@
 //! traces. The CDF moves but — as the paper argues — says nothing about
 //! the *nature* of the shift; that is Fig. 5's job.
 
+#![forbid(unsafe_code)]
+
 use abr_env::DatasetEra;
 use agua_bench::report::{banner, empirical_cdf, save_json};
 use serde::Serialize;

@@ -12,6 +12,8 @@
 //! genuine headroom — the stand-in for the paper's stale production
 //! controller.
 
+#![forbid(unsafe_code)]
+
 use abr_env::{DatasetEra, TraceFamily};
 use agua::concepts::abr_concepts;
 use agua::lifecycle::drift::{concept_proportions, detect_shift, tag_datasets};

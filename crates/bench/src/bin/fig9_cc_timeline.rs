@@ -6,6 +6,8 @@
 //! Latency' as the competing flow arrives, and recovers alongside
 //! 'Decreasing Packet Loss' / recovering latency.
 
+#![forbid(unsafe_code)]
+
 use agua::concepts::cc_concepts;
 use agua::explain::concept_intensities;
 use agua::surrogate::TrainParams;

@@ -7,6 +7,8 @@
 //! cargo run --release -p agua-bench --bin render_figures
 //! ```
 
+#![forbid(unsafe_code)]
+
 use agua_bench::plot::{BarChart, LineChart, Series};
 use agua_bench::report::results_dir;
 use serde_json::Value;

@@ -5,6 +5,8 @@
 //! quantifies how much the headline numbers move when the controller
 //! initialization, rollout traces, and labelling draws all change.
 
+#![forbid(unsafe_code)]
+
 use abr_env::DatasetEra;
 use agua::concepts::{abr_concepts, cc_concepts, ddos_concepts, ConceptSet};
 use agua::surrogate::TrainParams;

@@ -1,6 +1,8 @@
 //! **Table 1** — Base concepts for the three applications, plus the
 //! §3.2 inter-concept similarity check that curates them.
 
+#![forbid(unsafe_code)]
+
 use agua::concepts::{abr_concepts, cc_concepts, ddos_concepts, ConceptSet};
 use agua_bench::report::banner;
 use agua_text::embedding::Embedder;

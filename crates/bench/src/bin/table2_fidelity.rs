@@ -8,6 +8,8 @@
 //! Trustee collapses on CC (0.215/0.235) while staying strong on ABR
 //! (0.946/0.949) and DDoS (0.991/0.977).
 
+#![forbid(unsafe_code)]
+
 use abr_env::DatasetEra;
 use agua::concepts::{abr_concepts, cc_concepts, ddos_concepts};
 use agua::surrogate::TrainParams;

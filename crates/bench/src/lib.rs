@@ -6,6 +6,8 @@
 //! labelling pipeline, fit Agua surrogates and Trustee baselines, plus
 //! small reporting utilities.
 
+#![forbid(unsafe_code)]
+
 pub mod apps;
 pub mod plot;
 pub mod report;

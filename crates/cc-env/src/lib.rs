@@ -13,6 +13,8 @@
 //! several [`link::LinkPattern`]s — stable, step change, periodic
 //! cross-traffic (the paper's Fig. 9 workload), or volatile.
 
+#![forbid(unsafe_code)]
+
 pub mod link;
 pub mod observation;
 pub mod sim;

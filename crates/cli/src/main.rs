@@ -11,6 +11,8 @@
 //! checkpoints (`controller.json`, `agua.json`, `meta.json`); `fidelity`
 //! and `explain` operate on those checkpoints.
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 mod obs;

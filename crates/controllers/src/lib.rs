@@ -23,6 +23,8 @@
 //! history and an average-latency feature — the before/after pair of the
 //! paper's Fig. 10 debugging story.
 
+#![forbid(unsafe_code)]
+
 pub mod abr;
 pub mod bc;
 pub mod cc;

@@ -80,7 +80,10 @@ pub fn generate_concepts(
     assert!(config.max_concepts >= 1, "must request at least one concept");
 
     // 1. Candidate mining.
+    // audit:allow(hash-order): counting map only — candidates are drained
+    // into a Vec and fully tie-broken sorted before any ordered use.
     let mut counts: HashMap<String, usize> = HashMap::new();
+    // audit:allow(hash-order): same drain-and-sort protocol as `counts`.
     let mut evidence: HashMap<String, Vec<usize>> = HashMap::new();
     for (si, sentence) in corpus.sentences.iter().enumerate() {
         let tokens = tokenize(sentence);

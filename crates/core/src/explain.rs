@@ -147,6 +147,8 @@ pub fn factual_observed(
     obs: &dyn Subscriber,
 ) -> Explanation {
     assert_eq!(embedding.rows(), 1, "single-input explanation expects one row");
+    // audit:allow(wall-clock): latency telemetry only — feeds the obs
+    // event's `seconds` field, never the explanation itself.
     let start = Instant::now();
     let probs = model.predict_probs(embedding);
     let class = probs.argmax_row(0);
@@ -177,6 +179,8 @@ pub fn counterfactual_observed(
     obs: &dyn Subscriber,
 ) -> Explanation {
     assert_eq!(embedding.rows(), 1, "single-input explanation expects one row");
+    // audit:allow(wall-clock): latency telemetry only — feeds the obs
+    // event's `seconds` field, never the explanation itself.
     let start = Instant::now();
     let e = explain_class(model, embedding, class, false);
     emit(
@@ -229,6 +233,8 @@ pub fn batched_observed(
     class: usize,
     obs: &dyn Subscriber,
 ) -> BatchedExplanation {
+    // audit:allow(wall-clock): latency telemetry only — feeds the obs
+    // event's `seconds` field, never the explanation itself.
     let start = Instant::now();
     let b = batched_inner(model, embeddings, class);
     emit(

@@ -172,6 +172,8 @@ impl ConceptLabeler {
         let mut sims: Vec<f32> =
             self.concept_embeddings.iter().map(|c| cosine_similarity(&emb, c)).collect();
         if self.normalization == SimilarityNormalization::PerInputMax {
+            // audit:allow(fp-reduce): max is associative and commutative —
+            // the reduction order cannot change the result.
             let max = sims.iter().cloned().fold(0.0f32, f32::max);
             if max > 0.0 {
                 for s in &mut sims {

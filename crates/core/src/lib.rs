@@ -34,6 +34,8 @@
 //! output labels, never the controllers themselves, so any model exposing
 //! fixed-dimensional embeddings can be explained.
 
+#![forbid(unsafe_code)]
+
 pub mod concepts;
 pub mod congen;
 pub mod explain;

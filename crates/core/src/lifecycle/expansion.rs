@@ -114,6 +114,8 @@ pub fn ks_statistic(a: &[usize], b: &[usize], k: usize) -> f32 {
     };
     let ca = cdf(a);
     let cb = cdf(b);
+    // audit:allow(fp-reduce): max is associative and commutative — the
+    // reduction order cannot change the result.
     ca.iter().zip(&cb).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
 }
 

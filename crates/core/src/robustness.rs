@@ -36,6 +36,8 @@ pub fn recall_at_k(baseline_scores: &[f32], perturbed_scores: &[f32], k: usize) 
 /// the aggregation plotted in Fig. 12.
 pub fn mean_recall_at_k(baseline_scores: &[f32], perturbed: &[Vec<f32>], k: usize) -> f32 {
     assert!(!perturbed.is_empty(), "need at least one perturbed run");
+    // audit:allow(fp-reduce): sequential sum in fixed slice order on one
+    // thread — never dispatched to the parallel backend.
     perturbed.iter().map(|p| recall_at_k(baseline_scores, p, k)).sum::<f32>()
         / perturbed.len() as f32
 }

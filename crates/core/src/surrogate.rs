@@ -490,6 +490,8 @@ impl AguaModel {
     pub fn numeric_mae(&self, embeddings: &Matrix, targets: &[f32], bins: &[f32]) -> f32 {
         assert_eq!(embeddings.rows(), targets.len());
         let preds = self.predict_numeric(embeddings, bins);
+        // audit:allow(fp-reduce): sequential sum in fixed row order on one
+        // thread — never dispatched to the parallel backend.
         preds.iter().zip(targets).map(|(p, t)| (p - t).abs()).sum::<f32>()
             / targets.len().max(1) as f32
     }

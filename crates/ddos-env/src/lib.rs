@@ -20,6 +20,8 @@
 //! classifier features and to describer sections live in
 //! [`observation::DdosObservation`].
 
+#![forbid(unsafe_code)]
+
 pub mod flow;
 pub mod observation;
 pub mod timeline;

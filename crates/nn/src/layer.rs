@@ -352,7 +352,10 @@ impl LayerNorm {
         inv_stds.reserve(n);
         for r in 0..n {
             let row = input.row(r);
+            // audit:allow(fp-reduce): per-row moments in fixed column order
+            // on the dispatching thread — LayerNorm rows are never split.
             let mean = row.iter().sum::<f32>() / d as f32;
+            // audit:allow(fp-reduce): same fixed column order as `mean`.
             let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
             let inv_std = 1.0 / (var + self.eps).sqrt();
             for (c, &v) in row.iter().enumerate() {
@@ -433,7 +436,10 @@ impl LayerNorm {
             for c in 0..d {
                 scratch.row[c] = grad_output.get(r, c) * self.gamma.value.get(0, c);
             }
+            // audit:allow(fp-reduce): per-row gradient moments in fixed
+            // column order on the dispatching thread.
             let mean_dxhat = scratch.row.iter().sum::<f32>() / d as f32;
+            // audit:allow(fp-reduce): same fixed column order as above.
             let mean_dxhat_xhat =
                 scratch.row.iter().enumerate().map(|(c, &v)| v * cache.xhat.get(r, c)).sum::<f32>()
                     / d as f32;
@@ -472,7 +478,10 @@ impl Layer for LayerNorm {
             for c in 0..d {
                 dxhat[c] = grad_output.get(r, c) * self.gamma.value.get(0, c);
             }
+            // audit:allow(fp-reduce): per-row gradient moments in fixed
+            // column order on the dispatching thread.
             let mean_dxhat = dxhat.iter().sum::<f32>() / d as f32;
+            // audit:allow(fp-reduce): same fixed column order as above.
             let mean_dxhat_xhat =
                 dxhat.iter().enumerate().map(|(c, &v)| v * cache.xhat.get(r, c)).sum::<f32>()
                     / d as f32;

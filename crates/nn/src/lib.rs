@@ -21,17 +21,35 @@
 //! one audited region (the lifetime-erased task handoff in [`pool`],
 //! whose soundness argument is documented there): robustness and
 //! auditability over raw speed, in the spirit of event-driven networking
-//! libraries such as smoltcp.
+//! libraries such as smoltcp. The crate root carries
+//! `#![deny(unsafe_code)]`, overridden for [`pool`] alone, and
+//! `cargo xtask audit` cross-checks the same invariant at the source
+//! level; every other workspace crate is `#![forbid(unsafe_code)]`.
+//!
+//! ## Verification
+//!
+//! The pool's concurrency protocol is model-checked: [`sync`] abstracts
+//! its primitives (`std` normally, the vendored [`loom`] facades under
+//! `RUSTFLAGS="--cfg loom"`), and `tests/loom_pool.rs` explores the
+//! dispatch/latch/shutdown interleavings exhaustively under a
+//! preemption bound. See DESIGN.md §10 and `ci.sh --deep`.
+
+// `unsafe` is denied crate-wide and re-allowed only for the audited
+// worker-pool handoff; see the soundness argument in `pool`.
+#![deny(unsafe_code)]
 
 pub mod gradcheck;
 pub mod init;
 pub mod layer;
+pub mod loom;
 pub mod loss;
 pub mod matrix;
 pub mod mlp;
 pub mod optim;
 pub mod parallel;
+#[allow(unsafe_code)]
 pub mod pool;
+pub mod sync;
 
 pub use layer::{BackwardScratch, Layer, LayerNorm, Linear, Param, ReLU, Tanh};
 pub use loss::{

@@ -1,0 +1,1179 @@
+//! Vendored mini-loom: a bounded model checker for the worker pool.
+//!
+//! The real [loom](https://crates.io/crates/loom) crate is the obvious
+//! tool for model-checking `pool.rs`, but this workspace builds against
+//! a vendored dependency set that does not include it. This module is a
+//! from-scratch, dependency-free re-implementation of the loom API
+//! *subset the pool needs* — `model`, `thread::spawn`/`Builder`/`join`,
+//! `sync::{Mutex, Condvar}`, `sync::mpsc`, `sync::atomic` — with the
+//! same usage contract, so swapping in upstream loom later is a one-line
+//! change in [`crate::sync`].
+//!
+//! ## How it explores interleavings
+//!
+//! Where loom uses coroutines and a C11 memory-model simulator, this
+//! checker uses **real OS threads serialized by a scheduler**: exactly
+//! one model thread runs at a time, and every operation on a facade
+//! primitive is a *yield point* where the scheduler may context-switch.
+//! All cross-thread communication in the code under test goes through
+//! the facades, so serializing at yield points is enough to control
+//! every observable interleaving at sync-operation granularity. The
+//! scheduler hands execution from thread to thread through a
+//! `Mutex`/`Condvar` baton, which also gives each switch a
+//! happens-before edge — the model itself is data-race-free by
+//! construction.
+//!
+//! [`model`] runs the closure repeatedly under depth-first schedule
+//! exploration: each run replays a recorded prefix of scheduling choices
+//! and then takes default choices; afterwards the deepest decision with
+//! an untried alternative is flipped and the run repeats. Exploration is
+//! **preemption-bounded** (CHESS-style): forced switches (the running
+//! thread blocked or finished) are always available, but involuntary
+//! preemptions are limited to [`Options::max_preemptions`] per
+//! execution. Small preemption bounds empirically find almost all
+//! concurrency bugs while keeping the schedule space tractable.
+//!
+//! ## What it checks
+//!
+//! * **Deadlock**: a state where no thread is runnable but some thread
+//!   is blocked fails the model with a thread-state dump.
+//! * **Missed completion / lost wakeup**: these manifest as deadlocks
+//!   (a waiter parked forever) and are caught the same way.
+//! * **Assertion failures** in the closure under any explored schedule
+//!   propagate out of [`model`] together with the schedule length.
+//! * **Leaked threads**: the closure must join every thread it spawned
+//!   before returning (same contract as upstream loom).
+//!
+//! ## Semantic deviations from upstream loom
+//!
+//! * Atomics are modeled as sequentially consistent regardless of the
+//!   requested `Ordering` — conservative for the liveness/deadlock
+//!   properties checked here, but weak-memory reorderings are *not*
+//!   explored. The pool's only relaxed atomic (`QUEUED`) is a
+//!   monitoring counter, never synchronization, so this is acceptable.
+//! * Mutex poisoning is not modeled inside a model run (facade guards
+//!   released during unwinding simply unlock).
+//! * `Condvar::notify_one` wakes the lowest-indexed waiter
+//!   (deterministic) instead of branching over all waiters; the pool
+//!   only uses `notify_all`.
+//!
+//! Outside a [`model`] run every facade falls back to plain `std`
+//! behaviour, so code compiled against the facades (`--cfg loom`) still
+//! works when executed without a model harness.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, PoisonError, TryLockError};
+
+/// Exploration limits for [`model_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Maximum involuntary preemptions per execution (CHESS bound).
+    pub max_preemptions: usize,
+    /// Maximum number of schedules explored before giving up.
+    pub max_iterations: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { max_preemptions: 2, max_iterations: 50_000 }
+    }
+}
+
+/// Summary of one [`model_with`] exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Number of distinct schedules executed.
+    pub schedules: usize,
+    /// True when exploration stopped at `max_iterations` with schedules
+    /// still unexplored — treat as "not verified", never as a pass.
+    pub capped: bool,
+}
+
+/// What a non-runnable thread is waiting for. Resources are identified
+/// by the address of the facade object, which is stable for its
+/// lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Resource {
+    Lock(usize),
+    Cond(usize),
+    Chan(usize),
+    Join(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Blocked(Resource),
+    Finished,
+}
+
+/// One scheduling decision: which of `n_options` runnable candidates
+/// was chosen. Recorded on every yield point so a choice vector replays
+/// an execution exactly.
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    n_options: usize,
+    chosen: usize,
+}
+
+struct SchedState {
+    threads: Vec<Status>,
+    active: usize,
+    decisions: Vec<Decision>,
+    replay: Vec<usize>,
+    preemptions: usize,
+    fatal: Option<String>,
+}
+
+/// The per-execution scheduler: the baton (`active` + condvar) that
+/// serializes model threads and records the decision trace.
+struct Sched {
+    state: StdMutex<SchedState>,
+    cv: StdCondvar,
+    max_preemptions: usize,
+}
+
+/// Panic payload used to tear down parked threads after a fatal model
+/// state; swallowed by the spawn wrapper, never surfaced as a user
+/// panic.
+struct ExecAbort;
+
+/// Panic payload carrying a fatal model-state message (e.g. deadlock)
+/// from the detecting thread to [`model_with`]'s caller.
+struct ModelFatal(String);
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Sched>, usize)>> = const { RefCell::new(None) };
+}
+
+fn set_current(v: Option<(Arc<Sched>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+impl Sched {
+    fn new(replay: Vec<usize>, max_preemptions: usize) -> Arc<Sched> {
+        Arc::new(Sched {
+            state: StdMutex::new(SchedState {
+                threads: vec![Status::Runnable],
+                active: 0,
+                decisions: Vec::new(),
+                replay,
+                preemptions: 0,
+                fatal: None,
+            }),
+            cv: StdCondvar::new(),
+            max_preemptions,
+        })
+    }
+
+    /// The scheduler/thread-id pair for the calling thread, when it is a
+    /// registered model thread.
+    fn current() -> Option<(Arc<Sched>, usize)> {
+        CURRENT.with(|c| c.borrow().clone())
+    }
+
+    fn check_fatal_locked(st: &SchedState, me: usize) -> Option<String> {
+        st.fatal.as_ref().map(|msg| if me == 0 { msg.clone() } else { String::new() })
+    }
+
+    /// The core context switch. Picks the next thread to run among the
+    /// runnable candidates (recording the decision), hands it the baton,
+    /// and — when `park` — blocks the caller until the baton returns.
+    ///
+    /// `me_runnable` is false for forced switches (the caller just
+    /// blocked or finished); those never cost preemption budget.
+    fn switch(&self, me: usize, me_runnable: bool, park: bool) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if st.fatal.is_some() {
+            drop(st);
+            self.abort(me);
+        }
+
+        let mut options: Vec<usize> = Vec::new();
+        if me_runnable {
+            options.push(me);
+        }
+        if !me_runnable || st.preemptions < self.max_preemptions {
+            for (tid, status) in st.threads.iter().enumerate() {
+                if tid != me && *status == Status::Runnable {
+                    options.push(tid);
+                }
+            }
+        }
+
+        if options.is_empty() {
+            let all_done = st.threads.iter().all(|s| *s == Status::Finished);
+            if all_done {
+                // Last thread finishing with nothing left to schedule.
+                return;
+            }
+            let dump = st
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(tid, s)| format!("  thread {tid}: {s:?}"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            let msg = format!(
+                "model deadlock: no runnable threads after {} decisions\n{dump}",
+                st.decisions.len()
+            );
+            st.fatal = Some(msg.clone());
+            self.cv.notify_all();
+            drop(st);
+            if me == 0 {
+                panic!("{msg}");
+            }
+            std::panic::panic_any(ModelFatal(msg));
+        }
+
+        let index = st.decisions.len();
+        let chosen = if index < st.replay.len() { st.replay[index] } else { 0 };
+        assert!(
+            chosen < options.len(),
+            "schedule replay diverged at decision {index}: \
+             choice {chosen} of {} options — the model is nondeterministic",
+            options.len()
+        );
+        st.decisions.push(Decision { n_options: options.len(), chosen });
+        let next = options[chosen];
+
+        if next != me {
+            if me_runnable {
+                st.preemptions += 1;
+            }
+            st.active = next;
+            self.cv.notify_all();
+            if park {
+                while st.active != me {
+                    if st.fatal.is_some() {
+                        drop(st);
+                        self.abort(me);
+                    }
+                    st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+                if st.fatal.is_some() {
+                    drop(st);
+                    self.abort(me);
+                }
+            }
+        }
+    }
+
+    /// A plain preemption point: the scheduler may switch away and the
+    /// caller resumes later.
+    fn yield_point(&self, me: usize) {
+        self.switch(me, true, true);
+    }
+
+    /// Marks the caller blocked on `res` and switches away; returns once
+    /// the caller has been unblocked *and* rescheduled.
+    fn block_on(&self, me: usize, res: Resource) {
+        {
+            let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            st.threads[me] = Status::Blocked(res);
+        }
+        self.switch(me, false, true);
+    }
+
+    /// Marks every thread blocked on `res` runnable again. They compete
+    /// for the baton at subsequent decisions; no wakeup is lost because
+    /// status is state, not a signal.
+    fn unblock_all(&self, res: Resource) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        for status in st.threads.iter_mut() {
+            if *status == Status::Blocked(res) {
+                *status = Status::Runnable;
+            }
+        }
+    }
+
+    /// Wakes the lowest-indexed thread blocked on `res` (deterministic
+    /// `notify_one` model).
+    fn unblock_one(&self, res: Resource) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        for status in st.threads.iter_mut() {
+            if *status == Status::Blocked(res) {
+                *status = Status::Runnable;
+                return;
+            }
+        }
+    }
+
+    /// Registers a new thread (runnable, parked until first scheduled).
+    fn add_thread(&self) -> usize {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.threads.push(Status::Runnable);
+        st.threads.len() - 1
+    }
+
+    /// Parks a freshly spawned thread until the scheduler first hands it
+    /// the baton.
+    fn wait_first_schedule(&self, me: usize) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while st.active != me {
+            if st.fatal.is_some() {
+                drop(st);
+                self.abort(me);
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Marks the caller finished, wakes joiners, and hands the baton on
+    /// without parking (the caller's OS thread is about to exit).
+    fn finish(&self, me: usize) {
+        {
+            let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            if st.fatal.is_some() {
+                st.threads[me] = Status::Finished;
+                self.cv.notify_all();
+                return;
+            }
+            st.threads[me] = Status::Finished;
+            for status in st.threads.iter_mut() {
+                if *status == Status::Blocked(Resource::Join(me)) {
+                    *status = Status::Runnable;
+                }
+            }
+        }
+        self.switch(me, false, false);
+    }
+
+    fn is_finished(&self, tid: usize) -> bool {
+        let st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.threads[tid] == Status::Finished
+    }
+
+    /// Unwinds the calling model thread after another thread reported a
+    /// fatal state. Thread 0 re-raises the fatal message so it reaches
+    /// the `model` caller; helpers raise a quiet teardown payload.
+    fn abort(&self, me: usize) -> ! {
+        let msg = {
+            let st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            Self::check_fatal_locked(&st, me)
+        };
+        match msg {
+            Some(m) if me == 0 => std::panic::panic_any(ModelFatal(m)),
+            _ => std::panic::panic_any(ExecAbort),
+        }
+    }
+}
+
+/// Model-checks `f` with default [`Options`], panicking on the first
+/// schedule that deadlocks or panics. See the module docs.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_with(Options::default(), f);
+}
+
+/// Serializes model runs process-wide: the code under test may use
+/// process-global state (the worker pool's statics), so two concurrent
+/// explorations would interfere.
+static MODEL_SERIAL: StdMutex<()> = StdMutex::new(());
+
+/// Model-checks `f` under `opts`, returning how many schedules were
+/// explored. Panics (with the failing schedule's decision count) on the
+/// first schedule that deadlocks, panics, or leaks threads.
+pub fn model_with<F>(opts: Options, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let _serial = MODEL_SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+
+    // Exploration deliberately drives code into panics (deadlock
+    // reports, panic-propagation schedules), so the default
+    // print-a-backtrace hook would flood stderr. Silence panics on
+    // model-registered threads only — the failing schedule's payload is
+    // re-raised with context below, after the hook is restored.
+    type Hook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+    struct RestoreHook(Option<Arc<Hook>>);
+    impl Drop for RestoreHook {
+        fn drop(&mut self) {
+            // take_hook/set_hook themselves panic on a panicking thread,
+            // so restoring here would turn an unwind into an abort. The
+            // quiet hook forwards to the previous one for non-model
+            // threads, so leaking it is benign.
+            if std::thread::panicking() {
+                return;
+            }
+            drop(std::panic::take_hook());
+            if let Some(prev) = self.0.take() {
+                if let Some(hook) = Arc::into_inner(prev) {
+                    std::panic::set_hook(hook);
+                }
+            }
+        }
+    }
+
+    /// A failed exploration, carried as a value so the verdict is raised
+    /// only *after* the hook is restored (modifying the panic hook from
+    /// a panicking thread aborts the process).
+    enum Failure {
+        Message(String),
+        Panic { context: String, payload: Box<dyn std::any::Any + Send> },
+    }
+
+    let explore = |f: &F| -> Result<Report, Failure> {
+        let mut replay: Vec<usize> = Vec::new();
+        let mut schedules = 0usize;
+        loop {
+            schedules += 1;
+            let sched = Sched::new(replay.clone(), opts.max_preemptions);
+            set_current(Some((sched.clone(), 0)));
+            let run = catch_unwind(AssertUnwindSafe(f));
+            set_current(None);
+
+            let (decisions, fatal, live) = {
+                let st = sched.state.lock().unwrap_or_else(PoisonError::into_inner);
+                let live = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .skip(1)
+                    .filter(|(_, s)| **s != Status::Finished)
+                    .map(|(tid, _)| tid)
+                    .collect::<Vec<_>>();
+                (st.decisions.clone(), st.fatal.clone(), live)
+            };
+
+            if let Err(payload) = run {
+                let context = format!(
+                    "model failed on schedule {schedules} after {} decisions",
+                    decisions.len()
+                );
+                if let Some(fatal) = payload.downcast_ref::<ModelFatal>() {
+                    return Err(Failure::Message(format!("{context}: {}", fatal.0)));
+                }
+                return Err(Failure::Panic { context, payload });
+            }
+            if let Some(msg) = fatal {
+                return Err(Failure::Message(format!(
+                    "model failed on schedule {schedules}: {msg}"
+                )));
+            }
+            if !live.is_empty() {
+                return Err(Failure::Message(format!(
+                    "model closure returned with live threads {live:?}: join every \
+                     spawned thread before returning (schedule {schedules})"
+                )));
+            }
+
+            // Depth-first backtrack: flip the deepest decision with an
+            // untried alternative.
+            let mut next: Option<Vec<usize>> = None;
+            for i in (0..decisions.len()).rev() {
+                if decisions[i].chosen + 1 < decisions[i].n_options {
+                    let mut prefix: Vec<usize> = decisions[..i].iter().map(|d| d.chosen).collect();
+                    prefix.push(decisions[i].chosen + 1);
+                    next = Some(prefix);
+                    break;
+                }
+            }
+            match next {
+                None => return Ok(Report { schedules, capped: false }),
+                Some(_) if schedules >= opts.max_iterations => {
+                    eprintln!(
+                        "model: exploration capped at {} schedules with alternatives \
+                         unexplored — result is NOT exhaustive",
+                        opts.max_iterations
+                    );
+                    return Ok(Report { schedules, capped: true });
+                }
+                Some(prefix) => replay = prefix,
+            }
+        }
+    };
+
+    let outcome = {
+        let prev: Arc<Hook> = Arc::new(std::panic::take_hook());
+        let in_hook = prev.clone();
+        std::panic::set_hook(Box::new(move |info| {
+            if Sched::current().is_none() {
+                in_hook(info);
+            }
+        }));
+        let _restore = RestoreHook(Some(prev));
+        explore(&f)
+    };
+
+    match outcome {
+        Ok(report) => report,
+        Err(Failure::Message(msg)) => panic!("{msg}"),
+        Err(Failure::Panic { context, payload }) => {
+            eprintln!("{context}");
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Scheduler-aware stand-ins for `std::thread`.
+pub mod thread {
+    use super::{
+        catch_unwind, set_current, Arc, AssertUnwindSafe, ExecAbort, PoisonError, Resource, Sched,
+        StdMutex,
+    };
+
+    type Payload<T> = Arc<StdMutex<Option<std::thread::Result<T>>>>;
+
+    enum Inner<T> {
+        Std(std::thread::JoinHandle<T>),
+        Model { sched: Arc<Sched>, tid: usize, result: Payload<T>, os: std::thread::JoinHandle<()> },
+    }
+
+    /// Facade for [`std::thread::JoinHandle`].
+    pub struct JoinHandle<T>(Inner<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish, returning its result or panic
+        /// payload. Inside a model this is a blocking yield point.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                Inner::Std(h) => h.join(),
+                Inner::Model { sched, tid, result, os } => {
+                    let me = super::Sched::current()
+                        .map(|(_, me)| me)
+                        .expect("model JoinHandle joined from a non-model thread");
+                    sched.yield_point(me);
+                    while !sched.is_finished(tid) {
+                        sched.block_on(me, Resource::Join(tid));
+                    }
+                    let _ = os.join();
+                    result
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .take()
+                        .expect("model thread finished without storing a result")
+                }
+            }
+        }
+    }
+
+    /// Facade for [`std::thread::Builder`].
+    #[derive(Default)]
+    pub struct Builder {
+        name: Option<String>,
+    }
+
+    impl Builder {
+        /// Creates a builder with no name set.
+        pub fn new() -> Builder {
+            Builder { name: None }
+        }
+
+        /// Names the thread (used by the std fallback; model threads are
+        /// identified by index).
+        pub fn name(mut self, name: String) -> Builder {
+            self.name = Some(name);
+            self
+        }
+
+        /// Spawns a thread. Inside a model the new thread is registered
+        /// with the scheduler and parked until first scheduled; the
+        /// spawn itself is a preemption point.
+        pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            match super::Sched::current() {
+                None => {
+                    let mut builder = std::thread::Builder::new();
+                    if let Some(name) = self.name {
+                        builder = builder.name(name);
+                    }
+                    builder.spawn(f).map(|h| JoinHandle(Inner::Std(h)))
+                }
+                Some((sched, me)) => {
+                    let tid = sched.add_thread();
+                    let result: Payload<T> = Arc::new(StdMutex::new(None));
+                    let slot = result.clone();
+                    let child_sched = sched.clone();
+                    let os = std::thread::Builder::new().spawn(move || {
+                        set_current(Some((child_sched.clone(), tid)));
+                        let run_sched = child_sched.clone();
+                        let out = catch_unwind(AssertUnwindSafe(move || {
+                            run_sched.wait_first_schedule(tid);
+                            f()
+                        }));
+                        let teardown = matches!(&out, Err(p) if p.is::<ExecAbort>());
+                        if !teardown {
+                            *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
+                        }
+                        set_current(None);
+                        child_sched.finish(tid);
+                    })?;
+                    sched.yield_point(me);
+                    Ok(JoinHandle(Inner::Model { sched, tid, result, os }))
+                }
+            }
+        }
+    }
+
+    /// Facade for [`std::thread::spawn`].
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Builder::new().spawn(f).expect("failed to spawn model thread")
+    }
+
+    /// Facade for [`std::thread::yield_now`]: a pure preemption point
+    /// inside a model, a real yield outside.
+    pub fn yield_now() {
+        match super::Sched::current() {
+            None => std::thread::yield_now(),
+            Some((sched, me)) => sched.yield_point(me),
+        }
+    }
+}
+
+/// Scheduler-aware stand-ins for `std::sync` primitives.
+pub mod sync {
+    use super::{PoisonError, Resource, Sched, StdCondvar, StdMutex, TryLockError};
+    use std::sync::LockResult;
+
+    /// Facade for [`std::sync::Mutex`]: a real mutex plus scheduler
+    /// bookkeeping, so lock acquisition order is explored by the model.
+    pub struct Mutex<T> {
+        inner: StdMutex<T>,
+    }
+
+    /// Facade for [`std::sync::MutexGuard`]. Dropping it releases the
+    /// lock, wakes model waiters, and yields.
+    pub struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates the mutex (usable in statics, like `std`).
+        pub const fn new(value: T) -> Mutex<T> {
+            Mutex { inner: StdMutex::new(value) }
+        }
+
+        fn addr(&self) -> usize {
+            self as *const Mutex<T> as usize
+        }
+
+        /// Locks, blocking through the model scheduler when contended.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            match Sched::current() {
+                None => match self.inner.lock() {
+                    Ok(g) => Ok(MutexGuard { lock: self, inner: Some(g) }),
+                    Err(e) => Err(PoisonError::new(MutexGuard {
+                        lock: self,
+                        inner: Some(e.into_inner()),
+                    })),
+                },
+                Some((sched, me)) => {
+                    sched.yield_point(me);
+                    loop {
+                        match self.inner.try_lock() {
+                            Ok(g) => return Ok(MutexGuard { lock: self, inner: Some(g) }),
+                            Err(TryLockError::Poisoned(e)) => {
+                                return Err(PoisonError::new(MutexGuard {
+                                    lock: self,
+                                    inner: Some(e.into_inner()),
+                                }))
+                            }
+                            Err(TryLockError::WouldBlock) => {
+                                sched.block_on(me, Resource::Lock(self.addr()));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard released")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard released")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            let held = self.inner.take();
+            if held.is_some() {
+                drop(held);
+                if let Some((sched, me)) = Sched::current() {
+                    sched.unblock_all(Resource::Lock(self.lock.addr()));
+                    // Never re-enter the scheduler while unwinding: a
+                    // panic inside drop glue during cleanup aborts the
+                    // process. Waiters are already woken; they get the
+                    // baton at the next live decision point.
+                    if !std::thread::panicking() {
+                        sched.yield_point(me);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Facade for [`std::sync::Condvar`] with precise lost-wakeup
+    /// semantics inside a model (a notify with no waiter is dropped).
+    pub struct Condvar {
+        fallback: StdCondvar,
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Condvar {
+        /// Creates the condvar (usable in statics, like `std`).
+        pub const fn new() -> Condvar {
+            Condvar { fallback: StdCondvar::new() }
+        }
+
+        fn addr(&self) -> usize {
+            self as *const Condvar as usize
+        }
+
+        /// Releases the guard, waits for a notification, re-acquires.
+        pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            match Sched::current() {
+                None => {
+                    let std_guard = guard.inner.take().expect("guard released");
+                    match self.fallback.wait(std_guard) {
+                        Ok(g) => {
+                            guard.inner = Some(g);
+                            Ok(guard)
+                        }
+                        Err(e) => {
+                            guard.inner = Some(e.into_inner());
+                            Err(PoisonError::new(guard))
+                        }
+                    }
+                }
+                Some((sched, me)) => {
+                    let lock = guard.lock;
+                    // Release without the Drop-side yield: the wait and
+                    // the unlock are one atomic step to the model, which
+                    // is exactly the guarantee a condvar provides.
+                    drop(guard.inner.take());
+                    sched.unblock_all(Resource::Lock(lock.addr()));
+                    sched.block_on(me, Resource::Cond(self.addr()));
+                    lock.lock()
+                }
+            }
+        }
+
+        /// Wakes every waiter.
+        pub fn notify_all(&self) {
+            match Sched::current() {
+                None => self.fallback.notify_all(),
+                Some((sched, me)) => {
+                    sched.unblock_all(Resource::Cond(self.addr()));
+                    sched.yield_point(me);
+                }
+            }
+        }
+
+        /// Wakes one waiter (the lowest-indexed, deterministically).
+        pub fn notify_one(&self) {
+            match Sched::current() {
+                None => self.fallback.notify_one(),
+                Some((sched, me)) => {
+                    sched.unblock_one(Resource::Cond(self.addr()));
+                    sched.yield_point(me);
+                }
+            }
+        }
+    }
+
+    /// Scheduler-aware stand-ins for `std::sync::atomic`. Every
+    /// operation is a preemption point; all orderings are modeled as
+    /// sequentially consistent (see the module docs for why that is
+    /// acceptable here).
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        /// Facade for [`std::sync::atomic::AtomicUsize`].
+        #[derive(Debug, Default)]
+        pub struct AtomicUsize {
+            inner: std::sync::atomic::AtomicUsize,
+        }
+
+        impl AtomicUsize {
+            /// Creates the atomic (usable in statics, like `std`).
+            pub const fn new(value: usize) -> AtomicUsize {
+                AtomicUsize { inner: std::sync::atomic::AtomicUsize::new(value) }
+            }
+
+            fn yield_point() {
+                if let Some((sched, me)) = super::Sched::current() {
+                    sched.yield_point(me);
+                }
+            }
+
+            /// Facade for `AtomicUsize::load`.
+            pub fn load(&self, _order: Ordering) -> usize {
+                Self::yield_point();
+                self.inner.load(Ordering::SeqCst)
+            }
+
+            /// Facade for `AtomicUsize::store`.
+            pub fn store(&self, value: usize, _order: Ordering) {
+                Self::yield_point();
+                self.inner.store(value, Ordering::SeqCst);
+            }
+
+            /// Facade for `AtomicUsize::fetch_add`.
+            pub fn fetch_add(&self, value: usize, _order: Ordering) -> usize {
+                Self::yield_point();
+                self.inner.fetch_add(value, Ordering::SeqCst)
+            }
+
+            /// Facade for `AtomicUsize::fetch_sub`.
+            pub fn fetch_sub(&self, value: usize, _order: Ordering) -> usize {
+                Self::yield_point();
+                self.inner.fetch_sub(value, Ordering::SeqCst)
+            }
+        }
+    }
+
+    /// Scheduler-aware stand-in for `std::sync::mpsc` (the unbounded
+    /// channel subset the pool uses).
+    pub mod mpsc {
+        use super::super::{Arc, PoisonError, Resource, Sched, StdCondvar, StdMutex, VecDeque};
+
+        /// Error returned by [`Sender::send`] when the receiver is gone;
+        /// carries the unsent value like `std`.
+        #[derive(Debug)]
+        pub struct SendError<T>(pub T);
+
+        /// Error returned by [`Receiver::recv`] when every sender is
+        /// gone and the queue is drained.
+        #[derive(Debug, PartialEq, Eq)]
+        pub struct RecvError;
+
+        struct ChanState<T> {
+            queue: VecDeque<T>,
+            senders: usize,
+            rx_alive: bool,
+        }
+
+        struct Chan<T> {
+            state: StdMutex<ChanState<T>>,
+            cv: StdCondvar,
+        }
+
+        impl<T> Chan<T> {
+            fn addr(&self) -> usize {
+                self as *const Chan<T> as usize
+            }
+        }
+
+        /// Facade for [`std::sync::mpsc::Sender`].
+        pub struct Sender<T> {
+            chan: Arc<Chan<T>>,
+        }
+
+        /// Facade for [`std::sync::mpsc::Receiver`].
+        pub struct Receiver<T> {
+            chan: Arc<Chan<T>>,
+        }
+
+        /// Facade for [`std::sync::mpsc::channel`].
+        pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+            let chan = Arc::new(Chan {
+                state: StdMutex::new(ChanState {
+                    queue: VecDeque::new(),
+                    senders: 1,
+                    rx_alive: true,
+                }),
+                cv: StdCondvar::new(),
+            });
+            (Sender { chan: chan.clone() }, Receiver { chan })
+        }
+
+        impl<T> Sender<T> {
+            /// Queues `value`, failing if the receiver was dropped.
+            pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+                let model = Sched::current();
+                if let Some((sched, me)) = &model {
+                    sched.yield_point(*me);
+                }
+                {
+                    let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+                    if !st.rx_alive {
+                        return Err(SendError(value));
+                    }
+                    st.queue.push_back(value);
+                    self.chan.cv.notify_all();
+                }
+                if let Some((sched, me)) = &model {
+                    sched.unblock_all(Resource::Chan(self.chan.addr()));
+                    sched.yield_point(*me);
+                }
+                Ok(())
+            }
+        }
+
+        impl<T> Clone for Sender<T> {
+            fn clone(&self) -> Sender<T> {
+                let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+                st.senders += 1;
+                drop(st);
+                Sender { chan: self.chan.clone() }
+            }
+        }
+
+        impl<T> Drop for Sender<T> {
+            fn drop(&mut self) {
+                let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+                st.senders -= 1;
+                if st.senders == 0 {
+                    self.chan.cv.notify_all();
+                    drop(st);
+                    if let Some((sched, _)) = Sched::current() {
+                        sched.unblock_all(Resource::Chan(self.chan.addr()));
+                    }
+                }
+            }
+        }
+
+        impl<T> Receiver<T> {
+            /// Dequeues the next value, blocking until one arrives or
+            /// every sender is dropped.
+            pub fn recv(&self) -> Result<T, RecvError> {
+                let model = Sched::current();
+                if let Some((sched, me)) = &model {
+                    sched.yield_point(*me);
+                }
+                loop {
+                    let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+                    if let Some(value) = st.queue.pop_front() {
+                        return Ok(value);
+                    }
+                    if st.senders == 0 {
+                        return Err(RecvError);
+                    }
+                    match &model {
+                        Some((sched, me)) => {
+                            drop(st);
+                            sched.block_on(*me, Resource::Chan(self.chan.addr()));
+                        }
+                        None => {
+                            let _unused =
+                                self.chan.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                        }
+                    }
+                }
+            }
+        }
+
+        impl<T> Drop for Receiver<T> {
+            fn drop(&mut self) {
+                let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+                st.rx_alive = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Condvar, Mutex};
+    use super::*;
+
+    /// The classic lost update: two threads do read-modify-write through
+    /// separate load/store. Exploration must find both the sequential
+    /// outcome (2) and the interleaved one (1).
+    #[test]
+    fn exploration_finds_the_lost_update() {
+        let outcomes = Arc::new(StdMutex::new(std::collections::BTreeSet::new()));
+        let sink = outcomes.clone();
+        let report =
+            model_with(Options { max_preemptions: 2, max_iterations: 10_000 }, move || {
+                let counter = Arc::new(AtomicUsize::new(0));
+                let worker = {
+                    let counter = counter.clone();
+                    thread::spawn(move || {
+                        let seen = counter.load(Ordering::SeqCst);
+                        counter.store(seen + 1, Ordering::SeqCst);
+                    })
+                };
+                let seen = counter.load(Ordering::SeqCst);
+                counter.store(seen + 1, Ordering::SeqCst);
+                worker.join().expect("worker must not panic");
+                sink.lock().unwrap().insert(counter.load(Ordering::SeqCst));
+            });
+        assert!(!report.capped, "toy program must be fully explored");
+        assert!(report.schedules > 1, "must explore more than one schedule");
+        let outcomes = outcomes.lock().unwrap().clone();
+        assert!(outcomes.contains(&2), "sequential outcome missing: {outcomes:?}");
+        assert!(outcomes.contains(&1), "lost-update interleaving not found: {outcomes:?}");
+    }
+
+    /// Classic AB/BA lock-order inversion must be reported as a
+    /// deadlock, not hang the test.
+    #[test]
+    fn deadlock_is_detected_and_reported() {
+        let result = catch_unwind(|| {
+            model(|| {
+                let a = Arc::new(Mutex::new(0u32));
+                let b = Arc::new(Mutex::new(0u32));
+                let worker = {
+                    let a = a.clone();
+                    let b = b.clone();
+                    thread::spawn(move || {
+                        let _b = b.lock().unwrap();
+                        let _a = a.lock().unwrap();
+                    })
+                };
+                {
+                    let _a = a.lock().unwrap();
+                    let _b = b.lock().unwrap();
+                }
+                let _ = worker.join();
+            });
+        });
+        let payload = result.expect_err("AB/BA locking must fail the model");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string panic>".into());
+        assert!(msg.contains("deadlock"), "expected a deadlock report, got: {msg}");
+    }
+
+    /// A waiter parked before the only notify is delivered must still be
+    /// woken in every schedule (condvar + mutex handshake is sound).
+    #[test]
+    fn condvar_handshake_completes_in_all_schedules() {
+        let report = model_with(Options::default(), || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let signaller = {
+                let pair = pair.clone();
+                thread::spawn(move || {
+                    let (flag, cv) = &*pair;
+                    *flag.lock().unwrap() = true;
+                    cv.notify_all();
+                })
+            };
+            let (flag, cv) = &*pair;
+            let mut ready = flag.lock().unwrap();
+            while !*ready {
+                ready = cv.wait(ready).unwrap();
+            }
+            drop(ready);
+            signaller.join().expect("signaller must not panic");
+        });
+        assert!(!report.capped);
+        assert!(report.schedules > 1);
+    }
+
+    /// mpsc facade: values arrive in send order and disconnection is
+    /// observed when the sender drops, under every schedule.
+    #[test]
+    fn channel_preserves_order_and_reports_disconnect() {
+        let report = model_with(Options::default(), || {
+            let (tx, rx) = sync::mpsc::channel();
+            let producer = thread::spawn(move || {
+                tx.send(1u32).expect("receiver alive");
+                tx.send(2u32).expect("receiver alive");
+            });
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            producer.join().expect("producer must not panic");
+            assert_eq!(rx.recv(), Err(sync::mpsc::RecvError));
+        });
+        assert!(!report.capped);
+    }
+
+    /// A panic in a model thread must surface through join and fail the
+    /// model run with schedule context.
+    #[test]
+    fn thread_panics_surface_through_join() {
+        let result = catch_unwind(|| {
+            model(|| {
+                let worker = thread::spawn(|| panic!("kernel blew up"));
+                let join = worker.join();
+                // Re-throw like the pool's dispatcher does.
+                if let Err(payload) = join {
+                    resume_unwind(payload);
+                }
+            });
+        });
+        assert!(result.is_err(), "worker panic must fail the model");
+    }
+
+    /// Outside `model`, the facades are plain std primitives: the same
+    /// binary must work with and without a model harness.
+    #[test]
+    fn facades_fall_back_to_std_outside_a_model() {
+        let (tx, rx) = sync::mpsc::channel();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let shared = Arc::new(Mutex::new(Vec::new()));
+        let worker = {
+            let counter = counter.clone();
+            let shared = shared.clone();
+            thread::Builder::new()
+                .name("fallback-worker".into())
+                .spawn(move || {
+                    for value in 0..4u32 {
+                        tx.send(value).expect("receiver alive");
+                    }
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    shared.lock().unwrap().push(99);
+                })
+                .expect("spawn works outside a model")
+        };
+        let mut got = Vec::new();
+        for _ in 0..4 {
+            got.push(rx.recv().expect("sender alive"));
+        }
+        worker.join().expect("worker must not panic");
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+        assert_eq!(*shared.lock().unwrap(), vec![99]);
+        assert_eq!(rx.recv(), Err(sync::mpsc::RecvError));
+    }
+
+    /// The preemption bound is respected: with zero preemptions only
+    /// forced switches happen, so the lost update is *not* observable.
+    #[test]
+    fn zero_preemption_bound_runs_threads_atomically() {
+        let outcomes = Arc::new(StdMutex::new(std::collections::BTreeSet::new()));
+        let sink = outcomes.clone();
+        let report = model_with(Options { max_preemptions: 0, max_iterations: 1_000 }, move || {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let worker = {
+                let counter = counter.clone();
+                thread::spawn(move || {
+                    let seen = counter.load(Ordering::SeqCst);
+                    counter.store(seen + 1, Ordering::SeqCst);
+                })
+            };
+            let seen = counter.load(Ordering::SeqCst);
+            counter.store(seen + 1, Ordering::SeqCst);
+            worker.join().expect("worker must not panic");
+            sink.lock().unwrap().insert(counter.load(Ordering::SeqCst));
+        });
+        assert!(!report.capped);
+        let outcomes = outcomes.lock().unwrap().clone();
+        assert_eq!(
+            outcomes.into_iter().collect::<Vec<_>>(),
+            vec![2],
+            "without preemptions each RMW pair must run atomically"
+        );
+    }
+}

@@ -192,6 +192,8 @@ pub fn mse_loss(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
     assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
     let n = (pred.rows() * pred.cols()) as f32;
     let diff = pred.sub(target);
+    // audit:allow(fp-reduce): sequential sum in fixed element order on
+    // the dispatching thread — losses are never reduced in parallel.
     let loss = diff.as_slice().iter().map(|v| v * v).sum::<f32>() / n;
     let grad = diff.scale(2.0 / n);
     (loss, grad)

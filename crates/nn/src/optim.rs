@@ -126,6 +126,8 @@ impl ElasticNet {
 
     /// Evaluates the penalty value for reporting.
     pub fn penalty(&self, params: &[&Param]) -> f32 {
+        // audit:allow(fp-reduce): sequential sum in parameter declaration
+        // order on one thread; reporting-only value.
         let l2: f32 =
             params.iter().map(|p| p.value.as_slice().iter().map(|v| v * v).sum::<f32>()).sum();
         let l1: f32 = params.iter().map(|p| p.value.l1_norm()).sum();

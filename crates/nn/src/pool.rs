@@ -54,11 +54,11 @@
 //! queued behind itself. As a second line of defence, a dispatch *from*
 //! a pool worker runs its chunks inline instead of re-entering the pool.
 
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::mpsc::{channel, Receiver, Sender};
+use crate::sync::thread::JoinHandle;
+use crate::sync::{thread, Condvar, Mutex};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Condvar, Mutex};
-use std::thread::JoinHandle;
 
 /// A lifetime-erased unit of work: one contiguous run of output rows.
 ///
@@ -75,21 +75,63 @@ struct Task {
     latch: *const Latch,
 }
 
-// SAFETY: the raw pointers refer to data owned by the dispatching frame,
-// which blocks until the latch completes; `ctx` targets a `Sync` closure
-// and each `out` chunk is an exclusive row range no other task touches.
+// SAFETY: sending a `Task` to a worker is sound because every raw
+// pointer in it targets data owned by the dispatching `run_chunks`
+// frame, and that frame blocks on the latch until the task completes
+// (normally or by panic) — the borrowed closure strictly outlives every
+// worker that can observe it:
+//  * `ctx` points at a `F: Fn(..) + Sync` closure, so a shared `&F` may
+//    be used from the worker while the dispatcher also runs chunk 0
+//    through it;
+//  * `out`/`len` come from an exclusive `&mut [f32]` chunk produced by
+//    `chunks_mut`, so no two tasks (nor the dispatcher) alias it;
+//  * `latch` points into the same blocked frame.
+// Note `Task` is deliberately **not** `Sync` (asserted below): a task is
+// consumed by exactly one worker, and nothing may share `&Task` across
+// threads — `*const ()` would make that unsound in general.
 unsafe impl Send for Task {}
 
+// Compile-time guard: `Task` must be `Send` (that is the handoff) and
+// must NOT be `Sync` — if a future refactor made `Task` `Sync` (e.g. by
+// replacing the raw pointers with references), the ambiguity below would
+// vanish and this would stop compiling, forcing the soundness argument
+// to be revisited.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Task>();
+};
+const _: fn() = || {
+    trait AmbiguousIfSync<A> {
+        fn some_item() {}
+    }
+    impl<T: ?Sized> AmbiguousIfSync<()> for T {}
+    #[allow(dead_code)]
+    struct TaskIsSyncButMustNotBe;
+    impl<T: ?Sized + Sync> AmbiguousIfSync<TaskIsSyncButMustNotBe> for T {}
+    // Exactly one blanket impl applies while `Task: !Sync`; a second
+    // would make this associated-item path ambiguous and fail to build.
+    let _ = <Task as AmbiguousIfSync<_>>::some_item;
+};
+
+/// Monomorphized shim stored in [`Task::run`].
+///
+/// SAFETY: callers must guarantee the contract documented on [`Task`] —
+/// `ctx` is a live `&F`, `out`/`len` an exclusively owned chunk, both
+/// kept alive by a dispatcher frame blocked on the task's latch.
 unsafe fn call_chunk<F: Fn(usize, &mut [f32]) + Sync>(
     ctx: *const (),
     row_start: usize,
     out: *mut f32,
     len: usize,
 ) {
-    // SAFETY: `ctx` was produced from `&F` in `run_chunks`, and
-    // `out`/`len` from an exclusive `&mut [f32]` chunk; both outlive the
-    // task per the latch protocol documented on `Task`.
+    // SAFETY: `ctx` was produced from `&F` in `run_chunks`; the closure
+    // outlives the task per the latch protocol documented on `Task`, and
+    // `F: Sync` makes the shared borrow from this thread legal.
     let work = unsafe { &*(ctx as *const F) };
+    // SAFETY: `out`/`len` come from an exclusive `&mut [f32]` chunk in
+    // the dispatcher's frame (still alive — it blocks on the latch), and
+    // chunk ranges are pairwise disjoint, so this is the only live
+    // reference to these elements.
     let chunk = unsafe { std::slice::from_raw_parts_mut(out, len) };
     work(row_start, chunk);
 }
@@ -174,21 +216,30 @@ fn worker_main(rx: Receiver<Msg>) {
     }
 }
 
-/// Spawns workers until at least `n` exist and returns senders for the
-/// first `n`. Growth is the only spawning path, so the pool comes up
+/// Spawns workers until at least `n` exist and returns the pool guard,
+/// still locked. Growth is the only spawning path, so the pool comes up
 /// lazily on the first over-gate dispatch.
-fn ensure_workers(n: usize) -> Vec<Sender<Msg>> {
+///
+/// Callers send their tasks **before releasing the guard**: a worker
+/// present in `POOL` cannot have been sent `Exit` yet (`resize_to`
+/// removes it under this same lock first), so channel FIFO order
+/// guarantees every task sent under the guard is processed before the
+/// worker exits. The loom suite's shutdown-vs-dispatch model found the
+/// counterexample that makes this protocol load-bearing: with senders
+/// cloned out of the lock, `Exit` could slip in ahead of a task and
+/// strand it behind a dead worker, deadlocking the dispatcher's latch.
+fn ensure_workers(n: usize) -> crate::sync::MutexGuard<'static, Vec<Worker>> {
     let mut pool = POOL.lock().expect("pool mutex poisoned");
     while pool.len() < n {
         let idx = pool.len();
         let (tx, rx) = channel();
-        let handle = std::thread::Builder::new()
+        let handle = thread::Builder::new()
             .name(format!("agua-pool-{idx}"))
             .spawn(move || worker_main(rx))
             .expect("failed to spawn pool worker");
         pool.push(Worker { tx, handle });
     }
-    pool.iter().take(n).map(|w| w.tx.clone()).collect()
+    pool
 }
 
 /// True when called from a pool worker thread. Dispatches from workers
@@ -241,7 +292,11 @@ pub fn shutdown() {
 /// The chunk boundaries — and therefore every output element's
 /// accumulation order — depend only on `chunk_rows`, not on which thread
 /// runs which chunk, so results are byte-identical to a sequential pass.
-pub(crate) fn run_chunks<F>(out: &mut [f32], width: usize, chunk_rows: usize, work: &F)
+///
+/// Public as the pool's primitive entry point: [`crate::parallel`]'s
+/// leaf kernels dispatch through it, and `tests/loom_pool.rs`
+/// model-checks it directly under `--cfg loom`.
+pub fn run_chunks<F>(out: &mut [f32], width: usize, chunk_rows: usize, work: &F)
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
@@ -256,26 +311,40 @@ where
     }
 
     let latch = Latch::new(n_chunks - 1);
-    let senders = ensure_workers(n_chunks - 1);
     let mut chunks = out.chunks_mut(chunk_len).enumerate();
     let (_, first) = chunks.next().expect("at least one chunk");
-    for ((c, chunk), tx) in chunks.zip(&senders) {
-        let task = Task {
-            run: call_chunk::<F>,
-            ctx: work as *const F as *const (),
-            row_start: c * chunk_rows,
-            out: chunk.as_mut_ptr(),
-            len: chunk.len(),
-            latch: &latch,
-        };
-        QUEUED.fetch_add(1, Ordering::Relaxed);
-        if tx.send(Msg::Run(task)).is_err() {
-            // The worker exited between `ensure_workers` and the send
-            // (a concurrent shutdown): run the chunk here instead.
-            QUEUED.fetch_sub(1, Ordering::Relaxed);
-            let result = catch_unwind(AssertUnwindSafe(|| work(c * chunk_rows, chunk)));
-            latch.complete(result.err());
+    // Chunks whose worker could not be reached; completed locally after
+    // the pool lock is released (running kernels under the lock could
+    // self-deadlock if a kernel ever dispatched).
+    let mut orphans: Vec<(usize, &mut [f32])> = Vec::new();
+    {
+        // Send every task while the pool guard is held — see
+        // `ensure_workers` for why this ordering is what makes a
+        // concurrent `resize_to`/`shutdown` unable to strand a task.
+        let pool = ensure_workers(n_chunks - 1);
+        let mut workers = pool.iter();
+        for (c, chunk) in chunks {
+            let worker = workers.next().expect("ensure_workers grew the pool");
+            let task = Task {
+                run: call_chunk::<F>,
+                ctx: work as *const F as *const (),
+                row_start: c * chunk_rows,
+                out: chunk.as_mut_ptr(),
+                len: chunk.len(),
+                latch: &latch,
+            };
+            QUEUED.fetch_add(1, Ordering::Relaxed);
+            if worker.tx.send(Msg::Run(task)).is_err() {
+                // Defensive only: unreachable under the lock protocol
+                // above, but a lost chunk must never be silent.
+                QUEUED.fetch_sub(1, Ordering::Relaxed);
+                orphans.push((c * chunk_rows, chunk));
+            }
         }
+    }
+    for (row_start, chunk) in orphans {
+        let result = catch_unwind(AssertUnwindSafe(|| work(row_start, chunk)));
+        latch.complete(result.err());
     }
     let own = catch_unwind(AssertUnwindSafe(|| work(0, first)));
     // Block until every task settled — this is what makes the borrowed

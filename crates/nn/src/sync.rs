@@ -1,0 +1,39 @@
+//! Sync-primitive shim: `std` normally, the model-checking facades
+//! under `--cfg loom`.
+//!
+//! Everything in [`crate::pool`] that can block, signal, or share state
+//! across threads imports its primitives from here instead of `std`
+//! directly. A regular build re-exports `std::sync`/`std::thread`
+//! verbatim (zero cost — these are `pub use`, not wrappers), while
+//! `RUSTFLAGS="--cfg loom"` swaps in [`crate::loom`]'s
+//! scheduler-instrumented facades so `tests/loom_pool.rs` can explore
+//! the pool's interleavings exhaustively.
+//!
+//! The surface is deliberately the narrow subset the pool uses:
+//! `Mutex`/`MutexGuard`/`Condvar`, `mpsc`, `atomic::AtomicUsize` +
+//! `Ordering`, and `thread::{Builder, JoinHandle}`. Keeping the shim
+//! minimal is what keeps the vendored checker honest — every primitive
+//! re-exported here must have a model-aware implementation on the loom
+//! side. To swap in upstream loom, replace the `crate::loom` paths in
+//! the `#[cfg(loom)]` block with `::loom` ones.
+
+#[cfg(not(loom))]
+pub use std::sync::{Condvar, Mutex, MutexGuard};
+
+#[cfg(not(loom))]
+pub use std::sync::mpsc;
+
+#[cfg(not(loom))]
+pub use std::sync::atomic;
+
+#[cfg(not(loom))]
+pub use std::thread;
+
+#[cfg(loom)]
+pub use crate::loom::sync::{mpsc, Condvar, Mutex, MutexGuard};
+
+#[cfg(loom)]
+pub use crate::loom::sync::atomic;
+
+#[cfg(loom)]
+pub use crate::loom::thread;

@@ -1,0 +1,171 @@
+//! Model-checks the worker pool's concurrency protocol under bounded
+//! schedule exploration.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`, where
+//! `agua_nn::sync` routes the pool's primitives through the vendored
+//! checker in `agua_nn::loom` (see DESIGN.md §10). Run it with:
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg loom" cargo test -p agua-nn --test loom_pool --release -- --test-threads=1
+//! ```
+//!
+//! `--test-threads=1` because the pool is process-global state: two
+//! explorations interleaving their executions through the same statics
+//! would not be independent models. (`model_with` also serializes
+//! process-wide as a second line of defence.)
+//!
+//! Every test drives the *real* `pool::run_chunks` / `pool::shutdown`
+//! code — not a transcription of it — so a counterexample here is a bug
+//! in the shipping dispatcher. Each model execution ends by shutting the
+//! pool down, leaving the statics empty for the next schedule.
+#![cfg(loom)]
+
+use agua_nn::loom::{model_with, Options};
+use agua_nn::pool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn opts(max_preemptions: usize) -> Options {
+    Options { max_preemptions, max_iterations: 200_000 }
+}
+
+/// Dispatcher → worker handoff: one pool worker, one inline chunk. In
+/// every interleaving the latch must count both chunks, every row must
+/// be written exactly once, and shutdown must join the worker.
+#[test]
+fn dispatch_latch_handoff_completes_in_all_schedules() {
+    let report = model_with(opts(2), || {
+        let width = 2;
+        let mut out = vec![0.0f32; 4 * width];
+        pool::run_chunks(&mut out, width, 2, &|row_start, chunk: &mut [f32]| {
+            for (local, row) in chunk.chunks_exact_mut(width).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (row_start + local) as f32 + 1.0;
+                }
+            }
+        });
+        for (r, row) in out.chunks_exact(width).enumerate() {
+            assert!(
+                row.iter().all(|&v| v == (r + 1) as f32),
+                "row {r} written wrongly or more than once: {row:?}"
+            );
+        }
+        pool::shutdown();
+        assert_eq!(pool::worker_count(), 0, "shutdown must join every worker");
+        assert_eq!(pool::queued_tasks(), 0, "queue gauge must return to zero");
+    });
+    assert!(!report.capped, "exploration must be exhaustive, not capped");
+    assert!(report.schedules > 1, "model must explore real interleavings");
+    eprintln!("loom: dispatch/latch handoff explored {} schedules", report.schedules);
+}
+
+/// Two pool workers plus the inline chunk: chunk ranges must stay
+/// pairwise disjoint and each be executed exactly once, whichever order
+/// the workers pick tasks up and complete the latch.
+#[test]
+fn chunks_stay_disjoint_with_two_workers() {
+    let report = model_with(opts(1), || {
+        let width = 1;
+        let mut out = vec![0.0f32; 3];
+        pool::run_chunks(&mut out, width, 1, &|_row_start, chunk: &mut [f32]| {
+            for v in chunk.iter_mut() {
+                // `+= 1` (not `= 1`) so a double-executed or overlapping
+                // chunk shows up as a value above 1.
+                *v += 1.0;
+            }
+        });
+        assert_eq!(out, vec![1.0; 3], "every row exactly once: {out:?}");
+        pool::shutdown();
+        assert_eq!(pool::worker_count(), 0);
+    });
+    assert!(!report.capped);
+    assert!(report.schedules > 1);
+    eprintln!("loom: two-worker disjointness explored {} schedules", report.schedules);
+}
+
+/// A panicking kernel must complete its latch slot and re-throw on the
+/// dispatcher in every schedule — no interleaving may turn a panic into
+/// a deadlock or a silent success — and the pool must stay usable.
+#[test]
+fn worker_panic_propagates_in_all_schedules() {
+    let report = model_with(opts(2), || {
+        let mut out = vec![0.0f32; 4];
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool::run_chunks(&mut out, 1, 2, &|row_start, _chunk: &mut [f32]| {
+                if row_start >= 2 {
+                    panic!("kernel blew up");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "worker panic must cross the pool boundary");
+        // The pool survives: the next dispatch completes normally.
+        let mut out2 = vec![0.0f32; 4];
+        pool::run_chunks(&mut out2, 1, 2, &|row_start, chunk: &mut [f32]| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (row_start + i) as f32;
+            }
+        });
+        assert_eq!(out2, vec![0.0, 1.0, 2.0, 3.0]);
+        pool::shutdown();
+        assert_eq!(pool::worker_count(), 0);
+    });
+    assert!(!report.capped);
+    eprintln!("loom: panic propagation explored {} schedules", report.schedules);
+}
+
+/// Shutdown racing a dispatch: a worker may exit between
+/// `ensure_workers` and the task send, forcing the dispatcher onto its
+/// inline-fallback path. No interleaving may lose a chunk, deadlock the
+/// latch, or leave threads behind.
+#[test]
+fn concurrent_shutdown_never_loses_chunks_or_deadlocks() {
+    let report = model_with(opts(1), || {
+        let shutdowns = Arc::new(AtomicUsize::new(0));
+        let observed = shutdowns.clone();
+        let closer = agua_nn::loom::thread::spawn(move || {
+            pool::shutdown();
+            observed.fetch_add(1, Ordering::SeqCst);
+        });
+        let mut out = vec![0.0f32; 4];
+        pool::run_chunks(&mut out, 1, 2, &|row_start, chunk: &mut [f32]| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (row_start + i) as f32 + 1.0;
+            }
+        });
+        closer.join().expect("shutdown thread must not panic");
+        assert_eq!(shutdowns.load(Ordering::SeqCst), 1);
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 4.0], "no chunk may be lost to the race");
+        pool::shutdown();
+        assert_eq!(pool::worker_count(), 0);
+    });
+    assert!(!report.capped);
+    assert!(report.schedules > 1);
+    eprintln!("loom: shutdown-vs-dispatch explored {} schedules", report.schedules);
+}
+
+/// `resize_to` under load: shrinking the pool while tasks are in flight
+/// must drain queued work before exiting workers (FIFO exit message),
+/// and a later dispatch must lazily respawn.
+#[test]
+fn resize_drains_in_flight_work_then_respawns_lazily() {
+    let report = model_with(opts(1), || {
+        let mut out = vec![0.0f32; 2];
+        pool::run_chunks(&mut out, 1, 1, &|row_start, chunk: &mut [f32]| {
+            chunk[0] = row_start as f32 + 1.0;
+        });
+        assert_eq!(out, vec![1.0, 2.0]);
+        pool::resize_to(0);
+        assert_eq!(pool::worker_count(), 0, "resize_to(0) must join the worker");
+        // Lazy respawn on the next over-gate dispatch.
+        let mut out2 = vec![0.0f32; 2];
+        pool::run_chunks(&mut out2, 1, 1, &|row_start, chunk: &mut [f32]| {
+            chunk[0] = row_start as f32 + 10.0;
+        });
+        assert_eq!(out2, vec![10.0, 11.0]);
+        pool::shutdown();
+        assert_eq!(pool::worker_count(), 0);
+    });
+    assert!(!report.capped);
+    eprintln!("loom: resize/respawn explored {} schedules", report.schedules);
+}

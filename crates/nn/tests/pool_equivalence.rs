@@ -7,9 +7,13 @@
 //! at every thread count — including the tile-remainder shapes and the
 //! non-finite poisoning semantics of the zero-skip fast path.
 
-use agua_nn::parallel::{self, reference, with_thread_config, ThreadConfig};
+//! Under Miri the randomized `proptest` suites are compiled out (they
+//! would take hours under the interpreter); the `small_shapes` module
+//! below covers the same two contracts on fixed shapes cheap enough for
+//! `cargo +nightly miri test -p agua-nn` (`ci.sh --deep`).
+
+use agua_nn::parallel::{self, with_thread_config, ThreadConfig};
 use agua_nn::Matrix;
-use proptest::prelude::*;
 
 /// Forces pool dispatch regardless of operation size.
 fn forced(threads: usize) -> ThreadConfig {
@@ -33,64 +37,127 @@ fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
     })
 }
 
-const THREADS: [usize; 4] = [1, 2, 4, 7];
+/// Fixed-shape variants of the two property suites, sized to finish in
+/// seconds under the Miri interpreter. They run under plain `cargo
+/// test` too — a deterministic floor beneath the randomized coverage.
+mod small_shapes {
+    use super::*;
+    use agua_nn::parallel::reference;
 
-proptest! {
-    /// All three kernels, pool vs sequential-scalar vs scoped-spawn, at
-    /// thread counts 1/2/4/7.
+    /// Shapes that hit the interesting partitions at 2 workers: fewer
+    /// rows than workers, an odd split, and a tile-remainder shape.
+    const SHAPES: [(usize, usize, usize); 3] = [(1, 3, 2), (3, 2, 4), (5, 7, 3)];
+
     #[test]
-    fn pool_matches_sequential_and_scoped_spawn_bitwise(
-        m in 1usize..16,
-        k in 1usize..16,
-        n in 1usize..16,
-        tidx in 0usize..THREADS.len(),
-        seed in 0u64..300,
-    ) {
-        let threads = THREADS[tidx];
-        let a = mat(m, k, seed);
-        let b = mat(k, n, seed ^ 0xABCD);
-        let at = mat(k, m, seed ^ 0x77);
-        let bt = mat(n, k, seed ^ 0x1234);
+    fn pool_byte_identity_on_fixed_small_shapes() {
+        for (i, &(m, k, n)) in SHAPES.iter().enumerate() {
+            let seed = 11 + i as u64;
+            let a = mat(m, k, seed);
+            let b = mat(k, n, seed ^ 0xABCD);
+            let at = mat(k, m, seed ^ 0x77);
+            let bt = mat(n, k, seed ^ 0x1234);
 
-        let (pm, ptn, pnt) = with_thread_config(forced(threads), || {
-            (
-                parallel::par_matmul(&a, &b),
-                parallel::par_matmul_tn(&at, &b),
-                parallel::par_matmul_nt(&a, &bt),
-            )
-        });
+            let (pm, ptn, pnt) = with_thread_config(forced(2), || {
+                (
+                    parallel::par_matmul(&a, &b),
+                    parallel::par_matmul_tn(&at, &b),
+                    parallel::par_matmul_nt(&a, &bt),
+                )
+            });
 
-        // Sequential scalar kernels (the pre-tiling reference bodies).
-        prop_assert_eq!(bits(&a.matmul_reference(&b)), bits(&pm));
-        prop_assert_eq!(bits(&at.matmul_tn_reference(&b)), bits(&ptn));
-        prop_assert_eq!(bits(&a.matmul_nt_reference(&bt)), bits(&pnt));
+            assert_eq!(bits(&a.matmul_reference(&b)), bits(&pm), "matmul {m}x{k}x{n}");
+            assert_eq!(bits(&at.matmul_tn_reference(&b)), bits(&ptn), "matmul_tn {m}x{k}x{n}");
+            assert_eq!(bits(&a.matmul_nt_reference(&bt)), bits(&pnt), "matmul_nt {m}x{k}x{n}");
 
-        // The retired scoped-spawn dispatcher with the same worker count.
-        prop_assert_eq!(bits(&reference::scoped_scalar_matmul(&a, &b, threads)), bits(&pm));
-        prop_assert_eq!(bits(&reference::scoped_scalar_matmul_tn(&at, &b, threads)), bits(&ptn));
-        prop_assert_eq!(bits(&reference::scoped_scalar_matmul_nt(&a, &bt, threads)), bits(&pnt));
+            assert_eq!(bits(&reference::scoped_scalar_matmul(&a, &b, 2)), bits(&pm));
+            assert_eq!(bits(&reference::scoped_scalar_matmul_tn(&at, &b, 2)), bits(&ptn));
+            assert_eq!(bits(&reference::scoped_scalar_matmul_nt(&a, &bt, 2)), bits(&pnt));
+        }
+        agua_nn::pool::shutdown();
     }
 
-    /// NaN/∞ poisoning survives the pool + tiled kernels identically:
-    /// the zero-skip fast path may only skip products whose rhs row is
-    /// finite, no matter which thread owns the row.
     #[test]
-    fn pool_preserves_nonfinite_poisoning(
-        m in 2usize..10,
-        k in 1usize..10,
-        n in 1usize..10,
-        tidx in 0usize..THREADS.len(),
-        poison in 0usize..100,
-        use_inf in 0usize..2,
-        seed in 0u64..200,
-    ) {
-        let threads = THREADS[tidx];
-        let a = mat(m, k, seed);
-        let mut b = mat(k, n, seed ^ 0x55);
-        b.set(poison % k, poison % n, if use_inf == 1 { f32::INFINITY } else { f32::NAN });
+    fn zero_skip_poisoning_on_fixed_small_shapes() {
+        for (i, poison) in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY].iter().enumerate() {
+            let seed = 40 + i as u64;
+            let a = mat(3, 4, seed);
+            let mut b = mat(4, 2, seed ^ 0x55);
+            b.set(i % 4, i % 2, *poison);
 
-        let pm = with_thread_config(forced(threads), || parallel::par_matmul(&a, &b));
-        prop_assert_eq!(bits(&a.matmul_reference(&b)), bits(&pm));
-        prop_assert_eq!(bits(&reference::scoped_scalar_matmul(&a, &b, threads)), bits(&pm));
+            let pm = with_thread_config(forced(2), || parallel::par_matmul(&a, &b));
+            assert_eq!(bits(&a.matmul_reference(&b)), bits(&pm), "poison {poison}");
+            assert_eq!(bits(&reference::scoped_scalar_matmul(&a, &b, 2)), bits(&pm));
+        }
+        agua_nn::pool::shutdown();
+    }
+}
+
+/// The randomized suites; compiled out under Miri (see module docs).
+#[cfg(not(miri))]
+mod randomized {
+    use super::*;
+    use agua_nn::parallel::reference;
+    use proptest::prelude::*;
+
+    const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+    proptest! {
+        /// All three kernels, pool vs sequential-scalar vs scoped-spawn, at
+        /// thread counts 1/2/4/7.
+        #[test]
+        fn pool_matches_sequential_and_scoped_spawn_bitwise(
+            m in 1usize..16,
+            k in 1usize..16,
+            n in 1usize..16,
+            tidx in 0usize..THREADS.len(),
+            seed in 0u64..300,
+        ) {
+            let threads = THREADS[tidx];
+            let a = mat(m, k, seed);
+            let b = mat(k, n, seed ^ 0xABCD);
+            let at = mat(k, m, seed ^ 0x77);
+            let bt = mat(n, k, seed ^ 0x1234);
+
+            let (pm, ptn, pnt) = with_thread_config(forced(threads), || {
+                (
+                    parallel::par_matmul(&a, &b),
+                    parallel::par_matmul_tn(&at, &b),
+                    parallel::par_matmul_nt(&a, &bt),
+                )
+            });
+
+            // Sequential scalar kernels (the pre-tiling reference bodies).
+            prop_assert_eq!(bits(&a.matmul_reference(&b)), bits(&pm));
+            prop_assert_eq!(bits(&at.matmul_tn_reference(&b)), bits(&ptn));
+            prop_assert_eq!(bits(&a.matmul_nt_reference(&bt)), bits(&pnt));
+
+            // The retired scoped-spawn dispatcher with the same worker count.
+            prop_assert_eq!(bits(&reference::scoped_scalar_matmul(&a, &b, threads)), bits(&pm));
+            prop_assert_eq!(bits(&reference::scoped_scalar_matmul_tn(&at, &b, threads)), bits(&ptn));
+            prop_assert_eq!(bits(&reference::scoped_scalar_matmul_nt(&a, &bt, threads)), bits(&pnt));
+        }
+
+        /// NaN/∞ poisoning survives the pool + tiled kernels identically:
+        /// the zero-skip fast path may only skip products whose rhs row is
+        /// finite, no matter which thread owns the row.
+        #[test]
+        fn pool_preserves_nonfinite_poisoning(
+            m in 2usize..10,
+            k in 1usize..10,
+            n in 1usize..10,
+            tidx in 0usize..THREADS.len(),
+            poison in 0usize..100,
+            use_inf in 0usize..2,
+            seed in 0u64..200,
+        ) {
+            let threads = THREADS[tidx];
+            let a = mat(m, k, seed);
+            let mut b = mat(k, n, seed ^ 0x55);
+            b.set(poison % k, poison % n, if use_inf == 1 { f32::INFINITY } else { f32::NAN });
+
+            let pm = with_thread_config(forced(threads), || parallel::par_matmul(&a, &b));
+            prop_assert_eq!(bits(&a.matmul_reference(&b)), bits(&pm));
+            prop_assert_eq!(bits(&reference::scoped_scalar_matmul(&a, &b, threads)), bits(&pm));
+        }
     }
 }

@@ -56,6 +56,8 @@
 //!   `results/logs/*.jsonl` trace file.
 //! * [`Fanout`] — broadcasts each event to several subscribers.
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod jsonl;
 pub mod metrics;

@@ -24,6 +24,8 @@
 //! explanations) lives in the `agua` crate and is agnostic to whether the
 //! text and vectors came from these simulators or from real models.
 
+#![forbid(unsafe_code)]
+
 pub mod describer;
 pub mod embedding;
 pub mod lexicon;

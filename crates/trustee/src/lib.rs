@@ -16,6 +16,8 @@
 //!   summary the paper's Fig. 1 and Table 2 are drawn from, plus
 //!   decision-path explanations for single inputs.
 
+#![forbid(unsafe_code)]
+
 pub mod prune;
 pub mod report;
 pub mod tree;

@@ -1,0 +1,474 @@
+//! The determinism/unsafety auditor behind `cargo xtask audit`.
+//!
+//! The Agua pipeline's contract is *bit-reproducibility from a seed*
+//! (DESIGN.md §10): given the same inputs, δ/Ω training, explanations,
+//! and reports must be byte-identical at any thread count. The type
+//! system cannot see the three classic ways that contract erodes —
+//! hash-iteration order, wall-clock reads, and floating-point
+//! reassociation — and `unsafe` soundness arguments rot silently. This
+//! pass enforces all four as source-level invariants:
+//!
+//! | lint | invariant |
+//! |------|-----------|
+//! | `unsafe-outside-allowlist` | `unsafe` appears only in `crates/nn/src/pool.rs` |
+//! | `undocumented-unsafe` | every `unsafe` block/impl/fn carries a `SAFETY:` comment |
+//! | `hash-order` | no `HashMap`/`HashSet` on deterministic paths without justification |
+//! | `wall-clock` | no `Instant`/`SystemTime` outside the observability side |
+//! | `fp-reduce` | float reductions live in `matrix.rs`'s k-ascending kernels |
+//!
+//! A site that is deliberately exempt carries an annotation **with a
+//! reason** on its own line or the line above:
+//!
+//! ```text
+//! // audit:allow(hash-order): drained into a Vec and fully sorted below
+//! ```
+//!
+//! Test code (trailing `#[cfg(test)]` modules, `tests/`, `benches/`,
+//! `examples/`) is exempt from the determinism lints but not from the
+//! unsafe lints. Matching is token-level on comment/string-masked
+//! source (see [`crate::lexer`]) — a word in a doc sentence never
+//! fires.
+
+use crate::lexer::{mask, MaskedLine};
+use std::path::{Path, PathBuf};
+
+/// Files allowed to contain `unsafe` (and audited for `SAFETY:` docs).
+const UNSAFE_ALLOWLIST: &[&str] = &["crates/nn/src/pool.rs"];
+
+/// Crates whose whole purpose is timing/reporting: wall-clock reads
+/// there are the feature, not a leak.
+const WALL_CLOCK_EXEMPT: &[&str] = &["crates/obs/", "crates/bench/", "crates/cli/"];
+
+/// The deterministic numeric path: float reductions here must go
+/// through the blessed kernels (or justify themselves).
+const FP_REDUCE_SCOPE: &[&str] = &["crates/nn/src/", "crates/core/src/"];
+
+/// The one home for floating-point reductions: the k-ascending matmul
+/// kernels whose accumulation order is the determinism contract.
+const FP_REDUCE_BLESSED: &[&str] = &["crates/nn/src/matrix.rs"];
+
+/// Textual patterns that mark a float reduction. Untyped `.sum()` is
+/// deliberately not matched — integer sums are order-free — so typed
+/// float sums are the enforced convention on deterministic paths.
+const FP_REDUCE_PATTERNS: &[&str] = &[".sum::<f32>", ".sum::<f64>", "fold(0.0", "fold(1.0"];
+
+/// One audit finding, printed as `path:line: [lint] message`.
+pub struct Violation {
+    pub path: String,
+    pub line: usize,
+    pub lint: &'static str,
+    pub message: String,
+    pub help: &'static str,
+}
+
+const HELP_UNSAFE_ALLOWLIST: &str = "workspace policy (DESIGN.md §10) confines `unsafe` to the \
+     pool's audited lifetime-erased handoff; rewrite in safe Rust or extend the soundness \
+     argument in crates/nn/src/pool.rs";
+const HELP_UNDOCUMENTED: &str = "state the invariant that makes this sound in a `// SAFETY:` \
+     comment directly above (clippy::undocumented_unsafe_blocks enforces the same rule)";
+const HELP_HASH_ORDER: &str = "map/set iteration order is nondeterministic; drain into a sorted \
+     structure before anything order-dependent, then annotate \
+     `// audit:allow(hash-order): <why ordering cannot reach an output>`";
+const HELP_WALL_CLOCK: &str = "deterministic outputs must not depend on timing; keep clock reads \
+     on the observability side or annotate `// audit:allow(wall-clock): <where the reading goes>`";
+const HELP_FP_REDUCE: &str = "float addition is not associative, so reduction order is part of \
+     the determinism contract; use the k-ascending kernels in crates/nn/src/matrix.rs or \
+     annotate `// audit:allow(fp-reduce): <why the evaluation order is fixed>`";
+
+/// What an `unsafe` token introduces, which decides whether it needs a
+/// `SAFETY:` comment.
+enum UnsafeKind {
+    /// `unsafe {`, `unsafe impl`, `unsafe fn name` — needs `SAFETY:`.
+    NeedsDoc,
+    /// `unsafe fn(` — a function-pointer *type*; naming it is safe.
+    TypeMention,
+}
+
+/// Audits one file's source. `rel_path` is `/`-separated and relative
+/// to the workspace root (it selects per-path lint scopes).
+pub fn audit_source(rel_path: &str, source: &str) -> Vec<Violation> {
+    let lines = mask(source);
+    let mut out = Vec::new();
+
+    let foreign_tests = ["/tests/", "/benches/", "/examples/"]
+        .iter()
+        .any(|d| rel_path.contains(d) || rel_path.starts_with(&d[1..]));
+    let unsafe_allowed = UNSAFE_ALLOWLIST.contains(&rel_path);
+    let test_mod_start =
+        lines.iter().position(|l| l.code.trim() == "#[cfg(test)]").unwrap_or(lines.len());
+
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+
+        // Unsafe lints apply to every line, test code included.
+        if let Some(kind) = classify_unsafe(&line.code) {
+            if !unsafe_allowed {
+                out.push(Violation {
+                    path: rel_path.to_string(),
+                    line: lineno,
+                    lint: "unsafe-outside-allowlist",
+                    message: "`unsafe` outside the audited allowlist (crates/nn/src/pool.rs)"
+                        .to_string(),
+                    help: HELP_UNSAFE_ALLOWLIST,
+                });
+            } else if matches!(kind, UnsafeKind::NeedsDoc) && !has_safety_comment(&lines, idx) {
+                out.push(Violation {
+                    path: rel_path.to_string(),
+                    line: lineno,
+                    lint: "undocumented-unsafe",
+                    message: "`unsafe` without a `// SAFETY:` comment directly above".to_string(),
+                    help: HELP_UNDOCUMENTED,
+                });
+            }
+        }
+
+        // Determinism lints skip test code, and skip `use` lines — an
+        // import is not a usage site, and flagging both would demand
+        // two annotations per justified use.
+        if foreign_tests || idx >= test_mod_start || line.code.trim_start().starts_with("use ") {
+            continue;
+        }
+
+        for token in ["HashMap", "HashSet"] {
+            if has_word(&line.code, token) && !is_allowed(&lines, idx, "hash-order") {
+                out.push(Violation {
+                    path: rel_path.to_string(),
+                    line: lineno,
+                    lint: "hash-order",
+                    message: format!("`{token}` used in a deterministic path"),
+                    help: HELP_HASH_ORDER,
+                });
+                break;
+            }
+        }
+
+        if !WALL_CLOCK_EXEMPT.iter().any(|p| rel_path.starts_with(p)) {
+            for token in ["Instant", "SystemTime"] {
+                if has_word(&line.code, token) && !is_allowed(&lines, idx, "wall-clock") {
+                    out.push(Violation {
+                        path: rel_path.to_string(),
+                        line: lineno,
+                        lint: "wall-clock",
+                        message: format!("wall-clock read (`{token}`) in a deterministic path"),
+                        help: HELP_WALL_CLOCK,
+                    });
+                    break;
+                }
+            }
+        }
+
+        let fp_in_scope = FP_REDUCE_SCOPE.iter().any(|p| rel_path.starts_with(p))
+            && !FP_REDUCE_BLESSED.contains(&rel_path);
+        if fp_in_scope {
+            for pat in FP_REDUCE_PATTERNS {
+                if line.code.contains(pat) && !is_allowed(&lines, idx, "fp-reduce") {
+                    out.push(Violation {
+                        path: rel_path.to_string(),
+                        line: lineno,
+                        lint: "fp-reduce",
+                        message: format!(
+                            "floating-point reduction (`{pat}`) outside the blessed kernels"
+                        ),
+                        help: HELP_FP_REDUCE,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// First `unsafe` token on the line, classified. `unsafe_code` (the
+/// lint name in attributes) is a different identifier and never
+/// matches.
+fn classify_unsafe(code: &str) -> Option<UnsafeKind> {
+    let pos = find_word(code, "unsafe")?;
+    let rest = code[pos + "unsafe".len()..].trim_start();
+    if let Some(after_fn) = rest.strip_prefix("fn") {
+        if after_fn.trim_start().starts_with('(') {
+            return Some(UnsafeKind::TypeMention);
+        }
+    }
+    Some(UnsafeKind::NeedsDoc)
+}
+
+/// Byte offset of `word` in `code` with identifier boundaries on both
+/// sides, or `None`.
+fn find_word(code: &str, word: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(at) = code[from..].find(word) {
+        let start = from + at;
+        let end = start + word.len();
+        let boundary = |c: Option<char>| !c.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if boundary(code[..start].chars().next_back()) && boundary(code[end..].chars().next()) {
+            return Some(start);
+        }
+        from = end;
+    }
+    None
+}
+
+fn has_word(code: &str, word: &str) -> bool {
+    find_word(code, word).is_some()
+}
+
+/// Is line `idx` covered by `// audit:allow(<lint>): <reason>` — as a
+/// trailing comment, on comment lines directly above, or above the
+/// start of the statement when the flagged line is a continuation? (A
+/// code line not ending in `;`/`{`/`}` continues on the next line, so
+/// the scan keeps walking up through it.)
+fn is_allowed(lines: &[MaskedLine], idx: usize, lint: &str) -> bool {
+    if annotation_with_reason(&lines[idx].comment, lint) {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        let prev = &lines[i - 1];
+        let continuation =
+            !matches!(prev.code.trim_end().chars().next_back(), Some(';' | '{' | '}') | None);
+        if !is_comment_only(prev) && !continuation {
+            return false;
+        }
+        i -= 1;
+        if annotation_with_reason(&lines[i].comment, lint) {
+            return true;
+        }
+    }
+    false
+}
+
+/// `audit:allow(<lint>)` followed by `:` and a non-empty reason. A
+/// reason-less annotation deliberately does not count.
+fn annotation_with_reason(comment: &str, lint: &str) -> bool {
+    let needle = format!("audit:allow({lint})");
+    match comment.find(&needle) {
+        None => false,
+        Some(at) => {
+            let rest = comment[at + needle.len()..].trim_start();
+            rest.strip_prefix(':').is_some_and(|r| !r.trim().is_empty())
+        }
+    }
+}
+
+/// Does the contiguous comment/attribute run above line `idx` contain
+/// `SAFETY:`? (Same-line trailing comments count too.)
+fn has_safety_comment(lines: &[MaskedLine], idx: usize) -> bool {
+    if lines[idx].comment.contains("SAFETY:") {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        let prev = &lines[i - 1];
+        if is_comment_only(prev) || prev.code.trim_start().starts_with('#') {
+            if prev.comment.contains("SAFETY:") {
+                return true;
+            }
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+fn is_comment_only(line: &MaskedLine) -> bool {
+    line.code.trim().is_empty() && !line.comment.trim().is_empty()
+}
+
+/// Every `.rs` file under `<root>/crates` and `<root>/src`, sorted for
+/// deterministic diagnostics.
+pub fn collect_rs_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        walk(&root.join(top), &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    // Sort directory entries: diagnostics order must not depend on
+    // filesystem enumeration order.
+    let mut entries: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name != "target" && !name.starts_with('.') {
+                walk(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Runs the audit over the workspace at `root`, printing findings.
+/// Returns `true` when clean.
+pub fn run(root: &Path) -> bool {
+    let files = collect_rs_files(root);
+    if files.is_empty() {
+        eprintln!("audit: no Rust sources under {} — wrong --root?", root.display());
+        return false;
+    }
+    let mut violations = Vec::new();
+    for file in &files {
+        let Ok(source) = std::fs::read_to_string(file) else {
+            eprintln!("audit: unreadable file {}", file.display());
+            continue;
+        };
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        violations.extend(audit_source(&rel, &source));
+    }
+    for v in &violations {
+        println!("{}:{}: [{}] {}", v.path, v.line, v.lint, v.message);
+        println!("  help: {}", v.help);
+    }
+    if violations.is_empty() {
+        println!("audit: OK — {} files clean", files.len());
+        true
+    } else {
+        println!("audit: {} violation(s) across {} files", violations.len(), files.len());
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lints(path: &str, src: &str) -> Vec<(&'static str, usize)> {
+        audit_source(path, src).into_iter().map(|v| (v.lint, v.line)).collect()
+    }
+
+    #[test]
+    fn seeded_unsafe_outside_allowlist_is_flagged() {
+        let src = "pub fn f(p: *mut f32) {\n    unsafe { *p = 0.0 };\n}\n";
+        assert_eq!(lints("crates/core/src/explain.rs", src), vec![("unsafe-outside-allowlist", 2)]);
+    }
+
+    #[test]
+    fn allowlisted_unsafe_needs_a_safety_comment() {
+        let bad = "fn f(p: *mut f32) {\n    unsafe { *p = 0.0 };\n}\n";
+        assert_eq!(lints("crates/nn/src/pool.rs", bad), vec![("undocumented-unsafe", 2)]);
+        let good = "fn f(p: *mut f32) {\n    // SAFETY: p targets a live, exclusively owned\n    // allocation per the latch protocol.\n    unsafe { *p = 0.0 };\n}\n";
+        assert_eq!(lints("crates/nn/src/pool.rs", good), vec![]);
+    }
+
+    #[test]
+    fn unsafe_fn_pointer_types_are_not_declarations() {
+        let src = "struct Task {\n    run: unsafe fn(*const ()),\n}\n";
+        assert_eq!(lints("crates/nn/src/pool.rs", src), vec![]);
+        // But an actual unsafe fn declaration needs documentation.
+        let decl = "unsafe fn call(p: *const ()) {}\n";
+        assert_eq!(lints("crates/nn/src/pool.rs", decl), vec![("undocumented-unsafe", 1)]);
+    }
+
+    #[test]
+    fn unsafe_code_attribute_identifier_is_not_the_keyword() {
+        let src = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+        assert_eq!(lints("crates/core/src/lib.rs", src), vec![]);
+    }
+
+    #[test]
+    fn hash_order_fires_and_annotation_with_reason_suppresses() {
+        let bad = "use std::collections::HashMap;\nfn f() {\n    let m: HashMap<u32, u32> = HashMap::new();\n}\n";
+        assert_eq!(lints("crates/core/src/congen.rs", bad), vec![("hash-order", 3)]);
+        let good = "fn f() {\n    // audit:allow(hash-order): drained into a sorted Vec below\n    let m: HashMap<u32, u32> = HashMap::new();\n}\n";
+        assert_eq!(lints("crates/core/src/congen.rs", good), vec![]);
+        let reasonless = "fn f() {\n    // audit:allow(hash-order)\n    let m: HashMap<u32, u32> = HashMap::new();\n}\n";
+        assert_eq!(lints("crates/core/src/congen.rs", reasonless), vec![("hash-order", 3)]);
+    }
+
+    #[test]
+    fn wall_clock_is_scoped_to_deterministic_crates() {
+        let src = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
+        assert_eq!(lints("crates/core/src/explain.rs", src), vec![("wall-clock", 2)]);
+        assert_eq!(lints("crates/obs/src/subscriber.rs", src), vec![]);
+        // Word boundaries: "Instantaneous" in code is not `Instant`.
+        let prose = "fn f() {\n    let Instantaneous = 1;\n}\n";
+        assert_eq!(lints("crates/core/src/cc.rs", prose), vec![]);
+    }
+
+    #[test]
+    fn fp_reduce_is_blessed_in_matrix_rs_only() {
+        let src = "fn f(v: &[f32]) -> f32 {\n    v.iter().sum::<f32>()\n}\n";
+        assert_eq!(lints("crates/nn/src/layer.rs", src), vec![("fp-reduce", 2)]);
+        assert_eq!(lints("crates/nn/src/matrix.rs", src), vec![]);
+        // Outside the deterministic numeric path the lint does not apply.
+        assert_eq!(lints("crates/abr-env/src/trace.rs", src), vec![]);
+        let fold = "fn f(v: &[f32]) -> f32 {\n    v.iter().cloned().fold(0.0f32, f32::max)\n}\n";
+        assert_eq!(lints("crates/core/src/labeling.rs", fold), vec![("fp-reduce", 2)]);
+    }
+
+    #[test]
+    fn annotation_above_a_multiline_statement_covers_its_continuations() {
+        let src = "fn f(params: &[Vec<f32>]) -> f32 {\n    // audit:allow(fp-reduce): sequential, fixed iteration order\n    let l2: f32 =\n        params.iter().map(|p| p.iter().map(|v| v * v).sum::<f32>()).sum::<f32>();\n    l2\n}\n";
+        assert_eq!(lints("crates/nn/src/optim.rs", src), vec![]);
+        // A statement boundary (`;`) above stops the scan: the
+        // annotation must belong to the flagged statement.
+        let apart = "fn f(v: &[f32]) -> f32 {\n    // audit:allow(fp-reduce): only covers the next statement\n    let a = 1.0f32;\n    v.iter().sum::<f32>()\n}\n";
+        assert_eq!(lints("crates/nn/src/optim.rs", apart), vec![("fp-reduce", 4)]);
+    }
+
+    #[test]
+    fn trailing_test_modules_are_exempt_from_determinism_lints() {
+        let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() {\n        let m = std::collections::HashMap::<u32, u32>::new();\n        let t = std::time::Instant::now();\n        let s = [0.0f32].iter().sum::<f32>();\n        let _ = (m, t, s);\n    }\n}\n";
+        assert_eq!(lints("crates/nn/src/layer.rs", src), vec![]);
+        // ... but not from the unsafe lints.
+        let unsafe_in_tests = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g(p: *mut f32) {\n        unsafe { *p = 0.0 };\n    }\n}\n";
+        assert_eq!(
+            lints("crates/nn/src/layer.rs", unsafe_in_tests),
+            vec![("unsafe-outside-allowlist", 5)]
+        );
+    }
+
+    #[test]
+    fn comments_and_strings_never_fire() {
+        let src = "// HashMap, Instant::now(), unsafe, .sum::<f32>() in prose\nfn f() {\n    let s = \"HashMap unsafe Instant .sum::<f32>()\";\n    let _ = s;\n}\n";
+        assert_eq!(lints("crates/nn/src/layer.rs", src), vec![]);
+    }
+
+    #[test]
+    fn integration_tests_dirs_skip_determinism_but_not_unsafe() {
+        let src = "fn g() {\n    let t = std::time::Instant::now();\n    let _ = t;\n}\n";
+        assert_eq!(lints("crates/nn/tests/loom_pool.rs", src), vec![]);
+        let with_unsafe = "fn g(p: *mut f32) {\n    unsafe { *p = 0.0 };\n}\n";
+        assert_eq!(
+            lints("crates/nn/tests/loom_pool.rs", with_unsafe),
+            vec![("unsafe-outside-allowlist", 2)]
+        );
+    }
+
+    /// The real workspace must be clean: this is the audit gate wired
+    /// into tier-1 `cargo test`, independent of `ci.sh`.
+    #[test]
+    fn workspace_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        if !root.join("crates").is_dir() {
+            eprintln!("workspace root not found; skipping");
+            return;
+        }
+        let mut violations = Vec::new();
+        for file in collect_rs_files(&root) {
+            let source = std::fs::read_to_string(&file).expect("readable source");
+            let rel = file
+                .strip_prefix(&root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace(std::path::MAIN_SEPARATOR, "/");
+            violations.extend(audit_source(&rel, &source));
+        }
+        let rendered: Vec<String> = violations
+            .iter()
+            .map(|v| format!("{}:{}: [{}] {}", v.path, v.line, v.lint, v.message))
+            .collect();
+        assert!(rendered.is_empty(), "workspace audit violations:\n{}", rendered.join("\n"));
+    }
+}

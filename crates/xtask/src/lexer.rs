@@ -1,0 +1,252 @@
+//! A comment/string-aware masking pass over Rust source.
+//!
+//! The auditor's lints are token-level, so they must not fire on words
+//! inside comments, doc comments, or string literals ("HashMap" in a
+//! doc sentence is not a `HashMap` use). Instead of a full parser, this
+//! module splits a source file into per-line *masked* views:
+//!
+//! * [`MaskedLine::code`] — the line with every comment and every
+//!   string/char-literal *body* blanked out (delimiters kept), columns
+//!   preserved;
+//! * [`MaskedLine::comment`] — the comment text of the line, blanked
+//!   everywhere else.
+//!
+//! Lints scan `code`; the `SAFETY:` / `audit:allow` conventions scan
+//! `comment`. The lexer understands line comments, nested block
+//! comments, string/byte-string literals with escapes, raw strings with
+//! `#` fences, char literals, and tells lifetimes (`'a`) apart from
+//! char literals so `'s'` does not start a fake string.
+
+/// One source line split into its code view and its comment view.
+/// Column positions are preserved in both.
+pub struct MaskedLine {
+    pub code: String,
+    pub comment: String,
+}
+
+#[derive(PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(usize),
+    Str,
+    RawStr(usize),
+    Char,
+}
+
+/// Splits `source` into [`MaskedLine`]s. Total lines match the input.
+pub fn mask(source: &str) -> Vec<MaskedLine> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut code = String::with_capacity(source.len());
+    let mut comment = String::with_capacity(source.len());
+    let mut state = State::Normal;
+    let mut i = 0;
+
+    // Pushes `c` to one stream and a placeholder to the other, so the
+    // two views stay column-aligned.
+    let push = |code: &mut String, comment: &mut String, c: char, to_code: bool| {
+        if c == '\n' {
+            code.push('\n');
+            comment.push('\n');
+        } else if to_code {
+            code.push(c);
+            comment.push(' ');
+        } else {
+            code.push(' ');
+            comment.push(c);
+        }
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Normal => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    push(&mut code, &mut comment, c, false);
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    push(&mut code, &mut comment, c, false);
+                    push(&mut code, &mut comment, '*', false);
+                    i += 1;
+                }
+                '"' => {
+                    state = State::Str;
+                    push(&mut code, &mut comment, c, true);
+                }
+                'r' | 'b' if is_raw_string_start(&chars, i) => {
+                    // Consume the prefix (`r`, `br`, `b`) and fences.
+                    let mut hashes = 0;
+                    push(&mut code, &mut comment, c, true);
+                    i += 1;
+                    while chars.get(i) == Some(&'r') || chars.get(i) == Some(&'#') {
+                        if chars[i] == '#' {
+                            hashes += 1;
+                        }
+                        push(&mut code, &mut comment, chars[i], true);
+                        i += 1;
+                    }
+                    debug_assert_eq!(chars.get(i), Some(&'"'));
+                    push(&mut code, &mut comment, '"', true);
+                    state = State::RawStr(hashes);
+                }
+                'b' if next == Some('"') => {
+                    push(&mut code, &mut comment, c, true);
+                    push(&mut code, &mut comment, '"', true);
+                    i += 1;
+                    state = State::Str;
+                }
+                '\'' if is_char_literal(&chars, i) => {
+                    state = State::Char;
+                    push(&mut code, &mut comment, c, true);
+                }
+                _ => push(&mut code, &mut comment, c, true),
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Normal;
+                }
+                push(&mut code, &mut comment, c, false);
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    push(&mut code, &mut comment, c, false);
+                    push(&mut code, &mut comment, '*', false);
+                    i += 1;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 { State::Normal } else { State::BlockComment(depth - 1) };
+                    push(&mut code, &mut comment, c, false);
+                    push(&mut code, &mut comment, '/', false);
+                    i += 1;
+                } else {
+                    push(&mut code, &mut comment, c, false);
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    // Blank the escape pair so `\"` cannot end the string.
+                    push(&mut code, &mut comment, ' ', true);
+                    if next.is_some() {
+                        push(&mut code, &mut comment, ' ', true);
+                        i += 1;
+                    }
+                }
+                '"' => {
+                    state = State::Normal;
+                    push(&mut code, &mut comment, c, true);
+                }
+                _ => push(&mut code, &mut comment, if c == '\n' { '\n' } else { ' ' }, true),
+            },
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    push(&mut code, &mut comment, c, true);
+                    for _ in 0..hashes {
+                        i += 1;
+                        push(&mut code, &mut comment, '#', true);
+                    }
+                    state = State::Normal;
+                } else {
+                    push(&mut code, &mut comment, if c == '\n' { '\n' } else { ' ' }, true);
+                }
+            }
+            State::Char => match c {
+                '\\' => {
+                    push(&mut code, &mut comment, ' ', true);
+                    if next.is_some() {
+                        push(&mut code, &mut comment, ' ', true);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    state = State::Normal;
+                    push(&mut code, &mut comment, c, true);
+                }
+                _ => push(&mut code, &mut comment, ' ', true),
+            },
+        }
+        i += 1;
+    }
+
+    code.lines()
+        .map(String::from)
+        .zip(comment.lines().map(String::from))
+        .map(|(code, comment)| MaskedLine { code, comment })
+        .collect()
+}
+
+/// `r"`, `r#…#"`, `br"`, `br#…#"` at position `i`?
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Does the `"` at `i` carry `hashes` trailing `#` fences?
+fn closes_raw(chars: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Char literal (`'x'`, `'\n'`) vs lifetime (`'a`, `'static`): a quote
+/// followed by an escape is always a literal; a quote followed by one
+/// char and a closing quote is a literal; anything else is a lifetime.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_split_out() {
+        let src = "let x = \"HashMap\"; // uses HashMap\nlet m = HashMap::new();\n";
+        let lines = mask(src);
+        assert_eq!(lines.len(), 2);
+        assert!(!lines[0].code.contains("HashMap"), "string body must be blanked");
+        assert!(lines[0].comment.contains("uses HashMap"));
+        assert!(lines[1].code.contains("HashMap::new"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "a /* one /* two */ still */ b\n/* open\nunsafe here\n*/ code()\n";
+        let lines = mask(src);
+        assert!(lines[0].code.contains('a') && lines[0].code.contains('b'));
+        assert!(!lines[2].code.contains("unsafe"));
+        assert!(lines[2].comment.contains("unsafe"));
+        assert!(lines[3].code.contains("code()"));
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_are_blanked() {
+        let src =
+            "let s = r#\"Instant::now() \"quoted\"\"#; let c = '\\''; let l: &'static str = x;\n";
+        let lines = mask(src);
+        assert!(!lines[0].code.contains("Instant"), "raw string body must be blanked");
+        assert!(lines[0].code.contains("'static"), "lifetimes must survive masking");
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_a_string() {
+        let src = "let s = \"a\\\"b unsafe\"; call();\n";
+        let lines = mask(src);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains("call()"));
+    }
+}

@@ -1,0 +1,52 @@
+//! `cargo xtask` — workspace automation, in the cargo-xtask pattern:
+//! a plain, dependency-free binary crate invoked through the alias in
+//! `.cargo/config.toml`, so checks run identically on every machine
+//! with no tooling beyond cargo itself.
+//!
+//! ```sh
+//! cargo xtask audit            # determinism/unsafety source audit
+//! cargo xtask audit --root DIR # audit a different tree (used in tests)
+//! ```
+//!
+//! See [`audit`] for what the audit enforces and why, and DESIGN.md §10
+//! for how it fits the verification story (`ci.sh` runs it in the
+//! default gate).
+
+#![forbid(unsafe_code)]
+
+mod audit;
+mod lexer;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo xtask audit [--root <dir>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("audit") => {
+            let root = match (args.next().as_deref(), args.next()) {
+                (None, _) => workspace_root(),
+                (Some("--root"), Some(dir)) => PathBuf::from(dir),
+                _ => return usage(),
+            };
+            if audit::run(&root) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest
+/// (`crates/xtask`), which holds whether invoked via the cargo alias or
+/// a plain `cargo run -p xtask` from anywhere in the tree.
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}

@@ -16,6 +16,8 @@
 //!   explanation;
 //! * [`trustee`] — the decision-tree surrogate baseline.
 
+#![forbid(unsafe_code)]
+
 pub use abr_env;
 pub use agua;
 pub use agua_controllers;
