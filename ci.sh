@@ -88,6 +88,36 @@ else
 fi
 echo "    bench report ok: $(wc -c <results/BENCH_parallel.json) bytes"
 
+echo "==> cache gate: warm store reruns are pure hits and byte-identical"
+rm -rf results/cache
+rm -f results/fig6_ddos_explanations.json
+AGUA_CACHE=on cargo run --release -p agua-bench --bin fig6_ddos_explanations -- --smoke \
+  >/dev/null
+cp results/fig6_ddos_explanations.json /tmp/agua_fig6_cold.json
+warm_log="$(AGUA_CACHE=on cargo run --release -p agua-bench \
+  --bin fig6_ddos_explanations -- --smoke)"
+summary="$(printf '%s\n' "$warm_log" | grep '\[store\]' || true)"
+if [ -z "$summary" ]; then
+  echo "warm run printed no [store] summary" >&2; exit 1
+fi
+echo "    warm run: $summary"
+case "$summary" in
+  *"hits=0"*) echo "warm run should hit the store" >&2; exit 1 ;;
+esac
+case "$summary" in
+  *"misses=0"*"fits=0"*) ;;
+  *) echo "warm run recomputed artifacts: $summary" >&2; exit 1 ;;
+esac
+cmp /tmp/agua_fig6_cold.json results/fig6_ddos_explanations.json || {
+  echo "warm rerun changed the result JSON" >&2; exit 1
+}
+AGUA_CACHE=off cargo run --release -p agua-bench --bin fig6_ddos_explanations -- --smoke \
+  >/dev/null
+cmp /tmp/agua_fig6_cold.json results/fig6_ddos_explanations.json || {
+  echo "AGUA_CACHE=off disagrees with the cached pipeline" >&2; exit 1
+}
+echo "    cache gate ok: warm hits only, cached == uncached"
+
 if [ "$DEEP" -eq 1 ]; then
   echo "==> [deep] loom: model-check the worker pool"
   # Single-threaded: each loom test explores thousands of schedules and

@@ -5,13 +5,13 @@
 //! datasets as JSON so experiments can pin exact workloads, diff eras,
 //! and share corpora between runs.
 
-use crate::trace::NetworkTrace;
-use serde::{Deserialize, Serialize};
+use crate::trace::{NetworkTrace, TraceFamily};
+use serde_json::Value;
 use std::io;
 use std::path::Path;
 
 /// A named bundle of traces (e.g. "puffer-2021-train").
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TraceDataset {
     /// Dataset name.
     pub name: String,
@@ -41,16 +41,83 @@ impl TraceDataset {
         self.traces.iter().map(|t| t.mean_mbps()).sum::<f32>() / self.len() as f32
     }
 
-    /// Serializes the dataset to a JSON file.
+    /// Serializes the dataset to a JSON file. The codec is hand-rolled
+    /// over `serde_json::Value` so the wire format is pinned
+    /// (`{"name", "traces": [{"family", "mbps"}]}`, keys sorted).
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        let json = serde_json::to_string(self).expect("trace dataset serialization");
+        let traces: Vec<Value> = self
+            .traces
+            .iter()
+            .map(|t| {
+                let mut obj = serde_json::Map::new();
+                obj.insert("family".to_string(), Value::String(family_tag(t.family).to_string()));
+                obj.insert(
+                    "mbps".to_string(),
+                    Value::Array(t.mbps.iter().map(|&m| Value::Number(f64::from(m))).collect()),
+                );
+                Value::Object(obj)
+            })
+            .collect();
+        let mut root = serde_json::Map::new();
+        root.insert("name".to_string(), Value::String(self.name.clone()));
+        root.insert("traces".to_string(), Value::Array(traces));
+        let json =
+            serde_json::to_string(&Value::Object(root)).expect("trace dataset serialization");
         std::fs::write(path, json)
     }
 
     /// Loads a dataset from a JSON file.
     pub fn load(path: &Path) -> io::Result<Self> {
+        let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
         let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        let value: Value = serde_json::from_str(&json)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let name = value
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("missing dataset name"))?
+            .to_string();
+        let mut traces = Vec::new();
+        for entry in
+            value.get("traces").and_then(Value::as_array).ok_or_else(|| bad("missing traces"))?
+        {
+            let family = entry
+                .get("family")
+                .and_then(Value::as_str)
+                .and_then(family_of)
+                .ok_or_else(|| bad("bad trace family"))?;
+            let mbps = entry
+                .get("mbps")
+                .and_then(Value::as_array)
+                .ok_or_else(|| bad("missing mbps"))?
+                .iter()
+                .map(|v| v.as_f64().map(|m| m as f32).ok_or_else(|| bad("bad mbps sample")))
+                .collect::<io::Result<Vec<f32>>>()?;
+            traces.push(NetworkTrace { mbps, family });
+        }
+        if traces.is_empty() {
+            return Err(bad("a trace dataset cannot be empty"));
+        }
+        Ok(Self { name, traces })
+    }
+}
+
+fn family_tag(family: TraceFamily) -> &'static str {
+    match family {
+        TraceFamily::ThreeG => "3g",
+        TraceFamily::FourG => "4g",
+        TraceFamily::FiveG => "5g",
+        TraceFamily::Broadband => "broadband",
+    }
+}
+
+fn family_of(tag: &str) -> Option<TraceFamily> {
+    match tag {
+        "3g" => Some(TraceFamily::ThreeG),
+        "4g" => Some(TraceFamily::FourG),
+        "5g" => Some(TraceFamily::FiveG),
+        "broadband" => Some(TraceFamily::Broadband),
+        _ => None,
     }
 }
 

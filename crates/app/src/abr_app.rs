@@ -1,0 +1,125 @@
+//! ABR application plumbing (moved here from `agua_bench::apps`).
+
+use abr_env::{AbrSimulator, DatasetEra, VideoManifest};
+use agua_controllers::abr;
+use agua_controllers::policy::PolicyNet;
+use agua_nn::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::data::AppData;
+
+/// Chunks per video in rollouts.
+pub const CHUNKS: usize = 50;
+
+/// Trains the Gelato-style ABR controller by behaviour cloning the
+/// MPC teacher on 2021-era traces.
+pub fn build_controller(seed: u64) -> PolicyNet {
+    let samples = abr::collect_teacher_dataset(DatasetEra::Train2021, 60, CHUNKS, seed);
+    abr::train_controller(&samples, seed)
+}
+
+/// Rolls the trained controller greedily over `n_traces` traces of
+/// `era`, recording every decision.
+pub fn rollout(controller: &PolicyNet, era: DatasetEra, n_traces: usize, seed: u64) -> AppData {
+    let traces = era.generate_traces(n_traces, CHUNKS * 6, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0AB);
+    let mut features = Vec::new();
+    let mut sections = Vec::new();
+    let mut emb_rows: Vec<Vec<f32>> = Vec::new();
+    let mut outputs = Vec::new();
+    let mut trace_ids = Vec::new();
+    for (trace_id, trace) in traces.into_iter().enumerate() {
+        let manifest = VideoManifest::generate(CHUNKS, era.mean_complexity(), &mut rng);
+        let mut sim = AbrSimulator::new(manifest, trace);
+        while !sim.done() {
+            let obs = sim.observation();
+            let f = obs.features();
+            let x = Matrix::row_vector(&f);
+            let (h, logits) = controller.embeddings_and_logits(&x);
+            let action = logits.argmax_row(0);
+            features.push(f);
+            sections.push(obs.sections());
+            emb_rows.push(h.row(0).to_vec());
+            outputs.push(action);
+            trace_ids.push(trace_id);
+            sim.step(action);
+        }
+    }
+    AppData { features, sections, embeddings: Matrix::from_rows(&emb_rows), outputs, trace_ids }
+}
+
+/// The motivating state of paper Fig. 1a / §2.2: transmission times
+/// ballooned from ~1 s to ~3 s (collapsing throughput), improved
+/// slightly in the last step, and the buffer is recovering from a
+/// dip — yet the controller still picks a low bitrate.
+pub fn motivating_observation() -> abr_env::AbrObservation {
+    abr_env::AbrObservation {
+        quality_db: vec![16.0, 15.8, 15.5, 14.9, 13.9, 12.8, 12.0, 11.4, 11.2, 11.3],
+        chunk_size_mb: vec![2.2, 2.1, 2.0, 1.8, 1.4, 1.0, 0.8, 0.7, 0.65, 0.7],
+        tx_time_s: vec![1.0, 1.1, 1.2, 1.5, 1.9, 2.4, 2.8, 3.0, 3.1, 2.0],
+        throughput_mbps: vec![2.2, 1.9, 1.7, 1.2, 0.75, 0.45, 0.3, 0.25, 0.21, 0.35],
+        buffer_s: vec![9.0, 8.4, 7.5, 6.2, 4.8, 3.6, 2.9, 2.6, 2.8, 3.4],
+        qoe: vec![3.2, 3.1, 3.0, 2.7, 2.3, 1.9, 1.7, 1.6, 1.6, 1.8],
+        stall_s: vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.2, 0.4, 0.3, 0.1, 0.0],
+        upcoming_quality_db: vec![14.8, 14.5, 14.2, 14.6, 14.4],
+        upcoming_size_mb: vec![2.8, 3.1, 3.4, 3.2, 3.0],
+    }
+}
+
+/// Human-readable names of the ABR feature vector entries (for
+/// Trustee decision paths).
+pub fn feature_names() -> Vec<String> {
+    let mut names = Vec::new();
+    let histories = [
+        ("quality", abr_env::HISTORY),
+        ("chunk_size", abr_env::HISTORY),
+        ("tx_time", abr_env::HISTORY),
+        ("throughput", abr_env::HISTORY),
+        ("buffer", abr_env::HISTORY),
+        ("qoe", abr_env::HISTORY),
+        ("stall", abr_env::HISTORY),
+        ("upcoming_quality", abr_env::LOOKAHEAD),
+        ("upcoming_size", abr_env::LOOKAHEAD),
+    ];
+    for (base, len) in histories {
+        for t in 0..len {
+            let lag = len - t;
+            names.push(format!("{base}[t-{lag}]"));
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{fit_agua, LlmVariant};
+    use agua::concepts::abr_concepts;
+    use agua::surrogate::TrainParams;
+
+    #[test]
+    fn abr_rollout_produces_consistent_data() {
+        let controller = build_controller(1);
+        let data = rollout(&controller, DatasetEra::Train2021, 4, 2);
+        assert_eq!(data.len(), 4 * CHUNKS);
+        assert_eq!(data.embeddings.rows(), data.len());
+        assert_eq!(data.embeddings.cols(), abr::ABR_EMB_DIM);
+        assert_eq!(data.features[0].len(), abr_env::observation::FEATURE_DIM);
+        assert_eq!(feature_names().len(), abr_env::observation::FEATURE_DIM);
+        assert_eq!(data.trace_count(), 4);
+    }
+
+    #[test]
+    fn abr_agua_pipeline_fits_end_to_end_on_a_small_sample() {
+        let controller = build_controller(3);
+        let train = rollout(&controller, DatasetEra::Train2021, 6, 4);
+        let test = rollout(&controller, DatasetEra::Train2021, 3, 5);
+        let concepts = abr_concepts();
+        let params = TrainParams::fast();
+        let (model, _) =
+            fit_agua(&concepts, abr_env::LEVELS, &train, LlmVariant::HighQuality, &params, 9);
+        let fid = model.fidelity(&test.embeddings, &test.outputs);
+        assert!(fid > 0.6, "small-sample ABR fidelity {fid}");
+    }
+}

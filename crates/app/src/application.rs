@@ -1,0 +1,389 @@
+//! The [`Application`] trait and the registry of the paper's three
+//! learning-enabled systems.
+//!
+//! Everything app-specific that the CLI and the experiment bins used to
+//! dispatch on with `match app { "abr" => …, _ => … }` lives behind this
+//! trait: concept sets, output arity, controller training, rollouts,
+//! section rendering, and the `--scenario` states of `agua-cli explain`.
+//! `cargo xtask audit`'s `stringly-app` lint forbids reintroducing
+//! string dispatch outside this crate.
+
+use abr_env::{AbrObservation, DatasetEra};
+use agua::concepts::{abr_concepts, cc_concepts, ddos_concepts, ConceptSet};
+use agua_controllers::cc::CcVariant;
+use agua_controllers::policy::PolicyNet;
+use agua_text::describer::DescribedSection;
+use cc_env::CcObservation;
+use ddos_env::{DdosObservation, FlowKind, FlowWindow, WINDOW};
+use serde::{Deserialize, Serialize};
+
+use crate::data::AppData;
+use crate::{abr_app, cc_app, ddos_app};
+
+/// What to roll out: a sample budget, a seed, and optionally a named
+/// workload the application understands (see [`Application::workloads`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RolloutSpec {
+    /// Decision-sample budget. Trace-structured applications round this
+    /// to whole traces (ABR: `samples / CHUNKS` traces, min 1).
+    pub samples: usize,
+    /// Rollout seed.
+    pub seed: u64,
+    /// Workload name, or `None` for the application default.
+    pub workload: Option<String>,
+}
+
+impl RolloutSpec {
+    /// A rollout of the application's default workload.
+    pub fn new(samples: usize, seed: u64) -> RolloutSpec {
+        RolloutSpec { samples, seed, workload: None }
+    }
+
+    /// A rollout of a named workload.
+    pub fn on(workload: &str, samples: usize, seed: u64) -> RolloutSpec {
+        RolloutSpec { samples, seed, workload: Some(workload.to_string()) }
+    }
+}
+
+/// One learning-enabled system under explanation: its concept set, its
+/// controller, and how to roll that controller out into [`AppData`].
+///
+/// Implementations are zero-sized (or tiny) and registered as statics;
+/// use [`registry`] to enumerate them and [`lookup`] to resolve a name.
+pub trait Application: Sync {
+    /// Registry name — the `--app` value (`"abr"`, `"cc"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Paper-style display name (`"ABR"`, `"CC"`, `"DDoS"`).
+    fn display_name(&self) -> &'static str;
+
+    /// The curated base concept set (paper Table 1).
+    fn concepts(&self) -> ConceptSet;
+
+    /// Controller output dimensionality.
+    fn n_outputs(&self) -> usize;
+
+    /// Human-readable names of the raw feature-vector entries.
+    fn feature_names(&self) -> Vec<String>;
+
+    /// Workload names accepted in [`RolloutSpec::workload`]; the first
+    /// entry is the default used when the spec names none.
+    fn workloads(&self) -> &'static [&'static str];
+
+    /// Trains the application's controller from a seed.
+    fn build_controller(&self, seed: u64) -> PolicyNet;
+
+    /// Rolls the trained controller out per `spec`.
+    ///
+    /// Panics on a workload name not listed in
+    /// [`Application::workloads`] — specs are produced by code, not
+    /// user input, so an unknown name is a programming error.
+    fn rollout(&self, controller: &PolicyNet, spec: &RolloutSpec) -> AppData;
+
+    /// Describer sections for a raw feature vector (the inverse of
+    /// `AppData::features` rows, used by the robustness experiments to
+    /// re-describe perturbed inputs).
+    fn sections_of(&self, features: &[f32]) -> Vec<DescribedSection>;
+
+    /// The feature vector of the state `agua-cli explain` should
+    /// explain for `--scenario` (or the application default).
+    fn scenario_features(
+        &self,
+        controller: &PolicyNet,
+        scenario: Option<&str>,
+        seed: u64,
+    ) -> Result<Vec<f32>, String>;
+}
+
+/// ABR / Gelato: adaptive bitrate selection over video traces.
+#[derive(Debug, Clone, Copy)]
+pub struct AbrApp;
+
+impl Application for AbrApp {
+    fn name(&self) -> &'static str {
+        "abr"
+    }
+
+    fn display_name(&self) -> &'static str {
+        "ABR"
+    }
+
+    fn concepts(&self) -> ConceptSet {
+        abr_concepts()
+    }
+
+    fn n_outputs(&self) -> usize {
+        abr_env::LEVELS
+    }
+
+    fn feature_names(&self) -> Vec<String> {
+        abr_app::feature_names()
+    }
+
+    fn workloads(&self) -> &'static [&'static str] {
+        &["train2021", "deploy2024"]
+    }
+
+    fn build_controller(&self, seed: u64) -> PolicyNet {
+        abr_app::build_controller(seed)
+    }
+
+    fn rollout(&self, controller: &PolicyNet, spec: &RolloutSpec) -> AppData {
+        let era = match spec.workload.as_deref() {
+            None | Some("train2021") => DatasetEra::Train2021,
+            Some("deploy2024") => DatasetEra::Deploy2024,
+            Some(other) => panic!("unknown ABR workload `{other}` (expected train2021|deploy2024)"),
+        };
+        let n_traces = (spec.samples / abr_app::CHUNKS).max(1);
+        abr_app::rollout(controller, era, n_traces, spec.seed)
+    }
+
+    fn sections_of(&self, features: &[f32]) -> Vec<DescribedSection> {
+        AbrObservation::from_features(features).sections()
+    }
+
+    fn scenario_features(
+        &self,
+        _controller: &PolicyNet,
+        _scenario: Option<&str>,
+        _seed: u64,
+    ) -> Result<Vec<f32>, String> {
+        // The ABR scenario is always the paper's motivating state.
+        Ok(abr_app::motivating_observation().features())
+    }
+}
+
+/// CC / Aurora: congestion control, in the paper's original or
+/// debugged controller variant.
+#[derive(Debug, Clone, Copy)]
+pub struct CcApp(pub CcVariant);
+
+impl CcApp {
+    /// The controller variant of this registry entry.
+    pub fn variant(&self) -> CcVariant {
+        self.0
+    }
+}
+
+impl Application for CcApp {
+    fn name(&self) -> &'static str {
+        match self.0 {
+            CcVariant::Original => "cc",
+            CcVariant::Debugged => "cc-debugged",
+        }
+    }
+
+    fn display_name(&self) -> &'static str {
+        match self.0 {
+            CcVariant::Original => "CC",
+            CcVariant::Debugged => "CC (debugged)",
+        }
+    }
+
+    fn concepts(&self) -> ConceptSet {
+        cc_concepts()
+    }
+
+    fn n_outputs(&self) -> usize {
+        cc_env::ACTIONS
+    }
+
+    fn feature_names(&self) -> Vec<String> {
+        cc_app::feature_names(self.0)
+    }
+
+    fn workloads(&self) -> &'static [&'static str] {
+        &["training-mix"]
+    }
+
+    fn build_controller(&self, seed: u64) -> PolicyNet {
+        cc_app::build_controller(self.0, seed)
+    }
+
+    fn rollout(&self, controller: &PolicyNet, spec: &RolloutSpec) -> AppData {
+        match spec.workload.as_deref() {
+            None | Some("training-mix") => {}
+            Some(other) => panic!("unknown CC workload `{other}` (expected training-mix)"),
+        }
+        cc_app::rollout(controller, self.0, spec.samples, spec.seed)
+    }
+
+    fn sections_of(&self, features: &[f32]) -> Vec<DescribedSection> {
+        CcObservation::from_features(features, self.0.history()).sections()
+    }
+
+    fn scenario_features(
+        &self,
+        controller: &PolicyNet,
+        _scenario: Option<&str>,
+        seed: u64,
+    ) -> Result<Vec<f32>, String> {
+        // A representative state: a fresh rollout's final observation.
+        let data = cc_app::rollout(controller, self.0, 50, seed + 7);
+        Ok(data.features.last().expect("non-empty rollout").clone())
+    }
+}
+
+/// DDoS / LUCID: per-flow attack detection.
+#[derive(Debug, Clone, Copy)]
+pub struct DdosApp;
+
+impl DdosApp {
+    /// Maps a workload/scenario name to the flow kind it generates.
+    fn flow_kind(name: &str) -> Option<FlowKind> {
+        match name {
+            "benign-http" => Some(FlowKind::BenignHttp),
+            "benign-dns" => Some(FlowKind::BenignDns),
+            "syn-flood" => Some(FlowKind::SynFlood),
+            "udp-flood" => Some(FlowKind::UdpFlood),
+            "low-and-slow" => Some(FlowKind::LowAndSlow),
+            _ => None,
+        }
+    }
+}
+
+impl Application for DdosApp {
+    fn name(&self) -> &'static str {
+        "ddos"
+    }
+
+    fn display_name(&self) -> &'static str {
+        "DDoS"
+    }
+
+    fn concepts(&self) -> ConceptSet {
+        ddos_concepts()
+    }
+
+    fn n_outputs(&self) -> usize {
+        ddos_env::CLASSES
+    }
+
+    fn feature_names(&self) -> Vec<String> {
+        ddos_app::feature_names()
+    }
+
+    fn workloads(&self) -> &'static [&'static str] {
+        &["mixed", "benign-http", "benign-dns", "syn-flood", "udp-flood", "low-and-slow"]
+    }
+
+    fn build_controller(&self, seed: u64) -> PolicyNet {
+        ddos_app::build_controller(seed)
+    }
+
+    fn rollout(&self, controller: &PolicyNet, spec: &RolloutSpec) -> AppData {
+        match spec.workload.as_deref() {
+            None | Some("mixed") => ddos_app::rollout(controller, spec.samples, spec.seed),
+            Some(name) => {
+                let kind = Self::flow_kind(name)
+                    .unwrap_or_else(|| panic!("unknown DDoS workload `{name}`"));
+                ddos_app::rollout_kind(controller, kind, spec.samples, spec.seed)
+            }
+        }
+    }
+
+    fn sections_of(&self, features: &[f32]) -> Vec<DescribedSection> {
+        // Rebuild a flow window view from the attribute-major layout.
+        let take = |a: usize| features[a * WINDOW..(a + 1) * WINDOW].to_vec();
+        let w = FlowWindow {
+            kind: FlowKind::BenignHttp, // placeholder tag; features carry the data
+            iat_s: take(0).iter().map(|v| v * ddos_env::observation::IAT_MAX).collect(),
+            size_bytes: take(1).iter().map(|v| v * ddos_env::observation::SIZE_MAX).collect(),
+            outbound: take(2),
+            syn: take(3),
+            ack: take(4),
+            udp: take(5),
+            payload_entropy: take(6),
+            source_consistency: take(7),
+        };
+        DdosObservation::new(w).sections()
+    }
+
+    fn scenario_features(
+        &self,
+        _controller: &PolicyNet,
+        scenario: Option<&str>,
+        seed: u64,
+    ) -> Result<Vec<f32>, String> {
+        let name = scenario.unwrap_or("syn-flood");
+        let kind =
+            Self::flow_kind(name).ok_or_else(|| format!("unknown DDoS scenario `{name}`"))?;
+        Ok(DdosObservation::new(FlowWindow::generate_seeded(kind, seed)).features())
+    }
+}
+
+/// The ABR/Gelato registry entry.
+pub static ABR: AbrApp = AbrApp;
+/// The CC/Aurora registry entry (original controller).
+pub static CC: CcApp = CcApp(CcVariant::Original);
+/// The CC/Aurora registry entry (debugged controller, paper Fig. 10).
+pub static CC_DEBUGGED: CcApp = CcApp(CcVariant::Debugged);
+/// The DDoS/LUCID registry entry.
+pub static DDOS: DdosApp = DdosApp;
+
+/// Every registered application, in stable name order.
+pub fn registry() -> [&'static dyn Application; 4] {
+    [&ABR, &CC, &CC_DEBUGGED, &DDOS]
+}
+
+/// The registered application names, in registry order.
+pub fn registered_names() -> Vec<&'static str> {
+    registry().iter().map(|a| a.name()).collect()
+}
+
+/// Resolves an application by registry name; unknown names fail with
+/// the list of registered applications.
+pub fn lookup(name: &str) -> Result<&'static dyn Application, String> {
+    registry().into_iter().find(|a| a.name() == name).ok_or_else(|| {
+        format!("unknown application `{name}` (registered: {})", registered_names().join(", "))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_stable_and_resolvable() {
+        assert_eq!(registered_names(), vec!["abr", "cc", "cc-debugged", "ddos"]);
+        for app in registry() {
+            assert_eq!(lookup(app.name()).unwrap().name(), app.name());
+            assert!(!app.workloads().is_empty());
+            assert!(app.n_outputs() > 1);
+            assert!(!app.concepts().concepts.is_empty());
+            assert!(!app.feature_names().is_empty());
+        }
+    }
+
+    #[test]
+    fn lookup_rejects_unknown_names_with_the_registered_list() {
+        let err = lookup("dns").map(|a| a.name()).unwrap_err();
+        assert!(err.contains("unknown application `dns`"), "{err}");
+        for name in registered_names() {
+            assert!(err.contains(name), "error should list `{name}`: {err}");
+        }
+    }
+
+    #[test]
+    fn ddos_rollout_spec_matches_the_free_functions() {
+        use crate::codec::Artifact;
+        let controller = DDOS.build_controller(5);
+        let via_trait = DDOS.rollout(&controller, &RolloutSpec::new(40, 6));
+        let direct = ddos_app::rollout(&controller, 40, 6);
+        assert_eq!(via_trait.encode(), direct.encode());
+        let via_kind = DDOS.rollout(&controller, &RolloutSpec::on("syn-flood", 10, 7));
+        let direct_kind = ddos_app::rollout_kind(&controller, FlowKind::SynFlood, 10, 7);
+        assert_eq!(via_kind.encode(), direct_kind.encode());
+    }
+
+    #[test]
+    fn scenario_features_cover_the_apps() {
+        let controller = DDOS.build_controller(5);
+        let f = DDOS.scenario_features(&controller, None, 11).unwrap();
+        assert_eq!(f.len(), DDOS.feature_names().len());
+        assert!(DDOS.scenario_features(&controller, Some("nope"), 11).is_err());
+        // ABR's scenario is controller-independent (motivating state).
+        let f = ABR.scenario_features(&controller, None, 11).unwrap();
+        assert_eq!(f.len(), ABR.feature_names().len());
+    }
+}

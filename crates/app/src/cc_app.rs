@@ -1,0 +1,74 @@
+//! Congestion-control application plumbing (moved here from
+//! `agua_bench::apps`).
+
+use agua_controllers::cc::{self, CcVariant};
+use agua_controllers::policy::PolicyNet;
+use agua_nn::Matrix;
+use cc_env::{CapacityProcess, CcSimulator};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::data::AppData;
+
+/// Trains a CC controller of the given variant (behaviour cloning
+/// with two DAgger aggregation rounds).
+pub fn build_controller(variant: CcVariant, seed: u64) -> PolicyNet {
+    cc::train_controller_dagger(variant, 700, 3, seed)
+}
+
+/// Rolls the trained controller greedily over the training link
+/// patterns, recording `n_samples` decisions.
+pub fn rollout(controller: &PolicyNet, variant: CcVariant, n_samples: usize, seed: u64) -> AppData {
+    let mut rng = StdRng::seed_from_u64(seed);
+    const SCENARIOS: usize = 12;
+    let per_pattern = n_samples / SCENARIOS + 1;
+    let mut features = Vec::new();
+    let mut sections = Vec::new();
+    let mut emb_rows: Vec<Vec<f32>> = Vec::new();
+    let mut outputs = Vec::new();
+    let mut trace_ids = Vec::new();
+    for trace_id in 0..SCENARIOS {
+        let (pattern, config) = cc::sample_scenario(trace_id, &mut rng);
+        let cap = CapacityProcess::generate(pattern, per_pattern + variant.history(), &mut rng);
+        let initial = rng.random_range(0.3..1.0) * config.nominal_mbps;
+        let mut sim = CcSimulator::with_history(cap, config, initial, variant.history());
+        for _ in 0..variant.history().min(sim.mis_left()) {
+            sim.step_at_current_rate();
+        }
+        while !sim.done() && features.len() < (trace_id + 1) * per_pattern {
+            let obs = sim.observation();
+            let f = obs.features(variant.with_avg_latency());
+            let x = Matrix::row_vector(&f);
+            let (h, logits) = controller.embeddings_and_logits(&x);
+            let action = logits.argmax_row(0);
+            features.push(f);
+            sections.push(obs.sections());
+            emb_rows.push(h.row(0).to_vec());
+            outputs.push(action);
+            trace_ids.push(trace_id);
+            sim.step(action);
+        }
+    }
+    features.truncate(n_samples);
+    sections.truncate(n_samples);
+    emb_rows.truncate(n_samples);
+    outputs.truncate(n_samples);
+    trace_ids.truncate(n_samples);
+    AppData { features, sections, embeddings: Matrix::from_rows(&emb_rows), outputs, trace_ids }
+}
+
+/// Feature names for the CC feature vector.
+pub fn feature_names(variant: CcVariant) -> Vec<String> {
+    let h = variant.history();
+    let mut names = Vec::new();
+    for base in ["send_rate", "delivered", "latency", "loss"] {
+        for t in 0..h {
+            let lag = h - t;
+            names.push(format!("{base}[t-{lag}]"));
+        }
+    }
+    if variant.with_avg_latency() {
+        names.push("avg_latency".to_string());
+    }
+    names
+}

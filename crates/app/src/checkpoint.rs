@@ -1,0 +1,169 @@
+//! Shared checkpoint format for trained pipelines.
+//!
+//! `agua-cli train` persists its outputs here and `fidelity` /
+//! `explain` / `report` reload them; experiment bins can do the same.
+//! A checkpoint directory holds four files, each in the portable codec
+//! format of [`crate::codec`]:
+//!
+//! - `controller.json` — the trained [`PolicyNet`],
+//! - `agua.json` — the fitted [`AguaModel`] surrogate,
+//! - `quantizer.json` — the labelling [`Quantizer`] ψ,
+//! - `meta.json` — the [`CheckpointMeta`] provenance record.
+
+use std::fs;
+use std::path::Path;
+
+use agua::labeling::Quantizer;
+use agua::surrogate::AguaModel;
+use agua_controllers::policy::PolicyNet;
+use serde_json::Value;
+
+use crate::codec::{
+    f32_of, get, object, str_of, u64_of, u64_value, usize_of, Artifact, CodecError,
+};
+
+/// Provenance of a checkpoint: what was trained, on which seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointMeta {
+    /// Registry name of the application (see [`crate::lookup`]).
+    pub app: String,
+    /// LLM variant tag (`"hq"` / `"os"`).
+    pub llm: String,
+    /// Training seed.
+    pub seed: u64,
+    /// Controller output dimensionality.
+    pub n_outputs: usize,
+    /// Surrogate fidelity on the training rollout.
+    pub train_fidelity: f32,
+}
+
+impl Artifact for CheckpointMeta {
+    fn encode(&self) -> Value {
+        object(vec![
+            ("app", Value::String(self.app.clone())),
+            ("llm", Value::String(self.llm.clone())),
+            ("n_outputs", Value::Number(self.n_outputs as f64)),
+            ("seed", u64_value(self.seed)),
+            ("train_fidelity", Value::Number(f64::from(self.train_fidelity))),
+        ])
+    }
+
+    fn decode(value: &Value) -> Result<Self, CodecError> {
+        Ok(Self {
+            app: str_of(get(value, "app", "CheckpointMeta")?, "CheckpointMeta.app")?.to_string(),
+            llm: str_of(get(value, "llm", "CheckpointMeta")?, "CheckpointMeta.llm")?.to_string(),
+            seed: u64_of(get(value, "seed", "CheckpointMeta")?, "CheckpointMeta.seed")?,
+            n_outputs: usize_of(
+                get(value, "n_outputs", "CheckpointMeta")?,
+                "CheckpointMeta.n_outputs",
+            )?,
+            train_fidelity: f32_of(
+                get(value, "train_fidelity", "CheckpointMeta")?,
+                "CheckpointMeta.train_fidelity",
+            )?,
+        })
+    }
+}
+
+/// A trained pipeline on disk: controller, surrogate, quantizer, meta.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// The trained controller.
+    pub controller: PolicyNet,
+    /// The fitted Agua surrogate.
+    pub model: AguaModel,
+    /// The quantizer the labelling pipeline used.
+    pub quantizer: Quantizer,
+    /// Provenance record.
+    pub meta: CheckpointMeta,
+}
+
+impl Checkpoint {
+    /// Writes the checkpoint files into `dir` (created if missing).
+    pub fn save(&self, dir: &Path) -> Result<(), String> {
+        fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        write_artifact(dir, "controller.json", &self.controller)?;
+        write_artifact(dir, "agua.json", &self.model)?;
+        write_artifact(dir, "quantizer.json", &self.quantizer)?;
+        write_artifact(dir, "meta.json", &self.meta)
+    }
+
+    /// Reads a checkpoint previously written by [`Checkpoint::save`].
+    pub fn load(dir: &Path) -> Result<Self, String> {
+        Ok(Self {
+            controller: read_artifact(dir, "controller.json")?,
+            model: read_artifact(dir, "agua.json")?,
+            quantizer: read_artifact(dir, "quantizer.json")?,
+            meta: read_artifact(dir, "meta.json")?,
+        })
+    }
+}
+
+fn write_artifact<T: Artifact>(dir: &Path, name: &str, value: &T) -> Result<(), String> {
+    let path = dir.join(name);
+    let json = serde_json::to_string(&value.encode())
+        .map_err(|e| format!("cannot serialize {name}: {e}"))?;
+    fs::write(&path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+fn read_artifact<T: Artifact>(dir: &Path, name: &str) -> Result<T, String> {
+    let path = dir.join(name);
+    let text =
+        fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let value: Value =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+    T::decode(&value).map_err(|e| format!("cannot decode {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::application::{Application, RolloutSpec, DDOS};
+    use crate::data::{fit_agua, LlmVariant};
+    use agua::surrogate::TrainParams;
+
+    #[test]
+    fn checkpoint_round_trips_through_disk() {
+        let controller = DDOS.build_controller(31);
+        let train = DDOS.rollout(&controller, &RolloutSpec::new(40, 32));
+        let (model, labeler) = fit_agua(
+            &DDOS.concepts(),
+            DDOS.n_outputs(),
+            &train,
+            LlmVariant::HighQuality,
+            &TrainParams::fast(),
+            33,
+        );
+        let ckpt = Checkpoint {
+            controller,
+            model,
+            quantizer: labeler.quantizer().clone(),
+            meta: CheckpointMeta {
+                app: "ddos".to_string(),
+                llm: "hq".to_string(),
+                seed: 31,
+                n_outputs: DDOS.n_outputs(),
+                train_fidelity: 0.5,
+            },
+        };
+        let dir = std::env::temp_dir().join(format!("agua-ckpt-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ckpt.save(&dir).unwrap();
+        let restored = Checkpoint::load(&dir).unwrap();
+        assert_eq!(restored.meta, ckpt.meta);
+        assert_eq!(restored.quantizer.boundaries, ckpt.quantizer.boundaries);
+        assert_eq!(
+            ckpt.model.predict_logits(&train.embeddings).as_slice(),
+            restored.model.predict_logits(&train.embeddings).as_slice()
+        );
+        let x = agua_nn::Matrix::from_rows(&train.features);
+        assert_eq!(
+            ckpt.controller.logits(&x).as_slice(),
+            restored.controller.logits(&x).as_slice()
+        );
+        let _ = fs::remove_dir_all(&dir);
+
+        let err = Checkpoint::load(Path::new("/nonexistent/ckpt")).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+}

@@ -1,0 +1,482 @@
+//! Portable JSON codec for persisted artifacts.
+//!
+//! The store and checkpoint layers never round-trip artifacts through
+//! `serde` derives. Instead every artifact is encoded field-by-field
+//! into a [`serde_json::Value`] tree and decoded back through explicit
+//! public constructors ([`Matrix::from_fn`], [`PolicyNet::from_parts`],
+//! …). That buys three properties the content-addressed store needs:
+//!
+//! - **Canonical bytes.** Objects are `BTreeMap`-backed, so keys
+//!   serialize in sorted order and the same artifact always produces
+//!   the same bytes — safe to hash and to compare across runs.
+//! - **Exact numerics.** `f32` values pass through `f64` (lossless) and
+//!   print in shortest-round-trip form, so decode(encode(x)) is
+//!   bit-identical for finite values. `u64` values (seeds, keys) are
+//!   encoded as decimal strings because JSON numbers are doubles.
+//! - **Version independence.** The format is what this module says it
+//!   is, not what a derive happens to emit.
+
+use std::fmt;
+
+use agua::labeling::Quantizer;
+use agua::surrogate::{AguaModel, ConceptMapping, OutputMapping};
+use agua_controllers::policy::PolicyNet;
+use agua_nn::{LayerKind, LayerNorm, Linear, Matrix, Mlp, Param, ReLU, Tanh};
+use agua_text::describer::DescribedSection;
+use agua_text::stats::SignalSeries;
+use serde_json::Value;
+
+use crate::data::AppData;
+
+/// A decode failure: what was being decoded and why it failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codec: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn fail<T>(what: &str, why: &str) -> Result<T, CodecError> {
+    Err(CodecError(format!("{what}: {why}")))
+}
+
+/// An artifact the store and checkpoints can persist.
+pub trait Artifact: Sized {
+    /// Encodes the artifact as a JSON value.
+    fn encode(&self) -> Value;
+
+    /// Decodes an artifact previously produced by [`Artifact::encode`].
+    fn decode(value: &Value) -> Result<Self, CodecError>;
+}
+
+// ---- value helpers ------------------------------------------------------
+
+/// Builds an object value; keys end up sorted (BTreeMap-backed map).
+pub fn object(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+pub fn get<'a>(v: &'a Value, field: &str, what: &str) -> Result<&'a Value, CodecError> {
+    match v {
+        Value::Object(m) => match m.get(field) {
+            Some(inner) => Ok(inner),
+            None => fail(what, &format!("missing field `{field}`")),
+        },
+        _ => fail(what, "expected an object"),
+    }
+}
+
+pub fn f64_of(v: &Value, what: &str) -> Result<f64, CodecError> {
+    match v {
+        Value::Number(n) => Ok(*n),
+        _ => fail(what, "expected a number"),
+    }
+}
+
+pub fn f32_of(v: &Value, what: &str) -> Result<f32, CodecError> {
+    Ok(f64_of(v, what)? as f32)
+}
+
+pub fn usize_of(v: &Value, what: &str) -> Result<usize, CodecError> {
+    let n = f64_of(v, what)?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return fail(what, "expected a non-negative integer");
+    }
+    Ok(n as usize)
+}
+
+pub fn str_of<'a>(v: &'a Value, what: &str) -> Result<&'a str, CodecError> {
+    match v {
+        Value::String(s) => Ok(s),
+        _ => fail(what, "expected a string"),
+    }
+}
+
+pub fn arr_of<'a>(v: &'a Value, what: &str) -> Result<&'a [Value], CodecError> {
+    match v {
+        Value::Array(items) => Ok(items),
+        _ => fail(what, "expected an array"),
+    }
+}
+
+/// Encodes a `u64` as a decimal string (JSON numbers are doubles and
+/// cannot carry all 64 bits).
+pub fn u64_value(n: u64) -> Value {
+    Value::String(n.to_string())
+}
+
+pub fn u64_of(v: &Value, what: &str) -> Result<u64, CodecError> {
+    match str_of(v, what)?.parse() {
+        Ok(n) => Ok(n),
+        Err(_) => fail(what, "expected a decimal u64 string"),
+    }
+}
+
+pub fn f32s_value(values: &[f32]) -> Value {
+    Value::Array(values.iter().map(|&v| Value::Number(f64::from(v))).collect())
+}
+
+pub fn f32s_of(v: &Value, what: &str) -> Result<Vec<f32>, CodecError> {
+    arr_of(v, what)?.iter().map(|item| f32_of(item, what)).collect()
+}
+
+pub fn usizes_value(values: &[usize]) -> Value {
+    Value::Array(values.iter().map(|&v| Value::Number(v as f64)).collect())
+}
+
+pub fn usizes_of(v: &Value, what: &str) -> Result<Vec<usize>, CodecError> {
+    arr_of(v, what)?.iter().map(|item| usize_of(item, what)).collect()
+}
+
+// ---- tensors and layers -------------------------------------------------
+
+impl Artifact for Matrix {
+    fn encode(&self) -> Value {
+        object(vec![
+            ("cols", Value::Number(self.cols() as f64)),
+            ("data", f32s_value(self.as_slice())),
+            ("rows", Value::Number(self.rows() as f64)),
+        ])
+    }
+
+    fn decode(value: &Value) -> Result<Self, CodecError> {
+        let rows = usize_of(get(value, "rows", "Matrix")?, "Matrix.rows")?;
+        let cols = usize_of(get(value, "cols", "Matrix")?, "Matrix.cols")?;
+        let data = f32s_of(get(value, "data", "Matrix")?, "Matrix.data")?;
+        if data.len() != rows * cols {
+            return fail("Matrix", "data length does not match rows × cols");
+        }
+        Ok(Matrix::from_fn(rows, cols, |r, c| data[r * cols + c]))
+    }
+}
+
+/// Parameters persist their optimizer state (`m`/`v`) alongside the
+/// value so that resuming training from a cached artifact is
+/// byte-identical to never having saved it.
+fn encode_param(p: &Param) -> Value {
+    object(vec![
+        ("grad", p.grad.encode()),
+        ("m", p.m.encode()),
+        ("v", p.v.encode()),
+        ("value", p.value.encode()),
+    ])
+}
+
+fn decode_param(v: &Value, what: &str) -> Result<Param, CodecError> {
+    Ok(Param {
+        value: Matrix::decode(get(v, "value", what)?)?,
+        grad: Matrix::decode(get(v, "grad", what)?)?,
+        m: Matrix::decode(get(v, "m", what)?)?,
+        v: Matrix::decode(get(v, "v", what)?)?,
+    })
+}
+
+fn encode_linear(l: &Linear) -> Value {
+    object(vec![("bias", encode_param(&l.bias)), ("weight", encode_param(&l.weight))])
+}
+
+fn decode_linear(v: &Value) -> Result<Linear, CodecError> {
+    let weight = decode_param(get(v, "weight", "Linear")?, "Linear.weight")?;
+    let bias = decode_param(get(v, "bias", "Linear")?, "Linear.bias")?;
+    Ok(Linear::from_params(weight, bias))
+}
+
+fn encode_layer(layer: &LayerKind) -> Value {
+    match layer {
+        LayerKind::Linear(l) => object(vec![("Linear", encode_linear(l))]),
+        LayerKind::ReLU(_) => object(vec![("ReLU", object(Vec::new()))]),
+        LayerKind::Tanh(_) => object(vec![("Tanh", object(Vec::new()))]),
+        LayerKind::LayerNorm(l) => object(vec![(
+            "LayerNorm",
+            object(vec![
+                ("beta", encode_param(&l.beta)),
+                ("eps", Value::Number(f64::from(l.eps))),
+                ("gamma", encode_param(&l.gamma)),
+            ]),
+        )]),
+    }
+}
+
+fn decode_layer(v: &Value) -> Result<LayerKind, CodecError> {
+    let m = match v {
+        Value::Object(m) if m.len() == 1 => m,
+        _ => return fail("LayerKind", "expected a single-variant object"),
+    };
+    let (tag, body) = m.iter().next().expect("len checked");
+    match tag.as_str() {
+        "Linear" => Ok(LayerKind::Linear(decode_linear(body)?)),
+        "ReLU" => Ok(LayerKind::ReLU(ReLU::new())),
+        "Tanh" => Ok(LayerKind::Tanh(Tanh::new())),
+        "LayerNorm" => {
+            let gamma = decode_param(get(body, "gamma", "LayerNorm")?, "LayerNorm.gamma")?;
+            let beta = decode_param(get(body, "beta", "LayerNorm")?, "LayerNorm.beta")?;
+            let eps = f32_of(get(body, "eps", "LayerNorm")?, "LayerNorm.eps")?;
+            Ok(LayerKind::LayerNorm(LayerNorm::from_params(gamma, beta, eps)))
+        }
+        other => fail("LayerKind", &format!("unknown layer `{other}`")),
+    }
+}
+
+impl Artifact for Mlp {
+    fn encode(&self) -> Value {
+        object(vec![("layers", Value::Array(self.layers.iter().map(encode_layer).collect()))])
+    }
+
+    fn decode(value: &Value) -> Result<Self, CodecError> {
+        let layers = arr_of(get(value, "layers", "Mlp")?, "Mlp.layers")?
+            .iter()
+            .map(decode_layer)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Mlp { layers })
+    }
+}
+
+// ---- pipeline artifacts -------------------------------------------------
+
+impl Artifact for PolicyNet {
+    fn encode(&self) -> Value {
+        object(vec![
+            ("emb_after", Value::Number(self.emb_after() as f64)),
+            ("emb_dim", Value::Number(self.emb_dim as f64)),
+            ("in_dim", Value::Number(self.in_dim as f64)),
+            ("mlp", self.mlp.encode()),
+            ("n_actions", Value::Number(self.n_actions as f64)),
+        ])
+    }
+
+    fn decode(value: &Value) -> Result<Self, CodecError> {
+        let mlp = Mlp::decode(get(value, "mlp", "PolicyNet")?)?;
+        let in_dim = usize_of(get(value, "in_dim", "PolicyNet")?, "PolicyNet.in_dim")?;
+        let emb_dim = usize_of(get(value, "emb_dim", "PolicyNet")?, "PolicyNet.emb_dim")?;
+        let n_actions = usize_of(get(value, "n_actions", "PolicyNet")?, "PolicyNet.n_actions")?;
+        let emb_after = usize_of(get(value, "emb_after", "PolicyNet")?, "PolicyNet.emb_after")?;
+        if emb_after >= mlp.layers.len() {
+            return fail("PolicyNet", "emb_after out of range");
+        }
+        Ok(PolicyNet::from_parts(mlp, in_dim, emb_dim, n_actions, emb_after))
+    }
+}
+
+impl Artifact for Quantizer {
+    fn encode(&self) -> Value {
+        object(vec![("boundaries", f32s_value(&self.boundaries))])
+    }
+
+    fn decode(value: &Value) -> Result<Self, CodecError> {
+        let boundaries = f32s_of(get(value, "boundaries", "Quantizer")?, "Quantizer.boundaries")?;
+        Ok(Quantizer { boundaries })
+    }
+}
+
+impl Artifact for AguaModel {
+    fn encode(&self) -> Value {
+        let delta = object(vec![
+            ("concepts", Value::Number(self.concept_mapping.concepts as f64)),
+            ("k", Value::Number(self.concept_mapping.k as f64)),
+            ("mlp", self.concept_mapping.mlp().encode()),
+        ]);
+        let omega = object(vec![
+            ("linear", encode_linear(self.output_mapping.linear())),
+            ("n_outputs", Value::Number(self.output_mapping.n_outputs as f64)),
+        ]);
+        object(vec![
+            ("concept_mapping", delta),
+            (
+                "concept_names",
+                Value::Array(self.concept_names.iter().map(|n| Value::String(n.clone())).collect()),
+            ),
+            ("output_mapping", omega),
+        ])
+    }
+
+    fn decode(value: &Value) -> Result<Self, CodecError> {
+        let delta = get(value, "concept_mapping", "AguaModel")?;
+        let concept_mapping = ConceptMapping::from_parts(
+            Mlp::decode(get(delta, "mlp", "ConceptMapping")?)?,
+            usize_of(get(delta, "concepts", "ConceptMapping")?, "ConceptMapping.concepts")?,
+            usize_of(get(delta, "k", "ConceptMapping")?, "ConceptMapping.k")?,
+        );
+        let omega = get(value, "output_mapping", "AguaModel")?;
+        let output_mapping = OutputMapping::from_parts(
+            decode_linear(get(omega, "linear", "OutputMapping")?)?,
+            usize_of(get(omega, "n_outputs", "OutputMapping")?, "OutputMapping.n_outputs")?,
+        );
+        let concept_names = arr_of(get(value, "concept_names", "AguaModel")?, "AguaModel")?
+            .iter()
+            .map(|n| str_of(n, "AguaModel.concept_names").map(str::to_string))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(AguaModel { concept_mapping, output_mapping, concept_names })
+    }
+}
+
+fn encode_section(s: &DescribedSection) -> Value {
+    let signals = s
+        .signals
+        .iter()
+        .map(|sig| {
+            object(vec![
+                ("max", Value::Number(f64::from(sig.max))),
+                ("name", Value::String(sig.name.clone())),
+                ("unit", Value::String(sig.unit.clone())),
+                ("values", f32s_value(&sig.values)),
+            ])
+        })
+        .collect();
+    object(vec![("signals", Value::Array(signals)), ("title", Value::String(s.title.clone()))])
+}
+
+fn decode_section(v: &Value) -> Result<DescribedSection, CodecError> {
+    let signals = arr_of(get(v, "signals", "DescribedSection")?, "DescribedSection.signals")?
+        .iter()
+        .map(|sig| {
+            Ok(SignalSeries {
+                name: str_of(get(sig, "name", "SignalSeries")?, "SignalSeries.name")?.to_string(),
+                unit: str_of(get(sig, "unit", "SignalSeries")?, "SignalSeries.unit")?.to_string(),
+                values: f32s_of(get(sig, "values", "SignalSeries")?, "SignalSeries.values")?,
+                max: f32_of(get(sig, "max", "SignalSeries")?, "SignalSeries.max")?,
+            })
+        })
+        .collect::<Result<Vec<_>, CodecError>>()?;
+    let title = str_of(get(v, "title", "DescribedSection")?, "DescribedSection.title")?;
+    Ok(DescribedSection { title: title.to_string(), signals })
+}
+
+impl Artifact for AppData {
+    fn encode(&self) -> Value {
+        object(vec![
+            ("embeddings", self.embeddings.encode()),
+            ("features", Value::Array(self.features.iter().map(|row| f32s_value(row)).collect())),
+            ("outputs", usizes_value(&self.outputs)),
+            (
+                "sections",
+                Value::Array(
+                    self.sections
+                        .iter()
+                        .map(|per_input| {
+                            Value::Array(per_input.iter().map(encode_section).collect())
+                        })
+                        .collect(),
+                ),
+            ),
+            ("trace_ids", usizes_value(&self.trace_ids)),
+        ])
+    }
+
+    fn decode(value: &Value) -> Result<Self, CodecError> {
+        let features = arr_of(get(value, "features", "AppData")?, "AppData.features")?
+            .iter()
+            .map(|row| f32s_of(row, "AppData.features"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let sections = arr_of(get(value, "sections", "AppData")?, "AppData.sections")?
+            .iter()
+            .map(|per_input| {
+                arr_of(per_input, "AppData.sections")?
+                    .iter()
+                    .map(decode_section)
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let embeddings = Matrix::decode(get(value, "embeddings", "AppData")?)?;
+        let outputs = usizes_of(get(value, "outputs", "AppData")?, "AppData.outputs")?;
+        let trace_ids = usizes_of(get(value, "trace_ids", "AppData")?, "AppData.trace_ids")?;
+        if features.len() != outputs.len()
+            || sections.len() != outputs.len()
+            || trace_ids.len() != outputs.len()
+            || embeddings.rows() != outputs.len()
+        {
+            return fail("AppData", "field lengths disagree");
+        }
+        Ok(AppData { features, sections, embeddings, outputs, trace_ids })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::application::{Application, RolloutSpec, DDOS};
+    use crate::data::{fit_agua, LlmVariant};
+    use agua::surrogate::TrainParams;
+
+    #[test]
+    fn matrix_round_trips_exactly() {
+        let m = Matrix::from_fn(3, 4, |r, c| (r as f32 + 0.1) * (c as f32 - 1.7));
+        let restored = Matrix::decode(&m.encode()).unwrap();
+        assert_eq!(m, restored);
+        // Through actual bytes, not just the value tree.
+        let bytes = serde_json::to_string(&m.encode()).unwrap();
+        let reparsed: Value = serde_json::from_str(&bytes).unwrap();
+        assert_eq!(Matrix::decode(&reparsed).unwrap(), m);
+    }
+
+    #[test]
+    fn pipeline_artifacts_round_trip_through_bytes() {
+        let controller = DDOS.build_controller(3);
+        let data = DDOS.rollout(&controller, &RolloutSpec::new(30, 4));
+        let (model, labeler) = fit_agua(
+            &DDOS.concepts(),
+            DDOS.n_outputs(),
+            &data,
+            LlmVariant::HighQuality,
+            &TrainParams::fast(),
+            5,
+        );
+
+        let reparse = |v: &Value| -> Value {
+            serde_json::from_str(&serde_json::to_string(v).unwrap()).unwrap()
+        };
+
+        let c2 = PolicyNet::decode(&reparse(&controller.encode())).unwrap();
+        let x = Matrix::from_rows(&data.features);
+        assert_eq!(controller.logits(&x).as_slice(), c2.logits(&x).as_slice());
+        assert_eq!(controller.emb_after(), c2.emb_after());
+
+        let d2 = AppData::decode(&reparse(&data.encode())).unwrap();
+        assert_eq!(data.features, d2.features);
+        assert_eq!(data.outputs, d2.outputs);
+        assert_eq!(data.trace_ids, d2.trace_ids);
+        assert_eq!(data.embeddings, d2.embeddings);
+        assert_eq!(data.sections.len(), d2.sections.len());
+        assert_eq!(data.sections[0][0].title, d2.sections[0][0].title);
+
+        let m2 = AguaModel::decode(&reparse(&model.encode())).unwrap();
+        assert_eq!(
+            model.predict_logits(&data.embeddings).as_slice(),
+            m2.predict_logits(&data.embeddings).as_slice()
+        );
+        assert_eq!(model.concept_names, m2.concept_names);
+
+        let q2 = Quantizer::decode(&reparse(&labeler.quantizer().encode())).unwrap();
+        assert_eq!(labeler.quantizer().boundaries, q2.boundaries);
+    }
+
+    #[test]
+    fn mlp_with_every_layer_kind_round_trips_bit_identically() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        let mlp = Mlp::new()
+            .push(LayerKind::Linear(Linear::new(&mut rng, 6, 12)))
+            .push(LayerKind::ReLU(ReLU::new()))
+            .push(LayerKind::LayerNorm(LayerNorm::new(12)))
+            .push(LayerKind::Tanh(Tanh::new()))
+            .push(LayerKind::Linear(Linear::new(&mut rng, 12, 3)));
+
+        let bytes = serde_json::to_string(&mlp.encode()).unwrap();
+        let restored = Mlp::decode(&serde_json::from_str(&bytes).unwrap()).unwrap();
+
+        let x = Matrix::from_fn(4, 6, |r, c| (r as f32 - 1.5) * (c as f32 + 0.3) * 0.2);
+        assert_eq!(mlp.infer(&x).as_slice(), restored.infer(&x).as_slice());
+    }
+
+    #[test]
+    fn decode_reports_what_failed() {
+        let err = Matrix::decode(&Value::Null).unwrap_err();
+        assert!(err.to_string().contains("Matrix"), "{err}");
+        let err = PolicyNet::decode(&object(vec![("mlp", Value::Null)])).unwrap_err();
+        assert!(err.to_string().contains("Mlp"), "{err}");
+    }
+}

@@ -1,0 +1,217 @@
+//! Rollout datasets ([`AppData`]), the simulated LLM variants, and the
+//! shared surrogate-fitting entry points (moved here from
+//! `agua_bench::apps`).
+
+use agua::concepts::ConceptSet;
+use agua::labeling::{ConceptLabeler, Quantizer};
+use agua::surrogate::{AguaModel, SurrogateDataset, TrainParams};
+use agua_nn::Matrix;
+use agua_text::describer::{DescribedSection, Describer, DescriberConfig};
+use agua_text::embedding::Embedder;
+use serde::{Deserialize, Serialize};
+
+/// A rollout dataset ready for the full Agua/Trustee pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppData {
+    /// Raw controller input features (Trustee distills over these).
+    pub features: Vec<Vec<f32>>,
+    /// Describer sections per input (Agua's labelling pipeline input).
+    pub sections: Vec<Vec<DescribedSection>>,
+    /// Controller embeddings `h(x)`, one row per input.
+    pub embeddings: Matrix,
+    /// Controller outputs (greedy argmax), one per input.
+    pub outputs: Vec<usize>,
+    /// Which trace/episode each input came from (for trace-level
+    /// aggregation in the drift experiments).
+    pub trace_ids: Vec<usize>,
+}
+
+impl AppData {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+
+    /// Embedding rows belonging to one trace.
+    pub fn trace_embeddings(&self, trace: usize) -> Matrix {
+        let idx: Vec<usize> = self
+            .trace_ids
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t == trace)
+            .map(|(i, _)| i)
+            .collect();
+        self.embeddings.select_rows(&idx)
+    }
+
+    /// Distinct trace ids present. Ids need not be dense: a dataset
+    /// filtered down to traces `{0, 7}` has a trace count of 2.
+    pub fn trace_count(&self) -> usize {
+        let mut ids = self.trace_ids.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+}
+
+/// Which simulated LLM + embedding stack labels the training data,
+/// mirroring Table 2's GPT-4o vs Llama-3.3 columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LlmVariant {
+    /// GPT-4o-class describer + large (512-d) embeddings.
+    HighQuality,
+    /// Llama-3.3-class describer + BGE-M3-class (384-d) embeddings.
+    OpenSource,
+}
+
+impl LlmVariant {
+    /// The describer configuration of this variant.
+    pub fn describer_config(self) -> DescriberConfig {
+        match self {
+            LlmVariant::HighQuality => DescriberConfig::high_quality(),
+            LlmVariant::OpenSource => DescriberConfig::open_source(),
+        }
+    }
+
+    /// The embedding model of this variant.
+    pub fn embedder(self) -> Embedder {
+        match self {
+            LlmVariant::HighQuality => Embedder::with_seed(512, 0x0A1),
+            LlmVariant::OpenSource => Embedder::with_seed(384, 0xB6E),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LlmVariant::HighQuality => "GPT-4o-class",
+            LlmVariant::OpenSource => "Llama-3.3-class",
+        }
+    }
+
+    /// Stable short tag, used in CLI flags and artifact-store specs.
+    pub fn tag(self) -> &'static str {
+        match self {
+            LlmVariant::HighQuality => "hq",
+            LlmVariant::OpenSource => "os",
+        }
+    }
+}
+
+/// Builds a labeler for a concept set under an LLM variant.
+pub fn labeler_for(concepts: &ConceptSet, variant: LlmVariant) -> ConceptLabeler {
+    ConceptLabeler::new(
+        concepts,
+        Describer::new(variant.describer_config()),
+        variant.embedder(),
+        Quantizer::calibrated(),
+    )
+}
+
+/// Runs the labelling pipeline on `train` and fits an Agua surrogate.
+pub fn fit_agua(
+    concepts: &ConceptSet,
+    n_outputs: usize,
+    train: &AppData,
+    variant: LlmVariant,
+    params: &TrainParams,
+    label_seed: u64,
+) -> (AguaModel, ConceptLabeler) {
+    fit_agua_observed(concepts, n_outputs, train, variant, params, label_seed, &agua_obs::Noop)
+}
+
+/// [`fit_agua`] reporting pipeline progress (labelling span, per-epoch
+/// losses, fit completion) to `obs`. Subscribers observe only: the model
+/// is byte-identical for any `obs`.
+#[allow(clippy::too_many_arguments)]
+pub fn fit_agua_observed(
+    concepts: &ConceptSet,
+    n_outputs: usize,
+    train: &AppData,
+    variant: LlmVariant,
+    params: &TrainParams,
+    label_seed: u64,
+    obs: &dyn agua_obs::Subscriber,
+) -> (AguaModel, ConceptLabeler) {
+    let labeler = labeler_for(concepts, variant);
+    let concept_labels = labeler.label_batch_observed(&train.sections, label_seed, 4, obs);
+    let dataset = SurrogateDataset {
+        embeddings: train.embeddings.clone(),
+        concept_labels,
+        outputs: train.outputs.clone(),
+    };
+    let model = AguaModel::fit_observed(
+        concepts,
+        labeler.quantizer().classes(),
+        n_outputs,
+        &dataset,
+        params,
+        obs,
+    );
+    (model, labeler)
+}
+
+/// One self-contained surrogate-fitting job for [`fit_agua_jobs`].
+pub struct FitJob<'a> {
+    /// Concept set of the application.
+    pub concepts: &'a ConceptSet,
+    /// Controller output dimensionality.
+    pub n_outputs: usize,
+    /// Training rollouts.
+    pub train: &'a AppData,
+    /// Simulated LLM variant.
+    pub variant: LlmVariant,
+    /// Training hyper-parameters (carry the seed).
+    pub params: &'a TrainParams,
+    /// Labelling seed.
+    pub label_seed: u64,
+}
+
+/// Runs independent [`fit_agua`] jobs on scoped worker threads — the
+/// embarrassingly-parallel outer loop of the multi-app experiments.
+/// Every job is fully seeded and self-contained, so the results are
+/// identical to running the jobs sequentially, in job order.
+pub fn fit_agua_jobs(jobs: &[FitJob<'_>]) -> Vec<(AguaModel, ConceptLabeler)> {
+    agua_nn::parallel::par_map(jobs, |j| {
+        fit_agua(j.concepts, j.n_outputs, j.train, j.variant, j.params, j.label_seed)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_with_trace_ids(trace_ids: Vec<usize>) -> AppData {
+        let n = trace_ids.len();
+        AppData {
+            features: vec![vec![0.0]; n],
+            sections: vec![Vec::new(); n],
+            embeddings: Matrix::zeros(n, 1),
+            outputs: vec![0; n],
+            trace_ids,
+        }
+    }
+
+    #[test]
+    fn trace_count_counts_distinct_ids_even_when_sparse() {
+        // Dense ids: count == max + 1.
+        assert_eq!(data_with_trace_ids(vec![0, 0, 1, 1, 2]).trace_count(), 3);
+        // Sparse ids (e.g. after filtering traces out): distinct count,
+        // not max(id) + 1.
+        assert_eq!(data_with_trace_ids(vec![0, 7, 7, 7]).trace_count(), 2);
+        assert_eq!(data_with_trace_ids(vec![42]).trace_count(), 1);
+        assert_eq!(data_with_trace_ids(Vec::new()).trace_count(), 0);
+    }
+
+    #[test]
+    fn llm_variant_tags_are_stable() {
+        assert_eq!(LlmVariant::HighQuality.tag(), "hq");
+        assert_eq!(LlmVariant::OpenSource.tag(), "os");
+        assert_eq!(LlmVariant::HighQuality.name(), "GPT-4o-class");
+    }
+}

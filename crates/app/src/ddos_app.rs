@@ -1,0 +1,95 @@
+//! DDoS application plumbing (moved here from `agua_bench::apps`).
+
+use agua_controllers::ddos;
+use agua_controllers::policy::PolicyNet;
+use agua_nn::Matrix;
+use ddos_env::DdosObservation;
+
+use crate::data::AppData;
+
+/// Trains the LUCID-style detector on generated flows.
+pub fn build_controller(seed: u64) -> PolicyNet {
+    let train = ddos::generate_dataset(1000, seed);
+    ddos::train_detector(&train, seed)
+}
+
+/// Generates flows and records the *detector's* outputs (fidelity is
+/// measured against the controller, not the ground truth).
+pub fn rollout(controller: &PolicyNet, n_samples: usize, seed: u64) -> AppData {
+    let samples = ddos::generate_dataset(n_samples, seed);
+    let mut features = Vec::new();
+    let mut sections = Vec::new();
+    let mut emb_rows: Vec<Vec<f32>> = Vec::new();
+    let mut outputs = Vec::new();
+    let mut trace_ids = Vec::new();
+    for (i, s) in samples.iter().enumerate() {
+        let obs = DdosObservation::new(s.window.clone());
+        let f = obs.features();
+        let x = Matrix::row_vector(&f);
+        let (h, logits) = controller.embeddings_and_logits(&x);
+        features.push(f);
+        sections.push(obs.sections());
+        emb_rows.push(h.row(0).to_vec());
+        outputs.push(logits.argmax_row(0));
+        trace_ids.push(i);
+    }
+    AppData { features, sections, embeddings: Matrix::from_rows(&emb_rows), outputs, trace_ids }
+}
+
+/// Generates flows of one kind only and records detector outputs.
+pub fn rollout_kind(
+    controller: &PolicyNet,
+    kind: ddos_env::FlowKind,
+    n_samples: usize,
+    seed: u64,
+) -> AppData {
+    let windows = ddos_env::FlowWindow::generate_dataset(&[kind], n_samples, seed);
+    let mut features = Vec::new();
+    let mut sections = Vec::new();
+    let mut emb_rows: Vec<Vec<f32>> = Vec::new();
+    let mut outputs = Vec::new();
+    let mut trace_ids = Vec::new();
+    for (i, w) in windows.into_iter().enumerate() {
+        let obs = DdosObservation::new(w);
+        let f = obs.features();
+        let x = Matrix::row_vector(&f);
+        let (h, logits) = controller.embeddings_and_logits(&x);
+        features.push(f);
+        sections.push(obs.sections());
+        emb_rows.push(h.row(0).to_vec());
+        outputs.push(logits.argmax_row(0));
+        trace_ids.push(i);
+    }
+    AppData { features, sections, embeddings: Matrix::from_rows(&emb_rows), outputs, trace_ids }
+}
+
+/// Feature names for the flow feature matrix.
+pub fn feature_names() -> Vec<String> {
+    let mut names = Vec::new();
+    for base in ["iat", "size", "outbound", "syn", "ack", "udp", "entropy", "src_consistency"] {
+        for p in 0..ddos_env::WINDOW {
+            names.push(format!("{base}[pkt{p}]"));
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{fit_agua, LlmVariant};
+    use agua::concepts::ddos_concepts;
+    use agua::surrogate::TrainParams;
+
+    #[test]
+    fn ddos_rollout_and_fidelity() {
+        let controller = build_controller(7);
+        let train = rollout(&controller, 300, 8);
+        let test = rollout(&controller, 150, 9);
+        let concepts = ddos_concepts();
+        let (model, _) =
+            fit_agua(&concepts, 2, &train, LlmVariant::HighQuality, &TrainParams::fast(), 10);
+        let fid = model.fidelity(&test.embeddings, &test.outputs);
+        assert!(fid > 0.85, "small-sample DDoS fidelity {fid}");
+    }
+}

@@ -1,0 +1,40 @@
+//! # agua-app — application registry and artifact store
+//!
+//! The pipeline spine shared by the CLI, the experiment bins, and the
+//! benchmarks:
+//!
+//! - [`Application`] + [`registry`]/[`lookup`]: the paper's three
+//!   learning-enabled systems (ABR/Gelato, CC/Aurora in two variants,
+//!   DDoS/LUCID) behind one trait — concept sets, controllers,
+//!   rollouts, and scenario states, with no string dispatch anywhere
+//!   else (enforced by `cargo xtask audit`'s `stringly-app` lint).
+//! - [`Store`]: a content-addressed artifact cache under
+//!   `results/cache/`, keyed by FNV-1a over canonical spec JSON and
+//!   controlled by `AGUA_CACHE={on,off,refresh}`.
+//! - [`Checkpoint`]: the on-disk format `agua-cli train` writes and
+//!   every consumer reloads.
+//! - [`AppData`], [`LlmVariant`], [`fit_agua`] and friends: the rollout
+//!   dataset and surrogate-fitting entry points (moved here from
+//!   `agua_bench::apps`, which re-exports them for compatibility).
+
+#![forbid(unsafe_code)]
+
+pub mod abr_app;
+pub mod application;
+pub mod cc_app;
+pub mod checkpoint;
+pub mod codec;
+pub mod data;
+pub mod ddos_app;
+pub mod store;
+
+pub use application::{
+    lookup, registered_names, registry, AbrApp, Application, CcApp, DdosApp, RolloutSpec, ABR, CC,
+    CC_DEBUGGED, DDOS,
+};
+pub use checkpoint::{Checkpoint, CheckpointMeta};
+pub use codec::{Artifact, CodecError};
+pub use data::{
+    fit_agua, fit_agua_jobs, fit_agua_observed, labeler_for, AppData, FitJob, LlmVariant,
+};
+pub use store::{fnv1a, train_params_value, CacheMode, Keyed, Store, SCHEMA_VERSION};

@@ -1,0 +1,403 @@
+//! Content-addressed artifact store for pipeline stages.
+//!
+//! Every expensive pipeline product — trained controllers, rollout
+//! datasets, fitted surrogates — is addressable by the *specification*
+//! that produced it: application name, seeds, sample budgets, LLM
+//! variant, training hyper-parameters, and a schema version. The spec
+//! is rendered to canonical JSON (BTreeMap-ordered keys, no wall-clock,
+//! no HashMap iteration) and hashed with FNV-1a; the artifact lands in
+//! `results/cache/<kind>-<key:016x>.json` together with the spec it was
+//! computed from, so a hash collision or a stale file degrades to a
+//! recompute, never to a wrong answer.
+//!
+//! Cache behaviour is controlled by `AGUA_CACHE`:
+//!
+//! - `on` (default): read hits, write misses.
+//! - `off`: bypass the store entirely — compute everything in-process.
+//! - `refresh`: recompute everything and overwrite the cached files.
+//!
+//! Because every artifact is deterministic in its spec (see DESIGN.md
+//! §3), a cached run and a cold run produce byte-identical results; the
+//! store only changes *when* the work happens. Each store event is
+//! reported on the [`agua_obs`] fabric as [`ArtifactHit`] /
+//! [`ArtifactMiss`] / [`ArtifactWrite`].
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::ops::Deref;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use agua::labeling::ConceptLabeler;
+use agua::surrogate::{AguaModel, TrainParams};
+use agua_controllers::policy::PolicyNet;
+use agua_obs::{emit, ArtifactHit, ArtifactMiss, ArtifactWrite, Subscriber};
+use serde_json::Value;
+
+use crate::application::{Application, RolloutSpec};
+use crate::codec::{f32s_value, object, u64_value, Artifact};
+use crate::data::{fit_agua_observed, labeler_for, AppData, LlmVariant};
+
+/// Artifact schema version; bump to invalidate every cached artifact.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// 64-bit FNV-1a over a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// What the store does on a lookup, from the `AGUA_CACHE` variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Read cached artifacts, write missing ones (the default).
+    On,
+    /// Bypass the store: always compute, never touch disk.
+    Off,
+    /// Always compute, overwriting the cached artifacts.
+    Refresh,
+}
+
+impl CacheMode {
+    /// Reads the mode from `AGUA_CACHE` (unset means [`CacheMode::On`]).
+    pub fn from_env() -> Self {
+        match std::env::var("AGUA_CACHE").as_deref() {
+            Err(_) | Ok("") | Ok("on") => CacheMode::On,
+            Ok("off") => CacheMode::Off,
+            Ok("refresh") => CacheMode::Refresh,
+            Ok(other) => panic!("AGUA_CACHE must be `on`, `off` or `refresh`, got `{other}`"),
+        }
+    }
+}
+
+/// A store-produced value together with the content key it lives under,
+/// so downstream specs can chain on it (a rollout's spec names the
+/// controller key it was rolled from).
+#[derive(Debug, Clone)]
+pub struct Keyed<T> {
+    /// The artifact itself.
+    pub value: T,
+    /// FNV-1a content key of the producing spec.
+    pub key: u64,
+}
+
+impl<T> Deref for Keyed<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+/// The content-addressed artifact store.
+///
+/// Thread-safe: the in-process memo layer is behind a mutex, so one
+/// store can be shared across `par_jobs` workers.
+pub struct Store {
+    root: PathBuf,
+    mode: CacheMode,
+    /// In-process memo of encoded artifacts, keyed by file stem. Holds
+    /// the *encoded* form so heterogeneous artifact types share one map.
+    memo: Mutex<BTreeMap<String, Value>>,
+}
+
+impl Store {
+    /// Opens a store rooted at `root` with the mode from `AGUA_CACHE`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self::with_mode(root, CacheMode::from_env())
+    }
+
+    /// Opens a store with an explicit mode (tests; `AGUA_CACHE` wins
+    /// in production entry points via [`Store::new`]).
+    pub fn with_mode(root: impl Into<PathBuf>, mode: CacheMode) -> Self {
+        Self { root: root.into(), mode, memo: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// The store's cache directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The store's cache mode.
+    pub fn mode(&self) -> CacheMode {
+        self.mode
+    }
+
+    /// The content key `kind` + `spec` resolve to.
+    pub fn key_for(&self, kind: &str, spec: &Value) -> u64 {
+        let canonical = serde_json::to_string(&object(vec![
+            ("kind", Value::String(kind.to_string())),
+            ("schema", u64_value(SCHEMA_VERSION)),
+            ("spec", spec.clone()),
+        ]))
+        .expect("canonical spec serializes");
+        fnv1a(canonical.as_bytes())
+    }
+
+    /// Looks up `kind` + `spec`, computing (and caching) on a miss.
+    ///
+    /// The artifact returned is identical whether it was computed or
+    /// decoded from cache; a corrupt or colliding cache file is treated
+    /// as a miss and overwritten.
+    pub fn get_or_compute<T: Artifact>(
+        &self,
+        kind: &'static str,
+        spec: &Value,
+        obs: &dyn Subscriber,
+        compute: impl FnOnce() -> T,
+    ) -> Keyed<T> {
+        let key = self.key_for(kind, spec);
+        if self.mode == CacheMode::Off {
+            return Keyed { value: compute(), key };
+        }
+        let stem = format!("{kind}-{key:016x}");
+        if self.mode == CacheMode::On {
+            if let Some(value) = self.load_cached(&stem, spec) {
+                emit(obs, ArtifactHit { kind, key });
+                return Keyed { value, key };
+            }
+        }
+        emit(obs, ArtifactMiss { kind, key });
+        let value = compute();
+        let encoded = value.encode();
+        let wrapper = object(vec![
+            ("key", Value::String(format!("{key:016x}"))),
+            ("kind", Value::String(kind.to_string())),
+            ("schema", u64_value(SCHEMA_VERSION)),
+            ("spec", spec.clone()),
+            ("value", encoded.clone()),
+        ]);
+        let json = serde_json::to_string(&wrapper).expect("artifact serializes");
+        fs::create_dir_all(&self.root).expect("create cache directory");
+        let path = self.root.join(format!("{stem}.json"));
+        fs::write(&path, &json).expect("write cache file");
+        emit(obs, ArtifactWrite { kind, key, bytes: json.len() as u64 });
+        self.memo.lock().expect("memo lock").insert(stem, encoded);
+        Keyed { value, key }
+    }
+
+    /// Tries memo, then disk. Returns `None` (a miss) unless the cached
+    /// entry exists, carries the same spec, and decodes cleanly.
+    fn load_cached<T: Artifact>(&self, stem: &str, spec: &Value) -> Option<T> {
+        if let Some(encoded) = self.memo.lock().expect("memo lock").get(stem) {
+            if let Ok(value) = T::decode(encoded) {
+                return Some(value);
+            }
+        }
+        let path = self.root.join(format!("{stem}.json"));
+        let text = fs::read_to_string(path).ok()?;
+        let wrapper: Value = serde_json::from_str(&text).ok()?;
+        // Spec verification: a colliding or hand-edited file must not
+        // masquerade as the requested artifact.
+        if wrapper.get("spec")? != spec {
+            return None;
+        }
+        let encoded = wrapper.get("value")?;
+        let value = T::decode(encoded).ok()?;
+        self.memo.lock().expect("memo lock").insert(stem.to_string(), encoded.clone());
+        Some(value)
+    }
+
+    // ---- typed pipeline stages ------------------------------------------
+
+    /// A trained controller for `app`, keyed by `(app, seed)`.
+    pub fn controller(
+        &self,
+        app: &dyn Application,
+        seed: u64,
+        obs: &dyn Subscriber,
+    ) -> Keyed<PolicyNet> {
+        let spec =
+            object(vec![("app", Value::String(app.name().to_string())), ("seed", u64_value(seed))]);
+        self.get_or_compute("controller", &spec, obs, || app.build_controller(seed))
+    }
+
+    /// A rollout of a stored controller, keyed by `(app, controller
+    /// key, workload, samples, seed)`. A spec naming no workload is
+    /// keyed under the application's default workload name, so explicit
+    /// and implicit defaults share one cache entry.
+    pub fn rollout(
+        &self,
+        app: &dyn Application,
+        controller: &Keyed<PolicyNet>,
+        spec: &RolloutSpec,
+        obs: &dyn Subscriber,
+    ) -> Keyed<AppData> {
+        let workload = spec.workload.as_deref().unwrap_or(app.workloads()[0]);
+        let spec_value = object(vec![
+            ("app", Value::String(app.name().to_string())),
+            ("controller", Value::String(format!("{:016x}", controller.key))),
+            ("samples", u64_value(spec.samples as u64)),
+            ("seed", u64_value(spec.seed)),
+            ("workload", Value::String(workload.to_string())),
+        ]);
+        self.get_or_compute("rollout", &spec_value, obs, || app.rollout(controller, spec))
+    }
+
+    /// A fitted Agua surrogate over a stored rollout, keyed by `(app,
+    /// LLM variant, training params, label seed, rollout key)`. The
+    /// labeler is rebuilt deterministically from `(concepts, variant)`
+    /// on hit and miss alike, so only the model is persisted.
+    pub fn surrogate(
+        &self,
+        app: &dyn Application,
+        variant: LlmVariant,
+        params: &TrainParams,
+        label_seed: u64,
+        train: &Keyed<AppData>,
+        obs: &dyn Subscriber,
+    ) -> (Keyed<AguaModel>, ConceptLabeler) {
+        let spec = object(vec![
+            ("app", Value::String(app.name().to_string())),
+            ("label_seed", u64_value(label_seed)),
+            ("params", train_params_value(params)),
+            ("train", Value::String(format!("{:016x}", train.key))),
+            ("variant", Value::String(variant.tag().to_string())),
+        ]);
+        let concepts = app.concepts();
+        let model = self.get_or_compute("surrogate", &spec, obs, || {
+            fit_agua_observed(&concepts, app.n_outputs(), train, variant, params, label_seed, obs).0
+        });
+        (model, labeler_for(&concepts, variant))
+    }
+}
+
+/// Canonical spec encoding of [`TrainParams`] — every field, by name.
+pub fn train_params_value(p: &TrainParams) -> Value {
+    object(vec![
+        ("cm_batch", u64_value(p.cm_batch as u64)),
+        ("cm_epochs", u64_value(p.cm_epochs as u64)),
+        ("cm_hidden", u64_value(p.cm_hidden as u64)),
+        ("cm_lr", f32s_value(&[p.cm_lr])),
+        ("cm_momentum", f32s_value(&[p.cm_momentum])),
+        ("elastic_alpha", f32s_value(&[p.elastic_alpha])),
+        ("elastic_coeff", f32s_value(&[p.elastic_coeff])),
+        ("om_batch", u64_value(p.om_batch as u64)),
+        ("om_epochs", u64_value(p.om_epochs as u64)),
+        ("om_lr", f32s_value(&[p.om_lr])),
+        ("om_momentum", f32s_value(&[p.om_momentum])),
+        ("seed", u64_value(p.seed)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::application::DDOS;
+
+    fn temp_store(mode: CacheMode) -> Store {
+        // Unique per test to keep parallel test runs independent.
+        let dir = std::env::temp_dir().join(format!(
+            "agua-store-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        Store::with_mode(dir, mode)
+    }
+
+    #[test]
+    fn same_spec_hits_and_perturbed_spec_misses() {
+        let store = temp_store(CacheMode::On);
+        let metrics = agua_obs::Metrics::new();
+
+        let c1 = store.controller(&DDOS, 5, &metrics);
+        let c2 = store.controller(&DDOS, 5, &metrics);
+        assert_eq!(c1.key, c2.key);
+        let x = agua_nn::Matrix::from_rows(&[vec![0.25; DDOS.feature_names().len()]]);
+        assert_eq!(c1.logits(&x).as_slice(), c2.logits(&x).as_slice());
+
+        // Perturbed seed → different key → another miss.
+        let c3 = store.controller(&DDOS, 6, &metrics);
+        assert_ne!(c1.key, c3.key);
+
+        let sched = metrics.snapshot().scheduling;
+        assert_eq!(sched.get("artifact.controller.hits"), Some(&1));
+        assert_eq!(sched.get("artifact.controller.misses"), Some(&2));
+        assert_eq!(sched.get("artifact.controller.writes"), Some(&2));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn disk_survives_a_fresh_store_and_off_bypasses_it() {
+        let store = temp_store(CacheMode::On);
+        let root = store.root().to_path_buf();
+        let metrics = agua_obs::Metrics::new();
+        let spec = RolloutSpec::new(20, 9);
+        let c = store.controller(&DDOS, 7, &metrics);
+        let r = store.rollout(&DDOS, &c, &spec, &metrics);
+
+        // A fresh store over the same directory (new memo) hits disk.
+        let fresh = Store::with_mode(&root, CacheMode::On);
+        let metrics2 = agua_obs::Metrics::new();
+        let c2 = fresh.controller(&DDOS, 7, &metrics2);
+        let r2 = fresh.rollout(&DDOS, &c2, &spec, &metrics2);
+        assert_eq!(r.outputs, r2.outputs);
+        assert_eq!(r.embeddings, r2.embeddings);
+        let sched = metrics2.snapshot().scheduling;
+        assert_eq!(sched.get("artifact.controller.hits"), Some(&1));
+        assert_eq!(sched.get("artifact.rollout.hits"), Some(&1));
+        assert_eq!(sched.get("artifact.rollout.misses"), None);
+
+        // Off: identical values, no store traffic at all.
+        let off = Store::with_mode(&root, CacheMode::Off);
+        let metrics3 = agua_obs::Metrics::new();
+        let c3 = off.controller(&DDOS, 7, &metrics3);
+        let r3 = off.rollout(&DDOS, &c3, &spec, &metrics3);
+        assert_eq!(r.outputs, r3.outputs);
+        assert_eq!(r.embeddings, r3.embeddings);
+        assert!(metrics3.snapshot().scheduling.is_empty());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn params_and_variant_perturbations_change_the_surrogate_key() {
+        let store = temp_store(CacheMode::On);
+        let metrics = agua_obs::Metrics::new();
+        let base = TrainParams::fast();
+        let c = store.controller(&DDOS, 11, &metrics);
+        let train = store.rollout(&DDOS, &c, &RolloutSpec::new(30, 12), &metrics);
+
+        let (m1, _) = store.surrogate(&DDOS, LlmVariant::HighQuality, &base, 13, &train, &metrics);
+        let (m2, _) = store.surrogate(&DDOS, LlmVariant::HighQuality, &base, 13, &train, &metrics);
+        assert_eq!(m1.key, m2.key);
+        assert_eq!(
+            m1.predict_logits(&train.embeddings).as_slice(),
+            m2.predict_logits(&train.embeddings).as_slice()
+        );
+
+        let mut tweaked = base;
+        tweaked.om_epochs += 1;
+        let (m3, _) =
+            store.surrogate(&DDOS, LlmVariant::HighQuality, &tweaked, 13, &train, &metrics);
+        assert_ne!(m1.key, m3.key);
+        let (m4, _) = store.surrogate(&DDOS, LlmVariant::OpenSource, &base, 13, &train, &metrics);
+        assert_ne!(m1.key, m4.key);
+
+        let sched = metrics.snapshot().scheduling;
+        assert_eq!(sched.get("artifact.surrogate.hits"), Some(&1));
+        assert_eq!(sched.get("artifact.surrogate.misses"), Some(&3));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn corrupt_cache_files_degrade_to_recompute() {
+        let store = temp_store(CacheMode::On);
+        let metrics = agua_obs::Metrics::new();
+        let c = store.controller(&DDOS, 21, &metrics);
+        let stem = format!("controller-{:016x}", c.key);
+        fs::write(store.root().join(format!("{stem}.json")), "{not json").unwrap();
+
+        let fresh = Store::with_mode(store.root(), CacheMode::On);
+        let c2 = fresh.controller(&DDOS, 21, &metrics);
+        let x = agua_nn::Matrix::from_rows(&[vec![0.5; DDOS.feature_names().len()]]);
+        assert_eq!(c.logits(&x).as_slice(), c2.logits(&x).as_slice());
+        let sched = metrics.snapshot().scheduling;
+        assert_eq!(sched.get("artifact.controller.misses"), Some(&2));
+        let _ = fs::remove_dir_all(store.root());
+    }
+}

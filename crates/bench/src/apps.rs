@@ -1,453 +1,12 @@
-//! Application builders: train each controller, roll it out to collect
-//! explanation datasets, and fit Agua surrogates / Trustee baselines.
+//! Compatibility re-exports of the application plumbing.
+//!
+//! The application builders, rollout datasets, and surrogate-fitting
+//! entry points moved to the `agua-app` crate (the registry +
+//! artifact-store spine shared with the CLI). This module re-exports
+//! them so existing `agua_bench::apps::…` paths keep compiling for one
+//! release; new code should depend on `agua_app` directly.
 
-use abr_env::{AbrSimulator, DatasetEra, VideoManifest};
-use agua::concepts::ConceptSet;
-use agua::labeling::{ConceptLabeler, Quantizer};
-use agua::surrogate::{AguaModel, SurrogateDataset, TrainParams};
-use agua_controllers::policy::PolicyNet;
-use agua_controllers::{abr, cc, ddos};
-use agua_nn::Matrix;
-use agua_text::describer::{DescribedSection, Describer, DescriberConfig};
-use agua_text::embedding::Embedder;
-use cc_env::{CapacityProcess, CcSimulator};
-use ddos_env::DdosObservation;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
-
-/// A rollout dataset ready for the full Agua/Trustee pipeline.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct AppData {
-    /// Raw controller input features (Trustee distills over these).
-    pub features: Vec<Vec<f32>>,
-    /// Describer sections per input (Agua's labelling pipeline input).
-    pub sections: Vec<Vec<DescribedSection>>,
-    /// Controller embeddings `h(x)`, one row per input.
-    pub embeddings: Matrix,
-    /// Controller outputs (greedy argmax), one per input.
-    pub outputs: Vec<usize>,
-    /// Which trace/episode each input came from (for trace-level
-    /// aggregation in the drift experiments).
-    pub trace_ids: Vec<usize>,
-}
-
-impl AppData {
-    /// Number of samples.
-    pub fn len(&self) -> usize {
-        self.outputs.len()
-    }
-
-    /// True if empty.
-    pub fn is_empty(&self) -> bool {
-        self.outputs.is_empty()
-    }
-
-    /// Embedding rows belonging to one trace.
-    pub fn trace_embeddings(&self, trace: usize) -> Matrix {
-        let idx: Vec<usize> = self
-            .trace_ids
-            .iter()
-            .enumerate()
-            .filter(|(_, &t)| t == trace)
-            .map(|(i, _)| i)
-            .collect();
-        self.embeddings.select_rows(&idx)
-    }
-
-    /// Distinct trace ids present.
-    pub fn trace_count(&self) -> usize {
-        self.trace_ids.iter().copied().max().map_or(0, |m| m + 1)
-    }
-}
-
-/// Which simulated LLM + embedding stack labels the training data,
-/// mirroring Table 2's GPT-4o vs Llama-3.3 columns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LlmVariant {
-    /// GPT-4o-class describer + large (512-d) embeddings.
-    HighQuality,
-    /// Llama-3.3-class describer + BGE-M3-class (384-d) embeddings.
-    OpenSource,
-}
-
-impl LlmVariant {
-    /// The describer configuration of this variant.
-    pub fn describer_config(self) -> DescriberConfig {
-        match self {
-            LlmVariant::HighQuality => DescriberConfig::high_quality(),
-            LlmVariant::OpenSource => DescriberConfig::open_source(),
-        }
-    }
-
-    /// The embedding model of this variant.
-    pub fn embedder(self) -> Embedder {
-        match self {
-            LlmVariant::HighQuality => Embedder::with_seed(512, 0x0A1),
-            LlmVariant::OpenSource => Embedder::with_seed(384, 0xB6E),
-        }
-    }
-
-    /// Display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            LlmVariant::HighQuality => "GPT-4o-class",
-            LlmVariant::OpenSource => "Llama-3.3-class",
-        }
-    }
-}
-
-/// Builds a labeler for a concept set under an LLM variant.
-pub fn labeler_for(concepts: &ConceptSet, variant: LlmVariant) -> ConceptLabeler {
-    ConceptLabeler::new(
-        concepts,
-        Describer::new(variant.describer_config()),
-        variant.embedder(),
-        Quantizer::calibrated(),
-    )
-}
-
-/// Runs the labelling pipeline on `train` and fits an Agua surrogate.
-pub fn fit_agua(
-    concepts: &ConceptSet,
-    n_outputs: usize,
-    train: &AppData,
-    variant: LlmVariant,
-    params: &TrainParams,
-    label_seed: u64,
-) -> (AguaModel, ConceptLabeler) {
-    fit_agua_observed(concepts, n_outputs, train, variant, params, label_seed, &agua_obs::Noop)
-}
-
-/// [`fit_agua`] reporting pipeline progress (labelling span, per-epoch
-/// losses, fit completion) to `obs`. Subscribers observe only: the model
-/// is byte-identical for any `obs`.
-#[allow(clippy::too_many_arguments)]
-pub fn fit_agua_observed(
-    concepts: &ConceptSet,
-    n_outputs: usize,
-    train: &AppData,
-    variant: LlmVariant,
-    params: &TrainParams,
-    label_seed: u64,
-    obs: &dyn agua_obs::Subscriber,
-) -> (AguaModel, ConceptLabeler) {
-    let labeler = labeler_for(concepts, variant);
-    let concept_labels = labeler.label_batch_observed(&train.sections, label_seed, 4, obs);
-    let dataset = SurrogateDataset {
-        embeddings: train.embeddings.clone(),
-        concept_labels,
-        outputs: train.outputs.clone(),
-    };
-    let model = AguaModel::fit_observed(
-        concepts,
-        labeler.quantizer().classes(),
-        n_outputs,
-        &dataset,
-        params,
-        obs,
-    );
-    (model, labeler)
-}
-
-/// One self-contained surrogate-fitting job for [`fit_agua_jobs`].
-pub struct FitJob<'a> {
-    /// Concept set of the application.
-    pub concepts: &'a ConceptSet,
-    /// Controller output dimensionality.
-    pub n_outputs: usize,
-    /// Training rollouts.
-    pub train: &'a AppData,
-    /// Simulated LLM variant.
-    pub variant: LlmVariant,
-    /// Training hyper-parameters (carry the seed).
-    pub params: &'a TrainParams,
-    /// Labelling seed.
-    pub label_seed: u64,
-}
-
-/// Runs independent [`fit_agua`] jobs on scoped worker threads — the
-/// embarrassingly-parallel outer loop of the multi-app experiments.
-/// Every job is fully seeded and self-contained, so the results are
-/// identical to running the jobs sequentially, in job order.
-pub fn fit_agua_jobs(jobs: &[FitJob<'_>]) -> Vec<(AguaModel, ConceptLabeler)> {
-    agua_nn::parallel::par_map(jobs, |j| {
-        fit_agua(j.concepts, j.n_outputs, j.train, j.variant, j.params, j.label_seed)
-    })
-}
-
-/// ABR application plumbing.
-pub mod abr_app {
-    use super::*;
-
-    /// Chunks per video in rollouts.
-    pub const CHUNKS: usize = 50;
-
-    /// Trains the Gelato-style ABR controller by behaviour cloning the
-    /// MPC teacher on 2021-era traces.
-    pub fn build_controller(seed: u64) -> PolicyNet {
-        let samples = abr::collect_teacher_dataset(DatasetEra::Train2021, 60, CHUNKS, seed);
-        abr::train_controller(&samples, seed)
-    }
-
-    /// Rolls the trained controller greedily over `n_traces` traces of
-    /// `era`, recording every decision.
-    pub fn rollout(controller: &PolicyNet, era: DatasetEra, n_traces: usize, seed: u64) -> AppData {
-        let traces = era.generate_traces(n_traces, CHUNKS * 6, seed);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x0AB);
-        let mut features = Vec::new();
-        let mut sections = Vec::new();
-        let mut emb_rows: Vec<Vec<f32>> = Vec::new();
-        let mut outputs = Vec::new();
-        let mut trace_ids = Vec::new();
-        for (trace_id, trace) in traces.into_iter().enumerate() {
-            let manifest = VideoManifest::generate(CHUNKS, era.mean_complexity(), &mut rng);
-            let mut sim = AbrSimulator::new(manifest, trace);
-            while !sim.done() {
-                let obs = sim.observation();
-                let f = obs.features();
-                let x = Matrix::row_vector(&f);
-                let (h, logits) = controller.embeddings_and_logits(&x);
-                let action = logits.argmax_row(0);
-                features.push(f);
-                sections.push(obs.sections());
-                emb_rows.push(h.row(0).to_vec());
-                outputs.push(action);
-                trace_ids.push(trace_id);
-                sim.step(action);
-            }
-        }
-        AppData { features, sections, embeddings: Matrix::from_rows(&emb_rows), outputs, trace_ids }
-    }
-
-    /// The motivating state of paper Fig. 1a / §2.2: transmission times
-    /// ballooned from ~1 s to ~3 s (collapsing throughput), improved
-    /// slightly in the last step, and the buffer is recovering from a
-    /// dip — yet the controller still picks a low bitrate.
-    pub fn motivating_observation() -> abr_env::AbrObservation {
-        abr_env::AbrObservation {
-            quality_db: vec![16.0, 15.8, 15.5, 14.9, 13.9, 12.8, 12.0, 11.4, 11.2, 11.3],
-            chunk_size_mb: vec![2.2, 2.1, 2.0, 1.8, 1.4, 1.0, 0.8, 0.7, 0.65, 0.7],
-            tx_time_s: vec![1.0, 1.1, 1.2, 1.5, 1.9, 2.4, 2.8, 3.0, 3.1, 2.0],
-            throughput_mbps: vec![2.2, 1.9, 1.7, 1.2, 0.75, 0.45, 0.3, 0.25, 0.21, 0.35],
-            buffer_s: vec![9.0, 8.4, 7.5, 6.2, 4.8, 3.6, 2.9, 2.6, 2.8, 3.4],
-            qoe: vec![3.2, 3.1, 3.0, 2.7, 2.3, 1.9, 1.7, 1.6, 1.6, 1.8],
-            stall_s: vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.2, 0.4, 0.3, 0.1, 0.0],
-            upcoming_quality_db: vec![14.8, 14.5, 14.2, 14.6, 14.4],
-            upcoming_size_mb: vec![2.8, 3.1, 3.4, 3.2, 3.0],
-        }
-    }
-
-    /// Human-readable names of the ABR feature vector entries (for
-    /// Trustee decision paths).
-    pub fn feature_names() -> Vec<String> {
-        let mut names = Vec::new();
-        let histories = [
-            ("quality", abr_env::HISTORY),
-            ("chunk_size", abr_env::HISTORY),
-            ("tx_time", abr_env::HISTORY),
-            ("throughput", abr_env::HISTORY),
-            ("buffer", abr_env::HISTORY),
-            ("qoe", abr_env::HISTORY),
-            ("stall", abr_env::HISTORY),
-            ("upcoming_quality", abr_env::LOOKAHEAD),
-            ("upcoming_size", abr_env::LOOKAHEAD),
-        ];
-        for (base, len) in histories {
-            for t in 0..len {
-                let lag = len - t;
-                names.push(format!("{base}[t-{lag}]"));
-            }
-        }
-        names
-    }
-}
-
-/// Congestion-control application plumbing.
-pub mod cc_app {
-    use super::*;
-    use agua_controllers::cc::CcVariant;
-
-    /// Trains a CC controller of the given variant (behaviour cloning
-    /// with two DAgger aggregation rounds).
-    pub fn build_controller(variant: CcVariant, seed: u64) -> PolicyNet {
-        cc::train_controller_dagger(variant, 700, 3, seed)
-    }
-
-    /// Rolls the trained controller greedily over the training link
-    /// patterns, recording `n_samples` decisions.
-    pub fn rollout(
-        controller: &PolicyNet,
-        variant: CcVariant,
-        n_samples: usize,
-        seed: u64,
-    ) -> AppData {
-        let mut rng = StdRng::seed_from_u64(seed);
-        const SCENARIOS: usize = 12;
-        let per_pattern = n_samples / SCENARIOS + 1;
-        let mut features = Vec::new();
-        let mut sections = Vec::new();
-        let mut emb_rows: Vec<Vec<f32>> = Vec::new();
-        let mut outputs = Vec::new();
-        let mut trace_ids = Vec::new();
-        for trace_id in 0..SCENARIOS {
-            let (pattern, config) = cc::sample_scenario(trace_id, &mut rng);
-            let cap = CapacityProcess::generate(pattern, per_pattern + variant.history(), &mut rng);
-            let initial = rng.random_range(0.3..1.0) * config.nominal_mbps;
-            let mut sim = CcSimulator::with_history(cap, config, initial, variant.history());
-            for _ in 0..variant.history().min(sim.mis_left()) {
-                sim.step_at_current_rate();
-            }
-            while !sim.done() && features.len() < (trace_id + 1) * per_pattern {
-                let obs = sim.observation();
-                let f = obs.features(variant.with_avg_latency());
-                let x = Matrix::row_vector(&f);
-                let (h, logits) = controller.embeddings_and_logits(&x);
-                let action = logits.argmax_row(0);
-                features.push(f);
-                sections.push(obs.sections());
-                emb_rows.push(h.row(0).to_vec());
-                outputs.push(action);
-                trace_ids.push(trace_id);
-                sim.step(action);
-            }
-        }
-        features.truncate(n_samples);
-        sections.truncate(n_samples);
-        emb_rows.truncate(n_samples);
-        outputs.truncate(n_samples);
-        trace_ids.truncate(n_samples);
-        AppData { features, sections, embeddings: Matrix::from_rows(&emb_rows), outputs, trace_ids }
-    }
-
-    /// Feature names for the CC feature vector.
-    pub fn feature_names(variant: CcVariant) -> Vec<String> {
-        let h = variant.history();
-        let mut names = Vec::new();
-        for base in ["send_rate", "delivered", "latency", "loss"] {
-            for t in 0..h {
-                let lag = h - t;
-                names.push(format!("{base}[t-{lag}]"));
-            }
-        }
-        if variant.with_avg_latency() {
-            names.push("avg_latency".to_string());
-        }
-        names
-    }
-}
-
-/// DDoS application plumbing.
-pub mod ddos_app {
-    use super::*;
-
-    /// Trains the LUCID-style detector on generated flows.
-    pub fn build_controller(seed: u64) -> PolicyNet {
-        let train = ddos::generate_dataset(1000, seed);
-        ddos::train_detector(&train, seed)
-    }
-
-    /// Generates flows and records the *detector's* outputs (fidelity is
-    /// measured against the controller, not the ground truth).
-    pub fn rollout(controller: &PolicyNet, n_samples: usize, seed: u64) -> AppData {
-        let samples = ddos::generate_dataset(n_samples, seed);
-        let mut features = Vec::new();
-        let mut sections = Vec::new();
-        let mut emb_rows: Vec<Vec<f32>> = Vec::new();
-        let mut outputs = Vec::new();
-        let mut trace_ids = Vec::new();
-        for (i, s) in samples.iter().enumerate() {
-            let obs = DdosObservation::new(s.window.clone());
-            let f = obs.features();
-            let x = Matrix::row_vector(&f);
-            let (h, logits) = controller.embeddings_and_logits(&x);
-            features.push(f);
-            sections.push(obs.sections());
-            emb_rows.push(h.row(0).to_vec());
-            outputs.push(logits.argmax_row(0));
-            trace_ids.push(i);
-        }
-        AppData { features, sections, embeddings: Matrix::from_rows(&emb_rows), outputs, trace_ids }
-    }
-
-    /// Generates flows of one kind only and records detector outputs.
-    pub fn rollout_kind(
-        controller: &PolicyNet,
-        kind: ddos_env::FlowKind,
-        n_samples: usize,
-        seed: u64,
-    ) -> AppData {
-        let windows = ddos_env::FlowWindow::generate_dataset(&[kind], n_samples, seed);
-        let mut features = Vec::new();
-        let mut sections = Vec::new();
-        let mut emb_rows: Vec<Vec<f32>> = Vec::new();
-        let mut outputs = Vec::new();
-        let mut trace_ids = Vec::new();
-        for (i, w) in windows.into_iter().enumerate() {
-            let obs = DdosObservation::new(w);
-            let f = obs.features();
-            let x = Matrix::row_vector(&f);
-            let (h, logits) = controller.embeddings_and_logits(&x);
-            features.push(f);
-            sections.push(obs.sections());
-            emb_rows.push(h.row(0).to_vec());
-            outputs.push(logits.argmax_row(0));
-            trace_ids.push(i);
-        }
-        AppData { features, sections, embeddings: Matrix::from_rows(&emb_rows), outputs, trace_ids }
-    }
-
-    /// Feature names for the flow feature matrix.
-    pub fn feature_names() -> Vec<String> {
-        let mut names = Vec::new();
-        for base in ["iat", "size", "outbound", "syn", "ack", "udp", "entropy", "src_consistency"] {
-            for p in 0..ddos_env::WINDOW {
-                names.push(format!("{base}[pkt{p}]"));
-            }
-        }
-        names
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use agua::concepts::{abr_concepts, ddos_concepts};
-
-    #[test]
-    fn abr_rollout_produces_consistent_data() {
-        let controller = abr_app::build_controller(1);
-        let data = abr_app::rollout(&controller, DatasetEra::Train2021, 4, 2);
-        assert_eq!(data.len(), 4 * abr_app::CHUNKS);
-        assert_eq!(data.embeddings.rows(), data.len());
-        assert_eq!(data.embeddings.cols(), abr::ABR_EMB_DIM);
-        assert_eq!(data.features[0].len(), abr_env::observation::FEATURE_DIM);
-        assert_eq!(abr_app::feature_names().len(), abr_env::observation::FEATURE_DIM);
-        assert_eq!(data.trace_count(), 4);
-    }
-
-    #[test]
-    fn abr_agua_pipeline_fits_end_to_end_on_a_small_sample() {
-        let controller = abr_app::build_controller(3);
-        let train = abr_app::rollout(&controller, DatasetEra::Train2021, 6, 4);
-        let test = abr_app::rollout(&controller, DatasetEra::Train2021, 3, 5);
-        let concepts = abr_concepts();
-        let params = TrainParams::fast();
-        let (model, _) =
-            fit_agua(&concepts, abr_env::LEVELS, &train, LlmVariant::HighQuality, &params, 9);
-        let fid = model.fidelity(&test.embeddings, &test.outputs);
-        assert!(fid > 0.6, "small-sample ABR fidelity {fid}");
-    }
-
-    #[test]
-    fn ddos_rollout_and_fidelity() {
-        let controller = ddos_app::build_controller(7);
-        let train = ddos_app::rollout(&controller, 300, 8);
-        let test = ddos_app::rollout(&controller, 150, 9);
-        let concepts = ddos_concepts();
-        let (model, _) =
-            fit_agua(&concepts, 2, &train, LlmVariant::HighQuality, &TrainParams::fast(), 10);
-        let fid = model.fidelity(&test.embeddings, &test.outputs);
-        assert!(fid > 0.85, "small-sample DDoS fidelity {fid}");
-    }
-}
+pub use agua_app::{
+    abr_app, cc_app, data::fit_agua_observed, ddos_app, fit_agua, fit_agua_jobs, labeler_for,
+    AppData, FitJob, LlmVariant,
+};

@@ -11,17 +11,15 @@
 
 #![forbid(unsafe_code)]
 
-use abr_env::DatasetEra;
-use agua::concepts::abr_concepts;
 use agua::labeling::{ConceptLabeler, Quantizer};
 use agua::surrogate::{AguaModel, SurrogateDataset, TrainParams};
-use agua_bench::apps::{abr_app, LlmVariant};
-use agua_bench::report::{banner, save_json};
+use agua_app::codec::object;
+use agua_app::{abr_app, Application, LlmVariant, RolloutSpec, ABR};
+use agua_bench::ExperimentRunner;
 use agua_nn::Matrix;
 use agua_text::describer::Describer;
-use serde::Serialize;
+use serde_json::Value;
 
-#[derive(Debug, Serialize)]
 struct AblationResult {
     ablation: String,
     setting: String,
@@ -30,17 +28,24 @@ struct AblationResult {
 }
 
 fn main() {
-    banner("Ablations", "LayerNorm, quantization, ElasticNet, embedding source");
+    let runner =
+        ExperimentRunner::new("Ablations", "LayerNorm, quantization, ElasticNet, embedding source");
+    let store = runner.store();
     let mut results: Vec<AblationResult> = Vec::new();
 
     println!("\npreparing the ABR pipeline…");
-    let controller = abr_app::build_controller(11);
-    let train = abr_app::rollout(&controller, DatasetEra::Train2021, 40, 12);
-    let test = abr_app::rollout(&controller, DatasetEra::Train2021, 40, 13);
-    let concepts = abr_concepts();
+    let controller = store.controller(&ABR, 11, runner.obs());
+    let n_traces = runner.size(40, 8) * abr_app::CHUNKS;
+    let train =
+        store.rollout(&ABR, &controller, &RolloutSpec::on("train2021", n_traces, 12), runner.obs());
+    let test =
+        store.rollout(&ABR, &controller, &RolloutSpec::on("train2021", n_traces, 13), runner.obs());
+    let concepts = ABR.concepts();
     let variant = LlmVariant::HighQuality;
     let params = TrainParams::tuned();
 
+    // The ablated fits vary the training recipe itself, so they run
+    // outside the surrogate cache (which keys the canonical recipe).
     let labels_for = |quantizer: Quantizer| -> (Vec<Vec<usize>>, usize) {
         let labeler = ConceptLabeler::new(
             &concepts,
@@ -64,7 +69,7 @@ fn main() {
         let model = AguaModel::fit_with_options(
             &concepts,
             k3,
-            abr_env::LEVELS,
+            ABR.n_outputs(),
             &ds,
             &params,
             layernorm,
@@ -90,7 +95,7 @@ fn main() {
             concept_labels: labels,
             outputs: train.outputs.clone(),
         };
-        let model = AguaModel::fit(&concepts, k, abr_env::LEVELS, &ds, &params);
+        let model = AguaModel::fit(&concepts, k, ABR.n_outputs(), &ds, &params);
         results.push(AblationResult {
             ablation: "quantization".into(),
             setting: setting.into(),
@@ -108,7 +113,7 @@ fn main() {
             outputs: train.outputs.clone(),
         };
         let p = TrainParams { elastic_coeff: coeff, ..params };
-        let model = AguaModel::fit(&concepts, k3, abr_env::LEVELS, &ds, &p);
+        let model = AguaModel::fit(&concepts, k3, ABR.n_outputs(), &ds, &p);
         let w = model.output_mapping.weights();
         let near_zero = w.as_slice().iter().filter(|v| v.abs() < 1e-2).count() as f32
             / (w.rows() * w.cols()) as f32;
@@ -133,7 +138,7 @@ fn main() {
             concept_labels: labels3.clone(),
             outputs: train.outputs.clone(),
         };
-        let model = AguaModel::fit(&concepts, k3, abr_env::LEVELS, &ds, &params);
+        let model = AguaModel::fit(&concepts, k3, ABR.n_outputs(), &ds, &params);
         results.push(AblationResult {
             ablation: "embedding-source".into(),
             setting: setting.into(),
@@ -148,5 +153,16 @@ fn main() {
         println!("{:<18} {:<30} {:>9.3}  {}", r.ablation, r.setting, r.fidelity, r.note);
     }
 
-    save_json("ablations", &results);
+    let rows: Vec<Value> = results
+        .iter()
+        .map(|r| {
+            object(vec![
+                ("ablation", Value::String(r.ablation.clone())),
+                ("fidelity", Value::Number(f64::from(r.fidelity))),
+                ("note", Value::String(r.note.clone())),
+                ("setting", Value::String(r.setting.clone())),
+            ])
+        })
+        .collect();
+    runner.finish("ablations", &Value::Array(rows));
 }

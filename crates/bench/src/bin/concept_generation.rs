@@ -10,23 +10,19 @@
 
 #![forbid(unsafe_code)]
 
-use abr_env::DatasetEra;
-use agua::concepts::abr_concepts;
 use agua::congen::{abr_survey, cc_survey, ddos_survey, generate_concepts, GenerationConfig};
 use agua::surrogate::TrainParams;
-use agua_bench::apps::{abr_app, fit_agua, LlmVariant};
-use agua_bench::report::{banner, save_json};
-use serde::Serialize;
-
-#[derive(Debug, Serialize)]
-struct GenerationResult {
-    generated_names: Vec<String>,
-    generated_fidelity: f32,
-    curated_fidelity: f32,
-}
+use agua_app::codec::object;
+use agua_app::{abr_app, fit_agua, Application, LlmVariant, RolloutSpec, ABR};
+use agua_bench::ExperimentRunner;
+use serde_json::Value;
 
 fn main() {
-    banner("Concept generation", "Survey-mined starting sets vs the curated Table 1 set");
+    let runner = ExperimentRunner::new(
+        "Concept generation",
+        "Survey-mined starting sets vs the curated Table 1 set",
+    );
+    let store = runner.store();
 
     let variant = LlmVariant::HighQuality;
     let embedder = variant.embedder();
@@ -43,18 +39,23 @@ fn main() {
 
     // Fidelity comparison on ABR.
     println!("\ntraining the ABR controller and comparing fidelity…");
-    let controller = abr_app::build_controller(11);
-    let train = abr_app::rollout(&controller, DatasetEra::Train2021, 40, 12);
-    let test = abr_app::rollout(&controller, DatasetEra::Train2021, 40, 13);
+    let controller = store.controller(&ABR, 11, runner.obs());
+    let n_traces = runner.size(40, 8) * abr_app::CHUNKS;
+    let train =
+        store.rollout(&ABR, &controller, &RolloutSpec::on("train2021", n_traces, 12), runner.obs());
+    let test =
+        store.rollout(&ABR, &controller, &RolloutSpec::on("train2021", n_traces, 13), runner.obs());
 
+    // The generated set is not the app's registered concept space, so it
+    // fits directly rather than through the surrogate cache.
     let generated = generate_concepts(&abr_survey(), &embedder, config);
     let (gen_model, _) =
-        fit_agua(&generated, abr_env::LEVELS, &train, variant, &TrainParams::tuned(), 42);
+        fit_agua(&generated, ABR.n_outputs(), &train, variant, &TrainParams::tuned(), 42);
     let gen_fid = gen_model.fidelity(&test.embeddings, &test.outputs);
 
-    let curated = abr_concepts();
+    let curated = ABR.concepts();
     let (cur_model, _) =
-        fit_agua(&curated, abr_env::LEVELS, &train, variant, &TrainParams::tuned(), 42);
+        fit_agua(&curated, ABR.n_outputs(), &train, variant, &TrainParams::tuned(), 42);
     let cur_fid = cur_model.fidelity(&test.embeddings, &test.outputs);
 
     println!("\n{:<34} {:>9} {:>10}", "concept set", "concepts", "fidelity");
@@ -67,12 +68,15 @@ fn main() {
          four criteria)."
     );
 
-    save_json(
+    runner.finish(
         "concept_generation",
-        &GenerationResult {
-            generated_names: generated.names(),
-            generated_fidelity: gen_fid,
-            curated_fidelity: cur_fid,
-        },
+        &object(vec![
+            ("curated_fidelity", Value::Number(f64::from(cur_fid))),
+            (
+                "generated_names",
+                Value::Array(generated.names().into_iter().map(Value::String).collect()),
+            ),
+            ("generated_fidelity", Value::Number(f64::from(gen_fid))),
+        ]),
     );
 }

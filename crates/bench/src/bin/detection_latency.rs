@@ -7,34 +7,37 @@
 
 #![forbid(unsafe_code)]
 
-use agua::concepts::ddos_concepts;
 use agua::explain::concept_intensities;
 use agua::surrogate::TrainParams;
-use agua_bench::apps::{ddos_app, fit_agua, LlmVariant};
-use agua_bench::report::{banner, save_json};
+use agua_app::codec::object;
+use agua_app::{LlmVariant, RolloutSpec, DDOS};
+use agua_bench::ExperimentRunner;
 use agua_controllers::ddos::ATTACK;
 use agua_nn::Matrix;
 use ddos_env::{DdosObservation, FlowKind, Timeline, TimelineConfig};
-use serde::Serialize;
-
-#[derive(Debug, Serialize)]
-struct LatencyResult {
-    attack: String,
-    mean_latency_s: f32,
-    max_latency_s: f32,
-    false_alarm_rate: f32,
-    onset_concept_shift: Vec<(String, f32)>,
-}
+use serde_json::Value;
 
 fn main() {
-    banner("Detection latency", "Streaming timelines through the detector");
+    let runner =
+        ExperimentRunner::new("Detection latency", "Streaming timelines through the detector");
+    let store = runner.store();
 
     println!("\ntraining detector and fitting Agua…");
-    let detector = ddos_app::build_controller(31);
-    let train = ddos_app::rollout(&detector, 1000, 32);
-    let concepts = ddos_concepts();
-    let (model, _) =
-        fit_agua(&concepts, 2, &train, LlmVariant::HighQuality, &TrainParams::tuned(), 42);
+    let detector = store.controller(&DDOS, 31, runner.obs());
+    let train = store.rollout(
+        &DDOS,
+        &detector,
+        &RolloutSpec::new(runner.size(1000, 150), 32),
+        runner.obs(),
+    );
+    let (model, _) = store.surrogate(
+        &DDOS,
+        LlmVariant::HighQuality,
+        &TrainParams::tuned(),
+        42,
+        &train,
+        runner.obs(),
+    );
 
     let mut results = Vec::new();
     println!(
@@ -100,18 +103,31 @@ fn main() {
             println!("      {name:<44} {d:+.4}");
         }
         shift.truncate(3);
-        results.push(LatencyResult {
-            attack: attack.name().to_string(),
-            mean_latency_s: mean_latency,
-            max_latency_s: max_latency,
-            false_alarm_rate: far,
-            onset_concept_shift: shift,
-        });
+        results.push(object(vec![
+            ("attack", Value::String(attack.name().to_string())),
+            ("false_alarm_rate", Value::Number(f64::from(far))),
+            ("max_latency_s", Value::Number(f64::from(max_latency))),
+            ("mean_latency_s", Value::Number(f64::from(mean_latency))),
+            (
+                "onset_concept_shift",
+                Value::Array(
+                    shift
+                        .iter()
+                        .map(|(name, d)| {
+                            Value::Array(vec![
+                                Value::String(name.clone()),
+                                Value::Number(f64::from(*d)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
     }
 
     println!(
         "\nLUCID's design goal: alarms within the window between attack \
          initiation and service denial — sub-second to a few seconds here."
     );
-    save_json("detection_latency", &results);
+    runner.finish("detection_latency", &Value::Array(results));
 }

@@ -10,41 +10,35 @@
 
 #![forbid(unsafe_code)]
 
-use agua::concepts::cc_concepts;
 use agua::explain::{batched, concept_intensities, majority_class};
 use agua::surrogate::TrainParams;
-use agua_bench::apps::{cc_app, fit_agua, LlmVariant};
-use agua_bench::report::{banner, save_json, sparkline};
-use agua_controllers::cc::{rollout_throughput, utilization_stats, CcVariant};
+use agua_app::codec::object;
+use agua_app::{LlmVariant, RolloutSpec, CC, CC_DEBUGGED};
+use agua_bench::report::sparkline;
+use agua_bench::ExperimentRunner;
+use agua_controllers::cc::{rollout_throughput, utilization_stats};
 use cc_env::LinkPattern;
-use serde::Serialize;
-
-#[derive(Debug, Serialize)]
-struct Fig10Result {
-    original_utilization: f32,
-    original_cv: f32,
-    debugged_utilization: f32,
-    debugged_cv: f32,
-    diagnosis_top_concepts: Vec<String>,
-}
+use serde_json::Value;
 
 fn main() {
-    banner("Figure 10", "Debugging Aurora: original vs corrected controller");
+    let runner =
+        ExperimentRunner::new("Figure 10", "Debugging Aurora: original vs corrected controller");
+    let store = runner.store();
 
     let pattern = LinkPattern::Stable { mbps: 8.0 };
 
     // Step 1 — diagnose: explain the original controller on the stable link.
     println!("\ntraining the original (buggy) controller…");
-    let original = cc_app::build_controller(CcVariant::Original, 21);
-    let train = cc_app::rollout(&original, CcVariant::Original, 2000, 22);
-    let concepts = cc_concepts();
-    let (model, _) = fit_agua(
-        &concepts,
-        cc_env::ACTIONS,
-        &train,
+    let original = store.controller(&CC, 21, runner.obs());
+    let train =
+        store.rollout(&CC, &original, &RolloutSpec::new(runner.size(2000, 400), 22), runner.obs());
+    let (model, _) = store.surrogate(
+        &CC,
         LlmVariant::HighQuality,
         &TrainParams::tuned(),
         42,
+        &train,
+        runner.obs(),
     );
     // Explain the states the controller visits on the stable link where
     // it should NOT be reacting.
@@ -52,9 +46,9 @@ fn main() {
         cc_env::CapacityProcess::generate_seeded(pattern, 600, 55),
         cc_env::LinkConfig::default(),
         4.0,
-        CcVariant::Original.history(),
+        CC.variant().history(),
     );
-    for _ in 0..CcVariant::Original.history() {
+    for _ in 0..CC.variant().history() {
         sim.step_at_current_rate();
     }
     let mut rows = Vec::new();
@@ -108,11 +102,11 @@ fn main() {
 
     // Step 2 — fix: longer history + average-latency feature, retrain.
     println!("\ntraining the debugged controller (history 15, +avg-latency)…");
-    let debugged = cc_app::build_controller(CcVariant::Debugged, 21);
+    let debugged = store.controller(&CC_DEBUGGED, 21, runner.obs());
 
     // Step 3 — compare on the stable link.
-    let orig_series = rollout_throughput(&original, CcVariant::Original, pattern, 600, 9);
-    let fixed_series = rollout_throughput(&debugged, CcVariant::Debugged, pattern, 600, 9);
+    let orig_series = rollout_throughput(&original, CC.variant(), pattern, 600, 9);
+    let fixed_series = rollout_throughput(&debugged, CC_DEBUGGED.variant(), pattern, 600, 9);
     let settle = 150; // skip the ramp-up
     let (orig_util, orig_cv) = utilization_stats(&orig_series[settle..]);
     let (fixed_util, fixed_cv) = utilization_stats(&fixed_series[settle..]);
@@ -127,14 +121,19 @@ fn main() {
     println!("{:<12} {:>12.3} {:>18.3}", "corrected", fixed_util, fixed_cv);
     println!("\nPaper shape: corrected steady near capacity; original oscillates.");
 
-    save_json(
+    runner.finish(
         "fig10_cc_debugging",
-        &Fig10Result {
-            original_utilization: orig_util,
-            original_cv: orig_cv,
-            debugged_utilization: fixed_util,
-            debugged_cv: fixed_cv,
-            diagnosis_top_concepts: deltas.iter().take(4).map(|(n, _)| n.clone()).collect(),
-        },
+        &object(vec![
+            ("debugged_cv", Value::Number(f64::from(fixed_cv))),
+            ("debugged_utilization", Value::Number(f64::from(fixed_util))),
+            (
+                "diagnosis_top_concepts",
+                Value::Array(
+                    deltas.iter().take(4).map(|(n, _)| Value::String(n.clone())).collect(),
+                ),
+            ),
+            ("original_cv", Value::Number(f64::from(orig_cv))),
+            ("original_utilization", Value::Number(f64::from(orig_util))),
+        ]),
     );
 }

@@ -12,21 +12,15 @@
 
 use abr_env::{AbrSimulator, TraceFamily, VideoManifest};
 use agua::lifecycle::expansion::{assign_cluster, kmeans, ks_statistic, ConceptStore};
-use agua_bench::apps::{abr_app, LlmVariant};
-use agua_bench::report::{banner, save_json};
+use agua_app::codec::object;
+use agua_app::{abr_app, LlmVariant, ABR};
+use agua_bench::ExperimentRunner;
 use agua_text::describer::Describer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
+use serde_json::Value;
 
 const CLUSTERS: usize = 6;
-
-#[derive(Debug, Serialize)]
-struct WorkloadResult {
-    workload: String,
-    ks_statistic: f32,
-    expanded_size: usize,
-}
 
 /// Rolls the controller on one trace family and returns description
 /// embeddings of the visited states.
@@ -62,10 +56,10 @@ fn family_embeddings(
 }
 
 fn main() {
-    banner("Figure 11", "Concept-guided dataset expansion (KS match)");
+    let runner = ExperimentRunner::new("Figure 11", "Concept-guided dataset expansion (KS match)");
 
     println!("\ntraining controller…");
-    let controller = abr_app::build_controller(11);
+    let controller = runner.store().controller(&ABR, 11, runner.obs());
     let variant = LlmVariant::HighQuality;
     let describer = Describer::new(variant.describer_config());
     let embedder = variant.embedder();
@@ -75,8 +69,14 @@ fn main() {
     let mut store_embeddings: Vec<Vec<f32>> = Vec::new();
     let mut store_workloads: Vec<usize> = Vec::new();
     for (w, family) in TraceFamily::all().into_iter().enumerate() {
-        let embs =
-            family_embeddings(&controller, family, 20, 300 + w as u64, &describer, &embedder);
+        let embs = family_embeddings(
+            &controller,
+            family,
+            runner.size(20, 6),
+            300 + w as u64,
+            &describer,
+            &embedder,
+        );
         store_workloads.extend(std::iter::repeat_n(w, embs.len()));
         store_embeddings.extend(embs);
     }
@@ -141,11 +141,11 @@ fn main() {
             expanded_idx.len(),
             ks
         );
-        results.push(WorkloadResult {
-            workload: family.name().to_string(),
-            ks_statistic: ks,
-            expanded_size: expanded_idx.len(),
-        });
+        results.push(object(vec![
+            ("expanded_size", Value::Number(expanded_idx.len() as f64)),
+            ("ks_statistic", Value::Number(f64::from(ks))),
+            ("workload", Value::String(family.name().to_string())),
+        ]));
 
         // Sanity: queries should land in clusters the workload occupies.
         let q_cluster = assign_cluster(&query_subset[0], &centroids);
@@ -153,5 +153,5 @@ fn main() {
     }
 
     println!("\nPaper shape: KS statistic < 0.08 for every workload.");
-    save_json("fig11_dataset_expansion", &results);
+    runner.finish("fig11_dataset_expansion", &Value::Array(results));
 }

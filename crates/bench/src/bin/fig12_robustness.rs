@@ -11,28 +11,24 @@
 
 #![forbid(unsafe_code)]
 
-use abr_env::{AbrObservation, DatasetEra};
-use agua::concepts::{abr_concepts, cc_concepts, ddos_concepts, ConceptSet};
 use agua::explain::factual;
 use agua::robustness::{mean_recall_at_k, recall, top_k_indices};
 use agua::surrogate::TrainParams;
-use agua_bench::apps::{abr_app, cc_app, ddos_app, fit_agua, labeler_for, AppData, LlmVariant};
-use agua_bench::report::{banner, save_json};
-use agua_controllers::cc::CcVariant;
-use agua_controllers::PolicyNet;
+use agua_app::codec::object;
+use agua_app::{
+    abr_app, labeler_for, AppData, Application, LlmVariant, RolloutSpec, ABR, CC, DDOS,
+};
+use agua_bench::ExperimentRunner;
 use agua_nn::Matrix;
-use cc_env::CcObservation;
-use ddos_env::WINDOW;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use serde::Serialize;
+use serde_json::Value;
 
 const TOP_K: usize = 5;
 const QUERIES: usize = 10;
 const NOISE_FRAC: f32 = 0.07;
 const SAMPLES: usize = 20;
 
-#[derive(Debug, Serialize)]
 struct RobustnessRow {
     application: String,
     multi_query_recall: f32,
@@ -67,45 +63,23 @@ fn add_noise(features: &[f32], std: &[f32], rng: &mut StdRng) -> Vec<f32> {
         .collect()
 }
 
-/// Sections for a (possibly noised) feature vector, per application.
-fn sections_of(app: &str, features: &[f32]) -> Vec<agua_text::describer::DescribedSection> {
-    match app {
-        "ABR" => AbrObservation::from_features(features).sections(),
-        "CC" => CcObservation::from_features(features, 10).sections(),
-        "DDoS" => {
-            // Rebuild a flow window view from the attribute-major layout.
-            let take = |a: usize| features[a * WINDOW..(a + 1) * WINDOW].to_vec();
-            let w = ddos_env::FlowWindow {
-                kind: ddos_env::FlowKind::BenignHttp, // placeholder tag; features carry the data
-                iat_s: take(0).iter().map(|v| v * ddos_env::observation::IAT_MAX).collect(),
-                size_bytes: take(1).iter().map(|v| v * ddos_env::observation::SIZE_MAX).collect(),
-                outbound: take(2),
-                syn: take(3),
-                ack: take(4),
-                udp: take(5),
-                payload_entropy: take(6),
-                source_consistency: take(7),
-            };
-            ddos_env::DdosObservation::new(w).sections()
-        }
-        _ => unreachable!("unknown app"),
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
 fn run_app(
-    app: &str,
-    concepts: &ConceptSet,
-    controller: &PolicyNet,
-    n_outputs: usize,
-    train: &AppData,
-    probe: &AppData,
+    runner: &ExperimentRunner,
+    app: &'static dyn Application,
+    train_spec: &RolloutSpec,
+    probe_spec: &RolloutSpec,
+    controller_seed: u64,
     seed: u64,
 ) -> RobustnessRow {
+    let store = runner.store();
+    let controller = store.controller(app, controller_seed, runner.obs());
+    let train = store.rollout(app, &controller, train_spec, runner.obs());
+    let probe = store.rollout(app, &controller, probe_spec, runner.obs());
+
     let variant = LlmVariant::HighQuality;
-    let labeler = labeler_for(concepts, variant);
-    let (model, _) = fit_agua(concepts, n_outputs, train, variant, &TrainParams::tuned(), 42);
-    let std = feature_std(train);
+    let labeler = labeler_for(&app.concepts(), variant);
+    let (model, _) = store.surrogate(app, variant, &TrainParams::tuned(), 42, &train, runner.obs());
+    let std = feature_std(&train);
     let mut rng = StdRng::seed_from_u64(seed);
 
     let mut multi_query = Vec::new();
@@ -114,7 +88,7 @@ fn run_app(
 
     for s in 0..SAMPLES.min(probe.len()) {
         let features = &probe.features[s];
-        let sections = sections_of(app, features);
+        let sections = app.sections_of(features);
 
         // (a) Multiple LLM queries: the describer's own randomness.
         let runs: Vec<Vec<f32>> = (0..QUERIES)
@@ -134,7 +108,7 @@ fn run_app(
         let noisy_runs: Vec<Vec<f32>> = (0..QUERIES)
             .map(|q| {
                 let noised = add_noise(features, &std, &mut rng);
-                let noised_sections = sections_of(app, &noised);
+                let noised_sections = app.sections_of(&noised);
                 let description =
                     labeler.describe(&noised_sections, 2000 + (s * QUERIES + q) as u64);
                 labeler.similarities(&description)
@@ -181,7 +155,7 @@ fn run_app(
 
     let avg = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
     RobustnessRow {
-        application: app.to_string(),
+        application: app.display_name().to_string(),
         multi_query_recall: avg(&multi_query),
         input_noise_recall: avg(&input_noise),
         explainer_noise_recall: avg(&explainer_noise),
@@ -189,34 +163,39 @@ fn run_app(
 }
 
 fn main() {
-    banner("Figure 12", "Robustness to LLM randomness and input noise");
+    let runner = ExperimentRunner::new("Figure 12", "Robustness to LLM randomness and input noise");
     let mut rows = Vec::new();
 
     println!("\n[ABR]…");
-    let abr_ctrl = abr_app::build_controller(11);
-    let abr_train = abr_app::rollout(&abr_ctrl, DatasetEra::Train2021, 40, 12);
-    let abr_probe = abr_app::rollout(&abr_ctrl, DatasetEra::Train2021, 4, 55);
+    let abr_traces = runner.size(40, 8) * abr_app::CHUNKS;
     rows.push(run_app(
-        "ABR",
-        &abr_concepts(),
-        &abr_ctrl,
-        abr_env::LEVELS,
-        &abr_train,
-        &abr_probe,
+        &runner,
+        &ABR,
+        &RolloutSpec::on("train2021", abr_traces, 12),
+        &RolloutSpec::on("train2021", 4 * abr_app::CHUNKS, 55),
+        11,
         71,
     ));
 
     println!("[CC]…");
-    let cc_ctrl = cc_app::build_controller(CcVariant::Original, 21);
-    let cc_train = cc_app::rollout(&cc_ctrl, CcVariant::Original, 2000, 22);
-    let cc_probe = cc_app::rollout(&cc_ctrl, CcVariant::Original, 40, 56);
-    rows.push(run_app("CC", &cc_concepts(), &cc_ctrl, cc_env::ACTIONS, &cc_train, &cc_probe, 72));
+    rows.push(run_app(
+        &runner,
+        &CC,
+        &RolloutSpec::new(runner.size(2000, 400), 22),
+        &RolloutSpec::new(40, 56),
+        21,
+        72,
+    ));
 
     println!("[DDoS]…");
-    let ddos_ctrl = ddos_app::build_controller(31);
-    let ddos_train = ddos_app::rollout(&ddos_ctrl, 1000, 32);
-    let ddos_probe = ddos_app::rollout(&ddos_ctrl, 40, 57);
-    rows.push(run_app("DDoS", &ddos_concepts(), &ddos_ctrl, 2, &ddos_train, &ddos_probe, 73));
+    rows.push(run_app(
+        &runner,
+        &DDOS,
+        &RolloutSpec::new(runner.size(1000, 200), 32),
+        &RolloutSpec::new(40, 57),
+        31,
+        73,
+    ));
 
     println!(
         "\n{:<8} {:>22} {:>20} {:>22}",
@@ -230,5 +209,17 @@ fn main() {
         );
     }
     println!("\nPaper shape: (a) > 0.80, (b) > 0.80, (c) ≈ 0.9 across applications.");
-    save_json("fig12_robustness", &rows);
+
+    let result: Vec<Value> = rows
+        .iter()
+        .map(|r| {
+            object(vec![
+                ("application", Value::String(r.application.clone())),
+                ("explainer_noise_recall", Value::Number(f64::from(r.explainer_noise_recall))),
+                ("input_noise_recall", Value::Number(f64::from(r.input_noise_recall))),
+                ("multi_query_recall", Value::Number(f64::from(r.multi_query_recall))),
+            ])
+        })
+        .collect();
+    runner.finish("fig12_robustness", &Value::Array(result));
 }

@@ -9,26 +9,25 @@
 
 #![forbid(unsafe_code)]
 
-use abr_env::DatasetEra;
 use agua::concepts::abr_concepts;
 use agua::surrogate::TrainParams;
-use agua_bench::apps::{abr_app, fit_agua, LlmVariant};
-use agua_bench::report::{banner, save_json, sparkline};
-use serde::Serialize;
-
-#[derive(Debug, Serialize)]
-struct SizePoint {
-    concepts: usize,
-    fidelity: f32,
-}
+use agua_app::codec::object;
+use agua_app::{abr_app, fit_agua, LlmVariant, RolloutSpec, ABR};
+use agua_bench::report::sparkline;
+use agua_bench::ExperimentRunner;
+use serde_json::Value;
 
 fn main() {
-    banner("Figure 13", "Fidelity vs concept-space size (ABR)");
+    let runner = ExperimentRunner::new("Figure 13", "Fidelity vs concept-space size (ABR)");
+    let store = runner.store();
 
     println!("\ntraining controller and collecting rollouts…");
-    let controller = abr_app::build_controller(11);
-    let train = abr_app::rollout(&controller, DatasetEra::Train2021, 40, 12);
-    let test = abr_app::rollout(&controller, DatasetEra::Train2021, 40, 13);
+    let controller = store.controller(&ABR, 11, runner.obs());
+    let n_traces = runner.size(40, 8) * abr_app::CHUNKS;
+    let train =
+        store.rollout(&ABR, &controller, &RolloutSpec::on("train2021", n_traces, 12), runner.obs());
+    let test =
+        store.rollout(&ABR, &controller, &RolloutSpec::on("train2021", n_traces, 13), runner.obs());
 
     // Majority baseline: always predict the most frequent output.
     let mut counts = [0usize; abr_env::LEVELS];
@@ -43,9 +42,12 @@ fn main() {
     let full = abr_concepts();
     let sizes = [1usize, 2, 4, 6, 8, 10, 12, 14, 16];
     let mut points = Vec::new();
+    let mut curve = Vec::new();
     println!("\n{:>9} {:>10}", "concepts", "fidelity");
     println!("{}", "-".repeat(22));
     for &n in &sizes {
+        // Subset fits use truncated concept spaces, so they bypass the
+        // app-level surrogate helper and fit directly.
         let subset = full.take(n);
         let (model, _) = fit_agua(
             &subset,
@@ -57,21 +59,25 @@ fn main() {
         );
         let fid = model.fidelity(&test.embeddings, &test.outputs);
         println!("{n:>9} {fid:>10.3}");
-        points.push(SizePoint { concepts: n, fidelity: fid });
+        curve.push(fid);
+        points.push(object(vec![
+            ("concepts", Value::Number(n as f64)),
+            ("fidelity", Value::Number(f64::from(fid))),
+        ]));
     }
     println!("{:>9} {baseline:>10.3}", "baseline");
 
-    let curve: Vec<f32> = points.iter().map(|p| p.fidelity).collect();
     println!("\nfidelity curve: {}", sparkline(&curve));
     println!(
         "Paper shape: near-baseline at tiny concept spaces, saturating with \
          diminishing returns at larger ones."
     );
 
-    #[derive(Serialize)]
-    struct Fig13Result {
-        baseline: f32,
-        points: Vec<SizePoint>,
-    }
-    save_json("fig13_concept_size", &Fig13Result { baseline, points });
+    runner.finish(
+        "fig13_concept_size",
+        &object(vec![
+            ("baseline", Value::Number(f64::from(baseline))),
+            ("points", Value::Array(points)),
+        ]),
+    );
 }

@@ -12,32 +12,27 @@
 
 #![forbid(unsafe_code)]
 
-use abr_env::DatasetEra;
-use agua::concepts::abr_concepts;
 use agua::robustness::recall_at_k;
-use agua_bench::apps::{abr_app, labeler_for, LlmVariant};
-use agua_bench::report::{banner, save_json};
+use agua_app::codec::{f32s_value, object};
+use agua_app::{abr_app, labeler_for, Application, LlmVariant, RolloutSpec, ABR};
+use agua_bench::ExperimentRunner;
 use agua_text::describer::{Describer, DescriberConfig};
-use serde::Serialize;
-
-#[derive(Debug, Serialize)]
-struct Fig14Result {
-    distances: Vec<f32>,
-    frac_below_006: f32,
-    mean_top5_recall: f32,
-}
+use serde_json::Value;
 
 fn main() {
-    banner("Figure 14", "Semantic similarity of LLM vs human descriptions");
+    let runner =
+        ExperimentRunner::new("Figure 14", "Semantic similarity of LLM vs human descriptions");
+    let store = runner.store();
 
     println!("\ncollecting 16 inputs covering the output space…");
-    let controller = abr_app::build_controller(11);
-    let pool = abr_app::rollout(&controller, DatasetEra::Train2021, 12, 61);
+    let controller = store.controller(&ABR, 11, runner.obs());
+    let pool =
+        store.rollout(&ABR, &controller, &RolloutSpec::new(12 * abr_app::CHUNKS, 61), runner.obs());
 
     // Pick 16 samples spread over the controller's chosen levels.
     let mut chosen: Vec<usize> = Vec::new();
     'outer: for round in 0.. {
-        for level in 0..abr_env::LEVELS {
+        for level in 0..ABR.n_outputs() {
             if let Some(idx) = pool
                 .outputs
                 .iter()
@@ -60,7 +55,7 @@ fn main() {
         chosen.push(chosen.len());
     }
 
-    let labeler = labeler_for(&abr_concepts(), LlmVariant::HighQuality);
+    let labeler = labeler_for(&ABR.concepts(), LlmVariant::HighQuality);
     let human = Describer::new(DescriberConfig::human());
 
     let mut distances = Vec::new();
@@ -92,8 +87,12 @@ fn main() {
     println!("\nfraction below 0.06: {below:.2} (paper: > 0.80)");
     println!("mean top-5 concept recall vs human: {mean_recall:.3} (paper: > 0.72)");
 
-    save_json(
+    runner.finish(
         "fig14_description_validation",
-        &Fig14Result { distances, frac_below_006: below, mean_top5_recall: mean_recall },
+        &object(vec![
+            ("distances", f32s_value(&distances)),
+            ("frac_below_006", Value::Number(f64::from(below))),
+            ("mean_top5_recall", Value::Number(f64::from(mean_recall))),
+        ]),
     );
 }

@@ -10,41 +10,36 @@
 
 #![forbid(unsafe_code)]
 
-use abr_env::DatasetEra;
-use agua_bench::apps::abr_app;
-use agua_bench::report::{banner, save_json};
-use serde::Serialize;
+use agua_app::codec::object;
+use agua_app::{abr_app, Application, RolloutSpec, ABR};
+use agua_bench::ExperimentRunner;
+use serde_json::Value;
 use trustee::{TreeConfig, TrusteeReport};
 
-#[derive(Debug, Serialize)]
-struct TreeComplexity {
-    full_nodes: usize,
-    full_depth: usize,
-    full_fidelity: f32,
-    pruned_nodes: usize,
-    pruned_depth: usize,
-    pruned_fidelity: f32,
-    motivating_path_len: usize,
-    motivating_path: Vec<String>,
-}
-
 fn main() {
-    banner("Figure 1", "Trustee's tree complexity and decision-path explanation");
+    let runner = ExperimentRunner::new(
+        "Figure 1",
+        "Trustee's tree complexity and decision-path explanation",
+    );
+    let store = runner.store();
 
     println!("\ntraining controller and distilling the Trustee surrogate…");
-    let controller = abr_app::build_controller(11);
-    let train = abr_app::rollout(&controller, DatasetEra::Train2021, 40, 12);
-    let test = abr_app::rollout(&controller, DatasetEra::Train2021, 40, 13);
+    let controller = store.controller(&ABR, 11, runner.obs());
+    let n_traces = runner.size(40, 8) * abr_app::CHUNKS;
+    let train =
+        store.rollout(&ABR, &controller, &RolloutSpec::on("train2021", n_traces, 12), runner.obs());
+    let test =
+        store.rollout(&ABR, &controller, &RolloutSpec::on("train2021", n_traces, 13), runner.obs());
 
     let report = TrusteeReport::distill(
         &train.features,
         &train.outputs,
         &test.features,
         &test.outputs,
-        abr_env::LEVELS,
+        ABR.n_outputs(),
         TreeConfig::default(),
         32,
-        abr_app::feature_names(),
+        ABR.feature_names(),
     );
 
     println!("\n(a/b) Surrogate tree complexity:");
@@ -81,17 +76,20 @@ fn main() {
         path.len()
     );
 
-    save_json(
+    runner.finish(
         "fig1_trustee_tree",
-        &TreeComplexity {
-            full_nodes: report.full.node_count(),
-            full_depth: report.full.depth(),
-            full_fidelity: report.full_fidelity,
-            pruned_nodes: report.pruned.node_count(),
-            pruned_depth: report.pruned.depth(),
-            pruned_fidelity: report.pruned_fidelity,
-            motivating_path_len: path.len(),
-            motivating_path: path.iter().map(|s| s.render()).collect(),
-        },
+        &object(vec![
+            ("full_depth", Value::Number(report.full.depth() as f64)),
+            ("full_fidelity", Value::Number(f64::from(report.full_fidelity))),
+            ("full_nodes", Value::Number(report.full.node_count() as f64)),
+            (
+                "motivating_path",
+                Value::Array(path.iter().map(|s| Value::String(s.render())).collect()),
+            ),
+            ("motivating_path_len", Value::Number(path.len() as f64)),
+            ("pruned_depth", Value::Number(report.pruned.depth() as f64)),
+            ("pruned_fidelity", Value::Number(f64::from(report.pruned_fidelity))),
+            ("pruned_nodes", Value::Number(report.pruned.node_count() as f64)),
+        ]),
     );
 }

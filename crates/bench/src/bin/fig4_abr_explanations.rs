@@ -11,37 +11,48 @@
 
 #![forbid(unsafe_code)]
 
-use abr_env::DatasetEra;
-use agua::concepts::abr_concepts;
-use agua::explain::{counterfactual, factual};
+use agua::explain::{counterfactual, factual, ConceptContribution};
 use agua::surrogate::TrainParams;
-use agua_bench::apps::{abr_app, fit_agua, LlmVariant};
-use agua_bench::report::{banner, save_json};
+use agua_app::codec::object;
+use agua_app::{abr_app, Application, LlmVariant, RolloutSpec, ABR};
+use agua_bench::ExperimentRunner;
 use agua_nn::Matrix;
-use serde::Serialize;
+use serde_json::Value;
 
-#[derive(Debug, Serialize)]
-struct Fig4Result {
-    controller_level: usize,
-    factual_top: Vec<(String, f32)>,
-    counterfactual_level: usize,
-    counterfactual_top: Vec<(String, f32)>,
+fn top_pairs(contributions: &[ConceptContribution], n: usize) -> Value {
+    Value::Array(
+        contributions
+            .iter()
+            .take(n)
+            .map(|c| {
+                Value::Array(vec![
+                    Value::String(c.concept.clone()),
+                    Value::Number(f64::from(c.weight)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 fn main() {
-    banner("Figure 4", "Factual + counterfactual explanations, motivating ABR state");
+    let runner = ExperimentRunner::new(
+        "Figure 4",
+        "Factual + counterfactual explanations, motivating ABR state",
+    );
+    let store = runner.store();
 
     println!("\ntraining controller, rolling out, fitting Agua…");
-    let controller = abr_app::build_controller(11);
-    let train = abr_app::rollout(&controller, DatasetEra::Train2021, 40, 12);
-    let concepts = abr_concepts();
-    let (model, _) = fit_agua(
-        &concepts,
-        abr_env::LEVELS,
-        &train,
+    let controller = store.controller(&ABR, 11, runner.obs());
+    let n_traces = runner.size(40, 8) * abr_app::CHUNKS;
+    let train =
+        store.rollout(&ABR, &controller, &RolloutSpec::on("train2021", n_traces, 12), runner.obs());
+    let (model, _) = store.surrogate(
+        &ABR,
         LlmVariant::HighQuality,
         &TrainParams::tuned(),
         42,
+        &train,
+        runner.obs(),
     );
 
     let obs = abr_app::motivating_observation();
@@ -54,7 +65,7 @@ fn main() {
     println!("\n(a) {}", fact.render(6));
 
     // Counterfactual: the operator expected a medium-quality bitrate.
-    let medium = abr_env::LEVELS / 2;
+    let medium = ABR.n_outputs() / 2;
     let counter = counterfactual(&model, &h, medium);
     println!("(b) {}", counter.render(6));
 
@@ -76,23 +87,13 @@ fn main() {
         );
     }
 
-    save_json(
+    runner.finish(
         "fig4_abr_explanations",
-        &Fig4Result {
-            controller_level: chosen,
-            factual_top: fact
-                .contributions
-                .iter()
-                .take(6)
-                .map(|c| (c.concept.clone(), c.weight))
-                .collect(),
-            counterfactual_level: medium,
-            counterfactual_top: counter
-                .contributions
-                .iter()
-                .take(6)
-                .map(|c| (c.concept.clone(), c.weight))
-                .collect(),
-        },
+        &object(vec![
+            ("controller_level", Value::Number(chosen as f64)),
+            ("counterfactual_level", Value::Number(medium as f64)),
+            ("counterfactual_top", top_pairs(&counter.contributions, 6)),
+            ("factual_top", top_pairs(&fact.contributions, 6)),
+        ]),
     );
 }

@@ -12,41 +12,49 @@
 
 #![forbid(unsafe_code)]
 
-use abr_env::DatasetEra;
-use agua::concepts::abr_concepts;
 use agua::lifecycle::drift::{concept_proportions, detect_shift, tag_datasets};
 use agua::surrogate::TrainParams;
-use agua_bench::apps::{abr_app, fit_agua, LlmVariant};
-use agua_bench::report::{banner, save_json};
+use agua_app::codec::object;
+use agua_app::{abr_app, AppData, Application, LlmVariant, RolloutSpec, ABR};
+use agua_bench::ExperimentRunner;
 use agua_nn::Matrix;
+use serde_json::Value;
 
-fn trace_batches(data: &agua_bench::AppData) -> Vec<Matrix> {
+fn trace_batches(data: &AppData) -> Vec<Matrix> {
     (0..data.trace_count()).map(|t| data.trace_embeddings(t)).collect()
 }
 
 fn main() {
-    banner("Figure 5", "Concept-level distribution shift, 2021 vs 2024");
+    let runner =
+        ExperimentRunner::new("Figure 5", "Concept-level distribution shift, 2021 vs 2024");
+    let store = runner.store();
 
     println!("\ntraining controller and fitting Agua on 2021 data…");
-    let controller = abr_app::build_controller(11);
-    let train = abr_app::rollout(&controller, DatasetEra::Train2021, 40, 12);
-    let concepts = abr_concepts();
-    let (model, _) = fit_agua(
-        &concepts,
-        abr_env::LEVELS,
-        &train,
+    let controller = store.controller(&ABR, 11, runner.obs());
+    let train = store.rollout(
+        &ABR,
+        &controller,
+        &RolloutSpec::on("train2021", 40 * abr_app::CHUNKS, 12),
+        runner.obs(),
+    );
+    let (model, _) = store.surrogate(
+        &ABR,
         LlmVariant::HighQuality,
         &TrainParams::tuned(),
         42,
+        &train,
+        runner.obs(),
     );
 
     println!("rolling out 2021 and 2024 trace sets…");
-    let data_2021 = abr_app::rollout(&controller, DatasetEra::Train2021, 60, 101);
-    let data_2024 = abr_app::rollout(&controller, DatasetEra::Deploy2024, 60, 202);
+    let spec21 = RolloutSpec::on("train2021", 60 * abr_app::CHUNKS, 101);
+    let spec24 = RolloutSpec::on("deploy2024", 60 * abr_app::CHUNKS, 202);
+    let data_2021 = store.rollout(&ABR, &controller, &spec21, runner.obs());
+    let data_2024 = store.rollout(&ABR, &controller, &spec24, runner.obs());
 
     let (tags_2021, tags_2024) =
         tag_datasets(&model, &trace_batches(&data_2021), &trace_batches(&data_2024), 3);
-    let names = concepts.names();
+    let names = ABR.concepts().names();
     let p_2021 = concept_proportions(&tags_2021, &names);
     let p_2024 = concept_proportions(&tags_2024, &names);
     let shifts = detect_shift(&p_2021, &p_2024, &names);
@@ -63,5 +71,16 @@ fn main() {
          degradation down."
     );
 
-    save_json("fig5_concept_shift", &shifts);
+    let rows: Vec<Value> = shifts
+        .iter()
+        .map(|s| {
+            object(vec![
+                ("concept", Value::String(s.concept.clone())),
+                ("delta", Value::Number(f64::from(s.delta))),
+                ("new", Value::Number(f64::from(s.new))),
+                ("old", Value::Number(f64::from(s.old))),
+            ])
+        })
+        .collect();
+    runner.finish("fig5_concept_shift", &Value::Array(rows));
 }

@@ -5,38 +5,65 @@
 //! 'Payload Anomalies' dominate.
 //! (b) Batched factual explanation for TCP SYN flood flows — paper
 //! shape: 'Payload Anomalies' and 'Protocol Anomalies' dominate.
+//!
+//! Pass `--smoke` for a reduced-size run (the `ci.sh` cache gate runs
+//! this twice and asserts the warm run is all artifact hits with a
+//! byte-identical result JSON).
 
 #![forbid(unsafe_code)]
 
-use agua::concepts::ddos_concepts;
-use agua::explain::batched;
+use agua::explain::{batched, BatchedExplanation};
 use agua::surrogate::TrainParams;
-use agua_bench::apps::{ddos_app, fit_agua, LlmVariant};
-use agua_bench::report::{banner, bar, save_json};
+use agua_app::codec::object;
+use agua_app::{LlmVariant, RolloutSpec, DDOS};
+use agua_bench::report::bar;
+use agua_bench::ExperimentRunner;
 use agua_controllers::ddos::{ATTACK, BENIGN};
-use ddos_env::FlowKind;
-use serde::Serialize;
+use serde_json::Value;
 
-#[derive(Debug, Serialize)]
-struct Fig6Result {
-    benign_accuracy: f32,
-    benign_top: Vec<(String, f32)>,
-    syn_detection_rate: f32,
-    syn_top: Vec<(String, f32)>,
+fn top_contributions(e: &BatchedExplanation, n: usize) -> Value {
+    Value::Array(
+        e.contributions
+            .iter()
+            .take(n)
+            .map(|c| {
+                Value::Array(vec![
+                    Value::String(c.concept.clone()),
+                    Value::Number(f64::from(c.weight)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 fn main() {
-    banner("Figure 6", "Explaining LUCID's detection mechanism");
+    let runner = ExperimentRunner::new("Figure 6", "Explaining LUCID's detection mechanism");
+    let store = runner.store();
 
     println!("\ntraining detector, fitting Agua…");
-    let detector = ddos_app::build_controller(31);
-    let train = ddos_app::rollout(&detector, 1000, 32);
-    let concepts = ddos_concepts();
-    let (model, _) =
-        fit_agua(&concepts, 2, &train, LlmVariant::HighQuality, &TrainParams::tuned(), 42);
+    let detector = store.controller(&DDOS, 31, runner.obs());
+    let train = store.rollout(
+        &DDOS,
+        &detector,
+        &RolloutSpec::new(runner.size(1000, 150), 32),
+        runner.obs(),
+    );
+    let (model, _) = store.surrogate(
+        &DDOS,
+        LlmVariant::HighQuality,
+        &TrainParams::tuned(),
+        42,
+        &train,
+        runner.obs(),
+    );
 
     // (a) Benign flows classified benign.
-    let benign = ddos_app::rollout_kind(&detector, FlowKind::BenignHttp, 200, 77);
+    let benign = store.rollout(
+        &DDOS,
+        &detector,
+        &RolloutSpec::on("benign-http", runner.size(200, 60), 77),
+        runner.obs(),
+    );
     let benign_acc =
         benign.outputs.iter().filter(|&&y| y == BENIGN).count() as f32 / benign.len() as f32;
     let be = batched(&model, &benign.embeddings, BENIGN);
@@ -47,7 +74,12 @@ fn main() {
     }
 
     // (b) SYN-flood flows flagged as DDoS.
-    let syn = ddos_app::rollout_kind(&detector, FlowKind::SynFlood, 200, 78);
+    let syn = store.rollout(
+        &DDOS,
+        &detector,
+        &RolloutSpec::on("syn-flood", runner.size(200, 60), 78),
+        runner.obs(),
+    );
     let syn_rate = syn.outputs.iter().filter(|&&y| y == ATTACK).count() as f32 / syn.len() as f32;
     let se = batched(&model, &syn.embeddings, ATTACK);
     println!("\n(b) TCP SYN flood flows — flagged DDoS for {:.0}%:", syn_rate * 100.0);
@@ -62,23 +94,13 @@ fn main() {
          Anomalies'."
     );
 
-    save_json(
+    runner.finish(
         "fig6_ddos_explanations",
-        &Fig6Result {
-            benign_accuracy: benign_acc,
-            benign_top: be
-                .contributions
-                .iter()
-                .take(5)
-                .map(|c| (c.concept.clone(), c.weight))
-                .collect(),
-            syn_detection_rate: syn_rate,
-            syn_top: se
-                .contributions
-                .iter()
-                .take(5)
-                .map(|c| (c.concept.clone(), c.weight))
-                .collect(),
-        },
+        &object(vec![
+            ("benign_accuracy", Value::Number(f64::from(benign_acc))),
+            ("benign_top", top_contributions(&be, 5)),
+            ("syn_detection_rate", Value::Number(f64::from(syn_rate))),
+            ("syn_top", top_contributions(&se, 5)),
+        ]),
     );
 }

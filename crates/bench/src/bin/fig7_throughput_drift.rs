@@ -6,23 +6,27 @@
 #![forbid(unsafe_code)]
 
 use abr_env::DatasetEra;
-use agua_bench::report::{banner, empirical_cdf, save_json};
-use serde::Serialize;
-
-#[derive(Debug, Serialize)]
-struct DriftResult {
-    mean_2021: f32,
-    mean_2024: f32,
-    cdf_2021: Vec<(f32, f32)>,
-    cdf_2024: Vec<(f32, f32)>,
-}
+use agua_app::codec::object;
+use agua_bench::report::empirical_cdf;
+use agua_bench::ExperimentRunner;
+use serde_json::Value;
 
 fn per_trace_means(era: DatasetEra, count: usize, seed: u64) -> Vec<f32> {
     era.generate_traces(count, 300, seed).iter().map(|t| t.mean_mbps()).collect()
 }
 
+fn cdf_value(cdf: &[(f32, f32)]) -> Value {
+    Value::Array(
+        cdf.iter()
+            .map(|&(x, p)| {
+                Value::Array(vec![Value::Number(f64::from(x)), Value::Number(f64::from(p))])
+            })
+            .collect(),
+    )
+}
+
 fn main() {
-    banner("Figure 7", "Throughput distribution drift, 2021 vs 2024");
+    let runner = ExperimentRunner::new("Figure 7", "Throughput distribution drift, 2021 vs 2024");
 
     let m2021 = per_trace_means(DatasetEra::Train2021, 200, 7);
     let m2024 = per_trace_means(DatasetEra::Deploy2024, 200, 8);
@@ -60,13 +64,13 @@ fn main() {
          run fig5_concept_shift for the concept-level diagnosis."
     );
 
-    save_json(
+    runner.finish(
         "fig7_throughput_drift",
-        &DriftResult {
-            mean_2021: mean(&m2021),
-            mean_2024: mean(&m2024),
-            cdf_2021: cdf21,
-            cdf_2024: cdf24,
-        },
+        &object(vec![
+            ("cdf_2021", cdf_value(&cdf21)),
+            ("cdf_2024", cdf_value(&cdf24)),
+            ("mean_2021", Value::Number(f64::from(mean(&m2021)))),
+            ("mean_2024", Value::Number(f64::from(mean(&m2024)))),
+        ]),
     );
 }

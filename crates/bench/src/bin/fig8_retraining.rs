@@ -15,28 +15,18 @@
 #![forbid(unsafe_code)]
 
 use abr_env::{DatasetEra, TraceFamily};
-use agua::concepts::abr_concepts;
 use agua::lifecycle::drift::{concept_proportions, detect_shift, tag_datasets};
 use agua::lifecycle::retrain::select_for_retraining;
-use agua::surrogate::{AguaModel, SurrogateDataset, TrainParams};
-use agua_bench::apps::{abr_app, labeler_for, LlmVariant};
-use agua_bench::report::{banner, save_json, sparkline};
+use agua::surrogate::TrainParams;
+use agua_app::codec::{f32s_value, object, u64_value};
+use agua_app::{abr_app, Application, LlmVariant, RolloutSpec, ABR};
+use agua_bench::report::sparkline;
+use agua_bench::ExperimentRunner;
 use agua_controllers::abr::{
     collect_teacher_dataset, evaluate, reinforce_finetune, train_controller_epochs,
 };
 use agua_nn::Matrix;
-use serde::Serialize;
-
-#[derive(Debug, Serialize)]
-struct Fig8Result {
-    base_qoe_all: f32,
-    selected_traces: usize,
-    total_traces: usize,
-    concept_curve_all: Vec<f32>,
-    traditional_curve_all: Vec<f32>,
-    concept_curve_slow: Vec<f32>,
-    traditional_curve_slow: Vec<f32>,
-}
+use serde_json::Value;
 
 const ITERATIONS: usize = 40;
 const EPISODES_PER_ITER: usize = 16;
@@ -44,43 +34,62 @@ const CHUNKS: usize = 30;
 const LR: f32 = 7e-4;
 
 fn main() {
-    banner("Figure 8", "Concept-driven vs traditional retraining");
+    let runner = ExperimentRunner::new("Figure 8", "Concept-driven vs traditional retraining");
+    let store = runner.store();
 
     // A deliberately under-trained 2021 controller: the stale build with
-    // headroom that retraining is supposed to recover.
+    // headroom that retraining is supposed to recover. Not the registry
+    // controller, so it caches under its own bespoke spec.
     println!("\ntraining the (stale) base controller on 2021 data…");
-    let samples = collect_teacher_dataset(DatasetEra::Train2021, 60, abr_app::CHUNKS, 11);
-    let base = train_controller_epochs(&samples, 2, 11);
+    let stale_spec = object(vec![
+        ("app", Value::String(ABR.name().to_string())),
+        ("bc_epochs", u64_value(2)),
+        ("seed", u64_value(11)),
+        ("teacher_traces", u64_value(60)),
+    ]);
+    let base = store.get_or_compute("controller", &stale_spec, runner.obs(), || {
+        let samples = collect_teacher_dataset(DatasetEra::Train2021, 60, abr_app::CHUNKS, 11);
+        train_controller_epochs(&samples, 2, 11)
+    });
 
     // Fit Agua to the deployed controller.
     println!("fitting Agua to the deployed controller…");
-    let train = abr_app::rollout(&base, DatasetEra::Train2021, 40, 12);
-    let concepts = abr_concepts();
-    let labeler = labeler_for(&concepts, LlmVariant::HighQuality);
-    let concept_labels = labeler.label_batch(&train.sections, 42);
-    let dataset = SurrogateDataset {
-        embeddings: train.embeddings.clone(),
-        concept_labels,
-        outputs: train.outputs.clone(),
-    };
-    let model = AguaModel::fit(
-        &concepts,
-        labeler.quantizer().classes(),
-        abr_env::LEVELS,
-        &dataset,
+    let n_iter = runner.size(ITERATIONS, 8);
+    let train = store.rollout(
+        &ABR,
+        &base,
+        &RolloutSpec::on("train2021", 40 * abr_app::CHUNKS, 12),
+        runner.obs(),
+    );
+    let (model, _) = store.surrogate(
+        &ABR,
+        LlmVariant::HighQuality,
         &TrainParams::tuned(),
+        42,
+        &train,
+        runner.obs(),
     );
 
     // Tag 2024 traces and find the under-represented concepts.
     println!("tagging the 2024 dataset at the concept level…");
-    let data_2021 = abr_app::rollout(&base, DatasetEra::Train2021, 50, 101);
-    let data_2024 = abr_app::rollout(&base, DatasetEra::Deploy2024, 50, 202);
-    let batches = |d: &agua_bench::AppData| -> Vec<Matrix> {
+    let data_2021 = store.rollout(
+        &ABR,
+        &base,
+        &RolloutSpec::on("train2021", 50 * abr_app::CHUNKS, 101),
+        runner.obs(),
+    );
+    let data_2024 = store.rollout(
+        &ABR,
+        &base,
+        &RolloutSpec::on("deploy2024", 50 * abr_app::CHUNKS, 202),
+        runner.obs(),
+    );
+    let batches = |d: &agua_app::AppData| -> Vec<Matrix> {
         (0..d.trace_count()).map(|t| d.trace_embeddings(t)).collect()
     };
     let (tags_2021, tags_2024) =
         tag_datasets(&model, &batches(&data_2021), &batches(&data_2024), 3);
-    let names = concepts.names();
+    let names = ABR.concepts().names();
     let shifts = detect_shift(
         &concept_proportions(&tags_2021, &names),
         &concept_proportions(&tags_2024, &names),
@@ -107,47 +116,47 @@ fn main() {
     println!("  base controller QoE on 2024 eval: {base_qoe:.3}");
 
     println!("\nretraining (concept-driven, {} traces)…", selected_traces.len());
-    let mut c1 = base.clone();
+    let mut c1 = base.value.clone();
     let concept_curve_all = reinforce_finetune(
         &mut c1,
         &selected_traces,
         &eval_all,
-        ITERATIONS,
+        n_iter,
         EPISODES_PER_ITER,
         CHUNKS,
         LR,
         77,
     );
     println!("retraining (traditional, {} traces)…", traces_2024.len());
-    let mut t1 = base.clone();
+    let mut t1 = base.value.clone();
     let traditional_curve_all = reinforce_finetune(
         &mut t1,
         &traces_2024,
         &eval_all,
-        ITERATIONS,
+        n_iter,
         EPISODES_PER_ITER,
         CHUNKS,
         LR,
         77,
     );
     println!("evaluating on slow-network traces…");
-    let mut c2 = base.clone();
+    let mut c2 = base.value.clone();
     let concept_curve_slow = reinforce_finetune(
         &mut c2,
         &selected_traces,
         &eval_slow,
-        ITERATIONS,
+        n_iter,
         EPISODES_PER_ITER,
         CHUNKS,
         LR,
         77,
     );
-    let mut t2 = base.clone();
+    let mut t2 = base.value.clone();
     let traditional_curve_slow = reinforce_finetune(
         &mut t2,
         &traces_2024,
         &eval_slow,
-        ITERATIONS,
+        n_iter,
         EPISODES_PER_ITER,
         CHUNKS,
         LR,
@@ -195,16 +204,16 @@ fn main() {
     );
     println!("Paper shape: concept-driven converges faster and more steadily.");
 
-    save_json(
+    runner.finish(
         "fig8_retraining",
-        &Fig8Result {
-            base_qoe_all: base_qoe,
-            selected_traces: selected_traces.len(),
-            total_traces: traces_2024.len(),
-            concept_curve_all,
-            traditional_curve_all,
-            concept_curve_slow,
-            traditional_curve_slow,
-        },
+        &object(vec![
+            ("base_qoe_all", Value::Number(f64::from(base_qoe))),
+            ("concept_curve_all", f32s_value(&concept_curve_all)),
+            ("concept_curve_slow", f32s_value(&concept_curve_slow)),
+            ("selected_traces", Value::Number(selected_traces.len() as f64)),
+            ("total_traces", Value::Number(traces_2024.len() as f64)),
+            ("traditional_curve_all", f32s_value(&traditional_curve_all)),
+            ("traditional_curve_slow", f32s_value(&traditional_curve_slow)),
+        ]),
     );
 }

@@ -8,40 +8,36 @@
 
 #![forbid(unsafe_code)]
 
-use agua::concepts::cc_concepts;
 use agua::explain::concept_intensities;
 use agua::surrogate::TrainParams;
-use agua_bench::apps::{cc_app, fit_agua, LlmVariant};
-use agua_bench::report::{banner, save_json, sparkline};
-use agua_controllers::cc::CcVariant;
+use agua_app::codec::object;
+use agua_app::{LlmVariant, RolloutSpec, CC};
+use agua_bench::report::sparkline;
+use agua_bench::ExperimentRunner;
 use agua_nn::Matrix;
 use cc_env::{CapacityProcess, CcSimulator, LinkConfig, LinkPattern};
-use serde::Serialize;
-
-#[derive(Debug, Serialize)]
-struct IntervalTag {
-    mi_start: usize,
-    mean_throughput: f32,
-    mean_capacity: f32,
-    dominant_concept: String,
-    runner_up: String,
-}
+use serde_json::Value;
 
 fn main() {
-    banner("Figure 9", "CC behaviour timeline with dominant concepts");
+    let runner = ExperimentRunner::new("Figure 9", "CC behaviour timeline with dominant concepts");
+    let store = runner.store();
 
     println!("\ntraining Aurora-style controller and fitting Agua…");
-    let variant = CcVariant::Original;
-    let controller = cc_app::build_controller(variant, 21);
-    let train = cc_app::rollout(&controller, variant, 2000, 22);
-    let concepts = cc_concepts();
-    let (model, _) = fit_agua(
-        &concepts,
-        cc_env::ACTIONS,
-        &train,
+    let variant = CC.variant();
+    let controller = store.controller(&CC, 21, runner.obs());
+    let train = store.rollout(
+        &CC,
+        &controller,
+        &RolloutSpec::new(runner.size(2000, 400), 22),
+        runner.obs(),
+    );
+    let (model, _) = store.surrogate(
+        &CC,
         LlmVariant::HighQuality,
         &TrainParams::tuned(),
         42,
+        &train,
+        runner.obs(),
     );
 
     // Roll out under the paper's cross-traffic workload.
@@ -120,13 +116,13 @@ fn main() {
             top[0],
             top.get(1).cloned().unwrap_or_default()
         );
-        tags.push(IntervalTag {
-            mi_start: start,
-            mean_throughput: mean_t,
-            mean_capacity: mean_c,
-            dominant_concept: top[0].clone(),
-            runner_up: top.get(1).cloned().unwrap_or_default(),
-        });
+        tags.push(object(vec![
+            ("dominant_concept", Value::String(top[0].clone())),
+            ("mean_capacity", Value::Number(f64::from(mean_c))),
+            ("mean_throughput", Value::Number(f64::from(mean_t))),
+            ("mi_start", Value::Number(start as f64)),
+            ("runner_up", Value::String(top.get(1).cloned().unwrap_or_default())),
+        ]));
     }
 
     println!("\nthroughput: {}", sparkline(&throughput));
@@ -136,5 +132,5 @@ fn main() {
          'Rapidly Increasing Latency'; recovery ↔ decreasing loss/latency."
     );
 
-    save_json("fig9_cc_timeline", &tags);
+    runner.finish("fig9_cc_timeline", &Value::Array(tags));
 }

@@ -7,23 +7,13 @@
 
 #![forbid(unsafe_code)]
 
-use abr_env::DatasetEra;
-use agua::concepts::{abr_concepts, cc_concepts, ddos_concepts, ConceptSet};
 use agua::surrogate::TrainParams;
-use agua_bench::apps::{abr_app, cc_app, ddos_app, fit_agua, AppData, LlmVariant};
-use agua_bench::report::{banner, save_json};
-use agua_controllers::cc::CcVariant;
-use serde::Serialize;
+use agua_app::codec::{f32s_value, object};
+use agua_app::{abr_app, Application, LlmVariant, RolloutSpec, ABR, CC, DDOS};
+use agua_bench::ExperimentRunner;
+use serde_json::Value;
 
 const SEEDS: [u64; 3] = [11, 211, 311];
-
-#[derive(Debug, Serialize)]
-struct SensitivityRow {
-    application: String,
-    fidelities: Vec<f32>,
-    mean: f32,
-    std: f32,
-}
 
 fn stats(fidelities: &[f32]) -> (f32, f32) {
     let n = fidelities.len() as f32;
@@ -32,67 +22,87 @@ fn stats(fidelities: &[f32]) -> (f32, f32) {
     (mean, var.sqrt())
 }
 
-fn agua_fidelity(
-    concepts: &ConceptSet,
-    n_outputs: usize,
-    train: &AppData,
-    test: &AppData,
-    seed: u64,
-) -> f32 {
-    let params = TrainParams { seed, ..TrainParams::tuned() };
-    let (model, _) =
-        fit_agua(concepts, n_outputs, train, LlmVariant::HighQuality, &params, seed ^ 0x42);
-    model.fidelity(&test.embeddings, &test.outputs)
-}
-
 /// Runs one fully-seeded experiment per seed on scoped worker threads
 /// (each job builds its own controller, rollouts, and surrogate, so the
 /// per-seed fidelities are identical to a sequential run, in seed order).
-fn per_seed_fidelities(run: impl Fn(u64) -> f32 + Sync) -> Vec<f32> {
-    let run = &run;
-    agua_nn::parallel::par_jobs(SEEDS.iter().map(|&seed| move || run(seed)).collect())
+/// The runner is `Sync`, so the workers share one store and one metrics
+/// aggregator.
+fn per_seed_fidelities(
+    runner: &ExperimentRunner,
+    app: &'static dyn Application,
+    train_samples: usize,
+    test_samples: usize,
+) -> Vec<f32> {
+    agua_nn::parallel::par_jobs(
+        SEEDS
+            .iter()
+            .map(|&seed| {
+                move || {
+                    let store = runner.store();
+                    let ctrl = store.controller(app, seed, runner.obs());
+                    let train = store.rollout(
+                        app,
+                        &ctrl,
+                        &RolloutSpec::new(train_samples, seed + 1),
+                        runner.obs(),
+                    );
+                    let test = store.rollout(
+                        app,
+                        &ctrl,
+                        &RolloutSpec::new(test_samples, seed + 2),
+                        runner.obs(),
+                    );
+                    let params = TrainParams { seed, ..TrainParams::tuned() };
+                    let (model, _) = store.surrogate(
+                        app,
+                        LlmVariant::HighQuality,
+                        &params,
+                        seed ^ 0x42,
+                        &train,
+                        runner.obs(),
+                    );
+                    model.fidelity(&test.embeddings, &test.outputs)
+                }
+            })
+            .collect(),
+    )
 }
 
 fn main() {
-    banner("Seed sensitivity", "Table 2 fidelity across 3 seeds (mean ± std)");
+    let runner =
+        ExperimentRunner::new("Seed sensitivity", "Table 2 fidelity across 3 seeds (mean ± std)");
+
+    let jobs: [(&'static dyn Application, usize, usize); 3] = [
+        (&ABR, runner.size(30, 6) * abr_app::CHUNKS, runner.size(30, 6) * abr_app::CHUNKS),
+        (&CC, runner.size(2000, 400), runner.size(2000, 400)),
+        (&DDOS, runner.size(1000, 200), runner.size(450, 120)),
+    ];
+
     let mut rows = Vec::new();
-
-    println!("\n[ABR]…");
-    let abr_f = per_seed_fidelities(|seed| {
-        let ctrl = abr_app::build_controller(seed);
-        let train = abr_app::rollout(&ctrl, DatasetEra::Train2021, 30, seed + 1);
-        let test = abr_app::rollout(&ctrl, DatasetEra::Train2021, 30, seed + 2);
-        agua_fidelity(&abr_concepts(), abr_env::LEVELS, &train, &test, seed)
-    });
-    let (mean, std) = stats(&abr_f);
-    rows.push(SensitivityRow { application: "ABR".into(), fidelities: abr_f, mean, std });
-
-    println!("[CC]…");
-    let cc_f = per_seed_fidelities(|seed| {
-        let ctrl = cc_app::build_controller(CcVariant::Original, seed);
-        let train = cc_app::rollout(&ctrl, CcVariant::Original, 2000, seed + 1);
-        let test = cc_app::rollout(&ctrl, CcVariant::Original, 2000, seed + 2);
-        agua_fidelity(&cc_concepts(), cc_env::ACTIONS, &train, &test, seed)
-    });
-    let (mean, std) = stats(&cc_f);
-    rows.push(SensitivityRow { application: "CC".into(), fidelities: cc_f, mean, std });
-
-    println!("[DDoS]…");
-    let ddos_f = per_seed_fidelities(|seed| {
-        let ctrl = ddos_app::build_controller(seed);
-        let train = ddos_app::rollout(&ctrl, 1000, seed + 1);
-        let test = ddos_app::rollout(&ctrl, 450, seed + 2);
-        agua_fidelity(&ddos_concepts(), 2, &train, &test, seed)
-    });
-    let (mean, std) = stats(&ddos_f);
-    rows.push(SensitivityRow { application: "DDoS".into(), fidelities: ddos_f, mean, std });
+    for (app, train_samples, test_samples) in jobs {
+        println!("\n[{}]…", app.display_name());
+        let fidelities = per_seed_fidelities(&runner, app, train_samples, test_samples);
+        let (mean, std) = stats(&fidelities);
+        rows.push((app.display_name().to_string(), fidelities, mean, std));
+    }
 
     println!("\n{:<8} {:>24} {:>9} {:>8}", "app", "per-seed fidelity", "mean", "std");
     println!("{}", "-".repeat(54));
-    for r in &rows {
-        let per: Vec<String> = r.fidelities.iter().map(|f| format!("{f:.3}")).collect();
-        println!("{:<8} {:>24} {:>9.3} {:>8.3}", r.application, per.join(" / "), r.mean, r.std);
+    for (application, fidelities, mean, std) in &rows {
+        let per: Vec<String> = fidelities.iter().map(|f| format!("{f:.3}")).collect();
+        println!("{application:<8} {:>24} {mean:>9.3} {std:>8.3}", per.join(" / "));
     }
 
-    save_json("seed_sensitivity", &rows);
+    let result: Vec<Value> = rows
+        .iter()
+        .map(|(application, fidelities, mean, std)| {
+            object(vec![
+                ("application", Value::String(application.clone())),
+                ("fidelities", f32s_value(fidelities)),
+                ("mean", Value::Number(f64::from(*mean))),
+                ("std", Value::Number(f64::from(*std))),
+            ])
+        })
+        .collect();
+    runner.finish("seed_sensitivity", &Value::Array(result));
 }

@@ -3,12 +3,15 @@
 
 #![forbid(unsafe_code)]
 
-use agua::concepts::{abr_concepts, cc_concepts, ddos_concepts, ConceptSet};
-use agua_bench::report::banner;
+use agua_app::codec::object;
+use agua_app::{Application, ABR, CC, DDOS};
+use agua_bench::ExperimentRunner;
 use agua_text::embedding::Embedder;
+use serde_json::Value;
 
-fn show(title: &str, set: &ConceptSet) {
-    println!("\n{title} ({} concepts):", set.len());
+fn show(label: &str, app: &dyn Application) -> Value {
+    let set = app.concepts();
+    println!("\n({label}) {} ({} concepts):", app.display_name(), set.len());
     for (i, c) in set.concepts.iter().enumerate() {
         println!("  {:>2}. {}", i + 1, c.name);
     }
@@ -34,11 +37,19 @@ fn show(title: &str, set: &ConceptSet) {
         set.len(),
         removed
     );
+    object(vec![
+        ("app", Value::String(app.name().to_string())),
+        ("concepts", Value::Number(set.len() as f64)),
+        ("kept_after_filter", Value::Number(filtered.len() as f64)),
+        ("max_pair_cosine", Value::Number(f64::from(max_off.2))),
+    ])
 }
 
 fn main() {
-    banner("Table 1", "Base concepts per application");
-    show("(a) Adaptive Bitrate Streaming", &abr_concepts());
-    show("(b) Congestion Control", &cc_concepts());
-    show("(c) DDoS Detection", &ddos_concepts());
+    let runner = ExperimentRunner::new("Table 1", "Base concepts per application");
+    let rows: Vec<Value> = [("a", &ABR as &dyn Application), ("b", &CC), ("c", &DDOS)]
+        .into_iter()
+        .map(|(label, app)| show(label, app))
+        .collect();
+    runner.finish("table1_concepts", &Value::Array(rows));
 }

@@ -10,23 +10,12 @@
 
 #![forbid(unsafe_code)]
 
-use abr_env::DatasetEra;
-use agua::concepts::{abr_concepts, cc_concepts, ddos_concepts};
 use agua::surrogate::TrainParams;
-use agua_bench::apps::{abr_app, cc_app, ddos_app, fit_agua_jobs, AppData, FitJob, LlmVariant};
-use agua_bench::report::{banner, save_json};
-use agua_controllers::cc::CcVariant;
-use serde::Serialize;
+use agua_app::codec::object;
+use agua_app::{abr_app, AppData, Application, LlmVariant, RolloutSpec, ABR, CC, DDOS};
+use agua_bench::ExperimentRunner;
+use serde_json::Value;
 use trustee::{TreeConfig, TrusteeReport};
-
-#[derive(Debug, Serialize)]
-struct Row {
-    application: String,
-    trustee_full: f32,
-    trustee_pruned: f32,
-    agua_open_source: f32,
-    agua_high_quality: f32,
-}
 
 fn trustee_fidelity(
     train: &AppData,
@@ -48,106 +37,82 @@ fn trustee_fidelity(
 }
 
 /// Fidelity for both LLM variants; the two independent fits run on
-/// scoped worker threads (each is fully seeded, so the numbers are
-/// identical to the sequential runs).
+/// scoped worker threads (each is fully seeded and the runner is `Sync`,
+/// so the numbers are identical to the sequential runs).
 fn agua_fidelities(
-    concepts: &agua::concepts::ConceptSet,
-    n_outputs: usize,
-    train: &AppData,
+    runner: &ExperimentRunner,
+    app: &'static dyn Application,
+    train: &agua_app::Keyed<AppData>,
     test: &AppData,
 ) -> (f32, f32) {
     let params = TrainParams::tuned();
-    let jobs = [LlmVariant::OpenSource, LlmVariant::HighQuality].map(|variant| FitJob {
-        concepts,
-        n_outputs,
-        train,
-        variant,
-        params: &params,
-        label_seed: 42,
-    });
-    let fits = fit_agua_jobs(&jobs);
-    let f: Vec<f32> =
-        fits.iter().map(|(model, _)| model.fidelity(&test.embeddings, &test.outputs)).collect();
+    let params = &params;
+    let f = agua_nn::parallel::par_jobs(
+        [LlmVariant::OpenSource, LlmVariant::HighQuality]
+            .map(|variant| {
+                move || {
+                    let (model, _) =
+                        runner.store().surrogate(app, variant, params, 42, train, runner.obs());
+                    model.fidelity(&test.embeddings, &test.outputs)
+                }
+            })
+            .into_iter()
+            .collect(),
+    );
     (f[0], f[1])
 }
 
 fn main() {
-    banner("Table 2", "Fidelity of Agua vs Trustee across applications");
+    let runner =
+        ExperimentRunner::new("Table 2", "Fidelity of Agua vs Trustee across applications");
+    let store = runner.store();
     let mut rows = Vec::new();
 
-    // --- Adaptive bitrate streaming: 4,000 pairs (2k train / 2k test).
-    println!("\n[ABR] training Gelato-style controller and collecting rollouts…");
-    let abr_ctrl = abr_app::build_controller(11);
-    let abr_train = abr_app::rollout(&abr_ctrl, DatasetEra::Train2021, 40, 12);
-    let abr_test = abr_app::rollout(&abr_ctrl, DatasetEra::Train2021, 40, 13);
-    let (tf, tp) =
-        trustee_fidelity(&abr_train, &abr_test, abr_env::LEVELS, abr_app::feature_names());
-    let concepts = abr_concepts();
-    let (aos, ahq) = agua_fidelities(&concepts, abr_env::LEVELS, &abr_train, &abr_test);
-    rows.push(Row {
-        application: "ABR".into(),
-        trustee_full: tf,
-        trustee_pruned: tp,
-        agua_open_source: aos,
-        agua_high_quality: ahq,
-    });
+    // Sample budgets per application (paper: ABR 2k/2k pairs, CC 2k/4k,
+    // DDoS 1k/450), with controller/rollout seeds matching the seed repo.
+    let abr_traces = runner.size(40, 8) * abr_app::CHUNKS;
+    let jobs: [(&'static dyn Application, &str, u64, usize, usize); 3] = [
+        (&ABR, "ABR", 11, abr_traces, abr_traces),
+        (&CC, "CC", 21, runner.size(2000, 400), runner.size(4000, 800)),
+        (&DDOS, "DDoS Detection", 31, runner.size(1000, 200), runner.size(450, 120)),
+    ];
 
-    // --- Congestion control: 2,000 train / 4,000 test.
-    println!("[CC] training Aurora-style controller and collecting rollouts…");
-    let cc_ctrl = cc_app::build_controller(CcVariant::Original, 21);
-    let cc_train = cc_app::rollout(&cc_ctrl, CcVariant::Original, 2000, 22);
-    let cc_test = cc_app::rollout(&cc_ctrl, CcVariant::Original, 4000, 23);
-    let (tf, tp) = trustee_fidelity(
-        &cc_train,
-        &cc_test,
-        cc_env::ACTIONS,
-        cc_app::feature_names(CcVariant::Original),
-    );
-    let concepts = cc_concepts();
-    let (aos, ahq) = agua_fidelities(&concepts, cc_env::ACTIONS, &cc_train, &cc_test);
-    rows.push(Row {
-        application: "CC".into(),
-        trustee_full: tf,
-        trustee_pruned: tp,
-        agua_open_source: aos,
-        agua_high_quality: ahq,
-    });
-
-    // --- DDoS detection: 1,000 train / 450 test.
-    println!("[DDoS] training LUCID-style detector and collecting flows…");
-    let ddos_ctrl = ddos_app::build_controller(31);
-    let ddos_train = ddos_app::rollout(&ddos_ctrl, 1000, 32);
-    let ddos_test = ddos_app::rollout(&ddos_ctrl, 450, 33);
-    let (tf, tp) = trustee_fidelity(&ddos_train, &ddos_test, 2, ddos_app::feature_names());
-    let concepts = ddos_concepts();
-    let (aos, ahq) = agua_fidelities(&concepts, 2, &ddos_train, &ddos_test);
-    rows.push(Row {
-        application: "DDoS Detection".into(),
-        trustee_full: tf,
-        trustee_pruned: tp,
-        agua_open_source: aos,
-        agua_high_quality: ahq,
-    });
+    for (app, label, seed, train_samples, test_samples) in jobs {
+        println!("\n[{}] training controller and collecting rollouts…", app.display_name());
+        let ctrl = store.controller(app, seed, runner.obs());
+        let train =
+            store.rollout(app, &ctrl, &RolloutSpec::new(train_samples, seed + 1), runner.obs());
+        let test =
+            store.rollout(app, &ctrl, &RolloutSpec::new(test_samples, seed + 2), runner.obs());
+        let (tf, tp) = trustee_fidelity(&train, &test, app.n_outputs(), app.feature_names());
+        let (aos, ahq) = agua_fidelities(&runner, app, &train, &test);
+        rows.push((label.to_string(), tf, tp, aos, ahq));
+    }
 
     println!(
         "\n{:<16} {:>13} {:>15} {:>17} {:>14}",
         "Application", "Trustee Full", "Trustee Pruned", "Agua (Llama-cls)", "Agua (GPT-cls)"
     );
     println!("{}", "-".repeat(80));
-    for r in &rows {
-        println!(
-            "{:<16} {:>13.3} {:>15.3} {:>17.3} {:>14.3}",
-            r.application,
-            r.trustee_full,
-            r.trustee_pruned,
-            r.agua_open_source,
-            r.agua_high_quality
-        );
+    for (application, tf, tp, aos, ahq) in &rows {
+        println!("{application:<16} {tf:>13.3} {tp:>15.3} {aos:>17.3} {ahq:>14.3}");
     }
     println!("\nPaper Table 2 for reference:");
     println!("  ABR   — Trustee 0.946/0.949, Agua 0.982/0.983");
     println!("  CC    — Trustee 0.215/0.235, Agua 0.932/0.936");
     println!("  DDoS  — Trustee 0.991/0.977, Agua 0.996/1.000");
 
-    save_json("table2_fidelity", &rows);
+    let result: Vec<Value> = rows
+        .iter()
+        .map(|(application, tf, tp, aos, ahq)| {
+            object(vec![
+                ("agua_high_quality", Value::Number(f64::from(*ahq))),
+                ("agua_open_source", Value::Number(f64::from(*aos))),
+                ("application", Value::String(application.clone())),
+                ("trustee_full", Value::Number(f64::from(*tf))),
+                ("trustee_pruned", Value::Number(f64::from(*tp))),
+            ])
+        })
+        .collect();
+    runner.finish("table2_fidelity", &Value::Array(result));
 }

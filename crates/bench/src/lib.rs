@@ -11,6 +11,8 @@
 pub mod apps;
 pub mod plot;
 pub mod report;
+pub mod runner;
 pub mod synth;
 
 pub use apps::{AppData, LlmVariant};
+pub use runner::ExperimentRunner;

@@ -1,0 +1,116 @@
+//! One harness for every experiment bin: banner, observability,
+//! artifact store, result persistence.
+//!
+//! [`ExperimentRunner`] wires the pieces every `src/bin/` entry point
+//! used to assemble by hand — a [`banner`], a [`Metrics`] subscriber,
+//! and a [`Store`] rooted at `results/cache/` whose mode follows
+//! `AGUA_CACHE` — and finishes the run by saving the result JSON and
+//! printing a one-line store summary (`[store] hits=… misses=… writes=…
+//! fits=…`) that `ci.sh`'s warm-cache gate greps.
+//!
+//! The runner is `Sync`: one instance can be shared across `par_jobs`
+//! workers (the metrics aggregator and the store memo are both behind
+//! mutexes).
+
+use agua_app::Store;
+use agua_obs::{Metrics, Subscriber};
+use serde::Serialize;
+
+use crate::report::{banner, results_dir, save_json};
+
+/// Shared spine of an experiment binary.
+pub struct ExperimentRunner {
+    metrics: Metrics,
+    store: Store,
+    smoke: bool,
+}
+
+impl ExperimentRunner {
+    /// Prints the banner and wires metrics + store. Smoke mode is
+    /// enabled by a `--smoke` CLI argument (see [`ExperimentRunner::size`]).
+    pub fn new(id: &str, title: &str) -> Self {
+        banner(id, title);
+        Self {
+            metrics: Metrics::new(),
+            store: Store::new(results_dir().join("cache")),
+            smoke: std::env::args().any(|a| a == "--smoke"),
+        }
+    }
+
+    /// The run's metrics aggregator, as the subscriber store calls expect.
+    pub fn obs(&self) -> &dyn Subscriber {
+        &self.metrics
+    }
+
+    /// The run's metrics aggregator.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The content-addressed artifact store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// True when `--smoke` was passed.
+    pub fn smoke(&self) -> bool {
+        self.smoke
+    }
+
+    /// Picks a workload size: `full` normally, `smoke` under `--smoke`.
+    pub fn size(&self, full: usize, smoke: usize) -> usize {
+        if self.smoke {
+            smoke
+        } else {
+            full
+        }
+    }
+
+    /// Saves the result JSON and prints the store summary line.
+    pub fn finish<T: Serialize>(&self, name: &str, value: &T) {
+        save_json(name, value);
+        println!("{}", self.store_summary());
+    }
+
+    /// The `[store] hits=… misses=… writes=… fits=…` summary of this
+    /// run's artifact traffic. `fits` counts surrogate-fit misses — the
+    /// expensive work a warm cache is expected to skip entirely.
+    pub fn store_summary(&self) -> String {
+        let sched = self.metrics.snapshot().scheduling;
+        let sum = |suffix: &str| -> u64 {
+            sched
+                .iter()
+                .filter(|(k, _)| k.starts_with("artifact.") && k.ends_with(suffix))
+                .map(|(_, &v)| v)
+                .sum()
+        };
+        let fits = sched.get("artifact.surrogate.misses").copied().unwrap_or(0);
+        format!(
+            "[store] hits={} misses={} writes={} fits={fits}",
+            sum(".hits"),
+            sum(".misses"),
+            sum(".writes")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agua_obs::{emit, ArtifactHit, ArtifactMiss, ArtifactWrite};
+
+    #[test]
+    fn store_summary_aggregates_across_kinds() {
+        let runner = ExperimentRunner {
+            metrics: Metrics::new(),
+            store: Store::with_mode(std::env::temp_dir(), agua_app::CacheMode::Off),
+            smoke: true,
+        };
+        emit(runner.obs(), ArtifactHit { kind: "controller", key: 1 });
+        emit(runner.obs(), ArtifactHit { kind: "rollout", key: 2 });
+        emit(runner.obs(), ArtifactMiss { kind: "surrogate", key: 3 });
+        emit(runner.obs(), ArtifactWrite { kind: "surrogate", key: 3, bytes: 10 });
+        assert_eq!(runner.store_summary(), "[store] hits=2 misses=1 writes=1 fits=1");
+        assert_eq!(runner.size(100, 5), 5);
+    }
+}

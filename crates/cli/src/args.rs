@@ -109,12 +109,15 @@ impl Args {
         Ok(args)
     }
 
-    /// The `--app` value, validated.
-    pub fn require_app(&self) -> Result<&str, String> {
+    /// The `--app` value, resolved against the application registry.
+    /// Unknown names fail with the list of registered applications.
+    pub fn require_app(&self) -> Result<&'static dyn agua_app::Application, String> {
         match self.app.as_deref() {
-            Some(app @ ("abr" | "cc" | "ddos")) => Ok(app),
-            Some(other) => Err(format!("unknown app `{other}` (expected abr|cc|ddos)")),
-            None => Err("--app is required".to_string()),
+            Some(name) => agua_app::lookup(name),
+            None => Err(format!(
+                "--app is required (registered: {})",
+                agua_app::registered_names().join(", ")
+            )),
         }
     }
 }
@@ -133,7 +136,7 @@ mod tests {
             parse(&["train", "--app", "ddos", "--out-dir", "/tmp/x", "--seed", "9", "--llm", "os"])
                 .unwrap();
         assert_eq!(a.command, "train");
-        assert_eq!(a.require_app().unwrap(), "ddos");
+        assert_eq!(a.require_app().unwrap().name(), "ddos");
         assert_eq!(a.out_dir.as_deref(), Some("/tmp/x"));
         assert_eq!(a.seed, 9);
         assert_eq!(a.llm, "os");
@@ -190,9 +193,22 @@ mod tests {
 
     #[test]
     fn validates_app() {
-        let a = parse(&["train", "--app", "dns"]).unwrap();
-        assert!(a.require_app().is_err());
+        let a = parse(&["train", "--app", "cc-debugged"]).unwrap();
+        assert_eq!(a.require_app().map(|app| app.name()), Ok("cc-debugged"));
         let b = parse(&["train"]).unwrap();
-        assert!(b.require_app().is_err());
+        assert!(b.require_app().map(|app| app.name()).is_err());
+    }
+
+    /// Regression: unknown `--app` values used to be silently routed to
+    /// the DDoS pipeline by `_ =>` match arms; they must fail and name
+    /// every registered application.
+    #[test]
+    fn unknown_app_fails_listing_the_registry() {
+        let a = parse(&["train", "--app", "dns"]).unwrap();
+        let err = a.require_app().map(|app| app.name()).unwrap_err();
+        assert!(err.contains("unknown application `dns`"), "{err}");
+        for name in agua_app::registered_names() {
+            assert!(err.contains(name), "error should list `{name}`: {err}");
+        }
     }
 }

@@ -1,84 +1,36 @@
 //! Command implementations: train / fidelity / explain / concepts.
+//!
+//! Every command resolves `--app` through `agua_app::lookup` and drives
+//! the pipeline through the [`Application`] trait; checkpoints use the
+//! shared [`Checkpoint`] format from `agua-app`, so experiment bins and
+//! the CLI read and write the same files.
 
 use crate::args::Args;
 use crate::obs::{write_snapshot, CliObs};
-use abr_env::DatasetEra;
-use agua::concepts::{abr_concepts, cc_concepts, ddos_concepts, ConceptSet};
 use agua::explain::{counterfactual_observed, factual_observed};
-use agua::surrogate::{AguaModel, TrainParams};
-use agua_bench::apps::{abr_app, cc_app, ddos_app, fit_agua_observed, AppData, LlmVariant};
-use agua_controllers::cc::CcVariant;
-use agua_controllers::PolicyNet;
+use agua::surrogate::TrainParams;
+use agua_app::{fit_agua_observed, Application, Checkpoint, CheckpointMeta, RolloutSpec};
 use agua_nn::Matrix;
 use agua_obs::scoped::with_scoped_subscriber;
 use agua_obs::{emit, span_end, span_start, Fanout, FitCompleted, Metrics, Stage, Subscriber};
 use agua_text::embedding::Embedder;
-use ddos_env::{DdosObservation, FlowKind, FlowWindow};
-use serde::{Deserialize, Serialize};
 use std::fs;
 use std::path::Path;
 use std::rc::Rc;
 
-/// Checkpoint metadata, persisted alongside the model JSONs.
-#[derive(Debug, Serialize, Deserialize)]
-struct Meta {
-    app: String,
-    llm: String,
-    seed: u64,
-    n_outputs: usize,
-    train_fidelity: f32,
-}
-
-fn variant_of(args: &Args) -> LlmVariant {
+fn variant_of(args: &Args) -> agua_app::LlmVariant {
     if args.llm == "os" {
-        LlmVariant::OpenSource
+        agua_app::LlmVariant::OpenSource
     } else {
-        LlmVariant::HighQuality
-    }
-}
-
-fn concepts_of(app: &str) -> ConceptSet {
-    match app {
-        "abr" => abr_concepts(),
-        "cc" => cc_concepts(),
-        _ => ddos_concepts(),
-    }
-}
-
-fn n_outputs_of(app: &str) -> usize {
-    match app {
-        "abr" => abr_env::LEVELS,
-        "cc" => cc_env::ACTIONS,
-        _ => ddos_env::CLASSES,
-    }
-}
-
-fn build_controller(app: &str, seed: u64) -> PolicyNet {
-    match app {
-        "abr" => abr_app::build_controller(seed),
-        "cc" => cc_app::build_controller(CcVariant::Original, seed),
-        _ => ddos_app::build_controller(seed),
-    }
-}
-
-fn rollout(app: &str, controller: &PolicyNet, samples: usize, seed: u64) -> AppData {
-    match app {
-        "abr" => abr_app::rollout(
-            controller,
-            DatasetEra::Train2021,
-            (samples / abr_app::CHUNKS).max(1),
-            seed,
-        ),
-        "cc" => cc_app::rollout(controller, CcVariant::Original, samples, seed),
-        _ => ddos_app::rollout(controller, samples, seed),
+        agua_app::LlmVariant::HighQuality
     }
 }
 
 /// `agua-cli concepts --app <app>`.
 pub fn concepts(args: &Args) -> Result<(), String> {
     let app = args.require_app()?;
-    let set = concepts_of(app);
-    println!("{} base concepts for {app}:", set.len());
+    let set = app.concepts();
+    println!("{} base concepts for {}:", set.len(), app.name());
     for (i, c) in set.concepts.iter().enumerate() {
         println!("  {:>2}. {}", i + 1, c.name);
     }
@@ -112,16 +64,16 @@ pub fn train(args: &Args) -> Result<(), String> {
         Rc::new(fan)
     };
 
-    println!("training the {app} controller (seed {})…", args.seed);
-    let controller = build_controller(app, args.seed);
+    println!("training the {} controller (seed {})…", app.name(), args.seed);
+    let controller = app.build_controller(args.seed);
     println!("collecting rollouts and fitting the Agua surrogate…");
-    let data = rollout(app, &controller, args.samples.max(800), args.seed + 1);
-    let concepts = concepts_of(app);
+    let data = app.rollout(&controller, &RolloutSpec::new(args.samples.max(800), args.seed + 1));
+    let concepts = app.concepts();
     let obs = fan.clone();
-    let (model, _) = with_scoped_subscriber(fan.clone(), || {
+    let (model, labeler) = with_scoped_subscriber(fan.clone(), || {
         fit_agua_observed(
             &concepts,
-            n_outputs_of(app),
+            app.n_outputs(),
             &data,
             variant_of(args),
             &TrainParams::tuned(),
@@ -132,55 +84,48 @@ pub fn train(args: &Args) -> Result<(), String> {
     let train_fidelity = model.fidelity(&data.embeddings, &data.outputs);
     emit(&*fan, FitCompleted { fidelity: train_fidelity });
 
-    let write = |name: &str, json: String| -> Result<(), String> {
-        let path = Path::new(out).join(name);
-        fs::write(&path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))
-    };
-    write("controller.json", serde_json::to_string(&controller).map_err(|e| e.to_string())?)?;
-    write("agua.json", serde_json::to_string(&model).map_err(|e| e.to_string())?)?;
-    write(
-        "meta.json",
-        serde_json::to_string_pretty(&Meta {
-            app: app.to_string(),
+    let checkpoint = Checkpoint {
+        controller,
+        model,
+        quantizer: labeler.quantizer().clone(),
+        meta: CheckpointMeta {
+            app: app.name().to_string(),
             llm: args.llm.clone(),
             seed: args.seed,
-            n_outputs: n_outputs_of(app),
+            n_outputs: app.n_outputs(),
             train_fidelity,
-        })
-        .map_err(|e| e.to_string())?,
-    )?;
+        },
+    };
+    checkpoint.save(Path::new(out))?;
     write_snapshot(&Path::new(out).join("training_metrics.json"), &curves.snapshot())?;
     println!("checkpoints written to {out} (train fidelity {train_fidelity:.3})");
     session.finish()?;
     Ok(())
 }
 
-fn load_checkpoints(args: &Args) -> Result<(PolicyNet, AguaModel, Meta), String> {
+fn load_checkpoint(args: &Args, app: &dyn Application) -> Result<Checkpoint, String> {
     let dir = args.model_dir.as_deref().ok_or_else(|| "--model-dir is required".to_string())?;
-    let read = |name: &str| -> Result<String, String> {
-        let path = Path::new(dir).join(name);
-        fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))
-    };
-    let controller: PolicyNet =
-        serde_json::from_str(&read("controller.json")?).map_err(|e| e.to_string())?;
-    let model: AguaModel = serde_json::from_str(&read("agua.json")?).map_err(|e| e.to_string())?;
-    let meta: Meta = serde_json::from_str(&read("meta.json")?).map_err(|e| e.to_string())?;
-    Ok((controller, model, meta))
+    let checkpoint = Checkpoint::load(Path::new(dir))?;
+    if checkpoint.meta.app != app.name() {
+        return Err(format!(
+            "checkpoint was trained for `{}` but --app is `{}`",
+            checkpoint.meta.app,
+            app.name()
+        ));
+    }
+    Ok(checkpoint)
 }
 
 /// `agua-cli fidelity --app <app> --model-dir <dir>`.
 pub fn fidelity(args: &Args) -> Result<(), String> {
     let app = args.require_app()?;
     let session = CliObs::from_args(args, "fidelity")?;
-    let (controller, model, meta) = load_checkpoints(args)?;
-    if meta.app != app {
-        return Err(format!("checkpoint was trained for `{}` but --app is `{app}`", meta.app));
-    }
+    let ckpt = load_checkpoint(args, app)?;
     println!("rolling {} fresh samples…", args.samples);
     let (data, fid) = session.observe(|obs| {
         let span = span_start(obs, Stage::Custom("fidelity_eval"));
-        let data = rollout(app, &controller, args.samples, args.seed + 1000);
-        let fid = model.fidelity(&data.embeddings, &data.outputs);
+        let data = app.rollout(&ckpt.controller, &RolloutSpec::new(args.samples, args.seed + 1000));
+        let fid = ckpt.model.fidelity(&data.embeddings, &data.outputs);
         span_end(obs, span);
         emit(obs, FitCompleted { fidelity: fid });
         (data, fid)
@@ -188,7 +133,7 @@ pub fn fidelity(args: &Args) -> Result<(), String> {
     println!(
         "held-out fidelity: {fid:.3} over {} decisions (train fidelity was {:.3})",
         data.len(),
-        meta.train_fidelity
+        ckpt.meta.train_fidelity
     );
     session.finish()?;
     Ok(())
@@ -197,13 +142,10 @@ pub fn fidelity(args: &Args) -> Result<(), String> {
 /// `agua-cli report --app <app> --model-dir <dir>`.
 pub fn report(args: &Args) -> Result<(), String> {
     let app = args.require_app()?;
-    let (controller, model, meta) = load_checkpoints(args)?;
-    if meta.app != app {
-        return Err(format!("checkpoint was trained for `{}` but --app is `{app}`", meta.app));
-    }
+    let ckpt = load_checkpoint(args, app)?;
     println!("rolling {} fresh samples…", args.samples);
-    let data = rollout(app, &controller, args.samples, args.seed + 2000);
-    let report = agua::AguaReport::build(&model, &data.embeddings, &data.outputs, 4);
+    let data = app.rollout(&ckpt.controller, &RolloutSpec::new(args.samples, args.seed + 2000));
+    let report = agua::AguaReport::build(&ckpt.model, &data.embeddings, &data.outputs, 4);
     println!("{}", report.render());
     Ok(())
 }
@@ -212,48 +154,25 @@ pub fn report(args: &Args) -> Result<(), String> {
 pub fn explain(args: &Args) -> Result<(), String> {
     let app = args.require_app()?;
     let session = CliObs::from_args(args, "explain")?;
-    let (controller, model, meta) = load_checkpoints(args)?;
-    if meta.app != app {
-        return Err(format!("checkpoint was trained for `{}` but --app is `{app}`", meta.app));
-    }
+    let ckpt = load_checkpoint(args, app)?;
 
-    let features: Vec<f32> = match app {
-        "abr" => abr_app::motivating_observation().features(),
-        "ddos" => {
-            let kind = match args.scenario.as_deref().unwrap_or("syn-flood") {
-                "benign-http" => FlowKind::BenignHttp,
-                "benign-dns" => FlowKind::BenignDns,
-                "syn-flood" => FlowKind::SynFlood,
-                "udp-flood" => FlowKind::UdpFlood,
-                "low-and-slow" => FlowKind::LowAndSlow,
-                other => return Err(format!("unknown DDoS scenario `{other}`")),
-            };
-            DdosObservation::new(FlowWindow::generate_seeded(kind, args.seed)).features()
-        }
-        "cc" => {
-            // A representative state: a fresh rollout's final observation.
-            let data = cc_app::rollout(&controller, CcVariant::Original, 50, args.seed + 7);
-            data.features.last().expect("non-empty rollout").clone()
-        }
-        _ => unreachable!("validated by require_app"),
-    };
-
+    let features = app.scenario_features(&ckpt.controller, args.scenario.as_deref(), args.seed)?;
     let x = Matrix::row_vector(&features);
-    let h = controller.embeddings(&x);
-    let verdict = controller.act(&features);
+    let h = ckpt.controller.embeddings(&x);
+    let verdict = ckpt.controller.act(&features);
     println!("controller output: class {verdict}");
     if let Some(class) = args.counterfactual {
-        if class >= meta.n_outputs {
+        if class >= ckpt.meta.n_outputs {
             return Err(format!(
                 "--counterfactual {class} out of range (controller has {} outputs)",
-                meta.n_outputs
+                ckpt.meta.n_outputs
             ));
         }
     }
     session.observe(|obs| {
-        println!("{}", factual_observed(&model, &h, obs).render(6));
+        println!("{}", factual_observed(&ckpt.model, &h, obs).render(6));
         if let Some(class) = args.counterfactual {
-            println!("{}", counterfactual_observed(&model, &h, class, obs).render(6));
+            println!("{}", counterfactual_observed(&ckpt.model, &h, class, obs).render(6));
         }
     });
     session.finish()?;

@@ -7,9 +7,10 @@
 //! agua-cli explain   --app ddos --model-dir /tmp/agua-ddos [--scenario syn-flood]
 //! ```
 //!
-//! `train` fits a controller and an Agua surrogate and writes JSON
-//! checkpoints (`controller.json`, `agua.json`, `meta.json`); `fidelity`
-//! and `explain` operate on those checkpoints.
+//! `train` fits a controller and an Agua surrogate and writes the shared
+//! `agua_app::Checkpoint` format (`controller.json`, `agua.json`,
+//! `quantizer.json`, `meta.json`); `fidelity` and `explain` operate on
+//! those checkpoints through the same loader the experiment bins use.
 
 #![forbid(unsafe_code)]
 
@@ -35,7 +36,8 @@ COMMANDS:
   report     global model report: fidelity, Ω sparsity, per-class drivers
 
 OPTIONS:
-  --app <abr|cc|ddos>      application (required)
+  --app <name>             application (required); registered:
+                           abr | cc | cc-debugged | ddos
   --out-dir <dir>          where `train` writes checkpoints
   --model-dir <dir>        where `fidelity`/`explain` read checkpoints
   --seed <n>               RNG seed (default 11)

@@ -1,0 +1,74 @@
+//! Checkpoint round-trip: a model trained through the CLI must reload
+//! through the shared `agua_app::Checkpoint` loader and reproduce the
+//! CLI's own numbers byte-for-byte.
+
+use agua_app::{Application, Checkpoint, RolloutSpec, DDOS};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_agua-cli"))
+}
+
+fn run(args: &[&str]) -> String {
+    let out = cli().args(args).output().expect("cli should spawn");
+    assert!(
+        out.status.success(),
+        "agua-cli {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("cli output should be utf-8")
+}
+
+#[test]
+fn cli_checkpoint_reloads_through_the_shared_loader() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("roundtrip-ddos");
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap();
+
+    run(&["train", "--app", "ddos", "--out-dir", dir_s, "--seed", "7", "--samples", "200"]);
+    for file in ["controller.json", "agua.json", "quantizer.json", "meta.json"] {
+        assert!(dir.join(file).is_file(), "train should write {file}");
+    }
+
+    // The shared loader reads what the CLI wrote.
+    let ckpt = Checkpoint::load(&dir).expect("checkpoint should reload");
+    assert_eq!(ckpt.meta.app, "ddos");
+    assert_eq!(ckpt.meta.seed, 7);
+    assert_eq!(ckpt.meta.llm, "hq");
+    assert_eq!(ckpt.meta.n_outputs, DDOS.n_outputs());
+
+    // The reloaded model reproduces the CLI's held-out fidelity exactly:
+    // same rollout spec as `agua-cli fidelity --seed 7 --samples 300`.
+    let data = DDOS.rollout(&ckpt.controller, &RolloutSpec::new(300, 7 + 1000));
+    let fid = ckpt.model.fidelity(&data.embeddings, &data.outputs);
+    let fidelity_out = run(&[
+        "fidelity",
+        "--app",
+        "ddos",
+        "--model-dir",
+        dir_s,
+        "--seed",
+        "7",
+        "--samples",
+        "300",
+    ]);
+    assert!(
+        fidelity_out.contains(&format!("held-out fidelity: {fid:.3}")),
+        "CLI fidelity should match the reloaded model's {fid:.3}:\n{fidelity_out}"
+    );
+
+    // Explanations from the saved checkpoint are deterministic: two runs
+    // produce byte-identical output.
+    let explain = ["explain", "--app", "ddos", "--model-dir", dir_s, "--scenario", "syn-flood"];
+    assert_eq!(run(&explain), run(&explain), "explain output should be byte-identical");
+
+    // A checkpoint trained for one app refuses to load as another.
+    let err = cli()
+        .args(["fidelity", "--app", "abr", "--model-dir", dir_s])
+        .output()
+        .expect("cli should spawn");
+    assert!(!err.status.success());
+    let msg = String::from_utf8_lossy(&err.stderr);
+    assert!(msg.contains("trained for `ddos`"), "expected app mismatch error, got: {msg}");
+}

@@ -111,6 +111,24 @@ impl PolicyNet {
         self.mlp.zero_grad();
     }
 
+    /// Index of the layer whose output is the embedding.
+    pub fn emb_after(&self) -> usize {
+        self.emb_after
+    }
+
+    /// Reassembles a policy from its parts — the inverse of the artifact
+    /// codec in `agua-app`, which persists `emb_after` explicitly.
+    pub fn from_parts(
+        mlp: Mlp,
+        in_dim: usize,
+        emb_dim: usize,
+        n_actions: usize,
+        emb_after: usize,
+    ) -> Self {
+        assert!(emb_after < mlp.layers.len(), "embedding layer index out of range");
+        Self { mlp, in_dim, emb_dim, n_actions, emb_after }
+    }
+
     /// Convenience seeded constructor.
     pub fn new_seeded(
         seed: u64,
@@ -193,12 +211,6 @@ mod tests {
         assert_eq!(n.act(&x), logits.argmax_row(0));
     }
 
-    #[test]
-    fn serde_roundtrip_preserves_behavior() {
-        let n = net();
-        let json = serde_json::to_string(&n).unwrap();
-        let restored: PolicyNet = serde_json::from_str(&json).unwrap();
-        let x = vec![0.1; 8];
-        assert_eq!(n.act(&x), restored.act(&x));
-    }
+    // Checkpoint round-trips live with the codec: `agua-app`'s `codec`
+    // tests restore a PolicyNet from bytes and assert identical actions.
 }

@@ -219,6 +219,17 @@ impl ConceptMapping {
         curve
     }
 
+    /// The underlying network (read-only; for artifact codecs).
+    pub fn mlp(&self) -> &Mlp {
+        &self.mlp
+    }
+
+    /// Reassembles a δ from its parts — the inverse of the artifact
+    /// codec in `agua-app`.
+    pub fn from_parts(mlp: Mlp, concepts: usize, k: usize) -> Self {
+        Self { mlp, concepts, k }
+    }
+
     /// Concept-class probabilities: per-concept softmax over the `k`
     /// similarity classes, flattened to `n × (C·k)`.
     pub fn predict_probs(&self, embeddings: &Matrix) -> Matrix {
@@ -359,6 +370,17 @@ impl OutputMapping {
     /// The bias vector `b` (1 × n).
     pub fn bias(&self) -> &Matrix {
         &self.linear.bias.value
+    }
+
+    /// The underlying linear layer (read-only; for artifact codecs).
+    pub fn linear(&self) -> &Linear {
+        &self.linear
+    }
+
+    /// Reassembles an Ω from its parts — the inverse of the artifact
+    /// codec in `agua-app`.
+    pub fn from_parts(linear: Linear, n_outputs: usize) -> Self {
+        Self { linear, n_outputs }
     }
 }
 
@@ -626,14 +648,9 @@ mod tests {
         let _ = AguaModel::fit(&concepts, 3, 2, &train, &TrainParams::fast());
     }
 
-    #[test]
-    fn serde_roundtrip_preserves_predictions() {
-        let (concepts, train) = toy_dataset(200, 10);
-        let model = AguaModel::fit(&concepts, 3, 2, &train, &TrainParams::fast());
-        let json = serde_json::to_string(&model).unwrap();
-        let restored: AguaModel = serde_json::from_str(&json).unwrap();
-        assert_eq!(model.predict(&train.embeddings), restored.predict(&train.embeddings));
-    }
+    // Checkpoint round-trips live with the codec: `agua-app`'s `codec`
+    // tests restore an AguaModel from bytes and assert bit-identical
+    // predictions.
 
     #[test]
     fn numeric_prediction_recovers_binned_regression_targets() {

@@ -116,6 +116,12 @@ impl Linear {
         }
     }
 
+    /// Reassembles a layer from saved parameters (artifact codecs).
+    pub fn from_params(weight: Param, bias: Param) -> Self {
+        assert_eq!(weight.value.cols(), bias.value.cols(), "bias width must match weight");
+        Self { weight, bias, cached_input: None }
+    }
+
     /// Input feature dimension.
     pub fn in_dim(&self) -> usize {
         self.weight.value.rows()
@@ -336,6 +342,12 @@ impl LayerNorm {
             eps: 1e-5,
             cached: None,
         }
+    }
+
+    /// Reassembles a layer from saved parameters (artifact codecs).
+    pub fn from_params(gamma: Param, beta: Param, eps: f32) -> Self {
+        assert_eq!(gamma.value.shape(), beta.value.shape(), "γ and β must match");
+        Self { gamma, beta, eps, cached: None }
     }
 
     fn normalize(&self, input: &Matrix) -> (Matrix, Vec<f32>) {

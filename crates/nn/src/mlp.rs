@@ -1,14 +1,14 @@
 //! A serializable sequential network container.
 //!
 //! [`Mlp`] stacks a fixed vocabulary of layers ([`LayerKind`]) so that
-//! whole models — controllers and Agua surrogates alike — can be saved and
-//! restored as JSON checkpoints without trait-object gymnastics.
+//! whole models — controllers and Agua surrogates alike — can be saved
+//! and restored as JSON checkpoints without trait-object gymnastics.
+//! The checkpoint codec itself lives in `agua-app` (`codec::Artifact`),
+//! which is the one home for on-disk formats.
 
 use crate::layer::{BackwardScratch, Layer, LayerNorm, Linear, Param, ReLU, Tanh};
 use crate::matrix::Matrix;
 use serde::{Deserialize, Serialize};
-use std::io;
-use std::path::Path;
 
 /// Any layer the sequential container can hold.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -239,27 +239,6 @@ impl Mlp {
     pub fn param_count(&mut self) -> usize {
         self.params_mut().iter().map(|p| p.value.rows() * p.value.cols()).sum()
     }
-
-    /// Serializes the model to pretty JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("model serialization cannot fail")
-    }
-
-    /// Deserializes a model from JSON.
-    pub fn from_json(s: &str) -> serde_json::Result<Self> {
-        serde_json::from_str(s)
-    }
-
-    /// Writes the model as a JSON checkpoint.
-    pub fn save(&self, path: &Path) -> io::Result<()> {
-        std::fs::write(path, self.to_json())
-    }
-
-    /// Reads a JSON checkpoint.
-    pub fn load(path: &Path) -> io::Result<Self> {
-        let s = std::fs::read_to_string(path)?;
-        Self::from_json(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
-    }
 }
 
 impl Default for Mlp {
@@ -337,16 +316,9 @@ mod tests {
         }
     }
 
-    #[test]
-    fn json_roundtrip_preserves_inference() {
-        let mut rng = StdRng::seed_from_u64(13);
-        let net = small_net(&mut rng, 5, 6, 2);
-        let x = Matrix::row_vector(&[0.3, -0.1, 0.7, 0.0, -0.5]);
-        let before = net.infer(&x);
-        let restored = Mlp::from_json(&net.to_json()).expect("roundtrip");
-        let after = restored.infer(&x);
-        assert_eq!(before, after);
-    }
+    // JSON checkpoint round-trips are covered where the codec lives:
+    // `agua-app`'s `codec` tests restore an Mlp from bytes and assert
+    // bit-identical inference.
 
     #[test]
     fn workspace_training_step_is_bitwise_identical_to_allocating_path() {

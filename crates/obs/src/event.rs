@@ -216,6 +216,35 @@ pub struct FitCompleted {
     pub fidelity: f32,
 }
 
+/// The artifact store served a request from cache (memo or disk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArtifactHit {
+    /// Artifact kind (`"controller"`, `"rollout"`, `"surrogate"`, …).
+    pub kind: &'static str,
+    /// FNV-1a key of the artifact's canonical spec.
+    pub key: u64,
+}
+
+/// The artifact store found no cached artifact and will compute one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArtifactMiss {
+    /// Artifact kind (`"controller"`, `"rollout"`, `"surrogate"`, …).
+    pub kind: &'static str,
+    /// FNV-1a key of the artifact's canonical spec.
+    pub key: u64,
+}
+
+/// The artifact store persisted a freshly computed artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArtifactWrite {
+    /// Artifact kind (`"controller"`, `"rollout"`, `"surrogate"`, …).
+    pub kind: &'static str,
+    /// FNV-1a key of the artifact's canonical spec.
+    pub key: u64,
+    /// Size of the persisted envelope in bytes.
+    pub bytes: u64,
+}
+
 /// Dynamically-dispatchable union of every event type.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AnyEvent {
@@ -233,6 +262,12 @@ pub enum AnyEvent {
     ExplanationProduced(ExplanationProduced),
     /// See [`FitCompleted`].
     FitCompleted(FitCompleted),
+    /// See [`ArtifactHit`].
+    ArtifactHit(ArtifactHit),
+    /// See [`ArtifactMiss`].
+    ArtifactMiss(ArtifactMiss),
+    /// See [`ArtifactWrite`].
+    ArtifactWrite(ArtifactWrite),
 }
 
 impl AnyEvent {
@@ -246,6 +281,9 @@ impl AnyEvent {
             AnyEvent::LabelingStageFinished(_) => LabelingStageFinished::NAME,
             AnyEvent::ExplanationProduced(_) => ExplanationProduced::NAME,
             AnyEvent::FitCompleted(_) => FitCompleted::NAME,
+            AnyEvent::ArtifactHit(_) => ArtifactHit::NAME,
+            AnyEvent::ArtifactMiss(_) => ArtifactMiss::NAME,
+            AnyEvent::ArtifactWrite(_) => ArtifactWrite::NAME,
         }
     }
 }
@@ -310,6 +348,31 @@ impl Serialize for AnyEvent {
                 s.serialize_field("fidelity", &e.fidelity)?;
                 s.end()
             }
+            // Artifact keys are serialized as zero-padded hex so the
+            // JSONL value matches the `<kind>-<key>.json` file names
+            // under `results/cache/`.
+            AnyEvent::ArtifactHit(e) => {
+                let mut s = serializer.serialize_struct("ArtifactHit", 3)?;
+                s.serialize_field("event", ArtifactHit::NAME)?;
+                s.serialize_field("kind", &e.kind)?;
+                s.serialize_field("key", &format!("{:016x}", e.key))?;
+                s.end()
+            }
+            AnyEvent::ArtifactMiss(e) => {
+                let mut s = serializer.serialize_struct("ArtifactMiss", 3)?;
+                s.serialize_field("event", ArtifactMiss::NAME)?;
+                s.serialize_field("kind", &e.kind)?;
+                s.serialize_field("key", &format!("{:016x}", e.key))?;
+                s.end()
+            }
+            AnyEvent::ArtifactWrite(e) => {
+                let mut s = serializer.serialize_struct("ArtifactWrite", 4)?;
+                s.serialize_field("event", ArtifactWrite::NAME)?;
+                s.serialize_field("kind", &e.kind)?;
+                s.serialize_field("key", &format!("{:016x}", e.key))?;
+                s.serialize_field("bytes", &e.bytes)?;
+                s.end()
+            }
         }
     }
 }
@@ -333,6 +396,9 @@ impl_event!(KernelDispatched, "kernel_dispatched");
 impl_event!(LabelingStageFinished, "labeling_stage_finished");
 impl_event!(ExplanationProduced, "explanation_produced");
 impl_event!(FitCompleted, "fit_completed");
+impl_event!(ArtifactHit, "artifact_hit");
+impl_event!(ArtifactMiss, "artifact_miss");
+impl_event!(ArtifactWrite, "artifact_write");
 
 #[cfg(test)]
 mod tests {
@@ -372,6 +438,22 @@ mod tests {
         assert_eq!(json["seq_fallback"], false);
         assert_eq!(json["pool_dispatch"], true);
         assert_eq!(json["queue_depth"], 1);
+    }
+
+    #[test]
+    fn artifact_events_serialize_with_hex_keys() {
+        let e = ArtifactHit { kind: "rollout", key: 0xABC }.into_any();
+        let json = serde_json::to_value(&e).unwrap();
+        assert_eq!(json["event"], "artifact_hit");
+        assert_eq!(json["kind"], "rollout");
+        assert_eq!(json["key"], "0000000000000abc");
+
+        let e = ArtifactWrite { kind: "surrogate", key: u64::MAX, bytes: 42 }.into_any();
+        let json = serde_json::to_value(&e).unwrap();
+        assert_eq!(json["event"], "artifact_write");
+        assert_eq!(json["key"], "ffffffffffffffff");
+        assert_eq!(json["bytes"], 42);
+        assert_eq!(ArtifactMiss { kind: "controller", key: 1 }.into_any().name(), "artifact_miss");
     }
 
     #[test]

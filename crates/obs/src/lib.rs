@@ -65,8 +65,9 @@ pub mod scoped;
 pub mod subscriber;
 
 pub use event::{
-    AnyEvent, EpochCompleted, Event, ExplanationKind, ExplanationProduced, FitCompleted, Kernel,
-    KernelDispatched, LabelingStageFinished, Stage, StageFinished, StageStarted,
+    AnyEvent, ArtifactHit, ArtifactMiss, ArtifactWrite, EpochCompleted, Event, ExplanationKind,
+    ExplanationProduced, FitCompleted, Kernel, KernelDispatched, LabelingStageFinished, Stage,
+    StageFinished, StageStarted,
 };
 pub use jsonl::JsonlWriter;
 pub use metrics::{Metrics, MetricsSnapshot, TimingStats};

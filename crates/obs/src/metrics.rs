@@ -242,6 +242,22 @@ impl Subscriber for Metrics {
                 *inner.counters.entry("fit.completed".to_string()).or_insert(0) += 1;
                 inner.gauges.insert("fit.fidelity".to_string(), e.fidelity);
             }
+            // Whether the store hits or misses depends on what earlier
+            // runs left under `results/cache/`, so like pool usage these
+            // live in `scheduling`, not the deterministic counters.
+            AnyEvent::ArtifactHit(e) => {
+                *inner.scheduling.entry(format!("artifact.{}.hits", e.kind)).or_insert(0) += 1;
+            }
+            AnyEvent::ArtifactMiss(e) => {
+                *inner.scheduling.entry(format!("artifact.{}.misses", e.kind)).or_insert(0) += 1;
+            }
+            AnyEvent::ArtifactWrite(e) => {
+                *inner.scheduling.entry(format!("artifact.{}.writes", e.kind)).or_insert(0) += 1;
+                *inner
+                    .scheduling
+                    .entry(format!("artifact.{}.bytes_written", e.kind))
+                    .or_insert(0) += e.bytes;
+            }
         }
     }
 }

@@ -128,6 +128,15 @@ impl Subscriber for Stderr {
             AnyEvent::FitCompleted(e) => {
                 eprintln!("[obs] fit completed, train fidelity {:.3}", e.fidelity)
             }
+            AnyEvent::ArtifactHit(e) => {
+                eprintln!("[obs] artifact {} {:016x} hit", e.kind, e.key)
+            }
+            AnyEvent::ArtifactMiss(e) => {
+                eprintln!("[obs] artifact {} {:016x} miss", e.kind, e.key)
+            }
+            AnyEvent::ArtifactWrite(e) => {
+                eprintln!("[obs] artifact {} {:016x} written ({} bytes)", e.kind, e.key, e.bytes)
+            }
         }
     }
 }

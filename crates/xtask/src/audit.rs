@@ -15,6 +15,7 @@
 //! | `hash-order` | no `HashMap`/`HashSet` on deterministic paths without justification |
 //! | `wall-clock` | no `Instant`/`SystemTime` outside the observability side |
 //! | `fp-reduce` | float reductions live in `matrix.rs`'s k-ascending kernels |
+//! | `stringly-app` | application dispatch on `"abr"`/`"cc"`/`"ddos"` literals lives in `crates/app` |
 //!
 //! A site that is deliberately exempt carries an annotation **with a
 //! reason** on its own line or the line above:
@@ -47,6 +48,16 @@ const FP_REDUCE_SCOPE: &[&str] = &["crates/nn/src/", "crates/core/src/"];
 /// kernels whose accumulation order is the determinism contract.
 const FP_REDUCE_BLESSED: &[&str] = &["crates/nn/src/matrix.rs"];
 
+/// The one home for application dispatch: the `agua-app` registry. A
+/// quoted application name on a `match` arm anywhere else is a fork of
+/// the registry that silently drifts (an unknown `--app` used to fall
+/// through a `_ =>` arm into the DDoS pipeline).
+const STRINGLY_APP_HOME: &[&str] = &["crates/app/"];
+
+/// The quoted application names whose appearance on a dispatch line
+/// (one carrying `=>`) marks stringly-typed application dispatch.
+const STRINGLY_APP_NAMES: &[&str] = &["\"abr\"", "\"cc\"", "\"cc-debugged\"", "\"ddos\""];
+
 /// Textual patterns that mark a float reduction. Untyped `.sum()` is
 /// deliberately not matched — integer sums are order-free — so typed
 /// float sums are the enforced convention on deterministic paths.
@@ -74,6 +85,9 @@ const HELP_WALL_CLOCK: &str = "deterministic outputs must not depend on timing; 
 const HELP_FP_REDUCE: &str = "float addition is not associative, so reduction order is part of \
      the determinism contract; use the k-ascending kernels in crates/nn/src/matrix.rs or \
      annotate `// audit:allow(fp-reduce): <why the evaluation order is fixed>`";
+const HELP_STRINGLY_APP: &str = "application dispatch belongs to the agua-app registry; resolve \
+     the name once with `agua_app::lookup` and go through the `Application` trait, or annotate \
+     `// audit:allow(stringly-app): <why this literal is not application dispatch>`";
 
 /// What an `unsafe` token introduces, which decides whether it needs a
 /// `SAFETY:` comment.
@@ -88,6 +102,7 @@ enum UnsafeKind {
 /// to the workspace root (it selects per-path lint scopes).
 pub fn audit_source(rel_path: &str, source: &str) -> Vec<Violation> {
     let lines = mask(source);
+    let raw: Vec<&str> = source.lines().collect();
     let mut out = Vec::new();
 
     let foreign_tests = ["/tests/", "/benches/", "/examples/"]
@@ -157,6 +172,29 @@ pub fn audit_source(rel_path: &str, source: &str) -> Vec<Violation> {
             }
         }
 
+        // String bodies are blanked in the masked view, so the literal
+        // itself is matched against the raw line; the masked view
+        // supplies the `=>` that makes it a dispatch site.
+        if !STRINGLY_APP_HOME.iter().any(|p| rel_path.starts_with(p))
+            && line.code.contains("=>")
+            && !is_allowed(&lines, idx, "stringly-app")
+        {
+            for name in STRINGLY_APP_NAMES {
+                if raw.get(idx).is_some_and(|r| raw_outside_comment(r, &line.comment, name)) {
+                    out.push(Violation {
+                        path: rel_path.to_string(),
+                        line: lineno,
+                        lint: "stringly-app",
+                        message: format!(
+                            "application name literal {name} dispatched outside the registry"
+                        ),
+                        help: HELP_STRINGLY_APP,
+                    });
+                    break;
+                }
+            }
+        }
+
         let fp_in_scope = FP_REDUCE_SCOPE.iter().any(|p| rel_path.starts_with(p))
             && !FP_REDUCE_BLESSED.contains(&rel_path);
         if fp_in_scope {
@@ -211,6 +249,33 @@ fn find_word(code: &str, word: &str) -> Option<usize> {
 
 fn has_word(code: &str, word: &str) -> bool {
     find_word(code, word).is_some()
+}
+
+/// Does `needle` appear in the raw line at a position that is *not*
+/// comment text? String bodies are blanked in both masked views, so a
+/// quoted literal in code shows blanks in the comment view while the
+/// same text in a comment shows there verbatim. Comparison is char-wise
+/// because the masked views are column-aligned per *character*.
+fn raw_outside_comment(raw: &str, comment: &str, needle: &str) -> bool {
+    let raw: Vec<char> = raw.chars().collect();
+    let com: Vec<char> = comment.chars().collect();
+    let pat: Vec<char> = needle.chars().collect();
+    if raw.len() < pat.len() {
+        return false;
+    }
+    'starts: for start in 0..=raw.len() - pat.len() {
+        for (k, &pc) in pat.iter().enumerate() {
+            if raw[start + k] != pc {
+                continue 'starts;
+            }
+        }
+        let in_comment =
+            com.get(start..start + pat.len()).is_some_and(|w| w.iter().any(|&c| c != ' '));
+        if !in_comment {
+            return true;
+        }
+    }
+    false
 }
 
 /// Is line `idx` covered by `// audit:allow(<lint>): <reason>` — as a
@@ -427,6 +492,36 @@ mod tests {
             lints("crates/nn/src/layer.rs", unsafe_in_tests),
             vec![("unsafe-outside-allowlist", 5)]
         );
+    }
+
+    #[test]
+    fn stringly_app_dispatch_is_confined_to_the_registry_crate() {
+        let bad = "fn n(app: &str) -> usize {\n    match app {\n        \"abr\" => 10,\n        \"cc\" => 3,\n        _ => 2,\n    }\n}\n";
+        assert_eq!(
+            lints("crates/bench/src/report.rs", bad),
+            vec![("stringly-app", 3), ("stringly-app", 4)]
+        );
+        // The registry crate is the one home for this dispatch.
+        assert_eq!(lints("crates/app/src/application.rs", bad), vec![]);
+        // Test code is exempt, like the other determinism lints.
+        let in_tests = format!("pub fn f() {{}}\n#[cfg(test)]\nmod tests {{\n{bad}}}\n");
+        assert_eq!(lints("crates/bench/src/report.rs", &in_tests), vec![]);
+    }
+
+    #[test]
+    fn stringly_app_annotation_and_non_dispatch_lines_are_clean() {
+        let allowed = "fn n(app: &str) -> usize {\n    match app {\n        // audit:allow(stringly-app): golden-file fixture name, not dispatch\n        \"ddos\" => 2,\n        _ => 0,\n    }\n}\n";
+        assert_eq!(lints("crates/bench/src/report.rs", allowed), vec![]);
+        // A quoted name without `=>` is data, not dispatch…
+        let data = "fn f() -> &'static str {\n    \"abr\"\n}\n";
+        assert_eq!(lints("crates/bench/src/report.rs", data), vec![]);
+        // …a comment mentioning a name next to an unrelated arm is prose…
+        let prose = "fn f(x: u32) -> u32 {\n    match x {\n        1 => 2, // the \"abr\" pipeline\n        _ => 0,\n    }\n}\n";
+        assert_eq!(lints("crates/bench/src/report.rs", prose), vec![]);
+        // …and longer names do not contain the short ones (`\"cc\"` is
+        // not inside `\"cc-debugged\"`), but both are registered names.
+        let debugged = "fn f(app: &str) -> u32 {\n    match app {\n        \"cc-debugged\" => 1,\n        _ => 0,\n    }\n}\n";
+        assert_eq!(lints("crates/bench/src/report.rs", debugged), vec![("stringly-app", 3)]);
     }
 
     #[test]
