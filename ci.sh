@@ -63,6 +63,16 @@ test -s results/BENCH_parallel.json
 if command -v jq >/dev/null 2>&1; then
   jq -e '
     .mode == "smoke"
+    and (.stages | type == "array")
+    and ([.stages[] | select(.stage == "batched_explanation")] | length > 0)
+    and all(.stages[]; .byte_identical_to_1_thread == true)
+    and (.batched_explanation_vs_reference
+         | (.reference_1t_secs | type == "number")
+         and (.fixed_1t_secs | type == "number")
+         and (.fixed_4t_secs | type == "number")
+         and (.speedup_fixed_1t_vs_reference | type == "number")
+         and (.speedup_fixed_4t_vs_reference | type == "number")
+         and .identical_to_reference == true)
     and (.matmul_sweep | type == "array" and length > 0)
     and all(.matmul_sweep[];
       (.rows | type == "number")
@@ -74,17 +84,65 @@ if command -v jq >/dev/null 2>&1; then
       and (.seq_tiled_secs | type == "number")
       and (.speedup_pool_tiled_vs_scoped_scalar | type == "number"))
     and (.speedup_pool_tiled_vs_scoped_scalar | type == "number")
+    and (.gate_calibration | type == "array" and length == 2)
+    and all(.gate_calibration[];
+      (.kernel | type == "string")
+      and (.calibrated_breakeven_flops | type == "number")
+      and (.measured_crossover_flops | type == "number")
+      and (.points | type == "array" and length > 0))
+    and (.quantized
+         | (.epsilon | type == "number")
+         and (.fidelity_drop | type == "number")
+         and (.weight_bytes_q8 | type == "number"))
     and (.kernel_dispatch_counters | type == "object")
     and (.kernel_scheduling | type == "object")
   ' <results/BENCH_parallel.json >/dev/null
+
+  # The perf gate behind this PR. Two regressions are guarded:
+  #  - batched_explanation at 4 threads vs 1 thread must stay >= 0.95.
+  #    Before the gate retune it sat at 0.93x (pure pool handoff on a
+  #    box with fewer cores than threads); after it, 4 threads can
+  #    never plan more workers than cores, so the honest floor is
+  #    ~1.0x minus timing noise on a 1-core runner and real scaling on
+  #    anything bigger.
+  #  - the rewritten batched path must stay >= 1.5x the retired
+  #    two-forward implementation (measured 2.1-2.2x; ratcheted from
+  #    the 1.0 the issue opened with once the fix landed).
+  # Plus the int8 surrogate must clear its fidelity gate.
+  jq -e '
+    ([.stages[]
+      | select(.stage == "batched_explanation" and .threads == 4)
+      | .speedup_vs_1_thread] | min) >= 0.95
+  ' <results/BENCH_parallel.json >/dev/null || {
+    echo "perf gate: batched_explanation 4-thread speedup regressed below 0.95" >&2
+    exit 1
+  }
+  jq -e '.batched_explanation_vs_reference.speedup_fixed_4t_vs_reference >= 1.5' \
+    <results/BENCH_parallel.json >/dev/null || {
+    echo "perf gate: batched explanation fell below 1.5x the retired reference" >&2
+    exit 1
+  }
+  jq -e '.quantized.gate_passes == true' <results/BENCH_parallel.json >/dev/null || {
+    echo "perf gate: int8 surrogate failed its fidelity gate" >&2
+    exit 1
+  }
+  echo "    perf gate ok: $(jq -r '
+    "explain@4t " + (.stages[] | select(.stage == "batched_explanation" and .threads == 4)
+                     | .speedup_vs_1_thread | tostring)
+    + "x, vs reference "
+    + (.batched_explanation_vs_reference.speedup_fixed_4t_vs_reference | tostring)
+    + "x, q8 drop " + (.quantized.fidelity_drop | tostring)
+  ' <results/BENCH_parallel.json)"
 else
   # Without jq: the report must at least carry the top-level keys.
-  for key in mode matmul_sweep speedup_pool_tiled_vs_scoped_scalar \
+  for key in mode stages batched_explanation_vs_reference matmul_sweep \
+             speedup_pool_tiled_vs_scoped_scalar gate_calibration quantized \
              kernel_dispatch_counters kernel_scheduling; do
     grep -q "\"$key\"" results/BENCH_parallel.json || {
       echo "missing key in BENCH_parallel.json: $key" >&2; exit 1
     }
   done
+  echo "    jq unavailable: schema keys checked, perf gate skipped"
 fi
 echo "    bench report ok: $(wc -c <results/BENCH_parallel.json) bytes"
 

@@ -19,9 +19,13 @@
 use std::fmt;
 
 use agua::labeling::Quantizer;
+use agua::quantized::QuantizedAguaModel;
 use agua::surrogate::{AguaModel, ConceptMapping, OutputMapping};
 use agua_controllers::policy::PolicyNet;
-use agua_nn::{LayerKind, LayerNorm, Linear, Matrix, Mlp, Param, ReLU, Tanh};
+use agua_nn::{
+    LayerKind, LayerNorm, Linear, Matrix, Mlp, Param, QuantLayer, QuantizedLinear, QuantizedMlp,
+    ReLU, Tanh,
+};
 use agua_text::describer::DescribedSection;
 use agua_text::stats::SignalSeries;
 use serde_json::Value;
@@ -122,6 +126,25 @@ pub fn f32s_value(values: &[f32]) -> Value {
 
 pub fn f32s_of(v: &Value, what: &str) -> Result<Vec<f32>, CodecError> {
     arr_of(v, what)?.iter().map(|item| f32_of(item, what)).collect()
+}
+
+/// Encodes int8 weights as a plain JSON number array — every `i8` is
+/// exactly representable as an `f64`, so the round trip is lossless.
+pub fn i8s_value(values: &[i8]) -> Value {
+    Value::Array(values.iter().map(|&v| Value::Number(f64::from(v))).collect())
+}
+
+pub fn i8s_of(v: &Value, what: &str) -> Result<Vec<i8>, CodecError> {
+    arr_of(v, what)?
+        .iter()
+        .map(|item| {
+            let n = f64_of(item, what)?;
+            if n.fract() != 0.0 || !(-128.0..=127.0).contains(&n) {
+                return fail(what, "expected an int8 integer");
+            }
+            Ok(n as i8)
+        })
+        .collect()
 }
 
 pub fn usizes_value(values: &[usize]) -> Value {
@@ -232,6 +255,127 @@ impl Artifact for Mlp {
             .map(decode_layer)
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Mlp { layers })
+    }
+}
+
+// ---- quantized tensors and layers ---------------------------------------
+
+fn encode_qlinear(l: &QuantizedLinear) -> Value {
+    object(vec![
+        ("bias", f32s_value(&l.bias)),
+        ("in_dim", Value::Number(l.in_dim as f64)),
+        ("out_dim", Value::Number(l.out_dim as f64)),
+        ("scale", Value::Number(f64::from(l.scale))),
+        ("weight_t", i8s_value(&l.weight_t)),
+    ])
+}
+
+fn decode_qlinear(v: &Value) -> Result<QuantizedLinear, CodecError> {
+    let in_dim = usize_of(get(v, "in_dim", "QuantizedLinear")?, "QuantizedLinear.in_dim")?;
+    let out_dim = usize_of(get(v, "out_dim", "QuantizedLinear")?, "QuantizedLinear.out_dim")?;
+    let scale = f32_of(get(v, "scale", "QuantizedLinear")?, "QuantizedLinear.scale")?;
+    let weight_t = i8s_of(get(v, "weight_t", "QuantizedLinear")?, "QuantizedLinear.weight_t")?;
+    let bias = f32s_of(get(v, "bias", "QuantizedLinear")?, "QuantizedLinear.bias")?;
+    // Validate here so a corrupt cache file degrades to a decode error
+    // (a store miss), never to a `from_parts` panic.
+    if weight_t.len() != in_dim * out_dim || bias.len() != out_dim {
+        return fail("QuantizedLinear", "buffer lengths do not match the declared shape");
+    }
+    if !(scale > 0.0 && scale.is_finite()) {
+        return fail("QuantizedLinear", "scale must be positive and finite");
+    }
+    Ok(QuantizedLinear::from_parts(in_dim, out_dim, scale, weight_t, bias))
+}
+
+fn encode_qlayer(layer: &QuantLayer) -> Value {
+    match layer {
+        QuantLayer::Linear(l) => object(vec![("Linear", encode_qlinear(l))]),
+        QuantLayer::ReLU => object(vec![("ReLU", object(Vec::new()))]),
+        QuantLayer::Tanh => object(vec![("Tanh", object(Vec::new()))]),
+        QuantLayer::LayerNorm { gamma, beta, eps } => object(vec![(
+            "LayerNorm",
+            object(vec![
+                ("beta", f32s_value(beta)),
+                ("eps", Value::Number(f64::from(*eps))),
+                ("gamma", f32s_value(gamma)),
+            ]),
+        )]),
+    }
+}
+
+fn decode_qlayer(v: &Value) -> Result<QuantLayer, CodecError> {
+    let m = match v {
+        Value::Object(m) if m.len() == 1 => m,
+        _ => return fail("QuantLayer", "expected a single-variant object"),
+    };
+    let (tag, body) = m.iter().next().expect("len checked");
+    match tag.as_str() {
+        "Linear" => Ok(QuantLayer::Linear(decode_qlinear(body)?)),
+        "ReLU" => Ok(QuantLayer::ReLU),
+        "Tanh" => Ok(QuantLayer::Tanh),
+        "LayerNorm" => {
+            let gamma = f32s_of(get(body, "gamma", "QuantLayer")?, "QuantLayer.gamma")?;
+            let beta = f32s_of(get(body, "beta", "QuantLayer")?, "QuantLayer.beta")?;
+            let eps = f32_of(get(body, "eps", "QuantLayer")?, "QuantLayer.eps")?;
+            if gamma.len() != beta.len() {
+                return fail("QuantLayer", "γ/β lengths disagree");
+            }
+            Ok(QuantLayer::LayerNorm { gamma, beta, eps })
+        }
+        other => fail("QuantLayer", &format!("unknown layer `{other}`")),
+    }
+}
+
+impl Artifact for QuantizedAguaModel {
+    fn encode(&self) -> Value {
+        object(vec![
+            (
+                "concept_names",
+                Value::Array(self.concept_names.iter().map(|n| Value::String(n.clone())).collect()),
+            ),
+            ("concepts", Value::Number(self.concepts as f64)),
+            (
+                "delta",
+                object(vec![(
+                    "layers",
+                    Value::Array(self.delta.layers.iter().map(encode_qlayer).collect()),
+                )]),
+            ),
+            ("k", Value::Number(self.k as f64)),
+            ("n_outputs", Value::Number(self.n_outputs as f64)),
+            ("omega", encode_qlinear(&self.omega)),
+        ])
+    }
+
+    fn decode(value: &Value) -> Result<Self, CodecError> {
+        let what = "QuantizedAguaModel";
+        let delta_v = get(value, "delta", what)?;
+        let layers = arr_of(get(delta_v, "layers", "QuantizedMlp")?, "QuantizedMlp.layers")?
+            .iter()
+            .map(decode_qlayer)
+            .collect::<Result<Vec<_>, _>>()?;
+        let omega = decode_qlinear(get(value, "omega", what)?)?;
+        let concepts = usize_of(get(value, "concepts", what)?, "QuantizedAguaModel.concepts")?;
+        let k = usize_of(get(value, "k", what)?, "QuantizedAguaModel.k")?;
+        let n_outputs = usize_of(get(value, "n_outputs", what)?, "QuantizedAguaModel.n_outputs")?;
+        let concept_names = arr_of(get(value, "concept_names", what)?, what)?
+            .iter()
+            .map(|n| str_of(n, "QuantizedAguaModel.concept_names").map(str::to_string))
+            .collect::<Result<Vec<_>, _>>()?;
+        if concept_names.len() != concepts {
+            return fail(what, "one concept name per concept required");
+        }
+        if omega.in_dim != concepts * k || omega.out_dim != n_outputs {
+            return fail(what, "Ω shape disagrees with C·k inputs / n_outputs");
+        }
+        Ok(QuantizedAguaModel {
+            delta: QuantizedMlp { layers },
+            omega,
+            concepts,
+            k,
+            n_outputs,
+            concept_names,
+        })
     }
 }
 
@@ -470,6 +614,50 @@ mod tests {
 
         let x = Matrix::from_fn(4, 6, |r, c| (r as f32 - 1.5) * (c as f32 + 0.3) * 0.2);
         assert_eq!(mlp.infer(&x).as_slice(), restored.infer(&x).as_slice());
+    }
+
+    #[test]
+    fn quantized_model_round_trips_bit_identically() {
+        let controller = DDOS.build_controller(7);
+        let data = DDOS.rollout(&controller, &RolloutSpec::new(30, 8));
+        let (model, _) = fit_agua(
+            &DDOS.concepts(),
+            DDOS.n_outputs(),
+            &data,
+            LlmVariant::HighQuality,
+            &TrainParams::fast(),
+            9,
+        );
+        let q = QuantizedAguaModel::from_model(&model);
+
+        let bytes = serde_json::to_string(&q.encode()).unwrap();
+        let q2 = QuantizedAguaModel::decode(&serde_json::from_str(&bytes).unwrap()).unwrap();
+        assert_eq!(
+            q.predict_logits(&data.embeddings).as_slice(),
+            q2.predict_logits(&data.embeddings).as_slice()
+        );
+        assert_eq!(q.weight_bytes(), q2.weight_bytes());
+        assert_eq!(q.concept_names, q2.concept_names);
+        // Canonical bytes: re-encoding the decoded model is stable.
+        assert_eq!(bytes, serde_json::to_string(&q2.encode()).unwrap());
+    }
+
+    #[test]
+    fn quantized_decode_rejects_bad_shapes_and_ranges() {
+        // Weight buffer shorter than in_dim × out_dim: an error, not a
+        // `from_parts` panic.
+        let bad = object(vec![
+            ("bias", f32s_value(&[0.0, 0.0])),
+            ("in_dim", Value::Number(3.0)),
+            ("out_dim", Value::Number(2.0)),
+            ("scale", Value::Number(0.5)),
+            ("weight_t", i8s_value(&[1, 2, 3])),
+        ]);
+        assert!(decode_qlinear(&bad).unwrap_err().to_string().contains("QuantizedLinear"));
+        // Out-of-range or fractional entries are not int8.
+        assert!(i8s_of(&Value::Array(vec![Value::Number(200.0)]), "w").is_err());
+        assert!(i8s_of(&Value::Array(vec![Value::Number(0.5)]), "w").is_err());
+        assert_eq!(i8s_of(&i8s_value(&[-128, -1, 0, 127]), "w").unwrap(), vec![-128, -1, 0, 127]);
     }
 
     #[test]

@@ -29,6 +29,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use agua::labeling::ConceptLabeler;
+use agua::quantized::{QuantFidelityReport, QuantizedAguaModel};
 use agua::surrogate::{AguaModel, TrainParams};
 use agua_controllers::policy::PolicyNet;
 use agua_obs::{emit, ArtifactHit, ArtifactMiss, ArtifactWrite, Subscriber};
@@ -264,6 +265,36 @@ impl Store {
         });
         (model, labeler_for(&concepts, variant))
     }
+
+    /// An int8 quantized mirror of a stored surrogate, cached under its
+    /// own `surrogate_q8` kind. The quantized weights are deterministic
+    /// in the `f32` model alone, so the spec names only the surrogate
+    /// key; `epsilon` and the calibration batch affect the *gate*, not
+    /// the artifact, and the fidelity gate therefore runs on hit and
+    /// miss alike — a cached quantized model is still withheld when its
+    /// fidelity drop on `calibration` exceeds `epsilon`.
+    pub fn surrogate_q8(
+        &self,
+        model: &Keyed<AguaModel>,
+        calibration: &Keyed<AppData>,
+        epsilon: f32,
+        obs: &dyn Subscriber,
+    ) -> Result<(Keyed<QuantizedAguaModel>, QuantFidelityReport), QuantFidelityReport> {
+        let spec = object(vec![("surrogate", Value::String(format!("{:016x}", model.key)))]);
+        let quantized = self
+            .get_or_compute("surrogate_q8", &spec, obs, || QuantizedAguaModel::from_model(model));
+        let report = quantized.fidelity_report(
+            model,
+            &calibration.embeddings,
+            &calibration.outputs,
+            epsilon,
+        );
+        if report.passes {
+            Ok((quantized, report))
+        } else {
+            Err(report)
+        }
+    }
 }
 
 /// Canonical spec encoding of [`TrainParams`] — every field, by name.
@@ -381,6 +412,47 @@ mod tests {
         let sched = metrics.snapshot().scheduling;
         assert_eq!(sched.get("artifact.surrogate.hits"), Some(&1));
         assert_eq!(sched.get("artifact.surrogate.misses"), Some(&3));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn quantized_surrogate_lives_under_its_own_spec_key() {
+        let store = temp_store(CacheMode::On);
+        let metrics = agua_obs::Metrics::new();
+        let base = TrainParams::fast();
+        let c = store.controller(&DDOS, 31, &metrics);
+        let train = store.rollout(&DDOS, &c, &RolloutSpec::new(30, 32), &metrics);
+        let (model, _) = store.surrogate(
+            &DDOS,
+            crate::data::LlmVariant::HighQuality,
+            &base,
+            33,
+            &train,
+            &metrics,
+        );
+
+        // ε = 1.0 always passes (fidelity drop cannot exceed 1).
+        let (q1, r1) = store.surrogate_q8(&model, &train, 1.0, &metrics).expect("gate passes");
+        assert_ne!(q1.key, model.key, "quantized artifact must have its own key");
+
+        // A fresh store over the same directory decodes from disk and
+        // reproduces the quantized predictions bit-for-bit.
+        let fresh = Store::with_mode(store.root(), CacheMode::On);
+        let (q2, r2) = fresh.surrogate_q8(&model, &train, 1.0, &metrics).expect("gate on hit");
+        assert_eq!(q1.key, q2.key);
+        assert_eq!(
+            q1.predict_logits(&train.embeddings).as_slice(),
+            q2.predict_logits(&train.embeddings).as_slice()
+        );
+        assert_eq!(r1, r2, "the gate report is recomputed identically on a hit");
+        let sched = metrics.snapshot().scheduling;
+        assert_eq!(sched.get("artifact.surrogate_q8.misses"), Some(&1));
+        assert_eq!(sched.get("artifact.surrogate_q8.hits"), Some(&1));
+
+        // An impossible ε withholds even a cached quantized model.
+        let err = store.surrogate_q8(&model, &train, -2.0, &metrics).expect_err("impossible ε");
+        assert!(!err.passes);
+        assert_eq!(err.epsilon, -2.0);
         let _ = fs::remove_dir_all(store.root());
     }
 

@@ -171,10 +171,10 @@ fn bench_parallel_backend(c: &mut Criterion) {
     let mut group = c.benchmark_group("parallel");
     group.sample_size(10);
     for threads in [1usize, 2, 4] {
-        group.bench_function(format!("matmul_1024x256x512_t{threads}"), |bench| {
+        group.bench_function(&format!("matmul_1024x256x512_t{threads}"), |bench| {
             bench.iter(|| with_threads(threads, || par_matmul(black_box(&a), black_box(&b))))
         });
-        group.bench_function(format!("surrogate_fit_2000_t{threads}"), |bench| {
+        group.bench_function(&format!("surrogate_fit_2000_t{threads}"), |bench| {
             bench.iter(|| {
                 with_threads(threads, || {
                     AguaModel::fit(
@@ -194,7 +194,7 @@ fn bench_parallel_backend(c: &mut Criterion) {
     let mut group = c.benchmark_group("parallel_explain");
     group.sample_size(10);
     for threads in [1usize, 2, 4] {
-        group.bench_function(format!("batched_explanation_2000_t{threads}"), |bench| {
+        group.bench_function(&format!("batched_explanation_2000_t{threads}"), |bench| {
             bench.iter(|| {
                 with_threads(threads, || {
                     batched(black_box(&model), black_box(&dataset.embeddings), 0)

@@ -5,27 +5,48 @@
 //!
 //! Verifies that the deterministic row-partitioned backend produces
 //! byte-identical models and explanations at every thread count, then
-//! records the measured wall-clock speedups — timed through the
-//! `agua-obs` span API, so the numbers persisted here are the same
-//! readings any attached subscriber sees — plus the kernel-dispatch
-//! counter snapshot, in `results/BENCH_parallel.json` (and, on a full
-//! run, the repo-root `BENCH_parallel.json` committed as the record of
-//! this machine's speedups).
+//! records the measured wall-clock speedups — minimum per-rep times
+//! (interference spikes filtered), with stage spans still emitted
+//! through the `agua-obs` span API for any attached subscriber — plus
+//! the kernel-dispatch counter snapshot, in
+//! `results/BENCH_parallel.json` (and, on a full run, the repo-root
+//! `BENCH_parallel.json` committed as the record of this machine's
+//! speedups).
 //!
-//! `--smoke` runs only the matmul sweep at reduced repetitions and
-//! skips the repo-root write: fast enough for CI, still producing a
-//! schema-complete `results/BENCH_parallel.json` for validation.
+//! Four sections beyond the stage timings:
+//!
+//! - `batched_explanation_vs_reference`: the rewritten batched
+//!   explanation against the retired two-forward implementation it
+//!   replaced (`explain::batched_reference`) — the regression gate.
+//! - `matmul_sweep`: pool+tiled vs scoped-spawn scalar kernels.
+//! - `gate_calibration`: each kernel timed sequentially and
+//!   pool-dispatched across a ladder of doubling sizes; the measured
+//!   crossover is the evidence behind the `breakeven` constants in
+//!   `agua_nn::parallel`.
+//! - `quantized`: the int8 surrogate's Table-2-style fidelity gate and
+//!   its weight-footprint / inference-time trade against `f32`.
+//!
+//! `--smoke` shrinks the workload (untrained surrogate, reduced reps,
+//! no training stage) and skips the repo-root write: fast enough for
+//! CI, still producing a schema-complete `results/BENCH_parallel.json`
+//! — including a real `batched_explanation` stage — for the `ci.sh`
+//! perf gate to validate.
 
 #![forbid(unsafe_code)]
 
 use agua::explain;
-use agua::surrogate::AguaModel;
+use agua::quantized::QuantizedAguaModel;
+use agua::surrogate::{AguaModel, ConceptMapping, OutputMapping};
 use agua_bench::report::{banner, save_json};
 use agua_bench::synth::{bench_params, synthetic_surrogate, SynthSpec};
-use agua_nn::parallel::{reference, with_thread_config, with_threads, ThreadConfig};
+use agua_nn::parallel::{
+    breakeven, reference, with_thread_config, with_threads, ThreadConfig, EXP_ELEM_FLOPS,
+};
 use agua_nn::Matrix;
 use agua_obs::scoped::with_scoped_subscriber;
 use agua_obs::{span_end, span_start, Metrics, Stage};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde::ser::SerializeStruct;
 use serde::{Serialize, Serializer};
 use std::collections::BTreeMap;
@@ -94,19 +115,140 @@ impl Serialize for SweepShape {
     }
 }
 
-/// The persisted report: per-stage timings, the matmul sweep, and the
+/// One rung of a gate-calibration ladder: the same operation timed
+/// sequentially and force-dispatched on the pool at 4 threads.
+#[derive(Debug)]
+struct GateCalibrationPoint {
+    flops: u64,
+    seq_secs: f64,
+    pool_4t_secs: f64,
+    parallel_wins: bool,
+}
+
+impl Serialize for GateCalibrationPoint {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("GateCalibrationPoint", 4)?;
+        s.serialize_field("flops", &self.flops)?;
+        s.serialize_field("seq_secs", &self.seq_secs)?;
+        s.serialize_field("pool_4t_secs", &self.pool_4t_secs)?;
+        s.serialize_field("parallel_wins", &self.parallel_wins)?;
+        s.end()
+    }
+}
+
+/// Measured vs calibrated break-even point for one kernel: the
+/// evidence behind `agua_nn::parallel::breakeven`.
+#[derive(Debug)]
+struct GateCalibration {
+    kernel: String,
+    /// The constant the dispatch gate ships with.
+    calibrated_breakeven_flops: u64,
+    /// Smallest ladder rung from which the pool dispatch wins at every
+    /// larger size (0 when parallel never wins on this machine).
+    measured_crossover_flops: u64,
+    points: Vec<GateCalibrationPoint>,
+}
+
+impl Serialize for GateCalibration {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("GateCalibration", 4)?;
+        s.serialize_field("kernel", &self.kernel)?;
+        s.serialize_field("calibrated_breakeven_flops", &self.calibrated_breakeven_flops)?;
+        s.serialize_field("measured_crossover_flops", &self.measured_crossover_flops)?;
+        s.serialize_field("points", &self.points)?;
+        s.end()
+    }
+}
+
+/// The int8 quantized surrogate measured against its `f32` original:
+/// the Table-2-style fidelity gate plus footprint and inference time.
+#[derive(Debug)]
+struct QuantizedSection {
+    /// Gate tolerance (max admissible fidelity drop).
+    epsilon: f64,
+    /// `f32` surrogate fidelity on the calibration batch — 1.0 here,
+    /// because the `f32` model's own predictions are the reference.
+    f32_fidelity: f64,
+    quantized_fidelity: f64,
+    fidelity_drop: f64,
+    gate_passes: bool,
+    weight_bytes_f32: u64,
+    weight_bytes_q8: u64,
+    predict_f32_4t_secs: f64,
+    predict_q8_4t_secs: f64,
+}
+
+impl Serialize for QuantizedSection {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("QuantizedSection", 9)?;
+        s.serialize_field("epsilon", &self.epsilon)?;
+        s.serialize_field("f32_fidelity", &self.f32_fidelity)?;
+        s.serialize_field("quantized_fidelity", &self.quantized_fidelity)?;
+        s.serialize_field("fidelity_drop", &self.fidelity_drop)?;
+        s.serialize_field("gate_passes", &self.gate_passes)?;
+        s.serialize_field("weight_bytes_f32", &self.weight_bytes_f32)?;
+        s.serialize_field("weight_bytes_q8", &self.weight_bytes_q8)?;
+        s.serialize_field("predict_f32_4t_secs", &self.predict_f32_4t_secs)?;
+        s.serialize_field("predict_q8_4t_secs", &self.predict_q8_4t_secs)?;
+        s.end()
+    }
+}
+
+/// The batched-explanation fix measured against the retired
+/// implementation it replaced (`explain::batched_reference`: two δ
+/// forwards plus per-row contribution vectors, string clones, and
+/// sorts). This is the honest form of the stage's speedup on any
+/// machine: thread scaling needs cores, but the algorithmic win —
+/// half the forwards, no per-row allocation churn — does not.
+#[derive(Debug)]
+struct ExplanationRegression {
+    /// Retired implementation, 1 thread.
+    reference_1t_secs: f64,
+    /// Rewritten path, 1 thread (pure algorithmic win).
+    fixed_1t_secs: f64,
+    /// Rewritten path, 4 threads under the calibrated gate (adds
+    /// whatever thread scaling this machine can actually provide).
+    fixed_4t_secs: f64,
+    speedup_fixed_1t_vs_reference: f64,
+    /// The headline regression-gate number.
+    speedup_fixed_4t_vs_reference: f64,
+    /// Fixed path (both thread counts) byte-identical to the reference.
+    identical_to_reference: bool,
+}
+
+impl Serialize for ExplanationRegression {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("ExplanationRegression", 6)?;
+        s.serialize_field("reference_1t_secs", &self.reference_1t_secs)?;
+        s.serialize_field("fixed_1t_secs", &self.fixed_1t_secs)?;
+        s.serialize_field("fixed_4t_secs", &self.fixed_4t_secs)?;
+        s.serialize_field("speedup_fixed_1t_vs_reference", &self.speedup_fixed_1t_vs_reference)?;
+        s.serialize_field("speedup_fixed_4t_vs_reference", &self.speedup_fixed_4t_vs_reference)?;
+        s.serialize_field("identical_to_reference", &self.identical_to_reference)?;
+        s.end()
+    }
+}
+
+/// The persisted report: per-stage timings, the matmul sweep, the gate
+/// calibration ladders, the quantized-surrogate section, and the
 /// kernel-dispatch counters aggregated by the `Metrics` subscriber over
 /// the whole run.
 #[derive(Debug)]
 struct BenchParallelReport {
-    /// "full" or "smoke" (`--smoke` skips the training stages).
+    /// "full" or "smoke" (`--smoke` skips the training stage).
     mode: String,
     stages: Vec<StageResult>,
+    /// Rewritten batched-explanation path vs the retired one.
+    batched_explanation_vs_reference: ExplanationRegression,
     /// δ-fit-shaped matmuls, pool+tiled vs scoped-spawn scalar.
     matmul_sweep: Vec<SweepShape>,
     /// Total-time speedup of the pool+tiled path over the scoped-spawn
     /// scalar baseline across the whole sweep at 4 threads.
     speedup_pool_tiled_vs_scoped_scalar: f64,
+    /// Per-kernel sequential-vs-pool crossover ladders.
+    gate_calibration: Vec<GateCalibration>,
+    /// Int8 surrogate fidelity gate + footprint/time trade.
+    quantized: QuantizedSection,
     /// Deterministic dispatch/MAC counters (`kernel.*`), identical at
     /// any thread count.
     kernel_dispatch_counters: BTreeMap<String, u64>,
@@ -118,14 +260,20 @@ struct BenchParallelReport {
 
 impl Serialize for BenchParallelReport {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("BenchParallelReport", 6)?;
+        let mut s = serializer.serialize_struct("BenchParallelReport", 9)?;
         s.serialize_field("mode", &self.mode)?;
         s.serialize_field("stages", &self.stages)?;
+        s.serialize_field(
+            "batched_explanation_vs_reference",
+            &self.batched_explanation_vs_reference,
+        )?;
         s.serialize_field("matmul_sweep", &self.matmul_sweep)?;
         s.serialize_field(
             "speedup_pool_tiled_vs_scoped_scalar",
             &self.speedup_pool_tiled_vs_scoped_scalar,
         )?;
+        s.serialize_field("gate_calibration", &self.gate_calibration)?;
+        s.serialize_field("quantized", &self.quantized)?;
         s.serialize_field("kernel_dispatch_counters", &self.kernel_dispatch_counters)?;
         s.serialize_field("kernel_scheduling", &self.kernel_scheduling)?;
         s.end()
@@ -147,11 +295,23 @@ fn sweep_mat(rows: usize, cols: usize, salt: usize) -> Matrix {
     Matrix::from_fn(rows, cols, |r, c| ((r * 31 + c * 7 + salt * 13) % 101) as f32 / 50.0 - 1.0)
 }
 
+/// An untrained surrogate with δ's real architecture (Linear → ReLU →
+/// LayerNorm → Linear): random weights time exactly like trained ones,
+/// so the smoke-mode explanation stage can skip the expensive fit.
+fn untrained_model(spec: SynthSpec, hidden: usize) -> AguaModel {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let concept_mapping =
+        ConceptMapping::new(&mut rng, spec.emb_dim, hidden, spec.concepts, spec.k);
+    let output_mapping = OutputMapping::new(&mut rng, spec.concepts * spec.k, spec.n_outputs);
+    let concept_names = (0..spec.concepts).map(|g| format!("synthetic concept {g}")).collect();
+    AguaModel { concept_mapping, output_mapping, concept_names }
+}
+
 /// Times `f` over `reps` repetitions (after one untimed warm-up) and
 /// returns the *minimum* per-rep time: the steady-state cost with
 /// scheduler noise and interference spikes filtered out, which is the
 /// stable statistic on a shared machine.
-fn time_reps(reps: usize, mut f: impl FnMut() -> Matrix) -> (f64, Matrix) {
+fn time_reps<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     let mut last = f(); // warm-up rep, also the checked output
     let mut best = f64::INFINITY;
     for _ in 0..reps {
@@ -160,6 +320,103 @@ fn time_reps(reps: usize, mut f: impl FnMut() -> Matrix) -> (f64, Matrix) {
         best = best.min(start.elapsed().as_secs_f64());
     }
     (best, last)
+}
+
+/// The batched-explanation stage: `reps` full-dataset explanations at
+/// each thread count, byte-compared against the 1-thread baseline.
+fn run_explanation_stage(
+    model: &AguaModel,
+    embeddings: &Matrix,
+    reps: usize,
+    metrics: &Rc<Metrics>,
+    rows: &mut Vec<StageResult>,
+) {
+    println!("\n[batched explanation] n={} reps={reps}", embeddings.rows());
+    let mut baseline_weights: Vec<u32> = Vec::new();
+    let mut base_secs = 0.0f64;
+    for &threads in &[1usize, 2, 4] {
+        // The span gives subscribers the stage total; the persisted row
+        // records the minimum per-rep time (see `time_reps`) so the
+        // speedup column isn't an interference-spike lottery.
+        let span = span_start(&**metrics, Stage::Custom("batched_explanation"));
+        let (secs, explanation) = time_reps(reps, || {
+            with_scoped_subscriber(metrics.clone(), || {
+                with_threads(threads, || explain::batched(model, embeddings, 0))
+            })
+        });
+        span_end(&**metrics, span);
+        let weight_bits: Vec<u32> =
+            explanation.contributions.iter().map(|c| c.weight.to_bits()).collect();
+        let identical = if threads == 1 {
+            base_secs = secs;
+            baseline_weights = weight_bits;
+            true
+        } else {
+            weight_bits == baseline_weights
+        };
+        let speedup = base_secs / secs;
+        println!("  threads={threads}: {secs:.3}s  speedup={speedup:.2}x  identical={identical}");
+        rows.push(StageResult {
+            stage: "batched_explanation".into(),
+            threads,
+            seconds: secs,
+            speedup_vs_1_thread: speedup,
+            byte_identical_to_1_thread: identical,
+        });
+    }
+}
+
+/// Every float of a batched explanation, bit-exact, plus the concept
+/// ranking — the comparison key for the vs-reference section.
+fn explanation_bits(b: &agua::explain::BatchedExplanation) -> (Vec<String>, Vec<u32>) {
+    let names = b.contributions.iter().map(|c| c.concept.clone()).collect();
+    let mut out = vec![b.mean_output_prob.to_bits()];
+    for c in &b.contributions {
+        out.push(c.weight.to_bits());
+        out.extend(c.per_class.iter().map(|v| v.to_bits()));
+    }
+    (names, out)
+}
+
+/// The fix vs the code it replaced: `explain::batched` against
+/// `explain::batched_reference` at 1 thread, plus the fixed path at 4
+/// threads under the calibrated gate (which caps workers at this
+/// machine's cores, so on a 1-core box it degrades to the 1-thread
+/// number instead of the sub-1× pool-overhead regression).
+fn run_explanation_regression(
+    model: &AguaModel,
+    embeddings: &Matrix,
+    reps: usize,
+    metrics: &Rc<Metrics>,
+) -> ExplanationRegression {
+    println!("\n[vs retired reference] n={} reps={reps}", embeddings.rows());
+    let timed = |threads: usize, f: &dyn Fn() -> agua::explain::BatchedExplanation| {
+        time_reps(reps, || with_scoped_subscriber(metrics.clone(), || with_threads(threads, f)))
+    };
+    let (reference_secs, reference) =
+        timed(1, &|| explain::batched_reference(model, embeddings, 0));
+    let (fixed_1t_secs, fixed_1t) = timed(1, &|| explain::batched(model, embeddings, 0));
+    let (fixed_4t_secs, fixed_4t) = timed(4, &|| explain::batched(model, embeddings, 0));
+
+    let ref_key = explanation_bits(&reference);
+    let identical =
+        explanation_bits(&fixed_1t) == ref_key && explanation_bits(&fixed_4t) == ref_key;
+    let speedup_1t = reference_secs / fixed_1t_secs;
+    let speedup_4t = reference_secs / fixed_4t_secs;
+    println!(
+        "  reference={:.0}us fixed_1t={:.0}us fixed_4t={:.0}us  speedup_4t={speedup_4t:.2}x  identical={identical}",
+        reference_secs * 1e6,
+        fixed_1t_secs * 1e6,
+        fixed_4t_secs * 1e6,
+    );
+    ExplanationRegression {
+        reference_1t_secs: reference_secs,
+        fixed_1t_secs,
+        fixed_4t_secs,
+        speedup_fixed_1t_vs_reference: speedup_1t,
+        speedup_fixed_4t_vs_reference: speedup_4t,
+        identical_to_reference: identical,
+    }
 }
 
 /// The matmul sweep: δ-fit-shaped products (batch × emb → hidden,
@@ -217,6 +474,146 @@ fn run_sweep(reps: usize) -> (Vec<SweepShape>, f64) {
     (rows, overall)
 }
 
+/// Smallest rung from which the pool wins at every larger size.
+fn crossover(points: &[GateCalibrationPoint]) -> u64 {
+    let mut best = 0u64;
+    for p in points {
+        if p.parallel_wins {
+            if best == 0 {
+                best = p.flops;
+            }
+        } else {
+            best = 0;
+        }
+    }
+    best
+}
+
+/// The gate-calibration sweep: each kernel timed sequentially vs
+/// force-dispatched at 4 threads across a ladder of doubling sizes.
+/// The crossover is what the `breakeven` constants are calibrated to.
+fn run_gate_calibration(reps: usize) -> Vec<GateCalibration> {
+    let seq = ThreadConfig { threads: 1, min_flops: 0 };
+    let par = ThreadConfig { threads: 4, min_flops: 0 };
+    println!("\n[gate calibration] sequential vs forced 4-thread pool dispatch, {reps} reps");
+    let mut out = Vec::new();
+
+    // matmul: square-ish m×128×m products doubling in MACs.
+    let mut points = Vec::new();
+    for &m in &[4usize, 8, 16, 32, 64, 128] {
+        let a = sweep_mat(m, 128, 3);
+        let b = sweep_mat(128, m, 4);
+        let flops = (m * 128 * m) as u64;
+        let (seq_secs, s_out) =
+            time_reps(reps, || with_thread_config(seq, || agua_nn::par_matmul(&a, &b)));
+        let (pool_secs, p_out) =
+            time_reps(reps, || with_thread_config(par, || agua_nn::par_matmul(&a, &b)));
+        assert_eq!(bits(&s_out), bits(&p_out), "calibration outputs must agree");
+        points.push(GateCalibrationPoint {
+            flops,
+            seq_secs,
+            pool_4t_secs: pool_secs,
+            parallel_wins: pool_secs < seq_secs,
+        });
+    }
+    let measured = crossover(&points);
+    println!("  matmul: calibrated={} measured_crossover={measured}", breakeven::MATMUL);
+    out.push(GateCalibration {
+        kernel: "matmul".into(),
+        calibrated_breakeven_flops: breakeven::MATMUL as u64,
+        measured_crossover_flops: measured,
+        points,
+    });
+
+    // for_each_rows: an exp-shaped row epilogue (the batched-explanation
+    // transform) over m×32 matrices, cost-weighted at EXP_ELEM_FLOPS.
+    let cols = 32usize;
+    let mut points = Vec::new();
+    for &m in &[16usize, 32, 64, 128, 256, 512, 1024] {
+        let src = sweep_mat(m, cols, 5);
+        let flops = (m * cols * EXP_ELEM_FLOPS) as u64;
+        let body = |cfg: ThreadConfig| {
+            let mut work = src.clone();
+            with_thread_config(cfg, || {
+                agua_nn::parallel::par_for_each_rows_cost(&mut work, EXP_ELEM_FLOPS, |_, row| {
+                    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let mut sum = 0.0f32;
+                    for v in row.iter_mut() {
+                        *v = (*v - max).exp();
+                        sum += *v;
+                    }
+                    for v in row.iter_mut() {
+                        *v /= sum;
+                    }
+                })
+            });
+            work
+        };
+        let (seq_secs, s_out) = time_reps(reps, || body(seq));
+        let (pool_secs, p_out) = time_reps(reps, || body(par));
+        assert_eq!(bits(&s_out), bits(&p_out), "calibration outputs must agree");
+        points.push(GateCalibrationPoint {
+            flops,
+            seq_secs,
+            pool_4t_secs: pool_secs,
+            parallel_wins: pool_secs < seq_secs,
+        });
+    }
+    let measured = crossover(&points);
+    println!(
+        "  for_each_rows: calibrated={} measured_crossover={measured}",
+        breakeven::FOR_EACH_ROWS
+    );
+    out.push(GateCalibration {
+        kernel: "for_each_rows".into(),
+        calibrated_breakeven_flops: breakeven::FOR_EACH_ROWS as u64,
+        measured_crossover_flops: measured,
+        points,
+    });
+    out
+}
+
+/// The quantized-surrogate section: gate the int8 mirror against the
+/// `f32` model's own predictions (so `f32_fidelity` is 1.0 and the
+/// drop is pure prediction disagreement), then time both paths.
+fn run_quantized_section(model: &AguaModel, embeddings: &Matrix, reps: usize) -> QuantizedSection {
+    const EPSILON: f32 = 0.02;
+    let reference = model.predict(embeddings);
+    println!("\n[quantized] int8 δ/Ω vs f32, ε={EPSILON}, n={}", embeddings.rows());
+    let (quantized, report) =
+        match QuantizedAguaModel::from_model_gated(model, embeddings, &reference, EPSILON) {
+            Ok((q, r)) => (Some(q), r),
+            Err(r) => (None, r),
+        };
+    // The gate failing is a *finding*, not a bench crash: persist the
+    // report either way and let ci.sh judge `gate_passes`.
+    let q = quantized.unwrap_or_else(|| QuantizedAguaModel::from_model(model));
+    let (f32_secs, _) = time_reps(reps, || with_threads(4, || model.predict_logits(embeddings)));
+    let (q8_secs, _) = time_reps(reps, || with_threads(4, || q.predict_logits(embeddings)));
+    println!(
+        "  fidelity: f32={:.4} q8={:.4} drop={:.4} passes={}  bytes: f32={} q8={}  predict@4t: f32={:.0}us q8={:.0}us",
+        report.f32_fidelity,
+        report.quantized_fidelity,
+        report.drop,
+        report.passes,
+        q.weight_bytes() * 4,
+        q.weight_bytes(),
+        f32_secs * 1e6,
+        q8_secs * 1e6,
+    );
+    QuantizedSection {
+        epsilon: f64::from(EPSILON),
+        f32_fidelity: f64::from(report.f32_fidelity),
+        quantized_fidelity: f64::from(report.quantized_fidelity),
+        fidelity_drop: f64::from(report.drop),
+        gate_passes: report.passes,
+        weight_bytes_f32: (q.weight_bytes() * 4) as u64,
+        weight_bytes_q8: q.weight_bytes() as u64,
+        predict_f32_4t_secs: f32_secs,
+        predict_q8_4t_secs: q8_secs,
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     banner(
@@ -226,7 +623,15 @@ fn main() {
     let metrics = Rc::new(Metrics::new());
     let mut rows: Vec<StageResult> = Vec::new();
 
-    if !smoke {
+    // The model and embeddings driving the explanation + quantized
+    // sections: trained on the large workload in full mode, untrained
+    // (same δ architecture, same shapes-per-sample) on a smaller batch
+    // in smoke mode.
+    let (model, embeddings) = if smoke {
+        let spec = SynthSpec { n: 600, emb_dim: 64, ..SynthSpec::large() };
+        let (_, dataset) = synthetic_surrogate(spec);
+        (untrained_model(spec, 128), dataset.embeddings)
+    } else {
         let spec = SynthSpec::large();
         let (concepts, dataset) = synthetic_surrogate(spec);
         let params = bench_params(spec.seed);
@@ -269,55 +674,37 @@ fn main() {
                 byte_identical_to_1_thread: identical,
             });
         }
-        let model = baseline_model.expect("1-thread fit ran first");
+        (baseline_model.expect("1-thread fit ran first"), dataset.embeddings)
+    };
 
-        // --- Stage 2: batched explanation over the full dataset.
-        println!("\n[batched explanation] n={}", spec.n);
-        const REPS: usize = 20;
-        let mut baseline_weights: Vec<u32> = Vec::new();
-        let mut explain_base_secs = 0.0f64;
-        for &threads in &thread_counts {
-            let span = span_start(&*metrics, Stage::Custom("batched_explanation"));
-            let mut last = None;
-            for _ in 0..REPS {
-                last = Some(with_scoped_subscriber(metrics.clone(), || {
-                    with_threads(threads, || explain::batched(&model, &dataset.embeddings, 0))
-                }));
-            }
-            let secs = span_end(&*metrics, span);
-            let explanation = last.expect("at least one rep");
-            let weight_bits: Vec<u32> =
-                explanation.contributions.iter().map(|c| c.weight.to_bits()).collect();
-            let identical = if threads == 1 {
-                explain_base_secs = secs;
-                baseline_weights = weight_bits;
-                true
-            } else {
-                weight_bits == baseline_weights
-            };
-            let speedup = explain_base_secs / secs;
-            println!(
-                "  threads={threads}: {secs:.3}s  speedup={speedup:.2}x  identical={identical}"
-            );
-            rows.push(StageResult {
-                stage: "batched_explanation".into(),
-                threads,
-                seconds: secs,
-                speedup_vs_1_thread: speedup,
-                byte_identical_to_1_thread: identical,
-            });
-        }
+    // --- Stage 2: batched explanation (both modes).
+    run_explanation_stage(&model, &embeddings, if smoke { 5 } else { 20 }, &metrics, &mut rows);
 
-        assert!(
-            rows.iter().all(|r| r.byte_identical_to_1_thread),
-            "parallel backend must be byte-identical to the sequential path"
-        );
-    }
+    assert!(
+        rows.iter().all(|r| r.byte_identical_to_1_thread),
+        "parallel backend must be byte-identical to the sequential path"
+    );
 
-    // --- Stage 3: the δ-fit-shaped matmul sweep (runs in both modes;
-    // attach the metrics subscriber so pool-dispatch counters show up).
+    // --- Stage 2b: the regression gate — the rewritten batched path
+    // against the retired implementation it replaced.
+    let explanation_regression =
+        run_explanation_regression(&model, &embeddings, if smoke { 5 } else { 20 }, &metrics);
+
+    // --- Stage 3: the δ-fit-shaped matmul sweep (attach the metrics
+    // subscriber so pool-dispatch counters show up).
     let (sweep, overall_speedup) =
         with_scoped_subscriber(metrics.clone(), || run_sweep(if smoke { 10 } else { 30 }));
+
+    // --- Stage 4: per-kernel gate-calibration ladders, under the
+    // metrics subscriber: their forced dispatches are what exercise the
+    // pool on machines whose core count keeps the calibrated gate
+    // sequential.
+    let gate_calibration = with_scoped_subscriber(metrics.clone(), || {
+        run_gate_calibration(if smoke { 5 } else { 20 })
+    });
+
+    // --- Stage 5: the int8 quantized surrogate behind its fidelity gate.
+    let quantized = run_quantized_section(&model, &embeddings, if smoke { 5 } else { 20 });
 
     let snapshot = metrics.snapshot();
     let kernel = snapshot.kernel_counters();
@@ -325,12 +712,28 @@ fn main() {
     for (name, value) in &kernel {
         println!("  {name:<40} {value}");
     }
+    // The regression this bench guards: the explanation row transform
+    // must actually reach the pool (the old uniform gate kept it
+    // sequential at every thread count).
+    let row_threads = snapshot.scheduling.get("kernel.for_each_rows.max_threads").copied();
+    assert!(
+        row_threads.is_some_and(|t| t > 1),
+        "for_each_rows never dispatched in parallel (max_threads={row_threads:?})"
+    );
+
+    assert!(
+        explanation_regression.identical_to_reference,
+        "rewritten batched explanation must match the retired reference byte for byte"
+    );
 
     let report = BenchParallelReport {
         mode: if smoke { "smoke" } else { "full" }.into(),
         stages: rows,
+        batched_explanation_vs_reference: explanation_regression,
         matmul_sweep: sweep,
         speedup_pool_tiled_vs_scoped_scalar: overall_speedup,
+        gate_calibration,
+        quantized,
         kernel_dispatch_counters: kernel,
         kernel_scheduling: snapshot.scheduling.clone(),
     };

@@ -72,7 +72,7 @@ fn cdf_chart(v: &Value) -> Option<()> {
     let series = ["cdf_2021", "cdf_2024"]
         .iter()
         .filter_map(|key| {
-            let pts = v.get(*key)?.as_array()?;
+            let pts = v.get(key)?.as_array()?;
             Some(Series {
                 name: key.replace("cdf_", ""),
                 points: pts

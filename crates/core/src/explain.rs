@@ -150,9 +150,11 @@ pub fn factual_observed(
     // audit:allow(wall-clock): latency telemetry only — feeds the obs
     // event's `seconds` field, never the explanation itself.
     let start = Instant::now();
-    let probs = model.predict_probs(embedding);
-    let class = probs.argmax_row(0);
-    let e = explain_class(model, embedding, class, true);
+    // One surrogate forward serves both the class choice and the
+    // explanation (the class used to be re-derived inside).
+    let (concept_probs, out_probs) = model.concept_and_output_probs(embedding);
+    let class = out_probs.argmax_row(0);
+    let e = explain_with(model, &concept_probs, &out_probs, class, true);
     emit(
         obs,
         ExplanationProduced {
@@ -200,9 +202,18 @@ fn explain_class(
     class: usize,
     factual: bool,
 ) -> Explanation {
+    let (concept_probs, out_probs) = model.concept_and_output_probs(embedding);
+    explain_with(model, &concept_probs, &out_probs, class, factual)
+}
+
+fn explain_with(
+    model: &AguaModel,
+    concept_probs: &Matrix,
+    out_probs: &Matrix,
+    class: usize,
+    factual: bool,
+) -> Explanation {
     assert!(class < model.n_outputs(), "output class out of range");
-    let concept_probs = model.concept_probs(embedding);
-    let out_probs = model.predict_probs(embedding);
     let p = out_probs.get(0, class);
     // Factual weights sum to the class probability (Eq. 9). A
     // counterfactual class typically has probability ≈ 0, which would
@@ -214,7 +225,7 @@ fn explain_class(
         output_class: class,
         output_prob: p,
         factual,
-        contributions: contributions_for(model, &concept_probs, 0, class, scale),
+        contributions: contributions_for(model, concept_probs, 0, class, scale),
     }
 }
 
@@ -251,41 +262,125 @@ pub fn batched_observed(
 fn batched_inner(model: &AguaModel, embeddings: &Matrix, class: usize) -> BatchedExplanation {
     assert!(embeddings.rows() > 0, "empty batch");
     assert!(class < model.n_outputs(), "output class out of range");
+    // One δ forward shared by the contribution vectors and the class
+    // probabilities (this used to run the surrogate twice per batch).
+    let (concept_probs, out_probs) = model.concept_and_output_probs(embeddings);
+    let n = embeddings.rows();
+    let c = model.concepts();
+    let k = model.k();
+    let d = c * k;
+    let w = model.output_mapping.weights();
+    let spread_bias = model.output_mapping.bias().get(0, class) / d as f32;
+    // Gather the class column of W once; the per-row loop then reads it
+    // contiguously instead of striding down the weight matrix n times.
+    let wcol: Vec<f32> = (0..d).map(|j| w.get(j, class)).collect();
+
+    // Eq. 8–10 per row, written over the concept-probability matrix in
+    // place on the parallel backend — no per-row `ConceptContribution`
+    // vectors, name lookups, or sorts (the old path cloned and sorted
+    // `C` strings per input, serializing most of the batch work). Every
+    // row is transformed entirely within itself in fixed column order,
+    // so the matrix is byte-identical at any thread count; the mean
+    // reduction below then runs sequentially in ascending row order,
+    // keeping the whole explanation byte-identical to one thread.
+    let mut contrib = concept_probs;
+    agua_nn::parallel::par_for_each_rows_cost(
+        &mut contrib,
+        agua_nn::parallel::EXP_ELEM_FLOPS,
+        |r, row| {
+            let p = out_probs.get(r, class);
+            // z = W⟨i⟩ ∘ s + b_i/(C·k)   (Eq. 8, before the L1 norm)
+            for (v, &wv) in row.iter_mut().zip(&wcol) {
+                *v = wv * *v + spread_bias;
+            }
+            // σ(z) over all C·k entries, scaled by the class probability
+            // (Eq. 9–10) — the same expressions as `contributions_for`.
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v = p * *v / sum;
+            }
+        },
+    );
+
+    let mut mean_weight = vec![0.0f32; c];
+    let mut mean_per_class = vec![vec![0.0f32; k]; c];
+    let mut mean_p = 0.0;
+    for r in 0..n {
+        mean_p += out_probs.get(r, class);
+        let row = contrib.row(r);
+        for (g, group) in row.chunks_exact(k).enumerate() {
+            let mut row_weight = 0.0f32;
+            for (j, &v) in group.iter().enumerate() {
+                mean_per_class[g][j] += v;
+                row_weight += v;
+            }
+            mean_weight[g] += row_weight;
+        }
+    }
+    let inv = 1.0 / n as f32;
+    let mut contributions: Vec<ConceptContribution> = (0..c)
+        .map(|g| ConceptContribution {
+            concept: model.concept_names[g].clone(),
+            weight: mean_weight[g] * inv,
+            per_class: mean_per_class[g].iter().map(|v| v * inv).collect(),
+        })
+        .collect();
+    contributions.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("finite weights"));
+
+    BatchedExplanation {
+        output_class: class,
+        mean_output_prob: mean_p * inv,
+        batch_size: n,
+        contributions,
+    }
+}
+
+/// The retired batched implementation, kept — like
+/// [`agua_nn::parallel::reference`] keeps the scoped-spawn dispatcher —
+/// so `bench_parallel` can measure the rewritten [`batched`] path
+/// against the code behind the sub-1× parallel regression it fixes.
+///
+/// This path runs the surrogate forward **twice** over the batch
+/// ([`AguaModel::concept_probs`] and then [`AguaModel::predict_probs`],
+/// each a full δ pass) and builds, sorts, and name-matches a fresh
+/// [`ConceptContribution`] vector per input: `C` string clones, a sort,
+/// and a linear name lookup per row, all outside the parallel kernels.
+/// The per-element arithmetic and every accumulation order are the same
+/// as [`batched`]'s, so the two produce byte-identical explanations —
+/// only the wall-clock differs.
+pub fn batched_reference(
+    model: &AguaModel,
+    embeddings: &Matrix,
+    class: usize,
+) -> BatchedExplanation {
+    assert!(embeddings.rows() > 0, "empty batch");
+    assert!(class < model.n_outputs(), "output class out of range");
     let concept_probs = model.concept_probs(embeddings);
     let out_probs = model.predict_probs(embeddings);
     let n = embeddings.rows();
     let c = model.concepts();
     let k = model.k();
 
-    // Per-row contribution vectors are independent, so they are computed
-    // on the parallel backend (results in row order); the running means
-    // are then accumulated sequentially in that same order, keeping the
-    // result byte-identical to the single-threaded loop. Small batches
-    // are not worth the per-call thread spawn.
-    let row_contribs = |r: usize| {
-        let p = out_probs.get(r, class);
-        contributions_for(model, &concept_probs, r, class, p)
-    };
-    let per_row: Vec<Vec<ConceptContribution>> = if n >= 64 {
-        agua_nn::parallel::par_map_range(n, row_contribs)
-    } else {
-        (0..n).map(row_contribs).collect()
-    };
-
     let mut mean_weight = vec![0.0f32; c];
     let mut mean_per_class = vec![vec![0.0f32; k]; c];
     let mut mean_p = 0.0;
-    for (r, contribs) in per_row.into_iter().enumerate() {
-        mean_p += out_probs.get(r, class);
-        for contrib in contribs {
+    for r in 0..n {
+        let p = out_probs.get(r, class);
+        mean_p += p;
+        for contribution in contributions_for(model, &concept_probs, r, class, p) {
             let g = model
                 .concept_names
                 .iter()
-                .position(|name| *name == contrib.concept)
-                .expect("known concept");
-            mean_weight[g] += contrib.weight;
-            for j in 0..k {
-                mean_per_class[g][j] += contrib.per_class[j];
+                .position(|name| *name == contribution.concept)
+                .expect("contribution names come from the model");
+            mean_weight[g] += contribution.weight;
+            for (j, &v) in contribution.per_class.iter().enumerate() {
+                mean_per_class[g][j] += v;
             }
         }
     }
@@ -464,6 +559,34 @@ mod tests {
         assert_eq!(b.batch_size, embeddings.rows());
         let total: f32 = b.contributions.iter().map(|c| c.weight).sum();
         assert!((total - b.mean_output_prob).abs() < 1e-3);
+    }
+
+    #[test]
+    fn batched_is_byte_identical_to_the_retired_reference() {
+        let (model, embeddings, _) = trained_model();
+        let bits = |b: &BatchedExplanation| -> Vec<u32> {
+            let mut out = vec![b.mean_output_prob.to_bits()];
+            for c in &b.contributions {
+                out.push(c.weight.to_bits());
+                out.extend(c.per_class.iter().map(|v| v.to_bits()));
+            }
+            out
+        };
+        for class in 0..model.n_outputs() {
+            let reference = batched_reference(&model, &embeddings, class);
+            for threads in [1, 4] {
+                let fixed = agua_nn::parallel::with_threads(threads, || {
+                    batched(&model, &embeddings, class)
+                });
+                assert_eq!(fixed.batch_size, reference.batch_size);
+                let names: Vec<&str> =
+                    fixed.contributions.iter().map(|c| c.concept.as_str()).collect();
+                let ref_names: Vec<&str> =
+                    reference.contributions.iter().map(|c| c.concept.as_str()).collect();
+                assert_eq!(names, ref_names, "class {class} threads {threads}");
+                assert_eq!(bits(&fixed), bits(&reference), "class {class} threads {threads}");
+            }
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod congen;
 pub mod explain;
 pub mod labeling;
 pub mod lifecycle;
+pub mod quantized;
 pub mod report;
 pub mod robustness;
 pub mod surrogate;
@@ -48,5 +49,6 @@ pub mod surrogate;
 pub use concepts::{Concept, ConceptSet};
 pub use explain::{BatchedExplanation, Explanation};
 pub use labeling::{ConceptLabeler, Quantizer};
+pub use quantized::{QuantFidelityReport, QuantizedAguaModel};
 pub use report::AguaReport;
 pub use surrogate::{AguaModel, SurrogateDataset, TrainParams};

@@ -1,0 +1,246 @@
+//! Int8 quantized surrogate inference behind a fidelity gate.
+//!
+//! [`QuantizedAguaModel`] mirrors a trained [`AguaModel`] with int8
+//! weights (per-tensor symmetric, `agua_nn::quant`): δ's two linear
+//! layers and Ω's single linear layer quantize to a quarter of the
+//! `f32` footprint, while the ReLU/LayerNorm/softmax stages stay exact
+//! in `f32`. The path is **inference-only** — training always runs in
+//! `f32` — and it is never handed out silently: callers go through
+//! [`QuantizedAguaModel::from_model_gated`], which measures the
+//! fidelity drop against the `f32` surrogate on a calibration batch
+//! (the paper's Table-2-style agreement metric, Eq. 11) and refuses the
+//! swap when the drop exceeds the caller's ε.
+
+use crate::surrogate::{grouped_softmax_rows_inplace, AguaModel};
+use agua_nn::{softmax_rows, Matrix, QuantizedLinear, QuantizedMlp};
+
+/// Result of the quantization fidelity gate: fidelities of both models
+/// against the same reference outputs, and whether the drop is inside
+/// the caller's tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantFidelityReport {
+    /// Fidelity of the `f32` surrogate on the calibration batch.
+    pub f32_fidelity: f32,
+    /// Fidelity of the quantized surrogate on the same batch.
+    pub quantized_fidelity: f32,
+    /// `f32_fidelity − quantized_fidelity` (negative when quantization
+    /// happens to agree more often).
+    pub drop: f32,
+    /// The tolerance the gate was evaluated against.
+    pub epsilon: f32,
+    /// `drop <= epsilon`.
+    pub passes: bool,
+}
+
+/// An int8 inference-only mirror of a trained [`AguaModel`].
+#[derive(Debug, Clone)]
+pub struct QuantizedAguaModel {
+    /// Quantized concept mapping function δ.
+    pub delta: QuantizedMlp,
+    /// Quantized output mapping function Ω.
+    pub omega: QuantizedLinear,
+    /// Number of concepts `C`.
+    pub concepts: usize,
+    /// Similarity classes per concept `k`.
+    pub k: usize,
+    /// Number of output classes.
+    pub n_outputs: usize,
+    /// Concept names, in δ's group order.
+    pub concept_names: Vec<String>,
+}
+
+impl QuantizedAguaModel {
+    /// Quantizes a trained surrogate without measuring fidelity. Prefer
+    /// [`QuantizedAguaModel::from_model_gated`] anywhere the quantized
+    /// model replaces the `f32` one.
+    pub fn from_model(model: &AguaModel) -> Self {
+        let om = model.output_mapping.linear();
+        Self {
+            delta: QuantizedMlp::from_mlp(model.concept_mapping.mlp()),
+            omega: QuantizedLinear::from_f32(&om.weight.value, &om.bias.value),
+            concepts: model.concepts(),
+            k: model.k(),
+            n_outputs: model.n_outputs(),
+            concept_names: model.concept_names.clone(),
+        }
+    }
+
+    /// Quantizes `model` and admits the result only if its fidelity on
+    /// `embeddings` (against `controller_outputs`, Eq. 11) drops by at
+    /// most `epsilon` relative to the `f32` surrogate. On failure the
+    /// quantized model is withheld and only the report comes back.
+    pub fn from_model_gated(
+        model: &AguaModel,
+        embeddings: &Matrix,
+        controller_outputs: &[usize],
+        epsilon: f32,
+    ) -> Result<(Self, QuantFidelityReport), QuantFidelityReport> {
+        let quantized = Self::from_model(model);
+        let report = quantized.fidelity_report(model, embeddings, controller_outputs, epsilon);
+        if report.passes {
+            Ok((quantized, report))
+        } else {
+            Err(report)
+        }
+    }
+
+    /// Measures both models' fidelity against `controller_outputs` and
+    /// evaluates the `drop <= epsilon` gate.
+    pub fn fidelity_report(
+        &self,
+        model: &AguaModel,
+        embeddings: &Matrix,
+        controller_outputs: &[usize],
+        epsilon: f32,
+    ) -> QuantFidelityReport {
+        let f32_fidelity = model.fidelity(embeddings, controller_outputs);
+        let quantized_fidelity = self.fidelity(embeddings, controller_outputs);
+        let drop = f32_fidelity - quantized_fidelity;
+        QuantFidelityReport {
+            f32_fidelity,
+            quantized_fidelity,
+            drop,
+            epsilon,
+            passes: drop <= epsilon,
+        }
+    }
+
+    /// δ's concept-class probabilities (quantized forward, exact `f32`
+    /// grouped softmax).
+    pub fn concept_probs(&self, embeddings: &Matrix) -> Matrix {
+        let mut probs = self.delta.infer(embeddings);
+        debug_assert_eq!(probs.cols(), self.concepts * self.k);
+        grouped_softmax_rows_inplace(&mut probs, self.k);
+        probs
+    }
+
+    /// Surrogate output logits.
+    pub fn predict_logits(&self, embeddings: &Matrix) -> Matrix {
+        self.omega.infer(&self.concept_probs(embeddings))
+    }
+
+    /// Surrogate output probabilities.
+    pub fn predict_probs(&self, embeddings: &Matrix) -> Matrix {
+        softmax_rows(&self.predict_logits(embeddings))
+    }
+
+    /// Surrogate argmax predictions.
+    pub fn predict(&self, embeddings: &Matrix) -> Vec<usize> {
+        let logits = self.predict_logits(embeddings);
+        (0..embeddings.rows()).map(|r| logits.argmax_row(r)).collect()
+    }
+
+    /// The fidelity metric (Eq. 11) of the quantized surrogate.
+    pub fn fidelity(&self, embeddings: &Matrix, controller_outputs: &[usize]) -> f32 {
+        assert_eq!(embeddings.rows(), controller_outputs.len());
+        let preds = self.predict(embeddings);
+        let hits = preds.iter().zip(controller_outputs).filter(|(a, b)| a == b).count();
+        hits as f32 / controller_outputs.len().max(1) as f32
+    }
+
+    /// Int8 weight bytes (δ + Ω) — a quarter of the `f32` footprint.
+    pub fn weight_bytes(&self) -> usize {
+        self.delta.weight_bytes() + self.omega.weight_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concepts::{Concept, ConceptSet};
+    use crate::surrogate::{SurrogateDataset, TrainParams};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn trained_model() -> (AguaModel, Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        let mut outputs = Vec::new();
+        for _ in 0..500 {
+            let a: f32 = rng.random_range(0.0..1.0);
+            let b: f32 = rng.random_range(0.0..1.0);
+            rows.push(vec![a, b, rng.random_range(-0.05..0.05)]);
+            let q = |v: f32| {
+                if v <= 0.33 {
+                    0
+                } else if v <= 0.66 {
+                    1
+                } else {
+                    2
+                }
+            };
+            labels.push(vec![q(a), q(b)]);
+            outputs.push(usize::from(a > b));
+        }
+        let concepts =
+            ConceptSet::new(vec![Concept::new("Alpha", "alpha"), Concept::new("Beta", "beta")]);
+        let embeddings = Matrix::from_rows(&rows);
+        let ds = SurrogateDataset {
+            embeddings: embeddings.clone(),
+            concept_labels: labels,
+            outputs: outputs.clone(),
+        };
+        let model = AguaModel::fit(&concepts, 3, 2, &ds, &TrainParams::fast());
+        (model, embeddings, outputs)
+    }
+
+    #[test]
+    fn quantized_model_stays_close_to_f32_fidelity() {
+        let (model, embeddings, outputs) = trained_model();
+        let (q, report) = QuantizedAguaModel::from_model_gated(&model, &embeddings, &outputs, 0.05)
+            .expect("int8 quantization must clear a 5-point fidelity budget here");
+        assert!(report.passes);
+        assert!(report.f32_fidelity > 0.8, "f32 fidelity {}", report.f32_fidelity);
+        assert!(
+            report.quantized_fidelity >= report.f32_fidelity - 0.05,
+            "quantized fidelity {} vs f32 {}",
+            report.quantized_fidelity,
+            report.f32_fidelity
+        );
+        // 4× footprint: weight bytes equal the f32 parameter count of
+        // the three linear layers' weights.
+        assert!(q.weight_bytes() > 0);
+    }
+
+    #[test]
+    fn gate_rejects_when_epsilon_is_impossible() {
+        let (model, embeddings, outputs) = trained_model();
+        // Corrupt the reference labels for the quantized check only by
+        // demanding a *negative* drop below any attainable value.
+        let res = QuantizedAguaModel::from_model_gated(&model, &embeddings, &outputs, -2.0);
+        let report = res.expect_err("an impossible epsilon must fail the gate");
+        assert!(!report.passes);
+        assert_eq!(report.epsilon, -2.0);
+    }
+
+    #[test]
+    fn quantized_predictions_mostly_agree_with_f32() {
+        let (model, embeddings, _) = trained_model();
+        let q = QuantizedAguaModel::from_model(&model);
+        let f = model.predict(&embeddings);
+        let qp = q.predict(&embeddings);
+        let agree = f.iter().zip(&qp).filter(|(a, b)| a == b).count();
+        assert!(
+            agree as f32 / f.len() as f32 > 0.9,
+            "quantized agreement too low: {agree}/{}",
+            f.len()
+        );
+    }
+
+    #[test]
+    fn concept_probs_remain_normalized_per_group() {
+        let (model, embeddings, _) = trained_model();
+        let q = QuantizedAguaModel::from_model(&model);
+        let probs = q.concept_probs(&embeddings);
+        for r in 0..5 {
+            for g in 0..q.concepts {
+                let mut s = 0.0f32;
+                for j in 0..q.k {
+                    s += probs.get(r, g * q.k + j);
+                }
+                assert!((s - 1.0).abs() < 1e-5, "row {r} group {g}: {s}");
+            }
+        }
+    }
+}

@@ -232,26 +232,14 @@ impl ConceptMapping {
 
     /// Concept-class probabilities: per-concept softmax over the `k`
     /// similarity classes, flattened to `n × (C·k)`.
+    ///
+    /// The δ forward runs fused (`Mlp::forward_into`) and the grouped
+    /// softmax overwrites the logits in place — no intermediate matrix.
     pub fn predict_probs(&self, embeddings: &Matrix) -> Matrix {
-        let logits = self.mlp.infer(embeddings);
-        let (n, d) = logits.shape();
-        debug_assert_eq!(d, self.concepts * self.k);
-        let mut out = Matrix::zeros(n, d);
-        // Rows are independent, so the parallel row loop computes exactly
-        // what the sequential one would.
-        parallel::par_for_each_rows(&mut out, |r, out_row| {
-            for g in 0..self.concepts {
-                let base = g * self.k;
-                let slice = &logits.row(r)[base..base + self.k];
-                let max = slice.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-                let exps: Vec<f32> = slice.iter().map(|&v| (v - max).exp()).collect();
-                let sum: f32 = exps.iter().sum();
-                for (j, e) in exps.iter().enumerate() {
-                    out_row[base + j] = e / sum;
-                }
-            }
-        });
-        out
+        let mut probs = self.mlp.infer(embeddings);
+        debug_assert_eq!(probs.cols(), self.concepts * self.k);
+        grouped_softmax_rows_inplace(&mut probs, self.k);
+        probs
     }
 
     /// Fraction of (input, concept) pairs whose predicted class matches
@@ -275,6 +263,29 @@ impl ConceptMapping {
         }
         hits as f32 / total.max(1) as f32
     }
+}
+
+/// Per-concept softmax over each `k`-wide group of every row, in place.
+///
+/// Shared by the `f32` and int8-quantized δ paths. Rows are independent
+/// and each group's max/exp/sum/divide runs in fixed `j`-ascending
+/// order entirely within its row, so the parallel row loop (gated with
+/// the exp-heavy cost hint) is byte-identical to the sequential one.
+pub(crate) fn grouped_softmax_rows_inplace(m: &mut Matrix, k: usize) {
+    assert!(k > 0 && m.cols().is_multiple_of(k), "row width must be a multiple of k");
+    parallel::par_for_each_rows_cost(m, parallel::EXP_ELEM_FLOPS, |_, row| {
+        for group in row.chunks_exact_mut(k) {
+            let max = group.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for v in group.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in group.iter_mut() {
+                *v /= sum;
+            }
+        }
+    });
 }
 
 /// The output mapping function Ω (Eq. 5): a single linear layer from
@@ -479,6 +490,19 @@ impl AguaModel {
     /// Surrogate output logits for a batch of embeddings.
     pub fn predict_logits(&self, embeddings: &Matrix) -> Matrix {
         self.output_mapping.predict_logits(&self.concept_probs(embeddings))
+    }
+
+    /// Concept-class probabilities **and** output probabilities from a
+    /// single δ forward pass.
+    ///
+    /// The explanation paths need both (Eq. 8 reads `δ(h(x))`, Eq. 9–10
+    /// scale by the class probability); calling [`AguaModel::concept_probs`]
+    /// and [`AguaModel::predict_probs`] separately runs the δ network —
+    /// the expensive half of the surrogate — twice on the same batch.
+    pub fn concept_and_output_probs(&self, embeddings: &Matrix) -> (Matrix, Matrix) {
+        let concept_probs = self.concept_probs(embeddings);
+        let out_probs = softmax_rows(&self.output_mapping.predict_logits(&concept_probs));
+        (concept_probs, out_probs)
     }
 
     /// Surrogate output probabilities.

@@ -216,6 +216,12 @@ impl ReLU {
         input.map(|v| v.max(0.0))
     }
 
+    /// [`ReLU::infer`] into a caller-owned buffer.
+    pub fn infer_into(&self, input: &Matrix, out: &mut Matrix) {
+        out.copy_from(input);
+        out.map_inplace(|v| v.max(0.0));
+    }
+
     /// [`Layer::forward`] into a caller-owned buffer with a reused
     /// input cache.
     pub fn forward_into(&mut self, input: &Matrix, out: &mut Matrix) {
@@ -272,6 +278,12 @@ impl Tanh {
     /// Forward pass without caching (inference only).
     pub fn infer(&self, input: &Matrix) -> Matrix {
         input.map(f32::tanh)
+    }
+
+    /// [`Tanh::infer`] into a caller-owned buffer.
+    pub fn infer_into(&self, input: &Matrix, out: &mut Matrix) {
+        out.copy_from(input);
+        out.map_inplace(f32::tanh);
     }
 
     /// [`Layer::forward`] into a caller-owned buffer with a reused
@@ -381,6 +393,38 @@ impl LayerNorm {
     pub fn infer(&self, input: &Matrix) -> Matrix {
         let (xhat, _) = self.normalize(input);
         self.affine(&xhat)
+    }
+
+    /// [`LayerNorm::infer`] into a caller-owned buffer, normalizing each
+    /// row in place without the `x̂` intermediate. Same expressions in
+    /// the same order as `normalize_into` + `affine_into`, so the output
+    /// is bitwise identical to [`LayerNorm::infer`].
+    pub fn infer_into(&self, input: &Matrix, out: &mut Matrix) {
+        out.copy_from(input);
+        for r in 0..out.rows() {
+            self.normalize_affine_row(out.row_mut(r));
+        }
+    }
+
+    /// Normalizes one row in place: `row[c] ← x̂_c·γ_c + β_c` with the
+    /// moments computed from the row itself. This is the fused-epilogue
+    /// building block (`Mlp::forward_into`): the expressions and their
+    /// evaluation order replicate `normalize_into` followed by
+    /// `affine_into` exactly, and the row is self-contained, so calling
+    /// it from a row-partitioned parallel loop stays byte-identical to
+    /// the sequential unfused pass.
+    pub fn normalize_affine_row(&self, row: &mut [f32]) {
+        let d = row.len();
+        assert_eq!(d, self.gamma.value.cols(), "row width must match γ/β");
+        // audit:allow(fp-reduce): per-row moments in fixed column order;
+        // rows are never split across executors.
+        let mean = row.iter().sum::<f32>() / d as f32;
+        // audit:allow(fp-reduce): same fixed column order as `mean`.
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let inv_std = 1.0 / (var + self.eps).sqrt();
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = ((*v - mean) * inv_std) * self.gamma.value.get(0, c) + self.beta.value.get(0, c);
+        }
     }
 
     fn affine(&self, xhat: &Matrix) -> Matrix {

@@ -49,6 +49,7 @@ pub mod optim;
 pub mod parallel;
 #[allow(unsafe_code)]
 pub mod pool;
+pub mod quant;
 pub mod sync;
 
 pub use layer::{BackwardScratch, Layer, LayerNorm, Linear, Param, ReLU, Tanh};
@@ -58,9 +59,10 @@ pub use loss::{
     softmax_rows,
 };
 pub use matrix::Matrix;
-pub use mlp::{LayerKind, Mlp, MlpWorkspace};
+pub use mlp::{InferWorkspace, LayerKind, Mlp, MlpWorkspace};
 pub use optim::{Adam, ElasticNet, Optimizer, Sgd};
 pub use parallel::{
     par_matmul, par_matmul_into, par_matmul_nt, par_matmul_nt_into, par_matmul_tn,
     par_matmul_tn_into, set_global_threads, with_thread_config, with_threads, ThreadConfig,
 };
+pub use quant::{QuantLayer, QuantizedLinear, QuantizedMlp};

@@ -37,6 +37,50 @@ const TILE: usize = 32;
 /// per-`k` load/store scalar loop.
 const SUBTILE: usize = 8;
 
+/// [`TILE`] / [`SUBTILE`] expressed in [`F32x8`] registers, for the
+/// lane-structured tile pass.
+const TILE_LANES: usize = TILE / F32x8::LANES;
+const SUBTILE_LANES: usize = SUBTILE / F32x8::LANES;
+
+/// An explicit 8-lane `f32` register: the fixed SIMD width the inner
+/// matmul loops are written against, instead of hoping the
+/// autovectorizer rediscovers the shape behind `[f32; W]` index loops.
+/// Every lane op is plain `f32` arithmetic in lane order, so results
+/// are bit-for-bit what the scalar kernels produce; there is
+/// deliberately **no fused multiply-add** — an FMA skips the
+/// intermediate rounding and would change the low bits of every
+/// accumulation chain.
+#[derive(Clone, Copy)]
+struct F32x8([f32; 8]);
+
+impl F32x8 {
+    const LANES: usize = 8;
+    const ZERO: Self = Self([0.0; 8]);
+
+    /// Loads the first 8 elements of `src`.
+    #[inline(always)]
+    fn load(src: &[f32]) -> Self {
+        Self(src[..Self::LANES].try_into().expect("lane width"))
+    }
+
+    /// Stores the lanes into the first 8 elements of `dst`.
+    #[inline(always)]
+    fn store(self, dst: &mut [f32]) {
+        dst[..Self::LANES].copy_from_slice(&self.0);
+    }
+
+    /// `self + a · b` per lane, as a rounded multiply then a rounded
+    /// add (never an FMA — see the type docs).
+    #[inline(always)]
+    fn mul_add_scalar(self, a: f32, b: Self) -> Self {
+        let mut out = self.0;
+        for (o, bv) in out.iter_mut().zip(b.0) {
+            *o += a * bv;
+        }
+        Self(out)
+    }
+}
+
 thread_local! {
     /// Reusable buffer for the per-dispatch finite-rows mask — hoists
     /// the per-call `rows_finite` allocation out of the kernel path.
@@ -58,16 +102,17 @@ pub(crate) fn with_rows_finite<R>(m: &Matrix, f: impl FnOnce(&[bool]) -> R) -> R
     })
 }
 
-/// One tile-width pass of the row kernel: consumes `W`-wide column
-/// tiles starting at column `j` and returns the first unconsumed
-/// column. The accumulators are *loaded from* `out_row` and stored
-/// back, so each output element sees exactly the same addition chain
-/// as the scalar kernel: its current value, then `a[k] * b[k][j]` for
-/// `k` ascending, skipping `a[k] == 0` only when row `k` of `rhs` is
-/// finite. `has_zero` must be `a_row.contains(&0.0)`: dense
-/// rows take a branch-free inner loop, which is bitwise-identical
-/// because the skip test can never fire on them.
-fn accumulate_tile_pass<const W: usize>(
+/// One tile-width pass of the row kernel: consumes `L`-register
+/// (`L × 8` columns) tiles starting at column `j` and returns the first
+/// unconsumed column. The [`F32x8`] accumulators are *loaded from*
+/// `out_row` and stored back, so each output element sees exactly the
+/// same addition chain as the scalar kernel: its current value, then
+/// `a[k] * b[k][j]` for `k` ascending, skipping `a[k] == 0` only when
+/// row `k` of `rhs` is finite. `has_zero` must be
+/// `a_row.contains(&0.0)`: dense rows take a branch-free inner loop,
+/// which is bitwise-identical because the skip test can never fire on
+/// them.
+fn accumulate_tile_pass<const L: usize>(
     a_row: &[f32],
     rhs: &Matrix,
     rhs_row_finite: &[bool],
@@ -76,29 +121,34 @@ fn accumulate_tile_pass<const W: usize>(
     mut j: usize,
 ) -> usize {
     let width = rhs.cols;
-    while j + W <= width {
-        let mut acc = [0.0f32; W];
-        acc.copy_from_slice(&out_row[j..j + W]);
+    let tile = L * F32x8::LANES;
+    while j + tile <= width {
+        let mut acc = [F32x8::ZERO; L];
+        for (u, lane) in acc.iter_mut().enumerate() {
+            *lane = F32x8::load(&out_row[j + u * F32x8::LANES..]);
+        }
         if has_zero {
             for ((b_row, &a), &fin) in rhs.data.chunks_exact(width).zip(a_row).zip(rhs_row_finite) {
                 if a == 0.0 && fin {
                     continue;
                 }
-                let b: &[f32; W] = b_row[j..j + W].try_into().expect("tile width");
-                for u in 0..W {
-                    acc[u] += a * b[u];
+                let b = &b_row[j..j + tile];
+                for (u, lane) in acc.iter_mut().enumerate() {
+                    *lane = lane.mul_add_scalar(a, F32x8::load(&b[u * F32x8::LANES..]));
                 }
             }
         } else {
             for (b_row, &a) in rhs.data.chunks_exact(width).zip(a_row) {
-                let b: &[f32; W] = b_row[j..j + W].try_into().expect("tile width");
-                for u in 0..W {
-                    acc[u] += a * b[u];
+                let b = &b_row[j..j + tile];
+                for (u, lane) in acc.iter_mut().enumerate() {
+                    *lane = lane.mul_add_scalar(a, F32x8::load(&b[u * F32x8::LANES..]));
                 }
             }
         }
-        out_row[j..j + W].copy_from_slice(&acc);
-        j += W;
+        for (u, lane) in acc.iter().enumerate() {
+            lane.store(&mut out_row[j + u * F32x8::LANES..]);
+        }
+        j += tile;
     }
     j
 }
@@ -114,8 +164,8 @@ fn accumulate_row_tiled(a_row: &[f32], rhs: &Matrix, rhs_row_finite: &[bool], ou
     let width = rhs.cols;
     debug_assert_eq!(out_row.len(), width);
     let has_zero = a_row.contains(&0.0);
-    let j = accumulate_tile_pass::<TILE>(a_row, rhs, rhs_row_finite, has_zero, out_row, 0);
-    let j = accumulate_tile_pass::<SUBTILE>(a_row, rhs, rhs_row_finite, has_zero, out_row, j);
+    let j = accumulate_tile_pass::<TILE_LANES>(a_row, rhs, rhs_row_finite, has_zero, out_row, 0);
+    let j = accumulate_tile_pass::<SUBTILE_LANES>(a_row, rhs, rhs_row_finite, has_zero, out_row, j);
     // Final columns (< SUBTILE): k-outer AXPY in exactly the scalar
     // kernel's loop form. Each element's addition chain is still its
     // current value plus the k-ascending products.
@@ -302,6 +352,35 @@ impl Matrix {
         debug_assert_eq!(chunk.len() % width, 0);
         for (local, out_row) in chunk.chunks_exact_mut(width).enumerate() {
             accumulate_row_tiled(self.row(row_start + local), rhs, rhs_row_finite, out_row);
+        }
+    }
+
+    /// Writes columns `col_start..col_start + out.len()` of the single
+    /// row of `self × rhs` into `out` (`self` must be a row vector).
+    /// This is the parallel backend's column-chunked kernel for
+    /// 1×n outputs, which cannot be split by row: each output element
+    /// keeps the exact k-ascending accumulation chain (and zero-skip
+    /// gating) of the full-row kernels, so any column partition
+    /// reassembles to the sequential result bit-for-bit.
+    pub(crate) fn matmul_row_cols_into(
+        &self,
+        rhs: &Matrix,
+        rhs_row_finite: &[bool],
+        col_start: usize,
+        out: &mut [f32],
+    ) {
+        debug_assert_eq!(self.rows, 1);
+        if out.is_empty() {
+            return;
+        }
+        for (k, &a) in self.row(0).iter().enumerate() {
+            if a == 0.0 && rhs_row_finite[k] {
+                continue;
+            }
+            let b_row = &rhs.row(k)[col_start..col_start + out.len()];
+            for (o, &b) in out.iter_mut().zip(b_row.iter()) {
+                *o += a * b;
+            }
         }
     }
 

@@ -64,6 +64,17 @@ impl LayerKind {
         }
     }
 
+    /// [`LayerKind::infer`] into a caller-owned buffer; bitwise-identical
+    /// output, no steady-state allocation.
+    pub fn infer_into(&self, input: &Matrix, out: &mut Matrix) {
+        match self {
+            LayerKind::Linear(l) => l.infer_into(input, out),
+            LayerKind::ReLU(l) => l.infer_into(input, out),
+            LayerKind::Tanh(l) => l.infer_into(input, out),
+            LayerKind::LayerNorm(l) => l.infer_into(input, out),
+        }
+    }
+
     /// [`Layer::forward`] into a caller-owned buffer; bitwise-identical
     /// output, no steady-state allocation.
     pub fn forward_into(&mut self, input: &Matrix, out: &mut Matrix) {
@@ -109,6 +120,16 @@ pub struct MlpWorkspace {
     scratch: BackwardScratch,
 }
 
+/// Ping-pong activation buffers for allocation-free inference via
+/// [`Mlp::forward_into`]. Holds no model state; after the first call
+/// both buffers reach steady-state capacity and subsequent passes over
+/// same-shaped batches perform no heap allocation.
+#[derive(Debug, Default)]
+pub struct InferWorkspace {
+    a: Matrix,
+    b: Matrix,
+}
+
 /// A sequential multi-layer network.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Mlp {
@@ -138,12 +159,83 @@ impl Mlp {
     }
 
     /// Inference forward pass through a shared reference (no caching).
+    ///
+    /// Routed through [`Mlp::forward_into`], so `Linear → ReLU →
+    /// LayerNorm` windows run fused; the output is bitwise identical to
+    /// the per-layer [`LayerKind::infer`] loop.
     pub fn infer(&self, input: &Matrix) -> Matrix {
-        let mut x = input.clone();
-        for layer in &self.layers {
-            x = layer.infer(&x);
+        let mut ws = InferWorkspace::default();
+        let mut out = Matrix::default();
+        out.copy_from(self.forward_into(input, &mut ws));
+        out
+    }
+
+    /// Inference forward pass into workspace-owned ping-pong buffers:
+    /// no activation caching, no steady-state allocation, and
+    /// `Linear → ReLU → LayerNorm` windows (the shape of Agua's concept
+    /// mapping function δ) are **fused** — one [`Linear::infer_into`]
+    /// followed by a single row-partitioned epilogue that applies the
+    /// ReLU and the LayerNorm per row, instead of three full passes over
+    /// the activation matrix.
+    ///
+    /// The epilogue evaluates exactly the expressions of
+    /// `ReLU::infer` and [`LayerNorm::normalize_affine_row`] per row,
+    /// and each row is owned by one executor, so the result is bitwise
+    /// identical to the unfused per-layer loop at any thread count.
+    ///
+    /// The returned reference points into `ws` and stays valid until the
+    /// next call with the same workspace.
+    pub fn forward_into<'w>(&self, input: &Matrix, ws: &'w mut InferWorkspace) -> &'w Matrix {
+        let n = self.layers.len();
+        let InferWorkspace { a, b } = ws;
+        if n == 0 {
+            a.copy_from(input);
+            return a;
         }
-        x
+        let mut i = 0;
+        let mut first = true;
+        // `flip == false` means the next output lands in `a`.
+        let mut flip = false;
+        while i < n {
+            let fused = i + 2 < n
+                && matches!(&self.layers[i], LayerKind::Linear(_))
+                && matches!(&self.layers[i + 1], LayerKind::ReLU(_))
+                && matches!(&self.layers[i + 2], LayerKind::LayerNorm(_));
+            let (src, dst): (&Matrix, &mut Matrix) = if first {
+                (input, &mut *a)
+            } else if flip {
+                (&*a, &mut *b)
+            } else {
+                (&*b, &mut *a)
+            };
+            if fused {
+                let LayerKind::Linear(lin) = &self.layers[i] else { unreachable!() };
+                let LayerKind::LayerNorm(ln) = &self.layers[i + 2] else { unreachable!() };
+                lin.infer_into(src, dst);
+                crate::parallel::par_for_each_rows_cost(
+                    dst,
+                    crate::parallel::NORM_ELEM_FLOPS,
+                    |_, row| {
+                        for v in row.iter_mut() {
+                            *v = v.max(0.0);
+                        }
+                        ln.normalize_affine_row(row);
+                    },
+                );
+                i += 3;
+            } else {
+                self.layers[i].infer_into(src, dst);
+                i += 1;
+            }
+            first = false;
+            flip = !flip;
+        }
+        // `flip` was toggled after the last write: true ⇒ result in `a`.
+        if flip {
+            a
+        } else {
+            b
+        }
     }
 
     /// Inference capturing the intermediate activation after layer
@@ -358,6 +450,73 @@ mod tests {
             vec![-0.3, 0.8, -0.9, 1.5],
             vec![1.1, 0.2, 0.4, -0.6],
         ])
+    }
+
+    /// Unfused per-layer inference loop: the reference the fused
+    /// [`Mlp::forward_into`] must match bitwise.
+    fn infer_unfused(net: &Mlp, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        for layer in &net.layers {
+            out = layer.infer(&out);
+        }
+        out
+    }
+
+    #[test]
+    fn fused_forward_into_is_bitwise_identical_to_unfused() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let net = small_net(&mut rng, 6, 32, 5);
+        let x = Matrix::from_fn(9, 6, |r, c| 0.37 * (r as f32) - 0.21 * (c as f32) + 0.05);
+        let reference = infer_unfused(&net, &x);
+        let mut ws = InferWorkspace::default();
+        let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        // Twice through the same workspace: the second pass runs against
+        // warm (stale) buffers.
+        for _ in 0..2 {
+            let fused = net.forward_into(&x, &mut ws);
+            assert_eq!(bits(&reference), bits(fused));
+        }
+        assert_eq!(bits(&reference), bits(&net.infer(&x)));
+    }
+
+    #[test]
+    fn fused_forward_handles_non_fusable_stacks() {
+        // No Linear→ReLU→LayerNorm window anywhere: every layer goes
+        // through the per-layer fallback, including odd orderings.
+        let mut rng = StdRng::seed_from_u64(23);
+        let net = Mlp::new()
+            .push(LayerKind::LayerNorm(LayerNorm::new(4)))
+            .push(LayerKind::Linear(Linear::new(&mut rng, 4, 7)))
+            .push(LayerKind::Tanh(Tanh::new()))
+            .push(LayerKind::ReLU(ReLU::new()));
+        let x = test_batch();
+        let mut ws = InferWorkspace::default();
+        assert_eq!(infer_unfused(&net, &x), *net.forward_into(&x, &mut ws));
+    }
+
+    #[test]
+    fn fused_forward_handles_empty_and_single_layer_nets() {
+        let mut ws = InferWorkspace::default();
+        let x = test_batch();
+        let empty = Mlp::new();
+        assert_eq!(*empty.forward_into(&x, &mut ws), x);
+        let single = Mlp::new().push(LayerKind::ReLU(ReLU::new()));
+        assert_eq!(*single.forward_into(&x, &mut ws), infer_unfused(&single, &x));
+    }
+
+    #[test]
+    fn fused_forward_is_bitwise_identical_across_thread_counts() {
+        use crate::parallel::{with_thread_config, ThreadConfig};
+        let mut rng = StdRng::seed_from_u64(31);
+        let net = small_net(&mut rng, 8, 16, 4);
+        let x = Matrix::from_fn(21, 8, |r, c| ((r * 8 + c) as f32).sin());
+        let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        let forced = |threads| ThreadConfig { threads, min_flops: 0 };
+        let base = with_thread_config(forced(1), || net.infer(&x));
+        for threads in [2, 4, 7] {
+            let par = with_thread_config(forced(threads), || net.infer(&x));
+            assert_eq!(bits(&base), bits(&par), "threads={threads}");
+        }
     }
 
     #[test]

@@ -48,9 +48,25 @@
 //! ## Size gate
 //!
 //! Even a pooled handoff has a cost (channel send + latch wait), so
-//! operations smaller than [`ThreadConfig::min_flops`]
-//! multiply-accumulates run sequentially on the calling thread;
-//! `AGUA_PAR_MIN_FLOPS` overrides the default gate of one million.
+//! small operations run sequentially on the calling thread. Each leaf
+//! kernel gates on its own measured break-even point (the [`breakeven`]
+//! constants — see that module for the calibration method); the
+//! per-row map additionally takes a caller-supplied per-element cost
+//! hint, because `elems × 4` grossly undercounts exp-heavy closures
+//! like softmax (the PR 3 estimate left `for_each_rows` sequential on
+//! every one of its dispatches). Setting `AGUA_PAR_MIN_FLOPS`, or a
+//! scoped [`ThreadConfig`] whose `min_flops` differs from
+//! [`DEFAULT_MIN_FLOPS`], replaces every per-kernel gate with that
+//! single explicit value (tests pass `min_flops: 0` to force pool
+//! dispatch on tiny shapes).
+//!
+//! Under the calibrated gates the planner additionally caps workers at
+//! the machine's detected hardware parallelism: oversubscribing a box
+//! with fewer cores than the requested thread count pays the handoff
+//! cost with no cores to spend it on, which is exactly the sub-1×
+//! batched-explanation regression this gate retune fixes. Explicit
+//! `min_flops` overrides skip the cap — forced schedules must
+//! reproduce bit-for-bit *and* thread-for-thread on any machine.
 //!
 //! Note that a scoped override applies to the calling thread only: a
 //! kernel running on a worker thread sees the defaults again. Workers
@@ -64,9 +80,35 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
-/// Default minimum number of multiply-accumulates before an operation is
-/// worth spanning threads over.
+/// Default `min_flops` value. Left untouched, it acts as the sentinel
+/// selecting the calibrated per-kernel [`breakeven`] gates; any other
+/// value (scoped config or `AGUA_PAR_MIN_FLOPS`) gates every kernel on
+/// that single explicit threshold instead.
 pub const DEFAULT_MIN_FLOPS: usize = 1_000_000;
+
+/// Measured per-kernel break-even points: the smallest operation (in
+/// multiply-accumulates, or cost-weighted elements for the row map)
+/// for which a 4-way pool dispatch beats running sequentially.
+///
+/// Calibrated with `bench_parallel`'s gate-calibration sweep, which
+/// times each kernel sequentially and pool-dispatched across a ladder
+/// of doubling sizes and records the crossover (the
+/// `gate_calibration` section of `BENCH_parallel.json`). The pool
+/// handoff costs a few microseconds (one channel send plus a latch
+/// wait per extra chunk), so the old uniform 1M-MAC gate — sized for
+/// training-shaped matmuls — left over half of the *explain*-shaped
+/// matmuls (430 of 814, e.g. 2000×24×4 Ω products) sequential even
+/// though they clear break-even by an order of magnitude.
+pub mod breakeven {
+    /// `a × b` row-partitioned matmul.
+    pub const MATMUL: usize = 32_768;
+    /// `aᵀ × b`: the per-dispatch column gather amortizes later.
+    pub const MATMUL_TN: usize = 65_536;
+    /// `a × bᵀ` dot-product kernel.
+    pub const MATMUL_NT: usize = 32_768;
+    /// Per-row map, in cost-weighted elements (`elems × flops_per_elem`).
+    pub const FOR_EACH_ROWS: usize = 65_536;
+}
 
 /// Resolved parallelism settings for the current scope.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,22 +200,89 @@ pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     with_thread_config(ThreadConfig { threads: threads.max(1), ..cur }, f)
 }
 
+/// The effective size gate for a kernel whose calibrated break-even is
+/// `calibrated`: the per-kernel default unless `min_flops` was set to
+/// an explicit value (see [`DEFAULT_MIN_FLOPS`]).
+fn gate_for(cfg: &ThreadConfig, calibrated: usize) -> usize {
+    if cfg.min_flops == DEFAULT_MIN_FLOPS {
+        calibrated
+    } else {
+        cfg.min_flops
+    }
+}
+
+/// Detected hardware parallelism, cached once per process.
+fn hardware_parallelism() -> usize {
+    #[cfg(test)]
+    if let Some(hw) = HW_OVERRIDE.with(Cell::get) {
+        return hw;
+    }
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(default_threads)
+}
+
+#[cfg(test)]
+thread_local! {
+    /// Test-scoped stand-in for the detected core count, so the
+    /// calibrated-gate planning tests behave identically on a 1-core
+    /// CI container and a many-core workstation.
+    static HW_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Runs `f` pretending the machine has `hw` cores (clamped to ≥ 1),
+/// restoring the real detection afterwards (also on panic).
+#[cfg(test)]
+fn with_hardware_parallelism<R>(hw: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            HW_OVERRIDE.with(|c| c.set(prev));
+        }
+    }
+    let _restore = Restore(HW_OVERRIDE.with(|c| c.replace(Some(hw.max(1)))));
+    f()
+}
+
+/// Worker budget for the calibrated-gate path: the configured thread
+/// count, capped at [`hardware_parallelism`]. Planning more workers
+/// than the machine has cores only adds pool handoff with nothing to
+/// run it on — `BENCH_parallel.json` recorded the batched-explanation
+/// stage at 0.93–0.95× of sequential precisely because four planned
+/// workers shared one core. An explicit `min_flops` (forced `0` in the
+/// equivalence suites, `AGUA_PAR_MIN_FLOPS`) keeps the raw count: those
+/// callers asked for an exact schedule, and determinism does not depend
+/// on the worker count anyway.
+fn effective_threads(cfg: &ThreadConfig) -> usize {
+    if cfg.min_flops == DEFAULT_MIN_FLOPS {
+        cfg.threads.min(hardware_parallelism()).max(1)
+    } else {
+        cfg.threads
+    }
+}
+
 /// Number of workers an op producing `out_rows` rows with `macs`
-/// multiply-accumulates should use under the current config.
-fn plan_workers(out_rows: usize, macs: usize) -> usize {
+/// multiply-accumulates should use under the current config, gating on
+/// the kernel's `calibrated` break-even point.
+fn plan_workers(out_rows: usize, macs: usize, calibrated: usize) -> usize {
     let cfg = ThreadConfig::current();
-    if cfg.threads <= 1 || out_rows < 2 || macs < cfg.min_flops {
+    let threads = effective_threads(&cfg);
+    if threads <= 1 || out_rows < 2 || macs < gate_for(&cfg, calibrated) {
         1
     } else {
-        cfg.threads.min(out_rows)
+        threads.min(out_rows)
     }
 }
 
 /// Reports a kernel dispatch to the ambient observability scope (free
-/// when none is installed). Called on the dispatching thread only, so
-/// event order is schedule-independent; the shape and `macs` fields are
-/// identical at any thread count, while `threads`/`seq_fallback`
-/// describe the scheduling decision actually taken.
+/// when none is installed). Called on the dispatching thread only —
+/// *after* the operation completes, so `queue_depth` can carry the
+/// enqueue-time high-water of the pool handoff (sampling the queue
+/// before or long after the sends always reads 0: workers drain in
+/// microseconds). Event order is schedule-independent; the shape and
+/// `macs` fields are identical at any thread count, while
+/// `threads`/`seq_fallback`/`queue_depth` describe the scheduling that
+/// actually happened.
 #[inline]
 fn note_dispatch(
     kernel: Kernel,
@@ -194,7 +303,11 @@ fn note_dispatch(
             threads: workers.max(1),
             seq_fallback: workers <= 1,
             pool_dispatch,
-            queue_depth: crate::pool::queued_tasks(),
+            queue_depth: if pool_dispatch {
+                crate::pool::last_dispatch_queue_high_water()
+            } else {
+                0
+            },
         }
         .into_any()
     });
@@ -226,21 +339,46 @@ pub fn par_matmul(a: &Matrix, b: &Matrix) -> Matrix {
 }
 
 /// [`par_matmul`] into a caller-owned buffer, reusing its allocation.
+///
+/// Row-vector shapes (`a.rows() == 1` — the CLI `explain` single-input
+/// path) cannot be split by output row, so they are chunked over
+/// output *columns* instead: each worker owns a contiguous column
+/// range of the single output row, and every element keeps its
+/// k-ascending accumulation chain, so the result stays byte-identical
+/// to the sequential kernel.
 pub fn par_matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(a.cols(), b.rows(), "matmul dimension mismatch");
     let macs = a.rows().saturating_mul(a.cols()).saturating_mul(b.cols());
-    let workers = if b.cols() == 0 { 1 } else { plan_workers(a.rows(), macs) };
-    note_dispatch(Kernel::Matmul, a.rows(), a.cols(), b.cols(), macs, workers, workers > 1);
+    let workers = if b.cols() == 0 {
+        1
+    } else if a.rows() == 1 {
+        let cfg = ThreadConfig::current();
+        let threads = effective_threads(&cfg);
+        if threads <= 1 || b.cols() < 2 || macs < gate_for(&cfg, breakeven::MATMUL) {
+            1
+        } else {
+            threads.min(b.cols())
+        }
+    } else {
+        plan_workers(a.rows(), macs, breakeven::MATMUL)
+    };
     out.reset_zeros(a.rows(), b.cols());
     crate::matrix::with_rows_finite(b, |finite| {
         if workers <= 1 {
             a.matmul_rows_into(b, finite, 0, out.as_mut_slice());
+        } else if a.rows() == 1 {
+            // Column chunking: treat each column of the single output
+            // row as a width-1 "row" for the partitioner.
+            run_row_partitioned(out.as_mut_slice(), 1, workers, |col_start, chunk| {
+                a.matmul_row_cols_into(b, finite, col_start, chunk);
+            });
         } else {
             run_row_partitioned(out.as_mut_slice(), b.cols(), workers, |row_start, chunk| {
                 a.matmul_rows_into(b, finite, row_start, chunk);
             });
         }
     });
+    note_dispatch(Kernel::Matmul, a.rows(), a.cols(), b.cols(), macs, workers, workers > 1);
 }
 
 /// `aᵀ × b`, byte-identical to [`Matrix::matmul_tn`] at any thread count.
@@ -254,8 +392,8 @@ pub fn par_matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
 pub fn par_matmul_tn_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(a.rows(), b.rows(), "matmul_tn dimension mismatch");
     let macs = a.rows().saturating_mul(a.cols()).saturating_mul(b.cols());
-    let workers = if b.cols() == 0 { 1 } else { plan_workers(a.cols(), macs) };
-    note_dispatch(Kernel::MatmulTn, a.cols(), a.rows(), b.cols(), macs, workers, workers > 1);
+    let workers =
+        if b.cols() == 0 { 1 } else { plan_workers(a.cols(), macs, breakeven::MATMUL_TN) };
     out.reset_zeros(a.cols(), b.cols());
     crate::matrix::with_rows_finite(b, |finite| {
         if workers <= 1 {
@@ -266,6 +404,7 @@ pub fn par_matmul_tn_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
             });
         }
     });
+    note_dispatch(Kernel::MatmulTn, a.cols(), a.rows(), b.cols(), macs, workers, workers > 1);
 }
 
 /// `a × bᵀ`, byte-identical to [`Matrix::matmul_nt`] at any thread count.
@@ -279,8 +418,8 @@ pub fn par_matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
 pub fn par_matmul_nt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(a.cols(), b.cols(), "matmul_nt dimension mismatch");
     let macs = a.rows().saturating_mul(a.cols()).saturating_mul(b.rows());
-    let workers = if b.rows() == 0 { 1 } else { plan_workers(a.rows(), macs) };
-    note_dispatch(Kernel::MatmulNt, a.rows(), a.cols(), b.rows(), macs, workers, workers > 1);
+    let workers =
+        if b.rows() == 0 { 1 } else { plan_workers(a.rows(), macs, breakeven::MATMUL_NT) };
     out.reset_zeros(a.rows(), b.rows());
     if workers <= 1 {
         a.matmul_nt_rows_into(b, 0, out.as_mut_slice());
@@ -289,37 +428,69 @@ pub fn par_matmul_nt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
             a.matmul_nt_rows_into(b, row_start, chunk);
         });
     }
+    note_dispatch(Kernel::MatmulNt, a.rows(), a.cols(), b.rows(), macs, workers, workers > 1);
 }
 
-/// Applies `f` to each row of `m` in parallel as `f(row_index, row)`.
-/// Rows are independent, so the result is identical to the sequential
-/// loop. Small matrices (by the element-count analogue of the flop
-/// gate) stay sequential.
+/// Default per-element cost hint for [`par_for_each_rows`]: a cheap
+/// arithmetic closure (a few flops per element).
+pub const CHEAP_ELEM_FLOPS: usize = 4;
+
+/// Per-element cost hint for closures dominated by `exp`/`ln`-class
+/// calls (softmax rows, log-likelihoods): a libm call costs tens of
+/// flop-equivalents, not four.
+pub const EXP_ELEM_FLOPS: usize = 32;
+
+/// Per-element cost hint for row-normalization epilogues (the fused
+/// ReLU→LayerNorm pass): two reduction sweeps plus the normalize/affine
+/// sweep over each row.
+pub const NORM_ELEM_FLOPS: usize = 8;
+
+/// Applies `f` to each row of `m` in parallel as `f(row_index, row)`,
+/// assuming a cheap closure ([`CHEAP_ELEM_FLOPS`] per element). Rows
+/// are independent, so the result is identical to the sequential loop.
 pub fn par_for_each_rows(m: &mut Matrix, f: impl Fn(usize, &mut [f32]) + Sync) {
+    par_for_each_rows_cost(m, CHEAP_ELEM_FLOPS, f);
+}
+
+/// [`par_for_each_rows`] with a caller-supplied estimate of the
+/// closure's per-element cost in flop-equivalents. The size gate
+/// compares `elems × flops_per_elem` against the kernel's break-even
+/// point, so exp-heavy closures (hint: [`EXP_ELEM_FLOPS`]) parallelize
+/// at the batch sizes where they actually dominate — the fixed
+/// `elems × 4` estimate this replaces kept every softmax pass
+/// sequential (`kernel.for_each_rows` showed `max_threads: 1` across
+/// all 123 dispatches of a full bench run).
+pub fn par_for_each_rows_cost(
+    m: &mut Matrix,
+    flops_per_elem: usize,
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
     let cfg = ThreadConfig::current();
+    let threads = effective_threads(&cfg);
     let elems = m.rows().saturating_mul(m.cols());
-    let workers = if cfg.threads <= 1
+    let cost = elems.saturating_mul(flops_per_elem.max(1));
+    let workers = if threads <= 1
         || m.rows() < 2
         || m.cols() == 0
-        || elems.saturating_mul(4) < cfg.min_flops
+        || cost < gate_for(&cfg, breakeven::FOR_EACH_ROWS)
     {
         1
     } else {
-        cfg.threads.min(m.rows())
+        threads.min(m.rows())
     };
-    note_dispatch(Kernel::ForEachRows, m.rows(), 0, m.cols(), elems, workers, workers > 1);
     if workers <= 1 {
         for r in 0..m.rows() {
             f(r, m.row_mut(r));
         }
-        return;
+    } else {
+        let width = m.cols();
+        run_row_partitioned(m.as_mut_slice(), width, workers, |row_start, chunk| {
+            for (local, row) in chunk.chunks_exact_mut(width).enumerate() {
+                f(row_start + local, row);
+            }
+        });
     }
-    let width = m.cols();
-    run_row_partitioned(m.as_mut_slice(), width, workers, |row_start, chunk| {
-        for (local, row) in chunk.chunks_exact_mut(width).enumerate() {
-            f(row_start + local, row);
-        }
-    });
+    note_dispatch(Kernel::ForEachRows, m.rows(), 0, m.cols(), cost, workers, workers > 1);
 }
 
 /// Maps `f` over `items` on the configured number of worker threads,
@@ -593,6 +764,131 @@ mod tests {
             });
         });
         assert_eq!(bits(&seq), bits(&par));
+    }
+
+    #[test]
+    fn single_row_matmul_chunks_over_columns_bitwise() {
+        // 1×k × k×n: the old `out_rows < 2` short-circuit forced this
+        // fully sequential; the column-chunked path must dispatch and
+        // stay byte-identical, including non-finite poisoning.
+        let a = pattern(1, 48, 30);
+        let mut b = pattern(48, 131, 31);
+        b.set(7, 90, f32::NAN);
+        b.set(11, 3, f32::INFINITY);
+        let seq = a.matmul(&b);
+        for threads in [1, 2, 4, 7] {
+            let par = with_thread_config(forced(threads), || par_matmul(&a, &b));
+            assert_eq!(bits(&seq), bits(&par), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn single_row_matmul_parallelizes_over_the_calibrated_gate() {
+        use agua_obs::scoped::with_scoped_subscriber;
+        use agua_obs::Metrics;
+        use std::rc::Rc;
+
+        // 1×256 × 256×512 = 131k MACs ≥ breakeven::MATMUL under the
+        // *default* gate — no forced min_flops here.
+        let a = pattern(1, 256, 32);
+        let b = pattern(256, 512, 33);
+        let metrics = Rc::new(Metrics::new());
+        with_scoped_subscriber(metrics.clone(), || {
+            // Pin the detected core count so the calibrated-gate cap
+            // resolves the same way on a 1-core CI box.
+            with_hardware_parallelism(4, || {
+                with_threads(4, || {
+                    let par = par_matmul(&a, &b);
+                    assert_eq!(bits(&a.matmul(&b)), bits(&par));
+                });
+            });
+        });
+        let snap = metrics.snapshot();
+        assert_eq!(snap.scheduling["kernel.matmul.max_threads"], 4);
+    }
+
+    #[test]
+    fn for_each_rows_cost_hint_drives_the_gate() {
+        use agua_obs::scoped::with_scoped_subscriber;
+        use agua_obs::Metrics;
+        use std::rc::Rc;
+
+        // 128×32 = 4096 elements: ×4 (cheap hint) stays under the
+        // break-even, ×32 (exp hint) clears it — under the default
+        // min_flops, with no forced override.
+        let snap = |hint: usize| {
+            let metrics = Rc::new(Metrics::new());
+            with_scoped_subscriber(metrics.clone(), || {
+                with_hardware_parallelism(4, || {
+                    with_threads(4, || {
+                        let mut m = pattern(128, 32, 34);
+                        par_for_each_rows_cost(&mut m, hint, |_, row| {
+                            for v in row.iter_mut() {
+                                *v = (*v).exp();
+                            }
+                        });
+                    });
+                });
+            });
+            metrics.snapshot()
+        };
+        assert_eq!(snap(CHEAP_ELEM_FLOPS).scheduling["kernel.for_each_rows.max_threads"], 1);
+        assert_eq!(snap(EXP_ELEM_FLOPS).scheduling["kernel.for_each_rows.max_threads"], 4);
+    }
+
+    #[test]
+    fn calibrated_gate_caps_workers_at_hardware_parallelism() {
+        use agua_obs::scoped::with_scoped_subscriber;
+        use agua_obs::Metrics;
+        use std::rc::Rc;
+
+        // 64×64×64 = 262k MACs, far over breakeven::MATMUL — only the
+        // core count decides the worker budget here.
+        let a = pattern(64, 64, 40);
+        let b = pattern(64, 64, 41);
+        let seq = a.matmul(&b);
+        let max_threads = |hw: usize, cfg: ThreadConfig| {
+            let metrics = Rc::new(Metrics::new());
+            with_scoped_subscriber(metrics.clone(), || {
+                with_hardware_parallelism(hw, || {
+                    with_thread_config(cfg, || {
+                        assert_eq!(bits(&seq), bits(&par_matmul(&a, &b)), "hw={hw}");
+                    });
+                });
+            });
+            metrics.snapshot().scheduling["kernel.matmul.max_threads"]
+        };
+        let calibrated = |threads| ThreadConfig { threads, min_flops: DEFAULT_MIN_FLOPS };
+        // More requested threads than cores: capped at the core count.
+        assert_eq!(max_threads(2, calibrated(8)), 2);
+        // A 1-core box plans sequentially — the regression this fixes.
+        assert_eq!(max_threads(1, calibrated(4)), 1);
+        // More cores than requested threads: the request wins.
+        assert_eq!(max_threads(16, calibrated(8)), 8);
+        // Explicit min_flops is a forced schedule; the cap steps aside.
+        assert_eq!(max_threads(1, forced(4)), 4);
+    }
+
+    #[test]
+    fn queue_depth_high_water_is_visible_on_pool_dispatches() {
+        use agua_obs::scoped::with_scoped_subscriber;
+        use agua_obs::Metrics;
+        use std::rc::Rc;
+
+        let metrics = Rc::new(Metrics::new());
+        with_scoped_subscriber(metrics.clone(), || {
+            with_thread_config(forced(4), || {
+                let a = pattern(64, 16, 35);
+                let b = pattern(16, 16, 36);
+                let _ = par_matmul(&a, &b);
+            });
+        });
+        let snap = metrics.snapshot();
+        // 4 workers → 3 enqueued tasks; the enqueue-time sample must
+        // see at least the first of them (the old dequeue-side sample
+        // pinned this gauge to 0 on every dispatch).
+        let depth = snap.scheduling["kernel.matmul.max_queue_depth"];
+        assert!(depth >= 1, "max_queue_depth must record the enqueue high-water, got {depth}");
     }
 
     #[test]

@@ -193,6 +193,13 @@ static QUEUED: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
     static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// Peak value of `QUEUED` observed by this thread's most recent
+    /// [`run_chunks`] call, recorded at enqueue time — the only moment
+    /// the true high-water is observable (workers drain the queue
+    /// within microseconds, so a dequeue-side or after-the-fact sample
+    /// reads 0). Thread-local so concurrent dispatchers never steal
+    /// each other's peaks.
+    static LAST_DISPATCH_HIGH_WATER: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
 }
 
 fn worker_main(rx: Receiver<Msg>) {
@@ -259,6 +266,14 @@ pub fn queued_tasks() -> usize {
     QUEUED.load(Ordering::Relaxed)
 }
 
+/// Peak enqueue-time queue depth of the calling thread's most recent
+/// [`run_chunks`] call (0 when it ran inline). The dispatching kernels
+/// read this after their pool handoff completes and report it as
+/// `KernelDispatched::queue_depth`.
+pub fn last_dispatch_queue_high_water() -> usize {
+    LAST_DISPATCH_HIGH_WATER.with(std::cell::Cell::get)
+}
+
 /// Shrinks the pool to at most `max_workers` threads, joining the
 /// surplus. Growth is lazy, so this never spawns.
 pub fn resize_to(max_workers: usize) {
@@ -303,6 +318,7 @@ where
     debug_assert!(width > 0 && out.len().is_multiple_of(width) && chunk_rows > 0);
     let chunk_len = chunk_rows * width;
     let n_chunks = out.len().div_ceil(chunk_len).max(1);
+    LAST_DISPATCH_HIGH_WATER.with(|hw| hw.set(0));
     if n_chunks <= 1 || on_worker_thread() {
         for (c, chunk) in out.chunks_mut(chunk_len).enumerate() {
             work(c * chunk_rows, chunk);
@@ -323,6 +339,7 @@ where
         // concurrent `resize_to`/`shutdown` unable to strand a task.
         let pool = ensure_workers(n_chunks - 1);
         let mut workers = pool.iter();
+        let mut peak = 0usize;
         for (c, chunk) in chunks {
             let worker = workers.next().expect("ensure_workers grew the pool");
             let task = Task {
@@ -333,7 +350,8 @@ where
                 len: chunk.len(),
                 latch: &latch,
             };
-            QUEUED.fetch_add(1, Ordering::Relaxed);
+            let depth = QUEUED.fetch_add(1, Ordering::Relaxed) + 1;
+            peak = peak.max(depth);
             if worker.tx.send(Msg::Run(task)).is_err() {
                 // Defensive only: unreachable under the lock protocol
                 // above, but a lost chunk must never be silent.
@@ -341,6 +359,7 @@ where
                 orphans.push((c * chunk_rows, chunk));
             }
         }
+        LAST_DISPATCH_HIGH_WATER.with(|hw| hw.set(peak));
     }
     for (row_start, chunk) in orphans {
         let result = catch_unwind(AssertUnwindSafe(|| work(row_start, chunk)));
@@ -396,6 +415,26 @@ mod tests {
             chunk.iter_mut().enumerate().for_each(|(i, v)| *v = (row_start + i) as f32);
         });
         assert_eq!(out2, (0..8).map(|i| i as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queue_high_water_is_sampled_at_enqueue() {
+        let width = 2;
+        let mut out = vec![0.0f32; 8 * width];
+        run_chunks(&mut out, width, 2, &|row_start, chunk: &mut [f32]| {
+            chunk.iter_mut().for_each(|v| *v = row_start as f32);
+        });
+        // 4 chunks → 3 enqueued tasks; however fast the workers drain,
+        // the first enqueue alone pushes this dispatch's high-water to
+        // ≥ 1 (the retired dequeue-side sample always read 0 here).
+        let peak = last_dispatch_queue_high_water();
+        assert!(peak >= 1, "enqueue-time high-water must be visible, got {peak}");
+        // An inline dispatch resets the gauge.
+        let mut small = vec![0.0f32; 2];
+        run_chunks(&mut small, 2, 1, &|_, chunk: &mut [f32]| {
+            chunk.iter_mut().for_each(|v| *v = 1.0);
+        });
+        assert_eq!(last_dispatch_queue_high_water(), 0);
     }
 
     #[test]

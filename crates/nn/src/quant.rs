@@ -1,0 +1,322 @@
+//! Int8 quantized **inference-only** network mirror.
+//!
+//! [`QuantizedMlp`] freezes a trained [`Mlp`] into per-tensor symmetric
+//! int8 weights (`w ≈ q · scale`, `q ∈ [-127, 127]`). At inference the
+//! activations are dynamically quantized per batch with the same
+//! symmetric scheme, the matmul accumulates in `i32` (exact — no
+//! rounding inside the dot product), and the result is rescaled to
+//! `f32` before the bias add. ReLU/Tanh/LayerNorm run in `f32` on the
+//! dequantized activations: they are cheap relative to the matmuls and
+//! keeping them exact confines the quantization error to the weights
+//! and activations.
+//!
+//! This path trades accuracy for a 4× smaller weight footprint, so it
+//! ships only behind a **fidelity gate**: `agua-core`'s
+//! `QuantizedAguaModel::from_model_gated` refuses to hand out a
+//! quantized surrogate whose fidelity drop against the `f32` model
+//! exceeds the caller's ε (the paper's Table-2-style agreement check).
+//!
+//! Determinism: activation scales depend only on the batch values, the
+//! `i32` accumulation is exact and order-independent, and the row
+//! partitioning of the parallel backend never splits a row — so
+//! quantized inference is byte-identical at any thread count.
+
+use crate::layer::LayerNorm;
+use crate::matrix::Matrix;
+use crate::mlp::{LayerKind, Mlp};
+use crate::parallel;
+
+/// Symmetric per-tensor int8 quantization of a weight matrix, stored
+/// **transposed** (`out_dim × in_dim`) so the inner dot products read
+/// both operands contiguously.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedLinear {
+    /// Input feature dimension.
+    pub in_dim: usize,
+    /// Output feature dimension.
+    pub out_dim: usize,
+    /// Weight scale: `w[i][o] ≈ weight_t[o·in_dim + i] · scale`.
+    pub scale: f32,
+    /// Transposed quantized weights, `out_dim × in_dim`, row-major.
+    pub weight_t: Vec<i8>,
+    /// Bias kept in `f32` (`1 × out_dim`): it adds once per output, so
+    /// quantizing it would cost accuracy for no footprint win.
+    pub bias: Vec<f32>,
+}
+
+/// Quantizes `v / scale` to the symmetric int8 range. Non-finite values
+/// saturate (`as` casts clamp; `NaN → 0`), matching the "absence of
+/// signal" a poisoned weight should contribute.
+fn quantize_value(v: f32, scale: f32) -> i8 {
+    (v / scale).round().clamp(-127.0, 127.0) as i8
+}
+
+/// The symmetric per-tensor scale for `values`: `max |v| / 127`, with 1
+/// as the degenerate all-zero fallback (any scale represents zero
+/// exactly). Non-finite entries are ignored for the scale — they would
+/// otherwise blow it up to ∞ and zero out every finite weight.
+fn symmetric_scale(values: &[f32]) -> f32 {
+    let mut max_abs = 0.0f32;
+    for &v in values {
+        if v.is_finite() {
+            max_abs = max_abs.max(v.abs());
+        }
+    }
+    if max_abs > 0.0 {
+        max_abs / 127.0
+    } else {
+        1.0
+    }
+}
+
+impl QuantizedLinear {
+    /// Quantizes a trained `f32` linear layer (weight `in_dim × out_dim`,
+    /// bias `1 × out_dim`).
+    pub fn from_f32(weight: &Matrix, bias: &Matrix) -> Self {
+        let (in_dim, out_dim) = weight.shape();
+        assert_eq!(bias.shape(), (1, out_dim), "bias width must match weight");
+        let scale = symmetric_scale(weight.as_slice());
+        let mut weight_t = vec![0i8; in_dim * out_dim];
+        for i in 0..in_dim {
+            for o in 0..out_dim {
+                weight_t[o * in_dim + i] = quantize_value(weight.get(i, o), scale);
+            }
+        }
+        Self { in_dim, out_dim, scale, weight_t, bias: bias.row(0).to_vec() }
+    }
+
+    /// Reassembles a layer from saved parts (artifact codecs).
+    ///
+    /// # Panics
+    /// Panics if the buffer lengths do not match the declared shape.
+    pub fn from_parts(
+        in_dim: usize,
+        out_dim: usize,
+        scale: f32,
+        weight_t: Vec<i8>,
+        bias: Vec<f32>,
+    ) -> Self {
+        assert_eq!(weight_t.len(), in_dim * out_dim, "weight buffer must be in_dim × out_dim");
+        assert_eq!(bias.len(), out_dim, "bias must have one entry per output");
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive and finite");
+        Self { in_dim, out_dim, scale, weight_t, bias }
+    }
+
+    /// Quantized affine pass: dynamically quantizes `input`, multiplies
+    /// in `i32`, rescales to `f32`, adds the bias. Row-partitioned on
+    /// the parallel backend with the true per-output cost (`in_dim`
+    /// MACs per element) as the gate hint.
+    pub fn infer_into(&self, input: &Matrix, out: &mut Matrix) {
+        assert_eq!(input.cols(), self.in_dim, "quantized linear dimension mismatch");
+        let (n, kdim) = input.shape();
+        let x_scale = symmetric_scale(input.as_slice());
+        let qx: Vec<i8> = input.as_slice().iter().map(|&v| quantize_value(v, x_scale)).collect();
+        let rescale = x_scale * self.scale;
+        out.reset_zeros(n, self.out_dim);
+        let weight_t = &self.weight_t;
+        let bias = &self.bias;
+        parallel::par_for_each_rows_cost(out, kdim.max(1), |r, row| {
+            let xrow = &qx[r * kdim..(r + 1) * kdim];
+            for (o, dst) in row.iter_mut().enumerate() {
+                let wrow = &weight_t[o * kdim..(o + 1) * kdim];
+                let mut acc = 0i32;
+                for (&x, &w) in xrow.iter().zip(wrow) {
+                    acc += i32::from(x) * i32::from(w);
+                }
+                *dst = acc as f32 * rescale + bias[o];
+            }
+        });
+    }
+
+    /// [`QuantizedLinear::infer_into`] returning a fresh matrix.
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.infer_into(input, &mut out);
+        out
+    }
+
+    /// Weight bytes of this layer (the footprint the quantization buys).
+    pub fn weight_bytes(&self) -> usize {
+        self.weight_t.len()
+    }
+}
+
+/// A non-linear layer carried over to the quantized stack in `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantLayer {
+    /// Int8 affine layer.
+    Linear(QuantizedLinear),
+    /// `max(0, x)`, exact.
+    ReLU,
+    /// `tanh(x)`, exact.
+    Tanh,
+    /// LayerNorm with `f32` γ/β (per-feature, `1 × dim`).
+    LayerNorm {
+        /// Per-feature scale γ.
+        gamma: Vec<f32>,
+        /// Per-feature shift β.
+        beta: Vec<f32>,
+        /// Variance epsilon.
+        eps: f32,
+    },
+}
+
+/// An inference-only int8 mirror of an [`Mlp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMlp {
+    /// Layers applied in order.
+    pub layers: Vec<QuantLayer>,
+}
+
+impl QuantizedMlp {
+    /// Quantizes every `Linear` of a trained network; activations and
+    /// normalizations are carried over exactly.
+    pub fn from_mlp(mlp: &Mlp) -> Self {
+        let layers = mlp
+            .layers
+            .iter()
+            .map(|layer| match layer {
+                LayerKind::Linear(l) => {
+                    QuantLayer::Linear(QuantizedLinear::from_f32(&l.weight.value, &l.bias.value))
+                }
+                LayerKind::ReLU(_) => QuantLayer::ReLU,
+                LayerKind::Tanh(_) => QuantLayer::Tanh,
+                LayerKind::LayerNorm(l) => QuantLayer::LayerNorm {
+                    gamma: l.gamma.value.row(0).to_vec(),
+                    beta: l.beta.value.row(0).to_vec(),
+                    eps: l.eps,
+                },
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// Inference through the quantized stack.
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        let mut buf = Matrix::default();
+        for layer in &self.layers {
+            match layer {
+                QuantLayer::Linear(l) => {
+                    l.infer_into(&x, &mut buf);
+                    std::mem::swap(&mut x, &mut buf);
+                }
+                QuantLayer::ReLU => x.map_inplace(|v| v.max(0.0)),
+                QuantLayer::Tanh => x.map_inplace(f32::tanh),
+                QuantLayer::LayerNorm { gamma, beta, eps } => {
+                    let ln = layernorm_of(gamma, beta, *eps);
+                    for r in 0..x.rows() {
+                        ln.normalize_affine_row(x.row_mut(r));
+                    }
+                }
+            }
+        }
+        x
+    }
+
+    /// Total quantized weight bytes across all linear layers.
+    pub fn weight_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                QuantLayer::Linear(q) => q.weight_bytes(),
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// Rehydrates a scratch [`LayerNorm`] so the quantized stack shares the
+/// exact per-row normalization expressions with the `f32` path.
+fn layernorm_of(gamma: &[f32], beta: &[f32], eps: f32) -> LayerNorm {
+    let mut ln = LayerNorm::new(gamma.len());
+    ln.gamma.value = Matrix::row_vector(gamma);
+    ln.beta.value = Matrix::row_vector(beta);
+    ln.eps = eps;
+    ln
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Linear;
+    use crate::layer::ReLU;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pattern(rows: usize, cols: usize, salt: u64) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let h = (r as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((c as u64).wrapping_mul(0xD1B5_4A32_D192_ED03))
+                .wrapping_add(salt);
+            ((h % 2001) as f32 - 1000.0) / 500.0
+        })
+    }
+
+    #[test]
+    fn quantized_linear_tracks_f32_within_quantization_error() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lin = Linear::new(&mut rng, 16, 8);
+        let q = QuantizedLinear::from_f32(&lin.weight.value, &lin.bias.value);
+        let x = pattern(12, 16, 5);
+        let exact = lin.infer(&x);
+        let approx = q.infer(&x);
+        for (a, b) in exact.as_slice().iter().zip(approx.as_slice()) {
+            // Two int8 roundings over a 16-term dot product: loose bound.
+            assert!((a - b).abs() < 0.15, "quantized output drifted: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantized_inference_is_byte_identical_across_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mlp = Mlp::new()
+            .push(LayerKind::Linear(Linear::new(&mut rng, 12, 24)))
+            .push(LayerKind::ReLU(ReLU::new()))
+            .push(LayerKind::LayerNorm(LayerNorm::new(24)))
+            .push(LayerKind::Linear(Linear::new(&mut rng, 24, 6)));
+        let q = QuantizedMlp::from_mlp(&mlp);
+        let x = pattern(33, 12, 11);
+        let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        let base = parallel::with_thread_config(
+            parallel::ThreadConfig { threads: 1, min_flops: 0 },
+            || q.infer(&x),
+        );
+        for threads in [2, 4, 7] {
+            let par = parallel::with_thread_config(
+                parallel::ThreadConfig { threads, min_flops: 0 },
+                || q.infer(&x),
+            );
+            assert_eq!(bits(&base), bits(&par), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_layer_quantizes_to_exact_zeros() {
+        let weight = Matrix::zeros(4, 3);
+        let bias = Matrix::row_vector(&[0.5, -0.25, 0.0]);
+        let q = QuantizedLinear::from_f32(&weight, &bias);
+        let out = q.infer(&pattern(2, 4, 1));
+        for r in 0..2 {
+            assert_eq!(out.row(r), &[0.5, -0.25, 0.0]);
+        }
+    }
+
+    #[test]
+    fn weight_bytes_counts_only_linear_layers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new()
+            .push(LayerKind::Linear(Linear::new(&mut rng, 10, 20)))
+            .push(LayerKind::ReLU(ReLU::new()))
+            .push(LayerKind::Linear(Linear::new(&mut rng, 20, 5)));
+        let q = QuantizedMlp::from_mlp(&mlp);
+        assert_eq!(q.weight_bytes(), 10 * 20 + 20 * 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight buffer must be in_dim × out_dim")]
+    fn from_parts_validates_shape() {
+        let _ = QuantizedLinear::from_parts(3, 2, 0.1, vec![0i8; 5], vec![0.0; 2]);
+    }
+}

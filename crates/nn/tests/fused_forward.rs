@@ -1,0 +1,197 @@
+//! The fused inference path is byte-identical to the unfused reference.
+//!
+//! `Mlp::forward_into` collapses every `Linear → ReLU → LayerNorm`
+//! window into one matmul plus a single row-local epilogue. These
+//! suites pin the contract that makes that fusion safe to ship: the
+//! fused output matches the three-pass per-layer reference **bit for
+//! bit**, at thread counts 1/2/4/7, through reused (warm) workspaces,
+//! and under NaN/∞ input poisoning. The int8 quantized mirror gets the
+//! same thread-count-invariance treatment.
+//!
+//! Under Miri the randomized `proptest` suites are compiled out; the
+//! `small_shapes` module covers the same contracts on fixed shapes.
+
+use agua_nn::parallel::{with_thread_config, ThreadConfig};
+use agua_nn::{
+    InferWorkspace, LayerKind, LayerNorm, Linear, Matrix, Mlp, QuantizedMlp, ReLU, Tanh,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Forces pool dispatch regardless of operation size.
+fn forced(threads: usize) -> ThreadConfig {
+    ThreadConfig { threads, min_flops: 0 }
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Deterministic pseudo-random matrix (same pattern as the pool suite).
+fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        let h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add((r * 31 + c * 7) as u64);
+        ((h % 2003) as f32 - 1001.0) / 211.0
+    })
+}
+
+/// A LayerNorm with non-trivial γ/β so the affine epilogue actually
+/// participates in the bit comparison.
+fn layernorm(dim: usize, seed: u64) -> LayerNorm {
+    let mut ln = LayerNorm::new(dim);
+    ln.gamma.value = Matrix::from_fn(1, dim, |_, c| 1.0 + ((seed as usize + c) % 7) as f32 * 0.05);
+    ln.beta.value =
+        Matrix::from_fn(1, dim, |_, c| ((seed as usize + 3 * c) % 5) as f32 * 0.1 - 0.2);
+    ln
+}
+
+/// Three stack shapes: a pure fused window, a fused window with a
+/// trailing head, and a stack sandwiching the fusable window between
+/// non-fusable layers.
+fn build_net(arch: usize, d_in: usize, hidden: usize, d_out: usize, seed: u64) -> Mlp {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match arch % 3 {
+        0 => Mlp::new()
+            .push(LayerKind::Linear(Linear::new(&mut rng, d_in, hidden)))
+            .push(LayerKind::ReLU(ReLU::new()))
+            .push(LayerKind::LayerNorm(layernorm(hidden, seed))),
+        1 => Mlp::new()
+            .push(LayerKind::Linear(Linear::new(&mut rng, d_in, hidden)))
+            .push(LayerKind::ReLU(ReLU::new()))
+            .push(LayerKind::LayerNorm(layernorm(hidden, seed)))
+            .push(LayerKind::Linear(Linear::new(&mut rng, hidden, d_out))),
+        _ => Mlp::new()
+            .push(LayerKind::LayerNorm(layernorm(d_in, seed ^ 0x99)))
+            .push(LayerKind::Linear(Linear::new(&mut rng, d_in, hidden)))
+            .push(LayerKind::ReLU(ReLU::new()))
+            .push(LayerKind::LayerNorm(layernorm(hidden, seed)))
+            .push(LayerKind::Tanh(Tanh::new()))
+            .push(LayerKind::Linear(Linear::new(&mut rng, hidden, d_out))),
+    }
+}
+
+/// The unfused three-pass reference: every layer applied one at a time
+/// through its own `infer`, exactly as inference ran before the fusion.
+fn infer_unfused(net: &Mlp, x: &Matrix) -> Matrix {
+    net.layers.iter().fold(x.clone(), |acc, layer| layer.infer(&acc))
+}
+
+/// Fixed-shape floor that also runs under Miri.
+mod small_shapes {
+    use super::*;
+
+    #[test]
+    fn fused_matches_unfused_on_fixed_shapes() {
+        for arch in 0..3 {
+            let net = build_net(arch, 5, 9, 4, 21 + arch as u64);
+            let x = mat(6, 5, 77);
+            let reference = with_thread_config(forced(1), || infer_unfused(&net, &x));
+            let mut ws = InferWorkspace::default();
+            for threads in [1, 2, 4, 7] {
+                let fused =
+                    with_thread_config(forced(threads), || net.forward_into(&x, &mut ws).clone());
+                assert_eq!(bits(&reference), bits(&fused), "arch {arch} threads {threads}");
+            }
+        }
+        agua_nn::pool::shutdown();
+    }
+
+    #[test]
+    fn fused_preserves_nonfinite_poisoning_on_fixed_shapes() {
+        for (i, poison) in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY].iter().enumerate() {
+            let net = build_net(1, 4, 8, 3, 31 + i as u64);
+            let mut x = mat(5, 4, 13);
+            x.set(i % 5, i % 4, *poison);
+            let reference = with_thread_config(forced(1), || infer_unfused(&net, &x));
+            let mut ws = InferWorkspace::default();
+            let fused = with_thread_config(forced(2), || net.forward_into(&x, &mut ws).clone());
+            assert_eq!(bits(&reference), bits(&fused), "poison {poison}");
+        }
+        agua_nn::pool::shutdown();
+    }
+}
+
+/// The randomized suites; compiled out under Miri (see module docs).
+#[cfg(not(miri))]
+mod randomized {
+    use super::*;
+    use proptest::prelude::*;
+
+    const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+    proptest! {
+        /// Fused `forward_into` vs the unfused three-pass reference,
+        /// bitwise, over stack shapes, batch sizes, hidden widths past
+        /// the vector tile, thread counts, and warm-workspace reuse.
+        #[test]
+        fn fused_forward_matches_unfused_bitwise(
+            arch in 0usize..3,
+            batch in 1usize..10,
+            d_in in 1usize..12,
+            hidden in 1usize..40,
+            d_out in 1usize..8,
+            tidx in 0usize..THREADS.len(),
+            seed in 0u64..300,
+        ) {
+            let threads = THREADS[tidx];
+            let net = build_net(arch, d_in, hidden, d_out, seed);
+            let x = mat(batch, d_in, seed ^ 0xF00D);
+            let reference = with_thread_config(forced(1), || infer_unfused(&net, &x));
+            let mut ws = InferWorkspace::default();
+            // Twice through the same workspace: stale contents from the
+            // first pass must not leak into the second.
+            for pass in 0..2 {
+                let fused = with_thread_config(forced(threads), || {
+                    net.forward_into(&x, &mut ws).clone()
+                });
+                prop_assert_eq!(bits(&reference), bits(&fused), "pass {}", pass);
+            }
+        }
+
+        /// NaN/∞ poisoning flows through the fused epilogue exactly as
+        /// it does through the three-pass reference, at any thread count.
+        #[test]
+        fn fused_forward_preserves_nonfinite_poisoning(
+            arch in 0usize..3,
+            batch in 1usize..8,
+            d_in in 2usize..10,
+            hidden in 2usize..24,
+            tidx in 0usize..THREADS.len(),
+            poison in 0usize..100,
+            kind in 0usize..3,
+            seed in 0u64..200,
+        ) {
+            let threads = THREADS[tidx];
+            let net = build_net(arch, d_in, hidden, 3, seed);
+            let mut x = mat(batch, d_in, seed ^ 0x55);
+            let value = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY][kind];
+            x.set(poison % batch, poison % d_in, value);
+            let reference = with_thread_config(forced(1), || infer_unfused(&net, &x));
+            let mut ws = InferWorkspace::default();
+            let fused = with_thread_config(forced(threads), || {
+                net.forward_into(&x, &mut ws).clone()
+            });
+            prop_assert_eq!(bits(&reference), bits(&fused));
+        }
+
+        /// The int8 quantized mirror is byte-identical at any thread
+        /// count: exact i32 accumulation plus whole-row partitioning.
+        #[test]
+        fn quantized_inference_is_thread_count_invariant(
+            arch in 0usize..3,
+            batch in 1usize..10,
+            d_in in 1usize..10,
+            hidden in 1usize..32,
+            tidx in 1usize..THREADS.len(),
+            seed in 0u64..200,
+        ) {
+            let threads = THREADS[tidx];
+            let net = build_net(arch, d_in, hidden, 4, seed);
+            let q = QuantizedMlp::from_mlp(&net);
+            let x = mat(batch, d_in, seed ^ 0xBEEF);
+            let base = with_thread_config(forced(1), || q.infer(&x));
+            let par = with_thread_config(forced(threads), || q.infer(&x));
+            prop_assert_eq!(bits(&base), bits(&par));
+        }
+    }
+}

@@ -45,8 +45,11 @@ mod small_shapes {
     use agua_nn::parallel::reference;
 
     /// Shapes that hit the interesting partitions at 2 workers: fewer
-    /// rows than workers, an odd split, and a tile-remainder shape.
-    const SHAPES: [(usize, usize, usize); 3] = [(1, 3, 2), (3, 2, 4), (5, 7, 3)];
+    /// rows than workers, an odd split, a tile-remainder shape, and one
+    /// shape past the 32-wide vector tile with a non-multiple-of-8 k
+    /// (exercises the `F32x8` lane remainder and the `TILE` → `SUBTILE`
+    /// → scalar column cascade).
+    const SHAPES: [(usize, usize, usize); 4] = [(1, 3, 2), (3, 2, 4), (5, 7, 3), (2, 33, 34)];
 
     #[test]
     fn pool_byte_identity_on_fixed_small_shapes() {
@@ -103,12 +106,15 @@ mod randomized {
 
     proptest! {
         /// All three kernels, pool vs sequential-scalar vs scoped-spawn, at
-        /// thread counts 1/2/4/7.
+        /// thread counts 1/2/4/7. The k/n ranges reach past the 32-wide
+        /// vector tile so the `F32x8` lanes, the `SUBTILE` pass, and the
+        /// scalar column remainder are all compared against the scalar
+        /// reference, not just the narrow shapes.
         #[test]
         fn pool_matches_sequential_and_scoped_spawn_bitwise(
-            m in 1usize..16,
-            k in 1usize..16,
-            n in 1usize..16,
+            m in 1usize..24,
+            k in 1usize..40,
+            n in 1usize..40,
             tidx in 0usize..THREADS.len(),
             seed in 0u64..300,
         ) {
@@ -143,8 +149,8 @@ mod randomized {
         #[test]
         fn pool_preserves_nonfinite_poisoning(
             m in 2usize..10,
-            k in 1usize..10,
-            n in 1usize..10,
+            k in 1usize..40,
+            n in 1usize..40,
             tidx in 0usize..THREADS.len(),
             poison in 0usize..100,
             use_inf in 0usize..2,
