@@ -37,21 +37,21 @@
 use agua::explain;
 use agua::quantized::QuantizedAguaModel;
 use agua::surrogate::{AguaModel, ConceptMapping, OutputMapping};
-use agua_bench::report::{banner, save_json};
+use agua_bench::report::{banner, results_dir, save_json};
 use agua_bench::synth::{bench_params, synthetic_surrogate, SynthSpec};
 use agua_nn::parallel::{
     breakeven, reference, with_thread_config, with_threads, ThreadConfig, EXP_ELEM_FLOPS,
 };
 use agua_nn::Matrix;
 use agua_obs::scoped::with_scoped_subscriber;
-use agua_obs::{span_end, span_start, Metrics, Stage};
+use agua_obs::{span_end, span_start, Fanout, Metrics, Stage, Subscriber, TraceWriter};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::ser::SerializeStruct;
 use serde::{Serialize, Serializer};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 #[derive(Debug)]
@@ -328,7 +328,7 @@ fn run_explanation_stage(
     model: &AguaModel,
     embeddings: &Matrix,
     reps: usize,
-    metrics: &Rc<Metrics>,
+    obs: &Arc<dyn Subscriber>,
     rows: &mut Vec<StageResult>,
 ) {
     println!("\n[batched explanation] n={} reps={reps}", embeddings.rows());
@@ -338,13 +338,13 @@ fn run_explanation_stage(
         // The span gives subscribers the stage total; the persisted row
         // records the minimum per-rep time (see `time_reps`) so the
         // speedup column isn't an interference-spike lottery.
-        let span = span_start(&**metrics, Stage::Custom("batched_explanation"));
+        let span = span_start(&**obs, Stage::Custom("batched_explanation"));
         let (secs, explanation) = time_reps(reps, || {
-            with_scoped_subscriber(metrics.clone(), || {
+            with_scoped_subscriber(obs.clone(), || {
                 with_threads(threads, || explain::batched(model, embeddings, 0))
             })
         });
-        span_end(&**metrics, span);
+        span_end(&**obs, span);
         let weight_bits: Vec<u32> =
             explanation.contributions.iter().map(|c| c.weight.to_bits()).collect();
         let identical = if threads == 1 {
@@ -387,11 +387,11 @@ fn run_explanation_regression(
     model: &AguaModel,
     embeddings: &Matrix,
     reps: usize,
-    metrics: &Rc<Metrics>,
+    obs: &Arc<dyn Subscriber>,
 ) -> ExplanationRegression {
     println!("\n[vs retired reference] n={} reps={reps}", embeddings.rows());
     let timed = |threads: usize, f: &dyn Fn() -> agua::explain::BatchedExplanation| {
-        time_reps(reps, || with_scoped_subscriber(metrics.clone(), || with_threads(threads, f)))
+        time_reps(reps, || with_scoped_subscriber(obs.clone(), || with_threads(threads, f)))
     };
     let (reference_secs, reference) =
         timed(1, &|| explain::batched_reference(model, embeddings, 0));
@@ -620,7 +620,14 @@ fn main() {
         "BENCH parallel",
         "1-thread vs N-thread speedup of the deterministic backend (pool + tiled kernels)",
     );
-    let metrics = Rc::new(Metrics::new());
+    let metrics = Arc::new(Metrics::new());
+    // One Chrome trace per sweep: every stage span, counter, and worker
+    // utilization sample lands in results/BENCH_parallel_trace.json,
+    // loadable in chrome://tracing or ui.perfetto.dev.
+    let trace_path = results_dir().join("BENCH_parallel_trace.json");
+    let trace =
+        Arc::new(TraceWriter::create(&trace_path).expect("create BENCH_parallel trace file"));
+    let obs: Arc<dyn Subscriber> = Fanout::new().push(metrics.clone()).push(trace.clone()).shared();
     let mut rows: Vec<StageResult> = Vec::new();
 
     // The model and embeddings driving the explanation + quantized
@@ -646,13 +653,13 @@ fn main() {
         let mut baseline_model: Option<AguaModel> = None;
         let mut fit_base_secs = 0.0f64;
         for &threads in &thread_counts {
-            let span = span_start(&*metrics, Stage::Custom("surrogate_fit"));
-            let model = with_scoped_subscriber(metrics.clone(), || {
+            let span = span_start(&*obs, Stage::Custom("surrogate_fit"));
+            let model = with_scoped_subscriber(obs.clone(), || {
                 with_threads(threads, || {
                     AguaModel::fit(&concepts, spec.k, spec.n_outputs, &dataset, &params)
                 })
             });
-            let secs = span_end(&*metrics, span);
+            let secs = span_end(&*obs, span);
             let mb = model_bits(&model);
             let identical = if threads == 1 {
                 fit_base_secs = secs;
@@ -678,7 +685,7 @@ fn main() {
     };
 
     // --- Stage 2: batched explanation (both modes).
-    run_explanation_stage(&model, &embeddings, if smoke { 5 } else { 20 }, &metrics, &mut rows);
+    run_explanation_stage(&model, &embeddings, if smoke { 5 } else { 20 }, &obs, &mut rows);
 
     assert!(
         rows.iter().all(|r| r.byte_identical_to_1_thread),
@@ -688,24 +695,27 @@ fn main() {
     // --- Stage 2b: the regression gate — the rewritten batched path
     // against the retired implementation it replaced.
     let explanation_regression =
-        run_explanation_regression(&model, &embeddings, if smoke { 5 } else { 20 }, &metrics);
+        run_explanation_regression(&model, &embeddings, if smoke { 5 } else { 20 }, &obs);
 
     // --- Stage 3: the δ-fit-shaped matmul sweep (attach the metrics
     // subscriber so pool-dispatch counters show up).
     let (sweep, overall_speedup) =
-        with_scoped_subscriber(metrics.clone(), || run_sweep(if smoke { 10 } else { 30 }));
+        with_scoped_subscriber(obs.clone(), || run_sweep(if smoke { 10 } else { 30 }));
 
     // --- Stage 4: per-kernel gate-calibration ladders, under the
     // metrics subscriber: their forced dispatches are what exercise the
     // pool on machines whose core count keeps the calibrated gate
     // sequential.
-    let gate_calibration = with_scoped_subscriber(metrics.clone(), || {
-        run_gate_calibration(if smoke { 5 } else { 20 })
-    });
+    let gate_calibration =
+        with_scoped_subscriber(obs.clone(), || run_gate_calibration(if smoke { 5 } else { 20 }));
 
     // --- Stage 5: the int8 quantized surrogate behind its fidelity gate.
     let quantized = run_quantized_section(&model, &embeddings, if smoke { 5 } else { 20 });
 
+    // Fold the pool's per-worker utilization (busy/parked time, wakeups,
+    // chunk latencies drained from the lock-free rings) into the report.
+    let chunk_hist = agua_nn::pool::emit_worker_utilization(&*obs);
+    metrics.merge_latency_hist("pool.chunk_seconds", &chunk_hist);
     let snapshot = metrics.snapshot();
     let kernel = snapshot.kernel_counters();
     println!("\n[kernel dispatch counters]");
@@ -746,5 +756,7 @@ fn main() {
         std::fs::write(&path, json).expect("write repo-root report");
         println!("wrote {}", path.display());
     }
+    trace.flush().expect("flush BENCH_parallel trace");
+    println!("wrote {} ({} trace events)", trace_path.display(), trace.len());
     println!("\nwrote results/BENCH_parallel.json");
 }

@@ -11,8 +11,27 @@
 
 use agua_bench::plot::{BarChart, LineChart, Series};
 use agua_bench::report::results_dir;
+use agua_bench::runner::ExperimentRunner;
+use serde::ser::SerializeStruct;
+use serde::{Serialize, Serializer};
 use serde_json::Value;
 use std::fs;
+
+/// What the run produced, persisted as `results/render_figures.json` so
+/// a pipeline driver can tell a partial render from a complete one.
+struct RenderSummary {
+    rendered: usize,
+    skipped: Vec<String>,
+}
+
+impl Serialize for RenderSummary {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("RenderSummary", 2)?;
+        s.serialize_field("rendered", &self.rendered)?;
+        s.serialize_field("skipped", &self.skipped)?;
+        s.end()
+    }
+}
 
 fn load(name: &str) -> Option<Value> {
     let path = results_dir().join(format!("{name}.json"));
@@ -192,13 +211,17 @@ fn expansion_chart(v: &Value) -> Option<()> {
 }
 
 fn main() {
+    let runner = ExperimentRunner::new("render_figures", "results/*.json → results/figures/*.svg");
     println!("rendering figures from results/*.json…");
     let mut rendered = 0;
     let mut skipped = Vec::new();
 
-    let mut run = |name: &str, f: &dyn Fn(&Value) -> Option<()>| match load(name) {
+    // Each figure set renders under its own span, so `--obs`-style
+    // tooling (and the persisted snapshot) shows where render time went.
+    let mut run = |name: &'static str, f: &dyn Fn(&Value) -> Option<()>| match load(name) {
         Some(v) => {
-            if f(&v).is_some() {
+            let ok = runner.span(name, |_| f(&v).is_some());
+            if ok {
                 rendered += 1;
             } else {
                 skipped.push(format!("{name} (unexpected JSON shape)"));
@@ -236,4 +259,5 @@ fn main() {
     if !skipped.is_empty() {
         println!("skipped: {skipped:?}");
     }
+    runner.finish("render_figures", &RenderSummary { rendered, skipped });
 }

@@ -13,14 +13,16 @@
 //! mutexes).
 
 use agua_app::Store;
-use agua_obs::{Metrics, Subscriber};
+use agua_obs::scoped::with_scoped_subscriber;
+use agua_obs::{span_end, span_start, Metrics, Stage, Subscriber};
 use serde::Serialize;
+use std::sync::Arc;
 
 use crate::report::{banner, results_dir, save_json};
 
 /// Shared spine of an experiment binary.
 pub struct ExperimentRunner {
-    metrics: Metrics,
+    metrics: Arc<Metrics>,
     store: Store,
     smoke: bool,
 }
@@ -31,7 +33,7 @@ impl ExperimentRunner {
     pub fn new(id: &str, title: &str) -> Self {
         banner(id, title);
         Self {
-            metrics: Metrics::new(),
+            metrics: Arc::new(Metrics::new()),
             store: Store::new(results_dir().join("cache")),
             smoke: std::env::args().any(|a| a == "--smoke"),
         }
@@ -39,12 +41,35 @@ impl ExperimentRunner {
 
     /// The run's metrics aggregator, as the subscriber store calls expect.
     pub fn obs(&self) -> &dyn Subscriber {
-        &self.metrics
+        &*self.metrics
     }
 
     /// The run's metrics aggregator.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// A shared handle to the aggregator, for fanouts and scoped installs.
+    pub fn metrics_shared(&self) -> Arc<Metrics> {
+        self.metrics.clone()
+    }
+
+    /// Runs `f` with the run's metrics installed as the ambient scoped
+    /// subscriber, so `agua-nn` kernel dispatches are captured too.
+    pub fn observe<R>(&self, f: impl FnOnce(&dyn Subscriber) -> R) -> R {
+        with_scoped_subscriber(self.metrics.clone(), || f(&*self.metrics))
+    }
+
+    /// Runs `f` under a named span (hierarchical: nests under whatever
+    /// span is already open on this thread) with the metrics installed
+    /// as the ambient scoped subscriber.
+    pub fn span<R>(&self, name: &'static str, f: impl FnOnce(&dyn Subscriber) -> R) -> R {
+        self.observe(|obs| {
+            let span = span_start(obs, Stage::Custom(name));
+            let out = f(obs);
+            span_end(obs, span);
+            out
+        })
     }
 
     /// The content-addressed artifact store.
@@ -66,8 +91,12 @@ impl ExperimentRunner {
         }
     }
 
-    /// Saves the result JSON and prints the store summary line.
+    /// Saves the result JSON and prints the store summary line, after
+    /// folding the worker pool's utilization counters (busy/parked time,
+    /// idle wakeups, ring-drained chunk latencies) into the metrics.
     pub fn finish<T: Serialize>(&self, name: &str, value: &T) {
+        let chunk_hist = agua_nn::pool::emit_worker_utilization(&*self.metrics);
+        self.metrics.merge_latency_hist("pool.chunk_seconds", &chunk_hist);
         save_json(name, value);
         println!("{}", self.store_summary());
     }
@@ -102,7 +131,7 @@ mod tests {
     #[test]
     fn store_summary_aggregates_across_kinds() {
         let runner = ExperimentRunner {
-            metrics: Metrics::new(),
+            metrics: Arc::new(Metrics::new()),
             store: Store::with_mode(std::env::temp_dir(), agua_app::CacheMode::Off),
             smoke: true,
         };

@@ -24,10 +24,12 @@ pub struct Args {
     pub llm: String,
     /// `--threads`.
     pub threads: Option<usize>,
-    /// `--obs` (off | stderr | metrics | jsonl).
+    /// `--obs` (off | stderr | metrics | jsonl | trace).
     pub obs: ObsMode,
     /// `--metrics-out`.
     pub metrics_out: Option<String>,
+    /// `--trace-out`.
+    pub trace_out: Option<String>,
 }
 
 /// Which observability subscriber the command installs (`--obs`).
@@ -42,6 +44,9 @@ pub enum ObsMode {
     Metrics,
     /// Append every event to a JSONL trace file.
     Jsonl,
+    /// Metrics aggregation plus a Chrome `trace_event` JSON file
+    /// (openable in `chrome://tracing` / Perfetto) of the span tree.
+    Trace,
 }
 
 impl ObsMode {
@@ -51,7 +56,8 @@ impl ObsMode {
             "stderr" => Ok(ObsMode::Stderr),
             "metrics" => Ok(ObsMode::Metrics),
             "jsonl" => Ok(ObsMode::Jsonl),
-            other => Err(format!("--obs expects off|stderr|metrics|jsonl, got `{other}`")),
+            "trace" => Ok(ObsMode::Trace),
+            other => Err(format!("--obs expects off|stderr|metrics|jsonl|trace, got `{other}`")),
         }
     }
 }
@@ -103,6 +109,7 @@ impl Args {
                 }
                 "--obs" => args.obs = ObsMode::parse(&value()?)?,
                 "--metrics-out" => args.metrics_out = Some(value()?),
+                "--trace-out" => args.trace_out = Some(value()?),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -168,6 +175,7 @@ mod tests {
             ("stderr", ObsMode::Stderr),
             ("metrics", ObsMode::Metrics),
             ("jsonl", ObsMode::Jsonl),
+            ("trace", ObsMode::Trace),
         ] {
             let a = parse(&["train", "--app", "abr", "--obs", v]).unwrap();
             assert_eq!(a.obs, mode);
@@ -181,6 +189,16 @@ mod tests {
         let a = parse(&["train", "--app", "abr", "--metrics-out", "/tmp/m.json"]).unwrap();
         assert_eq!(a.metrics_out.as_deref(), Some("/tmp/m.json"));
         assert_eq!(parse(&["train", "--app", "abr"]).unwrap().metrics_out, None);
+    }
+
+    #[test]
+    fn parses_trace_out() {
+        let a = parse(&["train", "--app", "abr", "--obs", "trace", "--trace-out", "/tmp/t.json"])
+            .unwrap();
+        assert_eq!(a.obs, ObsMode::Trace);
+        assert_eq!(a.trace_out.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(parse(&["train", "--app", "abr"]).unwrap().trace_out, None);
+        assert!(parse(&["train", "--trace-out"]).is_err());
     }
 
     #[test]

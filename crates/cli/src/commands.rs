@@ -16,7 +16,7 @@ use agua_obs::{emit, span_end, span_start, Fanout, FitCompleted, Metrics, Stage,
 use agua_text::embedding::Embedder;
 use std::fs;
 use std::path::Path;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn variant_of(args: &Args) -> agua_app::LlmVariant {
     if args.llm == "os" {
@@ -29,18 +29,25 @@ fn variant_of(args: &Args) -> agua_app::LlmVariant {
 /// `agua-cli concepts --app <app>`.
 pub fn concepts(args: &Args) -> Result<(), String> {
     let app = args.require_app()?;
+    let session = CliObs::from_args(args, "concepts")?;
     let set = app.concepts();
     println!("{} base concepts for {}:", set.len(), app.name());
     for (i, c) in set.concepts.iter().enumerate() {
         println!("  {:>2}. {}", i + 1, c.name);
     }
-    let embedder = Embedder::new(512);
-    let (filtered, removed) = set.filter_redundant(&embedder, 0.85);
+    let (filtered_len, removed) = session.observe(|obs| {
+        let span = span_start(obs, Stage::Custom("concept_filter"));
+        let embedder = Embedder::new(512);
+        let (filtered, removed) = set.filter_redundant(&embedder, 0.85);
+        span_end(obs, span);
+        (filtered.len(), removed)
+    });
     println!(
         "S_max = 0.85 similarity check keeps {}/{} (removed: {removed:?})",
-        filtered.len(),
+        filtered_len,
         set.len()
     );
+    session.finish()?;
     Ok(())
 }
 
@@ -55,13 +62,13 @@ pub fn train(args: &Args) -> Result<(), String> {
     // The per-epoch δ/Ω loss curves are always collected and persisted
     // next to the model artifact, whatever `--obs` says; the session
     // subscriber rides along on a fanout.
-    let curves = Rc::new(Metrics::new());
-    let fan: Rc<dyn Subscriber> = {
+    let curves = Arc::new(Metrics::new());
+    let fan: Arc<dyn Subscriber> = {
         let mut fan = Fanout::new().push(curves.clone());
-        if let Some(s) = session.subscriber_rc() {
+        if let Some(s) = session.subscriber_handle() {
             fan = fan.push(s);
         }
-        Rc::new(fan)
+        fan.shared()
     };
 
     println!("training the {} controller (seed {})…", app.name(), args.seed);
@@ -142,11 +149,20 @@ pub fn fidelity(args: &Args) -> Result<(), String> {
 /// `agua-cli report --app <app> --model-dir <dir>`.
 pub fn report(args: &Args) -> Result<(), String> {
     let app = args.require_app()?;
+    let session = CliObs::from_args(args, "report")?;
     let ckpt = load_checkpoint(args, app)?;
     println!("rolling {} fresh samples…", args.samples);
-    let data = app.rollout(&ckpt.controller, &RolloutSpec::new(args.samples, args.seed + 2000));
-    let report = agua::AguaReport::build(&ckpt.model, &data.embeddings, &data.outputs, 4);
+    let report = session.observe(|obs| {
+        let span = span_start(obs, Stage::Custom("report_rollout"));
+        let data = app.rollout(&ckpt.controller, &RolloutSpec::new(args.samples, args.seed + 2000));
+        span_end(obs, span);
+        let span = span_start(obs, Stage::Custom("report_build"));
+        let report = agua::AguaReport::build(&ckpt.model, &data.embeddings, &data.outputs, 4);
+        span_end(obs, span);
+        report
+    });
     println!("{}", report.render());
+    session.finish()?;
     Ok(())
 }
 

@@ -52,13 +52,18 @@ OPTIONS:
                            backend's persistent pool (default: AGUA_THREADS
                            env or all cores; results are identical at any
                            value)
-  --obs <mode>             observability subscriber for train/fidelity/
-                           explain: off (default) | stderr | metrics |
-                           jsonl (trace in results/logs/<cmd>_<app>.jsonl).
+  --obs <mode>             observability subscriber, honored by every
+                           command: off (default) | stderr | metrics |
+                           jsonl (results/logs/<cmd>_<app>.jsonl) |
+                           trace (metrics + Chrome trace_event JSON for
+                           chrome://tracing / ui.perfetto.dev).
                            Subscribers observe only — artifacts are
                            byte-identical under every mode
-  --metrics-out <path>     where `--obs metrics` writes its JSON snapshot
-                           (default results/logs/<cmd>_<app>_metrics.json)
+  --metrics-out <path>     where `--obs metrics|trace` writes its JSON
+                           snapshot (default
+                           results/logs/<cmd>_<app>_metrics.json)
+  --trace-out <path>       where `--obs trace` writes the Chrome trace
+                           (default results/logs/<cmd>_<app>_trace.json)
 ";
 
 fn main() -> ExitCode {

@@ -1,13 +1,13 @@
 //! CLI wiring for the `agua-obs` instrumentation layer: builds the
 //! subscriber requested by `--obs`, installs it for the duration of a
-//! command, and persists its outputs (metrics snapshot, JSONL trace)
-//! when the command finishes.
+//! command, and persists its outputs (metrics snapshot, JSONL trace,
+//! Chrome trace) when the command finishes.
 
 use crate::args::{Args, ObsMode};
 use agua_obs::scoped::with_scoped_subscriber;
-use agua_obs::{JsonlWriter, Metrics, MetricsSnapshot, Stderr, Subscriber};
+use agua_obs::{Fanout, JsonlWriter, Metrics, MetricsSnapshot, Stderr, Subscriber, TraceWriter};
 use std::path::{Path, PathBuf};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An observability session for one CLI command.
 ///
@@ -16,9 +16,10 @@ use std::rc::Rc;
 /// Subscribers observe only — every command produces identical artifacts
 /// under every `--obs` mode.
 pub struct CliObs {
-    subscriber: Option<Rc<dyn Subscriber>>,
-    metrics: Option<Rc<Metrics>>,
-    jsonl: Option<Rc<JsonlWriter>>,
+    subscriber: Option<Arc<dyn Subscriber>>,
+    metrics: Option<Arc<Metrics>>,
+    jsonl: Option<Arc<JsonlWriter>>,
+    trace: Option<Arc<TraceWriter>>,
     metrics_out: Option<PathBuf>,
 }
 
@@ -28,29 +29,50 @@ impl CliObs {
     pub fn from_args(args: &Args, command: &str) -> Result<CliObs, String> {
         let app = args.app.as_deref().unwrap_or("app");
         let mut session =
-            CliObs { subscriber: None, metrics: None, jsonl: None, metrics_out: None };
+            CliObs { subscriber: None, metrics: None, jsonl: None, trace: None, metrics_out: None };
+        let default_metrics_out = |args: &Args| {
+            args.metrics_out
+                .as_deref()
+                .map(PathBuf::from)
+                .unwrap_or_else(|| default_logs_dir().join(format!("{command}_{app}_metrics.json")))
+        };
         match args.obs {
             ObsMode::Off => {}
             ObsMode::Stderr => {
-                session.subscriber = Some(Rc::new(Stderr::new()));
+                session.subscriber = Some(Arc::new(Stderr::new()));
             }
             ObsMode::Metrics => {
-                let metrics = Rc::new(Metrics::new());
+                let metrics = Arc::new(Metrics::new());
                 session.metrics = Some(metrics.clone());
                 session.subscriber = Some(metrics);
-                session.metrics_out =
-                    Some(args.metrics_out.as_deref().map(PathBuf::from).unwrap_or_else(|| {
-                        default_logs_dir().join(format!("{command}_{app}_metrics.json"))
-                    }));
+                session.metrics_out = Some(default_metrics_out(args));
             }
             ObsMode::Jsonl => {
                 let path = default_logs_dir().join(format!("{command}_{app}.jsonl"));
-                let writer = Rc::new(
+                let writer = Arc::new(
                     JsonlWriter::create(&path)
                         .map_err(|e| format!("cannot create trace {}: {e}", path.display()))?,
                 );
                 session.jsonl = Some(writer.clone());
                 session.subscriber = Some(writer);
+            }
+            // `trace` is metrics + a Chrome `trace_event` file: the span
+            // tree needs the metrics side anyway for the snapshot, and a
+            // flamegraph without the numbers answers only half the
+            // questions.
+            ObsMode::Trace => {
+                let path = args.trace_out.as_deref().map(PathBuf::from).unwrap_or_else(|| {
+                    default_logs_dir().join(format!("{command}_{app}_trace.json"))
+                });
+                let trace = Arc::new(
+                    TraceWriter::create(&path)
+                        .map_err(|e| format!("cannot create trace {}: {e}", path.display()))?,
+                );
+                let metrics = Arc::new(Metrics::new());
+                session.metrics = Some(metrics.clone());
+                session.trace = Some(trace.clone());
+                session.subscriber = Some(Fanout::new().push(metrics).push(trace).shared());
+                session.metrics_out = Some(default_metrics_out(args));
             }
         }
         Ok(session)
@@ -58,7 +80,7 @@ impl CliObs {
 
     /// A shared handle to the subscriber, for callers composing their
     /// own [`agua_obs::Fanout`] (e.g. `train`'s always-on loss curves).
-    pub fn subscriber_rc(&self) -> Option<Rc<dyn Subscriber>> {
+    pub fn subscriber_handle(&self) -> Option<Arc<dyn Subscriber>> {
         self.subscriber.clone()
     }
 
@@ -74,10 +96,17 @@ impl CliObs {
         }
     }
 
-    /// Persists the session outputs: the metrics snapshot to
-    /// `--metrics-out` (or its default path) and the JSONL trace to disk.
-    /// Prints where each artifact went.
+    /// Persists the session outputs: drains the pool's worker
+    /// utilization into the metrics, writes the metrics snapshot to
+    /// `--metrics-out` (or its default path), and flushes the JSONL /
+    /// Chrome traces to disk. Prints where each artifact went.
     pub fn finish(&self) -> Result<(), String> {
+        if let Some(subscriber) = &self.subscriber {
+            let chunk_hist = agua_nn::pool::emit_worker_utilization(&**subscriber);
+            if let Some(metrics) = &self.metrics {
+                metrics.merge_latency_hist("pool.chunk_seconds", &chunk_hist);
+            }
+        }
         if let (Some(metrics), Some(path)) = (&self.metrics, &self.metrics_out) {
             write_snapshot(path, &metrics.snapshot())?;
             println!("[obs] metrics snapshot written to {}", path.display());
@@ -85,6 +114,13 @@ impl CliObs {
         if let Some(jsonl) = &self.jsonl {
             jsonl.flush().map_err(|e| format!("cannot flush trace: {e}"))?;
             println!("[obs] event trace written to {}", jsonl.path().display());
+        }
+        if let Some(trace) = &self.trace {
+            trace.flush().map_err(|e| format!("cannot flush trace: {e}"))?;
+            println!(
+                "[obs] chrome trace written to {} (open in chrome://tracing or ui.perfetto.dev)",
+                trace.path().display()
+            );
         }
         Ok(())
     }

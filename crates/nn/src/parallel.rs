@@ -74,7 +74,7 @@
 //! (and the pool additionally runs any nested dispatch inline).
 
 use crate::matrix::Matrix;
-use agua_obs::scoped::emit_scoped;
+use agua_obs::scoped::emit_scoped_deferred;
 use agua_obs::{Event, Kernel, KernelDispatched};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -283,6 +283,14 @@ fn plan_workers(out_rows: usize, macs: usize, calibrated: usize) -> usize {
 /// `macs` fields are identical at any thread count, while
 /// `threads`/`seq_fallback`/`queue_depth` describe the scheduling that
 /// actually happened.
+///
+/// Dispatches are kernel-frequency (tens of thousands per fit), so the
+/// event is **deferred**: built here, buffered thread-locally, and
+/// delivered to the subscriber in batches at span close (or when the
+/// buffer fills) — one `Vec` push on the hot path instead of a
+/// subscriber lock per dispatch. Delivery order within the buffer is
+/// preserved and nothing is dropped, so the deterministic aggregates
+/// are unchanged.
 #[inline]
 fn note_dispatch(
     kernel: Kernel,
@@ -293,7 +301,7 @@ fn note_dispatch(
     workers: usize,
     pool_dispatch: bool,
 ) {
-    emit_scoped(|| {
+    emit_scoped_deferred(|| {
         KernelDispatched {
             kernel,
             rows,
@@ -786,13 +794,13 @@ mod tests {
     fn single_row_matmul_parallelizes_over_the_calibrated_gate() {
         use agua_obs::scoped::with_scoped_subscriber;
         use agua_obs::Metrics;
-        use std::rc::Rc;
+        use std::sync::Arc;
 
         // 1×256 × 256×512 = 131k MACs ≥ breakeven::MATMUL under the
         // *default* gate — no forced min_flops here.
         let a = pattern(1, 256, 32);
         let b = pattern(256, 512, 33);
-        let metrics = Rc::new(Metrics::new());
+        let metrics = Arc::new(Metrics::new());
         with_scoped_subscriber(metrics.clone(), || {
             // Pin the detected core count so the calibrated-gate cap
             // resolves the same way on a 1-core CI box.
@@ -811,13 +819,13 @@ mod tests {
     fn for_each_rows_cost_hint_drives_the_gate() {
         use agua_obs::scoped::with_scoped_subscriber;
         use agua_obs::Metrics;
-        use std::rc::Rc;
+        use std::sync::Arc;
 
         // 128×32 = 4096 elements: ×4 (cheap hint) stays under the
         // break-even, ×32 (exp hint) clears it — under the default
         // min_flops, with no forced override.
         let snap = |hint: usize| {
-            let metrics = Rc::new(Metrics::new());
+            let metrics = Arc::new(Metrics::new());
             with_scoped_subscriber(metrics.clone(), || {
                 with_hardware_parallelism(4, || {
                     with_threads(4, || {
@@ -840,7 +848,7 @@ mod tests {
     fn calibrated_gate_caps_workers_at_hardware_parallelism() {
         use agua_obs::scoped::with_scoped_subscriber;
         use agua_obs::Metrics;
-        use std::rc::Rc;
+        use std::sync::Arc;
 
         // 64×64×64 = 262k MACs, far over breakeven::MATMUL — only the
         // core count decides the worker budget here.
@@ -848,7 +856,7 @@ mod tests {
         let b = pattern(64, 64, 41);
         let seq = a.matmul(&b);
         let max_threads = |hw: usize, cfg: ThreadConfig| {
-            let metrics = Rc::new(Metrics::new());
+            let metrics = Arc::new(Metrics::new());
             with_scoped_subscriber(metrics.clone(), || {
                 with_hardware_parallelism(hw, || {
                     with_thread_config(cfg, || {
@@ -873,9 +881,9 @@ mod tests {
     fn queue_depth_high_water_is_visible_on_pool_dispatches() {
         use agua_obs::scoped::with_scoped_subscriber;
         use agua_obs::Metrics;
-        use std::rc::Rc;
+        use std::sync::Arc;
 
-        let metrics = Rc::new(Metrics::new());
+        let metrics = Arc::new(Metrics::new());
         with_scoped_subscriber(metrics.clone(), || {
             with_thread_config(forced(4), || {
                 let a = pattern(64, 16, 35);
@@ -915,10 +923,10 @@ mod tests {
     fn dispatches_report_to_the_scoped_subscriber_thread_invariantly() {
         use agua_obs::scoped::with_scoped_subscriber;
         use agua_obs::Metrics;
-        use std::rc::Rc;
+        use std::sync::Arc;
 
         let snap = |threads: usize| {
-            let metrics = Rc::new(Metrics::new());
+            let metrics = Arc::new(Metrics::new());
             with_scoped_subscriber(metrics.clone(), || {
                 with_thread_config(forced(threads), || {
                     let a = pattern(12, 9, 20);

@@ -58,7 +58,9 @@ use crate::sync::atomic::{AtomicUsize, Ordering};
 use crate::sync::mpsc::{channel, Receiver, Sender};
 use crate::sync::thread::JoinHandle;
 use crate::sync::{thread, Condvar, Mutex};
+use agua_obs::ring::SpscRing;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// A lifetime-erased unit of work: one contiguous run of output rows.
 ///
@@ -181,9 +183,54 @@ impl Latch {
     }
 }
 
+/// Per-worker profiling state, shared between the worker thread (the
+/// producer) and whoever drains utilization for reporting.
+///
+/// Deliberately built on `std::sync::atomic` rather than the
+/// `crate::sync` loom facade: these are observation-only counters that
+/// never influence scheduling or numerics, and keeping them outside the
+/// loom model means the profiling hooks add zero states to the
+/// model-checked pool protocol. Relaxed ordering is sufficient for the
+/// same reason — readers tolerate slightly stale totals.
+#[derive(Debug)]
+struct WorkerStats {
+    /// Nanoseconds spent executing chunks.
+    busy_ns: std::sync::atomic::AtomicU64,
+    /// Nanoseconds spent parked in `recv` waiting for work.
+    parked_ns: std::sync::atomic::AtomicU64,
+    /// Times the worker woke from park to handle a message.
+    wakeups: std::sync::atomic::AtomicU64,
+    /// Chunks executed.
+    chunks: std::sync::atomic::AtomicU64,
+    /// Per-chunk duration samples (ns), drained by
+    /// [`emit_worker_utilization`]. Lock-free: a full ring drops the
+    /// sample and counts the drop — the worker never blocks on
+    /// telemetry.
+    ring: SpscRing,
+}
+
+/// Chunk-duration samples kept per worker between drains. A δ/Ω fit
+/// dispatches a few thousand chunks per worker between utilization
+/// drains; 4096 slots make drops rare without holding >32 KiB per
+/// worker.
+const RING_CAPACITY: usize = 4096;
+
+impl WorkerStats {
+    fn new() -> Self {
+        Self {
+            busy_ns: std::sync::atomic::AtomicU64::new(0),
+            parked_ns: std::sync::atomic::AtomicU64::new(0),
+            wakeups: std::sync::atomic::AtomicU64::new(0),
+            chunks: std::sync::atomic::AtomicU64::new(0),
+            ring: SpscRing::with_capacity(RING_CAPACITY),
+        }
+    }
+}
+
 struct Worker {
     tx: Sender<Msg>,
     handle: JoinHandle<()>,
+    stats: Arc<WorkerStats>,
 }
 
 static POOL: Mutex<Vec<Worker>> = Mutex::new(Vec::new());
@@ -202,18 +249,32 @@ thread_local! {
     static LAST_DISPATCH_HIGH_WATER: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
 }
 
-fn worker_main(rx: Receiver<Msg>) {
+fn worker_main(rx: Receiver<Msg>, stats: Arc<WorkerStats>) {
+    use std::sync::atomic::Ordering::Relaxed;
     IS_POOL_WORKER.with(|f| f.set(true));
-    while let Ok(msg) = rx.recv() {
+    loop {
+        // audit:allow(wall-clock): pool profiling — park/busy time feeds
+        // the `scheduling` snapshot section, never the numerics.
+        let parked_at = std::time::Instant::now();
+        let Ok(msg) = rx.recv() else { break };
+        stats.parked_ns.fetch_add(parked_at.elapsed().as_nanos() as u64, Relaxed);
+        stats.wakeups.fetch_add(1, Relaxed);
         match msg {
             Msg::Run(task) => {
                 QUEUED.fetch_sub(1, Ordering::Relaxed);
+                // audit:allow(wall-clock): pool profiling — chunk
+                // duration sample for the utilization histograms.
+                let busy_at = std::time::Instant::now();
                 let result = catch_unwind(AssertUnwindSafe(|| {
                     // SAFETY: see `Task` — the dispatcher frame that owns
                     // the targets is blocked on the latch until we
                     // complete below.
                     unsafe { (task.run)(task.ctx, task.row_start, task.out, task.len) }
                 }));
+                let busy = busy_at.elapsed().as_nanos() as u64;
+                stats.busy_ns.fetch_add(busy, Relaxed);
+                stats.chunks.fetch_add(1, Relaxed);
+                stats.ring.push(busy);
                 // SAFETY: the latch lives in the blocked dispatcher frame.
                 let latch = unsafe { &*task.latch };
                 latch.complete(result.err());
@@ -240,11 +301,13 @@ fn ensure_workers(n: usize) -> crate::sync::MutexGuard<'static, Vec<Worker>> {
     while pool.len() < n {
         let idx = pool.len();
         let (tx, rx) = channel();
+        let stats = Arc::new(WorkerStats::new());
+        let worker_stats = stats.clone();
         let handle = thread::Builder::new()
             .name(format!("agua-pool-{idx}"))
-            .spawn(move || worker_main(rx))
+            .spawn(move || worker_main(rx, worker_stats))
             .expect("failed to spawn pool worker");
-        pool.push(Worker { tx, handle });
+        pool.push(Worker { tx, handle, stats });
     }
     pool
 }
@@ -272,6 +335,41 @@ pub fn queued_tasks() -> usize {
 /// `KernelDispatched::queue_depth`.
 pub fn last_dispatch_queue_high_water() -> usize {
     LAST_DISPATCH_HIGH_WATER.with(std::cell::Cell::get)
+}
+
+/// Drains every worker's profiling state and reports it through `obs`:
+/// one [`agua_obs::PoolWorkerUtilization`] event per worker, **in
+/// worker-index order**, plus the merged chunk-duration histogram
+/// (seconds) as the return value — per-worker histograms are built from
+/// the drained rings and merged in the same fixed index order, so the
+/// merge is deterministic for a given set of samples.
+///
+/// Counters are cumulative for each worker's lifetime; ring samples are
+/// consumed by the drain. Drains are serialized under the pool lock,
+/// preserving the rings' single-consumer contract, and the lock also
+/// means utilization cannot be drained mid-`run_chunks` send (dispatch
+/// holds the same lock).
+pub fn emit_worker_utilization(obs: &dyn agua_obs::Subscriber) -> agua_obs::Histogram {
+    let pool = POOL.lock().expect("pool mutex poisoned");
+    let mut merged = agua_obs::Histogram::new();
+    for (index, worker) in pool.iter().enumerate() {
+        use std::sync::atomic::Ordering::Relaxed;
+        let mut chunk_hist = agua_obs::Histogram::new();
+        worker.stats.ring.drain(|ns| chunk_hist.record(ns as f64 / 1e9));
+        agua_obs::emit(
+            obs,
+            agua_obs::PoolWorkerUtilization {
+                worker: index,
+                busy_ns: worker.stats.busy_ns.load(Relaxed),
+                parked_ns: worker.stats.parked_ns.load(Relaxed),
+                wakeups: worker.stats.wakeups.load(Relaxed),
+                chunks: worker.stats.chunks.load(Relaxed),
+                ring_dropped: worker.stats.ring.dropped(),
+            },
+        );
+        merged.merge(&chunk_hist);
+    }
+    merged
 }
 
 /// Shrinks the pool to at most `max_workers` threads, joining the
@@ -435,6 +533,32 @@ mod tests {
             chunk.iter_mut().for_each(|v| *v = 1.0);
         });
         assert_eq!(last_dispatch_queue_high_water(), 0);
+    }
+
+    #[test]
+    fn worker_utilization_reports_workers_in_index_order() {
+        // Dispatch enough chunks to guarantee live workers with samples.
+        let width = 2;
+        let mut out = vec![0.0f32; 8 * width];
+        run_chunks(&mut out, width, 2, &|row_start, chunk: &mut [f32]| {
+            chunk.iter_mut().for_each(|v| *v = row_start as f32);
+        });
+
+        let metrics = agua_obs::Metrics::new();
+        let chunk_hist = emit_worker_utilization(&metrics);
+        let snap = metrics.snapshot();
+        let workers = worker_count();
+        assert!(workers >= 3, "dispatch above must have grown the pool");
+        for index in 0..workers {
+            let key = format!("pool.worker{index:02}.chunks");
+            assert!(snap.scheduling.contains_key(&key), "missing {key}");
+        }
+        // Chunk samples drained from the rings land in the histogram
+        // (other tests share the pool, so only a lower bound is stable).
+        assert!(chunk_hist.count() >= 1, "expected drained chunk samples");
+        assert!(snap.scheduling.contains_key("pool.ring_dropped"));
+        // Utilization is scheduling state only — never deterministic.
+        assert!(snap.deterministic().scheduling.is_empty());
     }
 
     #[test]

@@ -127,10 +127,20 @@ pub trait Event: std::fmt::Debug {
 }
 
 /// A timing span opened (see `span_start`).
+///
+/// Spans are hierarchical: `id` is a process-unique span id and
+/// `parent` is the id of the span enclosing this one on the emitting
+/// thread (0 for a root span). Subscribers can rebuild the full
+/// `fit → epoch → kernel` tree — the `TraceWriter` turns it into a
+/// Chrome `trace_event` flamegraph.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StageStarted {
     /// The stage that started.
     pub stage: Stage,
+    /// Process-unique span id (monotone, never 0).
+    pub id: u64,
+    /// Id of the enclosing span on this thread, or 0 for a root span.
+    pub parent: u64,
 }
 
 /// A timing span closed; `seconds` is measured on a monotonic clock.
@@ -138,6 +148,10 @@ pub struct StageStarted {
 pub struct StageFinished {
     /// The stage that finished.
     pub stage: Stage,
+    /// The span id handed out by the matching [`StageStarted`].
+    pub id: u64,
+    /// Id of the enclosing span, or 0 for a root span.
+    pub parent: u64,
     /// Wall-clock duration of the span in seconds.
     pub seconds: f64,
 }
@@ -216,6 +230,29 @@ pub struct FitCompleted {
     pub fidelity: f32,
 }
 
+/// Utilization of one persistent pool worker, reported when a run
+/// drains the pool's profiling state (`pool::emit_worker_utilization`).
+///
+/// All fields are scheduling observations — they vary with the thread
+/// count, machine load, and wall clock, so the `Metrics` subscriber
+/// folds them into the variable `scheduling` section, never the
+/// deterministic counters. Workers are reported in index order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolWorkerUtilization {
+    /// Worker index (stable for the worker's lifetime).
+    pub worker: usize,
+    /// Nanoseconds spent running chunks.
+    pub busy_ns: u64,
+    /// Nanoseconds spent parked waiting for work.
+    pub parked_ns: u64,
+    /// Times the worker woke from park to handle a message.
+    pub wakeups: u64,
+    /// Chunks executed.
+    pub chunks: u64,
+    /// Profiling samples dropped because the worker's ring was full.
+    pub ring_dropped: u64,
+}
+
 /// The artifact store served a request from cache (memo or disk).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArtifactHit {
@@ -262,6 +299,8 @@ pub enum AnyEvent {
     ExplanationProduced(ExplanationProduced),
     /// See [`FitCompleted`].
     FitCompleted(FitCompleted),
+    /// See [`PoolWorkerUtilization`].
+    PoolWorkerUtilization(PoolWorkerUtilization),
     /// See [`ArtifactHit`].
     ArtifactHit(ArtifactHit),
     /// See [`ArtifactMiss`].
@@ -281,6 +320,7 @@ impl AnyEvent {
             AnyEvent::LabelingStageFinished(_) => LabelingStageFinished::NAME,
             AnyEvent::ExplanationProduced(_) => ExplanationProduced::NAME,
             AnyEvent::FitCompleted(_) => FitCompleted::NAME,
+            AnyEvent::PoolWorkerUtilization(_) => PoolWorkerUtilization::NAME,
             AnyEvent::ArtifactHit(_) => ArtifactHit::NAME,
             AnyEvent::ArtifactMiss(_) => ArtifactMiss::NAME,
             AnyEvent::ArtifactWrite(_) => ArtifactWrite::NAME,
@@ -292,15 +332,19 @@ impl Serialize for AnyEvent {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         match self {
             AnyEvent::StageStarted(e) => {
-                let mut s = serializer.serialize_struct("StageStarted", 2)?;
+                let mut s = serializer.serialize_struct("StageStarted", 4)?;
                 s.serialize_field("event", StageStarted::NAME)?;
                 s.serialize_field("stage", &e.stage)?;
+                s.serialize_field("id", &e.id)?;
+                s.serialize_field("parent", &e.parent)?;
                 s.end()
             }
             AnyEvent::StageFinished(e) => {
-                let mut s = serializer.serialize_struct("StageFinished", 3)?;
+                let mut s = serializer.serialize_struct("StageFinished", 5)?;
                 s.serialize_field("event", StageFinished::NAME)?;
                 s.serialize_field("stage", &e.stage)?;
+                s.serialize_field("id", &e.id)?;
+                s.serialize_field("parent", &e.parent)?;
                 s.serialize_field("seconds", &e.seconds)?;
                 s.end()
             }
@@ -346,6 +390,17 @@ impl Serialize for AnyEvent {
                 let mut s = serializer.serialize_struct("FitCompleted", 2)?;
                 s.serialize_field("event", FitCompleted::NAME)?;
                 s.serialize_field("fidelity", &e.fidelity)?;
+                s.end()
+            }
+            AnyEvent::PoolWorkerUtilization(e) => {
+                let mut s = serializer.serialize_struct("PoolWorkerUtilization", 7)?;
+                s.serialize_field("event", PoolWorkerUtilization::NAME)?;
+                s.serialize_field("worker", &e.worker)?;
+                s.serialize_field("busy_ns", &e.busy_ns)?;
+                s.serialize_field("parked_ns", &e.parked_ns)?;
+                s.serialize_field("wakeups", &e.wakeups)?;
+                s.serialize_field("chunks", &e.chunks)?;
+                s.serialize_field("ring_dropped", &e.ring_dropped)?;
                 s.end()
             }
             // Artifact keys are serialized as zero-padded hex so the
@@ -396,6 +451,7 @@ impl_event!(KernelDispatched, "kernel_dispatched");
 impl_event!(LabelingStageFinished, "labeling_stage_finished");
 impl_event!(ExplanationProduced, "explanation_produced");
 impl_event!(FitCompleted, "fit_completed");
+impl_event!(PoolWorkerUtilization, "pool_worker_utilization");
 impl_event!(ArtifactHit, "artifact_hit");
 impl_event!(ArtifactMiss, "artifact_miss");
 impl_event!(ArtifactWrite, "artifact_write");
@@ -454,6 +510,41 @@ mod tests {
         assert_eq!(json["key"], "ffffffffffffffff");
         assert_eq!(json["bytes"], 42);
         assert_eq!(ArtifactMiss { kind: "controller", key: 1 }.into_any().name(), "artifact_miss");
+    }
+
+    #[test]
+    fn stage_events_carry_span_ids() {
+        let e = StageStarted { stage: Stage::DeltaFit, id: 7, parent: 3 }.into_any();
+        let json = serde_json::to_value(&e).unwrap();
+        assert_eq!(json["event"], "stage_started");
+        assert_eq!(json["id"], 7);
+        assert_eq!(json["parent"], 3);
+        let e = StageFinished { stage: Stage::DeltaFit, id: 7, parent: 3, seconds: 0.5 }.into_any();
+        let json = serde_json::to_value(&e).unwrap();
+        assert_eq!(json["event"], "stage_finished");
+        assert_eq!(json["id"], 7);
+        assert_eq!(json["seconds"], 0.5);
+    }
+
+    #[test]
+    fn pool_worker_utilization_serializes_all_counters() {
+        let e = PoolWorkerUtilization {
+            worker: 2,
+            busy_ns: 1_000,
+            parked_ns: 9_000,
+            wakeups: 3,
+            chunks: 5,
+            ring_dropped: 1,
+        }
+        .into_any();
+        assert_eq!(e.name(), "pool_worker_utilization");
+        let json = serde_json::to_value(&e).unwrap();
+        assert_eq!(json["worker"], 2);
+        assert_eq!(json["busy_ns"], 1000);
+        assert_eq!(json["parked_ns"], 9000);
+        assert_eq!(json["wakeups"], 3);
+        assert_eq!(json["chunks"], 5);
+        assert_eq!(json["ring_dropped"], 1);
     }
 
     #[test]

@@ -1,0 +1,364 @@
+//! Log-bucketed latency/size histograms with **deterministic merges**.
+//!
+//! The ROADMAP's serving and lifecycle work both need percentile-capable
+//! distributions (p50/p90/p99/p999) that are cheap to record on hot
+//! paths and safe to merge across the worker pool. The classic trap is
+//! histogram state that depends on arrival order or on floating-point
+//! summation (a running mean, adaptive bucket boundaries): merging such
+//! state across threads reintroduces exactly the schedule-dependence the
+//! rest of the workspace is built to exclude.
+//!
+//! [`Histogram`] therefore keeps **integer state only**:
+//!
+//! * fixed log-linear bucket boundaries — HDR-style, 8 sub-buckets per
+//!   power of two, derived from the *bit pattern* of the sample (no
+//!   `log2` float math), so every process on every machine buckets a
+//!   given value identically;
+//! * `u64` bucket counts in a sparse map, plus a `max` tracked as the
+//!   sample's bit pattern;
+//! * non-finite samples (NaN/±∞) counted separately, never bucketed —
+//!   a poisoned input must not corrupt the percentile walk.
+//!
+//! Merging is element-wise `u64` addition plus a max — exactly
+//! associative *and* commutative, so a merge over pool workers in any
+//! grouping produces byte-identical snapshots (the pool still merges in
+//! worker-index order by convention). Histograms over deterministic
+//! quantities (per-dispatch MACs, per-epoch losses) live in the
+//! deterministic `dists` section of a metrics snapshot; histograms over
+//! wall-clock live in the variable `latency_hists` section — see
+//! `crate::metrics`.
+
+use serde::ser::SerializeStruct;
+use serde::{Serialize, Serializer};
+use std::collections::BTreeMap;
+
+/// Sub-buckets per power of two (bucket width ≈ 12.5% of the value).
+const SUB_BUCKETS: u16 = 8;
+/// Smallest bucketed exponent: values below `2^MIN_EXP` (≈ 9.1e-13,
+/// sub-picosecond as seconds) land in the underflow bucket.
+const MIN_EXP: i32 = -40;
+/// Largest bucketed exponent: values of `2^64` and above (no realistic
+/// latency or MAC count) land in the overflow bucket.
+const MAX_EXP: i32 = 63;
+/// Bucket index of the overflow bucket (underflow is index 0).
+const OVERFLOW: u16 = (MAX_EXP - MIN_EXP + 1) as u16 * SUB_BUCKETS + 1;
+
+/// A log-bucketed histogram with fixed boundaries and `u64`-only state.
+///
+/// Recording is two map operations; merging is exact (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Histogram {
+    count: u64,
+    nonfinite: u64,
+    max_bits: u64,
+    buckets: BTreeMap<u16, u64>,
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The fixed bucket index of a finite sample, or `None` for NaN/±∞.
+    ///
+    /// Derived from the IEEE-754 bit pattern (biased exponent + top 3
+    /// mantissa bits), so no float operation is involved and the mapping
+    /// is identical on every platform.
+    fn index_of(v: f64) -> Option<u16> {
+        if !v.is_finite() {
+            return None;
+        }
+        let bits = v.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+        // Non-positive values, subnormals (biased exponent 0), and
+        // anything below the smallest boundary: underflow bucket.
+        if v <= 0.0 || exp < MIN_EXP {
+            return Some(0);
+        }
+        if exp > MAX_EXP {
+            return Some(OVERFLOW);
+        }
+        let sub = ((bits >> 49) & 0x7) as u16;
+        Some(1 + (exp - MIN_EXP) as u16 * SUB_BUCKETS + sub)
+    }
+
+    /// Upper boundary of a bucket, used as the percentile representative
+    /// (conservative: a reported percentile is ≥ the true one, within
+    /// one bucket width ≈ 12.5%).
+    fn upper_bound(index: u16) -> f64 {
+        if index == 0 {
+            return (MIN_EXP as f64).exp2();
+        }
+        if index >= OVERFLOW {
+            return f64::MAX;
+        }
+        let i = index - 1;
+        let exp = MIN_EXP + (i / SUB_BUCKETS) as i32;
+        let sub = (i % SUB_BUCKETS) as f64;
+        // Exact: a power of two times a value with 3 fractional bits.
+        (exp as f64).exp2() * (1.0 + (sub + 1.0) / SUB_BUCKETS as f64)
+    }
+
+    /// Records one sample. NaN/±∞ increment the `nonfinite` count and
+    /// leave the buckets untouched.
+    pub fn record(&mut self, v: f64) {
+        match Self::index_of(v) {
+            None => self.nonfinite += 1,
+            Some(index) => {
+                if self.count == 0 || v > f64::from_bits(self.max_bits) {
+                    self.max_bits = v.to_bits();
+                }
+                self.count += 1;
+                *self.buckets.entry(index).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Records an integer sample (MAC counts, byte sizes). Values above
+    /// 2^53 lose low bits in the conversion, which cannot move them
+    /// across a bucket boundary (buckets are keyed on the top bits).
+    pub fn record_u64(&mut self, v: u64) {
+        self.record(v as f64);
+    }
+
+    /// Total finite samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// NaN/±∞ samples recorded.
+    pub fn nonfinite(&self) -> u64 {
+        self.nonfinite
+    }
+
+    /// True when nothing (finite or not) has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0 && self.nonfinite == 0
+    }
+
+    /// Largest finite sample, or 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            f64::from_bits(self.max_bits)
+        }
+    }
+
+    /// Folds `other` into `self`: element-wise `u64` addition plus a
+    /// max. Exactly associative and commutative — merge grouping and
+    /// order cannot change the resulting state.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count > 0 && (self.count == 0 || other.max() > self.max()) {
+            self.max_bits = other.max_bits;
+        }
+        self.count += other.count;
+        self.nonfinite += other.nonfinite;
+        for (&index, &n) in &other.buckets {
+            *self.buckets.entry(index).or_insert(0) += n;
+        }
+    }
+
+    /// Nearest-rank quantile over the bucket boundaries: the upper bound
+    /// of the bucket holding the `⌈q·count⌉`-th finite sample, capped at
+    /// the recorded max. Returns 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&index, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Self::upper_bound(index).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Point-in-time export with the standard percentile ladder.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            nonfinite: self.nonfinite,
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+            buckets: self.buckets.iter().map(|(&k, &v)| (k, v)).collect(),
+        }
+    }
+}
+
+/// Serialized view of a [`Histogram`]: the percentile ladder plus the
+/// sparse `[bucket_index, count]` pairs (ascending index). Like every
+/// persisted structure in this crate the field order is pinned by a
+/// hand-written `Serialize` — snapshots are a public contract, and for
+/// the deterministic `dists` section they must be *byte-identical*
+/// across thread counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Finite samples recorded.
+    pub count: u64,
+    /// NaN/±∞ samples recorded (never bucketed).
+    pub nonfinite: u64,
+    /// Largest finite sample (0.0 when empty).
+    pub max: f64,
+    /// Median (bucket upper bound, nearest-rank).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+    /// Sparse `(bucket_index, count)` pairs, ascending by index.
+    pub buckets: Vec<(u16, u64)>,
+}
+
+impl Serialize for HistogramSnapshot {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("HistogramSnapshot", 8)?;
+        s.serialize_field("count", &self.count)?;
+        s.serialize_field("nonfinite", &self.nonfinite)?;
+        s.serialize_field("max", &self.max)?;
+        s.serialize_field("p50", &self.p50)?;
+        s.serialize_field("p90", &self.p90)?;
+        s.serialize_field("p99", &self.p99)?;
+        s.serialize_field("p999", &self.p999)?;
+        s.serialize_field("buckets", &self.buckets)?;
+        s.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(values: &[f64]) -> Histogram {
+        let mut h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    #[test]
+    fn buckets_are_log_spaced_and_deterministic() {
+        // Same value → same bucket; ~12.5% apart → distinct buckets.
+        assert_eq!(Histogram::index_of(1.0), Histogram::index_of(1.0));
+        assert_ne!(Histogram::index_of(1.0), Histogram::index_of(1.2));
+        assert_ne!(Histogram::index_of(1.0), Histogram::index_of(2.0));
+        // Within a sub-bucket (<12.5% apart) values share an index.
+        assert_eq!(Histogram::index_of(1.0), Histogram::index_of(1.05));
+        // Bucket upper bounds are monotone over the whole range.
+        let mut prev = 0.0;
+        for index in 0..=OVERFLOW {
+            let b = Histogram::upper_bound(index);
+            assert!(b > prev, "bound {index} not monotone: {b} <= {prev}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn underflow_overflow_and_zero_land_in_edge_buckets() {
+        assert_eq!(Histogram::index_of(0.0), Some(0));
+        assert_eq!(Histogram::index_of(-3.0), Some(0));
+        assert_eq!(Histogram::index_of(1e-300), Some(0));
+        assert_eq!(Histogram::index_of(1e300), Some(OVERFLOW));
+        assert_eq!(Histogram::index_of(f64::NAN), None);
+        assert_eq!(Histogram::index_of(f64::INFINITY), None);
+    }
+
+    #[test]
+    fn nonfinite_samples_never_touch_the_buckets() {
+        let h = filled(&[1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 2.0]);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.nonfinite(), 3);
+        assert_eq!(h.snapshot().buckets.iter().map(|&(_, n)| n).sum::<u64>(), 2);
+        assert!((h.max() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_within_one_bucket_width() {
+        let values: Vec<f64> = (1..=1000).map(|i| i as f64 / 1000.0).collect();
+        let h = filled(&values);
+        let s = h.snapshot();
+        // Bucket width is 12.5%; upper-bound representatives overshoot
+        // by at most that (and never past the recorded max).
+        for (q, truth) in [(s.p50, 0.5), (s.p90, 0.9), (s.p99, 0.99), (s.p999, 0.999)] {
+            assert!(q >= truth * 0.99 && q <= truth * 1.13, "quantile {q} vs true {truth}");
+        }
+        assert!((s.max - 1.0).abs() < 1e-12);
+        assert_eq!(h.quantile(1.0), 1.0, "p100 capped at the recorded max");
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let a = filled(&[0.001, 0.002, f64::NAN, 5.0]);
+        let b = filled(&[0.5, 0.0015, 1e-300]);
+        let c = filled(&[100.0, f64::INFINITY, 0.25]);
+
+        let left = {
+            let mut ab = a.clone();
+            ab.merge(&b);
+            ab.merge(&c);
+            ab
+        };
+        let right = {
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut abc = a.clone();
+            abc.merge(&bc);
+            abc
+        };
+        let swapped = {
+            let mut cb = c.clone();
+            cb.merge(&b);
+            cb.merge(&a);
+            cb
+        };
+        assert_eq!(left, right, "merge must be associative");
+        assert_eq!(left, swapped, "merge must be commutative");
+        let json = serde_json::to_string(&left.snapshot()).unwrap();
+        assert_eq!(json, serde_json::to_string(&right.snapshot()).unwrap());
+        assert_eq!(json, serde_json::to_string(&swapped.snapshot()).unwrap());
+    }
+
+    #[test]
+    fn merge_into_empty_equals_the_source() {
+        let a = filled(&[0.25, 0.5, f64::NAN]);
+        let mut e = Histogram::new();
+        e.merge(&a);
+        assert_eq!(e, a);
+        assert_eq!(e.snapshot(), a.snapshot());
+        let empty = Histogram::new().snapshot();
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.max, 0.0);
+        assert_eq!(empty.p999, 0.0);
+    }
+
+    #[test]
+    fn snapshot_serializes_sparse_buckets() {
+        let h = filled(&[1.0, 1.0, 64.0]);
+        let json = serde_json::to_value(&h.snapshot()).unwrap();
+        assert_eq!(json["count"], 2 + 1);
+        assert_eq!(json["nonfinite"], 0);
+        let buckets = json["buckets"].as_array().unwrap();
+        assert_eq!(buckets.len(), 2, "sparse: only touched buckets serialize");
+        assert_eq!(buckets[0][1], 2, "two samples share the 1.0 bucket");
+        assert_eq!(buckets[1][1], 1);
+    }
+
+    #[test]
+    fn record_u64_matches_the_float_path() {
+        let mut a = Histogram::new();
+        a.record_u64(6000);
+        let mut b = Histogram::new();
+        b.record(6000.0);
+        assert_eq!(a, b);
+    }
+}

@@ -90,7 +90,7 @@ mod tests {
     fn writes_one_valid_json_object_per_event() {
         let path = temp_path("basic.jsonl");
         let w = JsonlWriter::create(&path).unwrap();
-        emit(&w, StageStarted { stage: Stage::Labeling });
+        emit(&w, StageStarted { stage: Stage::Labeling, id: 1, parent: 0 });
         emit(&w, EpochCompleted { stage: Stage::DeltaFit, epoch: 0, loss: 2.5 });
         emit(&w, FitCompleted { fidelity: 0.8 });
         w.flush().unwrap();

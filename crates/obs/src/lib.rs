@@ -46,29 +46,62 @@
 //!   [`MetricsSnapshot::deterministic`] returns only the former — which
 //!   is identical at any `AGUA_THREADS` value.
 //!
+//! ## Spans, histograms, and profiling hooks
+//!
+//! Spans are **hierarchical**: every [`span_start`] draws a
+//! process-unique id and records the enclosing span from the calling
+//! thread's span stack, so subscribers can rebuild the whole
+//! `fit → epoch → kernel` tree. The [`TraceWriter`] subscriber turns it
+//! into Chrome `trace_event` JSON, openable in `chrome://tracing` or
+//! Perfetto as a flamegraph.
+//!
+//! Distributions are captured by the log-bucketed [`Histogram`]
+//! (HDR-style, fixed bucket boundaries): bucket counts are pure `u64`
+//! state, so merging — across pool workers, in worker-index order — is
+//! exactly associative and thread-count-invariant. Value histograms
+//! (losses, MAC counts) live in the deterministic `dists` snapshot
+//! section; wall-clock histograms (span/explain/chunk latency) live in
+//! the variable `latency_hists` section.
+//!
+//! Hot paths never block on telemetry: kernel-frequency events go
+//! through [`scoped::emit_scoped_deferred`] (a thread-local buffer
+//! drained at span close), and pool workers record chunk samples into
+//! per-worker lock-free [`SpscRing`]s drained by the dispatching
+//! thread. The [`Metrics`] subscriber measures its own cost and reports
+//! it in the `self_overhead` snapshot section.
+//!
 //! ## Stock subscribers
 //!
 //! * [`Noop`] — the default; every hook is an empty inlineable body.
 //! * [`Stderr`] — human-readable `[obs]` log lines on standard error.
-//! * [`Metrics`] — counters, per-epoch loss curves, gauges, and
-//!   min/mean/max/p50/p99 timing histograms; snapshot as a serde struct.
+//! * [`Metrics`] — counters, per-epoch loss curves, gauges, value and
+//!   latency [`Histogram`]s, and p50/p90/p99/p999 timing statistics;
+//!   snapshot as a serde struct.
 //! * [`JsonlWriter`] — appends one JSON object per event to a
 //!   `results/logs/*.jsonl` trace file.
+//! * [`TraceWriter`] — buffers the span tree and writes Chrome
+//!   `trace_event` JSON.
 //! * [`Fanout`] — broadcasts each event to several subscribers.
 
 #![forbid(unsafe_code)]
 
 pub mod event;
+pub mod hist;
 pub mod jsonl;
 pub mod metrics;
+pub mod ring;
 pub mod scoped;
 pub mod subscriber;
+pub mod trace;
 
 pub use event::{
     AnyEvent, ArtifactHit, ArtifactMiss, ArtifactWrite, EpochCompleted, Event, ExplanationKind,
-    ExplanationProduced, FitCompleted, Kernel, KernelDispatched, LabelingStageFinished, Stage,
-    StageFinished, StageStarted,
+    ExplanationProduced, FitCompleted, Kernel, KernelDispatched, LabelingStageFinished,
+    PoolWorkerUtilization, Stage, StageFinished, StageStarted,
 };
+pub use hist::{Histogram, HistogramSnapshot};
 pub use jsonl::JsonlWriter;
 pub use metrics::{Metrics, MetricsSnapshot, TimingStats};
+pub use ring::SpscRing;
 pub use subscriber::{emit, span_end, span_start, Fanout, Noop, Span, Stderr, Subscriber};
+pub use trace::TraceWriter;

@@ -1,29 +1,46 @@
 //! The [`Metrics`] subscriber: in-memory aggregation of pipeline events
-//! into counters, gauges, loss curves, and timing histograms, exported
-//! as a serde-serializable [`MetricsSnapshot`].
+//! into counters, gauges, loss curves, value histograms, and timing
+//! statistics, exported as a serde-serializable [`MetricsSnapshot`].
 //!
 //! ## Determinism
 //!
 //! The snapshot keeps two kinds of state apart:
 //!
-//! * **Deterministic aggregates** — `counters`, `gauges`, `curves`.
-//!   These derive only from seeded computation (epoch counts, losses,
-//!   kernel shapes/MAC totals, fidelity) and are identical at any
-//!   `AGUA_THREADS` value.
+//! * **Deterministic aggregates** — `counters`, `gauges`, `curves`, and
+//!   `dists` (log-bucketed [`Histogram`]s of *values*: per-epoch losses,
+//!   per-dispatch MAC counts). These derive only from seeded computation
+//!   and are identical at any `AGUA_THREADS` value — histogram merges
+//!   are exact integer additions, so bucket counts are byte-identical
+//!   across thread counts.
 //! * **Environment-dependent observations** — `spans` and `latencies`
-//!   (wall-clock time) and `scheduling` (how many dispatches actually
-//!   went parallel, worker counts). These legitimately vary run to run.
+//!   (wall-clock order statistics), `latency_hists` (log-bucketed
+//!   histograms of wall-clock seconds: span durations, per-explanation
+//!   latency, pool chunk times), `scheduling` (how many dispatches
+//!   actually went parallel, per-worker busy/parked time), and
+//!   `self_overhead` (what the telemetry itself cost). These
+//!   legitimately vary run to run.
 //!
 //! [`MetricsSnapshot::deterministic`] strips the latter, giving the
-//! exact structure the `tests/obs_determinism.rs` integration test
-//! compares across thread counts.
+//! exact structure the `tests/obs_determinism.rs` and
+//! `tests/hist_determinism.rs` integration tests compare across thread
+//! counts.
+//!
+//! ## Self-overhead accounting
+//!
+//! Every `on_event` call is timed on the monotonic clock and folded
+//! into the `self_overhead` section (`events`, `aggregation_ns`).
+//! Callers compare `aggregation_ns` against a span's wall-clock time to
+//! get a direct measurement of observability cost — the quickstart
+//! example prints this ratio and `ci.sh` gates on it.
 
 use crate::event::AnyEvent;
+use crate::hist::{Histogram, HistogramSnapshot};
 use crate::subscriber::Subscriber;
 use serde::ser::SerializeStruct;
 use serde::{Serialize, Serializer};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Order statistics of a set of timing samples, in seconds.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,8 +57,12 @@ pub struct TimingStats {
     pub max_s: f64,
     /// Median (nearest-rank on the sorted samples).
     pub p50_s: f64,
+    /// 90th percentile (nearest-rank on the sorted samples).
+    pub p90_s: f64,
     /// 99th percentile (nearest-rank on the sorted samples).
     pub p99_s: f64,
+    /// 99.9th percentile (nearest-rank on the sorted samples).
+    pub p999_s: f64,
 }
 
 impl TimingStats {
@@ -62,7 +83,9 @@ impl TimingStats {
             mean_s: total / sorted.len() as f64,
             max_s: sorted[sorted.len() - 1],
             p50_s: rank(0.5),
+            p90_s: rank(0.9),
             p99_s: rank(0.99),
+            p999_s: rank(0.999),
         }
     }
 }
@@ -72,14 +95,16 @@ impl TimingStats {
 // impls are written by hand to pin field names and order.
 impl Serialize for TimingStats {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("TimingStats", 7)?;
+        let mut s = serializer.serialize_struct("TimingStats", 9)?;
         s.serialize_field("count", &self.count)?;
         s.serialize_field("total_s", &self.total_s)?;
         s.serialize_field("min_s", &self.min_s)?;
         s.serialize_field("mean_s", &self.mean_s)?;
         s.serialize_field("max_s", &self.max_s)?;
         s.serialize_field("p50_s", &self.p50_s)?;
+        s.serialize_field("p90_s", &self.p90_s)?;
         s.serialize_field("p99_s", &self.p99_s)?;
+        s.serialize_field("p999_s", &self.p999_s)?;
         s.end()
     }
 }
@@ -96,41 +121,57 @@ pub struct MetricsSnapshot {
     /// Append-ordered series (the per-epoch δ and Ω loss curves).
     /// Deterministic for a fixed seed, at any thread count.
     pub curves: BTreeMap<String, Vec<f32>>,
+    /// Log-bucketed histograms of *values* (losses, MAC counts). Bucket
+    /// counts are deterministic for a fixed seed, at any thread count.
+    pub dists: BTreeMap<String, HistogramSnapshot>,
     /// Wall-clock span statistics per stage. Varies run to run.
     pub spans: BTreeMap<String, TimingStats>,
     /// Wall-clock latency statistics (per-explanation). Varies run to run.
     pub latencies: BTreeMap<String, TimingStats>,
+    /// Log-bucketed histograms of wall-clock *seconds* (span durations,
+    /// explanation latency, pool chunk times). Varies run to run.
+    pub latency_hists: BTreeMap<String, HistogramSnapshot>,
     /// Thread-scheduling counters (parallel vs sequential dispatches,
-    /// peak worker counts). Varies with the configured thread count.
+    /// peak worker counts, per-worker utilization). Varies with the
+    /// configured thread count.
     pub scheduling: BTreeMap<String, u64>,
+    /// What the telemetry itself cost: `events` handled and total
+    /// `aggregation_ns` spent inside `on_event`. Varies run to run.
+    pub self_overhead: BTreeMap<String, u64>,
 }
 
 impl Serialize for MetricsSnapshot {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("MetricsSnapshot", 6)?;
+        let mut s = serializer.serialize_struct("MetricsSnapshot", 9)?;
         s.serialize_field("counters", &self.counters)?;
         s.serialize_field("gauges", &self.gauges)?;
         s.serialize_field("curves", &self.curves)?;
+        s.serialize_field("dists", &self.dists)?;
         s.serialize_field("spans", &self.spans)?;
         s.serialize_field("latencies", &self.latencies)?;
+        s.serialize_field("latency_hists", &self.latency_hists)?;
         s.serialize_field("scheduling", &self.scheduling)?;
+        s.serialize_field("self_overhead", &self.self_overhead)?;
         s.end()
     }
 }
 
 impl MetricsSnapshot {
     /// The thread-count-invariant portion of the snapshot: counters,
-    /// gauges, and curves, with wall-clock and scheduling state cleared.
-    /// Two runs of the same seeded workload produce equal deterministic
-    /// views regardless of `AGUA_THREADS`.
+    /// gauges, curves, and value histograms, with wall-clock and
+    /// scheduling state cleared. Two runs of the same seeded workload
+    /// produce equal deterministic views regardless of `AGUA_THREADS`.
     pub fn deterministic(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             counters: self.counters.clone(),
             gauges: self.gauges.clone(),
             curves: self.curves.clone(),
+            dists: self.dists.clone(),
             spans: BTreeMap::new(),
             latencies: BTreeMap::new(),
+            latency_hists: BTreeMap::new(),
             scheduling: BTreeMap::new(),
+            self_overhead: BTreeMap::new(),
         }
     }
 
@@ -150,9 +191,13 @@ struct MetricsInner {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f32>,
     curves: BTreeMap<String, Vec<f32>>,
+    dists: BTreeMap<String, Histogram>,
     span_samples: BTreeMap<String, Vec<f64>>,
     latency_samples: BTreeMap<String, Vec<f64>>,
+    latency_hists: BTreeMap<String, Histogram>,
     scheduling: BTreeMap<String, u64>,
+    self_events: u64,
+    self_ns: u64,
 }
 
 /// Aggregating subscriber: counters + histograms behind a mutex, safe to
@@ -170,6 +215,17 @@ impl Metrics {
         Self::default()
     }
 
+    /// Merges an externally recorded latency histogram (e.g. the pool's
+    /// per-worker chunk durations, merged in worker-index order) into
+    /// the variable `latency_hists` section under `key`.
+    pub fn merge_latency_hist(&self, key: &str, hist: &Histogram) {
+        if hist.is_empty() && hist.nonfinite() == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("metrics mutex poisoned");
+        inner.latency_hists.entry(key.to_string()).or_default().merge(hist);
+    }
+
     /// Exports the current aggregate state.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.lock().expect("metrics mutex poisoned");
@@ -179,35 +235,52 @@ impl Metrics {
                 .map(|(k, v)| (k.clone(), TimingStats::from_samples(v)))
                 .collect::<BTreeMap<_, _>>()
         };
+        let hists = |hists: &BTreeMap<String, Histogram>| {
+            hists.iter().map(|(k, h)| (k.clone(), h.snapshot())).collect::<BTreeMap<_, _>>()
+        };
+        let mut self_overhead = BTreeMap::new();
+        self_overhead.insert("events".to_string(), inner.self_events);
+        self_overhead.insert("aggregation_ns".to_string(), inner.self_ns);
         MetricsSnapshot {
             counters: inner.counters.clone(),
             gauges: inner.gauges.clone(),
             curves: inner.curves.clone(),
+            dists: hists(&inner.dists),
             spans: stats(&inner.span_samples),
             latencies: stats(&inner.latency_samples),
+            latency_hists: hists(&inner.latency_hists),
             scheduling: inner.scheduling.clone(),
+            self_overhead,
         }
     }
 }
 
 impl Subscriber for Metrics {
     fn on_event(&self, event: &AnyEvent) {
+        // Self-overhead measurement: the clock reads bracket the lock
+        // acquisition and the aggregation body, so `aggregation_ns` is
+        // the full cost this subscriber imposes on the emitting thread.
+        let t0 = Instant::now();
         let mut inner = self.inner.lock().expect("metrics mutex poisoned");
         match event {
             AnyEvent::StageStarted(_) => {}
             AnyEvent::StageFinished(e) => {
-                inner.span_samples.entry(e.stage.as_str().to_string()).or_default().push(e.seconds);
+                let stage = e.stage.as_str();
+                inner.span_samples.entry(stage.to_string()).or_default().push(e.seconds);
+                inner.latency_hists.entry(format!("span.{stage}")).or_default().record(e.seconds);
             }
             AnyEvent::EpochCompleted(e) => {
                 let stage = e.stage.as_str();
                 *inner.counters.entry(format!("{stage}.epochs")).or_insert(0) += 1;
                 inner.curves.entry(format!("{stage}.loss")).or_default().push(e.loss);
                 inner.gauges.insert(format!("{stage}.final_loss"), e.loss);
+                inner.dists.entry(format!("{stage}.loss")).or_default().record(e.loss as f64);
             }
             AnyEvent::KernelDispatched(e) => {
                 let kernel = e.kernel.as_str();
                 *inner.counters.entry(format!("kernel.{kernel}.dispatches")).or_insert(0) += 1;
                 *inner.counters.entry(format!("kernel.{kernel}.macs")).or_insert(0) += e.macs;
+                inner.dists.entry(format!("kernel.{kernel}.macs")).or_default().record_u64(e.macs);
                 let mode = if e.seq_fallback { "seq_fallback" } else { "parallel" };
                 *inner.scheduling.entry(format!("kernel.{kernel}.{mode}")).or_insert(0) += 1;
                 let peak =
@@ -237,10 +310,22 @@ impl Subscriber for Metrics {
                 let kind = e.kind.as_str();
                 *inner.counters.entry(format!("explain.{kind}.count")).or_insert(0) += 1;
                 inner.latency_samples.entry(format!("explain.{kind}")).or_default().push(e.seconds);
+                inner.latency_hists.entry(format!("explain.{kind}")).or_default().record(e.seconds);
             }
             AnyEvent::FitCompleted(e) => {
                 *inner.counters.entry("fit.completed".to_string()).or_insert(0) += 1;
                 inner.gauges.insert("fit.fidelity".to_string(), e.fidelity);
+            }
+            // Per-worker utilization is pure scheduling state: wall
+            // clock and thread count shape every field.
+            AnyEvent::PoolWorkerUtilization(e) => {
+                let w = format!("pool.worker{:02}", e.worker);
+                inner.scheduling.insert(format!("{w}.busy_us"), e.busy_ns / 1_000);
+                inner.scheduling.insert(format!("{w}.parked_us"), e.parked_ns / 1_000);
+                inner.scheduling.insert(format!("{w}.wakeups"), e.wakeups);
+                inner.scheduling.insert(format!("{w}.chunks"), e.chunks);
+                *inner.scheduling.entry("pool.ring_dropped".to_string()).or_insert(0) +=
+                    e.ring_dropped;
             }
             // Whether the store hits or misses depends on what earlier
             // runs left under `results/cache/`, so like pool usage these
@@ -259,6 +344,8 @@ impl Subscriber for Metrics {
                     .or_insert(0) += e.bytes;
             }
         }
+        inner.self_events += 1;
+        inner.self_ns += t0.elapsed().as_nanos() as u64;
     }
 }
 
@@ -276,7 +363,7 @@ mod tests {
                 EpochCompleted { stage: Stage::DeltaFit, epoch, loss: 1.0 / (epoch + 1) as f32 },
             );
         }
-        emit(&m, StageFinished { stage: Stage::DeltaFit, seconds: 0.25 });
+        emit(&m, StageFinished { stage: Stage::DeltaFit, id: 1, parent: 0, seconds: 0.25 });
         emit(
             &m,
             KernelDispatched {
@@ -336,24 +423,41 @@ mod tests {
     }
 
     #[test]
+    fn value_histograms_land_in_the_deterministic_dists() {
+        let snap = sample_metrics().snapshot();
+        assert_eq!(snap.dists["delta_fit.loss"].count, 4);
+        assert_eq!(snap.dists["kernel.matmul.macs"].count, 2);
+        assert!((snap.dists["kernel.matmul.macs"].max - 6000.0).abs() < 1e-9);
+        // Wall-clock histograms stay out of `dists`.
+        assert_eq!(snap.latency_hists["span.delta_fit"].count, 1);
+        assert_eq!(snap.latency_hists["explain.factual"].count, 1);
+        assert!(!snap.dists.contains_key("span.delta_fit"));
+    }
+
+    #[test]
     fn deterministic_view_strips_wall_clock_and_scheduling() {
         let snap = sample_metrics().snapshot();
         assert!(!snap.spans.is_empty());
         assert!(!snap.latencies.is_empty());
+        assert!(!snap.latency_hists.is_empty());
         assert!(!snap.scheduling.is_empty());
+        assert!(!snap.self_overhead.is_empty());
         let det = snap.deterministic();
         assert!(det.spans.is_empty());
         assert!(det.latencies.is_empty());
+        assert!(det.latency_hists.is_empty());
         assert!(det.scheduling.is_empty());
+        assert!(det.self_overhead.is_empty());
         assert_eq!(det.counters, snap.counters);
         assert_eq!(det.curves, snap.curves);
+        assert_eq!(det.dists, snap.dists, "value histograms are part of the deterministic view");
     }
 
     #[test]
     fn timing_stats_order_statistics() {
         let m = Metrics::new();
         for i in 1..=100 {
-            emit(&m, StageFinished { stage: Stage::OmegaFit, seconds: i as f64 });
+            emit(&m, StageFinished { stage: Stage::OmegaFit, id: 1, parent: 0, seconds: i as f64 });
         }
         let stats = &m.snapshot().spans["omega_fit"];
         assert_eq!(stats.count, 100);
@@ -361,7 +465,60 @@ mod tests {
         assert!((stats.max_s - 100.0).abs() < 1e-9);
         assert!((stats.mean_s - 50.5).abs() < 1e-9);
         assert!((stats.p50_s - 51.0).abs() < 1e-9);
+        assert!((stats.p90_s - 90.0).abs() < 1e-9);
         assert!((stats.p99_s - 99.0).abs() < 1e-9);
+        assert!((stats.p999_s - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pool_worker_utilization_folds_into_scheduling() {
+        let m = Metrics::new();
+        for worker in 0..2usize {
+            emit(
+                &m,
+                PoolWorkerUtilization {
+                    worker,
+                    busy_ns: 5_000_000 * (worker as u64 + 1),
+                    parked_ns: 1_000_000,
+                    wakeups: 10,
+                    chunks: 4,
+                    ring_dropped: worker as u64,
+                },
+            );
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.scheduling["pool.worker00.busy_us"], 5_000);
+        assert_eq!(snap.scheduling["pool.worker01.busy_us"], 10_000);
+        assert_eq!(snap.scheduling["pool.worker00.parked_us"], 1_000);
+        assert_eq!(snap.scheduling["pool.worker01.wakeups"], 10);
+        assert_eq!(snap.scheduling["pool.worker01.chunks"], 4);
+        assert_eq!(snap.scheduling["pool.ring_dropped"], 1);
+        // None of it leaks into the deterministic view.
+        assert!(snap.deterministic().scheduling.is_empty());
+    }
+
+    #[test]
+    fn merge_latency_hist_lands_in_the_variable_section() {
+        let m = Metrics::new();
+        let mut h = Histogram::new();
+        h.record(1e-3);
+        h.record(2e-3);
+        m.merge_latency_hist("pool.chunk_seconds", &h);
+        m.merge_latency_hist("pool.chunk_seconds", &h);
+        m.merge_latency_hist("ignored.empty", &Histogram::new());
+        let snap = m.snapshot();
+        assert_eq!(snap.latency_hists["pool.chunk_seconds"].count, 4);
+        assert!(!snap.latency_hists.contains_key("ignored.empty"));
+        assert!(snap.deterministic().latency_hists.is_empty());
+    }
+
+    #[test]
+    fn self_overhead_counts_events_and_time() {
+        let m = sample_metrics();
+        let snap = m.snapshot();
+        assert_eq!(snap.self_overhead["events"], 9);
+        // Aggregation took *some* time; exact value is wall-clock.
+        assert!(snap.self_overhead.contains_key("aggregation_ns"));
     }
 
     #[test]
@@ -372,7 +529,11 @@ mod tests {
         assert_eq!(value["counters"]["delta_fit.epochs"], 4);
         assert_eq!(value["counters"]["kernel.matmul.macs"], 6008);
         assert_eq!(value["curves"]["delta_fit.loss"].as_array().unwrap().len(), 4);
+        assert_eq!(value["dists"]["kernel.matmul.macs"]["count"], 2);
         assert_eq!(value["spans"]["delta_fit"]["count"], 1);
+        assert_eq!(value["spans"]["delta_fit"]["p999_s"], 0.25);
+        assert_eq!(value["latency_hists"]["span.delta_fit"]["count"], 1);
         assert_eq!(value["scheduling"]["kernel.matmul.max_threads"], 4);
+        assert_eq!(value["self_overhead"]["events"], 9);
     }
 }

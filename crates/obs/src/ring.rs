@@ -1,0 +1,179 @@
+//! Fixed-capacity, lock-free single-producer/single-consumer sample
+//! ring — the profiling hook pool workers write into.
+//!
+//! A pool worker must never block on observability: taking a mutex (or
+//! even contending an atomic CAS loop) inside the chunk path would let
+//! the telemetry layer perturb exactly the scheduling it is supposed to
+//! observe. [`SpscRing`] therefore gives each worker a private bounded
+//! ring of `u64` samples (chunk durations in nanoseconds):
+//!
+//! * `push` is two relaxed loads, one relaxed store, one release store —
+//!   wait-free, no branch can park the worker;
+//! * a full ring **drops** the sample and counts the drop (surfaced via
+//!   `pool_worker_utilization` events) instead of waiting;
+//! * `drain` on the consumer side pairs acquire loads with the
+//!   producer's release stores, so every drained sample was fully
+//!   written.
+//!
+//! Built from atomics only — this crate is `#![forbid(unsafe_code)]`, so
+//! there is no `UnsafeCell` slot trickery here; an `AtomicU64` per slot
+//! is exactly as fast for 8-byte samples.
+//!
+//! The SPSC contract is per-ring: exactly one pusher (the owning worker)
+//! and at most one drainer at a time (the pool serializes drains behind
+//! its registry lock). Concurrent push *during* a drain is fine — that
+//! is the normal case.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A bounded SPSC ring of `u64` samples with drop-counting overflow.
+#[derive(Debug)]
+pub struct SpscRing {
+    slots: Vec<AtomicU64>,
+    mask: usize,
+    /// Next slot the consumer will read. Written by the consumer only.
+    head: AtomicUsize,
+    /// Next slot the producer will write. Written by the producer only.
+    tail: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+impl SpscRing {
+    /// A ring holding at least `capacity` samples (rounded up to a power
+    /// of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(2);
+        Self {
+            slots: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            mask: cap - 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Producer side: appends `value`, or counts a drop when full.
+    /// Never blocks. Returns whether the sample was stored.
+    pub fn push(&self, value: u64) -> bool {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) >= self.capacity() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        self.slots[tail & self.mask].store(value, Ordering::Relaxed);
+        // Publish: the consumer's acquire load of `tail` makes the slot
+        // store above visible before the sample is considered present.
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Consumer side: pops every published sample into `f`, oldest
+    /// first, and frees the slots for reuse.
+    pub fn drain(&self, mut f: impl FnMut(u64)) {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        let mut i = head;
+        while i != tail {
+            f(self.slots[i & self.mask].load(Ordering::Relaxed));
+            i = i.wrapping_add(1);
+        }
+        // Release: the producer's acquire load of `head` sees the slots
+        // as free only after every read above completed.
+        self.head.store(tail, Ordering::Release);
+    }
+
+    /// Samples dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Published samples not yet drained.
+    pub fn len(&self) -> usize {
+        let head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
+
+    /// True when no published sample awaits draining.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_then_drain_preserves_order() {
+        let ring = SpscRing::with_capacity(8);
+        for v in 1..=5u64 {
+            assert!(ring.push(v));
+        }
+        assert_eq!(ring.len(), 5);
+        let mut seen = Vec::new();
+        ring.drain(|v| seen.push(v));
+        assert_eq!(seen, vec![1, 2, 3, 4, 5]);
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts_instead_of_blocking() {
+        let ring = SpscRing::with_capacity(4);
+        for v in 0..4u64 {
+            assert!(ring.push(v));
+        }
+        assert!(!ring.push(99));
+        assert!(!ring.push(100));
+        assert_eq!(ring.dropped(), 2);
+        let mut seen = Vec::new();
+        ring.drain(|v| seen.push(v));
+        assert_eq!(seen, vec![0, 1, 2, 3], "dropped samples never overwrite stored ones");
+        // Slots freed by the drain are reusable.
+        assert!(ring.push(7));
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_a_power_of_two() {
+        assert_eq!(SpscRing::with_capacity(5).capacity(), 8);
+        assert_eq!(SpscRing::with_capacity(0).capacity(), 2);
+        assert_eq!(SpscRing::with_capacity(64).capacity(), 64);
+    }
+
+    #[test]
+    fn concurrent_producer_and_consumer_lose_nothing_but_drops() {
+        let ring = Arc::new(SpscRing::with_capacity(64));
+        let n = 10_000u64;
+        let producer = {
+            let ring = ring.clone();
+            std::thread::spawn(move || {
+                let mut pushed = 0u64;
+                for v in 1..=n {
+                    if ring.push(v) {
+                        pushed += 1;
+                    }
+                }
+                pushed
+            })
+        };
+        let mut drained = Vec::new();
+        while !producer.is_finished() || !ring.is_empty() {
+            ring.drain(|v| drained.push(v));
+        }
+        ring.drain(|v| drained.push(v));
+        let pushed = producer.join().unwrap();
+        assert_eq!(drained.len() as u64, pushed);
+        assert_eq!(pushed + ring.dropped(), n);
+        // Samples arrive in production order (SPSC FIFO).
+        assert!(drained.windows(2).all(|w| w[0] < w[1]), "drained out of order");
+    }
+}

@@ -1,30 +1,55 @@
-//! The ambient (thread-local) subscriber scope.
+//! The ambient (thread-local) subscriber scope, the span-hierarchy
+//! stack, and the deferred delivery buffer for hot-path events.
 //!
 //! The dense kernels in `agua-nn::parallel` sit below dozens of call
 //! sites; threading a `&dyn Subscriber` through every matrix operation
 //! would contaminate the whole numeric API. Instead, a subscriber is
 //! installed for a region of work with [`with_scoped_subscriber`] and
-//! the kernels emit through [`emit_scoped`].
+//! the kernels emit through [`emit_scoped`] / [`emit_scoped_deferred`].
 //!
-//! Two properties keep this deterministic and near-free:
+//! Three properties keep this deterministic and near-free:
 //!
 //! * The scope is **thread-local and not inherited by worker threads**:
-//!   kernels running on `agua-nn`'s scoped workers see no subscriber,
-//!   so events are emitted only from the dispatching thread and their
+//!   kernels running on `agua-nn`'s pool workers see no subscriber, so
+//!   events are emitted only from the dispatching thread and their
 //!   order never depends on thread scheduling (mirroring how
 //!   `ThreadConfig`'s scoped override behaves).
 //! * When no scope is installed, [`emit_scoped`] is one thread-local
 //!   flag read; the event itself is built lazily inside a closure, so
 //!   the disabled hot path does no allocation or formatting.
+//! * High-frequency events (kernel dispatches — tens of thousands per
+//!   fit) go through [`emit_scoped_deferred`], which appends to a
+//!   fixed-capacity thread-local buffer instead of taking the
+//!   subscriber's lock per event. The buffer drains to the subscriber
+//!   at span close ([`flush_deferred`], called by `span_end`), at scope
+//!   exit, or inline when full — the deterministic aggregates are
+//!   additive, so late delivery cannot change them, and no event is
+//!   ever dropped.
+//!
+//! The module also owns the **span stack**: `span_start`/`span_end`
+//! push and pop process-unique span ids here, giving every
+//! `StageStarted`/`StageFinished` event a `parent` id and subscribers
+//! (notably `TraceWriter`) the full stage hierarchy.
 
 use crate::event::AnyEvent;
 use crate::subscriber::Subscriber;
 use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use std::sync::Arc;
+
+/// Deferred events per thread before an inline forced drain. Sized so a
+/// full δ+Ω fit (a few thousand dispatches per epoch) drains a handful
+/// of times, while the buffer stays well under a megabyte.
+const DEFER_CAPACITY: usize = 1024;
 
 thread_local! {
-    static CURRENT: RefCell<Option<Rc<dyn Subscriber>>> = const { RefCell::new(None) };
+    static CURRENT: RefCell<Option<Arc<dyn Subscriber>>> = const { RefCell::new(None) };
     static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    /// Open span ids on this thread, innermost last (see `span_start`).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Hot-path events awaiting delivery to the ambient subscriber.
+    static DEFERRED: RefCell<Vec<AnyEvent>> = const { RefCell::new(Vec::new()) };
+    /// Times the deferral buffer filled and drained inline mid-kernel.
+    static FORCED_DRAINS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// True when the calling thread has an ambient subscriber installed.
@@ -35,15 +60,23 @@ pub fn scoped_active() -> bool {
 
 /// Runs `f` with `subscriber` installed as the calling thread's ambient
 /// subscriber, restoring the previous one afterwards (also on panic).
-pub fn with_scoped_subscriber<R>(subscriber: Rc<dyn Subscriber>, f: impl FnOnce() -> R) -> R {
-    struct Restore(Option<Rc<dyn Subscriber>>);
+/// Deferred events are flushed to `subscriber` before it is uninstalled,
+/// so a scope never leaks buffered events to its successor.
+pub fn with_scoped_subscriber<R>(subscriber: Arc<dyn Subscriber>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<dyn Subscriber>>);
     impl Drop for Restore {
         fn drop(&mut self) {
+            // Deliver this scope's buffered events while its subscriber
+            // is still the ambient one (runs on panic unwind too).
+            flush_deferred();
             let prev = self.0.take();
             ACTIVE.with(|a| a.set(prev.is_some()));
             CURRENT.with(|c| *c.borrow_mut() = prev);
         }
     }
+    // A fresh scope must not inherit (or later deliver) events buffered
+    // under the previous subscriber.
+    flush_deferred();
     let _restore = Restore(CURRENT.with(|c| c.borrow_mut().replace(subscriber)));
     ACTIVE.with(|a| a.set(true));
     f()
@@ -51,7 +84,8 @@ pub fn with_scoped_subscriber<R>(subscriber: Rc<dyn Subscriber>, f: impl FnOnce(
 
 /// Emits the event built by `build` to the ambient subscriber, if one
 /// is installed; otherwise returns after a single flag check without
-/// invoking `build`.
+/// invoking `build`. Synchronous — use [`emit_scoped_deferred`] for
+/// events emitted at kernel frequency.
 #[inline]
 pub fn emit_scoped(build: impl FnOnce() -> AnyEvent) {
     if !scoped_active() {
@@ -65,10 +99,88 @@ pub fn emit_scoped(build: impl FnOnce() -> AnyEvent) {
     }
 }
 
+/// Like [`emit_scoped`], but appends the event to the thread-local
+/// deferral buffer instead of delivering it synchronously — one `Vec`
+/// push on the hot path, no subscriber lock. The buffer drains at span
+/// close, at scope exit, or inline when full (counted by
+/// [`deferred_stats`]); delivery order within the buffer is preserved.
+#[inline]
+pub fn emit_scoped_deferred(build: impl FnOnce() -> AnyEvent) {
+    if !scoped_active() {
+        return;
+    }
+    let full = DEFERRED.with(|d| {
+        let mut d = d.borrow_mut();
+        d.push(build());
+        d.len() >= DEFER_CAPACITY
+    });
+    if full {
+        FORCED_DRAINS.with(|c| c.set(c.get() + 1));
+        flush_deferred();
+    }
+}
+
+/// Delivers every buffered event to the ambient subscriber, in emission
+/// order. A no-op without a scope or with an empty buffer. Called
+/// automatically by `span_end` and at scope exit; public for callers
+/// that snapshot a `Metrics` subscriber mid-scope.
+pub fn flush_deferred() {
+    let pending: Vec<AnyEvent> = DEFERRED.with(|d| {
+        let mut d = d.borrow_mut();
+        if d.is_empty() {
+            Vec::new()
+        } else {
+            std::mem::take(&mut *d)
+        }
+    });
+    if pending.is_empty() {
+        return;
+    }
+    let subscriber = CURRENT.with(|c| c.borrow().clone());
+    if let Some(subscriber) = subscriber {
+        for event in &pending {
+            subscriber.on_event(event);
+        }
+    }
+    // Without a subscriber (scope already torn down) the events are
+    // observations with nowhere to go; dropping them is correct.
+}
+
+/// `(buffered_now, forced_drains)` for the calling thread: how many
+/// events currently await delivery and how many times the buffer filled
+/// and drained inline. Feeds overhead accounting in callers.
+pub fn deferred_stats() -> (usize, u64) {
+    (DEFERRED.with(|d| d.borrow().len()), FORCED_DRAINS.with(Cell::get))
+}
+
+/// The innermost open span id on this thread, or 0 at the root.
+pub fn current_span() -> u64 {
+    SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+}
+
+/// Pushes a span id; called by `span_start`.
+pub(crate) fn push_span(id: u64) {
+    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+}
+
+/// Pops a span id; called by `span_end`. Removes the topmost occurrence
+/// of `id`, tolerating out-of-order closes of overlapping spans.
+pub(crate) fn pop_span(id: u64) {
+    SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        if let Some(pos) = stack.iter().rposition(|&v| v == id) {
+            stack.remove(pos);
+        }
+    });
+}
+
 #[cfg(test)]
+// Tests share a `RefCell`-based recorder within one thread; the `Arc` is
+// shared ownership, not a cross-thread handle (see `Fanout::shared`).
+#[allow(clippy::arc_with_non_send_sync)]
 mod tests {
     use super::*;
-    use crate::event::{Event, FitCompleted};
+    use crate::event::{Event, FitCompleted, Kernel, KernelDispatched};
     use std::cell::RefCell;
 
     #[derive(Default)]
@@ -82,6 +194,21 @@ mod tests {
         }
     }
 
+    fn dispatch(macs: u64) -> AnyEvent {
+        KernelDispatched {
+            kernel: Kernel::Matmul,
+            rows: 1,
+            inner: 1,
+            cols: 1,
+            macs,
+            threads: 1,
+            seq_fallback: true,
+            pool_dispatch: false,
+            queue_depth: 0,
+        }
+        .into_any()
+    }
+
     #[test]
     fn emit_scoped_is_silent_without_a_scope() {
         assert!(!scoped_active());
@@ -91,11 +218,16 @@ mod tests {
             FitCompleted { fidelity: 1.0 }.into_any()
         });
         assert!(!built, "event must not even be built without a scope");
+        emit_scoped_deferred(|| {
+            built = true;
+            FitCompleted { fidelity: 1.0 }.into_any()
+        });
+        assert!(!built, "deferred emission must also be gated on the scope flag");
     }
 
     #[test]
     fn scope_delivers_events_and_restores() {
-        let rec = Rc::new(Recorder::default());
+        let rec = Arc::new(Recorder::default());
         with_scoped_subscriber(rec.clone(), || {
             assert!(scoped_active());
             emit_scoped(|| FitCompleted { fidelity: 0.5 }.into_any());
@@ -105,38 +237,106 @@ mod tests {
     }
 
     #[test]
+    fn deferred_events_arrive_by_scope_exit_in_order() {
+        let rec = Arc::new(Recorder::default());
+        with_scoped_subscriber(rec.clone(), || {
+            emit_scoped_deferred(|| dispatch(1));
+            emit_scoped(|| FitCompleted { fidelity: 0.5 }.into_any());
+            // The deferred event has not been delivered yet…
+            assert_eq!(*rec.names.borrow(), vec!["fit_completed"]);
+            emit_scoped_deferred(|| dispatch(2));
+        });
+        // …but arrives (in emission order) before the scope closes.
+        assert_eq!(
+            *rec.names.borrow(),
+            vec!["fit_completed", "kernel_dispatched", "kernel_dispatched"]
+        );
+    }
+
+    #[test]
+    fn full_buffer_forces_an_inline_drain() {
+        let rec = Arc::new(Recorder::default());
+        let (_, forced_before) = deferred_stats();
+        with_scoped_subscriber(rec.clone(), || {
+            for i in 0..(DEFER_CAPACITY + 10) {
+                emit_scoped_deferred(|| dispatch(i as u64));
+            }
+            // Capacity events were force-drained; the overflow waits.
+            assert_eq!(rec.names.borrow().len(), DEFER_CAPACITY);
+            assert_eq!(deferred_stats().0, 10);
+        });
+        assert_eq!(rec.names.borrow().len(), DEFER_CAPACITY + 10, "nothing dropped");
+        assert_eq!(deferred_stats().1, forced_before + 1);
+    }
+
+    #[test]
+    fn explicit_flush_delivers_mid_scope() {
+        let rec = Arc::new(Recorder::default());
+        with_scoped_subscriber(rec.clone(), || {
+            emit_scoped_deferred(|| dispatch(3));
+            assert!(rec.names.borrow().is_empty());
+            flush_deferred();
+            assert_eq!(rec.names.borrow().len(), 1);
+            assert_eq!(deferred_stats().0, 0);
+        });
+    }
+
+    #[test]
     fn scopes_nest_and_restore_the_outer_subscriber() {
-        let outer = Rc::new(Recorder::default());
-        let inner = Rc::new(Recorder::default());
+        let outer = Arc::new(Recorder::default());
+        let inner = Arc::new(Recorder::default());
         with_scoped_subscriber(outer.clone(), || {
+            // Buffered before the nested scope: must go to `outer`.
+            emit_scoped_deferred(|| dispatch(1));
             with_scoped_subscriber(inner.clone(), || {
                 emit_scoped(|| FitCompleted { fidelity: 0.1 }.into_any());
             });
             emit_scoped(|| FitCompleted { fidelity: 0.2 }.into_any());
         });
-        assert_eq!(inner.names.borrow().len(), 1);
-        assert_eq!(outer.names.borrow().len(), 1);
+        assert_eq!(*inner.names.borrow(), vec!["fit_completed"]);
+        assert_eq!(*outer.names.borrow(), vec!["kernel_dispatched", "fit_completed"]);
     }
 
     #[test]
     fn scope_restores_on_panic() {
-        let rec = Rc::new(Recorder::default());
+        let rec = Arc::new(Recorder::default());
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            with_scoped_subscriber(rec, || panic!("boom"))
+            with_scoped_subscriber(rec.clone(), || {
+                emit_scoped_deferred(|| dispatch(9));
+                panic!("boom")
+            })
         }));
         assert!(caught.is_err());
         assert!(!scoped_active());
+        // The unwind still delivered the buffered event.
+        assert_eq!(*rec.names.borrow(), vec!["kernel_dispatched"]);
     }
 
     #[test]
     fn worker_threads_do_not_inherit_the_scope() {
-        let rec = Rc::new(Recorder::default());
+        let rec = Arc::new(Recorder::default());
         with_scoped_subscriber(rec, || {
             std::thread::scope(|s| {
                 s.spawn(|| {
                     assert!(!scoped_active(), "scope must not leak to workers");
                 });
             });
+        });
+    }
+
+    #[test]
+    fn span_stack_tracks_nesting_per_thread() {
+        assert_eq!(current_span(), 0);
+        push_span(10);
+        push_span(11);
+        assert_eq!(current_span(), 11);
+        // Out-of-order close of an outer span leaves the inner intact.
+        pop_span(10);
+        assert_eq!(current_span(), 11);
+        pop_span(11);
+        assert_eq!(current_span(), 0);
+        std::thread::scope(|s| {
+            s.spawn(|| assert_eq!(current_span(), 0, "span stack is thread-local"));
         });
     }
 }

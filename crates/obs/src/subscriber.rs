@@ -6,10 +6,23 @@
 //! The contract: a subscriber observes, it never influences — it must
 //! not panic on well-formed events and nothing in the pipeline reads a
 //! subscriber's state mid-run.
+//!
+//! Spans are hierarchical: every [`span_start`] draws a process-unique
+//! id from a global counter and records its parent from the calling
+//! thread's span stack (`scoped::current_span`), so subscribers can
+//! rebuild the `fit → epoch → kernel` tree without any side channel.
+//! [`span_end`] also drains the thread's deferred-event buffer before
+//! emitting [`StageFinished`], guaranteeing that hot-path events
+//! emitted inside a span are delivered no later than the span's close.
 
 use crate::event::{AnyEvent, Event, Stage, StageFinished, StageStarted};
-use std::rc::Rc;
+use crate::scoped;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Process-unique span ids, starting at 1 (0 means "no parent").
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Consumes pipeline events.
 pub trait Subscriber {
@@ -27,6 +40,8 @@ pub fn emit<E: Event>(obs: &dyn Subscriber, event: E) {
 #[derive(Debug)]
 pub struct Span {
     stage: Stage,
+    id: u64,
+    parent: u64,
     start: Instant,
 }
 
@@ -36,6 +51,16 @@ impl Span {
         self.stage
     }
 
+    /// This span's process-unique id (never 0).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The id of the span enclosing this one, or 0 for a root span.
+    pub fn parent(&self) -> u64 {
+        self.parent
+    }
+
     /// Seconds elapsed since the span opened.
     pub fn elapsed_seconds(&self) -> f64 {
         self.start.elapsed().as_secs_f64()
@@ -43,17 +68,29 @@ impl Span {
 }
 
 /// Opens a timing span for `stage`, emitting [`StageStarted`].
+///
+/// The span is pushed onto the calling thread's span stack, so spans
+/// opened below it (on the same thread) record it as their parent.
 pub fn span_start(obs: &dyn Subscriber, stage: Stage) -> Span {
-    emit(obs, StageStarted { stage });
-    Span { stage, start: Instant::now() }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = scoped::current_span();
+    emit(obs, StageStarted { stage, id, parent });
+    scoped::push_span(id);
+    Span { stage, id, parent, start: Instant::now() }
 }
 
 /// Closes a span, emitting [`StageFinished`] with the monotonic elapsed
 /// time; returns the measured seconds so callers (e.g. benches) can use
 /// the same reading they reported.
+///
+/// Deferred hot-path events buffered on this thread are flushed first,
+/// so every event emitted inside the span is delivered before its
+/// `StageFinished`.
 pub fn span_end(obs: &dyn Subscriber, span: Span) -> f64 {
     let seconds = span.elapsed_seconds();
-    emit(obs, StageFinished { stage: span.stage, seconds });
+    scoped::flush_deferred();
+    scoped::pop_span(span.id);
+    emit(obs, StageFinished { stage: span.stage, id: span.id, parent: span.parent, seconds });
     seconds
 }
 
@@ -128,6 +165,19 @@ impl Subscriber for Stderr {
             AnyEvent::FitCompleted(e) => {
                 eprintln!("[obs] fit completed, train fidelity {:.3}", e.fidelity)
             }
+            AnyEvent::PoolWorkerUtilization(e) => eprintln!(
+                "[obs] pool worker {} busy {:.1}ms parked {:.1}ms ({} wakeups, {} chunks{})",
+                e.worker,
+                e.busy_ns as f64 / 1e6,
+                e.parked_ns as f64 / 1e6,
+                e.wakeups,
+                e.chunks,
+                if e.ring_dropped > 0 {
+                    format!(", {} samples dropped", e.ring_dropped)
+                } else {
+                    String::new()
+                }
+            ),
             AnyEvent::ArtifactHit(e) => {
                 eprintln!("[obs] artifact {} {:016x} hit", e.kind, e.key)
             }
@@ -142,9 +192,13 @@ impl Subscriber for Stderr {
 }
 
 /// Broadcasts each event to several subscribers, in order.
+///
+/// Holds `Arc` handles so a fanout (and its members) can itself be
+/// installed as the ambient scoped subscriber while callers keep their
+/// own handles for snapshotting afterwards.
 #[derive(Default)]
 pub struct Fanout {
-    subscribers: Vec<Rc<dyn Subscriber>>,
+    subscribers: Vec<Arc<dyn Subscriber>>,
 }
 
 impl Fanout {
@@ -154,7 +208,7 @@ impl Fanout {
     }
 
     /// Adds a subscriber to the broadcast list.
-    pub fn push(mut self, subscriber: Rc<dyn Subscriber>) -> Self {
+    pub fn push(mut self, subscriber: Arc<dyn Subscriber>) -> Self {
         self.subscribers.push(subscriber);
         self
     }
@@ -168,6 +222,17 @@ impl Fanout {
     pub fn is_empty(&self) -> bool {
         self.subscribers.is_empty()
     }
+
+    /// Erases the fanout into a shared subscriber handle, ready for
+    /// [`crate::scoped::with_scoped_subscriber`].
+    // `dyn Subscriber` carries no Send/Sync bound — the trait admits
+    // cheap RefCell-based single-thread subscribers, and scoped installs
+    // are thread-local (workers never inherit them) — so this Arc is
+    // shared ownership within a thread, not a cross-thread handle.
+    #[allow(clippy::arc_with_non_send_sync)]
+    pub fn shared(self) -> Arc<dyn Subscriber> {
+        Arc::new(self)
+    }
 }
 
 impl Subscriber for Fanout {
@@ -179,6 +244,9 @@ impl Subscriber for Fanout {
 }
 
 #[cfg(test)]
+// Tests share a `RefCell`-based recorder within one thread; the `Arc` is
+// shared ownership, not a cross-thread handle (see `Fanout::shared`).
+#[allow(clippy::arc_with_non_send_sync)]
 mod tests {
     use super::*;
     use std::cell::RefCell;
@@ -187,11 +255,13 @@ mod tests {
     #[derive(Default)]
     pub(crate) struct Recorder {
         pub(crate) names: RefCell<Vec<&'static str>>,
+        pub(crate) events: RefCell<Vec<AnyEvent>>,
     }
 
     impl Subscriber for Recorder {
         fn on_event(&self, event: &AnyEvent) {
             self.names.borrow_mut().push(event.name());
+            self.events.borrow_mut().push(*event);
         }
     }
 
@@ -206,9 +276,50 @@ mod tests {
     }
 
     #[test]
+    fn nested_spans_record_their_parent() {
+        let rec = Recorder::default();
+        let outer = span_start(&rec, Stage::Custom("outer"));
+        assert!(outer.id() > 0);
+        assert_eq!(outer.parent(), 0, "top-level span is a root");
+        let inner = span_start(&rec, Stage::Custom("inner"));
+        assert_eq!(inner.parent(), outer.id());
+        assert_ne!(inner.id(), outer.id());
+        span_end(&rec, inner);
+        span_end(&rec, outer);
+        // The stack unwound completely.
+        assert_eq!(scoped::current_span(), 0);
+        let events = rec.events.borrow();
+        match (&events[0], &events[3]) {
+            (AnyEvent::StageStarted(s), AnyEvent::StageFinished(f)) => {
+                assert_eq!(s.id, f.id);
+                assert_eq!(f.parent, 0);
+            }
+            other => panic!("unexpected event order: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn span_ids_are_unique_across_threads() {
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            handles.push(std::thread::spawn(|| {
+                let rec = Recorder::default();
+                let span = span_start(&rec, Stage::Explain);
+                let id = span.id();
+                span_end(&rec, span);
+                id
+            }));
+        }
+        let mut ids: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4, "span ids collided across threads");
+    }
+
+    #[test]
     fn fanout_broadcasts_in_order() {
-        let a = Rc::new(Recorder::default());
-        let b = Rc::new(Recorder::default());
+        let a = Arc::new(Recorder::default());
+        let b = Arc::new(Recorder::default());
         let fan = Fanout::new().push(a.clone()).push(b.clone());
         assert_eq!(fan.len(), 2);
         emit(&fan, crate::event::FitCompleted { fidelity: 1.0 });

@@ -1,0 +1,428 @@
+//! The [`TraceWriter`] subscriber: exports the span hierarchy as Chrome
+//! `trace_event` JSON, openable in `chrome://tracing`, Perfetto
+//! (<https://ui.perfetto.dev>), or `speedscope` as a flamegraph.
+//!
+//! The format is the JSON Object Format of the Trace Event spec: a
+//! top-level `{"traceEvents":[...]}` envelope whose entries carry a
+//! phase tag `ph` —
+//!
+//! * `"B"`/`"E"` duration pairs for stage spans (nested by emission
+//!   order per thread, which matches the span stack in `scoped.rs`);
+//! * `"C"` counter samples for per-epoch training loss, plotted by the
+//!   viewers as a time series;
+//! * `"X"` complete events for explanations, whose latency arrives
+//!   already measured in the event;
+//! * `"i"` instant events for kernel dispatches (off by default — a fit
+//!   dispatches tens of thousands; enable with
+//!   [`TraceWriter::with_kernel_events`]).
+//!
+//! Timestamps (`ts`) are microseconds on the monotonic clock since the
+//! writer was created; `pid` is fixed at 1 and `tid` is a small
+//! per-thread ordinal so multi-threaded bench sweeps lay out one track
+//! per emitting thread. Everything is buffered in memory and written on
+//! [`TraceWriter::flush`] or drop — trace files are a few thousand
+//! events, not a streaming log (that is `JsonlWriter`'s job).
+//!
+//! Zero new dependencies: the serializer is the same hand-written
+//! `serde` impl style as the JSONL contract, emitting only the spec's
+//! required fields.
+
+use crate::event::AnyEvent;
+use crate::subscriber::Subscriber;
+use serde::ser::SerializeStruct;
+use serde::{Serialize, Serializer};
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Next per-thread track ordinal (Chrome's `tid`).
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Values a trace event's `args` object can carry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ArgValue {
+    U64(u64),
+    F64(f64),
+}
+
+impl Serialize for ArgValue {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            ArgValue::U64(v) => serializer.serialize_u64(*v),
+            ArgValue::F64(v) => serializer.serialize_f64(*v),
+        }
+    }
+}
+
+/// Ordered `args` object (serialized as a JSON map).
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Args(Vec<(&'static str, ArgValue)>);
+
+impl Serialize for Args {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeMap;
+        let mut m = serializer.serialize_map(Some(self.0.len()))?;
+        for (k, v) in &self.0 {
+            m.serialize_entry(*k, v)?;
+        }
+        m.end()
+    }
+}
+
+/// One entry of the `traceEvents` array.
+#[derive(Debug, Clone, PartialEq)]
+struct TraceEvent {
+    name: String,
+    cat: &'static str,
+    ph: &'static str,
+    /// Microseconds since the writer's origin (monotonic).
+    ts: u64,
+    /// Duration in microseconds; `"X"` events only.
+    dur: Option<u64>,
+    tid: u64,
+    args: Args,
+}
+
+impl Serialize for TraceEvent {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let n = 6 + usize::from(self.dur.is_some()) + usize::from(!self.args.0.is_empty());
+        let mut s = serializer.serialize_struct("TraceEvent", n)?;
+        s.serialize_field("name", &self.name)?;
+        s.serialize_field("cat", self.cat)?;
+        s.serialize_field("ph", self.ph)?;
+        s.serialize_field("ts", &self.ts)?;
+        if let Some(dur) = self.dur {
+            s.serialize_field("dur", &dur)?;
+        }
+        s.serialize_field("pid", &1u32)?;
+        s.serialize_field("tid", &self.tid)?;
+        if !self.args.0.is_empty() {
+            s.serialize_field("args", &self.args)?;
+        }
+        s.end()
+    }
+}
+
+/// Buffers trace events in memory and writes a Chrome `trace_event`
+/// JSON file on [`flush`](TraceWriter::flush) (or drop).
+#[derive(Debug)]
+pub struct TraceWriter {
+    inner: Mutex<Vec<TraceEvent>>,
+    origin: Instant,
+    path: PathBuf,
+    kernel_events: bool,
+}
+
+impl TraceWriter {
+    /// A trace writer that will (on flush) create the file at `path`,
+    /// creating parent directories as needed. The monotonic origin of
+    /// all timestamps is the moment of this call.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        // Fail now (permissions, bad path) rather than at flush time.
+        File::create(&path)?;
+        Ok(Self {
+            inner: Mutex::new(Vec::new()),
+            origin: Instant::now(),
+            path,
+            kernel_events: false,
+        })
+    }
+
+    /// Enables or disables per-dispatch kernel instant events.
+    pub fn with_kernel_events(mut self, enabled: bool) -> Self {
+        self.kernel_events = enabled;
+        self
+    }
+
+    /// Where the trace will be written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Buffered event count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("trace mutex poisoned").len()
+    }
+
+    /// True when no event has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Microseconds elapsed since the writer's origin.
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    fn push(&self, event: TraceEvent) {
+        self.inner.lock().expect("trace mutex poisoned").push(event);
+    }
+
+    /// Writes the `{"traceEvents":[...]}` envelope to the target path,
+    /// replacing any previous flush. Buffered events are retained, so a
+    /// later flush (or the drop flush) rewrites a superset.
+    pub fn flush(&self) -> io::Result<()> {
+        let inner = self.inner.lock().expect("trace mutex poisoned");
+        let mut w = BufWriter::new(File::create(&self.path)?);
+        w.write_all(b"{\"traceEvents\":[\n")?;
+        for (i, event) in inner.iter().enumerate() {
+            let line = serde_json::to_string(event).expect("trace events always serialize");
+            if i + 1 < inner.len() {
+                writeln!(w, "{line},")?;
+            } else {
+                writeln!(w, "{line}")?;
+            }
+        }
+        w.write_all(b"]}\n")?;
+        w.flush()
+    }
+}
+
+impl Subscriber for TraceWriter {
+    fn on_event(&self, event: &AnyEvent) {
+        let tid = TID.with(|t| *t);
+        match event {
+            AnyEvent::StageStarted(e) => self.push(TraceEvent {
+                name: e.stage.as_str().to_string(),
+                cat: "stage",
+                ph: "B",
+                ts: self.now_us(),
+                dur: None,
+                tid,
+                args: Args(vec![("id", ArgValue::U64(e.id)), ("parent", ArgValue::U64(e.parent))]),
+            }),
+            AnyEvent::StageFinished(e) => self.push(TraceEvent {
+                name: e.stage.as_str().to_string(),
+                cat: "stage",
+                ph: "E",
+                ts: self.now_us(),
+                dur: None,
+                tid,
+                args: Args(vec![("id", ArgValue::U64(e.id))]),
+            }),
+            AnyEvent::EpochCompleted(e) => self.push(TraceEvent {
+                name: format!("{}.loss", e.stage.as_str()),
+                cat: "training",
+                ph: "C",
+                ts: self.now_us(),
+                dur: None,
+                tid,
+                args: Args(vec![("loss", ArgValue::F64(e.loss as f64))]),
+            }),
+            AnyEvent::ExplanationProduced(e) => {
+                // The latency arrives already measured: emit a complete
+                // event ending now, starting `dur` ago.
+                let dur = (e.seconds * 1e6).max(0.0) as u64;
+                let now = self.now_us();
+                self.push(TraceEvent {
+                    name: format!("explain.{}", e.kind.as_str()),
+                    cat: "explain",
+                    ph: "X",
+                    ts: now.saturating_sub(dur),
+                    dur: Some(dur),
+                    tid,
+                    args: Args(vec![("output_class", ArgValue::U64(e.output_class as u64))]),
+                });
+            }
+            AnyEvent::KernelDispatched(e) => {
+                if self.kernel_events {
+                    self.push(TraceEvent {
+                        name: format!("kernel.{}", e.kernel.as_str()),
+                        cat: "kernel",
+                        ph: "i",
+                        ts: self.now_us(),
+                        dur: None,
+                        tid,
+                        args: Args(vec![
+                            ("macs", ArgValue::U64(e.macs)),
+                            ("threads", ArgValue::U64(e.threads as u64)),
+                        ]),
+                    });
+                }
+            }
+            AnyEvent::PoolWorkerUtilization(e) => self.push(TraceEvent {
+                name: format!("pool.worker{:02}", e.worker),
+                cat: "pool",
+                ph: "C",
+                ts: self.now_us(),
+                dur: None,
+                tid,
+                args: Args(vec![
+                    ("busy_ms", ArgValue::F64(e.busy_ns as f64 / 1e6)),
+                    ("parked_ms", ArgValue::F64(e.parked_ns as f64 / 1e6)),
+                ]),
+            }),
+            // Aggregate-only events carry no useful timeline geometry.
+            AnyEvent::LabelingStageFinished(_)
+            | AnyEvent::FitCompleted(_)
+            | AnyEvent::ArtifactHit(_)
+            | AnyEvent::ArtifactMiss(_)
+            | AnyEvent::ArtifactWrite(_) => {}
+        }
+    }
+}
+
+impl Drop for TraceWriter {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::*;
+    use crate::subscriber::{emit, span_end, span_start};
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("agua-trace-{}-{name}", std::process::id()))
+    }
+
+    /// Parses a flushed trace back and checks the Chrome `trace_event`
+    /// invariants the viewers rely on.
+    fn parse_and_validate(path: &Path) -> serde_json::Value {
+        let text = fs::read_to_string(path).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).expect("trace must be JSON");
+        let events = value["traceEvents"].as_array().expect("traceEvents array");
+        let mut open = 0i64;
+        for e in events {
+            let ph = e["ph"].as_str().expect("ph tag");
+            assert!(e["name"].is_string());
+            assert!(e["ts"].as_u64().is_some(), "ts must be a nonnegative integer");
+            assert!(e["pid"].as_u64().is_some() && e["tid"].as_u64().is_some());
+            match ph {
+                "B" => open += 1,
+                "E" => {
+                    open -= 1;
+                    assert!(open >= 0, "E without matching B");
+                }
+                "X" => assert!(e["dur"].as_u64().is_some(), "X event missing dur"),
+                "C" | "i" => {}
+                other => panic!("unexpected phase {other}"),
+            }
+        }
+        assert_eq!(open, 0, "unbalanced B/E pairs");
+        value
+    }
+
+    #[test]
+    fn spans_export_as_balanced_duration_pairs() {
+        let path = temp_path("spans.json");
+        let w = TraceWriter::create(&path).unwrap();
+        let outer = span_start(&w, Stage::Custom("fit"));
+        let inner = span_start(&w, Stage::DeltaFit);
+        emit(&w, EpochCompleted { stage: Stage::DeltaFit, epoch: 0, loss: 1.5 });
+        span_end(&w, inner);
+        span_end(&w, outer);
+        w.flush().unwrap();
+
+        let value = parse_and_validate(&path);
+        let events = value["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0]["ph"], "B");
+        assert_eq!(events[0]["name"], "fit");
+        assert_eq!(events[1]["name"], "delta_fit");
+        assert_eq!(
+            events[1]["args"]["parent"], events[0]["args"]["id"],
+            "child span must point at its parent"
+        );
+        assert_eq!(events[2]["ph"], "C");
+        assert_eq!(events[2]["args"]["loss"], 1.5);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn explanations_export_as_complete_events() {
+        let path = temp_path("explain.json");
+        let w = TraceWriter::create(&path).unwrap();
+        emit(
+            &w,
+            ExplanationProduced { kind: ExplanationKind::Factual, output_class: 2, seconds: 0.001 },
+        );
+        w.flush().unwrap();
+        let value = parse_and_validate(&path);
+        let e = &value["traceEvents"][0];
+        assert_eq!(e["ph"], "X");
+        assert_eq!(e["name"], "explain.factual");
+        assert_eq!(e["dur"], 1000);
+        assert_eq!(e["args"]["output_class"], 2);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn kernel_instants_are_gated() {
+        let dispatch = KernelDispatched {
+            kernel: Kernel::Matmul,
+            rows: 1,
+            inner: 1,
+            cols: 1,
+            macs: 7,
+            threads: 2,
+            seq_fallback: false,
+            pool_dispatch: false,
+            queue_depth: 0,
+        };
+        let quiet_path = temp_path("quiet.json");
+        let quiet = TraceWriter::create(&quiet_path).unwrap();
+        emit(&quiet, dispatch);
+        assert!(quiet.is_empty());
+
+        let verbose_path = temp_path("verbose.json");
+        let verbose = TraceWriter::create(&verbose_path).unwrap().with_kernel_events(true);
+        emit(&verbose, dispatch);
+        assert_eq!(verbose.len(), 1);
+        verbose.flush().unwrap();
+        let value = parse_and_validate(&verbose_path);
+        assert_eq!(value["traceEvents"][0]["ph"], "i");
+        assert_eq!(value["traceEvents"][0]["args"]["macs"], 7);
+        fs::remove_file(&quiet_path).ok();
+        fs::remove_file(&verbose_path).ok();
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid_json() {
+        let path = temp_path("empty.json");
+        let w = TraceWriter::create(&path).unwrap();
+        w.flush().unwrap();
+        let value = parse_and_validate(&path);
+        assert_eq!(value["traceEvents"].as_array().unwrap().len(), 0);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn drop_flushes_the_envelope() {
+        let path = temp_path("drop.json");
+        {
+            let w = TraceWriter::create(&path).unwrap();
+            emit(
+                &w,
+                PoolWorkerUtilization {
+                    worker: 0,
+                    busy_ns: 2_000_000,
+                    parked_ns: 500_000,
+                    wakeups: 1,
+                    chunks: 3,
+                    ring_dropped: 0,
+                },
+            );
+        }
+        let value = parse_and_validate(&path);
+        let e = &value["traceEvents"][0];
+        assert_eq!(e["name"], "pool.worker00");
+        assert_eq!(e["args"]["busy_ms"], 2.0);
+        fs::remove_file(&path).ok();
+    }
+}

@@ -6,22 +6,29 @@
 //! ```sh
 //! cargo xtask audit            # determinism/unsafety source audit
 //! cargo xtask audit --root DIR # audit a different tree (used in tests)
+//! cargo xtask perfdiff         # compare results/BENCH_parallel.json
+//!                              # against the committed repo-root record
+//! cargo xtask perfdiff --base A --new B --threshold 0.25
 //! ```
 //!
-//! See [`audit`] for what the audit enforces and why, and DESIGN.md §10
-//! for how it fits the verification story (`ci.sh` runs it in the
-//! default gate).
+//! See [`audit`] for what the audit enforces and why, [`perfdiff`] for
+//! the perf-regression watchdog, and DESIGN.md §10 for how they fit the
+//! verification story (`ci.sh` runs both in the default gate).
 
 #![forbid(unsafe_code)]
 
 mod audit;
 mod lexer;
+mod perfdiff;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo xtask audit [--root <dir>]");
+    eprintln!(
+        "usage: cargo xtask audit [--root <dir>]\n       \
+         cargo xtask perfdiff [--base <json>] [--new <json>] [--threshold <frac>]"
+    );
     ExitCode::from(2)
 }
 
@@ -35,6 +42,29 @@ fn main() -> ExitCode {
                 _ => return usage(),
             };
             if audit::run(&root) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Some("perfdiff") => {
+            let root = workspace_root();
+            let mut base = root.join("BENCH_parallel.json");
+            let mut new = root.join("results").join("BENCH_parallel.json");
+            let mut threshold = 0.25f64;
+            while let Some(flag) = args.next() {
+                let Some(value) = args.next() else { return usage() };
+                match flag.as_str() {
+                    "--base" => base = PathBuf::from(value),
+                    "--new" => new = PathBuf::from(value),
+                    "--threshold" => match value.parse() {
+                        Ok(t) => threshold = t,
+                        Err(_) => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            if perfdiff::run(&base, &new, threshold) {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE

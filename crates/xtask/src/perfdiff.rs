@@ -1,0 +1,517 @@
+//! `cargo xtask perfdiff` — the perf-regression watchdog.
+//!
+//! Compares two `BENCH_parallel.json` reports — the committed repo-root
+//! record (`--base`) and a fresh run (`--new`, default
+//! `results/BENCH_parallel.json`) — and fails with a nonzero exit when
+//! the fresh run regresses. Two kinds of checks:
+//!
+//! * **Absolute floors**, applied to the new report alone, valid in any
+//!   mode (`--smoke` or full): the batched explanation must not lose
+//!   ground to a single thread (≥ 0.95× at 4 threads), must stay ≥ 1.5×
+//!   the retired reference implementation, the int8 surrogate must
+//!   clear its fidelity gate, and every stage must remain byte-identical
+//!   to the 1-thread run.
+//!
+//! * **Relative deltas**, applied only when both reports ran in the
+//!   same mode (timings from a `--smoke` run are not comparable to a
+//!   full run): each named speedup in the new report must be at least
+//!   `(1 - threshold)` of the base value. The default threshold of 25%
+//!   absorbs machine noise on shared runners while still catching the
+//!   ≥ 10%-class regressions the fixtures seed.
+//!
+//! The comparison reads *speedups*, not raw seconds: ratios of
+//! same-machine timings cancel the machine, so a slower CI box doesn't
+//! trip the gate, while a lost parallel dispatch (the regression class
+//! this repo has actually shipped) shows up directly.
+//!
+//! Like the rest of `xtask`, this is dependency-free: the module brings
+//! its own minimal JSON reader ([`Json`]) rather than pulling serde
+//! into the one crate that must build anywhere cargo does.
+
+use std::fmt;
+use std::path::Path;
+
+/// A parsed JSON value. Numbers are uniformly `f64` — every figure in a
+/// bench report (counters included) is well inside the 2^53 exact range.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(value)
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Walks a dotted path of object keys.
+    pub fn path(&self, dotted: &str) -> Option<&Json> {
+        dotted.split('.').try_fold(self, |v, key| v.get(key))
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at offset {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>().map(Json::Num).map_err(|e| format!("bad number {text:?}: {e}"))
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at offset {pos}"));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&b) = bytes.get(*pos) {
+        *pos += 1;
+        match b {
+            b'"' => return String::from_utf8(out).map_err(|e| e.to_string()),
+            b'\\' => {
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err("unterminated escape".into());
+                };
+                *pos += 1;
+                match esc {
+                    b'"' | b'\\' | b'/' => out.push(esc),
+                    b'n' => out.push(b'\n'),
+                    b't' => out.push(b'\t'),
+                    b'r' => out.push(b'\r'),
+                    b'b' => out.push(8),
+                    b'f' => out.push(12),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("bad \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        *pos += 4;
+                        // Bench reports are ASCII; surrogate pairs are out
+                        // of scope for this reader.
+                        let ch = char::from_u32(code).unwrap_or('\u{fffd}');
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                    }
+                    other => return Err(format!("bad escape \\{}", other as char)),
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// One comparison line of the report: a metric, both values, the delta.
+struct DeltaLine {
+    metric: String,
+    base: f64,
+    new: f64,
+    /// Fractional change, negative = the new run is worse.
+    delta: f64,
+    failed: bool,
+}
+
+impl fmt::Display for DeltaLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "  {:<55} base={:>8.3}  new={:>8.3}  delta={:>+7.1}%{}",
+            self.metric,
+            self.base,
+            self.new,
+            self.delta * 100.0,
+            if self.failed { "  REGRESSION" } else { "" }
+        )
+    }
+}
+
+/// Outcome of a perfdiff run, separated for the fixture tests.
+pub struct PerfDiff {
+    pub failures: Vec<String>,
+    pub lines: Vec<String>,
+}
+
+impl PerfDiff {
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Every named speedup compared relatively between same-mode reports.
+/// `(dotted path, human label)`; higher is always better.
+const SPEEDUP_PATHS: &[(&str, &str)] = &[
+    ("batched_explanation_vs_reference.speedup_fixed_1t_vs_reference", "explain vs reference @1t"),
+    ("batched_explanation_vs_reference.speedup_fixed_4t_vs_reference", "explain vs reference @4t"),
+    ("speedup_pool_tiled_vs_scoped_scalar", "pool+tiled vs scoped scalar"),
+];
+
+fn stage_speedup(report: &Json, stage: &str, threads: f64) -> Option<f64> {
+    report.get("stages")?.as_array()?.iter().find_map(|s| {
+        (s.get("stage")?.as_str()? == stage && s.get("threads")?.as_f64()? == threads)
+            .then(|| s.get("speedup_vs_1_thread")?.as_f64())?
+    })
+}
+
+/// Runs the full comparison. `threshold` is the tolerated fractional
+/// drop for relative checks (0.25 = new may be up to 25% below base).
+pub fn compare(base: &Json, new: &Json, threshold: f64) -> PerfDiff {
+    let mut failures = Vec::new();
+    let mut lines = Vec::new();
+
+    // --- Absolute floors on the new report.
+    let floor = |failures: &mut Vec<String>, name: &str, value: Option<f64>, min: f64| match value {
+        Some(v) if v >= min => {}
+        Some(v) => failures.push(format!("{name} = {v:.3} is below the floor {min}")),
+        None => failures.push(format!("{name} missing from the new report")),
+    };
+    floor(
+        &mut failures,
+        "batched_explanation @4t speedup_vs_1_thread",
+        stage_speedup(new, "batched_explanation", 4.0),
+        0.95,
+    );
+    floor(
+        &mut failures,
+        "speedup_fixed_4t_vs_reference",
+        new.path("batched_explanation_vs_reference.speedup_fixed_4t_vs_reference")
+            .and_then(Json::as_f64),
+        1.5,
+    );
+    match new.path("quantized.gate_passes").and_then(Json::as_bool) {
+        Some(true) => {}
+        Some(false) => failures.push("int8 surrogate failed its fidelity gate".into()),
+        None => failures.push("quantized.gate_passes missing from the new report".into()),
+    }
+    for stage in new.get("stages").and_then(Json::as_array).unwrap_or(&[]) {
+        if stage.get("byte_identical_to_1_thread").and_then(Json::as_bool) != Some(true) {
+            failures.push(format!(
+                "stage {:?} not byte-identical to the 1-thread run",
+                stage.get("stage").and_then(Json::as_str).unwrap_or("?")
+            ));
+        }
+    }
+    if new.path("batched_explanation_vs_reference.identical_to_reference").and_then(Json::as_bool)
+        != Some(true)
+    {
+        failures.push("batched explanation diverged from the retired reference".into());
+    }
+
+    // --- Relative deltas, only between comparable runs.
+    let base_mode = base.get("mode").and_then(Json::as_str).unwrap_or("?");
+    let new_mode = new.get("mode").and_then(Json::as_str).unwrap_or("?");
+    if base_mode != new_mode {
+        lines.push(format!(
+            "  relative checks skipped: base mode {base_mode:?} != new mode {new_mode:?}"
+        ));
+        return PerfDiff { failures, lines };
+    }
+
+    let mut relative = |metric: String, base_v: Option<f64>, new_v: Option<f64>| {
+        let (Some(b), Some(n)) = (base_v, new_v) else { return };
+        if b <= 0.0 {
+            return;
+        }
+        let delta = n / b - 1.0;
+        let failed = delta < -threshold;
+        lines
+            .push(DeltaLine { metric: metric.clone(), base: b, new: n, delta, failed }.to_string());
+        if failed {
+            failures.push(format!(
+                "{metric} regressed {:.1}% (base {b:.3} → new {n:.3}, threshold {:.0}%)",
+                -delta * 100.0,
+                threshold * 100.0
+            ));
+        }
+    };
+
+    for (path, label) in SPEEDUP_PATHS {
+        relative(
+            (*label).to_string(),
+            base.path(path).and_then(Json::as_f64),
+            new.path(path).and_then(Json::as_f64),
+        );
+    }
+    for stage in base.get("stages").and_then(Json::as_array).unwrap_or(&[]) {
+        let (Some(name), Some(threads)) = (
+            stage.get("stage").and_then(Json::as_str),
+            stage.get("threads").and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        if threads <= 1.0 {
+            continue; // speedup_vs_1_thread is 1.0 by construction
+        }
+        relative(
+            format!("stage {name} @{threads}t speedup_vs_1_thread"),
+            stage.get("speedup_vs_1_thread").and_then(Json::as_f64),
+            stage_speedup(new, name, threads),
+        );
+    }
+
+    PerfDiff { failures, lines }
+}
+
+/// CLI entry: loads both reports, prints the delta table, returns
+/// success. Used by `main` and exercised end-to-end by the fixtures.
+pub fn run(base_path: &Path, new_path: &Path, threshold: f64) -> bool {
+    let load = |path: &Path| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Json::parse(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+    };
+    let (base, new) = match (load(base_path), load(new_path)) {
+        (Ok(b), Ok(n)) => (b, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("perfdiff: {e}");
+            return false;
+        }
+    };
+    println!(
+        "perfdiff: base={} new={} threshold={:.0}%",
+        base_path.display(),
+        new_path.display(),
+        threshold * 100.0
+    );
+    let diff = compare(&base, &new, threshold);
+    for line in &diff.lines {
+        println!("{line}");
+    }
+    if diff.passed() {
+        println!("perfdiff: ok");
+        true
+    } else {
+        for failure in &diff.failures {
+            eprintln!("perfdiff: FAIL: {failure}");
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal schema-complete report with tunable headline speedups.
+    fn fixture(explain_4t: f64, vs_reference: f64, pool_tiled: f64) -> Json {
+        let text = format!(
+            r#"{{
+              "mode": "full",
+              "stages": [
+                {{"stage": "surrogate_fit", "threads": 1, "seconds": 2.0,
+                  "speedup_vs_1_thread": 1.0, "byte_identical_to_1_thread": true}},
+                {{"stage": "surrogate_fit", "threads": 4, "seconds": 0.8,
+                  "speedup_vs_1_thread": 2.5, "byte_identical_to_1_thread": true}},
+                {{"stage": "batched_explanation", "threads": 1, "seconds": 0.4,
+                  "speedup_vs_1_thread": 1.0, "byte_identical_to_1_thread": true}},
+                {{"stage": "batched_explanation", "threads": 4, "seconds": 0.2,
+                  "speedup_vs_1_thread": {explain_4t}, "byte_identical_to_1_thread": true}}
+              ],
+              "batched_explanation_vs_reference": {{
+                "reference_1t_secs": 0.015, "fixed_1t_secs": 0.007, "fixed_4t_secs": 0.007,
+                "speedup_fixed_1t_vs_reference": {vs_reference},
+                "speedup_fixed_4t_vs_reference": {vs_reference},
+                "identical_to_reference": true
+              }},
+              "speedup_pool_tiled_vs_scoped_scalar": {pool_tiled},
+              "quantized": {{"gate_passes": true, "fidelity_drop": 0.005}}
+            }}"#
+        );
+        Json::parse(&text).expect("fixture parses")
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let report = fixture(1.8, 2.1, 1.55);
+        let diff = compare(&report, &report, 0.25);
+        assert!(diff.passed(), "failures: {:?}", diff.failures);
+        assert!(!diff.lines.is_empty(), "delta table must be printed");
+    }
+
+    #[test]
+    fn seeded_regression_fails() {
+        let base = fixture(1.8, 2.1, 1.55);
+        // ~40% slower explanation stage: well past the 25% noise band.
+        let new = fixture(1.1, 2.1, 1.55);
+        let diff = compare(&base, &new, 0.25);
+        assert!(!diff.passed());
+        assert!(
+            diff.failures.iter().any(|f| f.contains("batched_explanation")),
+            "failures: {:?}",
+            diff.failures
+        );
+    }
+
+    #[test]
+    fn ten_percent_threshold_catches_smaller_regressions() {
+        let base = fixture(1.8, 2.1, 1.55);
+        let new = fixture(1.8, 1.8, 1.55); // ~14% down on the reference speedup
+        assert!(compare(&base, &new, 0.25).passed());
+        assert!(!compare(&base, &new, 0.10).passed());
+    }
+
+    #[test]
+    fn absolute_floors_hold_even_across_modes() {
+        let base = fixture(1.8, 2.1, 1.55);
+        let mut new = fixture(0.5, 2.1, 1.55); // below the 0.95 floor
+        if let Json::Obj(fields) = &mut new {
+            for (k, v) in fields.iter_mut() {
+                if k == "mode" {
+                    *v = Json::Str("smoke".into()); // disables relative checks
+                }
+            }
+        }
+        let diff = compare(&base, &new, 0.25);
+        assert!(!diff.passed());
+        assert!(diff.failures.iter().any(|f| f.contains("floor")), "{:?}", diff.failures);
+        assert!(diff.lines.iter().any(|l| l.contains("skipped")), "{:?}", diff.lines);
+    }
+
+    #[test]
+    fn committed_report_passes_against_itself() {
+        let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let path = root.join("BENCH_parallel.json");
+        let text = std::fs::read_to_string(&path).expect("committed BENCH_parallel.json");
+        let report = Json::parse(&text).expect("committed report parses");
+        let diff = compare(&report, &report, 0.25);
+        assert!(diff.passed(), "failures: {:?}", diff.failures);
+    }
+
+    #[test]
+    fn json_reader_handles_the_grammar() {
+        let v = Json::parse(r#"{"a": [1, -2.5e3, true, null, "x\n\"y\""], "b": {}}"#).unwrap();
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(-2500.0));
+        assert_eq!(arr[2].as_bool(), Some(true));
+        assert_eq!(arr[3], Json::Null);
+        assert_eq!(arr[4].as_str(), Some("x\n\"y\""));
+        assert_eq!(v.get("b"), Some(&Json::Obj(vec![])));
+        assert!(Json::parse("{\"a\": 1} trailing").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+    }
+}

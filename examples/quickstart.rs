@@ -1,7 +1,7 @@
 //! Quickstart: explain a DDoS detector's decision in five steps.
 //!
 //! ```text
-//! cargo run --release --example quickstart [-- --obs jsonl]
+//! cargo run --release --example quickstart [-- --obs trace]
 //! ```
 //!
 //! 1. Build a learning-enabled controller (a LUCID-style flow classifier).
@@ -13,9 +13,17 @@
 //!
 //! Pass `--obs jsonl` to trace every pipeline event (labelling span,
 //! per-epoch losses, explanation latency) to
-//! `results/logs/quickstart.jsonl`, or `--obs stderr` to watch them
-//! live. Subscribers observe only: the model and the explanation are
-//! byte-identical under every mode.
+//! `results/logs/quickstart.jsonl`, `--obs stderr` to watch them live,
+//! `--obs metrics` for an aggregated JSON snapshot, or `--obs trace`
+//! for the snapshot plus a Chrome `trace_event` file
+//! (`results/logs/quickstart_trace.json`, loadable in chrome://tracing
+//! or ui.perfetto.dev). Subscribers observe only: the model and the
+//! explanation are byte-identical under every mode.
+//!
+//! With metrics attached, the example ends by printing
+//! `[obs] overhead_ratio=…` — the telemetry layer's own aggregation
+//! time divided by the pipeline's wall-clock time. `ci.sh` gates this
+//! ratio at 5%.
 
 use agua::concepts::ddos_concepts;
 use agua::explain::factual_observed;
@@ -23,76 +31,160 @@ use agua::labeling::{ConceptLabeler, Quantizer};
 use agua::surrogate::{AguaModel, SurrogateDataset, TrainParams};
 use agua_controllers::ddos::{generate_dataset, train_detector, ATTACK};
 use agua_nn::Matrix;
-use agua_obs::{JsonlWriter, Noop, Stderr, Subscriber};
+use agua_obs::scoped::with_scoped_subscriber;
+use agua_obs::{
+    span_end, span_start, Fanout, JsonlWriter, Metrics, Noop, Stage, Stderr, Subscriber,
+    TraceWriter,
+};
 use agua_text::describer::{Describer, DescriberConfig};
 use agua_text::embedding::Embedder;
 use ddos_env::{DdosObservation, FlowKind, FlowWindow};
-use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Instant;
 
-fn subscriber_from_args() -> Rc<dyn Subscriber> {
+struct ObsSession {
+    subscriber: Arc<dyn Subscriber>,
+    metrics: Option<Arc<Metrics>>,
+    jsonl: Option<Arc<JsonlWriter>>,
+    trace: Option<Arc<TraceWriter>>,
+}
+
+fn session_from_args() -> ObsSession {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mode = match args.iter().position(|a| a == "--obs") {
         Some(i) => args.get(i + 1).map(String::as_str).unwrap_or("off"),
         None => "off",
     };
     match mode {
-        "off" => Rc::new(Noop),
-        "stderr" => Rc::new(Stderr::new()),
+        "off" => ObsSession { subscriber: Arc::new(Noop), metrics: None, jsonl: None, trace: None },
+        "stderr" => ObsSession {
+            subscriber: Arc::new(Stderr::new()),
+            metrics: None,
+            jsonl: None,
+            trace: None,
+        },
         "jsonl" => {
             let path = "results/logs/quickstart.jsonl";
-            let writer = JsonlWriter::create(path).expect("create trace file");
+            let writer = Arc::new(JsonlWriter::create(path).expect("create trace file"));
             println!("tracing pipeline events to {path}");
-            Rc::new(writer)
+            ObsSession {
+                subscriber: writer.clone(),
+                metrics: None,
+                jsonl: Some(writer),
+                trace: None,
+            }
         }
-        other => panic!("--obs expects off|stderr|jsonl, got `{other}`"),
+        "metrics" => {
+            let metrics = Arc::new(Metrics::new());
+            ObsSession {
+                subscriber: metrics.clone(),
+                metrics: Some(metrics),
+                jsonl: None,
+                trace: None,
+            }
+        }
+        "trace" => {
+            let path = "results/logs/quickstart_trace.json";
+            let trace = Arc::new(TraceWriter::create(path).expect("create trace file"));
+            let metrics = Arc::new(Metrics::new());
+            println!("tracing pipeline spans to {path}");
+            ObsSession {
+                subscriber: Fanout::new().push(metrics.clone()).push(trace.clone()).shared(),
+                metrics: Some(metrics),
+                jsonl: None,
+                trace: Some(trace),
+            }
+        }
+        other => panic!("--obs expects off|stderr|jsonl|metrics|trace, got `{other}`"),
     }
 }
 
 fn main() {
-    let obs = subscriber_from_args();
+    let session = session_from_args();
+    let obs = session.subscriber.clone();
+    let wall_start = Instant::now();
 
-    // 1. The controller to explain: a supervised DDoS detector.
-    println!("training the detector…");
-    let train_flows = generate_dataset(800, 1);
-    let detector = train_detector(&train_flows, 1);
+    with_scoped_subscriber(obs.clone(), || {
+        let root = span_start(&*obs, Stage::Custom("quickstart"));
 
-    // 2. Roll the controller over traffic, recording embeddings + outputs.
-    println!("collecting controller decisions…");
-    let flows = generate_dataset(600, 2);
-    let observations: Vec<DdosObservation> =
-        flows.iter().map(|s| DdosObservation::new(s.window.clone())).collect();
-    let features =
-        Matrix::from_rows(&observations.iter().map(|o| o.features()).collect::<Vec<_>>());
-    let (embeddings, logits) = detector.embeddings_and_logits(&features);
-    let outputs: Vec<usize> = (0..features.rows()).map(|r| logits.argmax_row(r)).collect();
+        // 1. The controller to explain: a supervised DDoS detector.
+        println!("training the detector…");
+        let span = span_start(&*obs, Stage::Custom("train_detector"));
+        let train_flows = generate_dataset(800, 1);
+        let detector = train_detector(&train_flows, 1);
+        span_end(&*obs, span);
 
-    // 3. Concept labelling: structured description → embedding → cosine
-    //    similarity against each base concept → quantized class.
-    println!("labelling inputs with concepts…");
-    let concepts = ddos_concepts();
-    let labeler = ConceptLabeler::new(
-        &concepts,
-        Describer::new(DescriberConfig::high_quality()),
-        Embedder::new(512),
-        Quantizer::calibrated(),
-    );
-    let sections: Vec<_> = observations.iter().map(|o| o.sections()).collect();
-    let concept_labels = labeler.label_batch_observed(&sections, 42, 1, &*obs);
+        // 2. Roll the controller over traffic, recording embeddings + outputs.
+        println!("collecting controller decisions…");
+        let span = span_start(&*obs, Stage::Custom("collect_decisions"));
+        let flows = generate_dataset(600, 2);
+        let observations: Vec<DdosObservation> =
+            flows.iter().map(|s| DdosObservation::new(s.window.clone())).collect();
+        let features =
+            Matrix::from_rows(&observations.iter().map(|o| o.features()).collect::<Vec<_>>());
+        let (embeddings, logits) = detector.embeddings_and_logits(&features);
+        let outputs: Vec<usize> = (0..features.rows()).map(|r| logits.argmax_row(r)).collect();
+        span_end(&*obs, span);
 
-    // 4. Fit the surrogate: concept mapping δ, then linear output mapping Ω.
-    println!("fitting Agua's surrogate…");
-    let dataset = SurrogateDataset { embeddings, concept_labels, outputs };
-    let model = AguaModel::fit_observed(&concepts, 3, 2, &dataset, &TrainParams::tuned(), &*obs);
-    let fid = model.fidelity(&dataset.embeddings, &dataset.outputs);
-    agua_obs::emit(&*obs, agua_obs::FitCompleted { fidelity: fid });
-    println!("surrogate fidelity on the collected decisions: {fid:.3}\n");
+        // 3. Concept labelling: structured description → embedding → cosine
+        //    similarity against each base concept → quantized class.
+        println!("labelling inputs with concepts…");
+        let concepts = ddos_concepts();
+        let labeler = ConceptLabeler::new(
+            &concepts,
+            Describer::new(DescriberConfig::high_quality()),
+            Embedder::new(512),
+            Quantizer::calibrated(),
+        );
+        let sections: Vec<_> = observations.iter().map(|o| o.sections()).collect();
+        let concept_labels = labeler.label_batch_observed(&sections, 42, 1, &*obs);
 
-    // 5. Explain one decision: why does the detector flag this SYN flood?
-    let suspect = FlowWindow::generate_seeded(FlowKind::SynFlood, 99);
-    let x = Matrix::row_vector(&DdosObservation::new(suspect).features());
-    let h = detector.embeddings(&x);
-    let verdict = detector.mlp.infer(&x).argmax_row(0);
-    println!("detector verdict: {}", if verdict == ATTACK { "DDoS attack" } else { "benign" });
-    let explanation = factual_observed(&model, &h, &*obs);
-    println!("{}", explanation.render(5));
+        // 4. Fit the surrogate: concept mapping δ, then linear output mapping Ω.
+        println!("fitting Agua's surrogate…");
+        let dataset = SurrogateDataset { embeddings, concept_labels, outputs };
+        let model =
+            AguaModel::fit_observed(&concepts, 3, 2, &dataset, &TrainParams::tuned(), &*obs);
+        let fid = model.fidelity(&dataset.embeddings, &dataset.outputs);
+        agua_obs::emit(&*obs, agua_obs::FitCompleted { fidelity: fid });
+        println!("surrogate fidelity on the collected decisions: {fid:.3}\n");
+
+        // 5. Explain one decision: why does the detector flag this SYN flood?
+        let suspect = FlowWindow::generate_seeded(FlowKind::SynFlood, 99);
+        let x = Matrix::row_vector(&DdosObservation::new(suspect).features());
+        let h = detector.embeddings(&x);
+        let verdict = detector.mlp.infer(&x).argmax_row(0);
+        println!("detector verdict: {}", if verdict == ATTACK { "DDoS attack" } else { "benign" });
+        let explanation = factual_observed(&model, &h, &*obs);
+        println!("{}", explanation.render(5));
+
+        span_end(&*obs, root);
+    });
+
+    // Fold the worker pool's utilization counters into the session and
+    // persist whatever the chosen mode collected.
+    let chunk_hist = agua_nn::pool::emit_worker_utilization(&*obs);
+    if let Some(metrics) = &session.metrics {
+        metrics.merge_latency_hist("pool.chunk_seconds", &chunk_hist);
+        let snapshot = metrics.snapshot();
+        let total_ns = wall_start.elapsed().as_nanos() as u64;
+        let aggregation_ns = snapshot.self_overhead.get("aggregation_ns").copied().unwrap_or(0);
+        let ratio = aggregation_ns as f64 / total_ns.max(1) as f64;
+        let path = "results/logs/quickstart_metrics.json";
+        std::fs::create_dir_all("results/logs").expect("create results/logs");
+        let json = serde_json::to_string_pretty(&snapshot).expect("serialize snapshot");
+        std::fs::write(path, json).expect("write snapshot");
+        println!("[obs] metrics snapshot written to {path}");
+        println!("[obs] overhead_ratio={ratio:.6}");
+    }
+    if let Some(jsonl) = &session.jsonl {
+        jsonl.flush().expect("flush trace");
+    }
+    if let Some(trace) = &session.trace {
+        trace.flush().expect("flush trace");
+        println!(
+            "[obs] chrome trace written to {} ({} events)",
+            trace.path().display(),
+            trace.len()
+        );
+    }
 }

@@ -9,7 +9,7 @@ use agua_nn::parallel::{with_thread_config, ThreadConfig};
 use agua_nn::Matrix;
 use agua_obs::scoped::with_scoped_subscriber;
 use agua_obs::Metrics;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn toy_workload() -> (ConceptSet, SurrogateDataset) {
     let concepts = ConceptSet::new(
@@ -54,7 +54,7 @@ fn main() {
     let (concepts, dataset) = toy_workload();
     let params = TrainParams::fast();
     for threads in [1usize, 4] {
-        let metrics = Rc::new(Metrics::new());
+        let metrics = Arc::new(Metrics::new());
         let model = with_thread_config(ThreadConfig { threads, min_flops: 1 }, || {
             with_scoped_subscriber(metrics.clone(), || {
                 AguaModel::fit_observed(&concepts, 3, 3, &dataset, &params, &*metrics)

@@ -1,0 +1,167 @@
+//! Property tests for the observability histograms (DESIGN.md §9):
+//!
+//! * The deterministic view of a [`agua_obs::Metrics`] snapshot — which
+//!   includes every `dists` histogram's bucket counts — serializes to
+//!   byte-identical JSON whether the workload ran on 1, 2, 4, or 7
+//!   worker threads, even when the inputs are poisoned with NaN and ∞.
+//! * Recording a value stream through per-worker histograms and merging
+//!   them in worker-index order is indistinguishable from recording the
+//!   stream into one histogram — for any partition, any poison pattern.
+//! * Histogram merge is associative, so hierarchical merges (worker →
+//!   pool → run) need no particular tree shape.
+
+use agua_nn::parallel::{par_for_each_rows, par_matmul, with_thread_config, ThreadConfig};
+use agua_nn::Matrix;
+use agua_obs::scoped::with_scoped_subscriber;
+use agua_obs::{Histogram, Metrics};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Replaces selected entries with non-finite values: index 3k → NaN,
+/// 3k+1 → +∞, 3k+2 → -∞.
+fn poison(values: &mut [f32], poison_idx: &[usize]) {
+    for (i, &idx) in poison_idx.iter().enumerate() {
+        if values.is_empty() {
+            return;
+        }
+        let slot = idx % values.len();
+        values[slot] = match i % 3 {
+            0 => f32::NAN,
+            1 => f32::INFINITY,
+            _ => f32::NEG_INFINITY,
+        };
+    }
+}
+
+/// Runs a small poisoned matmul + row-transform workload at `threads`
+/// workers with a fresh `Metrics` scoped in, and returns the serialized
+/// deterministic view of the snapshot.
+fn deterministic_json(threads: usize, seed: u64, poison_idx: &[usize]) -> String {
+    let n = 24;
+    let mut a_values: Vec<f32> = (0..n * n)
+        .map(|i| ((i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed) % 997) as f32)
+        .collect();
+    poison(&mut a_values, poison_idx);
+    let a = Matrix::from_fn(n, n, |r, c| a_values[r * n + c] / 100.0 - 4.0);
+    let b = Matrix::from_fn(n, n, |r, c| ((r * 31 + c * 7 + seed as usize) % 113) as f32 / 56.5);
+
+    let metrics = Arc::new(Metrics::new());
+    // min_flops: 1 forces even this small workload through the threaded
+    // kernels, so the dists histograms get real kernel traffic.
+    with_thread_config(ThreadConfig { threads, min_flops: 1 }, || {
+        with_scoped_subscriber(metrics.clone(), || {
+            let mut product = par_matmul(&a, &b);
+            par_for_each_rows(&mut product, |_, row| {
+                for v in row.iter_mut() {
+                    *v = v.tanh();
+                }
+            });
+            product
+        })
+    });
+
+    let det = metrics.snapshot().deterministic();
+    assert!(
+        det.dists.keys().any(|k| k.starts_with("kernel.")),
+        "kernel histograms must be populated: {:?}",
+        det.dists.keys().collect::<Vec<_>>()
+    );
+    serde_json::to_string(&det).expect("serialize deterministic snapshot")
+}
+
+proptest! {
+    #[test]
+    fn deterministic_snapshot_is_thread_count_invariant(
+        seed in 0u64..1_000_000,
+        poison_idx in prop::collection::vec(0usize..576, 0..12),
+    ) {
+        let reference = deterministic_json(1, seed, &poison_idx);
+        for threads in [2usize, 4, 7] {
+            let other = deterministic_json(threads, seed, &poison_idx);
+            prop_assert_eq!(
+                &reference, &other,
+                "deterministic snapshot diverged at {} threads", threads
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_recording_merges_to_the_sequential_histogram(
+        values in prop::collection::vec(-1.0e12f64..1.0e12, 1..200),
+        poison_idx in prop::collection::vec(0usize..200, 0..20),
+        shards in 1usize..8,
+    ) {
+        let mut poisoned: Vec<f64> = values;
+        for (i, &idx) in poison_idx.iter().enumerate() {
+            let len = poisoned.len();
+            poisoned[idx % len] = match i % 3 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                _ => f64::NEG_INFINITY,
+            };
+        }
+
+        let mut sequential = Histogram::new();
+        for &v in &poisoned {
+            sequential.record(v);
+        }
+
+        // Deal values round-robin to `shards` workers (the order a
+        // chunked pool dispatch interleaves them), then merge the
+        // workers back in index order.
+        let mut workers = vec![Histogram::new(); shards];
+        for (i, &v) in poisoned.iter().enumerate() {
+            workers[i % shards].record(v);
+        }
+        let mut merged = Histogram::new();
+        for worker in &workers {
+            merged.merge(worker);
+        }
+
+        prop_assert_eq!(&merged, &sequential);
+        prop_assert_eq!(merged.count(), sequential.count());
+        prop_assert_eq!(merged.nonfinite(), sequential.nonfinite());
+        prop_assert_eq!(
+            serde_json::to_string(&merged.snapshot()).unwrap(),
+            serde_json::to_string(&sequential.snapshot()).unwrap()
+        );
+    }
+}
+
+#[test]
+fn histogram_merge_is_associative() {
+    let streams: [&[f64]; 3] = [
+        &[1.0e-9, 3.5, 700.0, f64::NAN, 0.02],
+        &[f64::INFINITY, 2.0, 2.0, 2.0],
+        &[-5.0, 1.0e30, f64::NEG_INFINITY, 0.0],
+    ];
+    let [a, b, c] = streams.map(|stream| {
+        let mut h = Histogram::new();
+        for &v in stream {
+            h.record(v);
+        }
+        h
+    });
+
+    // (a ⊔ b) ⊔ c
+    let mut left = Histogram::new();
+    left.merge(&a);
+    left.merge(&b);
+    let mut left_assoc = left.clone();
+    left_assoc.merge(&c);
+
+    // a ⊔ (b ⊔ c)
+    let mut right = Histogram::new();
+    right.merge(&b);
+    right.merge(&c);
+    let mut right_assoc = a.clone();
+    right_assoc.merge(&right);
+
+    assert_eq!(left_assoc, right_assoc);
+    assert_eq!(left_assoc.snapshot(), right_assoc.snapshot());
+
+    // Merging an empty histogram is the identity.
+    let mut with_empty = left_assoc.clone();
+    with_empty.merge(&Histogram::new());
+    assert_eq!(with_empty, left_assoc);
+}

@@ -14,7 +14,7 @@ use agua_nn::parallel::{with_thread_config, ThreadConfig};
 use agua_nn::Matrix;
 use agua_obs::scoped::with_scoped_subscriber;
 use agua_obs::{JsonlWriter, Metrics, MetricsSnapshot, Noop};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn toy_workload() -> (ConceptSet, SurrogateDataset) {
     let concepts = ConceptSet::new(
@@ -59,7 +59,7 @@ fn model_bits(model: &AguaModel, embeddings: &Matrix) -> Vec<u32> {
 fn observed_fit(threads: usize) -> (MetricsSnapshot, Vec<u32>) {
     let (concepts, dataset) = toy_workload();
     let params = TrainParams::fast();
-    let metrics = Rc::new(Metrics::new());
+    let metrics = Arc::new(Metrics::new());
     // min_flops: 1 forces even this small workload through the threaded
     // kernels so the kernel counters are not vacuously equal.
     let model = with_thread_config(ThreadConfig { threads, min_flops: 1 }, || {
@@ -85,6 +85,10 @@ fn metrics_deterministic_view_is_identical_at_1_and_4_threads() {
         single.counters.keys().collect::<Vec<_>>()
     );
     assert!(single.gauges.contains_key("delta_fit.final_loss"));
+    assert!(
+        !single.dists.is_empty(),
+        "loss/kernel distributions must appear in the deterministic view"
+    );
 
     assert_eq!(
         single.deterministic(),
@@ -104,7 +108,7 @@ fn jsonl_tracing_leaves_trained_weights_byte_identical_to_noop() {
     let path =
         std::env::temp_dir().join(format!("agua-obs-determinism-{}.jsonl", std::process::id()));
     let traced = {
-        let writer = Rc::new(JsonlWriter::create(&path).expect("create trace file"));
+        let writer = Arc::new(JsonlWriter::create(&path).expect("create trace file"));
         let model = with_scoped_subscriber(writer.clone(), || {
             AguaModel::fit_observed(&concepts, 3, 3, &dataset, &params, &*writer)
         });
