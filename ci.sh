@@ -84,16 +84,24 @@ if command -v jq >/dev/null 2>&1; then
       and (.seq_tiled_secs | type == "number")
       and (.speedup_pool_tiled_vs_scoped_scalar | type == "number"))
     and (.speedup_pool_tiled_vs_scoped_scalar | type == "number")
-    and (.gate_calibration | type == "array" and length == 2)
+    and (.gate_calibration | type == "array" and length == 3)
+    and ([.gate_calibration[].kernel] | index("matmul_q8") != null)
     and all(.gate_calibration[];
       (.kernel | type == "string")
       and (.calibrated_breakeven_flops | type == "number")
-      and (.measured_crossover_flops | type == "number")
+      and (.measured_crossover_flops | type == "number" or type == "null")
       and (.points | type == "array" and length > 0))
     and (.quantized
          | (.epsilon | type == "number")
          and (.fidelity_drop | type == "number")
-         and (.weight_bytes_q8 | type == "number"))
+         and (.weight_bytes_q8 | type == "number")
+         and (.predict_f32_1t_secs | type == "number")
+         and (.predict_q8_1t_secs | type == "number")
+         and (.predict_f32_4t_secs | type == "number")
+         and (.predict_q8_4t_secs | type == "number")
+         and (.explain_f32_4t_secs | type == "number")
+         and (.explain_q8_4t_secs | type == "number")
+         and .explain_q8_identical_to_reference == true)
     and (.kernel_dispatch_counters | type == "object")
     and (.kernel_scheduling | type == "object")
   ' <results/BENCH_parallel.json >/dev/null

@@ -42,7 +42,7 @@ use agua_bench::synth::{bench_params, synthetic_surrogate, SynthSpec};
 use agua_nn::parallel::{
     breakeven, reference, with_thread_config, with_threads, ThreadConfig, EXP_ELEM_FLOPS,
 };
-use agua_nn::Matrix;
+use agua_nn::{Matrix, QuantizedLinear};
 use agua_obs::scoped::with_scoped_subscriber;
 use agua_obs::{span_end, span_start, Fanout, Metrics, Stage, Subscriber, TraceWriter};
 use rand::rngs::StdRng;
@@ -144,8 +144,10 @@ struct GateCalibration {
     /// The constant the dispatch gate ships with.
     calibrated_breakeven_flops: u64,
     /// Smallest ladder rung from which the pool dispatch wins at every
-    /// larger size (0 when parallel never wins on this machine).
-    measured_crossover_flops: u64,
+    /// larger size. `None` (serialized as `null`) when parallel never
+    /// wins on this machine — a `0` here used to masquerade as "wins
+    /// from the very first rung".
+    measured_crossover_flops: Option<u64>,
     points: Vec<GateCalibrationPoint>,
 }
 
@@ -174,13 +176,24 @@ struct QuantizedSection {
     gate_passes: bool,
     weight_bytes_f32: u64,
     weight_bytes_q8: u64,
+    predict_f32_1t_secs: f64,
+    predict_q8_1t_secs: f64,
     predict_f32_4t_secs: f64,
     predict_q8_4t_secs: f64,
+    /// `f32` batched explanation at 4 threads — the baseline for the
+    /// fused quantized explain path below.
+    explain_f32_4t_secs: f64,
+    /// `explain::batched_quantized` (one quantized δ forward + in-place
+    /// row transform) at 4 threads.
+    explain_q8_4t_secs: f64,
+    /// Fast quantized-batched path byte-identical to the per-row
+    /// quantized reference.
+    explain_q8_identical_to_reference: bool,
 }
 
 impl Serialize for QuantizedSection {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("QuantizedSection", 9)?;
+        let mut s = serializer.serialize_struct("QuantizedSection", 14)?;
         s.serialize_field("epsilon", &self.epsilon)?;
         s.serialize_field("f32_fidelity", &self.f32_fidelity)?;
         s.serialize_field("quantized_fidelity", &self.quantized_fidelity)?;
@@ -188,8 +201,16 @@ impl Serialize for QuantizedSection {
         s.serialize_field("gate_passes", &self.gate_passes)?;
         s.serialize_field("weight_bytes_f32", &self.weight_bytes_f32)?;
         s.serialize_field("weight_bytes_q8", &self.weight_bytes_q8)?;
+        s.serialize_field("predict_f32_1t_secs", &self.predict_f32_1t_secs)?;
+        s.serialize_field("predict_q8_1t_secs", &self.predict_q8_1t_secs)?;
         s.serialize_field("predict_f32_4t_secs", &self.predict_f32_4t_secs)?;
         s.serialize_field("predict_q8_4t_secs", &self.predict_q8_4t_secs)?;
+        s.serialize_field("explain_f32_4t_secs", &self.explain_f32_4t_secs)?;
+        s.serialize_field("explain_q8_4t_secs", &self.explain_q8_4t_secs)?;
+        s.serialize_field(
+            "explain_q8_identical_to_reference",
+            &self.explain_q8_identical_to_reference,
+        )?;
         s.end()
     }
 }
@@ -474,19 +495,35 @@ fn run_sweep(reps: usize) -> (Vec<SweepShape>, f64) {
     (rows, overall)
 }
 
-/// Smallest rung from which the pool wins at every larger size.
-fn crossover(points: &[GateCalibrationPoint]) -> u64 {
-    let mut best = 0u64;
+/// Smallest rung from which the pool wins at every larger size, or
+/// `None` when parallel never wins: the old `0` sentinel read exactly
+/// like "wins from the very first rung" in the persisted report.
+fn crossover(points: &[GateCalibrationPoint]) -> Option<u64> {
+    let mut best = None;
     for p in points {
         if p.parallel_wins {
-            if best == 0 {
-                best = p.flops;
-            }
+            best = best.or(Some(p.flops));
         } else {
-            best = 0;
+            best = None;
         }
     }
     best
+}
+
+/// Human-readable crossover for the console line, with an explicit
+/// warning when the pool never won so a missing crossover can't be
+/// mistaken for a zero-cost one.
+fn report_crossover(kernel: &str, calibrated: usize, measured: Option<u64>) {
+    match measured {
+        Some(flops) => println!("  {kernel}: calibrated={calibrated} measured_crossover={flops}"),
+        None => {
+            println!("  {kernel}: calibrated={calibrated} measured_crossover=none");
+            eprintln!(
+                "  warning: {kernel} pool dispatch never beat sequential on this machine; \
+                 measured_crossover_flops recorded as null"
+            );
+        }
+    }
 }
 
 /// The gate-calibration sweep: each kernel timed sequentially vs
@@ -517,10 +554,39 @@ fn run_gate_calibration(reps: usize) -> Vec<GateCalibration> {
         });
     }
     let measured = crossover(&points);
-    println!("  matmul: calibrated={} measured_crossover={measured}", breakeven::MATMUL);
+    report_crossover("matmul", breakeven::MATMUL, measured);
     out.push(GateCalibration {
         kernel: "matmul".into(),
         calibrated_breakeven_flops: breakeven::MATMUL as u64,
+        measured_crossover_flops: measured,
+        points,
+    });
+
+    // matmul_q8: the int8 lane kernel over the same m×128×m shapes.
+    // Integer MACs are cheaper per element than f32 ones, so the
+    // per-row work is smaller and the crossover lands later — the
+    // evidence behind `breakeven::MATMUL_Q8` sitting above
+    // `breakeven::MATMUL`.
+    let mut points = Vec::new();
+    for &m in &[4usize, 8, 16, 32, 64, 128, 256] {
+        let q = QuantizedLinear::from_f32(&sweep_mat(128, m, 6), &sweep_mat(1, m, 7));
+        let x = sweep_mat(m, 128, 8);
+        let flops = (m * 128 * m) as u64;
+        let (seq_secs, s_out) = time_reps(reps, || with_thread_config(seq, || q.infer(&x)));
+        let (pool_secs, p_out) = time_reps(reps, || with_thread_config(par, || q.infer(&x)));
+        assert_eq!(bits(&s_out), bits(&p_out), "calibration outputs must agree");
+        points.push(GateCalibrationPoint {
+            flops,
+            seq_secs,
+            pool_4t_secs: pool_secs,
+            parallel_wins: pool_secs < seq_secs,
+        });
+    }
+    let measured = crossover(&points);
+    report_crossover("matmul_q8", breakeven::MATMUL_Q8, measured);
+    out.push(GateCalibration {
+        kernel: "matmul_q8".into(),
+        calibrated_breakeven_flops: breakeven::MATMUL_Q8 as u64,
         measured_crossover_flops: measured,
         points,
     });
@@ -560,10 +626,7 @@ fn run_gate_calibration(reps: usize) -> Vec<GateCalibration> {
         });
     }
     let measured = crossover(&points);
-    println!(
-        "  for_each_rows: calibrated={} measured_crossover={measured}",
-        breakeven::FOR_EACH_ROWS
-    );
+    report_crossover("for_each_rows", breakeven::FOR_EACH_ROWS, measured);
     out.push(GateCalibration {
         kernel: "for_each_rows".into(),
         calibrated_breakeven_flops: breakeven::FOR_EACH_ROWS as u64,
@@ -588,18 +651,36 @@ fn run_quantized_section(model: &AguaModel, embeddings: &Matrix, reps: usize) ->
     // The gate failing is a *finding*, not a bench crash: persist the
     // report either way and let ci.sh judge `gate_passes`.
     let q = quantized.unwrap_or_else(|| QuantizedAguaModel::from_model(model));
+    let (f32_1t_secs, _) = time_reps(reps, || with_threads(1, || model.predict_logits(embeddings)));
+    let (q8_1t_secs, _) = time_reps(reps, || with_threads(1, || q.predict_logits(embeddings)));
     let (f32_secs, _) = time_reps(reps, || with_threads(4, || model.predict_logits(embeddings)));
     let (q8_secs, _) = time_reps(reps, || with_threads(4, || q.predict_logits(embeddings)));
+    let (exp_f32_secs, _) =
+        time_reps(reps, || with_threads(4, || explain::batched(model, embeddings, 0)));
+    let (exp_q8_secs, q8_explanation) =
+        time_reps(reps, || with_threads(4, || explain::batched_quantized(&q, embeddings, 0)));
+    let q8_reference = explain::batched_quantized_reference(&q, embeddings, 0);
+    let explain_identical = explanation_bits(&q8_explanation) == explanation_bits(&q8_reference);
     println!(
-        "  fidelity: f32={:.4} q8={:.4} drop={:.4} passes={}  bytes: f32={} q8={}  predict@4t: f32={:.0}us q8={:.0}us",
+        "  fidelity: f32={:.4} q8={:.4} drop={:.4} passes={}  bytes: f32={} q8={}",
         report.f32_fidelity,
         report.quantized_fidelity,
         report.drop,
         report.passes,
         q.weight_bytes() * 4,
         q.weight_bytes(),
+    );
+    println!(
+        "  predict@1t: f32={:.0}us q8={:.0}us  predict@4t: f32={:.0}us q8={:.0}us",
+        f32_1t_secs * 1e6,
+        q8_1t_secs * 1e6,
         f32_secs * 1e6,
         q8_secs * 1e6,
+    );
+    println!(
+        "  explain@4t: f32={:.0}us q8={:.0}us  identical_to_reference={explain_identical}",
+        exp_f32_secs * 1e6,
+        exp_q8_secs * 1e6,
     );
     QuantizedSection {
         epsilon: f64::from(EPSILON),
@@ -609,8 +690,13 @@ fn run_quantized_section(model: &AguaModel, embeddings: &Matrix, reps: usize) ->
         gate_passes: report.passes,
         weight_bytes_f32: (q.weight_bytes() * 4) as u64,
         weight_bytes_q8: q.weight_bytes() as u64,
+        predict_f32_1t_secs: f32_1t_secs,
+        predict_q8_1t_secs: q8_1t_secs,
         predict_f32_4t_secs: f32_secs,
         predict_q8_4t_secs: q8_secs,
+        explain_f32_4t_secs: exp_f32_secs,
+        explain_q8_4t_secs: exp_q8_secs,
+        explain_q8_identical_to_reference: explain_identical,
     }
 }
 
@@ -711,6 +797,10 @@ fn main() {
 
     // --- Stage 5: the int8 quantized surrogate behind its fidelity gate.
     let quantized = run_quantized_section(&model, &embeddings, if smoke { 5 } else { 20 });
+    assert!(
+        quantized.explain_q8_identical_to_reference,
+        "batched quantized explanation must match the per-row quantized reference byte for byte"
+    );
 
     // Fold the pool's per-worker utilization (busy/parked time, wakeups,
     // chunk latencies drained from the lock-free rings) into the report.
@@ -759,4 +849,59 @@ fn main() {
     trace.flush().expect("flush BENCH_parallel trace");
     println!("wrote {} ({} trace events)", trace_path.display(), trace.len());
     println!("\nwrote results/BENCH_parallel.json");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(flops: u64, parallel_wins: bool) -> GateCalibrationPoint {
+        let (seq_secs, pool_4t_secs) = if parallel_wins { (2.0, 1.0) } else { (1.0, 2.0) };
+        GateCalibrationPoint { flops, seq_secs, pool_4t_secs, parallel_wins }
+    }
+
+    #[test]
+    fn crossover_is_the_first_rung_of_the_winning_suffix() {
+        let points = [point(100, false), point(200, true), point(400, true)];
+        assert_eq!(crossover(&points), Some(200));
+        // A later loss invalidates earlier wins: only a winning suffix
+        // counts as a crossover.
+        let points = [point(100, true), point(200, false), point(400, true)];
+        assert_eq!(crossover(&points), Some(400));
+    }
+
+    #[test]
+    fn crossover_is_none_when_parallel_never_wins() {
+        let points = [point(100, false), point(200, false)];
+        assert_eq!(crossover(&points), None);
+        assert_eq!(crossover(&[]), None);
+    }
+
+    #[test]
+    fn missing_crossover_serializes_as_null_not_zero() {
+        let gc = GateCalibration {
+            kernel: "matmul".into(),
+            calibrated_breakeven_flops: 8192,
+            measured_crossover_flops: None,
+            points: vec![point(100, false)],
+        };
+        let v = serde_json::to_value(&gc).expect("serialize GateCalibration");
+        assert!(
+            v.get("measured_crossover_flops").is_some_and(serde_json::Value::is_null),
+            "a never-winning ladder must persist null, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn measured_crossover_serializes_as_its_flops_value() {
+        let gc = GateCalibration {
+            kernel: "matmul_q8".into(),
+            calibrated_breakeven_flops: 65536,
+            measured_crossover_flops: Some(131072),
+            points: vec![point(131072, true)],
+        };
+        let v = serde_json::to_value(&gc).expect("serialize GateCalibration");
+        assert_eq!(v["measured_crossover_flops"], 131072);
+        assert_eq!(v["kernel"], "matmul_q8");
+    }
 }

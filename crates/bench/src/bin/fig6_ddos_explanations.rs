@@ -57,6 +57,22 @@ fn main() {
         runner.obs(),
     );
 
+    // The int8 mirror behind its fidelity gate: exercises the
+    // `surrogate_q8` artifact kind, so the warm-rerun `[store]` summary
+    // shows hit/miss symmetry for the quantized weights too.
+    let q8 = store.surrogate_q8(&model, &train, 0.02, runner.obs());
+    let q8_report = match &q8 {
+        Ok((_, report)) | Err(report) => report.clone(),
+    };
+    println!(
+        "int8 surrogate: fidelity {:.4} vs f32 {:.4} (drop {:+.4}, ε={}, gate {})",
+        q8_report.quantized_fidelity,
+        q8_report.f32_fidelity,
+        q8_report.drop,
+        q8_report.epsilon,
+        if q8_report.passes { "passes" } else { "FAILS" },
+    );
+
     // (a) Benign flows classified benign.
     let benign = store.rollout(
         &DDOS,
@@ -94,11 +110,30 @@ fn main() {
          Anomalies'."
     );
 
+    // The quantized explanation of the same SYN-flood batch: one int8 δ
+    // forward plus the in-place row transform. Only produced when the
+    // fidelity gate admitted the quantized model.
+    let q8_syn_top = match &q8 {
+        Ok((q, _)) => {
+            let qe = agua::explain::batched_quantized(q, &syn.embeddings, ATTACK);
+            println!("\n(b, int8) same flows through the quantized surrogate:");
+            let max_w = qe.contributions[0].weight;
+            for c in qe.contributions.iter().take(5) {
+                println!("  {}", bar(&c.concept, c.weight, max_w, 30));
+            }
+            top_contributions(&qe, 5)
+        }
+        Err(_) => Value::Array(vec![]),
+    };
+
     runner.finish(
         "fig6_ddos_explanations",
         &object(vec![
             ("benign_accuracy", Value::Number(f64::from(benign_acc))),
             ("benign_top", top_contributions(&be, 5)),
+            ("q8_fidelity_drop", Value::Number(f64::from(q8_report.drop))),
+            ("q8_gate_passes", Value::Bool(q8_report.passes)),
+            ("q8_syn_top", q8_syn_top),
             ("syn_detection_rate", Value::Number(f64::from(syn_rate))),
             ("syn_top", top_contributions(&se, 5)),
         ]),

@@ -10,6 +10,7 @@
 //! No LLM is involved here: explanations come solely from the trained
 //! surrogate.
 
+use crate::quantized::QuantizedAguaModel;
 use crate::surrogate::AguaModel;
 use agua_nn::Matrix;
 use agua_obs::{emit, ExplanationKind, ExplanationProduced, Noop, Subscriber};
@@ -265,32 +266,53 @@ fn batched_inner(model: &AguaModel, embeddings: &Matrix, class: usize) -> Batche
     // One δ forward shared by the contribution vectors and the class
     // probabilities (this used to run the surrogate twice per batch).
     let (concept_probs, out_probs) = model.concept_and_output_probs(embeddings);
-    let n = embeddings.rows();
-    let c = model.concepts();
-    let k = model.k();
-    let d = c * k;
+    let d = model.concepts() * model.k();
     let w = model.output_mapping.weights();
     let spread_bias = model.output_mapping.bias().get(0, class) / d as f32;
     // Gather the class column of W once; the per-row loop then reads it
     // contiguously instead of striding down the weight matrix n times.
     let wcol: Vec<f32> = (0..d).map(|j| w.get(j, class)).collect();
+    batched_from_probs(
+        concept_probs,
+        &out_probs,
+        class,
+        &wcol,
+        spread_bias,
+        &model.concept_names,
+        model.k(),
+    )
+}
 
-    // Eq. 8–10 per row, written over the concept-probability matrix in
-    // place on the parallel backend — no per-row `ConceptContribution`
-    // vectors, name lookups, or sorts (the old path cloned and sorted
-    // `C` strings per input, serializing most of the batch work). Every
-    // row is transformed entirely within itself in fixed column order,
-    // so the matrix is byte-identical at any thread count; the mean
-    // reduction below then runs sequentially in ascending row order,
-    // keeping the whole explanation byte-identical to one thread.
-    let mut contrib = concept_probs;
+/// Eq. 8–10 over a whole batch, shared by the `f32` and quantized
+/// batched paths once each has produced its concept/output
+/// probabilities and gathered its class column of Ω.
+///
+/// The concept-probability matrix is transformed **in place** into
+/// per-row contribution vectors on the parallel backend — no per-row
+/// `ConceptContribution` vectors, name lookups, or sorts (the old path
+/// cloned and sorted `C` strings per input, serializing most of the
+/// batch work). Every row is transformed entirely within itself in
+/// fixed column order, so the matrix is byte-identical at any thread
+/// count; the mean reduction then runs sequentially in ascending row
+/// order, keeping the whole explanation byte-identical to one thread.
+fn batched_from_probs(
+    mut contrib: Matrix,
+    out_probs: &Matrix,
+    class: usize,
+    wcol: &[f32],
+    spread_bias: f32,
+    concept_names: &[String],
+    k: usize,
+) -> BatchedExplanation {
+    let n = contrib.rows();
+    let c = concept_names.len();
     agua_nn::parallel::par_for_each_rows_cost(
         &mut contrib,
         agua_nn::parallel::EXP_ELEM_FLOPS,
         |r, row| {
             let p = out_probs.get(r, class);
             // z = W⟨i⟩ ∘ s + b_i/(C·k)   (Eq. 8, before the L1 norm)
-            for (v, &wv) in row.iter_mut().zip(&wcol) {
+            for (v, &wv) in row.iter_mut().zip(wcol) {
                 *v = wv * *v + spread_bias;
             }
             // σ(z) over all C·k entries, scaled by the class probability
@@ -325,7 +347,123 @@ fn batched_inner(model: &AguaModel, embeddings: &Matrix, class: usize) -> Batche
     let inv = 1.0 / n as f32;
     let mut contributions: Vec<ConceptContribution> = (0..c)
         .map(|g| ConceptContribution {
-            concept: model.concept_names[g].clone(),
+            concept: concept_names[g].clone(),
+            weight: mean_weight[g] * inv,
+            per_class: mean_per_class[g].iter().map(|v| v * inv).collect(),
+        })
+        .collect();
+    contributions.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("finite weights"));
+
+    BatchedExplanation {
+        output_class: class,
+        mean_output_prob: mean_p * inv,
+        batch_size: n,
+        contributions,
+    }
+}
+
+/// Batched explanation from the **int8 quantized** surrogate: one
+/// quantized δ forward (fused lane kernels) plus the same in-place
+/// Eq. 8–10 row transform as [`batched`]. The class column of Ω is
+/// dequantized once (`q · scale`), so the `f32` epilogue arithmetic is
+/// identical to [`batched_quantized_reference`]'s per-row oracle and
+/// the two produce byte-identical explanations at any thread count.
+pub fn batched_quantized(
+    q: &QuantizedAguaModel,
+    embeddings: &Matrix,
+    class: usize,
+) -> BatchedExplanation {
+    batched_quantized_observed(q, embeddings, class, &Noop)
+}
+
+/// [`batched_quantized`] with an [`ExplanationProduced`] latency event
+/// reported to `obs`.
+pub fn batched_quantized_observed(
+    q: &QuantizedAguaModel,
+    embeddings: &Matrix,
+    class: usize,
+    obs: &dyn Subscriber,
+) -> BatchedExplanation {
+    // audit:allow(wall-clock): latency telemetry only — feeds the obs
+    // event's `seconds` field, never the explanation itself.
+    let start = Instant::now();
+    assert!(embeddings.rows() > 0, "empty batch");
+    assert!(class < q.n_outputs, "output class out of range");
+    let (concept_probs, out_probs) = q.concept_and_output_probs(embeddings);
+    let d = q.concepts * q.k;
+    let wcol = q.omega.dequantized_row(class);
+    let spread_bias = q.omega.bias[class] / d as f32;
+    let b = batched_from_probs(
+        concept_probs,
+        &out_probs,
+        class,
+        &wcol,
+        spread_bias,
+        &q.concept_names,
+        q.k,
+    );
+    emit(
+        obs,
+        ExplanationProduced {
+            kind: ExplanationKind::Batched,
+            output_class: class,
+            seconds: start.elapsed().as_secs_f64(),
+        },
+    );
+    b
+}
+
+/// Per-row oracle for [`batched_quantized`]: two quantized surrogate
+/// forwards and one explanation per input through the same Eq. 8–10
+/// expressions, averaged in ascending row order. Same arithmetic and
+/// accumulation chains as the batched path — byte-identical output,
+/// kept (like [`batched_reference`]) for tests and benches.
+pub fn batched_quantized_reference(
+    q: &QuantizedAguaModel,
+    embeddings: &Matrix,
+    class: usize,
+) -> BatchedExplanation {
+    assert!(embeddings.rows() > 0, "empty batch");
+    assert!(class < q.n_outputs, "output class out of range");
+    let concept_probs = q.concept_probs(embeddings);
+    let out_probs = q.predict_probs(embeddings);
+    let n = embeddings.rows();
+    let c = q.concepts;
+    let k = q.k;
+    let d = c * k;
+    let wcol = q.omega.dequantized_row(class);
+    let spread_bias = q.omega.bias[class] / d as f32;
+
+    let mut mean_weight = vec![0.0f32; c];
+    let mut mean_per_class = vec![vec![0.0f32; k]; c];
+    let mut mean_p = 0.0;
+    for r in 0..n {
+        let p = out_probs.get(r, class);
+        mean_p += p;
+        // z = W⟨i⟩ ∘ s + b_i/(C·k)   (Eq. 8, before the L1 norm)
+        let z: Vec<f32> = wcol
+            .iter()
+            .enumerate()
+            .map(|(j, &wv)| wv * concept_probs.get(r, j) + spread_bias)
+            .collect();
+        debug_assert_eq!(z.len(), d);
+        let max = z.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = z.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        for g in 0..c {
+            let mut row_weight = 0.0f32;
+            for j in 0..k {
+                let v = p * exps[g * k + j] / sum;
+                mean_per_class[g][j] += v;
+                row_weight += v;
+            }
+            mean_weight[g] += row_weight;
+        }
+    }
+    let inv = 1.0 / n as f32;
+    let mut contributions: Vec<ConceptContribution> = (0..c)
+        .map(|g| ConceptContribution {
+            concept: q.concept_names[g].clone(),
             weight: mean_weight[g] * inv,
             per_class: mean_per_class[g].iter().map(|v| v * inv).collect(),
         })
@@ -561,17 +699,20 @@ mod tests {
         assert!((total - b.mean_output_prob).abs() < 1e-3);
     }
 
+    /// Every float of a batched explanation, as bits, for byte-identity
+    /// comparisons.
+    fn explanation_bits(b: &BatchedExplanation) -> Vec<u32> {
+        let mut out = vec![b.mean_output_prob.to_bits()];
+        for c in &b.contributions {
+            out.push(c.weight.to_bits());
+            out.extend(c.per_class.iter().map(|v| v.to_bits()));
+        }
+        out
+    }
+
     #[test]
     fn batched_is_byte_identical_to_the_retired_reference() {
         let (model, embeddings, _) = trained_model();
-        let bits = |b: &BatchedExplanation| -> Vec<u32> {
-            let mut out = vec![b.mean_output_prob.to_bits()];
-            for c in &b.contributions {
-                out.push(c.weight.to_bits());
-                out.extend(c.per_class.iter().map(|v| v.to_bits()));
-            }
-            out
-        };
         for class in 0..model.n_outputs() {
             let reference = batched_reference(&model, &embeddings, class);
             for threads in [1, 4] {
@@ -584,7 +725,103 @@ mod tests {
                 let ref_names: Vec<&str> =
                     reference.contributions.iter().map(|c| c.concept.as_str()).collect();
                 assert_eq!(names, ref_names, "class {class} threads {threads}");
-                assert_eq!(bits(&fixed), bits(&reference), "class {class} threads {threads}");
+                assert_eq!(
+                    explanation_bits(&fixed),
+                    explanation_bits(&reference),
+                    "class {class} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_batched_is_byte_identical_to_per_row_reference() {
+        let (model, embeddings, _) = trained_model();
+        let q = crate::quantized::QuantizedAguaModel::from_model(&model);
+        for class in 0..model.n_outputs() {
+            let reference = batched_quantized_reference(&q, &embeddings, class);
+            for threads in [1, 2, 4, 7] {
+                let fast = agua_nn::parallel::with_thread_config(
+                    agua_nn::parallel::ThreadConfig { threads, min_flops: 0 },
+                    || batched_quantized(&q, &embeddings, class),
+                );
+                assert_eq!(fast.batch_size, reference.batch_size);
+                let names: Vec<&str> =
+                    fast.contributions.iter().map(|c| c.concept.as_str()).collect();
+                let ref_names: Vec<&str> =
+                    reference.contributions.iter().map(|c| c.concept.as_str()).collect();
+                assert_eq!(names, ref_names, "class {class} threads {threads}");
+                assert_eq!(
+                    explanation_bits(&fast),
+                    explanation_bits(&reference),
+                    "class {class} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_batched_tracks_the_f32_batched_explanation() {
+        let (model, embeddings, _) = trained_model();
+        let q = crate::quantized::QuantizedAguaModel::from_model(&model);
+        let class = majority_class(&model, &embeddings);
+        let f = batched(&model, &embeddings, class);
+        let qb = batched_quantized(&q, &embeddings, class);
+        // Quantization perturbs the weights, so only closeness — not
+        // identity — is expected against the f32 explanation.
+        assert!(
+            (f.mean_output_prob - qb.mean_output_prob).abs() < 0.05,
+            "{} vs {}",
+            f.mean_output_prob,
+            qb.mean_output_prob
+        );
+        let total: f32 = qb.contributions.iter().map(|c| c.weight).sum();
+        assert!((total - qb.mean_output_prob).abs() < 1e-3);
+    }
+
+    /// Randomized byte-identity suite; compiled out under Miri.
+    #[cfg(not(miri))]
+    mod randomized {
+        use super::*;
+        use proptest::prelude::*;
+        use std::sync::OnceLock;
+
+        const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+        /// One trained + quantized fixture shared across cases (the fit
+        /// dominates the suite's runtime otherwise).
+        fn quantized_fixture() -> &'static (crate::quantized::QuantizedAguaModel, Matrix) {
+            static CELL: OnceLock<(crate::quantized::QuantizedAguaModel, Matrix)> = OnceLock::new();
+            CELL.get_or_init(|| {
+                let (model, embeddings, _) = trained_model();
+                (crate::quantized::QuantizedAguaModel::from_model(&model), embeddings)
+            })
+        }
+
+        proptest! {
+            /// The batched quantized path vs the per-row quantized
+            /// oracle, bitwise, over batch windows, classes, and thread
+            /// counts 1/2/4/7.
+            #[test]
+            fn quantized_batched_matches_per_row_reference(
+                start in 0usize..600,
+                len in 1usize..80,
+                class in 0usize..2,
+                tidx in 0usize..THREADS.len(),
+            ) {
+                let (q, embeddings) = quantized_fixture();
+                let start = start.min(embeddings.rows() - 1);
+                let len = len.min(embeddings.rows() - start);
+                let rows: Vec<Vec<f32>> =
+                    (start..start + len).map(|r| embeddings.row(r).to_vec()).collect();
+                let batch = Matrix::from_rows(&rows);
+                let reference = batched_quantized_reference(q, &batch, class);
+                let threads = THREADS[tidx];
+                let fast = agua_nn::parallel::with_thread_config(
+                    agua_nn::parallel::ThreadConfig { threads, min_flops: 0 },
+                    || batched_quantized(q, &batch, class),
+                );
+                prop_assert_eq!(explanation_bits(&reference), explanation_bits(&fast));
             }
         }
     }

@@ -12,7 +12,7 @@
 //! swap when the drop exceeds the caller's ε.
 
 use crate::surrogate::{grouped_softmax_rows_inplace, AguaModel};
-use agua_nn::{softmax_rows, Matrix, QuantizedLinear, QuantizedMlp};
+use agua_nn::{softmax_rows, Matrix, QuantError, QuantizedLinear, QuantizedMlp};
 
 /// Result of the quantization fidelity gate: fidelities of both models
 /// against the same reference outputs, and whether the drop is inside
@@ -50,18 +50,31 @@ pub struct QuantizedAguaModel {
 }
 
 impl QuantizedAguaModel {
-    /// Quantizes a trained surrogate without measuring fidelity. Prefer
-    /// [`QuantizedAguaModel::from_model_gated`] anywhere the quantized
-    /// model replaces the `f32` one.
-    pub fn from_model(model: &AguaModel) -> Self {
+    /// Quantizes a trained surrogate without measuring fidelity, or
+    /// reports which weight tensor does not admit a usable symmetric
+    /// scale. Prefer [`QuantizedAguaModel::from_model_gated`] anywhere
+    /// the quantized model replaces the `f32` one.
+    pub fn try_from_model(model: &AguaModel) -> Result<Self, QuantError> {
         let om = model.output_mapping.linear();
-        Self {
-            delta: QuantizedMlp::from_mlp(model.concept_mapping.mlp()),
-            omega: QuantizedLinear::from_f32(&om.weight.value, &om.bias.value),
+        Ok(Self {
+            delta: QuantizedMlp::try_from_mlp(model.concept_mapping.mlp())?,
+            omega: QuantizedLinear::try_from_f32(&om.weight.value, &om.bias.value)?,
             concepts: model.concepts(),
             k: model.k(),
             n_outputs: model.n_outputs(),
             concept_names: model.concept_names.clone(),
+        })
+    }
+
+    /// [`QuantizedAguaModel::try_from_model`] for callers that treat a
+    /// degenerate scale as a bug.
+    ///
+    /// # Panics
+    /// Panics if any weight tensor's scale is zero or non-finite.
+    pub fn from_model(model: &AguaModel) -> Self {
+        match Self::try_from_model(model) {
+            Ok(q) => q,
+            Err(e) => panic!("quantizing surrogate failed: {e}"),
         }
     }
 
@@ -112,6 +125,16 @@ impl QuantizedAguaModel {
         debug_assert_eq!(probs.cols(), self.concepts * self.k);
         grouped_softmax_rows_inplace(&mut probs, self.k);
         probs
+    }
+
+    /// Concept-class probabilities **and** output probabilities from a
+    /// single quantized δ forward pass — the quantized mirror of
+    /// `AguaModel::concept_and_output_probs`, serving the batched
+    /// quantized explanation path.
+    pub fn concept_and_output_probs(&self, embeddings: &Matrix) -> (Matrix, Matrix) {
+        let concept_probs = self.concept_probs(embeddings);
+        let out_probs = softmax_rows(&self.omega.infer(&concept_probs));
+        (concept_probs, out_probs)
     }
 
     /// Surrogate output logits.
@@ -212,6 +235,21 @@ mod tests {
         let report = res.expect_err("an impossible epsilon must fail the gate");
         assert!(!report.passes);
         assert_eq!(report.epsilon, -2.0);
+    }
+
+    #[test]
+    fn degenerate_weight_scale_surfaces_as_a_typed_error() {
+        let (model, ..) = trained_model();
+        let mut broken = model.clone();
+        let mut lin = broken.output_mapping.linear().clone();
+        // Subnormal weights: max |w| / 127 underflows to a zero scale.
+        lin.weight.value =
+            Matrix::from_fn(lin.weight.value.rows(), lin.weight.value.cols(), |_, _| {
+                f32::from_bits(1)
+            });
+        let n_outputs = broken.n_outputs();
+        broken.output_mapping = crate::surrogate::OutputMapping::from_parts(lin, n_outputs);
+        assert_eq!(QuantizedAguaModel::try_from_model(&broken).unwrap_err(), QuantError::ZeroScale);
     }
 
     #[test]

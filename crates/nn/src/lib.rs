@@ -65,4 +65,4 @@ pub use parallel::{
     par_matmul, par_matmul_into, par_matmul_nt, par_matmul_nt_into, par_matmul_tn,
     par_matmul_tn_into, set_global_threads, with_thread_config, with_threads, ThreadConfig,
 };
-pub use quant::{QuantLayer, QuantizedLinear, QuantizedMlp};
+pub use quant::{QuantError, QuantInferWorkspace, QuantLayer, QuantizedLinear, QuantizedMlp};

@@ -108,6 +108,13 @@ pub mod breakeven {
     pub const MATMUL_NT: usize = 32_768;
     /// Per-row map, in cost-weighted elements (`elems × flops_per_elem`).
     pub const FOR_EACH_ROWS: usize = 65_536;
+    /// Quantized `i8×i8→i32` matmul. Int8 MACs are cheaper than f32
+    /// ones (widening integer multiply-adds, no finite gating), so the
+    /// sequential side of the ledger runs faster and break-even lands
+    /// later than [`MATMUL`] — the f32 threshold would pay the pool
+    /// handoff on shapes the lane kernel finishes before the workers
+    /// wake. Calibrated by `bench_parallel`'s `matmul_q8` ladder.
+    pub const MATMUL_Q8: usize = 65_536;
 }
 
 /// Resolved parallelism settings for the current scope.
@@ -292,6 +299,7 @@ fn plan_workers(out_rows: usize, macs: usize, calibrated: usize) -> usize {
 /// preserved and nothing is dropped, so the deterministic aggregates
 /// are unchanged.
 #[inline]
+#[allow(clippy::too_many_arguments)] // one flat call per kernel dispatch — a shape struct would just move the noise
 fn note_dispatch(
     kernel: Kernel,
     rows: usize,
@@ -300,7 +308,11 @@ fn note_dispatch(
     macs: usize,
     workers: usize,
     pool_dispatch: bool,
+    timer: KernelTimer,
 ) {
+    // audit:allow(wall-clock): closes the kernel_timer sample — feeds
+    // KernelDispatched::seconds, telemetry only (see KernelTimer).
+    let seconds = timer.map_or(0.0, |t| t.elapsed().as_secs_f64());
     emit_scoped_deferred(|| {
         KernelDispatched {
             kernel,
@@ -316,9 +328,28 @@ fn note_dispatch(
             } else {
                 0
             },
+            seconds,
         }
         .into_any()
     });
+}
+
+/// A deferred wall-clock sample for the per-kernel latency histograms:
+/// `Some` only while a scoped subscriber is active, so the unobserved
+/// hot path never reads the clock. The sample is consumed by
+/// [`note_dispatch`] and surfaces as `KernelDispatched::seconds`
+/// (aggregated into `kernel.{name}.seconds` by the metrics subscriber —
+/// variable scheduling state, never a deterministic counter).
+// audit:allow(wall-clock): kernel latency telemetry only — the sample
+// exists iff a scoped subscriber consumes it; no deterministic output
+// depends on it.
+type KernelTimer = Option<std::time::Instant>;
+
+#[inline]
+fn kernel_timer() -> KernelTimer {
+    // audit:allow(wall-clock): kernel latency telemetry only (see
+    // KernelTimer) — gated on scoped_active, one flag read when quiet.
+    agua_obs::scoped::scoped_active().then(std::time::Instant::now)
 }
 
 /// Splits `out` (row-major, `width` columns) into per-worker runs of
@@ -356,6 +387,7 @@ pub fn par_matmul(a: &Matrix, b: &Matrix) -> Matrix {
 /// to the sequential kernel.
 pub fn par_matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(a.cols(), b.rows(), "matmul dimension mismatch");
+    let t0 = kernel_timer();
     let macs = a.rows().saturating_mul(a.cols()).saturating_mul(b.cols());
     let workers = if b.cols() == 0 {
         1
@@ -386,7 +418,7 @@ pub fn par_matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
             });
         }
     });
-    note_dispatch(Kernel::Matmul, a.rows(), a.cols(), b.cols(), macs, workers, workers > 1);
+    note_dispatch(Kernel::Matmul, a.rows(), a.cols(), b.cols(), macs, workers, workers > 1, t0);
 }
 
 /// `aᵀ × b`, byte-identical to [`Matrix::matmul_tn`] at any thread count.
@@ -399,6 +431,7 @@ pub fn par_matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
 /// [`par_matmul_tn`] into a caller-owned buffer, reusing its allocation.
 pub fn par_matmul_tn_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(a.rows(), b.rows(), "matmul_tn dimension mismatch");
+    let t0 = kernel_timer();
     let macs = a.rows().saturating_mul(a.cols()).saturating_mul(b.cols());
     let workers =
         if b.cols() == 0 { 1 } else { plan_workers(a.cols(), macs, breakeven::MATMUL_TN) };
@@ -412,7 +445,7 @@ pub fn par_matmul_tn_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
             });
         }
     });
-    note_dispatch(Kernel::MatmulTn, a.cols(), a.rows(), b.cols(), macs, workers, workers > 1);
+    note_dispatch(Kernel::MatmulTn, a.cols(), a.rows(), b.cols(), macs, workers, workers > 1, t0);
 }
 
 /// `a × bᵀ`, byte-identical to [`Matrix::matmul_nt`] at any thread count.
@@ -425,6 +458,7 @@ pub fn par_matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
 /// [`par_matmul_nt`] into a caller-owned buffer, reusing its allocation.
 pub fn par_matmul_nt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(a.cols(), b.cols(), "matmul_nt dimension mismatch");
+    let t0 = kernel_timer();
     let macs = a.rows().saturating_mul(a.cols()).saturating_mul(b.rows());
     let workers =
         if b.rows() == 0 { 1 } else { plan_workers(a.rows(), macs, breakeven::MATMUL_NT) };
@@ -436,7 +470,7 @@ pub fn par_matmul_nt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
             a.matmul_nt_rows_into(b, row_start, chunk);
         });
     }
-    note_dispatch(Kernel::MatmulNt, a.rows(), a.cols(), b.rows(), macs, workers, workers > 1);
+    note_dispatch(Kernel::MatmulNt, a.rows(), a.cols(), b.rows(), macs, workers, workers > 1, t0);
 }
 
 /// Default per-element cost hint for [`par_for_each_rows`]: a cheap
@@ -473,6 +507,7 @@ pub fn par_for_each_rows_cost(
     flops_per_elem: usize,
     f: impl Fn(usize, &mut [f32]) + Sync,
 ) {
+    let t0 = kernel_timer();
     let cfg = ThreadConfig::current();
     let threads = effective_threads(&cfg);
     let elems = m.rows().saturating_mul(m.cols());
@@ -498,7 +533,33 @@ pub fn par_for_each_rows_cost(
             }
         });
     }
-    note_dispatch(Kernel::ForEachRows, m.rows(), 0, m.cols(), cost, workers, workers > 1);
+    note_dispatch(Kernel::ForEachRows, m.rows(), 0, m.cols(), cost, workers, workers > 1, t0);
+}
+
+/// Dispatches a quantized `i8×i8→i32` matmul whose row kernel is
+/// supplied by the caller (`crate::quant` owns the lane arithmetic and
+/// the quantized operand layout): `work(row_start, chunk)` must fill
+/// `chunk` — whole rows of `out` — exactly as a sequential k-ascending
+/// pass would. Gated on its own [`breakeven::MATMUL_Q8`] point: int8
+/// MACs are cheaper per element than f32 ones, so reusing the f32
+/// threshold would pay the pool handoff on shapes the lane kernel
+/// finishes before the workers wake. Reported as [`Kernel::MatmulQ8`].
+/// Integer accumulation is exact and order-free, so byte-identity
+/// across worker counts holds by construction; the row partitioning is
+/// still what keeps the fused f32 epilogue deterministic.
+pub fn par_matmul_q8(out: &mut Matrix, inner: usize, work: impl Fn(usize, &mut [f32]) + Sync) {
+    let t0 = kernel_timer();
+    let (rows, cols) = (out.rows(), out.cols());
+    let macs = rows.saturating_mul(inner).saturating_mul(cols);
+    let workers = if cols == 0 { 1 } else { plan_workers(rows, macs, breakeven::MATMUL_Q8) };
+    if workers <= 1 {
+        if rows > 0 && cols > 0 {
+            work(0, out.as_mut_slice());
+        }
+    } else {
+        run_row_partitioned(out.as_mut_slice(), cols, workers, work);
+    }
+    note_dispatch(Kernel::MatmulQ8, rows, inner, cols, macs, workers, workers > 1, t0);
 }
 
 /// Maps `f` over `items` on the configured number of worker threads,
@@ -510,7 +571,7 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let workers = ThreadConfig::current().threads.min(items.len()).max(1);
-    note_dispatch(Kernel::Map, items.len(), 0, 0, items.len(), workers, false);
+    note_dispatch(Kernel::Map, items.len(), 0, 0, items.len(), workers, false, None);
     if workers <= 1 {
         return items.iter().map(&f).collect();
     }
@@ -529,7 +590,7 @@ where
 /// returning results in index order.
 pub fn par_map_range<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
     let workers = ThreadConfig::current().threads.min(n).max(1);
-    note_dispatch(Kernel::Map, n, 0, 0, n, workers, false);
+    note_dispatch(Kernel::Map, n, 0, 0, n, workers, false, None);
     if workers <= 1 {
         return (0..n).map(f).collect();
     }
@@ -556,7 +617,7 @@ where
     F: FnOnce() -> R + Send,
 {
     let workers = ThreadConfig::current().threads.min(jobs.len()).max(1);
-    note_dispatch(Kernel::Jobs, jobs.len(), 0, 0, jobs.len(), workers, false);
+    note_dispatch(Kernel::Jobs, jobs.len(), 0, 0, jobs.len(), workers, false, None);
     if workers <= 1 || jobs.len() <= 1 {
         return jobs.into_iter().map(|j| j()).collect();
     }
@@ -897,6 +958,91 @@ mod tests {
         // pinned this gauge to 0 on every dispatch).
         let depth = snap.scheduling["kernel.matmul.max_queue_depth"];
         assert!(depth >= 1, "max_queue_depth must record the enqueue high-water, got {depth}");
+    }
+
+    #[test]
+    fn par_matmul_q8_partitions_rows_and_reports_its_own_kernel() {
+        use agua_obs::scoped::with_scoped_subscriber;
+        use agua_obs::Metrics;
+        use std::sync::Arc;
+
+        // A stand-in row kernel: deterministic per-element function of
+        // (row, col), so any mis-partitioning shows up as wrong bits.
+        let fill = |row_start: usize, chunk: &mut [f32], width: usize| {
+            for (local, row) in chunk.chunks_exact_mut(width).enumerate() {
+                let r = row_start + local;
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = (r * 31 + c * 7) as f32;
+                }
+            }
+        };
+        let (rows, inner, cols) = (37, 24, 11);
+        let mut seq = Matrix::zeros(rows, cols);
+        fill(0, seq.as_mut_slice(), cols);
+        for threads in [1, 2, 4, 7] {
+            let metrics = Arc::new(Metrics::new());
+            let mut out = Matrix::zeros(rows, cols);
+            with_scoped_subscriber(metrics.clone(), || {
+                with_thread_config(forced(threads), || {
+                    par_matmul_q8(&mut out, inner, |rs, chunk| fill(rs, chunk, cols));
+                });
+            });
+            assert_eq!(bits(&seq), bits(&out), "threads={threads}");
+            let snap = metrics.snapshot();
+            assert_eq!(snap.counters["kernel.matmul_q8.dispatches"], 1);
+            assert_eq!(
+                snap.counters["kernel.matmul_q8.macs"],
+                (rows * inner * cols) as u64,
+                "threads={threads}"
+            );
+            assert_eq!(snap.scheduling["kernel.matmul_q8.max_threads"], threads.min(rows) as u64);
+        }
+    }
+
+    #[test]
+    fn q8_calibrated_gate_is_independent_of_the_f32_gate() {
+        use agua_obs::scoped::with_scoped_subscriber;
+        use agua_obs::Metrics;
+        use std::sync::Arc;
+
+        // 48×16×48 = 36_864 MACs: over breakeven::MATMUL (32_768) but
+        // under breakeven::MATMUL_Q8 (65_536) — the quant kernel must
+        // stay sequential under the default gate where the f32 kernel
+        // dispatches.
+        let max_threads = |rows: usize, inner: usize, cols: usize| {
+            let metrics = Arc::new(Metrics::new());
+            with_scoped_subscriber(metrics.clone(), || {
+                with_hardware_parallelism(4, || {
+                    with_threads(4, || {
+                        let mut out = Matrix::zeros(rows, cols);
+                        par_matmul_q8(&mut out, inner, |_, chunk| chunk.fill(1.0));
+                    });
+                });
+            });
+            metrics.snapshot().scheduling["kernel.matmul_q8.max_threads"]
+        };
+        assert_eq!(max_threads(48, 16, 48), 1, "36k MACs stays under the q8 gate");
+        assert_eq!(max_threads(64, 32, 64), 4, "131k MACs clears the q8 gate");
+    }
+
+    #[test]
+    fn scoped_dispatches_record_kernel_latency_histograms() {
+        use agua_obs::scoped::with_scoped_subscriber;
+        use agua_obs::Metrics;
+        use std::sync::Arc;
+
+        let metrics = Arc::new(Metrics::new());
+        with_scoped_subscriber(metrics.clone(), || {
+            with_thread_config(forced(2), || {
+                let a = pattern(16, 8, 50);
+                let b = pattern(8, 8, 51);
+                let _ = par_matmul(&a, &b);
+            });
+        });
+        let snap = metrics.snapshot();
+        let hist = &snap.latency_hists["kernel.matmul.seconds"];
+        assert_eq!(hist.count, 1, "a scoped dispatch must record one latency sample");
+        assert!(hist.max > 0.0);
     }
 
     #[test]

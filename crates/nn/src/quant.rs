@@ -10,6 +10,34 @@
 //! keeping them exact confines the quantization error to the weights
 //! and activations.
 //!
+//! The matmul itself is **lane-wise**: weights stay `i8` at rest (the
+//! 4× footprint win) and are widened to `i16` once per matmul into the
+//! `QuantWorkspace` scratch — amortized across every row of the
+//! batch — while activations quantize directly into `i16`. The inner
+//! dot then runs sixteen `i32` accumulator lanes over `i16 × i16`
+//! products (±127² fits `i16`, and the widening-multiply-add shape is
+//! exactly what baseline SIMD targets fuse into a single
+//! multiply-add-adjacent-pairs instruction; feeding the multiplier
+//! `i8` directly would spend more cycles sign-extending than
+//! multiplying). Integer addition is associative, so the lane split
+//! changes nothing about the result bits — the retained
+//! [`quant_row_scalar`] oracle and the lane kernel agree bit for bit
+//! by construction.
+//!
+//! Dispatch goes through `parallel::par_matmul_q8`, which gates pool
+//! handoff on its own calibrated break-even (`breakeven::MATMUL_Q8` —
+//! int8 MACs are cheaper per element than f32 MACs, so the f32
+//! thresholds would parallelize too early) and reports
+//! `KernelDispatched` events like every other kernel.
+//!
+//! Inference is allocation-free in steady state: the dynamic input
+//! quantization writes into a thread-local `QuantWorkspace` scratch,
+//! and [`QuantizedMlp::forward_into`] ping-pongs activations through a
+//! caller-owned [`QuantInferWorkspace`], fusing every
+//! `Linear → ReLU → LayerNorm` window into one integer matmul plus a
+//! single row-local `f32` epilogue (dequantize + bias + ReLU +
+//! LayerNorm in one pass — the quantized mirror of `Mlp::forward_into`).
+//!
 //! This path trades accuracy for a 4× smaller weight footprint, so it
 //! ships only behind a **fidelity gate**: `agua-core`'s
 //! `QuantizedAguaModel::from_model_gated` refuses to hand out a
@@ -21,10 +49,34 @@
 //! partitioning of the parallel backend never splits a row — so
 //! quantized inference is byte-identical at any thread count.
 
-use crate::layer::LayerNorm;
 use crate::matrix::Matrix;
 use crate::mlp::{LayerKind, Mlp};
 use crate::parallel;
+use std::cell::Cell;
+
+/// Why a tensor could not be quantized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantError {
+    /// The symmetric scale underflowed to zero (every finite weight is
+    /// subnormal-tiny): `v / 0` would poison `quantize_value` with
+    /// ±∞/NaN quotients.
+    ZeroScale,
+    /// The scale is NaN, ±∞, or negative — not invertible.
+    NonFiniteScale,
+}
+
+impl std::fmt::Display for QuantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantError::ZeroScale => write!(f, "quantization scale underflowed to zero"),
+            QuantError::NonFiniteScale => {
+                write!(f, "quantization scale is not positive and finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
 
 /// Symmetric per-tensor int8 quantization of a weight matrix, stored
 /// **transposed** (`out_dim × in_dim`) so the inner dot products read
@@ -44,23 +96,60 @@ pub struct QuantizedLinear {
     pub bias: Vec<f32>,
 }
 
-/// Quantizes `v / scale` to the symmetric int8 range. Non-finite values
-/// saturate (`as` casts clamp; `NaN → 0`), matching the "absence of
-/// signal" a poisoned weight should contribute.
+/// Quantizes `v · (1 / scale)` to the symmetric int8 range, rounding
+/// to nearest (ties to even — the hardware default) via the
+/// magic-number trick: adding `1.5 · 2²³` forces the clamped quotient
+/// into a fixed-exponent `f32` whose low mantissa bits *are* the
+/// rounded integer in two's complement, so the whole pipeline —
+/// reciprocal multiply, clamp, non-finite select, bias add, bit
+/// truncation — stays in vector registers with no division, no libm
+/// rounding call, and no scalar float→int conversion. That matters:
+/// this runs once per element of every inference input batch. The
+/// clamp pins ±∞ to ±127 and the finite-select maps `NaN → 0`,
+/// matching the "absence of signal" a poisoned weight should
+/// contribute. Callers must hand in a scale that passed
+/// [`validate_scale`] — a zero or non-finite scale would make every
+/// quotient ±∞/NaN.
 fn quantize_value(v: f32, scale: f32) -> i8 {
-    (v / scale).round().clamp(-127.0, 127.0) as i8
+    // 1.5 × 2²³: large enough that adding any |c| ≤ 127 rounds c to an
+    // integer in the mantissa, small enough that the low mantissa bits
+    // hold c exactly (mod 2⁸ — which the i8 truncation takes anyway).
+    const MAGIC: f32 = 12_582_912.0;
+    debug_assert!(scale > 0.0 && scale.is_finite(), "quantize_value needs a validated scale");
+    let q = v * (1.0 / scale);
+    let c = q.clamp(-127.0, 127.0);
+    let c = if c.is_finite() { c } else { 0.0 };
+    ((c + MAGIC).to_bits() as u8) as i8
 }
 
 /// The symmetric per-tensor scale for `values`: `max |v| / 127`, with 1
 /// as the degenerate all-zero fallback (any scale represents zero
 /// exactly). Non-finite entries are ignored for the scale — they would
-/// otherwise blow it up to ∞ and zero out every finite weight.
+/// otherwise blow it up to ∞ and zero out every finite weight; the
+/// branchless select (non-finite ⇒ 0, which never wins against the
+/// running max of absolute values) keeps the scan vectorizable, and
+/// `max` over finite absolutes is exact, so the lane split cannot
+/// change the result. This scan runs over every element of every
+/// inference batch, so its throughput is part of the quantized
+/// inference budget.
 fn symmetric_scale(values: &[f32]) -> f32 {
-    let mut max_abs = 0.0f32;
-    for &v in values {
-        if v.is_finite() {
-            max_abs = max_abs.max(v.abs());
+    const LANES: usize = 8;
+    let mut lanes = [0.0f32; LANES];
+    let mut k = 0;
+    while k + LANES <= values.len() {
+        let vs: &[f32; LANES] = values[k..k + LANES].try_into().expect("8-lane chunk");
+        for (m, &v) in lanes.iter_mut().zip(vs) {
+            let a = v.abs();
+            *m = m.max(if a.is_finite() { a } else { 0.0 });
         }
+        k += LANES;
+    }
+    // audit:allow(fp-reduce): `max` over non-NaN values is exact and
+    // fully associative — lane order cannot change the result.
+    let mut max_abs = lanes.iter().fold(0.0f32, |m, &l| m.max(l));
+    for &v in &values[k..] {
+        let a = v.abs();
+        max_abs = max_abs.max(if a.is_finite() { a } else { 0.0 });
     }
     if max_abs > 0.0 {
         max_abs / 127.0
@@ -69,20 +158,188 @@ fn symmetric_scale(values: &[f32]) -> f32 {
     }
 }
 
+/// Accepts a scale iff it is positive and finite — the precondition of
+/// [`quantize_value`]. `max |v| / 127` can underflow to zero when every
+/// finite weight is subnormal-tiny; that case must surface as a typed
+/// error, not as a division by zero inside the kernel.
+fn validate_scale(scale: f32) -> Result<f32, QuantError> {
+    if scale > 0.0 && scale.is_finite() {
+        Ok(scale)
+    } else if scale == 0.0 {
+        Err(QuantError::ZeroScale)
+    } else {
+        Err(QuantError::NonFiniteScale)
+    }
+}
+
+/// Activation scale for a batch: [`symmetric_scale`] hardened for the
+/// runtime path. A scale that underflowed to zero (subnormal-only
+/// batch) falls back to 1, which quantizes the batch to exact zeros
+/// instead of poisoning [`quantize_value`].
+fn activation_scale(values: &[f32]) -> f32 {
+    validate_scale(symmetric_scale(values)).unwrap_or(1.0)
+}
+
+/// Lane width of the int8 accumulator bank.
+const Q_LANES: usize = 16;
+
+/// One lane-accumulated dot product over pre-widened `i16` operands:
+/// sixteen independent `i32` accumulator lanes walk the row sixteen
+/// entries at a time (each product ±127² fits `i16`, the lane add is
+/// exact `i32`), then a horizontal sum and a scalar tail finish the
+/// ragged end. The inline bound check (`k + Q_LANES ≤ len`) plus the
+/// array-chunk conversion is the exact shape the backend folds into
+/// multiply-add-adjacent-pairs SIMD on baseline targets — hoisting it
+/// into a helper or pre-computing the rounded-down length defeats the
+/// fold. Integer arithmetic throughout: lane order and thread count
+/// stay out of the result bits.
+#[inline(always)]
+fn dot_lanes(xrow: &[i16], wrow: &[i16]) -> i32 {
+    let mut acc = [0i32; Q_LANES];
+    let mut k = 0;
+    while k + Q_LANES <= xrow.len() {
+        let xs: &[i16; Q_LANES] = xrow[k..k + Q_LANES].try_into().expect("16-lane chunk");
+        let ws: &[i16; Q_LANES] = wrow[k..k + Q_LANES].try_into().expect("16-lane chunk");
+        for ((a, &xv), &wv) in acc.iter_mut().zip(xs).zip(ws) {
+            *a += i32::from(xv) * i32::from(wv);
+        }
+        k += Q_LANES;
+    }
+    let mut total: i32 = acc.iter().sum();
+    for i in k..xrow.len() {
+        total += i32::from(xrow[i]) * i32::from(wrow[i]);
+    }
+    total
+}
+
+/// Lane-wise kernel for one output row: every output column runs the
+/// inlined [`dot_lanes`] reduction over the shared quantized input row
+/// (both operands pre-widened to `i16` by the caller). The `i32`
+/// totals are exact, so this matches [`quant_row_scalar`] bit for bit
+/// at every shape.
+fn quant_row_lanes(xrow: &[i16], weight_t: &[i16], bias: &[f32], rescale: f32, row: &mut [f32]) {
+    let kdim = xrow.len();
+    for (o, dst) in row.iter_mut().enumerate() {
+        let wrow = &weight_t[o * kdim..(o + 1) * kdim];
+        *dst = dot_lanes(xrow, wrow) as f32 * rescale + bias[o];
+    }
+}
+
+/// The pre-lane scalar row kernel, retained as the bitwise oracle the
+/// lane path must match: one `i32` accumulator per output, k-ascending.
+/// Tests and benches compare against it; production inference goes
+/// through `quant_row_lanes`.
+pub fn quant_row_scalar(xrow: &[i8], weight_t: &[i8], bias: &[f32], rescale: f32, row: &mut [f32]) {
+    let kdim = xrow.len();
+    for (o, dst) in row.iter_mut().enumerate() {
+        let wrow = &weight_t[o * kdim..(o + 1) * kdim];
+        let mut acc = 0i32;
+        for (&x, &w) in xrow.iter().zip(wrow) {
+            acc += i32::from(x) * i32::from(w);
+        }
+        *dst = acc as f32 * rescale + bias[o];
+    }
+}
+
+/// Per-thread scratch for the dynamic input quantization and the
+/// per-matmul weight widening — hoists the former per-call allocations
+/// out of the inference path (the int8 counterpart of `matrix.rs`'s
+/// scratch cells and the mlp workspaces).
+#[derive(Default)]
+struct QuantWorkspace {
+    /// Quantized input batch, row-major, `rows × in_dim`. Stored
+    /// pre-widened to `i16` so the lane kernel multiplies without
+    /// per-element sign extension.
+    qx: Vec<i16>,
+    /// The layer's transposed `i8` weights widened to `i16` for this
+    /// call — one cheap pass per matmul, amortized across every row of
+    /// the batch, so the at-rest footprint stays `i8`.
+    qw: Vec<i16>,
+}
+
+thread_local! {
+    /// Take/replace cell (like `matrix.rs`'s `FINITE_SCRATCH`): nested
+    /// calls degrade to a fresh allocation instead of aliasing.
+    static QUANT_SCRATCH: Cell<QuantWorkspace> =
+        const { Cell::new(QuantWorkspace { qx: Vec::new(), qw: Vec::new() }) };
+}
+
+/// Row-local `f32` epilogue fused into the quantized matmul dispatch:
+/// applied inside the same row closure, right after the dequantize +
+/// bias, so a fused window makes exactly one pass over its output.
+enum QuantEpilogue<'a> {
+    /// `max(0, x)` then LayerNorm — the quantized mirror of the f32
+    /// fused `Linear → ReLU → LayerNorm` window.
+    ReluLayerNorm {
+        /// Per-feature scale γ.
+        gamma: &'a [f32],
+        /// Per-feature shift β.
+        beta: &'a [f32],
+        /// Variance epsilon.
+        eps: f32,
+    },
+}
+
+impl QuantEpilogue<'_> {
+    /// Applies the epilogue to one dequantized output row. Each row is
+    /// owned by a single executor, so the fused result is bitwise
+    /// identical to the per-layer reference at any thread count.
+    fn apply(&self, row: &mut [f32]) {
+        match self {
+            QuantEpilogue::ReluLayerNorm { gamma, beta, eps } => {
+                for v in row.iter_mut() {
+                    *v = v.max(0.0);
+                }
+                normalize_affine_row(row, gamma, beta, *eps);
+            }
+        }
+    }
+}
+
+/// Slice-form replica of `LayerNorm::normalize_affine_row`: the same
+/// expressions in the same order (bitwise-identical result) without
+/// rehydrating a scratch `LayerNorm`, which would allocate on the
+/// otherwise allocation-free quantized inference path.
+fn normalize_affine_row(row: &mut [f32], gamma: &[f32], beta: &[f32], eps: f32) {
+    let d = row.len();
+    // audit:allow(fp-reduce): fixed column-order row moments — rows are
+    // never split across executors (mirrors LayerNorm::normalize_affine_row).
+    let mean = row.iter().sum::<f32>() / d as f32;
+    // audit:allow(fp-reduce): same fixed column order as `mean` above.
+    let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+    let inv_std = 1.0 / (var + eps).sqrt();
+    for ((v, &g), &b) in row.iter_mut().zip(gamma).zip(beta) {
+        *v = ((*v - mean) * inv_std) * g + b;
+    }
+}
+
 impl QuantizedLinear {
     /// Quantizes a trained `f32` linear layer (weight `in_dim × out_dim`,
-    /// bias `1 × out_dim`).
-    pub fn from_f32(weight: &Matrix, bias: &Matrix) -> Self {
+    /// bias `1 × out_dim`), or reports why the weight tensor does not
+    /// admit a usable symmetric scale.
+    pub fn try_from_f32(weight: &Matrix, bias: &Matrix) -> Result<Self, QuantError> {
         let (in_dim, out_dim) = weight.shape();
         assert_eq!(bias.shape(), (1, out_dim), "bias width must match weight");
-        let scale = symmetric_scale(weight.as_slice());
+        let scale = validate_scale(symmetric_scale(weight.as_slice()))?;
         let mut weight_t = vec![0i8; in_dim * out_dim];
         for i in 0..in_dim {
             for o in 0..out_dim {
                 weight_t[o * in_dim + i] = quantize_value(weight.get(i, o), scale);
             }
         }
-        Self { in_dim, out_dim, scale, weight_t, bias: bias.row(0).to_vec() }
+        Ok(Self { in_dim, out_dim, scale, weight_t, bias: bias.row(0).to_vec() })
+    }
+
+    /// [`QuantizedLinear::try_from_f32`] for callers that treat a
+    /// degenerate scale as a bug.
+    ///
+    /// # Panics
+    /// Panics if the weight scale is zero or non-finite.
+    pub fn from_f32(weight: &Matrix, bias: &Matrix) -> Self {
+        match Self::try_from_f32(weight, bias) {
+            Ok(q) => q,
+            Err(e) => panic!("quantizing linear layer failed: {e}"),
+        }
     }
 
     /// Reassembles a layer from saved parts (artifact codecs).
@@ -102,30 +359,51 @@ impl QuantizedLinear {
         Self { in_dim, out_dim, scale, weight_t, bias }
     }
 
-    /// Quantized affine pass: dynamically quantizes `input`, multiplies
-    /// in `i32`, rescales to `f32`, adds the bias. Row-partitioned on
-    /// the parallel backend with the true per-output cost (`in_dim`
-    /// MACs per element) as the gate hint.
-    pub fn infer_into(&self, input: &Matrix, out: &mut Matrix) {
+    /// Quantized affine pass: dynamically quantizes `input` and widens
+    /// the stored `i8` weights into the thread-local
+    /// [`QuantWorkspace`] (both as `i16`, once per call), multiplies in
+    /// `i32` through the lane kernel, rescales to `f32`, adds the
+    /// bias, and — when a fused window asked for one — applies the
+    /// row-local epilogue in the same pass. Dispatched through
+    /// `par_matmul_q8` under the calibrated `MATMUL_Q8` break-even
+    /// gate.
+    fn infer_epilogue_into(
+        &self,
+        input: &Matrix,
+        out: &mut Matrix,
+        epilogue: Option<&QuantEpilogue>,
+    ) {
         assert_eq!(input.cols(), self.in_dim, "quantized linear dimension mismatch");
         let (n, kdim) = input.shape();
-        let x_scale = symmetric_scale(input.as_slice());
-        let qx: Vec<i8> = input.as_slice().iter().map(|&v| quantize_value(v, x_scale)).collect();
-        let rescale = x_scale * self.scale;
-        out.reset_zeros(n, self.out_dim);
-        let weight_t = &self.weight_t;
-        let bias = &self.bias;
-        parallel::par_for_each_rows_cost(out, kdim.max(1), |r, row| {
-            let xrow = &qx[r * kdim..(r + 1) * kdim];
-            for (o, dst) in row.iter_mut().enumerate() {
-                let wrow = &weight_t[o * kdim..(o + 1) * kdim];
-                let mut acc = 0i32;
-                for (&x, &w) in xrow.iter().zip(wrow) {
-                    acc += i32::from(x) * i32::from(w);
+        QUANT_SCRATCH.with(|cell| {
+            let mut ws = cell.take();
+            let x_scale = activation_scale(input.as_slice());
+            ws.qx.clear();
+            ws.qx.extend(input.as_slice().iter().map(|&v| i16::from(quantize_value(v, x_scale))));
+            ws.qw.clear();
+            ws.qw.extend(self.weight_t.iter().map(|&w| i16::from(w)));
+            let rescale = x_scale * self.scale;
+            out.reset_zeros(n, self.out_dim);
+            let (bias, out_dim) = (&self.bias[..], self.out_dim);
+            let (qx, weight_t) = (&ws.qx[..], &ws.qw[..]);
+            parallel::par_matmul_q8(out, kdim, |row_start, chunk| {
+                for (i, row) in chunk.chunks_exact_mut(out_dim).enumerate() {
+                    let r = row_start + i;
+                    quant_row_lanes(&qx[r * kdim..(r + 1) * kdim], weight_t, bias, rescale, row);
+                    if let Some(epi) = epilogue {
+                        epi.apply(row);
+                    }
                 }
-                *dst = acc as f32 * rescale + bias[o];
-            }
+            });
+            cell.set(ws);
         });
+    }
+
+    /// Quantized affine pass into a caller-owned buffer: dynamic input
+    /// quantization (thread-local scratch, no allocation), exact `i32`
+    /// lane matmul, `f32` rescale + bias.
+    pub fn infer_into(&self, input: &Matrix, out: &mut Matrix) {
+        self.infer_epilogue_into(input, out, None);
     }
 
     /// [`QuantizedLinear::infer_into`] returning a fresh matrix.
@@ -133,6 +411,15 @@ impl QuantizedLinear {
         let mut out = Matrix::default();
         self.infer_into(input, &mut out);
         out
+    }
+
+    /// Dequantizes one transposed-weight row: `w[·][o] = q · scale`.
+    /// This is the concept column a quantized explanation reads.
+    pub fn dequantized_row(&self, o: usize) -> Vec<f32> {
+        self.weight_t[o * self.in_dim..(o + 1) * self.in_dim]
+            .iter()
+            .map(|&q| f32::from(q) * self.scale)
+            .collect()
     }
 
     /// Weight bytes of this layer (the footprint the quantization buys).
@@ -161,6 +448,16 @@ pub enum QuantLayer {
     },
 }
 
+/// Ping-pong activation buffers for allocation-free quantized inference
+/// via [`QuantizedMlp::forward_into`]. Holds no model state; after the
+/// first call both buffers reach steady-state capacity and subsequent
+/// passes over same-shaped batches perform no heap allocation.
+#[derive(Debug, Default)]
+pub struct QuantInferWorkspace {
+    a: Matrix,
+    b: Matrix,
+}
+
 /// An inference-only int8 mirror of an [`Mlp`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuantizedMlp {
@@ -170,29 +467,134 @@ pub struct QuantizedMlp {
 
 impl QuantizedMlp {
     /// Quantizes every `Linear` of a trained network; activations and
-    /// normalizations are carried over exactly.
-    pub fn from_mlp(mlp: &Mlp) -> Self {
+    /// normalizations are carried over exactly. Fails if any layer's
+    /// weight tensor does not admit a usable symmetric scale.
+    pub fn try_from_mlp(mlp: &Mlp) -> Result<Self, QuantError> {
         let layers = mlp
             .layers
             .iter()
-            .map(|layer| match layer {
-                LayerKind::Linear(l) => {
-                    QuantLayer::Linear(QuantizedLinear::from_f32(&l.weight.value, &l.bias.value))
-                }
-                LayerKind::ReLU(_) => QuantLayer::ReLU,
-                LayerKind::Tanh(_) => QuantLayer::Tanh,
-                LayerKind::LayerNorm(l) => QuantLayer::LayerNorm {
-                    gamma: l.gamma.value.row(0).to_vec(),
-                    beta: l.beta.value.row(0).to_vec(),
-                    eps: l.eps,
-                },
+            .map(|layer| {
+                Ok(match layer {
+                    LayerKind::Linear(l) => QuantLayer::Linear(QuantizedLinear::try_from_f32(
+                        &l.weight.value,
+                        &l.bias.value,
+                    )?),
+                    LayerKind::ReLU(_) => QuantLayer::ReLU,
+                    LayerKind::Tanh(_) => QuantLayer::Tanh,
+                    LayerKind::LayerNorm(l) => QuantLayer::LayerNorm {
+                        gamma: l.gamma.value.row(0).to_vec(),
+                        beta: l.beta.value.row(0).to_vec(),
+                        eps: l.eps,
+                    },
+                })
             })
-            .collect();
-        Self { layers }
+            .collect::<Result<_, QuantError>>()?;
+        Ok(Self { layers })
+    }
+
+    /// [`QuantizedMlp::try_from_mlp`] for callers that treat a
+    /// degenerate scale as a bug.
+    ///
+    /// # Panics
+    /// Panics if any layer's weight scale is zero or non-finite.
+    pub fn from_mlp(mlp: &Mlp) -> Self {
+        match Self::try_from_mlp(mlp) {
+            Ok(q) => q,
+            Err(e) => panic!("quantizing network failed: {e}"),
+        }
     }
 
     /// Inference through the quantized stack.
+    ///
+    /// Routed through [`QuantizedMlp::forward_into`], so
+    /// `Linear → ReLU → LayerNorm` windows run fused; the output is
+    /// bitwise identical to [`QuantizedMlp::infer_unfused`].
     pub fn infer(&self, input: &Matrix) -> Matrix {
+        let mut ws = QuantInferWorkspace::default();
+        let mut out = Matrix::default();
+        out.copy_from(self.forward_into(input, &mut ws));
+        out
+    }
+
+    /// Quantized inference into workspace-owned ping-pong buffers: no
+    /// steady-state allocation, and `Linear → ReLU → LayerNorm` windows
+    /// (the shape of Agua's concept mapping function δ) are **fused** —
+    /// one integer matmul whose row closure also dequantizes, adds the
+    /// bias, applies the ReLU, and normalizes, instead of three full
+    /// passes over the activation matrix.
+    ///
+    /// The epilogue evaluates exactly the expressions of the unfused
+    /// per-layer loop per row, and each row is owned by one executor,
+    /// so the result is bitwise identical to
+    /// [`QuantizedMlp::infer_unfused`] at any thread count.
+    ///
+    /// The returned reference points into `ws` and stays valid until
+    /// the next call with the same workspace.
+    pub fn forward_into<'w>(&self, input: &Matrix, ws: &'w mut QuantInferWorkspace) -> &'w Matrix {
+        let n = self.layers.len();
+        let QuantInferWorkspace { a, b } = ws;
+        if n == 0 {
+            a.copy_from(input);
+            return a;
+        }
+        let mut i = 0;
+        let mut first = true;
+        // `flip == false` means the next output lands in `a`.
+        let mut flip = false;
+        while i < n {
+            let fused = i + 2 < n
+                && matches!(&self.layers[i], QuantLayer::Linear(_))
+                && matches!(&self.layers[i + 1], QuantLayer::ReLU)
+                && matches!(&self.layers[i + 2], QuantLayer::LayerNorm { .. });
+            let (src, dst): (&Matrix, &mut Matrix) = if first {
+                (input, &mut *a)
+            } else if flip {
+                (&*a, &mut *b)
+            } else {
+                (&*b, &mut *a)
+            };
+            if fused {
+                let QuantLayer::Linear(lin) = &self.layers[i] else { unreachable!() };
+                let QuantLayer::LayerNorm { gamma, beta, eps } = &self.layers[i + 2] else {
+                    unreachable!()
+                };
+                let epi = QuantEpilogue::ReluLayerNorm { gamma, beta, eps: *eps };
+                lin.infer_epilogue_into(src, dst, Some(&epi));
+                i += 3;
+            } else {
+                match &self.layers[i] {
+                    QuantLayer::Linear(l) => l.infer_epilogue_into(src, dst, None),
+                    QuantLayer::ReLU => {
+                        dst.copy_from(src);
+                        dst.map_inplace(|v| v.max(0.0));
+                    }
+                    QuantLayer::Tanh => {
+                        dst.copy_from(src);
+                        dst.map_inplace(f32::tanh);
+                    }
+                    QuantLayer::LayerNorm { gamma, beta, eps } => {
+                        dst.copy_from(src);
+                        for r in 0..dst.rows() {
+                            normalize_affine_row(dst.row_mut(r), gamma, beta, *eps);
+                        }
+                    }
+                }
+                i += 1;
+            }
+            first = false;
+            flip = !flip;
+        }
+        // `flip` was toggled after the last write: true ⇒ result in `a`.
+        if flip {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// The unfused per-layer pass, retained as the reference the fused
+    /// [`QuantizedMlp::forward_into`] must match bitwise.
+    pub fn infer_unfused(&self, input: &Matrix) -> Matrix {
         let mut x = input.clone();
         let mut buf = Matrix::default();
         for layer in &self.layers {
@@ -204,9 +606,8 @@ impl QuantizedMlp {
                 QuantLayer::ReLU => x.map_inplace(|v| v.max(0.0)),
                 QuantLayer::Tanh => x.map_inplace(f32::tanh),
                 QuantLayer::LayerNorm { gamma, beta, eps } => {
-                    let ln = layernorm_of(gamma, beta, *eps);
                     for r in 0..x.rows() {
-                        ln.normalize_affine_row(x.row_mut(r));
+                        normalize_affine_row(x.row_mut(r), gamma, beta, *eps);
                     }
                 }
             }
@@ -226,21 +627,10 @@ impl QuantizedMlp {
     }
 }
 
-/// Rehydrates a scratch [`LayerNorm`] so the quantized stack shares the
-/// exact per-row normalization expressions with the `f32` path.
-fn layernorm_of(gamma: &[f32], beta: &[f32], eps: f32) -> LayerNorm {
-    let mut ln = LayerNorm::new(gamma.len());
-    ln.gamma.value = Matrix::row_vector(gamma);
-    ln.beta.value = Matrix::row_vector(beta);
-    ln.eps = eps;
-    ln
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::layer::Linear;
-    use crate::layer::ReLU;
+    use crate::layer::{LayerNorm, Linear, ReLU, Tanh};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -252,6 +642,34 @@ mod tests {
                 .wrapping_add(salt);
             ((h % 2001) as f32 - 1000.0) / 500.0
         })
+    }
+
+    fn bits(m: &Matrix) -> Vec<u32> {
+        m.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn forced(threads: usize) -> parallel::ThreadConfig {
+        parallel::ThreadConfig { threads, min_flops: 0 }
+    }
+
+    /// Full inference through the retained scalar kernel — the oracle
+    /// the lane path must reproduce bit for bit.
+    fn scalar_infer(q: &QuantizedLinear, input: &Matrix) -> Matrix {
+        let (n, kdim) = input.shape();
+        let x_scale = activation_scale(input.as_slice());
+        let qx: Vec<i8> = input.as_slice().iter().map(|&v| quantize_value(v, x_scale)).collect();
+        let rescale = x_scale * q.scale;
+        let mut out = Matrix::zeros(n, q.out_dim);
+        for r in 0..n {
+            quant_row_scalar(
+                &qx[r * kdim..(r + 1) * kdim],
+                &q.weight_t,
+                &q.bias,
+                rescale,
+                out.row_mut(r),
+            );
+        }
+        out
     }
 
     #[test]
@@ -269,6 +687,40 @@ mod tests {
     }
 
     #[test]
+    fn lane_kernel_matches_scalar_reference_with_ragged_tails() {
+        // kdim 37 = two full 16-lane steps + a 5-wide scalar tail;
+        // out_dim 11 = two full column tiles + 3 ragged outputs.
+        let weight = pattern(37, 11, 3);
+        let bias = pattern(1, 11, 4);
+        let q = QuantizedLinear::from_f32(&weight, &bias);
+        let x = pattern(9, 37, 5);
+        let expected = scalar_infer(&q, &x);
+        for threads in [1, 2, 4, 7] {
+            let got = parallel::with_thread_config(forced(threads), || q.infer(&x));
+            assert_eq!(bits(&expected), bits(&got), "threads={threads}");
+        }
+        crate::pool::shutdown();
+    }
+
+    #[test]
+    fn saturating_and_poisoned_inputs_match_the_scalar_reference() {
+        let weight = pattern(20, 6, 7);
+        let q = QuantizedLinear::from_f32(&weight, &pattern(1, 6, 8));
+        let mut x = pattern(5, 20, 9);
+        x.set(0, 0, f32::NAN); // quantizes to 0
+        x.set(1, 3, f32::INFINITY); // saturates at +127
+        x.set(2, 7, f32::NEG_INFINITY); // saturates at -127
+        x.set(3, 11, 1.0e30); // sets the batch scale: exactly +127
+        x.set(4, 19, -1.0e30);
+        let expected = scalar_infer(&q, &x);
+        for threads in [1, 2, 4, 7] {
+            let got = parallel::with_thread_config(forced(threads), || q.infer(&x));
+            assert_eq!(bits(&expected), bits(&got), "threads={threads}");
+        }
+        crate::pool::shutdown();
+    }
+
+    #[test]
     fn quantized_inference_is_byte_identical_across_thread_counts() {
         let mut rng = StdRng::seed_from_u64(9);
         let mlp = Mlp::new()
@@ -278,17 +730,82 @@ mod tests {
             .push(LayerKind::Linear(Linear::new(&mut rng, 24, 6)));
         let q = QuantizedMlp::from_mlp(&mlp);
         let x = pattern(33, 12, 11);
-        let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
-        let base = parallel::with_thread_config(
-            parallel::ThreadConfig { threads: 1, min_flops: 0 },
-            || q.infer(&x),
-        );
+        let base = parallel::with_thread_config(forced(1), || q.infer(&x));
         for threads in [2, 4, 7] {
-            let par = parallel::with_thread_config(
-                parallel::ThreadConfig { threads, min_flops: 0 },
-                || q.infer(&x),
-            );
+            let par = parallel::with_thread_config(forced(threads), || q.infer(&x));
             assert_eq!(bits(&base), bits(&par), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fused_forward_matches_the_unfused_reference() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut ln = LayerNorm::new(18);
+        ln.gamma.value = Matrix::from_fn(1, 18, |_, c| 1.0 + (c % 7) as f32 * 0.05);
+        ln.beta.value = Matrix::from_fn(1, 18, |_, c| (c % 5) as f32 * 0.1 - 0.2);
+        let mlp = Mlp::new()
+            .push(LayerKind::Linear(Linear::new(&mut rng, 10, 18)))
+            .push(LayerKind::ReLU(ReLU::new()))
+            .push(LayerKind::LayerNorm(ln))
+            .push(LayerKind::Tanh(Tanh::new()))
+            .push(LayerKind::Linear(Linear::new(&mut rng, 18, 5)));
+        let q = QuantizedMlp::from_mlp(&mlp);
+        let x = pattern(13, 10, 23);
+        let reference = parallel::with_thread_config(forced(1), || q.infer_unfused(&x));
+        let mut ws = QuantInferWorkspace::default();
+        for threads in [1, 2, 4, 7] {
+            // Twice through the same workspace: stale contents from the
+            // first pass must not leak into the second.
+            for pass in 0..2 {
+                let fused = parallel::with_thread_config(forced(threads), || {
+                    q.forward_into(&x, &mut ws).clone()
+                });
+                assert_eq!(bits(&reference), bits(&fused), "threads={threads} pass={pass}");
+            }
+        }
+        crate::pool::shutdown();
+    }
+
+    #[test]
+    fn subnormal_weights_yield_a_typed_zero_scale_error() {
+        // max |w| / 127 underflows to 0.0 for the smallest subnormal:
+        // before the typed guard this poisoned quantize_value with ∞.
+        let weight = Matrix::from_fn(4, 3, |_, _| f32::from_bits(1));
+        let bias = Matrix::zeros(1, 3);
+        assert_eq!(
+            QuantizedLinear::try_from_f32(&weight, &bias).unwrap_err(),
+            QuantError::ZeroScale
+        );
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut lin = Linear::new(&mut rng, 4, 3);
+        lin.weight.value = weight;
+        let mlp = Mlp::new().push(LayerKind::Linear(lin));
+        assert_eq!(QuantizedMlp::try_from_mlp(&mlp).unwrap_err(), QuantError::ZeroScale);
+    }
+
+    #[test]
+    fn validate_scale_classifies_degenerate_scales() {
+        assert_eq!(validate_scale(0.5), Ok(0.5));
+        assert_eq!(validate_scale(0.0), Err(QuantError::ZeroScale));
+        assert_eq!(validate_scale(f32::NAN), Err(QuantError::NonFiniteScale));
+        assert_eq!(validate_scale(f32::INFINITY), Err(QuantError::NonFiniteScale));
+        assert_eq!(validate_scale(-1.0), Err(QuantError::NonFiniteScale));
+        assert!(QuantError::ZeroScale.to_string().contains("zero"));
+    }
+
+    #[test]
+    fn subnormal_activations_fall_back_to_unit_scale() {
+        // A batch whose max |v| underflows the scale division must not
+        // divide by zero: the fallback quantizes it to exact zeros, so
+        // the output is exactly the bias.
+        let weight = pattern(4, 3, 2);
+        let bias = Matrix::row_vector(&[0.5, -0.25, 0.0]);
+        let q = QuantizedLinear::from_f32(&weight, &bias);
+        let x = Matrix::from_fn(2, 4, |_, _| f32::from_bits(1));
+        let out = q.infer(&x);
+        for r in 0..2 {
+            assert_eq!(out.row(r), &[0.5, -0.25, 0.0]);
         }
     }
 
@@ -300,6 +817,20 @@ mod tests {
         let out = q.infer(&pattern(2, 4, 1));
         for r in 0..2 {
             assert_eq!(out.row(r), &[0.5, -0.25, 0.0]);
+        }
+    }
+
+    #[test]
+    fn dequantized_row_rehydrates_the_stored_scale() {
+        let weight = pattern(6, 4, 13);
+        let q = QuantizedLinear::from_f32(&weight, &Matrix::zeros(1, 4));
+        let row = q.dequantized_row(2);
+        assert_eq!(row.len(), 6);
+        for (i, v) in row.iter().enumerate() {
+            let expect = f32::from(q.weight_t[2 * 6 + i]) * q.scale;
+            assert_eq!(v.to_bits(), expect.to_bits());
+            // Dequantization stays within half a step of the original.
+            assert!((v - weight.get(i, 2)).abs() <= q.scale * 0.5 + f32::EPSILON);
         }
     }
 
@@ -318,5 +849,47 @@ mod tests {
     #[should_panic(expected = "weight buffer must be in_dim × out_dim")]
     fn from_parts_validates_shape() {
         let _ = QuantizedLinear::from_parts(3, 2, 0.1, vec![0i8; 5], vec![0.0; 2]);
+    }
+
+    /// Randomized lane-vs-scalar suite; compiled out under Miri (the
+    /// fixed-shape tests above cover the same contract there).
+    #[cfg(not(miri))]
+    mod randomized {
+        use super::*;
+        use proptest::prelude::*;
+
+        const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+        proptest! {
+            /// The lane kernel reproduces the retained scalar oracle
+            /// bit for bit over shapes that exercise every tail path
+            /// (lane tail, column-tile tail), at thread counts 1/2/4/7,
+            /// with a ±127 saturation driver and a NaN/∞ poison planted
+            /// in the batch.
+            #[test]
+            fn lane_kernel_matches_scalar_reference(
+                batch in 1usize..8,
+                in_dim in 1usize..48,
+                out_dim in 1usize..12,
+                tidx in 0usize..THREADS.len(),
+                poison_at in 0usize..64,
+                kind in 0usize..4,
+                seed in 0u64..200,
+            ) {
+                let threads = THREADS[tidx];
+                let weight = pattern(in_dim, out_dim, seed);
+                let bias = pattern(1, out_dim, seed ^ 0xA5);
+                let q = QuantizedLinear::from_f32(&weight, &bias);
+                let mut x = pattern(batch, in_dim, seed ^ 0xBEEF);
+                // `1e30` dominates the batch scale, pushing every other
+                // entry toward the quantizer's rounding boundary; the
+                // non-finite values exercise NaN → 0 and ±∞ → ±127.
+                let value = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 1.0e30][kind];
+                x.set(poison_at % batch, poison_at % in_dim, value);
+                let expected = scalar_infer(&q, &x);
+                let got = parallel::with_thread_config(forced(threads), || q.infer(&x));
+                prop_assert_eq!(bits(&expected), bits(&got));
+            }
+        }
     }
 }

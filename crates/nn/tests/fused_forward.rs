@@ -13,7 +13,8 @@
 
 use agua_nn::parallel::{with_thread_config, ThreadConfig};
 use agua_nn::{
-    InferWorkspace, LayerKind, LayerNorm, Linear, Matrix, Mlp, QuantizedMlp, ReLU, Tanh,
+    InferWorkspace, LayerKind, LayerNorm, Linear, Matrix, Mlp, QuantInferWorkspace, QuantizedMlp,
+    ReLU, Tanh,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -192,6 +193,64 @@ mod randomized {
             let base = with_thread_config(forced(1), || q.infer(&x));
             let par = with_thread_config(forced(threads), || q.infer(&x));
             prop_assert_eq!(bits(&base), bits(&par));
+        }
+
+        /// Quantized fused `forward_into` vs the unfused per-layer
+        /// reference, bitwise, over stack shapes, hidden widths past
+        /// the lane tile, thread counts, and warm-workspace reuse.
+        #[test]
+        fn quantized_fused_forward_matches_unfused_bitwise(
+            arch in 0usize..3,
+            batch in 1usize..10,
+            d_in in 1usize..12,
+            hidden in 1usize..40,
+            d_out in 1usize..8,
+            tidx in 0usize..THREADS.len(),
+            seed in 0u64..300,
+        ) {
+            let threads = THREADS[tidx];
+            let net = build_net(arch, d_in, hidden, d_out, seed);
+            let q = QuantizedMlp::from_mlp(&net);
+            let x = mat(batch, d_in, seed ^ 0xF00D);
+            let reference = with_thread_config(forced(1), || q.infer_unfused(&x));
+            let mut ws = QuantInferWorkspace::default();
+            // Twice through the same workspace: stale contents from the
+            // first pass must not leak into the second.
+            for pass in 0..2 {
+                let fused = with_thread_config(forced(threads), || {
+                    q.forward_into(&x, &mut ws).clone()
+                });
+                prop_assert_eq!(bits(&reference), bits(&fused), "pass {}", pass);
+            }
+        }
+
+        /// NaN/∞ input poisoning flows through the quantized fused
+        /// epilogue exactly as through the unfused reference (the
+        /// quantizer maps NaN → 0 and ±∞ → ±127 before the matmul, so
+        /// the epilogue sees only the finite dequantized activations).
+        #[test]
+        fn quantized_fused_forward_preserves_poisoned_inputs(
+            arch in 0usize..3,
+            batch in 1usize..8,
+            d_in in 2usize..10,
+            hidden in 2usize..24,
+            tidx in 0usize..THREADS.len(),
+            poison in 0usize..100,
+            kind in 0usize..3,
+            seed in 0u64..200,
+        ) {
+            let threads = THREADS[tidx];
+            let net = build_net(arch, d_in, hidden, 3, seed);
+            let q = QuantizedMlp::from_mlp(&net);
+            let mut x = mat(batch, d_in, seed ^ 0x55);
+            let value = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY][kind];
+            x.set(poison % batch, poison % d_in, value);
+            let reference = with_thread_config(forced(1), || q.infer_unfused(&x));
+            let mut ws = QuantInferWorkspace::default();
+            let fused = with_thread_config(forced(threads), || {
+                q.forward_into(&x, &mut ws).clone()
+            });
+            prop_assert_eq!(bits(&reference), bits(&fused));
         }
     }
 }

@@ -58,6 +58,8 @@ pub enum Kernel {
     MatmulTn,
     /// `a × bᵀ`.
     MatmulNt,
+    /// int8 × int8 → i32 quantized matmul (transposed weights).
+    MatmulQ8,
     /// Independent per-row map over a matrix.
     ForEachRows,
     /// Generic ordered map over items or an index range.
@@ -73,6 +75,7 @@ impl Kernel {
             Kernel::Matmul => "matmul",
             Kernel::MatmulTn => "matmul_tn",
             Kernel::MatmulNt => "matmul_nt",
+            Kernel::MatmulQ8 => "matmul_q8",
             Kernel::ForEachRows => "for_each_rows",
             Kernel::Map => "map",
             Kernel::Jobs => "jobs",
@@ -198,6 +201,11 @@ pub struct KernelDispatched {
     /// Pool tasks already queued when this dispatch was emitted
     /// (scheduling observation; varies with timing and thread count).
     pub queue_depth: usize,
+    /// Wall-clock duration of the kernel in seconds, measured only when
+    /// a scoped subscriber is active (0.0 otherwise — the unobserved
+    /// hot path never touches the clock). Feeds the per-kernel
+    /// `kernel.{name}.seconds` latency histograms.
+    pub seconds: f64,
 }
 
 /// The concept-labelling stage finished over a batch of inputs.
@@ -357,7 +365,7 @@ impl Serialize for AnyEvent {
                 s.end()
             }
             AnyEvent::KernelDispatched(e) => {
-                let mut s = serializer.serialize_struct("KernelDispatched", 10)?;
+                let mut s = serializer.serialize_struct("KernelDispatched", 11)?;
                 s.serialize_field("event", KernelDispatched::NAME)?;
                 s.serialize_field("kernel", &e.kernel)?;
                 s.serialize_field("rows", &e.rows)?;
@@ -368,6 +376,7 @@ impl Serialize for AnyEvent {
                 s.serialize_field("seq_fallback", &e.seq_fallback)?;
                 s.serialize_field("pool_dispatch", &e.pool_dispatch)?;
                 s.serialize_field("queue_depth", &e.queue_depth)?;
+                s.serialize_field("seconds", &e.seconds)?;
                 s.end()
             }
             AnyEvent::LabelingStageFinished(e) => {
@@ -486,6 +495,7 @@ mod tests {
             seq_fallback: false,
             pool_dispatch: true,
             queue_depth: 1,
+            seconds: 0.25,
         }
         .into_any();
         let json = serde_json::to_value(&k).unwrap();
@@ -494,6 +504,7 @@ mod tests {
         assert_eq!(json["seq_fallback"], false);
         assert_eq!(json["pool_dispatch"], true);
         assert_eq!(json["queue_depth"], 1);
+        assert_eq!(json["seconds"], 0.25);
     }
 
     #[test]
@@ -555,5 +566,6 @@ mod tests {
         assert_eq!(Stage::Custom("rollout").as_str(), "rollout");
         assert_eq!(ExplanationKind::Batched.as_str(), "batched");
         assert_eq!(Kernel::ForEachRows.as_str(), "for_each_rows");
+        assert_eq!(Kernel::MatmulQ8.as_str(), "matmul_q8");
     }
 }

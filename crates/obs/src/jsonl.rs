@@ -119,6 +119,7 @@ mod tests {
             seq_fallback: true,
             pool_dispatch: false,
             queue_depth: 0,
+            seconds: 0.0,
         };
 
         let quiet_path = temp_path("quiet.jsonl");

@@ -298,6 +298,17 @@ impl Subscriber for Metrics {
                 let depth =
                     inner.scheduling.entry(format!("kernel.{kernel}.max_queue_depth")).or_insert(0);
                 *depth = (*depth).max(e.queue_depth as u64);
+                // Kernel wall-clock is only measured when a scoped
+                // subscriber was active at dispatch time (0.0 means
+                // "not timed"); like the span histograms it is
+                // variable state, never a deterministic counter.
+                if e.seconds > 0.0 {
+                    inner
+                        .latency_hists
+                        .entry(format!("kernel.{kernel}.seconds"))
+                        .or_default()
+                        .record(e.seconds);
+                }
             }
             AnyEvent::LabelingStageFinished(e) => {
                 *inner.counters.entry("labeling.runs".to_string()).or_insert(0) += 1;
@@ -376,6 +387,7 @@ mod tests {
                 seq_fallback: false,
                 pool_dispatch: true,
                 queue_depth: 2,
+                seconds: 2e-5,
             },
         );
         emit(
@@ -390,6 +402,7 @@ mod tests {
                 seq_fallback: true,
                 pool_dispatch: false,
                 queue_depth: 0,
+                seconds: 0.0,
             },
         );
         emit(
@@ -432,6 +445,9 @@ mod tests {
         assert_eq!(snap.latency_hists["span.delta_fit"].count, 1);
         assert_eq!(snap.latency_hists["explain.factual"].count, 1);
         assert!(!snap.dists.contains_key("span.delta_fit"));
+        // Only the timed dispatch (seconds > 0) lands in the kernel
+        // latency histogram; the untimed one is not a zero sample.
+        assert_eq!(snap.latency_hists["kernel.matmul.seconds"].count, 1);
     }
 
     #[test]

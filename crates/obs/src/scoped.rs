@@ -205,6 +205,7 @@ mod tests {
             seq_fallback: true,
             pool_dispatch: false,
             queue_depth: 0,
+            seconds: 0.0,
         }
         .into_any()
     }

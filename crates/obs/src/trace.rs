@@ -374,6 +374,7 @@ mod tests {
             seq_fallback: false,
             pool_dispatch: false,
             queue_depth: 0,
+            seconds: 0.0,
         };
         let quiet_path = temp_path("quiet.json");
         let quiet = TraceWriter::create(&quiet_path).unwrap();

@@ -9,8 +9,11 @@
 //!   mode (`--smoke` or full): the batched explanation must not lose
 //!   ground to a single thread (≥ 0.95× at 4 threads), must stay ≥ 1.5×
 //!   the retired reference implementation, the int8 surrogate must
-//!   clear its fidelity gate, and every stage must remain byte-identical
-//!   to the 1-thread run.
+//!   clear its fidelity gate, beat the `f32` predict path at both 1 and
+//!   4 threads, keep its ≥ 3.9× weight-footprint win, match the
+//!   per-row quantized explanation reference byte for byte, and every
+//!   stage must remain byte-identical to the 1-thread run. The int8
+//!   time checks are same-report ratios, so a slow runner cancels out.
 //!
 //! * **Relative deltas**, applied only when both reports ran in the
 //!   same mode (timings from a `--smoke` run are not comparable to a
@@ -307,6 +310,43 @@ pub fn compare(base: &Json, new: &Json, threshold: f64) -> PerfDiff {
         Some(false) => failures.push("int8 surrogate failed its fidelity gate".into()),
         None => failures.push("quantized.gate_passes missing from the new report".into()),
     }
+    // Int8 floors as same-report ratios (f32 over q8, higher is better):
+    // the quantized path must beat the f32 predict at both thread
+    // counts and keep its near-4× weight-footprint win. The time-ratio
+    // floors only apply to full-mode reports: at smoke scale the
+    // per-batch quantize/widen overhead dominates the tiny matmuls and
+    // int8 legitimately loses, so holding smoke runs to the full-size
+    // crossover would reject healthy builds. Footprint and identity
+    // are scale-independent and stay unconditional.
+    let ratio = |num: &str, den: &str| -> Option<f64> {
+        let n = new.path(num).and_then(Json::as_f64)?;
+        let d = new.path(den).and_then(Json::as_f64)?;
+        (d > 0.0).then_some(n / d)
+    };
+    if new.get("mode").and_then(Json::as_str) == Some("full") {
+        floor(
+            &mut failures,
+            "quantized predict f32/q8 time ratio @1t",
+            ratio("quantized.predict_f32_1t_secs", "quantized.predict_q8_1t_secs"),
+            1.0,
+        );
+        floor(
+            &mut failures,
+            "quantized predict f32/q8 time ratio @4t",
+            ratio("quantized.predict_f32_4t_secs", "quantized.predict_q8_4t_secs"),
+            1.0,
+        );
+    }
+    floor(
+        &mut failures,
+        "quantized weight_bytes f32/q8 ratio",
+        ratio("quantized.weight_bytes_f32", "quantized.weight_bytes_q8"),
+        3.9,
+    );
+    if new.path("quantized.explain_q8_identical_to_reference").and_then(Json::as_bool) != Some(true)
+    {
+        failures.push("quantized batched explanation diverged from the per-row reference".into());
+    }
     for stage in new.get("stages").and_then(Json::as_array).unwrap_or(&[]) {
         if stage.get("byte_identical_to_1_thread").and_then(Json::as_bool) != Some(true) {
             failures.push(format!(
@@ -438,7 +478,14 @@ mod tests {
                 "identical_to_reference": true
               }},
               "speedup_pool_tiled_vs_scoped_scalar": {pool_tiled},
-              "quantized": {{"gate_passes": true, "fidelity_drop": 0.005}}
+              "quantized": {{
+                "gate_passes": true, "fidelity_drop": 0.005,
+                "weight_bytes_f32": 40000, "weight_bytes_q8": 10000,
+                "predict_f32_1t_secs": 0.02, "predict_q8_1t_secs": 0.01,
+                "predict_f32_4t_secs": 0.008, "predict_q8_4t_secs": 0.004,
+                "explain_f32_4t_secs": 0.01, "explain_q8_4t_secs": 0.008,
+                "explain_q8_identical_to_reference": true
+              }}
             }}"#
         );
         Json::parse(&text).expect("fixture parses")
@@ -489,6 +536,82 @@ mod tests {
         assert!(!diff.passed());
         assert!(diff.failures.iter().any(|f| f.contains("floor")), "{:?}", diff.failures);
         assert!(diff.lines.iter().any(|l| l.contains("skipped")), "{:?}", diff.lines);
+    }
+
+    /// Overwrites (or inserts) one field of the fixture's `quantized`
+    /// section.
+    fn patch_quantized(report: &mut Json, key: &str, value: Json) {
+        let Json::Obj(fields) = report else { panic!("fixture root is an object") };
+        let q = fields.iter_mut().find(|(k, _)| k == "quantized").map(|(_, v)| v);
+        let Some(Json::Obj(qf)) = q else { panic!("fixture has a quantized object") };
+        match qf.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => qf.push((key.to_string(), value)),
+        }
+    }
+
+    #[test]
+    fn quantized_floor_catches_a_slow_int8_predict() {
+        let base = fixture(1.8, 2.1, 1.55);
+        let mut new = fixture(1.8, 2.1, 1.55);
+        // q8 slower than the 0.008s f32 path at 4 threads.
+        patch_quantized(&mut new, "predict_q8_4t_secs", Json::Num(0.02));
+        let diff = compare(&base, &new, 0.25);
+        assert!(!diff.passed());
+        assert!(
+            diff.failures.iter().any(|f| f.contains("f32/q8 time ratio @4t")),
+            "{:?}",
+            diff.failures
+        );
+    }
+
+    #[test]
+    fn quantized_time_floors_are_full_mode_only() {
+        // At smoke scale the per-batch quantize overhead dominates the
+        // tiny matmuls and int8 loses honestly; the crossover floors
+        // must not reject that. Footprint stays enforced everywhere.
+        let base = fixture(1.8, 2.1, 1.55);
+        let mut new = fixture(1.8, 2.1, 1.55);
+        if let Json::Obj(fields) = &mut new {
+            for (k, v) in fields.iter_mut() {
+                if k == "mode" {
+                    *v = Json::Str("smoke".into());
+                }
+            }
+        }
+        patch_quantized(&mut new, "predict_q8_1t_secs", Json::Num(0.05));
+        patch_quantized(&mut new, "predict_q8_4t_secs", Json::Num(0.02));
+        let diff = compare(&base, &new, 0.25);
+        assert!(
+            diff.passed(),
+            "smoke runs are exempt from the crossover floors: {:?}",
+            diff.failures
+        );
+        patch_quantized(&mut new, "weight_bytes_q8", Json::Num(20000.0));
+        let diff = compare(&base, &new, 0.25);
+        assert!(diff.failures.iter().any(|f| f.contains("weight_bytes")), "{:?}", diff.failures);
+    }
+
+    #[test]
+    fn quantized_floor_catches_a_lost_footprint_win() {
+        let mut new = fixture(1.8, 2.1, 1.55);
+        patch_quantized(&mut new, "weight_bytes_q8", Json::Num(20000.0)); // only 2×
+        let diff = compare(&fixture(1.8, 2.1, 1.55), &new, 0.25);
+        assert!(!diff.passed());
+        assert!(diff.failures.iter().any(|f| f.contains("weight_bytes")), "{:?}", diff.failures);
+    }
+
+    #[test]
+    fn quantized_explain_divergence_fails() {
+        let mut new = fixture(1.8, 2.1, 1.55);
+        patch_quantized(&mut new, "explain_q8_identical_to_reference", Json::Bool(false));
+        let diff = compare(&fixture(1.8, 2.1, 1.55), &new, 0.25);
+        assert!(!diff.passed());
+        assert!(
+            diff.failures.iter().any(|f| f.contains("per-row reference")),
+            "{:?}",
+            diff.failures
+        );
     }
 
     #[test]
