@@ -29,6 +29,50 @@ cargo test -q --workspace
 echo "==> cargo xtask audit"
 cargo xtask audit
 
+echo "==> cargo xtask spec"
+rm -f results/spec_compliance.json
+cargo xtask spec
+test -s results/spec_compliance.json
+if command -v jq >/dev/null 2>&1; then
+  jq -e '
+    .schema == "agua-spec-compliance-v1"
+    and .clean == true
+    and (.total_requirements | type == "number" and . > 0)
+    and (.total_must | type == "number" and . > 0)
+    and .total_must_anchored == .total_must
+    and .must_coverage_pct == 100.0
+    and (.specs | type == "array" and length >= 4)
+    and all(.specs[];
+      (.file | type == "string")
+      and (.target | type == "string")
+      and (.requirements | type == "number")
+      and (.must | type == "number")
+      and (.must_anchored | type == "number")
+      and (.must_coverage_pct | type == "number")
+      and (.entries | type == "array" and length > 0)
+      and all(.entries[];
+        (.id | type == "string")
+        and (.level == "MUST" or .level == "SHOULD" or .level == "MAY")
+        and (.anchors | type == "array")
+        and all(.anchors[];
+          (.path | type == "string") and (.line | type == "number")
+          and (.kind == "citation" or .kind == "exception"))
+        and (.exceptions | type == "array")))
+  ' <results/spec_compliance.json >/dev/null
+else
+  # Without jq: the report must at least carry the schema tag, the clean
+  # flag, and the per-spec coverage keys.
+  for key in '"schema": "agua-spec-compliance-v1"' '"clean": true' \
+             '"total_must"' '"total_must_anchored"' '"must_coverage_pct"' \
+             '"specs"' '"entries"' '"anchors"'; do
+    grep -q "$key" results/spec_compliance.json || {
+      echo "missing key in spec_compliance.json: $key" >&2; exit 1
+    }
+  done
+  echo "    jq unavailable: schema keys checked"
+fi
+echo "    spec report ok: $(wc -c <results/spec_compliance.json) bytes"
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

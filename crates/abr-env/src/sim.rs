@@ -13,6 +13,9 @@ const TX_TIME_CAP: f32 = 20.0;
 /// QoE model weights. QoE per chunk is
 /// `ssim/5 − stall_penalty·stall − smooth_penalty·|Δssim|/5`.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+//= spec: specs/applications.toml#abr-qoe
+//# ssim/5 minus stall_penalty * stall seconds minus
+//# smooth_penalty * |delta ssim|/5
 pub struct QoeParams {
     /// Penalty per second of stall.
     pub stall_penalty: f32,

@@ -333,6 +333,9 @@ pub fn registered_names() -> Vec<&'static str> {
 
 /// Resolves an application by registry name; unknown names fail with
 /// the list of registered applications.
+//= spec: specs/applications.toml#registry-dispatch
+//# resolve a name through the agua-app registry exactly once; an
+//# unknown name fails with the list of registered applications
 pub fn lookup(name: &str) -> Result<&'static dyn Application, String> {
     registry().into_iter().find(|a| a.name() == name).ok_or_else(|| {
         format!("unknown application `{name}` (registered: {})", registered_names().join(", "))

@@ -80,6 +80,9 @@ pub struct Checkpoint {
 
 impl Checkpoint {
     /// Writes the checkpoint files into `dir` (created if missing).
+    //= spec: specs/applications.toml#checkpoint-format
+    //# four files in the portable codec format: controller.json,
+    //# agua.json, quantizer.json, and meta.json
     pub fn save(&self, dir: &Path) -> Result<(), String> {
         fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
         write_artifact(dir, "controller.json", &self.controller)?;

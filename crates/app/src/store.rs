@@ -129,6 +129,9 @@ impl Store {
     }
 
     /// The content key `kind` + `spec` resolve to.
+    //= spec: specs/applications.toml#store-content-addressed
+    //# addressed by the canonical-JSON hash of the specification that
+    //# produced it
     pub fn key_for(&self, kind: &str, spec: &Value) -> u64 {
         let canonical = serde_json::to_string(&object(vec![
             ("kind", Value::String(kind.to_string())),
@@ -273,6 +276,10 @@ impl Store {
     /// the artifact, and the fidelity gate therefore runs on hit and
     /// miss alike — a cached quantized model is still withheld when its
     /// fidelity drop on `calibration` exceeds `epsilon`.
+    //= spec: specs/quantization.toml#fidelity-gate
+    //# The gate MUST be re-evaluated when a cached quantized artifact
+    //# is loaded, since epsilon and the calibration batch are not part
+    //# of the cache key
     pub fn surrogate_q8(
         &self,
         model: &Keyed<AguaModel>,

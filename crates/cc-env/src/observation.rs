@@ -17,6 +17,10 @@ pub const SIGNALS: usize = 4;
 
 /// One controller input: the last `K` monitor intervals of statistics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+//= spec: specs/applications.toml#cc-observation
+//# per-monitor-interval histories of four signals: sending rate,
+//# delivered throughput, latency, and loss rate, most recent interval
+//# last
 pub struct CcObservation {
     /// Sending rate per MI, Mbps.
     pub send_mbps: Vec<f32>,

@@ -111,6 +111,10 @@ fn contributions_for(
     let spread_bias = bias / (c * k) as f32;
 
     // z = W⟨i⟩ ∘ s + b_i/(C·k)   (Eq. 8, before the L1 norm)
+    //= spec: specs/core-equations.toml#explanation-attribution
+    //# z = W<i> o s + b_i/(C*k): the Hadamard product of output class
+    //# i's Omega weight row with the concept-class probabilities s,
+    //# plus the class bias spread uniformly over all C*k entries
     let z: Vec<f32> =
         (0..c * k).map(|d| w.get(d, class) * concept_probs.get(row, d) + spread_bias).collect();
 
@@ -129,6 +133,8 @@ fn contributions_for(
             }
         })
         .collect();
+    //= spec: specs/core-equations.toml#topk-ranking
+    //# rank concepts by total contribution in descending order
     contributions.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("finite weights"));
     contributions
 }
@@ -260,6 +266,8 @@ pub fn batched_observed(
     b
 }
 
+//= spec: specs/determinism.toml#batched-shared-kernels
+//# compute through the same shared kernels as the one-at-a-time path
 fn batched_inner(model: &AguaModel, embeddings: &Matrix, class: usize) -> BatchedExplanation {
     assert!(embeddings.rows() > 0, "empty batch");
     assert!(class < model.n_outputs(), "output class out of range");

@@ -54,6 +54,9 @@ pub struct Quantizer {
 
 impl Quantizer {
     /// The paper's ψ_3: bins [0,.2), [.2,.6), [.6,1] for low/medium/high.
+    //= spec: specs/core-equations.toml#psi-quantizer
+    //# bucket similarity scores into the half-open bins [0, 0.2),
+    //# [0.2, 0.6), [0.6, 1] for low/medium/high concept presence
     pub fn paper() -> Self {
         Self { boundaries: vec![0.2, 0.6] }
     }
@@ -92,6 +95,8 @@ impl Quantizer {
 
     /// Quantizes a similarity score into a class index in `0..k`.
     /// Boundaries belong to the upper class (half-open bins).
+    //= spec: specs/core-equations.toml#psi-quantizer
+    //# a score exactly on a boundary belongs to the upper class
     pub fn quantize(&self, score: f32) -> usize {
         self.boundaries.iter().filter(|&&b| score >= b).count()
     }

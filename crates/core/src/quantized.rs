@@ -82,6 +82,9 @@ impl QuantizedAguaModel {
     /// `embeddings` (against `controller_outputs`, Eq. 11) drops by at
     /// most `epsilon` relative to the `f32` surrogate. On failure the
     /// quantized model is withheld and only the report comes back.
+    //= spec: specs/quantization.toml#fidelity-gate
+    //# its fidelity may drop at most epsilon below the f32 surrogate's
+    //# fidelity on the calibration batch
     pub fn from_model_gated(
         model: &AguaModel,
         embeddings: &Matrix,

@@ -123,6 +123,10 @@ pub struct ConceptMapping {
 
 impl ConceptMapping {
     /// Creates an untrained δ for `emb_dim`-dimensional embeddings.
+    //= spec: specs/core-equations.toml#delta-architecture
+    //# a two-layer MLP of the shape Linear, ReLU, LayerNorm, Linear,
+    //# taking an embedding of the controller input and producing C*k
+    //# concept-class logits
     pub fn new(rng: &mut StdRng, emb_dim: usize, hidden: usize, concepts: usize, k: usize) -> Self {
         let mlp = Mlp::new()
             .push(LayerKind::Linear(Linear::new(rng, emb_dim, hidden)))
@@ -291,6 +295,9 @@ pub(crate) fn grouped_softmax_rows_inplace(m: &mut Matrix, k: usize) {
 /// The output mapping function Ω (Eq. 5): a single linear layer from
 /// concept-class probabilities to controller outputs, trained with
 /// ElasticNet regularization (Eq. 6).
+//= spec: specs/core-equations.toml#omega-architecture
+//# a single linear layer from the C*k concept-class probabilities to
+//# the controller outputs, trained with ElasticNet regularization
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OutputMapping {
     linear: Linear,
@@ -543,6 +550,9 @@ impl AguaModel {
     }
 
     /// The fidelity metric (Eq. 11): agreement with controller outputs.
+    //= spec: specs/core-equations.toml#fidelity-metric
+    //# the fraction of inputs on which the surrogate's predicted
+    //# controller output equals the controller's actual output
     pub fn fidelity(&self, embeddings: &Matrix, controller_outputs: &[usize]) -> f32 {
         assert_eq!(embeddings.rows(), controller_outputs.len());
         let preds = self.predict(embeddings);

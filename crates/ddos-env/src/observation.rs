@@ -33,6 +33,10 @@ impl DdosObservation {
 
     /// Flattens the window into a `[0,1]`-normalized feature vector laid
     /// out attribute-major: all IATs, then all sizes, then flags, etc.
+    //= spec: specs/applications.toml#ddos-features
+    //# flatten a flow window attribute-major into a [0,1]-normalized
+    //# feature vector: all inter-arrival times, then all packet sizes,
+    //# then the remaining per-packet attributes
     pub fn features(&self) -> Vec<f32> {
         let w = &self.window;
         let mut f = Vec::with_capacity(FEATURE_DIM);

@@ -42,6 +42,9 @@ const SUBTILE: usize = 8;
 const TILE_LANES: usize = TILE / F32x8::LANES;
 const SUBTILE_LANES: usize = SUBTILE / F32x8::LANES;
 
+//= spec: specs/determinism.toml#no-fma
+//# every lane operation is plain f32 multiply-then-add in lane order,
+//# so the lane kernels produce bit-for-bit the scalar kernels' results
 /// An explicit 8-lane `f32` register: the fixed SIMD width the inner
 /// matmul loops are written against, instead of hoping the
 /// autovectorizer rediscovers the shape behind `[f32; W]` index loops.
@@ -112,6 +115,9 @@ pub(crate) fn with_rows_finite<R>(m: &Matrix, f: impl FnOnce(&[bool]) -> R) -> R
 /// `a_row.contains(&0.0)`: dense rows take a branch-free inner loop,
 /// which is bitwise-identical because the skip test can never fire on
 /// them.
+//= spec: specs/determinism.toml#k-ascending
+//# accumulate each output element in ascending k order: the element's
+//# current value, then a[k] * b[k][j] for k ascending
 fn accumulate_tile_pass<const L: usize>(
     a_row: &[f32],
     rhs: &Matrix,
@@ -323,6 +329,9 @@ impl Matrix {
     /// to decide where the sparse `a == 0.0` fast path in the matmul
     /// kernels is safe: skipping `0 × b` is only sound when `b` is
     /// finite (`0 × NaN` and `0 × ∞` must poison the output).
+    //= spec: specs/determinism.toml#zero-skip-finite
+    //# skip a zero multiplier a[k] == 0 only when row k of the
+    //# right-hand side is entirely finite
     pub(crate) fn rows_finite_into(&self, out: &mut Vec<bool>) {
         out.clear();
         out.extend((0..self.rows).map(|r| self.row(r).iter().all(|v| v.is_finite())));
@@ -333,6 +342,8 @@ impl Matrix {
     /// rows. Shared by the sequential [`Matrix::matmul`] and the
     /// row-partitioned parallel path so both accumulate every output
     /// element in the same `k`-ascending order (byte-identical results).
+    //= spec: specs/determinism.toml#thread-invariance
+    //# Outputs MUST be byte-identical at every thread count.
     pub(crate) fn matmul_rows_into(
         &self,
         rhs: &Matrix,

@@ -564,6 +564,8 @@ pub fn par_matmul_q8(out: &mut Matrix, inner: usize, work: impl Fn(usize, &mut [
 
 /// Maps `f` over `items` on the configured number of worker threads,
 /// returning results in input order.
+//= spec: specs/determinism.toml#thread-invariance
+//# Outputs MUST be byte-identical at every thread count.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -576,6 +578,8 @@ where
         return items.iter().map(&f).collect();
     }
     let chunk_len = items.len().div_ceil(workers);
+    // audit:allow(thread-spawn): coarse-grained job fan-out above the pool;
+    // results are joined in input order, so scheduling cannot reach outputs
     std::thread::scope(|s| {
         let f = &f;
         let handles: Vec<_> = items
@@ -595,6 +599,8 @@ pub fn par_map_range<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R>
         return (0..n).map(f).collect();
     }
     let chunk_len = n.div_ceil(workers);
+    // audit:allow(thread-spawn): coarse-grained index fan-out above the pool;
+    // results are joined in index order, so scheduling cannot reach outputs
     std::thread::scope(|s| {
         let f = &f;
         let handles: Vec<_> = (0..workers)
@@ -621,6 +627,8 @@ where
     if workers <= 1 || jobs.len() <= 1 {
         return jobs.into_iter().map(|j| j()).collect();
     }
+    // audit:allow(thread-spawn): one scoped thread per independent job,
+    // joined in job order; no shared float state crosses threads
     std::thread::scope(|s| {
         let handles: Vec<_> = jobs.into_iter().map(|j| s.spawn(j)).collect();
         handles.into_iter().map(|h| h.join().expect("par_jobs worker panicked")).collect()
@@ -647,6 +655,8 @@ pub mod reference {
         debug_assert!(width > 0 && out.len().is_multiple_of(width));
         let rows = out.len() / width;
         let chunk_rows = rows.div_ceil(workers.max(1)).max(1);
+        // audit:allow(thread-spawn): retired PR 1 reference path, kept only so
+        // the equivalence suites can compare the pool against it
         std::thread::scope(|s| {
             let work = &work;
             for (c, chunk) in out.chunks_mut(chunk_rows * width).enumerate() {

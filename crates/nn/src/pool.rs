@@ -77,6 +77,13 @@ struct Task {
     latch: *const Latch,
 }
 
+//= spec: specs/pool-protocol.toml#latch-outlives-task
+//# Every raw pointer in a dispatched task MUST target data owned by the
+//# dispatching frame, and that frame MUST block on the completion latch
+//# until the task completes
+//= spec: specs/determinism.toml#row-ownership
+//# the chunks handed to workers partition the output disjointly, and no
+//# worker reads or writes another worker's chunk
 // SAFETY: sending a `Task` to a worker is sound because every raw
 // pointer in it targets data owned by the dispatching `run_chunks`
 // frame, and that frame blocks on the latch until the task completes
@@ -143,6 +150,9 @@ enum Msg {
     Exit,
 }
 
+//= spec: specs/pool-protocol.toml#panic-propagation
+//# A panic inside a task on a worker MUST be captured and re-thrown on
+//# the dispatching thread; the latch is still counted down
 /// Countdown latch: the dispatcher waits until `remaining` reaches zero;
 /// workers record the first panic payload for re-throw.
 struct Latch {
@@ -296,6 +306,11 @@ fn worker_main(rx: Receiver<Msg>, stats: Arc<WorkerStats>) {
 /// counterexample that makes this protocol load-bearing: with senders
 /// cloned out of the lock, `Exit` could slip in ahead of a task and
 /// strand it behind a dead worker, deadlocking the dispatcher's latch.
+//= spec: specs/pool-protocol.toml#send-under-lock
+//# Tasks MUST be sent to workers while the pool guard is held. A worker
+//# present in the pool cannot have been sent Exit yet, so channel FIFO
+//# order guarantees every task sent under the guard is processed before
+//# the worker exits
 fn ensure_workers(n: usize) -> crate::sync::MutexGuard<'static, Vec<Worker>> {
     let mut pool = POOL.lock().expect("pool mutex poisoned");
     while pool.len() < n {
@@ -315,6 +330,9 @@ fn ensure_workers(n: usize) -> crate::sync::MutexGuard<'static, Vec<Worker>> {
 /// True when called from a pool worker thread. Dispatches from workers
 /// run inline (leaf kernels never nest in this workspace; this guard
 /// makes the "no self-deadlock" property unconditional).
+//= spec: specs/pool-protocol.toml#no-nested-dispatch
+//# A dispatch issued from a pool worker thread MUST run inline on that
+//# worker instead of re-entering the pool
 pub fn on_worker_thread() -> bool {
     IS_POOL_WORKER.with(|f| f.get())
 }
@@ -409,6 +427,10 @@ pub fn shutdown() {
 /// Public as the pool's primitive entry point: [`crate::parallel`]'s
 /// leaf kernels dispatch through it, and `tests/loom_pool.rs`
 /// model-checks it directly under `--cfg loom`.
+//= spec: specs/determinism.toml#thread-invariance
+//# Chunk boundaries may depend only on the work shape (rows and
+//# chunk_rows), never on which thread executes a chunk or in what order
+//# chunks complete
 pub fn run_chunks<F>(out: &mut [f32], width: usize, chunk_rows: usize, work: &F)
 where
     F: Fn(usize, &mut [f32]) + Sync,

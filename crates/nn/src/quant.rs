@@ -110,6 +110,11 @@ pub struct QuantizedLinear {
 /// contribute. Callers must hand in a scale that passed
 /// [`validate_scale`] — a zero or non-finite scale would make every
 /// quotient ±∞/NaN.
+//= spec: specs/quantization.toml#round-nearest-even
+//# MUST round to nearest with ties to even, implemented by adding the
+//# magic constant 1.5 * 2^23
+//= spec: specs/quantization.toml#nonfinite-mapping
+//# A NaN value MUST quantize to 0, and +/- infinity MUST clamp to +/- 127
 fn quantize_value(v: f32, scale: f32) -> i8 {
     // 1.5 × 2²³: large enough that adding any |c| ≤ 127 rounds c to an
     // integer in the mantissa, small enough that the low mantissa bits
@@ -132,6 +137,9 @@ fn quantize_value(v: f32, scale: f32) -> i8 {
 /// change the result. This scan runs over every element of every
 /// inference batch, so its throughput is part of the quantized
 /// inference budget.
+//= spec: specs/quantization.toml#symmetric-scale
+//# per-tensor symmetric: scale = max |v| / 127 over the tensor, where
+//# non-finite entries are ignored
 fn symmetric_scale(values: &[f32]) -> f32 {
     const LANES: usize = 8;
     let mut lanes = [0.0f32; LANES];
@@ -162,6 +170,9 @@ fn symmetric_scale(values: &[f32]) -> f32 {
 /// [`quantize_value`]. `max |v| / 127` can underflow to zero when every
 /// finite weight is subnormal-tiny; that case must surface as a typed
 /// error, not as a division by zero inside the kernel.
+//= spec: specs/quantization.toml#scale-validation
+//# A quantization scale MUST be accepted only if it is positive and
+//# finite; a degenerate scale surfaces as a typed error
 fn validate_scale(scale: f32) -> Result<f32, QuantError> {
     if scale > 0.0 && scale.is_finite() {
         Ok(scale)
@@ -194,6 +205,8 @@ const Q_LANES: usize = 16;
 /// fold. Integer arithmetic throughout: lane order and thread count
 /// stay out of the result bits.
 #[inline(always)]
+//= spec: specs/quantization.toml#exact-i32-accumulation
+//# MUST accumulate i16-widened products exactly in i32 accumulators
 fn dot_lanes(xrow: &[i16], wrow: &[i16]) -> i32 {
     let mut acc = [0i32; Q_LANES];
     let mut k = 0;

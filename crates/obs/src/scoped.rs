@@ -62,6 +62,9 @@ pub fn scoped_active() -> bool {
 /// subscriber, restoring the previous one afterwards (also on panic).
 /// Deferred events are flushed to `subscriber` before it is uninstalled,
 /// so a scope never leaks buffered events to its successor.
+//= spec: specs/pool-protocol.toml#obs-non-inheritance
+//# the ambient subscriber is thread-local, so kernels running on pool
+//# workers observe no subscriber unless one is explicitly installed
 pub fn with_scoped_subscriber<R>(subscriber: Arc<dyn Subscriber>, f: impl FnOnce() -> R) -> R {
     struct Restore(Option<Arc<dyn Subscriber>>);
     impl Drop for Restore {

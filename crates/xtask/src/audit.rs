@@ -16,6 +16,7 @@
 //! | `wall-clock` | no `Instant`/`SystemTime` outside the observability side |
 //! | `fp-reduce` | float reductions live in `matrix.rs`'s k-ascending kernels |
 //! | `stringly-app` | application dispatch on `"abr"`/`"cc"`/`"ddos"` literals lives in `crates/app` |
+//! | `thread-spawn` | threads are spawned only by the pool (`pool.rs`) and its loom model |
 //!
 //! A site that is deliberately exempt carries an annotation **with a
 //! reason** on its own line or the line above:
@@ -30,11 +31,20 @@
 //! source (see [`crate::lexer`]) — a word in a doc sentence never
 //! fires.
 
+use crate::emit::{print_violations, Format};
 use crate::lexer::{mask, MaskedLine};
 use std::path::{Path, PathBuf};
 
 /// Files allowed to contain `unsafe` (and audited for `SAFETY:` docs).
 const UNSAFE_ALLOWLIST: &[&str] = &["crates/nn/src/pool.rs"];
+
+/// Files allowed to spawn threads: the pool is the one parallelism
+/// primitive (its chunking *is* the determinism contract), and the
+/// loom model exercises the same protocol under the model checker.
+const THREAD_SPAWN_ALLOWLIST: &[&str] = &["crates/nn/src/pool.rs", "crates/nn/src/loom.rs"];
+
+/// The tokens that mark direct thread creation.
+const THREAD_SPAWN_PATTERNS: &[&str] = &["thread::spawn", "thread::scope"];
 
 /// Crates whose whole purpose is timing/reporting: wall-clock reads
 /// there are the feature, not a leak.
@@ -64,6 +74,7 @@ const STRINGLY_APP_NAMES: &[&str] = &["\"abr\"", "\"cc\"", "\"cc-debugged\"", "\
 const FP_REDUCE_PATTERNS: &[&str] = &[".sum::<f32>", ".sum::<f64>", "fold(0.0", "fold(1.0"];
 
 /// One audit finding, printed as `path:line: [lint] message`.
+#[derive(Debug)]
 pub struct Violation {
     pub path: String,
     pub line: usize,
@@ -88,6 +99,9 @@ const HELP_FP_REDUCE: &str = "float addition is not associative, so reduction or
 const HELP_STRINGLY_APP: &str = "application dispatch belongs to the agua-app registry; resolve \
      the name once with `agua_app::lookup` and go through the `Application` trait, or annotate \
      `// audit:allow(stringly-app): <why this literal is not application dispatch>`";
+const HELP_THREAD_SPAWN: &str = "all parallelism goes through the agua-nn pool, whose chunking \
+     and dispatch order are the determinism contract; use `pool::run_chunks`/`parallel::*` or \
+     annotate `// audit:allow(thread-spawn): <why this thread cannot affect outputs>`";
 
 /// What an `unsafe` token introduces, which decides whether it needs a
 /// `SAFETY:` comment.
@@ -109,8 +123,7 @@ pub fn audit_source(rel_path: &str, source: &str) -> Vec<Violation> {
         .iter()
         .any(|d| rel_path.contains(d) || rel_path.starts_with(&d[1..]));
     let unsafe_allowed = UNSAFE_ALLOWLIST.contains(&rel_path);
-    let test_mod_start =
-        lines.iter().position(|l| l.code.trim() == "#[cfg(test)]").unwrap_or(lines.len());
+    let test_mod_start = find_test_mod_start(&lines);
 
     for (idx, line) in lines.iter().enumerate() {
         let lineno = idx + 1;
@@ -195,6 +208,21 @@ pub fn audit_source(rel_path: &str, source: &str) -> Vec<Violation> {
             }
         }
 
+        if !THREAD_SPAWN_ALLOWLIST.contains(&rel_path) {
+            for pat in THREAD_SPAWN_PATTERNS {
+                if has_path_token(&line.code, pat) && !is_allowed(&lines, idx, "thread-spawn") {
+                    out.push(Violation {
+                        path: rel_path.to_string(),
+                        line: lineno,
+                        lint: "thread-spawn",
+                        message: format!("direct thread creation (`{pat}`) outside the pool"),
+                        help: HELP_THREAD_SPAWN,
+                    });
+                    break;
+                }
+            }
+        }
+
         let fp_in_scope = FP_REDUCE_SCOPE.iter().any(|p| rel_path.starts_with(p))
             && !FP_REDUCE_BLESSED.contains(&rel_path);
         if fp_in_scope {
@@ -215,6 +243,30 @@ pub fn audit_source(rel_path: &str, source: &str) -> Vec<Violation> {
         }
     }
     out
+}
+
+/// Line index where the trailing `#[cfg(test)] mod …` starts, or
+/// `lines.len()` when there is none. Only a `#[cfg(test)]` whose next
+/// code line (skipping comments and further attributes) opens a `mod`
+/// counts: a mid-file `#[cfg(test)]` on a helper function or a
+/// `thread_local!` must not exempt the production code below it.
+fn find_test_mod_start(lines: &[MaskedLine]) -> usize {
+    'outer: for (i, line) in lines.iter().enumerate() {
+        if line.code.trim() != "#[cfg(test)]" {
+            continue;
+        }
+        for next in &lines[i + 1..] {
+            let code = next.code.trim();
+            if code.is_empty() || code.starts_with('#') {
+                continue; // comment-only line or another attribute
+            }
+            if code.starts_with("mod ") || code.starts_with("pub mod ") {
+                return i;
+            }
+            continue 'outer;
+        }
+    }
+    lines.len()
 }
 
 /// First `unsafe` token on the line, classified. `unsafe_code` (the
@@ -249,6 +301,23 @@ fn find_word(code: &str, word: &str) -> Option<usize> {
 
 fn has_word(code: &str, word: &str) -> bool {
     find_word(code, word).is_some()
+}
+
+/// Does the path-shaped token (e.g. `thread::spawn`) appear with
+/// identifier boundaries on both ends? `find_word` only handles single
+/// identifiers, so the `::`-joined form gets its own check.
+fn has_path_token(code: &str, token: &str) -> bool {
+    let mut from = 0;
+    while let Some(at) = code[from..].find(token) {
+        let start = from + at;
+        let end = start + token.len();
+        let boundary = |c: Option<char>| !c.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if boundary(code[..start].chars().next_back()) && boundary(code[end..].chars().next()) {
+            return true;
+        }
+        from = end;
+    }
+    false
 }
 
 /// Does `needle` appear in the raw line at a position that is *not*
@@ -370,9 +439,9 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Runs the audit over the workspace at `root`, printing findings.
-/// Returns `true` when clean.
-pub fn run(root: &Path) -> bool {
+/// Runs the audit over the workspace at `root`, printing findings in
+/// `format`. Returns `true` when clean.
+pub fn run(root: &Path, format: Format) -> bool {
     let files = collect_rs_files(root);
     if files.is_empty() {
         eprintln!("audit: no Rust sources under {} — wrong --root?", root.display());
@@ -391,17 +460,15 @@ pub fn run(root: &Path) -> bool {
             .replace(std::path::MAIN_SEPARATOR, "/");
         violations.extend(audit_source(&rel, &source));
     }
-    for v in &violations {
-        println!("{}:{}: [{}] {}", v.path, v.line, v.lint, v.message);
-        println!("  help: {}", v.help);
+    print_violations(&violations, format);
+    if format == Format::Human {
+        if violations.is_empty() {
+            println!("audit: OK — {} files clean", files.len());
+        } else {
+            println!("audit: {} violation(s) across {} files", violations.len(), files.len());
+        }
     }
-    if violations.is_empty() {
-        println!("audit: OK — {} files clean", files.len());
-        true
-    } else {
-        println!("audit: {} violation(s) across {} files", violations.len(), files.len());
-        false
-    }
+    violations.is_empty()
 }
 
 #[cfg(test)]
@@ -522,6 +589,53 @@ mod tests {
         // not inside `\"cc-debugged\"`), but both are registered names.
         let debugged = "fn f(app: &str) -> u32 {\n    match app {\n        \"cc-debugged\" => 1,\n        _ => 0,\n    }\n}\n";
         assert_eq!(lints("crates/bench/src/report.rs", debugged), vec![("stringly-app", 3)]);
+    }
+
+    #[test]
+    fn mid_file_cfg_test_attributes_do_not_exempt_later_code() {
+        // A `#[cfg(test)]` on a helper (not a trailing test module)
+        // must not turn the rest of the file into test code.
+        let src = "fn detect() -> usize {\n    #[cfg(test)]\n    if true {\n        return 1;\n    }\n    4\n}\nfn f() {\n    std::thread::spawn(|| {});\n}\n#[cfg(test)]\nmod tests {\n    fn g() {\n        std::thread::spawn(|| {});\n    }\n}\n";
+        assert_eq!(lints("crates/core/src/explain.rs", src), vec![("thread-spawn", 9)]);
+    }
+
+    #[test]
+    fn thread_spawn_is_confined_to_the_pool() {
+        let spawn = "fn f() {\n    std::thread::spawn(|| {});\n}\n";
+        assert_eq!(lints("crates/core/src/explain.rs", spawn), vec![("thread-spawn", 2)]);
+        let scope = "fn f() {\n    std::thread::scope(|s| { let _ = s; });\n}\n";
+        assert_eq!(lints("crates/nn/src/parallel.rs", scope), vec![("thread-spawn", 2)]);
+        // The pool and its loom model are the allowlist.
+        assert_eq!(lints("crates/nn/src/pool.rs", spawn), vec![]);
+        assert_eq!(lints("crates/nn/src/loom.rs", scope), vec![]);
+        // Test code spawns threads legitimately (stress tests, etc.).
+        let in_tests = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() {\n        std::thread::spawn(|| {});\n    }\n}\n";
+        assert_eq!(lints("crates/core/src/explain.rs", in_tests), vec![]);
+        // The escape hatch needs a reason, like every other lint.
+        let allowed = "fn f() {\n    // audit:allow(thread-spawn): watcher thread only reads, never writes outputs\n    std::thread::spawn(|| {});\n}\n";
+        assert_eq!(lints("crates/core/src/explain.rs", allowed), vec![]);
+        // An identifier that merely contains the token does not fire.
+        let ident = "fn f() {\n    let thread_spawned = my_thread::spawner();\n}\n";
+        assert_eq!(lints("crates/core/src/explain.rs", ident), vec![]);
+    }
+
+    #[test]
+    fn findings_render_in_both_formats() {
+        let src =
+            "fn f() {\n    let m: std::collections::HashMap<u32, u32> = Default::default();\n}\n";
+        let violations = audit_source("crates/core/src/congen.rs", src);
+        assert_eq!(violations.len(), 1);
+        let json = crate::emit::violations_json(&violations);
+        assert!(json.contains("\"path\": \"crates/core/src/congen.rs\""));
+        assert!(json.contains("\"lint\": \"hash-order\""));
+        assert!(json.contains("\"line\": 2"));
+        // Human rendering is the `path:line: [lint]` form the tests
+        // and editors grep for.
+        let human = format!(
+            "{}:{}: [{}] {}",
+            violations[0].path, violations[0].line, violations[0].lint, violations[0].message
+        );
+        assert!(human.starts_with("crates/core/src/congen.rs:2: [hash-order]"));
     }
 
     #[test]

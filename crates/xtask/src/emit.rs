@@ -1,0 +1,110 @@
+//! Shared output plumbing for the analysis passes.
+//!
+//! Both `cargo xtask audit` and `cargo xtask spec` produce the same
+//! finding shape (`path:line: [lint] message`), so the human and
+//! `--format json` renderers live here once. The JSON writer is
+//! hand-rolled like `perfdiff`'s reader — the automation crate stays
+//! dependency-free.
+
+use crate::audit::Violation;
+
+/// Output format for a pass, selected with `--format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// `path:line: [lint] message` plus a `help:` line — the default.
+    Human,
+    /// One JSON array of `{path, line, lint, message, help}` objects.
+    Json,
+}
+
+impl Format {
+    pub fn parse(s: &str) -> Result<Format, String> {
+        match s {
+            "human" => Ok(Format::Human),
+            "json" => Ok(Format::Json),
+            other => Err(format!("unknown --format {other:?} (expected human or json)")),
+        }
+    }
+}
+
+/// Renders findings to stdout in the selected format.
+pub fn print_violations(violations: &[Violation], format: Format) {
+    match format {
+        Format::Human => {
+            for v in violations {
+                println!("{}:{}: [{}] {}", v.path, v.line, v.lint, v.message);
+                println!("  help: {}", v.help);
+            }
+        }
+        Format::Json => println!("{}", violations_json(violations)),
+    }
+}
+
+/// The findings as a JSON array string (stable field order).
+pub fn violations_json(violations: &[Violation]) -> String {
+    let mut out = String::from("[");
+    for (n, v) in violations.iter().enumerate() {
+        if n > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"path\": {}, \"line\": {}, \"lint\": {}, \"message\": {}, \"help\": {}}}",
+            json_string(&v.path),
+            v.line,
+            json_string(v.lint),
+            json_string(&v.message),
+            json_string(v.help),
+        ));
+    }
+    if !violations.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Escapes `s` as a JSON string literal, quotes included.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_covers_quotes_and_control_chars() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn violations_render_as_a_json_array() {
+        let v = Violation {
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            lint: "hash-order",
+            message: "`HashMap` used".into(),
+            help: "sort it",
+        };
+        let json = violations_json(&[v]);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"lint\": \"hash-order\""));
+        assert!(json.contains("\"line\": 3"));
+        assert_eq!(violations_json(&[]), "[]");
+    }
+}

@@ -76,16 +76,23 @@ pub fn mask(source: &str) -> Vec<MaskedLine> {
                     state = State::Str;
                     push(&mut code, &mut comment, c, true);
                 }
-                'r' | 'b' if is_raw_string_start(&chars, i) => {
-                    // Consume the prefix (`r`, `br`, `b`) and fences.
+                'r' | 'b'
+                    if (i == 0 || !is_ident_char(chars[i - 1]))
+                        && is_raw_string_start(&chars, i) =>
+                {
+                    // Consume the prefix (`r` or `br`) and the `#` fences:
+                    // at most one `r` after a leading `b`, then hashes only,
+                    // so a stray identifier can never be swallowed here.
                     let mut hashes = 0;
                     push(&mut code, &mut comment, c, true);
                     i += 1;
-                    while chars.get(i) == Some(&'r') || chars.get(i) == Some(&'#') {
-                        if chars[i] == '#' {
-                            hashes += 1;
-                        }
-                        push(&mut code, &mut comment, chars[i], true);
+                    if c == 'b' && chars.get(i) == Some(&'r') {
+                        push(&mut code, &mut comment, 'r', true);
+                        i += 1;
+                    }
+                    while chars.get(i) == Some(&'#') {
+                        hashes += 1;
+                        push(&mut code, &mut comment, '#', true);
                         i += 1;
                     }
                     debug_assert_eq!(chars.get(i), Some(&'"'));
@@ -128,9 +135,11 @@ pub fn mask(source: &str) -> Vec<MaskedLine> {
             State::Str => match c {
                 '\\' => {
                     // Blank the escape pair so `\"` cannot end the string.
+                    // An escaped newline (string line-continuation) must
+                    // keep its newline or every later line shifts up.
                     push(&mut code, &mut comment, ' ', true);
-                    if next.is_some() {
-                        push(&mut code, &mut comment, ' ', true);
+                    if let Some(n) = next {
+                        push(&mut code, &mut comment, if n == '\n' { '\n' } else { ' ' }, true);
                         i += 1;
                     }
                 }
@@ -155,8 +164,8 @@ pub fn mask(source: &str) -> Vec<MaskedLine> {
             State::Char => match c {
                 '\\' => {
                     push(&mut code, &mut comment, ' ', true);
-                    if next.is_some() {
-                        push(&mut code, &mut comment, ' ', true);
+                    if let Some(n) = next {
+                        push(&mut code, &mut comment, if n == '\n' { '\n' } else { ' ' }, true);
                         i += 1;
                     }
                 }
@@ -175,6 +184,11 @@ pub fn mask(source: &str) -> Vec<MaskedLine> {
         .zip(comment.lines().map(String::from))
         .map(|(code, comment)| MaskedLine { code, comment })
         .collect()
+}
+
+/// Identifier continuation character (so `bar#"` is not a raw string).
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
 }
 
 /// `r"`, `r#…#"`, `br"`, `br#…#"` at position `i`?
@@ -248,5 +262,47 @@ mod tests {
         let lines = mask(src);
         assert!(!lines[0].code.contains("unsafe"));
         assert!(lines[0].code.contains("call()"));
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_alignment() {
+        // A `\` before the newline continues the string onto the next
+        // line; the masked views must keep one output line per input
+        // line or every later lint would report shifted line numbers.
+        let src = "let s = \"head \\\n  tail\";\nunsafe { x() }\n";
+        let lines = mask(src);
+        assert_eq!(lines.len(), 3, "escaped newline must not collapse lines");
+        assert!(lines[2].code.contains("unsafe"), "line 3 must still hold the unsafe block");
+    }
+
+    #[test]
+    fn multiline_raw_strings_stay_out_of_both_views() {
+        let src = "let s = r##\"line one unsafe\n//= spec: fake.toml#id\n\"## ; done();\n";
+        let lines = mask(src);
+        assert_eq!(lines.len(), 3);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(!lines[1].code.contains("spec:"), "raw-string body must not look like code");
+        assert!(!lines[1].comment.contains("spec:"), "raw-string body must not look like comments");
+        assert!(lines[2].code.contains("done()"));
+    }
+
+    #[test]
+    fn nested_block_comments_keep_anchor_text_in_the_comment_view() {
+        let src = "/* outer /* //= spec: a.toml#b */ still comment */ run();\n";
+        let lines = mask(src);
+        assert!(lines[0].comment.contains("spec: a.toml#b"));
+        assert!(!lines[0].code.contains("spec"));
+        assert!(lines[0].code.contains("run()"));
+    }
+
+    #[test]
+    fn identifier_before_hash_quote_is_not_a_raw_string() {
+        // `ar#"x"#` is an identifier, `#`, then a plain string: the `r`
+        // inside `ar` must not open a raw string that swallows the rest
+        // of the file.
+        let src = "m!{ar#\"x\"#} after();\nunsafe { y() }\n";
+        let lines = mask(src);
+        assert!(lines[0].code.contains("after()"));
+        assert!(lines[1].code.contains("unsafe"));
     }
 }

@@ -6,42 +6,78 @@
 //! ```sh
 //! cargo xtask audit            # determinism/unsafety source audit
 //! cargo xtask audit --root DIR # audit a different tree (used in tests)
+//! cargo xtask audit --format json
+//! cargo xtask spec             # requirement-tracing compliance check
+//! cargo xtask spec --format json
 //! cargo xtask perfdiff         # compare results/BENCH_parallel.json
 //!                              # against the committed repo-root record
 //! cargo xtask perfdiff --base A --new B --threshold 0.25
 //! ```
 //!
-//! See [`audit`] for what the audit enforces and why, [`perfdiff`] for
-//! the perf-regression watchdog, and DESIGN.md §10 for how they fit the
-//! verification story (`ci.sh` runs both in the default gate).
+//! See [`audit`] for what the audit enforces and why, [`spec`] for the
+//! duvet-style requirement tracer, [`perfdiff`] for the perf-regression
+//! watchdog, and DESIGN.md §10/§12 for how they fit the verification
+//! story (`ci.sh` runs all three in the default gate).
 
 #![forbid(unsafe_code)]
 
 mod audit;
+mod emit;
 mod lexer;
 mod perfdiff;
+mod spec;
+mod toml;
 
+use emit::Format;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cargo xtask audit [--root <dir>]\n       \
+        "usage: cargo xtask audit [--root <dir>] [--format human|json]\n       \
+         cargo xtask spec [--root <dir>] [--format human|json]\n       \
          cargo xtask perfdiff [--base <json>] [--new <json>] [--threshold <frac>]"
     );
     ExitCode::from(2)
+}
+
+/// Parses the `[--root <dir>] [--format human|json]` tail shared by
+/// the two analysis passes.
+fn parse_analysis_args(args: impl Iterator<Item = String>) -> Option<(PathBuf, Format)> {
+    let mut root = workspace_root();
+    let mut format = Format::Human;
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        let value = args.next()?;
+        match flag.as_str() {
+            "--root" => root = PathBuf::from(value),
+            "--format" => match Format::parse(&value) {
+                Ok(f) => format = f,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return None;
+                }
+            },
+            _ => return None,
+        }
+    }
+    Some((root, format))
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("audit") => {
-            let root = match (args.next().as_deref(), args.next()) {
-                (None, _) => workspace_root(),
-                (Some("--root"), Some(dir)) => PathBuf::from(dir),
-                _ => return usage(),
-            };
-            if audit::run(&root) {
+            let Some((root, format)) = parse_analysis_args(args) else { return usage() };
+            if audit::run(&root, format) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Some("spec") => {
+            let Some((root, format)) = parse_analysis_args(args) else { return usage() };
+            if spec::run(&root, format) {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE

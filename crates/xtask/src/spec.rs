@@ -1,0 +1,773 @@
+//! `cargo xtask spec` — duvet-style requirement tracing.
+//!
+//! The audit pass enforces *how* code is written; this pass enforces
+//! *that the reproduction still implements the paper*. Normative
+//! requirements — Agua's equations, the determinism contract, the
+//! quantization semantics, the pool protocol — live in `specs/*.toml`
+//! (see [`crate::toml`]), and the implementing sites carry anchor
+//! annotations in ordinary comments:
+//!
+//! ```text
+//! //= spec: specs/determinism.toml#k-ascending
+//! //# reductions MUST accumulate in ascending k order
+//! ```
+//!
+//! An anchor cites one requirement and quotes a fragment of it; the
+//! checker re-reads the quote on every run, so when the requirement
+//! text changes the anchor goes *stale* and CI fails until someone
+//! re-reads the code and re-quotes. A site that deliberately deviates
+//! records an exception instead:
+//!
+//! ```text
+//! //= spec: specs/determinism.toml#no-fma
+//! //= type: exception
+//! //= reason: the reference kernel is scalar; no lanes to fuse
+//! ```
+//!
+//! The checker fails when a MUST-level requirement has no anchor and
+//! no exception, when an anchor cites a requirement that does not
+//! exist, or when an anchor's quote no longer matches the requirement
+//! text (whitespace/wrap-normalized comparison). Anchors are scanned
+//! on the lexer's comment view, so anchor-shaped text inside string
+//! literals never counts. Every run also writes
+//! `results/spec_compliance.json` — per-spec coverage, the anchor
+//! list, and recorded exceptions — for the report tooling.
+
+use crate::audit::{collect_rs_files, Violation};
+use crate::emit::{json_string, print_violations, Format};
+use crate::lexer::mask;
+use crate::toml::{self, Level, SpecFile};
+use std::path::Path;
+
+const HELP_MALFORMED_SPEC: &str = "fix the requirement file; the grammar is the duvet-style \
+     subset documented in DESIGN.md §12 (target, [[spec]] id/level/quote, [[exception]] \
+     spec/reason)";
+const HELP_MALFORMED_ANCHOR: &str = "anchors are `//= spec: specs/<file>.toml#<id>` followed by \
+     `//# <quoted requirement text>`, or `//= type: exception` with `//= reason: <why>` \
+     (DESIGN.md §12)";
+const HELP_DANGLING: &str = "the citation names a spec file or requirement id that does not \
+     exist; fix the citation, or add the requirement to the spec file";
+const HELP_STALE: &str = "the `//# ` quote is not a fragment of the requirement's text any more \
+     (comparison is whitespace- and wrap-insensitive); re-read the code against the new \
+     requirement, then re-quote it";
+const HELP_UNANCHORED: &str = "every MUST requirement needs a `//= spec:` anchor at its \
+     implementing site, or a recorded exception (`[[exception]]` in the spec file or \
+     `//= type: exception` in code) explaining why not";
+
+/// How an anchor relates to its requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnchorKind {
+    /// This code implements the requirement (quote re-checked).
+    Citation,
+    /// This code deliberately deviates, with a reason.
+    Exception,
+}
+
+impl AnchorKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            AnchorKind::Citation => "citation",
+            AnchorKind::Exception => "exception",
+        }
+    }
+}
+
+/// One `//= spec:` annotation found in source.
+#[derive(Debug, Clone)]
+pub struct Anchor {
+    /// `/`-separated path relative to the workspace root.
+    pub path: String,
+    /// 1-based line of the `//= spec:` line.
+    pub line: usize,
+    /// The cited file, e.g. `specs/determinism.toml`.
+    pub spec_file: String,
+    /// The cited requirement id.
+    pub id: String,
+    pub kind: AnchorKind,
+    /// Exception reason (`//= reason:` lines, joined).
+    pub reason: Option<String>,
+    /// Quoted requirement fragment (`//# ` lines, joined).
+    pub quote: String,
+}
+
+/// Scans one file's comment view for anchors. Malformed anchors are
+/// reported as violations rather than silently skipped: a typo in an
+/// annotation must not demote a requirement to "unanchored" quietly.
+pub fn scan_anchors(rel_path: &str, source: &str) -> (Vec<Anchor>, Vec<Violation>) {
+    let lines = mask(source);
+    let mut anchors = Vec::new();
+    let mut violations = Vec::new();
+    let mut malformed = |line: usize, message: String| {
+        violations.push(Violation {
+            path: rel_path.to_string(),
+            line,
+            lint: "malformed-anchor",
+            message,
+            help: HELP_MALFORMED_ANCHOR,
+        });
+    };
+
+    let mut i = 0;
+    while i < lines.len() {
+        let text = lines[i].comment.trim();
+        let Some(rest) = text.strip_prefix("//=") else {
+            if text.starts_with("//#") {
+                malformed(i + 1, "`//# ` quote line outside an anchor block".to_string());
+            }
+            i += 1;
+            continue;
+        };
+        let Some(citation) = rest.trim_start().strip_prefix("spec:") else {
+            malformed(i + 1, format!("`//=` line does not start an anchor: {text:?}"));
+            i += 1;
+            continue;
+        };
+        let citation = citation.trim();
+        let start = i + 1;
+        let Some((spec_file, id)) = citation
+            .split_once('#')
+            .filter(|(f, id)| f.starts_with("specs/") && f.ends_with(".toml") && !id.is_empty())
+        else {
+            malformed(start, format!("citation {citation:?} is not `specs/<file>.toml#<id>`"));
+            i += 1;
+            continue;
+        };
+
+        // Consume the rest of the block: type/reason directives and
+        // quote lines, in any order, ending at the first other line.
+        let mut kind = AnchorKind::Citation;
+        let mut reason_lines: Vec<String> = Vec::new();
+        let mut quote_lines: Vec<String> = Vec::new();
+        let mut ok = true;
+        i += 1;
+        while i < lines.len() {
+            let text = lines[i].comment.trim();
+            if let Some(directive) = text.strip_prefix("//=") {
+                let directive = directive.trim_start();
+                if let Some(t) = directive.strip_prefix("type:") {
+                    match t.trim() {
+                        "exception" => kind = AnchorKind::Exception,
+                        other => {
+                            malformed(i + 1, format!("unknown anchor type {other:?}"));
+                            ok = false;
+                        }
+                    }
+                } else if let Some(r) = directive.strip_prefix("reason:") {
+                    reason_lines.push(r.trim().to_string());
+                } else if directive.trim_start().starts_with("spec:") {
+                    break; // next anchor starts here
+                } else {
+                    malformed(i + 1, format!("unknown anchor directive {text:?}"));
+                    ok = false;
+                }
+            } else if let Some(q) = text.strip_prefix("//#") {
+                quote_lines.push(q.trim().to_string());
+            } else {
+                break;
+            }
+            i += 1;
+        }
+
+        let reason = if reason_lines.is_empty() { None } else { Some(reason_lines.join(" ")) };
+        match kind {
+            AnchorKind::Citation if quote_lines.iter().all(|q| q.is_empty()) => {
+                malformed(start, format!("citation of {citation:?} quotes no requirement text"));
+                ok = false;
+            }
+            AnchorKind::Exception if reason.is_none() => {
+                malformed(start, format!("exception for {citation:?} has no `//= reason:`"));
+                ok = false;
+            }
+            _ => {}
+        }
+        if ok {
+            anchors.push(Anchor {
+                path: rel_path.to_string(),
+                line: start,
+                spec_file: spec_file.to_string(),
+                id: id.to_string(),
+                kind,
+                reason,
+                quote: quote_lines.join("\n"),
+            });
+        }
+    }
+    (anchors, violations)
+}
+
+/// Collapses all whitespace runs to single spaces so a re-wrapped or
+/// re-indented quote still matches its requirement.
+pub fn normalize(text: &str) -> String {
+    text.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Does the (normalized) anchor quote appear in the (normalized)
+/// requirement text?
+pub fn quote_matches(anchor_quote: &str, requirement: &str) -> bool {
+    normalize(requirement).contains(&normalize(anchor_quote))
+}
+
+/// One requirement's resolved status in the report.
+#[derive(Debug, Clone)]
+pub struct EntryReport {
+    pub id: String,
+    pub level: Level,
+    /// `(path, line, kind)` of every resolved anchor.
+    pub anchors: Vec<(String, usize, AnchorKind)>,
+    /// Exception reasons, from the spec file and from code anchors.
+    pub exceptions: Vec<String>,
+}
+
+/// One spec file's section of the report.
+#[derive(Debug, Clone)]
+pub struct SpecReport {
+    pub file: String,
+    pub target: String,
+    pub entries: Vec<EntryReport>,
+}
+
+impl SpecReport {
+    fn must(&self) -> usize {
+        self.entries.iter().filter(|e| e.level == Level::Must).count()
+    }
+    fn must_anchored(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| {
+                e.level == Level::Must && (!e.anchors.is_empty() || !e.exceptions.is_empty())
+            })
+            .count()
+    }
+}
+
+/// The full compliance report, rendered to `results/spec_compliance.json`.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    pub specs: Vec<SpecReport>,
+}
+
+impl Report {
+    pub fn total_requirements(&self) -> usize {
+        self.specs.iter().map(|s| s.entries.len()).sum()
+    }
+    pub fn total_must(&self) -> usize {
+        self.specs.iter().map(|s| s.must()).sum()
+    }
+    pub fn total_must_anchored(&self) -> usize {
+        self.specs.iter().map(|s| s.must_anchored()).sum()
+    }
+}
+
+fn pct(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        100.0
+    } else {
+        (part as f64 / whole as f64) * 100.0
+    }
+}
+
+/// Runs the whole check over the workspace at `root`: parse every
+/// `specs/*.toml`, scan every Rust source for anchors, resolve, and
+/// compute coverage. Pure with respect to output files — the caller
+/// decides whether to write the report.
+pub fn check(root: &Path) -> (Report, Vec<Violation>) {
+    let mut violations = Vec::new();
+
+    // Load the requirement corpus, sorted for deterministic output.
+    let spec_dir = root.join("specs");
+    let mut paths: Vec<_> = std::fs::read_dir(&spec_dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "toml"))
+        .collect();
+    paths.sort();
+    let mut specs: Vec<(String, SpecFile)> = Vec::new();
+    for path in &paths {
+        let rel = format!("specs/{}", path.file_name().unwrap_or_default().to_string_lossy());
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                violations.push(Violation {
+                    path: rel,
+                    line: 0,
+                    lint: "malformed-spec",
+                    message: format!("unreadable spec file: {e}"),
+                    help: HELP_MALFORMED_SPEC,
+                });
+                continue;
+            }
+        };
+        match toml::parse(&source) {
+            Ok(file) => specs.push((rel, file)),
+            Err(e) => violations.push(Violation {
+                path: rel,
+                line: e.line,
+                lint: "malformed-spec",
+                message: e.message,
+                help: HELP_MALFORMED_SPEC,
+            }),
+        }
+    }
+
+    // Scan every Rust source for anchors.
+    let mut anchors: Vec<Anchor> = Vec::new();
+    for file in collect_rs_files(root) {
+        let Ok(source) = std::fs::read_to_string(&file) else { continue };
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        let (found, bad) = scan_anchors(&rel, &source);
+        anchors.extend(found);
+        violations.extend(bad);
+    }
+
+    // Resolve each anchor against the corpus.
+    let mut resolved: Vec<&Anchor> = Vec::new();
+    for anchor in &anchors {
+        let Some((_, spec)) = specs.iter().find(|(rel, _)| *rel == anchor.spec_file) else {
+            violations.push(Violation {
+                path: anchor.path.clone(),
+                line: anchor.line,
+                lint: "dangling-anchor",
+                message: format!("citation of nonexistent spec file {:?}", anchor.spec_file),
+                help: HELP_DANGLING,
+            });
+            continue;
+        };
+        let Some(req) = spec.specs.iter().find(|r| r.id == anchor.id) else {
+            violations.push(Violation {
+                path: anchor.path.clone(),
+                line: anchor.line,
+                lint: "dangling-anchor",
+                message: format!(
+                    "citation of nonexistent requirement {:?} in {}",
+                    anchor.id, anchor.spec_file
+                ),
+                help: HELP_DANGLING,
+            });
+            continue;
+        };
+        if anchor.kind == AnchorKind::Citation && !quote_matches(&anchor.quote, &req.quote) {
+            violations.push(Violation {
+                path: anchor.path.clone(),
+                line: anchor.line,
+                lint: "stale-quote",
+                message: format!(
+                    "quoted text no longer matches {}#{}",
+                    anchor.spec_file, anchor.id
+                ),
+                help: HELP_STALE,
+            });
+            continue;
+        }
+        resolved.push(anchor);
+    }
+
+    // Coverage: every MUST needs an anchor or an exception.
+    let mut report = Report::default();
+    for (rel, spec) in &specs {
+        let mut entries = Vec::new();
+        for req in &spec.specs {
+            let matching: Vec<&&Anchor> =
+                resolved.iter().filter(|a| a.spec_file == *rel && a.id == req.id).collect();
+            let mut exceptions: Vec<String> = spec
+                .exceptions
+                .iter()
+                .filter(|e| e.spec == req.id)
+                .map(|e| e.reason.clone())
+                .collect();
+            exceptions.extend(matching.iter().filter_map(|a| a.reason.clone()));
+            let anchor_refs: Vec<(String, usize, AnchorKind)> =
+                matching.iter().map(|a| (a.path.clone(), a.line, a.kind)).collect();
+            if req.level == Level::Must && anchor_refs.is_empty() && exceptions.is_empty() {
+                violations.push(Violation {
+                    path: rel.clone(),
+                    line: req.line,
+                    lint: "unanchored-must",
+                    message: format!(
+                        "MUST requirement {:?} has no anchor and no exception",
+                        req.id
+                    ),
+                    help: HELP_UNANCHORED,
+                });
+            }
+            entries.push(EntryReport {
+                id: req.id.clone(),
+                level: req.level,
+                anchors: anchor_refs,
+                exceptions,
+            });
+        }
+        report.specs.push(SpecReport { file: rel.clone(), target: spec.target.clone(), entries });
+    }
+    (report, violations)
+}
+
+/// Renders the compliance report as pretty JSON (hand-rolled; stable
+/// key and array order so the file diffs cleanly).
+pub fn render_report(report: &Report, clean: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"agua-spec-compliance-v1\",\n");
+    out.push_str(&format!("  \"clean\": {clean},\n"));
+    out.push_str(&format!("  \"total_requirements\": {},\n", report.total_requirements()));
+    out.push_str(&format!("  \"total_must\": {},\n", report.total_must()));
+    out.push_str(&format!("  \"total_must_anchored\": {},\n", report.total_must_anchored()));
+    out.push_str(&format!(
+        "  \"must_coverage_pct\": {:.1},\n",
+        pct(report.total_must_anchored(), report.total_must())
+    ));
+    out.push_str("  \"specs\": [");
+    for (n, spec) in report.specs.iter().enumerate() {
+        if n > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n");
+        out.push_str(&format!("      \"file\": {},\n", json_string(&spec.file)));
+        out.push_str(&format!("      \"target\": {},\n", json_string(&spec.target)));
+        out.push_str(&format!("      \"requirements\": {},\n", spec.entries.len()));
+        out.push_str(&format!("      \"must\": {},\n", spec.must()));
+        out.push_str(&format!("      \"must_anchored\": {},\n", spec.must_anchored()));
+        out.push_str(&format!(
+            "      \"must_coverage_pct\": {:.1},\n",
+            pct(spec.must_anchored(), spec.must())
+        ));
+        out.push_str("      \"entries\": [");
+        for (m, entry) in spec.entries.iter().enumerate() {
+            if m > 0 {
+                out.push(',');
+            }
+            out.push_str("\n        {");
+            out.push_str(&format!("\"id\": {}, ", json_string(&entry.id)));
+            out.push_str(&format!("\"level\": {}, ", json_string(entry.level.as_str())));
+            out.push_str("\"anchors\": [");
+            for (k, (path, line, kind)) in entry.anchors.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"path\": {}, \"line\": {line}, \"kind\": {}}}",
+                    json_string(path),
+                    json_string(kind.as_str())
+                ));
+            }
+            out.push_str("], \"exceptions\": [");
+            for (k, reason) in entry.exceptions.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_string(reason));
+            }
+            out.push_str("]}");
+        }
+        if !spec.entries.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }");
+    }
+    if !report.specs.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// CLI entry point: check, write `results/spec_compliance.json`, print
+/// findings. Returns `true` when compliant.
+pub fn run(root: &Path, format: Format) -> bool {
+    if !root.join("specs").is_dir() {
+        eprintln!("spec: no specs/ directory under {} — wrong --root?", root.display());
+        return false;
+    }
+    let (report, violations) = check(root);
+    let clean = violations.is_empty();
+
+    let results = root.join("results");
+    let out_path = results.join("spec_compliance.json");
+    if let Err(e) = std::fs::create_dir_all(&results)
+        .and_then(|_| std::fs::write(&out_path, render_report(&report, clean)))
+    {
+        eprintln!("spec: cannot write {}: {e}", out_path.display());
+        return false;
+    }
+
+    print_violations(&violations, format);
+    if format == Format::Human {
+        if clean {
+            println!(
+                "spec: OK — {} requirements ({} MUST, {:.1}% anchored) across {} spec files",
+                report.total_requirements(),
+                report.total_must(),
+                pct(report.total_must_anchored(), report.total_must()),
+                report.specs.len(),
+            );
+        } else {
+            println!("spec: {} violation(s)", violations.len());
+        }
+        println!("spec: report written to {}", out_path.display());
+    }
+    clean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    /// A minimal on-disk workspace for exercising the real checker.
+    fn fixture(name: &str, files: &[(&str, &str)]) -> PathBuf {
+        let root = std::env::temp_dir().join("agua-spec-fixtures").join(name);
+        let _ = fs::remove_dir_all(&root);
+        for (rel, content) in files {
+            let path = root.join(rel);
+            fs::create_dir_all(path.parent().unwrap()).unwrap();
+            fs::write(path, content).unwrap();
+        }
+        root
+    }
+
+    fn lints(violations: &[Violation]) -> Vec<&'static str> {
+        violations.iter().map(|v| v.lint).collect()
+    }
+
+    const SPEC: &str = "target = \"DESIGN.md#test\"\n\n[[spec]]\nid = \"ordered\"\nlevel = \"MUST\"\nquote = '''\nreductions MUST accumulate in ascending k order\nwithin every output row\n'''\n";
+
+    /// The real workspace must stay compliant: every MUST requirement in
+    /// `specs/` is anchored, every anchor resolves, every quote is fresh.
+    /// This is the in-process twin of `cargo xtask spec` in ci.sh.
+    #[test]
+    fn workspace_is_compliant() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        if !root.join("specs").is_dir() {
+            eprintln!("workspace specs/ not found; skipping");
+            return;
+        }
+        let (report, violations) = check(&root);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(report.total_must() >= 20, "spec corpus shrank unexpectedly");
+        assert_eq!(report.total_must(), report.total_must_anchored());
+    }
+
+    #[test]
+    fn anchored_must_is_compliant_and_reported() {
+        let root = fixture(
+            "clean",
+            &[
+                ("specs/test.toml", SPEC),
+                (
+                    "crates/x/src/lib.rs",
+                    "//= spec: specs/test.toml#ordered\n//# reductions MUST accumulate in ascending k order\npub fn f() {}\n",
+                ),
+            ],
+        );
+        let (report, violations) = check(&root);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(report.total_must(), 1);
+        assert_eq!(report.total_must_anchored(), 1);
+        let json = render_report(&report, true);
+        assert!(json.contains("\"must_coverage_pct\": 100.0"));
+        assert!(json.contains("\"kind\": \"citation\""));
+        assert!(json.contains("\"path\": \"crates/x/src/lib.rs\""));
+    }
+
+    #[test]
+    fn dangling_anchor_fails() {
+        // Unknown requirement id.
+        let root = fixture(
+            "dangling-id",
+            &[
+                ("specs/test.toml", SPEC),
+                (
+                    "crates/x/src/lib.rs",
+                    "//= spec: specs/test.toml#ghost\n//# reductions MUST accumulate\npub fn f() {}\n",
+                ),
+            ],
+        );
+        let (_, violations) = check(&root);
+        assert!(lints(&violations).contains(&"dangling-anchor"), "{violations:?}");
+
+        // Unknown spec file.
+        let root = fixture(
+            "dangling-file",
+            &[
+                ("specs/test.toml", SPEC),
+                (
+                    "crates/x/src/lib.rs",
+                    "//= spec: specs/test.toml#ordered\n//# ascending k order\n//= spec: specs/ghost.toml#ordered\n//# ascending k order\npub fn f() {}\n",
+                ),
+            ],
+        );
+        let (_, violations) = check(&root);
+        assert_eq!(lints(&violations), vec!["dangling-anchor"]);
+    }
+
+    #[test]
+    fn stale_quote_fails() {
+        let root = fixture(
+            "stale",
+            &[
+                ("specs/test.toml", SPEC),
+                (
+                    "crates/x/src/lib.rs",
+                    "//= spec: specs/test.toml#ordered\n//# reductions MUST accumulate in DESCENDING k order\npub fn f() {}\n",
+                ),
+            ],
+        );
+        let (_, violations) = check(&root);
+        // The stale anchor no longer covers the MUST either.
+        assert_eq!(lints(&violations), vec!["stale-quote", "unanchored-must"]);
+    }
+
+    #[test]
+    fn unanchored_must_fails_but_should_does_not() {
+        let spec = format!(
+            "{SPEC}\n[[spec]]\nid = \"advisory\"\nlevel = \"SHOULD\"\nquote = \"batched paths SHOULD reuse the kernels\"\n"
+        );
+        let root = fixture(
+            "unanchored",
+            &[("specs/test.toml", spec.as_str()), ("crates/x/src/lib.rs", "pub fn f() {}\n")],
+        );
+        let (report, violations) = check(&root);
+        assert_eq!(lints(&violations), vec!["unanchored-must"]);
+        assert_eq!(report.total_requirements(), 2);
+        assert_eq!(report.total_must(), 1);
+        assert_eq!(report.total_must_anchored(), 0);
+    }
+
+    #[test]
+    fn exceptions_cover_a_must() {
+        // In code, with a reason.
+        let root = fixture(
+            "exception-code",
+            &[
+                ("specs/test.toml", SPEC),
+                (
+                    "crates/x/src/lib.rs",
+                    "//= spec: specs/test.toml#ordered\n//= type: exception\n//= reason: scalar tail has a fixed order by construction\npub fn f() {}\n",
+                ),
+            ],
+        );
+        let (report, violations) = check(&root);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(report.total_must_anchored(), 1);
+        assert!(render_report(&report, true).contains("scalar tail"));
+
+        // In the spec file itself.
+        let spec = format!(
+            "{SPEC}\n[[exception]]\nspec = \"ordered\"\nreason = \"verified by the loom suite\"\n"
+        );
+        let root = fixture(
+            "exception-toml",
+            &[("specs/test.toml", spec.as_str()), ("crates/x/src/lib.rs", "pub fn f() {}\n")],
+        );
+        let (_, violations) = check(&root);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn malformed_anchors_are_loud() {
+        let cases: &[(&str, &str)] = &[
+            // Citation with no quoted lines.
+            ("//= spec: specs/test.toml#ordered\npub fn f() {}\n", "quotes no requirement text"),
+            // Exception without a reason.
+            (
+                "//= spec: specs/test.toml#ordered\n//= type: exception\npub fn f() {}\n",
+                "no `//= reason:`",
+            ),
+            // Citation that is not specs/<file>.toml#<id>.
+            (
+                "//= spec: determinism#ordered\n//# x\npub fn f() {}\n",
+                "not `specs/<file>.toml#<id>`",
+            ),
+            // Stray quote line.
+            ("//# orphan quote\npub fn f() {}\n", "outside an anchor block"),
+            // Unknown directive.
+            (
+                "//= spec: specs/test.toml#ordered\n//= level: MUST\n//# x\npub fn f() {}\n",
+                "unknown anchor directive",
+            ),
+        ];
+        for (src, needle) in cases {
+            let (_, violations) = scan_anchors("crates/x/src/lib.rs", src);
+            assert!(
+                violations
+                    .iter()
+                    .any(|v| v.lint == "malformed-anchor" && v.message.contains(needle)),
+                "{src:?} -> {violations:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn anchors_inside_strings_do_not_count() {
+        // The only anchor-shaped text is inside a string literal, so
+        // the MUST requirement stays unanchored.
+        let root = fixture(
+            "masked",
+            &[
+                ("specs/test.toml", SPEC),
+                (
+                    "crates/x/src/lib.rs",
+                    "pub const DOC: &str = \"//= spec: specs/test.toml#ordered\\n//# ascending k order\";\n",
+                ),
+            ],
+        );
+        let (_, violations) = check(&root);
+        assert_eq!(lints(&violations), vec!["unanchored-must"]);
+    }
+
+    #[test]
+    fn malformed_spec_file_fails_the_check() {
+        let root = fixture(
+            "malformed-spec",
+            &[("specs/test.toml", "[[typo]]\n"), ("crates/x/src/lib.rs", "pub fn f() {}\n")],
+        );
+        let (_, violations) = check(&root);
+        assert_eq!(lints(&violations), vec!["malformed-spec"]);
+    }
+
+    #[test]
+    fn back_to_back_anchors_both_count() {
+        let spec = format!(
+            "{SPEC}\n[[spec]]\nid = \"second\"\nlevel = \"MUST\"\nquote = \"rows are written by exactly one executor\"\n"
+        );
+        let src = "//= spec: specs/test.toml#ordered\n//# ascending k order\n//= spec: specs/test.toml#second\n//# exactly one executor\npub fn f() {}\n";
+        let root = fixture(
+            "back-to-back",
+            &[("specs/test.toml", spec.as_str()), ("crates/x/src/lib.rs", src)],
+        );
+        let (report, violations) = check(&root);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(report.total_must_anchored(), 2);
+    }
+
+    proptest! {
+        /// Re-wrapping and re-indenting a quote must not go stale.
+        #[test]
+        fn rewrapped_quotes_still_match(body in "[a-z ]{10,60}", width in 2usize..9) {
+            let requirement = format!("w{body}w");
+            let words: Vec<&str> = requirement.split_whitespace().collect();
+            let rewrapped = words
+                .chunks(width)
+                .map(|c| format!("   {}", c.join("  ")))
+                .collect::<Vec<_>>()
+                .join("\n");
+            prop_assert!(quote_matches(&rewrapped, &requirement));
+        }
+
+        /// An edited quote (text the requirement never contained) must
+        /// go stale.
+        #[test]
+        fn edited_quotes_do_not_match(body in "[a-z ]{10,60}") {
+            let requirement = format!("w{body}w");
+            let edited = format!("{requirement} 0edit0");
+            prop_assert!(!quote_matches(&edited, &requirement));
+        }
+    }
+}

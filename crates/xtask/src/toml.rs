@@ -1,0 +1,376 @@
+//! A hand-rolled parser for the `specs/*.toml` requirement files.
+//!
+//! Same zero-dependency discipline as `perfdiff`'s JSON reader: the
+//! spec engine must not pull a TOML crate into the workspace, so this
+//! module parses exactly the subset the requirement files use —
+//! top-level `key = "value"` pairs, `[[spec]]` / `[[exception]]`
+//! array-of-table headers, basic strings with the common escapes,
+//! `'''…'''` multi-line literal strings, `#` comments, and blank
+//! lines. Anything else is a hard error with a line number: a spec
+//! file that cannot be parsed is a compliance failure, not a warning.
+//!
+//! The shape mirrors s2n-quic's duvet requirement files:
+//!
+//! ```toml
+//! target = "DESIGN.md#section-8"
+//!
+//! [[spec]]
+//! id = "k-ascending"
+//! level = "MUST"
+//! quote = '''
+//! Reductions MUST accumulate in ascending k order.
+//! '''
+//!
+//! [[exception]]
+//! spec = "k-ascending"
+//! reason = "scalar tail is covered by the kernel equivalence tests"
+//! ```
+
+/// Requirement strength. `MUST` is enforced by the checker; `SHOULD`
+/// and `MAY` are reported in coverage but never fail the build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    Must,
+    Should,
+    May,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Must => "MUST",
+            Level::Should => "SHOULD",
+            Level::May => "MAY",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Level> {
+        match s {
+            "MUST" => Some(Level::Must),
+            "SHOULD" => Some(Level::Should),
+            "MAY" => Some(Level::May),
+            _ => None,
+        }
+    }
+}
+
+/// One `[[spec]]` table: a quoted normative requirement.
+#[derive(Debug, Clone)]
+pub struct Requirement {
+    pub id: String,
+    pub level: Level,
+    pub quote: String,
+    /// Line of the `[[spec]]` header, for diagnostics.
+    pub line: usize,
+}
+
+/// One `[[exception]]` table: a requirement deliberately not anchored
+/// in code, with the reason recorded in the spec file itself.
+#[derive(Debug, Clone)]
+pub struct SpecException {
+    pub spec: String,
+    pub reason: String,
+    pub line: usize,
+}
+
+/// A parsed requirement file.
+#[derive(Debug, Clone, Default)]
+pub struct SpecFile {
+    /// What the requirements are quoted from (a document section).
+    pub target: String,
+    pub specs: Vec<Requirement>,
+    pub exceptions: Vec<SpecException>,
+}
+
+/// A parse or validation failure, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, message: message.into() })
+}
+
+/// Which table the parser is currently filling.
+enum Table {
+    Top,
+    Spec { id: Option<String>, level: Option<Level>, quote: Option<String>, line: usize },
+    Exception { spec: Option<String>, reason: Option<String>, line: usize },
+}
+
+/// Parses one requirement file. Validates as it goes: duplicate ids,
+/// unknown levels, missing fields, and exceptions naming unknown
+/// requirements are all errors.
+pub fn parse(source: &str) -> Result<SpecFile, ParseError> {
+    let mut out = SpecFile::default();
+    let mut table = Table::Top;
+    let lines: Vec<&str> = source.lines().collect();
+    let mut i = 0;
+
+    while i < lines.len() {
+        let lineno = i + 1;
+        let line = lines[i].trim();
+        if line.is_empty() || line.starts_with('#') {
+            i += 1;
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[").and_then(|r| r.strip_suffix("]]")) {
+            close_table(&mut out, table, lineno)?;
+            table = match header.trim() {
+                "spec" => Table::Spec { id: None, level: None, quote: None, line: lineno },
+                "exception" => Table::Exception { spec: None, reason: None, line: lineno },
+                other => return err(lineno, format!("unknown table [[{other}]]")),
+            };
+            i += 1;
+            continue;
+        }
+        if line.starts_with('[') {
+            return err(lineno, format!("unsupported table header {line}"));
+        }
+
+        let Some((key, rest)) = line.split_once('=') else {
+            return err(lineno, format!("expected `key = value`, got {line:?}"));
+        };
+        let key = key.trim();
+        let (value, consumed) = parse_value(&lines, i, rest.trim())?;
+        match (&mut table, key) {
+            (Table::Top, "target") => out.target = value,
+            (Table::Top, other) => return err(lineno, format!("unknown top-level key {other:?}")),
+            (Table::Spec { id, .. }, "id") => set_once(id, value, key, lineno)?,
+            (Table::Spec { level, .. }, "level") => {
+                let parsed = Level::parse(&value).ok_or(ParseError {
+                    line: lineno,
+                    message: format!("unknown level {value:?} (expected MUST, SHOULD, or MAY)"),
+                })?;
+                set_once(level, parsed, key, lineno)?;
+            }
+            (Table::Spec { quote, .. }, "quote") => set_once(quote, value, key, lineno)?,
+            (Table::Spec { .. }, other) => {
+                return err(lineno, format!("unknown [[spec]] key {other:?}"))
+            }
+            (Table::Exception { spec, .. }, "spec") => set_once(spec, value, key, lineno)?,
+            (Table::Exception { reason, .. }, "reason") => set_once(reason, value, key, lineno)?,
+            (Table::Exception { .. }, other) => {
+                return err(lineno, format!("unknown [[exception]] key {other:?}"))
+            }
+        }
+        i += consumed;
+    }
+    close_table(&mut out, table, lines.len() + 1)?;
+
+    // Cross-checks: ids are unique and exceptions reference real specs.
+    for (n, spec) in out.specs.iter().enumerate() {
+        if out.specs[..n].iter().any(|s| s.id == spec.id) {
+            return err(spec.line, format!("duplicate requirement id {:?}", spec.id));
+        }
+    }
+    for exc in &out.exceptions {
+        if !out.specs.iter().any(|s| s.id == exc.spec) {
+            return err(exc.line, format!("exception names unknown requirement {:?}", exc.spec));
+        }
+    }
+    Ok(out)
+}
+
+fn set_once<T>(slot: &mut Option<T>, value: T, key: &str, line: usize) -> Result<(), ParseError> {
+    if slot.is_some() {
+        return err(line, format!("duplicate key {key:?}"));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+/// Flushes the table being filled, checking required fields.
+fn close_table(out: &mut SpecFile, table: Table, at: usize) -> Result<(), ParseError> {
+    match table {
+        Table::Top => {}
+        Table::Spec { id, level, quote, line } => {
+            let id = id.ok_or(ParseError { line, message: "[[spec]] missing `id`".into() })?;
+            let level = level
+                .ok_or(ParseError { line, message: format!("[[spec]] {id:?} missing `level`") })?;
+            let quote = quote
+                .ok_or(ParseError { line, message: format!("[[spec]] {id:?} missing `quote`") })?;
+            if quote.trim().is_empty() {
+                return err(line, format!("[[spec]] {id:?} has an empty quote"));
+            }
+            let _ = at;
+            out.specs.push(Requirement { id, level, quote, line });
+        }
+        Table::Exception { spec, reason, line } => {
+            let spec =
+                spec.ok_or(ParseError { line, message: "[[exception]] missing `spec`".into() })?;
+            let reason = reason.ok_or(ParseError {
+                line,
+                message: format!("[[exception]] for {spec:?} missing `reason`"),
+            })?;
+            if reason.trim().is_empty() {
+                return err(line, format!("[[exception]] for {spec:?} has an empty reason"));
+            }
+            out.exceptions.push(SpecException { spec, reason, line });
+        }
+    }
+    Ok(())
+}
+
+/// Parses the value part of a `key = value` line starting at `lines[i]`.
+/// Returns the string value and how many source lines were consumed.
+fn parse_value(lines: &[&str], i: usize, rest: &str) -> Result<(String, usize), ParseError> {
+    let lineno = i + 1;
+    if let Some(body) = rest.strip_prefix("'''") {
+        // Multi-line literal string. A closer on the opening line makes
+        // it single-line; otherwise the body runs to the next `'''`.
+        if let Some(inline) = body.find("'''") {
+            return Ok((body[..inline].to_string(), 1));
+        }
+        if !body.trim().is_empty() {
+            return err(lineno, "text after opening ''' must start on the next line");
+        }
+        let mut collected = Vec::new();
+        for (extra, raw) in lines[i + 1..].iter().enumerate() {
+            if raw.trim_end() == "'''" {
+                return Ok((collected.join("\n"), extra + 2));
+            }
+            collected.push(raw.to_string());
+        }
+        return err(lineno, "unterminated ''' string");
+    }
+    if let Some(body) = rest.strip_prefix('"') {
+        return Ok((parse_basic_string(body, lineno)?, 1));
+    }
+    if let Some(body) = rest.strip_prefix('\'') {
+        let Some(end) = body.find('\'') else {
+            return err(lineno, "unterminated literal string");
+        };
+        if !after_is_comment_or_empty(&body[end + 1..]) {
+            return err(lineno, "trailing garbage after string value");
+        }
+        return Ok((body[..end].to_string(), 1));
+    }
+    err(lineno, format!("unsupported value {rest:?} (expected a string)"))
+}
+
+/// Basic `"…"` string with `\"`, `\\`, `\n`, `\t` escapes.
+fn parse_basic_string(body: &str, lineno: usize) -> Result<String, ParseError> {
+    let mut out = String::new();
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                let rest: String = chars.collect();
+                if !after_is_comment_or_empty(&rest) {
+                    return err(lineno, "trailing garbage after string value");
+                }
+                return Ok(out);
+            }
+            '\\' => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => return err(lineno, format!("unsupported escape \\{other}")),
+                None => return err(lineno, "dangling escape at end of line"),
+            },
+            other => out.push(other),
+        }
+    }
+    err(lineno, "unterminated string")
+}
+
+fn after_is_comment_or_empty(rest: &str) -> bool {
+    let rest = rest.trim();
+    rest.is_empty() || rest.starts_with('#')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WELL_FORMED: &str = r##"
+# A requirement file.
+target = "DESIGN.md#section-8"
+
+[[spec]]
+id = "k-ascending"
+level = "MUST"
+quote = '''
+Reductions MUST accumulate
+in ascending k order.
+'''
+
+[[spec]]
+id = "advisory"
+level = "SHOULD"
+quote = "Single-line quotes work too."
+
+[[exception]]
+spec = "advisory"
+reason = "covered by the equivalence suite"
+"##;
+
+    #[test]
+    fn parses_quotes_levels_and_exceptions() {
+        let file = parse(WELL_FORMED).expect("well-formed file parses");
+        assert_eq!(file.target, "DESIGN.md#section-8");
+        assert_eq!(file.specs.len(), 2);
+        assert_eq!(file.specs[0].id, "k-ascending");
+        assert_eq!(file.specs[0].level, Level::Must);
+        assert_eq!(file.specs[0].quote, "Reductions MUST accumulate\nin ascending k order.");
+        assert_eq!(file.specs[1].level, Level::Should);
+        assert_eq!(file.exceptions.len(), 1);
+        assert_eq!(file.exceptions[0].spec, "advisory");
+    }
+
+    #[test]
+    fn basic_string_escapes_and_comments() {
+        let src = "target = \"a \\\"b\\\" c\" # trailing comment\n";
+        assert_eq!(parse(src).unwrap().target, "a \"b\" c");
+    }
+
+    #[test]
+    fn malformed_files_error_with_line_numbers() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("target = \"x\"\n[[typo]]\n", 2, "unknown table"),
+            ("nonsense\n", 1, "expected `key = value`"),
+            ("target = \"unterminated\n", 1, "unterminated string"),
+            ("[[spec]]\nid = \"a\"\nlevel = \"MUST\"\n", 1, "missing `quote`"),
+            ("[[spec]]\nid = \"a\"\nquote = \"q\"\nlevel = \"MOST\"\n", 4, "unknown level"),
+            ("[[spec]]\nid = \"a\"\nid = \"b\"\n", 3, "duplicate key"),
+            ("[[exception]]\nspec = \"ghost\"\nreason = \"r\"\n", 1, "unknown requirement"),
+            (
+                "[[spec]]\nid = \"a\"\nlevel = \"MUST\"\nquote = '''\nnever closed\n",
+                4,
+                "unterminated '''",
+            ),
+            ("mystery = \"v\"\n", 1, "unknown top-level key"),
+        ];
+        for (src, line, needle) in cases {
+            let e = parse(src).expect_err(src);
+            assert_eq!(e.line, *line, "wrong line for {src:?}: {e}");
+            assert!(e.message.contains(needle), "{src:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn duplicate_requirement_ids_are_rejected() {
+        let src = "[[spec]]\nid = \"a\"\nlevel = \"MUST\"\nquote = \"q\"\n\
+                   [[spec]]\nid = \"a\"\nlevel = \"MAY\"\nquote = \"r\"\n";
+        let e = parse(src).expect_err("duplicate id");
+        assert!(e.message.contains("duplicate requirement id"));
+    }
+
+    #[test]
+    fn exception_requires_a_nonempty_reason() {
+        let src = "[[spec]]\nid = \"a\"\nlevel = \"MUST\"\nquote = \"q\"\n\
+                   [[exception]]\nspec = \"a\"\nreason = \"  \"\n";
+        let e = parse(src).expect_err("blank reason");
+        assert!(e.message.contains("empty reason"));
+    }
+}
