@@ -163,10 +163,67 @@ else
 fi
 echo "    bench report ok: $(wc -c <results/BENCH_parallel.json) bytes"
 
+echo "==> serve smoke: daemon + loadgen --smoke, contracts + schema"
+rm -f results/BENCH_serve.json
+serve_addr_file="$(mktemp)"
+rm -f "$serve_addr_file"
+cargo run --release -p agua-serve --bin agua-serve -- \
+  --fit ddos --samples 150 --addr 127.0.0.1:0 --addr-file "$serve_addr_file" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 1 600); do
+  [ -s "$serve_addr_file" ] && break
+  kill -0 "$serve_pid" 2>/dev/null || break
+  sleep 0.1
+done
+test -s "$serve_addr_file" || {
+  echo "agua-serve never published its address" >&2; exit 1
+}
+# loadgen exits nonzero on any byte-identity or reload-contract
+# violation; the report carries the latency/RPS numbers.
+cargo run --release -p agua-serve --bin loadgen -- \
+  --addr-file "$serve_addr_file" --smoke
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+trap - EXIT
+rm -f "$serve_addr_file"
+test -s results/BENCH_serve.json
+if command -v jq >/dev/null 2>&1; then
+  jq -e '
+    .smoke == true
+    and (.clients | type == "array" and length > 0)
+    and (.requests_per_client | type == "number")
+    and (.identity | .compared > 0 and .mismatched == 0)
+    and .reload.byte_identical == true
+    and .reload.generation_bumped == true
+    and ([.modes.sequential, .modes.coalesced][]
+         | type == "object" and length > 0)
+    and ([.modes[] | to_entries[].value] | all(
+      (.rps | type == "number")
+      and (.p50_ms | type == "number")
+      and (.p99_ms | type == "number")
+      and (.p999_ms | type == "number")
+      and (.mean_batch | type == "number")
+      and .s5xx == 0))
+    and (.speedup_coalesced_at_max_clients | type == "number")
+  ' <results/BENCH_serve.json >/dev/null
+else
+  for key in clients identity modes reload requests_per_client smoke \
+             speedup_coalesced_at_max_clients; do
+    grep -q "\"$key\"" results/BENCH_serve.json || {
+      echo "missing key in BENCH_serve.json: $key" >&2; exit 1
+    }
+  done
+  echo "    jq unavailable: schema keys checked"
+fi
+echo "    serve report ok: $(wc -c <results/BENCH_serve.json) bytes"
+
 # The perf-regression watchdog: the fresh report (smoke mode here, so
 # only the machine-independent absolute floors apply) against the
 # committed repo-root record. A full-mode rerun on the recording
-# machine additionally gets the relative speedup deltas.
+# machine additionally gets the relative speedup deltas. The serve
+# comparison rides along automatically now that a fresh
+# results/BENCH_serve.json exists.
 echo "==> cargo xtask perfdiff"
 cargo xtask perfdiff
 

@@ -37,4 +37,7 @@ pub use codec::{Artifact, CodecError};
 pub use data::{
     fit_agua, fit_agua_jobs, fit_agua_observed, labeler_for, AppData, FitJob, LlmVariant,
 };
-pub use store::{fnv1a, train_params_value, CacheMode, Keyed, Store, SCHEMA_VERSION};
+pub use store::{
+    fnv1a, q8_gate_evaluations, train_params_value, CacheMode, Keyed, Store, StoreWatch,
+    SCHEMA_VERSION,
+};

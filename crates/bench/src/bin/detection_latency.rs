@@ -8,11 +8,11 @@
 #![forbid(unsafe_code)]
 
 use agua::explain::concept_intensities;
-use agua::surrogate::TrainParams;
 use agua_app::codec::object;
-use agua_app::{LlmVariant, RolloutSpec, DDOS};
+use agua_app::DDOS;
 use agua_bench::ExperimentRunner;
 use agua_controllers::ddos::ATTACK;
+use agua_engine::FitSpec;
 use agua_nn::Matrix;
 use ddos_env::{DdosObservation, FlowKind, Timeline, TimelineConfig};
 use serde_json::Value;
@@ -20,24 +20,11 @@ use serde_json::Value;
 fn main() {
     let runner =
         ExperimentRunner::new("Detection latency", "Streaming timelines through the detector");
-    let store = runner.store();
 
     println!("\ntraining detector and fitting Agua…");
-    let detector = store.controller(&DDOS, 31, runner.obs());
-    let train = store.rollout(
-        &DDOS,
-        &detector,
-        &RolloutSpec::new(runner.size(1000, 150), 32),
-        runner.obs(),
-    );
-    let (model, _) = store.surrogate(
-        &DDOS,
-        LlmVariant::HighQuality,
-        &TrainParams::tuned(),
-        42,
-        &train,
-        runner.obs(),
-    );
+    let fitted = runner.fit(&DDOS, &FitSpec::standard(runner.size(1000, 150)));
+    let detector = &fitted.controller;
+    let model = &fitted.model;
 
     let mut results = Vec::new();
     println!(
@@ -88,9 +75,8 @@ fn main() {
         assert_eq!(latencies.len(), 10, "the detector must lock on in every timeline");
 
         // Concept intensities pre vs post onset.
-        let pre = concept_intensities(&model, &detector.embeddings(&Matrix::from_rows(&pre_rows)));
-        let post =
-            concept_intensities(&model, &detector.embeddings(&Matrix::from_rows(&post_rows)));
+        let pre = concept_intensities(model, &detector.embeddings(&Matrix::from_rows(&pre_rows)));
+        let post = concept_intensities(model, &detector.embeddings(&Matrix::from_rows(&post_rows)));
         let mut shift: Vec<(String, f32)> = model
             .concept_names
             .iter()

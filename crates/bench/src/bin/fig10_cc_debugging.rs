@@ -11,12 +11,12 @@
 #![forbid(unsafe_code)]
 
 use agua::explain::{batched, concept_intensities, majority_class};
-use agua::surrogate::TrainParams;
 use agua_app::codec::object;
-use agua_app::{LlmVariant, RolloutSpec, CC, CC_DEBUGGED};
+use agua_app::{RolloutSpec, CC, CC_DEBUGGED};
 use agua_bench::report::sparkline;
 use agua_bench::ExperimentRunner;
 use agua_controllers::cc::{rollout_throughput, utilization_stats};
+use agua_engine::FitSpec;
 use cc_env::LinkPattern;
 use serde_json::Value;
 
@@ -29,17 +29,14 @@ fn main() {
 
     // Step 1 — diagnose: explain the original controller on the stable link.
     println!("\ntraining the original (buggy) controller…");
-    let original = store.controller(&CC, 21, runner.obs());
-    let train =
-        store.rollout(&CC, &original, &RolloutSpec::new(runner.size(2000, 400), 22), runner.obs());
-    let (model, _) = store.surrogate(
-        &CC,
-        LlmVariant::HighQuality,
-        &TrainParams::tuned(),
-        42,
-        &train,
-        runner.obs(),
-    );
+    let spec = FitSpec {
+        controller_seed: 21,
+        rollout: RolloutSpec::new(runner.size(2000, 400), 22),
+        ..FitSpec::standard(0)
+    };
+    let fitted = runner.fit(&CC, &spec);
+    let original = &fitted.controller;
+    let model = &fitted.model;
     // Explain the states the controller visits on the stable link where
     // it should NOT be reacting.
     let mut sim = cc_env::CcSimulator::with_history(
@@ -74,8 +71,8 @@ fn main() {
 
     // Diagnosis 1 — what distinguishes the cut moments from the
     // rollout baseline, at the concept level?
-    let base_int = concept_intensities(&model, &all_embeddings);
-    let cut_int = concept_intensities(&model, &cut_embeddings);
+    let base_int = concept_intensities(model, &all_embeddings);
+    let cut_int = concept_intensities(model, &cut_embeddings);
     let mut deltas: Vec<(String, f32)> = model
         .concept_names
         .iter()
@@ -89,8 +86,8 @@ fn main() {
     }
 
     // Diagnosis 2 — the batched explanation for the cut decisions.
-    let cut_class = majority_class(&model, &cut_embeddings);
-    let diag = batched(&model, &cut_embeddings, cut_class);
+    let cut_class = majority_class(model, &cut_embeddings);
+    let diag = batched(model, &cut_embeddings, cut_class);
     println!("\nbatched explanation of the cut decisions (class {cut_class}):");
     for c in diag.contributions.iter().take(3) {
         println!("  {:<40} {:.4}", c.concept, c.weight);
@@ -105,7 +102,7 @@ fn main() {
     let debugged = store.controller(&CC_DEBUGGED, 21, runner.obs());
 
     // Step 3 — compare on the stable link.
-    let orig_series = rollout_throughput(&original, CC.variant(), pattern, 600, 9);
+    let orig_series = rollout_throughput(original, CC.variant(), pattern, 600, 9);
     let fixed_series = rollout_throughput(&debugged, CC_DEBUGGED.variant(), pattern, 600, 9);
     let settle = 150; // skip the ramp-up
     let (orig_util, orig_cv) = utilization_stats(&orig_series[settle..]);

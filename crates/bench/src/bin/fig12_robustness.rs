@@ -13,12 +13,10 @@
 
 use agua::explain::factual;
 use agua::robustness::{mean_recall_at_k, recall, top_k_indices};
-use agua::surrogate::TrainParams;
 use agua_app::codec::object;
-use agua_app::{
-    abr_app, labeler_for, AppData, Application, LlmVariant, RolloutSpec, ABR, CC, DDOS,
-};
+use agua_app::{abr_app, AppData, Application, RolloutSpec, ABR, CC, DDOS};
 use agua_bench::ExperimentRunner;
+use agua_engine::FitSpec;
 use agua_nn::Matrix;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -72,14 +70,16 @@ fn run_app(
     seed: u64,
 ) -> RobustnessRow {
     let store = runner.store();
-    let controller = store.controller(app, controller_seed, runner.obs());
-    let train = store.rollout(app, &controller, train_spec, runner.obs());
-    let probe = store.rollout(app, &controller, probe_spec, runner.obs());
+    let fitted = runner.fit(
+        app,
+        &FitSpec { controller_seed, rollout: train_spec.clone(), ..FitSpec::standard(0) },
+    );
+    let controller = &fitted.controller;
+    let model = &fitted.model;
+    let labeler = &fitted.labeler;
+    let probe = store.rollout(app, controller, probe_spec, runner.obs());
 
-    let variant = LlmVariant::HighQuality;
-    let labeler = labeler_for(&app.concepts(), variant);
-    let (model, _) = store.surrogate(app, variant, &TrainParams::tuned(), 42, &train, runner.obs());
-    let std = feature_std(&train);
+    let std = feature_std(&fitted.train);
     let mut rng = StdRng::seed_from_u64(seed);
 
     let mut multi_query = Vec::new();
@@ -118,7 +118,7 @@ fn run_app(
 
         // (c) Noise into the trained explainer.
         let base_emb = controller.embeddings(&Matrix::row_vector(features));
-        let base_exp = factual(&model, &base_emb);
+        let base_exp = factual(model, &base_emb);
         let base_scores: Vec<f32> = model
             .concept_names
             .iter()
@@ -136,7 +136,7 @@ fn run_app(
         for _ in 0..QUERIES {
             let noised = add_noise(features, &std, &mut rng);
             let emb = controller.embeddings(&Matrix::row_vector(&noised));
-            let exp = factual(&model, &emb);
+            let exp = factual(model, &emb);
             let scores: Vec<f32> = model
                 .concept_names
                 .iter()

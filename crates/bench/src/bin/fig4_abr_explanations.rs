@@ -11,12 +11,11 @@
 
 #![forbid(unsafe_code)]
 
-use agua::explain::{counterfactual, factual, ConceptContribution};
-use agua::surrogate::TrainParams;
+use agua::explain::{ConceptContribution, RowQuery};
 use agua_app::codec::object;
-use agua_app::{abr_app, Application, LlmVariant, RolloutSpec, ABR};
+use agua_app::{abr_app, Application, RolloutSpec, ABR};
 use agua_bench::ExperimentRunner;
-use agua_nn::Matrix;
+use agua_engine::{serve_one, ExplainRequest, FitSpec};
 use serde_json::Value;
 
 fn top_pairs(contributions: &[ConceptContribution], n: usize) -> Value {
@@ -39,34 +38,38 @@ fn main() {
         "Figure 4",
         "Factual + counterfactual explanations, motivating ABR state",
     );
-    let store = runner.store();
 
     println!("\ntraining controller, rolling out, fitting Agua…");
-    let controller = store.controller(&ABR, 11, runner.obs());
     let n_traces = runner.size(40, 8) * abr_app::CHUNKS;
-    let train =
-        store.rollout(&ABR, &controller, &RolloutSpec::on("train2021", n_traces, 12), runner.obs());
-    let (model, _) = store.surrogate(
-        &ABR,
-        LlmVariant::HighQuality,
-        &TrainParams::tuned(),
-        42,
-        &train,
-        runner.obs(),
-    );
+    let spec = FitSpec {
+        controller_seed: 11,
+        rollout: RolloutSpec::on("train2021", n_traces, 12),
+        ..FitSpec::standard(0)
+    };
+    let session = runner.fit(&ABR, &spec).into_session(&ABR, &spec);
 
-    let obs = abr_app::motivating_observation();
-    let x = Matrix::row_vector(&obs.features());
-    let h = controller.embeddings(&x);
-    let chosen = controller.act(&obs.features());
+    // Serve both queries through the engine's one-shot path: the same
+    // validated request pipeline `agua-serve` coalesces, so this figure
+    // reproduces exactly what the daemon would return for this state.
+    let features = abr_app::motivating_observation().features();
+    let request = |query: RowQuery| ExplainRequest {
+        app: ABR.name().to_string(),
+        features: features.clone(),
+        query,
+    };
+    let served = serve_one(&session, &request(RowQuery::Factual), runner.obs())
+        .expect("factual explanation");
+    let chosen = served.verdict;
     println!("\ncontroller's choice for the motivating state: level {chosen}");
 
-    let fact = factual(&model, &h);
+    let fact = served.explanation;
     println!("\n(a) {}", fact.render(6));
 
     // Counterfactual: the operator expected a medium-quality bitrate.
     let medium = ABR.n_outputs() / 2;
-    let counter = counterfactual(&model, &h, medium);
+    let counter = serve_one(&session, &request(RowQuery::Counterfactual(medium)), runner.obs())
+        .expect("counterfactual explanation")
+        .explanation;
     println!("(b) {}", counter.render(6));
 
     // Spell out the absence reading the paper highlights for Fig. 4b.

@@ -13,10 +13,10 @@
 #![forbid(unsafe_code)]
 
 use agua::lifecycle::drift::{concept_proportions, detect_shift, tag_datasets};
-use agua::surrogate::TrainParams;
 use agua_app::codec::object;
-use agua_app::{abr_app, AppData, Application, LlmVariant, RolloutSpec, ABR};
+use agua_app::{abr_app, AppData, Application, RolloutSpec, ABR};
 use agua_bench::ExperimentRunner;
+use agua_engine::FitSpec;
 use agua_nn::Matrix;
 use serde_json::Value;
 
@@ -30,30 +30,23 @@ fn main() {
     let store = runner.store();
 
     println!("\ntraining controller and fitting Agua on 2021 data…");
-    let controller = store.controller(&ABR, 11, runner.obs());
-    let train = store.rollout(
-        &ABR,
-        &controller,
-        &RolloutSpec::on("train2021", 40 * abr_app::CHUNKS, 12),
-        runner.obs(),
-    );
-    let (model, _) = store.surrogate(
-        &ABR,
-        LlmVariant::HighQuality,
-        &TrainParams::tuned(),
-        42,
-        &train,
-        runner.obs(),
-    );
+    let spec = FitSpec {
+        controller_seed: 11,
+        rollout: RolloutSpec::on("train2021", 40 * abr_app::CHUNKS, 12),
+        ..FitSpec::standard(0)
+    };
+    let fitted = runner.fit(&ABR, &spec);
+    let controller = &fitted.controller;
+    let model = &fitted.model;
 
     println!("rolling out 2021 and 2024 trace sets…");
     let spec21 = RolloutSpec::on("train2021", 60 * abr_app::CHUNKS, 101);
     let spec24 = RolloutSpec::on("deploy2024", 60 * abr_app::CHUNKS, 202);
-    let data_2021 = store.rollout(&ABR, &controller, &spec21, runner.obs());
-    let data_2024 = store.rollout(&ABR, &controller, &spec24, runner.obs());
+    let data_2021 = store.rollout(&ABR, controller, &spec21, runner.obs());
+    let data_2024 = store.rollout(&ABR, controller, &spec24, runner.obs());
 
     let (tags_2021, tags_2024) =
-        tag_datasets(&model, &trace_batches(&data_2021), &trace_batches(&data_2024), 3);
+        tag_datasets(model, &trace_batches(&data_2021), &trace_batches(&data_2024), 3);
     let names = ABR.concepts().names();
     let p_2021 = concept_proportions(&tags_2021, &names);
     let p_2024 = concept_proportions(&tags_2024, &names);

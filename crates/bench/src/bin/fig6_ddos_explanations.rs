@@ -13,12 +13,12 @@
 #![forbid(unsafe_code)]
 
 use agua::explain::{batched, BatchedExplanation};
-use agua::surrogate::TrainParams;
 use agua_app::codec::object;
-use agua_app::{LlmVariant, RolloutSpec, DDOS};
+use agua_app::{RolloutSpec, DDOS};
 use agua_bench::report::bar;
 use agua_bench::ExperimentRunner;
 use agua_controllers::ddos::{ATTACK, BENIGN};
+use agua_engine::FitSpec;
 use serde_json::Value;
 
 fn top_contributions(e: &BatchedExplanation, n: usize) -> Value {
@@ -41,29 +41,16 @@ fn main() {
     let store = runner.store();
 
     println!("\ntraining detector, fitting Agua…");
-    let detector = store.controller(&DDOS, 31, runner.obs());
-    let train = store.rollout(
-        &DDOS,
-        &detector,
-        &RolloutSpec::new(runner.size(1000, 150), 32),
-        runner.obs(),
-    );
-    let (model, _) = store.surrogate(
-        &DDOS,
-        LlmVariant::HighQuality,
-        &TrainParams::tuned(),
-        42,
-        &train,
-        runner.obs(),
-    );
-
-    // The int8 mirror behind its fidelity gate: exercises the
+    // The engine's standard pipeline spec IS this figure's trio
+    // (controller seed 31, rollout seed 32, HQ labels, tuned params),
+    // with the int8 mirror behind its fidelity gate: exercises the
     // `surrogate_q8` artifact kind, so the warm-rerun `[store]` summary
     // shows hit/miss symmetry for the quantized weights too.
-    let q8 = store.surrogate_q8(&model, &train, 0.02, runner.obs());
-    let q8_report = match &q8 {
-        Ok((_, report)) | Err(report) => report.clone(),
-    };
+    let fitted = runner.fit(&DDOS, &FitSpec::standard(runner.size(1000, 150)).quantized(0.02));
+    let detector = &fitted.controller;
+    let model = &fitted.model;
+    let q8 = fitted.quantized.as_ref().expect("spec requested the int8 surrogate");
+    let q8_report = fitted.q8_report().expect("gate ran");
     println!(
         "int8 surrogate: fidelity {:.4} vs f32 {:.4} (drop {:+.4}, ε={}, gate {})",
         q8_report.quantized_fidelity,
@@ -76,13 +63,13 @@ fn main() {
     // (a) Benign flows classified benign.
     let benign = store.rollout(
         &DDOS,
-        &detector,
+        detector,
         &RolloutSpec::on("benign-http", runner.size(200, 60), 77),
         runner.obs(),
     );
     let benign_acc =
         benign.outputs.iter().filter(|&&y| y == BENIGN).count() as f32 / benign.len() as f32;
-    let be = batched(&model, &benign.embeddings, BENIGN);
+    let be = batched(model, &benign.embeddings, BENIGN);
     println!("\n(a) Benign HTTP flows — detector says benign for {:.0}%:", benign_acc * 100.0);
     let max_w = be.contributions[0].weight;
     for c in be.contributions.iter().take(5) {
@@ -92,12 +79,12 @@ fn main() {
     // (b) SYN-flood flows flagged as DDoS.
     let syn = store.rollout(
         &DDOS,
-        &detector,
+        detector,
         &RolloutSpec::on("syn-flood", runner.size(200, 60), 78),
         runner.obs(),
     );
     let syn_rate = syn.outputs.iter().filter(|&&y| y == ATTACK).count() as f32 / syn.len() as f32;
-    let se = batched(&model, &syn.embeddings, ATTACK);
+    let se = batched(model, &syn.embeddings, ATTACK);
     println!("\n(b) TCP SYN flood flows — flagged DDoS for {:.0}%:", syn_rate * 100.0);
     let max_w = se.contributions[0].weight;
     for c in se.contributions.iter().take(5) {

@@ -9,36 +9,28 @@
 #![forbid(unsafe_code)]
 
 use agua::explain::concept_intensities;
-use agua::surrogate::TrainParams;
 use agua_app::codec::object;
-use agua_app::{LlmVariant, RolloutSpec, CC};
+use agua_app::{RolloutSpec, CC};
 use agua_bench::report::sparkline;
 use agua_bench::ExperimentRunner;
+use agua_engine::FitSpec;
 use agua_nn::Matrix;
 use cc_env::{CapacityProcess, CcSimulator, LinkConfig, LinkPattern};
 use serde_json::Value;
 
 fn main() {
     let runner = ExperimentRunner::new("Figure 9", "CC behaviour timeline with dominant concepts");
-    let store = runner.store();
 
     println!("\ntraining Aurora-style controller and fitting Agua…");
     let variant = CC.variant();
-    let controller = store.controller(&CC, 21, runner.obs());
-    let train = store.rollout(
-        &CC,
-        &controller,
-        &RolloutSpec::new(runner.size(2000, 400), 22),
-        runner.obs(),
-    );
-    let (model, _) = store.surrogate(
-        &CC,
-        LlmVariant::HighQuality,
-        &TrainParams::tuned(),
-        42,
-        &train,
-        runner.obs(),
-    );
+    let spec = FitSpec {
+        controller_seed: 21,
+        rollout: RolloutSpec::new(runner.size(2000, 400), 22),
+        ..FitSpec::standard(0)
+    };
+    let fitted = runner.fit(&CC, &spec);
+    let controller = &fitted.controller;
+    let model = &fitted.model;
 
     // Roll out under the paper's cross-traffic workload.
     println!("rolling out under periodic cross traffic…");
@@ -73,7 +65,7 @@ fn main() {
         .collect();
     let window_intensities: Vec<Vec<f32>> = window_ranges
         .iter()
-        .map(|&(s, e)| concept_intensities(&model, &Matrix::from_rows(&embeddings[s..e])))
+        .map(|&(s, e)| concept_intensities(model, &Matrix::from_rows(&embeddings[s..e])))
         .collect();
     let c = model.concepts();
     let n_w = window_intensities.len() as f32;

@@ -12,7 +12,8 @@
 //! workers (the metrics aggregator and the store memo are both behind
 //! mutexes).
 
-use agua_app::Store;
+use agua_app::{Application, Store};
+use agua_engine::{fit_pipeline, FitSpec, FittedPipeline};
 use agua_obs::scoped::with_scoped_subscriber;
 use agua_obs::{span_end, span_start, Metrics, Stage, Subscriber};
 use serde::Serialize;
@@ -75,6 +76,16 @@ impl ExperimentRunner {
     /// The content-addressed artifact store.
     pub fn store(&self) -> &Store {
         &self.store
+    }
+
+    /// Runs the engine's controller → rollout → surrogate (→ int8 gate)
+    /// pipeline through this runner's store and metrics — the one call
+    /// that replaces the per-bin `store.controller` / `store.rollout` /
+    /// `store.surrogate` trio. The returned [`FittedPipeline`] keeps the
+    /// content-keyed stages (and `into_session` turns it into the
+    /// checkpoint the daemon serves).
+    pub fn fit(&self, app: &'static dyn Application, spec: &FitSpec) -> FittedPipeline {
+        fit_pipeline(&self.store, app, spec, &*self.metrics)
     }
 
     /// True when `--smoke` was passed.

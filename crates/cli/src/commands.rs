@@ -7,10 +7,10 @@
 
 use crate::args::Args;
 use crate::obs::{write_snapshot, CliObs};
-use agua::explain::{counterfactual_observed, factual_observed};
+use agua::explain::RowQuery;
 use agua::surrogate::TrainParams;
 use agua_app::{fit_agua_observed, Application, Checkpoint, CheckpointMeta, RolloutSpec};
-use agua_nn::Matrix;
+use agua_engine::{serve_one, AppSession, ExplainRequest};
 use agua_obs::scoped::with_scoped_subscriber;
 use agua_obs::{emit, span_end, span_start, Fanout, FitCompleted, Metrics, Stage, Subscriber};
 use agua_text::embedding::Embedder;
@@ -110,24 +110,27 @@ pub fn train(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn load_checkpoint(args: &Args, app: &dyn Application) -> Result<Checkpoint, String> {
+/// Loads `--model-dir` as an engine [`AppSession`] — the same loader
+/// and app-registry binding the daemon serves from.
+fn load_session(args: &Args, app: &dyn Application) -> Result<AppSession, String> {
     let dir = args.model_dir.as_deref().ok_or_else(|| "--model-dir is required".to_string())?;
-    let checkpoint = Checkpoint::load(Path::new(dir))?;
-    if checkpoint.meta.app != app.name() {
+    let session = AppSession::new(Checkpoint::load(Path::new(dir))?)?;
+    if session.name() != app.name() {
         return Err(format!(
             "checkpoint was trained for `{}` but --app is `{}`",
-            checkpoint.meta.app,
+            session.name(),
             app.name()
         ));
     }
-    Ok(checkpoint)
+    Ok(session)
 }
 
 /// `agua-cli fidelity --app <app> --model-dir <dir>`.
 pub fn fidelity(args: &Args) -> Result<(), String> {
     let app = args.require_app()?;
     let session = CliObs::from_args(args, "fidelity")?;
-    let ckpt = load_checkpoint(args, app)?;
+    let loaded = load_session(args, app)?;
+    let ckpt = loaded.checkpoint();
     println!("rolling {} fresh samples…", args.samples);
     let (data, fid) = session.observe(|obs| {
         let span = span_start(obs, Stage::Custom("fidelity_eval"));
@@ -150,7 +153,8 @@ pub fn fidelity(args: &Args) -> Result<(), String> {
 pub fn report(args: &Args) -> Result<(), String> {
     let app = args.require_app()?;
     let session = CliObs::from_args(args, "report")?;
-    let ckpt = load_checkpoint(args, app)?;
+    let loaded = load_session(args, app)?;
+    let ckpt = loaded.checkpoint();
     println!("rolling {} fresh samples…", args.samples);
     let report = session.observe(|obs| {
         let span = span_start(obs, Stage::Custom("report_rollout"));
@@ -167,30 +171,38 @@ pub fn report(args: &Args) -> Result<(), String> {
 }
 
 /// `agua-cli explain --app <app> --model-dir <dir> [--scenario s]`.
+///
+/// Serves through the engine's one-shot path ([`serve_one`]) — the
+/// same validated request pipeline the daemon coalesces, minus the
+/// queue — so the CLI's output bytes match what `agua-serve` returns
+/// for the same checkpoint and features.
 pub fn explain(args: &Args) -> Result<(), String> {
     let app = args.require_app()?;
     let session = CliObs::from_args(args, "explain")?;
-    let ckpt = load_checkpoint(args, app)?;
+    let loaded = load_session(args, app)?;
 
-    let features = app.scenario_features(&ckpt.controller, args.scenario.as_deref(), args.seed)?;
-    let x = Matrix::row_vector(&features);
-    let h = ckpt.controller.embeddings(&x);
-    let verdict = ckpt.controller.act(&features);
-    println!("controller output: class {verdict}");
-    if let Some(class) = args.counterfactual {
-        if class >= ckpt.meta.n_outputs {
-            return Err(format!(
-                "--counterfactual {class} out of range (controller has {} outputs)",
-                ckpt.meta.n_outputs
-            ));
-        }
-    }
+    let features = app.scenario_features(
+        &loaded.checkpoint().controller,
+        args.scenario.as_deref(),
+        args.seed,
+    )?;
+    let request = |query: RowQuery| ExplainRequest {
+        app: app.name().to_string(),
+        features: features.clone(),
+        query,
+    };
     session.observe(|obs| {
-        println!("{}", factual_observed(&ckpt.model, &h, obs).render(6));
+        let factual =
+            serve_one(&loaded, &request(RowQuery::Factual), obs).map_err(|e| e.to_string())?;
+        println!("controller output: class {}", factual.verdict);
+        println!("{}", factual.explanation.render(6));
         if let Some(class) = args.counterfactual {
-            println!("{}", counterfactual_observed(&ckpt.model, &h, class, obs).render(6));
+            let cf = serve_one(&loaded, &request(RowQuery::Counterfactual(class)), obs)
+                .map_err(|e| e.to_string())?;
+            println!("{}", cf.explanation.render(6));
         }
-    });
+        Ok::<(), String>(())
+    })?;
     session.finish()?;
     Ok(())
 }

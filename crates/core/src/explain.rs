@@ -236,6 +236,65 @@ fn explain_with(
     }
 }
 
+/// One request's query inside a coalesced batch: explain the
+/// surrogate's own choice, or a caller-named counterfactual class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowQuery {
+    /// Explain the class the surrogate picks for this row (Eq. 9).
+    Factual,
+    /// Explain the named class whether or not it was chosen (§3.6).
+    Counterfactual(usize),
+}
+
+/// Per-row explanations for a batch of independent single-input
+/// queries — the engine's request-coalescing kernel. One shared δ/Ω
+/// forward serves every row; row `r`'s explanation is then computed by
+/// the same attribution expressions as [`factual`] /
+/// [`counterfactual`] read from row `r`.
+///
+/// Every kernel under the forward is row-local with a fixed
+/// k-ascending accumulation order (matmul per-element chains,
+/// LayerNorm and softmax entirely within a row), so row `r` of the
+/// batched forward is bitwise the forward of row `r` alone.
+//= spec: specs/serve-protocol.toml#coalesce-byte-identity
+//# A coalesced batch's per-row explanations MUST be byte-identical to
+//# the explanations produced by sequential single-input calls, at any
+//# worker thread count and under any batch composition.
+pub fn explain_rows(
+    model: &AguaModel,
+    embeddings: &Matrix,
+    queries: &[RowQuery],
+) -> Vec<Explanation> {
+    assert!(embeddings.rows() > 0, "empty batch");
+    assert_eq!(embeddings.rows(), queries.len(), "one query per embedding row");
+    for q in queries {
+        if let RowQuery::Counterfactual(class) = q {
+            assert!(*class < model.n_outputs(), "output class out of range");
+        }
+    }
+    let (concept_probs, out_probs) = model.concept_and_output_probs(embeddings);
+    queries
+        .iter()
+        .enumerate()
+        .map(|(r, q)| {
+            let (class, factual) = match q {
+                RowQuery::Factual => (out_probs.argmax_row(r), true),
+                RowQuery::Counterfactual(class) => (*class, false),
+            };
+            let p = out_probs.get(r, class);
+            // The same factual/counterfactual normalization rule as
+            // `explain_with` (see the comment there).
+            let scale = if factual { p } else { 1.0 };
+            Explanation {
+                output_class: class,
+                output_prob: p,
+                factual,
+                contributions: contributions_for(model, &concept_probs, r, class, scale),
+            }
+        })
+        .collect()
+}
+
 /// Batched explanation (§3.6): contributions averaged over a batch of
 /// embeddings, explaining `class` (commonly the majority predicted
 /// class of the batch).
@@ -832,6 +891,72 @@ mod tests {
                 prop_assert_eq!(explanation_bits(&reference), explanation_bits(&fast));
             }
         }
+    }
+
+    /// Every float of a single-input explanation, as bits.
+    fn single_bits(e: &Explanation) -> Vec<u32> {
+        let mut out = vec![e.output_prob.to_bits()];
+        for c in &e.contributions {
+            out.push(c.weight.to_bits());
+            out.extend(c.per_class.iter().map(|v| v.to_bits()));
+        }
+        out
+    }
+
+    #[test]
+    fn explain_rows_is_byte_identical_to_sequential_single_calls() {
+        let (model, embeddings, _) = trained_model();
+        let rows: Vec<Vec<f32>> = (0..32).map(|r| embeddings.row(r).to_vec()).collect();
+        let batch = Matrix::from_rows(&rows);
+        // Mixed factual/counterfactual composition across the batch.
+        let queries: Vec<RowQuery> = (0..rows.len())
+            .map(|r| match r % 3 {
+                0 => RowQuery::Factual,
+                1 => RowQuery::Counterfactual(0),
+                _ => RowQuery::Counterfactual(1),
+            })
+            .collect();
+        for threads in [1, 2, 4, 7] {
+            let coalesced = agua_nn::parallel::with_thread_config(
+                agua_nn::parallel::ThreadConfig { threads, min_flops: 0 },
+                || explain_rows(&model, &batch, &queries),
+            );
+            assert_eq!(coalesced.len(), rows.len());
+            for (r, (row, query)) in rows.iter().zip(&queries).enumerate() {
+                let x = Matrix::row_vector(row);
+                let single = match query {
+                    RowQuery::Factual => factual(&model, &x),
+                    RowQuery::Counterfactual(class) => counterfactual(&model, &x, *class),
+                };
+                assert_eq!(coalesced[r].output_class, single.output_class, "row {r}");
+                assert_eq!(coalesced[r].factual, single.factual, "row {r}");
+                let names: Vec<&str> =
+                    coalesced[r].contributions.iter().map(|c| c.concept.as_str()).collect();
+                let single_names: Vec<&str> =
+                    single.contributions.iter().map(|c| c.concept.as_str()).collect();
+                assert_eq!(names, single_names, "row {r} threads {threads}");
+                assert_eq!(
+                    single_bits(&coalesced[r]),
+                    single_bits(&single),
+                    "row {r} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one query per embedding row")]
+    fn explain_rows_validates_query_count() {
+        let (model, embeddings, _) = trained_model();
+        let _ = explain_rows(&model, &embeddings, &[RowQuery::Factual]);
+    }
+
+    #[test]
+    #[should_panic(expected = "output class out of range")]
+    fn explain_rows_validates_counterfactual_class() {
+        let (model, _, _) = trained_model();
+        let x = Matrix::row_vector(&[0.5, 0.5, 0.0]);
+        let _ = explain_rows(&model, &x, &[RowQuery::Counterfactual(9)]);
     }
 
     #[test]

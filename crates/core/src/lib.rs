@@ -47,7 +47,7 @@ pub mod robustness;
 pub mod surrogate;
 
 pub use concepts::{Concept, ConceptSet};
-pub use explain::{BatchedExplanation, Explanation};
+pub use explain::{BatchedExplanation, Explanation, RowQuery};
 pub use labeling::{ConceptLabeler, Quantizer};
 pub use quantized::{QuantFidelityReport, QuantizedAguaModel};
 pub use report::AguaReport;

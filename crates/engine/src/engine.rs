@@ -1,0 +1,561 @@
+//! The engine proper: session registry, request admission, and the
+//! coalescing flusher.
+//!
+//! ```text
+//!   client threads ──submit──► BatchQueue (bounded) ──drain──► flusher
+//!        ▲                                                       │
+//!        └────────────── Ticket::wait ◄── Responder::complete ───┘
+//! ```
+//!
+//! Clients call [`Engine::explain`] from any thread; the request is
+//! validated against its session, admitted into the bounded queue, and
+//! the caller blocks on its ticket. The flusher thread drains whatever
+//! has accumulated (arrival order), groups it by `(app, generation)`,
+//! and serves each group through **one** shared forward —
+//! [`explain_rows`] — completing every responder with its own row.
+//! `max_batch = 1` degenerates into the no-coalescing mode the loadgen
+//! A/B-compares against: same queue, same flusher, one row per forward.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use agua::explain::{
+    counterfactual_observed, explain_rows, factual_observed, Explanation, RowQuery,
+};
+use agua_app::Checkpoint;
+use agua_nn::parallel::ThreadConfig;
+use agua_nn::{BatchQueue, Matrix, Responder, SubmitError, Ticket};
+use agua_obs::{emit, CheckpointReloaded, EngineBatchFlushed, Noop, Subscriber};
+
+use crate::session::AppSession;
+
+/// A subscriber handle the flusher thread can emit through.
+pub type SharedSubscriber = Arc<dyn Subscriber + Send + Sync>;
+
+/// One single-input explanation request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainRequest {
+    /// Registry name of the application to explain.
+    pub app: String,
+    /// Raw controller features (length must match the controller).
+    pub features: Vec<f32>,
+    /// Factual, or a named counterfactual class.
+    pub query: RowQuery,
+}
+
+/// The engine's answer to one [`ExplainRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainResponse {
+    /// Registry name of the application that served the request.
+    pub app: &'static str,
+    /// Checkpoint generation that served the request.
+    pub generation: u64,
+    /// How many coalesced rows shared the forward that produced this
+    /// response (1 in no-coalescing mode). Metadata only: the
+    /// explanation bytes are independent of it.
+    pub batch_size: usize,
+    /// The controller's chosen action for these features.
+    pub verdict: usize,
+    /// The concept-level explanation.
+    pub explanation: Explanation,
+}
+
+/// Why the engine could not serve a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A checkpoint failed to load or decode.
+    Checkpoint(String),
+    /// The request named an application with no installed session.
+    UnknownApp(String),
+    /// The feature vector does not match the controller's input width.
+    FeatureDim {
+        /// The controller's input dimensionality.
+        expected: usize,
+        /// What the request carried.
+        got: usize,
+    },
+    /// A counterfactual class beyond the controller's action count.
+    ClassRange {
+        /// The controller's action count.
+        n_outputs: usize,
+        /// The class the request asked about.
+        got: usize,
+    },
+    /// The admission queue is full — back off and retry.
+    Overloaded {
+        /// The configured queue bound that was hit.
+        capacity: usize,
+    },
+    /// The engine is shutting down and admits nothing.
+    ShuttingDown,
+    /// The flusher dropped this request's batch (it panicked or the
+    /// engine tore down mid-flight).
+    BatchFailed,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            EngineError::UnknownApp(app) => write!(f, "no session installed for app `{app}`"),
+            EngineError::FeatureDim { expected, got } => {
+                write!(f, "feature dimension mismatch: controller expects {expected}, got {got}")
+            }
+            EngineError::ClassRange { n_outputs, got } => {
+                write!(f, "counterfactual class {got} out of range ({n_outputs} outputs)")
+            }
+            EngineError::Overloaded { capacity } => {
+                write!(f, "engine overloaded: admission queue at capacity {capacity}")
+            }
+            EngineError::ShuttingDown => write!(f, "engine is shutting down"),
+            EngineError::BatchFailed => write!(f, "batch worker dropped the request"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Engine sizing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Admission bound: requests waiting in the queue beyond this are
+    /// rejected with [`EngineError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Largest number of requests one flush may coalesce into a single
+    /// forward. `1` disables coalescing (the loadgen baseline mode).
+    pub max_batch: usize,
+    /// Worker-thread configuration installed on the flusher thread for
+    /// the batched kernels; `None` inherits the process default
+    /// (`AGUA_THREADS`).
+    pub nn: Option<ThreadConfig>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { queue_capacity: 64, max_batch: 16, nn: None }
+    }
+}
+
+struct Inner {
+    sessions: Mutex<BTreeMap<&'static str, Arc<AppSession>>>,
+    queue: BatchQueue<Queued, ExplainResponse>,
+    max_batch: AtomicUsize,
+    obs: SharedSubscriber,
+}
+
+struct Queued {
+    session: Arc<AppSession>,
+    features: Vec<f32>,
+    query: RowQuery,
+}
+
+/// The long-lived explanation engine. See the crate docs for the
+/// architecture; construction spawns the flusher thread, drop joins it.
+pub struct Engine {
+    inner: Arc<Inner>,
+    flusher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// An engine with no observability (tests, CLI one-shots).
+    pub fn new(config: EngineConfig) -> Self {
+        Self::with_obs(config, Arc::new(Noop))
+    }
+
+    /// An engine reporting [`EngineBatchFlushed`] / [`CheckpointReloaded`]
+    /// events to `obs`.
+    pub fn with_obs(config: EngineConfig, obs: SharedSubscriber) -> Self {
+        let engine = Self::unflushed(config, obs);
+        let inner = Arc::clone(&engine.inner);
+        let nn = config.nn;
+        // audit:allow(thread-spawn): the flusher only routes requests
+        // through the deterministic row-local kernels; batch composition
+        // and scheduling cannot reach the response bytes
+        // (specs/serve-protocol.toml#coalesce-byte-identity).
+        let handle = std::thread::Builder::new()
+            .name("agua-engine-flusher".to_string())
+            .spawn(move || match nn {
+                Some(cfg) => agua_nn::parallel::with_thread_config(cfg, || flusher_loop(&inner)),
+                None => flusher_loop(&inner),
+            })
+            .expect("spawn engine flusher thread");
+        *engine.flusher.lock().expect("flusher handle lock") = Some(handle);
+        engine
+    }
+
+    /// The engine without its flusher — requests queue but are never
+    /// served. Used by tests that need deterministic queue states.
+    fn unflushed(config: EngineConfig, obs: SharedSubscriber) -> Self {
+        Engine {
+            inner: Arc::new(Inner {
+                sessions: Mutex::new(BTreeMap::new()),
+                queue: BatchQueue::bounded(config.queue_capacity.max(1)),
+                max_batch: AtomicUsize::new(config.max_batch.max(1)),
+                obs,
+            }),
+            flusher: Mutex::new(None),
+        }
+    }
+
+    /// Installs `checkpoint`'s session, or hot-swaps the one already
+    /// serving its app. The swap is atomic under the sessions lock:
+    /// requests admitted before it keep the `Arc` of the generation
+    /// they captured, requests admitted after it see only the new one.
+    //= spec: specs/serve-protocol.toml#reload-atomicity
+    //# A reload MUST swap the serving session atomically: every request
+    //# admitted before the swap is served entirely by the generation it
+    //# captured at admission, and every request admitted after the swap
+    //# is served by the new generation.
+    pub fn install(&self, checkpoint: Checkpoint) -> Result<Arc<AppSession>, EngineError> {
+        let session = AppSession::new(checkpoint).map_err(EngineError::Checkpoint)?;
+        let mut sessions = self.inner.sessions.lock().expect("sessions lock");
+        let generation = sessions.get(session.name()).map_or(0, |old| old.generation() + 1);
+        let session = Arc::new(session.with_generation(generation));
+        sessions.insert(session.name(), Arc::clone(&session));
+        drop(sessions);
+        if generation > 0 {
+            emit(&*self.inner.obs, CheckpointReloaded { app: session.name(), generation });
+        }
+        Ok(session)
+    }
+
+    /// Loads the checkpoint directory `dir` and installs its session
+    /// (hot-swapping on re-load — the daemon's reload entry point).
+    pub fn load_dir(&self, dir: &Path) -> Result<Arc<AppSession>, EngineError> {
+        let checkpoint = Checkpoint::load(dir).map_err(EngineError::Checkpoint)?;
+        self.install(checkpoint)
+    }
+
+    /// The installed session for `app`, if any.
+    pub fn session(&self, app: &str) -> Option<Arc<AppSession>> {
+        self.inner.sessions.lock().expect("sessions lock").get(app).cloned()
+    }
+
+    /// Installed `(app, generation)` pairs, in name order.
+    pub fn apps(&self) -> Vec<(&'static str, u64)> {
+        let sessions = self.inner.sessions.lock().expect("sessions lock");
+        sessions.values().map(|s| (s.name(), s.generation())).collect()
+    }
+
+    /// The admission queue bound.
+    pub fn queue_capacity(&self) -> usize {
+        self.inner.queue.capacity()
+    }
+
+    /// The current coalescing limit (rows per flushed forward).
+    pub fn max_batch(&self) -> usize {
+        self.inner.max_batch.load(Ordering::Relaxed)
+    }
+
+    /// Retunes the coalescing limit at runtime (clamped to ≥ 1; `1`
+    /// disables coalescing). Takes effect at the next flush.
+    pub fn set_max_batch(&self, max_batch: usize) {
+        self.inner.max_batch.store(max_batch.max(1), Ordering::Relaxed);
+    }
+
+    /// Validates and admits `req`, returning the ticket its response
+    /// will arrive on. Validation happens here, on the caller's thread,
+    /// so the flusher only ever sees well-formed rows.
+    pub fn submit(&self, req: ExplainRequest) -> Result<Ticket<ExplainResponse>, EngineError> {
+        let session =
+            self.session(&req.app).ok_or_else(|| EngineError::UnknownApp(req.app.clone()))?;
+        validate(&session, &req)?;
+        self.inner
+            .queue
+            .submit(Queued { session, features: req.features, query: req.query })
+            .map_err(|e| match e {
+                SubmitError::Full { capacity } => EngineError::Overloaded { capacity },
+                SubmitError::Closed => EngineError::ShuttingDown,
+            })
+    }
+
+    /// Serves one request end-to-end: admit, wait, return the response.
+    pub fn explain(&self, req: ExplainRequest) -> Result<ExplainResponse, EngineError> {
+        self.submit(req)?.wait().map_err(|_| EngineError::BatchFailed)
+    }
+
+    /// Stops admitting requests. Queued requests are still flushed; the
+    /// flusher exits once the queue is dry (joined on drop).
+    pub fn shutdown(&self) {
+        self.inner.queue.close();
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.inner.queue.close();
+        if let Some(handle) = self.flusher.lock().expect("flusher handle lock").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Shared request validation: feature width and counterfactual class
+/// range against the session's controller.
+fn validate(session: &AppSession, req: &ExplainRequest) -> Result<(), EngineError> {
+    if req.features.len() != session.in_dim() {
+        return Err(EngineError::FeatureDim {
+            expected: session.in_dim(),
+            got: req.features.len(),
+        });
+    }
+    if let RowQuery::Counterfactual(class) = req.query {
+        if class >= session.n_outputs() {
+            return Err(EngineError::ClassRange { n_outputs: session.n_outputs(), got: class });
+        }
+    }
+    Ok(())
+}
+
+/// Serves one request synchronously on the calling thread against a
+/// single session — the one-shot path for the CLI and scripts that have
+/// no concurrency to coalesce. Same validation and bitwise the same
+/// explanation as the queued path (`batch_size` 1 by construction);
+/// pipeline events go to `obs`, which — unlike the flusher's
+/// [`SharedSubscriber`] — may be a thread-local subscriber.
+pub fn serve_one(
+    session: &AppSession,
+    req: &ExplainRequest,
+    obs: &dyn Subscriber,
+) -> Result<ExplainResponse, EngineError> {
+    if req.app != session.name() {
+        return Err(EngineError::UnknownApp(req.app.clone()));
+    }
+    validate(session, req)?;
+    let checkpoint = session.checkpoint();
+    let x = Matrix::row_vector(&req.features);
+    let (h, logits) = checkpoint.controller.embeddings_and_logits(&x);
+    let explanation = match req.query {
+        RowQuery::Factual => factual_observed(&checkpoint.model, &h, obs),
+        RowQuery::Counterfactual(class) => {
+            counterfactual_observed(&checkpoint.model, &h, class, obs)
+        }
+    };
+    Ok(ExplainResponse {
+        app: session.name(),
+        generation: session.generation(),
+        batch_size: 1,
+        verdict: logits.argmax_row(0),
+        explanation,
+    })
+}
+
+fn flusher_loop(inner: &Inner) {
+    while let Some(batch) = inner.queue.drain() {
+        serve_drained(inner, batch);
+    }
+}
+
+/// Groups one drained admission sequence by `(app, generation)` —
+/// preserving arrival order within each group — and serves every group
+/// in coalesced chunks. Grouping by generation means a batch is served
+/// entirely by one checkpoint even when a hot reload landed mid-queue.
+fn serve_drained(inner: &Inner, batch: Vec<(Queued, Responder<ExplainResponse>)>) {
+    let max_batch = inner.max_batch.load(Ordering::Relaxed).max(1);
+    let mut keys: Vec<(&'static str, u64)> = Vec::new();
+    let mut groups: Vec<Vec<(Queued, Responder<ExplainResponse>)>> = Vec::new();
+    for item in batch {
+        let key = (item.0.session.name(), item.0.session.generation());
+        match keys.iter().position(|k| *k == key) {
+            Some(i) => groups[i].push(item),
+            None => {
+                keys.push(key);
+                groups.push(vec![item]);
+            }
+        }
+    }
+    for mut group in groups {
+        while group.len() > max_batch {
+            let rest = group.split_off(max_batch);
+            serve_chunk(inner, group);
+            group = rest;
+        }
+        serve_chunk(inner, group);
+    }
+}
+
+/// One coalesced forward: stack the chunk's feature rows, run the
+/// controller embedding + logits once and [`explain_rows`] once, and
+/// complete each responder with its own row. Row `r` of the batch is
+/// bitwise the single-input pipeline on request `r` alone, so clients
+/// cannot tell whether (or with whom) they were coalesced.
+fn serve_chunk(inner: &Inner, chunk: Vec<(Queued, Responder<ExplainResponse>)>) {
+    if chunk.is_empty() {
+        return;
+    }
+    let session = Arc::clone(&chunk[0].0.session);
+    // audit:allow(wall-clock): latency telemetry only — feeds the
+    // EngineBatchFlushed event, never the responses.
+    let start = Instant::now();
+    let rows: Vec<Vec<f32>> = chunk.iter().map(|(q, _)| q.features.clone()).collect();
+    let features = Matrix::from_rows(&rows);
+    let checkpoint = session.checkpoint();
+    let (embeddings, logits) = checkpoint.controller.embeddings_and_logits(&features);
+    let queries: Vec<RowQuery> = chunk.iter().map(|(q, _)| q.query).collect();
+    let explanations = explain_rows(&checkpoint.model, &embeddings, &queries);
+    let size = chunk.len();
+    for (r, ((_, responder), explanation)) in chunk.into_iter().zip(explanations).enumerate() {
+        responder.complete(ExplainResponse {
+            app: session.name(),
+            generation: session.generation(),
+            batch_size: size,
+            verdict: logits.argmax_row(r),
+            explanation,
+        });
+    }
+    emit(
+        &*inner.obs,
+        EngineBatchFlushed { app: session.name(), size, seconds: start.elapsed().as_secs_f64() },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{fit_pipeline, FitSpec};
+    use agua::surrogate::TrainParams;
+    use agua_app::{CacheMode, Store, DDOS};
+    use agua_obs::Metrics;
+    use std::sync::OnceLock;
+
+    /// One fast fitted checkpoint shared by every test (fitting
+    /// dominates the suite's runtime otherwise).
+    fn fixture() -> &'static (Checkpoint, Vec<Vec<f32>>) {
+        static CELL: OnceLock<(Checkpoint, Vec<Vec<f32>>)> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let store = Store::with_mode(std::env::temp_dir(), CacheMode::Off);
+            let mut spec = FitSpec::standard(40);
+            spec.params = TrainParams::fast();
+            let fitted = fit_pipeline(&store, &DDOS, &spec, &agua_obs::Noop);
+            let features = fitted.train.features.clone();
+            (fitted.into_session(&DDOS, &spec).checkpoint().clone(), features)
+        })
+    }
+
+    fn request(features: Vec<f32>, query: RowQuery) -> ExplainRequest {
+        ExplainRequest { app: "ddos".to_string(), features, query }
+    }
+
+    #[test]
+    fn serves_validated_requests_and_rejects_malformed_ones() {
+        let (checkpoint, features) = fixture();
+        let engine = Engine::new(EngineConfig::default());
+        let err = engine.explain(request(features[0].clone(), RowQuery::Factual)).unwrap_err();
+        assert_eq!(err, EngineError::UnknownApp("ddos".to_string()));
+
+        engine.install(checkpoint.clone()).unwrap();
+        let resp = engine.explain(request(features[0].clone(), RowQuery::Factual)).unwrap();
+        assert_eq!(resp.app, "ddos");
+        assert_eq!(resp.generation, 0);
+        assert!(resp.batch_size >= 1);
+        assert_eq!(resp.verdict, checkpoint.controller.act(&features[0]));
+        assert!(resp.explanation.factual);
+
+        let err = engine.explain(request(vec![1.0, 2.0], RowQuery::Factual)).unwrap_err();
+        assert_eq!(err, EngineError::FeatureDim { expected: checkpoint.controller.in_dim, got: 2 });
+        let err =
+            engine.explain(request(features[0].clone(), RowQuery::Counterfactual(99))).unwrap_err();
+        assert_eq!(err, EngineError::ClassRange { n_outputs: 2, got: 99 });
+    }
+
+    #[test]
+    fn engine_responses_match_the_sequential_oracle() {
+        let (checkpoint, features) = fixture();
+        let engine = Engine::new(EngineConfig::default());
+        engine.install(checkpoint.clone()).unwrap();
+        for (i, row) in features.iter().take(6).enumerate() {
+            let query =
+                if i % 2 == 0 { RowQuery::Factual } else { RowQuery::Counterfactual(i % 2) };
+            let resp = engine.explain(request(row.clone(), query)).unwrap();
+            let x = Matrix::row_vector(row);
+            let h = checkpoint.controller.embeddings(&x);
+            let oracle = match query {
+                RowQuery::Factual => agua::explain::factual(&checkpoint.model, &h),
+                RowQuery::Counterfactual(c) => {
+                    agua::explain::counterfactual(&checkpoint.model, &h, c)
+                }
+            };
+            assert_eq!(resp.explanation, oracle, "request {i}");
+            assert_eq!(resp.verdict, checkpoint.controller.act(row), "request {i}");
+
+            // The synchronous one-shot path returns the same bytes.
+            let session = AppSession::new(checkpoint.clone()).unwrap();
+            let inline = serve_one(&session, &request(row.clone(), query), &Noop).unwrap();
+            assert_eq!(inline.explanation, resp.explanation, "request {i}");
+            assert_eq!(inline.verdict, resp.verdict, "request {i}");
+            assert_eq!(inline.batch_size, 1);
+        }
+        let session = AppSession::new(checkpoint.clone()).unwrap();
+        let mut wrong_app = request(features[0].clone(), RowQuery::Factual);
+        wrong_app.app = "abr".to_string();
+        let err = serve_one(&session, &wrong_app, &Noop).unwrap_err();
+        assert_eq!(err, EngineError::UnknownApp("abr".to_string()));
+    }
+
+    #[test]
+    fn install_hot_swaps_with_a_generation_bump() {
+        let (checkpoint, features) = fixture();
+        let metrics = std::sync::Arc::new(Metrics::new());
+        let engine = Engine::with_obs(EngineConfig::default(), metrics.clone());
+        let s0 = engine.install(checkpoint.clone()).unwrap();
+        assert_eq!(s0.generation(), 0);
+        let s1 = engine.install(checkpoint.clone()).unwrap();
+        assert_eq!(s1.generation(), 1);
+        assert_eq!(engine.apps(), vec![("ddos", 1)]);
+        // The old Arc still serves in-flight requests.
+        assert_eq!(s0.generation(), 0);
+        let resp = engine.explain(request(features[0].clone(), RowQuery::Factual)).unwrap();
+        assert_eq!(resp.generation, 1, "new admissions see the new generation");
+        let sched = metrics.snapshot().scheduling;
+        assert_eq!(sched.get("engine.ddos.reloads"), Some(&1));
+        assert_eq!(sched.get("engine.ddos.generation"), Some(&1));
+    }
+
+    #[test]
+    fn bounded_admission_rejects_without_blocking() {
+        let (checkpoint, features) = fixture();
+        let engine = Engine::unflushed(
+            EngineConfig { queue_capacity: 2, max_batch: 8, nn: None },
+            Arc::new(agua_obs::Noop),
+        );
+        engine.install(checkpoint.clone()).unwrap();
+        let _t1 = engine.submit(request(features[0].clone(), RowQuery::Factual)).unwrap();
+        let _t2 = engine.submit(request(features[1].clone(), RowQuery::Factual)).unwrap();
+        let err = engine.submit(request(features[2].clone(), RowQuery::Factual)).unwrap_err();
+        assert_eq!(err, EngineError::Overloaded { capacity: 2 });
+        engine.shutdown();
+        let err = engine.submit(request(features[0].clone(), RowQuery::Factual)).unwrap_err();
+        assert_eq!(err, EngineError::ShuttingDown);
+    }
+
+    #[test]
+    fn shutdown_fails_queued_requests_instead_of_hanging() {
+        let (checkpoint, features) = fixture();
+        let engine = Engine::unflushed(
+            EngineConfig { queue_capacity: 2, max_batch: 8, nn: None },
+            Arc::new(agua_obs::Noop),
+        );
+        engine.install(checkpoint.clone()).unwrap();
+        let ticket = engine.submit(request(features[0].clone(), RowQuery::Factual)).unwrap();
+        engine.shutdown();
+        // No flusher will ever run: dropping the engine (and with it the
+        // queue's responders) must abandon the ticket, not leak a waiter.
+        drop(engine);
+        assert!(ticket.wait().is_err());
+    }
+
+    #[test]
+    fn max_batch_is_runtime_tunable_and_clamped() {
+        let engine = Engine::new(EngineConfig { queue_capacity: 4, max_batch: 16, nn: None });
+        assert_eq!(engine.max_batch(), 16);
+        engine.set_max_batch(1);
+        assert_eq!(engine.max_batch(), 1);
+        engine.set_max_batch(0);
+        assert_eq!(engine.max_batch(), 1, "0 clamps to the no-coalescing mode");
+        assert_eq!(engine.queue_capacity(), 4);
+    }
+}

@@ -1,0 +1,53 @@
+//! # agua-engine — the long-lived explanation engine
+//!
+//! The CLI and the experiment bins used to assemble the same pipeline
+//! by hand for every invocation: load (or fit) a checkpoint, pick the
+//! f32 or int8 surrogate, run one explanation, exit. This crate turns
+//! that one-shot plumbing into a resident service core:
+//!
+//! - [`AppSession`]: a loaded [`Checkpoint`](agua_app::Checkpoint)
+//!   bound to its registered application, tagged with a reload
+//!   *generation*.
+//! - [`FitSpec`] / [`fit_pipeline`]: the store-backed
+//!   controller → rollout → surrogate (→ int8 gate) pipeline behind the
+//!   bench bins and `agua-cli train`, producing an [`AppSession`]
+//!   without touching disk checkpoints.
+//! - [`Engine`]: owns the sessions, accepts [`ExplainRequest`]s from
+//!   any thread, and **coalesces** concurrent single-input requests
+//!   into one batched [`explain_rows`](agua::explain::explain_rows)
+//!   call through a dedicated flusher thread.
+//!
+//! ## Determinism contract
+//!
+//! Coalescing is an *optimization with no observable effect*: every
+//! kernel under the shared forward is row-local with a fixed
+//! accumulation order, so row `r` of a coalesced batch is bitwise the
+//! explanation of request `r` alone (specs/serve-protocol.toml
+//! `#coalesce-byte-identity`). The proptest suite in
+//! `tests/coalesce_props.rs` drives the engine from concurrent client
+//! threads at nn thread counts 1/2/4/7 and compares every response
+//! against the sequential single-input oracle.
+//!
+//! ## Admission and backpressure
+//!
+//! The request queue is the bounded [`BatchQueue`](agua_nn::BatchQueue)
+//! from `agua-nn`: a submission beyond capacity fails fast with
+//! [`EngineError::Overloaded`] (the daemon in `agua-serve` maps it to
+//! HTTP 429) instead of queueing unbounded work behind the flusher.
+//!
+//! ## Hot reload
+//!
+//! [`Engine::install`] swaps a session atomically under the sessions
+//! lock and bumps its generation. In-flight requests keep the `Arc` of
+//! the session they were admitted under, so a coalesced batch never
+//! mixes checkpoint generations and a reload never tears a response.
+
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod session;
+
+pub use engine::{
+    serve_one, Engine, EngineConfig, EngineError, ExplainRequest, ExplainResponse, SharedSubscriber,
+};
+pub use session::{fit_pipeline, AppSession, FitSpec, FittedPipeline};

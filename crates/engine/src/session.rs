@@ -1,0 +1,231 @@
+//! Sessions and the store-backed fitting pipeline that produces them.
+//!
+//! An [`AppSession`] is the unit the engine serves from: one loaded
+//! checkpoint, bound to its registered application, tagged with the
+//! reload generation the engine assigned when it was installed.
+//! Sessions come from two places — [`agua_app::Checkpoint::load`] on a
+//! checkpoint directory (the CLI / daemon path) or [`fit_pipeline`]
+//! over an artifact [`Store`] (the bench path) — and are identical to
+//! serve from either way.
+
+use agua::labeling::ConceptLabeler;
+use agua::quantized::{QuantFidelityReport, QuantizedAguaModel};
+use agua::surrogate::{AguaModel, TrainParams};
+use agua_app::{
+    AppData, Application, Checkpoint, CheckpointMeta, Keyed, LlmVariant, RolloutSpec, Store,
+};
+use agua_controllers::policy::PolicyNet;
+use agua_obs::Subscriber;
+
+/// A servable pipeline: a checkpoint bound to its application, plus
+/// the engine-assigned reload generation.
+#[derive(Debug, Clone)]
+pub struct AppSession {
+    name: &'static str,
+    checkpoint: Checkpoint,
+    generation: u64,
+}
+
+impl AppSession {
+    /// Wraps a loaded checkpoint, resolving its `meta.app` through the
+    /// application registry (generation 0 until the engine installs it).
+    pub fn new(checkpoint: Checkpoint) -> Result<Self, String> {
+        let app = agua_app::lookup(&checkpoint.meta.app)?;
+        Ok(Self { name: app.name(), checkpoint, generation: 0 })
+    }
+
+    /// The application's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The loaded checkpoint (controller + surrogate + quantizer + meta).
+    pub fn checkpoint(&self) -> &Checkpoint {
+        &self.checkpoint
+    }
+
+    /// The reload generation the engine installed this session under.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The controller's input feature dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.checkpoint.controller.in_dim
+    }
+
+    /// The controller's output (action) count.
+    pub fn n_outputs(&self) -> usize {
+        self.checkpoint.meta.n_outputs
+    }
+
+    pub(crate) fn with_generation(mut self, generation: u64) -> Self {
+        self.generation = generation;
+        self
+    }
+}
+
+/// Specification of the store-backed fitting pipeline: which
+/// controller to train, what to roll out, and how to fit the surrogate.
+#[derive(Debug, Clone)]
+pub struct FitSpec {
+    /// Controller training seed.
+    pub controller_seed: u64,
+    /// Training rollout (samples, seed, workload).
+    pub rollout: RolloutSpec,
+    /// Concept-labelling LLM variant.
+    pub variant: LlmVariant,
+    /// Surrogate training hyper-parameters.
+    pub params: TrainParams,
+    /// Concept labelling seed.
+    pub label_seed: u64,
+    /// When set, also quantize the surrogate to int8 and run the
+    /// fidelity gate at this ε (specs/quantization.toml#fidelity-gate).
+    pub q8_epsilon: Option<f32>,
+}
+
+impl FitSpec {
+    /// The standard experiment pipeline shared by the figure bins:
+    /// controller seed 31, training rollout seed 32, high-quality
+    /// labels, tuned hyper-parameters, label seed 42, no quantization.
+    pub fn standard(samples: usize) -> Self {
+        Self {
+            controller_seed: 31,
+            rollout: RolloutSpec::new(samples, 32),
+            variant: LlmVariant::HighQuality,
+            params: TrainParams::tuned(),
+            label_seed: 42,
+            q8_epsilon: None,
+        }
+    }
+
+    /// Adds the int8 surrogate behind a fidelity gate at `epsilon`.
+    pub fn quantized(mut self, epsilon: f32) -> Self {
+        self.q8_epsilon = Some(epsilon);
+        self
+    }
+}
+
+/// Everything [`fit_pipeline`] produced, with the content keys the
+/// store filed each stage under (so downstream specs can chain on
+/// them, and bench bins can reuse the training rollout).
+pub struct FittedPipeline {
+    /// The trained controller.
+    pub controller: Keyed<PolicyNet>,
+    /// The training rollout the surrogate was fitted on.
+    pub train: Keyed<AppData>,
+    /// The fitted f32 surrogate.
+    pub model: Keyed<AguaModel>,
+    /// The labelling pipeline (rebuilt deterministically; not cached).
+    pub labeler: ConceptLabeler,
+    /// The int8 surrogate and its gate report — `Some(Err(report))`
+    /// when the gate withheld the quantized model, `None` when
+    /// [`FitSpec::q8_epsilon`] was unset.
+    #[allow(clippy::type_complexity)]
+    pub quantized:
+        Option<Result<(Keyed<QuantizedAguaModel>, QuantFidelityReport), QuantFidelityReport>>,
+}
+
+impl FittedPipeline {
+    /// The gate report of the quantized surrogate, pass or fail.
+    pub fn q8_report(&self) -> Option<QuantFidelityReport> {
+        match &self.quantized {
+            Some(Ok((_, report))) | Some(Err(report)) => Some(report.clone()),
+            None => None,
+        }
+    }
+
+    /// Packages the fitted artifacts as a servable [`AppSession`]
+    /// (generation 0), computing the train fidelity for the meta record.
+    pub fn into_session(self, app: &'static dyn Application, spec: &FitSpec) -> AppSession {
+        let train_fidelity = self.model.fidelity(&self.train.embeddings, &self.train.outputs);
+        AppSession {
+            name: app.name(),
+            generation: 0,
+            checkpoint: Checkpoint {
+                controller: self.controller.value,
+                model: self.model.value,
+                quantizer: self.labeler.quantizer().clone(),
+                meta: CheckpointMeta {
+                    app: app.name().to_string(),
+                    llm: spec.variant.tag().to_string(),
+                    seed: spec.controller_seed,
+                    n_outputs: app.n_outputs(),
+                    train_fidelity,
+                },
+            },
+        }
+    }
+}
+
+/// Runs the controller → rollout → surrogate (→ int8 gate) pipeline
+/// through the artifact store: every stage is a content-addressed
+/// [`Store::get_or_compute`], so a warm cache turns the whole fit into
+/// decode-only loads, and the q8 fidelity gate re-verifies exactly once
+/// per process per (artifact, calibration, ε) triple.
+pub fn fit_pipeline(
+    store: &Store,
+    app: &'static dyn Application,
+    spec: &FitSpec,
+    obs: &dyn Subscriber,
+) -> FittedPipeline {
+    let controller = store.controller(app, spec.controller_seed, obs);
+    let train = store.rollout(app, &controller, &spec.rollout, obs);
+    let (model, labeler) =
+        store.surrogate(app, spec.variant, &spec.params, spec.label_seed, &train, obs);
+    let quantized = spec.q8_epsilon.map(|eps| store.surrogate_q8(&model, &train, eps, obs));
+    FittedPipeline { controller, train, model, labeler, quantized }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agua_app::{CacheMode, DDOS};
+    use agua_obs::Noop;
+
+    #[test]
+    fn fit_pipeline_produces_a_servable_session() {
+        let store = Store::with_mode(
+            std::env::temp_dir().join(format!("agua-engine-fit-{}", std::process::id())),
+            CacheMode::Off,
+        );
+        let mut spec = FitSpec::standard(40).quantized(1.0);
+        spec.params = TrainParams::fast();
+        let fitted = fit_pipeline(&store, &DDOS, &spec, &Noop);
+        assert!(fitted.q8_report().expect("gate ran").passes, "ε=1.0 always passes");
+        let session = fitted.into_session(&DDOS, &spec);
+        assert_eq!(session.name(), "ddos");
+        assert_eq!(session.generation(), 0);
+        assert_eq!(session.n_outputs(), DDOS.n_outputs());
+        assert_eq!(session.in_dim(), session.checkpoint().controller.in_dim);
+        assert_eq!(session.checkpoint().meta.llm, "hq");
+    }
+
+    #[test]
+    fn session_rejects_checkpoints_for_unknown_apps() {
+        let controller = DDOS.build_controller(7);
+        let data = DDOS.rollout(&controller, &RolloutSpec::new(30, 8));
+        let (model, labeler) = agua_app::fit_agua(
+            &DDOS.concepts(),
+            DDOS.n_outputs(),
+            &data,
+            LlmVariant::HighQuality,
+            &TrainParams::fast(),
+            9,
+        );
+        let checkpoint = Checkpoint {
+            controller,
+            model,
+            quantizer: labeler.quantizer().clone(),
+            meta: CheckpointMeta {
+                app: "no-such-app".to_string(),
+                llm: "hq".to_string(),
+                seed: 7,
+                n_outputs: 2,
+                train_fidelity: 0.5,
+            },
+        };
+        let err = AppSession::new(checkpoint).unwrap_err();
+        assert!(err.contains("no-such-app"), "{err}");
+    }
+}

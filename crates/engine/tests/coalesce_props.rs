@@ -1,0 +1,132 @@
+//! Property suite for the engine's coalescing determinism contract
+//! (specs/serve-protocol.toml#coalesce-byte-identity): any interleaving
+//! and any batch split of N concurrent requests must produce responses
+//! byte-identical to N sequential single-input explain calls, at every
+//! nn worker thread count.
+//!
+//! Each case drives a live engine from N concurrent client threads —
+//! the OS scheduler picks the interleaving, `max_batch` picks the
+//! split — once per nn thread count in {1, 2, 4, 7}, and compares every
+//! response against the sequential oracle computed on the test thread
+//! under the *default* thread config, so the comparison also crosses
+//! thread-count boundaries.
+
+use agua::explain::{counterfactual, factual, Explanation, RowQuery};
+use agua_app::{CacheMode, Checkpoint, Store, DDOS};
+use agua_engine::{fit_pipeline, Engine, EngineConfig, ExplainRequest, FitSpec};
+use agua_nn::parallel::ThreadConfig;
+use agua_nn::Matrix;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+/// One fast fitted checkpoint + feature pool shared across cases (the
+/// fit dominates the suite's runtime otherwise).
+fn fixture() -> &'static (Checkpoint, Vec<Vec<f32>>) {
+    static CELL: OnceLock<(Checkpoint, Vec<Vec<f32>>)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let store = Store::with_mode(std::env::temp_dir(), CacheMode::Off);
+        let mut spec = FitSpec::standard(48);
+        spec.params = agua::surrogate::TrainParams::fast();
+        let fitted = fit_pipeline(&store, &DDOS, &spec, &agua_obs::Noop);
+        let features = fitted.train.features.clone();
+        (fitted.into_session(&DDOS, &spec).checkpoint().clone(), features)
+    })
+}
+
+/// Every float of an explanation as raw bits, plus the concept order —
+/// the byte-identity comparison (f32 `==` would conflate `-0.0`/`0.0`).
+fn explanation_bits(e: &Explanation) -> (Vec<&str>, Vec<u32>) {
+    let names: Vec<&str> = e.contributions.iter().map(|c| c.concept.as_str()).collect();
+    let mut bits = vec![e.output_prob.to_bits()];
+    for c in &e.contributions {
+        bits.push(c.weight.to_bits());
+        bits.extend(c.per_class.iter().map(|v| v.to_bits()));
+    }
+    (names, bits)
+}
+
+fn query_of(tag: u8) -> RowQuery {
+    match tag % 3 {
+        0 => RowQuery::Factual,
+        1 => RowQuery::Counterfactual(0),
+        _ => RowQuery::Counterfactual(1),
+    }
+}
+
+proptest! {
+    /// N concurrent clients against a coalescing engine vs N sequential
+    /// single-input calls: byte-identical explanations, identical
+    /// verdicts, at nn thread counts 1/2/4/7 and a randomized batch
+    /// split. Each pick encodes `(row, query)` as `row * 3 + query_tag`.
+    #[test]
+    fn concurrent_coalesced_responses_match_the_sequential_oracle(
+        encoded in prop::collection::vec(0usize..48 * 3, 1..9),
+        max_batch in 1usize..9,
+    ) {
+        let picks: Vec<(usize, u8)> =
+            encoded.iter().map(|&p| (p / 3, (p % 3) as u8)).collect();
+        let (checkpoint, features) = fixture();
+        for threads in THREADS {
+            let engine = Engine::new(EngineConfig {
+                queue_capacity: 64,
+                max_batch,
+                nn: Some(ThreadConfig { threads, min_flops: 0 }),
+            });
+            engine.install(checkpoint.clone()).unwrap();
+
+            let responses: Vec<_> = std::thread::scope(|scope| {
+                let handles: Vec<_> = picks
+                    .iter()
+                    .map(|&(row, tag)| {
+                        let engine = &engine;
+                        let row = row.min(features.len() - 1);
+                        scope.spawn(move || {
+                            engine.explain(ExplainRequest {
+                                app: "ddos".to_string(),
+                                features: features[row].clone(),
+                                query: query_of(tag),
+                            })
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+            });
+
+            for (i, (&(row, tag), response)) in picks.iter().zip(&responses).enumerate() {
+                let response = response.as_ref().expect("request served");
+                let row = row.min(features.len() - 1);
+                let x = Matrix::row_vector(&features[row]);
+                let h = checkpoint.controller.embeddings(&x);
+                let oracle = match query_of(tag) {
+                    RowQuery::Factual => factual(&checkpoint.model, &h),
+                    RowQuery::Counterfactual(class) => {
+                        counterfactual(&checkpoint.model, &h, class)
+                    }
+                };
+                // Byte identity: the explanation a coalesced client
+                // reads must not depend on batch company, bit for bit.
+                prop_assert_eq!(
+                    response.explanation.output_class,
+                    oracle.output_class,
+                    "class of request {} at {} threads", i, threads
+                );
+                prop_assert_eq!(response.explanation.factual, oracle.factual);
+                prop_assert_eq!(
+                    explanation_bits(&response.explanation),
+                    explanation_bits(&oracle),
+                    "bits of request {} at {} threads, max_batch {}", i, threads, max_batch
+                );
+                prop_assert_eq!(
+                    response.verdict,
+                    checkpoint.controller.act(&features[row]),
+                    "verdict of request {} at {} threads", i, threads
+                );
+                prop_assert!(response.batch_size >= 1 && response.batch_size <= max_batch);
+                prop_assert_eq!(response.app, "ddos");
+                prop_assert_eq!(response.generation, 0u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! Waiting-request handoff for request coalescing.
+//!
+//! [`BatchQueue`] is the primitive under `agua-engine`'s coalescer: many
+//! producer threads [`BatchQueue::submit`] single requests and block on
+//! the returned [`Ticket`], while one flusher thread repeatedly
+//! [`BatchQueue::drain`]s *everything* queued at that moment as one
+//! batch, computes it, and [`Responder::complete`]s each entry. The
+//! queue is bounded — an over-capacity submit fails immediately with
+//! [`SubmitError::Full`] instead of blocking, which is what lets a
+//! server above it answer overload with 429 instead of stalling.
+//!
+//! Like [`crate::pool`], every blocking primitive is imported through
+//! [`crate::sync`], so the whole handoff can be model-checked under
+//! `RUSTFLAGS="--cfg loom"` (see `tests/loom_pool.rs`). The drain side
+//! deliberately needs no timed wait — a flush takes *all* pending
+//! requests the moment the queue is nonempty, so the coalescing window
+//! is "whatever arrived while the previous batch was computing", not a
+//! wall-clock timer. That keeps the protocol expressible with plain
+//! `Condvar::wait` (which the loom facade models) and keeps batch
+//! composition a function of the admission sequence alone.
+
+use crate::sync::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// Why a [`BatchQueue::submit`] was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue already holds `capacity` waiting requests.
+    Full {
+        /// The configured bound that was hit.
+        capacity: usize,
+    },
+    /// [`BatchQueue::close`] was called; no new work is admitted.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full { capacity } => {
+                write!(f, "admission queue full ({capacity} waiting requests)")
+            }
+            SubmitError::Closed => write!(f, "queue closed"),
+        }
+    }
+}
+
+/// The batch worker dropped this request's [`Responder`] without
+/// completing it (e.g. it panicked mid-batch). The request was admitted
+/// but produced no value; the waiter observes this error instead of
+/// hanging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Abandoned;
+
+impl std::fmt::Display for Abandoned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "request abandoned by its batch worker")
+    }
+}
+
+/// One request's response slot: filled exactly once by the worker side
+/// ([`Responder`]), read exactly once by the waiting client ([`Ticket`]).
+struct Slot<R> {
+    state: Mutex<SlotState<R>>,
+    ready: Condvar,
+}
+
+enum SlotState<R> {
+    Waiting,
+    Done(R),
+    Abandoned,
+}
+
+impl<R> Slot<R> {
+    fn new() -> Self {
+        Slot { state: Mutex::new(SlotState::Waiting), ready: Condvar::new() }
+    }
+
+    fn fill(&self, value: SlotState<R>) {
+        let mut state = self.state.lock().expect("slot mutex poisoned");
+        debug_assert!(matches!(*state, SlotState::Waiting), "slot filled twice");
+        *state = value;
+        // One ticket waits per slot; notify_all keeps the protocol safe
+        // even if a future caller clones waiters.
+        self.ready.notify_all();
+    }
+}
+
+/// The client half of one submitted request: blocks until the flusher
+/// completes (or abandons) it.
+pub struct Ticket<R> {
+    slot: Arc<Slot<R>>,
+}
+
+impl<R> std::fmt::Debug for Ticket<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").finish_non_exhaustive()
+    }
+}
+
+impl<R> Ticket<R> {
+    /// Blocks until the batch worker fills the slot.
+    //= spec: specs/serve-protocol.toml#exactly-one-completion
+    //# Every admitted request MUST observe exactly one completion: a
+    //# response value, or an error if its batch worker fails.
+    pub fn wait(self) -> Result<R, Abandoned> {
+        let mut state = self.slot.state.lock().expect("slot mutex poisoned");
+        loop {
+            match std::mem::replace(&mut *state, SlotState::Waiting) {
+                SlotState::Done(r) => return Ok(r),
+                SlotState::Abandoned => return Err(Abandoned),
+                SlotState::Waiting => {
+                    state = self.slot.ready.wait(state).expect("slot mutex poisoned");
+                }
+            }
+        }
+    }
+}
+
+/// The worker half of one drained request. Exactly one of
+/// [`Responder::complete`] or `drop` runs; dropping without completing
+/// marks the slot abandoned so the waiting [`Ticket`] errors instead of
+/// hanging.
+pub struct Responder<R> {
+    slot: Arc<Slot<R>>,
+    completed: bool,
+}
+
+impl<R> Responder<R> {
+    /// Delivers the response and wakes the waiting client.
+    pub fn complete(mut self, value: R) {
+        self.completed = true;
+        self.slot.fill(SlotState::Done(value));
+    }
+}
+
+impl<R> Drop for Responder<R> {
+    //= spec: specs/serve-protocol.toml#exactly-one-completion
+    //# A waiting client MUST NOT hang on a request whose responder was
+    //# dropped.
+    fn drop(&mut self) {
+        if !self.completed {
+            self.slot.fill(SlotState::Abandoned);
+        }
+    }
+}
+
+struct QueueState<T, R> {
+    queue: Vec<(T, Responder<R>)>,
+    closed: bool,
+}
+
+struct Shared<T, R> {
+    state: Mutex<QueueState<T, R>>,
+    /// Signaled when the queue becomes nonempty or is closed.
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+/// A bounded many-producer / single-drainer batch queue (see the module
+/// docs for the protocol).
+pub struct BatchQueue<T, R> {
+    shared: Arc<Shared<T, R>>,
+}
+
+impl<T, R> Clone for BatchQueue<T, R> {
+    fn clone(&self) -> Self {
+        BatchQueue { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T, R> BatchQueue<T, R> {
+    /// A queue admitting at most `capacity` waiting requests
+    /// (`capacity ≥ 1`).
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity >= 1, "a batch queue needs capacity for at least one request");
+        BatchQueue {
+            shared: Arc::new(Shared {
+                state: Mutex::new(QueueState { queue: Vec::new(), closed: false }),
+                nonempty: Condvar::new(),
+                capacity,
+            }),
+        }
+    }
+
+    /// The configured admission bound.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Requests currently waiting to be drained.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().expect("queue mutex poisoned").queue.len()
+    }
+
+    /// Whether no requests are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admits one request, returning the [`Ticket`] its response will
+    /// arrive on. Never blocks: a full queue is an immediate
+    /// [`SubmitError::Full`].
+    //= spec: specs/serve-protocol.toml#bounded-admission
+    //# a submission that would exceed the configured capacity MUST be
+    //# rejected immediately without blocking the caller and without
+    //# dropping any already-admitted request
+    pub fn submit(&self, item: T) -> Result<Ticket<R>, SubmitError> {
+        let mut state = self.shared.state.lock().expect("queue mutex poisoned");
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        if state.queue.len() >= self.shared.capacity {
+            return Err(SubmitError::Full { capacity: self.shared.capacity });
+        }
+        let slot = Arc::new(Slot::new());
+        let ticket = Ticket { slot: Arc::clone(&slot) };
+        state.queue.push((item, Responder { slot, completed: false }));
+        // Signal under the lock: the drainer re-checks emptiness while
+        // holding the mutex, so it can never miss this wakeup (the same
+        // send-under-lock argument as the pool's dispatch path).
+        self.shared.nonempty.notify_one();
+        drop(state);
+        Ok(ticket)
+    }
+
+    /// Blocks until at least one request is waiting, then takes **all**
+    /// of them as one batch. Returns `None` once the queue is closed
+    /// *and* empty — already-admitted requests are still handed out
+    /// after [`BatchQueue::close`], so graceful shutdown completes them.
+    //= spec: specs/serve-protocol.toml#drain-order
+    //# A flush MUST drain the queue in arrival order, so batch
+    //# composition is a deterministic function of the admission
+    //# sequence.
+    pub fn drain(&self) -> Option<Vec<(T, Responder<R>)>> {
+        let mut state = self.shared.state.lock().expect("queue mutex poisoned");
+        loop {
+            if !state.queue.is_empty() {
+                // `take` preserves push order: the batch is the
+                // admission sequence verbatim.
+                return Some(std::mem::take(&mut state.queue));
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.shared.nonempty.wait(state).expect("queue mutex poisoned");
+        }
+    }
+
+    /// Stops admission and wakes any blocked drainer. Requests already
+    /// queued remain drainable; if the drainer exits without taking
+    /// them, their responders are dropped on queue teardown and every
+    /// waiting ticket observes [`Abandoned`] rather than hanging.
+    pub fn close(&self) {
+        let mut state = self.shared.state.lock().expect("queue mutex poisoned");
+        state.closed = true;
+        self.shared.nonempty.notify_all();
+        drop(state);
+    }
+
+    /// Whether [`BatchQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.shared.state.lock().expect("queue mutex poisoned").closed
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn submit_drain_complete_round_trip() {
+        let q: BatchQueue<u32, u32> = BatchQueue::bounded(8);
+        let t1 = q.submit(1).unwrap();
+        let t2 = q.submit(2).unwrap();
+        assert_eq!(q.len(), 2);
+        let batch = q.drain().unwrap();
+        assert_eq!(batch.iter().map(|(v, _)| *v).collect::<Vec<_>>(), vec![1, 2]);
+        for (v, responder) in batch {
+            responder.complete(v * 10);
+        }
+        assert_eq!(t1.wait(), Ok(10));
+        assert_eq!(t2.wait(), Ok(20));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn over_capacity_submit_fails_fast() {
+        let q: BatchQueue<u32, u32> = BatchQueue::bounded(2);
+        let _a = q.submit(1).unwrap();
+        let _b = q.submit(2).unwrap();
+        assert_eq!(q.capacity(), 2);
+        assert_eq!(q.submit(3).unwrap_err(), SubmitError::Full { capacity: 2 });
+        // Draining frees the capacity again.
+        let batch = q.drain().unwrap();
+        assert_eq!(batch.len(), 2);
+        let _c = q.submit(3).unwrap();
+    }
+
+    #[test]
+    fn drain_takes_everything_in_arrival_order() {
+        let q: BatchQueue<usize, usize> = BatchQueue::bounded(64);
+        let tickets: Vec<_> = (0..5).map(|i| q.submit(i).unwrap()).collect();
+        let batch = q.drain().unwrap();
+        assert_eq!(batch.iter().map(|(v, _)| *v).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        for (v, responder) in batch {
+            responder.complete(v);
+        }
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn dropped_responder_abandons_instead_of_hanging() {
+        let q: BatchQueue<u32, u32> = BatchQueue::bounded(4);
+        let t = q.submit(7).unwrap();
+        let batch = q.drain().unwrap();
+        drop(batch); // worker "panicked" before completing
+        assert_eq!(t.wait(), Err(Abandoned));
+    }
+
+    #[test]
+    fn close_wakes_blocked_drainer_and_rejects_new_work() {
+        let q: BatchQueue<u32, u32> = BatchQueue::bounded(4);
+        let q2 = q.clone();
+        let drainer = thread::spawn(move || q2.drain());
+        q.close();
+        assert!(drainer.join().unwrap().is_none());
+        assert_eq!(q.submit(1).unwrap_err(), SubmitError::Closed);
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn close_still_hands_out_admitted_requests() {
+        let q: BatchQueue<u32, u32> = BatchQueue::bounded(4);
+        let t = q.submit(5).unwrap();
+        q.close();
+        let batch = q.drain().unwrap();
+        assert_eq!(batch.len(), 1);
+        for (v, responder) in batch {
+            responder.complete(v + 1);
+        }
+        assert_eq!(t.wait(), Ok(6));
+        assert!(q.drain().is_none());
+    }
+
+    #[test]
+    fn queue_teardown_abandons_undrained_requests() {
+        let q: BatchQueue<u32, u32> = BatchQueue::bounded(4);
+        let t = q.submit(9).unwrap();
+        drop(q);
+        assert_eq!(t.wait(), Err(Abandoned));
+    }
+
+    #[test]
+    fn concurrent_producers_and_flusher_route_every_response() {
+        let q: BatchQueue<usize, usize> = BatchQueue::bounded(256);
+        let flusher = {
+            let q = q.clone();
+            thread::spawn(move || {
+                let mut batches = 0usize;
+                while let Some(batch) = q.drain() {
+                    batches += 1;
+                    for (v, responder) in batch {
+                        responder.complete(v * 2);
+                    }
+                }
+                batches
+            })
+        };
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    for i in 0..50 {
+                        let v = p * 1000 + i;
+                        let t = q.submit(v).unwrap();
+                        assert_eq!(t.wait(), Ok(v * 2));
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let batches = flusher.join().unwrap();
+        assert!(batches >= 1);
+    }
+
+    #[test]
+    fn errors_render_for_humans() {
+        let full = SubmitError::Full { capacity: 3 }.to_string();
+        assert!(full.contains("full") && full.contains('3'), "{full}");
+        assert!(SubmitError::Closed.to_string().contains("closed"));
+        assert!(Abandoned.to_string().contains("abandoned"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity for at least one request")]
+    fn zero_capacity_is_rejected() {
+        let _: BatchQueue<u32, u32> = BatchQueue::bounded(0);
+    }
+}

@@ -39,6 +39,7 @@
 #![deny(unsafe_code)]
 
 pub mod gradcheck;
+pub mod handoff;
 pub mod init;
 pub mod layer;
 pub mod loom;
@@ -52,6 +53,7 @@ pub mod pool;
 pub mod quant;
 pub mod sync;
 
+pub use handoff::{Abandoned, BatchQueue, Responder, SubmitError, Ticket};
 pub use layer::{BackwardScratch, Layer, LayerNorm, Linear, Param, ReLU, Tanh};
 pub use loss::{
     entropy_of_rows, grouped_softmax_cross_entropy, grouped_softmax_cross_entropy_into, mse_loss,

@@ -144,6 +144,70 @@ fn concurrent_shutdown_never_loses_chunks_or_deadlocks() {
     eprintln!("loom: shutdown-vs-dispatch explored {} schedules", report.schedules);
 }
 
+/// The coalescer's queue/flush handoff (`agua_nn::handoff`): two
+/// producers submit concurrently with one flusher draining. In every
+/// interleaving each producer's ticket must observe exactly its own
+/// response, however the submissions split across flush batches, and
+/// close must terminate the flusher.
+#[test]
+fn handoff_routes_every_response_in_all_schedules() {
+    use agua_nn::handoff::BatchQueue;
+    let report = model_with(opts(2), || {
+        let q: BatchQueue<usize, usize> = BatchQueue::bounded(4);
+        let flusher = {
+            let q = q.clone();
+            agua_nn::loom::thread::spawn(move || {
+                let mut served = 0usize;
+                while let Some(batch) = q.drain() {
+                    for (v, responder) in batch {
+                        responder.complete(v * 10);
+                        served += 1;
+                    }
+                }
+                served
+            })
+        };
+        let producer = {
+            let q = q.clone();
+            agua_nn::loom::thread::spawn(move || {
+                let t = q.submit(2).expect("capacity 4 cannot fill");
+                t.wait().expect("flusher must complete, not abandon")
+            })
+        };
+        let t = q.submit(1).expect("capacity 4 cannot fill");
+        assert_eq!(t.wait(), Ok(10), "own response, not the other producer's");
+        assert_eq!(producer.join().unwrap(), 20);
+        q.close();
+        assert_eq!(flusher.join().unwrap(), 2, "every admitted request served");
+    });
+    assert!(!report.capped, "exploration must be exhaustive, not capped");
+    assert!(report.schedules > 1);
+    eprintln!("loom: handoff queue/flush explored {} schedules", report.schedules);
+}
+
+/// A flusher that dies mid-batch (drops responders without completing)
+/// must abandon — not hang — every waiting ticket, in every schedule.
+#[test]
+fn handoff_abandons_instead_of_hanging_when_flusher_dies() {
+    use agua_nn::handoff::BatchQueue;
+    let report = model_with(opts(2), || {
+        let q: BatchQueue<usize, usize> = BatchQueue::bounded(2);
+        let flusher = {
+            let q = q.clone();
+            agua_nn::loom::thread::spawn(move || {
+                let batch = q.drain().expect("one request is queued");
+                drop(batch); // worker failure: responders dropped uncompleted
+            })
+        };
+        let t = q.submit(1).expect("capacity 2 cannot fill");
+        assert!(t.wait().is_err(), "dropped responder must abandon the ticket");
+        flusher.join().unwrap();
+    });
+    assert!(!report.capped);
+    assert!(report.schedules > 1);
+    eprintln!("loom: handoff abandonment explored {} schedules", report.schedules);
+}
+
 /// `resize_to` under load: shrinking the pool while tasks are in flight
 /// must drain queued work before exiting workers (FIFO exit message),
 /// and a later dispatch must lazily respawn.

@@ -290,6 +290,51 @@ pub struct ArtifactWrite {
     pub bytes: u64,
 }
 
+/// The engine's coalescer flushed one batch of explain requests.
+///
+/// `size` and `seconds` are scheduling observations — batch composition
+/// depends on request timing — so the `Metrics` subscriber keeps them
+/// out of the deterministic counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineBatchFlushed {
+    /// Registry name of the app the batch was grouped under.
+    pub app: &'static str,
+    /// Requests coalesced into this batch.
+    pub size: usize,
+    /// Wall-clock seconds spent computing the batch.
+    pub seconds: f64,
+}
+
+/// The serve layer finished (or refused) one HTTP explain request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeRequestHandled {
+    /// FNV-1a hash of the tenant id the request carried.
+    pub tenant: u64,
+    /// HTTP status code of the response.
+    pub status: u16,
+    /// Wall-clock seconds from parse to response write.
+    pub seconds: f64,
+}
+
+/// Admission control rejected a request because the engine's bounded
+/// queue was full (HTTP 429 at the serve layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeRequestRejected {
+    /// FNV-1a hash of the tenant id the request carried.
+    pub tenant: u64,
+    /// The admission queue's configured capacity.
+    pub capacity: usize,
+}
+
+/// The engine atomically swapped in a reloaded checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointReloaded {
+    /// Registry name of the reloaded app.
+    pub app: &'static str,
+    /// The session generation after the swap (monotone per app).
+    pub generation: u64,
+}
+
 /// Dynamically-dispatchable union of every event type.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AnyEvent {
@@ -315,6 +360,14 @@ pub enum AnyEvent {
     ArtifactMiss(ArtifactMiss),
     /// See [`ArtifactWrite`].
     ArtifactWrite(ArtifactWrite),
+    /// See [`EngineBatchFlushed`].
+    EngineBatchFlushed(EngineBatchFlushed),
+    /// See [`ServeRequestHandled`].
+    ServeRequestHandled(ServeRequestHandled),
+    /// See [`ServeRequestRejected`].
+    ServeRequestRejected(ServeRequestRejected),
+    /// See [`CheckpointReloaded`].
+    CheckpointReloaded(CheckpointReloaded),
 }
 
 impl AnyEvent {
@@ -332,6 +385,10 @@ impl AnyEvent {
             AnyEvent::ArtifactHit(_) => ArtifactHit::NAME,
             AnyEvent::ArtifactMiss(_) => ArtifactMiss::NAME,
             AnyEvent::ArtifactWrite(_) => ArtifactWrite::NAME,
+            AnyEvent::EngineBatchFlushed(_) => EngineBatchFlushed::NAME,
+            AnyEvent::ServeRequestHandled(_) => ServeRequestHandled::NAME,
+            AnyEvent::ServeRequestRejected(_) => ServeRequestRejected::NAME,
+            AnyEvent::CheckpointReloaded(_) => CheckpointReloaded::NAME,
         }
     }
 }
@@ -437,6 +494,38 @@ impl Serialize for AnyEvent {
                 s.serialize_field("bytes", &e.bytes)?;
                 s.end()
             }
+            AnyEvent::EngineBatchFlushed(e) => {
+                let mut s = serializer.serialize_struct("EngineBatchFlushed", 4)?;
+                s.serialize_field("event", EngineBatchFlushed::NAME)?;
+                s.serialize_field("app", &e.app)?;
+                s.serialize_field("size", &e.size)?;
+                s.serialize_field("seconds", &e.seconds)?;
+                s.end()
+            }
+            // Tenant hashes use the same zero-padded hex convention as
+            // artifact keys.
+            AnyEvent::ServeRequestHandled(e) => {
+                let mut s = serializer.serialize_struct("ServeRequestHandled", 4)?;
+                s.serialize_field("event", ServeRequestHandled::NAME)?;
+                s.serialize_field("tenant", &format!("{:016x}", e.tenant))?;
+                s.serialize_field("status", &e.status)?;
+                s.serialize_field("seconds", &e.seconds)?;
+                s.end()
+            }
+            AnyEvent::ServeRequestRejected(e) => {
+                let mut s = serializer.serialize_struct("ServeRequestRejected", 3)?;
+                s.serialize_field("event", ServeRequestRejected::NAME)?;
+                s.serialize_field("tenant", &format!("{:016x}", e.tenant))?;
+                s.serialize_field("capacity", &e.capacity)?;
+                s.end()
+            }
+            AnyEvent::CheckpointReloaded(e) => {
+                let mut s = serializer.serialize_struct("CheckpointReloaded", 3)?;
+                s.serialize_field("event", CheckpointReloaded::NAME)?;
+                s.serialize_field("app", &e.app)?;
+                s.serialize_field("generation", &e.generation)?;
+                s.end()
+            }
         }
     }
 }
@@ -464,6 +553,10 @@ impl_event!(PoolWorkerUtilization, "pool_worker_utilization");
 impl_event!(ArtifactHit, "artifact_hit");
 impl_event!(ArtifactMiss, "artifact_miss");
 impl_event!(ArtifactWrite, "artifact_write");
+impl_event!(EngineBatchFlushed, "engine_batch_flushed");
+impl_event!(ServeRequestHandled, "serve_request_handled");
+impl_event!(ServeRequestRejected, "serve_request_rejected");
+impl_event!(CheckpointReloaded, "checkpoint_reloaded");
 
 #[cfg(test)]
 mod tests {
@@ -556,6 +649,32 @@ mod tests {
         assert_eq!(json["wakeups"], 3);
         assert_eq!(json["chunks"], 5);
         assert_eq!(json["ring_dropped"], 1);
+    }
+
+    #[test]
+    fn serve_events_serialize_with_hex_tenants_and_stable_names() {
+        let e = EngineBatchFlushed { app: "ddos", size: 6, seconds: 0.01 }.into_any();
+        let json = serde_json::to_value(&e).unwrap();
+        assert_eq!(json["event"], "engine_batch_flushed");
+        assert_eq!(json["app"], "ddos");
+        assert_eq!(json["size"], 6);
+
+        let e = ServeRequestHandled { tenant: 0xBEEF, status: 200, seconds: 0.002 }.into_any();
+        let json = serde_json::to_value(&e).unwrap();
+        assert_eq!(json["event"], "serve_request_handled");
+        assert_eq!(json["tenant"], "000000000000beef");
+        assert_eq!(json["status"], 200);
+
+        let e = ServeRequestRejected { tenant: 1, capacity: 64 }.into_any();
+        let json = serde_json::to_value(&e).unwrap();
+        assert_eq!(json["event"], "serve_request_rejected");
+        assert_eq!(json["capacity"], 64);
+
+        let e = CheckpointReloaded { app: "cc", generation: 3 }.into_any();
+        let json = serde_json::to_value(&e).unwrap();
+        assert_eq!(json["event"], "checkpoint_reloaded");
+        assert_eq!(json["app"], "cc");
+        assert_eq!(json["generation"], 3);
     }
 
     #[test]

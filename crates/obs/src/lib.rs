@@ -95,9 +95,10 @@ pub mod subscriber;
 pub mod trace;
 
 pub use event::{
-    AnyEvent, ArtifactHit, ArtifactMiss, ArtifactWrite, EpochCompleted, Event, ExplanationKind,
-    ExplanationProduced, FitCompleted, Kernel, KernelDispatched, LabelingStageFinished,
-    PoolWorkerUtilization, Stage, StageFinished, StageStarted,
+    AnyEvent, ArtifactHit, ArtifactMiss, ArtifactWrite, CheckpointReloaded, EngineBatchFlushed,
+    EpochCompleted, Event, ExplanationKind, ExplanationProduced, FitCompleted, Kernel,
+    KernelDispatched, LabelingStageFinished, PoolWorkerUtilization, ServeRequestHandled,
+    ServeRequestRejected, Stage, StageFinished, StageStarted,
 };
 pub use hist::{Histogram, HistogramSnapshot};
 pub use jsonl::JsonlWriter;

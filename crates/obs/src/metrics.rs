@@ -354,6 +354,46 @@ impl Subscriber for Metrics {
                     .entry(format!("artifact.{}.bytes_written", e.kind))
                     .or_insert(0) += e.bytes;
             }
+            // Batch composition depends on request arrival timing, so
+            // every field is scheduling/latency state.
+            AnyEvent::EngineBatchFlushed(e) => {
+                *inner.scheduling.entry(format!("engine.{}.batches", e.app)).or_insert(0) += 1;
+                *inner.scheduling.entry(format!("engine.{}.coalesced", e.app)).or_insert(0) +=
+                    e.size as u64;
+                let peak =
+                    inner.scheduling.entry(format!("engine.{}.max_batch", e.app)).or_insert(0);
+                *peak = (*peak).max(e.size as u64);
+                inner
+                    .latency_hists
+                    .entry(format!("engine.{}.batch_seconds", e.app))
+                    .or_default()
+                    .record(e.seconds);
+            }
+            AnyEvent::ServeRequestHandled(e) => {
+                let class = (e.status / 100).clamp(1, 5);
+                *inner.scheduling.entry(format!("serve.status.{class}xx")).or_insert(0) += 1;
+                inner
+                    .latency_hists
+                    .entry("serve.request_seconds".to_string())
+                    .or_default()
+                    .record(e.seconds);
+                inner
+                    .latency_hists
+                    .entry(format!("serve.tenant.{:016x}.seconds", e.tenant))
+                    .or_default()
+                    .record(e.seconds);
+            }
+            AnyEvent::ServeRequestRejected(e) => {
+                *inner.scheduling.entry("serve.rejected_429".to_string()).or_insert(0) += 1;
+                *inner
+                    .scheduling
+                    .entry(format!("serve.tenant.{:016x}.rejected", e.tenant))
+                    .or_insert(0) += 1;
+            }
+            AnyEvent::CheckpointReloaded(e) => {
+                *inner.scheduling.entry(format!("engine.{}.reloads", e.app)).or_insert(0) += 1;
+                inner.scheduling.insert(format!("engine.{}.generation", e.app), e.generation);
+            }
         }
         inner.self_events += 1;
         inner.self_ns += t0.elapsed().as_nanos() as u64;
@@ -365,6 +405,36 @@ mod tests {
     use super::*;
     use crate::event::*;
     use crate::subscriber::emit;
+
+    #[test]
+    fn serve_events_aggregate_into_scheduling_and_histograms() {
+        let m = Metrics::new();
+        emit(&m, EngineBatchFlushed { app: "ddos", size: 3, seconds: 0.004 });
+        emit(&m, EngineBatchFlushed { app: "ddos", size: 7, seconds: 0.008 });
+        emit(&m, ServeRequestHandled { tenant: 0xA, status: 200, seconds: 0.002 });
+        emit(&m, ServeRequestHandled { tenant: 0xA, status: 200, seconds: 0.003 });
+        emit(&m, ServeRequestHandled { tenant: 0xB, status: 400, seconds: 0.001 });
+        emit(&m, ServeRequestRejected { tenant: 0xB, capacity: 64 });
+        emit(&m, CheckpointReloaded { app: "ddos", generation: 2 });
+        let snap = m.snapshot();
+        assert_eq!(snap.scheduling["engine.ddos.batches"], 2);
+        assert_eq!(snap.scheduling["engine.ddos.coalesced"], 10);
+        assert_eq!(snap.scheduling["engine.ddos.max_batch"], 7);
+        assert_eq!(snap.scheduling["serve.status.2xx"], 2);
+        assert_eq!(snap.scheduling["serve.status.4xx"], 1);
+        assert_eq!(snap.scheduling["serve.rejected_429"], 1);
+        assert_eq!(snap.scheduling["serve.tenant.000000000000000b.rejected"], 1);
+        assert_eq!(snap.scheduling["engine.ddos.reloads"], 1);
+        assert_eq!(snap.scheduling["engine.ddos.generation"], 2);
+        assert_eq!(snap.latency_hists["serve.request_seconds"].count, 3);
+        assert_eq!(snap.latency_hists["serve.tenant.000000000000000a.seconds"].count, 2);
+        assert_eq!(snap.latency_hists["engine.ddos.batch_seconds"].count, 2);
+        // None of the serve events may touch the deterministic section.
+        assert!(snap
+            .counters
+            .keys()
+            .all(|k| !k.starts_with("serve.") && !k.starts_with("engine.")));
+    }
 
     fn sample_metrics() -> Metrics {
         let m = Metrics::new();

@@ -187,6 +187,25 @@ impl Subscriber for Stderr {
             AnyEvent::ArtifactWrite(e) => {
                 eprintln!("[obs] artifact {} {:016x} written ({} bytes)", e.kind, e.key, e.bytes)
             }
+            AnyEvent::EngineBatchFlushed(e) => eprintln!(
+                "[obs] engine {} flushed batch of {} in {:.1}us",
+                e.app,
+                e.size,
+                e.seconds * 1e6
+            ),
+            AnyEvent::ServeRequestHandled(e) => eprintln!(
+                "[obs] serve tenant {:016x} -> {} in {:.1}us",
+                e.tenant,
+                e.status,
+                e.seconds * 1e6
+            ),
+            AnyEvent::ServeRequestRejected(e) => eprintln!(
+                "[obs] serve tenant {:016x} rejected: queue full ({})",
+                e.tenant, e.capacity
+            ),
+            AnyEvent::CheckpointReloaded(e) => {
+                eprintln!("[obs] engine {} reloaded -> generation {}", e.app, e.generation)
+            }
         }
     }
 }

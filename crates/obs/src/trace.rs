@@ -270,7 +270,11 @@ impl Subscriber for TraceWriter {
             | AnyEvent::FitCompleted(_)
             | AnyEvent::ArtifactHit(_)
             | AnyEvent::ArtifactMiss(_)
-            | AnyEvent::ArtifactWrite(_) => {}
+            | AnyEvent::ArtifactWrite(_)
+            | AnyEvent::EngineBatchFlushed(_)
+            | AnyEvent::ServeRequestHandled(_)
+            | AnyEvent::ServeRequestRejected(_)
+            | AnyEvent::CheckpointReloaded(_) => {}
         }
     }
 }

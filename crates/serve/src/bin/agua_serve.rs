@@ -1,0 +1,170 @@
+//! `agua-serve` — the long-running explanation daemon.
+//!
+//! ```text
+//! agua-serve --fit ddos --samples 1000                  # store-backed fit
+//! agua-serve --model-dir /tmp/agua-ddos                 # saved checkpoint
+//! agua-serve --addr 127.0.0.1:0 --addr-file /tmp/addr   # ephemeral port
+//! ```
+//!
+//! Runs until `POST /v1/shutdown`. With `--watch-ms` a poller refits
+//! store-backed sessions when the store is invalidated and reloads
+//! checkpoint directories when their files change.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use agua_app::CacheMode;
+use agua_engine::{EngineConfig, FitSpec};
+use agua_nn::parallel::ThreadConfig;
+use agua_serve::{start, ServeConfig, Source};
+
+const USAGE: &str = "\
+agua-serve — HTTP explanation daemon over the agua engine
+
+USAGE:
+  agua-serve [OPTIONS]
+
+OPTIONS:
+  --addr <host:port>       bind address (default 127.0.0.1:8117;
+                           port 0 picks a free port)
+  --addr-file <path>       write the bound address to this file once
+                           listening (for port-0 discovery)
+  --model-dir <dir>        serve a saved checkpoint directory
+                           (repeatable)
+  --fit <app>              fit-and-serve a registered application
+                           through the artifact store (repeatable)
+  --samples <n>            training rollout size for --fit
+                           (default 1000)
+  --q8-epsilon <eps>       also fit the int8 surrogate for --fit apps,
+                           gated at this fidelity-drop tolerance
+  --max-batch <n>          coalescing limit (default 16; 1 disables
+                           coalescing — also settable at runtime via
+                           POST /v1/config)
+  --queue-capacity <n>     admission queue bound; overflow returns 429
+                           (default 64)
+  --watch-ms <n>           poll interval for hot reload (default: off)
+  --cache-dir <dir>        artifact store root for --fit
+                           (default <repo>/results/cache)
+  --threads <n>            engine worker threads (default: AGUA_THREADS
+                           env or all cores; responses are identical at
+                           any value)
+";
+
+struct Args {
+    addr: String,
+    addr_file: Option<PathBuf>,
+    sources: Vec<Source>,
+    samples: usize,
+    q8_epsilon: Option<f32>,
+    max_batch: usize,
+    queue_capacity: usize,
+    watch: Option<Duration>,
+    cache_dir: PathBuf,
+    threads: Option<usize>,
+}
+
+fn default_cache_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("results").join("cache")
+}
+
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:8117".to_string(),
+        addr_file: None,
+        sources: Vec::new(),
+        samples: 1000,
+        q8_epsilon: None,
+        max_batch: 16,
+        queue_capacity: 64,
+        watch: None,
+        cache_dir: default_cache_dir(),
+        threads: None,
+    };
+    let mut fit_apps: Vec<String> = Vec::new();
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err("help".to_string());
+        }
+        let value = it.next().ok_or_else(|| format!("flag {flag} needs a value"))?.to_string();
+        let bad = |what: &str| format!("cannot parse {flag} value `{value}` as {what}");
+        match flag.as_str() {
+            "--addr" => args.addr = value,
+            "--addr-file" => args.addr_file = Some(PathBuf::from(value)),
+            "--model-dir" => args.sources.push(Source::Dir(PathBuf::from(value))),
+            "--fit" => fit_apps.push(value),
+            "--samples" => args.samples = value.parse().map_err(|_| bad("an integer"))?,
+            "--q8-epsilon" => args.q8_epsilon = Some(value.parse().map_err(|_| bad("a float"))?),
+            "--max-batch" => args.max_batch = value.parse().map_err(|_| bad("an integer"))?,
+            "--queue-capacity" => {
+                args.queue_capacity = value.parse().map_err(|_| bad("an integer"))?
+            }
+            "--watch-ms" => {
+                args.watch =
+                    Some(Duration::from_millis(value.parse().map_err(|_| bad("an integer"))?))
+            }
+            "--cache-dir" => args.cache_dir = PathBuf::from(value),
+            "--threads" => args.threads = Some(value.parse().map_err(|_| bad("an integer"))?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    for app in fit_apps {
+        let mut spec = FitSpec::standard(args.samples);
+        if let Some(eps) = args.q8_epsilon {
+            spec = spec.quantized(eps);
+        }
+        args.sources.push(Source::Fit { app, spec });
+    }
+    if args.sources.is_empty() {
+        return Err("nothing to serve: pass --fit <app> and/or --model-dir <dir>".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> std::process::ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(args) => args,
+        Err(e) if e == "help" => {
+            println!("{USAGE}");
+            return std::process::ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let config = ServeConfig {
+        addr: args.addr,
+        engine: EngineConfig {
+            queue_capacity: args.queue_capacity,
+            max_batch: args.max_batch,
+            nn: args.threads.map(|threads| ThreadConfig { threads, min_flops: 0 }),
+        },
+        sources: args.sources,
+        cache_root: args.cache_dir,
+        cache_mode: CacheMode::from_env(),
+        watch: args.watch,
+    };
+    let server = match start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let addr = server.addr();
+    if let Some(path) = &args.addr_file {
+        if let Err(e) = std::fs::write(path, addr.to_string()) {
+            eprintln!("error: cannot write --addr-file {}: {e}", path.display());
+            server.stop();
+            return std::process::ExitCode::FAILURE;
+        }
+    }
+    eprintln!("[agua-serve] listening on {addr}");
+    server.wait();
+    eprintln!("[agua-serve] stopped");
+    std::process::ExitCode::SUCCESS
+}

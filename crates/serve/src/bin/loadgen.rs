@@ -1,0 +1,382 @@
+//! `loadgen` — closed-loop load generator and correctness prober for a
+//! running `agua-serve` daemon.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:8117
+//! loadgen --addr-file /tmp/agua-serve.addr --smoke
+//! ```
+//!
+//! For each coalescing mode (`sequential` = `max_batch 1`, `coalesced`
+//! = `max_batch 16`, toggled live via `POST /v1/config`) and each
+//! client count, runs K closed-loop connections × R requests each,
+//! recording latency histograms, sustained RPS, and an FNV hash of
+//! every 200 body. Then asserts the serving contracts end to end:
+//!
+//! - **byte-identity across coalescing**: the body hash of request
+//!   `(client, i)` is identical in both modes at every concurrency;
+//! - **byte-identity across reload**: a fixed request returns the same
+//!   body before and after `POST /v1/reload`, with the
+//!   `X-Agua-Generation` header bumped.
+//!
+//! Results land in `BENCH_serve.json` for `cargo xtask perfdiff` and
+//! the CI serve gate.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use agua_app::codec::{arr_of, get, object, str_of, usize_of};
+use agua_app::fnv1a;
+use agua_obs::Histogram;
+use agua_serve::http::Client;
+use serde_json::Value;
+
+const USAGE: &str = "\
+loadgen — load generator + contract prober for agua-serve
+
+USAGE:
+  loadgen (--addr <host:port> | --addr-file <path>) [OPTIONS]
+
+OPTIONS:
+  --addr <host:port>    daemon address
+  --addr-file <path>    read the daemon address from this file
+  --smoke               small fast run (clients [1,4], 40 req/client)
+  --requests <n>        requests per client (default 150; smoke 40)
+  --out <path>          report path (default <repo>/results/BENCH_serve.json)
+";
+
+struct Args {
+    addr: String,
+    smoke: bool,
+    requests: usize,
+    out: PathBuf,
+}
+
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut addr: Option<String> = None;
+    let mut smoke = false;
+    let mut requests: Option<usize> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--help" | "-h" => return Err("help".to_string()),
+            "--smoke" => smoke = true,
+            "--addr" => addr = Some(it.next().ok_or("--addr needs a value")?.to_string()),
+            "--addr-file" => {
+                let path = it.next().ok_or("--addr-file needs a value")?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read --addr-file {path}: {e}"))?;
+                addr = Some(text.trim().to_string());
+            }
+            "--requests" => {
+                let v = it.next().ok_or("--requests needs a value")?;
+                requests = Some(v.parse().map_err(|_| format!("bad --requests `{v}`"))?);
+            }
+            "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?)),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(Args {
+        addr: addr.ok_or("pass --addr or --addr-file")?,
+        smoke,
+        requests: requests.unwrap_or(if smoke { 40 } else { 150 }),
+        out: out.unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("results")
+                .join("BENCH_serve.json")
+        }),
+    })
+}
+
+/// Deterministic synthetic feature vector for `(client, request)` —
+/// splitmix64 per lane, mapped into [0, 1).
+fn features_for(client: usize, request: usize, in_dim: usize) -> Vec<f32> {
+    (0..in_dim)
+        .map(|lane| {
+            let mut z = (client as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add((request as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+                .wrapping_add(lane as u64)
+                .wrapping_add(0x94d0_49bb_1331_11eb);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            (z >> 40) as f32 / (1u64 << 24) as f32
+        })
+        .collect()
+}
+
+fn explain_request_body(app: &str, features: &[f32]) -> Vec<u8> {
+    let feats = Value::Array(features.iter().map(|&f| Value::Number(f64::from(f))).collect());
+    let value = object(vec![("app", Value::String(app.to_string())), ("features", feats)]);
+    serde_json::to_string(&value).expect("request body serializes").into_bytes()
+}
+
+/// What one client thread brings back from its closed loop.
+struct ClientRun {
+    latencies: Histogram,
+    /// FNV body hash per request index, for 200 responses only.
+    hashes: Vec<Option<u64>>,
+    s2xx: u64,
+    s4xx: u64,
+    s5xx: u64,
+    batch_sum: u64,
+    batch_n: u64,
+}
+
+fn run_client(addr: &str, app: &str, in_dim: usize, client: usize, requests: usize) -> ClientRun {
+    let mut run = ClientRun {
+        latencies: Histogram::new(),
+        hashes: vec![None; requests],
+        s2xx: 0,
+        s4xx: 0,
+        s5xx: 0,
+        batch_sum: 0,
+        batch_n: 0,
+    };
+    let mut conn = Client::connect(addr).expect("loadgen connects");
+    for i in 0..requests {
+        let body = explain_request_body(app, &features_for(client, i, in_dim));
+        let tenant = format!("client-{client}");
+        let headers = vec![("X-Agua-Tenant".to_string(), tenant)];
+        let start = Instant::now();
+        let resp = conn.request("POST", "/v1/explain", &headers, &body).expect("explain responds");
+        run.latencies.record(start.elapsed().as_secs_f64());
+        match resp.status {
+            200..=299 => {
+                run.s2xx += 1;
+                run.hashes[i] = Some(fnv1a(&resp.body));
+                if let Some(batch) = resp.header("x-agua-batch").and_then(|v| v.parse::<u64>().ok())
+                {
+                    run.batch_sum += batch;
+                    run.batch_n += 1;
+                }
+            }
+            400..=499 => run.s4xx += 1,
+            _ => run.s5xx += 1,
+        }
+    }
+    run
+}
+
+struct ModeResult {
+    rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    requests: u64,
+    s4xx: u64,
+    s5xx: u64,
+    mean_batch: f64,
+    /// `(client, request) → body hash` for identity comparison.
+    hashes: BTreeMap<(usize, usize), u64>,
+}
+
+fn run_mode(addr: &str, app: &str, in_dim: usize, clients: usize, requests: usize) -> ModeResult {
+    let wall = Instant::now();
+    // audit:allow(thread-spawn): concurrent load clients; the daemon's
+    // coalescer guarantees response bytes are schedule-independent, and
+    // this bin only measures timing.
+    let runs: Vec<ClientRun> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| scope.spawn(move || run_client(addr, app, in_dim, client, requests)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let elapsed = wall.elapsed().as_secs_f64();
+    let mut latencies = Histogram::new();
+    let mut hashes = BTreeMap::new();
+    let (mut s2xx, mut s4xx, mut s5xx, mut batch_sum, mut batch_n) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    for (client, run) in runs.iter().enumerate() {
+        latencies.merge(&run.latencies);
+        s2xx += run.s2xx;
+        s4xx += run.s4xx;
+        s5xx += run.s5xx;
+        batch_sum += run.batch_sum;
+        batch_n += run.batch_n;
+        for (i, hash) in run.hashes.iter().enumerate() {
+            if let Some(hash) = hash {
+                hashes.insert((client, i), *hash);
+            }
+        }
+    }
+    ModeResult {
+        rps: s2xx as f64 / elapsed,
+        p50_ms: latencies.quantile(0.50) * 1e3,
+        p99_ms: latencies.quantile(0.99) * 1e3,
+        p999_ms: latencies.quantile(0.999) * 1e3,
+        requests: (clients * requests) as u64,
+        s4xx,
+        s5xx,
+        mean_batch: if batch_n == 0 { 0.0 } else { batch_sum as f64 / batch_n as f64 },
+        hashes,
+    }
+}
+
+/// Report counters are small integers, well inside f64's exact range —
+/// plain JSON numbers keep the report conventional for jq/perfdiff
+/// (unlike `codec::u64_value`'s string encoding for full-64-bit keys).
+fn count(n: u64) -> Value {
+    Value::Number(n as f64)
+}
+
+fn mode_value(r: &ModeResult) -> Value {
+    object(vec![
+        ("mean_batch", Value::Number(r.mean_batch)),
+        ("p50_ms", Value::Number(r.p50_ms)),
+        ("p999_ms", Value::Number(r.p999_ms)),
+        ("p99_ms", Value::Number(r.p99_ms)),
+        ("requests", count(r.requests)),
+        ("rps", Value::Number(r.rps)),
+        ("s4xx", count(r.s4xx)),
+        ("s5xx", count(r.s5xx)),
+    ])
+}
+
+fn set_max_batch(conn: &mut Client, max_batch: usize) {
+    let body = format!("{{\"max_batch\": {max_batch}}}");
+    let resp = conn.post("/v1/config", body.as_bytes()).expect("config responds");
+    assert_eq!(resp.status, 200, "POST /v1/config failed: {resp:?}");
+}
+
+/// Byte-identity across a warm reload: a fixed request must return the
+/// same body before and after `POST /v1/reload`, on a bumped generation.
+fn reload_check(conn: &mut Client, app: &str, in_dim: usize) -> (bool, bool) {
+    let body = explain_request_body(app, &features_for(7, 3, in_dim));
+    let before = conn.post("/v1/explain", &body).expect("explain before reload");
+    assert_eq!(before.status, 200, "reload probe failed: {before:?}");
+    let gen_before: u64 =
+        before.header("x-agua-generation").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let reload = conn.post("/v1/reload", b"{}").expect("reload responds");
+    assert_eq!(reload.status, 200, "POST /v1/reload failed: {reload:?}");
+    let after = conn.post("/v1/explain", &body).expect("explain after reload");
+    assert_eq!(after.status, 200, "post-reload probe failed: {after:?}");
+    let gen_after: u64 =
+        after.header("x-agua-generation").and_then(|v| v.parse().ok()).unwrap_or(0);
+    (before.body == after.body, gen_after > gen_before)
+}
+
+fn main() -> std::process::ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(args) => args,
+        Err(e) if e == "help" => {
+            println!("{USAGE}");
+            return std::process::ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let client_counts: &[usize] = if args.smoke { &[1, 4] } else { &[1, 2, 4, 8] };
+
+    let mut control = Client::connect(&args.addr).expect("loadgen connects to daemon");
+    let apps = control.get("/v1/apps").expect("GET /v1/apps");
+    assert_eq!(apps.status, 200, "GET /v1/apps failed: {apps:?}");
+    let text = String::from_utf8(apps.body).expect("apps body is UTF-8");
+    let value = serde_json::from_str(&text).expect("apps body is JSON");
+    let listed = arr_of(get(&value, "apps", "apps").unwrap(), "apps").unwrap();
+    let first = listed.first().expect("daemon serves at least one app");
+    let app = str_of(get(first, "app", "app entry").unwrap(), "app").unwrap().to_string();
+    let in_dim = usize_of(get(first, "in_dim", "app entry").unwrap(), "in_dim").unwrap();
+    eprintln!("[loadgen] target {} app={app} in_dim={in_dim}", args.addr);
+
+    // Sequential first so the coalesced pass runs on a warmed daemon;
+    // each (mode, clients) cell measures its own closed loop anyway.
+    let modes: &[(&str, usize)] = &[("sequential", 1), ("coalesced", 16)];
+    let mut results: BTreeMap<&str, BTreeMap<usize, ModeResult>> = BTreeMap::new();
+    for &(mode, max_batch) in modes {
+        set_max_batch(&mut control, max_batch);
+        for &clients in client_counts {
+            let r = run_mode(&args.addr, &app, in_dim, clients, args.requests);
+            eprintln!(
+                "[loadgen] {mode} clients={clients}: rps={:.1} p50={:.2}ms p99={:.2}ms \
+                 mean_batch={:.2} 4xx={} 5xx={}",
+                r.rps, r.p50_ms, r.p99_ms, r.mean_batch, r.s4xx, r.s5xx
+            );
+            results.entry(mode).or_default().insert(clients, r);
+        }
+    }
+
+    // Cross-mode byte-identity: every (clients, client, i) 200 body
+    // hashed identically under max_batch 1 and 16.
+    let (mut compared, mut mismatched) = (0u64, 0u64);
+    for &clients in client_counts {
+        let seq = &results["sequential"][&clients].hashes;
+        let coal = &results["coalesced"][&clients].hashes;
+        for (key, hash) in seq {
+            if let Some(other) = coal.get(key) {
+                compared += 1;
+                if hash != other {
+                    mismatched += 1;
+                }
+            }
+        }
+    }
+    let (reload_identical, generation_bumped) = reload_check(&mut control, &app, in_dim);
+    eprintln!(
+        "[loadgen] identity: compared={compared} mismatched={mismatched}; \
+         reload byte-identical={reload_identical} generation-bumped={generation_bumped}"
+    );
+
+    let max_clients = *client_counts.last().expect("client counts");
+    let speedup = results["coalesced"][&max_clients].rps / results["sequential"][&max_clients].rps;
+    eprintln!("[loadgen] coalescing speedup at {max_clients} clients: {speedup:.2}x");
+
+    let mode_objects: Vec<(&str, Value)> = results
+        .iter()
+        .map(|(mode, by_clients)| {
+            (
+                *mode,
+                object(
+                    by_clients
+                        .iter()
+                        .map(|(clients, r)| {
+                            // object() takes &str keys; leak the few
+                            // client-count strings for the report.
+                            let key: &'static str = Box::leak(clients.to_string().into_boxed_str());
+                            (key, mode_value(r))
+                        })
+                        .collect(),
+                ),
+            )
+        })
+        .collect();
+    let report = object(vec![
+        ("clients", Value::Array(client_counts.iter().map(|&c| Value::Number(c as f64)).collect())),
+        (
+            "identity",
+            object(vec![("compared", count(compared)), ("mismatched", count(mismatched))]),
+        ),
+        ("modes", object(mode_objects)),
+        (
+            "reload",
+            object(vec![
+                ("byte_identical", Value::Bool(reload_identical)),
+                ("generation_bumped", Value::Bool(generation_bumped)),
+            ]),
+        ),
+        ("requests_per_client", count(args.requests as u64)),
+        ("smoke", Value::Bool(args.smoke)),
+        ("speedup_coalesced_at_max_clients", Value::Number(speedup)),
+    ]);
+    let text = serde_json::to_string(&report).expect("report serializes");
+    if let Some(dir) = args.out.parent() {
+        std::fs::create_dir_all(dir).expect("create report directory");
+    }
+    std::fs::write(&args.out, text.as_bytes()).expect("write report");
+    eprintln!("[loadgen] wrote {}", args.out.display());
+
+    let ok = mismatched == 0 && reload_identical && generation_bumped;
+    if ok {
+        std::process::ExitCode::SUCCESS
+    } else {
+        eprintln!("[loadgen] CONTRACT VIOLATION — see counters above");
+        std::process::ExitCode::FAILURE
+    }
+}

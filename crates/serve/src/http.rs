@@ -1,0 +1,224 @@
+//! A deliberately small HTTP/1.1 codec over `std::net` — no external
+//! dependencies, no async. Enough protocol for the daemon and its load
+//! generator: request line + headers + `Content-Length` bodies,
+//! keep-alive connections, and nothing else (no chunked encoding, no
+//! pipelining beyond sequential requests on one connection).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// One parsed request (server side) or response (client side) payload
+/// limit: bodies beyond this are rejected rather than buffered.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// Header name/value pairs in arrival order, names lower-cased.
+pub type Headers = Vec<(String, String)>;
+
+/// A parsed HTTP/1.1 request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path component of the request target (no query parsing).
+    pub path: String,
+    /// Header name/value pairs in arrival order, names lower-cased.
+    pub headers: Headers,
+    /// The request body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first `name` header's value, if present (names are stored
+    /// lower-cased; `name` must be given lower-cased).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (`Connection: close`; HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// A parsed HTTP/1.1 response (client side).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Header name/value pairs, names lower-cased.
+    pub headers: Headers,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The first `name` header's value (lower-cased name), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+fn invalid(what: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string())
+}
+
+/// Reads one request from a buffered stream. `Ok(None)` means the peer
+/// closed cleanly between requests (the keep-alive loop's exit).
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Request>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or_else(|| invalid("empty request line"))?.to_string();
+    let path = parts.next().ok_or_else(|| invalid("request line without a target"))?.to_string();
+    let version = parts.next().ok_or_else(|| invalid("request line without a version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid("unsupported HTTP version"));
+    }
+    let (headers, body) = read_headers_and_body(reader)?;
+    Ok(Some(Request { method, path, headers, body }))
+}
+
+fn read_headers_and_body(reader: &mut BufReader<TcpStream>) -> std::io::Result<(Headers, Vec<u8>)> {
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(invalid("connection closed inside headers"));
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) =
+            line.split_once(':').ok_or_else(|| invalid("header line without a colon"))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value.parse().map_err(|_| invalid("unparseable Content-Length"))?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(invalid("body exceeds MAX_BODY_BYTES"));
+            }
+        }
+        headers.push((name, value));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((headers, body))
+}
+
+/// The canonical reason phrase for the status codes the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one response. `extra_headers` ride between the fixed headers
+/// and the blank line; `Content-Length` and `Content-Type` are always
+/// emitted.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(String, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    // One write for head + body: two small writes under Nagle's
+    // algorithm stall on the peer's delayed ACK (~40ms per exchange),
+    // which would dwarf the explain latency being measured.
+    let mut frame = head.into_bytes();
+    frame.extend_from_slice(body);
+    stream.write_all(&frame)?;
+    stream.flush()
+}
+
+/// A keep-alive HTTP/1.1 client connection (the loadgen side).
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:8117`).
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    /// Sends one request and reads the response. `headers` are emitted
+    /// verbatim; `Content-Length` is added for you.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(String, String)],
+        body: &[u8],
+    ) -> std::io::Result<Response> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: agua\r\n");
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+        // Single write per request, mirroring `write_response`.
+        let mut frame = head.into_bytes();
+        frame.extend_from_slice(body);
+        self.stream.write_all(&frame)?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// Convenience: `GET path` with no body or extra headers.
+    pub fn get(&mut self, path: &str) -> std::io::Result<Response> {
+        self.request("GET", path, &[], b"")
+    }
+
+    /// Convenience: `POST path` with a JSON body.
+    pub fn post(&mut self, path: &str, body: &[u8]) -> std::io::Result<Response> {
+        self.request("POST", path, &[], body)
+    }
+
+    fn read_response(&mut self) -> std::io::Result<Response> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(invalid("server closed before responding"));
+        }
+        let mut parts = line.split_whitespace();
+        let version = parts.next().ok_or_else(|| invalid("empty status line"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(invalid("unsupported HTTP version in response"));
+        }
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| invalid("status line without a code"))?;
+        let (headers, body) = read_headers_and_body(&mut self.reader)?;
+        Ok(Response { status, headers, body })
+    }
+}

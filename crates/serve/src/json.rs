@@ -1,0 +1,163 @@
+//! JSON bodies for the serve API, hand-encoded through
+//! [`serde_json::Value`] and the portable codec helpers.
+//!
+//! Encoding goes through [`agua_app::codec::object`], whose map
+//! serialization is key-ordered and whose float formatting is the
+//! shortest round-trippable representation — so a response body is a
+//! *deterministic* function of the response value. The loadgen's
+//! byte-identity checks (coalesced vs sequential, across a warm
+//! reload) hash these bodies directly.
+
+use agua::explain::{Explanation, RowQuery};
+use agua_app::codec::{arr_of, f32s_value, get, object, str_of, usize_of};
+use agua_engine::{EngineError, ExplainRequest, ExplainResponse};
+use serde_json::Value;
+
+/// Encodes `value` as the response body bytes.
+pub fn body(value: &Value) -> Vec<u8> {
+    serde_json::to_string(value).expect("JSON value serializes").into_bytes()
+}
+
+/// `{"error": msg}`.
+pub fn error_body(msg: &str) -> Vec<u8> {
+    body(&object(vec![("error", Value::String(msg.to_string()))]))
+}
+
+/// The explanation payload: concept contributions in rank order, the
+/// queried class, and the surrogate's probability of it.
+pub fn explanation_value(e: &Explanation) -> Value {
+    object(vec![
+        (
+            "contributions",
+            Value::Array(
+                e.contributions
+                    .iter()
+                    .map(|c| {
+                        object(vec![
+                            ("concept", Value::String(c.concept.clone())),
+                            ("per_class", f32s_value(&c.per_class)),
+                            ("weight", Value::Number(f64::from(c.weight))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("factual", Value::Bool(e.factual)),
+        ("output_class", Value::Number(e.output_class as f64)),
+        ("output_prob", Value::Number(f64::from(e.output_prob))),
+    ])
+}
+
+/// The `POST /v1/explain` 200 body. Deliberately excludes the reload
+/// generation and the coalesced batch size (they ride as `X-Agua-*`
+/// headers): the body bytes depend only on `(app, features, query)`
+/// and the checkpoint content, never on batch company or reload count.
+pub fn explain_body(resp: &ExplainResponse) -> Vec<u8> {
+    body(&object(vec![
+        ("app", Value::String(resp.app.to_string())),
+        ("explanation", explanation_value(&resp.explanation)),
+        ("verdict", Value::Number(resp.verdict as f64)),
+    ]))
+}
+
+/// Parses a `POST /v1/explain` request body:
+/// `{"app": "...", "features": [...], "counterfactual": class?}`.
+pub fn parse_explain(bytes: &[u8]) -> Result<ExplainRequest, String> {
+    let text = std::str::from_utf8(bytes).map_err(|_| "body is not UTF-8".to_string())?;
+    let value: Value = serde_json::from_str(text).map_err(|e| format!("body is not JSON: {e}"))?;
+    let err = |e: agua_app::codec::CodecError| e.to_string();
+    let app = str_of(get(&value, "app", "explain request").map_err(err)?, "explain request.app")
+        .map_err(err)?
+        .to_string();
+    let features = arr_of(
+        get(&value, "features", "explain request").map_err(err)?,
+        "explain request.features",
+    )
+    .map_err(err)?
+    .iter()
+    .map(|v| agua_app::codec::f32_of(v, "explain request.features[]").map_err(err))
+    .collect::<Result<Vec<f32>, String>>()?;
+    let query = match get(&value, "counterfactual", "explain request") {
+        Ok(v) => {
+            RowQuery::Counterfactual(usize_of(v, "explain request.counterfactual").map_err(err)?)
+        }
+        Err(_) => RowQuery::Factual,
+    };
+    Ok(ExplainRequest { app, features, query })
+}
+
+/// Maps an [`EngineError`] to its HTTP status (and optional
+/// `Retry-After` seconds). Admission-queue overflow is the
+/// backpressure contract: reject fast, tell the client to come back.
+//= spec: specs/serve-protocol.toml#overload-responds-429
+//# a request rejected by the bounded admission queue MUST receive
+//# HTTP 429 with a Retry-After header, and MUST NOT occupy queue
+//# space or block behind admitted requests
+pub fn status_of(err: &EngineError) -> (u16, Option<u64>) {
+    match err {
+        EngineError::Overloaded { .. } => (429, Some(1)),
+        EngineError::UnknownApp(_) => (404, None),
+        EngineError::FeatureDim { .. } | EngineError::ClassRange { .. } => (400, None),
+        EngineError::ShuttingDown => (503, None),
+        EngineError::Checkpoint(_) | EngineError::BatchFailed => (500, None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explain_request_round_trips_and_validates() {
+        let req = parse_explain(br#"{"app":"ddos","features":[0.5,-1.25,3.0],"counterfactual":1}"#)
+            .unwrap();
+        assert_eq!(req.app, "ddos");
+        assert_eq!(req.features, vec![0.5, -1.25, 3.0]);
+        assert_eq!(req.query, RowQuery::Counterfactual(1));
+
+        let req = parse_explain(br#"{"app":"abr","features":[1.0]}"#).unwrap();
+        assert_eq!(req.query, RowQuery::Factual);
+
+        assert!(parse_explain(b"not json").is_err());
+        assert!(parse_explain(br#"{"features":[1.0]}"#).is_err(), "missing app");
+        assert!(parse_explain(br#"{"app":"x","features":"nope"}"#).is_err());
+    }
+
+    #[test]
+    fn error_statuses_map_the_backpressure_contract() {
+        assert_eq!(status_of(&EngineError::Overloaded { capacity: 8 }), (429, Some(1)));
+        assert_eq!(status_of(&EngineError::UnknownApp("x".into())), (404, None));
+        assert_eq!(status_of(&EngineError::FeatureDim { expected: 3, got: 1 }), (400, None));
+        assert_eq!(status_of(&EngineError::ClassRange { n_outputs: 2, got: 9 }), (400, None));
+        assert_eq!(status_of(&EngineError::ShuttingDown), (503, None));
+        assert_eq!(status_of(&EngineError::BatchFailed), (500, None));
+    }
+
+    #[test]
+    fn explanation_bodies_are_deterministic_bytes() {
+        let e = Explanation {
+            output_class: 1,
+            output_prob: 0.75,
+            factual: true,
+            contributions: vec![agua::explain::ConceptContribution {
+                concept: "Payload Anomalies".to_string(),
+                weight: 0.5,
+                per_class: vec![0.125, 0.375],
+            }],
+        };
+        let resp = ExplainResponse {
+            app: "ddos",
+            generation: 3,
+            batch_size: 7,
+            verdict: 1,
+            explanation: e,
+        };
+        let a = explain_body(&resp);
+        let b = explain_body(&resp);
+        assert_eq!(a, b);
+        let text = String::from_utf8(a).unwrap();
+        assert!(text.contains("\"verdict\""), "{text}");
+        assert!(!text.contains("generation"), "generation must ride in headers only: {text}");
+        assert!(!text.contains("batch"), "batch size must ride in headers only: {text}");
+    }
+}

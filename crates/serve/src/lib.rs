@@ -1,0 +1,34 @@
+//! `agua-serve`: a long-running HTTP daemon over [`agua_engine`], plus
+//! the closed-loop load generator that benchmarks it.
+//!
+//! The daemon speaks a hand-rolled HTTP/1.1 subset ([`http`]) — no
+//! external server dependency — and serves:
+//!
+//! | route | verb | purpose |
+//! |---|---|---|
+//! | `/v1/healthz` | GET | liveness + installed app count |
+//! | `/v1/apps` | GET | installed sessions (app, generation, dims) |
+//! | `/v1/metrics` | GET | [`agua_obs::MetricsSnapshot`] as JSON |
+//! | `/v1/config` | GET/POST | read / set the coalescing `max_batch` |
+//! | `/v1/explain` | POST | one explanation request through the engine |
+//! | `/v1/reload` | POST | reinstall every session source now |
+//! | `/v1/invalidate` | POST | mark the artifact store dirty (watcher refits) |
+//! | `/v1/shutdown` | POST | drain and exit |
+//!
+//! Three serving contracts, spec-anchored in `specs/serve-protocol.toml`:
+//!
+//! - **Byte-identity**: a `/v1/explain` 200 body is a deterministic
+//!   function of `(app, features, query)` and the checkpoint content —
+//!   never of batch company, thread count, or reload count. Batch size
+//!   and generation ride as `X-Agua-Batch` / `X-Agua-Generation`
+//!   headers instead.
+//! - **Backpressure**: admission is a bounded queue; overflow is an
+//!   immediate `429` + `Retry-After`, not a blocked connection.
+//! - **Hot reload**: sessions swap atomically; in-flight requests
+//!   finish on the generation they were admitted under.
+
+pub mod http;
+pub mod json;
+pub mod server;
+
+pub use server::{start, RunningServer, ServeConfig, Source};

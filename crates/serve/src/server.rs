@@ -1,0 +1,447 @@
+//! The daemon: a TCP accept loop over the engine, session sources with
+//! hot reload, and per-tenant observability.
+//!
+//! ```text
+//!   TcpListener ──accept──► connection thread ──route──► Engine::explain
+//!        │                                                  │
+//!   watcher thread ──StoreWatch / dir fingerprints──► reload_all
+//! ```
+//!
+//! Sessions come from two kinds of [`Source`]: checkpoint directories
+//! (`--model-dir`, reloaded when their file fingerprints move) and
+//! store-backed fits (`--fit`, reloaded when the artifact store's
+//! invalidation generation moves — the [`StoreWatch`] hook). Either
+//! way a reload goes through [`Engine::install`]'s atomic swap, so
+//! in-flight requests finish on the generation they were admitted
+//! under and the response bytes for a given request are identical
+//! across the swap (the loadgen asserts this byte-identity).
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use agua_app::{fnv1a, CacheMode, Store, StoreWatch};
+use agua_engine::{fit_pipeline, Engine, EngineConfig, FitSpec};
+use agua_obs::{emit, Metrics, ServeRequestHandled, ServeRequestRejected};
+use serde_json::Value;
+
+use crate::http::{read_request, write_response, Request};
+use crate::json;
+
+/// Where a served session comes from, and how reloads find it again.
+#[derive(Debug, Clone)]
+pub enum Source {
+    /// A checkpoint directory (`agua-cli train` output).
+    Dir(PathBuf),
+    /// A store-backed fit of a registered application.
+    Fit {
+        /// Registry name of the application.
+        app: String,
+        /// The fitting pipeline specification.
+        spec: FitSpec,
+    },
+}
+
+/// Daemon configuration.
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Engine sizing (queue bound, coalescing limit, nn threads).
+    pub engine: EngineConfig,
+    /// Session sources, installed at startup and on every reload.
+    pub sources: Vec<Source>,
+    /// Artifact store root for [`Source::Fit`] pipelines.
+    pub cache_root: PathBuf,
+    /// Store cache mode (daemon entry points pass `CacheMode::from_env`).
+    pub cache_mode: CacheMode,
+    /// Poll interval for the reload watcher; `None` disables watching
+    /// (explicit `POST /v1/reload` still works).
+    pub watch: Option<Duration>,
+}
+
+struct State {
+    engine: Engine,
+    metrics: Arc<Metrics>,
+    store: Store,
+    watch: StoreWatch,
+    sources: Vec<Source>,
+    addr: SocketAddr,
+    /// Serializes reloads (watcher vs `POST /v1/reload`), and holds the
+    /// last seen store generation + per-source dir fingerprints.
+    reload_state: Mutex<Vec<Option<u64>>>,
+    store_seen: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// A started daemon; dropping it does *not* stop the server — call
+/// [`RunningServer::stop`] (tests) or [`RunningServer::wait`] (daemon).
+pub struct RunningServer {
+    state: Arc<State>,
+    addr: SocketAddr,
+    accept: JoinHandle<()>,
+    watcher: Option<JoinHandle<()>>,
+}
+
+impl RunningServer {
+    /// The bound address (real port even when the config said `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon's metrics aggregator.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.state.metrics)
+    }
+
+    /// Blocks until the accept loop exits (a `POST /v1/shutdown`).
+    pub fn wait(self) {
+        let _ = self.accept.join();
+        if let Some(watcher) = self.watcher {
+            let _ = watcher.join();
+        }
+    }
+
+    /// Stops the daemon: closes admission, wakes the accept loop, joins
+    /// both service threads.
+    pub fn stop(self) {
+        self.state.begin_shutdown();
+        self.wait();
+    }
+}
+
+impl State {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.engine.shutdown();
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// Binds, installs every source, and spawns the accept loop (and the
+/// reload watcher when configured).
+pub fn start(config: ServeConfig) -> Result<RunningServer, String> {
+    let listener =
+        TcpListener::bind(&config.addr).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+    let addr = listener.local_addr().map_err(|e| format!("no local addr: {e}"))?;
+
+    let metrics = Arc::new(Metrics::new());
+    let engine = Engine::with_obs(config.engine, metrics.clone());
+    let store = Store::with_mode(&config.cache_root, config.cache_mode);
+    let watch = store.watch();
+    let state = Arc::new(State {
+        engine,
+        metrics,
+        store,
+        watch,
+        sources: config.sources,
+        addr,
+        reload_state: Mutex::new(Vec::new()),
+        store_seen: AtomicU64::new(0),
+        shutdown: AtomicBool::new(false),
+    });
+    reload_all(&state)?;
+
+    let accept_state = Arc::clone(&state);
+    // audit:allow(thread-spawn): the accept loop only moves sockets to
+    // handler threads; explanation bytes come from the engine's
+    // deterministic pipeline regardless of socket scheduling.
+    let accept = std::thread::Builder::new()
+        .name("agua-serve-accept".to_string())
+        .spawn(move || accept_loop(&accept_state, listener))
+        .map_err(|e| format!("cannot spawn accept loop: {e}"))?;
+
+    let watcher = match config.watch {
+        None => None,
+        Some(interval) => {
+            let watch_state = Arc::clone(&state);
+            // audit:allow(thread-spawn): the watcher only polls reload
+            // triggers; a reload swaps checkpoints atomically and never
+            // alters what any admitted request computes.
+            Some(
+                std::thread::Builder::new()
+                    .name("agua-serve-watcher".to_string())
+                    .spawn(move || watcher_loop(&watch_state, interval))
+                    .map_err(|e| format!("cannot spawn watcher: {e}"))?,
+            )
+        }
+    };
+
+    Ok(RunningServer { state, addr, accept, watcher })
+}
+
+/// (Re)installs every source, returning `(app, generation)` pairs.
+/// Serialized by the reload lock; fingerprints and the seen store
+/// generation are recorded *after* the installs so the watcher does not
+/// chase the writes the fit itself performed.
+fn reload_all(state: &State) -> Result<Vec<(&'static str, u64)>, String> {
+    let mut fingerprints = state.reload_state.lock().expect("reload lock");
+    for source in &state.sources {
+        match source {
+            Source::Dir(dir) => {
+                state.engine.load_dir(dir).map_err(|e| e.to_string())?;
+            }
+            Source::Fit { app, spec } => {
+                let app = agua_app::lookup(app)?;
+                let fitted = fit_pipeline(&state.store, app, spec, &*state.metrics);
+                if let Some(report) = fitted.q8_report() {
+                    if !report.passes {
+                        return Err(format!(
+                            "int8 fidelity gate failed for {}: drop {} > ε {}",
+                            app.name(),
+                            report.drop,
+                            report.epsilon
+                        ));
+                    }
+                }
+                let session = fitted.into_session(app, spec);
+                state.engine.install(session.checkpoint().clone()).map_err(|e| e.to_string())?;
+            }
+        }
+    }
+    *fingerprints = state.sources.iter().map(source_fingerprint).collect();
+    state.store_seen.store(state.watch.generation(), Ordering::Release);
+    Ok(state.engine.apps())
+}
+
+/// FNV over (name, len, mtime) of every file in a checkpoint directory
+/// — moves whenever a checkpoint is rewritten. `None` for fit sources
+/// (they are watched through the store generation instead).
+fn source_fingerprint(source: &Source) -> Option<u64> {
+    let Source::Dir(dir) = source else { return None };
+    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut entries: Vec<(String, u64, u128)> = Vec::new();
+    let Ok(dir_entries) = std::fs::read_dir(dir) else { return Some(0) };
+    for entry in dir_entries.flatten() {
+        let name = entry.file_name().to_string_lossy().to_string();
+        let Ok(meta) = entry.metadata() else { continue };
+        let mtime = meta
+            .modified()
+            .ok()
+            .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+            .map_or(0, |d| d.as_nanos());
+        entries.push((name, meta.len(), mtime));
+    }
+    entries.sort();
+    for (name, len, mtime) in entries {
+        acc ^= fnv1a(name.as_bytes());
+        acc = acc.wrapping_mul(0x100_0000_01b3);
+        acc ^= len;
+        acc = acc.wrapping_mul(0x100_0000_01b3);
+        acc ^= mtime as u64;
+        acc = acc.wrapping_mul(0x100_0000_01b3);
+    }
+    Some(acc)
+}
+
+fn watcher_loop(state: &State, interval: Duration) {
+    while !state.shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(interval);
+        if state.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let store_moved = state.watch.changed_since(state.store_seen.load(Ordering::Acquire));
+        let dirs_moved = {
+            let recorded = state.reload_state.lock().expect("reload lock");
+            state
+                .sources
+                .iter()
+                .zip(recorded.iter())
+                .any(|(source, seen)| source_fingerprint(source) != *seen)
+        };
+        if store_moved || dirs_moved {
+            if let Err(e) = reload_all(state) {
+                eprintln!("[agua-serve] reload failed (serving previous sessions): {e}");
+                // Re-arm anyway so a broken source does not spin the
+                // watcher at full rate.
+                state.store_seen.store(state.watch.generation(), Ordering::Release);
+            }
+        }
+    }
+}
+
+fn accept_loop(state: &Arc<State>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if state.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Responses are written as one frame, but without TCP_NODELAY a
+        // keep-alive client's next small request can still stall behind
+        // a delayed ACK; latency here is the product being measured.
+        let _ = stream.set_nodelay(true);
+        let conn_state = Arc::clone(state);
+        // audit:allow(thread-spawn): connection handlers submit requests
+        // to the engine's queue; the coalescer's byte-identity contract
+        // makes handler scheduling unobservable in response bytes.
+        let _ = std::thread::Builder::new()
+            .name("agua-serve-conn".to_string())
+            .spawn(move || serve_connection(&conn_state, stream));
+    }
+}
+
+fn serve_connection(state: &Arc<State>, stream: TcpStream) {
+    let Ok(reader_stream) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(reader_stream);
+    let mut stream = stream;
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => break,
+            Err(_) => {
+                let body = json::error_body("malformed HTTP request");
+                let _ = write_response(&mut stream, 400, &[], &body);
+                break;
+            }
+        };
+        let close = request.wants_close();
+        let (status, headers, body) = route(state, &request);
+        if write_response(&mut stream, status, &headers, &body).is_err() {
+            break;
+        }
+        if close || state.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+    }
+}
+
+type Routed = (u16, Vec<(String, String)>, Vec<u8>);
+
+fn ok(value: &Value) -> Routed {
+    (200, Vec::new(), json::body(value))
+}
+
+fn error(status: u16, msg: &str) -> Routed {
+    (status, Vec::new(), json::error_body(msg))
+}
+
+/// The tenant id a request bills to: FNV of the `X-Agua-Tenant` header
+/// (0 when absent), so arbitrary tenant strings map to stable u64 keys.
+fn tenant_of(request: &Request) -> u64 {
+    request.header("x-agua-tenant").map_or(0, |v| fnv1a(v.as_bytes()))
+}
+
+fn apps_value(state: &State) -> Value {
+    use agua_app::codec::{object, u64_value};
+    Value::Array(
+        state
+            .engine
+            .apps()
+            .into_iter()
+            .filter_map(|(name, generation)| {
+                let session = state.engine.session(name)?;
+                Some(object(vec![
+                    ("app", Value::String(name.to_string())),
+                    ("generation", u64_value(generation)),
+                    ("in_dim", Value::Number(session.in_dim() as f64)),
+                    ("n_outputs", Value::Number(session.n_outputs() as f64)),
+                ]))
+            })
+            .collect(),
+    )
+}
+
+fn route(state: &Arc<State>, request: &Request) -> Routed {
+    use agua_app::codec::{get, object, u64_value, usize_of};
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/v1/healthz") => ok(&object(vec![
+            ("apps", Value::Number(state.engine.apps().len() as f64)),
+            ("status", Value::String("ok".to_string())),
+        ])),
+        ("GET", "/v1/apps") => ok(&object(vec![("apps", apps_value(state))])),
+        ("GET", "/v1/metrics") => {
+            let snapshot = state.metrics.snapshot();
+            let text = serde_json::to_string(&snapshot).expect("metrics snapshot serializes");
+            (200, Vec::new(), text.into_bytes())
+        }
+        ("GET", "/v1/config") => ok(&object(vec![
+            ("max_batch", Value::Number(state.engine.max_batch() as f64)),
+            ("queue_capacity", Value::Number(state.engine.queue_capacity() as f64)),
+        ])),
+        ("POST", "/v1/config") => {
+            let text = String::from_utf8_lossy(&request.body).to_string();
+            let Ok(value) = serde_json::from_str(&text) else {
+                return error(400, "config body is not JSON");
+            };
+            if let Ok(v) = get(&value, "max_batch", "config") {
+                match usize_of(v, "config.max_batch") {
+                    Ok(n) => state.engine.set_max_batch(n),
+                    Err(e) => return error(400, &e.to_string()),
+                }
+            }
+            ok(&object(vec![("max_batch", Value::Number(state.engine.max_batch() as f64))]))
+        }
+        ("POST", "/v1/reload") => match reload_all(state) {
+            Ok(_) => ok(&object(vec![("apps", apps_value(state))])),
+            Err(e) => error(500, &format!("reload failed: {e}")),
+        },
+        ("POST", "/v1/invalidate") => {
+            // Marks the artifact store dirty; the watcher (when running)
+            // picks this up and refits every store-backed session.
+            state.store.invalidate();
+            ok(&object(vec![("generation", u64_value(state.watch.generation()))]))
+        }
+        ("POST", "/v1/shutdown") => {
+            state.begin_shutdown();
+            ok(&object(vec![("status", Value::String("shutting down".to_string()))]))
+        }
+        ("POST", "/v1/explain") => explain_route(state, request),
+        (_, "/v1/explain" | "/v1/healthz" | "/v1/apps" | "/v1/metrics" | "/v1/config") => {
+            error(405, "method not allowed")
+        }
+        _ => error(404, "no such route"),
+    }
+}
+
+/// `POST /v1/explain`: parse, serve through the engine, and report the
+/// outcome on the obs fabric keyed by tenant. The coalesced batch size
+/// and checkpoint generation ride as `X-Agua-*` headers so the body
+/// stays a deterministic function of the request and the checkpoint.
+fn explain_route(state: &Arc<State>, request: &Request) -> Routed {
+    let tenant = tenant_of(request);
+    let start = Instant::now();
+    let parsed = match json::parse_explain(&request.body) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            let routed = error(400, &e);
+            emit(
+                &*state.metrics,
+                ServeRequestHandled { tenant, status: 400, seconds: start.elapsed().as_secs_f64() },
+            );
+            return routed;
+        }
+    };
+    match state.engine.explain(parsed) {
+        Ok(resp) => {
+            let headers = vec![
+                ("X-Agua-Batch".to_string(), resp.batch_size.to_string()),
+                ("X-Agua-Generation".to_string(), resp.generation.to_string()),
+            ];
+            let body = json::explain_body(&resp);
+            emit(
+                &*state.metrics,
+                ServeRequestHandled { tenant, status: 200, seconds: start.elapsed().as_secs_f64() },
+            );
+            (200, headers, body)
+        }
+        Err(err) => {
+            let (status, retry_after) = json::status_of(&err);
+            if let agua_engine::EngineError::Overloaded { capacity } = err {
+                emit(&*state.metrics, ServeRequestRejected { tenant, capacity });
+            }
+            let mut headers = Vec::new();
+            if let Some(seconds) = retry_after {
+                headers.push(("Retry-After".to_string(), seconds.to_string()));
+            }
+            emit(
+                &*state.metrics,
+                ServeRequestHandled { tenant, status, seconds: start.elapsed().as_secs_f64() },
+            );
+            (status, headers, json::error_body(&err.to_string()))
+        }
+    }
+}

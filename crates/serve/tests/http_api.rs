@@ -1,0 +1,169 @@
+//! End-to-end tests of the daemon over real sockets: route coverage,
+//! error statuses, the runtime coalescing toggle, hot reload, the
+//! store-invalidation watcher, and shutdown.
+
+use std::time::Duration;
+
+use agua::surrogate::TrainParams;
+use agua_app::CacheMode;
+use agua_engine::{EngineConfig, FitSpec};
+use agua_serve::http::Client;
+use agua_serve::{start, RunningServer, ServeConfig, Source};
+
+fn fast_fit() -> FitSpec {
+    let mut spec = FitSpec::standard(40);
+    spec.params = TrainParams::fast();
+    spec
+}
+
+fn start_daemon(queue_capacity: usize, watch: Option<Duration>) -> RunningServer {
+    let cache = std::env::temp_dir().join(format!(
+        "agua-serve-test-{}-{}",
+        std::process::id(),
+        watch.is_some()
+    ));
+    start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine: EngineConfig { queue_capacity, max_batch: 16, nn: None },
+        sources: vec![Source::Fit { app: "ddos".to_string(), spec: fast_fit() }],
+        cache_root: cache,
+        cache_mode: CacheMode::Off,
+        watch,
+    })
+    .expect("daemon starts")
+}
+
+fn connect(server: &RunningServer) -> Client {
+    Client::connect(&server.addr().to_string()).expect("client connects")
+}
+
+fn explain_body(features: &str) -> Vec<u8> {
+    format!(r#"{{"app":"ddos","features":{features}}}"#).into_bytes()
+}
+
+/// A valid ddos feature vector for the fixture checkpoint's in_dim,
+/// read off `/v1/apps` so the test tracks the application definition.
+fn valid_features(conn: &mut Client) -> String {
+    let resp = conn.get("/v1/apps").expect("apps");
+    assert_eq!(resp.status, 200);
+    let text = String::from_utf8(resp.body).unwrap();
+    let value = serde_json::from_str(&text).unwrap();
+    let apps =
+        agua_app::codec::arr_of(agua_app::codec::get(&value, "apps", "apps").unwrap(), "apps")
+            .unwrap();
+    let in_dim = agua_app::codec::usize_of(
+        agua_app::codec::get(&apps[0], "in_dim", "app").unwrap(),
+        "in_dim",
+    )
+    .unwrap();
+    let lanes: Vec<String> = (0..in_dim).map(|i| format!("{}", 0.1 * (i + 1) as f32)).collect();
+    format!("[{}]", lanes.join(","))
+}
+
+#[test]
+fn daemon_serves_the_api_and_its_contracts() {
+    let server = start_daemon(64, None);
+    let mut conn = connect(&server);
+
+    // Liveness and session listing.
+    let health = conn.get("/v1/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    assert!(String::from_utf8(health.body).unwrap().contains("\"ok\""));
+    let apps = conn.get("/v1/apps").expect("apps");
+    let apps_text = String::from_utf8(apps.body).unwrap();
+    assert!(apps_text.contains("\"ddos\""), "{apps_text}");
+    assert!(apps_text.contains("\"generation\""), "{apps_text}");
+
+    // A factual explanation, twice: 200, engine headers, identical bytes.
+    let features = valid_features(&mut conn);
+    let first = conn.post("/v1/explain", &explain_body(&features)).expect("explain");
+    assert_eq!(first.status, 200, "{:?}", String::from_utf8_lossy(&first.body));
+    assert!(first.header("x-agua-batch").is_some());
+    assert_eq!(first.header("x-agua-generation"), Some("0"));
+    let body_text = String::from_utf8(first.body.clone()).unwrap();
+    assert!(body_text.contains("\"contributions\""), "{body_text}");
+    assert!(body_text.contains("\"verdict\""), "{body_text}");
+    let again = conn.post("/v1/explain", &explain_body(&features)).expect("explain again");
+    assert_eq!(again.body, first.body, "explain responses must be deterministic bytes");
+
+    // A counterfactual names a different class than the factual one.
+    let cf_body = format!(r#"{{"app":"ddos","features":{features},"counterfactual":0}}"#);
+    let cf = conn.post("/v1/explain", cf_body.as_bytes()).expect("counterfactual");
+    assert_eq!(cf.status, 200);
+    assert!(String::from_utf8(cf.body).unwrap().contains("\"factual\":false"));
+
+    // Error statuses: unknown app, wrong dim, malformed JSON, bad class,
+    // unknown route, wrong verb.
+    let resp = conn.post("/v1/explain", br#"{"app":"nope","features":[1.0]}"#).unwrap();
+    assert_eq!(resp.status, 404);
+    let resp = conn.post("/v1/explain", &explain_body("[1.0]")).unwrap();
+    assert_eq!(resp.status, 400);
+    let resp = conn.post("/v1/explain", b"not json").unwrap();
+    assert_eq!(resp.status, 400);
+    let bad_class = format!(r#"{{"app":"ddos","features":{features},"counterfactual":99}}"#);
+    let resp = conn.post("/v1/explain", bad_class.as_bytes()).unwrap();
+    assert_eq!(resp.status, 400);
+    let resp = conn.get("/v1/no-such-route").unwrap();
+    assert_eq!(resp.status, 404);
+    let resp = conn.get("/v1/explain").unwrap();
+    assert_eq!(resp.status, 405);
+
+    // The coalescing toggle: set max_batch 1, confirm via GET, responses
+    // byte-identical either way.
+    let resp = conn.post("/v1/config", br#"{"max_batch": 1}"#).unwrap();
+    assert_eq!(resp.status, 200);
+    let resp = conn.get("/v1/config").unwrap();
+    assert!(String::from_utf8(resp.body).unwrap().contains("\"max_batch\":1"));
+    let uncoalesced = conn.post("/v1/explain", &explain_body(&features)).unwrap();
+    assert_eq!(uncoalesced.body, first.body, "batch size must not change response bytes");
+    let resp = conn.post("/v1/config", br#"{"max_batch": 16}"#).unwrap();
+    assert_eq!(resp.status, 200);
+
+    // Metrics surface the serve-side aggregations.
+    let metrics = conn.get("/v1/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let metrics_text = String::from_utf8(metrics.body).unwrap();
+    assert!(metrics_text.contains("serve.status.2xx"), "{metrics_text}");
+    assert!(metrics_text.contains("serve.request_seconds"), "{metrics_text}");
+
+    // Hot reload: same bytes, bumped generation header.
+    let resp = conn.post("/v1/reload", b"{}").unwrap();
+    assert_eq!(resp.status, 200, "{:?}", String::from_utf8_lossy(&resp.body));
+    let reloaded = conn.post("/v1/explain", &explain_body(&features)).unwrap();
+    assert_eq!(reloaded.status, 200);
+    assert_eq!(reloaded.header("x-agua-generation"), Some("1"));
+    assert_eq!(reloaded.body, first.body, "reload must not change response bytes");
+
+    // Shutdown: the daemon acknowledges, then the accept loop exits.
+    let resp = conn.post("/v1/shutdown", b"{}").unwrap();
+    assert_eq!(resp.status, 200);
+    server.wait();
+}
+
+#[test]
+fn watcher_refits_after_store_invalidation() {
+    let server = start_daemon(64, Some(Duration::from_millis(25)));
+    let mut conn = connect(&server);
+    let features = valid_features(&mut conn);
+    let before = conn.post("/v1/explain", &explain_body(&features)).unwrap();
+    assert_eq!(before.status, 200);
+    assert_eq!(before.header("x-agua-generation"), Some("0"));
+
+    let resp = conn.post("/v1/invalidate", b"{}").unwrap();
+    assert_eq!(resp.status, 200);
+
+    // The watcher polls every 25ms; the refit itself takes a moment.
+    let mut bumped = false;
+    for _ in 0..400 {
+        std::thread::sleep(Duration::from_millis(25));
+        let resp = conn.post("/v1/explain", &explain_body(&features)).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, before.body, "watcher reload must not change response bytes");
+        if resp.header("x-agua-generation") == Some("1") {
+            bumped = true;
+            break;
+        }
+    }
+    assert!(bumped, "watcher never picked up the store invalidation");
+    server.stop();
+}

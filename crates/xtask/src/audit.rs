@@ -48,7 +48,8 @@ const THREAD_SPAWN_PATTERNS: &[&str] = &["thread::spawn", "thread::scope"];
 
 /// Crates whose whole purpose is timing/reporting: wall-clock reads
 /// there are the feature, not a leak.
-const WALL_CLOCK_EXEMPT: &[&str] = &["crates/obs/", "crates/bench/", "crates/cli/"];
+const WALL_CLOCK_EXEMPT: &[&str] =
+    &["crates/obs/", "crates/bench/", "crates/cli/", "crates/serve/"];
 
 /// The deterministic numeric path: float reductions here must go
 /// through the blessed kernels (or justify themselves).
@@ -251,8 +252,15 @@ pub fn audit_source(rel_path: &str, source: &str) -> Vec<Violation> {
 /// counts: a mid-file `#[cfg(test)]` on a helper function or a
 /// `thread_local!` must not exempt the production code below it.
 fn find_test_mod_start(lines: &[MaskedLine]) -> usize {
+    // `#[cfg(all(test, …))]` guards (e.g. `not(loom)` so a loom build
+    // swaps in its model instead) gate test modules just as hard as a
+    // bare `#[cfg(test)]`.
+    let is_test_cfg = |code: &str| {
+        let t = code.trim();
+        t == "#[cfg(test)]" || (t.starts_with("#[cfg(all(test,") && t.ends_with(")]"))
+    };
     'outer: for (i, line) in lines.iter().enumerate() {
-        if line.code.trim() != "#[cfg(test)]" {
+        if !is_test_cfg(&line.code) {
             continue;
         }
         for next in &lines[i + 1..] {
@@ -611,6 +619,9 @@ mod tests {
         // Test code spawns threads legitimately (stress tests, etc.).
         let in_tests = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() {\n        std::thread::spawn(|| {});\n    }\n}\n";
         assert_eq!(lints("crates/core/src/explain.rs", in_tests), vec![]);
+        // Loom-guarded test modules are test code too.
+        let loom_gated = "pub fn f() {}\n#[cfg(all(test, not(loom)))]\nmod tests {\n    fn g() {\n        std::thread::spawn(|| {});\n    }\n}\n";
+        assert_eq!(lints("crates/core/src/explain.rs", loom_gated), vec![]);
         // The escape hatch needs a reason, like every other lint.
         let allowed = "fn f() {\n    // audit:allow(thread-spawn): watcher thread only reads, never writes outputs\n    std::thread::spawn(|| {});\n}\n";
         assert_eq!(lints("crates/core/src/explain.rs", allowed), vec![]);

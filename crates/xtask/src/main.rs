@@ -87,12 +87,23 @@ fn main() -> ExitCode {
             let root = workspace_root();
             let mut base = root.join("BENCH_parallel.json");
             let mut new = root.join("results").join("BENCH_parallel.json");
+            let mut serve_base = root.join("BENCH_serve.json");
+            let mut serve_new = root.join("results").join("BENCH_serve.json");
             let mut threshold = 0.25f64;
+            let mut explicit_serve = false;
             while let Some(flag) = args.next() {
                 let Some(value) = args.next() else { return usage() };
                 match flag.as_str() {
                     "--base" => base = PathBuf::from(value),
                     "--new" => new = PathBuf::from(value),
+                    "--serve-base" => {
+                        serve_base = PathBuf::from(value);
+                        explicit_serve = true;
+                    }
+                    "--serve-new" => {
+                        serve_new = PathBuf::from(value);
+                        explicit_serve = true;
+                    }
                     "--threshold" => match value.parse() {
                         Ok(t) => threshold = t,
                         Err(_) => return usage(),
@@ -100,7 +111,14 @@ fn main() -> ExitCode {
                     _ => return usage(),
                 }
             }
-            if perfdiff::run(&base, &new, threshold) {
+            let mut ok = perfdiff::run(&base, &new, threshold);
+            // The serve comparison rides along whenever a fresh loadgen
+            // report exists (or was named explicitly) — one command
+            // gates both benchmark families.
+            if explicit_serve || serve_new.exists() {
+                ok &= perfdiff::run_serve(&serve_base, &serve_new, threshold);
+            }
+            if ok {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE

@@ -416,6 +416,171 @@ pub fn compare(base: &Json, new: &Json, threshold: f64) -> PerfDiff {
     PerfDiff { failures, lines }
 }
 
+/// Walks `modes.<mode>.<clients>` entries of a serve report as
+/// `(mode, clients, entry)` triples, sorted by client count.
+fn serve_entries<'a>(report: &'a Json, mode: &str) -> Vec<(u64, &'a Json)> {
+    let mut out: Vec<(u64, &Json)> = match report.path(&format!("modes.{mode}")) {
+        Some(Json::Obj(fields)) => {
+            fields.iter().filter_map(|(k, v)| Some((k.parse::<u64>().ok()?, v))).collect()
+        }
+        _ => Vec::new(),
+    };
+    out.sort_by_key(|(c, _)| *c);
+    out
+}
+
+/// Compares two `BENCH_serve.json` loadgen reports. Same philosophy as
+/// [`compare`]: absolute floors on the new report alone (correctness
+/// contracts plus the coalescing win), relative RPS/p99 deltas only
+/// between same-mode runs.
+///
+/// Floors, valid in any mode:
+/// * zero 5xx responses in every (mode, clients) cell — the daemon may
+///   shed load with 429s but must never error;
+/// * `identity.mismatched == 0` — coalesced and sequential bodies are
+///   byte-identical per (clients, client, request);
+/// * `reload.byte_identical` and `reload.generation_bumped` — a hot
+///   reload of unchanged sources bumps the generation without touching
+///   response bytes.
+///
+/// Full-mode only (smoke runs too few requests for stable timings):
+/// * coalesced sustained RPS ≥ sequential at the highest client count
+///   — the entire point of the coalescing engine.
+pub fn compare_serve(base: Option<&Json>, new: &Json, threshold: f64) -> PerfDiff {
+    let mut failures = Vec::new();
+    let mut lines = Vec::new();
+
+    for mode in ["sequential", "coalesced"] {
+        let entries = serve_entries(new, mode);
+        if entries.is_empty() {
+            failures.push(format!("modes.{mode} missing from the new serve report"));
+            continue;
+        }
+        for (clients, entry) in entries {
+            match entry.get("s5xx").and_then(Json::as_f64) {
+                Some(0.0) => {}
+                Some(n) => {
+                    failures.push(format!("{mode} @{clients} clients returned {n} 5xx responses"))
+                }
+                None => failures.push(format!("{mode} @{clients}: s5xx missing")),
+            }
+        }
+    }
+    match new.path("identity.mismatched").and_then(Json::as_f64) {
+        Some(0.0) => {}
+        Some(n) => failures.push(format!(
+            "{n} coalesced responses differ from their sequential bytes (identity.mismatched)"
+        )),
+        None => failures.push("identity.mismatched missing from the serve report".into()),
+    }
+    if new.path("reload.byte_identical").and_then(Json::as_bool) != Some(true) {
+        failures.push("hot reload changed response bytes (reload.byte_identical)".into());
+    }
+    if new.path("reload.generation_bumped").and_then(Json::as_bool) != Some(true) {
+        failures.push("hot reload did not bump the generation".into());
+    }
+    let smoke = new.get("smoke").and_then(Json::as_bool).unwrap_or(false);
+    if !smoke {
+        match new.get("speedup_coalesced_at_max_clients").and_then(Json::as_f64) {
+            Some(s) if s >= 1.0 => {}
+            Some(s) => failures.push(format!(
+                "coalescing lost to sequential dispatch at max clients ({s:.3}× < 1.0×)"
+            )),
+            None => {
+                failures.push("speedup_coalesced_at_max_clients missing from the report".into())
+            }
+        }
+    }
+
+    // --- Relative deltas, only between comparable runs.
+    let Some(base) = base else {
+        lines.push("  relative checks skipped: no base serve report".into());
+        return PerfDiff { failures, lines };
+    };
+    let base_smoke = base.get("smoke").and_then(Json::as_bool);
+    if base_smoke != Some(smoke) {
+        lines.push(format!(
+            "  relative checks skipped: base smoke={base_smoke:?} != new smoke={smoke}"
+        ));
+        return PerfDiff { failures, lines };
+    }
+
+    for mode in ["sequential", "coalesced"] {
+        for (clients, base_entry) in serve_entries(base, mode) {
+            let new_entry = new.path(&format!("modes.{mode}.{clients}"));
+            // Higher-is-better RPS uses the speedup convention directly;
+            // lower-is-better p99 compares inverted so one code path
+            // handles both directions.
+            let pairs = [("rps", false), ("p99_ms", true)];
+            for (key, lower_is_better) in pairs {
+                let (Some(b), Some(n)) = (
+                    base_entry.get(key).and_then(Json::as_f64),
+                    new_entry.and_then(|e| e.get(key)).and_then(Json::as_f64),
+                ) else {
+                    continue;
+                };
+                if b <= 0.0 || n <= 0.0 {
+                    continue;
+                }
+                let delta = if lower_is_better { b / n - 1.0 } else { n / b - 1.0 };
+                let failed = delta < -threshold;
+                let metric = format!("serve {mode} @{clients} clients {key}");
+                lines.push(
+                    DeltaLine { metric: metric.clone(), base: b, new: n, delta, failed }
+                        .to_string(),
+                );
+                if failed {
+                    failures.push(format!(
+                        "{metric} regressed {:.1}% (base {b:.3} → new {n:.3}, threshold {:.0}%)",
+                        -delta * 100.0,
+                        threshold * 100.0
+                    ));
+                }
+            }
+        }
+    }
+
+    PerfDiff { failures, lines }
+}
+
+/// CLI entry for the serve comparison. The base report is optional —
+/// floors still run without one — but the new report must parse.
+pub fn run_serve(base_path: &Path, new_path: &Path, threshold: f64) -> bool {
+    let load = |path: &Path| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Json::parse(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+    };
+    let new = match load(new_path) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("perfdiff: {e}");
+            return false;
+        }
+    };
+    // A missing committed record is fine: floors only.
+    let base = load(base_path).ok();
+    println!(
+        "perfdiff[serve]: base={} new={} threshold={:.0}%",
+        if base.is_some() { base_path.display().to_string() } else { "(none)".into() },
+        new_path.display(),
+        threshold * 100.0
+    );
+    let diff = compare_serve(base.as_ref(), &new, threshold);
+    for line in &diff.lines {
+        println!("{line}");
+    }
+    if diff.passed() {
+        println!("perfdiff[serve]: ok");
+        true
+    } else {
+        for failure in &diff.failures {
+            eprintln!("perfdiff[serve]: FAIL: {failure}");
+        }
+        false
+    }
+}
+
 /// CLI entry: loads both reports, prints the delta table, returns
 /// success. Used by `main` and exercised end-to-end by the fixtures.
 pub fn run(base_path: &Path, new_path: &Path, threshold: f64) -> bool {
@@ -621,6 +786,137 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("committed BENCH_parallel.json");
         let report = Json::parse(&text).expect("committed report parses");
         let diff = compare(&report, &report, 0.25);
+        assert!(diff.passed(), "failures: {:?}", diff.failures);
+    }
+
+    /// A schema-complete serve report with tunable coalesced RPS at the
+    /// highest client count.
+    fn serve_fixture(coalesced_rps_8: f64, mismatched: f64, smoke: bool) -> Json {
+        let cell = |rps: f64, p99: f64| {
+            format!(
+                r#"{{"mean_batch": 2.5, "p50_ms": 1.0, "p999_ms": {p99}, "p99_ms": {p99},
+                     "requests": 150, "rps": {rps}, "s4xx": 0, "s5xx": 0}}"#
+            )
+        };
+        let text = format!(
+            r#"{{
+              "clients": [1, 4, 8],
+              "identity": {{"compared": 1200, "mismatched": {mismatched}}},
+              "modes": {{
+                "coalesced": {{"1": {c1}, "4": {c4}, "8": {c8}}},
+                "sequential": {{"1": {s1}, "4": {s4}, "8": {s8}}}
+              }},
+              "reload": {{"byte_identical": true, "generation_bumped": true}},
+              "requests_per_client": 150,
+              "smoke": {smoke},
+              "speedup_coalesced_at_max_clients": {speedup}
+            }}"#,
+            c1 = cell(90.0, 2.0),
+            c4 = cell(coalesced_rps_8 * 0.8, 3.0),
+            c8 = cell(coalesced_rps_8, 4.0),
+            s1 = cell(100.0, 2.0),
+            s4 = cell(110.0, 5.0),
+            s8 = cell(120.0, 8.0),
+            speedup = coalesced_rps_8 / 120.0,
+        );
+        Json::parse(&text).expect("serve fixture parses")
+    }
+
+    #[test]
+    fn serve_identical_reports_pass() {
+        let report = serve_fixture(180.0, 0.0, false);
+        let diff = compare_serve(Some(&report), &report, 0.25);
+        assert!(diff.passed(), "failures: {:?}", diff.failures);
+        assert!(!diff.lines.is_empty(), "delta table must be printed");
+    }
+
+    #[test]
+    fn serve_floors_run_without_a_base() {
+        let diff = compare_serve(None, &serve_fixture(180.0, 0.0, false), 0.25);
+        assert!(diff.passed(), "failures: {:?}", diff.failures);
+        assert!(diff.lines.iter().any(|l| l.contains("skipped")), "{:?}", diff.lines);
+    }
+
+    #[test]
+    fn serve_byte_mismatch_fails() {
+        let diff = compare_serve(None, &serve_fixture(180.0, 3.0, false), 0.25);
+        assert!(!diff.passed());
+        assert!(diff.failures.iter().any(|f| f.contains("mismatched")), "{:?}", diff.failures);
+    }
+
+    #[test]
+    fn serve_lost_coalescing_win_fails_in_full_mode_only() {
+        // Coalesced slower than sequential at 8 clients: the tentpole
+        // regression. Full mode trips the floor; smoke is exempt.
+        let slow = serve_fixture(100.0, 0.0, false);
+        let diff = compare_serve(None, &slow, 0.25);
+        assert!(!diff.passed());
+        assert!(
+            diff.failures.iter().any(|f| f.contains("lost to sequential")),
+            "{:?}",
+            diff.failures
+        );
+        let smoke = serve_fixture(100.0, 0.0, true);
+        assert!(compare_serve(None, &smoke, 0.25).passed());
+    }
+
+    #[test]
+    fn serve_5xx_fails() {
+        let mut report = serve_fixture(180.0, 0.0, false);
+        let cell = report
+            .path("modes.coalesced.8")
+            .cloned()
+            .expect("fixture has the 8-client coalesced cell");
+        let Json::Obj(fields) = &mut report else { panic!() };
+        let modes = fields.iter_mut().find(|(k, _)| k == "modes").map(|(_, v)| v);
+        let Some(Json::Obj(modes)) = modes else { panic!() };
+        let co = modes.iter_mut().find(|(k, _)| k == "coalesced").map(|(_, v)| v);
+        let Some(Json::Obj(co)) = co else { panic!() };
+        let Json::Obj(mut cell) = cell else { panic!() };
+        for (k, v) in cell.iter_mut() {
+            if k == "s5xx" {
+                *v = Json::Num(2.0);
+            }
+        }
+        let slot = co.iter_mut().find(|(k, _)| k == "8").map(|(_, v)| v).expect("cell 8");
+        *slot = Json::Obj(cell);
+        let diff = compare_serve(None, &report, 0.25);
+        assert!(!diff.passed());
+        assert!(diff.failures.iter().any(|f| f.contains("5xx")), "{:?}", diff.failures);
+    }
+
+    #[test]
+    fn serve_rps_regression_fails_relatively() {
+        let base = serve_fixture(180.0, 0.0, false);
+        let new = serve_fixture(125.0, 0.0, false); // ≥1× sequential, ~31% down vs base
+        let diff = compare_serve(Some(&base), &new, 0.25);
+        assert!(!diff.passed());
+        assert!(
+            diff.failures.iter().any(|f| f.contains("coalesced @8 clients rps")),
+            "{:?}",
+            diff.failures
+        );
+    }
+
+    #[test]
+    fn serve_mixed_modes_skip_relative_checks() {
+        let base = serve_fixture(180.0, 0.0, true);
+        let new = serve_fixture(125.0, 0.0, false); // would regress vs base
+        let diff = compare_serve(Some(&base), &new, 0.25);
+        assert!(diff.passed(), "failures: {:?}", diff.failures);
+        assert!(diff.lines.iter().any(|l| l.contains("skipped")), "{:?}", diff.lines);
+    }
+
+    #[test]
+    fn committed_serve_report_passes_against_itself() {
+        let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let path = root.join("BENCH_serve.json");
+        if !path.exists() {
+            return; // record lands with the first full loadgen run
+        }
+        let text = std::fs::read_to_string(&path).expect("committed BENCH_serve.json");
+        let report = Json::parse(&text).expect("committed serve report parses");
+        let diff = compare_serve(Some(&report), &report, 0.25);
         assert!(diff.passed(), "failures: {:?}", diff.failures);
     }
 
